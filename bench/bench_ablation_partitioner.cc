@@ -1,0 +1,119 @@
+// Ablation (beyond the paper): partition strategy of the accessing layer
+// (§4.2). Compares the paper's modular hash against range partitioning and
+// two-choice hashing on (a) uniform writes, (b) zipfian point reads, and
+// (c) short scans, and reports the load balance across workers.
+//
+// Expectation: hash balances everything but forks every scan; range keeps
+// short scans on one instance but is skew-prone; two-choice tracks hash.
+
+#include "bench/bench_common.h"
+
+#include <cstdio>
+
+#include "src/core/partitioner.h"
+#include "src/util/hash.h"
+#include "src/ycsb/generator.h"
+
+namespace p2kvs {
+namespace bench {
+namespace {
+
+struct Strategy {
+  std::string name;
+  Partitioner partitioner;
+};
+
+// Max/avg request share across workers (1.0 = perfectly balanced).
+double Imbalance(const Partitioner& p, int workers, bool zipfian, uint64_t keys) {
+  std::vector<uint64_t> counts(static_cast<size_t>(workers), 0);
+  ycsb::ScrambledZipfianGenerator zgen(keys, 77);
+  Random64 ugen(77);
+  for (int i = 0; i < 50000; i++) {
+    uint64_t index = zipfian ? zgen.Next() : ugen.Uniform(keys);
+    std::string key = Key(index);
+    counts[static_cast<size_t>(p(key, workers))]++;
+  }
+  uint64_t max = 0, total = 0;
+  for (uint64_t c : counts) {
+    max = std::max(max, c);
+    total += c;
+  }
+  return static_cast<double>(max) * workers / static_cast<double>(total);
+}
+
+void Run() {
+  const uint64_t records = Scaled(30000);
+  const uint64_t ops = Scaled(20000);
+  const int kWorkers = 4;
+  const int kThreads = 8;
+  PrintHeader("Ablation", "partition strategies: hash vs range vs two-choice (4 workers)",
+              "hash balances skew; range keeps scans single-instance but is skew-prone");
+
+  std::vector<std::string> boundaries;
+  for (int i = 1; i < kWorkers; i++) {
+    boundaries.push_back(Key(records * static_cast<uint64_t>(i) / kWorkers));
+  }
+
+  std::vector<Strategy> strategies;
+  strategies.push_back({"hash", MakeHashPartitioner()});
+  strategies.push_back({"range", MakeRangePartitioner(boundaries)});
+  strategies.push_back({"two-choice", MakeTwoChoiceHashPartitioner()});
+
+  TablePrinter table({"strategy", "write KQPS", "zipf read KQPS", "scan-10 QPS",
+                      "imbalance (unif)", "imbalance (zipf)"});
+
+  for (const Strategy& strategy : strategies) {
+    SimulatedDevice dev = MakeDevice(DeviceProfile::NvmeSsd());
+    P2kvsOptions options;
+    options.env = dev.env.get();
+    options.num_workers = kWorkers;
+    options.engine_factory = MakeRocksLiteFactory(DefaultLsmOptions(dev.env.get()));
+    options.partitioner = strategy.partitioner;
+    std::unique_ptr<P2KVS> store;
+    if (!P2KVS::Open(options, "/abl-" + strategy.name, &store).ok()) {
+      std::abort();
+    }
+    Target target = MakeP2kvsTarget(strategy.name, store.get());
+
+    // (a) uniform writes.
+    Random64 wrnd(3);
+    double write_qps = RunClosedLoop(kThreads, ops, [&](int, uint64_t i) {
+                         target.put(Key(wrnd.Uniform(records)), Value(i, 112));
+                       }).qps;
+    Preload(target, records, 112);
+
+    // (b) zipfian point reads.
+    ycsb::ScrambledZipfianGenerator zgen(records, 9);
+    std::mutex zmu;
+    double read_qps = RunClosedLoop(kThreads, ops, [&](int, uint64_t) {
+                        uint64_t k;
+                        {
+                          std::lock_guard<std::mutex> lock(zmu);
+                          k = zgen.Next();
+                        }
+                        std::string value;
+                        target.get(Key(k), &value);
+                      }).qps;
+
+    // (c) short scans.
+    Random64 srnd(5);
+    double scan_qps = RunClosedLoop(1, std::max<uint64_t>(ops / 50, 50), [&](int, uint64_t) {
+                        std::vector<std::pair<std::string, std::string>> out;
+                        target.scan(Key(srnd.Uniform(records)), 10, &out);
+                      }).qps;
+
+    table.AddRow({strategy.name, Fmt(write_qps / 1000), Fmt(read_qps / 1000), Fmt(scan_qps, 0),
+                  Fmt(Imbalance(strategy.partitioner, kWorkers, false, records), 2),
+                  Fmt(Imbalance(strategy.partitioner, kWorkers, true, records), 2)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace p2kvs
+
+int main() {
+  p2kvs::bench::Run();
+  return 0;
+}

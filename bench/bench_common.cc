@@ -1,0 +1,372 @@
+#include "bench/bench_common.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "src/util/clock.h"
+#include "src/util/hash.h"
+#include "src/ycsb/workload.h"
+
+namespace p2kvs {
+namespace bench {
+
+static double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') {
+    return fallback;
+  }
+  return std::atof(v);
+}
+
+double BenchScale() {
+  static double scale = EnvDouble("P2KVS_BENCH_SCALE", 1.0);
+  return scale;
+}
+
+double DeviceScale() {
+  static double scale = EnvDouble("P2KVS_DEVICE_SCALE", 1.0);
+  return scale;
+}
+
+int MaxThreads() {
+  static int threads = static_cast<int>(EnvDouble("P2KVS_BENCH_THREADS_MAX", 32));
+  return threads;
+}
+
+uint64_t Scaled(uint64_t n) {
+  double scaled = static_cast<double>(n) * BenchScale();
+  return scaled < 1 ? 1 : static_cast<uint64_t>(scaled);
+}
+
+std::string Key(uint64_t index) { return ycsb::RecordKey(index); }
+
+std::string Value(uint64_t index, size_t value_size) {
+  return ycsb::MakeValue(index, value_size);
+}
+
+// --- Targets ---
+
+Target MakeDbTarget(const std::string& name, DB* db) {
+  Target t;
+  t.name = name;
+  t.put = [db](const Slice& k, const Slice& v) { return db->Put(WriteOptions(), k, v); };
+  t.get = [db](const Slice& k, std::string* v) { return db->Get(ReadOptions(), k, v); };
+  t.scan = [db](const Slice& begin, size_t n,
+                std::vector<std::pair<std::string, std::string>>* out) {
+    out->clear();
+    std::unique_ptr<Iterator> iter(db->NewIterator(ReadOptions()));
+    if (begin.empty()) {
+      iter->SeekToFirst();
+    } else {
+      iter->Seek(begin);
+    }
+    while (iter->Valid() && out->size() < n) {
+      out->emplace_back(iter->key().ToString(), iter->value().ToString());
+      iter->Next();
+    }
+    return iter->status();
+  };
+  t.wait_idle = [db] { db->WaitForBackgroundWork(); };
+  t.memory_usage = [db] { return db->ApproximateMemoryUsage(); };
+  return t;
+}
+
+Target MakeMultiInstanceTarget(const std::string& name, const std::vector<DB*>& dbs) {
+  Target t;
+  t.name = name;
+  auto pick = [dbs](const Slice& k) {
+    return dbs[Hash(k.data(), k.size(), 0x70324b56u) % dbs.size()];
+  };
+  t.put = [pick](const Slice& k, const Slice& v) { return pick(k)->Put(WriteOptions(), k, v); };
+  t.get = [pick](const Slice& k, std::string* v) { return pick(k)->Get(ReadOptions(), k, v); };
+  t.wait_idle = [dbs] {
+    for (DB* db : dbs) {
+      db->WaitForBackgroundWork();
+    }
+  };
+  t.memory_usage = [dbs] {
+    size_t total = 0;
+    for (DB* db : dbs) {
+      total += db->ApproximateMemoryUsage();
+    }
+    return total;
+  };
+  return t;
+}
+
+Target MakeP2kvsTarget(const std::string& name, P2KVS* store) {
+  Target t;
+  t.name = name;
+  t.put = [store](const Slice& k, const Slice& v) { return store->Put(k, v); };
+  t.get = [store](const Slice& k, std::string* v) { return store->Get(k, v); };
+  t.scan = [store](const Slice& begin, size_t n,
+                   std::vector<std::pair<std::string, std::string>>* out) {
+    return store->Scan(begin, n, out);
+  };
+  t.wait_idle = [store] { store->WaitIdle(); };
+  t.memory_usage = [store] { return store->ApproximateMemoryUsage(); };
+  return t;
+}
+
+Target MakeKvellTarget(const std::string& name, KvellStore* store) {
+  Target t;
+  t.name = name;
+  t.put = [store](const Slice& k, const Slice& v) { return store->Put(k, v); };
+  t.get = [store](const Slice& k, std::string* v) { return store->Get(k, v); };
+  t.scan = [store](const Slice& begin, size_t n,
+                   std::vector<std::pair<std::string, std::string>>* out) {
+    return store->Scan(begin, n, out);
+  };
+  t.wait_idle = [] {};
+  t.memory_usage = [store] { return store->ApproximateMemoryUsage(); };
+  return t;
+}
+
+// --- Run driver ---
+
+RunResult RunClosedLoop(int threads, uint64_t total_ops,
+                        const std::function<void(int, uint64_t)>& op,
+                        const std::function<void(int)>& per_thread_done) {
+  RunResult result;
+  result.ops = total_ops;
+  std::vector<Histogram> latencies(static_cast<size_t>(threads));
+  std::atomic<uint64_t> next_op{0};
+
+  uint64_t start = NowNanos();
+  std::vector<std::thread> pool;
+  for (int t = 0; t < threads; t++) {
+    pool.emplace_back([&, t] {
+      Histogram& hist = latencies[static_cast<size_t>(t)];
+      uint64_t sampled = 0;
+      while (true) {
+        uint64_t i = next_op.fetch_add(1, std::memory_order_relaxed);
+        if (i >= total_ops) {
+          break;
+        }
+        bool sample = (sampled++ & 0xf) == 0;
+        uint64_t t0 = sample ? NowNanos() : 0;
+        op(t, i);
+        if (sample) {
+          hist.Add(static_cast<double>(NowNanos() - t0) / 1000.0);
+        }
+      }
+      if (per_thread_done) {
+        per_thread_done(t);
+      }
+    });
+  }
+  for (auto& th : pool) {
+    th.join();
+  }
+  result.seconds = static_cast<double>(NowNanos() - start) / 1e9;
+  result.qps = result.seconds > 0 ? static_cast<double>(total_ops) / result.seconds : 0;
+  for (auto& h : latencies) {
+    result.latency.Merge(h);
+  }
+  return result;
+}
+
+void Preload(const Target& target, uint64_t n, size_t value_size) {
+  for (uint64_t i = 0; i < n; i++) {
+    Status s = target.put(Key(i), Value(i, value_size));
+    if (!s.ok()) {
+      std::fprintf(stderr, "preload failed at %llu: %s\n",
+                   static_cast<unsigned long long>(i), s.ToString().c_str());
+      std::abort();
+    }
+  }
+  if (target.wait_idle) {
+    target.wait_idle();
+  }
+}
+
+RunResult RunYcsb(const Target& target, const YcsbRunConfig& config) {
+  const ycsb::WorkloadSpec spec = ycsb::WorkloadSpec::ByName(config.workload);
+  // One operation stream per thread, seeded deterministically.
+  std::vector<std::unique_ptr<ycsb::OperationStream>> streams;
+  for (int t = 0; t < config.threads; t++) {
+    streams.push_back(std::make_unique<ycsb::OperationStream>(
+        spec, config.key_space, 0x9e3779b9ull * static_cast<uint64_t>(t + 1)));
+  }
+  const size_t value_size = config.value_size;
+  std::atomic<uint64_t> errors{0};
+  RunResult result =
+      RunClosedLoop(config.threads, config.ops, [&](int thread, uint64_t i) {
+        ycsb::Operation op = streams[static_cast<size_t>(thread)]->Next();
+        Status s;
+        switch (op.type) {
+          case ycsb::OpType::kInsert:
+          case ycsb::OpType::kUpdate:
+            s = target.put(op.key, Value(i, value_size));
+            break;
+          case ycsb::OpType::kRead: {
+            std::string value;
+            s = target.get(op.key, &value);
+            if (s.IsNotFound()) {
+              s = Status::OK();  // reads of not-yet-inserted latest keys
+            }
+            break;
+          }
+          case ycsb::OpType::kScan: {
+            std::vector<std::pair<std::string, std::string>> out;
+            if (target.scan) {
+              s = target.scan(op.key, op.scan_length, &out);
+            }
+            break;
+          }
+          case ycsb::OpType::kReadModifyWrite: {
+            std::string value;
+            s = target.get(op.key, &value);
+            if (s.ok() || s.IsNotFound()) {
+              s = target.put(op.key, Value(i, value_size));
+            }
+            break;
+          }
+        }
+        if (!s.ok()) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+  if (errors.load() > 0) {
+    std::fprintf(stderr, "[%s %s] %llu errors\n", target.name.c_str(), spec.name.c_str(),
+                 static_cast<unsigned long long>(errors.load()));
+  }
+  return result;
+}
+
+// --- Output ---
+
+void PrintHeader(const std::string& id, const std::string& title, const std::string& expect) {
+  std::printf("\n### %s — %s\n", id.c_str(), title.c_str());
+  if (!expect.empty()) {
+    std::printf("paper expectation: %s\n", expect.c_str());
+  }
+  std::printf("(scale=%.2f device_scale=%.2f cores=%u)\n", BenchScale(), DeviceScale(),
+              std::thread::hardware_concurrency());
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> columns) : columns_(std::move(columns)) {}
+
+void TablePrinter::AddRow(const std::vector<std::string>& cells) { rows_.push_back(cells); }
+
+void TablePrinter::Print() const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); c++) {
+    widths[c] = columns_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); c++) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    std::printf("|");
+    for (size_t c = 0; c < columns_.size(); c++) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      std::printf(" %-*s |", static_cast<int>(widths[c]), cell.c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(columns_);
+  std::printf("|");
+  for (size_t c = 0; c < columns_.size(); c++) {
+    std::printf("%s|", std::string(widths[c] + 2, '-').c_str());
+  }
+  std::printf("\n");
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+  std::fflush(stdout);
+}
+
+std::string Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string FmtBytes(double bytes) {
+  char buf[64];
+  if (bytes >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2f GB", bytes / 1e9);
+  } else if (bytes >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.1f MB", bytes / 1e6);
+  } else if (bytes >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1f KB", bytes / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f B", bytes);
+  }
+  return buf;
+}
+
+std::string FmtQps(double qps) {
+  char buf[64];
+  if (qps >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2f MQPS", qps / 1e6);
+  } else if (qps >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1f KQPS", qps / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f QPS", qps);
+  }
+  return buf;
+}
+
+// --- Sampling ---
+
+std::vector<ResourceSample> SampleWhile(const std::function<void()>& body, int interval_ms) {
+  std::vector<ResourceSample> samples;
+  std::atomic<bool> done{false};
+  CpuUsageSampler cpu;
+  IoStatsSnapshot last_io = IoStats::Instance().Snapshot();
+  uint64_t start = NowNanos();
+
+  std::thread sampler([&] {
+    uint64_t last_t = start;
+    while (!done.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+      uint64_t now = NowNanos();
+      double dt = static_cast<double>(now - last_t) / 1e9;
+      IoStatsSnapshot io = IoStats::Instance().Snapshot();
+      IoStatsSnapshot delta = io.Since(last_io);
+      ResourceSample s;
+      s.at_seconds = static_cast<double>(now - start) / 1e9;
+      s.write_mbps = dt > 0 ? static_cast<double>(delta.TotalWritten()) / 1e6 / dt : 0;
+      s.read_mbps = dt > 0 ? static_cast<double>(delta.TotalRead()) / 1e6 / dt : 0;
+      s.cpu_percent = cpu.SampleUtilizationPercent();
+      s.rss_mb = static_cast<double>(CurrentRssBytes()) / 1e6;
+      samples.push_back(s);
+      last_io = io;
+      last_t = now;
+    }
+  });
+
+  body();
+  done.store(true, std::memory_order_release);
+  sampler.join();
+  return samples;
+}
+
+SimulatedDevice MakeDevice(const DeviceProfile& profile) {
+  SimulatedDevice dev;
+  dev.base = NewMemEnv();
+  dev.profile = profile.Scaled(DeviceScale());
+  dev.env = NewThrottledEnv(dev.base.get(), dev.profile);
+  return dev;
+}
+
+Options DefaultLsmOptions(Env* env) {
+  Options options;
+  options.env = env;
+  // Scaled-down RocksDB-ish sizing so compactions actually run at benchmark
+  // data volumes.
+  options.write_buffer_size = 4 * 1024 * 1024;
+  options.target_file_size = 2 * 1024 * 1024;
+  options.max_bytes_for_level_base = 10 * 1024 * 1024;
+  return options;
+}
+
+}  // namespace bench
+}  // namespace p2kvs

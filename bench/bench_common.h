@@ -1,0 +1,149 @@
+// Shared benchmark harness: environment knobs, closed-loop multi-threaded
+// drivers, uniform "target" wrappers over every system under test, ASCII
+// table output, and resource/IO sampling.
+//
+// Global knobs (environment variables):
+//   P2KVS_BENCH_SCALE    — multiplies every op/record count (default 1.0).
+//   P2KVS_DEVICE_SCALE   — slows the simulated device down uniformly
+//                          (latency x S, bandwidth / S; default 1.0).
+//   P2KVS_BENCH_THREADS_MAX — caps thread sweeps (default 32).
+
+#ifndef P2KVS_BENCH_BENCH_COMMON_H_
+#define P2KVS_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/p2kvs.h"
+#include "src/io/device_model.h"
+#include "src/io/io_stats.h"
+#include "src/io/mem_env.h"
+#include "src/kvell/kvell_store.h"
+#include "src/lsm/db.h"
+#include "src/util/histogram.h"
+#include "src/util/resource_usage.h"
+#include "src/ycsb/workload.h"
+
+namespace p2kvs {
+namespace bench {
+
+// --- Environment knobs ---
+
+double BenchScale();
+double DeviceScale();
+int MaxThreads();
+
+// n * P2KVS_BENCH_SCALE, at least 1.
+uint64_t Scaled(uint64_t n);
+
+// --- Keys/values ---
+
+std::string Key(uint64_t index);                      // zero-padded "user..." key
+std::string Value(uint64_t index, size_t value_size);  // deterministic payload
+
+// --- Uniform target interface over all systems under test ---
+
+struct Target {
+  std::string name;
+  std::function<Status(const Slice& key, const Slice& value)> put;
+  std::function<Status(const Slice& key, std::string* value)> get;
+  // May be empty if the system has no ordered scan.
+  std::function<Status(const Slice& begin, size_t n,
+                       std::vector<std::pair<std::string, std::string>>*)> scan;
+  std::function<void()> wait_idle;     // block until background work quiesces
+  std::function<size_t()> memory_usage;  // approximate resident structures
+};
+
+Target MakeDbTarget(const std::string& name, DB* db);
+// The multi-instance baseline of §3.2: user threads hash keys and call the
+// owning instance directly (no accessing layer, no workers).
+Target MakeMultiInstanceTarget(const std::string& name, const std::vector<DB*>& dbs);
+Target MakeP2kvsTarget(const std::string& name, P2KVS* store);
+Target MakeKvellTarget(const std::string& name, KvellStore* store);
+
+// --- Closed-loop run driver ---
+
+struct RunResult {
+  double seconds = 0;
+  uint64_t ops = 0;
+  double qps = 0;
+  Histogram latency;  // microseconds
+};
+
+// Runs `total_ops` operations across `threads` threads; op(thread_id,
+// op_index) executes one operation. Latency is sampled 1-in-16.
+// `per_thread_done` (optional) runs on each pool thread after its last op —
+// use it to harvest thread-local state (e.g. PerfContext).
+RunResult RunClosedLoop(int threads, uint64_t total_ops,
+                        const std::function<void(int, uint64_t)>& op,
+                        const std::function<void(int)>& per_thread_done = nullptr);
+
+// Preloads keys [0, n) with `value_size`-byte values through `target`.
+void Preload(const Target& target, uint64_t n, size_t value_size);
+
+struct YcsbRunConfig {
+  std::string workload;  // "load", "a" ... "f"
+  int threads = 8;
+  uint64_t ops = 10000;
+  size_t value_size = 128;
+  ycsb::KeySpace* key_space = nullptr;  // carries record count across phases
+};
+
+// Runs a YCSB workload (paper Table 1) against the target with per-thread
+// operation streams.
+RunResult RunYcsb(const Target& target, const YcsbRunConfig& config);
+
+// --- Output helpers ---
+
+// Prints "### <figure/table id>: <title>" plus a paper-expectation note.
+void PrintHeader(const std::string& id, const std::string& title, const std::string& expect);
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> columns);
+  void AddRow(const std::vector<std::string>& cells);
+  void Print() const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string Fmt(double v, int precision = 1);
+std::string FmtBytes(double bytes);
+std::string FmtQps(double qps);
+
+// --- Sampling (Figures 4, 21; Table 2) ---
+
+struct ResourceSample {
+  double at_seconds;
+  double write_mbps;      // device write bandwidth in the interval
+  double read_mbps;
+  double cpu_percent;     // of one core (100% == one busy core)
+  double rss_mb;
+};
+
+// Samples IO/CPU/RSS every `interval_ms` while `body` runs.
+std::vector<ResourceSample> SampleWhile(const std::function<void()>& body, int interval_ms);
+
+// --- Device-model environments ---
+
+// A MemEnv-backed environment throttled to the given profile (scaled by
+// P2KVS_DEVICE_SCALE). Returns {owner-of-base, owner-of-throttled}.
+struct SimulatedDevice {
+  std::unique_ptr<Env> base;
+  std::unique_ptr<Env> env;
+  DeviceProfile profile;
+};
+SimulatedDevice MakeDevice(const DeviceProfile& profile);
+
+// Default benchmark LSM options (scaled-down RocksDB-ish sizing).
+Options DefaultLsmOptions(Env* env);
+
+}  // namespace bench
+}  // namespace p2kvs
+
+#endif  // P2KVS_BENCH_BENCH_COMMON_H_

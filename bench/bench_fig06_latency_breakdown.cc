@@ -1,0 +1,85 @@
+// Figure 6 — write latency breakdown of the single-instance engine under
+// 1..32 user threads: WAL, MemTable, WAL lock, MemTable lock, Others.
+//
+// Paper result: at 1 thread WAL+MemTable are ~90% of latency; by 32 threads
+// the two lock components grow to ~81% (WAL lock alone > 50% at 8 threads),
+// which is the contention p2KVS removes.
+
+#include "bench/bench_common.h"
+
+#include <cstdio>
+#include <mutex>
+
+#include "src/util/clock.h"
+#include "src/util/hash.h"
+#include "src/util/perf_context.h"
+
+namespace p2kvs {
+namespace bench {
+namespace {
+
+void Run() {
+  const uint64_t ops = Scaled(30000);
+  PrintHeader("Figure 6", "write latency breakdown vs user threads (single instance)",
+              "lock components grow from ~0% to dominate as threads increase");
+
+  TablePrinter table({"threads", "avg us/op", "WAL %", "MemTable %", "WAL lock %",
+                      "MemTable lock %", "Others %", "WAL us", "MemTable us"});
+
+  for (int threads : {1, 2, 4, 8, 16, 32}) {
+    if (threads > MaxThreads()) {
+      break;
+    }
+    SimulatedDevice dev = MakeDevice(DeviceProfile::NvmeSsd());
+    Options options = DefaultLsmOptions(dev.env.get());
+    // Isolate the foreground write path: a large buffer avoids flush-induced
+    // stalls that would otherwise dominate on small hosts (the paper's
+    // 44-core testbed absorbs compactions on spare cores).
+    options.write_buffer_size = 1ull << 30;
+    options.debug_disable_background = true;
+    std::unique_ptr<DB> db;
+    if (!DB::Open(options, "/fig06", &db).ok()) {
+      std::abort();
+    }
+
+    PerfContext total;
+    std::mutex merge_mu;
+    std::atomic<bool> reset_done{false};
+    RunClosedLoop(
+        threads, ops,
+        [&](int, uint64_t i) {
+          uint64_t k = Hash64(reinterpret_cast<const char*>(&i), 8) % (ops * 4);
+          db->Put(WriteOptions(), Key(k), Value(i, 112));
+        },
+        [&](int) {
+          // Harvest each pool thread's thread-local breakdown.
+          std::lock_guard<std::mutex> lock(merge_mu);
+          total.MergeFrom(GetPerfContext());
+          GetPerfContext().Reset();
+          (void)reset_done;
+        });
+
+    double n = static_cast<double>(total.write_count > 0 ? total.write_count : 1);
+    double avg_total = static_cast<double>(total.total_write_nanos) / n / 1000.0;
+    double sum = static_cast<double>(total.total_write_nanos);
+    if (sum <= 0) {
+      sum = 1;
+    }
+    auto pct = [&](uint64_t v) { return 100.0 * static_cast<double>(v) / sum; };
+    table.AddRow({std::to_string(threads), Fmt(avg_total, 2), Fmt(pct(total.wal_nanos)),
+                  Fmt(pct(total.memtable_nanos)), Fmt(pct(total.wal_lock_nanos)),
+                  Fmt(pct(total.memtable_lock_nanos)), Fmt(pct(total.others_nanos())),
+                  Fmt(static_cast<double>(total.wal_nanos) / n / 1000.0, 2),
+                  Fmt(static_cast<double>(total.memtable_nanos) / n / 1000.0, 2)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace p2kvs
+
+int main() {
+  p2kvs::bench::Run();
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 14 — point-query (GET) throughput vs user threads, with the OBM
+// disabled (a) and enabled (b), against plain RocksLite.
+//
+// Paper result: without OBM p2KVS matches RocksDB; with OBM it scales almost
+// linearly (multiget fast path), up to 7.5x over OBM-off and 5.4x over
+// RocksDB.
+
+#include "bench/bench_common.h"
+
+#include <cstdio>
+
+#include "src/util/hash.h"
+
+namespace p2kvs {
+namespace bench {
+namespace {
+
+double RunGets(const Target& target, int threads, uint64_t ops, uint64_t key_space) {
+  return RunClosedLoop(threads, ops, [&](int, uint64_t i) {
+           uint64_t k = Hash64(reinterpret_cast<const char*>(&i), 8) % key_space;
+           std::string value;
+           target.get(Key(k), &value);
+         }).qps;
+}
+
+void Run() {
+  const uint64_t preload = Scaled(50000);
+  const uint64_t ops = Scaled(40000);
+  PrintHeader("Figure 14", "GET throughput vs threads: RocksLite vs p2KVS-8 (OBM off/on)",
+              "OBM-on scales nearly linearly; OBM-off matches RocksDB");
+
+  TablePrinter table({"threads", "RocksLite", "p2KVS-8 (no OBM)", "p2KVS-8 (OBM)"});
+  for (int threads : {1, 2, 4, 8, 16, 32}) {
+    if (threads > MaxThreads()) {
+      break;
+    }
+    std::vector<std::string> row = {std::to_string(threads)};
+
+    {
+      SimulatedDevice dev = MakeDevice(DeviceProfile::NvmeSsd());
+      std::unique_ptr<DB> db;
+      if (!DB::Open(DefaultLsmOptions(dev.env.get()), "/f14", &db).ok()) std::abort();
+      Target target = MakeDbTarget("rocks", db.get());
+      Preload(target, preload, 112);
+      row.push_back(FmtQps(RunGets(target, threads, ops, preload)));
+    }
+    for (bool obm : {false, true}) {
+      SimulatedDevice dev = MakeDevice(DeviceProfile::NvmeSsd());
+      P2kvsOptions options;
+      options.env = dev.env.get();
+      options.num_workers = 8;
+      options.enable_obm = obm;
+      options.engine_factory = MakeRocksLiteFactory(DefaultLsmOptions(dev.env.get()));
+      std::unique_ptr<P2KVS> store;
+      if (!P2KVS::Open(options, "/f14", &store).ok()) std::abort();
+      Target target = MakeP2kvsTarget("p2kvs", store.get());
+      Preload(target, preload, 112);
+      row.push_back(FmtQps(RunGets(target, threads, ops, preload)));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace p2kvs
+
+int main() {
+  p2kvs::bench::Run();
+  return 0;
+}

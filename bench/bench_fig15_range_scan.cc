@@ -1,0 +1,115 @@
+// Figure 15 — RANGE and SCAN throughput vs scan size, single user thread:
+// RocksLite vs p2KVS-8 (both SCAN strategies, plus the parallel RANGE).
+//
+// Paper result: p2KVS wins RANGE by up to 2.9x and short SCANs by ~1.5x;
+// at scan-size >= 1000 the read amplification of the parallel SCAN eats the
+// advantage and the two systems converge.
+
+#include "bench/bench_common.h"
+
+#include <cstdio>
+
+#include "src/util/random.h"
+
+namespace p2kvs {
+namespace bench {
+namespace {
+
+void Run() {
+  const uint64_t preload = Scaled(60000);
+  PrintHeader("Figure 15", "RANGE / SCAN throughput vs scan size (1 user thread)",
+              "p2KVS leads small scans; converges at large scan sizes");
+
+  // RocksLite baseline.
+  SimulatedDevice rocks_dev = MakeDevice(DeviceProfile::NvmeSsd());
+  std::unique_ptr<DB> db;
+  if (!DB::Open(DefaultLsmOptions(rocks_dev.env.get()), "/f15", &db).ok()) std::abort();
+  Target rocks = MakeDbTarget("rocks", db.get());
+  Preload(rocks, preload, 112);
+
+  // p2KVS with both scan strategies.
+  SimulatedDevice p2_dev = MakeDevice(DeviceProfile::NvmeSsd());
+  P2kvsOptions options;
+  options.env = p2_dev.env.get();
+  options.num_workers = 8;
+  options.engine_factory = MakeRocksLiteFactory(DefaultLsmOptions(p2_dev.env.get()));
+  std::unique_ptr<P2KVS> store;
+  if (!P2KVS::Open(options, "/f15", &store).ok()) std::abort();
+  Target p2 = MakeP2kvsTarget("p2kvs", store.get());
+  Preload(p2, preload, 112);
+
+  TablePrinter table({"scan size", "op", "RocksLite", "p2KVS (parallel)", "p2KVS (merge-iter)"});
+  Random64 rnd(42);
+
+  for (size_t scan_size : {10u, 100u, 1000u, 10000u}) {
+    uint64_t ops = std::max<uint64_t>(Scaled(20000) / scan_size, 20);
+
+    auto run_scan = [&](const Target& t) {
+      return RunClosedLoop(1, ops, [&](int, uint64_t i) {
+               uint64_t start = rnd.Uniform(preload > scan_size ? preload - scan_size : 1);
+               std::vector<std::pair<std::string, std::string>> out;
+               t.scan(Key(start), scan_size, &out);
+               (void)i;
+             }).qps;
+    };
+    auto run_range = [&](const std::function<Status(const Slice&, const Slice&,
+                                                    std::vector<std::pair<std::string,
+                                                                          std::string>>*)>& fn) {
+      return RunClosedLoop(1, ops, [&](int, uint64_t i) {
+               uint64_t start = rnd.Uniform(preload > scan_size ? preload - scan_size : 1);
+               std::vector<std::pair<std::string, std::string>> out;
+               fn(Key(start), Key(start + scan_size), &out);
+               (void)i;
+             }).qps;
+    };
+
+    // SCAN rows.
+    double rocks_scan = run_scan(rocks);
+    double p2_parallel_scan = run_scan(p2);
+
+    std::vector<std::pair<std::string, std::string>> tmp;
+    // Global-merge SCAN via the global iterator.
+    double p2_merge_scan = RunClosedLoop(1, ops, [&](int, uint64_t i) {
+                             uint64_t start =
+                                 rnd.Uniform(preload > scan_size ? preload - scan_size : 1);
+                             std::unique_ptr<Iterator> iter(store->NewGlobalIterator());
+                             iter->Seek(Key(start));
+                             size_t n = 0;
+                             while (iter->Valid() && n < scan_size) {
+                               n++;
+                               iter->Next();
+                             }
+                             (void)i;
+                           }).qps;
+    table.AddRow({std::to_string(scan_size), "SCAN", FmtQps(rocks_scan),
+                  FmtQps(p2_parallel_scan), FmtQps(p2_merge_scan)});
+
+    // RANGE rows (RocksLite range == iterator until end key).
+    double rocks_range = RunClosedLoop(1, ops, [&](int, uint64_t i) {
+                           uint64_t start =
+                               rnd.Uniform(preload > scan_size ? preload - scan_size : 1);
+                           std::unique_ptr<Iterator> iter(db->NewIterator(ReadOptions()));
+                           std::string end = Key(start + scan_size);
+                           for (iter->Seek(Key(start));
+                                iter->Valid() && iter->key().compare(end) < 0; iter->Next()) {
+                           }
+                           (void)i;
+                         }).qps;
+    double p2_range = run_range([&](const Slice& b, const Slice& e, auto* out) {
+      return store->Range(b, e, out);
+    });
+    table.AddRow({std::to_string(scan_size), "RANGE", FmtQps(rocks_range), FmtQps(p2_range),
+                  "-"});
+    (void)tmp;
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace p2kvs
+
+int main() {
+  p2kvs::bench::Run();
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Figure 16 — YCSB macro-benchmark (Table 1 mixes) at 8 and 32 user
+// threads: RocksLite vs p2KVS-4 vs p2KVS-8. (PebblesDB is excluded, as in
+// the paper, where it could not complete the runs.)
+//
+// Paper result: LOAD gains grow with concurrency (2.4x at 8 threads, 5.2x at
+// 32 for p2KVS-8); read-heavy B/C/D gain ~1-2x; E is a wash (scan read
+// amplification); mixed A/F gain 1.5-3.5x.
+
+#include "bench/bench_common.h"
+
+#include <cstdio>
+
+namespace p2kvs {
+namespace bench {
+namespace {
+
+struct System {
+  std::string name;
+  int workers;  // 0 = plain RocksLite
+};
+
+double RunWorkloads(const System& sys, const std::string& workload, int threads,
+                    uint64_t preload_records, uint64_t ops) {
+  SimulatedDevice dev = MakeDevice(DeviceProfile::NvmeSsd());
+  std::unique_ptr<DB> db;
+  std::unique_ptr<P2KVS> store;
+  Target target;
+  if (sys.workers == 0) {
+    if (!DB::Open(DefaultLsmOptions(dev.env.get()), "/f16", &db).ok()) std::abort();
+    target = MakeDbTarget(sys.name, db.get());
+  } else {
+    P2kvsOptions options;
+    options.env = dev.env.get();
+    options.num_workers = sys.workers;
+    options.engine_factory = MakeRocksLiteFactory(DefaultLsmOptions(dev.env.get()));
+    if (!P2KVS::Open(options, "/f16", &store).ok()) std::abort();
+    target = MakeP2kvsTarget(sys.name, store.get());
+  }
+
+  ycsb::KeySpace space(0);
+  if (workload == "load") {
+    YcsbRunConfig config;
+    config.workload = "load";
+    config.threads = threads;
+    config.ops = preload_records;
+    config.key_space = &space;
+    return RunYcsb(target, config).qps;
+  }
+
+  // Non-LOAD workloads run over a preloaded store.
+  Preload(target, preload_records, 112);
+  space.record_count.store(preload_records);
+  YcsbRunConfig config;
+  config.workload = workload;
+  config.threads = threads;
+  config.ops = (workload == "e") ? std::max<uint64_t>(ops / 20, 100) : ops;
+  config.key_space = &space;
+  return RunYcsb(target, config).qps;
+}
+
+void Run() {
+  const uint64_t records = Scaled(30000);
+  const uint64_t ops = Scaled(20000);
+  PrintHeader("Figure 16", "YCSB LOAD + A-F: RocksLite vs p2KVS-4 vs p2KVS-8",
+              "p2KVS-8 up to ~5x on LOAD at high concurrency; 1-2x on reads; ~1x on E");
+
+  const std::vector<System> systems = {{"RocksLite", 0}, {"p2KVS-4", 4}, {"p2KVS-8", 8}};
+  for (int threads : {8, 32}) {
+    if (threads > MaxThreads()) {
+      break;
+    }
+    std::printf("\n-- %d user threads --\n", threads);
+    TablePrinter table({"workload", systems[0].name, systems[1].name, systems[2].name,
+                        "p2KVS-8 speedup"});
+    for (const char* workload : {"load", "a", "b", "c", "d", "e", "f"}) {
+      std::vector<double> qps;
+      for (const System& sys : systems) {
+        qps.push_back(RunWorkloads(sys, workload, threads, records, ops));
+      }
+      table.AddRow({workload, FmtQps(qps[0]), FmtQps(qps[1]), FmtQps(qps[2]),
+                    Fmt(qps[0] > 0 ? qps[2] / qps[0] : 0, 2) + "x"});
+    }
+    table.Print();
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace p2kvs
+
+int main() {
+  p2kvs::bench::Run();
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Figure 17 — sensitivity to the number of workers and to the OBM, on YCSB
+// LOAD / A / B / C, normalized to the single-worker OBM-off configuration.
+// Also sweeps the OBM max-batch bound (an ablation beyond the paper, which
+// fixes it at 32).
+//
+// Paper result: inter-instance parallelism alone gives 3-6.5x at 8 workers;
+// OBM multiplies writes by up to 2x and reads by up to 5x (less at high
+// worker counts where the SSD is already saturated); 8 workers is optimal.
+
+#include "bench/bench_common.h"
+
+#include <cstdio>
+
+namespace p2kvs {
+namespace bench {
+namespace {
+
+double RunOne(int workers, bool obm, int max_batch, const std::string& workload,
+              uint64_t records, uint64_t ops, int threads) {
+  SimulatedDevice dev = MakeDevice(DeviceProfile::NvmeSsd());
+  P2kvsOptions options;
+  options.env = dev.env.get();
+  options.num_workers = workers;
+  options.enable_obm = obm;
+  options.max_batch_size = max_batch;
+  options.engine_factory = MakeRocksLiteFactory(DefaultLsmOptions(dev.env.get()));
+  std::unique_ptr<P2KVS> store;
+  if (!P2KVS::Open(options, "/f17", &store).ok()) std::abort();
+  Target target = MakeP2kvsTarget("p2kvs", store.get());
+
+  ycsb::KeySpace space(0);
+  if (workload == "load") {
+    YcsbRunConfig config;
+    config.workload = "load";
+    config.threads = threads;
+    config.ops = ops;
+    config.key_space = &space;
+    return RunYcsb(target, config).qps;
+  }
+  Preload(target, records, 112);
+  space.record_count.store(records);
+  YcsbRunConfig config;
+  config.workload = workload;
+  config.threads = threads;
+  config.ops = ops;
+  config.key_space = &space;
+  return RunYcsb(target, config).qps;
+}
+
+void Run() {
+  const uint64_t records = Scaled(20000);
+  const uint64_t ops = Scaled(15000);
+  const int kThreads = 16;
+  PrintHeader("Figure 17", "sensitivity to workers x OBM (normalized to 1 worker, OBM off)",
+              "workers scale to ~8; OBM adds up to 2x (writes) / 5x (reads)");
+
+  for (const char* workload : {"load", "a", "b", "c"}) {
+    std::printf("\n-- workload %s, %d user threads --\n", workload, kThreads);
+    TablePrinter table({"workers", "OBM off (x)", "OBM on (x)", "OBM off QPS", "OBM on QPS"});
+    double baseline = 0;
+    for (int workers : {1, 2, 4, 8}) {
+      double off = RunOne(workers, false, 32, workload, records, ops, kThreads);
+      double on = RunOne(workers, true, 32, workload, records, ops, kThreads);
+      if (baseline == 0) {
+        baseline = off;
+      }
+      table.AddRow({std::to_string(workers), Fmt(off / baseline, 2), Fmt(on / baseline, 2),
+                    FmtQps(off), FmtQps(on)});
+    }
+    table.Print();
+  }
+
+  // Ablation: OBM max-batch bound (paper default 32).
+  std::printf("\n-- ablation: OBM max-batch bound (LOAD, 8 workers, %d threads) --\n", kThreads);
+  TablePrinter ablation({"max batch", "QPS"});
+  for (int max_batch : {1, 4, 8, 32, 128}) {
+    ablation.AddRow({std::to_string(max_batch),
+                     FmtQps(RunOne(8, true, max_batch, "load", records, ops, kThreads))});
+  }
+  ablation.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace p2kvs
+
+int main() {
+  p2kvs::bench::Run();
+  return 0;
+}

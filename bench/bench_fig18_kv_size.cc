@@ -1,0 +1,87 @@
+// Figures 18 & 19 — sensitivity to KV size on workloads LOAD / A / C:
+// RocksLite vs p2KVS-8 with OBM off and on, value sizes 64 B .. 4 KiB
+// (the 1 KiB rows reproduce Figure 19's comparison).
+//
+// Paper result: small KVs benefit most from the OBM; at 1 KiB the write-side
+// OBM gain shrinks (merging large logging IOs buys little) while read-side
+// batching stays effective.
+
+#include "bench/bench_common.h"
+
+#include <cstdio>
+
+namespace p2kvs {
+namespace bench {
+namespace {
+
+double RunOne(bool p2kvs_system, bool obm, const std::string& workload, size_t value_size,
+              uint64_t records, uint64_t ops, int threads) {
+  SimulatedDevice dev = MakeDevice(DeviceProfile::NvmeSsd());
+  std::unique_ptr<DB> db;
+  std::unique_ptr<P2KVS> store;
+  Target target;
+  if (!p2kvs_system) {
+    if (!DB::Open(DefaultLsmOptions(dev.env.get()), "/f18", &db).ok()) std::abort();
+    target = MakeDbTarget("rocks", db.get());
+  } else {
+    P2kvsOptions options;
+    options.env = dev.env.get();
+    options.num_workers = 8;
+    options.enable_obm = obm;
+    options.engine_factory = MakeRocksLiteFactory(DefaultLsmOptions(dev.env.get()));
+    if (!P2KVS::Open(options, "/f18", &store).ok()) std::abort();
+    target = MakeP2kvsTarget("p2kvs", store.get());
+  }
+
+  ycsb::KeySpace space(0);
+  if (workload == "load") {
+    YcsbRunConfig config;
+    config.workload = "load";
+    config.threads = threads;
+    config.ops = ops;
+    config.value_size = value_size;
+    config.key_space = &space;
+    return RunYcsb(target, config).qps;
+  }
+  Preload(target, records, value_size);
+  space.record_count.store(records);
+  YcsbRunConfig config;
+  config.workload = workload;
+  config.threads = threads;
+  config.ops = ops;
+  config.value_size = value_size;
+  config.key_space = &space;
+  return RunYcsb(target, config).qps;
+}
+
+void Run() {
+  const int kThreads = 16;
+  PrintHeader("Figures 18/19", "KV-size sensitivity on LOAD/A/C (RocksLite vs p2KVS-8)",
+              "small KVs gain most from OBM; at >=1KiB the write-side gain shrinks");
+
+  for (const char* workload : {"load", "a", "c"}) {
+    std::printf("\n-- workload %s, %d user threads --\n", workload, kThreads);
+    TablePrinter table(
+        {"value size", "RocksLite", "p2KVS-8 no OBM", "p2KVS-8 OBM", "speedup (OBM/rocks)"});
+    for (size_t value_size : {64u, 128u, 256u, 1024u, 4096u}) {
+      // Keep total data volume roughly constant across sizes.
+      uint64_t ops = std::max<uint64_t>(Scaled(2000000) / value_size, 500);
+      uint64_t records = ops;
+      double rocks = RunOne(false, false, workload, value_size, records, ops, kThreads);
+      double p2_off = RunOne(true, false, workload, value_size, records, ops, kThreads);
+      double p2_on = RunOne(true, true, workload, value_size, records, ops, kThreads);
+      table.AddRow({std::to_string(value_size) + "B", FmtQps(rocks), FmtQps(p2_off),
+                    FmtQps(p2_on), Fmt(rocks > 0 ? p2_on / rocks : 0, 2) + "x"});
+    }
+    table.Print();
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace p2kvs
+
+int main() {
+  p2kvs::bench::Run();
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Figure 20 — KVell-lite vs p2KVS on the YCSB workloads, 4 and 8 workers.
+//
+// Paper result: p2KVS wins write-intensive LOAD/A/F (LSM aggregates small
+// writes; KVell pays page-granular slot IO), roughly ties point reads (B, D),
+// loses pure-read C (KVell's all-in-memory index + page cache), and wins
+// scans (E).
+
+#include "bench/bench_common.h"
+
+#include <cstdio>
+
+namespace p2kvs {
+namespace bench {
+namespace {
+
+double RunOne(bool kvell_system, int workers, const std::string& workload, uint64_t records,
+              uint64_t ops, int threads) {
+  SimulatedDevice dev = MakeDevice(DeviceProfile::NvmeSsd());
+  std::unique_ptr<KvellStore> kvell;
+  std::unique_ptr<P2KVS> p2;
+  Target target;
+  if (kvell_system) {
+    KvellOptions options;
+    options.env = dev.env.get();
+    options.num_workers = workers;
+    if (!KvellStore::Open(options, "/f20", &kvell).ok()) std::abort();
+    target = MakeKvellTarget("kvell", kvell.get());
+  } else {
+    P2kvsOptions options;
+    options.env = dev.env.get();
+    options.num_workers = workers;
+    options.engine_factory = MakeRocksLiteFactory(DefaultLsmOptions(dev.env.get()));
+    if (!P2KVS::Open(options, "/f20", &p2).ok()) std::abort();
+    target = MakeP2kvsTarget("p2kvs", p2.get());
+  }
+
+  ycsb::KeySpace space(0);
+  if (workload == "load") {
+    YcsbRunConfig config;
+    config.workload = "load";
+    config.threads = threads;
+    config.ops = records;
+    config.key_space = &space;
+    return RunYcsb(target, config).qps;
+  }
+  Preload(target, records, 112);
+  space.record_count.store(records);
+  YcsbRunConfig config;
+  config.workload = workload;
+  config.threads = threads;
+  config.ops = (workload == "e") ? std::max<uint64_t>(ops / 20, 100) : ops;
+  config.key_space = &space;
+  return RunYcsb(target, config).qps;
+}
+
+void Run() {
+  const uint64_t records = Scaled(25000);
+  const uint64_t ops = Scaled(15000);
+  const int kThreads = 16;
+  PrintHeader("Figure 20", "KVell-lite vs p2KVS across YCSB",
+              "p2KVS wins writes & scans; KVell wins pure reads (in-memory index)");
+
+  TablePrinter table({"workload", "KVell-4", "KVell-8", "p2KVS-4", "p2KVS-8"});
+  for (const char* workload : {"load", "a", "b", "c", "d", "e", "f"}) {
+    table.AddRow({workload, FmtQps(RunOne(true, 4, workload, records, ops, kThreads)),
+                  FmtQps(RunOne(true, 8, workload, records, ops, kThreads)),
+                  FmtQps(RunOne(false, 4, workload, records, ops, kThreads)),
+                  FmtQps(RunOne(false, 8, workload, records, ops, kThreads))});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace p2kvs
+
+int main() {
+  p2kvs::bench::Run();
+  return 0;
+}

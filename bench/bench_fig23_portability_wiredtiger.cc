@@ -1,0 +1,81 @@
+// Figure 23 — portability: p2KVS over WTLite (B+-tree engine with a shared
+// tree latch and no batch-write API). Random write and read scaling vs
+// threads, p2KVS instances == threads.
+//
+// Paper result: WiredTiger's shared index serializes writers, so it barely
+// scales; p2KVS reaches up to 8.4x writes / 15x reads over single-threaded
+// WiredTiger, with diminishing returns past ~12 instances.
+
+#include "bench/bench_common.h"
+
+#include <cstdio>
+
+#include "src/util/hash.h"
+
+namespace p2kvs {
+namespace bench {
+namespace {
+
+void Run() {
+  const uint64_t ops = Scaled(20000);
+  PrintHeader("Figure 23", "p2KVS on WTLite (B+-tree): random write / read scaling",
+              "shared-latch WTLite flatlines; p2KVS scales with instances");
+
+  TablePrinter table({"threads(=instances)", "WTLite write", "p2KVS write", "WTLite read",
+                      "p2KVS read"});
+  for (int threads : {1, 2, 4, 8, 16}) {
+    if (threads > MaxThreads()) {
+      break;
+    }
+    double wt_write, p2_write, wt_read, p2_read;
+    {
+      SimulatedDevice dev = MakeDevice(DeviceProfile::NvmeSsd());
+      BTreeOptions options;
+      options.env = dev.env.get();
+      std::unique_ptr<BTreeStore> store;
+      if (!BTreeStore::Open(options, "/f23", &store).ok()) std::abort();
+      wt_write = RunClosedLoop(threads, ops, [&](int, uint64_t i) {
+                   uint64_t k = Hash64(reinterpret_cast<const char*>(&i), 8) % (ops * 2);
+                   store->Put(Key(k), Value(i, 112));
+                 }).qps;
+      wt_read = RunClosedLoop(threads, ops, [&](int, uint64_t i) {
+                  uint64_t k = Hash64(reinterpret_cast<const char*>(&i), 8) % (ops * 2);
+                  std::string v;
+                  store->Get(Key(k), &v);
+                }).qps;
+    }
+    {
+      SimulatedDevice dev = MakeDevice(DeviceProfile::NvmeSsd());
+      BTreeOptions bt;
+      bt.env = dev.env.get();
+      P2kvsOptions options;
+      options.env = dev.env.get();
+      options.num_workers = threads;
+      options.engine_factory = MakeWTLiteFactory(bt);
+      std::unique_ptr<P2KVS> store;
+      if (!P2KVS::Open(options, "/f23p", &store).ok()) std::abort();
+      Target t = MakeP2kvsTarget("p2kvs-wt", store.get());
+      p2_write = RunClosedLoop(threads, ops, [&](int, uint64_t i) {
+                   uint64_t k = Hash64(reinterpret_cast<const char*>(&i), 8) % (ops * 2);
+                   t.put(Key(k), Value(i, 112));
+                 }).qps;
+      p2_read = RunClosedLoop(threads, ops, [&](int, uint64_t i) {
+                  uint64_t k = Hash64(reinterpret_cast<const char*>(&i), 8) % (ops * 2);
+                  std::string v;
+                  t.get(Key(k), &v);
+                }).qps;
+    }
+    table.AddRow({std::to_string(threads), FmtQps(wt_write), FmtQps(p2_write), FmtQps(wt_read),
+                  FmtQps(p2_read)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace p2kvs
+
+int main() {
+  p2kvs::bench::Run();
+  return 0;
+}

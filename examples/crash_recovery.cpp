@@ -1,0 +1,96 @@
+// Crash-recovery walkthrough (paper §4.5 / Figure 11): runs GSN-tagged
+// transactions against p2KVS on a fault-injection environment, simulates a
+// power loss at the worst moment (sub-batches durable, commit record not),
+// and shows that recovery rolls the whole transaction back on every
+// instance.
+//
+//   ./examples/crash_recovery
+
+#include <cstdio>
+
+#include "src/core/p2kvs.h"
+#include "src/io/fault_injection_env.h"
+#include "src/io/mem_env.h"
+
+using namespace p2kvs;  // NOLINT — example brevity
+
+namespace {
+
+std::unique_ptr<P2KVS> OpenStore(Env* env) {
+  Options lsm;
+  lsm.env = env;
+  P2kvsOptions options;
+  options.env = env;
+  options.num_workers = 4;
+  options.engine_factory = MakeRocksLiteFactory(lsm);
+  std::unique_ptr<P2KVS> store;
+  Status s = P2KVS::Open(options, "/crashdemo", &store);
+  if (!s.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+  return store;
+}
+
+const char* Lookup(P2KVS* store, const std::string& key) {
+  static std::string value;
+  Status s = store->Get(key, &value);
+  if (s.ok()) {
+    return value.c_str();
+  }
+  return s.IsNotFound() ? "<not found>" : "<error>";
+}
+
+}  // namespace
+
+int main() {
+  auto base_env = NewMemEnv();
+  FaultInjectionEnv fault_env(base_env.get());
+  auto store = OpenStore(&fault_env);
+
+  std::printf("== phase 1: a committed cross-instance transaction ==\n");
+  {
+    WriteBatch txn;
+    txn.Put("alice", "100");
+    txn.Put("bob", "100");
+    Status s = store->WriteTxn(&txn);
+    std::printf("txn{alice=100, bob=100} -> %s\n", s.ToString().c_str());
+    std::printf("  alice spans worker %d, bob spans worker %d\n", store->PartitionOf("alice"),
+                store->PartitionOf("bob"));
+  }
+
+  std::printf("\n== phase 2: a transaction that crashes before its commit record ==\n");
+  {
+    // Simulate the torn middle of WriteTxn: the per-instance WriteBatches
+    // are durably logged with GSN 777, but no commit record is ever written
+    // (as if the machine died right there).
+    const uint64_t torn_gsn = 777;
+    for (const char* key : {"alice", "bob"}) {
+      WriteBatch sub;
+      sub.Put(key, "999999");  // a transfer that must never half-apply
+      KvWriteOptions kwo;
+      kwo.gsn = torn_gsn;
+      kwo.sync = true;
+      store->instance(store->PartitionOf(key))->Write(&sub, kwo);
+    }
+    std::printf("before crash: alice=%s bob=%s (dirty state visible)\n",
+                Lookup(store.get(), "alice"), Lookup(store.get(), "bob"));
+  }
+
+  std::printf("\n== phase 3: power loss ==\n");
+  store.reset();          // drop the process state
+  fault_env.Crash();      // discard every byte not fsync'ed
+  std::printf("crashed; reopening...\n");
+
+  store = OpenStore(&fault_env);
+  std::printf("\n== phase 4: after recovery ==\n");
+  std::printf("alice=%s bob=%s\n", Lookup(store.get(), "alice"), Lookup(store.get(), "bob"));
+  std::printf("the committed transaction survived; the torn one (gsn=777) was rolled\n"
+              "back on every instance because its commit record never reached the\n"
+              "transaction log.\n");
+
+  bool consistent = std::string(Lookup(store.get(), "alice")) == "100" &&
+                    std::string(Lookup(store.get(), "bob")) == "100";
+  std::printf("\nconsistency check: %s\n", consistent ? "PASS" : "FAIL");
+  return consistent ? 0 : 1;
+}

@@ -1,0 +1,109 @@
+// Portability tour (paper §4.6): the same p2KVS code drives three different
+// engines — RocksLite (full RocksDB profile), LevelLite (LevelDB profile),
+// and WTLite (B+-tree, no batch APIs) — and reports how the opportunistic
+// batching adapts to each engine's capabilities.
+//
+//   ./examples/portability_tour
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "src/core/p2kvs.h"
+#include "src/io/mem_env.h"
+#include "src/util/clock.h"
+
+using namespace p2kvs;  // NOLINT — example brevity
+
+namespace {
+
+void Drive(const char* name, Env* env, EngineFactory factory) {
+  P2kvsOptions options;
+  options.env = env;
+  options.num_workers = 4;
+  options.engine_factory = std::move(factory);
+  std::unique_ptr<P2KVS> store;
+  Status s = P2KVS::Open(options, std::string("/tour-") + name, &store);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s: open failed: %s\n", name, s.ToString().c_str());
+    return;
+  }
+
+  EngineCaps caps = store->instance(0)->caps();
+  std::printf("\n== %s ==\n", name);
+  std::printf("engine capabilities: batch_write=%s multi_get=%s gsn_wal=%s\n",
+              caps.batch_write ? "yes" : "no", caps.multi_get ? "yes" : "no",
+              caps.gsn_wal ? "yes" : "no");
+
+  // Concurrent writes followed by concurrent reads, identical code for all
+  // engines — the framework adapts.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  uint64_t t0 = NowNanos();
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; t++) {
+    writers.emplace_back([&store, t] {
+      for (int i = 0; i < kPerThread; i++) {
+        store->Put("key-" + std::to_string(t) + "-" + std::to_string(i), "value");
+      }
+    });
+  }
+  for (auto& th : writers) {
+    th.join();
+  }
+  double write_secs = static_cast<double>(NowNanos() - t0) / 1e9;
+
+  t0 = NowNanos();
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kThreads; t++) {
+    readers.emplace_back([&store, t] {
+      std::string value;
+      for (int i = 0; i < kPerThread; i++) {
+        store->Get("key-" + std::to_string(t) + "-" + std::to_string(i), &value);
+      }
+    });
+  }
+  for (auto& th : readers) {
+    th.join();
+  }
+  double read_secs = static_cast<double>(NowNanos() - t0) / 1e9;
+
+  P2kvsStats stats = store->GetStats();
+  std::printf("writes: %.0f KQPS; reads: %.0f KQPS\n",
+              kThreads * kPerThread / write_secs / 1000,
+              kThreads * kPerThread / read_secs / 1000);
+  std::printf("OBM usage: %llu write batches (avg %.1f req/batch), %llu read batches, "
+              "%llu singles\n",
+              static_cast<unsigned long long>(stats.write_batches), stats.AvgWriteBatchSize(),
+              static_cast<unsigned long long>(stats.read_batches),
+              static_cast<unsigned long long>(stats.singles));
+  if (!caps.batch_write) {
+    std::printf("(no batch-write: the OBM falls back to per-request execution, as the\n"
+                " paper does for WiredTiger)\n");
+  }
+
+  // Scans work everywhere: every engine exposes an ordered iterator.
+  std::vector<std::pair<std::string, std::string>> out;
+  store->Scan("key-0-", 3, &out);
+  std::printf("scan(key-0-, 3): ");
+  for (const auto& [k, v] : out) {
+    std::printf("%s ", k.c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  auto env = NewMemEnv();
+
+  Options lsm;
+  lsm.env = env.get();
+  Drive("RocksLite", env.get(), MakeRocksLiteFactory(lsm));
+  Drive("LevelLite", env.get(), MakeLevelLiteFactory(lsm));
+
+  BTreeOptions bt;
+  bt.env = env.get();
+  Drive("WTLite", env.get(), MakeWTLiteFactory(bt));
+  return 0;
+}

@@ -1,0 +1,140 @@
+// YCSB runner: a small db_bench-style CLI for driving any of the bundled
+// systems with the paper's workloads (Table 1).
+//
+//   ./examples/ycsb_runner [--workload=load|a..f] [--threads=N] [--ops=N]
+//                          [--records=N] [--value=BYTES]
+//                          [--system=p2kvs|rocks|level|pebbles|wt|kvell]
+//                          [--workers=N] [--no-obm] [--dir=PATH]
+//
+// Example: load 100k records then run workload A with 8 threads on p2KVS-8:
+//   ./examples/ycsb_runner --workload=load --ops=100000 --system=p2kvs
+//   ./examples/ycsb_runner --workload=a --records=100000 --ops=100000
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "src/core/p2kvs.h"
+
+using namespace p2kvs;         // NOLINT — example brevity
+using namespace p2kvs::bench;  // NOLINT
+
+namespace {
+
+struct Args {
+  std::string workload = "a";
+  int threads = 8;
+  uint64_t ops = 100000;
+  uint64_t records = 100000;
+  size_t value_size = 128;
+  std::string system = "p2kvs";
+  int workers = 8;
+  bool obm = true;
+  std::string dir = "./ycsb-data";
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  size_t len = strlen(name);
+  if (strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *out = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+Args Parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; i++) {
+    std::string v;
+    if (ParseFlag(argv[i], "--workload", &v)) {
+      args.workload = v;
+    } else if (ParseFlag(argv[i], "--threads", &v)) {
+      args.threads = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--ops", &v)) {
+      args.ops = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--records", &v)) {
+      args.records = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--value", &v)) {
+      args.value_size = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--system", &v)) {
+      args.system = v;
+    } else if (ParseFlag(argv[i], "--workers", &v)) {
+      args.workers = std::atoi(v.c_str());
+    } else if (strcmp(argv[i], "--no-obm") == 0) {
+      args.obm = false;
+    } else if (ParseFlag(argv[i], "--dir", &v)) {
+      args.dir = v;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s (see header comment)\n", argv[i]);
+      std::exit(1);
+    }
+  }
+  return args;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args = Parse(argc, argv);
+
+  std::unique_ptr<DB> db;
+  std::unique_ptr<P2KVS> p2;
+  std::unique_ptr<KvellStore> kvell;
+  Target target;
+
+  if (args.system == "p2kvs") {
+    P2kvsOptions options;
+    options.num_workers = args.workers;
+    options.enable_obm = args.obm;
+    options.engine_factory = MakeRocksLiteFactory();
+    if (!P2KVS::Open(options, args.dir, &p2).ok()) {
+      std::fprintf(stderr, "open failed\n");
+      return 1;
+    }
+    target = MakeP2kvsTarget("p2kvs", p2.get());
+  } else if (args.system == "kvell") {
+    KvellOptions options;
+    options.num_workers = args.workers;
+    if (!KvellStore::Open(options, args.dir, &kvell).ok()) {
+      std::fprintf(stderr, "open failed\n");
+      return 1;
+    }
+    target = MakeKvellTarget("kvell", kvell.get());
+  } else {
+    Options options;
+    if (args.system == "level") {
+      options.compat_mode = CompatMode::kLevelDB;
+    } else if (args.system == "pebbles") {
+      options.compat_mode = CompatMode::kLevelDB;
+      options.compaction_style = CompactionStyle::kTiered;
+    } else if (args.system != "rocks") {
+      std::fprintf(stderr, "unknown system %s\n", args.system.c_str());
+      return 1;
+    }
+    if (!DB::Open(options, args.dir, &db).ok()) {
+      std::fprintf(stderr, "open failed\n");
+      return 1;
+    }
+    target = MakeDbTarget(args.system, db.get());
+  }
+
+  ycsb::KeySpace space(args.workload == "load" ? 0 : args.records);
+  YcsbRunConfig config;
+  config.workload = args.workload;
+  config.threads = args.threads;
+  config.ops = args.ops;
+  config.value_size = args.value_size;
+  config.key_space = &space;
+
+  std::printf("system=%s workload=%s threads=%d ops=%llu records=%llu value=%zuB\n",
+              args.system.c_str(), args.workload.c_str(), args.threads,
+              static_cast<unsigned long long>(args.ops),
+              static_cast<unsigned long long>(args.records), args.value_size);
+
+  RunResult result = RunYcsb(target, config);
+  std::printf("throughput: %s  (%.2fs)\n", FmtQps(result.qps).c_str(), result.seconds);
+  std::printf("latency us: %s\n", result.latency.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,780 @@
+#include "src/btree/btree_store.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <list>
+#include <map>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "src/util/coding.h"
+#include "src/util/crc32c.h"
+#include "src/wal/log_reader.h"
+#include "src/wal/log_writer.h"
+
+namespace p2kvs {
+
+namespace {
+
+constexpr size_t kPageSize = 4096;
+// Serialized node payloads must leave room for the page header.
+constexpr size_t kPagePayload = kPageSize - 16;
+constexpr uint32_t kMetaMagic = 0x74726565u;  // "tree"
+
+enum NodeType : uint8_t { kLeaf = 0, kInternal = 1 };
+
+// An in-memory B+-tree node. Nodes are serialized to fixed-size pages; a
+// node splits when its serialized size would exceed the page payload.
+struct Node {
+  uint32_t id = 0;
+  NodeType type = kLeaf;
+  bool dirty = false;
+
+  // Leaf: keys[i] -> values[i]; next_leaf chains leaves left-to-right.
+  // Internal: children.size() == keys.size() + 1; keys[i] separates
+  // children[i] (< keys[i]) from children[i+1] (>= keys[i]).
+  std::vector<std::string> keys;
+  std::vector<std::string> values;   // leaf only
+  std::vector<uint32_t> children;    // internal only
+  uint32_t next_leaf = 0;
+
+  size_t SerializedSize() const {
+    size_t size = 16;  // generous header estimate
+    for (const std::string& k : keys) {
+      size += 5 + k.size();
+    }
+    if (type == kLeaf) {
+      for (const std::string& v : values) {
+        size += 5 + v.size();
+      }
+      size += 4;
+    } else {
+      size += 4 * children.size();
+    }
+    return size;
+  }
+
+  void EncodeTo(std::string* dst) const {
+    dst->clear();
+    dst->push_back(static_cast<char>(type));
+    PutVarint32(dst, static_cast<uint32_t>(keys.size()));
+    if (type == kLeaf) {
+      PutFixed32(dst, next_leaf);
+      for (size_t i = 0; i < keys.size(); i++) {
+        PutLengthPrefixedSlice(dst, keys[i]);
+        PutLengthPrefixedSlice(dst, values[i]);
+      }
+    } else {
+      for (uint32_t child : children) {
+        PutFixed32(dst, child);
+      }
+      for (const std::string& k : keys) {
+        PutLengthPrefixedSlice(dst, k);
+      }
+    }
+  }
+
+  Status DecodeFrom(Slice input) {
+    if (input.empty()) {
+      return Status::Corruption("empty btree page");
+    }
+    type = static_cast<NodeType>(input[0]);
+    input.remove_prefix(1);
+    uint32_t nkeys;
+    if (!GetVarint32(&input, &nkeys)) {
+      return Status::Corruption("bad btree page header");
+    }
+    keys.clear();
+    values.clear();
+    children.clear();
+    if (type == kLeaf) {
+      if (input.size() < 4) {
+        return Status::Corruption("bad leaf page");
+      }
+      next_leaf = DecodeFixed32(input.data());
+      input.remove_prefix(4);
+      keys.reserve(nkeys);
+      values.reserve(nkeys);
+      for (uint32_t i = 0; i < nkeys; i++) {
+        Slice k, v;
+        if (!GetLengthPrefixedSlice(&input, &k) || !GetLengthPrefixedSlice(&input, &v)) {
+          return Status::Corruption("bad leaf entry");
+        }
+        keys.push_back(k.ToString());
+        values.push_back(v.ToString());
+      }
+    } else {
+      if (input.size() < (nkeys + 1) * 4) {
+        return Status::Corruption("bad internal page");
+      }
+      children.reserve(nkeys + 1);
+      for (uint32_t i = 0; i <= nkeys; i++) {
+        children.push_back(DecodeFixed32(input.data()));
+        input.remove_prefix(4);
+      }
+      keys.reserve(nkeys);
+      for (uint32_t i = 0; i < nkeys; i++) {
+        Slice k;
+        if (!GetLengthPrefixedSlice(&input, &k)) {
+          return Status::Corruption("bad internal entry");
+        }
+        keys.push_back(k.ToString());
+      }
+    }
+    return Status::OK();
+  }
+};
+
+// WAL record tags.
+enum WalTag : uint8_t { kWalPut = 1, kWalDelete = 2 };
+
+class BTreeStoreImpl final : public BTreeStore {
+ public:
+  BTreeStoreImpl(const BTreeOptions& options, std::string path)
+      : options_(options), env_(options.env), path_(std::move(path)) {}
+
+  ~BTreeStoreImpl() override {
+    std::unique_lock<std::shared_mutex> latch(tree_latch_);
+    CheckpointLocked();
+  }
+
+  Status Init() {
+    env_->CreateDir(path_);
+    Status s = env_->NewRandomWritableFile(PageFileName(), &page_file_);
+    if (!s.ok()) {
+      return s;
+    }
+    uint64_t size = 0;
+    env_->GetFileSize(PageFileName(), &size);
+    if (size >= kPageSize) {
+      s = LoadMeta();
+      if (!s.ok()) {
+        return s;
+      }
+    } else {
+      // Fresh store: page 0 = meta, page 1 = empty root leaf.
+      next_page_id_ = 2;
+      root_id_ = 1;
+      auto root = std::make_shared<Node>();
+      root->id = 1;
+      root->type = kLeaf;
+      root->dirty = true;
+      CacheInsert(root);
+      s = WriteMeta();
+      if (!s.ok()) {
+        return s;
+      }
+    }
+    // Replay the WAL (if any), then start a fresh one.
+    s = ReplayWal();
+    if (!s.ok()) {
+      return s;
+    }
+    return OpenWal();
+  }
+
+  Status Put(const Slice& key, const Slice& value) override {
+    std::unique_lock<std::shared_mutex> latch(tree_latch_);
+    Status s = AppendWal(kWalPut, key, value);
+    if (!s.ok()) {
+      return s;
+    }
+    s = InsertLocked(key, value);
+    if (!s.ok()) {
+      return s;
+    }
+    return MaybeCheckpointLocked();
+  }
+
+  Status Delete(const Slice& key) override {
+    std::unique_lock<std::shared_mutex> latch(tree_latch_);
+    Status s = AppendWal(kWalDelete, key, Slice());
+    if (!s.ok()) {
+      return s;
+    }
+    s = DeleteLocked(key);
+    if (!s.ok()) {
+      return s;
+    }
+    return MaybeCheckpointLocked();
+  }
+
+  Status Get(const Slice& key, std::string* value) override {
+    std::shared_lock<std::shared_mutex> latch(tree_latch_);
+    std::shared_ptr<Node> leaf;
+    Status s = FindLeaf(key, &leaf, nullptr);
+    if (!s.ok()) {
+      return s;
+    }
+    auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key.ToString());
+    if (it == leaf->keys.end() || Slice(*it) != key) {
+      return Status::NotFound(key);
+    }
+    *value = leaf->values[it - leaf->keys.begin()];
+    return Status::OK();
+  }
+
+  Iterator* NewIterator() override;
+
+  Status Checkpoint() override {
+    std::unique_lock<std::shared_mutex> latch(tree_latch_);
+    return CheckpointLocked();
+  }
+
+  BTreeStats GetStats() const override {
+    std::shared_lock<std::shared_mutex> latch(tree_latch_);
+    BTreeStats stats = stats_;
+    stats.page_reads = stats_page_reads_.load(std::memory_order_relaxed);
+    return stats;
+  }
+
+  size_t ApproximateMemoryUsage() const override {
+    std::shared_lock<std::shared_mutex> latch(tree_latch_);
+    std::lock_guard<std::mutex> guard(cache_mutex_);
+    size_t total = 0;
+    for (const auto& [id, node] : cache_) {
+      total += node->SerializedSize();
+    }
+    return total;
+  }
+
+ private:
+  friend class BTreeIterator;
+
+  std::string PageFileName() const { return path_ + "/pages.db"; }
+  std::string MetaFileName() const { return path_ + "/META"; }
+  std::string WalFileName() const { return path_ + "/wal.log"; }
+
+  // ----- Metadata -----
+
+  Status WriteMeta() {
+    std::string meta;
+    PutFixed32(&meta, kMetaMagic);
+    PutFixed32(&meta, root_id_);
+    PutFixed32(&meta, next_page_id_);
+    PutFixed32(&meta, crc32c::Mask(crc32c::Value(meta.data(), meta.size())));
+    return WriteStringToFile(env_, meta, MetaFileName(), /*sync=*/true);
+  }
+
+  Status LoadMeta() {
+    std::string meta;
+    Status s = ReadFileToString(env_, MetaFileName(), &meta);
+    if (!s.ok()) {
+      return s;
+    }
+    if (meta.size() < 16 || DecodeFixed32(meta.data()) != kMetaMagic) {
+      return Status::Corruption("bad btree meta");
+    }
+    uint32_t crc = crc32c::Unmask(DecodeFixed32(meta.data() + 12));
+    if (crc != crc32c::Value(meta.data(), 12)) {
+      return Status::Corruption("btree meta checksum mismatch");
+    }
+    root_id_ = DecodeFixed32(meta.data() + 4);
+    next_page_id_ = DecodeFixed32(meta.data() + 8);
+    return Status::OK();
+  }
+
+  // ----- WAL -----
+
+  Status OpenWal() {
+    Status s = env_->NewAppendableFile(WalFileName(), &wal_file_);
+    if (!s.ok()) {
+      return s;
+    }
+    uint64_t size = 0;
+    env_->GetFileSize(WalFileName(), &size);
+    wal_bytes_ = size;
+    wal_ = std::make_unique<log::Writer>(wal_file_.get(), size);
+    return Status::OK();
+  }
+
+  Status AppendWal(WalTag tag, const Slice& key, const Slice& value) {
+    std::string record;
+    record.push_back(static_cast<char>(tag));
+    PutLengthPrefixedSlice(&record, key);
+    if (tag == kWalPut) {
+      PutLengthPrefixedSlice(&record, value);
+    }
+    Status s = wal_->AddRecord(record);
+    if (!s.ok()) {
+      return s;
+    }
+    wal_bytes_ += record.size() + log::kHeaderSize;
+    return options_.sync_writes ? wal_->Sync() : wal_->Flush();
+  }
+
+  Status ReplayWal() {
+    if (!env_->FileExists(WalFileName())) {
+      return Status::OK();
+    }
+    std::unique_ptr<SequentialFile> file;
+    Status s = env_->NewSequentialFile(WalFileName(), &file);
+    if (!s.ok()) {
+      return s.IsNotFound() ? Status::OK() : s;
+    }
+    log::Reader reader(file.get(), nullptr, /*checksum=*/true);
+    Slice record;
+    std::string scratch;
+    while (reader.ReadRecord(&record, &scratch)) {
+      if (record.empty()) {
+        continue;
+      }
+      uint8_t tag = static_cast<uint8_t>(record[0]);
+      record.remove_prefix(1);
+      Slice key, value;
+      if (!GetLengthPrefixedSlice(&record, &key)) {
+        continue;
+      }
+      if (tag == kWalPut) {
+        if (!GetLengthPrefixedSlice(&record, &value)) {
+          continue;
+        }
+        s = InsertLocked(key, value);
+      } else if (tag == kWalDelete) {
+        s = DeleteLocked(key);
+      }
+      if (!s.ok()) {
+        return s;
+      }
+    }
+    return Status::OK();
+  }
+
+  // ----- Buffer pool -----
+
+  void CacheInsert(const std::shared_ptr<Node>& node) {
+    std::lock_guard<std::mutex> guard(cache_mutex_);
+    CacheInsertLocked(node);
+  }
+
+  void CacheInsertLocked(const std::shared_ptr<Node>& node) {
+    cache_[node->id] = node;
+    lru_.push_front(node->id);
+    lru_pos_[node->id] = lru_.begin();
+    EvictIfNeeded();
+  }
+
+  void CacheTouch(uint32_t id) {
+    std::lock_guard<std::mutex> guard(cache_mutex_);
+    auto pos = lru_pos_.find(id);
+    if (pos != lru_pos_.end()) {
+      lru_.erase(pos->second);
+      lru_.push_front(id);
+      pos->second = lru_.begin();
+    }
+  }
+
+  void EvictIfNeeded() {
+    while (cache_.size() > options_.buffer_pool_pages && !lru_.empty()) {
+      uint32_t victim = lru_.back();
+      auto it = cache_.find(victim);
+      if (it != cache_.end()) {
+        if (it->second->dirty) {
+          WritePage(*it->second);
+          it->second->dirty = false;
+        }
+        cache_.erase(it);
+      }
+      lru_pos_.erase(victim);
+      lru_.pop_back();
+    }
+  }
+
+  Status WritePage(const Node& node) {
+    std::string payload;
+    node.EncodeTo(&payload);
+    assert(payload.size() <= kPagePayload);
+    std::string page;
+    page.reserve(kPageSize);
+    PutFixed32(&page, static_cast<uint32_t>(payload.size()));
+    page.append(payload);
+    page.resize(kPageSize, '\0');
+    stats_.page_writes++;
+    return page_file_->Write(static_cast<uint64_t>(node.id) * kPageSize, page);
+  }
+
+  Status ReadPage(uint32_t id, std::shared_ptr<Node>* out) {
+    auto buf = std::make_unique<char[]>(kPageSize);
+    Slice result;
+    Status s = page_file_->Read(static_cast<uint64_t>(id) * kPageSize, kPageSize, &result,
+                                buf.get());
+    if (!s.ok()) {
+      return s;
+    }
+    if (result.size() < 4) {
+      return Status::Corruption("short btree page read");
+    }
+    uint32_t payload_size = DecodeFixed32(result.data());
+    if (payload_size + 4 > result.size()) {
+      return Status::Corruption("bad btree page length");
+    }
+    auto node = std::make_shared<Node>();
+    node->id = id;
+    s = node->DecodeFrom(Slice(result.data() + 4, payload_size));
+    if (!s.ok()) {
+      return s;
+    }
+    stats_page_reads_.fetch_add(1, std::memory_order_relaxed);
+    *out = node;
+    return Status::OK();
+  }
+
+  Status FetchNode(uint32_t id, std::shared_ptr<Node>* out) {
+    {
+      std::lock_guard<std::mutex> guard(cache_mutex_);
+      auto it = cache_.find(id);
+      if (it != cache_.end()) {
+        auto pos = lru_pos_.find(id);
+        if (pos != lru_pos_.end()) {
+          lru_.erase(pos->second);
+          lru_.push_front(id);
+          pos->second = lru_.begin();
+        }
+        *out = it->second;
+        return Status::OK();
+      }
+    }
+    std::shared_ptr<Node> node;
+    Status s = ReadPage(id, &node);
+    if (!s.ok()) {
+      return s;
+    }
+    {
+      std::lock_guard<std::mutex> guard(cache_mutex_);
+      auto it = cache_.find(id);
+      if (it != cache_.end()) {
+        // Another reader loaded it first; use theirs.
+        *out = it->second;
+        return Status::OK();
+      }
+      CacheInsertLocked(node);
+    }
+    *out = node;
+    return Status::OK();
+  }
+
+  // ----- Tree operations (tree_latch_ held) -----
+
+  // Descends to the leaf that owns `key`; optionally records the path of
+  // internal nodes (for splits).
+  Status FindLeaf(const Slice& key, std::shared_ptr<Node>* leaf,
+                  std::vector<std::shared_ptr<Node>>* path) {
+    std::shared_ptr<Node> node;
+    Status s = FetchNode(root_id_, &node);
+    if (!s.ok()) {
+      return s;
+    }
+    while (node->type == kInternal) {
+      if (path != nullptr) {
+        path->push_back(node);
+      }
+      // children[i] holds keys < keys[i]; upper_bound picks the child whose
+      // range contains `key`.
+      size_t i = std::upper_bound(node->keys.begin(), node->keys.end(), key.ToString()) -
+                 node->keys.begin();
+      s = FetchNode(node->children[i], &node);
+      if (!s.ok()) {
+        return s;
+      }
+    }
+    *leaf = node;
+    return Status::OK();
+  }
+
+  Status InsertLocked(const Slice& key, const Slice& value) {
+    std::vector<std::shared_ptr<Node>> path;
+    std::shared_ptr<Node> leaf;
+    Status s = FindLeaf(key, &leaf, &path);
+    if (!s.ok()) {
+      return s;
+    }
+
+    std::string k = key.ToString();
+    auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), k);
+    size_t pos = it - leaf->keys.begin();
+    if (it != leaf->keys.end() && *it == k) {
+      leaf->values[pos] = value.ToString();
+    } else {
+      leaf->keys.insert(it, k);
+      leaf->values.insert(leaf->values.begin() + pos, value.ToString());
+    }
+    leaf->dirty = true;
+
+    // Split up the path while nodes overflow their page.
+    std::shared_ptr<Node> node = leaf;
+    while (node->SerializedSize() > kPagePayload && node->keys.size() >= 2) {
+      std::string separator;
+      std::shared_ptr<Node> right = SplitNode(node, &separator);
+      stats_.splits++;
+
+      if (node->id == root_id_) {
+        // Grow a new root.
+        auto new_root = std::make_shared<Node>();
+        new_root->id = next_page_id_++;
+        new_root->type = kInternal;
+        new_root->keys.push_back(separator);
+        new_root->children.push_back(node->id);
+        new_root->children.push_back(right->id);
+        new_root->dirty = true;
+        CacheInsert(new_root);
+        root_id_ = new_root->id;
+        meta_dirty_ = true;
+        break;
+      }
+
+      std::shared_ptr<Node> parent = path.back();
+      path.pop_back();
+      size_t i = std::upper_bound(parent->keys.begin(), parent->keys.end(), separator) -
+                 parent->keys.begin();
+      parent->keys.insert(parent->keys.begin() + i, separator);
+      parent->children.insert(parent->children.begin() + i + 1, right->id);
+      parent->dirty = true;
+      node = parent;
+    }
+    return Status::OK();
+  }
+
+  // Splits `node` in half; returns the new right sibling and the separator
+  // key (first key of the right node).
+  std::shared_ptr<Node> SplitNode(const std::shared_ptr<Node>& node, std::string* separator) {
+    auto right = std::make_shared<Node>();
+    right->id = next_page_id_++;
+    right->type = node->type;
+    right->dirty = true;
+    meta_dirty_ = true;
+
+    size_t mid = node->keys.size() / 2;
+    if (node->type == kLeaf) {
+      *separator = node->keys[mid];
+      right->keys.assign(node->keys.begin() + mid, node->keys.end());
+      right->values.assign(node->values.begin() + mid, node->values.end());
+      node->keys.resize(mid);
+      node->values.resize(mid);
+      right->next_leaf = node->next_leaf;
+      node->next_leaf = right->id;
+    } else {
+      // The middle key moves up; it does not stay in either child.
+      *separator = node->keys[mid];
+      right->keys.assign(node->keys.begin() + mid + 1, node->keys.end());
+      right->children.assign(node->children.begin() + mid + 1, node->children.end());
+      node->keys.resize(mid);
+      node->children.resize(mid + 1);
+    }
+    node->dirty = true;
+    CacheInsert(right);
+    return right;
+  }
+
+  Status DeleteLocked(const Slice& key) {
+    std::shared_ptr<Node> leaf;
+    Status s = FindLeaf(key, &leaf, nullptr);
+    if (!s.ok()) {
+      return s;
+    }
+    std::string k = key.ToString();
+    auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), k);
+    if (it == leaf->keys.end() || *it != k) {
+      return Status::OK();  // absent; deletion is idempotent
+    }
+    size_t pos = it - leaf->keys.begin();
+    leaf->keys.erase(it);
+    leaf->values.erase(leaf->values.begin() + pos);
+    leaf->dirty = true;
+    // Leaf underflow is tolerated (no merge); scans skip empty leaves.
+    return Status::OK();
+  }
+
+  Status MaybeCheckpointLocked() {
+    if (wal_bytes_ < options_.checkpoint_wal_bytes) {
+      return Status::OK();
+    }
+    return CheckpointLocked();
+  }
+
+  Status CheckpointLocked() {
+    for (auto& [id, node] : cache_) {
+      if (node->dirty) {
+        Status s = WritePage(*node);
+        if (!s.ok()) {
+          return s;
+        }
+        node->dirty = false;
+      }
+    }
+    Status s = page_file_ != nullptr ? page_file_->Sync() : Status::OK();
+    if (!s.ok()) {
+      return s;
+    }
+    s = WriteMeta();
+    if (!s.ok()) {
+      return s;
+    }
+    meta_dirty_ = false;
+    // Truncate the WAL: everything it contains is now in the pages.
+    if (wal_ != nullptr) {
+      wal_.reset();
+      wal_file_->Close();
+      wal_file_.reset();
+      s = env_->NewWritableFile(WalFileName(), &wal_file_);
+      if (!s.ok()) {
+        return s;
+      }
+      wal_bytes_ = 0;
+      wal_ = std::make_unique<log::Writer>(wal_file_.get());
+    }
+    stats_.checkpoints++;
+    return Status::OK();
+  }
+
+  const BTreeOptions options_;
+  Env* const env_;
+  const std::string path_;
+
+  mutable std::shared_mutex tree_latch_;
+
+  std::unique_ptr<RandomWritableFile> page_file_;
+  std::unique_ptr<WritableFile> wal_file_;
+  std::unique_ptr<log::Writer> wal_;
+  uint64_t wal_bytes_ = 0;
+
+  uint32_t root_id_ = 1;
+  uint32_t next_page_id_ = 2;
+  bool meta_dirty_ = false;
+
+  mutable std::mutex cache_mutex_;
+  std::unordered_map<uint32_t, std::shared_ptr<Node>> cache_;
+  std::list<uint32_t> lru_;
+  std::unordered_map<uint32_t, std::list<uint32_t>::iterator> lru_pos_;
+
+  BTreeStats stats_;
+  std::atomic<uint64_t> stats_page_reads_{0};
+};
+
+// Snapshot-free iterator: materializes one leaf at a time under the shared
+// latch. Mutations between moves may be observed, like a WiredTiger cursor
+// without a transaction.
+class BTreeIterator final : public Iterator {
+ public:
+  explicit BTreeIterator(BTreeStoreImpl* store) : store_(store) {}
+
+  bool Valid() const override { return pos_ < entries_.size(); }
+
+  void SeekToFirst() override { Seek(Slice()); }
+
+  void SeekToLast() override {
+    // Not needed by p2KVS scans; walk from the front.
+    Seek(Slice());
+    if (entries_.empty()) {
+      return;
+    }
+    while (true) {
+      std::vector<std::pair<std::string, std::string>> current = entries_;
+      size_t cur_pos = pos_;
+      LoadNext();
+      if (entries_.empty()) {
+        entries_ = std::move(current);
+        pos_ = entries_.size() - 1;
+        (void)cur_pos;
+        return;
+      }
+    }
+  }
+
+  void Seek(const Slice& target) override {
+    entries_.clear();
+    pos_ = 0;
+    std::shared_lock<std::shared_mutex> latch(store_->tree_latch_);
+    std::shared_ptr<Node> leaf;
+    if (!store_->FindLeaf(target, &leaf, nullptr).ok()) {
+      return;
+    }
+    LoadLeafFrom(leaf, target);
+    // Skip forward over empty leaves.
+    while (entries_.empty() && next_leaf_ != 0) {
+      std::shared_ptr<Node> next;
+      if (!store_->FetchNode(next_leaf_, &next).ok()) {
+        return;
+      }
+      LoadLeafFrom(next, Slice());
+    }
+  }
+
+  void Next() override {
+    assert(Valid());
+    pos_++;
+    if (pos_ >= entries_.size()) {
+      LoadNext();
+    }
+  }
+
+  void Prev() override {
+    // Backward iteration is not part of the WTLite cursor surface.
+    assert(Valid());
+    if (pos_ > 0) {
+      pos_--;
+    } else {
+      entries_.clear();
+      pos_ = 0;
+    }
+  }
+
+  Slice key() const override { return entries_[pos_].first; }
+  Slice value() const override { return entries_[pos_].second; }
+  Status status() const override { return Status::OK(); }
+
+ private:
+  void LoadLeafFrom(const std::shared_ptr<Node>& leaf, const Slice& from) {
+    entries_.clear();
+    pos_ = 0;
+    next_leaf_ = leaf->next_leaf;
+    for (size_t i = 0; i < leaf->keys.size(); i++) {
+      if (!from.empty() && Slice(leaf->keys[i]).compare(from) < 0) {
+        continue;
+      }
+      entries_.emplace_back(leaf->keys[i], leaf->values[i]);
+    }
+  }
+
+  void LoadNext() {
+    std::shared_lock<std::shared_mutex> latch(store_->tree_latch_);
+    while (next_leaf_ != 0) {
+      std::shared_ptr<Node> leaf;
+      if (!store_->FetchNode(next_leaf_, &leaf).ok()) {
+        entries_.clear();
+        pos_ = 0;
+        return;
+      }
+      LoadLeafFrom(leaf, Slice());
+      if (!entries_.empty()) {
+        return;
+      }
+    }
+    entries_.clear();
+    pos_ = 0;
+  }
+
+  BTreeStoreImpl* store_;
+  std::vector<std::pair<std::string, std::string>> entries_;
+  size_t pos_ = 0;
+  uint32_t next_leaf_ = 0;
+};
+
+Iterator* BTreeStoreImpl::NewIterator() { return new BTreeIterator(this); }
+
+}  // namespace
+
+Status BTreeStore::Open(const BTreeOptions& options, const std::string& path,
+                        std::unique_ptr<BTreeStore>* store) {
+  store->reset();
+  auto impl = std::make_unique<BTreeStoreImpl>(options, path);
+  Status s = impl->Init();
+  if (!s.ok()) {
+    return s;
+  }
+  *store = std::move(impl);
+  return Status::OK();
+}
+
+}  // namespace p2kvs

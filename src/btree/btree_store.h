@@ -1,0 +1,68 @@
+// WTLite: a disk-backed B+-tree key-value store standing in for WiredTiger
+// in the paper's portability study (§5.6.2). Deliberately matches the
+// properties that study depends on:
+//   * a WAL plus a *shared* index structure guarded by one reader-writer
+//     latch (writers serialize; readers share),
+//   * no batch-write API,
+//   * page-oriented storage with a buffer pool and periodic checkpoints.
+
+#ifndef P2KVS_SRC_BTREE_BTREE_STORE_H_
+#define P2KVS_SRC_BTREE_BTREE_STORE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/io/env.h"
+#include "src/util/iterator.h"
+#include "src/util/status.h"
+
+namespace p2kvs {
+
+struct BTreeOptions {
+  Env* env = Env::Default();
+  bool create_if_missing = true;
+
+  // Buffer pool capacity in pages (4 KiB each).
+  size_t buffer_pool_pages = 2048;
+
+  // Checkpoint (flush dirty pages, truncate the WAL) once the WAL exceeds
+  // this size.
+  uint64_t checkpoint_wal_bytes = 16 * 1024 * 1024;
+
+  // fsync the WAL on every commit (WiredTiger's default commit-level
+  // durability is relaxed; the paper uses default configs).
+  bool sync_writes = false;
+};
+
+struct BTreeStats {
+  uint64_t page_reads = 0;    // buffer pool misses
+  uint64_t page_writes = 0;   // dirty page write-backs
+  uint64_t checkpoints = 0;
+  uint64_t splits = 0;
+};
+
+class BTreeStore {
+ public:
+  static Status Open(const BTreeOptions& options, const std::string& path,
+                     std::unique_ptr<BTreeStore>* store);
+
+  virtual ~BTreeStore() = default;
+
+  virtual Status Put(const Slice& key, const Slice& value) = 0;
+  virtual Status Delete(const Slice& key) = 0;
+  virtual Status Get(const Slice& key, std::string* value) = 0;
+
+  // Forward-only cursor positioned by Seek; keys in bytewise order.
+  virtual Iterator* NewIterator() = 0;
+
+  // Flushes dirty pages and truncates the WAL.
+  virtual Status Checkpoint() = 0;
+
+  virtual BTreeStats GetStats() const = 0;
+  virtual size_t ApproximateMemoryUsage() const = 0;
+};
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_BTREE_BTREE_STORE_H_

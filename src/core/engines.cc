@@ -1,0 +1,184 @@
+#include "src/core/engines.h"
+
+namespace p2kvs {
+
+Status KVStore::Write(WriteBatch* batch, const KvWriteOptions& options) {
+  // Default: unroll into individual operations.
+  struct Unroller : public WriteBatch::Handler {
+    KVStore* store;
+    KvWriteOptions options;
+    Status status;
+
+    void Put(const Slice& key, const Slice& value) override {
+      if (status.ok()) {
+        status = store->Put(key, value, options);
+      }
+    }
+    void Delete(const Slice& key) override {
+      if (status.ok()) {
+        status = store->Delete(key, options);
+      }
+    }
+  };
+  Unroller unroller;
+  unroller.store = this;
+  unroller.options = options;
+  Status s = batch->Iterate(&unroller);
+  return s.ok() ? unroller.status : s;
+}
+
+std::vector<Status> KVStore::MultiGet(const std::vector<Slice>& keys,
+                                      std::vector<std::string>* values) {
+  std::vector<Status> statuses(keys.size());
+  values->assign(keys.size(), std::string());
+  for (size_t i = 0; i < keys.size(); i++) {
+    statuses[i] = Get(keys[i], &(*values)[i]);
+  }
+  return statuses;
+}
+
+namespace {
+
+class LsmEngine final : public KVStore {
+ public:
+  explicit LsmEngine(std::unique_ptr<DB> db, bool multi_get)
+      : db_(std::move(db)), multi_get_(multi_get) {}
+
+  EngineCaps caps() const override {
+    EngineCaps caps;
+    caps.batch_write = true;
+    caps.multi_get = multi_get_;
+    caps.gsn_wal = true;
+    caps.snapshots = true;
+    return caps;
+  }
+
+  Status Put(const Slice& key, const Slice& value, const KvWriteOptions& options) override {
+    return db_->Put(ToWriteOptions(options), key, value);
+  }
+
+  Status Delete(const Slice& key, const KvWriteOptions& options) override {
+    return db_->Delete(ToWriteOptions(options), key);
+  }
+
+  Status Write(WriteBatch* batch, const KvWriteOptions& options) override {
+    return db_->Write(ToWriteOptions(options), batch);
+  }
+
+  Status Get(const Slice& key, std::string* value) override {
+    return db_->Get(ReadOptions(), key, value);
+  }
+
+  std::vector<Status> MultiGet(const std::vector<Slice>& keys,
+                               std::vector<std::string>* values) override {
+    if (multi_get_) {
+      return db_->MultiGet(ReadOptions(), keys, values);
+    }
+    return KVStore::MultiGet(keys, values);
+  }
+
+  Iterator* NewIterator() override { return db_->NewIterator(ReadOptions()); }
+
+  const Snapshot* GetSnapshot() override { return db_->GetSnapshot(); }
+  void ReleaseSnapshot(const Snapshot* snapshot) override { db_->ReleaseSnapshot(snapshot); }
+  Status GetAtSnapshot(const Slice& key, std::string* value,
+                       const Snapshot* snapshot) override {
+    ReadOptions ro;
+    ro.snapshot = snapshot;
+    return db_->Get(ro, key, value);
+  }
+
+  Status Flush() override { return db_->FlushMemTable(); }
+  void WaitIdle() override { db_->WaitForBackgroundWork(); }
+  size_t ApproximateMemoryUsage() const override { return db_->ApproximateMemoryUsage(); }
+
+  DB* db() { return db_.get(); }
+
+ private:
+  static WriteOptions ToWriteOptions(const KvWriteOptions& options) {
+    WriteOptions wo;
+    wo.sync = options.sync;
+    wo.gsn = options.gsn;
+    return wo;
+  }
+
+  std::unique_ptr<DB> db_;
+  const bool multi_get_;
+};
+
+class BTreeEngine final : public KVStore {
+ public:
+  explicit BTreeEngine(std::unique_ptr<BTreeStore> store) : store_(std::move(store)) {}
+
+  EngineCaps caps() const override {
+    return EngineCaps{/*batch_write=*/false, /*multi_get=*/false, /*gsn_wal=*/false};
+  }
+
+  Status Put(const Slice& key, const Slice& value, const KvWriteOptions& /*options*/) override {
+    return store_->Put(key, value);
+  }
+
+  Status Delete(const Slice& key, const KvWriteOptions& /*options*/) override {
+    return store_->Delete(key);
+  }
+
+  Status Get(const Slice& key, std::string* value) override { return store_->Get(key, value); }
+
+  Iterator* NewIterator() override { return store_->NewIterator(); }
+
+  Status Flush() override { return store_->Checkpoint(); }
+  size_t ApproximateMemoryUsage() const override { return store_->ApproximateMemoryUsage(); }
+
+ private:
+  std::unique_ptr<BTreeStore> store_;
+};
+
+}  // namespace
+
+EngineFactory MakeLsmEngineFactory(const Options& options) {
+  const bool multi_get = options.compat_mode == CompatMode::kRocksDB;
+  return [options, multi_get](const std::string& path,
+                              std::function<bool(uint64_t)> recovery_filter,
+                              std::unique_ptr<KVStore>* out) -> Status {
+    std::unique_ptr<DB> db;
+    Status s = DB::Open(options, path, &db, std::move(recovery_filter));
+    if (!s.ok()) {
+      return s;
+    }
+    *out = std::make_unique<LsmEngine>(std::move(db), multi_get);
+    return Status::OK();
+  };
+}
+
+EngineFactory MakeRocksLiteFactory(Options options) {
+  options.compat_mode = CompatMode::kRocksDB;
+  options.compaction_style = CompactionStyle::kLeveled;
+  return MakeLsmEngineFactory(options);
+}
+
+EngineFactory MakeLevelLiteFactory(Options options) {
+  options.compat_mode = CompatMode::kLevelDB;
+  options.compaction_style = CompactionStyle::kLeveled;
+  return MakeLsmEngineFactory(options);
+}
+
+EngineFactory MakePebblesLiteFactory(Options options) {
+  options.compat_mode = CompatMode::kLevelDB;
+  options.compaction_style = CompactionStyle::kTiered;
+  return MakeLsmEngineFactory(options);
+}
+
+EngineFactory MakeWTLiteFactory(BTreeOptions options) {
+  return [options](const std::string& path, std::function<bool(uint64_t)> /*recovery_filter*/,
+                   std::unique_ptr<KVStore>* out) -> Status {
+    std::unique_ptr<BTreeStore> store;
+    Status s = BTreeStore::Open(options, path, &store);
+    if (!s.ok()) {
+      return s;
+    }
+    *out = std::make_unique<BTreeEngine>(std::move(store));
+    return Status::OK();
+  };
+}
+
+}  // namespace p2kvs

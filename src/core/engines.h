@@ -1,0 +1,29 @@
+// Engine adapters + factories: RocksLite (full RocksDB profile), LevelLite
+// (LevelDB profile: batch-write but no multiget), PebblesLite (tiered
+// compaction) and WTLite (B+-tree; neither batch-write nor multiget) — the
+// four engine profiles the paper runs p2KVS (or baselines) on.
+
+#ifndef P2KVS_SRC_CORE_ENGINES_H_
+#define P2KVS_SRC_CORE_ENGINES_H_
+
+#include "src/btree/btree_store.h"
+#include "src/core/kv_store.h"
+#include "src/lsm/db.h"
+
+namespace p2kvs {
+
+// Wraps the given LSM options; CompatMode inside `options` decides whether
+// the adapter advertises multiget (RocksDB) or not (LevelDB).
+EngineFactory MakeLsmEngineFactory(const Options& options);
+
+// Convenience profiles.
+EngineFactory MakeRocksLiteFactory(Options options = Options());
+EngineFactory MakeLevelLiteFactory(Options options = Options());
+// PebblesDB stand-in: LevelDB write path + tiered/fragmented compaction.
+EngineFactory MakePebblesLiteFactory(Options options = Options());
+
+EngineFactory MakeWTLiteFactory(BTreeOptions options = BTreeOptions());
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_CORE_ENGINES_H_

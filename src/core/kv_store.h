@@ -1,0 +1,92 @@
+// KVStore: the engine abstraction p2KVS schedules over. The framework treats
+// each instance as a black box (paper §4.6): it only needs open / put / get /
+// delete / iterate, and *optionally* batch-write (RocksDB WriteBatch,
+// LevelDB batch) and batch-read (RocksDB multiget). Capabilities tell the
+// opportunistic batching mechanism which fast paths exist.
+
+#ifndef P2KVS_SRC_CORE_KV_STORE_H_
+#define P2KVS_SRC_CORE_KV_STORE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/lsm/options.h"
+#include "src/lsm/write_batch.h"
+#include "src/util/iterator.h"
+#include "src/util/status.h"
+
+namespace p2kvs {
+
+struct KvWriteOptions {
+  bool sync = false;
+  // Global sequence number for cross-instance transactions (0 = none).
+  uint64_t gsn = 0;
+};
+
+struct EngineCaps {
+  bool batch_write = false;  // has an atomic WriteBatch-style operation
+  bool multi_get = false;    // has a batched point-lookup fast path
+  bool gsn_wal = false;      // WAL records can carry a GSN for txn rollback
+  bool snapshots = false;    // supports point-in-time read snapshots
+};
+
+class KVStore {
+ public:
+  KVStore() = default;
+  virtual ~KVStore() = default;
+
+  KVStore(const KVStore&) = delete;
+  KVStore& operator=(const KVStore&) = delete;
+
+  virtual EngineCaps caps() const = 0;
+
+  virtual Status Put(const Slice& key, const Slice& value, const KvWriteOptions& options) = 0;
+  virtual Status Delete(const Slice& key, const KvWriteOptions& options) = 0;
+
+  // Atomically applies `batch`. The default unrolls it into individual
+  // operations — correct but non-atomic, for engines without batch support
+  // (e.g. WTLite); the OBM only merges writes when caps().batch_write.
+  virtual Status Write(WriteBatch* batch, const KvWriteOptions& options);
+
+  virtual Status Get(const Slice& key, std::string* value) = 0;
+
+  // Batched lookups; the default loops over Get.
+  virtual std::vector<Status> MultiGet(const std::vector<Slice>& keys,
+                                       std::vector<std::string>* values);
+
+  // Iterator over user keys in bytewise order. Caller owns the result; the
+  // store must outlive it.
+  virtual Iterator* NewIterator() = 0;
+
+  // --- Optional snapshot surface (caps().snapshots). Used by p2KVS's
+  // read-committed transaction isolation (paper §4.5): a snapshot taken
+  // before a transaction's sub-batch hides its effects from readers until
+  // the transaction commits. ---
+  virtual const Snapshot* GetSnapshot() { return nullptr; }
+  virtual void ReleaseSnapshot(const Snapshot* /*snapshot*/) {}
+  virtual Status GetAtSnapshot(const Slice& /*key*/, std::string* /*value*/,
+                               const Snapshot* /*snapshot*/) {
+    return Status::NotSupported("engine has no snapshots");
+  }
+
+  // Persists buffered state (test/bench hook).
+  virtual Status Flush() { return Status::OK(); }
+
+  // Blocks until background work (compactions etc.) is quiescent.
+  virtual void WaitIdle() {}
+
+  virtual size_t ApproximateMemoryUsage() const { return 0; }
+};
+
+// Creates the KVS instance rooted at `path`. `recovery_filter` (may be null)
+// screens GSN-tagged WAL records during recovery; engines without GSN
+// support ignore it.
+using EngineFactory = std::function<Status(const std::string& path,
+                                           std::function<bool(uint64_t)> recovery_filter,
+                                           std::unique_ptr<KVStore>*)>;
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_CORE_KV_STORE_H_

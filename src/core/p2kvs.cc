@@ -1,0 +1,359 @@
+#include "src/core/p2kvs.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "src/core/worker.h"
+#include "src/lsm/merging_iterator.h"
+#include "src/util/hash.h"
+
+namespace p2kvs {
+
+P2KVS::P2KVS(const P2kvsOptions& options, std::string path)
+    : options_(options), path_(std::move(path)) {
+  if (!options_.engine_factory) {
+    options_.engine_factory = MakeRocksLiteFactory();
+  }
+  if (!options_.partitioner) {
+    options_.partitioner = MakeHashPartitioner();
+  }
+  if (options_.num_workers < 1) {
+    options_.num_workers = 1;
+  }
+}
+
+P2KVS::~P2KVS() {
+  for (auto& worker : workers_) {
+    worker->Stop();
+  }
+}
+
+Status P2KVS::Open(const P2kvsOptions& options, const std::string& path,
+                   std::unique_ptr<P2KVS>* store) {
+  store->reset();
+  auto impl = std::unique_ptr<P2KVS>(new P2KVS(options, path));
+  Status s = impl->Init();
+  if (!s.ok()) {
+    return s;
+  }
+  *store = std::move(impl);
+  return Status::OK();
+}
+
+Status P2KVS::Init() {
+  options_.env->CreateDir(path_);
+
+  // Recover the transaction log first: WAL replay in every instance filters
+  // on the committed-GSN set (paper Figure 11).
+  Status s = TxnLog::Open(options_.env, path_ + "/TXNLOG", &txn_log_);
+  if (!s.ok()) {
+    return s;
+  }
+  TxnLog* txn_log = txn_log_.get();
+  auto recovery_filter = [txn_log](uint64_t gsn) { return txn_log->IsCommitted(gsn); };
+
+  for (int i = 0; i < options_.num_workers; i++) {
+    std::unique_ptr<KVStore> instance;
+    s = options_.engine_factory(path_ + "/instance-" + std::to_string(i), recovery_filter,
+                                &instance);
+    if (!s.ok()) {
+      return s;
+    }
+    Worker::Config config;
+    config.id = i;
+    config.pin_to_cpu = options_.pin_workers;
+    config.enable_obm = options_.enable_obm;
+    config.max_batch_size = options_.max_batch_size;
+    config.txn_read_committed = options_.txn_read_committed;
+    workers_.push_back(std::make_unique<Worker>(config, std::move(instance)));
+  }
+  for (auto& worker : workers_) {
+    worker->Start();
+  }
+  return Status::OK();
+}
+
+int P2KVS::PartitionOf(const Slice& key) const {
+  // Balanced request allocation (§4.2); default: worker = Hash(key) % N.
+  return options_.partitioner(key, static_cast<int>(workers_.size()));
+}
+
+KVStore* P2KVS::instance(int i) { return workers_[static_cast<size_t>(i)]->store(); }
+
+Status P2KVS::Put(const Slice& key, const Slice& value) {
+  Request request;
+  request.type = RequestType::kPut;
+  request.key = key.ToString();
+  request.value = value.ToString();
+  workers_[static_cast<size_t>(PartitionOf(key))]->Submit(&request);
+  return request.Wait();
+}
+
+Status P2KVS::Delete(const Slice& key) {
+  Request request;
+  request.type = RequestType::kDelete;
+  request.key = key.ToString();
+  workers_[static_cast<size_t>(PartitionOf(key))]->Submit(&request);
+  return request.Wait();
+}
+
+Status P2KVS::Get(const Slice& key, std::string* value) {
+  Request request;
+  request.type = RequestType::kGet;
+  request.key = key.ToString();
+  request.get_out = value;
+  workers_[static_cast<size_t>(PartitionOf(key))]->Submit(&request);
+  return request.Wait();
+}
+
+void P2KVS::PutAsync(const Slice& key, const Slice& value,
+                     std::function<void(const Status&)> cb) {
+  auto* request = new Request();
+  request->type = RequestType::kPut;
+  request->key = key.ToString();
+  request->value = value.ToString();
+  request->callback = std::move(cb);
+  workers_[static_cast<size_t>(PartitionOf(key))]->Submit(request);
+}
+
+void P2KVS::DeleteAsync(const Slice& key, std::function<void(const Status&)> cb) {
+  auto* request = new Request();
+  request->type = RequestType::kDelete;
+  request->key = key.ToString();
+  request->callback = std::move(cb);
+  workers_[static_cast<size_t>(PartitionOf(key))]->Submit(request);
+}
+
+Status P2KVS::Range(const Slice& begin, const Slice& end,
+                    std::vector<std::pair<std::string, std::string>>* out) {
+  // A RANGE forks into per-instance sub-RANGEs executed in parallel, at no
+  // extra read cost: partitions are disjoint (§4.4).
+  std::deque<Request> requests;
+  std::vector<std::vector<std::pair<std::string, std::string>>> partials(workers_.size());
+  for (size_t i = 0; i < workers_.size(); i++) {
+    Request& request = requests.emplace_back();
+    request.type = RequestType::kRange;
+    request.key = begin.ToString();
+    request.value = end.ToString();
+    request.scan_out = &partials[i];
+    workers_[i]->Submit(&request);
+  }
+  Status result;
+  for (auto& request : requests) {
+    Status s = request.Wait();
+    if (!s.ok() && result.ok()) {
+      result = s;
+    }
+  }
+  if (!result.ok()) {
+    return result;
+  }
+  out->clear();
+  for (auto& partial : partials) {
+    out->insert(out->end(), std::make_move_iterator(partial.begin()),
+                std::make_move_iterator(partial.end()));
+  }
+  std::sort(out->begin(), out->end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return Status::OK();
+}
+
+Status P2KVS::Scan(const Slice& begin, size_t count,
+                   std::vector<std::pair<std::string, std::string>>* out) {
+  out->clear();
+  if (options_.scan_mode == P2kvsOptions::ScanMode::kGlobalMerge) {
+    // Conservative strategy: one serial merge iterator over all instances.
+    std::unique_ptr<Iterator> iter(NewGlobalIterator());
+    if (begin.empty()) {
+      iter->SeekToFirst();
+    } else {
+      iter->Seek(begin);
+    }
+    while (iter->Valid() && out->size() < count) {
+      out->emplace_back(iter->key().ToString(), iter->value().ToString());
+      iter->Next();
+    }
+    return iter->status();
+  }
+
+  // Parallel strategy: over-scan `count` keys on every instance, then merge
+  // and truncate. Extra reads, but each sub-scan runs on its own worker.
+  std::deque<Request> requests;
+  std::vector<std::vector<std::pair<std::string, std::string>>> partials(workers_.size());
+  for (size_t i = 0; i < workers_.size(); i++) {
+    Request& request = requests.emplace_back();
+    request.type = RequestType::kScan;
+    request.key = begin.ToString();
+    request.scan_count = count;
+    request.scan_out = &partials[i];
+    workers_[i]->Submit(&request);
+  }
+  Status result;
+  for (auto& request : requests) {
+    Status s = request.Wait();
+    if (!s.ok() && result.ok()) {
+      result = s;
+    }
+  }
+  if (!result.ok()) {
+    return result;
+  }
+  for (auto& partial : partials) {
+    out->insert(out->end(), std::make_move_iterator(partial.begin()),
+                std::make_move_iterator(partial.end()));
+  }
+  std::sort(out->begin(), out->end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (out->size() > count) {
+    out->resize(count);
+  }
+  return Status::OK();
+}
+
+Iterator* P2KVS::NewGlobalIterator() {
+  std::vector<Iterator*> children;
+  children.reserve(workers_.size());
+  for (auto& worker : workers_) {
+    children.push_back(worker->store()->NewIterator());
+  }
+  return NewMergingIterator(BytewiseComparator(), children.data(),
+                            static_cast<int>(children.size()));
+}
+
+Status P2KVS::WriteTxn(WriteBatch* updates) {
+  // Split the batch by partition; all sub-batches carry one GSN.
+  struct Splitter : public WriteBatch::Handler {
+    P2KVS* store;
+    std::vector<WriteBatch>* parts;
+
+    void Put(const Slice& key, const Slice& value) override {
+      (*parts)[static_cast<size_t>(store->PartitionOf(key))].Put(key, value);
+    }
+    void Delete(const Slice& key) override {
+      (*parts)[static_cast<size_t>(store->PartitionOf(key))].Delete(key);
+    }
+  };
+
+  std::vector<WriteBatch> parts(workers_.size());
+  Splitter splitter;
+  splitter.store = this;
+  splitter.parts = &parts;
+  Status s = updates->Iterate(&splitter);
+  if (!s.ok()) {
+    return s;
+  }
+
+  // Verify every involved engine can tag its WAL before logging anything.
+  for (size_t i = 0; i < workers_.size(); i++) {
+    if (parts[i].Count() > 0 && !workers_[i]->store()->caps().gsn_wal) {
+      return Status::NotSupported("engine lacks GSN-tagged WAL; transactions unavailable");
+    }
+  }
+
+  const uint64_t gsn = txn_log_->NextGsn();
+  s = txn_log_->LogBegin(gsn);
+  if (!s.ok()) {
+    return s;
+  }
+
+  std::deque<Request> requests;
+  for (size_t i = 0; i < workers_.size(); i++) {
+    if (parts[i].Count() == 0) {
+      continue;
+    }
+    Request& request = requests.emplace_back();
+    request.type = RequestType::kWriteBatch;
+    request.batch = &parts[i];
+    request.gsn = gsn;
+    workers_[i]->Submit(&request);
+  }
+  Status result;
+  std::vector<size_t> involved;
+  for (size_t i = 0, r = 0; i < workers_.size(); i++) {
+    if (parts[i].Count() == 0) {
+      continue;
+    }
+    involved.push_back(i);
+    Status ws = requests[r++].Wait();
+    if (!ws.ok() && result.ok()) {
+      result = ws;
+    }
+  }
+
+  Status commit_status;
+  if (result.ok()) {
+    commit_status = txn_log_->LogCommit(gsn);
+  }
+
+  if (options_.txn_read_committed) {
+    // Release the pre-transaction snapshots (making the updates visible);
+    // on abort the writes will be rolled back at recovery, but the snapshots
+    // still must go.
+    std::deque<Request> end_requests;
+    for (size_t i : involved) {
+      Request& request = end_requests.emplace_back();
+      request.type = RequestType::kEndTxn;
+      request.gsn = gsn;
+      workers_[i]->Submit(&request);
+    }
+    for (auto& request : end_requests) {
+      request.Wait();
+    }
+  }
+
+  if (!result.ok()) {
+    // No commit record: recovery rolls the transaction back everywhere.
+    return result;
+  }
+  return commit_status;
+}
+
+Status P2KVS::FlushAll() {
+  Status result;
+  for (auto& worker : workers_) {
+    Status s = worker->store()->Flush();
+    if (!s.ok() && result.ok()) {
+      result = s;
+    }
+  }
+  return result;
+}
+
+void P2KVS::WaitIdle() {
+  for (auto& worker : workers_) {
+    worker->store()->WaitIdle();
+  }
+}
+
+P2kvsStats P2KVS::GetStats() const {
+  P2kvsStats stats;
+  for (const auto& worker : workers_) {
+    stats.write_batches += worker->write_batches();
+    stats.writes_batched += worker->writes_batched();
+    stats.read_batches += worker->read_batches();
+    stats.reads_batched += worker->reads_batched();
+    stats.singles += worker->singles();
+  }
+  stats.requests_submitted =
+      stats.writes_batched + stats.reads_batched + stats.singles;
+  return stats;
+}
+
+size_t P2KVS::ApproximateMemoryUsage() const {
+  size_t total = 0;
+  for (const auto& worker : workers_) {
+    total += worker->store()->ApproximateMemoryUsage();
+  }
+  return total;
+}
+
+std::vector<size_t> P2KVS::QueueDepths() const {
+  std::vector<size_t> depths;
+  depths.reserve(workers_.size());
+  for (const auto& worker : workers_) {
+    depths.push_back(worker->QueueDepth());
+  }
+  return depths;
+}
+
+}  // namespace p2kvs

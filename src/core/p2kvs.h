@@ -1,0 +1,150 @@
+// P2KVS: the paper's contribution. A portable 2-dimensional parallelizing
+// framework over unmodified KVS instances:
+//
+//   horizontal — the key space is hash-partitioned over N instances, each
+//   owned by one worker thread pinned to a core (no shared WAL / MemTable /
+//   tree between workers);
+//
+//   vertical — user threads never touch an instance: they enqueue requests
+//   on the owning worker's queue and sleep; each worker drains its queue
+//   with the opportunistic batching mechanism (Algorithm 1), merging runs of
+//   same-type requests into one WriteBatch or one MultiGet.
+//
+// Plus: parallel RANGE / SCAN over the partitions (§4.4), GSN-tagged
+// cross-instance transactions with crash recovery (§4.5), and asynchronous
+// write interfaces.
+
+#ifndef P2KVS_SRC_CORE_P2KVS_H_
+#define P2KVS_SRC_CORE_P2KVS_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/engines.h"
+#include "src/core/partitioner.h"
+#include "src/core/kv_store.h"
+#include "src/core/txn_log.h"
+#include "src/util/histogram.h"
+
+namespace p2kvs {
+
+class Worker;
+
+struct P2kvsOptions {
+  // Number of KVS instances / worker threads. The paper defaults to 8,
+  // matched to its hardware; size to your core count and SSD parallelism.
+  int num_workers = 8;
+
+  // Pin each worker to a dedicated core (paper §4.1; Figure 5a shows a
+  // 10-15% gain from pinning).
+  bool pin_workers = true;
+
+  // Opportunistic batching (Algorithm 1).
+  bool enable_obm = true;
+  // Upper bound on requests merged per batch (paper default: 32), bounding
+  // tail latency.
+  int max_batch_size = 32;
+
+  // Engine factory; defaults to RocksLite with default LSM options.
+  EngineFactory engine_factory;
+
+  // Key-space partition strategy (§4.2). Defaults to the paper's modular
+  // hash; see partitioner.h for range and two-choice alternatives. Changing
+  // the partitioner of an existing store requires rebuilding the instances.
+  Partitioner partitioner;
+
+  // Environment for the framework's own files (txn log). Should match the
+  // engines' env.
+  Env* env = Env::Default();
+
+  // SCAN strategy (§4.4): a serial global merge-iterator, or the parallel
+  // over-scan-then-filter approach that trades extra reads for parallelism.
+  enum class ScanMode { kGlobalMerge, kParallel };
+  ScanMode scan_mode = ScanMode::kParallel;
+
+  // Read-committed transaction isolation (paper §4.5's snapshot sketch):
+  // while a WriteTxn is in flight on an instance, reads on that instance are
+  // served from a pre-transaction snapshot, so a transaction's effects become
+  // visible only after it commits. Requires an engine with snapshot support
+  // (RocksLite/LevelLite); off by default, matching the paper's prototype.
+  bool txn_read_committed = false;
+};
+
+struct P2kvsStats {
+  uint64_t requests_submitted = 0;
+  uint64_t write_batches = 0;     // merged write groups executed
+  uint64_t writes_batched = 0;    // write requests covered by those groups
+  uint64_t read_batches = 0;      // multiget groups executed
+  uint64_t reads_batched = 0;
+  uint64_t singles = 0;           // requests executed unbatched
+  double AvgWriteBatchSize() const {
+    return write_batches == 0 ? 0 : static_cast<double>(writes_batched) / write_batches;
+  }
+};
+
+class P2KVS {
+ public:
+  // Opens (creating if needed) the store rooted at `path`: one subdirectory
+  // per instance plus the transaction log.
+  static Status Open(const P2kvsOptions& options, const std::string& path,
+                     std::unique_ptr<P2KVS>* store);
+
+  ~P2KVS();
+
+  P2KVS(const P2KVS&) = delete;
+  P2KVS& operator=(const P2KVS&) = delete;
+
+  // --- Synchronous interface (user thread sleeps while the worker runs). ---
+  Status Put(const Slice& key, const Slice& value);
+  Status Delete(const Slice& key);
+  Status Get(const Slice& key, std::string* value);
+
+  // --- Asynchronous write interface (§4.1: Put(K, V, callback)). ---
+  void PutAsync(const Slice& key, const Slice& value, std::function<void(const Status&)> cb);
+  void DeleteAsync(const Slice& key, std::function<void(const Status&)> cb);
+
+  // --- Range queries (§4.4). ---
+  // All pairs in [begin, end), executed as parallel sub-RANGEs.
+  Status Range(const Slice& begin, const Slice& end,
+               std::vector<std::pair<std::string, std::string>>* out);
+  // `count` pairs starting at `begin` (strategy per options.scan_mode).
+  Status Scan(const Slice& begin, size_t count,
+              std::vector<std::pair<std::string, std::string>>* out);
+  // Serial global merge iterator over all instances (RocksDB
+  // MergeIterator-style); caller owns.
+  Iterator* NewGlobalIterator();
+
+  // --- Transactions (§4.5). ---
+  // Atomically applies a batch possibly spanning instances: stamps one GSN,
+  // persists begin/commit in the txn log, splits per partition. After a
+  // crash, sub-batches of uncommitted GSNs are rolled back during recovery.
+  Status WriteTxn(WriteBatch* updates);
+
+  // --- Admin / observability. ---
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+  KVStore* instance(int i);
+  // The worker a key routes to (the balanced request allocation of §4.2).
+  int PartitionOf(const Slice& key) const;
+  Status FlushAll();
+  void WaitIdle();
+  P2kvsStats GetStats() const;
+  size_t ApproximateMemoryUsage() const;
+  // Current depth of each worker's request queue.
+  std::vector<size_t> QueueDepths() const;
+
+ private:
+  P2KVS(const P2kvsOptions& options, std::string path);
+
+  Status Init();
+
+  P2kvsOptions options_;
+  const std::string path_;
+  std::unique_ptr<TxnLog> txn_log_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+};
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_CORE_P2KVS_H_

@@ -1,0 +1,41 @@
+#include "src/core/partitioner.h"
+
+#include <algorithm>
+
+#include "src/util/hash.h"
+
+namespace p2kvs {
+
+Partitioner MakeHashPartitioner() {
+  return [](const Slice& key, int num_workers) {
+    return static_cast<int>(Hash(key.data(), key.size(), 0x70324b56u) %
+                            static_cast<uint32_t>(num_workers));
+  };
+}
+
+Partitioner MakeRangePartitioner(std::vector<std::string> boundaries) {
+  // Boundaries must be sorted; enforce here so misuse fails loudly early.
+  std::vector<std::string> sorted = std::move(boundaries);
+  std::sort(sorted.begin(), sorted.end());
+  return [sorted](const Slice& key, int num_workers) {
+    auto it = std::upper_bound(sorted.begin(), sorted.end(), key.ToStringView(),
+                               [](const std::string_view& k, const std::string& b) {
+                                 return k < std::string_view(b);
+                               });
+    int index = static_cast<int>(it - sorted.begin());
+    return std::min(index, num_workers - 1);
+  };
+}
+
+Partitioner MakeTwoChoiceHashPartitioner() {
+  return [](const Slice& key, int num_workers) {
+    uint32_t h1 = Hash(key.data(), key.size(), 0x70324b56u);
+    uint32_t h2 = Hash(key.data(), key.size(), 0x1b873593u);
+    uint32_t pick = Hash(key.data(), key.size(), 0xcc9e2d51u);
+    uint32_t a = h1 % static_cast<uint32_t>(num_workers);
+    uint32_t b = h2 % static_cast<uint32_t>(num_workers);
+    return static_cast<int>((pick & 1) ? a : b);
+  };
+}
+
+}  // namespace p2kvs

@@ -1,0 +1,37 @@
+// Partition strategies for the accessing layer (paper §4.2). The default is
+// the paper's modular hash (worker = Hash(key) % N): load-balanced, O(1), no
+// read amplification. The paper notes that "appropriate partition strategies"
+// can be configured to match workloads (e.g. key ranges); those live here.
+
+#ifndef P2KVS_SRC_CORE_PARTITIONER_H_
+#define P2KVS_SRC_CORE_PARTITIONER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/util/slice.h"
+
+namespace p2kvs {
+
+// Maps a user key to a worker index in [0, num_workers).
+using Partitioner = std::function<int(const Slice& key, int num_workers)>;
+
+// The paper's default: worker = Hash(key) % N.
+Partitioner MakeHashPartitioner();
+
+// Range partitioning: boundaries[i] is the smallest key of partition i+1
+// (so boundaries.size()+1 partitions are addressed; the partition index is
+// clamped to num_workers-1). Keeps adjacent keys on one instance, making
+// short scans single-instance at the cost of skew sensitivity.
+Partitioner MakeRangePartitioner(std::vector<std::string> boundaries);
+
+// Two-choice hashing: of the two candidate workers given by independent
+// hashes, pick the one indicated by a third tie-break hash. Spreads
+// adversarial key sets that collide under a single hash function (the
+// "multiple independent hash functions" direction the paper cites).
+Partitioner MakeTwoChoiceHashPartitioner();
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_CORE_PARTITIONER_H_

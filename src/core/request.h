@@ -1,0 +1,85 @@
+// Request: the unit that flows from user threads through the accessing layer
+// into a worker's queue (paper Figure 9b). Sync requests block the caller on
+// an embedded completion; async requests carry a callback instead (the
+// asynchronous write interface of §4.1).
+
+#ifndef P2KVS_SRC_CORE_REQUEST_H_
+#define P2KVS_SRC_CORE_REQUEST_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/lsm/write_batch.h"
+#include "src/util/status.h"
+
+namespace p2kvs {
+
+enum class RequestType : uint8_t {
+  kPut,
+  kDelete,
+  kGet,
+  kScan,        // begin key + count
+  kRange,       // begin key + end key
+  kWriteBatch,  // pre-built sub-batch of a GSN transaction
+  kEndTxn,      // release the read-committed snapshot of a finished txn
+};
+
+inline bool IsWriteType(RequestType t) {
+  return t == RequestType::kPut || t == RequestType::kDelete || t == RequestType::kWriteBatch;
+}
+
+inline bool IsReadType(RequestType t) { return t == RequestType::kGet; }
+
+struct Request {
+  RequestType type;
+
+  // Owned copies: async submitters return to the caller before processing.
+  std::string key;
+  std::string value;  // kPut payload; kRange end key
+
+  // kWriteBatch:
+  WriteBatch* batch = nullptr;
+  uint64_t gsn = 0;
+
+  // kGet output.
+  std::string* get_out = nullptr;
+
+  // kScan / kRange output.
+  size_t scan_count = 0;
+  std::vector<std::pair<std::string, std::string>>* scan_out = nullptr;
+
+  Status status;
+
+  // Async completion: non-null callback means nobody Wait()s.
+  std::function<void(const Status&)> callback;
+
+  void Complete(const Status& s) {
+    if (callback) {
+      callback(s);
+      delete this;  // async requests are heap-allocated and self-owned
+      return;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    status = s;
+    done_ = true;
+    cv_.notify_one();
+  }
+
+  Status Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return done_; });
+    return status;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+};
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_CORE_REQUEST_H_

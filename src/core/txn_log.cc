@@ -1,0 +1,105 @@
+#include "src/core/txn_log.h"
+
+#include "src/util/coding.h"
+#include "src/wal/log_reader.h"
+
+namespace p2kvs {
+
+namespace {
+enum TxnTag : uint8_t { kTxnBegin = 1, kTxnCommit = 2 };
+}  // namespace
+
+TxnLog::TxnLog(Env* env, std::string path) : env_(env), path_(std::move(path)) {}
+
+TxnLog::~TxnLog() {
+  if (file_ != nullptr) {
+    file_->Close();
+  }
+}
+
+Status TxnLog::Open(Env* env, const std::string& path, std::unique_ptr<TxnLog>* log) {
+  log->reset();
+  auto txn_log = std::unique_ptr<TxnLog>(new TxnLog(env, path));
+  Status s = txn_log->Recover();
+  if (!s.ok()) {
+    return s;
+  }
+  *log = std::move(txn_log);
+  return Status::OK();
+}
+
+Status TxnLog::Recover() {
+  std::set<uint64_t> begun;
+  if (env_->FileExists(path_)) {
+    std::unique_ptr<SequentialFile> file;
+    Status s = env_->NewSequentialFile(path_, &file);
+    if (!s.ok()) {
+      return s;
+    }
+    log::Reader reader(file.get(), nullptr, /*checksum=*/true);
+    Slice record;
+    std::string scratch;
+    while (reader.ReadRecord(&record, &scratch)) {
+      if (record.size() < 2) {
+        continue;
+      }
+      uint8_t tag = static_cast<uint8_t>(record[0]);
+      record.remove_prefix(1);
+      uint64_t gsn = 0;
+      if (!GetVarint64(&record, &gsn)) {
+        continue;
+      }
+      max_gsn_ = std::max(max_gsn_, gsn);
+      if (tag == kTxnBegin) {
+        begun.insert(gsn);
+      } else if (tag == kTxnCommit) {
+        committed_.insert(gsn);
+        begun.erase(gsn);
+      }
+    }
+  }
+  uncommitted_at_recovery_ = begun.size();
+
+  uint64_t size = 0;
+  env_->GetFileSize(path_, &size);
+  Status s = env_->NewAppendableFile(path_, &file_);
+  if (!s.ok()) {
+    return s;
+  }
+  writer_ = std::make_unique<log::Writer>(file_.get(), size);
+  return Status::OK();
+}
+
+uint64_t TxnLog::NextGsn() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ++max_gsn_;
+}
+
+Status TxnLog::Append(uint8_t tag, uint64_t gsn, bool sync) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string record;
+  record.push_back(static_cast<char>(tag));
+  PutVarint64(&record, gsn);
+  Status s = writer_->AddRecord(record);
+  if (s.ok() && sync) {
+    s = writer_->Sync();
+  }
+  if (s.ok() && tag == kTxnCommit) {
+    committed_.insert(gsn);
+  }
+  return s;
+}
+
+Status TxnLog::LogBegin(uint64_t gsn) { return Append(kTxnBegin, gsn, /*sync=*/true); }
+
+Status TxnLog::LogCommit(uint64_t gsn) { return Append(kTxnCommit, gsn, /*sync=*/true); }
+
+bool TxnLog::IsCommitted(uint64_t gsn) const {
+  if (gsn == 0) {
+    return true;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  return committed_.count(gsn) > 0;
+}
+
+}  // namespace p2kvs

@@ -1,0 +1,66 @@
+// GSN transaction log (paper §4.5 / Figure 11): every cross-instance
+// transaction appends a begin(gsn) record before its sub-batches are
+// submitted and a commit(gsn) record once all of them return. On recovery,
+// GSNs with a begin but no commit identify WriteBatches that must be rolled
+// back — the per-instance WAL replay simply skips records tagged with an
+// uncommitted GSN.
+
+#ifndef P2KVS_SRC_CORE_TXN_LOG_H_
+#define P2KVS_SRC_CORE_TXN_LOG_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "src/io/env.h"
+#include "src/util/status.h"
+#include "src/wal/log_writer.h"
+
+namespace p2kvs {
+
+class TxnLog {
+ public:
+  // Opens (creating/appending) the log at `path` and replays its records.
+  static Status Open(Env* env, const std::string& path, std::unique_ptr<TxnLog>* log);
+
+  ~TxnLog();
+
+  TxnLog(const TxnLog&) = delete;
+  TxnLog& operator=(const TxnLog&) = delete;
+
+  // Allocates the next GSN (strictly increasing, never 0).
+  uint64_t NextGsn();
+
+  // Durably records the transaction boundary events.
+  Status LogBegin(uint64_t gsn);
+  Status LogCommit(uint64_t gsn);
+
+  // True iff gsn committed before the last crash/restart (or during this
+  // run). GSN 0 (non-transactional) is always committed.
+  bool IsCommitted(uint64_t gsn) const;
+
+  // Number of begun-but-uncommitted transactions seen at recovery.
+  size_t UncommittedAtRecovery() const { return uncommitted_at_recovery_; }
+
+ private:
+  TxnLog(Env* env, std::string path);
+
+  Status Recover();
+  Status Append(uint8_t tag, uint64_t gsn, bool sync);
+
+  Env* const env_;
+  const std::string path_;
+
+  mutable std::mutex mu_;
+  std::unique_ptr<WritableFile> file_;
+  std::unique_ptr<log::Writer> writer_;
+  std::set<uint64_t> committed_;
+  uint64_t max_gsn_ = 0;
+  size_t uncommitted_at_recovery_ = 0;
+};
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_CORE_TXN_LOG_H_

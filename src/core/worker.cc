@@ -1,0 +1,252 @@
+#include "src/core/worker.h"
+
+#include <vector>
+
+#include "src/util/thread_util.h"
+
+namespace p2kvs {
+
+Worker::Worker(const Config& config, std::unique_ptr<KVStore> store)
+    : config_(config), store_(std::move(store)), caps_(store_->caps()) {}
+
+Worker::~Worker() { Stop(); }
+
+void Worker::Start() {
+  thread_ = std::thread([this] { Run(); });
+}
+
+void Worker::Stop() {
+  queue_.Close();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+void Worker::Submit(Request* request) {
+  if (!queue_.Push(request)) {
+    request->Complete(Status::Aborted("p2kvs worker stopped"));
+  }
+}
+
+void Worker::Run() {
+  if (config_.pin_to_cpu) {
+    PinThreadToCpu(config_.id);
+  }
+  SetThreadName("p2kvs-worker-" + std::to_string(config_.id));
+
+  // The worker never waits for more requests to show up — batching is purely
+  // opportunistic over what is already queued (paper §4.3).
+  while (true) {
+    std::optional<Request*> item = queue_.Pop();
+    if (!item.has_value()) {
+      // Queue closed and drained: release any snapshots of transactions
+      // whose EndTxn never arrived (e.g. shutdown mid-transaction).
+      for (auto& [gsn, snapshot] : txn_snapshots_) {
+        store_->ReleaseSnapshot(snapshot);
+      }
+      txn_snapshots_.clear();
+      return;
+    }
+    Request* r = *item;
+
+    if (r->type == RequestType::kScan) {
+      ExecuteScan(r);
+      continue;
+    }
+    if (r->type == RequestType::kRange) {
+      ExecuteRange(r);
+      continue;
+    }
+    if (!config_.enable_obm) {
+      ExecuteSingle(r);
+      continue;
+    }
+    if (r->type == RequestType::kEndTxn) {
+      ExecuteSingle(r);
+      continue;
+    }
+    if (IsWriteType(r->type)) {
+      // GSN-tagged sub-batches commit alone (paper §4.5), and merging needs
+      // an engine batch-write.
+      if (r->gsn != 0 || !caps_.batch_write) {
+        ExecuteSingle(r);
+      } else {
+        ExecuteWriteGroup(r);
+      }
+      continue;
+    }
+    ExecuteReadGroup(r);
+  }
+}
+
+void Worker::ExecuteWriteGroup(Request* first) {
+  std::vector<Request*> group;
+  group.push_back(first);
+  while (static_cast<int>(group.size()) < config_.max_batch_size) {
+    std::optional<Request*> next = queue_.TryPopIf(
+        [](Request* q) { return IsWriteType(q->type) && q->gsn == 0; });
+    if (!next.has_value()) {
+      break;
+    }
+    group.push_back(*next);
+  }
+
+  if (group.size() == 1) {
+    ExecuteSingle(first);
+    return;
+  }
+
+  WriteBatch merged;
+  for (Request* r : group) {
+    switch (r->type) {
+      case RequestType::kPut:
+        merged.Put(r->key, r->value);
+        break;
+      case RequestType::kDelete:
+        merged.Delete(r->key);
+        break;
+      case RequestType::kWriteBatch:
+        merged.Append(*r->batch);
+        break;
+      default:
+        break;
+    }
+  }
+
+  Status s = store_->Write(&merged, KvWriteOptions());
+  write_batches_.fetch_add(1, std::memory_order_relaxed);
+  writes_batched_.fetch_add(group.size(), std::memory_order_relaxed);
+  for (Request* r : group) {
+    r->Complete(s);
+  }
+}
+
+Status Worker::ReadOne(const Slice& key, std::string* value) {
+  if (!txn_snapshots_.empty()) {
+    // A cross-instance transaction is in flight: read its pre-image so its
+    // uncommitted writes stay invisible (read committed).
+    return store_->GetAtSnapshot(key, value, txn_snapshots_.front().second);
+  }
+  return store_->Get(key, value);
+}
+
+void Worker::ExecuteReadGroup(Request* first) {
+  std::vector<Request*> group;
+  group.push_back(first);
+  while (static_cast<int>(group.size()) < config_.max_batch_size) {
+    std::optional<Request*> next =
+        queue_.TryPopIf([](Request* q) { return q->type == RequestType::kGet; });
+    if (!next.has_value()) {
+      break;
+    }
+    group.push_back(*next);
+  }
+
+  if (group.size() == 1) {
+    ExecuteSingle(first);
+    return;
+  }
+
+  if (!txn_snapshots_.empty()) {
+    // Snapshot reads bypass the multiget fast path; correctness first.
+    for (Request* r : group) {
+      r->Complete(ReadOne(r->key, r->get_out));
+    }
+    return;
+  }
+
+  std::vector<Slice> keys;
+  keys.reserve(group.size());
+  for (Request* r : group) {
+    keys.emplace_back(r->key);
+  }
+  std::vector<std::string> values;
+  std::vector<Status> statuses = store_->MultiGet(keys, &values);
+  read_batches_.fetch_add(1, std::memory_order_relaxed);
+  reads_batched_.fetch_add(group.size(), std::memory_order_relaxed);
+  for (size_t i = 0; i < group.size(); i++) {
+    if (statuses[i].ok() && group[i]->get_out != nullptr) {
+      *group[i]->get_out = std::move(values[i]);
+    }
+    group[i]->Complete(statuses[i]);
+  }
+}
+
+void Worker::ExecuteSingle(Request* r) {
+  singles_.fetch_add(1, std::memory_order_relaxed);
+  Status s;
+  switch (r->type) {
+    case RequestType::kPut:
+      s = store_->Put(r->key, r->value, KvWriteOptions());
+      break;
+    case RequestType::kDelete:
+      s = store_->Delete(r->key, KvWriteOptions());
+      break;
+    case RequestType::kGet:
+      s = ReadOne(r->key, r->get_out);
+      break;
+    case RequestType::kWriteBatch: {
+      if (config_.txn_read_committed && r->gsn != 0 && caps_.snapshots) {
+        // Pre-image snapshot: readers see the state before this sub-batch
+        // until the whole transaction commits (paper §4.5).
+        txn_snapshots_.emplace_back(r->gsn, store_->GetSnapshot());
+      }
+      KvWriteOptions options;
+      options.gsn = r->gsn;
+      // Sub-batches of a transaction sync their WAL so commit-ordering
+      // survives a crash.
+      options.sync = (r->gsn != 0);
+      s = store_->Write(r->batch, options);
+      break;
+    }
+    case RequestType::kEndTxn: {
+      for (auto it = txn_snapshots_.begin(); it != txn_snapshots_.end(); ++it) {
+        if (it->first == r->gsn) {
+          store_->ReleaseSnapshot(it->second);
+          txn_snapshots_.erase(it);
+          break;
+        }
+      }
+      break;
+    }
+    default:
+      s = Status::InvalidArgument("unexpected request type");
+      break;
+  }
+  r->Complete(s);
+}
+
+void Worker::ExecuteScan(Request* r) {
+  singles_.fetch_add(1, std::memory_order_relaxed);
+  r->scan_out->clear();
+  std::unique_ptr<Iterator> iter(store_->NewIterator());
+  if (r->key.empty()) {
+    iter->SeekToFirst();
+  } else {
+    iter->Seek(r->key);
+  }
+  while (iter->Valid() && r->scan_out->size() < r->scan_count) {
+    r->scan_out->emplace_back(iter->key().ToString(), iter->value().ToString());
+    iter->Next();
+  }
+  r->Complete(iter->status());
+}
+
+void Worker::ExecuteRange(Request* r) {
+  singles_.fetch_add(1, std::memory_order_relaxed);
+  r->scan_out->clear();
+  std::unique_ptr<Iterator> iter(store_->NewIterator());
+  const Slice end(r->value);
+  if (r->key.empty()) {
+    iter->SeekToFirst();
+  } else {
+    iter->Seek(r->key);
+  }
+  while (iter->Valid() && (end.empty() || iter->key().compare(end) < 0)) {
+    r->scan_out->emplace_back(iter->key().ToString(), iter->value().ToString());
+    iter->Next();
+  }
+  r->Complete(iter->status());
+}
+
+}  // namespace p2kvs

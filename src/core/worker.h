@@ -1,0 +1,84 @@
+// Worker: owns one KVS instance and one request queue; runs the
+// opportunistic batching mechanism (paper Algorithm 1) on a thread pinned to
+// a dedicated core.
+
+#ifndef P2KVS_SRC_CORE_WORKER_H_
+#define P2KVS_SRC_CORE_WORKER_H_
+
+#include <atomic>
+#include <deque>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "src/core/kv_store.h"
+#include "src/core/request.h"
+#include "src/util/mpsc_queue.h"
+
+namespace p2kvs {
+
+class Worker {
+ public:
+  struct Config {
+    int id = 0;
+    bool pin_to_cpu = true;
+    bool enable_obm = true;
+    int max_batch_size = 32;
+    // Read-committed transaction isolation (paper §4.5): hold a pre-txn
+    // snapshot per in-flight GSN transaction and serve reads from the oldest
+    // one, so uncommitted cross-instance writes stay invisible.
+    bool txn_read_committed = false;
+  };
+
+  Worker(const Config& config, std::unique_ptr<KVStore> store);
+  ~Worker();
+
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+
+  void Start();
+  // Drains the queue and joins the thread.
+  void Stop();
+
+  // Called by user threads (the accessing layer): enqueue and return.
+  void Submit(Request* request);
+
+  KVStore* store() { return store_.get(); }
+  size_t QueueDepth() const { return queue_.Size(); }
+
+  // OBM effectiveness counters.
+  uint64_t write_batches() const { return write_batches_.load(std::memory_order_relaxed); }
+  uint64_t writes_batched() const { return writes_batched_.load(std::memory_order_relaxed); }
+  uint64_t read_batches() const { return read_batches_.load(std::memory_order_relaxed); }
+  uint64_t reads_batched() const { return reads_batched_.load(std::memory_order_relaxed); }
+  uint64_t singles() const { return singles_.load(std::memory_order_relaxed); }
+
+ private:
+  void Run();
+  void ExecuteSingle(Request* request);
+  Status ReadOne(const Slice& key, std::string* value);
+  void ExecuteWriteGroup(Request* first);  // merge into one WriteBatch
+  void ExecuteReadGroup(Request* first);   // merge into one MultiGet
+  void ExecuteScan(Request* request);
+  void ExecuteRange(Request* request);
+
+  const Config config_;
+  std::unique_ptr<KVStore> store_;
+  EngineCaps caps_;
+  MpscQueue<Request*> queue_;
+  std::thread thread_;
+
+  // In-flight GSN transactions' pre-images, oldest first (worker thread
+  // private; no locking needed).
+  std::deque<std::pair<uint64_t, const Snapshot*>> txn_snapshots_;
+
+  std::atomic<uint64_t> write_batches_{0};
+  std::atomic<uint64_t> writes_batched_{0};
+  std::atomic<uint64_t> read_batches_{0};
+  std::atomic<uint64_t> reads_batched_{0};
+  std::atomic<uint64_t> singles_{0};
+};
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_CORE_WORKER_H_

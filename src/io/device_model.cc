@@ -1,0 +1,224 @@
+#include "src/io/device_model.h"
+
+#include <atomic>
+
+#include "src/io/env_wrapper.h"
+#include "src/util/rate_limiter.h"
+
+namespace p2kvs {
+
+DeviceProfile DeviceProfile::NvmeSsd() {
+  return DeviceProfile{"nvme", 2200ull << 20, 2600ull << 20, 8, 12};
+}
+
+DeviceProfile DeviceProfile::SataSsd() {
+  return DeviceProfile{"sata", 520ull << 20, 560ull << 20, 60, 90};
+}
+
+DeviceProfile DeviceProfile::Hdd() {
+  return DeviceProfile{"hdd", 200ull << 20, 200ull << 20, 1000, 8000};
+}
+
+DeviceProfile DeviceProfile::Unlimited() { return DeviceProfile{"raw", 0, 0, 0, 0}; }
+
+DeviceProfile DeviceProfile::Scaled(double time_scale) const {
+  DeviceProfile p = *this;
+  if (time_scale > 0 && time_scale != 1.0) {
+    p.write_bw_bytes_per_sec =
+        write_bw_bytes_per_sec == 0
+            ? 0
+            : static_cast<uint64_t>(static_cast<double>(write_bw_bytes_per_sec) / time_scale);
+    p.read_bw_bytes_per_sec =
+        read_bw_bytes_per_sec == 0
+            ? 0
+            : static_cast<uint64_t>(static_cast<double>(read_bw_bytes_per_sec) / time_scale);
+    p.seq_latency_us = static_cast<uint32_t>(seq_latency_us * time_scale);
+    p.rand_latency_us = static_cast<uint32_t>(rand_latency_us * time_scale);
+  }
+  return p;
+}
+
+namespace {
+
+// Shared throttling state for one simulated device.
+struct DeviceState {
+  explicit DeviceState(const DeviceProfile& p)
+      : profile(p), write_limiter(p.write_bw_bytes_per_sec), read_limiter(p.read_bw_bytes_per_sec) {}
+
+  const DeviceProfile profile;
+  RateLimiter write_limiter;
+  RateLimiter read_limiter;
+};
+
+void ChargeLatency(Env* base, uint32_t micros) {
+  if (micros > 0) {
+    base->SleepForMicroseconds(static_cast<int>(micros));
+  }
+}
+
+class ThrottledSequentialFile final : public SequentialFile {
+ public:
+  ThrottledSequentialFile(std::unique_ptr<SequentialFile> base, std::shared_ptr<DeviceState> dev,
+                          Env* env)
+      : base_(std::move(base)), dev_(std::move(dev)), env_(env) {}
+
+  Status Read(size_t n, Slice* result, char* scratch) override {
+    Status s = base_->Read(n, result, scratch);
+    if (s.ok() && !result->empty()) {
+      dev_->read_limiter.Request(result->size());
+      ChargeLatency(env_, dev_->profile.seq_latency_us);
+    }
+    return s;
+  }
+  Status Skip(uint64_t n) override { return base_->Skip(n); }
+
+ private:
+  std::unique_ptr<SequentialFile> base_;
+  std::shared_ptr<DeviceState> dev_;
+  Env* env_;
+};
+
+class ThrottledRandomAccessFile final : public RandomAccessFile {
+ public:
+  ThrottledRandomAccessFile(std::unique_ptr<RandomAccessFile> base,
+                            std::shared_ptr<DeviceState> dev, Env* env)
+      : base_(std::move(base)), dev_(std::move(dev)), env_(env) {}
+
+  Status Read(uint64_t offset, size_t n, Slice* result, char* scratch) const override {
+    Status s = base_->Read(offset, n, result, scratch);
+    if (s.ok()) {
+      dev_->read_limiter.Request(result->size());
+      // Discontiguous access pays the random-access (seek) latency.
+      uint64_t expected = last_end_.exchange(offset + result->size(), std::memory_order_relaxed);
+      bool sequential = (offset == expected);
+      ChargeLatency(env_, sequential ? dev_->profile.seq_latency_us : dev_->profile.rand_latency_us);
+    }
+    return s;
+  }
+
+ private:
+  std::unique_ptr<RandomAccessFile> base_;
+  std::shared_ptr<DeviceState> dev_;
+  Env* env_;
+  mutable std::atomic<uint64_t> last_end_{~0ull};
+};
+
+class ThrottledWritableFile final : public WritableFile {
+ public:
+  ThrottledWritableFile(std::unique_ptr<WritableFile> base, std::shared_ptr<DeviceState> dev,
+                        Env* env)
+      : base_(std::move(base)), dev_(std::move(dev)), env_(env) {}
+
+  Status Append(const Slice& data) override {
+    dev_->write_limiter.Request(data.size());
+    return base_->Append(data);
+  }
+  Status Flush() override { return base_->Flush(); }
+  Status Sync() override {
+    // A durability barrier costs one device round trip.
+    ChargeLatency(env_, dev_->profile.seq_latency_us);
+    return base_->Sync();
+  }
+  Status Close() override { return base_->Close(); }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  std::shared_ptr<DeviceState> dev_;
+  Env* env_;
+};
+
+class ThrottledRandomWritableFile final : public RandomWritableFile {
+ public:
+  ThrottledRandomWritableFile(std::unique_ptr<RandomWritableFile> base,
+                              std::shared_ptr<DeviceState> dev, Env* env)
+      : base_(std::move(base)), dev_(std::move(dev)), env_(env) {}
+
+  Status Write(uint64_t offset, const Slice& data) override {
+    dev_->write_limiter.Request(data.size());
+    ChargeLatency(env_, dev_->profile.rand_latency_us);
+    return base_->Write(offset, data);
+  }
+  Status Read(uint64_t offset, size_t n, Slice* result, char* scratch) const override {
+    Status s = base_->Read(offset, n, result, scratch);
+    if (s.ok()) {
+      dev_->read_limiter.Request(result->size());
+      ChargeLatency(env_, dev_->profile.rand_latency_us);
+    }
+    return s;
+  }
+  Status Sync() override {
+    ChargeLatency(env_, dev_->profile.seq_latency_us);
+    return base_->Sync();
+  }
+  Status Truncate(uint64_t size) override { return base_->Truncate(size); }
+  Status Close() override { return base_->Close(); }
+
+ private:
+  std::unique_ptr<RandomWritableFile> base_;
+  std::shared_ptr<DeviceState> dev_;
+  Env* env_;
+};
+
+class ThrottledEnv final : public EnvWrapper {
+ public:
+  ThrottledEnv(Env* base, const DeviceProfile& profile)
+      : EnvWrapper(base), dev_(std::make_shared<DeviceState>(profile)) {}
+
+  Status NewSequentialFile(const std::string& f, std::unique_ptr<SequentialFile>* r) override {
+    std::unique_ptr<SequentialFile> base;
+    Status s = target()->NewSequentialFile(f, &base);
+    if (s.ok()) {
+      *r = std::make_unique<ThrottledSequentialFile>(std::move(base), dev_, target());
+    }
+    return s;
+  }
+  Status NewRandomAccessFile(const std::string& f, std::unique_ptr<RandomAccessFile>* r) override {
+    std::unique_ptr<RandomAccessFile> base;
+    Status s = target()->NewRandomAccessFile(f, &base);
+    if (s.ok()) {
+      *r = std::make_unique<ThrottledRandomAccessFile>(std::move(base), dev_, target());
+    }
+    return s;
+  }
+  Status NewWritableFile(const std::string& f, std::unique_ptr<WritableFile>* r) override {
+    std::unique_ptr<WritableFile> base;
+    Status s = target()->NewWritableFile(f, &base);
+    if (s.ok()) {
+      *r = std::make_unique<ThrottledWritableFile>(std::move(base), dev_, target());
+    }
+    return s;
+  }
+  Status NewAppendableFile(const std::string& f, std::unique_ptr<WritableFile>* r) override {
+    std::unique_ptr<WritableFile> base;
+    Status s = target()->NewAppendableFile(f, &base);
+    if (s.ok()) {
+      *r = std::make_unique<ThrottledWritableFile>(std::move(base), dev_, target());
+    }
+    return s;
+  }
+  Status NewRandomWritableFile(const std::string& f,
+                               std::unique_ptr<RandomWritableFile>* r) override {
+    std::unique_ptr<RandomWritableFile> base;
+    Status s = target()->NewRandomWritableFile(f, &base);
+    if (s.ok()) {
+      *r = std::make_unique<ThrottledRandomWritableFile>(std::move(base), dev_, target());
+    }
+    return s;
+  }
+
+ private:
+  std::shared_ptr<DeviceState> dev_;
+};
+
+}  // namespace
+
+std::unique_ptr<Env> NewThrottledEnv(Env* base, const DeviceProfile& profile) {
+  if (profile.write_bw_bytes_per_sec == 0 && profile.read_bw_bytes_per_sec == 0 &&
+      profile.seq_latency_us == 0 && profile.rand_latency_us == 0) {
+    // Unlimited profile: a pass-through wrapper keeps ownership semantics.
+    return std::make_unique<EnvWrapper>(base);
+  }
+  return std::make_unique<ThrottledEnv>(base, profile);
+}
+
+}  // namespace p2kvs

@@ -1,0 +1,47 @@
+// Device models. The paper evaluates on an Intel Optane 905p NVMe SSD and
+// contrasts it with a SATA SSD and an HDD (Figure 1). This repo has no such
+// testbed, so ThrottledEnv imposes a *device envelope* — bandwidth caps via
+// token buckets plus per-IO latency (huge for HDD random access, small for
+// NVMe) — on top of any base Env. Sleeping in the file operations also lets
+// instance-level IO parallelism overlap, which is what makes multi-instance
+// scaling visible even on machines with few cores.
+
+#ifndef P2KVS_SRC_IO_DEVICE_MODEL_H_
+#define P2KVS_SRC_IO_DEVICE_MODEL_H_
+
+#include <memory>
+#include <string>
+
+#include "src/io/env.h"
+
+namespace p2kvs {
+
+struct DeviceProfile {
+  std::string name;
+  uint64_t write_bw_bytes_per_sec = 0;  // 0 = unlimited
+  uint64_t read_bw_bytes_per_sec = 0;
+  uint32_t seq_latency_us = 0;   // charged per sync (write) / sequential read
+  uint32_t rand_latency_us = 0;  // charged per discontiguous read
+
+  // Paper hardware: Intel Optane 905p — 2.2 GB/s write, 2.6 GB/s read, ~10us.
+  static DeviceProfile NvmeSsd();
+  // Samsung 860 PRO class: ~520/560 MB/s, ~80us.
+  static DeviceProfile SataSsd();
+  // WDC WD100EFAX class: ~0.2 GB/s streaming, ~8ms seek.
+  static DeviceProfile Hdd();
+  // No throttling at all (the raw base env).
+  static DeviceProfile Unlimited();
+
+  // Returns a copy with all latencies multiplied and bandwidths divided by
+  // `time_scale`; time_scale > 1 slows the device down uniformly, < 1 speeds
+  // it up (useful to shrink benchmark wall time while preserving ratios).
+  DeviceProfile Scaled(double time_scale) const;
+};
+
+// Creates an Env imposing `profile` on top of `base`. The returned Env does
+// not own `base`.
+std::unique_ptr<Env> NewThrottledEnv(Env* base, const DeviceProfile& profile);
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_IO_DEVICE_MODEL_H_

@@ -1,0 +1,107 @@
+// Env: the storage/OS abstraction every engine in this repo is written
+// against (leveldb-style). Concrete implementations:
+//   * PosixEnv       — the real filesystem (Env::Default()).
+//   * MemEnv         — fully in-memory, for fast hermetic tests.
+//   * ThrottledEnv   — device models (HDD / SATA SSD / NVMe), see device_model.h.
+//   * FaultInjectionEnv — crash simulation, see fault_injection_env.h.
+
+#ifndef P2KVS_SRC_IO_ENV_H_
+#define P2KVS_SRC_IO_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/util/slice.h"
+#include "src/util/status.h"
+
+namespace p2kvs {
+
+// Sequential read-only file (WAL replay, MANIFEST replay).
+class SequentialFile {
+ public:
+  virtual ~SequentialFile() = default;
+
+  // Reads up to n bytes. *result points into scratch (or an internal buffer)
+  // and is valid until the next call.
+  virtual Status Read(size_t n, Slice* result, char* scratch) = 0;
+  virtual Status Skip(uint64_t n) = 0;
+};
+
+// Random access read-only file (SSTs, slab files).
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+
+  // Thread-safe positional read.
+  virtual Status Read(uint64_t offset, size_t n, Slice* result, char* scratch) const = 0;
+};
+
+// Append-only writable file (WAL, SST building, MANIFEST).
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  virtual Status Append(const Slice& data) = 0;
+  virtual Status Flush() = 0;  // pushes buffered data to the OS
+  virtual Status Sync() = 0;   // durability barrier (fsync/fdatasync)
+  virtual Status Close() = 0;
+};
+
+// Writable file supporting positional writes (KVell in-place slot updates).
+class RandomWritableFile {
+ public:
+  virtual ~RandomWritableFile() = default;
+
+  virtual Status Write(uint64_t offset, const Slice& data) = 0;
+  virtual Status Read(uint64_t offset, size_t n, Slice* result, char* scratch) const = 0;
+  virtual Status Sync() = 0;
+  virtual Status Truncate(uint64_t size) = 0;
+  virtual Status Close() = 0;
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  // The real filesystem. Never deleted; safe to share across threads.
+  static Env* Default();
+
+  virtual Status NewSequentialFile(const std::string& fname,
+                                   std::unique_ptr<SequentialFile>* result) = 0;
+  virtual Status NewRandomAccessFile(const std::string& fname,
+                                     std::unique_ptr<RandomAccessFile>* result) = 0;
+  // Truncates any existing file.
+  virtual Status NewWritableFile(const std::string& fname,
+                                 std::unique_ptr<WritableFile>* result) = 0;
+  // Appends to an existing file (creates if missing).
+  virtual Status NewAppendableFile(const std::string& fname,
+                                   std::unique_ptr<WritableFile>* result) = 0;
+  // Opens (creating if needed) a file for positional read/write.
+  virtual Status NewRandomWritableFile(const std::string& fname,
+                                       std::unique_ptr<RandomWritableFile>* result) = 0;
+
+  virtual bool FileExists(const std::string& fname) = 0;
+  // Names (not paths) of the children of dir.
+  virtual Status GetChildren(const std::string& dir, std::vector<std::string>* result) = 0;
+  virtual Status RemoveFile(const std::string& fname) = 0;
+  virtual Status CreateDir(const std::string& dirname) = 0;  // ok if it already exists
+  virtual Status RemoveDir(const std::string& dirname) = 0;
+  virtual Status GetFileSize(const std::string& fname, uint64_t* file_size) = 0;
+  virtual Status RenameFile(const std::string& src, const std::string& target) = 0;
+
+  // Removes dirname and everything under it. Implemented on top of the
+  // virtual primitives; overridable for efficiency.
+  virtual Status RemoveDirRecursively(const std::string& dirname);
+
+  virtual void SleepForMicroseconds(int micros);
+};
+
+// Convenience helpers (implemented via the Env virtuals).
+Status WriteStringToFile(Env* env, const Slice& data, const std::string& fname, bool sync);
+Status ReadFileToString(Env* env, const std::string& fname, std::string* data);
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_IO_ENV_H_

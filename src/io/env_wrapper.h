@@ -1,0 +1,54 @@
+// EnvWrapper: forwards every Env call to a target, so decorators (throttling,
+// fault injection) override only what they change.
+
+#ifndef P2KVS_SRC_IO_ENV_WRAPPER_H_
+#define P2KVS_SRC_IO_ENV_WRAPPER_H_
+
+#include "src/io/env.h"
+
+namespace p2kvs {
+
+class EnvWrapper : public Env {
+ public:
+  // Does not take ownership of t; t must outlive the wrapper.
+  explicit EnvWrapper(Env* t) : target_(t) {}
+
+  Env* target() const { return target_; }
+
+  Status NewSequentialFile(const std::string& f, std::unique_ptr<SequentialFile>* r) override {
+    return target_->NewSequentialFile(f, r);
+  }
+  Status NewRandomAccessFile(const std::string& f, std::unique_ptr<RandomAccessFile>* r) override {
+    return target_->NewRandomAccessFile(f, r);
+  }
+  Status NewWritableFile(const std::string& f, std::unique_ptr<WritableFile>* r) override {
+    return target_->NewWritableFile(f, r);
+  }
+  Status NewAppendableFile(const std::string& f, std::unique_ptr<WritableFile>* r) override {
+    return target_->NewAppendableFile(f, r);
+  }
+  Status NewRandomWritableFile(const std::string& f,
+                               std::unique_ptr<RandomWritableFile>* r) override {
+    return target_->NewRandomWritableFile(f, r);
+  }
+  bool FileExists(const std::string& f) override { return target_->FileExists(f); }
+  Status GetChildren(const std::string& dir, std::vector<std::string>* r) override {
+    return target_->GetChildren(dir, r);
+  }
+  Status RemoveFile(const std::string& f) override { return target_->RemoveFile(f); }
+  Status CreateDir(const std::string& d) override { return target_->CreateDir(d); }
+  Status RemoveDir(const std::string& d) override { return target_->RemoveDir(d); }
+  Status GetFileSize(const std::string& f, uint64_t* s) override {
+    return target_->GetFileSize(f, s);
+  }
+  Status RenameFile(const std::string& s, const std::string& t) override {
+    return target_->RenameFile(s, t);
+  }
+
+ private:
+  Env* target_;
+};
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_IO_ENV_WRAPPER_H_

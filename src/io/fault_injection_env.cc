@@ -1,0 +1,164 @@
+#include "src/io/fault_injection_env.h"
+
+namespace p2kvs {
+
+namespace {
+class FaultInjectionWritableFileImpl;
+}  // namespace
+
+class FaultInjectionWritableFile final : public WritableFile {
+ public:
+  FaultInjectionWritableFile(std::string fname, std::unique_ptr<WritableFile> base,
+                             FaultInjectionEnv* env)
+      : fname_(std::move(fname)), base_(std::move(base)), env_(env) {}
+
+  Status Append(const Slice& data) override {
+    Status s = base_->Append(data);
+    if (s.ok()) {
+      env_->OnAppend(fname_, data.size());
+    }
+    return s;
+  }
+
+  Status Flush() override { return base_->Flush(); }
+
+  Status Sync() override {
+    Status s = base_->Sync();
+    if (s.ok()) {
+      env_->OnSync(fname_);
+    }
+    return s;
+  }
+
+  Status Close() override {
+    // Note: Close deliberately does NOT mark data as synced; closing a file
+    // does not make it durable across power loss.
+    return base_->Close();
+  }
+
+ private:
+  const std::string fname_;
+  std::unique_ptr<WritableFile> base_;
+  FaultInjectionEnv* env_;
+};
+
+Status FaultInjectionEnv::NewWritableFile(const std::string& f,
+                                          std::unique_ptr<WritableFile>* r) {
+  std::unique_ptr<WritableFile> base;
+  Status s = target()->NewWritableFile(f, &base);
+  if (!s.ok()) {
+    return s;
+  }
+  OnCreate(f, 0);
+  *r = std::make_unique<FaultInjectionWritableFile>(f, std::move(base), this);
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::NewAppendableFile(const std::string& f,
+                                            std::unique_ptr<WritableFile>* r) {
+  uint64_t size = 0;
+  if (target()->FileExists(f)) {
+    target()->GetFileSize(f, &size);
+  }
+  std::unique_ptr<WritableFile> base;
+  Status s = target()->NewAppendableFile(f, &base);
+  if (!s.ok()) {
+    return s;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(f);
+    if (it == files_.end()) {
+      // Pre-existing (or new) file whose on-disk prefix is treated as
+      // durable; only bytes appended from now on are at risk.
+      files_[f] = FileInfo{size, size};
+    }
+  }
+  *r = std::make_unique<FaultInjectionWritableFile>(f, std::move(base), this);
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::RemoveFile(const std::string& f) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    files_.erase(f);
+  }
+  return target()->RemoveFile(f);
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& s, const std::string& t) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(s);
+    if (it != files_.end()) {
+      files_[t] = it->second;
+      files_.erase(it);
+    }
+  }
+  return target()->RenameFile(s, t);
+}
+
+void FaultInjectionEnv::OnCreate(const std::string& fname, uint64_t initial_size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  files_[fname] = FileInfo{initial_size, initial_size};
+}
+
+void FaultInjectionEnv::OnAppend(const std::string& fname, uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  files_[fname].current_size += bytes;
+}
+
+void FaultInjectionEnv::OnSync(const std::string& fname) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(fname);
+  if (it != files_.end()) {
+    it->second.synced_size = it->second.current_size;
+  }
+}
+
+uint64_t FaultInjectionEnv::UnsyncedBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [name, info] : files_) {
+    total += info.current_size - info.synced_size;
+  }
+  return total;
+}
+
+Status FaultInjectionEnv::Crash() {
+  std::map<std::string, FileInfo> files;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    files = files_;
+  }
+  for (auto& [name, info] : files) {
+    if (info.current_size == info.synced_size) {
+      continue;
+    }
+    if (!target()->FileExists(name)) {
+      continue;
+    }
+    // Truncate by rewriting the synced prefix (the base Env API is
+    // append-only for WritableFile).
+    std::string contents;
+    Status s = ReadFileToString(target(), name, &contents);
+    if (!s.ok()) {
+      return s;
+    }
+    if (contents.size() > info.synced_size) {
+      contents.resize(info.synced_size);
+    }
+    s = WriteStringToFile(target(), contents, name, /*sync=*/true);
+    if (!s.ok()) {
+      return s;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(name);
+    if (it != files_.end()) {
+      it->second.current_size = it->second.synced_size;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace p2kvs

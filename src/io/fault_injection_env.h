@@ -1,0 +1,59 @@
+// FaultInjectionEnv: simulates a whole-system crash (power loss) by
+// discarding every byte appended to a WritableFile after its last Sync().
+// Used by the crash-consistency tests for the LSM WAL, the B+-tree WAL and
+// the p2KVS GSN transaction log (paper §4.5: "kill the p2KVS process during
+// writing data ... always recovered to a consistent state").
+//
+// Appends write through to the base env immediately (so normal reads see
+// them, like the OS page cache would); Crash() truncates each tracked file
+// back to its last synced size. RandomWritableFile IO passes through
+// unmodified (KVell-style slot IO is not covered by the crash tests).
+
+#ifndef P2KVS_SRC_IO_FAULT_INJECTION_ENV_H_
+#define P2KVS_SRC_IO_FAULT_INJECTION_ENV_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "src/io/env_wrapper.h"
+
+namespace p2kvs {
+
+class FaultInjectionEnv final : public EnvWrapper {
+ public:
+  explicit FaultInjectionEnv(Env* base) : EnvWrapper(base) {}
+
+  Status NewWritableFile(const std::string& f, std::unique_ptr<WritableFile>* r) override;
+  Status NewAppendableFile(const std::string& f, std::unique_ptr<WritableFile>* r) override;
+  Status RemoveFile(const std::string& f) override;
+  Status RenameFile(const std::string& s, const std::string& t) override;
+
+  // Simulates power loss: every tracked file reverts to its last synced size.
+  // After this, previously opened writable files keep operating on the base
+  // env but their unsynced history is gone, exactly as if the machine
+  // rebooted mid-run. Typically the caller drops all engine objects first.
+  Status Crash();
+
+  // Number of bytes that would be lost if Crash() were called now.
+  uint64_t UnsyncedBytes() const;
+
+ private:
+  friend class FaultInjectionWritableFile;
+
+  struct FileInfo {
+    uint64_t synced_size = 0;
+    uint64_t current_size = 0;
+  };
+
+  void OnAppend(const std::string& fname, uint64_t bytes);
+  void OnSync(const std::string& fname);
+  void OnCreate(const std::string& fname, uint64_t initial_size);
+
+  mutable std::mutex mu_;
+  std::map<std::string, FileInfo> files_;
+};
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_IO_FAULT_INJECTION_ENV_H_

@@ -1,0 +1,101 @@
+#include "src/io/io_stats.h"
+
+#include <cstdio>
+
+namespace p2kvs {
+
+namespace {
+thread_local IoPurpose t_purpose = IoPurpose::kUser;
+}  // namespace
+
+IoPurpose GetThreadIoPurpose() { return t_purpose; }
+
+IoPurposeScope::IoPurposeScope(IoPurpose purpose) : saved_(t_purpose) { t_purpose = purpose; }
+
+IoPurposeScope::~IoPurposeScope() { t_purpose = saved_; }
+
+IoStats& IoStats::Instance() {
+  static IoStats stats;
+  return stats;
+}
+
+void IoStats::RecordWrite(uint64_t bytes) {
+  int p = static_cast<int>(t_purpose);
+  bytes_written_[p].fetch_add(bytes, std::memory_order_relaxed);
+  write_ops_[p].fetch_add(1, std::memory_order_relaxed);
+}
+
+void IoStats::RecordRead(uint64_t bytes) {
+  int p = static_cast<int>(t_purpose);
+  bytes_read_[p].fetch_add(bytes, std::memory_order_relaxed);
+  read_ops_[p].fetch_add(1, std::memory_order_relaxed);
+}
+
+void IoStats::RecordSync() { sync_ops_.fetch_add(1, std::memory_order_relaxed); }
+
+IoStatsSnapshot IoStats::Snapshot() const {
+  IoStatsSnapshot snap;
+  for (int p = 0; p < kNumIoPurposes; p++) {
+    snap.bytes_written[p] = bytes_written_[p].load(std::memory_order_relaxed);
+    snap.bytes_read[p] = bytes_read_[p].load(std::memory_order_relaxed);
+    snap.write_ops[p] = write_ops_[p].load(std::memory_order_relaxed);
+    snap.read_ops[p] = read_ops_[p].load(std::memory_order_relaxed);
+  }
+  snap.sync_ops = sync_ops_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void IoStats::Reset() {
+  for (int p = 0; p < kNumIoPurposes; p++) {
+    bytes_written_[p].store(0, std::memory_order_relaxed);
+    bytes_read_[p].store(0, std::memory_order_relaxed);
+    write_ops_[p].store(0, std::memory_order_relaxed);
+    read_ops_[p].store(0, std::memory_order_relaxed);
+  }
+  sync_ops_.store(0, std::memory_order_relaxed);
+}
+
+uint64_t IoStatsSnapshot::TotalWritten() const {
+  uint64_t total = 0;
+  for (uint64_t b : bytes_written) {
+    total += b;
+  }
+  return total;
+}
+
+uint64_t IoStatsSnapshot::TotalRead() const {
+  uint64_t total = 0;
+  for (uint64_t b : bytes_read) {
+    total += b;
+  }
+  return total;
+}
+
+IoStatsSnapshot IoStatsSnapshot::Since(const IoStatsSnapshot& base) const {
+  IoStatsSnapshot d;
+  for (int p = 0; p < kNumIoPurposes; p++) {
+    d.bytes_written[p] = bytes_written[p] - base.bytes_written[p];
+    d.bytes_read[p] = bytes_read[p] - base.bytes_read[p];
+    d.write_ops[p] = write_ops[p] - base.write_ops[p];
+    d.read_ops[p] = read_ops[p] - base.read_ops[p];
+  }
+  d.sync_ops = sync_ops - base.sync_ops;
+  return d;
+}
+
+std::string IoStatsSnapshot::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "written{user=%llu wal=%llu flush=%llu compact=%llu} "
+                "read{user=%llu compact=%llu} syncs=%llu",
+                static_cast<unsigned long long>(bytes_written[0]),
+                static_cast<unsigned long long>(bytes_written[1]),
+                static_cast<unsigned long long>(bytes_written[2]),
+                static_cast<unsigned long long>(bytes_written[3]),
+                static_cast<unsigned long long>(bytes_read[0]),
+                static_cast<unsigned long long>(bytes_read[3]),
+                static_cast<unsigned long long>(sync_ops));
+  return buf;
+}
+
+}  // namespace p2kvs

@@ -1,0 +1,81 @@
+// Global IO accounting used to reproduce the paper's bandwidth-utilization
+// and IO-amplification measurements (Figures 4, 5b, 12b/c, 21a).
+//
+// Engines tag the *purpose* of their IO with a thread-local scope
+// (IoPurposeScope); the Posix/Mem file implementations report bytes here.
+// Benchmarks snapshot/reset around measurement windows.
+
+#ifndef P2KVS_SRC_IO_IO_STATS_H_
+#define P2KVS_SRC_IO_IO_STATS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace p2kvs {
+
+enum class IoPurpose : int {
+  kUser = 0,      // foreground reads / user-visible IO
+  kWal = 1,       // write-ahead-log appends and syncs
+  kFlush = 2,     // minor compaction (memtable -> L0)
+  kCompaction = 3,  // major compaction reads/writes
+  kOther = 4,
+};
+constexpr int kNumIoPurposes = 5;
+
+struct IoStatsSnapshot {
+  std::array<uint64_t, kNumIoPurposes> bytes_written{};
+  std::array<uint64_t, kNumIoPurposes> bytes_read{};
+  std::array<uint64_t, kNumIoPurposes> write_ops{};
+  std::array<uint64_t, kNumIoPurposes> read_ops{};
+  uint64_t sync_ops = 0;
+
+  uint64_t TotalWritten() const;
+  uint64_t TotalRead() const;
+  // Difference: every counter in *this minus `base`.
+  IoStatsSnapshot Since(const IoStatsSnapshot& base) const;
+  std::string ToString() const;
+};
+
+class IoStats {
+ public:
+  static IoStats& Instance();
+
+  void RecordWrite(uint64_t bytes);
+  void RecordRead(uint64_t bytes);
+  void RecordSync();
+
+  IoStatsSnapshot Snapshot() const;
+  void Reset();
+
+ private:
+  IoStats() = default;
+
+  std::array<std::atomic<uint64_t>, kNumIoPurposes> bytes_written_{};
+  std::array<std::atomic<uint64_t>, kNumIoPurposes> bytes_read_{};
+  std::array<std::atomic<uint64_t>, kNumIoPurposes> write_ops_{};
+  std::array<std::atomic<uint64_t>, kNumIoPurposes> read_ops_{};
+  std::atomic<uint64_t> sync_ops_{0};
+};
+
+// The calling thread's current IO purpose (defaults to kUser).
+IoPurpose GetThreadIoPurpose();
+
+// RAII purpose tag: background flush/compaction threads wrap their work in
+// one of these so their IO is attributed correctly.
+class IoPurposeScope {
+ public:
+  explicit IoPurposeScope(IoPurpose purpose);
+  ~IoPurposeScope();
+
+  IoPurposeScope(const IoPurposeScope&) = delete;
+  IoPurposeScope& operator=(const IoPurposeScope&) = delete;
+
+ private:
+  IoPurpose saved_;
+};
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_IO_IO_STATS_H_

@@ -1,0 +1,299 @@
+#include "src/io/mem_env.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "src/io/io_stats.h"
+
+namespace p2kvs {
+
+namespace {
+
+// Shared, reference-counted file contents. A file may be deleted while
+// readers still hold it (POSIX semantics).
+class FileState {
+ public:
+  std::string contents;  // guarded by mu
+  mutable std::mutex mu;
+
+  uint64_t Size() const {
+    std::lock_guard<std::mutex> lock(mu);
+    return contents.size();
+  }
+
+  Status ReadAt(uint64_t offset, size_t n, Slice* result, char* scratch) const {
+    std::lock_guard<std::mutex> lock(mu);
+    if (offset >= contents.size()) {
+      *result = Slice(scratch, 0);
+      return Status::OK();
+    }
+    size_t avail = std::min<size_t>(n, contents.size() - offset);
+    memcpy(scratch, contents.data() + offset, avail);
+    IoStats::Instance().RecordRead(avail);
+    *result = Slice(scratch, avail);
+    return Status::OK();
+  }
+
+  void Append(const Slice& data) {
+    std::lock_guard<std::mutex> lock(mu);
+    contents.append(data.data(), data.size());
+    IoStats::Instance().RecordWrite(data.size());
+  }
+
+  void WriteAt(uint64_t offset, const Slice& data) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (contents.size() < offset + data.size()) {
+      contents.resize(offset + data.size());
+    }
+    memcpy(contents.data() + offset, data.data(), data.size());
+    IoStats::Instance().RecordWrite(data.size());
+  }
+
+  void Truncate(uint64_t size) {
+    std::lock_guard<std::mutex> lock(mu);
+    contents.resize(size);
+  }
+};
+
+using FileRef = std::shared_ptr<FileState>;
+
+class MemSequentialFile final : public SequentialFile {
+ public:
+  explicit MemSequentialFile(FileRef file) : file_(std::move(file)) {}
+
+  Status Read(size_t n, Slice* result, char* scratch) override {
+    Status s = file_->ReadAt(pos_, n, result, scratch);
+    if (s.ok()) {
+      pos_ += result->size();
+    }
+    return s;
+  }
+
+  Status Skip(uint64_t n) override {
+    pos_ += n;
+    return Status::OK();
+  }
+
+ private:
+  FileRef file_;
+  uint64_t pos_ = 0;
+};
+
+class MemRandomAccessFile final : public RandomAccessFile {
+ public:
+  explicit MemRandomAccessFile(FileRef file) : file_(std::move(file)) {}
+
+  Status Read(uint64_t offset, size_t n, Slice* result, char* scratch) const override {
+    return file_->ReadAt(offset, n, result, scratch);
+  }
+
+ private:
+  FileRef file_;
+};
+
+class MemWritableFile final : public WritableFile {
+ public:
+  explicit MemWritableFile(FileRef file) : file_(std::move(file)) {}
+
+  Status Append(const Slice& data) override {
+    file_->Append(data);
+    return Status::OK();
+  }
+  Status Flush() override { return Status::OK(); }
+  Status Sync() override {
+    IoStats::Instance().RecordSync();
+    return Status::OK();
+  }
+  Status Close() override { return Status::OK(); }
+
+ private:
+  FileRef file_;
+};
+
+class MemRandomWritableFile final : public RandomWritableFile {
+ public:
+  explicit MemRandomWritableFile(FileRef file) : file_(std::move(file)) {}
+
+  Status Write(uint64_t offset, const Slice& data) override {
+    file_->WriteAt(offset, data);
+    return Status::OK();
+  }
+  Status Read(uint64_t offset, size_t n, Slice* result, char* scratch) const override {
+    return file_->ReadAt(offset, n, result, scratch);
+  }
+  Status Sync() override {
+    IoStats::Instance().RecordSync();
+    return Status::OK();
+  }
+  Status Truncate(uint64_t size) override {
+    file_->Truncate(size);
+    return Status::OK();
+  }
+  Status Close() override { return Status::OK(); }
+
+ private:
+  FileRef file_;
+};
+
+class MemEnv final : public Env {
+ public:
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* result) override {
+    FileRef file;
+    Status s = Find(fname, &file);
+    if (!s.ok()) {
+      return s;
+    }
+    *result = std::make_unique<MemSequentialFile>(std::move(file));
+    return Status::OK();
+  }
+
+  Status NewRandomAccessFile(const std::string& fname,
+                             std::unique_ptr<RandomAccessFile>* result) override {
+    FileRef file;
+    Status s = Find(fname, &file);
+    if (!s.ok()) {
+      return s;
+    }
+    *result = std::make_unique<MemRandomAccessFile>(std::move(file));
+    return Status::OK();
+  }
+
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override {
+    FileRef file = CreateOrTruncate(fname);
+    *result = std::make_unique<MemWritableFile>(std::move(file));
+    return Status::OK();
+  }
+
+  Status NewAppendableFile(const std::string& fname,
+                           std::unique_ptr<WritableFile>* result) override {
+    FileRef file = FindOrCreate(fname);
+    *result = std::make_unique<MemWritableFile>(std::move(file));
+    return Status::OK();
+  }
+
+  Status NewRandomWritableFile(const std::string& fname,
+                               std::unique_ptr<RandomWritableFile>* result) override {
+    FileRef file = FindOrCreate(fname);
+    *result = std::make_unique<MemRandomWritableFile>(std::move(file));
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& fname) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return files_.count(fname) > 0;
+  }
+
+  Status GetChildren(const std::string& dir, std::vector<std::string>* result) override {
+    result->clear();
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string prefix = dir;
+    if (prefix.empty() || prefix.back() != '/') {
+      prefix += '/';
+    }
+    std::set<std::string> names;
+    auto collect = [&](const std::string& path) {
+      if (path.size() > prefix.size() && path.compare(0, prefix.size(), prefix) == 0) {
+        std::string rest = path.substr(prefix.size());
+        size_t slash = rest.find('/');
+        names.insert(slash == std::string::npos ? rest : rest.substr(0, slash));
+      }
+    };
+    for (const auto& [path, file] : files_) {
+      collect(path);
+    }
+    for (const auto& path : dirs_) {
+      collect(path);
+    }
+    if (names.empty() && dirs_.count(dir) == 0) {
+      return Status::NotFound(dir);
+    }
+    result->assign(names.begin(), names.end());
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& fname) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (files_.erase(fname) == 0) {
+      return Status::NotFound(fname);
+    }
+    return Status::OK();
+  }
+
+  Status CreateDir(const std::string& dirname) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    dirs_.insert(dirname);
+    return Status::OK();
+  }
+
+  Status RemoveDir(const std::string& dirname) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    dirs_.erase(dirname);
+    return Status::OK();
+  }
+
+  Status GetFileSize(const std::string& fname, uint64_t* file_size) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(fname);
+    if (it == files_.end()) {
+      *file_size = 0;
+      return Status::NotFound(fname);
+    }
+    *file_size = it->second->Size();
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& src, const std::string& target) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(src);
+    if (it == files_.end()) {
+      return Status::NotFound(src);
+    }
+    files_[target] = it->second;
+    files_.erase(it);
+    return Status::OK();
+  }
+
+ private:
+  Status Find(const std::string& fname, FileRef* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(fname);
+    if (it == files_.end()) {
+      return Status::NotFound(fname);
+    }
+    *out = it->second;
+    return Status::OK();
+  }
+
+  FileRef CreateOrTruncate(const std::string& fname) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto file = std::make_shared<FileState>();
+    files_[fname] = file;
+    return file;
+  }
+
+  FileRef FindOrCreate(const std::string& fname) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(fname);
+    if (it != files_.end()) {
+      return it->second;
+    }
+    auto file = std::make_shared<FileState>();
+    files_[fname] = file;
+    return file;
+  }
+
+  std::mutex mu_;
+  std::map<std::string, FileRef> files_;
+  std::set<std::string> dirs_;
+};
+
+}  // namespace
+
+std::unique_ptr<Env> NewMemEnv() { return std::make_unique<MemEnv>(); }
+
+}  // namespace p2kvs

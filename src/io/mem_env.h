@@ -1,0 +1,19 @@
+// MemEnv: a fully in-memory Env for hermetic, fast unit tests. IO is still
+// reported to IoStats so amplification assertions can run against it.
+
+#ifndef P2KVS_SRC_IO_MEM_ENV_H_
+#define P2KVS_SRC_IO_MEM_ENV_H_
+
+#include <memory>
+
+#include "src/io/env.h"
+
+namespace p2kvs {
+
+// Returns a new in-memory Env. The caller owns it; files live as long as the
+// Env does.
+std::unique_ptr<Env> NewMemEnv();
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_IO_MEM_ENV_H_

@@ -1,0 +1,420 @@
+// PosixEnv: the real-filesystem Env. All IO is routed through IoStats so the
+// benchmark harness can report device bandwidth and amplification.
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+#include "src/io/env.h"
+#include "src/io/io_stats.h"
+
+namespace p2kvs {
+
+namespace {
+
+Status PosixError(const std::string& context, int err) {
+  if (err == ENOENT) {
+    return Status::NotFound(context, std::strerror(err));
+  }
+  return Status::IOError(context, std::strerror(err));
+}
+
+constexpr size_t kWritableBufferSize = 64 * 1024;
+
+class PosixSequentialFile final : public SequentialFile {
+ public:
+  PosixSequentialFile(std::string fname, int fd) : fname_(std::move(fname)), fd_(fd) {}
+  ~PosixSequentialFile() override { ::close(fd_); }
+
+  Status Read(size_t n, Slice* result, char* scratch) override {
+    while (true) {
+      ::ssize_t r = ::read(fd_, scratch, n);
+      if (r < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        return PosixError(fname_, errno);
+      }
+      IoStats::Instance().RecordRead(static_cast<uint64_t>(r));
+      *result = Slice(scratch, static_cast<size_t>(r));
+      return Status::OK();
+    }
+  }
+
+  Status Skip(uint64_t n) override {
+    if (::lseek(fd_, static_cast<off_t>(n), SEEK_CUR) == static_cast<off_t>(-1)) {
+      return PosixError(fname_, errno);
+    }
+    return Status::OK();
+  }
+
+ private:
+  const std::string fname_;
+  const int fd_;
+};
+
+class PosixRandomAccessFile final : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(std::string fname, int fd) : fname_(std::move(fname)), fd_(fd) {}
+  ~PosixRandomAccessFile() override { ::close(fd_); }
+
+  Status Read(uint64_t offset, size_t n, Slice* result, char* scratch) const override {
+    ::ssize_t r = ::pread(fd_, scratch, n, static_cast<off_t>(offset));
+    if (r < 0) {
+      return PosixError(fname_, errno);
+    }
+    IoStats::Instance().RecordRead(static_cast<uint64_t>(r));
+    *result = Slice(scratch, static_cast<size_t>(r));
+    return Status::OK();
+  }
+
+ private:
+  const std::string fname_;
+  const int fd_;
+};
+
+class PosixWritableFile final : public WritableFile {
+ public:
+  PosixWritableFile(std::string fname, int fd) : fname_(std::move(fname)), fd_(fd) {
+    buffer_.reserve(kWritableBufferSize);
+  }
+
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) {
+      Close();
+    }
+  }
+
+  Status Append(const Slice& data) override {
+    if (buffer_.size() + data.size() <= kWritableBufferSize) {
+      buffer_.append(data.data(), data.size());
+      return Status::OK();
+    }
+    Status s = FlushBuffer();
+    if (!s.ok()) {
+      return s;
+    }
+    if (data.size() <= kWritableBufferSize) {
+      buffer_.append(data.data(), data.size());
+      return Status::OK();
+    }
+    return WriteRaw(data.data(), data.size());
+  }
+
+  Status Flush() override { return FlushBuffer(); }
+
+  Status Sync() override {
+    Status s = FlushBuffer();
+    if (!s.ok()) {
+      return s;
+    }
+    if (::fdatasync(fd_) != 0) {
+      return PosixError(fname_, errno);
+    }
+    IoStats::Instance().RecordSync();
+    return Status::OK();
+  }
+
+  Status Close() override {
+    Status s = FlushBuffer();
+    if (::close(fd_) != 0 && s.ok()) {
+      s = PosixError(fname_, errno);
+    }
+    fd_ = -1;
+    return s;
+  }
+
+ private:
+  Status FlushBuffer() {
+    if (buffer_.empty()) {
+      return Status::OK();
+    }
+    Status s = WriteRaw(buffer_.data(), buffer_.size());
+    buffer_.clear();
+    return s;
+  }
+
+  Status WriteRaw(const char* data, size_t n) {
+    while (n > 0) {
+      ::ssize_t w = ::write(fd_, data, n);
+      if (w < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        return PosixError(fname_, errno);
+      }
+      IoStats::Instance().RecordWrite(static_cast<uint64_t>(w));
+      data += w;
+      n -= static_cast<size_t>(w);
+    }
+    return Status::OK();
+  }
+
+  const std::string fname_;
+  int fd_;
+  std::string buffer_;
+};
+
+class PosixRandomWritableFile final : public RandomWritableFile {
+ public:
+  PosixRandomWritableFile(std::string fname, int fd) : fname_(std::move(fname)), fd_(fd) {}
+  ~PosixRandomWritableFile() override {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+  }
+
+  Status Write(uint64_t offset, const Slice& data) override {
+    const char* p = data.data();
+    size_t n = data.size();
+    off_t off = static_cast<off_t>(offset);
+    while (n > 0) {
+      ::ssize_t w = ::pwrite(fd_, p, n, off);
+      if (w < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        return PosixError(fname_, errno);
+      }
+      IoStats::Instance().RecordWrite(static_cast<uint64_t>(w));
+      p += w;
+      n -= static_cast<size_t>(w);
+      off += w;
+    }
+    return Status::OK();
+  }
+
+  Status Read(uint64_t offset, size_t n, Slice* result, char* scratch) const override {
+    ::ssize_t r = ::pread(fd_, scratch, n, static_cast<off_t>(offset));
+    if (r < 0) {
+      return PosixError(fname_, errno);
+    }
+    IoStats::Instance().RecordRead(static_cast<uint64_t>(r));
+    *result = Slice(scratch, static_cast<size_t>(r));
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fdatasync(fd_) != 0) {
+      return PosixError(fname_, errno);
+    }
+    IoStats::Instance().RecordSync();
+    return Status::OK();
+  }
+
+  Status Truncate(uint64_t size) override {
+    if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+      return PosixError(fname_, errno);
+    }
+    return Status::OK();
+  }
+
+  Status Close() override {
+    int fd = fd_;
+    fd_ = -1;
+    if (fd >= 0 && ::close(fd) != 0) {
+      return PosixError(fname_, errno);
+    }
+    return Status::OK();
+  }
+
+ private:
+  const std::string fname_;
+  int fd_;
+};
+
+class PosixEnv final : public Env {
+ public:
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* result) override {
+    int fd = ::open(fname.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      result->reset();
+      return PosixError(fname, errno);
+    }
+    *result = std::make_unique<PosixSequentialFile>(fname, fd);
+    return Status::OK();
+  }
+
+  Status NewRandomAccessFile(const std::string& fname,
+                             std::unique_ptr<RandomAccessFile>* result) override {
+    int fd = ::open(fname.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      result->reset();
+      return PosixError(fname, errno);
+    }
+    *result = std::make_unique<PosixRandomAccessFile>(fname, fd);
+    return Status::OK();
+  }
+
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override {
+    int fd = ::open(fname.c_str(), O_TRUNC | O_WRONLY | O_CREAT | O_CLOEXEC, 0644);
+    if (fd < 0) {
+      result->reset();
+      return PosixError(fname, errno);
+    }
+    *result = std::make_unique<PosixWritableFile>(fname, fd);
+    return Status::OK();
+  }
+
+  Status NewAppendableFile(const std::string& fname,
+                           std::unique_ptr<WritableFile>* result) override {
+    int fd = ::open(fname.c_str(), O_APPEND | O_WRONLY | O_CREAT | O_CLOEXEC, 0644);
+    if (fd < 0) {
+      result->reset();
+      return PosixError(fname, errno);
+    }
+    *result = std::make_unique<PosixWritableFile>(fname, fd);
+    return Status::OK();
+  }
+
+  Status NewRandomWritableFile(const std::string& fname,
+                               std::unique_ptr<RandomWritableFile>* result) override {
+    int fd = ::open(fname.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    if (fd < 0) {
+      result->reset();
+      return PosixError(fname, errno);
+    }
+    *result = std::make_unique<PosixRandomWritableFile>(fname, fd);
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& fname) override { return ::access(fname.c_str(), F_OK) == 0; }
+
+  Status GetChildren(const std::string& dir, std::vector<std::string>* result) override {
+    result->clear();
+    ::DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) {
+      return PosixError(dir, errno);
+    }
+    struct ::dirent* entry;
+    while ((entry = ::readdir(d)) != nullptr) {
+      std::string name = entry->d_name;
+      if (name != "." && name != "..") {
+        result->push_back(std::move(name));
+      }
+    }
+    ::closedir(d);
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& fname) override {
+    if (::unlink(fname.c_str()) != 0) {
+      return PosixError(fname, errno);
+    }
+    return Status::OK();
+  }
+
+  Status CreateDir(const std::string& dirname) override {
+    if (::mkdir(dirname.c_str(), 0755) != 0 && errno != EEXIST) {
+      return PosixError(dirname, errno);
+    }
+    return Status::OK();
+  }
+
+  Status RemoveDir(const std::string& dirname) override {
+    if (::rmdir(dirname.c_str()) != 0) {
+      return PosixError(dirname, errno);
+    }
+    return Status::OK();
+  }
+
+  Status GetFileSize(const std::string& fname, uint64_t* file_size) override {
+    struct ::stat st;
+    if (::stat(fname.c_str(), &st) != 0) {
+      *file_size = 0;
+      return PosixError(fname, errno);
+    }
+    *file_size = static_cast<uint64_t>(st.st_size);
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& src, const std::string& target) override {
+    if (::rename(src.c_str(), target.c_str()) != 0) {
+      return PosixError(src, errno);
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv env;
+  return &env;
+}
+
+void Env::SleepForMicroseconds(int micros) {
+  std::this_thread::sleep_for(std::chrono::microseconds(micros));
+}
+
+Status Env::RemoveDirRecursively(const std::string& dirname) {
+  std::vector<std::string> children;
+  Status s = GetChildren(dirname, &children);
+  if (!s.ok()) {
+    return s.IsNotFound() ? Status::OK() : s;
+  }
+  for (const std::string& child : children) {
+    std::string path = dirname + "/" + child;
+    // Try file removal first; fall back to recursive directory removal.
+    Status rs = RemoveFile(path);
+    if (!rs.ok()) {
+      rs = RemoveDirRecursively(path);
+      if (!rs.ok()) {
+        return rs;
+      }
+    }
+  }
+  return RemoveDir(dirname);
+}
+
+Status WriteStringToFile(Env* env, const Slice& data, const std::string& fname, bool sync) {
+  std::unique_ptr<WritableFile> file;
+  Status s = env->NewWritableFile(fname, &file);
+  if (!s.ok()) {
+    return s;
+  }
+  s = file->Append(data);
+  if (s.ok() && sync) {
+    s = file->Sync();
+  }
+  if (s.ok()) {
+    s = file->Close();
+  }
+  if (!s.ok()) {
+    env->RemoveFile(fname);
+  }
+  return s;
+}
+
+Status ReadFileToString(Env* env, const std::string& fname, std::string* data) {
+  data->clear();
+  std::unique_ptr<SequentialFile> file;
+  Status s = env->NewSequentialFile(fname, &file);
+  if (!s.ok()) {
+    return s;
+  }
+  static const int kBufferSize = 8192;
+  auto space = std::make_unique<char[]>(kBufferSize);
+  while (true) {
+    Slice fragment;
+    s = file->Read(kBufferSize, &fragment, space.get());
+    if (!s.ok()) {
+      break;
+    }
+    if (fragment.empty()) {
+      break;
+    }
+    data->append(fragment.data(), fragment.size());
+  }
+  return s;
+}
+
+}  // namespace p2kvs

@@ -1,0 +1,567 @@
+#include "src/kvell/kvell_store.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <list>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "src/util/coding.h"
+#include "src/util/hash.h"
+#include "src/util/mpsc_queue.h"
+#include "src/util/thread_util.h"
+
+namespace p2kvs {
+
+namespace {
+
+constexpr size_t kCachePageSize = 4096;
+
+// Slot header: klen (4B, 0 = free slot) + vlen (4B).
+constexpr size_t kSlotHeader = 8;
+
+struct SlotLoc {
+  uint32_t class_index;
+  uint64_t slot_index;
+};
+
+enum class ReqType { kPut, kDelete, kGet, kScan, kStop };
+
+struct KvellRequest {
+  ReqType type;
+  Slice key;
+  Slice value;
+  std::string* out_value = nullptr;
+  size_t scan_count = 0;
+  std::vector<std::pair<std::string, std::string>>* out_scan = nullptr;
+
+  Status status;
+  bool done = false;
+  std::mutex mu;
+  std::condition_variable cv;
+
+  void Complete(const Status& s) {
+    std::lock_guard<std::mutex> lock(mu);
+    status = s;
+    done = true;
+    cv.notify_one();
+  }
+
+  Status Wait() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return done; });
+    return status;
+  }
+};
+
+// One shared-nothing KVell worker: its own index, slabs and page cache.
+class KvellWorker {
+ public:
+  KvellWorker(const KvellOptions& options, std::string dir, int id)
+      : options_(options),
+        env_(options.env),
+        dir_(std::move(dir)),
+        id_(id),
+        cache_budget_pages_(
+            std::max<size_t>(1, options.page_cache_bytes /
+                                    std::max(1, options.num_workers) / kCachePageSize)) {}
+
+  Status Open() {
+    env_->CreateDir(dir_);
+    slabs_.resize(options_.slot_classes.size());
+    for (size_t c = 0; c < options_.slot_classes.size(); c++) {
+      char name[64];
+      snprintf(name, sizeof(name), "/slab-%u.kv", options_.slot_classes[c]);
+      Status s = env_->NewRandomWritableFile(dir_ + name, &slabs_[c].file);
+      if (!s.ok()) {
+        return s;
+      }
+      uint64_t size = 0;
+      env_->GetFileSize(dir_ + name, &size);
+      slabs_[c].num_slots = size / options_.slot_classes[c];
+    }
+    Status s = RebuildIndex();
+    if (!s.ok()) {
+      return s;
+    }
+    thread_ = std::thread([this] { Run(); });
+    return Status::OK();
+  }
+
+  void Close() {
+    queue_.Close();
+    if (thread_.joinable()) {
+      thread_.join();
+    }
+    for (auto& slab : slabs_) {
+      if (slab.file != nullptr) {
+        slab.file->Sync();
+        slab.file->Close();
+      }
+    }
+  }
+
+  void Submit(KvellRequest* req) {
+    if (!queue_.Push(req)) {
+      req->Complete(Status::Aborted("kvell worker stopped"));
+    }
+  }
+
+  uint64_t slot_writes() const { return slot_writes_.load(std::memory_order_relaxed); }
+  uint64_t slot_reads() const { return slot_reads_.load(std::memory_order_relaxed); }
+  uint64_t cache_hits() const { return cache_hits_.load(std::memory_order_relaxed); }
+  uint64_t index_entries() const { return index_entries_.load(std::memory_order_relaxed); }
+  size_t index_memory() const { return index_memory_.load(std::memory_order_relaxed); }
+  size_t cache_memory() const { return cache_pages_.load(std::memory_order_relaxed) * kCachePageSize; }
+
+ private:
+  struct Slab {
+    std::unique_ptr<RandomWritableFile> file;
+    uint64_t num_slots = 0;
+    std::vector<uint64_t> free_slots;
+  };
+
+  void Run() {
+    if (options_.pin_workers) {
+      PinThreadToCpu(id_);
+    }
+    SetThreadName("kvell-worker-" + std::to_string(id_));
+    while (true) {
+      std::optional<KvellRequest*> item = queue_.Pop();
+      if (!item.has_value()) {
+        return;  // closed and drained
+      }
+      KvellRequest* req = *item;
+      switch (req->type) {
+        case ReqType::kPut:
+          req->Complete(DoPut(req->key, req->value));
+          break;
+        case ReqType::kDelete:
+          req->Complete(DoDelete(req->key));
+          break;
+        case ReqType::kGet:
+          req->Complete(DoGet(req->key, req->out_value));
+          break;
+        case ReqType::kScan:
+          req->Complete(DoScan(req->key, req->scan_count, req->out_scan));
+          break;
+        case ReqType::kStop:
+          req->Complete(Status::OK());
+          return;
+      }
+    }
+  }
+
+  uint32_t ClassFor(size_t item_size) const {
+    for (uint32_t c = 0; c < options_.slot_classes.size(); c++) {
+      if (item_size <= options_.slot_classes[c]) {
+        return c;
+      }
+    }
+    return static_cast<uint32_t>(options_.slot_classes.size());  // too large
+  }
+
+  Status DoPut(const Slice& key, const Slice& value) {
+    const size_t item_size = kSlotHeader + key.size() + value.size();
+    uint32_t cls = ClassFor(item_size);
+    if (cls >= options_.slot_classes.size()) {
+      return Status::InvalidArgument("item exceeds largest KVell slot class");
+    }
+
+    std::string k = key.ToString();
+    auto it = index_.find(k);
+    SlotLoc loc;
+    if (it != index_.end() && it->second.class_index == cls) {
+      // In-place update: KVell's signature no-write-amplification path.
+      loc = it->second;
+    } else {
+      if (it != index_.end()) {
+        FreeSlot(it->second);
+      }
+      loc.class_index = cls;
+      loc.slot_index = AllocSlot(cls);
+    }
+
+    // Serialize the item into a full slot and write it in place.
+    const uint32_t slot_size = options_.slot_classes[cls];
+    std::string buf;
+    buf.reserve(slot_size);
+    PutFixed32(&buf, static_cast<uint32_t>(key.size()));
+    PutFixed32(&buf, static_cast<uint32_t>(value.size()));
+    buf.append(key.data(), key.size());
+    buf.append(value.data(), value.size());
+    buf.resize(slot_size, '\0');
+
+    Status s = slabs_[cls].file->Write(loc.slot_index * slot_size, buf);
+    if (!s.ok()) {
+      return s;
+    }
+    slot_writes_.fetch_add(1, std::memory_order_relaxed);
+    InvalidateCache(cls, loc.slot_index);
+
+    if (it == index_.end()) {
+      index_.emplace(std::move(k), loc);
+      index_entries_.fetch_add(1, std::memory_order_relaxed);
+      index_memory_.fetch_add(key.size() + sizeof(SlotLoc) + 48, std::memory_order_relaxed);
+    } else {
+      it->second = loc;
+    }
+    return Status::OK();
+  }
+
+  Status DoDelete(const Slice& key) {
+    auto it = index_.find(key.ToString());
+    if (it == index_.end()) {
+      return Status::OK();
+    }
+    // Mark the slot free on disk (klen = 0) so recovery skips it.
+    const uint32_t cls = it->second.class_index;
+    const uint32_t slot_size = options_.slot_classes[cls];
+    std::string zero(kSlotHeader, '\0');
+    Status s = slabs_[cls].file->Write(it->second.slot_index * slot_size, zero);
+    if (!s.ok()) {
+      return s;
+    }
+    InvalidateCache(cls, it->second.slot_index);
+    FreeSlot(it->second);
+    index_memory_.fetch_sub(
+        std::min<size_t>(index_memory_.load(std::memory_order_relaxed),
+                         it->first.size() + sizeof(SlotLoc) + 48),
+        std::memory_order_relaxed);
+    index_.erase(it);
+    index_entries_.fetch_sub(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+
+  Status DoGet(const Slice& key, std::string* value) {
+    auto it = index_.find(key.ToString());
+    if (it == index_.end()) {
+      return Status::NotFound(key);
+    }
+    return ReadSlot(it->second, key, value);
+  }
+
+  Status DoScan(const Slice& begin, size_t count,
+                std::vector<std::pair<std::string, std::string>>* out) {
+    out->clear();
+    auto it = begin.empty() ? index_.begin() : index_.lower_bound(begin.ToString());
+    for (; it != index_.end() && out->size() < count; ++it) {
+      std::string value;
+      Status s = ReadSlot(it->second, it->first, &value);
+      if (!s.ok()) {
+        return s;
+      }
+      out->emplace_back(it->first, std::move(value));
+    }
+    return Status::OK();
+  }
+
+  uint64_t AllocSlot(uint32_t cls) {
+    Slab& slab = slabs_[cls];
+    if (!slab.free_slots.empty()) {
+      uint64_t slot = slab.free_slots.back();
+      slab.free_slots.pop_back();
+      return slot;
+    }
+    return slab.num_slots++;
+  }
+
+  void FreeSlot(const SlotLoc& loc) { slabs_[loc.class_index].free_slots.push_back(loc.slot_index); }
+
+  // ----- Page cache -----
+
+  uint64_t PageKey(uint32_t cls, uint64_t page) const { return (static_cast<uint64_t>(cls) << 56) | page; }
+
+  void InvalidateCache(uint32_t cls, uint64_t slot_index) {
+    const uint32_t slot_size = options_.slot_classes[cls];
+    uint64_t start_page = slot_index * slot_size / kCachePageSize;
+    uint64_t end_page = (slot_index * slot_size + slot_size - 1) / kCachePageSize;
+    for (uint64_t p = start_page; p <= end_page; p++) {
+      auto it = cache_.find(PageKey(cls, p));
+      if (it != cache_.end()) {
+        lru_.erase(it->second.lru_pos);
+        cache_.erase(it);
+        cache_pages_.fetch_sub(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  // Reads `n` bytes at `offset` in class `cls` through the page cache.
+  Status CachedRead(uint32_t cls, uint64_t offset, size_t n, std::string* out) {
+    out->clear();
+    out->reserve(n);
+    uint64_t page = offset / kCachePageSize;
+    size_t page_off = offset % kCachePageSize;
+    while (out->size() < n) {
+      const std::string* data;
+      Status s = FetchPage(cls, page, &data);
+      if (!s.ok()) {
+        return s;
+      }
+      size_t take = std::min(n - out->size(), kCachePageSize - page_off);
+      out->append(data->data() + page_off, take);
+      page_off = 0;
+      page++;
+    }
+    return Status::OK();
+  }
+
+  Status FetchPage(uint32_t cls, uint64_t page, const std::string** out) {
+    uint64_t key = PageKey(cls, page);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      lru_.erase(it->second.lru_pos);
+      lru_.push_front(key);
+      it->second.lru_pos = lru_.begin();
+      *out = &it->second.data;
+      return Status::OK();
+    }
+
+    auto buf = std::make_unique<char[]>(kCachePageSize);
+    Slice result;
+    Status s = slabs_[cls].file->Read(page * kCachePageSize, kCachePageSize, &result, buf.get());
+    if (!s.ok()) {
+      return s;
+    }
+    slot_reads_.fetch_add(1, std::memory_order_relaxed);
+    CacheEntry entry;
+    entry.data.assign(result.data(), result.size());
+    entry.data.resize(kCachePageSize, '\0');
+    lru_.push_front(key);
+    entry.lru_pos = lru_.begin();
+    auto [pos, inserted] = cache_.emplace(key, std::move(entry));
+    cache_pages_.fetch_add(1, std::memory_order_relaxed);
+    while (cache_.size() > cache_budget_pages_ && !lru_.empty()) {
+      uint64_t victim = lru_.back();
+      lru_.pop_back();
+      cache_.erase(victim);
+      cache_pages_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    *out = &pos->second.data;
+    return Status::OK();
+  }
+
+  Status ReadSlot(const SlotLoc& loc, const Slice& expected_key, std::string* value) {
+    const uint32_t slot_size = options_.slot_classes[loc.class_index];
+    std::string slot;
+    Status s = CachedRead(loc.class_index, loc.slot_index * slot_size, slot_size, &slot);
+    if (!s.ok()) {
+      return s;
+    }
+    if (slot.size() < kSlotHeader) {
+      return Status::Corruption("short KVell slot");
+    }
+    uint32_t klen = DecodeFixed32(slot.data());
+    uint32_t vlen = DecodeFixed32(slot.data() + 4);
+    if (klen == 0 || kSlotHeader + klen + vlen > slot.size()) {
+      return Status::Corruption("bad KVell slot");
+    }
+    if (Slice(slot.data() + kSlotHeader, klen) != expected_key) {
+      return Status::Corruption("KVell slot key mismatch");
+    }
+    value->assign(slot.data() + kSlotHeader + klen, vlen);
+    return Status::OK();
+  }
+
+  Status RebuildIndex() {
+    // KVell recovers by scanning the slabs and rebuilding the in-memory
+    // index (no WAL exists).
+    for (uint32_t cls = 0; cls < slabs_.size(); cls++) {
+      const uint32_t slot_size = options_.slot_classes[cls];
+      Slab& slab = slabs_[cls];
+      auto buf = std::make_unique<char[]>(slot_size);
+      for (uint64_t slot = 0; slot < slab.num_slots; slot++) {
+        Slice result;
+        Status s = slab.file->Read(slot * slot_size, slot_size, &result, buf.get());
+        if (!s.ok()) {
+          return s;
+        }
+        if (result.size() < kSlotHeader) {
+          continue;
+        }
+        uint32_t klen = DecodeFixed32(result.data());
+        uint32_t vlen = DecodeFixed32(result.data() + 4);
+        if (klen == 0 || kSlotHeader + klen + vlen > result.size()) {
+          slab.free_slots.push_back(slot);
+          continue;
+        }
+        std::string key(result.data() + kSlotHeader, klen);
+        index_[key] = SlotLoc{cls, slot};
+        index_entries_.fetch_add(1, std::memory_order_relaxed);
+        index_memory_.fetch_add(key.size() + sizeof(SlotLoc) + 48, std::memory_order_relaxed);
+      }
+    }
+    return Status::OK();
+  }
+
+  struct CacheEntry {
+    std::string data;
+    std::list<uint64_t>::iterator lru_pos;
+  };
+
+  const KvellOptions options_;
+  Env* const env_;
+  const std::string dir_;
+  const int id_;
+  const size_t cache_budget_pages_;
+
+  MpscQueue<KvellRequest*> queue_;
+  std::thread thread_;
+
+  // Worker-private state (only touched by the worker thread after Open).
+  std::map<std::string, SlotLoc> index_;
+  std::vector<Slab> slabs_;
+  std::unordered_map<uint64_t, CacheEntry> cache_;
+  std::list<uint64_t> lru_;
+
+  std::atomic<uint64_t> slot_writes_{0};
+  std::atomic<uint64_t> slot_reads_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> index_entries_{0};
+  std::atomic<size_t> index_memory_{0};
+  std::atomic<size_t> cache_pages_{0};
+};
+
+class KvellStoreImpl final : public KvellStore {
+ public:
+  KvellStoreImpl(const KvellOptions& options, std::string path)
+      : options_(options), path_(std::move(path)) {}
+
+  ~KvellStoreImpl() override {
+    for (auto& worker : workers_) {
+      worker->Close();
+    }
+  }
+
+  Status Open() {
+    options_.env->CreateDir(path_);
+    for (int i = 0; i < options_.num_workers; i++) {
+      workers_.push_back(
+          std::make_unique<KvellWorker>(options_, path_ + "/worker-" + std::to_string(i), i));
+      Status s = workers_.back()->Open();
+      if (!s.ok()) {
+        return s;
+      }
+    }
+    return Status::OK();
+  }
+
+  Status Put(const Slice& key, const Slice& value) override {
+    KvellRequest req;
+    req.type = ReqType::kPut;
+    req.key = key;
+    req.value = value;
+    WorkerFor(key)->Submit(&req);
+    return req.Wait();
+  }
+
+  Status Delete(const Slice& key) override {
+    KvellRequest req;
+    req.type = ReqType::kDelete;
+    req.key = key;
+    WorkerFor(key)->Submit(&req);
+    return req.Wait();
+  }
+
+  Status Get(const Slice& key, std::string* value) override {
+    KvellRequest req;
+    req.type = ReqType::kGet;
+    req.key = key;
+    req.out_value = value;
+    req.out_value->clear();
+    KvellRequest* reqp = &req;
+    // DoGet writes into out_value via the worker thread.
+    req.out_value = value;
+    WorkerFor(key)->Submit(reqp);
+    return req.Wait();
+  }
+
+  Status Scan(const Slice& begin, size_t count,
+              std::vector<std::pair<std::string, std::string>>* out) override {
+    // Fork the scan to every worker, then merge (paper §4.4's "parallel
+    // over-scan then filter" approach, which KVell also needs because keys
+    // are hash-partitioned).
+    std::vector<std::vector<std::pair<std::string, std::string>>> partials(workers_.size());
+    std::vector<std::unique_ptr<KvellRequest>> reqs;
+    for (size_t i = 0; i < workers_.size(); i++) {
+      auto req = std::make_unique<KvellRequest>();
+      req->type = ReqType::kScan;
+      req->key = begin;
+      req->scan_count = count;
+      req->out_scan = &partials[i];
+      workers_[i]->Submit(req.get());
+      reqs.push_back(std::move(req));
+    }
+    Status result;
+    for (auto& req : reqs) {
+      Status s = req->Wait();
+      if (!s.ok() && result.ok()) {
+        result = s;
+      }
+    }
+    if (!result.ok()) {
+      return result;
+    }
+    out->clear();
+    for (auto& partial : partials) {
+      out->insert(out->end(), std::make_move_iterator(partial.begin()),
+                  std::make_move_iterator(partial.end()));
+    }
+    std::sort(out->begin(), out->end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    if (out->size() > count) {
+      out->resize(count);
+    }
+    return Status::OK();
+  }
+
+  KvellStats GetStats() const override {
+    KvellStats stats;
+    for (const auto& worker : workers_) {
+      stats.slot_writes += worker->slot_writes();
+      stats.slot_reads += worker->slot_reads();
+      stats.cache_hits += worker->cache_hits();
+      stats.index_entries += worker->index_entries();
+      stats.index_memory_bytes += worker->index_memory();
+    }
+    return stats;
+  }
+
+  size_t ApproximateMemoryUsage() const override {
+    size_t total = 0;
+    for (const auto& worker : workers_) {
+      total += worker->index_memory() + worker->cache_memory();
+    }
+    return total;
+  }
+
+ private:
+  KvellWorker* WorkerFor(const Slice& key) {
+    uint32_t h = Hash(key.data(), key.size(), 0x9747b28c);
+    return workers_[h % workers_.size()].get();
+  }
+
+  KvellOptions options_;
+  const std::string path_;
+  std::vector<std::unique_ptr<KvellWorker>> workers_;
+};
+
+}  // namespace
+
+Status KvellStore::Open(const KvellOptions& options, const std::string& path,
+                        std::unique_ptr<KvellStore>* store) {
+  store->reset();
+  auto impl = std::make_unique<KvellStoreImpl>(options, path);
+  Status s = impl->Open();
+  if (!s.ok()) {
+    return s;
+  }
+  *store = std::move(impl);
+  return Status::OK();
+}
+
+}  // namespace p2kvs

@@ -1,0 +1,69 @@
+// KVell-lite: the KVell (SOSP'19) baseline of paper §5.5, reproduced at the
+// architectural level:
+//   * N shared-nothing workers, keys hash-partitioned across them,
+//   * per-worker fully in-memory ordered index (key -> slot), which is what
+//     makes KVell memory-hungry,
+//   * values stored in slab files with fixed-size slots and *in-place*
+//     updates — no WAL, no compaction, hence no write amplification but
+//     page-granular IO for small items,
+//   * per-worker page cache for reads,
+//   * scans served by merging the per-worker sorted indexes.
+
+#ifndef P2KVS_SRC_KVELL_KVELL_STORE_H_
+#define P2KVS_SRC_KVELL_KVELL_STORE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/io/env.h"
+#include "src/util/status.h"
+
+namespace p2kvs {
+
+struct KvellOptions {
+  Env* env = Env::Default();
+
+  // Number of shared-nothing workers (KVell's main tuning knob).
+  int num_workers = 4;
+
+  // Pin each worker to a core.
+  bool pin_workers = true;
+
+  // Total page-cache budget across workers (paper: 4 GB; scaled down here).
+  size_t page_cache_bytes = 64 * 1024 * 1024;
+
+  // Slot size classes. An item occupies the smallest class that fits it.
+  std::vector<uint32_t> slot_classes = {256, 1024, 4096};
+};
+
+struct KvellStats {
+  uint64_t slot_writes = 0;
+  uint64_t slot_reads = 0;       // reads that went to disk
+  uint64_t cache_hits = 0;
+  uint64_t index_entries = 0;
+  size_t index_memory_bytes = 0;  // approximate in-memory index footprint
+};
+
+class KvellStore {
+ public:
+  static Status Open(const KvellOptions& options, const std::string& path,
+                     std::unique_ptr<KvellStore>* store);
+
+  virtual ~KvellStore() = default;
+
+  virtual Status Put(const Slice& key, const Slice& value) = 0;
+  virtual Status Delete(const Slice& key) = 0;
+  virtual Status Get(const Slice& key, std::string* value) = 0;
+
+  // Returns up to `count` key/value pairs with key >= begin, globally sorted.
+  virtual Status Scan(const Slice& begin, size_t count,
+                      std::vector<std::pair<std::string, std::string>>* out) = 0;
+
+  virtual KvellStats GetStats() const = 0;
+  virtual size_t ApproximateMemoryUsage() const = 0;
+};
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_KVELL_KVELL_STORE_H_

@@ -1,0 +1,70 @@
+#include "src/lsm/builder.h"
+
+#include "src/lsm/filename.h"
+#include "src/sst/table_builder.h"
+
+namespace p2kvs {
+
+Status BuildTable(const std::string& dbname, Env* env, const SstOptions& sst_options,
+                  TableCache* table_cache, Iterator* iter, FileMetaData* meta) {
+  Status s;
+  meta->file_size = 0;
+  iter->SeekToFirst();
+
+  std::string fname = TableFileName(dbname, meta->number);
+  if (iter->Valid()) {
+    std::unique_ptr<WritableFile> file;
+    s = env->NewWritableFile(fname, &file);
+    if (!s.ok()) {
+      return s;
+    }
+
+    TableBuilder builder(sst_options, file.get());
+    meta->smallest.DecodeFrom(iter->key());
+    Slice key;
+    for (; iter->Valid(); iter->Next()) {
+      key = iter->key();
+      builder.Add(key, iter->value());
+    }
+    if (!key.empty()) {
+      meta->largest.DecodeFrom(key);
+    }
+
+    // Finish and check for builder errors.
+    s = builder.Finish();
+    if (s.ok()) {
+      meta->file_size = builder.FileSize();
+      assert(meta->file_size > 0);
+    } else {
+      builder.Abandon();
+    }
+
+    // Finish and check for file errors.
+    if (s.ok()) {
+      s = file->Sync();
+    }
+    if (s.ok()) {
+      s = file->Close();
+    }
+
+    if (s.ok()) {
+      // Verify that the table is usable.
+      std::unique_ptr<Iterator> it(table_cache->NewIterator(meta->number, meta->file_size));
+      s = it->status();
+    }
+  }
+
+  // Check for input iterator errors.
+  if (!iter->status().ok()) {
+    s = iter->status();
+  }
+
+  if (s.ok() && meta->file_size > 0) {
+    // Keep it.
+  } else {
+    env->RemoveFile(fname);
+  }
+  return s;
+}
+
+}  // namespace p2kvs

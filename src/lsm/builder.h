@@ -1,0 +1,25 @@
+// BuildTable: writes the contents of a memtable iterator to a new SST
+// (minor compaction / flush).
+
+#ifndef P2KVS_SRC_LSM_BUILDER_H_
+#define P2KVS_SRC_LSM_BUILDER_H_
+
+#include <string>
+
+#include "src/lsm/options.h"
+#include "src/lsm/table_cache.h"
+#include "src/lsm/version_edit.h"
+#include "src/sst/sst_options.h"
+#include "src/util/iterator.h"
+
+namespace p2kvs {
+
+// Builds an SST from *iter (which must yield internal keys in order) into
+// the file named by meta->number. On success fills *meta; an empty input
+// produces meta->file_size == 0 and no file.
+Status BuildTable(const std::string& dbname, Env* env, const SstOptions& sst_options,
+                  TableCache* table_cache, Iterator* iter, FileMetaData* meta);
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_LSM_BUILDER_H_

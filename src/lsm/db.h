@@ -1,0 +1,86 @@
+// DB: the public interface of the LSM engine ("RocksLite"). Each p2KVS
+// worker owns exactly one DB instance; the multi-instance baselines open
+// several directly.
+
+#ifndef P2KVS_SRC_LSM_DB_H_
+#define P2KVS_SRC_LSM_DB_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/lsm/options.h"
+#include "src/lsm/write_batch.h"
+#include "src/util/iterator.h"
+#include "src/util/status.h"
+
+namespace p2kvs {
+
+// Recovery-time filter deciding whether a logged write (tagged with a GSN,
+// 0 if untagged) should be replayed. p2KVS uses it to drop WriteBatches of
+// transactions that never committed (paper §4.5).
+using GsnRecoveryFilter = std::function<bool(uint64_t gsn)>;
+
+struct DbStats {
+  uint64_t flush_count = 0;
+  uint64_t compaction_count = 0;
+  uint64_t flush_bytes_written = 0;
+  uint64_t compaction_bytes_read = 0;
+  uint64_t compaction_bytes_written = 0;
+  uint64_t stall_micros = 0;
+  uint64_t write_group_count = 0;  // WAL writes (groups committed)
+  uint64_t write_request_count = 0;
+};
+
+class DB {
+ public:
+  // Opens (creating if needed) the database in `name`. An optional
+  // recovery_filter screens WAL records by GSN during replay.
+  static Status Open(const Options& options, const std::string& name, std::unique_ptr<DB>* dbptr,
+                     GsnRecoveryFilter recovery_filter = nullptr);
+
+  DB() = default;
+  virtual ~DB() = default;
+
+  DB(const DB&) = delete;
+  DB& operator=(const DB&) = delete;
+
+  virtual Status Put(const WriteOptions&, const Slice& key, const Slice& value) = 0;
+  virtual Status Delete(const WriteOptions&, const Slice& key) = 0;
+  // Atomically applies the batch (the unit of p2KVS's OBM write merging).
+  virtual Status Write(const WriteOptions&, WriteBatch* updates) = 0;
+
+  virtual Status Get(const ReadOptions&, const Slice& key, std::string* value) = 0;
+
+  // Batched point lookups (RocksDB's multiget); statuses[i] corresponds to
+  // keys[i]. Shares one snapshot/version across the batch.
+  virtual std::vector<Status> MultiGet(const ReadOptions&, const std::vector<Slice>& keys,
+                                       std::vector<std::string>* values) = 0;
+
+  // Heap-allocated iterator over the user key space (caller owns).
+  virtual Iterator* NewIterator(const ReadOptions&) = 0;
+
+  virtual const Snapshot* GetSnapshot() = 0;
+  virtual void ReleaseSnapshot(const Snapshot* snapshot) = 0;
+
+  // Blocks until all background flushes/compactions are quiescent (test and
+  // benchmark hook).
+  virtual void WaitForBackgroundWork() = 0;
+
+  // Forces the current memtable to be flushed (test hook).
+  virtual Status FlushMemTable() = 0;
+
+  virtual DbStats GetStats() const = 0;
+
+  // "files[ a b c ... ]" per-level file counts.
+  virtual std::string LevelFilesSummary() const = 0;
+
+  virtual size_t ApproximateMemoryUsage() const = 0;
+};
+
+// Destroys the contents of the named database (files and directory).
+Status DestroyDB(const std::string& name, const Options& options);
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_LSM_DB_H_

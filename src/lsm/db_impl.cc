@@ -1,0 +1,1233 @@
+#include "src/lsm/db_impl.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/io/io_stats.h"
+#include "src/lsm/db_iter.h"
+#include "src/lsm/filename.h"
+#include "src/lsm/internal_filter_policy.h"
+#include "src/lsm/merging_iterator.h"
+#include "src/sst/table_builder.h"
+#include "src/util/clock.h"
+#include "src/util/coding.h"
+#include "src/util/perf_context.h"
+#include "src/wal/log_reader.h"
+
+namespace p2kvs {
+
+// A writer parked in the leader-election queue (paper Figure 3).
+struct DBImpl::Writer {
+  explicit Writer(WriteBatch* b, bool s, uint64_t g) : batch(b), sync(s), gsn(g) {}
+
+  WriteBatch* batch;
+  bool sync;
+  uint64_t gsn;
+  SequenceNumber first_sequence = 0;  // assigned by the leader
+
+  bool done = false;
+  bool run_parallel = false;  // leader asked this follower to insert itself
+  Status status;
+  std::condition_variable cv;
+
+  // Set on followers participating in a parallel memtable insert.
+  struct GroupState* group = nullptr;
+};
+
+// Shared state of one parallel-memtable write group.
+struct GroupState {
+  std::atomic<int> pending{0};
+  MemTable* mem = nullptr;
+  std::condition_variable leader_cv;  // signals the leader when pending==0
+};
+
+static Options SanitizeOptions(const Options& src) {
+  Options result = src;
+  if (result.compat_mode == CompatMode::kLevelDB) {
+    // LevelDB has neither the concurrent MemTable nor the pipelined write.
+    result.concurrent_memtable = false;
+    result.pipelined_write = false;
+  }
+  // The simplified pipeline inserts multiple groups into the memtable at
+  // once, which requires the CAS insert path.
+  if (!result.concurrent_memtable) {
+    result.pipelined_write = false;
+  }
+  if (result.max_write_group_size < 1) {
+    result.max_write_group_size = 1;
+  }
+  return result;
+}
+
+DBImpl::DBImpl(const Options& raw_options, const std::string& dbname,
+               GsnRecoveryFilter /*recovery_filter*/)
+    : options_(SanitizeOptions(raw_options)),
+      dbname_(dbname),
+      env_(raw_options.env),
+      internal_comparator_(raw_options.comparator) {
+  if (options_.block_cache_bytes > 0) {
+    block_cache_ = NewLRUCache(options_.block_cache_bytes);
+  }
+  if (options_.bloom_bits_per_key > 0) {
+    user_filter_policy_.reset(NewBloomFilterPolicy(options_.bloom_bits_per_key));
+    filter_policy_ = std::make_unique<InternalFilterPolicy>(user_filter_policy_.get());
+  }
+  sst_options_.comparator = &internal_comparator_;
+  sst_options_.block_size = options_.block_size;
+  sst_options_.filter_policy = filter_policy_.get();
+  sst_options_.block_cache = block_cache_.get();
+  table_cache_ = std::make_unique<TableCache>(dbname_, options_, sst_options_,
+                                              options_.max_open_files);
+  versions_ = std::make_unique<VersionSet>(dbname_, &options_, table_cache_.get(),
+                                           &internal_comparator_);
+}
+
+DBImpl::~DBImpl() {
+  // Wait for in-flight writes, then stop the background thread.
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutting_down_.store(true, std::memory_order_release);
+    background_work_cv_.notify_all();
+    while (background_active_) {
+      background_done_cv_.wait(lock);
+    }
+  }
+  if (background_thread_.joinable()) {
+    background_work_cv_.notify_all();
+    background_thread_.join();
+  }
+  if (logfile_ != nullptr) {
+    logfile_->Close();
+  }
+}
+
+Status DB::Open(const Options& options, const std::string& name, std::unique_ptr<DB>* dbptr,
+                GsnRecoveryFilter recovery_filter) {
+  dbptr->reset();
+  auto impl = std::make_unique<DBImpl>(options, name, recovery_filter);
+  Status s = impl->Recover(recovery_filter);
+  if (!s.ok()) {
+    return s;
+  }
+  *dbptr = std::move(impl);
+  return Status::OK();
+}
+
+Status DestroyDB(const std::string& dbname, const Options& options) {
+  return options.env->RemoveDirRecursively(dbname);
+}
+
+Status DBImpl::NewDB() {
+  VersionEdit new_db;
+  new_db.SetComparatorName(internal_comparator_.user_comparator()->Name());
+  new_db.SetLogNumber(0);
+  new_db.SetNextFile(2);
+  new_db.SetLastSequence(0);
+
+  const std::string manifest = DescriptorFileName(dbname_, 1);
+  std::unique_ptr<WritableFile> file;
+  Status s = env_->NewWritableFile(manifest, &file);
+  if (!s.ok()) {
+    return s;
+  }
+  {
+    log::Writer log(file.get());
+    std::string record;
+    new_db.EncodeTo(&record);
+    s = log.AddRecord(record);
+    if (s.ok()) {
+      s = file->Sync();
+    }
+    if (s.ok()) {
+      s = file->Close();
+    }
+  }
+  if (s.ok()) {
+    // Make "CURRENT" point to the new manifest file.
+    s = SetCurrentFile(env_, dbname_, 1);
+  } else {
+    env_->RemoveFile(manifest);
+  }
+  return s;
+}
+
+Status DBImpl::Recover(GsnRecoveryFilter filter) {
+  std::unique_lock<std::mutex> lock(mutex_);
+
+  env_->CreateDir(dbname_);
+  if (!env_->FileExists(CurrentFileName(dbname_))) {
+    if (options_.create_if_missing) {
+      Status s = NewDB();
+      if (!s.ok()) {
+        return s;
+      }
+    } else {
+      return Status::InvalidArgument(dbname_, "does not exist (create_if_missing is false)");
+    }
+  } else if (options_.error_if_exists) {
+    return Status::InvalidArgument(dbname_, "exists (error_if_exists is true)");
+  }
+
+  Status s = versions_->Recover();
+  if (!s.ok()) {
+    return s;
+  }
+
+  // Replay any WAL newer than the manifest's log number.
+  const uint64_t min_log = versions_->LogNumber();
+  std::vector<std::string> filenames;
+  s = env_->GetChildren(dbname_, &filenames);
+  if (!s.ok()) {
+    return s;
+  }
+  std::vector<uint64_t> logs;
+  for (const std::string& filename : filenames) {
+    uint64_t number;
+    FileType type;
+    if (ParseFileName(filename, &number, &type) && type == FileType::kLogFile &&
+        number >= min_log) {
+      logs.push_back(number);
+    }
+  }
+  std::sort(logs.begin(), logs.end());
+
+  SequenceNumber max_sequence = versions_->LastSequence();
+  for (uint64_t log_number : logs) {
+    s = RecoverLogFile(log_number, filter, &max_sequence);
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  if (versions_->LastSequence() < max_sequence) {
+    versions_->SetLastSequence(max_sequence);
+  }
+  visible_sequence_.store(versions_->LastSequence(), std::memory_order_release);
+
+  // Open a fresh WAL.
+  uint64_t new_log_number = versions_->NewFileNumber();
+  s = env_->NewWritableFile(LogFileName(dbname_, new_log_number), &logfile_);
+  if (!s.ok()) {
+    return s;
+  }
+  log_ = std::make_unique<log::Writer>(logfile_.get());
+  logfile_number_ = new_log_number;
+  if (mem_ == nullptr) {
+    mem_ = std::make_shared<MemTable>(internal_comparator_);
+  }
+
+  VersionEdit edit;
+  edit.SetLogNumber(new_log_number);
+  s = versions_->LogAndApply(&edit, &mutex_);
+  if (!s.ok()) {
+    return s;
+  }
+
+  RemoveObsoleteFiles();
+
+  background_thread_ = std::thread([this] { BackgroundThreadMain(); });
+  MaybeScheduleCompaction();
+  return Status::OK();
+}
+
+Status DBImpl::RecoverLogFile(uint64_t log_number, GsnRecoveryFilter filter,
+                              SequenceNumber* max_sequence) {
+  struct LogReporter : public log::Reader::Reporter {
+    Status* status;
+    void Corruption(size_t /*bytes*/, const Status& s) override {
+      // Keep the first error; recovery tolerates a torn tail.
+      if (status->ok()) {
+        *status = s;
+      }
+    }
+  };
+
+  std::string fname = LogFileName(dbname_, log_number);
+  std::unique_ptr<SequentialFile> file;
+  Status s = env_->NewSequentialFile(fname, &file);
+  if (!s.ok()) {
+    return s;
+  }
+
+  Status ignored_corruption;
+  LogReporter reporter;
+  reporter.status = &ignored_corruption;
+  log::Reader reader(file.get(), &reporter, /*checksum=*/true);
+
+  Slice record;
+  std::string scratch;
+  WriteBatch batch;
+  if (mem_ == nullptr) {
+    mem_ = std::make_shared<MemTable>(internal_comparator_);
+  }
+  while (reader.ReadRecord(&record, &scratch)) {
+    // Record layout: varint64 GSN followed by the WriteBatch contents.
+    uint64_t gsn = 0;
+    Slice payload = record;
+    if (!GetVarint64(&payload, &gsn)) {
+      continue;  // malformed; skip
+    }
+    if (payload.size() < 12) {
+      continue;
+    }
+    WriteBatchInternal::SetContents(&batch, payload);
+
+    const SequenceNumber last_seq = WriteBatchInternal::Sequence(&batch) +
+                                    WriteBatchInternal::Count(&batch) - 1;
+    if (last_seq > *max_sequence) {
+      *max_sequence = last_seq;
+    }
+
+    if (filter != nullptr && !filter(gsn)) {
+      // Uncommitted transaction writes are rolled back by skipping them.
+      continue;
+    }
+
+    s = WriteBatchInternal::InsertInto(&batch, mem_.get(), /*concurrent=*/false);
+    if (!s.ok()) {
+      return s;
+    }
+
+    if (mem_->ApproximateMemoryUsage() > options_.write_buffer_size) {
+      VersionEdit edit;
+      s = WriteLevel0Table(mem_.get(), &edit);
+      if (!s.ok()) {
+        return s;
+      }
+      edit.SetLogNumber(log_number + 1);  // this log is fully absorbed
+      s = versions_->LogAndApply(&edit, &mutex_);
+      if (!s.ok()) {
+        return s;
+      }
+      mem_ = std::make_shared<MemTable>(internal_comparator_);
+    }
+  }
+
+  // Flush whatever remains so the replayed log can be dropped once a new log
+  // is installed... keep it in mem_; the new log_number edit written by
+  // Recover() marks these logs obsolete only after a flush, so flush now if
+  // non-empty.
+  if (mem_->NumEntries() > 0) {
+    VersionEdit edit;
+    s = WriteLevel0Table(mem_.get(), &edit);
+    if (!s.ok()) {
+      return s;
+    }
+    edit.SetLogNumber(log_number + 1);
+    s = versions_->LogAndApply(&edit, &mutex_);
+    if (!s.ok()) {
+      return s;
+    }
+    mem_ = std::make_shared<MemTable>(internal_comparator_);
+  }
+
+  return Status::OK();
+}
+
+Status DBImpl::WriteLevel0Table(MemTable* mem, VersionEdit* edit) {
+  // mutex_ held; IO runs without it in CompactMemTable, but during recovery
+  // this is called single-threaded.
+  FileMetaData meta;
+  meta.number = versions_->NewFileNumber();
+  pending_outputs_.insert(meta.number);
+  std::unique_ptr<Iterator> iter(mem->NewIterator());
+
+  Status s;
+  {
+    IoPurposeScope purpose(IoPurpose::kFlush);
+    s = BuildTable(dbname_, env_, sst_options_, table_cache_.get(), iter.get(), &meta);
+  }
+  pending_outputs_.erase(meta.number);
+
+  if (s.ok() && meta.file_size > 0) {
+    edit->AddFile(0, meta.number, meta.file_size, meta.smallest, meta.largest);
+    stats_.flush_count++;
+    stats_.flush_bytes_written += meta.file_size;
+  }
+  return s;
+}
+
+// ---------------- Write path ----------------
+
+Status DBImpl::Put(const WriteOptions& o, const Slice& key, const Slice& value) {
+  WriteBatch batch;
+  batch.Put(key, value);
+  return Write(o, &batch);
+}
+
+Status DBImpl::Delete(const WriteOptions& o, const Slice& key) {
+  WriteBatch batch;
+  batch.Delete(key);
+  return Write(o, &batch);
+}
+
+Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
+  PerfContext& perf = GetPerfContext();
+  const uint64_t op_start = NowNanos();
+  perf.write_count++;
+
+  Writer w(updates, options.sync, options.gsn);
+
+  // The initial mutex acquisition is part of the group-logging lock cost
+  // (Figure 6's "WAL lock"), so it is timed with the queue wait.
+  std::unique_lock<std::mutex> lock(mutex_, std::defer_lock);
+  {
+    ScopedTimerNanos t(&perf.wal_lock_nanos);
+    lock.lock();
+    writers_.push_back(&w);
+    while (true) {
+      if (w.done) {
+        break;
+      }
+      if (w.run_parallel) {
+        // The leader delegated this writer's memtable insert to it.
+        GroupState* group = w.group;
+        lock.unlock();
+        {
+          ScopedTimerNanos mt(&perf.memtable_nanos);
+          WriteBatchInternal::InsertInto(w.batch, group->mem, /*concurrent=*/true);
+        }
+        lock.lock();
+        w.run_parallel = false;
+        if (group->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          group->leader_cv.notify_all();
+        }
+        continue;
+      }
+      if (!writers_.empty() && &w == writers_.front()) {
+        break;  // this thread is the leader
+      }
+      w.cv.wait(lock);
+    }
+  }
+  if (w.done) {
+    perf.total_write_nanos += NowNanos() - op_start;
+    return w.status;
+  }
+
+  // This thread is now the group leader.
+  Status status = MakeRoomForWrite(lock, /*force=*/false);
+  uint64_t last_sequence = versions_->LastSequence();
+  Writer* last_writer = &w;
+  bool early_retired = false;
+  std::vector<Writer*> group_members_out;
+  if (status.ok() && updates != nullptr) {
+    uint64_t group_gsn = 0;
+    WriteBatch* write_batch = BuildBatchGroup(&last_writer, &group_gsn);
+    WriteBatchInternal::SetSequence(write_batch, last_sequence + 1);
+    const SequenceNumber first_sequence = last_sequence + 1;
+    last_sequence += WriteBatchInternal::Count(write_batch);
+    // Publish the allocation immediately (still under the mutex): in
+    // pipelined mode the next leader reads LastSequence before this group's
+    // memtable phase finishes. Read visibility advances separately via
+    // visible_sequence_.
+    versions_->SetLastSequence(last_sequence);
+
+    // Assign per-writer sequences for the parallel insert path.
+    {
+      SequenceNumber seq = first_sequence;
+      for (Writer* p : writers_) {
+        p->first_sequence = seq;
+        if (p->batch != nullptr) {
+          WriteBatchInternal::SetSequence(p->batch, seq);
+          seq += WriteBatchInternal::Count(p->batch);
+        }
+        if (p == last_writer) {
+          break;
+        }
+      }
+    }
+
+    // Identify the group's members (front..last_writer).
+    std::vector<Writer*>& group_members = group_members_out;
+    for (Writer* p : writers_) {
+      group_members.push_back(p);
+      if (p == last_writer) {
+        break;
+      }
+    }
+
+    MemTable* mem = mem_.get();
+    const bool parallel_memtable = options_.concurrent_memtable && group_members.size() > 1 &&
+                                   !options_.debug_disable_memtable;
+    active_memtable_writers_++;
+
+    // --- WAL, outside the mutex (other writers may enqueue meanwhile). ---
+    lock.unlock();
+    bool sync_error = false;
+    if (!options_.debug_disable_wal) {
+      ScopedTimerNanos t(&perf.wal_nanos);
+      std::string record;
+      PutVarint64(&record, group_gsn);
+      Slice contents = WriteBatchInternal::Contents(write_batch);
+      record.append(contents.data(), contents.size());
+      status = log_->AddRecord(record);
+      if (status.ok()) {
+        if (w.sync) {
+          status = log_->Sync();
+          if (!status.ok()) {
+            sync_error = true;
+          }
+        } else {
+          // Async logging (RocksDB default): push to the OS, no fsync.
+          status = log_->Flush();
+        }
+      }
+    }
+
+    if (options_.pipelined_write && status.ok()) {
+      // Pipelined write: retire the group from the queue right after the WAL
+      // so the next leader's logging overlaps this group's memtable phase.
+      // Members are marked done only after the memtable apply below.
+      lock.lock();
+      // tmp_batch_ is shared between successive leaders; it must be released
+      // before the next leader is promoted (it may merge into it and read it
+      // for its WAL while this thread continues).
+      if (write_batch == &tmp_batch_) {
+        tmp_batch_.Clear();
+        write_batch = nullptr;
+      }
+      for (size_t i = 0; i < group_members.size(); i++) {
+        assert(writers_.front() == group_members[i]);
+        writers_.pop_front();
+      }
+      if (!writers_.empty()) {
+        writers_.front()->cv.notify_one();
+      }
+      lock.unlock();
+      early_retired = true;
+    }
+
+    GroupState group_state;
+    if (status.ok() && !options_.debug_disable_memtable) {
+      if (parallel_memtable) {
+        group_state.mem = mem;
+        group_state.pending.store(static_cast<int>(group_members.size()),
+                                  std::memory_order_release);
+        // Wake the followers to insert their own batches concurrently.
+        lock.lock();
+        for (Writer* p : group_members) {
+          if (p != &w) {
+            p->group = &group_state;
+            p->run_parallel = true;
+            p->cv.notify_one();
+          }
+        }
+        lock.unlock();
+        {
+          ScopedTimerNanos mt(&perf.memtable_nanos);
+          WriteBatchInternal::InsertInto(w.batch, mem, /*concurrent=*/true);
+        }
+        {
+          // Group synchronization: wait for every follower to finish
+          // (the "MemTable lock" cost in Figure 6).
+          ScopedTimerNanos lt(&perf.memtable_lock_nanos);
+          std::unique_lock<std::mutex> relock(mutex_);
+          group_state.pending.fetch_sub(1, std::memory_order_acq_rel);
+          while (group_state.pending.load(std::memory_order_acquire) > 0) {
+            group_state.leader_cv.wait(relock);
+          }
+        }
+      } else {
+        ScopedTimerNanos mt(&perf.memtable_nanos);
+        status = WriteBatchInternal::InsertInto(write_batch, mem,
+                                                options_.concurrent_memtable);
+      }
+    }
+
+    // Publish the new sequence in commit order (ordering synchronization
+    // after the index update: accounted as MemTable-lock time).
+    {
+      ScopedTimerNanos t(&perf.memtable_lock_nanos);
+      PublishSequence(first_sequence, last_sequence);
+    }
+
+    lock.lock();
+    active_memtable_writers_--;
+    if (active_memtable_writers_ == 0) {
+      memtable_switch_cv_.notify_all();
+    }
+    stats_.write_group_count++;
+    stats_.write_request_count += group_members.size();
+    if (sync_error) {
+      RecordBackgroundError(status);
+    }
+    if (write_batch == &tmp_batch_) {
+      tmp_batch_.Clear();
+    }
+  }
+
+  // Complete the group and promote the next leader (already promoted in the
+  // pipelined path; only completion remains there).
+  {
+    ScopedTimerNanos t(&perf.wal_lock_nanos);
+    if (early_retired) {
+      for (Writer* ready : group_members_out) {
+        if (ready != &w) {
+          ready->status = status;
+          ready->done = true;
+          ready->cv.notify_one();
+        }
+      }
+    } else {
+      while (true) {
+        Writer* ready = writers_.front();
+        writers_.pop_front();
+        if (ready != &w) {
+          ready->status = status;
+          ready->done = true;
+          ready->cv.notify_one();
+        }
+        if (ready == last_writer) {
+          break;
+        }
+      }
+      if (!writers_.empty()) {
+        writers_.front()->cv.notify_one();
+      }
+    }
+  }
+
+  perf.total_write_nanos += NowNanos() - op_start;
+  return status;
+}
+
+void DBImpl::PublishSequence(SequenceNumber first_seq, SequenceNumber last_seq) {
+  std::unique_lock<std::mutex> lock(publish_mutex_);
+  while (visible_sequence_.load(std::memory_order_acquire) != first_seq - 1) {
+    publish_cv_.wait(lock);
+  }
+  visible_sequence_.store(last_seq, std::memory_order_release);
+  publish_cv_.notify_all();
+}
+
+// Requires mutex_ held; on return the leader is still the queue front.
+WriteBatch* DBImpl::BuildBatchGroup(Writer** last_writer, uint64_t* group_gsn) {
+  assert(!writers_.empty());
+  Writer* first = writers_.front();
+  WriteBatch* result = first->batch;
+  assert(result != nullptr);
+  *group_gsn = first->gsn;
+
+  size_t size = WriteBatchInternal::ByteSize(first->batch);
+  int count = 1;
+
+  // Allow the group to grow up to a maximum size, but if the original write
+  // is small, limit the growth so we do not slow down the small write too
+  // much.
+  size_t max_size = 1 << 20;
+  if (size <= (128 << 10)) {
+    max_size = size + (128 << 10);
+  }
+
+  *last_writer = first;
+
+  // GSN-tagged (transactional) batches commit alone so recovery can roll
+  // them back precisely.
+  if (first->gsn != 0) {
+    return result;
+  }
+
+  auto iter = writers_.begin();
+  ++iter;  // advance past "first"
+  for (; iter != writers_.end(); ++iter) {
+    Writer* w = *iter;
+    if (count >= options_.max_write_group_size) {
+      break;
+    }
+    if (w->sync && !first->sync) {
+      // Do not include a sync write into a batch handled by a non-sync write.
+      break;
+    }
+    if (w->gsn != 0) {
+      break;
+    }
+    if (w->batch != nullptr) {
+      size += WriteBatchInternal::ByteSize(w->batch);
+      if (size > max_size) {
+        break;
+      }
+
+      // Append to *result.
+      if (result == first->batch) {
+        // Switch to temporary batch instead of disturbing caller's batch.
+        result = &tmp_batch_;
+        assert(WriteBatchInternal::Count(result) == 0);
+        WriteBatchInternal::Append(result, first->batch);
+      }
+      WriteBatchInternal::Append(result, w->batch);
+    }
+    *last_writer = w;
+    count++;
+  }
+  return result;
+}
+
+Status DBImpl::MakeRoomForWrite(std::unique_lock<std::mutex>& lock, bool force) {
+  bool allow_delay = !force;
+  Status s;
+  while (true) {
+    if (!bg_error_.ok()) {
+      s = bg_error_;
+      break;
+    }
+    if (options_.debug_disable_memtable) {
+      // WAL-only mode: the memtable never grows, nothing to make room for.
+      break;
+    }
+    if (allow_delay &&
+        versions_->NumLevelFiles(0) >= options_.l0_slowdown_writes_trigger &&
+        options_.compaction_style == CompactionStyle::kLeveled) {
+      // Soft limit: delay each write by 1ms to let compactions catch up.
+      lock.unlock();
+      env_->SleepForMicroseconds(1000);
+      stats_.stall_micros += 1000;
+      allow_delay = false;  // do not delay a single write more than once
+      lock.lock();
+    } else if (!force && mem_->ApproximateMemoryUsage() <= options_.write_buffer_size) {
+      break;  // there is room in the current memtable
+    } else if (imm_ != nullptr) {
+      // The previous memtable is still being flushed; wait (write stall).
+      const uint64_t t0 = NowMicros();
+      background_work_cv_.notify_all();
+      background_done_cv_.wait(lock);
+      stats_.stall_micros += NowMicros() - t0;
+    } else if (versions_->NumLevelFiles(0) >= options_.l0_stop_writes_trigger &&
+               !options_.debug_disable_background) {
+      // Hard limit: too many L0 files.
+      const uint64_t t0 = NowMicros();
+      background_work_cv_.notify_all();
+      background_done_cv_.wait(lock);
+      stats_.stall_micros += NowMicros() - t0;
+    } else {
+      // Switch to a new memtable. Wait out in-flight pipelined inserts first.
+      while (active_memtable_writers_ > 0) {
+        memtable_switch_cv_.wait(lock);
+      }
+      uint64_t new_log_number = versions_->NewFileNumber();
+      std::unique_ptr<WritableFile> lfile;
+      s = env_->NewWritableFile(LogFileName(dbname_, new_log_number), &lfile);
+      if (!s.ok()) {
+        break;
+      }
+      logfile_->Close();
+      logfile_ = std::move(lfile);
+      logfile_number_ = new_log_number;
+      log_ = std::make_unique<log::Writer>(logfile_.get());
+      imm_ = mem_;
+      mem_ = std::make_shared<MemTable>(internal_comparator_);
+      force = false;
+      MaybeScheduleCompaction();
+    }
+  }
+  return s;
+}
+
+// ---------------- Read path ----------------
+
+Status DBImpl::Get(const ReadOptions& options, const Slice& key, std::string* value) {
+  Status s;
+  std::unique_lock<std::mutex> lock(mutex_);
+  SequenceNumber snapshot;
+  if (options.snapshot != nullptr) {
+    snapshot = static_cast<const SnapshotImpl*>(options.snapshot)->sequence_number();
+  } else {
+    snapshot = VisibleSequence();
+  }
+
+  std::shared_ptr<MemTable> mem = mem_;
+  std::shared_ptr<MemTable> imm = imm_;
+  Version* current = versions_->current();
+  current->Ref();
+
+  {
+    lock.unlock();
+    LookupKey lkey(key, snapshot);
+    if (mem->Get(lkey, value, &s)) {
+      // Done
+    } else if (imm != nullptr && imm->Get(lkey, value, &s)) {
+      // Done
+    } else {
+      s = current->Get(options, lkey, value);
+    }
+    lock.lock();
+  }
+
+  current->Unref();
+  return s;
+}
+
+std::vector<Status> DBImpl::MultiGet(const ReadOptions& options, const std::vector<Slice>& keys,
+                                     std::vector<std::string>* values) {
+  // One snapshot/version for the whole batch: the "multiget" fast path the
+  // p2KVS OBM leans on for read batching.
+  std::vector<Status> statuses(keys.size());
+  values->assign(keys.size(), std::string());
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  SequenceNumber snapshot;
+  if (options.snapshot != nullptr) {
+    snapshot = static_cast<const SnapshotImpl*>(options.snapshot)->sequence_number();
+  } else {
+    snapshot = VisibleSequence();
+  }
+  std::shared_ptr<MemTable> mem = mem_;
+  std::shared_ptr<MemTable> imm = imm_;
+  Version* current = versions_->current();
+  current->Ref();
+  lock.unlock();
+
+  for (size_t i = 0; i < keys.size(); i++) {
+    Status& s = statuses[i];
+    std::string* value = &(*values)[i];
+    LookupKey lkey(keys[i], snapshot);
+    if (mem->Get(lkey, value, &s)) {
+      // Done
+    } else if (imm != nullptr && imm->Get(lkey, value, &s)) {
+      // Done
+    } else {
+      s = current->Get(options, lkey, value);
+    }
+  }
+
+  lock.lock();
+  current->Unref();
+  return statuses;
+}
+
+Iterator* DBImpl::NewIterator(const ReadOptions& options) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  SequenceNumber snapshot;
+  if (options.snapshot != nullptr) {
+    snapshot = static_cast<const SnapshotImpl*>(options.snapshot)->sequence_number();
+  } else {
+    snapshot = VisibleSequence();
+  }
+
+  std::vector<Iterator*> list;
+  list.push_back(mem_->NewIterator());
+  std::shared_ptr<MemTable> mem_pin = mem_;
+  std::shared_ptr<MemTable> imm_pin = imm_;
+  if (imm_ != nullptr) {
+    list.push_back(imm_->NewIterator());
+  }
+  Version* current = versions_->current();
+  current->Ref();
+  current->AddIterators(options, &list);
+  Iterator* internal_iter =
+      NewMergingIterator(&internal_comparator_, list.data(), static_cast<int>(list.size()));
+
+  internal_iter->RegisterCleanup([this, current, mem_pin, imm_pin]() mutable {
+    std::lock_guard<std::mutex> guard(mutex_);
+    current->Unref();
+    mem_pin.reset();
+    imm_pin.reset();
+  });
+
+  return NewDBIterator(internal_comparator_.user_comparator(), internal_iter, snapshot);
+}
+
+const Snapshot* DBImpl::GetSnapshot() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return snapshots_.New(VisibleSequence());
+}
+
+void DBImpl::ReleaseSnapshot(const Snapshot* snapshot) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  snapshots_.Delete(static_cast<const SnapshotImpl*>(snapshot));
+}
+
+// ---------------- Background work ----------------
+
+void DBImpl::MaybeScheduleCompaction() {
+  // mutex_ held.
+  background_work_cv_.notify_all();
+}
+
+void DBImpl::BackgroundThreadMain() {
+  IoPurposeScope purpose(IoPurpose::kCompaction);
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!shutting_down_.load(std::memory_order_acquire)) {
+    if (!bg_error_.ok()) {
+      background_done_cv_.notify_all();
+      background_work_cv_.wait(lock);
+      continue;
+    }
+    if (imm_ != nullptr) {
+      background_active_ = true;
+      CompactMemTable(lock);
+      background_active_ = false;
+      background_done_cv_.notify_all();
+      continue;
+    }
+    if (!options_.debug_disable_background && versions_->NeedsCompaction()) {
+      background_active_ = true;
+      BackgroundCompaction(lock);
+      background_active_ = false;
+      background_done_cv_.notify_all();
+      continue;
+    }
+    background_done_cv_.notify_all();
+    background_work_cv_.wait(lock);
+  }
+  background_done_cv_.notify_all();
+}
+
+void DBImpl::CompactMemTable(std::unique_lock<std::mutex>& lock) {
+  // mutex_ held.
+  assert(imm_ != nullptr);
+  std::shared_ptr<MemTable> imm = imm_;
+
+  FileMetaData meta;
+  meta.number = versions_->NewFileNumber();
+  pending_outputs_.insert(meta.number);
+
+  Status s;
+  {
+    lock.unlock();
+    IoPurposeScope purpose(IoPurpose::kFlush);
+    std::unique_ptr<Iterator> iter(imm->NewIterator());
+    s = BuildTable(dbname_, env_, sst_options_, table_cache_.get(), iter.get(), &meta);
+    lock.lock();
+  }
+  pending_outputs_.erase(meta.number);
+
+  if (shutting_down_.load(std::memory_order_acquire)) {
+    s = Status::IOError("Deleting DB during memtable compaction");
+  }
+
+  VersionEdit edit;
+  if (s.ok()) {
+    if (meta.file_size > 0) {
+      edit.AddFile(0, meta.number, meta.file_size, meta.smallest, meta.largest);
+      stats_.flush_count++;
+      stats_.flush_bytes_written += meta.file_size;
+    }
+    edit.SetLogNumber(logfile_number_);  // earlier logs are no longer needed
+    s = versions_->LogAndApply(&edit, &mutex_);
+  }
+
+  if (s.ok()) {
+    imm_ = nullptr;
+    RemoveObsoleteFiles();
+  } else {
+    RecordBackgroundError(s);
+  }
+}
+
+void DBImpl::BackgroundCompaction(std::unique_lock<std::mutex>& lock) {
+  // mutex_ held.
+  Compaction* c = versions_->PickCompaction();
+  if (c == nullptr) {
+    return;
+  }
+
+  Status status;
+  if (options_.compaction_style == CompactionStyle::kLeveled && c->IsTrivialMove()) {
+    // Move the file to the next level without rewriting it.
+    FileMetaData* f = c->input(0, 0);
+    c->edit()->RemoveFile(c->level(), f->number);
+    c->edit()->AddFile(c->level() + 1, f->number, f->file_size, f->smallest, f->largest);
+    status = versions_->LogAndApply(c->edit(), &mutex_);
+  } else {
+    status = DoCompactionWork(c, lock);
+  }
+  c->ReleaseInputs();
+  delete c;
+
+  if (!status.ok()) {
+    if (!shutting_down_.load(std::memory_order_acquire)) {
+      RecordBackgroundError(status);
+    }
+  }
+  RemoveObsoleteFiles();
+}
+
+Status DBImpl::DoCompactionWork(Compaction* c, std::unique_lock<std::mutex>& lock) {
+  // mutex_ held on entry and exit.
+  SequenceNumber smallest_snapshot;
+  if (snapshots_.empty()) {
+    smallest_snapshot = VisibleSequence();
+  } else {
+    smallest_snapshot = snapshots_.oldest()->sequence_number();
+  }
+
+  const int output_level = c->level() + 1;
+  std::vector<FileMetaData> outputs;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+
+  Status status;
+  for (int which = 0; which < 2; which++) {
+    for (int i = 0; i < c->num_input_files(which); i++) {
+      bytes_read += c->input(which, i)->file_size;
+    }
+  }
+
+  {
+    lock.unlock();
+    IoPurposeScope purpose(IoPurpose::kCompaction);
+
+    std::unique_ptr<Iterator> input(versions_->MakeInputIterator(c));
+    input->SeekToFirst();
+
+    std::unique_ptr<WritableFile> out_file;
+    std::unique_ptr<TableBuilder> builder;
+    FileMetaData current_output;
+
+    std::string current_user_key;
+    bool has_current_user_key = false;
+    SequenceNumber last_sequence_for_key = kMaxSequenceNumber;
+
+    auto finish_output = [&]() -> Status {
+      if (builder == nullptr) {
+        return Status::OK();
+      }
+      Status fs = builder->Finish();
+      if (fs.ok()) {
+        current_output.file_size = builder->FileSize();
+        bytes_written += current_output.file_size;
+        fs = out_file->Sync();
+      }
+      if (fs.ok()) {
+        fs = out_file->Close();
+      }
+      builder.reset();
+      out_file.reset();
+      if (fs.ok() && current_output.file_size > 0) {
+        outputs.push_back(current_output);
+      }
+      return fs;
+    };
+
+    for (; input->Valid() && !shutting_down_.load(std::memory_order_acquire); input->Next()) {
+      Slice key = input->key();
+
+      // Decide whether the current entry can be dropped.
+      bool drop = false;
+      ParsedInternalKey ikey;
+      if (!ParseInternalKey(key, &ikey)) {
+        // Keep corrupted keys so the corruption surfaces to reads.
+        current_user_key.clear();
+        has_current_user_key = false;
+        last_sequence_for_key = kMaxSequenceNumber;
+      } else {
+        if (!has_current_user_key ||
+            internal_comparator_.user_comparator()->Compare(ikey.user_key,
+                                                            Slice(current_user_key)) != 0) {
+          // First occurrence of this user key.
+          current_user_key.assign(ikey.user_key.data(), ikey.user_key.size());
+          has_current_user_key = true;
+          last_sequence_for_key = kMaxSequenceNumber;
+        }
+
+        if (last_sequence_for_key <= smallest_snapshot) {
+          // Hidden by a newer entry for the same user key.
+          drop = true;
+        } else if (ikey.type == kTypeDeletion && ikey.sequence <= smallest_snapshot &&
+                   c->IsBaseLevelForKey(ikey.user_key)) {
+          // No older version of this key exists anywhere below: the
+          // tombstone itself can be elided.
+          drop = true;
+        }
+
+        last_sequence_for_key = ikey.sequence;
+      }
+
+      if (!drop) {
+        if (builder == nullptr) {
+          {
+            std::lock_guard<std::mutex> relock(mutex_);
+            current_output = FileMetaData();
+            current_output.number = versions_->NewFileNumber();
+            pending_outputs_.insert(current_output.number);
+          }
+          std::string fname = TableFileName(dbname_, current_output.number);
+          status = env_->NewWritableFile(fname, &out_file);
+          if (!status.ok()) {
+            break;
+          }
+          builder = std::make_unique<TableBuilder>(sst_options_, out_file.get());
+        }
+        if (builder->NumEntries() == 0) {
+          current_output.smallest.DecodeFrom(key);
+        }
+        current_output.largest.DecodeFrom(key);
+        builder->Add(key, input->value());
+
+        if (builder->FileSize() >= c->MaxOutputFileSize()) {
+          status = finish_output();
+          if (!status.ok()) {
+            break;
+          }
+        }
+      }
+    }
+
+    if (status.ok() && shutting_down_.load(std::memory_order_acquire)) {
+      status = Status::IOError("Deleting DB during compaction");
+    }
+    if (status.ok()) {
+      status = finish_output();
+    } else if (builder != nullptr) {
+      builder->Abandon();
+      builder.reset();
+      out_file.reset();
+    }
+    if (status.ok()) {
+      status = input->status();
+    }
+
+    lock.lock();
+  }
+
+  if (status.ok()) {
+    c->AddInputDeletions(c->edit());
+    for (const FileMetaData& out : outputs) {
+      c->edit()->AddFile(output_level, out.number, out.file_size, out.smallest, out.largest);
+    }
+    status = versions_->LogAndApply(c->edit(), &mutex_);
+  }
+  for (const FileMetaData& out : outputs) {
+    pending_outputs_.erase(out.number);
+  }
+
+  stats_.compaction_count++;
+  stats_.compaction_bytes_read += bytes_read;
+  stats_.compaction_bytes_written += bytes_written;
+  return status;
+}
+
+void DBImpl::RemoveObsoleteFiles() {
+  // mutex_ held.
+  if (!bg_error_.ok()) {
+    // Ownership of the files may be unclear after a background error.
+    return;
+  }
+
+  std::set<uint64_t> live = pending_outputs_;
+  versions_->AddLiveFiles(&live);
+
+  std::vector<std::string> filenames;
+  env_->GetChildren(dbname_, &filenames);
+  uint64_t number;
+  FileType type;
+  std::vector<std::string> files_to_delete;
+  for (std::string& filename : filenames) {
+    if (ParseFileName(filename, &number, &type)) {
+      bool keep = true;
+      switch (type) {
+        case FileType::kLogFile:
+          keep = (number >= versions_->LogNumber()) || (number == logfile_number_);
+          break;
+        case FileType::kDescriptorFile:
+          keep = (number >= versions_->manifest_file_number());
+          break;
+        case FileType::kTableFile:
+          keep = (live.find(number) != live.end());
+          break;
+        case FileType::kTempFile:
+          keep = (live.find(number) != live.end());
+          break;
+        case FileType::kCurrentFile:
+        case FileType::kLockFile:
+          keep = true;
+          break;
+      }
+      if (!keep) {
+        files_to_delete.push_back(std::move(filename));
+        if (type == FileType::kTableFile) {
+          table_cache_->Evict(number);
+        }
+      }
+    }
+  }
+
+  for (const std::string& filename : files_to_delete) {
+    env_->RemoveFile(dbname_ + "/" + filename);
+  }
+}
+
+void DBImpl::RecordBackgroundError(const Status& s) {
+  // mutex_ held.
+  if (bg_error_.ok()) {
+    bg_error_ = s;
+    background_done_cv_.notify_all();
+  }
+}
+
+// ---------------- Maintenance hooks ----------------
+
+void DBImpl::WaitForBackgroundWork() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (bg_error_.ok() &&
+         (imm_ != nullptr || background_active_ ||
+          (!options_.debug_disable_background && versions_->NeedsCompaction()))) {
+    background_work_cv_.notify_all();
+    background_done_cv_.wait(lock);
+  }
+}
+
+Status DBImpl::FlushMemTable() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (mem_->NumEntries() == 0 && imm_ == nullptr) {
+      return Status::OK();
+    }
+    // Wait until any previous immutable memtable has drained.
+    while (imm_ != nullptr && bg_error_.ok()) {
+      background_work_cv_.notify_all();
+      background_done_cv_.wait(lock);
+    }
+    if (!bg_error_.ok()) {
+      return bg_error_;
+    }
+    while (active_memtable_writers_ > 0) {
+      memtable_switch_cv_.wait(lock);
+    }
+    if (mem_->NumEntries() > 0) {
+      uint64_t new_log_number = versions_->NewFileNumber();
+      std::unique_ptr<WritableFile> lfile;
+      Status s = env_->NewWritableFile(LogFileName(dbname_, new_log_number), &lfile);
+      if (!s.ok()) {
+        return s;
+      }
+      logfile_->Close();
+      logfile_ = std::move(lfile);
+      logfile_number_ = new_log_number;
+      log_ = std::make_unique<log::Writer>(logfile_.get());
+      imm_ = mem_;
+      mem_ = std::make_shared<MemTable>(internal_comparator_);
+      MaybeScheduleCompaction();
+    }
+  }
+  WaitForBackgroundWork();
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bg_error_;
+}
+
+DbStats DBImpl::GetStats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::string DBImpl::LevelFilesSummary() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return versions_->LevelSummary();
+}
+
+size_t DBImpl::ApproximateMemoryUsage() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t total = 0;
+  if (mem_ != nullptr) {
+    total += mem_->ApproximateMemoryUsage();
+  }
+  if (imm_ != nullptr) {
+    total += imm_->ApproximateMemoryUsage();
+  }
+  if (block_cache_ != nullptr) {
+    total += block_cache_->TotalCharge();
+  }
+  return total;
+}
+
+}  // namespace p2kvs

@@ -1,0 +1,19 @@
+// DBIter: wraps a merged internal-key iterator and exposes the user-visible
+// view — per-key newest visible version, deletions collapsed, both
+// directions.
+
+#ifndef P2KVS_SRC_LSM_DB_ITER_H_
+#define P2KVS_SRC_LSM_DB_ITER_H_
+
+#include "src/memtable/dbformat.h"
+#include "src/util/iterator.h"
+
+namespace p2kvs {
+
+// Takes ownership of internal_iter. `sequence` bounds visibility.
+Iterator* NewDBIterator(const Comparator* user_key_comparator, Iterator* internal_iter,
+                        SequenceNumber sequence);
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_LSM_DB_ITER_H_

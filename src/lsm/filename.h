@@ -1,0 +1,40 @@
+// File naming for an LSM instance directory:
+//   CURRENT, MANIFEST-<num>, <num>.log (WAL), <num>.sst, LOCK.
+
+#ifndef P2KVS_SRC_LSM_FILENAME_H_
+#define P2KVS_SRC_LSM_FILENAME_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/io/env.h"
+#include "src/util/status.h"
+
+namespace p2kvs {
+
+enum class FileType {
+  kLogFile,
+  kTableFile,
+  kDescriptorFile,
+  kCurrentFile,
+  kLockFile,
+  kTempFile,
+};
+
+std::string LogFileName(const std::string& dbname, uint64_t number);
+std::string TableFileName(const std::string& dbname, uint64_t number);
+std::string DescriptorFileName(const std::string& dbname, uint64_t number);
+std::string CurrentFileName(const std::string& dbname);
+std::string LockFileName(const std::string& dbname);
+std::string TempFileName(const std::string& dbname, uint64_t number);
+
+// Parses a file name (no directory part). Returns true and fills outputs on
+// success.
+bool ParseFileName(const std::string& filename, uint64_t* number, FileType* type);
+
+// Atomically points CURRENT at the given manifest file.
+Status SetCurrentFile(Env* env, const std::string& dbname, uint64_t descriptor_number);
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_LSM_FILENAME_H_

@@ -1,0 +1,40 @@
+// InternalFilterPolicy: adapts a user-key filter policy to internal keys by
+// stripping the 8-byte (sequence|type) tag. Without this, bloom probes made
+// with a lookup tag would never match keys written with their own sequence.
+
+#ifndef P2KVS_SRC_LSM_INTERNAL_FILTER_POLICY_H_
+#define P2KVS_SRC_LSM_INTERNAL_FILTER_POLICY_H_
+
+#include <vector>
+
+#include "src/memtable/dbformat.h"
+#include "src/sst/filter_policy.h"
+
+namespace p2kvs {
+
+class InternalFilterPolicy final : public FilterPolicy {
+ public:
+  // Does not take ownership of p.
+  explicit InternalFilterPolicy(const FilterPolicy* p) : user_policy_(p) {}
+
+  const char* Name() const override { return user_policy_->Name(); }
+
+  void CreateFilter(const Slice* keys, int n, std::string* dst) const override {
+    std::vector<Slice> user_keys(static_cast<size_t>(n));
+    for (int i = 0; i < n; i++) {
+      user_keys[i] = ExtractUserKey(keys[i]);
+    }
+    user_policy_->CreateFilter(user_keys.data(), n, dst);
+  }
+
+  bool KeyMayMatch(const Slice& key, const Slice& filter) const override {
+    return user_policy_->KeyMayMatch(ExtractUserKey(key), filter);
+  }
+
+ private:
+  const FilterPolicy* user_policy_;
+};
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_LSM_INTERNAL_FILTER_POLICY_H_

@@ -1,0 +1,159 @@
+#include "src/lsm/merging_iterator.h"
+
+#include <memory>
+#include <vector>
+
+namespace p2kvs {
+
+namespace {
+
+class MergingIterator final : public Iterator {
+ public:
+  MergingIterator(const Comparator* comparator, Iterator** children, int n)
+      : comparator_(comparator), current_(nullptr), direction_(kForward) {
+    children_.reserve(n);
+    for (int i = 0; i < n; i++) {
+      children_.emplace_back(children[i]);
+    }
+  }
+
+  bool Valid() const override { return (current_ != nullptr); }
+
+  void SeekToFirst() override {
+    for (auto& child : children_) {
+      child->SeekToFirst();
+    }
+    FindSmallest();
+    direction_ = kForward;
+  }
+
+  void SeekToLast() override {
+    for (auto& child : children_) {
+      child->SeekToLast();
+    }
+    FindLargest();
+    direction_ = kReverse;
+  }
+
+  void Seek(const Slice& target) override {
+    for (auto& child : children_) {
+      child->Seek(target);
+    }
+    FindSmallest();
+    direction_ = kForward;
+  }
+
+  void Next() override {
+    assert(Valid());
+
+    // All non-current children must be positioned after key(); if we were
+    // moving backwards, reposition them first.
+    if (direction_ != kForward) {
+      for (auto& childp : children_) {
+        Iterator* child = childp.get();
+        if (child != current_) {
+          child->Seek(key());
+          if (child->Valid() && comparator_->Compare(key(), child->key()) == 0) {
+            child->Next();
+          }
+        }
+      }
+      direction_ = kForward;
+    }
+
+    current_->Next();
+    FindSmallest();
+  }
+
+  void Prev() override {
+    assert(Valid());
+
+    if (direction_ != kReverse) {
+      for (auto& childp : children_) {
+        Iterator* child = childp.get();
+        if (child != current_) {
+          child->Seek(key());
+          if (child->Valid()) {
+            // Entry >= key(); step back to be < key().
+            child->Prev();
+          } else {
+            // Everything in child is < key(); position at its last entry.
+            child->SeekToLast();
+          }
+        }
+      }
+      direction_ = kReverse;
+    }
+
+    current_->Prev();
+    FindLargest();
+  }
+
+  Slice key() const override {
+    assert(Valid());
+    return current_->key();
+  }
+  Slice value() const override {
+    assert(Valid());
+    return current_->value();
+  }
+
+  Status status() const override {
+    for (const auto& child : children_) {
+      Status s = child->status();
+      if (!s.ok()) {
+        return s;
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  enum Direction { kForward, kReverse };
+
+  void FindSmallest() {
+    Iterator* smallest = nullptr;
+    for (auto& childp : children_) {
+      Iterator* child = childp.get();
+      if (child->Valid()) {
+        if (smallest == nullptr || comparator_->Compare(child->key(), smallest->key()) < 0) {
+          smallest = child;
+        }
+      }
+    }
+    current_ = smallest;
+  }
+
+  void FindLargest() {
+    Iterator* largest = nullptr;
+    for (auto& childp : children_) {
+      Iterator* child = childp.get();
+      if (child->Valid()) {
+        if (largest == nullptr || comparator_->Compare(child->key(), largest->key()) > 0) {
+          largest = child;
+        }
+      }
+    }
+    current_ = largest;
+  }
+
+  const Comparator* comparator_;
+  std::vector<std::unique_ptr<Iterator>> children_;
+  Iterator* current_;
+  Direction direction_;
+};
+
+}  // namespace
+
+Iterator* NewMergingIterator(const Comparator* comparator, Iterator** children, int n) {
+  assert(n >= 0);
+  if (n == 0) {
+    return NewEmptyIterator();
+  }
+  if (n == 1) {
+    return children[0];
+  }
+  return new MergingIterator(comparator, children, n);
+}
+
+}  // namespace p2kvs

@@ -1,0 +1,19 @@
+// Merging iterator: presents N child iterators (memtables, L0 files, level
+// runs) as one sorted stream. Also reused by compaction and by p2KVS's
+// global SCAN merge across instances.
+
+#ifndef P2KVS_SRC_LSM_MERGING_ITERATOR_H_
+#define P2KVS_SRC_LSM_MERGING_ITERATOR_H_
+
+#include "src/util/comparator.h"
+#include "src/util/iterator.h"
+
+namespace p2kvs {
+
+// Takes ownership of children[0..n-1]. An empty list yields an empty
+// iterator.
+Iterator* NewMergingIterator(const Comparator* comparator, Iterator** children, int n);
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_LSM_MERGING_ITERATOR_H_

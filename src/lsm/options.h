@@ -1,0 +1,121 @@
+// Options for the LSM engine ("RocksLite"). The defaults model RocksDB's
+// behaviour as the paper describes it; CompatMode switches off the features
+// RocksDB has and LevelDB lacks (used for the §5.6.1 portability study), and
+// CompactionStyle::kTiered is the PebblesDB-style fragmented-LSM stand-in.
+
+#ifndef P2KVS_SRC_LSM_OPTIONS_H_
+#define P2KVS_SRC_LSM_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/io/env.h"
+#include "src/sst/cache.h"
+#include "src/sst/filter_policy.h"
+#include "src/util/comparator.h"
+
+namespace p2kvs {
+
+class Snapshot;
+
+// Feature profile of the wrapped production KVS.
+enum class CompatMode {
+  // Group logging, concurrent MemTable, pipelined write, MultiGet.
+  kRocksDB,
+  // Single-writer queue with group commit, vanilla MemTable, no MultiGet
+  // fast path.
+  kLevelDB,
+};
+
+enum class CompactionStyle {
+  // Classic leveled compaction: L1+ are fully sorted, merges rewrite the
+  // overlapping range of the next level (RocksDB/LevelDB).
+  kLeveled,
+  // Tiered / fragmented compaction: every level tolerates overlapping runs;
+  // a full level is pushed down without merging into the next level's data.
+  // Lower write amplification, higher read cost — the PebblesDB profile.
+  kTiered,
+};
+
+struct Options {
+  // Environment (filesystem / device model). Not owned.
+  Env* env = Env::Default();
+
+  // User-key ordering. Not owned.
+  const Comparator* comparator = BytewiseComparator();
+
+  bool create_if_missing = true;
+  bool error_if_exists = false;
+
+  // MemTable size before it is frozen and flushed. RocksDB default is 64 MiB;
+  // the scaled-down default keeps flush/compaction activity frequent at
+  // benchmark sizes.
+  size_t write_buffer_size = 8 * 1024 * 1024;
+
+  // Data block size inside SSTs.
+  size_t block_size = 4 * 1024;
+
+  // Bloom filter bits per key; 0 disables filters.
+  int bloom_bits_per_key = 10;
+
+  // Block cache capacity per instance. Paper: 8 MiB per RocksDB instance.
+  size_t block_cache_bytes = 8 * 1024 * 1024;
+
+  // Max number of open SSTs kept in the table cache.
+  int max_open_files = 1000;
+
+  // Base target size of L1 (each deeper level is 10x larger).
+  uint64_t max_bytes_for_level_base = 10 * 1024 * 1024;
+  double max_bytes_for_level_multiplier = 10.0;
+
+  // Target SST size.
+  uint64_t target_file_size = 2 * 1024 * 1024;
+
+  // L0 file-count thresholds (RocksDB-style write throttling).
+  int l0_compaction_trigger = 4;
+  int l0_slowdown_writes_trigger = 8;
+  int l0_stop_writes_trigger = 12;
+
+  // Feature profile and compaction shape.
+  CompatMode compat_mode = CompatMode::kRocksDB;
+  CompactionStyle compaction_style = CompactionStyle::kLeveled;
+
+  // Tiered mode: number of runs per level before push-down.
+  int tiered_runs_per_level = 4;
+
+  // RocksDB concurrency features (ignored in kLevelDB mode).
+  bool concurrent_memtable = true;
+  bool pipelined_write = true;
+
+  // Max batches merged into one write group by the leader.
+  int max_write_group_size = 32;
+
+  // --- Instrumentation / experiment hooks (paper Figures 7 & 8). ---
+  // Skip the MemTable insert entirely (isolates the WAL stage).
+  bool debug_disable_memtable = false;
+  // Skip WAL writes entirely (isolates the MemTable stage).
+  bool debug_disable_wal = false;
+  // Skip background flush/compaction work (keeps stage-isolation runs pure).
+  bool debug_disable_background = false;
+};
+
+struct ReadOptions {
+  bool verify_checksums = false;
+  bool fill_cache = true;
+  // Non-null: read as of this snapshot. Null: read latest committed state.
+  const Snapshot* snapshot = nullptr;
+};
+
+struct WriteOptions {
+  // fsync the WAL before acknowledging. The paper (and RocksDB's default)
+  // uses async logging — buffered WAL appends with no per-write fsync.
+  bool sync = false;
+  // Global sequence number tag for cross-instance transactions (0 = none);
+  // recorded in the WAL so p2KVS recovery can roll back uncommitted
+  // transactions (paper §4.5).
+  uint64_t gsn = 0;
+};
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_LSM_OPTIONS_H_

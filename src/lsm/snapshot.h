@@ -1,0 +1,76 @@
+// Snapshots: a doubly-linked list of pinned sequence numbers. Compactions
+// preserve the newest entry at or below every live snapshot.
+
+#ifndef P2KVS_SRC_LSM_SNAPSHOT_H_
+#define P2KVS_SRC_LSM_SNAPSHOT_H_
+
+#include <cassert>
+
+#include "src/memtable/dbformat.h"
+
+namespace p2kvs {
+
+// Abstract handle returned to users.
+class Snapshot {
+ public:
+  virtual ~Snapshot() = default;
+};
+
+class SnapshotList;
+
+class SnapshotImpl final : public Snapshot {
+ public:
+  explicit SnapshotImpl(SequenceNumber sequence_number)
+      : sequence_number_(sequence_number) {}
+
+  SequenceNumber sequence_number() const { return sequence_number_; }
+
+ private:
+  friend class SnapshotList;
+
+  SnapshotImpl* prev_ = nullptr;
+  SnapshotImpl* next_ = nullptr;
+
+  const SequenceNumber sequence_number_;
+};
+
+class SnapshotList {
+ public:
+  SnapshotList() : head_(0) {
+    head_.prev_ = &head_;
+    head_.next_ = &head_;
+  }
+
+  bool empty() const { return head_.next_ == &head_; }
+  SnapshotImpl* oldest() const {
+    assert(!empty());
+    return head_.next_;
+  }
+  SnapshotImpl* newest() const {
+    assert(!empty());
+    return head_.prev_;
+  }
+
+  SnapshotImpl* New(SequenceNumber sequence_number) {
+    assert(empty() || newest()->sequence_number_ <= sequence_number);
+    SnapshotImpl* snapshot = new SnapshotImpl(sequence_number);
+    snapshot->next_ = &head_;
+    snapshot->prev_ = head_.prev_;
+    snapshot->prev_->next_ = snapshot;
+    snapshot->next_->prev_ = snapshot;
+    return snapshot;
+  }
+
+  void Delete(const SnapshotImpl* snapshot) {
+    snapshot->prev_->next_ = snapshot->next_;
+    snapshot->next_->prev_ = snapshot->prev_;
+    delete snapshot;
+  }
+
+ private:
+  SnapshotImpl head_;
+};
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_LSM_SNAPSHOT_H_

@@ -1,0 +1,88 @@
+#include "src/lsm/table_cache.h"
+
+#include "src/lsm/filename.h"
+#include "src/util/coding.h"
+
+namespace p2kvs {
+
+struct TableAndFile {
+  std::unique_ptr<Table> table;
+};
+
+static void DeleteEntry(const Slice& /*key*/, void* value) {
+  delete reinterpret_cast<TableAndFile*>(value);
+}
+
+TableCache::TableCache(std::string dbname, const Options& options, const SstOptions& sst_options,
+                       int entries)
+    : dbname_(std::move(dbname)),
+      options_(options),
+      sst_options_(sst_options),
+      cache_(NewLRUCache(entries)) {}
+
+Status TableCache::FindTable(uint64_t file_number, uint64_t file_size, Cache::Handle** handle) {
+  char buf[sizeof(file_number)];
+  EncodeFixed64(buf, file_number);
+  Slice key(buf, sizeof(buf));
+  *handle = cache_->Lookup(key);
+  if (*handle != nullptr) {
+    return Status::OK();
+  }
+
+  std::string fname = TableFileName(dbname_, file_number);
+  std::unique_ptr<RandomAccessFile> file;
+  Status s = options_.env->NewRandomAccessFile(fname, &file);
+  if (!s.ok()) {
+    return s;
+  }
+  std::unique_ptr<Table> table;
+  s = Table::Open(sst_options_, std::move(file), file_size, &table);
+  if (!s.ok()) {
+    return s;
+  }
+  auto tf = new TableAndFile;
+  tf->table = std::move(table);
+  *handle = cache_->Insert(key, tf, 1, &DeleteEntry);
+  return Status::OK();
+}
+
+Iterator* TableCache::NewIterator(uint64_t file_number, uint64_t file_size, Table** tableptr) {
+  if (tableptr != nullptr) {
+    *tableptr = nullptr;
+  }
+
+  Cache::Handle* handle = nullptr;
+  Status s = FindTable(file_number, file_size, &handle);
+  if (!s.ok()) {
+    return NewErrorIterator(s);
+  }
+
+  Table* table = reinterpret_cast<TableAndFile*>(cache_->Value(handle))->table.get();
+  Iterator* result = table->NewIterator();
+  Cache* cache = cache_.get();
+  result->RegisterCleanup([cache, handle] { cache->Release(handle); });
+  if (tableptr != nullptr) {
+    *tableptr = table;
+  }
+  return result;
+}
+
+Status TableCache::Get(uint64_t file_number, uint64_t file_size, const Slice& internal_key,
+                       const std::function<void(const Slice&, const Slice&)>& handle_result) {
+  Cache::Handle* handle = nullptr;
+  Status s = FindTable(file_number, file_size, &handle);
+  if (s.ok()) {
+    Table* table = reinterpret_cast<TableAndFile*>(cache_->Value(handle))->table.get();
+    s = table->InternalGet(internal_key, handle_result);
+    cache_->Release(handle);
+  }
+  return s;
+}
+
+void TableCache::Evict(uint64_t file_number) {
+  char buf[sizeof(file_number)];
+  EncodeFixed64(buf, file_number);
+  cache_->Erase(Slice(buf, sizeof(buf)));
+}
+
+}  // namespace p2kvs

@@ -1,0 +1,50 @@
+// TableCache: keeps recently used SST readers open, keyed by file number.
+
+#ifndef P2KVS_SRC_LSM_TABLE_CACHE_H_
+#define P2KVS_SRC_LSM_TABLE_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/lsm/options.h"
+#include "src/sst/cache.h"
+#include "src/sst/table.h"
+#include "src/util/iterator.h"
+
+namespace p2kvs {
+
+class TableCache {
+ public:
+  TableCache(std::string dbname, const Options& options, const SstOptions& sst_options,
+             int entries);
+  ~TableCache() = default;
+
+  TableCache(const TableCache&) = delete;
+  TableCache& operator=(const TableCache&) = delete;
+
+  // Iterator over the named file; the cache entry stays pinned while the
+  // iterator lives. If tableptr is non-null it is set to the open Table
+  // (owned by the cache — do not delete).
+  Iterator* NewIterator(uint64_t file_number, uint64_t file_size, Table** tableptr = nullptr);
+
+  // Point lookup inside the named file.
+  Status Get(uint64_t file_number, uint64_t file_size, const Slice& internal_key,
+             const std::function<void(const Slice&, const Slice&)>& handle_result);
+
+  // Drops any cache entry for the file (called when the SST is deleted).
+  void Evict(uint64_t file_number);
+
+ private:
+  Status FindTable(uint64_t file_number, uint64_t file_size, Cache::Handle** handle);
+
+  const std::string dbname_;
+  const Options& options_;
+  const SstOptions sst_options_;
+  std::unique_ptr<Cache> cache_;
+};
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_LSM_TABLE_CACHE_H_

@@ -1,0 +1,89 @@
+// VersionEdit: a delta applied to the LSM file set, serialized into the
+// MANIFEST. FileMetaData describes one SST.
+
+#ifndef P2KVS_SRC_LSM_VERSION_EDIT_H_
+#define P2KVS_SRC_LSM_VERSION_EDIT_H_
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/memtable/dbformat.h"
+#include "src/util/status.h"
+
+namespace p2kvs {
+
+// Number of on-disk levels.
+static const int kNumLevels = 7;
+
+struct FileMetaData {
+  int refs = 0;
+  uint64_t number = 0;
+  uint64_t file_size = 0;
+  InternalKey smallest;
+  InternalKey largest;
+};
+
+class VersionEdit {
+ public:
+  VersionEdit() { Clear(); }
+
+  void Clear();
+
+  void SetComparatorName(const Slice& name) {
+    has_comparator_ = true;
+    comparator_ = name.ToString();
+  }
+  void SetLogNumber(uint64_t num) {
+    has_log_number_ = true;
+    log_number_ = num;
+  }
+  void SetNextFile(uint64_t num) {
+    has_next_file_number_ = true;
+    next_file_number_ = num;
+  }
+  void SetLastSequence(SequenceNumber seq) {
+    has_last_sequence_ = true;
+    last_sequence_ = seq;
+  }
+
+  // Adds the described SST at the given level.
+  void AddFile(int level, uint64_t file, uint64_t file_size, const InternalKey& smallest,
+               const InternalKey& largest) {
+    FileMetaData f;
+    f.number = file;
+    f.file_size = file_size;
+    f.smallest = smallest;
+    f.largest = largest;
+    new_files_.push_back(std::make_pair(level, f));
+  }
+
+  void RemoveFile(int level, uint64_t file) {
+    deleted_files_.insert(std::make_pair(level, file));
+  }
+
+  void EncodeTo(std::string* dst) const;
+  Status DecodeFrom(const Slice& src);
+
+ private:
+  friend class VersionSet;
+
+  using DeletedFileSet = std::set<std::pair<int, uint64_t>>;
+
+  std::string comparator_;
+  uint64_t log_number_;
+  uint64_t next_file_number_;
+  SequenceNumber last_sequence_;
+  bool has_comparator_;
+  bool has_log_number_;
+  bool has_next_file_number_;
+  bool has_last_sequence_;
+
+  DeletedFileSet deleted_files_;
+  std::vector<std::pair<int, FileMetaData>> new_files_;
+};
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_LSM_VERSION_EDIT_H_

@@ -1,0 +1,945 @@
+#include "src/lsm/version_set.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/lsm/filename.h"
+#include "src/lsm/merging_iterator.h"
+#include "src/sst/two_level_iterator.h"
+#include "src/util/coding.h"
+#include "src/wal/log_reader.h"
+
+namespace p2kvs {
+
+namespace {
+
+// Total bytes across a version's files at `level`.
+int64_t NumLevelBytesOf(const Version* v, int level);
+
+// Stores the minimal internal-key range covering all of `inputs`.
+void GetRangeOf(const InternalKeyComparator& icmp, const std::vector<FileMetaData*>& inputs,
+                InternalKey* smallest, InternalKey* largest);
+
+}  // namespace
+
+int FindFile(const InternalKeyComparator& icmp, const std::vector<FileMetaData*>& files,
+             const Slice& key) {
+  uint32_t left = 0;
+  uint32_t right = static_cast<uint32_t>(files.size());
+  while (left < right) {
+    uint32_t mid = (left + right) / 2;
+    const FileMetaData* f = files[mid];
+    if (icmp.Compare(f->largest.Encode(), key) < 0) {
+      left = mid + 1;
+    } else {
+      right = mid;
+    }
+  }
+  return static_cast<int>(right);
+}
+
+static bool AfterFile(const Comparator* ucmp, const Slice* user_key, const FileMetaData* f) {
+  return (user_key != nullptr && ucmp->Compare(*user_key, f->largest.user_key()) > 0);
+}
+
+static bool BeforeFile(const Comparator* ucmp, const Slice* user_key, const FileMetaData* f) {
+  return (user_key != nullptr && ucmp->Compare(*user_key, f->smallest.user_key()) < 0);
+}
+
+bool SomeFileOverlapsRange(const InternalKeyComparator& icmp, bool disjoint_sorted_files,
+                           const std::vector<FileMetaData*>& files, const Slice* smallest_user_key,
+                           const Slice* largest_user_key) {
+  const Comparator* ucmp = icmp.user_comparator();
+  if (!disjoint_sorted_files) {
+    // Check all files.
+    for (FileMetaData* f : files) {
+      if (!(AfterFile(ucmp, smallest_user_key, f) || BeforeFile(ucmp, largest_user_key, f))) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Binary search over disjoint files.
+  uint32_t index = 0;
+  if (smallest_user_key != nullptr) {
+    InternalKey small_key(*smallest_user_key, kMaxSequenceNumber, kValueTypeForSeek);
+    index = static_cast<uint32_t>(FindFile(icmp, files, small_key.Encode()));
+  }
+  if (index >= files.size()) {
+    return false;
+  }
+  return !BeforeFile(ucmp, largest_user_key, files[index]);
+}
+
+Version::~Version() {
+  assert(refs_ == 0);
+  // Remove from linked list.
+  prev_->next_ = next_;
+  next_->prev_ = prev_;
+  // Drop file references.
+  for (int level = 0; level < kNumLevels; level++) {
+    for (FileMetaData* f : files_[level]) {
+      assert(f->refs > 0);
+      f->refs--;
+      if (f->refs <= 0) {
+        delete f;
+      }
+    }
+  }
+}
+
+void Version::Ref() { ++refs_; }
+
+void Version::Unref() {
+  assert(this != &vset_->dummy_versions_);
+  assert(refs_ >= 1);
+  --refs_;
+  if (refs_ == 0) {
+    delete this;
+  }
+}
+
+bool Version::LevelIsOverlapped(int level) const {
+  if (vset_->options()->compaction_style == CompactionStyle::kTiered) {
+    return true;
+  }
+  return level == 0;
+}
+
+// Iterator over the file list of a sorted level: key = largest key of a
+// file, value = encoded (number, size). Feeds a two-level iterator.
+class LevelFileNumIterator final : public Iterator {
+ public:
+  LevelFileNumIterator(const InternalKeyComparator& icmp, const std::vector<FileMetaData*>* flist)
+      : icmp_(icmp), flist_(flist), index_(flist->size()) {}
+
+  bool Valid() const override { return index_ < flist_->size(); }
+  void Seek(const Slice& target) override {
+    index_ = static_cast<size_t>(FindFile(icmp_, *flist_, target));
+  }
+  void SeekToFirst() override { index_ = 0; }
+  void SeekToLast() override { index_ = flist_->empty() ? 0 : flist_->size() - 1; }
+  void Next() override {
+    assert(Valid());
+    index_++;
+  }
+  void Prev() override {
+    assert(Valid());
+    if (index_ == 0) {
+      index_ = flist_->size();  // invalid
+    } else {
+      index_--;
+    }
+  }
+  Slice key() const override {
+    assert(Valid());
+    return (*flist_)[index_]->largest.Encode();
+  }
+  Slice value() const override {
+    assert(Valid());
+    EncodeFixed64(value_buf_, (*flist_)[index_]->number);
+    EncodeFixed64(value_buf_ + 8, (*flist_)[index_]->file_size);
+    return Slice(value_buf_, sizeof(value_buf_));
+  }
+  Status status() const override { return Status::OK(); }
+
+ private:
+  const InternalKeyComparator icmp_;
+  const std::vector<FileMetaData*>* const flist_;
+  size_t index_;
+  mutable char value_buf_[16];
+};
+
+Iterator* Version::NewConcatenatingIterator(const ReadOptions& /*options*/, int level) const {
+  TableCache* cache = vset_->table_cache();
+  return NewTwoLevelIterator(new LevelFileNumIterator(*vset_->icmp(), &files_[level]),
+                             [cache](const Slice& file_value) -> Iterator* {
+                               if (file_value.size() != 16) {
+                                 return NewErrorIterator(
+                                     Status::Corruption("FileReader invoked with bad value"));
+                               }
+                               return cache->NewIterator(DecodeFixed64(file_value.data()),
+                                                         DecodeFixed64(file_value.data() + 8));
+                             });
+}
+
+void Version::AddIterators(const ReadOptions& options, std::vector<Iterator*>* iters) {
+  for (int level = 0; level < kNumLevels; level++) {
+    if (files_[level].empty()) {
+      continue;
+    }
+    if (LevelIsOverlapped(level)) {
+      // Every overlapping file gets its own iterator.
+      for (FileMetaData* f : files_[level]) {
+        iters->push_back(vset_->table_cache()->NewIterator(f->number, f->file_size));
+      }
+    } else {
+      iters->push_back(NewConcatenatingIterator(options, level));
+    }
+  }
+}
+
+namespace {
+
+enum SaverState {
+  kNotFound,
+  kFound,
+  kDeleted,
+  kCorrupt,
+};
+
+struct Saver {
+  SaverState state;
+  const Comparator* ucmp;
+  Slice user_key;
+  std::string* value;
+};
+
+void SaveValue(Saver* s, const Slice& ikey, const Slice& v) {
+  ParsedInternalKey parsed_key;
+  if (!ParseInternalKey(ikey, &parsed_key)) {
+    s->state = kCorrupt;
+    return;
+  }
+  if (s->ucmp->Compare(parsed_key.user_key, s->user_key) == 0) {
+    s->state = (parsed_key.type == kTypeValue) ? kFound : kDeleted;
+    if (s->state == kFound) {
+      s->value->assign(v.data(), v.size());
+    }
+  }
+}
+
+bool NewestFirst(FileMetaData* a, FileMetaData* b) { return a->number > b->number; }
+
+}  // namespace
+
+Status Version::Get(const ReadOptions& /*options*/, const LookupKey& k, std::string* value) {
+  const InternalKeyComparator* icmp = vset_->icmp();
+  const Comparator* ucmp = icmp->user_comparator();
+  Slice ikey = k.internal_key();
+  Slice user_key = k.user_key();
+
+  Saver saver;
+  saver.state = kNotFound;
+  saver.ucmp = ucmp;
+  saver.user_key = user_key;
+  saver.value = value;
+
+  std::vector<FileMetaData*> tmp;
+  for (int level = 0; level < kNumLevels; level++) {
+    const std::vector<FileMetaData*>& files = files_[level];
+    if (files.empty()) {
+      continue;
+    }
+
+    if (LevelIsOverlapped(level)) {
+      // Search all overlapping files, newest first.
+      tmp.clear();
+      for (FileMetaData* f : files) {
+        if (ucmp->Compare(user_key, f->smallest.user_key()) >= 0 &&
+            ucmp->Compare(user_key, f->largest.user_key()) <= 0) {
+          tmp.push_back(f);
+        }
+      }
+      if (tmp.empty()) {
+        continue;
+      }
+      std::sort(tmp.begin(), tmp.end(), NewestFirst);
+      for (FileMetaData* f : tmp) {
+        Status s = vset_->table_cache()->Get(
+            f->number, f->file_size, ikey,
+            [&saver](const Slice& fk, const Slice& fv) { SaveValue(&saver, fk, fv); });
+        if (!s.ok()) {
+          return s;
+        }
+        switch (saver.state) {
+          case kNotFound:
+            break;  // keep searching
+          case kFound:
+            return Status::OK();
+          case kDeleted:
+            return Status::NotFound(Slice());
+          case kCorrupt:
+            return Status::Corruption("corrupted key for ", user_key);
+        }
+      }
+    } else {
+      // Binary search for the single candidate file.
+      int index = FindFile(*icmp, files, ikey);
+      if (index >= static_cast<int>(files.size())) {
+        continue;
+      }
+      FileMetaData* f = files[index];
+      if (ucmp->Compare(user_key, f->smallest.user_key()) < 0) {
+        continue;
+      }
+      Status s = vset_->table_cache()->Get(
+          f->number, f->file_size, ikey,
+          [&saver](const Slice& fk, const Slice& fv) { SaveValue(&saver, fk, fv); });
+      if (!s.ok()) {
+        return s;
+      }
+      switch (saver.state) {
+        case kNotFound:
+          break;
+        case kFound:
+          return Status::OK();
+        case kDeleted:
+          return Status::NotFound(Slice());
+        case kCorrupt:
+          return Status::Corruption("corrupted key for ", user_key);
+      }
+    }
+  }
+
+  return Status::NotFound(Slice());
+}
+
+void Version::GetOverlappingInputs(int level, const InternalKey* begin, const InternalKey* end,
+                                   std::vector<FileMetaData*>* inputs) {
+  assert(level >= 0);
+  assert(level < kNumLevels);
+  inputs->clear();
+  Slice user_begin, user_end;
+  if (begin != nullptr) {
+    user_begin = begin->user_key();
+  }
+  if (end != nullptr) {
+    user_end = end->user_key();
+  }
+  const Comparator* user_cmp = vset_->icmp()->user_comparator();
+  for (size_t i = 0; i < files_[level].size();) {
+    FileMetaData* f = files_[level][i++];
+    const Slice file_start = f->smallest.user_key();
+    const Slice file_limit = f->largest.user_key();
+    if (begin != nullptr && user_cmp->Compare(file_limit, user_begin) < 0) {
+      // "f" is completely before the specified range; skip it.
+    } else if (end != nullptr && user_cmp->Compare(file_start, user_end) > 0) {
+      // "f" is completely after the specified range; skip it.
+    } else {
+      inputs->push_back(f);
+      if (LevelIsOverlapped(level)) {
+        // Overlapped levels: files may touch each other; grow the range and
+        // restart to keep the input set closed under overlap.
+        if (begin != nullptr && user_cmp->Compare(file_start, user_begin) < 0) {
+          user_begin = file_start;
+          inputs->clear();
+          i = 0;
+        } else if (end != nullptr && user_cmp->Compare(file_limit, user_end) > 0) {
+          user_end = file_limit;
+          inputs->clear();
+          i = 0;
+        }
+      }
+    }
+  }
+}
+
+std::string Version::DebugString() const {
+  std::string r;
+  for (int level = 0; level < kNumLevels; level++) {
+    char buf[50];
+    std::snprintf(buf, sizeof(buf), "--- level %d ---\n", level);
+    r.append(buf);
+    for (const FileMetaData* f : files_[level]) {
+      std::snprintf(buf, sizeof(buf), " %llu:%llu ", static_cast<unsigned long long>(f->number),
+                    static_cast<unsigned long long>(f->file_size));
+      r.append(buf);
+      r.append(f->smallest.user_key().ToString());
+      r.append("..");
+      r.append(f->largest.user_key().ToString());
+      r.push_back('\n');
+    }
+  }
+  return r;
+}
+
+// ----------------- VersionSet::Builder -----------------
+
+// Accumulates edits on top of a base version to produce a new version.
+class VersionSet::Builder {
+ public:
+  Builder(VersionSet* vset, Version* base) : vset_(vset), base_(base) {
+    base_->Ref();
+    BySmallestKey cmp;
+    cmp.internal_comparator = vset_->icmp();
+    for (int level = 0; level < kNumLevels; level++) {
+      levels_[level].added_files = std::make_shared<FileSet>(cmp);
+    }
+  }
+
+  ~Builder() {
+    for (int level = 0; level < kNumLevels; level++) {
+      // Drop references to added files not moved into a version.
+      std::vector<FileMetaData*> to_unref(levels_[level].added_files->begin(),
+                                          levels_[level].added_files->end());
+      for (FileMetaData* f : to_unref) {
+        f->refs--;
+        if (f->refs <= 0) {
+          delete f;
+        }
+      }
+    }
+    base_->Unref();
+  }
+
+  void Apply(const VersionEdit* edit) {
+    for (const auto& [level, number] : edit->deleted_files_) {
+      levels_[level].deleted_files.insert(number);
+    }
+    for (const auto& [level, meta] : edit->new_files_) {
+      FileMetaData* f = new FileMetaData(meta);
+      f->refs = 1;
+      levels_[level].deleted_files.erase(f->number);
+      levels_[level].added_files->insert(f);
+    }
+  }
+
+  void SaveTo(Version* v) {
+    BySmallestKey cmp;
+    cmp.internal_comparator = vset_->icmp();
+    for (int level = 0; level < kNumLevels; level++) {
+      // Merge added files with base files, dropping deleted files.
+      const std::vector<FileMetaData*>& base_files = base_->files_[level];
+      auto base_iter = base_files.begin();
+      auto base_end = base_files.end();
+      const FileSet* added_files = levels_[level].added_files.get();
+      v->files_[level].reserve(base_files.size() + added_files->size());
+      for (FileMetaData* added_file : *added_files) {
+        // Add all smaller base files first.
+        for (auto bpos = std::upper_bound(base_iter, base_end, added_file, cmp);
+             base_iter != bpos; ++base_iter) {
+          MaybeAddFile(v, level, *base_iter);
+        }
+        MaybeAddFile(v, level, added_file);
+      }
+      for (; base_iter != base_end; ++base_iter) {
+        MaybeAddFile(v, level, *base_iter);
+      }
+
+#ifndef NDEBUG
+      if (!v->LevelIsOverlapped(level)) {
+        // Sorted levels must stay disjoint.
+        for (size_t i = 1; i < v->files_[level].size(); i++) {
+          const InternalKey& prev_end = v->files_[level][i - 1]->largest;
+          const InternalKey& this_begin = v->files_[level][i]->smallest;
+          if (vset_->icmp()->Compare(prev_end.Encode(), this_begin.Encode()) >= 0) {
+            std::abort();
+          }
+        }
+      }
+#endif
+    }
+  }
+
+ private:
+  struct BySmallestKey {
+    const InternalKeyComparator* internal_comparator;
+
+    bool operator()(FileMetaData* f1, FileMetaData* f2) const {
+      int r = internal_comparator->Compare(f1->smallest.Encode(), f2->smallest.Encode());
+      if (r != 0) {
+        return (r < 0);
+      }
+      return f1->number < f2->number;  // break ties by file number
+    }
+  };
+
+  using FileSet = std::set<FileMetaData*, BySmallestKey>;
+
+  struct LevelState {
+    std::set<uint64_t> deleted_files;
+    std::shared_ptr<FileSet> added_files;
+  };
+
+  void MaybeAddFile(Version* v, int level, FileMetaData* f) {
+    if (levels_[level].deleted_files.count(f->number) > 0) {
+      // File is deleted; do nothing.
+    } else {
+      std::vector<FileMetaData*>* files = &v->files_[level];
+      if (!v->LevelIsOverlapped(level) && !files->empty()) {
+        // Must not overlap the previous file in a sorted level.
+        assert(vset_->icmp()->Compare((*files)[files->size() - 1]->largest.Encode(),
+                                      f->smallest.Encode()) < 0);
+      }
+      f->refs++;
+      files->push_back(f);
+    }
+  }
+
+  VersionSet* vset_;
+  Version* base_;
+  LevelState levels_[kNumLevels];
+};
+
+// ----------------- VersionSet -----------------
+
+VersionSet::VersionSet(std::string dbname, const Options* options, TableCache* table_cache,
+                       const InternalKeyComparator* cmp)
+    : env_(options->env),
+      dbname_(std::move(dbname)),
+      options_(options),
+      table_cache_(table_cache),
+      icmp_(cmp),
+      dummy_versions_(this),
+      current_(nullptr) {
+  AppendVersion(new Version(this));
+}
+
+VersionSet::~VersionSet() {
+  current_->Unref();
+  assert(dummy_versions_.next_ == &dummy_versions_);  // all versions released
+}
+
+void VersionSet::AppendVersion(Version* v) {
+  // Make v current.
+  assert(v->refs_ == 0);
+  assert(v != current_);
+  if (current_ != nullptr) {
+    current_->Unref();
+  }
+  current_ = v;
+  v->Ref();
+
+  // Append to linked list.
+  v->prev_ = dummy_versions_.prev_;
+  v->next_ = &dummy_versions_;
+  v->prev_->next_ = v;
+  v->next_->prev_ = v;
+}
+
+double VersionSet::MaxBytesForLevel(int level) const {
+  double result = static_cast<double>(options_->max_bytes_for_level_base);
+  for (int l = 1; l < level; l++) {
+    result *= options_->max_bytes_for_level_multiplier;
+  }
+  return result;
+}
+
+void VersionSet::Finalize(Version* v) {
+  int best_level = -1;
+  double best_score = -1;
+
+  for (int level = 0; level < kNumLevels - 1; level++) {
+    double score;
+    if (options_->compaction_style == CompactionStyle::kTiered) {
+      // A level compacts once it accumulates tiered_runs_per_level runs.
+      score = static_cast<double>(v->files_[level].size()) /
+              static_cast<double>(options_->tiered_runs_per_level);
+    } else if (level == 0) {
+      score = v->files_[level].size() / static_cast<double>(options_->l0_compaction_trigger);
+    } else {
+      const double level_bytes = static_cast<double>(NumLevelBytesOf(v, level));
+      score = level_bytes / MaxBytesForLevel(level);
+    }
+    if (score > best_score) {
+      best_level = level;
+      best_score = score;
+    }
+  }
+
+  v->compaction_level_ = best_level;
+  v->compaction_score_ = best_score;
+}
+
+namespace {
+int64_t NumLevelBytesOf(const Version* v, int level) {
+  int64_t sum = 0;
+  for (const FileMetaData* f : v->files(level)) {
+    sum += static_cast<int64_t>(f->file_size);
+  }
+  return sum;
+}
+
+void GetRangeOf(const InternalKeyComparator& icmp, const std::vector<FileMetaData*>& inputs,
+                InternalKey* smallest, InternalKey* largest) {
+  assert(!inputs.empty());
+  smallest->Clear();
+  largest->Clear();
+  for (size_t i = 0; i < inputs.size(); i++) {
+    FileMetaData* f = inputs[i];
+    if (i == 0) {
+      *smallest = f->smallest;
+      *largest = f->largest;
+    } else {
+      if (icmp.Compare(f->smallest.Encode(), smallest->Encode()) < 0) {
+        *smallest = f->smallest;
+      }
+      if (icmp.Compare(f->largest.Encode(), largest->Encode()) > 0) {
+        *largest = f->largest;
+      }
+    }
+  }
+}
+}  // namespace
+
+Status VersionSet::LogAndApply(VersionEdit* edit, std::mutex* mu) {
+  if (edit->has_log_number_) {
+    assert(edit->log_number_ >= log_number_);
+    assert(edit->log_number_ < next_file_number_);
+  } else {
+    edit->SetLogNumber(log_number_);
+  }
+  edit->SetNextFile(next_file_number_);
+  edit->SetLastSequence(last_sequence_);
+
+  Version* v = new Version(this);
+  {
+    Builder builder(this, current_);
+    builder.Apply(edit);
+    builder.SaveTo(v);
+  }
+  Finalize(v);
+
+  // Initialize new descriptor log file if necessary by creating a temporary
+  // file that contains a snapshot of the current version.
+  std::string new_manifest_file;
+  Status s;
+  if (descriptor_log_ == nullptr) {
+    assert(descriptor_file_ == nullptr);
+    manifest_file_number_ = NewFileNumber();
+    new_manifest_file = DescriptorFileName(dbname_, manifest_file_number_);
+    s = env_->NewWritableFile(new_manifest_file, &descriptor_file_);
+    if (s.ok()) {
+      descriptor_log_ = std::make_unique<log::Writer>(descriptor_file_.get());
+      s = WriteSnapshot(descriptor_log_.get());
+    }
+  }
+
+  // Write the edit to the MANIFEST without holding the DB mutex.
+  {
+    mu->unlock();
+    if (s.ok()) {
+      std::string record;
+      edit->EncodeTo(&record);
+      s = descriptor_log_->AddRecord(record);
+      if (s.ok()) {
+        s = descriptor_file_->Sync();
+      }
+    }
+    if (s.ok() && !new_manifest_file.empty()) {
+      s = SetCurrentFile(env_, dbname_, manifest_file_number_);
+    }
+    mu->lock();
+  }
+
+  // Install the new version.
+  if (s.ok()) {
+    AppendVersion(v);
+    log_number_ = edit->log_number_;
+  } else {
+    delete v;
+    if (!new_manifest_file.empty()) {
+      descriptor_log_.reset();
+      descriptor_file_.reset();
+      env_->RemoveFile(new_manifest_file);
+    }
+  }
+
+  return s;
+}
+
+Status VersionSet::Recover() {
+  // Read "CURRENT", which points to the active MANIFEST.
+  std::string current;
+  Status s = ReadFileToString(env_, CurrentFileName(dbname_), &current);
+  if (!s.ok()) {
+    return s;
+  }
+  if (current.empty() || current.back() != '\n') {
+    return Status::Corruption("CURRENT file does not end with newline");
+  }
+  current.resize(current.size() - 1);
+
+  std::string dscname = dbname_ + "/" + current;
+  std::unique_ptr<SequentialFile> file;
+  s = env_->NewSequentialFile(dscname, &file);
+  if (!s.ok()) {
+    if (s.IsNotFound()) {
+      return Status::Corruption("CURRENT points to a non-existent file", s.ToString());
+    }
+    return s;
+  }
+
+  bool have_log_number = false;
+  bool have_next_file = false;
+  bool have_last_sequence = false;
+  uint64_t next_file = 0;
+  uint64_t last_sequence = 0;
+  uint64_t log_number = 0;
+  Builder builder(this, current_);
+
+  {
+    log::Reader reader(file.get(), nullptr, /*checksum=*/true);
+    Slice record;
+    std::string scratch;
+    while (reader.ReadRecord(&record, &scratch) && s.ok()) {
+      VersionEdit edit;
+      s = edit.DecodeFrom(record);
+      if (s.ok()) {
+        if (edit.has_comparator_ && edit.comparator_ != icmp_->user_comparator()->Name()) {
+          s = Status::InvalidArgument(edit.comparator_ + " does not match existing comparator ",
+                                      icmp_->user_comparator()->Name());
+        }
+      }
+      if (s.ok()) {
+        builder.Apply(&edit);
+      }
+      if (edit.has_log_number_) {
+        log_number = edit.log_number_;
+        have_log_number = true;
+      }
+      if (edit.has_next_file_number_) {
+        next_file = edit.next_file_number_;
+        have_next_file = true;
+      }
+      if (edit.has_last_sequence_) {
+        last_sequence = edit.last_sequence_;
+        have_last_sequence = true;
+      }
+    }
+  }
+  file.reset();
+
+  if (s.ok()) {
+    if (!have_next_file) {
+      s = Status::Corruption("no meta-nextfile entry in descriptor");
+    } else if (!have_log_number) {
+      s = Status::Corruption("no meta-lognumber entry in descriptor");
+    } else if (!have_last_sequence) {
+      s = Status::Corruption("no last-sequence-number entry in descriptor");
+    }
+  }
+
+  if (s.ok()) {
+    Version* v = new Version(this);
+    builder.SaveTo(v);
+    Finalize(v);
+    AppendVersion(v);
+    manifest_file_number_ = next_file;
+    next_file_number_ = next_file + 1;
+    last_sequence_ = last_sequence;
+    log_number_ = log_number;
+  }
+
+  return s;
+}
+
+Status VersionSet::WriteSnapshot(log::Writer* log) {
+  VersionEdit edit;
+  edit.SetComparatorName(icmp_->user_comparator()->Name());
+
+  for (int level = 0; level < kNumLevels; level++) {
+    for (const FileMetaData* f : current_->files_[level]) {
+      edit.AddFile(level, f->number, f->file_size, f->smallest, f->largest);
+    }
+  }
+
+  std::string record;
+  edit.EncodeTo(&record);
+  return log->AddRecord(record);
+}
+
+int VersionSet::NumLevelFiles(int level) const {
+  assert(level >= 0 && level < kNumLevels);
+  return static_cast<int>(current_->files_[level].size());
+}
+
+int64_t VersionSet::NumLevelBytes(int level) const {
+  assert(level >= 0 && level < kNumLevels);
+  return NumLevelBytesOf(current_, level);
+}
+
+std::string VersionSet::LevelSummary() const {
+  std::string r = "files[";
+  for (int level = 0; level < kNumLevels; level++) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), " %d", NumLevelFiles(level));
+    r.append(buf);
+  }
+  r.append(" ]");
+  return r;
+}
+
+void VersionSet::AddLiveFiles(std::set<uint64_t>* live) {
+  for (Version* v = dummy_versions_.next_; v != &dummy_versions_; v = v->next_) {
+    for (int level = 0; level < kNumLevels; level++) {
+      for (const FileMetaData* f : v->files_[level]) {
+        live->insert(f->number);
+      }
+    }
+  }
+}
+
+Iterator* VersionSet::MakeInputIterator(Compaction* c) {
+  ReadOptions options;
+  options.verify_checksums = false;
+  options.fill_cache = false;
+
+  // Level-0 (and tiered) inputs need one iterator per file; sorted-level
+  // inputs can share a concatenating iterator.
+  const bool overlapped_inputs = current_->LevelIsOverlapped(c->level());
+  const int space = (overlapped_inputs ? c->num_input_files(0) + 1 : 2);
+  std::vector<Iterator*> list(space);
+  int num = 0;
+  for (int which = 0; which < 2; which++) {
+    if (!c->inputs_[which].empty()) {
+      if (which == 0 && overlapped_inputs) {
+        for (FileMetaData* f : c->inputs_[which]) {
+          list[num++] = table_cache_->NewIterator(f->number, f->file_size);
+        }
+      } else if (which == 1 && current_->LevelIsOverlapped(c->level() + 1)) {
+        for (FileMetaData* f : c->inputs_[which]) {
+          if (num >= static_cast<int>(list.size())) {
+            list.push_back(nullptr);
+          }
+          list[num++] = table_cache_->NewIterator(f->number, f->file_size);
+        }
+      } else {
+        // Create a concatenating iterator over the files in this level.
+        auto* flist = &c->inputs_[which];
+        TableCache* cache = table_cache_;
+        if (num >= static_cast<int>(list.size())) {
+          list.push_back(nullptr);
+        }
+        list[num++] = NewTwoLevelIterator(
+            new LevelFileNumIterator(*icmp_, flist),
+            [cache](const Slice& file_value) -> Iterator* {
+              if (file_value.size() != 16) {
+                return NewErrorIterator(Status::Corruption("bad file value"));
+              }
+              return cache->NewIterator(DecodeFixed64(file_value.data()),
+                                        DecodeFixed64(file_value.data() + 8));
+            });
+      }
+    }
+  }
+  assert(num <= static_cast<int>(list.size()));
+  Iterator* result = NewMergingIterator(icmp_, list.data(), num);
+  return result;
+}
+
+Compaction* VersionSet::PickCompaction() {
+  if (!(current_->compaction_score_ >= 1)) {
+    return nullptr;
+  }
+  const int level = current_->compaction_level_;
+  assert(level >= 0);
+  assert(level + 1 < kNumLevels);
+  Compaction* c = new Compaction(options_, level);
+  c->input_version_ = current_;
+  c->input_version_->Ref();
+
+  if (options_->compaction_style == CompactionStyle::kTiered) {
+    // Merge every run in `level`; never read level+1.
+    c->inputs_[0] = current_->files_[level];
+    return c;
+  }
+
+  if (level == 0) {
+    // Pick all overlapping L0 files.
+    c->inputs_[0] = current_->files_[0];
+    InternalKey smallest, largest;
+    GetRangeOf(*icmp_, c->inputs_[0], &smallest, &largest);
+    current_->GetOverlappingInputs(0, &smallest, &largest, &c->inputs_[0]);
+    assert(!c->inputs_[0].empty());
+  } else {
+    // Round-robin through the key space via compact_pointer_.
+    for (FileMetaData* f : current_->files_[level]) {
+      if (compact_pointer_[level].empty() ||
+          icmp_->Compare(f->largest.Encode(), compact_pointer_[level]) > 0) {
+        c->inputs_[0].push_back(f);
+        break;
+      }
+    }
+    if (c->inputs_[0].empty()) {
+      // Wrap around to the beginning of the key space.
+      c->inputs_[0].push_back(current_->files_[level][0]);
+    }
+  }
+
+  // Expand inputs with the overlapping files of level+1.
+  InternalKey smallest, largest;
+  GetRangeOf(*icmp_, c->inputs_[0], &smallest, &largest);
+  current_->GetOverlappingInputs(level + 1, &smallest, &largest, &c->inputs_[1]);
+
+  // Remember the compaction end-key for round-robin.
+  compact_pointer_[level] = largest.Encode().ToString();
+  return c;
+}
+
+// ----------------- Compaction -----------------
+
+Compaction::Compaction(const Options* options, int level)
+    : level_(level),
+      max_output_file_size_(options->target_file_size),
+      input_version_(nullptr) {
+  for (int i = 0; i < kNumLevels; i++) {
+    level_ptrs_[i] = 0;
+  }
+}
+
+Compaction::~Compaction() {
+  if (input_version_ != nullptr) {
+    input_version_->Unref();
+  }
+}
+
+bool Compaction::IsTrivialMove() const {
+  // Move a single input file to the next level iff nothing overlaps it there
+  // (applies to leveled style; tiered pushes whole levels, which is a merge
+  // of sibling runs, not a move — unless the level holds exactly one run).
+  return (num_input_files(0) == 1 && num_input_files(1) == 0);
+}
+
+void Compaction::AddInputDeletions(VersionEdit* edit) {
+  for (int which = 0; which < 2; which++) {
+    for (const FileMetaData* f : inputs_[which]) {
+      edit->RemoveFile(level_ + which, f->number);
+    }
+  }
+}
+
+bool Compaction::IsBaseLevelForKey(const Slice& user_key) {
+  const Comparator* user_cmp = input_version_->vset_->icmp()->user_comparator();
+  // When the output level's resident files are not compaction inputs (tiered
+  // push-down, or a leveled compaction with no overlap), they may still hold
+  // older versions of the key, so they must be checked before a tombstone
+  // can be elided.
+  const int first_uncompacted_level = inputs_[1].empty() ? level_ + 1 : level_ + 2;
+  for (int lvl = first_uncompacted_level; lvl < kNumLevels; lvl++) {
+    const std::vector<FileMetaData*>& files = input_version_->files_[lvl];
+    if (input_version_->LevelIsOverlapped(lvl)) {
+      // Overlapped deeper levels: any file may contain the key; scan all.
+      for (const FileMetaData* f : files) {
+        if (user_cmp->Compare(user_key, f->smallest.user_key()) >= 0 &&
+            user_cmp->Compare(user_key, f->largest.user_key()) <= 0) {
+          return false;
+        }
+      }
+      continue;
+    }
+    while (level_ptrs_[lvl] < files.size()) {
+      FileMetaData* f = files[level_ptrs_[lvl]];
+      if (user_cmp->Compare(user_key, f->largest.user_key()) <= 0) {
+        // Inside or before f's range.
+        if (user_cmp->Compare(user_key, f->smallest.user_key()) >= 0) {
+          return false;
+        }
+        break;
+      }
+      level_ptrs_[lvl]++;
+    }
+  }
+  return true;
+}
+
+void Compaction::ReleaseInputs() {
+  if (input_version_ != nullptr) {
+    input_version_->Unref();
+    input_version_ = nullptr;
+  }
+}
+
+}  // namespace p2kvs

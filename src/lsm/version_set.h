@@ -1,0 +1,224 @@
+// Version / VersionSet: the immutable snapshot of the SST file tree and the
+// machinery that evolves it (MANIFEST logging, compaction picking).
+//
+// Two level shapes are supported (Options::compaction_style):
+//  * kLeveled — L0 overlapping, L1+ sorted & disjoint (RocksDB/LevelDB).
+//  * kTiered  — every level holds overlapping runs; full levels are merged
+//    and pushed down without rewriting the next level (the PebblesDB-style
+//    fragmented LSM used as a baseline in the paper's Figure 12).
+
+#ifndef P2KVS_SRC_LSM_VERSION_SET_H_
+#define P2KVS_SRC_LSM_VERSION_SET_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/lsm/options.h"
+#include "src/lsm/table_cache.h"
+#include "src/lsm/version_edit.h"
+#include "src/util/iterator.h"
+#include "src/wal/log_writer.h"
+
+namespace p2kvs {
+
+class Compaction;
+class VersionSet;
+
+// Returns the index of the first file in `files` whose largest key is >= key;
+// requires disjoint, sorted files.
+int FindFile(const InternalKeyComparator& icmp, const std::vector<FileMetaData*>& files,
+             const Slice& key);
+
+// True iff some file in `files` overlaps [smallest_user_key, largest_user_key]
+// (either bound may be null = unbounded).
+bool SomeFileOverlapsRange(const InternalKeyComparator& icmp, bool disjoint_sorted_files,
+                           const std::vector<FileMetaData*>& files, const Slice* smallest_user_key,
+                           const Slice* largest_user_key);
+
+class Version {
+ public:
+  // Point lookup through the file tree; newest data shadows older.
+  Status Get(const ReadOptions&, const LookupKey& key, std::string* val);
+
+  // Appends iterators that together cover this version's contents.
+  void AddIterators(const ReadOptions&, std::vector<Iterator*>* iters);
+
+  void Ref();
+  void Unref();
+
+  int NumFiles(int level) const { return static_cast<int>(files_[level].size()); }
+
+  const std::vector<FileMetaData*>& files(int level) const { return files_[level]; }
+
+  // True if level keeps overlapping files (always searched newest-first).
+  bool LevelIsOverlapped(int level) const;
+
+  // Fills *inputs with all files in `level` overlapping [begin,end].
+  void GetOverlappingInputs(int level, const InternalKey* begin, const InternalKey* end,
+                            std::vector<FileMetaData*>* inputs);
+
+  std::string DebugString() const;
+
+ private:
+  friend class Compaction;
+  friend class VersionSet;
+
+  explicit Version(VersionSet* vset)
+      : vset_(vset), next_(this), prev_(this), refs_(0), compaction_score_(-1),
+        compaction_level_(-1) {}
+  ~Version();
+
+  Version(const Version&) = delete;
+  Version& operator=(const Version&) = delete;
+
+  Iterator* NewConcatenatingIterator(const ReadOptions&, int level) const;
+
+  VersionSet* vset_;  // VersionSet to which this Version belongs
+  Version* next_;     // Next version in linked list
+  Version* prev_;     // Previous version in linked list
+  int refs_;          // Number of live refs to this version
+
+  // List of files per level; overlapped levels are ordered newest-first,
+  // sorted levels by smallest key.
+  std::vector<FileMetaData*> files_[kNumLevels];
+
+  // Level that should be compacted next and its score (>= 1 means needed);
+  // filled in by VersionSet::Finalize().
+  double compaction_score_;
+  int compaction_level_;
+};
+
+class VersionSet {
+ public:
+  VersionSet(std::string dbname, const Options* options, TableCache* table_cache,
+             const InternalKeyComparator*);
+  ~VersionSet();
+
+  VersionSet(const VersionSet&) = delete;
+  VersionSet& operator=(const VersionSet&) = delete;
+
+  // Applies *edit to the current version, persisting it to the MANIFEST.
+  // `mu` is held on entry and may be released during IO.
+  Status LogAndApply(VersionEdit* edit, std::mutex* mu);
+
+  // Recovers the last saved state from the MANIFEST.
+  Status Recover();
+
+  Version* current() const { return current_; }
+
+  uint64_t manifest_file_number() const { return manifest_file_number_; }
+  uint64_t NewFileNumber() { return next_file_number_++; }
+
+  uint64_t LastSequence() const { return last_sequence_; }
+  void SetLastSequence(uint64_t s) {
+    assert(s >= last_sequence_);
+    last_sequence_ = s;
+  }
+
+  uint64_t LogNumber() const { return log_number_; }
+
+  // Picks the most urgent compaction, or nullptr if none is needed.
+  Compaction* PickCompaction();
+
+  bool NeedsCompaction() const {
+    return current_->compaction_score_ >= 1;
+  }
+
+  // Iterator reading all compaction input entries in order.
+  Iterator* MakeInputIterator(Compaction* c);
+
+  void AddLiveFiles(std::set<uint64_t>* live);
+
+  int NumLevelFiles(int level) const;
+  int64_t NumLevelBytes(int level) const;
+
+  // One-line summary of files per level, e.g. "files[ 2 4 0 0 0 0 0 ]".
+  std::string LevelSummary() const;
+
+  const InternalKeyComparator* icmp() const { return icmp_; }
+  const Options* options() const { return options_; }
+  TableCache* table_cache() const { return table_cache_; }
+
+  uint64_t MaxFileSizeForLevel(int /*level*/) const { return options_->target_file_size; }
+
+ private:
+  class Builder;
+  friend class Compaction;
+  friend class Version;
+
+  void Finalize(Version* v);
+  void AppendVersion(Version* v);
+  Status WriteSnapshot(log::Writer* log);
+  double MaxBytesForLevel(int level) const;
+
+  Env* const env_;
+  const std::string dbname_;
+  const Options* const options_;
+  TableCache* const table_cache_;
+  const InternalKeyComparator* icmp_;
+  uint64_t next_file_number_ = 2;
+  uint64_t manifest_file_number_ = 0;
+  uint64_t last_sequence_ = 0;
+  uint64_t log_number_ = 0;
+
+  // Opened lazily.
+  std::unique_ptr<WritableFile> descriptor_file_;
+  std::unique_ptr<log::Writer> descriptor_log_;
+
+  Version dummy_versions_;  // head of circular doubly-linked list of versions
+  Version* current_;        // == dummy_versions_.prev_
+
+  // Per-level key at which the next leveled compaction should start.
+  std::string compact_pointer_[kNumLevels];
+};
+
+// A planned compaction: inputs_[0] from `level`, inputs_[1] from `level+1`
+// (empty in tiered mode).
+class Compaction {
+ public:
+  ~Compaction();
+
+  int level() const { return level_; }
+  VersionEdit* edit() { return &edit_; }
+
+  int num_input_files(int which) const { return static_cast<int>(inputs_[which].size()); }
+  FileMetaData* input(int which, int i) const { return inputs_[which][i]; }
+
+  uint64_t MaxOutputFileSize() const { return max_output_file_size_; }
+
+  // True iff the compaction can be implemented by moving a single input file
+  // to the next level without merging.
+  bool IsTrivialMove() const;
+
+  // Adds all inputs as deletions to *edit.
+  void AddInputDeletions(VersionEdit* edit);
+
+  // True if all data in levels > level()+1 lacks user_key (so a deletion
+  // tombstone for it can be dropped).
+  bool IsBaseLevelForKey(const Slice& user_key);
+
+  void ReleaseInputs();
+
+ private:
+  friend class VersionSet;
+
+  Compaction(const Options* options, int level);
+
+  int level_;
+  uint64_t max_output_file_size_;
+  Version* input_version_;
+  VersionEdit edit_;
+
+  std::vector<FileMetaData*> inputs_[2];
+
+  // State for IsBaseLevelForKey (advances through files since keys are
+  // visited in order).
+  size_t level_ptrs_[kNumLevels];
+};
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_LSM_VERSION_SET_H_

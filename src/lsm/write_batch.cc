@@ -1,0 +1,128 @@
+#include "src/lsm/write_batch.h"
+
+#include "src/memtable/memtable.h"
+#include "src/util/coding.h"
+
+namespace p2kvs {
+
+// Header: 8-byte sequence + 4-byte count.
+static const size_t kWriteBatchHeader = 12;
+
+WriteBatch::WriteBatch() { Clear(); }
+
+void WriteBatch::Clear() {
+  rep_.clear();
+  rep_.resize(kWriteBatchHeader);
+}
+
+int WriteBatch::Count() const { return WriteBatchInternal::Count(this); }
+
+void WriteBatch::Put(const Slice& key, const Slice& value) {
+  WriteBatchInternal::SetCount(this, WriteBatchInternal::Count(this) + 1);
+  rep_.push_back(static_cast<char>(kTypeValue));
+  PutLengthPrefixedSlice(&rep_, key);
+  PutLengthPrefixedSlice(&rep_, value);
+}
+
+void WriteBatch::Delete(const Slice& key) {
+  WriteBatchInternal::SetCount(this, WriteBatchInternal::Count(this) + 1);
+  rep_.push_back(static_cast<char>(kTypeDeletion));
+  PutLengthPrefixedSlice(&rep_, key);
+}
+
+void WriteBatch::Append(const WriteBatch& src) { WriteBatchInternal::Append(this, &src); }
+
+Status WriteBatch::Iterate(Handler* handler) const {
+  Slice input(rep_);
+  if (input.size() < kWriteBatchHeader) {
+    return Status::Corruption("malformed WriteBatch (too small)");
+  }
+
+  input.remove_prefix(kWriteBatchHeader);
+  Slice key, value;
+  int found = 0;
+  while (!input.empty()) {
+    found++;
+    char tag = input[0];
+    input.remove_prefix(1);
+    switch (tag) {
+      case kTypeValue:
+        if (GetLengthPrefixedSlice(&input, &key) && GetLengthPrefixedSlice(&input, &value)) {
+          handler->Put(key, value);
+        } else {
+          return Status::Corruption("bad WriteBatch Put");
+        }
+        break;
+      case kTypeDeletion:
+        if (GetLengthPrefixedSlice(&input, &key)) {
+          handler->Delete(key);
+        } else {
+          return Status::Corruption("bad WriteBatch Delete");
+        }
+        break;
+      default:
+        return Status::Corruption("unknown WriteBatch tag");
+    }
+  }
+  if (found != WriteBatchInternal::Count(this)) {
+    return Status::Corruption("WriteBatch has wrong count");
+  }
+  return Status::OK();
+}
+
+int WriteBatchInternal::Count(const WriteBatch* b) { return DecodeFixed32(b->rep_.data() + 8); }
+
+void WriteBatchInternal::SetCount(WriteBatch* b, int n) {
+  EncodeFixed32(&b->rep_[8], static_cast<uint32_t>(n));
+}
+
+SequenceNumber WriteBatchInternal::Sequence(const WriteBatch* b) {
+  return SequenceNumber(DecodeFixed64(b->rep_.data()));
+}
+
+void WriteBatchInternal::SetSequence(WriteBatch* b, SequenceNumber seq) {
+  EncodeFixed64(&b->rep_[0], seq);
+}
+
+void WriteBatchInternal::SetContents(WriteBatch* b, const Slice& contents) {
+  assert(contents.size() >= kWriteBatchHeader);
+  b->rep_.assign(contents.data(), contents.size());
+}
+
+void WriteBatchInternal::Append(WriteBatch* dst, const WriteBatch* src) {
+  SetCount(dst, Count(dst) + Count(src));
+  assert(src->rep_.size() >= kWriteBatchHeader);
+  dst->rep_.append(src->rep_.data() + kWriteBatchHeader,
+                   src->rep_.size() - kWriteBatchHeader);
+}
+
+namespace {
+
+class MemTableInserter final : public WriteBatch::Handler {
+ public:
+  SequenceNumber sequence;
+  MemTable* mem;
+  bool concurrent;
+
+  void Put(const Slice& key, const Slice& value) override {
+    mem->Add(sequence, kTypeValue, key, value, concurrent);
+    sequence++;
+  }
+  void Delete(const Slice& key) override {
+    mem->Add(sequence, kTypeDeletion, key, Slice(), concurrent);
+    sequence++;
+  }
+};
+
+}  // namespace
+
+Status WriteBatchInternal::InsertInto(const WriteBatch* batch, MemTable* memtable,
+                                      bool concurrent) {
+  MemTableInserter inserter;
+  inserter.sequence = WriteBatchInternal::Sequence(batch);
+  inserter.mem = memtable;
+  inserter.concurrent = concurrent;
+  return batch->Iterate(&inserter);
+}
+
+}  // namespace p2kvs

@@ -1,0 +1,79 @@
+// WriteBatch: an ordered bundle of Put/Delete operations applied atomically.
+// Serialization format (also the WAL payload):
+//   sequence (8B fixed) | count (4B fixed) | records...
+//   record := kTypeValue   varstring(key) varstring(value)
+//           | kTypeDeletion varstring(key)
+// p2KVS's opportunistic batching (Algorithm 1) builds one of these per merged
+// run of write requests.
+
+#ifndef P2KVS_SRC_LSM_WRITE_BATCH_H_
+#define P2KVS_SRC_LSM_WRITE_BATCH_H_
+
+#include <string>
+
+#include "src/memtable/dbformat.h"
+#include "src/util/slice.h"
+#include "src/util/status.h"
+
+namespace p2kvs {
+
+class MemTable;
+
+class WriteBatch {
+ public:
+  WriteBatch();
+  ~WriteBatch() = default;
+
+  WriteBatch(const WriteBatch&) = default;
+  WriteBatch& operator=(const WriteBatch&) = default;
+
+  void Put(const Slice& key, const Slice& value);
+  void Delete(const Slice& key);
+  void Clear();
+
+  // Number of operations in the batch.
+  int Count() const;
+
+  // Serialized size in bytes.
+  size_t ApproximateSize() const { return rep_.size(); }
+
+  // Applies every operation via handler callbacks in insertion order.
+  class Handler {
+   public:
+    virtual ~Handler() = default;
+    virtual void Put(const Slice& key, const Slice& value) = 0;
+    virtual void Delete(const Slice& key) = 0;
+  };
+  Status Iterate(Handler* handler) const;
+
+  // Appends the operations of `src` to this batch.
+  void Append(const WriteBatch& src);
+
+ private:
+  friend class WriteBatchInternal;
+
+  std::string rep_;
+};
+
+// Engine-internal accessors (not part of the public surface).
+class WriteBatchInternal {
+ public:
+  static int Count(const WriteBatch* batch);
+  static void SetCount(WriteBatch* batch, int n);
+  static SequenceNumber Sequence(const WriteBatch* batch);
+  static void SetSequence(WriteBatch* batch, SequenceNumber seq);
+
+  static Slice Contents(const WriteBatch* batch) { return Slice(batch->rep_); }
+  static size_t ByteSize(const WriteBatch* batch) { return batch->rep_.size(); }
+  static void SetContents(WriteBatch* batch, const Slice& contents);
+
+  // Inserts the batch's entries into *memtable, using sequence numbers
+  // starting at Sequence(batch). `concurrent` selects the CAS insert path.
+  static Status InsertInto(const WriteBatch* batch, MemTable* memtable, bool concurrent);
+
+  static void Append(WriteBatch* dst, const WriteBatch* src);
+};
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_LSM_WRITE_BATCH_H_

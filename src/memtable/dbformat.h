@@ -1,0 +1,156 @@
+// Internal key format shared by the MemTable, SSTs and the LSM engine:
+//   internal_key = user_key + 8 bytes of (sequence << 8 | value_type)
+// Internal keys sort by user key ascending, then sequence descending, so the
+// newest version of a key is encountered first.
+
+#ifndef P2KVS_SRC_MEMTABLE_DBFORMAT_H_
+#define P2KVS_SRC_MEMTABLE_DBFORMAT_H_
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+#include "src/util/coding.h"
+#include "src/util/comparator.h"
+#include "src/util/slice.h"
+
+namespace p2kvs {
+
+using SequenceNumber = uint64_t;
+
+// Leaves room for the 8-bit type tag.
+static const SequenceNumber kMaxSequenceNumber = ((0x1ull << 56) - 1);
+
+enum ValueType : uint8_t {
+  kTypeDeletion = 0x0,
+  kTypeValue = 0x1,
+};
+// Used when seeking: both value types are interesting, and kTypeValue sorts
+// *before* kTypeDeletion within equal (user_key, sequence).
+static const ValueType kValueTypeForSeek = kTypeValue;
+
+inline uint64_t PackSequenceAndType(SequenceNumber seq, ValueType t) {
+  assert(seq <= kMaxSequenceNumber);
+  return (seq << 8) | t;
+}
+
+struct ParsedInternalKey {
+  Slice user_key;
+  SequenceNumber sequence = 0;
+  ValueType type = kTypeValue;
+
+  ParsedInternalKey() = default;
+  ParsedInternalKey(const Slice& u, SequenceNumber seq, ValueType t)
+      : user_key(u), sequence(seq), type(t) {}
+};
+
+inline void AppendInternalKey(std::string* result, const ParsedInternalKey& key) {
+  result->append(key.user_key.data(), key.user_key.size());
+  PutFixed64(result, PackSequenceAndType(key.sequence, key.type));
+}
+
+// Returns false on malformed input.
+inline bool ParseInternalKey(const Slice& internal_key, ParsedInternalKey* result) {
+  if (internal_key.size() < 8) {
+    return false;
+  }
+  uint64_t num = DecodeFixed64(internal_key.data() + internal_key.size() - 8);
+  uint8_t c = num & 0xff;
+  result->sequence = num >> 8;
+  result->type = static_cast<ValueType>(c);
+  result->user_key = Slice(internal_key.data(), internal_key.size() - 8);
+  return c <= static_cast<uint8_t>(kTypeValue);
+}
+
+inline Slice ExtractUserKey(const Slice& internal_key) {
+  assert(internal_key.size() >= 8);
+  return Slice(internal_key.data(), internal_key.size() - 8);
+}
+
+// Orders internal keys: user key ascending, then (sequence, type) descending.
+class InternalKeyComparator final : public Comparator {
+ public:
+  explicit InternalKeyComparator(const Comparator* c) : user_comparator_(c) {}
+
+  const char* Name() const override { return "p2kvs.InternalKeyComparator"; }
+
+  int Compare(const Slice& a, const Slice& b) const override {
+    int r = user_comparator_->Compare(ExtractUserKey(a), ExtractUserKey(b));
+    if (r == 0) {
+      const uint64_t anum = DecodeFixed64(a.data() + a.size() - 8);
+      const uint64_t bnum = DecodeFixed64(b.data() + b.size() - 8);
+      if (anum > bnum) {
+        r = -1;
+      } else if (anum < bnum) {
+        r = +1;
+      }
+    }
+    return r;
+  }
+
+  void FindShortestSeparator(std::string* start, const Slice& limit) const override;
+  void FindShortSuccessor(std::string* key) const override;
+
+  const Comparator* user_comparator() const { return user_comparator_; }
+
+ private:
+  const Comparator* user_comparator_;
+};
+
+// An internal key as an owned string; convenience wrapper used by version
+// metadata (smallest/largest keys of an SST).
+class InternalKey {
+ public:
+  InternalKey() = default;
+  InternalKey(const Slice& user_key, SequenceNumber s, ValueType t) {
+    AppendInternalKey(&rep_, ParsedInternalKey(user_key, s, t));
+  }
+
+  bool DecodeFrom(const Slice& s) {
+    rep_.assign(s.data(), s.size());
+    return !rep_.empty();
+  }
+
+  Slice Encode() const {
+    assert(!rep_.empty());
+    return rep_;
+  }
+
+  Slice user_key() const { return ExtractUserKey(rep_); }
+
+  void SetFrom(const ParsedInternalKey& p) {
+    rep_.clear();
+    AppendInternalKey(&rep_, p);
+  }
+
+  void Clear() { rep_.clear(); }
+
+ private:
+  std::string rep_;
+};
+
+// Bundles the key formats a point lookup needs: the length-prefixed memtable
+// key, the internal key, and the user key.
+class LookupKey {
+ public:
+  LookupKey(const Slice& user_key, SequenceNumber sequence);
+  ~LookupKey();
+
+  LookupKey(const LookupKey&) = delete;
+  LookupKey& operator=(const LookupKey&) = delete;
+
+  // varint32(internal_key_len) + user_key + tag  (MemTable entry key format).
+  Slice memtable_key() const { return Slice(start_, end_ - start_); }
+  Slice internal_key() const { return Slice(kstart_, end_ - kstart_); }
+  Slice user_key() const { return Slice(kstart_, end_ - kstart_ - 8); }
+
+ private:
+  const char* start_;
+  const char* kstart_;
+  const char* end_;
+  char space_[200];  // avoids allocation for short keys
+};
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_MEMTABLE_DBFORMAT_H_

@@ -1,0 +1,67 @@
+// MemTable: the in-memory write buffer indexed by a skiplist. Supports both
+// single-writer Add (LevelDB semantics) and concurrent Add (RocksDB's
+// concurrent MemTable) — the distinction the paper's Figure 8b explores.
+
+#ifndef P2KVS_SRC_MEMTABLE_MEMTABLE_H_
+#define P2KVS_SRC_MEMTABLE_MEMTABLE_H_
+
+#include <string>
+
+#include "src/memtable/dbformat.h"
+#include "src/memtable/skiplist.h"
+#include "src/util/arena.h"
+#include "src/util/iterator.h"
+#include "src/util/status.h"
+
+namespace p2kvs {
+
+class MemTable {
+ public:
+  explicit MemTable(const InternalKeyComparator& comparator);
+  ~MemTable() = default;
+
+  MemTable(const MemTable&) = delete;
+  MemTable& operator=(const MemTable&) = delete;
+
+  // Approximate bytes in use (entries + index nodes).
+  size_t ApproximateMemoryUsage() const { return arena_.MemoryUsage(); }
+
+  // Number of entries added.
+  uint64_t NumEntries() const { return num_entries_.load(std::memory_order_relaxed); }
+
+  // Iterator over the memtable; keys are internal keys. The memtable must
+  // outlive the iterator.
+  Iterator* NewIterator() const;
+
+  // Adds an entry that maps key to value at the specified sequence number.
+  // `concurrent` selects InsertConcurrently (callers may then Add from many
+  // threads at once); otherwise callers must serialize.
+  void Add(SequenceNumber seq, ValueType type, const Slice& key, const Slice& value,
+           bool concurrent = false);
+
+  // If the memtable contains the newest entry for key at or below the lookup
+  // snapshot: returns true and sets *value (or *s to NotFound for a
+  // deletion). Returns false if the key is absent from this memtable.
+  bool Get(const LookupKey& key, std::string* value, Status* s) const;
+
+ private:
+  struct KeyComparator {
+    const InternalKeyComparator comparator;
+    explicit KeyComparator(const InternalKeyComparator& c) : comparator(c) {}
+    // Keys are varint32-length-prefixed internal keys.
+    int operator()(const char* a, const char* b) const;
+  };
+
+  using Table = SkipList<const char*, KeyComparator>;
+
+  friend class MemTableIterator;
+
+  KeyComparator comparator_;
+  Arena arena_;
+  Table table_;
+  std::atomic<uint64_t> num_entries_{0};
+};
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_MEMTABLE_MEMTABLE_H_

@@ -1,0 +1,321 @@
+// Arena-backed skiplist with two insertion modes:
+//   * Insert()             — single writer, concurrent readers (LevelDB's
+//                            vanilla MemTable index).
+//   * InsertConcurrently() — CAS-based multi-writer insertion (RocksDB's
+//                            "concurrent MemTable", paper §2.2).
+// Readers never lock in either mode. Keys must be unique (internal keys
+// embed a unique sequence number, so this holds by construction).
+
+#ifndef P2KVS_SRC_MEMTABLE_SKIPLIST_H_
+#define P2KVS_SRC_MEMTABLE_SKIPLIST_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstdlib>
+
+#include "src/util/arena.h"
+#include "src/util/random.h"
+
+namespace p2kvs {
+
+template <typename Key, class Comparator>
+class SkipList {
+ private:
+  struct Node;
+
+ public:
+  // Keys and nodes are allocated in *arena, which must outlive the list.
+  explicit SkipList(Comparator cmp, Arena* arena);
+
+  SkipList(const SkipList&) = delete;
+  SkipList& operator=(const SkipList&) = delete;
+
+  // Single-writer insertion; requires external serialization of writers.
+  void Insert(const Key& key);
+
+  // Lock-free multi-writer insertion.
+  void InsertConcurrently(const Key& key);
+
+  bool Contains(const Key& key) const;
+
+  class Iterator {
+   public:
+    explicit Iterator(const SkipList* list) : list_(list), node_(nullptr) {}
+
+    bool Valid() const { return node_ != nullptr; }
+    const Key& key() const {
+      assert(Valid());
+      return node_->key;
+    }
+    void Next() {
+      assert(Valid());
+      node_ = node_->Next(0);
+    }
+    void Prev() {
+      assert(Valid());
+      node_ = list_->FindLessThan(node_->key);
+      if (node_ == list_->head_) {
+        node_ = nullptr;
+      }
+    }
+    void Seek(const Key& target) { node_ = list_->FindGreaterOrEqual(target, nullptr); }
+    void SeekToFirst() { node_ = list_->head_->Next(0); }
+    void SeekToLast() {
+      node_ = list_->FindLast();
+      if (node_ == list_->head_) {
+        node_ = nullptr;
+      }
+    }
+
+   private:
+    const SkipList* list_;
+    Node* node_;
+  };
+
+ private:
+  enum { kMaxHeight = 12 };
+
+  inline int GetMaxHeight() const { return max_height_.load(std::memory_order_relaxed); }
+
+  Node* NewNode(const Key& key, int height);
+  int RandomHeight();
+  bool Equal(const Key& a, const Key& b) const { return (compare_(a, b) == 0); }
+  bool KeyIsAfterNode(const Key& key, Node* n) const {
+    return (n != nullptr) && (compare_(n->key, key) < 0);
+  }
+
+  // Returns the earliest node >= key; fills prev[0..max_height-1] if non-null.
+  Node* FindGreaterOrEqual(const Key& key, Node** prev) const;
+  // Returns the latest node < key (head_ if none).
+  Node* FindLessThan(const Key& key) const;
+  Node* FindLast() const;
+
+  // Finds the (prev, next) pair bracketing key at `level`, starting the walk
+  // at `before` (which must be < key at that level).
+  void FindSpliceForLevel(const Key& key, Node* before, int level, Node** out_prev,
+                          Node** out_next) const;
+
+  Comparator const compare_;
+  Arena* const arena_;
+  Node* const head_;
+
+  // Height of the entire list; only increases.
+  std::atomic<int> max_height_;
+
+  // Single-writer RNG; the concurrent path uses a thread_local instead.
+  Random rnd_;
+};
+
+template <typename Key, class Comparator>
+struct SkipList<Key, Comparator>::Node {
+  explicit Node(const Key& k) : key(k) {}
+
+  Key const key;
+
+  Node* Next(int n) {
+    assert(n >= 0);
+    return next_[n].load(std::memory_order_acquire);
+  }
+  void SetNext(int n, Node* x) {
+    assert(n >= 0);
+    next_[n].store(x, std::memory_order_release);
+  }
+  bool CasNext(int n, Node* expected, Node* x) {
+    assert(n >= 0);
+    return next_[n].compare_exchange_strong(expected, x);
+  }
+  Node* NoBarrier_Next(int n) {
+    assert(n >= 0);
+    return next_[n].load(std::memory_order_relaxed);
+  }
+  void NoBarrier_SetNext(int n, Node* x) {
+    assert(n >= 0);
+    next_[n].store(x, std::memory_order_relaxed);
+  }
+
+ private:
+  // Array of length equal to the node height; next_[0] is the lowest level.
+  std::atomic<Node*> next_[1];
+};
+
+template <typename Key, class Comparator>
+typename SkipList<Key, Comparator>::Node* SkipList<Key, Comparator>::NewNode(const Key& key,
+                                                                             int height) {
+  char* const node_memory =
+      arena_->AllocateAligned(sizeof(Node) + sizeof(std::atomic<Node*>) * (height - 1));
+  return new (node_memory) Node(key);
+}
+
+template <typename Key, class Comparator>
+int SkipList<Key, Comparator>::RandomHeight() {
+  // Branch with probability 1/4 per level.
+  static const unsigned int kBranching = 4;
+  thread_local Random t_rnd(0xdeadbeef ^ static_cast<uint32_t>(
+                                             reinterpret_cast<uintptr_t>(&t_rnd) >> 4));
+  int height = 1;
+  while (height < kMaxHeight && t_rnd.OneIn(kBranching)) {
+    height++;
+  }
+  assert(height > 0);
+  assert(height <= kMaxHeight);
+  return height;
+}
+
+template <typename Key, class Comparator>
+typename SkipList<Key, Comparator>::Node* SkipList<Key, Comparator>::FindGreaterOrEqual(
+    const Key& key, Node** prev) const {
+  Node* x = head_;
+  int level = GetMaxHeight() - 1;
+  while (true) {
+    Node* next = x->Next(level);
+    if (KeyIsAfterNode(key, next)) {
+      x = next;
+    } else {
+      if (prev != nullptr) {
+        prev[level] = x;
+      }
+      if (level == 0) {
+        return next;
+      }
+      level--;
+    }
+  }
+}
+
+template <typename Key, class Comparator>
+typename SkipList<Key, Comparator>::Node* SkipList<Key, Comparator>::FindLessThan(
+    const Key& key) const {
+  Node* x = head_;
+  int level = GetMaxHeight() - 1;
+  while (true) {
+    assert(x == head_ || compare_(x->key, key) < 0);
+    Node* next = x->Next(level);
+    if (next == nullptr || compare_(next->key, key) >= 0) {
+      if (level == 0) {
+        return x;
+      }
+      level--;
+    } else {
+      x = next;
+    }
+  }
+}
+
+template <typename Key, class Comparator>
+typename SkipList<Key, Comparator>::Node* SkipList<Key, Comparator>::FindLast() const {
+  Node* x = head_;
+  int level = GetMaxHeight() - 1;
+  while (true) {
+    Node* next = x->Next(level);
+    if (next == nullptr) {
+      if (level == 0) {
+        return x;
+      }
+      level--;
+    } else {
+      x = next;
+    }
+  }
+}
+
+template <typename Key, class Comparator>
+void SkipList<Key, Comparator>::FindSpliceForLevel(const Key& key, Node* before, int level,
+                                                   Node** out_prev, Node** out_next) const {
+  Node* x = before;
+  while (true) {
+    Node* next = x->Next(level);
+    if (KeyIsAfterNode(key, next)) {
+      x = next;
+    } else {
+      *out_prev = x;
+      *out_next = next;
+      return;
+    }
+  }
+}
+
+template <typename Key, class Comparator>
+SkipList<Key, Comparator>::SkipList(Comparator cmp, Arena* arena)
+    : compare_(cmp),
+      arena_(arena),
+      head_(NewNode(Key() /* any key will do */, kMaxHeight)),
+      max_height_(1),
+      rnd_(0xdeadbeef) {
+  for (int i = 0; i < kMaxHeight; i++) {
+    head_->SetNext(i, nullptr);
+  }
+}
+
+template <typename Key, class Comparator>
+void SkipList<Key, Comparator>::Insert(const Key& key) {
+  Node* prev[kMaxHeight];
+  Node* x = FindGreaterOrEqual(key, prev);
+
+  // No duplicate insertion allowed.
+  assert(x == nullptr || !Equal(key, x->key));
+  (void)x;
+
+  int height = RandomHeight();
+  if (height > GetMaxHeight()) {
+    for (int i = GetMaxHeight(); i < height; i++) {
+      prev[i] = head_;
+    }
+    // Concurrent readers observing the new height see either nullptr from
+    // head_ (fine) or the new node.
+    max_height_.store(height, std::memory_order_relaxed);
+  }
+
+  x = NewNode(key, height);
+  for (int i = 0; i < height; i++) {
+    x->NoBarrier_SetNext(i, prev[i]->NoBarrier_Next(i));
+    prev[i]->SetNext(i, x);
+  }
+}
+
+template <typename Key, class Comparator>
+void SkipList<Key, Comparator>::InsertConcurrently(const Key& key) {
+  const int height = RandomHeight();
+
+  // Raise the list height first; racing raisers all succeed eventually.
+  int max_h = max_height_.load(std::memory_order_relaxed);
+  while (height > max_h) {
+    if (max_height_.compare_exchange_weak(max_h, height)) {
+      break;
+    }
+  }
+
+  // Compute the splice top-down (O(log n)): the walk at level L starts from
+  // the predecessor found at level L+1. The descent begins at the *list*
+  // height so low-level walks are short.
+  const int list_height = GetMaxHeight();  // >= height after the raise above
+  Node* prev[kMaxHeight];
+  Node* next[kMaxHeight];
+  Node* before = head_;
+  for (int level = list_height - 1; level >= 0; level--) {
+    FindSpliceForLevel(key, before, level, &prev[level], &next[level]);
+    before = prev[level];
+  }
+
+  Node* x = NewNode(key, height);
+  for (int level = 0; level < height; level++) {
+    while (true) {
+      x->NoBarrier_SetNext(level, next[level]);
+      if (prev[level]->CasNext(level, next[level], x)) {
+        break;
+      }
+      // Lost a race at this level; recompute the splice from the last known
+      // predecessor (still < key) and retry.
+      FindSpliceForLevel(key, prev[level], level, &prev[level], &next[level]);
+    }
+  }
+}
+
+template <typename Key, class Comparator>
+bool SkipList<Key, Comparator>::Contains(const Key& key) const {
+  Node* x = FindGreaterOrEqual(key, nullptr);
+  return x != nullptr && Equal(key, x->key);
+}
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_MEMTABLE_SKIPLIST_H_

@@ -1,0 +1,40 @@
+// Block: read side of BlockBuilder's format, with restart-point binary
+// search for Seek.
+
+#ifndef P2KVS_SRC_SST_BLOCK_H_
+#define P2KVS_SRC_SST_BLOCK_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/sst/format.h"
+#include "src/util/comparator.h"
+#include "src/util/iterator.h"
+
+namespace p2kvs {
+
+class Block {
+ public:
+  explicit Block(const BlockContents& contents);
+  ~Block();
+
+  Block(const Block&) = delete;
+  Block& operator=(const Block&) = delete;
+
+  size_t size() const { return size_; }
+  Iterator* NewIterator(const Comparator* comparator);
+
+ private:
+  class Iter;
+
+  uint32_t NumRestarts() const;
+
+  const char* data_;
+  size_t size_;
+  uint32_t restart_offset_;  // offset in data_ of restart array
+  bool owned_;               // true iff data_[] was heap-allocated for us
+};
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_SST_BLOCK_H_

@@ -1,0 +1,49 @@
+// BlockBuilder: prefix-compressed key/value block with restart points every
+// `block_restart_interval` entries (leveldb format).
+
+#ifndef P2KVS_SRC_SST_BLOCK_BUILDER_H_
+#define P2KVS_SRC_SST_BLOCK_BUILDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/comparator.h"
+#include "src/util/slice.h"
+
+namespace p2kvs {
+
+class BlockBuilder {
+ public:
+  BlockBuilder(const Comparator* comparator, int block_restart_interval);
+
+  BlockBuilder(const BlockBuilder&) = delete;
+  BlockBuilder& operator=(const BlockBuilder&) = delete;
+
+  void Reset();
+
+  // Keys must be added in strictly increasing order.
+  void Add(const Slice& key, const Slice& value);
+
+  // Finishes the block; the returned slice is valid until Reset().
+  Slice Finish();
+
+  // Estimated (uncompressed) size of the block under construction.
+  size_t CurrentSizeEstimate() const;
+
+  bool empty() const { return buffer_.empty(); }
+
+ private:
+  const Comparator* comparator_;
+  const int block_restart_interval_;
+
+  std::string buffer_;
+  std::vector<uint32_t> restarts_;
+  int counter_;    // entries since last restart
+  bool finished_;
+  std::string last_key_;
+};
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_SST_BLOCK_BUILDER_H_

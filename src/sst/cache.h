@@ -1,0 +1,50 @@
+// Sharded LRU cache with external handles (leveldb Cache interface). Used as
+// the block cache (paper: each RocksDB instance has an 8 MB block cache) and
+// as the table cache.
+
+#ifndef P2KVS_SRC_SST_CACHE_H_
+#define P2KVS_SRC_SST_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "src/util/slice.h"
+
+namespace p2kvs {
+
+class Cache {
+ public:
+  Cache() = default;
+  virtual ~Cache() = default;
+
+  Cache(const Cache&) = delete;
+  Cache& operator=(const Cache&) = delete;
+
+  // Opaque handle to a cache entry.
+  struct Handle {};
+
+  // Inserts key->value with the given charge; deleter runs when the entry is
+  // evicted and unreferenced. The returned handle must be Release()d.
+  virtual Handle* Insert(const Slice& key, void* value, size_t charge,
+                         void (*deleter)(const Slice& key, void* value)) = 0;
+
+  // Returns a handle (to be Release()d) or nullptr on miss.
+  virtual Handle* Lookup(const Slice& key) = 0;
+
+  virtual void Release(Handle* handle) = 0;
+  virtual void* Value(Handle* handle) = 0;
+  virtual void Erase(const Slice& key) = 0;
+
+  // New id for partitioning the key space among multiple users.
+  virtual uint64_t NewId() = 0;
+
+  virtual size_t TotalCharge() const = 0;
+};
+
+// LRU cache with the given total capacity (in charge units, usually bytes).
+std::unique_ptr<Cache> NewLRUCache(size_t capacity);
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_SST_CACHE_H_

@@ -1,0 +1,57 @@
+// Filter block: one filter per 2 KiB range of data-block offsets, plus an
+// offset array and base-lg trailer (leveldb layout). Built alongside the
+// data blocks by TableBuilder and consulted by Table::InternalGet.
+
+#ifndef P2KVS_SRC_SST_FILTER_BLOCK_H_
+#define P2KVS_SRC_SST_FILTER_BLOCK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sst/filter_policy.h"
+#include "src/util/slice.h"
+
+namespace p2kvs {
+
+class FilterBlockBuilder {
+ public:
+  explicit FilterBlockBuilder(const FilterPolicy* policy);
+
+  FilterBlockBuilder(const FilterBlockBuilder&) = delete;
+  FilterBlockBuilder& operator=(const FilterBlockBuilder&) = delete;
+
+  void StartBlock(uint64_t block_offset);
+  void AddKey(const Slice& key);
+  Slice Finish();
+
+ private:
+  void GenerateFilter();
+
+  const FilterPolicy* policy_;
+  std::string keys_;             // flattened key contents
+  std::vector<size_t> start_;    // starting index in keys_ of each key
+  std::string result_;           // filter data computed so far
+  std::vector<Slice> tmp_keys_;  // argument scratch for CreateFilter()
+  std::vector<uint32_t> filter_offsets_;
+};
+
+class FilterBlockReader {
+ public:
+  // contents and policy must outlive *this.
+  FilterBlockReader(const FilterPolicy* policy, const Slice& contents);
+
+  bool KeyMayMatch(uint64_t block_offset, const Slice& key) const;
+
+ private:
+  const FilterPolicy* policy_;
+  const char* data_;    // filter data (at block start)
+  const char* offset_;  // beginning of offset array
+  size_t num_;          // number of entries in offset array
+  size_t base_lg_;      // encoding parameter (kFilterBaseLg)
+};
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_SST_FILTER_BLOCK_H_

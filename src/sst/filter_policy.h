@@ -1,0 +1,35 @@
+// FilterPolicy: pluggable per-SST filters; the shipped implementation is a
+// standard bloom filter (double-hashing, ~10 bits/key by default), which is
+// what keeps point-query read amplification low in leveled LSM trees.
+
+#ifndef P2KVS_SRC_SST_FILTER_POLICY_H_
+#define P2KVS_SRC_SST_FILTER_POLICY_H_
+
+#include <string>
+
+#include "src/util/slice.h"
+
+namespace p2kvs {
+
+class FilterPolicy {
+ public:
+  virtual ~FilterPolicy() = default;
+
+  virtual const char* Name() const = 0;
+
+  // Appends a filter summarizing keys[0..n-1] to *dst.
+  virtual void CreateFilter(const Slice* keys, int n, std::string* dst) const = 0;
+
+  // Must return true if key was in the key list passed to CreateFilter;
+  // may return true for absent keys (false positives) but never false for
+  // present keys.
+  virtual bool KeyMayMatch(const Slice& key, const Slice& filter) const = 0;
+};
+
+// Returns a bloom filter policy with the given bits per key. Caller owns the
+// result and must keep it alive while any table using it is open.
+const FilterPolicy* NewBloomFilterPolicy(int bits_per_key);
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_SST_FILTER_POLICY_H_

@@ -1,0 +1,75 @@
+// On-disk SST structures: block handles (offset+size), the table footer, and
+// the shared block-read path with CRC verification. Layout matches leveldb:
+//   [data blocks][filter block][metaindex block][index block][footer]
+// Every block is followed by a 5-byte trailer: 1 type byte (0 = uncompressed;
+// compression is not implemented) + 4-byte masked crc32c.
+
+#ifndef P2KVS_SRC_SST_FORMAT_H_
+#define P2KVS_SRC_SST_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/io/env.h"
+#include "src/util/slice.h"
+#include "src/util/status.h"
+
+namespace p2kvs {
+
+class BlockHandle {
+ public:
+  // Maximum encoding length of a BlockHandle.
+  enum { kMaxEncodedLength = 10 + 10 };
+
+  BlockHandle() : offset_(~0ull), size_(~0ull) {}
+
+  uint64_t offset() const { return offset_; }
+  void set_offset(uint64_t offset) { offset_ = offset; }
+  uint64_t size() const { return size_; }
+  void set_size(uint64_t size) { size_ = size; }
+
+  void EncodeTo(std::string* dst) const;
+  Status DecodeFrom(Slice* input);
+
+ private:
+  uint64_t offset_;
+  uint64_t size_;
+};
+
+// Footer: metaindex handle + index handle, padded to kEncodedLength, then an
+// 8-byte magic number.
+class Footer {
+ public:
+  enum { kEncodedLength = 2 * BlockHandle::kMaxEncodedLength + 8 };
+
+  const BlockHandle& metaindex_handle() const { return metaindex_handle_; }
+  void set_metaindex_handle(const BlockHandle& h) { metaindex_handle_ = h; }
+  const BlockHandle& index_handle() const { return index_handle_; }
+  void set_index_handle(const BlockHandle& h) { index_handle_ = h; }
+
+  void EncodeTo(std::string* dst) const;
+  Status DecodeFrom(Slice* input);
+
+ private:
+  BlockHandle metaindex_handle_;
+  BlockHandle index_handle_;
+};
+
+static const uint64_t kTableMagicNumber = 0xdb4775248b80fb57ull;
+
+// 1-byte type + 32-bit crc.
+static const size_t kBlockTrailerSize = 5;
+
+struct BlockContents {
+  Slice data;
+  bool cachable;       // true iff data can be cached
+  bool heap_allocated;  // true iff caller should delete[] data.data()
+};
+
+// Reads the block identified by handle from file, verifying the CRC.
+Status ReadBlock(RandomAccessFile* file, bool verify_checksums, const BlockHandle& handle,
+                 BlockContents* result);
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_SST_FORMAT_H_

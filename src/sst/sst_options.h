@@ -1,0 +1,38 @@
+// Options controlling SST construction and reading, decoupled from the LSM
+// engine's Options so the sst library stands alone.
+
+#ifndef P2KVS_SRC_SST_SST_OPTIONS_H_
+#define P2KVS_SRC_SST_SST_OPTIONS_H_
+
+#include <cstddef>
+
+#include "src/sst/cache.h"
+#include "src/sst/filter_policy.h"
+#include "src/util/comparator.h"
+
+namespace p2kvs {
+
+struct SstOptions {
+  // Ordering of keys inside the table (the LSM engine passes its
+  // InternalKeyComparator).
+  const Comparator* comparator = BytewiseComparator();
+
+  // Approximate uncompressed size of each data block.
+  size_t block_size = 4 * 1024;
+
+  // Number of keys between restart points.
+  int block_restart_interval = 16;
+
+  // Optional bloom filter (not owned).
+  const FilterPolicy* filter_policy = nullptr;
+
+  // Verify checksums on every read.
+  bool verify_checksums = true;
+
+  // Optional cache of uncompressed data blocks (not owned).
+  Cache* block_cache = nullptr;
+};
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_SST_SST_OPTIONS_H_

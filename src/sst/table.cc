@@ -1,0 +1,226 @@
+#include "src/sst/table.h"
+
+#include "src/sst/block.h"
+#include "src/sst/filter_block.h"
+#include "src/sst/two_level_iterator.h"
+#include "src/util/coding.h"
+
+namespace p2kvs {
+
+struct Table::Rep {
+  ~Rep() = default;
+
+  SstOptions options;
+  Status status;
+  std::unique_ptr<RandomAccessFile> file;
+  uint64_t cache_id = 0;
+  std::unique_ptr<FilterBlockReader> filter;
+  std::unique_ptr<const char[]> filter_data;
+
+  BlockHandle metaindex_handle;  // from footer
+  std::unique_ptr<Block> index_block;
+};
+
+Status Table::Open(const SstOptions& options, std::unique_ptr<RandomAccessFile> file,
+                   uint64_t size, std::unique_ptr<Table>* table) {
+  table->reset();
+  if (size < Footer::kEncodedLength) {
+    return Status::Corruption("file is too short to be an sstable");
+  }
+
+  char footer_space[Footer::kEncodedLength];
+  Slice footer_input;
+  Status s = file->Read(size - Footer::kEncodedLength, Footer::kEncodedLength, &footer_input,
+                        footer_space);
+  if (!s.ok()) {
+    return s;
+  }
+
+  Footer footer;
+  s = footer.DecodeFrom(&footer_input);
+  if (!s.ok()) {
+    return s;
+  }
+
+  // Read the index block.
+  BlockContents index_block_contents;
+  s = ReadBlock(file.get(), options.verify_checksums, footer.index_handle(),
+                &index_block_contents);
+  if (!s.ok()) {
+    return s;
+  }
+
+  auto rep = new Rep;
+  rep->options = options;
+  rep->file = std::move(file);
+  rep->metaindex_handle = footer.metaindex_handle();
+  rep->index_block = std::make_unique<Block>(index_block_contents);
+  rep->cache_id = (options.block_cache != nullptr ? options.block_cache->NewId() : 0);
+  table->reset(new Table(rep));
+  (*table)->ReadMeta(footer);
+  return Status::OK();
+}
+
+void Table::ReadMeta(const Footer& footer) {
+  if (rep_->options.filter_policy == nullptr) {
+    return;
+  }
+
+  BlockContents contents;
+  if (!ReadBlock(rep_->file.get(), rep_->options.verify_checksums, footer.metaindex_handle(),
+                 &contents)
+           .ok()) {
+    // Ignore errors: no filter, just higher read cost.
+    return;
+  }
+  Block meta(contents);
+
+  std::unique_ptr<Iterator> iter(meta.NewIterator(BytewiseComparator()));
+  std::string key = "filter.";
+  key.append(rep_->options.filter_policy->Name());
+  iter->Seek(key);
+  if (iter->Valid() && iter->key() == Slice(key)) {
+    ReadFilter(iter->value());
+  }
+}
+
+void Table::ReadFilter(const Slice& filter_handle_value) {
+  Slice v = filter_handle_value;
+  BlockHandle filter_handle;
+  if (!filter_handle.DecodeFrom(&v).ok()) {
+    return;
+  }
+
+  BlockContents block;
+  if (!ReadBlock(rep_->file.get(), rep_->options.verify_checksums, filter_handle, &block).ok()) {
+    return;
+  }
+  if (block.heap_allocated) {
+    rep_->filter_data.reset(block.data.data());  // take ownership
+  }
+  rep_->filter = std::make_unique<FilterBlockReader>(rep_->options.filter_policy, block.data);
+}
+
+Table::Table(Rep* rep) : rep_(rep) {}
+
+Table::~Table() = default;
+
+static void DeleteCachedBlock(const Slice& /*key*/, void* value) {
+  Block* block = reinterpret_cast<Block*>(value);
+  delete block;
+}
+
+static void ReleaseBlock(Cache* cache, Cache::Handle* handle) { cache->Release(handle); }
+
+// Converts an index-block value (encoded BlockHandle) into a data-block
+// iterator, consulting the block cache.
+Iterator* Table::BlockReader(void* arg, const Slice& index_value) {
+  Table* table = reinterpret_cast<Table*>(arg);
+  Cache* block_cache = table->rep_->options.block_cache;
+  Block* block = nullptr;
+  Cache::Handle* cache_handle = nullptr;
+
+  BlockHandle handle;
+  Slice input = index_value;
+  Status s = handle.DecodeFrom(&input);
+
+  if (s.ok()) {
+    BlockContents contents;
+    if (block_cache != nullptr) {
+      char cache_key_buffer[16];
+      EncodeFixed64(cache_key_buffer, table->rep_->cache_id);
+      EncodeFixed64(cache_key_buffer + 8, handle.offset());
+      Slice key(cache_key_buffer, sizeof(cache_key_buffer));
+      cache_handle = block_cache->Lookup(key);
+      if (cache_handle != nullptr) {
+        block = reinterpret_cast<Block*>(block_cache->Value(cache_handle));
+      } else {
+        s = ReadBlock(table->rep_->file.get(), table->rep_->options.verify_checksums, handle,
+                      &contents);
+        if (s.ok()) {
+          block = new Block(contents);
+          if (contents.cachable) {
+            cache_handle =
+                block_cache->Insert(key, block, block->size(), &DeleteCachedBlock);
+          }
+        }
+      }
+    } else {
+      s = ReadBlock(table->rep_->file.get(), table->rep_->options.verify_checksums, handle,
+                    &contents);
+      if (s.ok()) {
+        block = new Block(contents);
+      }
+    }
+  }
+
+  Iterator* iter;
+  if (block != nullptr) {
+    iter = block->NewIterator(table->rep_->options.comparator);
+    if (cache_handle == nullptr) {
+      iter->RegisterCleanup([block] { delete block; });
+    } else {
+      iter->RegisterCleanup(
+          [block_cache, cache_handle] { ReleaseBlock(block_cache, cache_handle); });
+    }
+  } else {
+    iter = NewErrorIterator(s);
+  }
+  return iter;
+}
+
+Iterator* Table::NewIterator() const {
+  Table* self = const_cast<Table*>(this);
+  return NewTwoLevelIterator(
+      rep_->index_block->NewIterator(rep_->options.comparator),
+      [self](const Slice& index_value) { return BlockReader(self, index_value); });
+}
+
+Status Table::InternalGet(const Slice& k,
+                          const std::function<void(const Slice&, const Slice&)>& handle_result) {
+  Status s;
+  std::unique_ptr<Iterator> iiter(rep_->index_block->NewIterator(rep_->options.comparator));
+  iiter->Seek(k);
+  if (iiter->Valid()) {
+    Slice handle_value = iiter->value();
+    FilterBlockReader* filter = rep_->filter.get();
+    BlockHandle handle;
+    if (filter != nullptr && handle.DecodeFrom(&handle_value).ok() &&
+        !filter->KeyMayMatch(handle.offset(), k)) {
+      // Bloom filter says the key is definitely not present.
+    } else {
+      std::unique_ptr<Iterator> block_iter(BlockReader(this, iiter->value()));
+      block_iter->Seek(k);
+      if (block_iter->Valid()) {
+        handle_result(block_iter->key(), block_iter->value());
+      }
+      s = block_iter->status();
+    }
+  }
+  if (s.ok()) {
+    s = iiter->status();
+  }
+  return s;
+}
+
+uint64_t Table::ApproximateOffsetOf(const Slice& key) const {
+  std::unique_ptr<Iterator> index_iter(rep_->index_block->NewIterator(rep_->options.comparator));
+  index_iter->Seek(key);
+  uint64_t result;
+  if (index_iter->Valid()) {
+    BlockHandle handle;
+    Slice input = index_iter->value();
+    Status s = handle.DecodeFrom(&input);
+    if (s.ok()) {
+      result = handle.offset();
+    } else {
+      result = rep_->metaindex_handle.offset();
+    }
+  } else {
+    // Past the last key: approximate by the metaindex offset (near file end).
+    result = rep_->metaindex_handle.offset();
+  }
+  return result;
+}
+
+}  // namespace p2kvs

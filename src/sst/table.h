@@ -1,0 +1,57 @@
+// Table: read-only random access to an SST file, with optional block cache
+// and bloom-filter short-circuiting.
+
+#ifndef P2KVS_SRC_SST_TABLE_H_
+#define P2KVS_SRC_SST_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "src/io/env.h"
+#include "src/sst/format.h"
+#include "src/sst/sst_options.h"
+#include "src/util/iterator.h"
+
+namespace p2kvs {
+
+class Table {
+ public:
+  // Opens a table over [0..file_size) of file. On success *table is set and
+  // takes ownership of file.
+  static Status Open(const SstOptions& options, std::unique_ptr<RandomAccessFile> file,
+                     uint64_t file_size, std::unique_ptr<Table>* table);
+
+  ~Table();
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  // Iterator over the table's entries (keys in comparator order). The table
+  // must stay open while the iterator lives.
+  Iterator* NewIterator() const;
+
+  // Calls handle_result(arg_key, arg_value) with the entry found for `key`
+  // (first entry >= key whose block may contain it per the filter). Used by
+  // the LSM engine's point-get path.
+  Status InternalGet(const Slice& key,
+                     const std::function<void(const Slice&, const Slice&)>& handle_result);
+
+  // Approximate file offset where key's data begins (for size estimates).
+  uint64_t ApproximateOffsetOf(const Slice& key) const;
+
+ private:
+  struct Rep;
+
+  explicit Table(Rep* rep);
+
+  static Iterator* BlockReader(void* table, const Slice& index_value);
+  void ReadMeta(const Footer& footer);
+  void ReadFilter(const Slice& filter_handle_value);
+
+  std::unique_ptr<Rep> rep_;
+};
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_SST_TABLE_H_

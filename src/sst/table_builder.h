@@ -1,0 +1,58 @@
+// TableBuilder: streams sorted key/value pairs into an SST file.
+
+#ifndef P2KVS_SRC_SST_TABLE_BUILDER_H_
+#define P2KVS_SRC_SST_TABLE_BUILDER_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/io/env.h"
+#include "src/sst/format.h"
+#include "src/sst/sst_options.h"
+#include "src/util/slice.h"
+#include "src/util/status.h"
+
+namespace p2kvs {
+
+class BlockBuilder;
+
+class TableBuilder {
+ public:
+  // Does not take ownership of file; the caller must Sync/Close it after
+  // Finish().
+  TableBuilder(const SstOptions& options, WritableFile* file);
+  ~TableBuilder();
+
+  TableBuilder(const TableBuilder&) = delete;
+  TableBuilder& operator=(const TableBuilder&) = delete;
+
+  // Keys must arrive in strictly increasing order.
+  void Add(const Slice& key, const Slice& value);
+
+  // Writes any buffered data block (advanced use; Add calls it as needed).
+  void Flush();
+
+  Status status() const;
+
+  // Writes filter/metaindex/index/footer. No Add after this.
+  Status Finish();
+
+  // Discards buffered state; the file contents are undefined afterwards.
+  void Abandon();
+
+  uint64_t NumEntries() const;
+  // Size of the file generated so far; accurate after Finish().
+  uint64_t FileSize() const;
+
+ private:
+  bool ok() const { return status().ok(); }
+  void WriteBlock(BlockBuilder* block, BlockHandle* handle);
+  void WriteRawBlock(const Slice& data, BlockHandle* handle);
+
+  struct Rep;
+  std::unique_ptr<Rep> rep_;
+};
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_SST_TABLE_BUILDER_H_

@@ -1,0 +1,20 @@
+// Two-level iterator: walks an index iterator whose values identify blocks,
+// materializing a data iterator per block via a callback.
+
+#ifndef P2KVS_SRC_SST_TWO_LEVEL_ITERATOR_H_
+#define P2KVS_SRC_SST_TWO_LEVEL_ITERATOR_H_
+
+#include <functional>
+
+#include "src/util/iterator.h"
+
+namespace p2kvs {
+
+// block_function(index_value) -> data iterator over that block's entries.
+// Takes ownership of index_iter.
+Iterator* NewTwoLevelIterator(Iterator* index_iter,
+                              std::function<Iterator*(const Slice&)> block_function);
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_SST_TWO_LEVEL_ITERATOR_H_

@@ -1,0 +1,36 @@
+// Monotonic time helpers shared by stats, rate limiting and benchmarks.
+
+#ifndef P2KVS_SRC_UTIL_CLOCK_H_
+#define P2KVS_SRC_UTIL_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace p2kvs {
+
+// Monotonic nanoseconds since an arbitrary epoch.
+inline uint64_t NowNanos() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+inline uint64_t NowMicros() { return NowNanos() / 1000; }
+
+// Scoped stopwatch that adds elapsed nanoseconds to *sink on destruction.
+class ScopedTimerNanos {
+ public:
+  explicit ScopedTimerNanos(uint64_t* sink) : sink_(sink), start_(NowNanos()) {}
+  ~ScopedTimerNanos() { *sink_ += NowNanos() - start_; }
+
+  ScopedTimerNanos(const ScopedTimerNanos&) = delete;
+  ScopedTimerNanos& operator=(const ScopedTimerNanos&) = delete;
+
+ private:
+  uint64_t* sink_;
+  uint64_t start_;
+};
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_UTIL_CLOCK_H_

@@ -1,0 +1,63 @@
+// Binary encoding primitives shared by the WAL, SST, MANIFEST and WriteBatch
+// formats: little-endian fixed-width integers and LEB128-style varints.
+
+#ifndef P2KVS_SRC_UTIL_CODING_H_
+#define P2KVS_SRC_UTIL_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "src/util/slice.h"
+
+namespace p2kvs {
+
+// --- Fixed-width little-endian encoding. ---
+
+inline void EncodeFixed32(char* dst, uint32_t value) { memcpy(dst, &value, sizeof(value)); }
+inline void EncodeFixed64(char* dst, uint64_t value) { memcpy(dst, &value, sizeof(value)); }
+
+inline uint32_t DecodeFixed32(const char* ptr) {
+  uint32_t result;
+  memcpy(&result, ptr, sizeof(result));
+  return result;
+}
+
+inline uint64_t DecodeFixed64(const char* ptr) {
+  uint64_t result;
+  memcpy(&result, ptr, sizeof(result));
+  return result;
+}
+
+void PutFixed32(std::string* dst, uint32_t value);
+void PutFixed64(std::string* dst, uint64_t value);
+
+// --- Varint encoding. ---
+
+// Writes the varint encoding of v into dst; returns one past the last byte.
+char* EncodeVarint32(char* dst, uint32_t v);
+char* EncodeVarint64(char* dst, uint64_t v);
+
+void PutVarint32(std::string* dst, uint32_t value);
+void PutVarint64(std::string* dst, uint64_t value);
+
+// Appends varint-length-prefixed `value` to dst.
+void PutLengthPrefixedSlice(std::string* dst, const Slice& value);
+
+// Parses a varint from [p, limit); returns one past the parsed bytes or
+// nullptr on malformed input.
+const char* GetVarint32Ptr(const char* p, const char* limit, uint32_t* value);
+const char* GetVarint64Ptr(const char* p, const char* limit, uint64_t* value);
+
+// Slice-consuming variants: advance *input past the parsed value. Return
+// false on malformed input.
+bool GetVarint32(Slice* input, uint32_t* value);
+bool GetVarint64(Slice* input, uint64_t* value);
+bool GetLengthPrefixedSlice(Slice* input, Slice* result);
+
+// Number of bytes the varint encoding of v occupies.
+int VarintLength(uint64_t v);
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_UTIL_CODING_H_

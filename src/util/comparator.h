@@ -1,0 +1,36 @@
+// Key ordering abstraction. Only bytewise ordering is shipped, but SST
+// building uses the FindShortest* hooks to shrink index keys, so the full
+// interface is kept.
+
+#ifndef P2KVS_SRC_UTIL_COMPARATOR_H_
+#define P2KVS_SRC_UTIL_COMPARATOR_H_
+
+#include <string>
+
+#include "src/util/slice.h"
+
+namespace p2kvs {
+
+class Comparator {
+ public:
+  virtual ~Comparator() = default;
+
+  // Three-way comparison: <0, ==0, >0.
+  virtual int Compare(const Slice& a, const Slice& b) const = 0;
+
+  // Name used to check on-disk compatibility.
+  virtual const char* Name() const = 0;
+
+  // If *start < limit, may shorten *start to a string in [*start, limit).
+  virtual void FindShortestSeparator(std::string* start, const Slice& limit) const = 0;
+
+  // May change *key to a short string >= *key.
+  virtual void FindShortSuccessor(std::string* key) const = 0;
+};
+
+// Lexicographic bytewise ordering; singleton, never destroyed.
+const Comparator* BytewiseComparator();
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_UTIL_COMPARATOR_H_

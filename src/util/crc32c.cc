@@ -1,0 +1,66 @@
+#include "src/util/crc32c.h"
+
+#include <array>
+
+namespace p2kvs {
+namespace crc32c {
+
+namespace {
+
+// Builds the 8 slicing-by-8 lookup tables for the Castagnoli polynomial at
+// static-initialization time.
+struct Tables {
+  uint32_t t[8][256];
+
+  Tables() {
+    const uint32_t kPoly = 0x82f63b78u;  // reflected 0x1EDC6F41
+    for (uint32_t i = 0; i < 256; i++) {
+      uint32_t crc = i;
+      for (int j = 0; j < 8; j++) {
+        crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; i++) {
+      for (int k = 1; k < 8; k++) {
+        t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xff];
+      }
+    }
+  }
+};
+
+const Tables& GetTables() {
+  static const Tables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Extend(uint32_t init_crc, const char* data, size_t n) {
+  const Tables& tab = GetTables();
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(data);
+  uint32_t crc = init_crc ^ 0xffffffffu;
+
+  // Process 8 bytes at a time (slicing-by-8).
+  while (n >= 8) {
+    uint32_t lo;
+    uint32_t hi;
+    __builtin_memcpy(&lo, p, 4);
+    __builtin_memcpy(&hi, p + 4, 4);
+    lo ^= crc;
+    crc = tab.t[7][lo & 0xff] ^ tab.t[6][(lo >> 8) & 0xff] ^ tab.t[5][(lo >> 16) & 0xff] ^
+          tab.t[4][(lo >> 24) & 0xff] ^ tab.t[3][hi & 0xff] ^ tab.t[2][(hi >> 8) & 0xff] ^
+          tab.t[1][(hi >> 16) & 0xff] ^ tab.t[0][(hi >> 24) & 0xff];
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    crc = (crc >> 8) ^ tab.t[0][(crc ^ *p) & 0xff];
+    p++;
+    n--;
+  }
+  return crc ^ 0xffffffffu;
+}
+
+}  // namespace crc32c
+}  // namespace p2kvs

@@ -1,0 +1,36 @@
+// CRC32C (Castagnoli) checksums used by the WAL record format and SST blocks.
+// Software table-driven implementation; values are masked before storage so a
+// checksum of data that itself contains checksums stays well distributed.
+
+#ifndef P2KVS_SRC_UTIL_CRC32C_H_
+#define P2KVS_SRC_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace p2kvs {
+namespace crc32c {
+
+// Returns the crc32c of concat(A, data[0,n-1]) where init_crc is the crc32c
+// of some string A.
+uint32_t Extend(uint32_t init_crc, const char* data, size_t n);
+
+// crc32c of data[0,n-1].
+inline uint32_t Value(const char* data, size_t n) { return Extend(0, data, n); }
+
+static const uint32_t kMaskDelta = 0xa282ead8ul;
+
+// Returns a masked representation of crc, for storing alongside the data it
+// covers.
+inline uint32_t Mask(uint32_t crc) { return ((crc >> 15) | (crc << 17)) + kMaskDelta; }
+
+// Inverse of Mask().
+inline uint32_t Unmask(uint32_t masked_crc) {
+  uint32_t rot = masked_crc - kMaskDelta;
+  return ((rot >> 17) | (rot << 15));
+}
+
+}  // namespace crc32c
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_UTIL_CRC32C_H_

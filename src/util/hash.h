@@ -1,0 +1,28 @@
+// Hash functions: a murmur-style byte hash used by bloom filters, the block
+// cache, and the p2KVS key-space partitioner.
+
+#ifndef P2KVS_SRC_UTIL_HASH_H_
+#define P2KVS_SRC_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/util/slice.h"
+
+namespace p2kvs {
+
+// Murmur-inspired 32-bit hash (leveldb-compatible construction).
+uint32_t Hash(const char* data, size_t n, uint32_t seed);
+
+inline uint32_t Hash(const Slice& s, uint32_t seed = 0xbc9f1d34) {
+  return Hash(s.data(), s.size(), seed);
+}
+
+// 64-bit FNV-1a, used where more bits are wanted (e.g. sharded cache).
+uint64_t Hash64(const char* data, size_t n);
+
+inline uint64_t Hash64(const Slice& s) { return Hash64(s.data(), s.size()); }
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_UTIL_HASH_H_

@@ -1,0 +1,131 @@
+#include "src/util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace p2kvs {
+
+namespace {
+
+std::vector<double> MakeBucketLimits() {
+  // Geometric bucket boundaries: 1, 2, 3, 4, 5, ..., growing ~12% per bucket
+  // after 10, up to ~1e12. Dense enough for stable p99 at microsecond scale.
+  std::vector<double> limits;
+  double v = 1;
+  while (v < 1e12) {
+    limits.push_back(v);
+    double next = v * 1.12;
+    if (next < v + 1) {
+      next = v + 1;
+    }
+    v = next;
+  }
+  limits.push_back(std::numeric_limits<double>::infinity());
+  return limits;
+}
+
+}  // namespace
+
+const std::vector<double>& Histogram::BucketLimits() {
+  static const std::vector<double> limits = MakeBucketLimits();
+  return limits;
+}
+
+Histogram::Histogram() { Clear(); }
+
+void Histogram::Clear() {
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = 0;
+  num_ = 0;
+  sum_ = 0;
+  sum_squares_ = 0;
+  buckets_.assign(BucketLimits().size(), 0.0);
+}
+
+void Histogram::Add(double value) {
+  const auto& limits = BucketLimits();
+  // First bucket whose limit is > value.
+  size_t b = std::upper_bound(limits.begin(), limits.end(), value) - limits.begin();
+  if (b >= buckets_.size()) {
+    b = buckets_.size() - 1;
+  }
+  buckets_[b] += 1.0;
+  if (min_ > value) {
+    min_ = value;
+  }
+  if (max_ < value) {
+    max_ = value;
+  }
+  num_ += 1.0;
+  sum_ += value;
+  sum_squares_ += value * value;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.min_ < min_) {
+    min_ = other.min_;
+  }
+  if (other.max_ > max_) {
+    max_ = other.max_;
+  }
+  num_ += other.num_;
+  sum_ += other.sum_;
+  sum_squares_ += other.sum_squares_;
+  for (size_t b = 0; b < buckets_.size(); b++) {
+    buckets_[b] += other.buckets_[b];
+  }
+}
+
+double Histogram::Percentile(double p) const {
+  if (num_ == 0) {
+    return 0;
+  }
+  const auto& limits = BucketLimits();
+  double threshold = num_ * (p / 100.0);
+  double cumulative = 0;
+  for (size_t b = 0; b < buckets_.size(); b++) {
+    cumulative += buckets_[b];
+    if (cumulative >= threshold) {
+      // Linear interpolation within the bucket.
+      double left = (b == 0) ? 0 : limits[b - 1];
+      double right = limits[b];
+      if (!std::isfinite(right)) {
+        right = max_;
+      }
+      double left_sum = cumulative - buckets_[b];
+      double pos = (buckets_[b] == 0) ? 0 : (threshold - left_sum) / buckets_[b];
+      double r = left + (right - left) * pos;
+      if (r < min_) {
+        r = min_;
+      }
+      if (r > max_) {
+        r = max_;
+      }
+      return r;
+    }
+  }
+  return max_;
+}
+
+double Histogram::Average() const { return num_ == 0 ? 0 : sum_ / num_; }
+
+double Histogram::StandardDeviation() const {
+  if (num_ == 0) {
+    return 0;
+  }
+  double variance = (sum_squares_ * num_ - sum_ * sum_) / (num_ * num_);
+  return variance > 0 ? std::sqrt(variance) : 0;
+}
+
+std::string Histogram::ToString() const {
+  char buf[200];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu avg=%.2f min=%.2f max=%.2f p50=%.2f p95=%.2f p99=%.2f p99.9=%.2f",
+                static_cast<unsigned long long>(Count()), Average(), num_ == 0 ? 0 : min_, max_,
+                Percentile(50), Percentile(95), Percentile(99), Percentile(99.9));
+  return buf;
+}
+
+}  // namespace p2kvs

@@ -1,0 +1,46 @@
+// Latency histogram with geometric buckets; supports mean / percentile
+// queries and merging across threads. Used by the bench harness and the
+// engines' internal stats.
+
+#ifndef P2KVS_SRC_UTIL_HISTOGRAM_H_
+#define P2KVS_SRC_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace p2kvs {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void Clear();
+  // Records one sample (any non-negative value; typically microseconds).
+  void Add(double value);
+  void Merge(const Histogram& other);
+
+  double Median() const { return Percentile(50.0); }
+  double Percentile(double p) const;
+  double Average() const;
+  double StandardDeviation() const;
+  double Max() const { return max_; }
+  double Min() const { return min_; }
+  uint64_t Count() const { return static_cast<uint64_t>(num_); }
+
+  std::string ToString() const;
+
+ private:
+  static const std::vector<double>& BucketLimits();
+
+  double min_;
+  double max_;
+  double num_;
+  double sum_;
+  double sum_squares_;
+  std::vector<double> buckets_;
+};
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_UTIL_HISTOGRAM_H_

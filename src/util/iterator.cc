@@ -1,0 +1,47 @@
+#include "src/util/iterator.h"
+
+namespace p2kvs {
+
+Iterator::~Iterator() {
+  for (auto& cleanup : cleanups_) {
+    cleanup();
+  }
+}
+
+void Iterator::RegisterCleanup(std::function<void()> cleanup) {
+  cleanups_.push_back(std::move(cleanup));
+}
+
+namespace {
+
+class EmptyIterator final : public Iterator {
+ public:
+  explicit EmptyIterator(const Status& s) : status_(s) {}
+
+  bool Valid() const override { return false; }
+  void Seek(const Slice&) override {}
+  void SeekToFirst() override {}
+  void SeekToLast() override {}
+  void Next() override { assert(false); }
+  void Prev() override { assert(false); }
+  Slice key() const override {
+    assert(false);
+    return Slice();
+  }
+  Slice value() const override {
+    assert(false);
+    return Slice();
+  }
+  Status status() const override { return status_; }
+
+ private:
+  Status status_;
+};
+
+}  // namespace
+
+Iterator* NewEmptyIterator() { return new EmptyIterator(Status::OK()); }
+
+Iterator* NewErrorIterator(const Status& status) { return new EmptyIterator(status); }
+
+}  // namespace p2kvs

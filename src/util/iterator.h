@@ -1,0 +1,52 @@
+// Iterator: the uniform cursor interface over MemTables, SST blocks, whole
+// tables, merged views and the user-visible DB iterator (leveldb-style).
+
+#ifndef P2KVS_SRC_UTIL_ITERATOR_H_
+#define P2KVS_SRC_UTIL_ITERATOR_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/util/slice.h"
+#include "src/util/status.h"
+
+namespace p2kvs {
+
+class Iterator {
+ public:
+  Iterator() = default;
+  virtual ~Iterator();
+
+  Iterator(const Iterator&) = delete;
+  Iterator& operator=(const Iterator&) = delete;
+
+  virtual bool Valid() const = 0;
+  virtual void SeekToFirst() = 0;
+  virtual void SeekToLast() = 0;
+  // Positions at the first entry with key >= target.
+  virtual void Seek(const Slice& target) = 0;
+  virtual void Next() = 0;
+  virtual void Prev() = 0;
+
+  // Valid() only. The returned slices remain valid until the next move.
+  virtual Slice key() const = 0;
+  virtual Slice value() const = 0;
+
+  virtual Status status() const = 0;
+
+  // Registers a function to run when this iterator is destroyed (used to pin
+  // blocks / versions / memtables for the iterator's lifetime).
+  void RegisterCleanup(std::function<void()> cleanup);
+
+ private:
+  std::vector<std::function<void()>> cleanups_;
+};
+
+// An iterator over nothing, optionally carrying an error status.
+Iterator* NewEmptyIterator();
+Iterator* NewErrorIterator(const Status& status);
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_UTIL_ITERATOR_H_

@@ -1,0 +1,108 @@
+// Blocking multi-producer single-consumer queue backing each p2KVS worker's
+// request queue (paper §4.1). Producers are user threads; the single consumer
+// is the worker. The consumer-side API exposes exactly what the opportunistic
+// batching mechanism (Algorithm 1) needs: pop-one, peek-front-type, and a
+// conditional pop used while merging a batch.
+
+#ifndef P2KVS_SRC_UTIL_MPSC_QUEUE_H_
+#define P2KVS_SRC_UTIL_MPSC_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace p2kvs {
+
+template <typename T>
+class MpscQueue {
+ public:
+  explicit MpscQueue(size_t capacity = 0) : capacity_(capacity) {}
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  // Enqueues an item; blocks while the queue is at capacity (capacity 0 means
+  // unbounded). Returns false if the queue has been closed.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (capacity_ != 0 && queue_.size() >= capacity_ && !closed_) {
+      not_full_.wait(lock);
+    }
+    if (closed_) {
+      return false;
+    }
+    queue_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks until an item is available or the queue is closed and drained.
+  // Returns std::nullopt only in the closed-and-empty case.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (queue_.empty() && !closed_) {
+      not_empty_.wait(lock);
+    }
+    if (queue_.empty()) {
+      return std::nullopt;
+    }
+    T item = std::move(queue_.front());
+    queue_.pop_front();
+    if (capacity_ != 0) {
+      not_full_.notify_one();
+    }
+    return item;
+  }
+
+  // Non-blocking: pops the front item iff the queue is non-empty and
+  // pred(front) holds. This is the "merge consecutive same-type requests"
+  // primitive of the OBM; it never waits for more requests to arrive.
+  template <typename Pred>
+  std::optional<T> TryPopIf(Pred pred) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (queue_.empty() || !pred(queue_.front())) {
+      return std::nullopt;
+    }
+    T item = std::move(queue_.front());
+    queue_.pop_front();
+    if (capacity_ != 0) {
+      not_full_.notify_one();
+    }
+    return item;
+  }
+
+  size_t Size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
+  bool Empty() const { return Size() == 0; }
+
+  // Wakes all waiters; subsequent Push calls fail, Pop drains the remainder.
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_UTIL_MPSC_QUEUE_H_

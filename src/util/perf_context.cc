@@ -1,0 +1,10 @@
+#include "src/util/perf_context.h"
+
+namespace p2kvs {
+
+PerfContext& GetPerfContext() {
+  thread_local PerfContext ctx;
+  return ctx;
+}
+
+}  // namespace p2kvs

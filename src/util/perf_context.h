@@ -1,0 +1,45 @@
+// Per-thread write-path instrumentation, mirroring the latency breakdown in
+// paper Figure 6: WAL time, MemTable time, WAL-lock wait, MemTable-lock wait,
+// and Others (total minus the four). Each user thread accumulates into its
+// own thread-local context with zero synchronization; benchmarks snapshot and
+// merge per thread.
+
+#ifndef P2KVS_SRC_UTIL_PERF_CONTEXT_H_
+#define P2KVS_SRC_UTIL_PERF_CONTEXT_H_
+
+#include <cstdint>
+
+namespace p2kvs {
+
+struct PerfContext {
+  uint64_t wal_nanos = 0;             // encoding + appending + syncing the log
+  uint64_t memtable_nanos = 0;        // skiplist insert / index update
+  uint64_t wal_lock_nanos = 0;        // waiting to join/lead a write group
+  uint64_t memtable_lock_nanos = 0;   // synchronization around memtable insert
+  uint64_t total_write_nanos = 0;     // end-to-end time inside DB::Write
+  uint64_t write_count = 0;           // number of DB::Write calls
+
+  void Reset() { *this = PerfContext(); }
+
+  void MergeFrom(const PerfContext& other) {
+    wal_nanos += other.wal_nanos;
+    memtable_nanos += other.memtable_nanos;
+    wal_lock_nanos += other.wal_lock_nanos;
+    memtable_lock_nanos += other.memtable_lock_nanos;
+    total_write_nanos += other.total_write_nanos;
+    write_count += other.write_count;
+  }
+
+  uint64_t others_nanos() const {
+    uint64_t accounted = wal_nanos + memtable_nanos + wal_lock_nanos + memtable_lock_nanos;
+    return total_write_nanos > accounted ? total_write_nanos - accounted : 0;
+  }
+};
+
+// The calling thread's context. Enabled unconditionally; the cost is a few
+// clock reads per write and only when the LSM write path is instrumented.
+PerfContext& GetPerfContext();
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_UTIL_PERF_CONTEXT_H_

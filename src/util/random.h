@@ -1,0 +1,69 @@
+// Fast pseudo-random number generation for workload generators and tests.
+// Not cryptographic.
+
+#ifndef P2KVS_SRC_UTIL_RANDOM_H_
+#define P2KVS_SRC_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace p2kvs {
+
+// Lehmer-style PRNG (leveldb-compatible): multiplicative LCG modulo the
+// Mersenne prime 2^31-1.
+class Random {
+ public:
+  explicit Random(uint32_t s) : seed_(s & 0x7fffffffu) {
+    if (seed_ == 0 || seed_ == 2147483647L) {
+      seed_ = 1;
+    }
+  }
+
+  uint32_t Next() {
+    static const uint32_t M = 2147483647L;  // 2^31-1
+    static const uint64_t A = 16807;        // bits 14, 8, 7, 5, 2, 1, 0
+    uint64_t product = seed_ * A;
+    seed_ = static_cast<uint32_t>((product >> 31) + (product & M));
+    if (seed_ > M) {
+      seed_ -= M;
+    }
+    return seed_;
+  }
+
+  // Uniform in [0, n-1]; n must be > 0.
+  uint32_t Uniform(int n) { return Next() % n; }
+
+  // True with probability 1/n.
+  bool OneIn(int n) { return (Next() % n) == 0; }
+
+  // Skewed: picks base in [0, max_log] uniformly then returns uniform in
+  // [0, 2^base - 1]; favors small numbers with a long tail.
+  uint32_t Skewed(int max_log) { return Uniform(1 << Uniform(max_log + 1)); }
+
+ private:
+  uint32_t seed_;
+};
+
+// splitmix64/xorshift-based 64-bit generator, for key-space sized draws.
+class Random64 {
+ public:
+  explicit Random64(uint64_t s) : state_(s ? s : 0x9e3779b97f4a7c15ull) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t Uniform(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return (Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_UTIL_RANDOM_H_

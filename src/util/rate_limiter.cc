@@ -1,0 +1,54 @@
+#include "src/util/rate_limiter.h"
+
+#include <algorithm>
+
+#include "src/util/clock.h"
+
+namespace p2kvs {
+
+RateLimiter::RateLimiter(uint64_t rate_per_sec, uint64_t burst)
+    : rate_per_sec_(rate_per_sec),
+      burst_(burst != 0 ? burst : std::max<uint64_t>(rate_per_sec / 20, 1)),
+      available_(burst_),
+      last_refill_nanos_(NowNanos()) {}
+
+void RateLimiter::Request(uint64_t tokens) {
+  if (!enabled() || tokens == 0) {
+    return;
+  }
+  while (tokens > 0) {
+    uint64_t chunk = std::min(tokens, burst_);
+    RequestChunk(chunk);
+    tokens -= chunk;
+  }
+}
+
+void RateLimiter::Refill(uint64_t now_nanos) {
+  if (now_nanos <= last_refill_nanos_) {
+    return;
+  }
+  uint64_t elapsed = now_nanos - last_refill_nanos_;
+  uint64_t add = static_cast<uint64_t>(static_cast<double>(elapsed) * rate_per_sec_ / 1e9);
+  if (add > 0) {
+    available_ = std::min(available_ + add, burst_);
+    last_refill_nanos_ = now_nanos;
+  }
+}
+
+void RateLimiter::RequestChunk(uint64_t tokens) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    Refill(NowNanos());
+    if (available_ >= tokens) {
+      available_ -= tokens;
+      return;
+    }
+    // Sleep roughly until the deficit should be covered.
+    uint64_t deficit = tokens - available_;
+    uint64_t wait_nanos = static_cast<uint64_t>(static_cast<double>(deficit) * 1e9 /
+                                                static_cast<double>(rate_per_sec_));
+    cv_.wait_for(lock, std::chrono::nanoseconds(std::max<uint64_t>(wait_nanos, 1000)));
+  }
+}
+
+}  // namespace p2kvs

@@ -1,0 +1,45 @@
+// Token-bucket rate limiter used by the device-model Env to enforce a
+// bandwidth envelope (bytes/second). Thread-safe; requesters block until
+// tokens are available, which models queueing at a saturated device.
+
+#ifndef P2KVS_SRC_UTIL_RATE_LIMITER_H_
+#define P2KVS_SRC_UTIL_RATE_LIMITER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace p2kvs {
+
+class RateLimiter {
+ public:
+  // rate_per_sec: tokens (bytes) replenished per second. 0 disables limiting.
+  // burst: bucket capacity; defaults to 1/20th of a second worth of tokens.
+  explicit RateLimiter(uint64_t rate_per_sec, uint64_t burst = 0);
+
+  RateLimiter(const RateLimiter&) = delete;
+  RateLimiter& operator=(const RateLimiter&) = delete;
+
+  // Blocks until `tokens` tokens have been consumed. Requests larger than the
+  // burst size are split internally.
+  void Request(uint64_t tokens);
+
+  bool enabled() const { return rate_per_sec_ > 0; }
+  uint64_t rate_per_sec() const { return rate_per_sec_; }
+
+ private:
+  void RequestChunk(uint64_t tokens);
+  void Refill(uint64_t now_nanos);
+
+  const uint64_t rate_per_sec_;
+  const uint64_t burst_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t available_;
+  uint64_t last_refill_nanos_;
+};
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_UTIL_RATE_LIMITER_H_

@@ -1,0 +1,68 @@
+#include "src/util/resource_usage.h"
+
+#include <sys/resource.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "src/util/clock.h"
+
+namespace p2kvs {
+
+uint64_t CurrentRssBytes() {
+#if defined(__linux__)
+  FILE* f = fopen("/proc/self/statm", "r");
+  if (f != nullptr) {
+    long total = 0;
+    long resident = 0;
+    int n = fscanf(f, "%ld %ld", &total, &resident);
+    fclose(f);
+    if (n == 2) {
+      long page = sysconf(_SC_PAGESIZE);
+      return static_cast<uint64_t>(resident) * static_cast<uint64_t>(page);
+    }
+  }
+#endif
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    return static_cast<uint64_t>(ru.ru_maxrss) * 1024;  // kilobytes on Linux
+  }
+  return 0;
+}
+
+uint64_t ProcessCpuNanos() {
+#if defined(__linux__)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) == 0) {
+    return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull + static_cast<uint64_t>(ts.tv_nsec);
+  }
+#endif
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    uint64_t user = static_cast<uint64_t>(ru.ru_utime.tv_sec) * 1000000000ull +
+                    static_cast<uint64_t>(ru.ru_utime.tv_usec) * 1000ull;
+    uint64_t sys = static_cast<uint64_t>(ru.ru_stime.tv_sec) * 1000000000ull +
+                   static_cast<uint64_t>(ru.ru_stime.tv_usec) * 1000ull;
+    return user + sys;
+  }
+  return 0;
+}
+
+CpuUsageSampler::CpuUsageSampler() : last_cpu_nanos_(ProcessCpuNanos()), last_wall_nanos_(NowNanos()) {}
+
+double CpuUsageSampler::SampleUtilizationPercent() {
+  uint64_t cpu = ProcessCpuNanos();
+  uint64_t wall = NowNanos();
+  double cpu_delta = static_cast<double>(cpu - last_cpu_nanos_);
+  double wall_delta = static_cast<double>(wall - last_wall_nanos_);
+  last_cpu_nanos_ = cpu;
+  last_wall_nanos_ = wall;
+  if (wall_delta <= 0) {
+    return 0;
+  }
+  return 100.0 * cpu_delta / wall_delta;
+}
+
+}  // namespace p2kvs

@@ -1,0 +1,34 @@
+// Process resource sampling for Table 2 and Figure 21: resident memory and
+// cumulative CPU time, read from /proc on Linux with portable fallbacks.
+
+#ifndef P2KVS_SRC_UTIL_RESOURCE_USAGE_H_
+#define P2KVS_SRC_UTIL_RESOURCE_USAGE_H_
+
+#include <cstdint>
+
+namespace p2kvs {
+
+// Resident set size of this process in bytes (0 if unavailable).
+uint64_t CurrentRssBytes();
+
+// Total CPU time (user+system, all threads) consumed by this process, in
+// nanoseconds.
+uint64_t ProcessCpuNanos();
+
+// Utility for computing CPU utilization over an interval, normalized to a
+// single core: 100% == one core fully busy (so 8 busy cores report 800%).
+class CpuUsageSampler {
+ public:
+  CpuUsageSampler();
+
+  // Percent-of-one-core CPU consumed since the previous call (or creation).
+  double SampleUtilizationPercent();
+
+ private:
+  uint64_t last_cpu_nanos_;
+  uint64_t last_wall_nanos_;
+};
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_UTIL_RESOURCE_USAGE_H_

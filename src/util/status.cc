@@ -1,0 +1,50 @@
+#include "src/util/status.h"
+
+namespace p2kvs {
+
+Status::Status(Code code, const Slice& msg, const Slice& msg2) {
+  std::string m = msg.ToString();
+  if (!msg2.empty()) {
+    m.append(": ");
+    m.append(msg2.data(), msg2.size());
+  }
+  state_ = std::make_shared<const State>(State{code, std::move(m)});
+}
+
+std::string Status::ToString() const {
+  if (state_ == nullptr) {
+    return "OK";
+  }
+  const char* type = nullptr;
+  switch (state_->code) {
+    case Code::kOk:
+      type = "OK";
+      break;
+    case Code::kNotFound:
+      type = "NotFound: ";
+      break;
+    case Code::kCorruption:
+      type = "Corruption: ";
+      break;
+    case Code::kNotSupported:
+      type = "Not supported: ";
+      break;
+    case Code::kInvalidArgument:
+      type = "Invalid argument: ";
+      break;
+    case Code::kIOError:
+      type = "IO error: ";
+      break;
+    case Code::kBusy:
+      type = "Busy: ";
+      break;
+    case Code::kAborted:
+      type = "Aborted: ";
+      break;
+  }
+  std::string result(type);
+  result.append(state_->msg);
+  return result;
+}
+
+}  // namespace p2kvs

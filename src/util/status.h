@@ -1,0 +1,82 @@
+// Status: lightweight error propagation without exceptions (Core Guidelines
+// E.x for library boundaries that must stay allocation- and throw-free on hot
+// paths). OK status carries no allocation at all.
+
+#ifndef P2KVS_SRC_UTIL_STATUS_H_
+#define P2KVS_SRC_UTIL_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "src/util/slice.h"
+
+namespace p2kvs {
+
+class Status {
+ public:
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(Code::kNotFound, msg, msg2);
+  }
+  static Status Corruption(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(Code::kCorruption, msg, msg2);
+  }
+  static Status NotSupported(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(Code::kNotSupported, msg, msg2);
+  }
+  static Status InvalidArgument(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(Code::kInvalidArgument, msg, msg2);
+  }
+  static Status IOError(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(Code::kIOError, msg, msg2);
+  }
+  static Status Busy(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(Code::kBusy, msg, msg2);
+  }
+  static Status Aborted(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(Code::kAborted, msg, msg2);
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  bool IsNotFound() const { return code() == Code::kNotFound; }
+  bool IsCorruption() const { return code() == Code::kCorruption; }
+  bool IsNotSupported() const { return code() == Code::kNotSupported; }
+  bool IsInvalidArgument() const { return code() == Code::kInvalidArgument; }
+  bool IsIOError() const { return code() == Code::kIOError; }
+  bool IsBusy() const { return code() == Code::kBusy; }
+  bool IsAborted() const { return code() == Code::kAborted; }
+
+  // Human-readable description, e.g. "IO error: <msg>: <msg2>".
+  std::string ToString() const;
+
+ private:
+  enum class Code : unsigned char {
+    kOk = 0,
+    kNotFound,
+    kCorruption,
+    kNotSupported,
+    kInvalidArgument,
+    kIOError,
+    kBusy,
+    kAborted,
+  };
+
+  struct State {
+    Code code;
+    std::string msg;
+  };
+
+  Status(Code code, const Slice& msg, const Slice& msg2);
+
+  Code code() const { return state_ == nullptr ? Code::kOk : state_->code; }
+
+  // Shared so Status is cheap to copy; error states are immutable.
+  std::shared_ptr<const State> state_;
+};
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_UTIL_STATUS_H_

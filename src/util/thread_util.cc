@@ -1,0 +1,38 @@
+#include "src/util/thread_util.h"
+
+#include <pthread.h>
+#include <sched.h>
+#include <unistd.h>
+
+#include <thread>
+
+namespace p2kvs {
+
+int NumCpus() {
+  unsigned int n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+bool PinThreadToCpu(int cpu) {
+#if defined(__linux__)
+  cpu_set_t cpuset;
+  CPU_ZERO(&cpuset);
+  CPU_SET(cpu % NumCpus(), &cpuset);
+  return pthread_setaffinity_np(pthread_self(), sizeof(cpu_set_t), &cpuset) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+void SetThreadName(const std::string& name) {
+#if defined(__linux__)
+  // Linux limits thread names to 15 characters + NUL.
+  std::string truncated = name.substr(0, 15);
+  pthread_setname_np(pthread_self(), truncated.c_str());
+#else
+  (void)name;
+#endif
+}
+
+}  // namespace p2kvs

@@ -1,0 +1,23 @@
+// Thread affinity and naming helpers. p2KVS pins each KVS-worker to a
+// dedicated core (paper §4.1); on machines with fewer cores than workers the
+// pinning wraps around, which keeps the code path exercised without failing.
+
+#ifndef P2KVS_SRC_UTIL_THREAD_UTIL_H_
+#define P2KVS_SRC_UTIL_THREAD_UTIL_H_
+
+#include <string>
+
+namespace p2kvs {
+
+// Number of logical CPUs visible to this process.
+int NumCpus();
+
+// Pins the calling thread to `cpu % NumCpus()`. Returns true on success.
+bool PinThreadToCpu(int cpu);
+
+// Best-effort thread naming (visible in /proc and debuggers).
+void SetThreadName(const std::string& name);
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_UTIL_THREAD_UTIL_H_

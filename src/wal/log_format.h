@@ -1,0 +1,33 @@
+// Record-oriented log format shared by the LSM WAL, the B+-tree WAL, the
+// MANIFEST and the p2KVS transaction log. Identical to the leveldb/RocksDB
+// layout: the file is a sequence of 32 KiB blocks; each record fragment is
+//   checksum (4B, crc32c of type+payload, masked)
+//   length   (2B, little-endian)
+//   type     (1B: FULL / FIRST / MIDDLE / LAST)
+//   payload
+// Fragments never span blocks; trailers of < 7 bytes are zero-filled.
+
+#ifndef P2KVS_SRC_WAL_LOG_FORMAT_H_
+#define P2KVS_SRC_WAL_LOG_FORMAT_H_
+
+namespace p2kvs {
+namespace log {
+
+enum RecordType {
+  kZeroType = 0,  // preallocated/zeroed region
+  kFullType = 1,
+  kFirstType = 2,
+  kMiddleType = 3,
+  kLastType = 4,
+};
+static const int kMaxRecordType = kLastType;
+
+static const int kBlockSize = 32768;
+
+// Header: checksum (4) + length (2) + type (1).
+static const int kHeaderSize = 4 + 2 + 1;
+
+}  // namespace log
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_WAL_LOG_FORMAT_H_

@@ -1,0 +1,59 @@
+// Sequentially reads records written by log::Writer, tolerating torn tails
+// (the normal state after a crash) and reporting corruption to an optional
+// Reporter.
+
+#ifndef P2KVS_SRC_WAL_LOG_READER_H_
+#define P2KVS_SRC_WAL_LOG_READER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/io/env.h"
+#include "src/util/slice.h"
+#include "src/util/status.h"
+#include "src/wal/log_format.h"
+
+namespace p2kvs {
+namespace log {
+
+class Reader {
+ public:
+  // Interface for reporting skipped corrupt regions.
+  class Reporter {
+   public:
+    virtual ~Reporter() = default;
+    virtual void Corruption(size_t bytes, const Status& status) = 0;
+  };
+
+  // Does not take ownership of file or reporter. If checksum is true, drops
+  // records failing CRC verification.
+  Reader(SequentialFile* file, Reporter* reporter, bool checksum);
+
+  Reader(const Reader&) = delete;
+  Reader& operator=(const Reader&) = delete;
+
+  // Reads the next record into *record; returns false at EOF. The record
+  // contents may be backed by *scratch.
+  bool ReadRecord(Slice* record, std::string* scratch);
+
+ private:
+  // Extended, internal-only record types.
+  enum { kEof = kMaxRecordType + 1, kBadRecord = kMaxRecordType + 2 };
+
+  unsigned int ReadPhysicalRecord(Slice* result);
+  void ReportCorruption(uint64_t bytes, const char* reason);
+  void ReportDrop(uint64_t bytes, const Status& reason);
+
+  SequentialFile* const file_;
+  Reporter* const reporter_;
+  const bool checksum_;
+  std::unique_ptr<char[]> backing_store_;
+  Slice buffer_;
+  bool eof_;
+};
+
+}  // namespace log
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_WAL_LOG_READER_H_

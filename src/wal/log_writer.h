@@ -1,0 +1,48 @@
+// Appends records to a log file. Not thread-safe; callers serialize (the LSM
+// engine does so via its writer-group leader, which is exactly the "WAL lock"
+// the paper's Figure 6 measures).
+
+#ifndef P2KVS_SRC_WAL_LOG_WRITER_H_
+#define P2KVS_SRC_WAL_LOG_WRITER_H_
+
+#include <cstdint>
+
+#include "src/io/env.h"
+#include "src/util/slice.h"
+#include "src/util/status.h"
+#include "src/wal/log_format.h"
+
+namespace p2kvs {
+namespace log {
+
+class Writer {
+ public:
+  // Does not take ownership of dest, which must be initially empty (or use
+  // the second constructor for reopened logs).
+  explicit Writer(WritableFile* dest);
+  Writer(WritableFile* dest, uint64_t dest_length);
+
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  Status AddRecord(const Slice& slice);
+
+  // Pushes buffered bytes to the OS (no durability barrier).
+  Status Flush() { return dest_->Flush(); }
+  // Durability barrier.
+  Status Sync() { return dest_->Sync(); }
+
+ private:
+  Status EmitPhysicalRecord(RecordType type, const char* ptr, size_t length);
+
+  WritableFile* dest_;
+  int block_offset_;  // current offset in block
+
+  // Pre-computed crc32c of the type byte, to speed per-record crc.
+  uint32_t type_crc_[kMaxRecordType + 1];
+};
+
+}  // namespace log
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_WAL_LOG_WRITER_H_

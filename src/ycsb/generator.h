@@ -1,0 +1,166 @@
+// YCSB-style random number generators: uniform, zipfian (Gray et al.'s
+// method, as used by the original YCSB), scrambled zipfian, and latest.
+
+#ifndef P2KVS_SRC_YCSB_GENERATOR_H_
+#define P2KVS_SRC_YCSB_GENERATOR_H_
+
+#include <atomic>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+#include "src/util/hash.h"
+#include "src/util/random.h"
+
+namespace p2kvs {
+namespace ycsb {
+
+class UniformGenerator {
+ public:
+  UniformGenerator(uint64_t min, uint64_t max, uint64_t seed)
+      : min_(min), range_(max - min + 1), rnd_(seed) {}
+
+  uint64_t Next() { return min_ + rnd_.Uniform(range_); }
+
+ private:
+  uint64_t min_;
+  uint64_t range_;
+  Random64 rnd_;
+};
+
+// Zipfian over [0, n): popular items are the small ranks. Constant 0.99 as
+// in YCSB.
+class ZipfianGenerator {
+ public:
+  static constexpr double kZipfianConst = 0.99;
+
+  ZipfianGenerator(uint64_t num_items, uint64_t seed, double theta = kZipfianConst)
+      : items_(num_items), theta_(theta), rnd_(seed) {
+    assert(num_items > 0);
+    zeta_n_ = Zeta(items_, theta_);
+    zeta_2_ = Zeta(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1 - std::pow(2.0 / static_cast<double>(items_), 1 - theta_)) / (1 - zeta_2_ / zeta_n_);
+  }
+
+  uint64_t Next() {
+    double u = rnd_.NextDouble();
+    double uz = u * zeta_n_;
+    if (uz < 1.0) {
+      return 0;
+    }
+    if (uz < 1.0 + std::pow(0.5, theta_)) {
+      return 1;
+    }
+    return static_cast<uint64_t>(static_cast<double>(items_) *
+                                 std::pow(eta_ * u - eta_ + 1, alpha_));
+  }
+
+ private:
+  static double Zeta(uint64_t n, double theta) {
+    double sum = 0;
+    for (uint64_t i = 0; i < n; i++) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    }
+    return sum;
+  }
+
+  uint64_t items_;
+  double theta_;
+  double zeta_n_;
+  double zeta_2_;
+  double alpha_;
+  double eta_;
+  Random64 rnd_;
+};
+
+// Zipfian with the popular items scattered across the key space (YCSB's
+// default for workloads A-C/F).
+class ScrambledZipfianGenerator {
+ public:
+  ScrambledZipfianGenerator(uint64_t num_items, uint64_t seed)
+      : items_(num_items), zipfian_(num_items, seed) {}
+
+  uint64_t Next() {
+    uint64_t rank = zipfian_.Next();
+    return Hash64(reinterpret_cast<const char*>(&rank), sizeof(rank)) % items_;
+  }
+
+ private:
+  uint64_t items_;
+  ZipfianGenerator zipfian_;
+};
+
+// Zipfian over a *growing* item count, extending the zeta sum incrementally
+// (the trick YCSB uses for its "latest" distribution).
+class GrowingZipfianGenerator {
+ public:
+  GrowingZipfianGenerator(uint64_t seed, double theta = ZipfianGenerator::kZipfianConst)
+      : theta_(theta), rnd_(seed) {}
+
+  uint64_t Next(uint64_t num_items) {
+    assert(num_items > 0);
+    ExtendZeta(num_items);
+    double zeta_n = zeta_;
+    double alpha = 1.0 / (1.0 - theta_);
+    double eta = (1 - std::pow(2.0 / static_cast<double>(num_items), 1 - theta_)) /
+                 (1 - zeta_2_ / zeta_n);
+    double u = rnd_.NextDouble();
+    double uz = u * zeta_n;
+    if (uz < 1.0) {
+      return 0;
+    }
+    if (uz < 1.0 + std::pow(0.5, theta_)) {
+      return 1;
+    }
+    uint64_t v = static_cast<uint64_t>(static_cast<double>(num_items) *
+                                       std::pow(eta * u - eta + 1, alpha));
+    return v >= num_items ? num_items - 1 : v;
+  }
+
+ private:
+  void ExtendZeta(uint64_t n) {
+    for (uint64_t i = zeta_items_; i < n; i++) {
+      zeta_ += 1.0 / std::pow(static_cast<double>(i + 1), theta_);
+      if (i + 1 == 2) {
+        zeta_2_ = zeta_;
+      }
+    }
+    if (n >= 2 && zeta_items_ < 2) {
+      // zeta_2_ set in the loop above.
+    }
+    zeta_items_ = std::max(zeta_items_, n);
+  }
+
+  double theta_;
+  double zeta_ = 0;
+  double zeta_2_ = 1.0;
+  uint64_t zeta_items_ = 0;
+  Random64 rnd_;
+};
+
+// "Latest" distribution (workload D): recency-weighted — rank 0 is the most
+// recently inserted record.
+class SkewedLatestGenerator {
+ public:
+  SkewedLatestGenerator(std::atomic<uint64_t>* insert_counter, uint64_t seed)
+      : insert_counter_(insert_counter), zipfian_(seed) {}
+
+  uint64_t Next() {
+    uint64_t max = insert_counter_->load(std::memory_order_relaxed);
+    if (max == 0) {
+      return 0;
+    }
+    uint64_t off = zipfian_.Next(max);
+    return max - 1 - off;
+  }
+
+ private:
+  std::atomic<uint64_t>* insert_counter_;
+  GrowingZipfianGenerator zipfian_;
+};
+
+}  // namespace ycsb
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_YCSB_GENERATOR_H_

@@ -1,0 +1,191 @@
+#include "src/ycsb/workload.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace p2kvs {
+namespace ycsb {
+
+WorkloadSpec WorkloadSpec::Load() {
+  WorkloadSpec spec;
+  spec.name = "LOAD";
+  spec.insert_proportion = 1.0;
+  spec.distribution = Distribution::kUniform;
+  return spec;
+}
+
+WorkloadSpec WorkloadSpec::A() {
+  WorkloadSpec spec;
+  spec.name = "A";
+  spec.update_proportion = 0.5;
+  spec.read_proportion = 0.5;
+  spec.distribution = Distribution::kZipfian;
+  return spec;
+}
+
+WorkloadSpec WorkloadSpec::B() {
+  WorkloadSpec spec;
+  spec.name = "B";
+  spec.update_proportion = 0.05;
+  spec.read_proportion = 0.95;
+  spec.distribution = Distribution::kZipfian;
+  return spec;
+}
+
+WorkloadSpec WorkloadSpec::C() {
+  WorkloadSpec spec;
+  spec.name = "C";
+  spec.read_proportion = 1.0;
+  spec.distribution = Distribution::kZipfian;
+  return spec;
+}
+
+WorkloadSpec WorkloadSpec::D() {
+  WorkloadSpec spec;
+  spec.name = "D";
+  spec.insert_proportion = 0.05;
+  spec.read_proportion = 0.95;
+  spec.distribution = Distribution::kLatest;
+  return spec;
+}
+
+WorkloadSpec WorkloadSpec::E() {
+  WorkloadSpec spec;
+  spec.name = "E";
+  spec.insert_proportion = 0.05;
+  spec.scan_proportion = 0.95;
+  spec.distribution = Distribution::kUniform;
+  return spec;
+}
+
+WorkloadSpec WorkloadSpec::F() {
+  WorkloadSpec spec;
+  spec.name = "F";
+  spec.rmw_proportion = 0.5;
+  spec.read_proportion = 0.5;
+  spec.distribution = Distribution::kZipfian;
+  return spec;
+}
+
+WorkloadSpec WorkloadSpec::ByName(const std::string& name) {
+  std::string lower;
+  for (char c : name) {
+    lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "load") {
+    return Load();
+  }
+  if (lower == "a") {
+    return A();
+  }
+  if (lower == "b") {
+    return B();
+  }
+  if (lower == "c") {
+    return C();
+  }
+  if (lower == "d") {
+    return D();
+  }
+  if (lower == "e") {
+    return E();
+  }
+  if (lower == "f") {
+    return F();
+  }
+  std::fprintf(stderr, "unknown YCSB workload: %s\n", name.c_str());
+  std::abort();
+}
+
+std::string RecordKey(uint64_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "user%012llu", static_cast<unsigned long long>(index));
+  return buf;
+}
+
+std::string MakeValue(uint64_t index, size_t value_size) {
+  std::string value;
+  value.reserve(value_size);
+  uint64_t state = index * 2654435761u + 1;
+  while (value.size() < value_size) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    value.push_back(static_cast<char>('a' + ((state >> 33) % 26)));
+  }
+  return value;
+}
+
+OperationStream::OperationStream(const WorkloadSpec& spec, KeySpace* key_space, uint64_t seed)
+    : spec_(spec),
+      key_space_(key_space),
+      op_rnd_(seed),
+      scan_len_rnd_(seed ^ 0x5ca1ab1eull),
+      uniform_rnd_(seed ^ 0xdecafbadull) {
+  uint64_t records = std::max<uint64_t>(1, key_space_->record_count.load());
+  switch (spec_.distribution) {
+    case Distribution::kZipfian:
+      zipfian_ = std::make_unique<ScrambledZipfianGenerator>(records, seed ^ 0x21b6ull);
+      break;
+    case Distribution::kLatest:
+      latest_ = std::make_unique<SkewedLatestGenerator>(&key_space_->record_count,
+                                                        seed ^ 0x1a7e57ull);
+      break;
+    case Distribution::kUniform:
+      break;
+  }
+}
+
+uint64_t OperationStream::NextKeyIndex() {
+  uint64_t records = std::max<uint64_t>(1, key_space_->record_count.load());
+  switch (spec_.distribution) {
+    case Distribution::kZipfian:
+      return zipfian_->Next() % records;
+    case Distribution::kLatest:
+      return latest_->Next();
+    case Distribution::kUniform:
+    default:
+      return uniform_rnd_.Uniform(records);
+  }
+}
+
+Operation OperationStream::Next() {
+  Operation op;
+  double p = op_rnd_.NextDouble();
+
+  if (p < spec_.insert_proportion) {
+    uint64_t index = key_space_->record_count.fetch_add(1);
+    op.type = OpType::kInsert;
+    op.key = RecordKey(index);
+    return op;
+  }
+  p -= spec_.insert_proportion;
+
+  if (p < spec_.update_proportion) {
+    op.type = OpType::kUpdate;
+    op.key = RecordKey(NextKeyIndex());
+    return op;
+  }
+  p -= spec_.update_proportion;
+
+  if (p < spec_.scan_proportion) {
+    op.type = OpType::kScan;
+    op.key = RecordKey(NextKeyIndex());
+    op.scan_length = 1 + scan_len_rnd_.Uniform(spec_.max_scan_length);
+    return op;
+  }
+  p -= spec_.scan_proportion;
+
+  if (p < spec_.rmw_proportion) {
+    op.type = OpType::kReadModifyWrite;
+    op.key = RecordKey(NextKeyIndex());
+    return op;
+  }
+
+  op.type = OpType::kRead;
+  op.key = RecordKey(NextKeyIndex());
+  return op;
+}
+
+}  // namespace ycsb
+}  // namespace p2kvs

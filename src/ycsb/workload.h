@@ -1,0 +1,86 @@
+// YCSB workload definitions matching paper Table 1:
+//   LOAD 100% PUT uniform | A 50U/50R zipf | B 5U/95R zipf | C 100R zipf
+//   D 5I/95R latest | E 5I/95SCAN uniform | F 50RMW/50R zipf
+// Plus per-thread operation streams so multi-threaded drivers need no
+// synchronization beyond the shared insert counter (workload D/E inserts).
+
+#ifndef P2KVS_SRC_YCSB_WORKLOAD_H_
+#define P2KVS_SRC_YCSB_WORKLOAD_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "src/ycsb/generator.h"
+
+namespace p2kvs {
+namespace ycsb {
+
+enum class OpType { kInsert, kUpdate, kRead, kScan, kReadModifyWrite };
+
+struct Operation {
+  OpType type;
+  std::string key;
+  size_t scan_length = 0;  // kScan only
+};
+
+enum class Distribution { kUniform, kZipfian, kLatest };
+
+struct WorkloadSpec {
+  std::string name;
+  double insert_proportion = 0;
+  double update_proportion = 0;
+  double read_proportion = 0;
+  double scan_proportion = 0;
+  double rmw_proportion = 0;
+  Distribution distribution = Distribution::kZipfian;
+  size_t max_scan_length = 100;
+
+  static WorkloadSpec Load();  // 100% insert, uniform
+  static WorkloadSpec A();
+  static WorkloadSpec B();
+  static WorkloadSpec C();
+  static WorkloadSpec D();
+  static WorkloadSpec E();
+  static WorkloadSpec F();
+  // Resolves "load"/"a"..."f" (case-insensitive); aborts on unknown names.
+  static WorkloadSpec ByName(const std::string& name);
+};
+
+// Formats record index i as the canonical YCSB-ish key ("user" + zero-padded
+// digits); all stores sort these bytewise in insertion-index order.
+std::string RecordKey(uint64_t index);
+
+// Shared across the threads of one run: how many records exist (preloaded +
+// inserted so far).
+struct KeySpace {
+  explicit KeySpace(uint64_t preloaded) : record_count(preloaded) {}
+  std::atomic<uint64_t> record_count;
+};
+
+// Generates one thread's operation stream.
+class OperationStream {
+ public:
+  OperationStream(const WorkloadSpec& spec, KeySpace* key_space, uint64_t seed);
+
+  Operation Next();
+
+ private:
+  uint64_t NextKeyIndex();
+
+  const WorkloadSpec spec_;
+  KeySpace* const key_space_;
+  Random64 op_rnd_;
+  Random64 scan_len_rnd_;
+  std::unique_ptr<ScrambledZipfianGenerator> zipfian_;
+  std::unique_ptr<SkewedLatestGenerator> latest_;
+  Random64 uniform_rnd_;
+};
+
+// Deterministic value payload of the given size for record `index`.
+std::string MakeValue(uint64_t index, size_t value_size);
+
+}  // namespace ycsb
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_YCSB_WORKLOAD_H_

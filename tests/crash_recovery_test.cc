@@ -1,0 +1,265 @@
+// Crash-consistency tests (paper §4.5): power-loss simulation via
+// FaultInjectionEnv for the LSM engine alone and for p2KVS GSN transactions
+// ("we kill the p2KVS process during writing data and the results show that
+// p2KVS can always be recovered to a consistent state").
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/core/p2kvs.h"
+#include "src/io/fault_injection_env.h"
+#include "src/io/mem_env.h"
+#include "src/util/random.h"
+
+namespace p2kvs {
+namespace {
+
+class LsmCrashTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_env_ = NewMemEnv();
+    fault_env_ = std::make_unique<FaultInjectionEnv>(base_env_.get());
+    options_.env = fault_env_.get();
+    options_.write_buffer_size = 64 * 1024;
+    Open();
+  }
+
+  void Open() { ASSERT_TRUE(DB::Open(options_, "/db", &db_).ok()); }
+
+  void CrashAndReopen() {
+    db_.reset();
+    ASSERT_TRUE(fault_env_->Crash().ok());
+    Open();
+  }
+
+  std::unique_ptr<Env> base_env_;
+  std::unique_ptr<FaultInjectionEnv> fault_env_;
+  Options options_;
+  std::unique_ptr<DB> db_;
+};
+
+TEST_F(LsmCrashTest, SyncedWritesSurviveCrash) {
+  WriteOptions sync_wo;
+  sync_wo.sync = true;
+  ASSERT_TRUE(db_->Put(sync_wo, "durable1", "v1").ok());
+  ASSERT_TRUE(db_->Put(sync_wo, "durable2", "v2").ok());
+  CrashAndReopen();
+  std::string value;
+  ASSERT_TRUE(db_->Get(ReadOptions(), "durable1", &value).ok());
+  EXPECT_EQ("v1", value);
+  ASSERT_TRUE(db_->Get(ReadOptions(), "durable2", &value).ok());
+  EXPECT_EQ("v2", value);
+}
+
+TEST_F(LsmCrashTest, UnsyncedTailMayVanishButPrefixSurvives) {
+  WriteOptions sync_wo;
+  sync_wo.sync = true;
+  WriteOptions async_wo;
+  ASSERT_TRUE(db_->Put(sync_wo, "synced", "yes").ok());
+  // Async writes after the sync point may be lost — crash must not corrupt.
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(db_->Put(async_wo, "maybe" + std::to_string(i), "v").ok());
+  }
+  CrashAndReopen();
+  std::string value;
+  ASSERT_TRUE(db_->Get(ReadOptions(), "synced", &value).ok());
+  EXPECT_EQ("yes", value);
+  // Whatever survived must be readable without corruption errors.
+  for (int i = 0; i < 100; i++) {
+    Status s = db_->Get(ReadOptions(), "maybe" + std::to_string(i), &value);
+    ASSERT_TRUE(s.ok() || s.IsNotFound()) << s.ToString();
+  }
+}
+
+TEST_F(LsmCrashTest, BatchIsAtomicAcrossCrash) {
+  WriteOptions sync_wo;
+  sync_wo.sync = true;
+  // A synced batch is all-or-nothing in the WAL.
+  WriteBatch batch;
+  batch.Put("atom-a", "1");
+  batch.Put("atom-b", "2");
+  batch.Put("atom-c", "3");
+  ASSERT_TRUE(db_->Write(sync_wo, &batch).ok());
+  CrashAndReopen();
+  std::string a, b, c;
+  Status sa = db_->Get(ReadOptions(), "atom-a", &a);
+  Status sb = db_->Get(ReadOptions(), "atom-b", &b);
+  Status sc = db_->Get(ReadOptions(), "atom-c", &c);
+  EXPECT_TRUE(sa.ok() && sb.ok() && sc.ok());
+}
+
+TEST_F(LsmCrashTest, RepeatedCrashesConvergeToConsistentState) {
+  Random rnd(303);
+  WriteOptions sync_wo;
+  sync_wo.sync = true;
+  int generation = 0;
+  for (int crash = 0; crash < 5; crash++) {
+    for (int i = 0; i < 50; i++) {
+      ASSERT_TRUE(
+          db_->Put(sync_wo, "gen", std::to_string(generation)).ok());
+      generation++;
+    }
+    CrashAndReopen();
+    std::string value;
+    ASSERT_TRUE(db_->Get(ReadOptions(), "gen", &value).ok());
+    EXPECT_EQ(std::to_string(generation - 1), value);
+  }
+}
+
+// --- p2KVS transaction crash tests ---
+
+class P2kvsCrashTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_env_ = NewMemEnv();
+    fault_env_ = std::make_unique<FaultInjectionEnv>(base_env_.get());
+    Open();
+  }
+
+  void Open() {
+    Options lsm;
+    lsm.env = fault_env_.get();
+    lsm.write_buffer_size = 64 * 1024;
+    P2kvsOptions options;
+    options.env = fault_env_.get();
+    options.num_workers = 4;
+    options.pin_workers = false;
+    options.engine_factory = MakeRocksLiteFactory(lsm);
+    ASSERT_TRUE(P2KVS::Open(options, "/p2", &store_).ok());
+  }
+
+  void CrashAndReopen() {
+    store_.reset();
+    ASSERT_TRUE(fault_env_->Crash().ok());
+    Open();
+  }
+
+  std::unique_ptr<Env> base_env_;
+  std::unique_ptr<FaultInjectionEnv> fault_env_;
+  std::unique_ptr<P2KVS> store_;
+};
+
+TEST_F(P2kvsCrashTest, CommittedTxnSurvivesCrash) {
+  WriteBatch batch;
+  for (int i = 0; i < 40; i++) {
+    batch.Put("ckey" + std::to_string(i), "cval" + std::to_string(i));
+  }
+  ASSERT_TRUE(store_->WriteTxn(&batch).ok());
+  CrashAndReopen();
+  // The txn spanned all 4 instances; every piece must be present.
+  for (int i = 0; i < 40; i++) {
+    std::string value;
+    ASSERT_TRUE(store_->Get("ckey" + std::to_string(i), &value).ok()) << i;
+    EXPECT_EQ("cval" + std::to_string(i), value);
+  }
+}
+
+TEST_F(P2kvsCrashTest, UncommittedTxnRollsBackEverywhere) {
+  // Simulate a crash *between* the sub-batch writes and the commit record:
+  // write the sub-batches with a GSN directly (bypassing WriteTxn's commit).
+  // After recovery none of the keys may be visible, even though every
+  // instance durably logged its sub-batch.
+  const uint64_t fake_gsn = 9999;
+  // Log only the begin record, as WriteTxn would.
+  {
+    // Reach into the same txn-log file the store uses.
+    std::unique_ptr<TxnLog> log;
+    // The store holds the file open; emulate instead by writing sub-batches
+    // through the instances and never committing:
+    for (int i = 0; i < 20; i++) {
+      std::string key = "ukey" + std::to_string(i);
+      int w = store_->PartitionOf(key);
+      WriteBatch sub;
+      sub.Put(key, "uval");
+      KvWriteOptions kwo;
+      kwo.gsn = fake_gsn;
+      kwo.sync = true;
+      ASSERT_TRUE(store_->instance(w)->Write(&sub, kwo).ok());
+    }
+  }
+  // While running, the writes are visible (dirty state before crash)...
+  std::string value;
+  ASSERT_TRUE(store_->Get("ukey0", &value).ok());
+
+  CrashAndReopen();
+  // ...but recovery rolls back the whole transaction: gsn 9999 has no commit
+  // record in the txn log.
+  for (int i = 0; i < 20; i++) {
+    Status s = store_->Get("ukey" + std::to_string(i), &value);
+    EXPECT_TRUE(s.IsNotFound()) << "ukey" << i << " survived an uncommitted txn";
+  }
+}
+
+TEST_F(P2kvsCrashTest, CommittedAndUncommittedMix) {
+  // Committed txn A.
+  WriteBatch a;
+  a.Put("A1", "a1");
+  a.Put("A2", "a2");
+  ASSERT_TRUE(store_->WriteTxn(&a).ok());
+
+  // Uncommitted writes with a GSN (simulated partial txn B).
+  WriteBatch b;
+  b.Put("B1", "b1");
+  KvWriteOptions kwo;
+  kwo.gsn = 123456;
+  kwo.sync = true;
+  ASSERT_TRUE(store_->instance(store_->PartitionOf("B1"))->Write(&b, kwo).ok());
+
+  // Regular non-transactional synced write C.
+  // (Routed through an instance directly so it is durable despite the
+  // simulated crash cutting unsynced data.)
+  WriteBatch c;
+  c.Put("C1", "c1");
+  KvWriteOptions c_kwo;
+  c_kwo.sync = true;
+  ASSERT_TRUE(store_->instance(store_->PartitionOf("C1"))->Write(&c, c_kwo).ok());
+
+  CrashAndReopen();
+  std::string value;
+  EXPECT_TRUE(store_->Get("A1", &value).ok());
+  EXPECT_TRUE(store_->Get("A2", &value).ok());
+  EXPECT_TRUE(store_->Get("B1", &value).IsNotFound());
+  EXPECT_TRUE(store_->Get("C1", &value).ok());
+}
+
+TEST_F(P2kvsCrashTest, KillDuringConcurrentWritesRecoversConsistently) {
+  // The paper's experiment: kill during writing, recover, check consistency.
+  std::atomic<bool> stop{false};
+  std::atomic<int> committed_txns{0};
+  std::thread writer([&] {
+    int i = 0;
+    while (!stop.load()) {
+      WriteBatch batch;
+      batch.Put("t" + std::to_string(i) + "-x", std::to_string(i));
+      batch.Put("t" + std::to_string(i) + "-y", std::to_string(i));
+      if (store_->WriteTxn(&batch).ok()) {
+        committed_txns.fetch_add(1);
+      }
+      i++;
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  stop.store(true);
+  writer.join();
+
+  CrashAndReopen();
+  // Every committed transaction must be atomically present: x present iff y
+  // present with the same value.
+  int present = 0;
+  for (int i = 0; i < committed_txns.load() + 10; i++) {
+    std::string x, y;
+    Status sx = store_->Get("t" + std::to_string(i) + "-x", &x);
+    Status sy = store_->Get("t" + std::to_string(i) + "-y", &y);
+    ASSERT_EQ(sx.ok(), sy.ok()) << "torn transaction " << i;
+    if (sx.ok()) {
+      ASSERT_EQ(x, y) << "inconsistent transaction " << i;
+      present++;
+    }
+  }
+  // All transactions whose commit record was synced must be present.
+  EXPECT_GE(present, committed_txns.load());
+}
+
+}  // namespace
+}  // namespace p2kvs

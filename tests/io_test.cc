@@ -1,0 +1,213 @@
+// IO layer tests: MemEnv semantics, IO accounting, device-model throttling,
+// and fault injection.
+
+#include <gtest/gtest.h>
+
+#include "src/io/device_model.h"
+#include "src/io/fault_injection_env.h"
+#include "src/io/io_stats.h"
+#include "src/io/mem_env.h"
+#include "src/util/clock.h"
+
+namespace p2kvs {
+namespace {
+
+TEST(MemEnvTest, FileLifecycle) {
+  auto env = NewMemEnv();
+  EXPECT_FALSE(env->FileExists("/dir/f"));
+  ASSERT_TRUE(WriteStringToFile(env.get(), "hello", "/dir/f", true).ok());
+  EXPECT_TRUE(env->FileExists("/dir/f"));
+
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(env.get(), "/dir/f", &contents).ok());
+  EXPECT_EQ("hello", contents);
+
+  uint64_t size;
+  ASSERT_TRUE(env->GetFileSize("/dir/f", &size).ok());
+  EXPECT_EQ(5u, size);
+
+  ASSERT_TRUE(env->RenameFile("/dir/f", "/dir/g").ok());
+  EXPECT_FALSE(env->FileExists("/dir/f"));
+  EXPECT_TRUE(env->FileExists("/dir/g"));
+
+  ASSERT_TRUE(env->RemoveFile("/dir/g").ok());
+  EXPECT_FALSE(env->FileExists("/dir/g"));
+  EXPECT_TRUE(env->RemoveFile("/dir/g").IsNotFound());
+}
+
+TEST(MemEnvTest, GetChildren) {
+  auto env = NewMemEnv();
+  env->CreateDir("/d");
+  WriteStringToFile(env.get(), "1", "/d/a", false);
+  WriteStringToFile(env.get(), "2", "/d/b", false);
+  WriteStringToFile(env.get(), "3", "/d/sub/c", false);
+  std::vector<std::string> children;
+  ASSERT_TRUE(env->GetChildren("/d", &children).ok());
+  ASSERT_EQ(3u, children.size());  // a, b, sub
+  EXPECT_EQ("a", children[0]);
+  EXPECT_EQ("b", children[1]);
+  EXPECT_EQ("sub", children[2]);
+}
+
+TEST(MemEnvTest, AppendAndRandomAccess) {
+  auto env = NewMemEnv();
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(env->NewAppendableFile("/f", &f).ok());
+  f->Append("0123456789");
+  f->Append("abcdef");
+  f->Close();
+
+  std::unique_ptr<RandomAccessFile> r;
+  ASSERT_TRUE(env->NewRandomAccessFile("/f", &r).ok());
+  char scratch[16];
+  Slice result;
+  ASSERT_TRUE(r->Read(5, 8, &result, scratch).ok());
+  EXPECT_EQ("56789abc", result.ToString());
+  // Read past EOF returns a short result.
+  ASSERT_TRUE(r->Read(14, 10, &result, scratch).ok());
+  EXPECT_EQ("ef", result.ToString());
+  ASSERT_TRUE(r->Read(100, 4, &result, scratch).ok());
+  EXPECT_EQ(0u, result.size());
+}
+
+TEST(MemEnvTest, RandomWritableFile) {
+  auto env = NewMemEnv();
+  std::unique_ptr<RandomWritableFile> f;
+  ASSERT_TRUE(env->NewRandomWritableFile("/slab", &f).ok());
+  ASSERT_TRUE(f->Write(100, "hello").ok());
+  char scratch[16];
+  Slice result;
+  ASSERT_TRUE(f->Read(100, 5, &result, scratch).ok());
+  EXPECT_EQ("hello", result.ToString());
+  // Gap reads as zeroes.
+  ASSERT_TRUE(f->Read(0, 4, &result, scratch).ok());
+  EXPECT_EQ(std::string(4, '\0'), result.ToString());
+  ASSERT_TRUE(f->Truncate(102).ok());
+  uint64_t size;
+  env->GetFileSize("/slab", &size);
+  EXPECT_EQ(102u, size);
+}
+
+TEST(IoStatsTest, PurposeAttribution) {
+  IoStats::Instance().Reset();
+  auto env = NewMemEnv();
+  {
+    IoPurposeScope scope(IoPurpose::kWal);
+    WriteStringToFile(env.get(), std::string(1000, 'w'), "/wal", true);
+  }
+  {
+    IoPurposeScope scope(IoPurpose::kCompaction);
+    WriteStringToFile(env.get(), std::string(500, 'c'), "/sst", false);
+  }
+  IoStatsSnapshot snap = IoStats::Instance().Snapshot();
+  EXPECT_EQ(1000u, snap.bytes_written[static_cast<int>(IoPurpose::kWal)]);
+  EXPECT_EQ(500u, snap.bytes_written[static_cast<int>(IoPurpose::kCompaction)]);
+  EXPECT_EQ(1500u, snap.TotalWritten());
+  EXPECT_GE(snap.sync_ops, 1u);
+
+  IoStatsSnapshot base = snap;
+  WriteStringToFile(env.get(), "x", "/u", false);
+  IoStatsSnapshot delta = IoStats::Instance().Snapshot().Since(base);
+  EXPECT_EQ(1u, delta.bytes_written[static_cast<int>(IoPurpose::kUser)]);
+  EXPECT_EQ(1u, delta.TotalWritten());
+}
+
+TEST(DeviceModelTest, ProfilesHaveExpectedShape) {
+  DeviceProfile nvme = DeviceProfile::NvmeSsd();
+  DeviceProfile sata = DeviceProfile::SataSsd();
+  DeviceProfile hdd = DeviceProfile::Hdd();
+  EXPECT_GT(nvme.write_bw_bytes_per_sec, sata.write_bw_bytes_per_sec);
+  EXPECT_GT(sata.write_bw_bytes_per_sec, hdd.write_bw_bytes_per_sec);
+  EXPECT_LT(nvme.rand_latency_us, sata.rand_latency_us);
+  EXPECT_LT(sata.rand_latency_us, hdd.rand_latency_us);
+  // HDD pays a big seek premium over sequential.
+  EXPECT_GT(hdd.rand_latency_us, 4 * hdd.seq_latency_us);
+}
+
+TEST(DeviceModelTest, ScaledProfile) {
+  DeviceProfile p = DeviceProfile::NvmeSsd().Scaled(2.0);
+  EXPECT_EQ(DeviceProfile::NvmeSsd().write_bw_bytes_per_sec / 2, p.write_bw_bytes_per_sec);
+  EXPECT_EQ(DeviceProfile::NvmeSsd().seq_latency_us * 2, p.seq_latency_us);
+}
+
+TEST(DeviceModelTest, ThrottledWritesRespectBandwidth) {
+  auto base = NewMemEnv();
+  DeviceProfile slow{"slow", 1 << 20, 1 << 20, 0, 0};  // 1 MB/s
+  auto env = NewThrottledEnv(base.get(), slow);
+
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(env->NewWritableFile("/f", &f).ok());
+  uint64_t start = NowMicros();
+  std::string chunk(64 * 1024, 'x');
+  for (int i = 0; i < 4; i++) {  // 256 KB at 1 MB/s => >= ~150ms beyond burst
+    ASSERT_TRUE(f->Append(chunk).ok());
+  }
+  uint64_t elapsed_ms = (NowMicros() - start) / 1000;
+  EXPECT_GE(elapsed_ms, 100u);
+}
+
+TEST(DeviceModelTest, UnlimitedProfilePassesThrough) {
+  auto base = NewMemEnv();
+  auto env = NewThrottledEnv(base.get(), DeviceProfile::Unlimited());
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(env->NewWritableFile("/f", &f).ok());
+  uint64_t start = NowMicros();
+  std::string chunk(1 << 20, 'x');
+  for (int i = 0; i < 16; i++) {
+    ASSERT_TRUE(f->Append(chunk).ok());
+  }
+  EXPECT_LT(NowMicros() - start, 1000000u);
+  // Files written through the wrapper are visible in the base env.
+  f->Close();
+  EXPECT_TRUE(base->FileExists("/f"));
+}
+
+TEST(FaultInjectionTest, CrashDropsUnsyncedData) {
+  auto base = NewMemEnv();
+  FaultInjectionEnv env(base.get());
+
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(env.NewWritableFile("/f", &f).ok());
+  ASSERT_TRUE(f->Append("durable-part").ok());
+  ASSERT_TRUE(f->Sync().ok());
+  ASSERT_TRUE(f->Append("lost-part").ok());
+  ASSERT_TRUE(f->Flush().ok());
+  EXPECT_EQ(9u, env.UnsyncedBytes());
+
+  ASSERT_TRUE(env.Crash().ok());
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(base.get(), "/f", &contents).ok());
+  EXPECT_EQ("durable-part", contents);
+}
+
+TEST(FaultInjectionTest, NeverSyncedFileIsEmptyAfterCrash) {
+  auto base = NewMemEnv();
+  FaultInjectionEnv env(base.get());
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(env.NewWritableFile("/f", &f).ok());
+  ASSERT_TRUE(f->Append("all-lost").ok());
+  f->Close();
+  ASSERT_TRUE(env.Crash().ok());
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(base.get(), "/f", &contents).ok());
+  EXPECT_EQ("", contents);
+}
+
+TEST(FaultInjectionTest, RenamedFilesKeepSyncState) {
+  auto base = NewMemEnv();
+  FaultInjectionEnv env(base.get());
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(env.NewWritableFile("/tmp1", &f).ok());
+  ASSERT_TRUE(f->Append("synced").ok());
+  ASSERT_TRUE(f->Sync().ok());
+  ASSERT_TRUE(f->Append("unsynced").ok());
+  f->Close();
+  ASSERT_TRUE(env.RenameFile("/tmp1", "/final").ok());
+  ASSERT_TRUE(env.Crash().ok());
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(base.get(), "/final", &contents).ok());
+  EXPECT_EQ("synced", contents);
+}
+
+}  // namespace
+}  // namespace p2kvs

@@ -1,0 +1,234 @@
+// Iterator property tests: the user-visible DB iterator must behave exactly
+// like iteration over a std::map snapshot — including backward iteration,
+// direction switches mid-stream, deletions, overwrites, and data spread
+// across memtable / immutable / multiple SST levels.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/io/mem_env.h"
+#include "src/lsm/db.h"
+#include "src/util/random.h"
+
+namespace p2kvs {
+namespace {
+
+class DbIteratorTest : public ::testing::TestWithParam<CompactionStyle> {
+ protected:
+  void SetUp() override {
+    env_ = NewMemEnv();
+    options_.env = env_.get();
+    options_.compaction_style = GetParam();
+    if (GetParam() == CompactionStyle::kTiered) {
+      options_.compat_mode = CompatMode::kLevelDB;
+    }
+    options_.write_buffer_size = 16 * 1024;
+    options_.target_file_size = 8 * 1024;
+    options_.max_bytes_for_level_base = 32 * 1024;
+    ASSERT_TRUE(DB::Open(options_, "/iterdb", &db_).ok());
+  }
+
+  // Builds a store whose data is spread across memtable and several levels,
+  // mirroring every operation into the model.
+  void BuildLayeredState() {
+    Random rnd(404);
+    for (int round = 0; round < 4; round++) {
+      for (int i = 0; i < 400; i++) {
+        char key[32];
+        snprintf(key, sizeof(key), "key%05u", rnd.Uniform(600));
+        if (rnd.OneIn(5)) {
+          ASSERT_TRUE(db_->Delete(WriteOptions(), key).ok());
+          model_.erase(key);
+        } else {
+          std::string value = "r" + std::to_string(round) + "-" + std::to_string(i);
+          ASSERT_TRUE(db_->Put(WriteOptions(), key, value).ok());
+          model_[key] = value;
+        }
+      }
+      if (round < 3) {
+        ASSERT_TRUE(db_->FlushMemTable().ok());
+      }
+    }
+    db_->WaitForBackgroundWork();
+  }
+
+  std::unique_ptr<Env> env_;
+  Options options_;
+  std::unique_ptr<DB> db_;
+  std::map<std::string, std::string> model_;
+};
+
+TEST_P(DbIteratorTest, ForwardEqualsModel) {
+  BuildLayeredState();
+  std::unique_ptr<Iterator> iter(db_->NewIterator(ReadOptions()));
+  iter->SeekToFirst();
+  for (const auto& [k, v] : model_) {
+    ASSERT_TRUE(iter->Valid());
+    EXPECT_EQ(k, iter->key().ToString());
+    EXPECT_EQ(v, iter->value().ToString());
+    iter->Next();
+  }
+  EXPECT_FALSE(iter->Valid());
+}
+
+TEST_P(DbIteratorTest, BackwardEqualsModel) {
+  BuildLayeredState();
+  std::unique_ptr<Iterator> iter(db_->NewIterator(ReadOptions()));
+  iter->SeekToLast();
+  for (auto it = model_.rbegin(); it != model_.rend(); ++it) {
+    ASSERT_TRUE(iter->Valid());
+    EXPECT_EQ(it->first, iter->key().ToString());
+    EXPECT_EQ(it->second, iter->value().ToString());
+    iter->Prev();
+  }
+  EXPECT_FALSE(iter->Valid());
+}
+
+TEST_P(DbIteratorTest, RandomWalkMatchesModel) {
+  BuildLayeredState();
+  ASSERT_FALSE(model_.empty());
+  std::unique_ptr<Iterator> iter(db_->NewIterator(ReadOptions()));
+  Random rnd(99);
+
+  // Walk the iterator and a model iterator in lockstep through random moves.
+  auto mit = model_.begin();
+  iter->SeekToFirst();
+  for (int step = 0; step < 2000; step++) {
+    ASSERT_EQ(mit != model_.end(), iter->Valid()) << "step " << step;
+    if (mit == model_.end()) {
+      // Re-seek somewhere random to keep walking.
+      uint32_t target = rnd.Uniform(600);
+      char key[32];
+      snprintf(key, sizeof(key), "key%05u", target);
+      mit = model_.lower_bound(key);
+      iter->Seek(key);
+      continue;
+    }
+    ASSERT_EQ(mit->first, iter->key().ToString()) << "step " << step;
+    ASSERT_EQ(mit->second, iter->value().ToString()) << "step " << step;
+
+    switch (rnd.Uniform(3)) {
+      case 0:  // forward
+        ++mit;
+        iter->Next();
+        break;
+      case 1: {  // backward (model iterator needs care at begin())
+        if (mit == model_.begin()) {
+          mit = model_.end();
+          iter->Prev();
+          ASSERT_FALSE(iter->Valid());
+        } else {
+          --mit;
+          iter->Prev();
+        }
+        break;
+      }
+      default: {  // random seek
+        uint32_t target = rnd.Uniform(600);
+        char key[32];
+        snprintf(key, sizeof(key), "key%05u", target);
+        mit = model_.lower_bound(key);
+        iter->Seek(key);
+        break;
+      }
+    }
+  }
+}
+
+TEST_P(DbIteratorTest, DirectionSwitchOnSameKey) {
+  ASSERT_TRUE(db_->Put(WriteOptions(), "a", "1").ok());
+  ASSERT_TRUE(db_->Put(WriteOptions(), "b", "2").ok());
+  ASSERT_TRUE(db_->Put(WriteOptions(), "c", "3").ok());
+  std::unique_ptr<Iterator> iter(db_->NewIterator(ReadOptions()));
+  iter->Seek("b");
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ("b", iter->key().ToString());
+  iter->Prev();  // forward -> backward immediately after a seek
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ("a", iter->key().ToString());
+  iter->Next();  // backward -> forward
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ("b", iter->key().ToString());
+  iter->Next();
+  EXPECT_EQ("c", iter->key().ToString());
+}
+
+TEST_P(DbIteratorTest, OverwrittenKeyShowsNewestOnce) {
+  for (int i = 0; i < 10; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), "multi", "v" + std::to_string(i)).ok());
+    if (i == 5) {
+      ASSERT_TRUE(db_->FlushMemTable().ok());
+    }
+  }
+  std::unique_ptr<Iterator> iter(db_->NewIterator(ReadOptions()));
+  iter->SeekToFirst();
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ("multi", iter->key().ToString());
+  EXPECT_EQ("v9", iter->value().ToString());
+  iter->Next();
+  EXPECT_FALSE(iter->Valid());
+  iter->SeekToLast();
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ("v9", iter->value().ToString());
+}
+
+TEST_P(DbIteratorTest, SnapshotIteratorIgnoresLaterWrites) {
+  ASSERT_TRUE(db_->Put(WriteOptions(), "k1", "old").ok());
+  const Snapshot* snap = db_->GetSnapshot();
+  ASSERT_TRUE(db_->Put(WriteOptions(), "k1", "new").ok());
+  ASSERT_TRUE(db_->Put(WriteOptions(), "k2", "invisible").ok());
+
+  ReadOptions ro;
+  ro.snapshot = snap;
+  std::unique_ptr<Iterator> iter(db_->NewIterator(ro));
+  iter->SeekToFirst();
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ("k1", iter->key().ToString());
+  EXPECT_EQ("old", iter->value().ToString());
+  iter->Next();
+  EXPECT_FALSE(iter->Valid());
+  db_->ReleaseSnapshot(snap);
+}
+
+TEST_P(DbIteratorTest, IteratorPinsStateAcrossFlush) {
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), "pin" + std::to_string(i), "v").ok());
+  }
+  std::unique_ptr<Iterator> iter(db_->NewIterator(ReadOptions()));
+  iter->SeekToFirst();
+  // Mutate + flush under the live iterator: it must keep serving its view.
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), "pin" + std::to_string(i), "changed").ok());
+  }
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+  db_->WaitForBackgroundWork();
+  int count = 0;
+  while (iter->Valid()) {
+    EXPECT_EQ("v", iter->value().ToString());
+    count++;
+    iter->Next();
+  }
+  EXPECT_EQ(100, count);
+}
+
+TEST_P(DbIteratorTest, EmptyDbIterator) {
+  std::unique_ptr<Iterator> iter(db_->NewIterator(ReadOptions()));
+  iter->SeekToFirst();
+  EXPECT_FALSE(iter->Valid());
+  iter->SeekToLast();
+  EXPECT_FALSE(iter->Valid());
+  iter->Seek("anything");
+  EXPECT_FALSE(iter->Valid());
+}
+
+INSTANTIATE_TEST_SUITE_P(Styles, DbIteratorTest,
+                         ::testing::Values(CompactionStyle::kLeveled,
+                                           CompactionStyle::kTiered),
+                         [](const ::testing::TestParamInfo<CompactionStyle>& info) {
+                           return info.param == CompactionStyle::kLeveled ? "leveled"
+                                                                          : "tiered";
+                         });
+
+}  // namespace
+}  // namespace p2kvs

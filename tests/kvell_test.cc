@@ -1,0 +1,183 @@
+// KVell-lite tests: sharded CRUD, in-place updates, slot reuse, scans across
+// workers, index rebuild on restart, and the architectural signatures §5.5
+// relies on (in-memory index growth, no write-amp on overwrite).
+
+#include "src/kvell/kvell_store.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+
+#include "src/io/mem_env.h"
+#include "src/util/random.h"
+
+namespace p2kvs {
+namespace {
+
+class KvellTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = NewMemEnv();
+    options_.env = env_.get();
+    options_.num_workers = 2;
+    options_.pin_workers = false;
+    options_.page_cache_bytes = 1 << 20;
+    Reopen();
+  }
+
+  void Reopen() {
+    store_.reset();
+    ASSERT_TRUE(KvellStore::Open(options_, "/kvell", &store_).ok());
+  }
+
+  std::string Get(const std::string& key) {
+    std::string value;
+    Status s = store_->Get(key, &value);
+    if (s.IsNotFound()) {
+      return "NOT_FOUND";
+    }
+    return s.ok() ? value : s.ToString();
+  }
+
+  std::unique_ptr<Env> env_;
+  KvellOptions options_;
+  std::unique_ptr<KvellStore> store_;
+};
+
+TEST_F(KvellTest, PutGetDelete) {
+  ASSERT_TRUE(store_->Put("a", "1").ok());
+  ASSERT_TRUE(store_->Put("b", "2").ok());
+  EXPECT_EQ("1", Get("a"));
+  EXPECT_EQ("2", Get("b"));
+  EXPECT_EQ("NOT_FOUND", Get("c"));
+  ASSERT_TRUE(store_->Delete("a").ok());
+  EXPECT_EQ("NOT_FOUND", Get("a"));
+}
+
+TEST_F(KvellTest, InPlaceUpdateDoesNotGrowSlab) {
+  ASSERT_TRUE(store_->Put("key", std::string(100, 'a')).ok());
+  KvellStats before = store_->GetStats();
+  for (int i = 0; i < 50; i++) {
+    ASSERT_TRUE(store_->Put("key", std::string(100, 'a' + (i % 26))).ok());
+  }
+  KvellStats after = store_->GetStats();
+  // 50 more slot writes but no new index entries: pure in-place updates.
+  EXPECT_EQ(before.index_entries, after.index_entries);
+  EXPECT_EQ(before.slot_writes + 50, after.slot_writes);
+}
+
+TEST_F(KvellTest, SizeClassMigration) {
+  ASSERT_TRUE(store_->Put("key", std::string(100, 's')).ok());   // 256B class
+  ASSERT_TRUE(store_->Put("key", std::string(2000, 'L')).ok());  // 4096B class
+  EXPECT_EQ(std::string(2000, 'L'), Get("key"));
+  ASSERT_TRUE(store_->Put("key", std::string(10, 't')).ok());  // back to small
+  EXPECT_EQ(std::string(10, 't'), Get("key"));
+}
+
+TEST_F(KvellTest, OversizeItemRejected) {
+  Status s = store_->Put("key", std::string(10000, 'x'));
+  EXPECT_TRUE(s.IsInvalidArgument());
+}
+
+TEST_F(KvellTest, ScanIsGloballySorted) {
+  for (int i = 0; i < 200; i++) {
+    char key[32];
+    snprintf(key, sizeof(key), "key%06d", i);
+    ASSERT_TRUE(store_->Put(key, std::to_string(i)).ok());
+  }
+  std::vector<std::pair<std::string, std::string>> out;
+  ASSERT_TRUE(store_->Scan("key000050", 30, &out).ok());
+  ASSERT_EQ(30u, out.size());
+  for (int i = 0; i < 30; i++) {
+    char key[32];
+    snprintf(key, sizeof(key), "key%06d", 50 + i);
+    EXPECT_EQ(key, out[i].first);
+    EXPECT_EQ(std::to_string(50 + i), out[i].second);
+  }
+}
+
+TEST_F(KvellTest, ScanFromStartAndPastEnd) {
+  for (int i = 0; i < 10; i++) {
+    ASSERT_TRUE(store_->Put("k" + std::to_string(i), "v").ok());
+  }
+  std::vector<std::pair<std::string, std::string>> out;
+  ASSERT_TRUE(store_->Scan(Slice(), 100, &out).ok());
+  EXPECT_EQ(10u, out.size());
+  ASSERT_TRUE(store_->Scan("zzz", 10, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(KvellTest, IndexRebuildOnRestart) {
+  std::map<std::string, std::string> model;
+  Random rnd(11);
+  for (int i = 0; i < 500; i++) {
+    char key[32];
+    snprintf(key, sizeof(key), "key%06u", rnd.Uniform(300));
+    model[key] = "val" + std::to_string(i);
+    ASSERT_TRUE(store_->Put(key, model[key]).ok());
+  }
+  ASSERT_TRUE(store_->Delete(model.begin()->first).ok());
+  std::string deleted = model.begin()->first;
+  model.erase(model.begin());
+
+  Reopen();  // index must be rebuilt by scanning slabs
+  for (const auto& [k, v] : model) {
+    ASSERT_EQ(v, Get(k)) << k;
+  }
+  EXPECT_EQ("NOT_FOUND", Get(deleted));
+  EXPECT_EQ(model.size(), store_->GetStats().index_entries);
+}
+
+TEST_F(KvellTest, IndexMemoryGrowsWithKeys) {
+  KvellStats before = store_->GetStats();
+  for (int i = 0; i < 2000; i++) {
+    ASSERT_TRUE(store_->Put("grow-key-" + std::to_string(i), "v").ok());
+  }
+  KvellStats after = store_->GetStats();
+  EXPECT_EQ(before.index_entries + 2000, after.index_entries);
+  // The in-memory index footprint is what makes KVell memory-hungry.
+  EXPECT_GT(after.index_memory_bytes, before.index_memory_bytes + 2000 * 10);
+}
+
+TEST_F(KvellTest, PageCacheServesRepeatedReads) {
+  ASSERT_TRUE(store_->Put("hot", std::string(64, 'h')).ok());
+  std::string value;
+  for (int i = 0; i < 20; i++) {
+    ASSERT_TRUE(store_->Get("hot", &value).ok());
+  }
+  EXPECT_GT(store_->GetStats().cache_hits, 10u);
+}
+
+TEST_F(KvellTest, ConcurrentClients) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 300;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; i++) {
+        std::string key = "t" + std::to_string(t) + "-" + std::to_string(i);
+        ASSERT_TRUE(store_->Put(key, key + "-value").ok());
+        std::string value;
+        ASSERT_TRUE(store_->Get(key, &value).ok());
+        ASSERT_EQ(key + "-value", value);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+}
+
+TEST_F(KvellTest, SlotReuseAfterDelete) {
+  ASSERT_TRUE(store_->Put("a", std::string(50, 'a')).ok());
+  ASSERT_TRUE(store_->Delete("a").ok());
+  // The freed slot should be recycled for the next same-class insert.
+  KvellStats before = store_->GetStats();
+  ASSERT_TRUE(store_->Put("b", std::string(50, 'b')).ok());
+  EXPECT_EQ(std::string(50, 'b'), Get("b"));
+  EXPECT_EQ(before.index_entries + 1, store_->GetStats().index_entries);
+}
+
+}  // namespace
+}  // namespace p2kvs

@@ -1,0 +1,317 @@
+// Behavioural tests of the LSM engine's internals: compaction progression
+// through levels, tombstone handling across flushes, GSN-filtered recovery,
+// write stalls, stage-isolation debug modes, tiered-mode reads across
+// overlapping runs, and stats accounting.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/io/mem_env.h"
+#include "src/lsm/db.h"
+#include "src/util/random.h"
+
+namespace p2kvs {
+namespace {
+
+class LsmBehaviorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = NewMemEnv();
+    options_.env = env_.get();
+    options_.write_buffer_size = 16 * 1024;
+    options_.target_file_size = 8 * 1024;
+    options_.max_bytes_for_level_base = 32 * 1024;
+    options_.l0_compaction_trigger = 2;
+  }
+
+  void Open() { ASSERT_TRUE(DB::Open(options_, "/bdb", &db_).ok()); }
+
+  void FillKeys(int n, int value_size = 100, int start = 0) {
+    for (int i = start; i < start + n; i++) {
+      char key[32];
+      snprintf(key, sizeof(key), "key%06d", i);
+      ASSERT_TRUE(db_->Put(WriteOptions(), key, std::string(value_size, 'v')).ok());
+    }
+  }
+
+  int TotalFiles() {
+    // Parse "files[ a b c ... ]".
+    std::string summary = db_->LevelFilesSummary();
+    int total = 0;
+    int v = 0;
+    bool in_number = false;
+    for (char c : summary) {
+      if (c >= '0' && c <= '9') {
+        v = v * 10 + (c - '0');
+        in_number = true;
+      } else if (in_number) {
+        total += v;
+        v = 0;
+        in_number = false;
+      }
+    }
+    return total;
+  }
+
+  std::unique_ptr<Env> env_;
+  Options options_;
+  std::unique_ptr<DB> db_;
+};
+
+TEST_F(LsmBehaviorTest, DataMigratesBeyondL0) {
+  Open();
+  FillKeys(4000);
+  db_->WaitForBackgroundWork();
+  std::string summary = db_->LevelFilesSummary();
+  // 400KB of data with a 32KB L1 budget must reach L2 or deeper.
+  // Summary format: "files[ l0 l1 l2 ... ]".
+  int levels_with_files = 0;
+  int v = 0;
+  bool in_number = false;
+  bool past_l0 = false;
+  bool deep = false;
+  int index = 0;
+  for (char c : summary) {
+    if (c >= '0' && c <= '9') {
+      v = v * 10 + (c - '0');
+      in_number = true;
+    } else if (in_number) {
+      if (v > 0) {
+        levels_with_files++;
+        if (index >= 2) {
+          deep = true;
+        }
+        if (index >= 1) {
+          past_l0 = true;
+        }
+      }
+      v = 0;
+      index++;
+      in_number = false;
+    }
+  }
+  EXPECT_TRUE(past_l0) << summary;
+  EXPECT_TRUE(deep) << summary;
+  EXPECT_GT(db_->GetStats().compaction_count, 0u);
+
+  // Everything still readable after multi-level compaction.
+  std::string value;
+  ASSERT_TRUE(db_->Get(ReadOptions(), "key000000", &value).ok());
+  ASSERT_TRUE(db_->Get(ReadOptions(), "key003999", &value).ok());
+}
+
+TEST_F(LsmBehaviorTest, DeletedKeyStaysDeadThroughCompactions) {
+  Open();
+  ASSERT_TRUE(db_->Put(WriteOptions(), "victim", "alive").ok());
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+  ASSERT_TRUE(db_->Delete(WriteOptions(), "victim").ok());
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+  // Push the tombstone through several compaction rounds.
+  FillKeys(4000);
+  db_->WaitForBackgroundWork();
+  std::string value;
+  EXPECT_TRUE(db_->Get(ReadOptions(), "victim", &value).IsNotFound());
+}
+
+TEST_F(LsmBehaviorTest, ReinsertAfterDeleteWins) {
+  Open();
+  ASSERT_TRUE(db_->Put(WriteOptions(), "phoenix", "first").ok());
+  ASSERT_TRUE(db_->Delete(WriteOptions(), "phoenix").ok());
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+  ASSERT_TRUE(db_->Put(WriteOptions(), "phoenix", "risen").ok());
+  FillKeys(2000);
+  db_->WaitForBackgroundWork();
+  std::string value;
+  ASSERT_TRUE(db_->Get(ReadOptions(), "phoenix", &value).ok());
+  EXPECT_EQ("risen", value);
+}
+
+TEST_F(LsmBehaviorTest, TieredModeReadsNewestOverlappingRun) {
+  options_.compaction_style = CompactionStyle::kTiered;
+  options_.tiered_runs_per_level = 4;
+  Open();
+  // Create several overlapping runs in L0/L1 with conflicting versions.
+  for (int generation = 0; generation < 6; generation++) {
+    for (int i = 0; i < 50; i++) {
+      char key[32];
+      snprintf(key, sizeof(key), "key%06d", i);
+      ASSERT_TRUE(db_->Put(WriteOptions(), key, "gen" + std::to_string(generation)).ok());
+    }
+    ASSERT_TRUE(db_->FlushMemTable().ok());
+  }
+  db_->WaitForBackgroundWork();
+  std::string value;
+  for (int i = 0; i < 50; i++) {
+    char key[32];
+    snprintf(key, sizeof(key), "key%06d", i);
+    ASSERT_TRUE(db_->Get(ReadOptions(), key, &value).ok());
+    EXPECT_EQ("gen5", value) << key;
+  }
+}
+
+TEST_F(LsmBehaviorTest, GsnFilterDropsWalRecordsOnRecovery) {
+  Open();
+  WriteOptions sync_wo;
+  sync_wo.sync = true;
+
+  WriteBatch keep;
+  keep.Put("keep-me", "yes");
+  ASSERT_TRUE(db_->Write(sync_wo, &keep).ok());
+
+  WriteOptions tagged = sync_wo;
+  tagged.gsn = 42;
+  WriteBatch drop;
+  drop.Put("drop-me", "please");
+  ASSERT_TRUE(db_->Write(tagged, &drop).ok());
+
+  db_.reset();
+  // Reopen with a filter that refuses GSN 42.
+  ASSERT_TRUE(DB::Open(options_, "/bdb", &db_,
+                       [](uint64_t gsn) { return gsn != 42; })
+                  .ok());
+  std::string value;
+  EXPECT_TRUE(db_->Get(ReadOptions(), "keep-me", &value).ok());
+  EXPECT_TRUE(db_->Get(ReadOptions(), "drop-me", &value).IsNotFound());
+}
+
+TEST_F(LsmBehaviorTest, SequenceNumbersSurviveFilteredRecovery) {
+  Open();
+  WriteOptions sync_wo;
+  sync_wo.sync = true;
+  WriteOptions tagged = sync_wo;
+  tagged.gsn = 7;
+  WriteBatch dropped;
+  dropped.Put("ghost", "x");
+  ASSERT_TRUE(db_->Write(tagged, &dropped).ok());
+  db_.reset();
+  ASSERT_TRUE(DB::Open(options_, "/bdb", &db_, [](uint64_t gsn) { return gsn != 7; }).ok());
+  // New writes after recovery must still work and be visible (the dropped
+  // batch's sequence numbers were consumed, not reused).
+  ASSERT_TRUE(db_->Put(WriteOptions(), "post-recovery", "v").ok());
+  std::string value;
+  ASSERT_TRUE(db_->Get(ReadOptions(), "post-recovery", &value).ok());
+  EXPECT_EQ("v", value);
+}
+
+TEST_F(LsmBehaviorTest, WriteStallsAreAccounted) {
+  options_.l0_slowdown_writes_trigger = 2;
+  options_.l0_stop_writes_trigger = 4;
+  Open();
+  FillKeys(3000);
+  db_->WaitForBackgroundWork();
+  // With aggressive triggers, some writes must have been delayed.
+  EXPECT_GT(db_->GetStats().stall_micros, 0u);
+}
+
+TEST_F(LsmBehaviorTest, WalOnlyModeSkipsMemtable) {
+  options_.debug_disable_memtable = true;
+  options_.debug_disable_background = true;
+  Open();
+  ASSERT_TRUE(db_->Put(WriteOptions(), "logged", "but-not-indexed").ok());
+  std::string value;
+  // The write went to the WAL only; reads see nothing.
+  EXPECT_TRUE(db_->Get(ReadOptions(), "logged", &value).IsNotFound());
+  EXPECT_GT(db_->GetStats().write_group_count, 0u);
+}
+
+TEST_F(LsmBehaviorTest, MemtableOnlyModeSkipsWal) {
+  options_.debug_disable_wal = true;
+  options_.debug_disable_background = true;
+  Open();
+  uint64_t wal_groups_before = db_->GetStats().write_group_count;
+  ASSERT_TRUE(db_->Put(WriteOptions(), "unlogged", "indexed").ok());
+  std::string value;
+  ASSERT_TRUE(db_->Get(ReadOptions(), "unlogged", &value).ok());
+  EXPECT_EQ("indexed", value);
+  // Reopen: with no WAL record, the write is gone (by design of the mode).
+  db_.reset();
+  Open();
+  EXPECT_TRUE(db_->Get(ReadOptions(), "unlogged", &value).IsNotFound());
+  (void)wal_groups_before;
+}
+
+TEST_F(LsmBehaviorTest, ObsoleteFilesAreDeleted) {
+  Open();
+  FillKeys(4000);
+  db_->WaitForBackgroundWork();
+  int files_after_load = TotalFiles();
+  ASSERT_GT(files_after_load, 0);
+
+  // Overwrite everything; compaction should keep the live file count bounded
+  // (obsolete SSTs removed from disk).
+  FillKeys(4000);
+  db_->WaitForBackgroundWork();
+  std::vector<std::string> children;
+  ASSERT_TRUE(env_->GetChildren("/bdb", &children).ok());
+  int sst_files = 0;
+  for (const std::string& name : children) {
+    if (name.size() > 4 && name.substr(name.size() - 4) == ".sst") {
+      sst_files++;
+    }
+  }
+  // On-disk SSTs must match the live set (no unbounded garbage).
+  EXPECT_LE(sst_files, TotalFiles() + 2);
+}
+
+TEST_F(LsmBehaviorTest, MultiGetSeesConsistentSnapshotUnderWrites) {
+  Open();
+  ASSERT_TRUE(db_->Put(WriteOptions(), "pair-a", "0").ok());
+  ASSERT_TRUE(db_->Put(WriteOptions(), "pair-b", "0").ok());
+
+  std::atomic<bool> stop{false};
+  // A writer keeps the pair equal via atomic batches.
+  std::thread writer([&] {
+    int generation = 1;
+    while (!stop.load()) {
+      WriteBatch batch;
+      batch.Put("pair-a", std::to_string(generation));
+      batch.Put("pair-b", std::to_string(generation));
+      ASSERT_TRUE(db_->Write(WriteOptions(), &batch).ok());
+      generation++;
+    }
+  });
+
+  // MultiGet must never observe a torn pair.
+  for (int i = 0; i < 2000; i++) {
+    std::vector<std::string> values;
+    std::vector<Status> statuses = db_->MultiGet(ReadOptions(), {"pair-a", "pair-b"}, &values);
+    ASSERT_TRUE(statuses[0].ok() && statuses[1].ok());
+    ASSERT_EQ(values[0], values[1]) << "torn batch at iteration " << i;
+  }
+  stop.store(true);
+  writer.join();
+}
+
+TEST_F(LsmBehaviorTest, EngineRejectsMissingDbWhenCreateIfMissingFalse) {
+  options_.create_if_missing = false;
+  std::unique_ptr<DB> db;
+  Status s = DB::Open(options_, "/nonexistent", &db);
+  EXPECT_FALSE(s.ok());
+}
+
+TEST_F(LsmBehaviorTest, ErrorIfExists) {
+  Open();
+  db_.reset();
+  options_.error_if_exists = true;
+  std::unique_ptr<DB> db;
+  Status s = DB::Open(options_, "/bdb", &db);
+  EXPECT_FALSE(s.ok());
+}
+
+TEST_F(LsmBehaviorTest, LargeValuesRoundTrip) {
+  Open();
+  std::string big(256 * 1024, 'B');  // spans many WAL blocks and SST blocks
+  ASSERT_TRUE(db_->Put(WriteOptions(), "big", big).ok());
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+  std::string value;
+  ASSERT_TRUE(db_->Get(ReadOptions(), "big", &value).ok());
+  EXPECT_EQ(big, value);
+  db_.reset();
+  Open();
+  ASSERT_TRUE(db_->Get(ReadOptions(), "big", &value).ok());
+  EXPECT_EQ(big, value);
+}
+
+}  // namespace
+}  // namespace p2kvs

@@ -1,0 +1,330 @@
+// End-to-end tests of the LSM engine: CRUD, batches, flush/compaction,
+// iterators, snapshots, recovery, MultiGet, concurrency, and the RocksDB vs
+// LevelDB vs tiered (PebblesDB-style) feature profiles.
+
+#include "src/lsm/db.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+
+#include "src/io/mem_env.h"
+#include "src/lsm/db_impl.h"
+#include "src/util/random.h"
+
+namespace p2kvs {
+namespace {
+
+struct DbTestCase {
+  const char* name;
+  CompatMode compat;
+  CompactionStyle style;
+  bool concurrent_memtable;
+  bool pipelined;
+};
+
+class LsmDbTest : public ::testing::TestWithParam<DbTestCase> {
+ protected:
+  void SetUp() override {
+    env_ = NewMemEnv();
+    options_.env = env_.get();
+    const DbTestCase& tc = GetParam();
+    options_.compat_mode = tc.compat;
+    options_.compaction_style = tc.style;
+    options_.concurrent_memtable = tc.concurrent_memtable;
+    options_.pipelined_write = tc.pipelined;
+    // Small sizes so flush/compaction paths run in tests.
+    options_.write_buffer_size = 64 * 1024;
+    options_.target_file_size = 32 * 1024;
+    options_.max_bytes_for_level_base = 128 * 1024;
+    Reopen();
+  }
+
+  void Reopen() {
+    db_.reset();
+    ASSERT_TRUE(DB::Open(options_, "/testdb", &db_).ok());
+  }
+
+  Status Put(const std::string& k, const std::string& v) {
+    return db_->Put(WriteOptions(), k, v);
+  }
+  std::string Get(const std::string& k) {
+    std::string value;
+    Status s = db_->Get(ReadOptions(), k, &value);
+    if (s.IsNotFound()) {
+      return "NOT_FOUND";
+    }
+    if (!s.ok()) {
+      return s.ToString();
+    }
+    return value;
+  }
+
+  std::unique_ptr<Env> env_;
+  Options options_;
+  std::unique_ptr<DB> db_;
+};
+
+TEST_P(LsmDbTest, PutGet) {
+  ASSERT_TRUE(Put("foo", "v1").ok());
+  EXPECT_EQ("v1", Get("foo"));
+  ASSERT_TRUE(Put("bar", "v2").ok());
+  EXPECT_EQ("v2", Get("bar"));
+  EXPECT_EQ("NOT_FOUND", Get("missing"));
+}
+
+TEST_P(LsmDbTest, Overwrite) {
+  ASSERT_TRUE(Put("key", "v1").ok());
+  ASSERT_TRUE(Put("key", "v2").ok());
+  EXPECT_EQ("v2", Get("key"));
+}
+
+TEST_P(LsmDbTest, DeleteKey) {
+  ASSERT_TRUE(Put("key", "v1").ok());
+  ASSERT_TRUE(db_->Delete(WriteOptions(), "key").ok());
+  EXPECT_EQ("NOT_FOUND", Get("key"));
+  // Deleting an absent key is fine.
+  ASSERT_TRUE(db_->Delete(WriteOptions(), "never-there").ok());
+}
+
+TEST_P(LsmDbTest, EmptyValue) {
+  ASSERT_TRUE(Put("key", "").ok());
+  EXPECT_EQ("", Get("key"));
+}
+
+TEST_P(LsmDbTest, WriteBatchAtomicAppend) {
+  WriteBatch batch;
+  batch.Put("a", "1");
+  batch.Put("b", "2");
+  batch.Delete("a");
+  ASSERT_TRUE(db_->Write(WriteOptions(), &batch).ok());
+  EXPECT_EQ("NOT_FOUND", Get("a"));
+  EXPECT_EQ("2", Get("b"));
+}
+
+TEST_P(LsmDbTest, GetFromFlushedTable) {
+  ASSERT_TRUE(Put("persisted", "on-disk").ok());
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+  EXPECT_EQ("on-disk", Get("persisted"));
+}
+
+TEST_P(LsmDbTest, ManyKeysSurviveFlushesAndCompactions) {
+  Random rnd(301);
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 5000; i++) {
+    char key[32];
+    snprintf(key, sizeof(key), "key%06d", static_cast<int>(rnd.Uniform(2000)));
+    std::string value(64, static_cast<char>('a' + (i % 26)));
+    model[key] = value;
+    ASSERT_TRUE(Put(key, value).ok());
+  }
+  db_->WaitForBackgroundWork();
+  for (const auto& [k, v] : model) {
+    ASSERT_EQ(v, Get(k)) << "key " << k;
+  }
+}
+
+TEST_P(LsmDbTest, RecoveryFromWal) {
+  ASSERT_TRUE(Put("k1", "v1").ok());
+  ASSERT_TRUE(Put("k2", "v2").ok());
+  Reopen();  // drops the memtable; recovery must replay the WAL
+  EXPECT_EQ("v1", Get("k1"));
+  EXPECT_EQ("v2", Get("k2"));
+}
+
+TEST_P(LsmDbTest, RecoveryAfterFlushAndMoreWrites) {
+  for (int i = 0; i < 2000; i++) {
+    char key[32];
+    snprintf(key, sizeof(key), "key%06d", i);
+    ASSERT_TRUE(Put(key, std::string(100, 'x')).ok());
+  }
+  db_->WaitForBackgroundWork();
+  ASSERT_TRUE(Put("late", "write").ok());
+  Reopen();
+  EXPECT_EQ("write", Get("late"));
+  EXPECT_EQ(std::string(100, 'x'), Get("key000000"));
+  EXPECT_EQ(std::string(100, 'x'), Get("key001999"));
+}
+
+TEST_P(LsmDbTest, IteratorForward) {
+  ASSERT_TRUE(Put("a", "1").ok());
+  ASSERT_TRUE(Put("c", "3").ok());
+  ASSERT_TRUE(Put("b", "2").ok());
+  std::unique_ptr<Iterator> it(db_->NewIterator(ReadOptions()));
+  it->SeekToFirst();
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ("a", it->key().ToString());
+  it->Next();
+  EXPECT_EQ("b", it->key().ToString());
+  it->Next();
+  EXPECT_EQ("c", it->key().ToString());
+  it->Next();
+  EXPECT_FALSE(it->Valid());
+}
+
+TEST_P(LsmDbTest, IteratorBackwardAndSeek) {
+  for (char c = 'a'; c <= 'e'; c++) {
+    ASSERT_TRUE(Put(std::string(1, c), std::string(1, c)).ok());
+  }
+  ASSERT_TRUE(db_->Delete(WriteOptions(), "c").ok());
+  std::unique_ptr<Iterator> it(db_->NewIterator(ReadOptions()));
+  it->Seek("b");
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ("b", it->key().ToString());
+  it->Next();
+  EXPECT_EQ("d", it->key().ToString());  // "c" deleted
+  it->Prev();
+  EXPECT_EQ("b", it->key().ToString());
+  it->SeekToLast();
+  EXPECT_EQ("e", it->key().ToString());
+}
+
+TEST_P(LsmDbTest, IteratorSpansMemtableAndDisk) {
+  ASSERT_TRUE(Put("disk", "1").ok());
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+  ASSERT_TRUE(Put("mem", "2").ok());
+  std::unique_ptr<Iterator> it(db_->NewIterator(ReadOptions()));
+  it->SeekToFirst();
+  EXPECT_EQ("disk", it->key().ToString());
+  it->Next();
+  EXPECT_EQ("mem", it->key().ToString());
+  it->Next();
+  EXPECT_FALSE(it->Valid());
+}
+
+TEST_P(LsmDbTest, SnapshotIsolation) {
+  ASSERT_TRUE(Put("k", "v1").ok());
+  const Snapshot* snap = db_->GetSnapshot();
+  ASSERT_TRUE(Put("k", "v2").ok());
+
+  ReadOptions ro;
+  ro.snapshot = snap;
+  std::string value;
+  ASSERT_TRUE(db_->Get(ro, "k", &value).ok());
+  EXPECT_EQ("v1", value);
+  EXPECT_EQ("v2", Get("k"));
+  db_->ReleaseSnapshot(snap);
+}
+
+TEST_P(LsmDbTest, SnapshotSurvivesFlush) {
+  ASSERT_TRUE(Put("k", "old").ok());
+  const Snapshot* snap = db_->GetSnapshot();
+  ASSERT_TRUE(Put("k", "new").ok());
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+  db_->WaitForBackgroundWork();
+
+  ReadOptions ro;
+  ro.snapshot = snap;
+  std::string value;
+  ASSERT_TRUE(db_->Get(ro, "k", &value).ok());
+  EXPECT_EQ("old", value);
+  db_->ReleaseSnapshot(snap);
+}
+
+TEST_P(LsmDbTest, MultiGet) {
+  ASSERT_TRUE(Put("a", "1").ok());
+  ASSERT_TRUE(Put("b", "2").ok());
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+  ASSERT_TRUE(Put("c", "3").ok());
+
+  std::vector<Slice> keys = {"a", "zz", "b", "c"};
+  std::vector<std::string> values;
+  std::vector<Status> statuses = db_->MultiGet(ReadOptions(), keys, &values);
+  ASSERT_EQ(4u, statuses.size());
+  EXPECT_TRUE(statuses[0].ok());
+  EXPECT_EQ("1", values[0]);
+  EXPECT_TRUE(statuses[1].IsNotFound());
+  EXPECT_TRUE(statuses[2].ok());
+  EXPECT_EQ("2", values[2]);
+  EXPECT_TRUE(statuses[3].ok());
+  EXPECT_EQ("3", values[3]);
+}
+
+TEST_P(LsmDbTest, ConcurrentWriters) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([this, t] {
+      for (int i = 0; i < kPerThread; i++) {
+        char key[32];
+        snprintf(key, sizeof(key), "t%d-key%05d", t, i);
+        char value[32];
+        snprintf(value, sizeof(value), "t%d-val%05d", t, i);
+        ASSERT_TRUE(db_->Put(WriteOptions(), key, value).ok());
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  for (int t = 0; t < kThreads; t++) {
+    for (int i = 0; i < kPerThread; i += 97) {
+      char key[32];
+      snprintf(key, sizeof(key), "t%d-key%05d", t, i);
+      char value[32];
+      snprintf(value, sizeof(value), "t%d-val%05d", t, i);
+      ASSERT_EQ(std::string(value), Get(key));
+    }
+  }
+}
+
+TEST_P(LsmDbTest, ConcurrentReadersAndWriters) {
+  std::atomic<bool> stop{false};
+  std::thread writer([this, &stop] {
+    int i = 0;
+    while (!stop.load()) {
+      char key[32];
+      snprintf(key, sizeof(key), "w%06d", i++ % 500);
+      ASSERT_TRUE(db_->Put(WriteOptions(), key, "value").ok());
+    }
+  });
+  std::thread reader([this, &stop] {
+    while (!stop.load()) {
+      std::string value;
+      Status s = db_->Get(ReadOptions(), "w000000", &value);
+      ASSERT_TRUE(s.ok() || s.IsNotFound());
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  stop.store(true);
+  writer.join();
+  reader.join();
+}
+
+TEST_P(LsmDbTest, StatsAreAccounted) {
+  for (int i = 0; i < 3000; i++) {
+    char key[32];
+    snprintf(key, sizeof(key), "key%06d", i);
+    ASSERT_TRUE(Put(key, std::string(100, 'x')).ok());
+  }
+  db_->WaitForBackgroundWork();
+  DbStats stats = db_->GetStats();
+  EXPECT_GT(stats.flush_count, 0u);
+  EXPECT_GT(stats.write_group_count, 0u);
+  EXPECT_GE(stats.write_request_count, 3000u);
+}
+
+TEST_P(LsmDbTest, SyncWrites) {
+  WriteOptions wo;
+  wo.sync = true;
+  ASSERT_TRUE(db_->Put(wo, "durable", "yes").ok());
+  EXPECT_EQ("yes", Get("durable"));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Profiles, LsmDbTest,
+    ::testing::Values(
+        DbTestCase{"rocksdb", CompatMode::kRocksDB, CompactionStyle::kLeveled, true, true},
+        DbTestCase{"rocksdb_nopipeline", CompatMode::kRocksDB, CompactionStyle::kLeveled, true,
+                   false},
+        DbTestCase{"rocksdb_serial_mem", CompatMode::kRocksDB, CompactionStyle::kLeveled, false,
+                   false},
+        DbTestCase{"leveldb", CompatMode::kLevelDB, CompactionStyle::kLeveled, false, false},
+        DbTestCase{"tiered_pebbles", CompatMode::kLevelDB, CompactionStyle::kTiered, false,
+                   false}),
+    [](const ::testing::TestParamInfo<DbTestCase>& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace p2kvs

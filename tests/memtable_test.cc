@@ -1,0 +1,297 @@
+// Skiplist and MemTable tests, including concurrent-insert stress on the CAS
+// path (the "concurrent MemTable" of paper §2.2).
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "src/memtable/memtable.h"
+#include "src/memtable/skiplist.h"
+#include "src/util/random.h"
+
+namespace p2kvs {
+namespace {
+
+using Key = uint64_t;
+
+struct UintComparator {
+  int operator()(const Key& a, const Key& b) const {
+    if (a < b) {
+      return -1;
+    }
+    if (a > b) {
+      return +1;
+    }
+    return 0;
+  }
+};
+
+TEST(SkipListTest, Empty) {
+  Arena arena;
+  SkipList<Key, UintComparator> list(UintComparator(), &arena);
+  EXPECT_FALSE(list.Contains(10));
+
+  SkipList<Key, UintComparator>::Iterator iter(&list);
+  EXPECT_FALSE(iter.Valid());
+  iter.SeekToFirst();
+  EXPECT_FALSE(iter.Valid());
+  iter.Seek(100);
+  EXPECT_FALSE(iter.Valid());
+  iter.SeekToLast();
+  EXPECT_FALSE(iter.Valid());
+}
+
+TEST(SkipListTest, InsertLookupAndIterate) {
+  const int N = 2000;
+  const int R = 5000;
+  Random rnd(1000);
+  std::set<Key> keys;
+  Arena arena;
+  SkipList<Key, UintComparator> list(UintComparator(), &arena);
+  for (int i = 0; i < N; i++) {
+    Key key = rnd.Next() % R;
+    if (keys.insert(key).second) {
+      list.Insert(key);
+    }
+  }
+
+  for (int i = 0; i < R; i++) {
+    EXPECT_EQ(keys.count(i) == 1, list.Contains(i)) << i;
+  }
+
+  // Forward iteration.
+  {
+    SkipList<Key, UintComparator>::Iterator iter(&list);
+    iter.SeekToFirst();
+    for (Key expected : keys) {
+      ASSERT_TRUE(iter.Valid());
+      EXPECT_EQ(expected, iter.key());
+      iter.Next();
+    }
+    EXPECT_FALSE(iter.Valid());
+  }
+
+  // Backward iteration.
+  {
+    SkipList<Key, UintComparator>::Iterator iter(&list);
+    iter.SeekToLast();
+    for (auto it = keys.rbegin(); it != keys.rend(); ++it) {
+      ASSERT_TRUE(iter.Valid());
+      EXPECT_EQ(*it, iter.key());
+      iter.Prev();
+    }
+    EXPECT_FALSE(iter.Valid());
+  }
+
+  // Seek.
+  {
+    SkipList<Key, UintComparator>::Iterator iter(&list);
+    iter.Seek(R / 2);
+    auto lb = keys.lower_bound(R / 2);
+    if (lb == keys.end()) {
+      EXPECT_FALSE(iter.Valid());
+    } else {
+      ASSERT_TRUE(iter.Valid());
+      EXPECT_EQ(*lb, iter.key());
+    }
+  }
+}
+
+TEST(SkipListTest, ConcurrentInsertersDisjointKeys) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  Arena arena;
+  SkipList<Key, UintComparator> list(UintComparator(), &arena);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&list, t] {
+      for (int i = 0; i < kPerThread; i++) {
+        list.InsertConcurrently(static_cast<Key>(i) * kThreads + t);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  // Everything present and ordered.
+  SkipList<Key, UintComparator>::Iterator iter(&list);
+  iter.SeekToFirst();
+  for (Key expected = 0; expected < kThreads * kPerThread; expected++) {
+    ASSERT_TRUE(iter.Valid());
+    ASSERT_EQ(expected, iter.key());
+    iter.Next();
+  }
+  EXPECT_FALSE(iter.Valid());
+}
+
+TEST(SkipListTest, ConcurrentInsertWithConcurrentReaders) {
+  Arena arena;
+  SkipList<Key, UintComparator> list(UintComparator(), &arena);
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      SkipList<Key, UintComparator>::Iterator iter(&list);
+      Key last = 0;
+      iter.SeekToFirst();
+      while (iter.Valid()) {
+        ASSERT_GE(iter.key(), last);  // always sorted
+        last = iter.key();
+        iter.Next();
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 2; t++) {
+    writers.emplace_back([&list, t] {
+      for (int i = 0; i < 20000; i++) {
+        list.InsertConcurrently(static_cast<Key>(i) * 2 + t);
+      }
+    });
+  }
+  for (auto& th : writers) {
+    th.join();
+  }
+  stop.store(true);
+  reader.join();
+  EXPECT_TRUE(list.Contains(0));
+  EXPECT_TRUE(list.Contains(39999));
+}
+
+// --- MemTable ---
+
+class MemTableTest : public ::testing::Test {
+ protected:
+  MemTableTest() : cmp_(BytewiseComparator()), mem_(cmp_) {}
+
+  InternalKeyComparator cmp_;
+  MemTable mem_;
+};
+
+TEST_F(MemTableTest, AddGet) {
+  mem_.Add(1, kTypeValue, "key1", "value1");
+  mem_.Add(2, kTypeValue, "key2", "value2");
+
+  std::string value;
+  Status s;
+  ASSERT_TRUE(mem_.Get(LookupKey("key1", 10), &value, &s));
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ("value1", value);
+  EXPECT_FALSE(mem_.Get(LookupKey("missing", 10), &value, &s));
+}
+
+TEST_F(MemTableTest, SequenceVisibility) {
+  mem_.Add(5, kTypeValue, "k", "v5");
+  mem_.Add(9, kTypeValue, "k", "v9");
+
+  std::string value;
+  Status s;
+  // Snapshot at 7 sees v5; at 9+ sees v9; at 4 sees nothing.
+  ASSERT_TRUE(mem_.Get(LookupKey("k", 7), &value, &s));
+  EXPECT_EQ("v5", value);
+  ASSERT_TRUE(mem_.Get(LookupKey("k", 20), &value, &s));
+  EXPECT_EQ("v9", value);
+  EXPECT_FALSE(mem_.Get(LookupKey("k", 4), &value, &s));
+}
+
+TEST_F(MemTableTest, DeletionShadowsValue) {
+  mem_.Add(1, kTypeValue, "k", "v");
+  mem_.Add(2, kTypeDeletion, "k", "");
+  std::string value;
+  Status s;
+  ASSERT_TRUE(mem_.Get(LookupKey("k", 10), &value, &s));
+  EXPECT_TRUE(s.IsNotFound());
+  // But the old version is still visible at sequence 1.
+  ASSERT_TRUE(mem_.Get(LookupKey("k", 1), &value, &s));
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ("v", value);
+}
+
+TEST_F(MemTableTest, IteratorYieldsInternalOrder) {
+  mem_.Add(3, kTypeValue, "b", "b3");
+  mem_.Add(1, kTypeValue, "a", "a1");
+  mem_.Add(2, kTypeValue, "b", "b2");
+
+  std::unique_ptr<Iterator> iter(mem_.NewIterator());
+  iter->SeekToFirst();
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ("a", ExtractUserKey(iter->key()).ToString());
+  iter->Next();
+  // Same user key: higher sequence first.
+  ParsedInternalKey parsed;
+  ASSERT_TRUE(ParseInternalKey(iter->key(), &parsed));
+  EXPECT_EQ("b", parsed.user_key.ToString());
+  EXPECT_EQ(3u, parsed.sequence);
+  iter->Next();
+  ASSERT_TRUE(ParseInternalKey(iter->key(), &parsed));
+  EXPECT_EQ(2u, parsed.sequence);
+  iter->Next();
+  EXPECT_FALSE(iter->Valid());
+}
+
+TEST_F(MemTableTest, MemoryAccounting) {
+  size_t before = mem_.ApproximateMemoryUsage();
+  for (int i = 0; i < 1000; i++) {
+    mem_.Add(static_cast<SequenceNumber>(i + 1), kTypeValue, "key" + std::to_string(i),
+             std::string(100, 'v'));
+  }
+  EXPECT_GT(mem_.ApproximateMemoryUsage(), before + 100 * 1000);
+  EXPECT_EQ(1000u, mem_.NumEntries());
+}
+
+TEST_F(MemTableTest, ConcurrentAdd) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::atomic<uint64_t> seq{1};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; i++) {
+        uint64_t s = seq.fetch_add(1);
+        mem_.Add(s, kTypeValue, "t" + std::to_string(t) + "-" + std::to_string(i), "v",
+                 /*concurrent=*/true);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(static_cast<uint64_t>(kThreads * kPerThread), mem_.NumEntries());
+  std::string value;
+  Status s;
+  EXPECT_TRUE(mem_.Get(LookupKey("t0-0", kMaxSequenceNumber), &value, &s));
+  EXPECT_TRUE(mem_.Get(LookupKey("t3-1999", kMaxSequenceNumber), &value, &s));
+}
+
+TEST(DbFormatTest, InternalKeyOrdering) {
+  InternalKeyComparator cmp(BytewiseComparator());
+  InternalKey a1("a", 100, kTypeValue);
+  InternalKey a2("a", 50, kTypeValue);
+  InternalKey b("b", 1, kTypeValue);
+  // Same user key: higher sequence sorts first.
+  EXPECT_LT(cmp.Compare(a1.Encode(), a2.Encode()), 0);
+  EXPECT_LT(cmp.Compare(a2.Encode(), b.Encode()), 0);
+}
+
+TEST(DbFormatTest, ParseRoundTrip) {
+  std::string encoded;
+  AppendInternalKey(&encoded, ParsedInternalKey("mykey", 42, kTypeDeletion));
+  ParsedInternalKey parsed;
+  ASSERT_TRUE(ParseInternalKey(encoded, &parsed));
+  EXPECT_EQ("mykey", parsed.user_key.ToString());
+  EXPECT_EQ(42u, parsed.sequence);
+  EXPECT_EQ(kTypeDeletion, parsed.type);
+}
+
+TEST(DbFormatTest, LookupKeyParts) {
+  LookupKey lkey("hello", 99);
+  EXPECT_EQ("hello", lkey.user_key().ToString());
+  EXPECT_EQ(5u + 8u, lkey.internal_key().size());
+  // Long keys exercise the heap path.
+  std::string long_key(500, 'k');
+  LookupKey lkey2(long_key, 1);
+  EXPECT_EQ(long_key, lkey2.user_key().ToString());
+}
+
+}  // namespace
+}  // namespace p2kvs

@@ -1,0 +1,294 @@
+// Model-based property tests: long random operation sequences executed
+// against a store AND a std::map reference model, with periodic full-state
+// comparison, scans, and mid-run reopens. Parameterized over every system in
+// the repo (four LSM profiles, WTLite, KVell-lite, and p2KVS over three
+// engines).
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/btree/btree_store.h"
+#include "src/core/p2kvs.h"
+#include "src/io/mem_env.h"
+#include "src/kvell/kvell_store.h"
+#include "src/util/random.h"
+
+namespace p2kvs {
+namespace {
+
+// A minimal uniform facade over all systems under test.
+struct ModelTarget {
+  std::function<Status(const std::string&, const std::string&)> put;
+  std::function<Status(const std::string&)> del;
+  std::function<Status(const std::string&, std::string*)> get;
+  // Ordered scan of up to n pairs with key >= begin; null if unsupported.
+  std::function<Status(const std::string&, size_t,
+                       std::vector<std::pair<std::string, std::string>>*)> scan;
+  std::function<void()> reopen;  // close + recover; null if unsupported
+};
+
+enum class SystemKind {
+  kRocksLite,
+  kLevelLite,
+  kPebblesLite,
+  kRocksLiteSync,
+  kWtLite,
+  kKvell,
+  kP2kvsRocks,
+  kP2kvsWt,
+};
+
+struct ModelCase {
+  const char* name;
+  SystemKind kind;
+};
+
+class ModelTest : public ::testing::TestWithParam<ModelCase> {
+ protected:
+  void SetUp() override {
+    env_ = NewMemEnv();
+    OpenTarget();
+  }
+
+  Options LsmOptions() {
+    Options options;
+    options.env = env_.get();
+    options.write_buffer_size = 32 * 1024;  // force frequent flushes
+    options.target_file_size = 16 * 1024;
+    options.max_bytes_for_level_base = 64 * 1024;
+    return options;
+  }
+
+  void OpenTarget() {
+    const SystemKind kind = GetParam().kind;
+    switch (kind) {
+      case SystemKind::kRocksLite:
+      case SystemKind::kLevelLite:
+      case SystemKind::kPebblesLite:
+      case SystemKind::kRocksLiteSync: {
+        Options options = LsmOptions();
+        if (kind == SystemKind::kLevelLite) {
+          options.compat_mode = CompatMode::kLevelDB;
+        } else if (kind == SystemKind::kPebblesLite) {
+          options.compat_mode = CompatMode::kLevelDB;
+          options.compaction_style = CompactionStyle::kTiered;
+        }
+        WriteOptions wo;
+        wo.sync = (kind == SystemKind::kRocksLiteSync);
+        ASSERT_TRUE(DB::Open(options, "/model", &db_).ok());
+        target_.put = [this, wo](const std::string& k, const std::string& v) {
+          return db_->Put(wo, k, v);
+        };
+        target_.del = [this, wo](const std::string& k) { return db_->Delete(wo, k); };
+        target_.get = [this](const std::string& k, std::string* v) {
+          return db_->Get(ReadOptions(), k, v);
+        };
+        target_.scan = [this](const std::string& begin, size_t n, auto* out) {
+          out->clear();
+          std::unique_ptr<Iterator> iter(db_->NewIterator(ReadOptions()));
+          for (iter->Seek(begin); iter->Valid() && out->size() < n; iter->Next()) {
+            out->emplace_back(iter->key().ToString(), iter->value().ToString());
+          }
+          return iter->status();
+        };
+        target_.reopen = [this, options] {
+          db_.reset();
+          ASSERT_TRUE(DB::Open(options, "/model", &db_).ok());
+        };
+        break;
+      }
+      case SystemKind::kWtLite: {
+        BTreeOptions options;
+        options.env = env_.get();
+        options.buffer_pool_pages = 32;
+        ASSERT_TRUE(BTreeStore::Open(options, "/model", &bt_).ok());
+        target_.put = [this](const std::string& k, const std::string& v) {
+          return bt_->Put(k, v);
+        };
+        target_.del = [this](const std::string& k) { return bt_->Delete(k); };
+        target_.get = [this](const std::string& k, std::string* v) { return bt_->Get(k, v); };
+        target_.scan = [this](const std::string& begin, size_t n, auto* out) {
+          out->clear();
+          std::unique_ptr<Iterator> iter(bt_->NewIterator());
+          for (iter->Seek(begin); iter->Valid() && out->size() < n; iter->Next()) {
+            out->emplace_back(iter->key().ToString(), iter->value().ToString());
+          }
+          return Status::OK();
+        };
+        target_.reopen = [this, options] {
+          bt_.reset();
+          ASSERT_TRUE(BTreeStore::Open(options, "/model", &bt_).ok());
+        };
+        break;
+      }
+      case SystemKind::kKvell: {
+        KvellOptions options;
+        options.env = env_.get();
+        options.num_workers = 2;
+        options.pin_workers = false;
+        ASSERT_TRUE(KvellStore::Open(options, "/model", &kvell_).ok());
+        target_.put = [this](const std::string& k, const std::string& v) {
+          return kvell_->Put(k, v);
+        };
+        target_.del = [this](const std::string& k) { return kvell_->Delete(k); };
+        target_.get = [this](const std::string& k, std::string* v) {
+          return kvell_->Get(k, v);
+        };
+        target_.scan = [this](const std::string& begin, size_t n, auto* out) {
+          return kvell_->Scan(begin, n, out);
+        };
+        target_.reopen = [this, options] {
+          kvell_.reset();
+          ASSERT_TRUE(KvellStore::Open(options, "/model", &kvell_).ok());
+        };
+        break;
+      }
+      case SystemKind::kP2kvsRocks:
+      case SystemKind::kP2kvsWt: {
+        P2kvsOptions options;
+        options.env = env_.get();
+        options.num_workers = 3;  // odd count: uneven partitions
+        options.pin_workers = false;
+        if (kind == SystemKind::kP2kvsRocks) {
+          options.engine_factory = MakeRocksLiteFactory(LsmOptions());
+        } else {
+          BTreeOptions bt;
+          bt.env = env_.get();
+          bt.buffer_pool_pages = 32;
+          options.engine_factory = MakeWTLiteFactory(bt);
+        }
+        ASSERT_TRUE(P2KVS::Open(options, "/model", &p2_).ok());
+        target_.put = [this](const std::string& k, const std::string& v) {
+          return p2_->Put(k, v);
+        };
+        target_.del = [this](const std::string& k) { return p2_->Delete(k); };
+        target_.get = [this](const std::string& k, std::string* v) { return p2_->Get(k, v); };
+        target_.scan = [this](const std::string& begin, size_t n, auto* out) {
+          return p2_->Scan(begin, n, out);
+        };
+        target_.reopen = [this, options] {
+          p2_.reset();
+          ASSERT_TRUE(P2KVS::Open(options, "/model", &p2_).ok());
+        };
+        break;
+      }
+    }
+  }
+
+  void CheckAgainstModel(const std::map<std::string, std::string>& model) {
+    // Point lookups for every key the model knows plus some absent keys.
+    std::string value;
+    for (const auto& [k, v] : model) {
+      Status s = target_.get(k, &value);
+      ASSERT_TRUE(s.ok()) << "key " << k << ": " << s.ToString();
+      ASSERT_EQ(v, value) << "key " << k;
+    }
+    for (const char* absent : {"", "zzzz-absent", "a-absent"}) {
+      if (model.count(absent) == 0) {
+        Status s = target_.get(absent, &value);
+        ASSERT_TRUE(s.IsNotFound()) << absent;
+      }
+    }
+    // Full ordered scan must equal the model's contents.
+    std::vector<std::pair<std::string, std::string>> scanned;
+    ASSERT_TRUE(target_.scan("", model.size() + 10, &scanned).ok());
+    ASSERT_EQ(model.size(), scanned.size());
+    auto it = model.begin();
+    for (size_t i = 0; i < scanned.size(); i++, ++it) {
+      ASSERT_EQ(it->first, scanned[i].first) << i;
+      ASSERT_EQ(it->second, scanned[i].second) << i;
+    }
+  }
+
+  std::unique_ptr<Env> env_;
+  std::unique_ptr<DB> db_;
+  std::unique_ptr<BTreeStore> bt_;
+  std::unique_ptr<KvellStore> kvell_;
+  std::unique_ptr<P2KVS> p2_;
+  ModelTarget target_;
+};
+
+TEST_P(ModelTest, RandomOpsMatchReferenceModel) {
+  Random rnd(::testing::UnitTest::GetInstance()->random_seed() + 301);
+  std::map<std::string, std::string> model;
+  constexpr int kOps = 4000;
+  constexpr int kKeySpace = 400;
+
+  for (int i = 0; i < kOps; i++) {
+    char key[32];
+    snprintf(key, sizeof(key), "key%06u", rnd.Uniform(kKeySpace));
+    int action = rnd.Uniform(10);
+    if (action < 6) {
+      std::string value = "v" + std::to_string(i) + std::string(rnd.Uniform(150), 'x');
+      ASSERT_TRUE(target_.put(key, value).ok());
+      model[key] = value;
+    } else if (action < 8) {
+      ASSERT_TRUE(target_.del(key).ok());
+      model.erase(key);
+    } else {
+      std::string value;
+      Status s = target_.get(key, &value);
+      auto it = model.find(key);
+      if (it == model.end()) {
+        ASSERT_TRUE(s.IsNotFound()) << key;
+      } else {
+        ASSERT_TRUE(s.ok()) << key << ": " << s.ToString();
+        ASSERT_EQ(it->second, value);
+      }
+    }
+
+    if (i == kOps / 3 || i == 2 * kOps / 3) {
+      CheckAgainstModel(model);
+      if (target_.reopen) {
+        target_.reopen();
+        CheckAgainstModel(model);
+      }
+    }
+  }
+  CheckAgainstModel(model);
+}
+
+TEST_P(ModelTest, PrefixScansMatchModel) {
+  Random rnd(77);
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 500; i++) {
+    char key[32];
+    snprintf(key, sizeof(key), "p%c-%04u", 'a' + static_cast<char>(rnd.Uniform(4)),
+             rnd.Uniform(1000));
+    model[key] = std::to_string(i);
+    ASSERT_TRUE(target_.put(key, model[key]).ok());
+  }
+  // Scans from random positions must match the model's ordered view.
+  for (int trial = 0; trial < 20; trial++) {
+    char begin[32];
+    snprintf(begin, sizeof(begin), "p%c-%04u", 'a' + static_cast<char>(rnd.Uniform(5)),
+             rnd.Uniform(1000));
+    size_t n = 1 + rnd.Uniform(30);
+    std::vector<std::pair<std::string, std::string>> scanned;
+    ASSERT_TRUE(target_.scan(begin, n, &scanned).ok());
+    auto it = model.lower_bound(begin);
+    size_t expect = 0;
+    for (; it != model.end() && expect < n; ++it, ++expect) {
+      ASSERT_LT(expect, scanned.size()) << "scan from " << begin << " too short";
+      ASSERT_EQ(it->first, scanned[expect].first);
+      ASSERT_EQ(it->second, scanned[expect].second);
+    }
+    ASSERT_EQ(expect, scanned.size()) << "scan from " << begin << " too long";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Systems, ModelTest,
+    ::testing::Values(ModelCase{"rockslite", SystemKind::kRocksLite},
+                      ModelCase{"levellite", SystemKind::kLevelLite},
+                      ModelCase{"pebbleslite", SystemKind::kPebblesLite},
+                      ModelCase{"rockslite_sync", SystemKind::kRocksLiteSync},
+                      ModelCase{"wtlite", SystemKind::kWtLite},
+                      ModelCase{"kvell", SystemKind::kKvell},
+                      ModelCase{"p2kvs_rocks", SystemKind::kP2kvsRocks},
+                      ModelCase{"p2kvs_wt", SystemKind::kP2kvsWt}),
+    [](const ::testing::TestParamInfo<ModelCase>& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace p2kvs

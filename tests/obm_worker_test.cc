@@ -1,0 +1,340 @@
+// Direct unit tests of the Worker's opportunistic batching mechanism (paper
+// Algorithm 1) against a mock engine that records every engine call. These
+// pin down the algorithm's exact semantics: merge only consecutive same-type
+// requests, respect the max-batch bound, never merge GSN-tagged batches,
+// fall back per-request when the engine lacks batch APIs, and never wait for
+// more requests.
+
+#include "src/core/worker.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "src/util/iterator.h"
+
+namespace p2kvs {
+namespace {
+
+// Engine call trace: "write(3)" = batch of 3, "put", "get", "multiget(4)".
+class MockEngine final : public KVStore {
+ public:
+  struct Behavior {
+    bool batch_write = true;
+    bool multi_get = true;
+    // The worker outruns producers unless processing is slowed a little.
+    int op_delay_us = 0;
+  };
+
+  explicit MockEngine(Behavior behavior) : behavior_(behavior) {}
+
+  EngineCaps caps() const override {
+    EngineCaps caps;
+    caps.batch_write = behavior_.batch_write;
+    caps.multi_get = behavior_.multi_get;
+    return caps;
+  }
+
+  Status Put(const Slice& key, const Slice& value, const KvWriteOptions&) override {
+    Record("put");
+    data_[key.ToString()] = value.ToString();
+    return Status::OK();
+  }
+
+  Status Delete(const Slice& key, const KvWriteOptions&) override {
+    Record("delete");
+    data_.erase(key.ToString());
+    return Status::OK();
+  }
+
+  Status Write(WriteBatch* batch, const KvWriteOptions& options) override {
+    Record("write(" + std::to_string(batch->Count()) + ")" +
+           (options.gsn != 0 ? "+gsn" : ""));
+    struct Applier : public WriteBatch::Handler {
+      std::map<std::string, std::string>* data;
+      void Put(const Slice& k, const Slice& v) override { (*data)[k.ToString()] = v.ToString(); }
+      void Delete(const Slice& k) override { data->erase(k.ToString()); }
+    };
+    Applier applier;
+    applier.data = &data_;
+    return batch->Iterate(&applier);
+  }
+
+  Status Get(const Slice& key, std::string* value) override {
+    Record("get");
+    auto it = data_.find(key.ToString());
+    if (it == data_.end()) {
+      return Status::NotFound(key);
+    }
+    *value = it->second;
+    return Status::OK();
+  }
+
+  std::vector<Status> MultiGet(const std::vector<Slice>& keys,
+                               std::vector<std::string>* values) override {
+    Record("multiget(" + std::to_string(keys.size()) + ")");
+    std::vector<Status> statuses(keys.size());
+    values->assign(keys.size(), std::string());
+    for (size_t i = 0; i < keys.size(); i++) {
+      auto it = data_.find(keys[i].ToString());
+      if (it == data_.end()) {
+        statuses[i] = Status::NotFound(keys[i]);
+      } else {
+        (*values)[i] = it->second;
+      }
+    }
+    return statuses;
+  }
+
+  Iterator* NewIterator() override { return NewEmptyIterator(); }
+
+  std::vector<std::string> Trace() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return trace_;
+  }
+
+ private:
+  void Record(const std::string& event) {
+    if (behavior_.op_delay_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(behavior_.op_delay_us));
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    trace_.push_back(event);
+  }
+
+  const Behavior behavior_;
+  mutable std::mutex mu_;
+  std::vector<std::string> trace_;
+  std::map<std::string, std::string> data_;
+};
+
+class ObmWorkerTest : public ::testing::Test {
+ protected:
+  void Start(MockEngine::Behavior behavior, bool enable_obm = true, int max_batch = 32) {
+    auto engine = std::make_unique<MockEngine>(behavior);
+    engine_ = engine.get();
+    Worker::Config config;
+    config.id = 0;
+    config.pin_to_cpu = false;
+    config.enable_obm = enable_obm;
+    config.max_batch_size = max_batch;
+    worker_ = std::make_unique<Worker>(config, std::move(engine));
+    // Note: Start() is deferred so tests can pre-fill the queue; a batch can
+    // only form from requests that are *already* queued (opportunism).
+  }
+
+  // Enqueue a sync put without waiting.
+  std::unique_ptr<Request> MakePut(const std::string& key, uint64_t gsn = 0) {
+    auto r = std::make_unique<Request>();
+    r->type = RequestType::kPut;
+    r->key = key;
+    r->value = "v";
+    r->gsn = gsn;
+    return r;
+  }
+
+  std::unique_ptr<Request> MakeGet(const std::string& key, std::string* out) {
+    auto r = std::make_unique<Request>();
+    r->type = RequestType::kGet;
+    r->key = key;
+    r->get_out = out;
+    return r;
+  }
+
+  MockEngine* engine_ = nullptr;
+  std::unique_ptr<Worker> worker_;
+};
+
+TEST_F(ObmWorkerTest, ConsecutiveWritesMergeIntoOneBatch) {
+  Start(MockEngine::Behavior{});
+  std::vector<std::unique_ptr<Request>> requests;
+  for (int i = 0; i < 5; i++) {
+    requests.push_back(MakePut("k" + std::to_string(i)));
+    worker_->Submit(requests.back().get());
+  }
+  worker_->Start();
+  for (auto& r : requests) {
+    ASSERT_TRUE(r->Wait().ok());
+  }
+  auto trace = engine_->Trace();
+  ASSERT_EQ(1u, trace.size());
+  EXPECT_EQ("write(5)", trace[0]);
+  EXPECT_EQ(1u, worker_->write_batches());
+  EXPECT_EQ(5u, worker_->writes_batched());
+}
+
+TEST_F(ObmWorkerTest, MaxBatchBoundIsRespected) {
+  Start(MockEngine::Behavior{}, true, /*max_batch=*/3);
+  std::vector<std::unique_ptr<Request>> requests;
+  for (int i = 0; i < 7; i++) {
+    requests.push_back(MakePut("k" + std::to_string(i)));
+    worker_->Submit(requests.back().get());
+  }
+  worker_->Start();
+  for (auto& r : requests) {
+    ASSERT_TRUE(r->Wait().ok());
+  }
+  auto trace = engine_->Trace();
+  // 7 requests at bound 3 -> 3+3+1: two merged batches and one single put.
+  ASSERT_EQ(3u, trace.size());
+  EXPECT_EQ("write(3)", trace[0]);
+  EXPECT_EQ("write(3)", trace[1]);
+  EXPECT_EQ("put", trace[2]);
+}
+
+TEST_F(ObmWorkerTest, TypeChangeBreaksBatch) {
+  Start(MockEngine::Behavior{});
+  std::string out1, out2;
+  std::vector<std::unique_ptr<Request>> requests;
+  requests.push_back(MakePut("a"));
+  requests.push_back(MakePut("b"));
+  requests.push_back(MakeGet("a", &out1));
+  requests.push_back(MakeGet("b", &out2));
+  requests.push_back(MakePut("c"));
+  for (auto& r : requests) {
+    worker_->Submit(r.get());
+  }
+  worker_->Start();
+  for (auto& r : requests) {
+    ASSERT_TRUE(r->Wait().ok());
+  }
+  auto trace = engine_->Trace();
+  ASSERT_EQ(3u, trace.size());
+  EXPECT_EQ("write(2)", trace[0]);
+  EXPECT_EQ("multiget(2)", trace[1]);
+  EXPECT_EQ("put", trace[2]);
+  EXPECT_EQ("v", out1);
+  EXPECT_EQ("v", out2);
+}
+
+TEST_F(ObmWorkerTest, GsnBatchesNeverMerge) {
+  Start(MockEngine::Behavior{});
+  WriteBatch txn_batch;
+  txn_batch.Put("txn-key", "txn-value");
+  auto txn = std::make_unique<Request>();
+  txn->type = RequestType::kWriteBatch;
+  txn->batch = &txn_batch;
+  txn->gsn = 99;
+
+  std::vector<std::unique_ptr<Request>> requests;
+  requests.push_back(MakePut("a"));
+  worker_->Submit(requests.back().get());
+  worker_->Submit(txn.get());
+  requests.push_back(MakePut("b"));
+  worker_->Submit(requests.back().get());
+  worker_->Start();
+  for (auto& r : requests) {
+    ASSERT_TRUE(r->Wait().ok());
+  }
+  ASSERT_TRUE(txn->Wait().ok());
+  auto trace = engine_->Trace();
+  // "a" alone (the txn behind it is not mergeable), the txn alone, "b" alone.
+  ASSERT_EQ(3u, trace.size());
+  EXPECT_EQ("put", trace[0]);
+  EXPECT_EQ("write(1)+gsn", trace[1]);
+  EXPECT_EQ("put", trace[2]);
+}
+
+TEST_F(ObmWorkerTest, NoBatchWriteEngineGetsSingles) {
+  MockEngine::Behavior behavior;
+  behavior.batch_write = false;  // the WTLite profile
+  Start(behavior);
+  std::vector<std::unique_ptr<Request>> requests;
+  for (int i = 0; i < 4; i++) {
+    requests.push_back(MakePut("k" + std::to_string(i)));
+    worker_->Submit(requests.back().get());
+  }
+  worker_->Start();
+  for (auto& r : requests) {
+    ASSERT_TRUE(r->Wait().ok());
+  }
+  auto trace = engine_->Trace();
+  ASSERT_EQ(4u, trace.size());
+  for (const std::string& event : trace) {
+    EXPECT_EQ("put", event);
+  }
+  EXPECT_EQ(0u, worker_->write_batches());
+}
+
+TEST_F(ObmWorkerTest, ObmDisabledProcessesEverythingSingly) {
+  Start(MockEngine::Behavior{}, /*enable_obm=*/false);
+  std::vector<std::unique_ptr<Request>> requests;
+  for (int i = 0; i < 4; i++) {
+    requests.push_back(MakePut("k" + std::to_string(i)));
+    worker_->Submit(requests.back().get());
+  }
+  worker_->Start();
+  for (auto& r : requests) {
+    ASSERT_TRUE(r->Wait().ok());
+  }
+  EXPECT_EQ(4u, engine_->Trace().size());
+}
+
+TEST_F(ObmWorkerTest, SingleRequestIsNotWrappedInABatch) {
+  Start(MockEngine::Behavior{});
+  worker_->Start();
+  auto r = MakePut("lonely");
+  worker_->Submit(r.get());
+  ASSERT_TRUE(r->Wait().ok());
+  auto trace = engine_->Trace();
+  ASSERT_EQ(1u, trace.size());
+  // A batch of one is executed as a plain put (no WriteBatch overhead).
+  EXPECT_EQ("put", trace[0]);
+}
+
+TEST_F(ObmWorkerTest, ReadsMergeIntoMultiGet) {
+  Start(MockEngine::Behavior{});
+  // Seed data first.
+  auto seed = MakePut("hot");
+  worker_->Submit(seed.get());
+
+  std::vector<std::string> outs(6);
+  std::vector<std::unique_ptr<Request>> requests;
+  for (int i = 0; i < 6; i++) {
+    requests.push_back(MakeGet("hot", &outs[static_cast<size_t>(i)]));
+    worker_->Submit(requests.back().get());
+  }
+  worker_->Start();
+  ASSERT_TRUE(seed->Wait().ok());
+  for (auto& r : requests) {
+    ASSERT_TRUE(r->Wait().ok());
+  }
+  auto trace = engine_->Trace();
+  ASSERT_EQ(2u, trace.size());
+  EXPECT_EQ("put", trace[0]);
+  EXPECT_EQ("multiget(6)", trace[1]);
+  for (const std::string& out : outs) {
+    EXPECT_EQ("v", out);
+  }
+}
+
+TEST_F(ObmWorkerTest, StoppedWorkerAbortsNewRequests) {
+  Start(MockEngine::Behavior{});
+  worker_->Start();
+  worker_->Stop();
+  auto r = MakePut("too-late");
+  worker_->Submit(r.get());
+  EXPECT_TRUE(r->Wait().IsAborted());
+}
+
+TEST_F(ObmWorkerTest, NotFoundPropagatesThroughMultiGet) {
+  Start(MockEngine::Behavior{});
+  auto seed = MakePut("exists");
+  worker_->Submit(seed.get());
+  std::string out1, out2;
+  auto g1 = MakeGet("exists", &out1);
+  auto g2 = MakeGet("missing", &out2);
+  worker_->Submit(g1.get());
+  worker_->Submit(g2.get());
+  worker_->Start();
+  ASSERT_TRUE(seed->Wait().ok());
+  EXPECT_TRUE(g1->Wait().ok());
+  EXPECT_TRUE(g2->Wait().IsNotFound());
+  EXPECT_EQ("v", out1);
+}
+
+}  // namespace
+}  // namespace p2kvs

@@ -1,0 +1,403 @@
+// p2KVS framework tests: partition routing, sync/async interfaces, OBM
+// batching, RANGE/SCAN strategies, global iterator, transactions, and the
+// three engine ports (RocksLite, LevelLite, WTLite).
+
+#include "src/core/p2kvs.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+
+#include "src/io/mem_env.h"
+#include "src/util/random.h"
+
+namespace p2kvs {
+namespace {
+
+Options SmallLsmOptions(Env* env) {
+  Options options;
+  options.env = env;
+  options.write_buffer_size = 64 * 1024;
+  options.target_file_size = 32 * 1024;
+  options.max_bytes_for_level_base = 128 * 1024;
+  return options;
+}
+
+struct EngineCase {
+  const char* name;
+  enum Kind { kRocks, kLevel, kPebbles, kWt } kind;
+};
+
+class P2kvsEngineTest : public ::testing::TestWithParam<EngineCase> {
+ protected:
+  void SetUp() override {
+    env_ = NewMemEnv();
+    p2options_.env = env_.get();
+    p2options_.num_workers = 4;
+    p2options_.pin_workers = false;
+    p2options_.engine_factory = Factory();
+    Reopen();
+  }
+
+  EngineFactory Factory() {
+    switch (GetParam().kind) {
+      case EngineCase::kRocks:
+        return MakeRocksLiteFactory(SmallLsmOptions(env_.get()));
+      case EngineCase::kLevel:
+        return MakeLevelLiteFactory(SmallLsmOptions(env_.get()));
+      case EngineCase::kPebbles:
+        return MakePebblesLiteFactory(SmallLsmOptions(env_.get()));
+      case EngineCase::kWt: {
+        BTreeOptions bt;
+        bt.env = env_.get();
+        bt.buffer_pool_pages = 256;
+        return MakeWTLiteFactory(bt);
+      }
+    }
+    return nullptr;
+  }
+
+  void Reopen() {
+    store_.reset();
+    ASSERT_TRUE(P2KVS::Open(p2options_, "/p2", &store_).ok());
+  }
+
+  std::string Get(const std::string& key) {
+    std::string value;
+    Status s = store_->Get(key, &value);
+    if (s.IsNotFound()) {
+      return "NOT_FOUND";
+    }
+    return s.ok() ? value : s.ToString();
+  }
+
+  std::unique_ptr<Env> env_;
+  P2kvsOptions p2options_;
+  std::unique_ptr<P2KVS> store_;
+};
+
+TEST_P(P2kvsEngineTest, PutGetDelete) {
+  ASSERT_TRUE(store_->Put("alpha", "1").ok());
+  ASSERT_TRUE(store_->Put("beta", "2").ok());
+  EXPECT_EQ("1", Get("alpha"));
+  EXPECT_EQ("2", Get("beta"));
+  EXPECT_EQ("NOT_FOUND", Get("gamma"));
+  ASSERT_TRUE(store_->Delete("alpha").ok());
+  EXPECT_EQ("NOT_FOUND", Get("alpha"));
+}
+
+TEST_P(P2kvsEngineTest, KeysAreSpreadAcrossPartitions) {
+  std::vector<int> hits(static_cast<size_t>(store_->num_workers()), 0);
+  for (int i = 0; i < 4000; i++) {
+    hits[static_cast<size_t>(store_->PartitionOf("user" + std::to_string(i)))]++;
+  }
+  for (int w = 0; w < store_->num_workers(); w++) {
+    EXPECT_GT(hits[w], 4000 / store_->num_workers() / 2) << "partition " << w;
+  }
+}
+
+TEST_P(P2kvsEngineTest, ManyKeysRoundTrip) {
+  std::map<std::string, std::string> model;
+  Random rnd(5);
+  for (int i = 0; i < 3000; i++) {
+    char key[32];
+    snprintf(key, sizeof(key), "key%06u", rnd.Uniform(1500));
+    model[key] = "v" + std::to_string(i);
+    ASSERT_TRUE(store_->Put(key, model[key]).ok());
+  }
+  for (const auto& [k, v] : model) {
+    ASSERT_EQ(v, Get(k)) << k;
+  }
+}
+
+TEST_P(P2kvsEngineTest, ConcurrentUserThreads) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 400;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; i++) {
+        std::string key = "t" + std::to_string(t) + "-" + std::to_string(i);
+        ASSERT_TRUE(store_->Put(key, key).ok());
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  for (int t = 0; t < kThreads; t++) {
+    for (int i = 0; i < kPerThread; i += 37) {
+      std::string key = "t" + std::to_string(t) + "-" + std::to_string(i);
+      ASSERT_EQ(key, Get(key));
+    }
+  }
+}
+
+TEST_P(P2kvsEngineTest, AsyncPutCompletes) {
+  std::atomic<int> completions{0};
+  std::atomic<int> errors{0};
+  constexpr int kOps = 500;
+  for (int i = 0; i < kOps; i++) {
+    store_->PutAsync("async" + std::to_string(i), "v" + std::to_string(i),
+                     [&](const Status& s) {
+                       if (!s.ok()) {
+                         errors.fetch_add(1);
+                       }
+                       completions.fetch_add(1);
+                     });
+  }
+  while (completions.load() < kOps) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(0, errors.load());
+  EXPECT_EQ("v123", Get("async123"));
+}
+
+TEST_P(P2kvsEngineTest, RangeSpansPartitions) {
+  for (int i = 0; i < 300; i++) {
+    char key[32];
+    snprintf(key, sizeof(key), "key%06d", i);
+    ASSERT_TRUE(store_->Put(key, std::to_string(i)).ok());
+  }
+  std::vector<std::pair<std::string, std::string>> out;
+  ASSERT_TRUE(store_->Range("key000100", "key000110", &out).ok());
+  ASSERT_EQ(10u, out.size());
+  for (int i = 0; i < 10; i++) {
+    char key[32];
+    snprintf(key, sizeof(key), "key%06d", 100 + i);
+    EXPECT_EQ(key, out[i].first);
+    EXPECT_EQ(std::to_string(100 + i), out[i].second);
+  }
+}
+
+TEST_P(P2kvsEngineTest, ScanBothStrategiesAgree) {
+  for (int i = 0; i < 300; i++) {
+    char key[32];
+    snprintf(key, sizeof(key), "key%06d", i);
+    ASSERT_TRUE(store_->Put(key, std::to_string(i)).ok());
+  }
+  std::vector<std::pair<std::string, std::string>> parallel_out;
+  ASSERT_TRUE(store_->Scan("key000050", 40, &parallel_out).ok());
+
+  // Re-open with the serial global-merge strategy and compare.
+  p2options_.scan_mode = P2kvsOptions::ScanMode::kGlobalMerge;
+  Reopen();
+  std::vector<std::pair<std::string, std::string>> merge_out;
+  ASSERT_TRUE(store_->Scan("key000050", 40, &merge_out).ok());
+
+  ASSERT_EQ(40u, parallel_out.size());
+  ASSERT_EQ(parallel_out.size(), merge_out.size());
+  for (size_t i = 0; i < parallel_out.size(); i++) {
+    EXPECT_EQ(parallel_out[i], merge_out[i]) << i;
+  }
+}
+
+TEST_P(P2kvsEngineTest, GlobalIteratorIsSorted) {
+  for (int i = 0; i < 200; i++) {
+    char key[32];
+    snprintf(key, sizeof(key), "key%06d", i);
+    ASSERT_TRUE(store_->Put(key, "v").ok());
+  }
+  std::unique_ptr<Iterator> iter(store_->NewGlobalIterator());
+  iter->SeekToFirst();
+  int count = 0;
+  std::string last;
+  while (iter->Valid()) {
+    ASSERT_GT(iter->key().ToString(), last);
+    last = iter->key().ToString();
+    count++;
+    iter->Next();
+  }
+  EXPECT_EQ(200, count);
+}
+
+TEST_P(P2kvsEngineTest, ReopenRecoversData) {
+  for (int i = 0; i < 500; i++) {
+    ASSERT_TRUE(store_->Put("persist" + std::to_string(i), std::to_string(i)).ok());
+  }
+  store_->FlushAll();
+  Reopen();
+  for (int i = 0; i < 500; i += 17) {
+    ASSERT_EQ(std::to_string(i), Get("persist" + std::to_string(i)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, P2kvsEngineTest,
+    ::testing::Values(EngineCase{"rockslite", EngineCase::kRocks},
+                      EngineCase{"levellite", EngineCase::kLevel},
+                      EngineCase{"pebbleslite", EngineCase::kPebbles},
+                      EngineCase{"wtlite", EngineCase::kWt}),
+    [](const ::testing::TestParamInfo<EngineCase>& info) { return info.param.name; });
+
+// --- OBM-specific behaviour (RocksLite engine) ---
+
+class P2kvsObmTest : public ::testing::Test {
+ protected:
+  void Open(bool enable_obm, int num_workers = 2) {
+    env_ = NewMemEnv();
+    P2kvsOptions options;
+    options.env = env_.get();
+    options.num_workers = num_workers;
+    options.pin_workers = false;
+    options.enable_obm = enable_obm;
+    options.engine_factory = MakeRocksLiteFactory(SmallLsmOptions(env_.get()));
+    ASSERT_TRUE(P2KVS::Open(options, "/p2", &store_).ok());
+  }
+
+  std::unique_ptr<Env> env_;
+  std::unique_ptr<P2KVS> store_;
+};
+
+TEST_F(P2kvsObmTest, BatchesFormUnderConcurrency) {
+  Open(/*enable_obm=*/true, /*num_workers=*/1);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 400;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; i++) {
+        ASSERT_TRUE(
+            store_->Put("t" + std::to_string(t) + "k" + std::to_string(i), "v").ok());
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  P2kvsStats stats = store_->GetStats();
+  // With 8 concurrent submitters and one worker, the queue backs up and the
+  // OBM must merge at least some runs of writes.
+  EXPECT_GT(stats.write_batches, 0u);
+  EXPECT_GT(stats.AvgWriteBatchSize(), 1.0);
+}
+
+TEST_F(P2kvsObmTest, DisabledObmProcessesSingles) {
+  Open(/*enable_obm=*/false);
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(store_->Put("k" + std::to_string(i), "v").ok());
+  }
+  P2kvsStats stats = store_->GetStats();
+  EXPECT_EQ(0u, stats.write_batches);
+  EXPECT_EQ(0u, stats.read_batches);
+  EXPECT_GE(stats.singles, 100u);
+}
+
+TEST_F(P2kvsObmTest, ReadBatchesUseMultiGet) {
+  Open(/*enable_obm=*/true, /*num_workers=*/1);
+  for (int i = 0; i < 200; i++) {
+    ASSERT_TRUE(store_->Put("k" + std::to_string(i), std::to_string(i)).ok());
+  }
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 300; i++) {
+        std::string value;
+        Status s = store_->Get("k" + std::to_string(i % 200), &value);
+        if (!s.ok() || value != std::to_string(i % 200)) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(0, mismatches.load());
+  EXPECT_GT(store_->GetStats().read_batches, 0u);
+}
+
+TEST_F(P2kvsObmTest, MixedTypesNeverMergeAcrossType) {
+  // Interleave writes and reads from many threads; correctness is the check
+  // (a type-confused merge would corrupt results).
+  Open(/*enable_obm=*/true, /*num_workers=*/1);
+  std::vector<std::thread> threads;
+  std::atomic<int> errors{0};
+  for (int t = 0; t < 6; t++) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 300; i++) {
+        std::string key = "mixed" + std::to_string(i % 50);
+        if (t % 2 == 0) {
+          if (!store_->Put(key, "x").ok()) {
+            errors.fetch_add(1);
+          }
+        } else {
+          std::string value;
+          Status s = store_->Get(key, &value);
+          if (!s.ok() && !s.IsNotFound()) {
+            errors.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(0, errors.load());
+}
+
+// --- Transactions ---
+
+class P2kvsTxnTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = NewMemEnv();
+    P2kvsOptions options;
+    options.env = env_.get();
+    options.num_workers = 4;
+    options.pin_workers = false;
+    options.engine_factory = MakeRocksLiteFactory(SmallLsmOptions(env_.get()));
+    ASSERT_TRUE(P2KVS::Open(options, "/p2", &store_).ok());
+  }
+
+  std::unique_ptr<Env> env_;
+  std::unique_ptr<P2KVS> store_;
+};
+
+TEST_F(P2kvsTxnTest, CrossInstanceTxnApplies) {
+  WriteBatch batch;
+  for (int i = 0; i < 50; i++) {
+    batch.Put("txn-key-" + std::to_string(i), "txn-val-" + std::to_string(i));
+  }
+  ASSERT_TRUE(store_->WriteTxn(&batch).ok());
+  for (int i = 0; i < 50; i++) {
+    std::string value;
+    ASSERT_TRUE(store_->Get("txn-key-" + std::to_string(i), &value).ok());
+    EXPECT_EQ("txn-val-" + std::to_string(i), value);
+  }
+}
+
+TEST_F(P2kvsTxnTest, TxnWithDeletes) {
+  ASSERT_TRUE(store_->Put("a", "1").ok());
+  ASSERT_TRUE(store_->Put("b", "2").ok());
+  WriteBatch batch;
+  batch.Delete("a");
+  batch.Put("c", "3");
+  ASSERT_TRUE(store_->WriteTxn(&batch).ok());
+  std::string value;
+  EXPECT_TRUE(store_->Get("a", &value).IsNotFound());
+  ASSERT_TRUE(store_->Get("c", &value).ok());
+  EXPECT_EQ("3", value);
+}
+
+TEST_F(P2kvsTxnTest, WtLiteRejectsTxn) {
+  BTreeOptions bt;
+  bt.env = env_.get();
+  P2kvsOptions options;
+  options.env = env_.get();
+  options.num_workers = 2;
+  options.pin_workers = false;
+  options.engine_factory = MakeWTLiteFactory(bt);
+  std::unique_ptr<P2KVS> wt_store;
+  ASSERT_TRUE(P2KVS::Open(options, "/p2wt", &wt_store).ok());
+  WriteBatch batch;
+  batch.Put("x", "1");
+  EXPECT_TRUE(wt_store->WriteTxn(&batch).IsNotSupported());
+}
+
+}  // namespace
+}  // namespace p2kvs

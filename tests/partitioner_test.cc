@@ -1,0 +1,172 @@
+// Partitioner tests (paper §4.2): balance of the default hash under uniform,
+// sequential and zipfian key streams; range partitioning semantics; the
+// two-choice variant; and P2KVS integration with a custom partitioner.
+
+#include "src/core/partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/core/p2kvs.h"
+#include "src/io/mem_env.h"
+#include "src/ycsb/generator.h"
+#include "src/ycsb/workload.h"
+
+namespace p2kvs {
+namespace {
+
+std::vector<int> CountAssignments(const Partitioner& p, int workers,
+                                  const std::vector<std::string>& keys) {
+  std::vector<int> counts(static_cast<size_t>(workers), 0);
+  for (const std::string& key : keys) {
+    int w = p(key, workers);
+    EXPECT_GE(w, 0);
+    EXPECT_LT(w, workers);
+    counts[static_cast<size_t>(w)]++;
+  }
+  return counts;
+}
+
+void ExpectBalanced(const std::vector<int>& counts, int total, double tolerance) {
+  double expected = static_cast<double>(total) / static_cast<double>(counts.size());
+  for (size_t w = 0; w < counts.size(); w++) {
+    EXPECT_GT(counts[w], expected * (1 - tolerance)) << "worker " << w;
+    EXPECT_LT(counts[w], expected * (1 + tolerance)) << "worker " << w;
+  }
+}
+
+TEST(HashPartitionerTest, BalancesSequentialKeys) {
+  std::vector<std::string> keys;
+  for (int i = 0; i < 40000; i++) {
+    keys.push_back(ycsb::RecordKey(static_cast<uint64_t>(i)));
+  }
+  ExpectBalanced(CountAssignments(MakeHashPartitioner(), 8, keys), 40000, 0.15);
+}
+
+TEST(HashPartitionerTest, BalancesZipfianTraffic) {
+  // The paper's claim: even highly skewed (zipfian) *request* streams spread
+  // across partitions because hot keys scatter under the hash.
+  ycsb::ScrambledZipfianGenerator gen(100000, 42);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 40000; i++) {
+    keys.push_back(ycsb::RecordKey(gen.Next()));
+  }
+  ExpectBalanced(CountAssignments(MakeHashPartitioner(), 8, keys), 40000, 0.35);
+}
+
+TEST(HashPartitionerTest, DeterministicAcrossCalls) {
+  Partitioner a = MakeHashPartitioner();
+  Partitioner b = MakeHashPartitioner();
+  for (int i = 0; i < 100; i++) {
+    std::string key = "k" + std::to_string(i);
+    EXPECT_EQ(a(key, 8), b(key, 8));
+  }
+}
+
+TEST(RangePartitionerTest, RoutesByBoundary) {
+  Partitioner p = MakeRangePartitioner({"h", "p"});
+  EXPECT_EQ(0, p("a", 3));
+  EXPECT_EQ(0, p("g", 3));
+  EXPECT_EQ(1, p("h", 3));
+  EXPECT_EQ(1, p("ooo", 3));
+  EXPECT_EQ(2, p("p", 3));
+  EXPECT_EQ(2, p("zzz", 3));
+}
+
+TEST(RangePartitionerTest, ClampsToWorkerCount) {
+  Partitioner p = MakeRangePartitioner({"b", "c", "d", "e"});
+  // 5 ranges but only 2 workers: upper ranges clamp to the last worker.
+  EXPECT_EQ(0, p("a", 2));
+  EXPECT_EQ(1, p("z", 2));
+}
+
+TEST(RangePartitionerTest, UnsortedBoundariesAreSorted) {
+  Partitioner p = MakeRangePartitioner({"p", "h"});
+  EXPECT_EQ(0, p("a", 3));
+  EXPECT_EQ(1, p("k", 3));
+  EXPECT_EQ(2, p("q", 3));
+}
+
+TEST(TwoChoicePartitionerTest, InRangeAndDeterministic) {
+  Partitioner p = MakeTwoChoiceHashPartitioner();
+  std::map<std::string, int> first;
+  for (int i = 0; i < 2000; i++) {
+    std::string key = "k" + std::to_string(i);
+    int w = p(key, 8);
+    EXPECT_GE(w, 0);
+    EXPECT_LT(w, 8);
+    first[key] = w;
+  }
+  for (const auto& [key, w] : first) {
+    EXPECT_EQ(w, p(key, 8));
+  }
+}
+
+TEST(TwoChoicePartitionerTest, Balances) {
+  std::vector<std::string> keys;
+  for (int i = 0; i < 40000; i++) {
+    keys.push_back(ycsb::RecordKey(static_cast<uint64_t>(i)));
+  }
+  ExpectBalanced(CountAssignments(MakeTwoChoiceHashPartitioner(), 8, keys), 40000, 0.2);
+}
+
+TEST(P2kvsPartitionerIntegration, RangePartitionerKeepsScansLocal) {
+  auto env = NewMemEnv();
+  Options lsm;
+  lsm.env = env.get();
+  P2kvsOptions options;
+  options.env = env.get();
+  options.num_workers = 2;
+  options.pin_workers = false;
+  options.engine_factory = MakeRocksLiteFactory(lsm);
+  options.partitioner = MakeRangePartitioner({"m"});
+  std::unique_ptr<P2KVS> store;
+  ASSERT_TRUE(P2KVS::Open(options, "/p2part", &store).ok());
+
+  ASSERT_TRUE(store->Put("apple", "1").ok());
+  ASSERT_TRUE(store->Put("banana", "2").ok());
+  ASSERT_TRUE(store->Put("zebra", "3").ok());
+
+  EXPECT_EQ(0, store->PartitionOf("apple"));
+  EXPECT_EQ(0, store->PartitionOf("banana"));
+  EXPECT_EQ(1, store->PartitionOf("zebra"));
+
+  // Everything below "m" lives entirely on instance 0.
+  std::string value;
+  EXPECT_TRUE(store->instance(0)->Get("apple", &value).ok());
+  EXPECT_TRUE(store->instance(1)->Get("apple", &value).IsNotFound());
+  EXPECT_TRUE(store->instance(1)->Get("zebra", &value).ok());
+
+  // Global operations still see the union.
+  std::vector<std::pair<std::string, std::string>> out;
+  ASSERT_TRUE(store->Scan("", 10, &out).ok());
+  ASSERT_EQ(3u, out.size());
+  EXPECT_EQ("apple", out[0].first);
+  EXPECT_EQ("zebra", out[2].first);
+}
+
+TEST(P2kvsPartitionerIntegration, CustomLambdaPartitioner) {
+  auto env = NewMemEnv();
+  Options lsm;
+  lsm.env = env.get();
+  P2kvsOptions options;
+  options.env = env.get();
+  options.num_workers = 3;
+  options.pin_workers = false;
+  options.engine_factory = MakeRocksLiteFactory(lsm);
+  // Route by first byte (a contrived user-specific strategy).
+  options.partitioner = [](const Slice& key, int workers) {
+    return key.empty() ? 0 : static_cast<int>(static_cast<uint8_t>(key[0])) % workers;
+  };
+  std::unique_ptr<P2KVS> store;
+  ASSERT_TRUE(P2KVS::Open(options, "/p2custom", &store).ok());
+  ASSERT_TRUE(store->Put("abc", "1").ok());
+  std::string value;
+  ASSERT_TRUE(store->Get("abc", &value).ok());
+  EXPECT_EQ("1", value);
+  EXPECT_EQ(static_cast<int>('a') % 3, store->PartitionOf("abc"));
+}
+
+}  // namespace
+}  // namespace p2kvs

@@ -1,0 +1,221 @@
+// Read-committed transaction isolation tests (paper §4.5's snapshot sketch):
+// while a cross-instance WriteTxn is partially applied, reads must not
+// observe its uncommitted effects when txn_read_committed is enabled — and
+// do observe them (dirty read) when it is disabled, which is the prototype's
+// documented default behaviour.
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "src/core/p2kvs.h"
+#include "src/io/mem_env.h"
+
+namespace p2kvs {
+namespace {
+
+// A one-shot gate: the engine thread announces arrival and then blocks until
+// the test opens the gate.
+struct Gate {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool arrived = false;
+  bool open = false;
+
+  void ArriveAndWait() {
+    std::unique_lock<std::mutex> lock(mu);
+    arrived = true;
+    cv.notify_all();
+    cv.wait(lock, [this] { return open; });
+  }
+
+  void WaitForArrival() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return arrived; });
+  }
+
+  void Open() {
+    std::lock_guard<std::mutex> lock(mu);
+    open = true;
+    cv.notify_all();
+  }
+};
+
+// Engine decorator that blocks GSN-tagged writes on a gate.
+class GatedEngine final : public KVStore {
+ public:
+  GatedEngine(std::unique_ptr<KVStore> inner, std::shared_ptr<Gate> gate)
+      : inner_(std::move(inner)), gate_(std::move(gate)) {}
+
+  EngineCaps caps() const override { return inner_->caps(); }
+  Status Put(const Slice& k, const Slice& v, const KvWriteOptions& o) override {
+    return inner_->Put(k, v, o);
+  }
+  Status Delete(const Slice& k, const KvWriteOptions& o) override {
+    return inner_->Delete(k, o);
+  }
+  Status Write(WriteBatch* batch, const KvWriteOptions& options) override {
+    if (options.gsn != 0 && gate_ != nullptr) {
+      gate_->ArriveAndWait();
+    }
+    return inner_->Write(batch, options);
+  }
+  Status Get(const Slice& k, std::string* v) override { return inner_->Get(k, v); }
+  std::vector<Status> MultiGet(const std::vector<Slice>& keys,
+                               std::vector<std::string>* values) override {
+    return inner_->MultiGet(keys, values);
+  }
+  Iterator* NewIterator() override { return inner_->NewIterator(); }
+  const Snapshot* GetSnapshot() override { return inner_->GetSnapshot(); }
+  void ReleaseSnapshot(const Snapshot* s) override { inner_->ReleaseSnapshot(s); }
+  Status GetAtSnapshot(const Slice& k, std::string* v, const Snapshot* s) override {
+    return inner_->GetAtSnapshot(k, v, s);
+  }
+  Status Flush() override { return inner_->Flush(); }
+  void WaitIdle() override { inner_->WaitIdle(); }
+
+ private:
+  std::unique_ptr<KVStore> inner_;
+  std::shared_ptr<Gate> gate_;
+};
+
+class ReadCommittedTest : public ::testing::Test {
+ protected:
+  void Open(bool read_committed) {
+    env_ = NewMemEnv();
+    gate_ = std::make_shared<Gate>();
+
+    Options lsm;
+    lsm.env = env_.get();
+    EngineFactory base = MakeRocksLiteFactory(lsm);
+    // Gate instance 1 only; instance 0 applies its sub-batch immediately.
+    std::shared_ptr<Gate> gate = gate_;
+    int counter = 0;
+    auto counter_holder = std::make_shared<int>(0);
+    EngineFactory gated = [base, gate, counter_holder](
+                              const std::string& path,
+                              std::function<bool(uint64_t)> filter,
+                              std::unique_ptr<KVStore>* out) -> Status {
+      std::unique_ptr<KVStore> inner;
+      Status s = base(path, std::move(filter), &inner);
+      if (!s.ok()) {
+        return s;
+      }
+      int index = (*counter_holder)++;
+      *out = std::make_unique<GatedEngine>(std::move(inner),
+                                           index == 1 ? gate : nullptr);
+      return Status::OK();
+    };
+    (void)counter;
+
+    P2kvsOptions options;
+    options.env = env_.get();
+    options.num_workers = 2;
+    options.pin_workers = false;
+    options.engine_factory = gated;
+    options.txn_read_committed = read_committed;
+    ASSERT_TRUE(P2KVS::Open(options, "/rc", &store_).ok());
+
+    // Pick keys on distinct workers: key_w0_ on worker 0, key_w1_ on 1.
+    for (int i = 0; key_w0_.empty() || key_w1_.empty(); i++) {
+      std::string key = "key-" + std::to_string(i);
+      if (store_->PartitionOf(key) == 0 && key_w0_.empty()) {
+        key_w0_ = key;
+      } else if (store_->PartitionOf(key) == 1 && key_w1_.empty()) {
+        key_w1_ = key;
+      }
+      ASSERT_LT(i, 1000);
+    }
+  }
+
+  // Runs the torn-transaction scenario; returns the value of key_w0_
+  // observed while the transaction was stalled on worker 1.
+  std::string ObserveDuringTxn() {
+    EXPECT_TRUE(store_->Put(key_w0_, "old").ok());
+    EXPECT_TRUE(store_->Put(key_w1_, "old").ok());
+
+    std::thread txn_thread([this] {
+      WriteBatch txn;
+      txn.Put(key_w0_, "new");
+      txn.Put(key_w1_, "new");
+      txn_status_ = store_->WriteTxn(&txn);
+    });
+
+    // Wait until worker 1 is stalled inside its gated sub-batch write.
+    gate_->WaitForArrival();
+    // Ensure worker 0 has fully applied its sub-batch: a later write to the
+    // same worker completes only after it (FIFO queue). The marker key must
+    // route to worker 0 — worker 1 is blocked.
+    std::string marker;
+    for (int i = 0; marker.empty(); i++) {
+      std::string candidate = "marker-" + std::to_string(i);
+      if (store_->PartitionOf(candidate) == 0) {
+        marker = candidate;
+      }
+    }
+    EXPECT_TRUE(store_->Put(marker, "x").ok());
+
+    std::string observed;
+    EXPECT_TRUE(store_->Get(key_w0_, &observed).ok());
+
+    gate_->Open();
+    txn_thread.join();
+    EXPECT_TRUE(txn_status_.ok());
+    return observed;
+  }
+
+  std::unique_ptr<Env> env_;
+  std::shared_ptr<Gate> gate_;
+  std::unique_ptr<P2KVS> store_;
+  std::string key_w0_;
+  std::string key_w1_;
+  Status txn_status_;
+};
+
+TEST_F(ReadCommittedTest, UncommittedWritesAreInvisible) {
+  Open(/*read_committed=*/true);
+  EXPECT_EQ("old", ObserveDuringTxn());
+  // After commit, the transaction's effects are visible everywhere.
+  std::string value;
+  ASSERT_TRUE(store_->Get(key_w0_, &value).ok());
+  EXPECT_EQ("new", value);
+  ASSERT_TRUE(store_->Get(key_w1_, &value).ok());
+  EXPECT_EQ("new", value);
+}
+
+TEST_F(ReadCommittedTest, DefaultModeAllowsDirtyReads) {
+  Open(/*read_committed=*/false);
+  // Without isolation the partially-applied transaction is visible (the
+  // paper's base prototype behaviour).
+  EXPECT_EQ("new", ObserveDuringTxn());
+}
+
+TEST_F(ReadCommittedTest, SequentialTxnsStayVisible) {
+  Open(/*read_committed=*/true);
+  gate_->Open();  // no stalling for this test
+  for (int i = 0; i < 20; i++) {
+    WriteBatch txn;
+    txn.Put(key_w0_, "gen" + std::to_string(i));
+    txn.Put(key_w1_, "gen" + std::to_string(i));
+    ASSERT_TRUE(store_->WriteTxn(&txn).ok());
+    std::string a, b;
+    ASSERT_TRUE(store_->Get(key_w0_, &a).ok());
+    ASSERT_TRUE(store_->Get(key_w1_, &b).ok());
+    EXPECT_EQ("gen" + std::to_string(i), a);
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST_F(ReadCommittedTest, NonTxnWritesUnaffectedByIsolation) {
+  Open(/*read_committed=*/true);
+  gate_->Open();
+  ASSERT_TRUE(store_->Put("plain", "v1").ok());
+  std::string value;
+  ASSERT_TRUE(store_->Get("plain", &value).ok());
+  EXPECT_EQ("v1", value);
+}
+
+}  // namespace
+}  // namespace p2kvs

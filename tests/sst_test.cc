@@ -1,0 +1,414 @@
+// SST layer tests: block builder/reader, bloom filters, filter blocks, LRU
+// cache, and whole-table build/read round trips.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/io/mem_env.h"
+#include "src/sst/block.h"
+#include "src/sst/block_builder.h"
+#include "src/sst/cache.h"
+#include "src/sst/filter_block.h"
+#include "src/sst/table.h"
+#include "src/sst/table_builder.h"
+#include "src/util/random.h"
+
+namespace p2kvs {
+namespace {
+
+// --- Block ---
+
+TEST(BlockTest, BuildAndIterate) {
+  BlockBuilder builder(BytewiseComparator(), 4);
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 100; i++) {
+    char key[16];
+    snprintf(key, sizeof(key), "key%04d", i);
+    std::string value = "value" + std::to_string(i);
+    model[key] = value;
+    builder.Add(key, value);
+  }
+  Slice raw = builder.Finish();
+  std::string owned = raw.ToString();
+
+  BlockContents contents;
+  contents.data = owned;
+  contents.cachable = false;
+  contents.heap_allocated = false;
+  Block block(contents);
+  std::unique_ptr<Iterator> iter(block.NewIterator(BytewiseComparator()));
+
+  iter->SeekToFirst();
+  for (const auto& [k, v] : model) {
+    ASSERT_TRUE(iter->Valid());
+    EXPECT_EQ(k, iter->key().ToString());
+    EXPECT_EQ(v, iter->value().ToString());
+    iter->Next();
+  }
+  EXPECT_FALSE(iter->Valid());
+
+  // Seek to each key and to a key between keys.
+  iter->Seek("key0042");
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ("key0042", iter->key().ToString());
+  iter->Seek("key0042x");
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ("key0043", iter->key().ToString());
+  iter->Seek("zzz");
+  EXPECT_FALSE(iter->Valid());
+
+  // Backward from the end.
+  iter->SeekToLast();
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ("key0099", iter->key().ToString());
+  iter->Prev();
+  EXPECT_EQ("key0098", iter->key().ToString());
+}
+
+TEST(BlockTest, PrefixCompressionRestarts) {
+  // Shared prefixes compress; restart interval 16 must still seek correctly.
+  BlockBuilder builder(BytewiseComparator(), 16);
+  for (int i = 0; i < 1000; i++) {
+    char key[32];
+    snprintf(key, sizeof(key), "commonprefix%06d", i);
+    builder.Add(key, "v");
+  }
+  std::string owned = builder.Finish().ToString();
+  BlockContents contents{Slice(owned), false, false};
+  Block block(contents);
+  std::unique_ptr<Iterator> iter(block.NewIterator(BytewiseComparator()));
+  iter->Seek("commonprefix000500");
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ("commonprefix000500", iter->key().ToString());
+}
+
+TEST(BlockTest, EmptyBlock) {
+  BlockBuilder builder(BytewiseComparator(), 16);
+  std::string owned = builder.Finish().ToString();
+  BlockContents contents{Slice(owned), false, false};
+  Block block(contents);
+  std::unique_ptr<Iterator> iter(block.NewIterator(BytewiseComparator()));
+  iter->SeekToFirst();
+  EXPECT_FALSE(iter->Valid());
+}
+
+// --- Bloom filter ---
+
+TEST(BloomTest, EmptyFilter) {
+  std::unique_ptr<const FilterPolicy> policy(NewBloomFilterPolicy(10));
+  std::string filter;
+  policy->CreateFilter(nullptr, 0, &filter);
+  EXPECT_FALSE(policy->KeyMayMatch("hello", filter));
+}
+
+TEST(BloomTest, SmallFilter) {
+  std::unique_ptr<const FilterPolicy> policy(NewBloomFilterPolicy(10));
+  std::vector<Slice> keys = {"hello", "world"};
+  std::string filter;
+  policy->CreateFilter(keys.data(), 2, &filter);
+  EXPECT_TRUE(policy->KeyMayMatch("hello", filter));
+  EXPECT_TRUE(policy->KeyMayMatch("world", filter));
+  EXPECT_FALSE(policy->KeyMayMatch("x", filter));
+  EXPECT_FALSE(policy->KeyMayMatch("foo", filter));
+}
+
+TEST(BloomTest, FalsePositiveRateIsReasonable) {
+  std::unique_ptr<const FilterPolicy> policy(NewBloomFilterPolicy(10));
+  // Insert 10k keys; probe 10k absent keys; expect ~1% FP at 10 bits/key.
+  std::vector<std::string> key_storage;
+  std::vector<Slice> keys;
+  for (int i = 0; i < 10000; i++) {
+    key_storage.push_back("present" + std::to_string(i));
+  }
+  for (const auto& k : key_storage) {
+    keys.push_back(k);
+  }
+  std::string filter;
+  policy->CreateFilter(keys.data(), static_cast<int>(keys.size()), &filter);
+
+  for (const auto& k : key_storage) {
+    ASSERT_TRUE(policy->KeyMayMatch(k, filter));
+  }
+  int false_positives = 0;
+  for (int i = 0; i < 10000; i++) {
+    if (policy->KeyMayMatch("absent" + std::to_string(i), filter)) {
+      false_positives++;
+    }
+  }
+  EXPECT_LT(false_positives, 300);  // < 3%
+}
+
+TEST(FilterBlockTest, SingleChunk) {
+  std::unique_ptr<const FilterPolicy> policy(NewBloomFilterPolicy(10));
+  FilterBlockBuilder builder(policy.get());
+  builder.StartBlock(100);
+  builder.AddKey("foo");
+  builder.AddKey("bar");
+  builder.AddKey("box");
+  builder.StartBlock(200);
+  builder.AddKey("box");
+  builder.StartBlock(300);
+  builder.AddKey("hello");
+  Slice block = builder.Finish();
+  FilterBlockReader reader(policy.get(), block);
+  EXPECT_TRUE(reader.KeyMayMatch(100, "foo"));
+  EXPECT_TRUE(reader.KeyMayMatch(100, "bar"));
+  EXPECT_TRUE(reader.KeyMayMatch(100, "box"));
+  EXPECT_TRUE(reader.KeyMayMatch(100, "hello"));  // same 2KB chunk
+  EXPECT_FALSE(reader.KeyMayMatch(100, "missing"));
+  EXPECT_FALSE(reader.KeyMayMatch(100, "other"));
+}
+
+// --- LRU cache ---
+
+struct CacheTestState {
+  std::vector<std::pair<int, int>> deleted;
+};
+
+static CacheTestState* g_cache_state = nullptr;
+
+static void TestDeleter(const Slice& key, void* value) {
+  g_cache_state->deleted.emplace_back(std::stoi(key.ToString()),
+                                      static_cast<int>(reinterpret_cast<intptr_t>(value)));
+}
+
+class CacheTest : public ::testing::Test {
+ protected:
+  static constexpr int kCacheSize = 1000;
+
+  CacheTest() : cache_(NewLRUCache(kCacheSize)) {
+    state_.deleted.clear();
+    g_cache_state = &state_;
+  }
+
+  ~CacheTest() override {
+    // Destroy the cache (running the deleters) while state_ is still alive.
+    cache_.reset();
+    g_cache_state = nullptr;
+  }
+
+  int Lookup(int key) {
+    std::string k = std::to_string(key);
+    Cache::Handle* handle = cache_->Lookup(k);
+    int r = -1;
+    if (handle != nullptr) {
+      r = static_cast<int>(reinterpret_cast<intptr_t>(cache_->Value(handle)));
+      cache_->Release(handle);
+    }
+    return r;
+  }
+
+  void Insert(int key, int value, int charge = 1) {
+    std::string k = std::to_string(key);
+    cache_->Release(
+        cache_->Insert(k, reinterpret_cast<void*>(static_cast<intptr_t>(value)), charge,
+                       &TestDeleter));
+  }
+
+  void Erase(int key) { cache_->Erase(std::to_string(key)); }
+
+  CacheTestState state_;
+  std::unique_ptr<Cache> cache_;
+};
+
+TEST_F(CacheTest, HitAndMiss) {
+  EXPECT_EQ(-1, Lookup(100));
+  Insert(100, 101);
+  EXPECT_EQ(101, Lookup(100));
+  EXPECT_EQ(-1, Lookup(200));
+  Insert(200, 201);
+  EXPECT_EQ(101, Lookup(100));
+  EXPECT_EQ(201, Lookup(200));
+
+  Insert(100, 102);  // overwrite
+  EXPECT_EQ(102, Lookup(100));
+  ASSERT_EQ(1u, state_.deleted.size());
+  EXPECT_EQ(100, state_.deleted[0].first);
+  EXPECT_EQ(101, state_.deleted[0].second);
+}
+
+TEST_F(CacheTest, EraseCallsDeleter) {
+  Erase(200);  // erasing absent key is fine
+  EXPECT_EQ(0u, state_.deleted.size());
+
+  Insert(100, 101);
+  Erase(100);
+  EXPECT_EQ(-1, Lookup(100));
+  ASSERT_EQ(1u, state_.deleted.size());
+}
+
+TEST_F(CacheTest, PinnedEntriesSurviveErase) {
+  Cache::Handle* h = cache_->Insert("0", reinterpret_cast<void*>(static_cast<intptr_t>(42)), 1,
+                                    &TestDeleter);
+  cache_->Erase("0");
+  EXPECT_EQ(0u, state_.deleted.size());  // still referenced
+  cache_->Release(h);
+  EXPECT_EQ(1u, state_.deleted.size());
+}
+
+TEST_F(CacheTest, EvictsLeastRecentlyUsed) {
+  // Fill far beyond capacity; early entries should be evicted.
+  for (int i = 0; i < kCacheSize + 200; i++) {
+    Insert(i, i * 10);
+  }
+  EXPECT_EQ(-1, Lookup(0));
+  EXPECT_EQ((kCacheSize + 199) * 10, Lookup(kCacheSize + 199));
+}
+
+TEST_F(CacheTest, NewIdIsUnique) {
+  uint64_t a = cache_->NewId();
+  uint64_t b = cache_->NewId();
+  EXPECT_NE(a, b);
+}
+
+// --- Table ---
+
+class TableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = NewMemEnv();
+    sst_options_.comparator = BytewiseComparator();
+    sst_options_.block_size = 1024;
+  }
+
+  void BuildTableFile(const std::map<std::string, std::string>& model) {
+    std::unique_ptr<WritableFile> file;
+    ASSERT_TRUE(env_->NewWritableFile("/table.sst", &file).ok());
+    TableBuilder builder(sst_options_, file.get());
+    for (const auto& [k, v] : model) {
+      builder.Add(k, v);
+    }
+    ASSERT_TRUE(builder.Finish().ok());
+    file_size_ = builder.FileSize();
+    ASSERT_TRUE(file->Close().ok());
+  }
+
+  void OpenTable(std::unique_ptr<Table>* table) {
+    std::unique_ptr<RandomAccessFile> file;
+    ASSERT_TRUE(env_->NewRandomAccessFile("/table.sst", &file).ok());
+    ASSERT_TRUE(Table::Open(sst_options_, std::move(file), file_size_, table).ok());
+  }
+
+  std::unique_ptr<Env> env_;
+  SstOptions sst_options_;
+  uint64_t file_size_ = 0;
+};
+
+TEST_F(TableTest, BuildAndIterateRoundTrip) {
+  std::map<std::string, std::string> model;
+  Random rnd(17);
+  for (int i = 0; i < 3000; i++) {
+    char key[32];
+    snprintf(key, sizeof(key), "key%06d", i);
+    model[key] = std::string(rnd.Uniform(200), 'v');
+  }
+  BuildTableFile(model);
+
+  std::unique_ptr<Table> table;
+  OpenTable(&table);
+  std::unique_ptr<Iterator> iter(table->NewIterator());
+  iter->SeekToFirst();
+  for (const auto& [k, v] : model) {
+    ASSERT_TRUE(iter->Valid());
+    EXPECT_EQ(k, iter->key().ToString());
+    EXPECT_EQ(v, iter->value().ToString());
+    iter->Next();
+  }
+  EXPECT_FALSE(iter->Valid());
+}
+
+TEST_F(TableTest, SeekAcrossBlocks) {
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 3000; i++) {
+    char key[32];
+    snprintf(key, sizeof(key), "key%06d", i);
+    model[key] = std::string(64, 'x');
+  }
+  BuildTableFile(model);
+  std::unique_ptr<Table> table;
+  OpenTable(&table);
+  std::unique_ptr<Iterator> iter(table->NewIterator());
+  for (int i = 0; i < 3000; i += 123) {
+    char key[32];
+    snprintf(key, sizeof(key), "key%06d", i);
+    iter->Seek(key);
+    ASSERT_TRUE(iter->Valid());
+    EXPECT_EQ(key, iter->key().ToString());
+  }
+}
+
+TEST_F(TableTest, InternalGetFindsEntries) {
+  std::map<std::string, std::string> model = {{"alpha", "1"}, {"beta", "2"}, {"gamma", "3"}};
+  BuildTableFile(model);
+  std::unique_ptr<Table> table;
+  OpenTable(&table);
+
+  std::string found_key, found_value;
+  ASSERT_TRUE(table
+                  ->InternalGet("beta",
+                                [&](const Slice& k, const Slice& v) {
+                                  found_key = k.ToString();
+                                  found_value = v.ToString();
+                                })
+                  .ok());
+  EXPECT_EQ("beta", found_key);
+  EXPECT_EQ("2", found_value);
+}
+
+TEST_F(TableTest, BlockCacheServesRepeatReads) {
+  auto cache = NewLRUCache(1 << 20);
+  sst_options_.block_cache = cache.get();
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 2000; i++) {
+    model["key" + std::to_string(i)] = std::string(64, 'c');
+  }
+  BuildTableFile(model);
+  std::unique_ptr<Table> table;
+  OpenTable(&table);
+  for (int pass = 0; pass < 2; pass++) {
+    std::unique_ptr<Iterator> iter(table->NewIterator());
+    iter->SeekToFirst();
+    int n = 0;
+    while (iter->Valid()) {
+      n++;
+      iter->Next();
+    }
+    EXPECT_EQ(2000, n);
+  }
+  EXPECT_GT(cache->TotalCharge(), 0u);
+}
+
+TEST_F(TableTest, CorruptFooterIsRejected) {
+  std::map<std::string, std::string> model = {{"a", "1"}};
+  BuildTableFile(model);
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(env_.get(), "/table.sst", &contents).ok());
+  contents[contents.size() - 1] ^= 0xff;  // clobber magic
+  ASSERT_TRUE(WriteStringToFile(env_.get(), contents, "/table.sst", false).ok());
+
+  std::unique_ptr<RandomAccessFile> file;
+  ASSERT_TRUE(env_->NewRandomAccessFile("/table.sst", &file).ok());
+  std::unique_ptr<Table> table;
+  Status s = Table::Open(sst_options_, std::move(file), file_size_, &table);
+  EXPECT_TRUE(s.IsCorruption());
+}
+
+TEST_F(TableTest, ApproximateOffsetsAreMonotonic) {
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 1000; i++) {
+    char key[32];
+    snprintf(key, sizeof(key), "key%06d", i);
+    model[key] = std::string(256, 'o');
+  }
+  BuildTableFile(model);
+  std::unique_ptr<Table> table;
+  OpenTable(&table);
+  uint64_t off_lo = table->ApproximateOffsetOf("key000100");
+  uint64_t off_hi = table->ApproximateOffsetOf("key000900");
+  EXPECT_LE(off_lo, off_hi);
+  EXPECT_GT(off_hi, 0u);
+}
+
+}  // namespace
+}  // namespace p2kvs

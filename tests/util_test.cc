@@ -1,0 +1,399 @@
+// Unit tests for the util module: coding, CRC32C, hashing, slices, status,
+// arena, histogram, rate limiter, MPSC queue.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "src/util/arena.h"
+#include "src/util/clock.h"
+#include "src/util/coding.h"
+#include "src/util/comparator.h"
+#include "src/util/crc32c.h"
+#include "src/util/hash.h"
+#include "src/util/histogram.h"
+#include "src/util/mpsc_queue.h"
+#include "src/util/random.h"
+#include "src/util/rate_limiter.h"
+#include "src/util/status.h"
+
+namespace p2kvs {
+namespace {
+
+TEST(Coding, Fixed32RoundTrip) {
+  std::string s;
+  for (uint32_t v = 0; v < 100000; v += 7777) {
+    PutFixed32(&s, v);
+  }
+  const char* p = s.data();
+  for (uint32_t v = 0; v < 100000; v += 7777) {
+    EXPECT_EQ(v, DecodeFixed32(p));
+    p += 4;
+  }
+}
+
+TEST(Coding, Fixed64RoundTrip) {
+  std::string s;
+  for (int power = 0; power <= 63; power++) {
+    uint64_t v = 1ull << power;
+    PutFixed64(&s, v - 1);
+    PutFixed64(&s, v);
+    PutFixed64(&s, v + 1);
+  }
+  const char* p = s.data();
+  for (int power = 0; power <= 63; power++) {
+    uint64_t v = 1ull << power;
+    EXPECT_EQ(v - 1, DecodeFixed64(p));
+    p += 8;
+    EXPECT_EQ(v, DecodeFixed64(p));
+    p += 8;
+    EXPECT_EQ(v + 1, DecodeFixed64(p));
+    p += 8;
+  }
+}
+
+TEST(Coding, Varint32RoundTrip) {
+  std::string s;
+  for (uint32_t i = 0; i < (32 * 32); i++) {
+    uint32_t v = (i / 32) << (i % 32);
+    PutVarint32(&s, v);
+  }
+  const char* p = s.data();
+  const char* limit = p + s.size();
+  for (uint32_t i = 0; i < (32 * 32); i++) {
+    uint32_t expected = (i / 32) << (i % 32);
+    uint32_t actual;
+    p = GetVarint32Ptr(p, limit, &actual);
+    ASSERT_NE(nullptr, p);
+    EXPECT_EQ(expected, actual);
+  }
+  EXPECT_EQ(p, limit);
+}
+
+TEST(Coding, Varint64RoundTrip) {
+  std::vector<uint64_t> values = {0, 100, ~0ull, ~0ull - 1};
+  for (uint32_t k = 0; k < 64; k++) {
+    const uint64_t power = 1ull << k;
+    values.push_back(power - 1);
+    values.push_back(power);
+    values.push_back(power + 1);
+  }
+  std::string s;
+  for (uint64_t v : values) {
+    PutVarint64(&s, v);
+  }
+  Slice input(s);
+  for (uint64_t expected : values) {
+    uint64_t actual;
+    ASSERT_TRUE(GetVarint64(&input, &actual));
+    EXPECT_EQ(expected, actual);
+  }
+  EXPECT_TRUE(input.empty());
+}
+
+TEST(Coding, Varint32Truncation) {
+  uint32_t large_value = (1u << 31) + 100;
+  std::string s;
+  PutVarint32(&s, large_value);
+  uint32_t result;
+  for (size_t len = 0; len + 1 < s.size(); len++) {
+    EXPECT_EQ(nullptr, GetVarint32Ptr(s.data(), s.data() + len, &result));
+  }
+  EXPECT_NE(nullptr, GetVarint32Ptr(s.data(), s.data() + s.size(), &result));
+  EXPECT_EQ(large_value, result);
+}
+
+TEST(Coding, LengthPrefixedSlice) {
+  std::string s;
+  PutLengthPrefixedSlice(&s, Slice(""));
+  PutLengthPrefixedSlice(&s, Slice("foo"));
+  PutLengthPrefixedSlice(&s, Slice(std::string(1000, 'x')));
+  Slice input(s);
+  Slice v;
+  ASSERT_TRUE(GetLengthPrefixedSlice(&input, &v));
+  EXPECT_EQ("", v.ToString());
+  ASSERT_TRUE(GetLengthPrefixedSlice(&input, &v));
+  EXPECT_EQ("foo", v.ToString());
+  ASSERT_TRUE(GetLengthPrefixedSlice(&input, &v));
+  EXPECT_EQ(std::string(1000, 'x'), v.ToString());
+  EXPECT_FALSE(GetLengthPrefixedSlice(&input, &v));
+}
+
+TEST(Coding, VarintLength) {
+  EXPECT_EQ(1, VarintLength(0));
+  EXPECT_EQ(1, VarintLength(127));
+  EXPECT_EQ(2, VarintLength(128));
+  EXPECT_EQ(5, VarintLength(0xffffffffull));
+  EXPECT_EQ(10, VarintLength(~0ull));
+}
+
+TEST(Crc32c, KnownValues) {
+  // From the CRC32C spec / leveldb tests: 32 zero bytes.
+  char buf[32];
+  memset(buf, 0, sizeof(buf));
+  EXPECT_EQ(0x8a9136aau, crc32c::Value(buf, sizeof(buf)));
+  memset(buf, 0xff, sizeof(buf));
+  EXPECT_EQ(0x62a8ab43u, crc32c::Value(buf, sizeof(buf)));
+  for (int i = 0; i < 32; i++) {
+    buf[i] = static_cast<char>(i);
+  }
+  EXPECT_EQ(0x46dd794eu, crc32c::Value(buf, sizeof(buf)));
+}
+
+TEST(Crc32c, Extend) {
+  std::string data = "hello world";
+  uint32_t whole = crc32c::Value(data.data(), data.size());
+  uint32_t split = crc32c::Extend(crc32c::Value(data.data(), 5), data.data() + 5, data.size() - 5);
+  EXPECT_EQ(whole, split);
+}
+
+TEST(Crc32c, MaskRoundTrip) {
+  uint32_t crc = crc32c::Value("foo", 3);
+  EXPECT_NE(crc, crc32c::Mask(crc));
+  EXPECT_NE(crc, crc32c::Mask(crc32c::Mask(crc)));
+  EXPECT_EQ(crc, crc32c::Unmask(crc32c::Mask(crc)));
+}
+
+TEST(Hash, StableAcrossCalls) {
+  EXPECT_EQ(Hash("abc", 3, 1), Hash("abc", 3, 1));
+  EXPECT_NE(Hash("abc", 3, 1), Hash("abd", 3, 1));
+  EXPECT_NE(Hash("abc", 3, 1), Hash("abc", 3, 2));
+}
+
+TEST(Hash, DistributesPartitions) {
+  // The p2KVS partitioner must spread sequential keys evenly.
+  constexpr int kWorkers = 8;
+  constexpr int kKeys = 80000;
+  int counts[kWorkers] = {0};
+  for (int i = 0; i < kKeys; i++) {
+    char key[32];
+    snprintf(key, sizeof(key), "user%012d", i);
+    counts[Hash(key, strlen(key), 0x70324b56u) % kWorkers]++;
+  }
+  for (int w = 0; w < kWorkers; w++) {
+    EXPECT_GT(counts[w], kKeys / kWorkers / 2) << "worker " << w;
+    EXPECT_LT(counts[w], kKeys / kWorkers * 2) << "worker " << w;
+  }
+}
+
+TEST(SliceTest, Basics) {
+  Slice s("hello");
+  EXPECT_EQ(5u, s.size());
+  EXPECT_EQ('h', s[0]);
+  EXPECT_TRUE(s.starts_with("he"));
+  EXPECT_FALSE(s.starts_with("x"));
+  s.remove_prefix(2);
+  EXPECT_EQ("llo", s.ToString());
+  EXPECT_TRUE(Slice("a") < Slice("b"));
+  EXPECT_TRUE(Slice("a") < Slice("aa"));
+  EXPECT_TRUE(Slice("ab") == Slice("ab"));
+}
+
+TEST(StatusTest, Codes) {
+  EXPECT_TRUE(Status::OK().ok());
+  EXPECT_EQ("OK", Status::OK().ToString());
+  Status nf = Status::NotFound("key", "detail");
+  EXPECT_TRUE(nf.IsNotFound());
+  EXPECT_FALSE(nf.ok());
+  EXPECT_EQ("NotFound: key: detail", nf.ToString());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+  EXPECT_TRUE(Status::Busy("x").IsBusy());
+  EXPECT_TRUE(Status::Aborted("x").IsAborted());
+}
+
+TEST(StatusTest, CopyPreservesMessage) {
+  Status a = Status::IOError("disk on fire");
+  Status b = a;
+  Status c;
+  c = b;
+  EXPECT_EQ(a.ToString(), c.ToString());
+}
+
+TEST(ArenaTest, Basics) {
+  Arena arena;
+  char* p = arena.Allocate(100);
+  ASSERT_NE(nullptr, p);
+  memset(p, 0xab, 100);
+  char* q = arena.AllocateAligned(64);
+  EXPECT_EQ(0u, reinterpret_cast<uintptr_t>(q) % 8);
+  EXPECT_GT(arena.MemoryUsage(), 0u);
+}
+
+TEST(ArenaTest, ManyRandomAllocations) {
+  Random rnd(301);
+  Arena arena;
+  std::vector<std::pair<size_t, char*>> allocated;
+  size_t bytes = 0;
+  for (int i = 0; i < 10000; i++) {
+    size_t s = rnd.OneIn(10) ? rnd.Uniform(6000) + 1 : rnd.Uniform(100) + 1;
+    char* r = rnd.OneIn(2) ? arena.AllocateAligned(s) : arena.Allocate(s);
+    // Tag each block so overlapping allocations would be detected.
+    for (size_t b = 0; b < s; b++) {
+      r[b] = static_cast<char>(i % 256);
+    }
+    bytes += s;
+    allocated.push_back(std::make_pair(s, r));
+    ASSERT_GE(arena.MemoryUsage(), bytes);
+  }
+  for (size_t i = 0; i < allocated.size(); i++) {
+    size_t num_bytes = allocated[i].first;
+    const char* p = allocated[i].second;
+    for (size_t b = 0; b < num_bytes; b++) {
+      EXPECT_EQ(static_cast<int>(i % 256), static_cast<int>(p[b]) & 0xff);
+    }
+  }
+}
+
+TEST(HistogramTest, PercentilesAndMerge) {
+  Histogram h;
+  for (int i = 1; i <= 1000; i++) {
+    h.Add(i);
+  }
+  EXPECT_EQ(1000u, h.Count());
+  EXPECT_NEAR(500.5, h.Average(), 1.0);
+  EXPECT_NEAR(500, h.Percentile(50), 60);
+  EXPECT_NEAR(990, h.Percentile(99), 100);
+  EXPECT_EQ(1000, h.Max());
+  EXPECT_EQ(1, h.Min());
+
+  Histogram h2;
+  for (int i = 1001; i <= 2000; i++) {
+    h2.Add(i);
+  }
+  h.Merge(h2);
+  EXPECT_EQ(2000u, h.Count());
+  EXPECT_NEAR(1000, h.Percentile(50), 130);
+}
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(0u, h.Count());
+  EXPECT_EQ(0, h.Average());
+  EXPECT_EQ(0, h.Percentile(99));
+}
+
+TEST(RateLimiterTest, EnforcesRate) {
+  // 1 MB/s; ask for 200 KB => should take >= ~150ms (allowing burst).
+  RateLimiter limiter(1 << 20);
+  uint64_t start = NowMicros();
+  limiter.Request(200 * 1024);
+  uint64_t elapsed = NowMicros() - start;
+  EXPECT_GE(elapsed, 100 * 1000u);
+}
+
+TEST(RateLimiterTest, DisabledIsFree) {
+  RateLimiter limiter(0);
+  uint64_t start = NowMicros();
+  limiter.Request(100 << 20);
+  EXPECT_LT(NowMicros() - start, 50 * 1000u);
+}
+
+TEST(MpscQueueTest, FifoSingleThread) {
+  MpscQueue<int> q;
+  for (int i = 0; i < 10; i++) {
+    ASSERT_TRUE(q.Push(i));
+  }
+  for (int i = 0; i < 10; i++) {
+    auto v = q.Pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(i, *v);
+  }
+}
+
+TEST(MpscQueueTest, TryPopIf) {
+  MpscQueue<int> q;
+  q.Push(2);
+  q.Push(4);
+  q.Push(5);
+  auto even = [](int v) { return v % 2 == 0; };
+  EXPECT_EQ(2, *q.TryPopIf(even));
+  EXPECT_EQ(4, *q.TryPopIf(even));
+  EXPECT_FALSE(q.TryPopIf(even).has_value());  // front is 5
+  EXPECT_EQ(5, *q.Pop());
+  EXPECT_FALSE(q.TryPopIf(even).has_value());  // empty
+}
+
+TEST(MpscQueueTest, CloseDrainsAndStopsPush) {
+  MpscQueue<int> q;
+  q.Push(1);
+  q.Close();
+  EXPECT_FALSE(q.Push(2));
+  EXPECT_EQ(1, *q.Pop());
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(MpscQueueTest, ManyProducersOneConsumer) {
+  MpscQueue<int> q;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 2000;
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kProducers; t++) {
+    producers.emplace_back([&q, t] {
+      for (int i = 0; i < kPerProducer; i++) {
+        ASSERT_TRUE(q.Push(t * kPerProducer + i));
+      }
+    });
+  }
+  std::vector<int> seen;
+  std::thread consumer([&q, &seen] {
+    for (int i = 0; i < kProducers * kPerProducer; i++) {
+      auto v = q.Pop();
+      ASSERT_TRUE(v.has_value());
+      seen.push_back(*v);
+    }
+  });
+  for (auto& t : producers) {
+    t.join();
+  }
+  consumer.join();
+  EXPECT_EQ(static_cast<size_t>(kProducers * kPerProducer), seen.size());
+  std::sort(seen.begin(), seen.end());
+  for (int i = 0; i < kProducers * kPerProducer; i++) {
+    ASSERT_EQ(i, seen[i]);
+  }
+}
+
+TEST(ComparatorTest, ShortestSeparator) {
+  const Comparator* cmp = BytewiseComparator();
+  std::string start = "abcdef";
+  cmp->FindShortestSeparator(&start, "abzzzz");
+  EXPECT_EQ("abd", start);
+  EXPECT_LT(Slice("abcdef").compare(start), 0);
+  EXPECT_LT(Slice(start).compare("abzzzz"), 0);
+
+  // Prefix case: no shortening possible.
+  start = "abc";
+  cmp->FindShortestSeparator(&start, "abcdef");
+  EXPECT_EQ("abc", start);
+}
+
+TEST(ComparatorTest, ShortSuccessor) {
+  const Comparator* cmp = BytewiseComparator();
+  std::string key = "abc";
+  cmp->FindShortSuccessor(&key);
+  EXPECT_EQ("b", key);
+  key = std::string(3, '\xff');
+  cmp->FindShortSuccessor(&key);
+  EXPECT_EQ(std::string(3, '\xff'), key);
+}
+
+TEST(RandomTest, SkewedAndUniformBounds) {
+  Random rnd(42);
+  for (int i = 0; i < 1000; i++) {
+    EXPECT_LT(rnd.Uniform(10), 10u);
+    EXPECT_LE(rnd.Skewed(10), (1u << 10));
+  }
+  Random64 rnd64(42);
+  for (int i = 0; i < 1000; i++) {
+    double d = rnd64.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace p2kvs

@@ -1,0 +1,188 @@
+// Unit tests for LSM metadata machinery: file naming, VersionEdit
+// serialization, file-search helpers.
+
+#include <gtest/gtest.h>
+
+#include "src/lsm/filename.h"
+#include "src/lsm/version_edit.h"
+#include "src/lsm/version_set.h"
+
+namespace p2kvs {
+namespace {
+
+// --- Filenames ---
+
+TEST(FileNameTest, Construction) {
+  EXPECT_EQ("/db/000007.log", LogFileName("/db", 7));
+  EXPECT_EQ("/db/000123.sst", TableFileName("/db", 123));
+  EXPECT_EQ("/db/MANIFEST-000005", DescriptorFileName("/db", 5));
+  EXPECT_EQ("/db/CURRENT", CurrentFileName("/db"));
+}
+
+TEST(FileNameTest, ParseRoundTrip) {
+  uint64_t number;
+  FileType type;
+
+  ASSERT_TRUE(ParseFileName("000007.log", &number, &type));
+  EXPECT_EQ(7u, number);
+  EXPECT_EQ(FileType::kLogFile, type);
+
+  ASSERT_TRUE(ParseFileName("000123.sst", &number, &type));
+  EXPECT_EQ(123u, number);
+  EXPECT_EQ(FileType::kTableFile, type);
+
+  ASSERT_TRUE(ParseFileName("MANIFEST-000005", &number, &type));
+  EXPECT_EQ(5u, number);
+  EXPECT_EQ(FileType::kDescriptorFile, type);
+
+  ASSERT_TRUE(ParseFileName("CURRENT", &number, &type));
+  EXPECT_EQ(FileType::kCurrentFile, type);
+
+  ASSERT_TRUE(ParseFileName("LOCK", &number, &type));
+  EXPECT_EQ(FileType::kLockFile, type);
+
+  ASSERT_TRUE(ParseFileName("18446744073709551615.sst", &number, &type));
+  EXPECT_EQ(~0ull, number);
+}
+
+TEST(FileNameTest, RejectsMalformed) {
+  uint64_t number;
+  FileType type;
+  for (const char* bad : {"", "foo", "foo-dx-100.log", ".log", "100", "100.", "100.lop",
+                          "MANIFEST", "MANIFEST-", "MANIFEST-3x", "CURRENT.lock"}) {
+    EXPECT_FALSE(ParseFileName(bad, &number, &type)) << bad;
+  }
+}
+
+// --- VersionEdit ---
+
+static void CheckRoundTrip(const VersionEdit& edit) {
+  std::string encoded;
+  edit.EncodeTo(&encoded);
+  VersionEdit parsed;
+  ASSERT_TRUE(parsed.DecodeFrom(encoded).ok());
+  std::string encoded2;
+  parsed.EncodeTo(&encoded2);
+  EXPECT_EQ(encoded, encoded2);
+}
+
+TEST(VersionEditTest, EncodeDecodeRoundTrip) {
+  static const uint64_t kBig = 1ull << 50;
+  VersionEdit edit;
+  for (int i = 0; i < 4; i++) {
+    CheckRoundTrip(edit);
+    edit.AddFile(3, kBig + 300 + i, kBig + 400 + i,
+                 InternalKey("foo", kBig + 500 + i, kTypeValue),
+                 InternalKey("zoo", kBig + 600 + i, kTypeDeletion));
+    edit.RemoveFile(4, kBig + 700 + i);
+  }
+  edit.SetComparatorName("foo");
+  edit.SetLogNumber(kBig + 100);
+  edit.SetNextFile(kBig + 200);
+  edit.SetLastSequence(kBig + 1000);
+  CheckRoundTrip(edit);
+}
+
+TEST(VersionEditTest, DecodeRejectsGarbage) {
+  VersionEdit edit;
+  EXPECT_FALSE(edit.DecodeFrom(Slice("\x99garbage-bytes", 14)).ok());
+}
+
+// --- FindFile / overlap helpers ---
+
+class FindFileTest : public ::testing::Test {
+ protected:
+  ~FindFileTest() override {
+    for (FileMetaData* f : files_) {
+      delete f;
+    }
+  }
+
+  void Add(const char* smallest, const char* largest, SequenceNumber smallest_seq = 100,
+           SequenceNumber largest_seq = 100) {
+    FileMetaData* f = new FileMetaData;
+    f->number = files_.size() + 1;
+    f->smallest = InternalKey(smallest, smallest_seq, kTypeValue);
+    f->largest = InternalKey(largest, largest_seq, kTypeValue);
+    files_.push_back(f);
+  }
+
+  int Find(const char* key) {
+    InternalKey target(key, 100, kTypeValue);
+    InternalKeyComparator cmp(BytewiseComparator());
+    return FindFile(cmp, files_, target.Encode());
+  }
+
+  bool Overlaps(const char* smallest, const char* largest) {
+    InternalKeyComparator cmp(BytewiseComparator());
+    Slice s(smallest != nullptr ? smallest : "");
+    Slice l(largest != nullptr ? largest : "");
+    return SomeFileOverlapsRange(cmp, disjoint_sorted_files_, files_,
+                                 (smallest != nullptr ? &s : nullptr),
+                                 (largest != nullptr ? &l : nullptr));
+  }
+
+  bool disjoint_sorted_files_ = true;
+  std::vector<FileMetaData*> files_;
+};
+
+TEST_F(FindFileTest, Empty) {
+  EXPECT_EQ(0, Find("foo"));
+  EXPECT_FALSE(Overlaps("a", "z"));
+  EXPECT_FALSE(Overlaps(nullptr, "z"));
+  EXPECT_FALSE(Overlaps("a", nullptr));
+  EXPECT_FALSE(Overlaps(nullptr, nullptr));
+}
+
+TEST_F(FindFileTest, Single) {
+  Add("p", "q");
+  EXPECT_EQ(0, Find("a"));
+  EXPECT_EQ(0, Find("p"));
+  EXPECT_EQ(0, Find("q"));
+  EXPECT_EQ(1, Find("q1"));
+  EXPECT_EQ(1, Find("z"));
+
+  EXPECT_FALSE(Overlaps("a", "b"));
+  EXPECT_FALSE(Overlaps("z1", "z2"));
+  EXPECT_TRUE(Overlaps("a", "p"));
+  EXPECT_TRUE(Overlaps("a", "q"));
+  EXPECT_TRUE(Overlaps("p", "p1"));
+  EXPECT_TRUE(Overlaps("p1", "q"));
+  EXPECT_TRUE(Overlaps(nullptr, "p"));
+  EXPECT_TRUE(Overlaps("q", nullptr));
+  EXPECT_FALSE(Overlaps(nullptr, "j"));
+  EXPECT_FALSE(Overlaps("r", nullptr));
+}
+
+TEST_F(FindFileTest, Multiple) {
+  Add("150", "200");
+  Add("200", "250");
+  Add("300", "350");
+  Add("400", "450");
+  EXPECT_EQ(0, Find("100"));
+  EXPECT_EQ(0, Find("150"));
+  EXPECT_EQ(1, Find("201"));
+  EXPECT_EQ(2, Find("251"));
+  EXPECT_EQ(2, Find("301"));
+  EXPECT_EQ(3, Find("351"));
+  EXPECT_EQ(4, Find("451"));
+
+  EXPECT_TRUE(Overlaps("100", "150"));
+  EXPECT_TRUE(Overlaps("199", "300"));
+  EXPECT_FALSE(Overlaps("251", "299"));
+  EXPECT_FALSE(Overlaps("451", "500"));
+}
+
+TEST_F(FindFileTest, OverlappedMode) {
+  // Overlapped (non-disjoint) levels: every file must be checked.
+  disjoint_sorted_files_ = false;
+  Add("150", "600");
+  Add("400", "500");
+  EXPECT_TRUE(Overlaps("100", "150"));
+  EXPECT_TRUE(Overlaps("450", "700"));
+  EXPECT_FALSE(Overlaps("601", "700"));
+  EXPECT_FALSE(Overlaps("100", "149"));
+}
+
+}  // namespace
+}  // namespace p2kvs

@@ -1,0 +1,179 @@
+// WAL record format tests: round trips, fragmentation across blocks, torn
+// tails, corruption detection.
+
+#include <gtest/gtest.h>
+
+#include "src/io/mem_env.h"
+#include "src/util/random.h"
+#include "src/wal/log_reader.h"
+#include "src/wal/log_writer.h"
+
+namespace p2kvs {
+namespace {
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = NewMemEnv();
+    ASSERT_TRUE(env_->NewWritableFile("/log", &file_).ok());
+    writer_ = std::make_unique<log::Writer>(file_.get());
+  }
+
+  void Write(const std::string& record) { ASSERT_TRUE(writer_->AddRecord(record).ok()); }
+
+  std::vector<std::string> ReadAll(size_t* corruption_bytes = nullptr) {
+    struct CountingReporter : public log::Reader::Reporter {
+      size_t bytes = 0;
+      void Corruption(size_t n, const Status&) override { bytes += n; }
+    };
+    std::unique_ptr<SequentialFile> read_file;
+    EXPECT_TRUE(env_->NewSequentialFile("/log", &read_file).ok());
+    CountingReporter reporter;
+    log::Reader reader(read_file.get(), &reporter, true);
+    std::vector<std::string> records;
+    Slice record;
+    std::string scratch;
+    while (reader.ReadRecord(&record, &scratch)) {
+      records.push_back(record.ToString());
+    }
+    if (corruption_bytes != nullptr) {
+      *corruption_bytes = reporter.bytes;
+    }
+    return records;
+  }
+
+  // Truncates the log to `size` bytes (simulating a torn write).
+  void Truncate(size_t size) {
+    std::string contents;
+    ASSERT_TRUE(ReadFileToString(env_.get(), "/log", &contents).ok());
+    contents.resize(size);
+    ASSERT_TRUE(WriteStringToFile(env_.get(), contents, "/log", false).ok());
+  }
+
+  void CorruptByte(size_t offset) {
+    std::string contents;
+    ASSERT_TRUE(ReadFileToString(env_.get(), "/log", &contents).ok());
+    ASSERT_LT(offset, contents.size());
+    contents[offset] ^= 0x55;
+    ASSERT_TRUE(WriteStringToFile(env_.get(), contents, "/log", false).ok());
+  }
+
+  std::unique_ptr<Env> env_;
+  std::unique_ptr<WritableFile> file_;
+  std::unique_ptr<log::Writer> writer_;
+};
+
+TEST_F(WalTest, EmptyLog) { EXPECT_TRUE(ReadAll().empty()); }
+
+TEST_F(WalTest, SmallRecords) {
+  Write("foo");
+  Write("bar");
+  Write("");
+  Write("xxxx");
+  auto records = ReadAll();
+  ASSERT_EQ(4u, records.size());
+  EXPECT_EQ("foo", records[0]);
+  EXPECT_EQ("bar", records[1]);
+  EXPECT_EQ("", records[2]);
+  EXPECT_EQ("xxxx", records[3]);
+}
+
+TEST_F(WalTest, RecordSpanningBlocks) {
+  // Larger than one 32 KiB block: forces FIRST/MIDDLE/LAST fragmentation.
+  std::string big(100000, 'q');
+  Write("head");
+  Write(big);
+  Write("tail");
+  auto records = ReadAll();
+  ASSERT_EQ(3u, records.size());
+  EXPECT_EQ("head", records[0]);
+  EXPECT_EQ(big, records[1]);
+  EXPECT_EQ("tail", records[2]);
+}
+
+TEST_F(WalTest, ManyRandomSizes) {
+  Random rnd(301);
+  std::vector<std::string> expected;
+  for (int i = 0; i < 300; i++) {
+    expected.push_back(std::string(rnd.Skewed(15), static_cast<char>('a' + i % 26)));
+    Write(expected.back());
+  }
+  auto records = ReadAll();
+  ASSERT_EQ(expected.size(), records.size());
+  for (size_t i = 0; i < expected.size(); i++) {
+    EXPECT_EQ(expected[i], records[i]) << i;
+  }
+}
+
+TEST_F(WalTest, TornTailIsSilentlyDropped) {
+  Write("complete");
+  Write(std::string(50000, 'z'));
+  uint64_t full_size;
+  ASSERT_TRUE(env_->GetFileSize("/log", &full_size).ok());
+  Truncate(full_size - 1);  // cut into the last record
+  size_t corruption = 0;
+  auto records = ReadAll(&corruption);
+  ASSERT_EQ(1u, records.size());
+  EXPECT_EQ("complete", records[0]);
+  // A torn tail is a normal crash artifact, not corruption.
+  EXPECT_EQ(0u, corruption);
+}
+
+TEST_F(WalTest, ChecksumCatchesBitFlip) {
+  Write("record-one");
+  Write("record-two");
+  CorruptByte(10);  // inside the first record's payload
+  size_t corruption = 0;
+  auto records = ReadAll(&corruption);
+  // A checksum failure poisons the rest of its 32 KiB block (leveldb
+  // semantics), so record-two is dropped too — but it is *reported*, never
+  // silently returned corrupt.
+  EXPECT_TRUE(records.empty());
+  EXPECT_GT(corruption, 0u);
+}
+
+TEST_F(WalTest, CorruptionInOneBlockDoesNotPoisonNextBlock) {
+  Write("first-block-record");
+  Write(std::string(2 * log::kBlockSize, 'f'));  // spills into later blocks
+  Write("tail-record");
+  CorruptByte(3);  // clobber the first record's checksum
+  size_t corruption = 0;
+  auto records = ReadAll(&corruption);
+  EXPECT_GT(corruption, 0u);
+  // The reader resynchronizes at the next block boundary: the tail record
+  // (whose fragments live in clean blocks) is recovered... the large record
+  // began in the poisoned block, so only the tail survives.
+  ASSERT_EQ(1u, records.size());
+  EXPECT_EQ("tail-record", records[0]);
+}
+
+TEST_F(WalTest, ReopenedLogContinuesAtBlockOffset) {
+  Write("first");
+  file_->Flush();
+  uint64_t size;
+  ASSERT_TRUE(env_->GetFileSize("/log", &size).ok());
+  // Reopen for append, as the engines do after restart.
+  std::unique_ptr<WritableFile> file2;
+  ASSERT_TRUE(env_->NewAppendableFile("/log", &file2).ok());
+  log::Writer writer2(file2.get(), size);
+  ASSERT_TRUE(writer2.AddRecord("second").ok());
+  file2->Flush();
+  auto records = ReadAll();
+  ASSERT_EQ(2u, records.size());
+  EXPECT_EQ("first", records[0]);
+  EXPECT_EQ("second", records[1]);
+}
+
+TEST_F(WalTest, ExactBlockBoundaryTrailer) {
+  // Leave fewer than 7 bytes in the block so the writer must pad.
+  std::string almost_block(log::kBlockSize - log::kHeaderSize - 3, 'p');
+  Write(almost_block);
+  Write("next-block");
+  auto records = ReadAll();
+  ASSERT_EQ(2u, records.size());
+  EXPECT_EQ(almost_block, records[0]);
+  EXPECT_EQ("next-block", records[1]);
+}
+
+}  // namespace
+}  // namespace p2kvs

@@ -1,0 +1,199 @@
+// YCSB generator tests: workload mixes match paper Table 1, distributions
+// have the right shape, keys are well-formed.
+
+#include "src/ycsb/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace p2kvs {
+namespace ycsb {
+namespace {
+
+TEST(Generators, UniformCoversRange) {
+  UniformGenerator gen(0, 99, 42);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 100000; i++) {
+    uint64_t v = gen.Next();
+    ASSERT_LT(v, 100u);
+    counts[v]++;
+  }
+  EXPECT_EQ(100u, counts.size());
+  for (const auto& [v, c] : counts) {
+    EXPECT_GT(c, 500);
+    EXPECT_LT(c, 2000);
+  }
+}
+
+TEST(Generators, ZipfianIsSkewed) {
+  ZipfianGenerator gen(1000, 42);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 100000; i++) {
+    uint64_t v = gen.Next();
+    ASSERT_LT(v, 1000u);
+    counts[v]++;
+  }
+  // Rank 0 must be far more popular than the median rank.
+  EXPECT_GT(counts[0], 20 * std::max(1, counts[500]));
+  // And the head should dominate: top-10 ranks > 30% of draws.
+  int head = 0;
+  for (uint64_t r = 0; r < 10; r++) {
+    head += counts[r];
+  }
+  EXPECT_GT(head, 30000);
+}
+
+TEST(Generators, ScrambledZipfianSpreadsHotKeys) {
+  ScrambledZipfianGenerator gen(1000, 42);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 100000; i++) {
+    counts[gen.Next()]++;
+  }
+  // Still skewed (some key much hotter than uniform share)...
+  int max_count = 0;
+  for (const auto& [v, c] : counts) {
+    max_count = std::max(max_count, c);
+  }
+  EXPECT_GT(max_count, 1000);
+  // ...but the hottest keys are not all clustered at rank 0..9.
+  int head = 0;
+  for (uint64_t r = 0; r < 10; r++) {
+    head += counts.count(r) ? counts[r] : 0;
+  }
+  EXPECT_LT(head, 50000);
+}
+
+TEST(Generators, LatestFavorsRecentInserts) {
+  std::atomic<uint64_t> counter{1000};
+  SkewedLatestGenerator gen(&counter, 42);
+  int recent = 0;
+  for (int i = 0; i < 10000; i++) {
+    uint64_t v = gen.Next();
+    ASSERT_LT(v, 1000u);
+    if (v >= 900) {
+      recent++;
+    }
+  }
+  // The newest 10% of records should receive well over 10% of accesses.
+  EXPECT_GT(recent, 3000);
+}
+
+TEST(Generators, LatestTracksGrowingKeySpace) {
+  std::atomic<uint64_t> counter{10};
+  SkewedLatestGenerator gen(&counter, 42);
+  (void)gen.Next();
+  counter.store(100000);
+  uint64_t v = gen.Next();
+  EXPECT_LT(v, 100000u);
+}
+
+TEST(WorkloadSpecs, MatchPaperTable1) {
+  WorkloadSpec load = WorkloadSpec::Load();
+  EXPECT_EQ(1.0, load.insert_proportion);
+  EXPECT_EQ(Distribution::kUniform, load.distribution);
+
+  WorkloadSpec a = WorkloadSpec::A();
+  EXPECT_EQ(0.5, a.update_proportion);
+  EXPECT_EQ(0.5, a.read_proportion);
+  EXPECT_EQ(Distribution::kZipfian, a.distribution);
+
+  WorkloadSpec b = WorkloadSpec::B();
+  EXPECT_EQ(0.05, b.update_proportion);
+  EXPECT_EQ(0.95, b.read_proportion);
+
+  WorkloadSpec c = WorkloadSpec::C();
+  EXPECT_EQ(1.0, c.read_proportion);
+
+  WorkloadSpec d = WorkloadSpec::D();
+  EXPECT_EQ(0.05, d.insert_proportion);
+  EXPECT_EQ(Distribution::kLatest, d.distribution);
+
+  WorkloadSpec e = WorkloadSpec::E();
+  EXPECT_EQ(0.05, e.insert_proportion);
+  EXPECT_EQ(0.95, e.scan_proportion);
+  EXPECT_EQ(Distribution::kUniform, e.distribution);
+
+  WorkloadSpec f = WorkloadSpec::F();
+  EXPECT_EQ(0.5, f.rmw_proportion);
+  EXPECT_EQ(0.5, f.read_proportion);
+}
+
+TEST(WorkloadSpecs, ByNameResolves) {
+  EXPECT_EQ("LOAD", WorkloadSpec::ByName("load").name);
+  EXPECT_EQ("A", WorkloadSpec::ByName("A").name);
+  EXPECT_EQ("F", WorkloadSpec::ByName("f").name);
+}
+
+TEST(RecordKeys, FormattedAndSorted) {
+  EXPECT_EQ("user000000000000", RecordKey(0));
+  EXPECT_EQ("user000000000042", RecordKey(42));
+  // Bytewise order == numeric order for the zero-padded format.
+  EXPECT_LT(RecordKey(99), RecordKey(100));
+  EXPECT_LT(RecordKey(999999), RecordKey(10000000));
+}
+
+TEST(MakeValueTest, DeterministicAndSized) {
+  EXPECT_EQ(MakeValue(7, 128), MakeValue(7, 128));
+  EXPECT_NE(MakeValue(7, 128), MakeValue(8, 128));
+  EXPECT_EQ(128u, MakeValue(7, 128).size());
+  EXPECT_EQ(1024u, MakeValue(7, 1024).size());
+}
+
+TEST(OperationStream, MixMatchesSpec) {
+  KeySpace space(10000);
+  OperationStream stream(WorkloadSpec::A(), &space, 7);
+  int reads = 0, updates = 0;
+  constexpr int kOps = 20000;
+  for (int i = 0; i < kOps; i++) {
+    Operation op = stream.Next();
+    if (op.type == OpType::kRead) {
+      reads++;
+    } else if (op.type == OpType::kUpdate) {
+      updates++;
+    }
+  }
+  EXPECT_NEAR(0.5, static_cast<double>(reads) / kOps, 0.03);
+  EXPECT_NEAR(0.5, static_cast<double>(updates) / kOps, 0.03);
+}
+
+TEST(OperationStream, InsertsGrowKeySpace) {
+  KeySpace space(100);
+  OperationStream stream(WorkloadSpec::Load(), &space, 7);
+  for (int i = 0; i < 50; i++) {
+    Operation op = stream.Next();
+    EXPECT_EQ(OpType::kInsert, op.type);
+    EXPECT_EQ(RecordKey(100 + i), op.key);
+  }
+  EXPECT_EQ(150u, space.record_count.load());
+}
+
+TEST(OperationStream, ScansHaveBoundedLength) {
+  KeySpace space(1000);
+  WorkloadSpec e = WorkloadSpec::E();
+  OperationStream stream(e, &space, 7);
+  int scans = 0;
+  for (int i = 0; i < 5000; i++) {
+    Operation op = stream.Next();
+    if (op.type == OpType::kScan) {
+      scans++;
+      EXPECT_GE(op.scan_length, 1u);
+      EXPECT_LE(op.scan_length, e.max_scan_length);
+    }
+  }
+  EXPECT_GT(scans, 4000);
+}
+
+TEST(OperationStream, KeysStayInKeySpace) {
+  KeySpace space(500);
+  OperationStream stream(WorkloadSpec::C(), &space, 7);
+  for (int i = 0; i < 5000; i++) {
+    Operation op = stream.Next();
+    EXPECT_LE(op.key, RecordKey(499));
+    EXPECT_GE(op.key, RecordKey(0));
+  }
+}
+
+}  // namespace
+}  // namespace ycsb
+}  // namespace p2kvs
