@@ -142,6 +142,9 @@ class BTreeStoreImpl final : public BTreeStore {
 
   Status Init() {
     env_->CreateDir(path_);
+    // A stale temp file means a crash interrupted a META update; the real
+    // META (old or new) is intact, so the leftover is just discarded.
+    env_->RemoveFile(MetaFileName() + ".tmp");
     Status s = env_->NewRandomWritableFile(PageFileName(), &page_file_);
     if (!s.ok()) {
       return s;
@@ -255,7 +258,16 @@ class BTreeStoreImpl final : public BTreeStore {
     PutFixed32(&meta, root_id_);
     PutFixed32(&meta, next_page_id_);
     PutFixed32(&meta, crc32c::Mask(crc32c::Value(meta.data(), meta.size())));
-    return WriteStringToFile(env_, meta, MetaFileName(), /*sync=*/true);
+    // Write-then-rename so a failed update can never destroy the previous
+    // META (WriteStringToFile removes its target on failure): the old copy
+    // stays intact until the replacement is durable, and the rename swaps
+    // them atomically.
+    const std::string tmp = MetaFileName() + ".tmp";
+    Status s = WriteStringToFile(env_, meta, tmp, /*sync=*/true);
+    if (!s.ok()) {
+      return s;
+    }
+    return env_->RenameFile(tmp, MetaFileName());
   }
 
   Status LoadMeta() {
@@ -297,12 +309,16 @@ class BTreeStoreImpl final : public BTreeStore {
     if (tag == kWalPut) {
       PutLengthPrefixedSlice(&record, value);
     }
-    Status s = wal_->AddRecord(record);
+    Status s = RunWithRetry(env_, options_.wal_retry,
+                            [&] { return wal_->AddRecord(record); });
     if (!s.ok()) {
       return s;
     }
     wal_bytes_ += record.size() + log::kHeaderSize;
-    return options_.sync_writes ? wal_->Sync() : wal_->Flush();
+    if (options_.sync_writes) {
+      return RunWithRetry(env_, options_.wal_retry, [&] { return wal_->Sync(); });
+    }
+    return wal_->Flush();
   }
 
   Status ReplayWal() {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/io/env.h"
+#include "src/io/retry.h"
 #include "src/util/iterator.h"
 #include "src/util/status.h"
 
@@ -22,6 +23,10 @@ namespace p2kvs {
 struct BTreeOptions {
   Env* env = Env::Default();
   bool create_if_missing = true;
+
+  // Bounded retry for transient WAL faults (tagged retryable, e.g. by
+  // ErrorInjectionEnv); hard errors propagate to the caller unchanged.
+  RetryPolicy wal_retry;
 
   // Buffer pool capacity in pages (4 KiB each).
   size_t buffer_pool_pages = 2048;

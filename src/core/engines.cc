@@ -89,6 +89,7 @@ class LsmEngine final : public KVStore {
   }
 
   Status Flush() override { return db_->FlushMemTable(); }
+  Status Resume() override { return db_->Resume(); }
   void WaitIdle() override { db_->WaitForBackgroundWork(); }
   size_t ApproximateMemoryUsage() const override { return db_->ApproximateMemoryUsage(); }
 

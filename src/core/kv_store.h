@@ -74,6 +74,11 @@ class KVStore {
   // Persists buffered state (test/bench hook).
   virtual Status Flush() { return Status::OK(); }
 
+  // Attempts to clear a sticky storage error after the underlying condition
+  // recovered (error governance: the owning worker calls this to restore a
+  // degraded partition). Engines without sticky errors return OK.
+  virtual Status Resume() { return Status::OK(); }
+
   // Blocks until background work (compactions etc.) is quiescent.
   virtual void WaitIdle() {}
 

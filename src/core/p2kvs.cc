@@ -45,7 +45,7 @@ Status P2KVS::Init() {
 
   // Recover the transaction log first: WAL replay in every instance filters
   // on the committed-GSN set (paper Figure 11).
-  Status s = TxnLog::Open(options_.env, path_ + "/TXNLOG", &txn_log_);
+  Status s = TxnLog::Open(options_.env, path_ + "/TXNLOG", &txn_log_, options_.retry);
   if (!s.ok()) {
     return s;
   }
@@ -65,6 +65,10 @@ Status P2KVS::Init() {
     config.enable_obm = options_.enable_obm;
     config.max_batch_size = options_.max_batch_size;
     config.txn_read_committed = options_.txn_read_committed;
+    config.env = options_.env;
+    config.retry = options_.retry;
+    config.auto_resume_interval_us = options_.auto_resume_interval_us;
+    config.max_auto_resume_failures = options_.max_auto_resume_failures;
     workers_.push_back(std::make_unique<Worker>(config, std::move(instance)));
   }
   for (auto& worker : workers_) {
@@ -323,6 +327,31 @@ void P2KVS::WaitIdle() {
   for (auto& worker : workers_) {
     worker->store()->WaitIdle();
   }
+}
+
+P2kvsHealth P2KVS::Health() const {
+  P2kvsHealth health;
+  health.workers.reserve(workers_.size());
+  for (const auto& worker : workers_) {
+    WorkerHealthInfo info;
+    info.worker_id = static_cast<int>(health.workers.size());
+    info.health = worker->health();
+    info.degraded_rejects = worker->degraded_rejects();
+    info.resume_attempts = worker->resume_attempts();
+    health.workers.push_back(info);
+  }
+  return health;
+}
+
+Status P2KVS::Resume() {
+  Status first_error;
+  for (auto& worker : workers_) {
+    Status s = worker->TryResume();
+    if (!s.ok() && first_error.ok()) {
+      first_error = s;
+    }
+  }
+  return first_error;
 }
 
 P2kvsStats P2KVS::GetStats() const {

@@ -26,11 +26,10 @@
 #include "src/core/partitioner.h"
 #include "src/core/kv_store.h"
 #include "src/core/txn_log.h"
+#include "src/core/worker.h"
 #include "src/util/histogram.h"
 
 namespace p2kvs {
-
-class Worker;
 
 struct P2kvsOptions {
   // Number of KVS instances / worker threads. The paper defaults to 8,
@@ -70,6 +69,43 @@ struct P2kvsOptions {
   // visible only after it commits. Requires an engine with snapshot support
   // (RocksLite/LevelLite); off by default, matching the paper's prototype.
   bool txn_read_committed = false;
+
+  // --- Error governance (per-worker; see WorkerHealth in worker.h). ---
+  // Bounded retry of transient engine faults on the worker hot path.
+  RetryPolicy retry;
+  // Minimum gap between a degraded worker's automatic resume attempts.
+  int auto_resume_interval_us = 10000;
+  // Consecutive failed auto-resumes before a partition is marked failed
+  // (automatic attempts stop; explicit Resume() still works).
+  int max_auto_resume_failures = 5;
+};
+
+// Health of one partition (error governance).
+struct WorkerHealthInfo {
+  int worker_id = 0;
+  WorkerHealth health = WorkerHealth::kHealthy;
+  uint64_t degraded_rejects = 0;  // writes rejected fast while unhealthy
+  uint64_t resume_attempts = 0;   // auto + explicit resume attempts
+};
+
+struct P2kvsHealth {
+  std::vector<WorkerHealthInfo> workers;
+
+  bool AllHealthy() const {
+    for (const WorkerHealthInfo& w : workers) {
+      if (w.health != WorkerHealth::kHealthy) {
+        return false;
+      }
+    }
+    return true;
+  }
+  int NumUnhealthy() const {
+    int n = 0;
+    for (const WorkerHealthInfo& w : workers) {
+      n += w.health != WorkerHealth::kHealthy;
+    }
+    return n;
+  }
 };
 
 struct P2kvsStats {
@@ -129,6 +165,11 @@ class P2KVS {
   int PartitionOf(const Slice& key) const;
   Status FlushAll();
   void WaitIdle();
+  // Per-partition health snapshot (error governance).
+  P2kvsHealth Health() const;
+  // Explicitly attempts to resume every degraded/failed partition; returns
+  // the first failure (all partitions are still attempted).
+  Status Resume();
   P2kvsStats GetStats() const;
   size_t ApproximateMemoryUsage() const;
   // Current depth of each worker's request queue.

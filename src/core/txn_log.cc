@@ -9,7 +9,8 @@ namespace {
 enum TxnTag : uint8_t { kTxnBegin = 1, kTxnCommit = 2 };
 }  // namespace
 
-TxnLog::TxnLog(Env* env, std::string path) : env_(env), path_(std::move(path)) {}
+TxnLog::TxnLog(Env* env, std::string path, const RetryPolicy& retry)
+    : env_(env), path_(std::move(path)), retry_(retry) {}
 
 TxnLog::~TxnLog() {
   if (file_ != nullptr) {
@@ -17,9 +18,10 @@ TxnLog::~TxnLog() {
   }
 }
 
-Status TxnLog::Open(Env* env, const std::string& path, std::unique_ptr<TxnLog>* log) {
+Status TxnLog::Open(Env* env, const std::string& path, std::unique_ptr<TxnLog>* log,
+                    const RetryPolicy& retry) {
   log->reset();
-  auto txn_log = std::unique_ptr<TxnLog>(new TxnLog(env, path));
+  auto txn_log = std::unique_ptr<TxnLog>(new TxnLog(env, path, retry));
   Status s = txn_log->Recover();
   if (!s.ok()) {
     return s;
@@ -80,9 +82,14 @@ Status TxnLog::Append(uint8_t tag, uint64_t gsn, bool sync) {
   std::string record;
   record.push_back(static_cast<char>(tag));
   PutVarint64(&record, gsn);
-  Status s = writer_->AddRecord(record);
+  // Retried at step granularity: AddRecord is safe to re-issue after a
+  // transient fault (one atomic append per physical record), and retrying the
+  // whole append+sync pair would duplicate the record when only the sync
+  // failed. Recovery tolerates duplicates anyway (set inserts), but there is
+  // no reason to write them.
+  Status s = RunWithRetry(env_, retry_, [&] { return writer_->AddRecord(record); });
   if (s.ok() && sync) {
-    s = writer_->Sync();
+    s = RunWithRetry(env_, retry_, [&] { return writer_->Sync(); });
   }
   if (s.ok() && tag == kTxnCommit) {
     committed_.insert(gsn);

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "src/io/env.h"
+#include "src/io/retry.h"
 #include "src/util/status.h"
 #include "src/wal/log_writer.h"
 
@@ -23,7 +24,10 @@ namespace p2kvs {
 class TxnLog {
  public:
   // Opens (creating/appending) the log at `path` and replays its records.
-  static Status Open(Env* env, const std::string& path, std::unique_ptr<TxnLog>* log);
+  // Transient append/sync faults are absorbed per `retry` — the txn log is a
+  // framework WAL, governed like the engines' WALs.
+  static Status Open(Env* env, const std::string& path, std::unique_ptr<TxnLog>* log,
+                     const RetryPolicy& retry = RetryPolicy());
 
   ~TxnLog();
 
@@ -45,13 +49,14 @@ class TxnLog {
   size_t UncommittedAtRecovery() const { return uncommitted_at_recovery_; }
 
  private:
-  TxnLog(Env* env, std::string path);
+  TxnLog(Env* env, std::string path, const RetryPolicy& retry);
 
   Status Recover();
   Status Append(uint8_t tag, uint64_t gsn, bool sync);
 
   Env* const env_;
   const std::string path_;
+  const RetryPolicy retry_;
 
   mutable std::mutex mu_;
   std::unique_ptr<WritableFile> file_;

@@ -2,9 +2,22 @@
 
 #include <vector>
 
+#include "src/util/clock.h"
 #include "src/util/thread_util.h"
 
 namespace p2kvs {
+
+const char* WorkerHealthName(WorkerHealth health) {
+  switch (health) {
+    case WorkerHealth::kHealthy:
+      return "healthy";
+    case WorkerHealth::kDegraded:
+      return "degraded";
+    case WorkerHealth::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
 
 Worker::Worker(const Config& config, std::unique_ptr<KVStore> store)
     : config_(config), store_(std::move(store)), caps_(store_->caps()) {}
@@ -57,6 +70,9 @@ void Worker::Run() {
       ExecuteRange(r);
       continue;
     }
+    if (IsWriteType(r->type) && RejectIfUnhealthy(r)) {
+      continue;
+    }
     if (!config_.enable_obm) {
       ExecuteSingle(r);
       continue;
@@ -77,6 +93,70 @@ void Worker::Run() {
     }
     ExecuteReadGroup(r);
   }
+}
+
+bool Worker::RejectIfUnhealthy(Request* request) {
+  if (health() == WorkerHealth::kHealthy) {
+    return false;
+  }
+  MaybeAutoResume();
+  if (health() == WorkerHealth::kHealthy) {
+    return false;
+  }
+  degraded_rejects_.fetch_add(1, std::memory_order_relaxed);
+  request->Complete(Status::IOError(
+      std::string("partition ") + std::to_string(config_.id) + " " +
+          WorkerHealthName(health()) + " (read-only)",
+      "write rejected"));
+  return true;
+}
+
+void Worker::MaybeDegrade(const Status& s) {
+  // Only storage errors degrade: a transient status here already survived
+  // every retry, so the partition is treated as unhealthy either way.
+  // Semantic outcomes (NotFound / InvalidArgument / NotSupported) do not.
+  if (!s.IsIOError() && !s.IsCorruption()) {
+    return;
+  }
+  int expected = static_cast<int>(WorkerHealth::kHealthy);
+  health_.compare_exchange_strong(expected, static_cast<int>(WorkerHealth::kDegraded),
+                                  std::memory_order_acq_rel);
+}
+
+void Worker::MaybeAutoResume() {
+  if (health() != WorkerHealth::kDegraded) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(resume_mu_);
+    uint64_t now = NowMicros();
+    if (now - last_resume_attempt_us_ <
+        static_cast<uint64_t>(config_.auto_resume_interval_us)) {
+      return;
+    }
+  }
+  TryResume();
+}
+
+Status Worker::TryResume() {
+  std::lock_guard<std::mutex> lock(resume_mu_);
+  if (health() == WorkerHealth::kHealthy) {
+    return Status::OK();
+  }
+  last_resume_attempt_us_ = NowMicros();
+  resume_attempts_.fetch_add(1, std::memory_order_relaxed);
+  Status s = store_->Resume();
+  if (s.ok()) {
+    consecutive_resume_failures_ = 0;
+    health_.store(static_cast<int>(WorkerHealth::kHealthy), std::memory_order_release);
+  } else {
+    consecutive_resume_failures_++;
+    if (health() == WorkerHealth::kDegraded &&
+        consecutive_resume_failures_ >= config_.max_auto_resume_failures) {
+      health_.store(static_cast<int>(WorkerHealth::kFailed), std::memory_order_release);
+    }
+  }
+  return s;
 }
 
 void Worker::ExecuteWriteGroup(Request* first) {
@@ -113,9 +193,13 @@ void Worker::ExecuteWriteGroup(Request* first) {
     }
   }
 
-  Status s = store_->Write(&merged, KvWriteOptions());
+  Status s = RunWithRetry(config_.env, config_.retry,
+                          [&] { return store_->Write(&merged, KvWriteOptions()); });
+  MaybeDegrade(s);
   write_batches_.fetch_add(1, std::memory_order_relaxed);
   writes_batched_.fetch_add(group.size(), std::memory_order_relaxed);
+  // Every member of the merged group observes the group's outcome — on
+  // failure none of the folded writes may be silently acknowledged.
   for (Request* r : group) {
     r->Complete(s);
   }
@@ -127,7 +211,8 @@ Status Worker::ReadOne(const Slice& key, std::string* value) {
     // uncommitted writes stay invisible (read committed).
     return store_->GetAtSnapshot(key, value, txn_snapshots_.front().second);
   }
-  return store_->Get(key, value);
+  return RunWithRetry(config_.env, config_.retry,
+                      [&] { return store_->Get(key, value); });
 }
 
 void Worker::ExecuteReadGroup(Request* first) {
@@ -177,10 +262,14 @@ void Worker::ExecuteSingle(Request* r) {
   Status s;
   switch (r->type) {
     case RequestType::kPut:
-      s = store_->Put(r->key, r->value, KvWriteOptions());
+      s = RunWithRetry(config_.env, config_.retry,
+                       [&] { return store_->Put(r->key, r->value, KvWriteOptions()); });
+      MaybeDegrade(s);
       break;
     case RequestType::kDelete:
-      s = store_->Delete(r->key, KvWriteOptions());
+      s = RunWithRetry(config_.env, config_.retry,
+                       [&] { return store_->Delete(r->key, KvWriteOptions()); });
+      MaybeDegrade(s);
       break;
     case RequestType::kGet:
       s = ReadOne(r->key, r->get_out);
@@ -196,7 +285,9 @@ void Worker::ExecuteSingle(Request* r) {
       // Sub-batches of a transaction sync their WAL so commit-ordering
       // survives a crash.
       options.sync = (r->gsn != 0);
-      s = store_->Write(r->batch, options);
+      s = RunWithRetry(config_.env, config_.retry,
+                       [&] { return store_->Write(r->batch, options); });
+      MaybeDegrade(s);
       break;
     }
     case RequestType::kEndTxn: {

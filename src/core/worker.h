@@ -8,14 +8,30 @@
 #include <atomic>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <utility>
 
 #include "src/core/kv_store.h"
 #include "src/core/request.h"
+#include "src/io/retry.h"
 #include "src/util/mpsc_queue.h"
 
 namespace p2kvs {
+
+// Per-partition health (error governance). A hard storage error — or a
+// transient one that survived every retry — degrades the partition to
+// read-only instead of failing the whole framework: reads keep flowing,
+// writes fail fast, and the worker periodically attempts an auto-resume.
+// After too many consecutive failed resumes the partition is marked failed
+// (auto attempts stop; an explicit Resume() can still revive it).
+enum class WorkerHealth : int {
+  kHealthy = 0,
+  kDegraded = 1,  // read-only; auto-resume active
+  kFailed = 2,    // auto-resume gave up
+};
+
+const char* WorkerHealthName(WorkerHealth health);
 
 class Worker {
  public:
@@ -28,6 +44,16 @@ class Worker {
     // snapshot per in-flight GSN transaction and serve reads from the oldest
     // one, so uncommitted cross-instance writes stay invisible.
     bool txn_read_committed = false;
+
+    // --- Error governance. ---
+    // For backoff sleeps between retries (null: retry without sleeping).
+    Env* env = nullptr;
+    // Bounded retry for transient engine faults on the worker hot path.
+    RetryPolicy retry;
+    // Minimum gap between automatic resume attempts of a degraded partition.
+    int auto_resume_interval_us = 10000;
+    // Consecutive failed auto-resumes before the partition is marked failed.
+    int max_auto_resume_failures = 5;
   };
 
   Worker(const Config& config, std::unique_ptr<KVStore> store);
@@ -46,6 +72,22 @@ class Worker {
   KVStore* store() { return store_.get(); }
   size_t QueueDepth() const { return queue_.Size(); }
 
+  WorkerHealth health() const {
+    return static_cast<WorkerHealth>(health_.load(std::memory_order_acquire));
+  }
+  // Writes rejected fast because the partition was degraded/failed.
+  uint64_t degraded_rejects() const {
+    return degraded_rejects_.load(std::memory_order_relaxed);
+  }
+  uint64_t resume_attempts() const {
+    return resume_attempts_.load(std::memory_order_relaxed);
+  }
+
+  // Attempts to restore a degraded/failed partition via KVStore::Resume().
+  // Safe from any thread (the engine's Resume is thread-safe); returns OK and
+  // marks the partition healthy on success. No-op when already healthy.
+  Status TryResume();
+
   // OBM effectiveness counters.
   uint64_t write_batches() const { return write_batches_.load(std::memory_order_relaxed); }
   uint64_t writes_batched() const { return writes_batched_.load(std::memory_order_relaxed); }
@@ -62,6 +104,13 @@ class Worker {
   void ExecuteScan(Request* request);
   void ExecuteRange(Request* request);
 
+  // Degrades the partition if `s` is a storage error that survived retries.
+  void MaybeDegrade(const Status& s);
+  // Time-gated auto-resume attempt from the worker loop (kDegraded only).
+  void MaybeAutoResume();
+  // True if the write request was rejected fast (partition not healthy).
+  bool RejectIfUnhealthy(Request* request);
+
   const Config config_;
   std::unique_ptr<KVStore> store_;
   EngineCaps caps_;
@@ -77,6 +126,15 @@ class Worker {
   std::atomic<uint64_t> read_batches_{0};
   std::atomic<uint64_t> reads_batched_{0};
   std::atomic<uint64_t> singles_{0};
+
+  // Health state machine (guarded by resume_mu_ for transitions; health_
+  // itself is atomic so readers never block).
+  std::atomic<int> health_{static_cast<int>(WorkerHealth::kHealthy)};
+  std::atomic<uint64_t> degraded_rejects_{0};
+  std::atomic<uint64_t> resume_attempts_{0};
+  std::mutex resume_mu_;
+  uint64_t last_resume_attempt_us_ = 0;   // guarded by resume_mu_
+  int consecutive_resume_failures_ = 0;   // guarded by resume_mu_
 };
 
 }  // namespace p2kvs

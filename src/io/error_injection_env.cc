@@ -1,0 +1,317 @@
+#include "src/io/error_injection_env.h"
+
+#include "src/io/io_stats.h"
+
+namespace p2kvs {
+
+const char* FaultOpName(FaultOp op) {
+  switch (op) {
+    case FaultOp::kAppend:
+      return "append";
+    case FaultOp::kSync:
+      return "sync";
+    case FaultOp::kRead:
+      return "read";
+    case FaultOp::kShortRead:
+      return "short-read";
+    case FaultOp::kNewWritableFile:
+      return "create";
+    case FaultOp::kRandomWrite:
+      return "random-write";
+    case FaultOp::kRandomSync:
+      return "random-sync";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// File wrappers. Each consults MaybeInject before delegating; kShortRead is
+// applied after a successful base read by truncating the result.
+// ---------------------------------------------------------------------------
+
+class ErrorInjectionSequentialFile final : public SequentialFile {
+ public:
+  ErrorInjectionSequentialFile(std::string fname, std::unique_ptr<SequentialFile> base,
+                               ErrorInjectionEnv* env)
+      : fname_(std::move(fname)), base_(std::move(base)), env_(env) {}
+
+  Status Read(size_t n, Slice* result, char* scratch) override {
+    Status fault;
+    if (env_->MaybeInject(FaultOp::kRead, fname_, &fault)) {
+      return fault;
+    }
+    Status s = base_->Read(n, result, scratch);
+    if (s.ok() && result->size() > 1 &&
+        env_->MaybeInject(FaultOp::kShortRead, fname_, &fault)) {
+      // Short read: hand back a strict prefix. The consumed file position is
+      // unchanged (the bytes were read), matching a kernel short read where
+      // the caller must re-issue for the remainder — which our log readers
+      // treat as a truncated record.
+      *result = Slice(result->data(), result->size() / 2);
+    }
+    return s;
+  }
+
+  Status Skip(uint64_t n) override { return base_->Skip(n); }
+
+ private:
+  const std::string fname_;
+  std::unique_ptr<SequentialFile> base_;
+  ErrorInjectionEnv* env_;
+};
+
+class ErrorInjectionRandomAccessFile final : public RandomAccessFile {
+ public:
+  ErrorInjectionRandomAccessFile(std::string fname, std::unique_ptr<RandomAccessFile> base,
+                                 ErrorInjectionEnv* env)
+      : fname_(std::move(fname)), base_(std::move(base)), env_(env) {}
+
+  Status Read(uint64_t offset, size_t n, Slice* result, char* scratch) const override {
+    Status fault;
+    if (env_->MaybeInject(FaultOp::kRead, fname_, &fault)) {
+      return fault;
+    }
+    Status s = base_->Read(offset, n, result, scratch);
+    if (s.ok() && result->size() > 1 &&
+        env_->MaybeInject(FaultOp::kShortRead, fname_, &fault)) {
+      *result = Slice(result->data(), result->size() / 2);
+    }
+    return s;
+  }
+
+ private:
+  const std::string fname_;
+  std::unique_ptr<RandomAccessFile> base_;
+  ErrorInjectionEnv* env_;
+};
+
+class ErrorInjectionWritableFile final : public WritableFile {
+ public:
+  ErrorInjectionWritableFile(std::string fname, std::unique_ptr<WritableFile> base,
+                             ErrorInjectionEnv* env)
+      : fname_(std::move(fname)), base_(std::move(base)), env_(env) {}
+
+  Status Append(const Slice& data) override {
+    Status fault;
+    if (env_->MaybeInject(FaultOp::kAppend, fname_, &fault)) {
+      return fault;
+    }
+    return base_->Append(data);
+  }
+
+  Status Flush() override { return base_->Flush(); }
+
+  Status Sync() override {
+    Status fault;
+    if (env_->MaybeInject(FaultOp::kSync, fname_, &fault)) {
+      return fault;
+    }
+    return base_->Sync();
+  }
+
+  Status Close() override { return base_->Close(); }
+
+ private:
+  const std::string fname_;
+  std::unique_ptr<WritableFile> base_;
+  ErrorInjectionEnv* env_;
+};
+
+class ErrorInjectionRandomWritableFile final : public RandomWritableFile {
+ public:
+  ErrorInjectionRandomWritableFile(std::string fname,
+                                   std::unique_ptr<RandomWritableFile> base,
+                                   ErrorInjectionEnv* env)
+      : fname_(std::move(fname)), base_(std::move(base)), env_(env) {}
+
+  Status Write(uint64_t offset, const Slice& data) override {
+    Status fault;
+    if (env_->MaybeInject(FaultOp::kRandomWrite, fname_, &fault)) {
+      return fault;
+    }
+    return base_->Write(offset, data);
+  }
+
+  Status Read(uint64_t offset, size_t n, Slice* result, char* scratch) const override {
+    Status fault;
+    if (env_->MaybeInject(FaultOp::kRead, fname_, &fault)) {
+      return fault;
+    }
+    Status s = base_->Read(offset, n, result, scratch);
+    if (s.ok() && result->size() > 1 &&
+        env_->MaybeInject(FaultOp::kShortRead, fname_, &fault)) {
+      *result = Slice(result->data(), result->size() / 2);
+    }
+    return s;
+  }
+
+  Status Sync() override {
+    Status fault;
+    if (env_->MaybeInject(FaultOp::kRandomSync, fname_, &fault)) {
+      return fault;
+    }
+    return base_->Sync();
+  }
+
+  Status Truncate(uint64_t size) override { return base_->Truncate(size); }
+
+  Status Close() override { return base_->Close(); }
+
+ private:
+  const std::string fname_;
+  std::unique_ptr<RandomWritableFile> base_;
+  ErrorInjectionEnv* env_;
+};
+
+// ---------------------------------------------------------------------------
+// ErrorInjectionEnv
+// ---------------------------------------------------------------------------
+
+void ErrorInjectionEnv::FailNext(FaultOp op, int count, bool transient) {
+  std::lock_guard<std::mutex> lock(mu_);
+  OpState& st = ops_[static_cast<int>(op)];
+  st.fail_next = count;
+  st.transient = transient;
+}
+
+void ErrorInjectionEnv::SetFailureOdds(FaultOp op, int one_in, bool transient) {
+  std::lock_guard<std::mutex> lock(mu_);
+  OpState& st = ops_[static_cast<int>(op)];
+  st.one_in = one_in;
+  st.transient = transient;
+}
+
+void ErrorInjectionEnv::SetSeed(uint32_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rng_ = Random(seed);
+}
+
+void ErrorInjectionEnv::SetPathFilter(const std::string& substring) {
+  std::lock_guard<std::mutex> lock(mu_);
+  path_filter_ = substring;
+}
+
+void ErrorInjectionEnv::DisableAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (OpState& st : ops_) {
+    st.fail_next = 0;
+    st.one_in = 0;
+  }
+}
+
+uint64_t ErrorInjectionEnv::injected_faults() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const OpState& st : ops_) {
+    total += st.injected;
+  }
+  return total;
+}
+
+uint64_t ErrorInjectionEnv::injected_faults(FaultOp op) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ops_[static_cast<int>(op)].injected;
+}
+
+bool ErrorInjectionEnv::MaybeInject(FaultOp op, const std::string& fname, Status* out) {
+  bool transient;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    OpState& st = ops_[static_cast<int>(op)];
+    if (st.fail_next == 0 && st.one_in == 0) {
+      return false;
+    }
+    if (!path_filter_.empty() && fname.find(path_filter_) == std::string::npos) {
+      return false;
+    }
+    if (st.fail_next > 0) {
+      st.fail_next--;
+    } else if (!rng_.OneIn(st.one_in)) {
+      return false;
+    }
+    st.injected++;
+    transient = st.transient;
+  }
+  IoStats::Instance().RecordInjectedFault();
+  if (op == FaultOp::kShortRead) {
+    // Not a failure: the caller truncates the successful read.
+    *out = Status::OK();
+    return true;
+  }
+  std::string msg = std::string("injected ") + FaultOpName(op) + " fault";
+  *out = transient ? Status::TransientIOError(msg, fname) : Status::IOError(msg, fname);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Env overrides
+// ---------------------------------------------------------------------------
+
+Status ErrorInjectionEnv::NewSequentialFile(const std::string& f,
+                                            std::unique_ptr<SequentialFile>* r) {
+  std::unique_ptr<SequentialFile> base;
+  Status s = target()->NewSequentialFile(f, &base);
+  if (!s.ok()) {
+    return s;
+  }
+  *r = std::make_unique<ErrorInjectionSequentialFile>(f, std::move(base), this);
+  return Status::OK();
+}
+
+Status ErrorInjectionEnv::NewRandomAccessFile(const std::string& f,
+                                              std::unique_ptr<RandomAccessFile>* r) {
+  std::unique_ptr<RandomAccessFile> base;
+  Status s = target()->NewRandomAccessFile(f, &base);
+  if (!s.ok()) {
+    return s;
+  }
+  *r = std::make_unique<ErrorInjectionRandomAccessFile>(f, std::move(base), this);
+  return Status::OK();
+}
+
+Status ErrorInjectionEnv::NewWritableFile(const std::string& f,
+                                          std::unique_ptr<WritableFile>* r) {
+  Status fault;
+  if (MaybeInject(FaultOp::kNewWritableFile, f, &fault)) {
+    return fault;
+  }
+  std::unique_ptr<WritableFile> base;
+  Status s = target()->NewWritableFile(f, &base);
+  if (!s.ok()) {
+    return s;
+  }
+  *r = std::make_unique<ErrorInjectionWritableFile>(f, std::move(base), this);
+  return Status::OK();
+}
+
+Status ErrorInjectionEnv::NewAppendableFile(const std::string& f,
+                                            std::unique_ptr<WritableFile>* r) {
+  Status fault;
+  if (MaybeInject(FaultOp::kNewWritableFile, f, &fault)) {
+    return fault;
+  }
+  std::unique_ptr<WritableFile> base;
+  Status s = target()->NewAppendableFile(f, &base);
+  if (!s.ok()) {
+    return s;
+  }
+  *r = std::make_unique<ErrorInjectionWritableFile>(f, std::move(base), this);
+  return Status::OK();
+}
+
+Status ErrorInjectionEnv::NewRandomWritableFile(const std::string& f,
+                                                std::unique_ptr<RandomWritableFile>* r) {
+  Status fault;
+  if (MaybeInject(FaultOp::kNewWritableFile, f, &fault)) {
+    return fault;
+  }
+  std::unique_ptr<RandomWritableFile> base;
+  Status s = target()->NewRandomWritableFile(f, &base);
+  if (!s.ok()) {
+    return s;
+  }
+  *r = std::make_unique<ErrorInjectionRandomWritableFile>(f, std::move(base), this);
+  return Status::OK();
+}
+
+}  // namespace p2kvs

@@ -1,0 +1,105 @@
+// ErrorInjectionEnv: injects *transient* storage faults (a failed Sync, a
+// short read, an EINTR-style append failure) — the failure mode
+// FaultInjectionEnv does not cover. Where FaultInjectionEnv simulates whole-
+// system power loss, this env simulates a device or kernel that errors on a
+// single operation and then recovers, which is what the error-governance
+// layer (retry / degrade / resume) is built to survive.
+//
+// Faults are injected BEFORE the operation is delegated to the base env, so
+// an injected failure never leaves partial state behind; statuses tagged
+// transient are therefore safe for RunWithRetry to re-issue. Faults can be
+// scripted (fail the next N matching calls) or probabilistic (seeded 1-in-N
+// odds, deterministic for a fixed seed and call sequence), optionally
+// restricted to paths containing a substring. kShortRead is special: the
+// base read succeeds but the result is truncated, exercising callers'
+// short-read handling.
+
+#ifndef P2KVS_SRC_IO_ERROR_INJECTION_ENV_H_
+#define P2KVS_SRC_IO_ERROR_INJECTION_ENV_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/io/env_wrapper.h"
+#include "src/util/random.h"
+
+namespace p2kvs {
+
+// Operation classes that can fail independently.
+enum class FaultOp : int {
+  kAppend = 0,          // WritableFile::Append
+  kSync = 1,            // WritableFile::Sync / Flush-level durability
+  kRead = 2,            // SequentialFile / RandomAccessFile / RandomWritableFile reads
+  kShortRead = 3,       // read succeeds but returns fewer bytes than asked
+  kNewWritableFile = 4, // file creation (NewWritableFile/Appendable/RandomWritable)
+  kRandomWrite = 5,     // RandomWritableFile::Write (KVell slot IO)
+  kRandomSync = 6,      // RandomWritableFile::Sync
+};
+constexpr int kNumFaultOps = 7;
+
+const char* FaultOpName(FaultOp op);
+
+class ErrorInjectionEnv final : public EnvWrapper {
+ public:
+  explicit ErrorInjectionEnv(Env* base) : EnvWrapper(base), rng_(301) {}
+
+  // --- configuration (thread-safe) ---
+
+  // Scripted: the next `count` matching operations of class `op` fail.
+  void FailNext(FaultOp op, int count = 1, bool transient = true);
+  // Probabilistic: each matching operation fails with probability 1/one_in
+  // (0 disables). Deterministic for a fixed seed and call sequence.
+  void SetFailureOdds(FaultOp op, int one_in, bool transient = true);
+  void SetSeed(uint32_t seed);
+  // Only operations on paths containing `substring` are eligible (empty
+  // matches everything).
+  void SetPathFilter(const std::string& substring);
+  // Clears all scripted counts and odds; the env becomes a pure pass-through.
+  void DisableAll();
+
+  // --- observability ---
+
+  uint64_t injected_faults() const;          // total across all classes
+  uint64_t injected_faults(FaultOp op) const;
+
+  // --- Env overrides ---
+
+  Status NewSequentialFile(const std::string& f,
+                           std::unique_ptr<SequentialFile>* r) override;
+  Status NewRandomAccessFile(const std::string& f,
+                             std::unique_ptr<RandomAccessFile>* r) override;
+  Status NewWritableFile(const std::string& f, std::unique_ptr<WritableFile>* r) override;
+  Status NewAppendableFile(const std::string& f, std::unique_ptr<WritableFile>* r) override;
+  Status NewRandomWritableFile(const std::string& f,
+                               std::unique_ptr<RandomWritableFile>* r) override;
+
+ private:
+  friend class ErrorInjectionSequentialFile;
+  friend class ErrorInjectionRandomAccessFile;
+  friend class ErrorInjectionWritableFile;
+  friend class ErrorInjectionRandomWritableFile;
+
+  struct OpState {
+    int fail_next = 0;   // scripted failures remaining
+    int one_in = 0;      // probabilistic odds (0 = off)
+    bool transient = true;
+    uint64_t injected = 0;
+  };
+
+  // Returns true (and fills *out with the fault status) when a fault fires
+  // for this call. Also used for kShortRead, where the caller truncates the
+  // successful read instead of failing it.
+  bool MaybeInject(FaultOp op, const std::string& fname, Status* out);
+
+  mutable std::mutex mu_;
+  std::array<OpState, kNumFaultOps> ops_;
+  std::string path_filter_;
+  Random rng_;
+};
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_IO_ERROR_INJECTION_ENV_H_

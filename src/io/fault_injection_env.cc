@@ -42,6 +42,71 @@ class FaultInjectionWritableFile final : public WritableFile {
   FaultInjectionEnv* env_;
 };
 
+// Positional-write tracking: each successful Write records the pre-image of
+// the overwritten range; Crash() replays the pre-images in reverse and then
+// truncates to the last synced size.
+class FaultInjectionRandomWritableFile final : public RandomWritableFile {
+ public:
+  FaultInjectionRandomWritableFile(std::string fname,
+                                   std::unique_ptr<RandomWritableFile> base,
+                                   FaultInjectionEnv* env)
+      : fname_(std::move(fname)), base_(std::move(base)), env_(env) {}
+
+  Status Write(uint64_t offset, const Slice& data) override {
+    FaultInjectionEnv::UndoEntry entry;
+    entry.offset = offset;
+    if (!data.empty()) {
+      // Capture the bytes about to be overwritten. A short (or empty) read
+      // means the write extends EOF; the extension is undone by the final
+      // truncate in Crash(), so only existing bytes need a pre-image.
+      std::string scratch(data.size(), '\0');
+      Slice old_bytes;
+      Status rs = base_->Read(offset, data.size(), &old_bytes, scratch.data());
+      if (rs.ok()) {
+        entry.old_data.assign(old_bytes.data(), old_bytes.size());
+      }
+    }
+    Status s = base_->Write(offset, data);
+    if (s.ok()) {
+      env_->OnRandomWrite(fname_, std::move(entry));
+    }
+    return s;
+  }
+
+  Status Read(uint64_t offset, size_t n, Slice* result, char* scratch) const override {
+    return base_->Read(offset, n, result, scratch);
+  }
+
+  Status Sync() override {
+    Status s = base_->Sync();
+    if (s.ok()) {
+      env_->OnRandomSync(fname_);
+    }
+    return s;
+  }
+
+  Status Truncate(uint64_t size) override {
+    Status s = base_->Truncate(size);
+    if (s.ok()) {
+      // Treated as a barrier for tracking purposes: no engine in this repo
+      // truncates a slot file mid-stream, and mixing a resize into the undo
+      // log would make replay ambiguous.
+      env_->OnRandomTruncate(fname_, size);
+    }
+    return s;
+  }
+
+  Status Close() override {
+    // Like WritableFile: closing does not make unsynced writes durable.
+    return base_->Close();
+  }
+
+ private:
+  const std::string fname_;
+  std::unique_ptr<RandomWritableFile> base_;
+  FaultInjectionEnv* env_;
+};
+
 Status FaultInjectionEnv::NewWritableFile(const std::string& f,
                                           std::unique_ptr<WritableFile>* r) {
   std::unique_ptr<WritableFile> base;
@@ -78,10 +143,34 @@ Status FaultInjectionEnv::NewAppendableFile(const std::string& f,
   return Status::OK();
 }
 
+Status FaultInjectionEnv::NewRandomWritableFile(const std::string& f,
+                                                std::unique_ptr<RandomWritableFile>* r) {
+  uint64_t size = 0;
+  if (target()->FileExists(f)) {
+    target()->GetFileSize(f, &size);
+  }
+  std::unique_ptr<RandomWritableFile> base;
+  Status s = target()->NewRandomWritableFile(f, &base);
+  if (!s.ok()) {
+    return s;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (random_files_.find(f) == random_files_.end()) {
+      // Existing on-disk prefix is treated as durable (same convention as
+      // NewAppendableFile); only writes from now on are at risk.
+      random_files_[f] = RandomFileInfo{size, {}};
+    }
+  }
+  *r = std::make_unique<FaultInjectionRandomWritableFile>(f, std::move(base), this);
+  return Status::OK();
+}
+
 Status FaultInjectionEnv::RemoveFile(const std::string& f) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     files_.erase(f);
+    random_files_.erase(f);
   }
   return target()->RemoveFile(f);
 }
@@ -93,6 +182,11 @@ Status FaultInjectionEnv::RenameFile(const std::string& s, const std::string& t)
     if (it != files_.end()) {
       files_[t] = it->second;
       files_.erase(it);
+    }
+    auto rit = random_files_.find(s);
+    if (rit != random_files_.end()) {
+      random_files_[t] = std::move(rit->second);
+      random_files_.erase(rit);
     }
   }
   return target()->RenameFile(s, t);
@@ -116,6 +210,31 @@ void FaultInjectionEnv::OnSync(const std::string& fname) {
   }
 }
 
+void FaultInjectionEnv::OnRandomWrite(const std::string& fname, UndoEntry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  random_files_[fname].undo.push_back(std::move(entry));
+}
+
+void FaultInjectionEnv::OnRandomSync(const std::string& fname) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = random_files_.find(fname);
+  if (it != random_files_.end()) {
+    it->second.undo.clear();
+    uint64_t size = 0;
+    target()->GetFileSize(fname, &size);
+    it->second.synced_size = size;
+  }
+}
+
+void FaultInjectionEnv::OnRandomTruncate(const std::string& fname, uint64_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = random_files_.find(fname);
+  if (it != random_files_.end()) {
+    it->second.undo.clear();
+    it->second.synced_size = size;
+  }
+}
+
 uint64_t FaultInjectionEnv::UnsyncedBytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   uint64_t total = 0;
@@ -127,9 +246,50 @@ uint64_t FaultInjectionEnv::UnsyncedBytes() const {
 
 Status FaultInjectionEnv::Crash() {
   std::map<std::string, FileInfo> files;
+  std::map<std::string, RandomFileInfo> random_files;
   {
     std::lock_guard<std::mutex> lock(mu_);
     files = files_;
+    random_files = std::move(random_files_);
+  }
+  // Revert positional writes: undo entries in reverse restore each
+  // overwritten range to its pre-write contents, then truncating to the last
+  // synced size discards any EOF extension.
+  for (auto& [name, info] : random_files) {
+    bool dirty = !info.undo.empty();
+    if (!dirty) {
+      uint64_t size = 0;
+      if (target()->FileExists(name)) {
+        target()->GetFileSize(name, &size);
+      }
+      dirty = size != info.synced_size;
+    }
+    if (!dirty || !target()->FileExists(name)) {
+      std::lock_guard<std::mutex> lock(mu_);
+      random_files_[name] = RandomFileInfo{info.synced_size, {}};
+      continue;
+    }
+    std::unique_ptr<RandomWritableFile> file;
+    Status s = target()->NewRandomWritableFile(name, &file);
+    if (!s.ok()) {
+      return s;
+    }
+    for (auto it = info.undo.rbegin(); it != info.undo.rend(); ++it) {
+      if (!it->old_data.empty()) {
+        s = file->Write(it->offset, Slice(it->old_data));
+        if (!s.ok()) {
+          return s;
+        }
+      }
+    }
+    s = file->Truncate(info.synced_size);
+    if (!s.ok()) {
+      return s;
+    }
+    file->Sync();
+    file->Close();
+    std::lock_guard<std::mutex> lock(mu_);
+    random_files_[name] = RandomFileInfo{info.synced_size, {}};
   }
   for (auto& [name, info] : files) {
     if (info.current_size == info.synced_size) {

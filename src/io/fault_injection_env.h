@@ -6,8 +6,13 @@
 //
 // Appends write through to the base env immediately (so normal reads see
 // them, like the OS page cache would); Crash() truncates each tracked file
-// back to its last synced size. RandomWritableFile IO passes through
-// unmodified (KVell-style slot IO is not covered by the crash tests).
+// back to its last synced size.
+//
+// RandomWritableFile (KVell-style positional slot IO) is tracked with an
+// undo log: before each unsynced positional write the old bytes are read
+// and recorded, and Crash() replays the undo entries in reverse then
+// truncates to the last synced size — so unsynced in-place updates revert
+// to their pre-write contents, as if they never left the page cache.
 
 #ifndef P2KVS_SRC_IO_FAULT_INJECTION_ENV_H_
 #define P2KVS_SRC_IO_FAULT_INJECTION_ENV_H_
@@ -15,6 +20,8 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <vector>
 
 #include "src/io/env_wrapper.h"
 
@@ -26,6 +33,8 @@ class FaultInjectionEnv final : public EnvWrapper {
 
   Status NewWritableFile(const std::string& f, std::unique_ptr<WritableFile>* r) override;
   Status NewAppendableFile(const std::string& f, std::unique_ptr<WritableFile>* r) override;
+  Status NewRandomWritableFile(const std::string& f,
+                               std::unique_ptr<RandomWritableFile>* r) override;
   Status RemoveFile(const std::string& f) override;
   Status RenameFile(const std::string& s, const std::string& t) override;
 
@@ -40,18 +49,34 @@ class FaultInjectionEnv final : public EnvWrapper {
 
  private:
   friend class FaultInjectionWritableFile;
+  friend class FaultInjectionRandomWritableFile;
 
   struct FileInfo {
     uint64_t synced_size = 0;
     uint64_t current_size = 0;
   };
 
+  // One pre-image of a positional write; replayed in reverse on Crash().
+  struct UndoEntry {
+    uint64_t offset = 0;
+    std::string old_data;  // may be shorter than the write if it extended EOF
+  };
+
+  struct RandomFileInfo {
+    uint64_t synced_size = 0;
+    std::vector<UndoEntry> undo;
+  };
+
   void OnAppend(const std::string& fname, uint64_t bytes);
   void OnSync(const std::string& fname);
   void OnCreate(const std::string& fname, uint64_t initial_size);
+  void OnRandomWrite(const std::string& fname, UndoEntry entry);
+  void OnRandomSync(const std::string& fname);
+  void OnRandomTruncate(const std::string& fname, uint64_t size);
 
   mutable std::mutex mu_;
   std::map<std::string, FileInfo> files_;
+  std::map<std::string, RandomFileInfo> random_files_;
 };
 
 }  // namespace p2kvs

@@ -33,6 +33,12 @@ void IoStats::RecordRead(uint64_t bytes) {
 
 void IoStats::RecordSync() { sync_ops_.fetch_add(1, std::memory_order_relaxed); }
 
+void IoStats::RecordInjectedFault() {
+  injected_faults_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void IoStats::RecordRetry() { retries_.fetch_add(1, std::memory_order_relaxed); }
+
 IoStatsSnapshot IoStats::Snapshot() const {
   IoStatsSnapshot snap;
   for (int p = 0; p < kNumIoPurposes; p++) {
@@ -42,6 +48,8 @@ IoStatsSnapshot IoStats::Snapshot() const {
     snap.read_ops[p] = read_ops_[p].load(std::memory_order_relaxed);
   }
   snap.sync_ops = sync_ops_.load(std::memory_order_relaxed);
+  snap.injected_faults = injected_faults_.load(std::memory_order_relaxed);
+  snap.retries = retries_.load(std::memory_order_relaxed);
   return snap;
 }
 
@@ -53,6 +61,8 @@ void IoStats::Reset() {
     read_ops_[p].store(0, std::memory_order_relaxed);
   }
   sync_ops_.store(0, std::memory_order_relaxed);
+  injected_faults_.store(0, std::memory_order_relaxed);
+  retries_.store(0, std::memory_order_relaxed);
 }
 
 uint64_t IoStatsSnapshot::TotalWritten() const {
@@ -80,6 +90,8 @@ IoStatsSnapshot IoStatsSnapshot::Since(const IoStatsSnapshot& base) const {
     d.read_ops[p] = read_ops[p] - base.read_ops[p];
   }
   d.sync_ops = sync_ops - base.sync_ops;
+  d.injected_faults = injected_faults - base.injected_faults;
+  d.retries = retries - base.retries;
   return d;
 }
 
@@ -87,14 +99,16 @@ std::string IoStatsSnapshot::ToString() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "written{user=%llu wal=%llu flush=%llu compact=%llu} "
-                "read{user=%llu compact=%llu} syncs=%llu",
+                "read{user=%llu compact=%llu} syncs=%llu faults=%llu retries=%llu",
                 static_cast<unsigned long long>(bytes_written[0]),
                 static_cast<unsigned long long>(bytes_written[1]),
                 static_cast<unsigned long long>(bytes_written[2]),
                 static_cast<unsigned long long>(bytes_written[3]),
                 static_cast<unsigned long long>(bytes_read[0]),
                 static_cast<unsigned long long>(bytes_read[3]),
-                static_cast<unsigned long long>(sync_ops));
+                static_cast<unsigned long long>(sync_ops),
+                static_cast<unsigned long long>(injected_faults),
+                static_cast<unsigned long long>(retries));
   return buf;
 }
 

@@ -30,6 +30,11 @@ struct IoStatsSnapshot {
   std::array<uint64_t, kNumIoPurposes> write_ops{};
   std::array<uint64_t, kNumIoPurposes> read_ops{};
   uint64_t sync_ops = 0;
+  // Error-governance counters: faults injected by ErrorInjectionEnv and
+  // bounded retries performed by RunWithRetry. Benches diff these across a
+  // measurement window to report fault-path overhead.
+  uint64_t injected_faults = 0;
+  uint64_t retries = 0;
 
   uint64_t TotalWritten() const;
   uint64_t TotalRead() const;
@@ -45,6 +50,8 @@ class IoStats {
   void RecordWrite(uint64_t bytes);
   void RecordRead(uint64_t bytes);
   void RecordSync();
+  void RecordInjectedFault();
+  void RecordRetry();
 
   IoStatsSnapshot Snapshot() const;
   void Reset();
@@ -57,6 +64,8 @@ class IoStats {
   std::array<std::atomic<uint64_t>, kNumIoPurposes> write_ops_{};
   std::array<std::atomic<uint64_t>, kNumIoPurposes> read_ops_{};
   std::atomic<uint64_t> sync_ops_{0};
+  std::atomic<uint64_t> injected_faults_{0};
+  std::atomic<uint64_t> retries_{0};
 };
 
 // The calling thread's current IO purpose (defaults to kUser).

@@ -1,0 +1,56 @@
+// Bounded retry with exponential backoff for transient storage faults.
+//
+// Only statuses classified transient (Status::IsTransient) are retried: a
+// transient fault by definition left no partial state behind, so re-running
+// the operation is safe. Hard errors (untagged IO errors, corruption) return
+// immediately so the caller can degrade the owning partition instead of
+// spinning on a dead device.
+//
+// Lives in src/io (not src/util) because backoff sleeps go through Env.
+
+#ifndef P2KVS_SRC_IO_RETRY_H_
+#define P2KVS_SRC_IO_RETRY_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/io/env.h"
+#include "src/io/io_stats.h"
+#include "src/util/perf_context.h"
+#include "src/util/status.h"
+
+namespace p2kvs {
+
+struct RetryPolicy {
+  // Total attempts including the first; <= 1 disables retrying.
+  int max_attempts = 4;
+  // First backoff; doubled after each failed retry, capped at max_backoff_us.
+  int base_backoff_us = 100;
+  int max_backoff_us = 100000;
+};
+
+// Runs `op` (a callable returning Status) up to policy.max_attempts times,
+// sleeping with exponential backoff between attempts, while the result is
+// transient. Returns the last status. Accounts each retry and its backoff in
+// the calling thread's PerfContext and the global IoStats.
+template <typename Op>
+Status RunWithRetry(Env* env, const RetryPolicy& policy, Op&& op) {
+  Status s = op();
+  int backoff_us = policy.base_backoff_us;
+  for (int attempt = 1; !s.ok() && s.IsTransient() && attempt < policy.max_attempts;
+       attempt++) {
+    GetPerfContext().retry_count++;
+    IoStats::Instance().RecordRetry();
+    if (env != nullptr && backoff_us > 0) {
+      env->SleepForMicroseconds(backoff_us);
+      GetPerfContext().retry_backoff_nanos += static_cast<uint64_t>(backoff_us) * 1000;
+    }
+    backoff_us = std::min(backoff_us * 2, policy.max_backoff_us);
+    s = op();
+  }
+  return s;
+}
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_IO_RETRY_H_

@@ -195,7 +195,11 @@ class KvellWorker {
     buf.append(value.data(), value.size());
     buf.resize(slot_size, '\0');
 
-    Status s = slabs_[cls].file->Write(loc.slot_index * slot_size, buf);
+    // A transient fault fails before any slot byte lands, so re-issuing the
+    // full-slot write is idempotent.
+    Status s = RunWithRetry(options_.env, options_.retry, [&] {
+      return slabs_[cls].file->Write(loc.slot_index * slot_size, buf);
+    });
     if (!s.ok()) {
       return s;
     }
@@ -221,7 +225,9 @@ class KvellWorker {
     const uint32_t cls = it->second.class_index;
     const uint32_t slot_size = options_.slot_classes[cls];
     std::string zero(kSlotHeader, '\0');
-    Status s = slabs_[cls].file->Write(it->second.slot_index * slot_size, zero);
+    Status s = RunWithRetry(options_.env, options_.retry, [&] {
+      return slabs_[cls].file->Write(it->second.slot_index * slot_size, zero);
+    });
     if (!s.ok()) {
       return s;
     }

@@ -17,12 +17,17 @@
 #include <vector>
 
 #include "src/io/env.h"
+#include "src/io/retry.h"
 #include "src/util/status.h"
 
 namespace p2kvs {
 
 struct KvellOptions {
   Env* env = Env::Default();
+
+  // Bounded retry for transient slab-write faults (tagged retryable, e.g. by
+  // ErrorInjectionEnv); hard errors propagate to the caller unchanged.
+  RetryPolicy retry;
 
   // Number of shared-nothing workers (KVell's main tuning knob).
   int num_workers = 4;

@@ -70,6 +70,12 @@ class DB {
   // Forces the current memtable to be flushed (test hook).
   virtual Status FlushMemTable() = 0;
 
+  // Clears a sticky background error (bg_error_) after the underlying
+  // condition recovered: rotates to a fresh WAL, re-flushes the surviving
+  // memtable contents, and restores write availability. Returns the new
+  // background error if the re-flush fails again; OK if the DB is healthy.
+  virtual Status Resume() = 0;
+
   virtual DbStats GetStats() const = 0;
 
   // "files[ a b c ... ]" per-level file counts.

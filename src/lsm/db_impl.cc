@@ -460,10 +460,15 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
       PutVarint64(&record, group_gsn);
       Slice contents = WriteBatchInternal::Contents(write_batch);
       record.append(contents.data(), contents.size());
-      status = log_->AddRecord(record);
+      // Transient WAL faults are retried in place (an injected append fails
+      // before any byte reaches the file, so re-issuing is safe; a torn
+      // fragment from a mid-record failure is skipped by the log reader's
+      // resync path). Hard errors fall through and stick as bg_error_.
+      status = RunWithRetry(env_, options_.wal_retry,
+                            [&] { return log_->AddRecord(record); });
       if (status.ok()) {
         if (w.sync) {
-          status = log_->Sync();
+          status = RunWithRetry(env_, options_.wal_retry, [&] { return log_->Sync(); });
           if (!status.ok()) {
             sync_error = true;
           }
@@ -1200,6 +1205,44 @@ Status DBImpl::FlushMemTable() {
       MaybeScheduleCompaction();
     }
   }
+  WaitForBackgroundWork();
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bg_error_;
+}
+
+Status DBImpl::Resume() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (bg_error_.ok()) {
+      return Status::OK();
+    }
+    while (active_memtable_writers_ > 0) {
+      memtable_switch_cv_.wait(lock);
+    }
+    // The tail of the current WAL is in an unknown state after a failed
+    // append/sync, so start a fresh log before accepting new writes. The
+    // surviving memtable (acknowledged writes only; a failed group is never
+    // inserted) is frozen for re-flush, which supersedes the torn log via
+    // VersionEdit::SetLogNumber.
+    uint64_t new_log_number = versions_->NewFileNumber();
+    std::unique_ptr<WritableFile> lfile;
+    Status s = env_->NewWritableFile(LogFileName(dbname_, new_log_number), &lfile);
+    if (!s.ok()) {
+      return s;
+    }
+    logfile_->Close();
+    logfile_ = std::move(lfile);
+    logfile_number_ = new_log_number;
+    log_ = std::make_unique<log::Writer>(logfile_.get());
+    if (mem_->NumEntries() > 0 && imm_ == nullptr) {
+      imm_ = mem_;
+      mem_ = std::make_shared<MemTable>(internal_comparator_);
+    }
+    bg_error_ = Status::OK();
+    MaybeScheduleCompaction();
+  }
+  // Drive the re-flush; if it fails the background thread re-records the
+  // error and it is returned here.
   WaitForBackgroundWork();
   std::lock_guard<std::mutex> lock(mutex_);
   return bg_error_;

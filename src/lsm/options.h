@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "src/io/env.h"
+#include "src/io/retry.h"
 #include "src/sst/cache.h"
 #include "src/sst/filter_policy.h"
 #include "src/util/comparator.h"
@@ -89,6 +90,11 @@ struct Options {
 
   // Max batches merged into one write group by the leader.
   int max_write_group_size = 32;
+
+  // Bounded retry for transient WAL faults (failed append/sync tagged
+  // retryable, e.g. by ErrorInjectionEnv). Hard errors are never retried;
+  // they stick as bg_error_ until Resume().
+  RetryPolicy wal_retry;
 
   // --- Instrumentation / experiment hooks (paper Figures 7 & 8). ---
   // Skip the MemTable insert entirely (isolates the WAL stage).

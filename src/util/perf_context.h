@@ -19,6 +19,12 @@ struct PerfContext {
   uint64_t total_write_nanos = 0;     // end-to-end time inside DB::Write
   uint64_t write_count = 0;           // number of DB::Write calls
 
+  // Fault-path accounting (error governance): retries of transient storage
+  // faults performed on this thread and the backoff time they cost. Benches
+  // report these to quantify fault-path overhead.
+  uint64_t retry_count = 0;
+  uint64_t retry_backoff_nanos = 0;
+
   void Reset() { *this = PerfContext(); }
 
   void MergeFrom(const PerfContext& other) {
@@ -28,6 +34,8 @@ struct PerfContext {
     memtable_lock_nanos += other.memtable_lock_nanos;
     total_write_nanos += other.total_write_nanos;
     write_count += other.write_count;
+    retry_count += other.retry_count;
+    retry_backoff_nanos += other.retry_backoff_nanos;
   }
 
   uint64_t others_nanos() const {

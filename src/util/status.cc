@@ -2,13 +2,13 @@
 
 namespace p2kvs {
 
-Status::Status(Code code, const Slice& msg, const Slice& msg2) {
+Status::Status(Code code, const Slice& msg, const Slice& msg2, StatusSeverity severity) {
   std::string m = msg.ToString();
   if (!msg2.empty()) {
     m.append(": ");
     m.append(msg2.data(), msg2.size());
   }
-  state_ = std::make_shared<const State>(State{code, std::move(m)});
+  state_ = std::make_shared<const State>(State{code, severity, std::move(m)});
 }
 
 std::string Status::ToString() const {
@@ -44,6 +44,9 @@ std::string Status::ToString() const {
   }
   std::string result(type);
   result.append(state_->msg);
+  if (state_->severity == StatusSeverity::kTransient) {
+    result.append(" (transient)");
+  }
   return result;
 }
 

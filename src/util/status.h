@@ -13,6 +13,16 @@
 
 namespace p2kvs {
 
+// Severity classification for error governance (transient-fault handling):
+// transient errors are safe to retry (the operation had no lasting effect and
+// the condition is expected to clear, e.g. an injected flaky sync); hard
+// errors indicate possible data loss or persistent failure and must degrade
+// the owning partition instead of being retried blindly.
+enum class StatusSeverity : unsigned char {
+  kHard = 0,       // default: assume the worst
+  kTransient = 1,  // retryable; no partial effect is left behind
+};
+
 class Status {
  public:
   Status() = default;
@@ -33,6 +43,11 @@ class Status {
   static Status IOError(const Slice& msg, const Slice& msg2 = Slice()) {
     return Status(Code::kIOError, msg, msg2);
   }
+  // An IO error known to be retryable: the failed operation left no partial
+  // state behind and the condition is expected to clear (EINTR-style).
+  static Status TransientIOError(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(Code::kIOError, msg, msg2, StatusSeverity::kTransient);
+  }
   static Status Busy(const Slice& msg, const Slice& msg2 = Slice()) {
     return Status(Code::kBusy, msg, msg2);
   }
@@ -48,6 +63,21 @@ class Status {
   bool IsIOError() const { return code() == Code::kIOError; }
   bool IsBusy() const { return code() == Code::kBusy; }
   bool IsAborted() const { return code() == Code::kAborted; }
+
+  StatusSeverity severity() const {
+    return state_ == nullptr ? StatusSeverity::kHard : state_->severity;
+  }
+  // Retryable: bounded retry-with-backoff may clear it. Busy is inherently
+  // transient (a resource conflict, not a device fault).
+  bool IsTransient() const {
+    return !ok() && (severity() == StatusSeverity::kTransient || IsBusy());
+  }
+  // Hard storage error: the owning partition should degrade to read-only
+  // rather than keep accepting writes. NotFound / InvalidArgument /
+  // NotSupported are semantic outcomes, not storage faults.
+  bool IsHardStorageError() const {
+    return (IsIOError() || IsCorruption()) && !IsTransient();
+  }
 
   // Human-readable description, e.g. "IO error: <msg>: <msg2>".
   std::string ToString() const;
@@ -66,10 +96,12 @@ class Status {
 
   struct State {
     Code code;
+    StatusSeverity severity;
     std::string msg;
   };
 
-  Status(Code code, const Slice& msg, const Slice& msg2);
+  Status(Code code, const Slice& msg, const Slice& msg2,
+         StatusSeverity severity = StatusSeverity::kHard);
 
   Code code() const { return state_ == nullptr ? Code::kOk : state_->code; }
 

@@ -81,11 +81,17 @@ Status Writer::EmitPhysicalRecord(RecordType t, const char* ptr, size_t length) 
   crc = crc32c::Mask(crc);
   EncodeFixed32(buf, crc);
 
-  Status s = dest_->Append(Slice(buf, kHeaderSize));
+  // Header and payload go down in a single append, and block_offset_ only
+  // advances on success: a failed append (appends are all-or-nothing in the
+  // Env contract) leaves neither a torn physical record nor a phantom offset
+  // behind, which is what makes AddRecord safe to re-issue after a transient
+  // fault (see RunWithRetry call sites).
+  emit_buf_.assign(buf, kHeaderSize);
+  emit_buf_.append(ptr, length);
+  Status s = dest_->Append(emit_buf_);
   if (s.ok()) {
-    s = dest_->Append(Slice(ptr, length));
+    block_offset_ += kHeaderSize + static_cast<int>(length);
   }
-  block_offset_ += kHeaderSize + static_cast<int>(length);
   return s;
 }
 

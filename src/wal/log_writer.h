@@ -6,6 +6,7 @@
 #define P2KVS_SRC_WAL_LOG_WRITER_H_
 
 #include <cstdint>
+#include <string>
 
 #include "src/io/env.h"
 #include "src/util/slice.h"
@@ -36,7 +37,8 @@ class Writer {
   Status EmitPhysicalRecord(RecordType type, const char* ptr, size_t length);
 
   WritableFile* dest_;
-  int block_offset_;  // current offset in block
+  int block_offset_;       // current offset in block
+  std::string emit_buf_;   // reused header+payload scratch (one atomic append)
 
   // Pre-computed crc32c of the type byte, to speed per-record crc.
   uint32_t type_crc_[kMaxRecordType + 1];

@@ -1,0 +1,517 @@
+// Error-governance tests: Status severity classification, bounded
+// retry-with-backoff, the ErrorInjectionEnv fault classes, engine behaviour
+// under transient faults (B+-tree WAL and KVell slot IO, fail-fast and
+// retry-succeeds paths), the LSM's sticky bg_error_ + Resume(), and the
+// framework-level degrade / read-only / resume protocol.
+
+#include "src/io/error_injection_env.h"
+
+#include <gtest/gtest.h>
+
+#include "src/btree/btree_store.h"
+#include "src/core/p2kvs.h"
+#include "src/io/mem_env.h"
+#include "src/io/retry.h"
+#include "src/kvell/kvell_store.h"
+#include "src/lsm/db.h"
+#include "src/util/perf_context.h"
+
+namespace p2kvs {
+namespace {
+
+// ---------------- Status severity ----------------
+
+TEST(StatusSeverityTest, Classification) {
+  EXPECT_FALSE(Status::OK().IsTransient());
+  EXPECT_FALSE(Status::OK().IsHardStorageError());
+
+  Status transient = Status::TransientIOError("flaky sync");
+  EXPECT_TRUE(transient.IsIOError());
+  EXPECT_TRUE(transient.IsTransient());
+  EXPECT_FALSE(transient.IsHardStorageError());
+  EXPECT_EQ(StatusSeverity::kTransient, transient.severity());
+
+  Status hard = Status::IOError("device gone");
+  EXPECT_FALSE(hard.IsTransient());
+  EXPECT_TRUE(hard.IsHardStorageError());
+
+  EXPECT_TRUE(Status::Corruption("bad block").IsHardStorageError());
+  // Busy is a resource conflict, inherently retryable, never a storage fault.
+  EXPECT_TRUE(Status::Busy("locked").IsTransient());
+  EXPECT_FALSE(Status::Busy("locked").IsHardStorageError());
+  // Semantic outcomes are neither transient nor storage errors.
+  EXPECT_FALSE(Status::NotFound("k").IsTransient());
+  EXPECT_FALSE(Status::NotFound("k").IsHardStorageError());
+  EXPECT_FALSE(Status::InvalidArgument("x").IsHardStorageError());
+}
+
+TEST(StatusSeverityTest, ToStringMarksTransient) {
+  EXPECT_NE(std::string::npos,
+            Status::TransientIOError("flaky").ToString().find("(transient)"));
+  EXPECT_EQ(std::string::npos, Status::IOError("dead").ToString().find("(transient)"));
+}
+
+// ---------------- RunWithRetry ----------------
+
+TEST(RunWithRetryTest, RetriesTransientUntilSuccess) {
+  GetPerfContext().Reset();
+  IoStatsSnapshot before = IoStats::Instance().Snapshot();
+  int calls = 0;
+  Status s = RunWithRetry(nullptr, RetryPolicy(), [&] {
+    calls++;
+    return calls < 3 ? Status::TransientIOError("flaky") : Status::OK();
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(3, calls);
+  EXPECT_EQ(2u, GetPerfContext().retry_count);
+  EXPECT_EQ(2u, IoStats::Instance().Snapshot().Since(before).retries);
+}
+
+TEST(RunWithRetryTest, NeverRetriesHardErrors) {
+  int calls = 0;
+  Status s = RunWithRetry(nullptr, RetryPolicy(), [&] {
+    calls++;
+    return Status::IOError("hard");
+  });
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_EQ(1, calls);
+}
+
+TEST(RunWithRetryTest, GivesUpAfterMaxAttempts) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  int calls = 0;
+  Status s = RunWithRetry(nullptr, policy, [&] {
+    calls++;
+    return Status::TransientIOError("always flaky");
+  });
+  EXPECT_TRUE(s.IsTransient());
+  EXPECT_EQ(3, calls);
+}
+
+TEST(RunWithRetryTest, MaxAttemptsOneDisablesRetry) {
+  RetryPolicy policy;
+  policy.max_attempts = 1;
+  int calls = 0;
+  Status s = RunWithRetry(nullptr, policy, [&] {
+    calls++;
+    return Status::TransientIOError("flaky");
+  });
+  EXPECT_TRUE(s.IsTransient());
+  EXPECT_EQ(1, calls);
+}
+
+// ---------------- ErrorInjectionEnv ----------------
+
+class ErrorInjectionEnvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_env_ = NewMemEnv();
+    env_ = std::make_unique<ErrorInjectionEnv>(base_env_.get());
+  }
+
+  std::unique_ptr<Env> base_env_;
+  std::unique_ptr<ErrorInjectionEnv> env_;
+};
+
+TEST_F(ErrorInjectionEnvTest, ScriptedAppendFaults) {
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env_->NewWritableFile("/f", &file).ok());
+  env_->FailNext(FaultOp::kAppend, 2);
+  Status s1 = file->Append("a");
+  Status s2 = file->Append("b");
+  Status s3 = file->Append("c");
+  EXPECT_TRUE(s1.IsIOError() && s1.IsTransient());
+  EXPECT_TRUE(s2.IsIOError());
+  EXPECT_TRUE(s3.ok());
+  EXPECT_EQ(2u, env_->injected_faults());
+  EXPECT_EQ(2u, env_->injected_faults(FaultOp::kAppend));
+  // Injection happens before delegation: the failed appends left no bytes.
+  uint64_t size = 0;
+  ASSERT_TRUE(env_->GetFileSize("/f", &size).ok());
+  EXPECT_EQ(1u, size);
+}
+
+TEST_F(ErrorInjectionEnvTest, HardFaultsWhenRequested) {
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env_->NewWritableFile("/f", &file).ok());
+  env_->FailNext(FaultOp::kSync, 1, /*transient=*/false);
+  ASSERT_TRUE(file->Append("x").ok());
+  Status s = file->Sync();
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_FALSE(s.IsTransient());
+  EXPECT_TRUE(s.IsHardStorageError());
+}
+
+TEST_F(ErrorInjectionEnvTest, PathFilterRestrictsInjection) {
+  env_->SetPathFilter(".log");
+  env_->FailNext(FaultOp::kAppend, 1);
+  std::unique_ptr<WritableFile> other;
+  ASSERT_TRUE(env_->NewWritableFile("/data.sst", &other).ok());
+  EXPECT_TRUE(other->Append("safe").ok());  // filtered out; fault still armed
+  std::unique_ptr<WritableFile> wal;
+  ASSERT_TRUE(env_->NewWritableFile("/000001.log", &wal).ok());
+  EXPECT_TRUE(wal->Append("boom").IsIOError());
+  EXPECT_EQ(1u, env_->injected_faults());
+}
+
+TEST_F(ErrorInjectionEnvTest, SeededOddsAreDeterministic) {
+  auto run = [&](uint32_t seed) {
+    ErrorInjectionEnv env(base_env_.get());
+    env.SetSeed(seed);
+    env.SetFailureOdds(FaultOp::kAppend, 4);
+    std::unique_ptr<WritableFile> file;
+    EXPECT_TRUE(env.NewWritableFile("/seeded", &file).ok());
+    std::string pattern;
+    for (int i = 0; i < 64; i++) {
+      pattern.push_back(file->Append("x").ok() ? '.' : 'F');
+    }
+    return pattern;
+  };
+  std::string a = run(42);
+  std::string b = run(42);
+  std::string c = run(43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(std::string::npos, a.find('F'));
+  EXPECT_NE(std::string::npos, a.find('.'));
+}
+
+TEST_F(ErrorInjectionEnvTest, ShortReadsTruncateResult) {
+  ASSERT_TRUE(WriteStringToFile(env_.get(), "0123456789abcdef", "/f", true).ok());
+  std::unique_ptr<RandomAccessFile> file;
+  ASSERT_TRUE(env_->NewRandomAccessFile("/f", &file).ok());
+  char scratch[32];
+  Slice result;
+  env_->FailNext(FaultOp::kShortRead, 1);
+  ASSERT_TRUE(file->Read(0, 16, &result, scratch).ok());
+  EXPECT_EQ(8u, result.size());  // strict prefix, not an error
+  ASSERT_TRUE(file->Read(0, 16, &result, scratch).ok());
+  EXPECT_EQ(16u, result.size());
+  EXPECT_EQ(1u, env_->injected_faults(FaultOp::kShortRead));
+}
+
+TEST_F(ErrorInjectionEnvTest, RandomWritableFaultsCoverKvellPath) {
+  std::unique_ptr<RandomWritableFile> file;
+  ASSERT_TRUE(env_->NewRandomWritableFile("/slab-256.kv", &file).ok());
+  env_->FailNext(FaultOp::kRandomWrite, 1);
+  EXPECT_TRUE(file->Write(0, "payload").IsIOError());
+  EXPECT_TRUE(file->Write(0, "payload").ok());
+  env_->FailNext(FaultOp::kRandomSync, 1);
+  EXPECT_TRUE(file->Sync().IsIOError());
+  EXPECT_TRUE(file->Sync().ok());
+  env_->FailNext(FaultOp::kNewWritableFile, 1);
+  std::unique_ptr<RandomWritableFile> blocked;
+  EXPECT_TRUE(env_->NewRandomWritableFile("/slab-1024.kv", &blocked).IsIOError());
+}
+
+TEST_F(ErrorInjectionEnvTest, CountersFlowIntoIoStats) {
+  IoStatsSnapshot before = IoStats::Instance().Snapshot();
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env_->NewWritableFile("/f", &file).ok());
+  env_->FailNext(FaultOp::kAppend, 3);
+  for (int i = 0; i < 3; i++) {
+    EXPECT_TRUE(file->Append("x").IsIOError());
+  }
+  IoStatsSnapshot delta = IoStats::Instance().Snapshot().Since(before);
+  EXPECT_EQ(3u, delta.injected_faults);
+  EXPECT_NE(std::string::npos, delta.ToString().find("faults=3"));
+}
+
+// ---------------- B+-tree WAL under transient faults ----------------
+
+class BTreeWalFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_env_ = NewMemEnv();
+    env_ = std::make_unique<ErrorInjectionEnv>(base_env_.get());
+    options_.env = env_.get();
+    options_.sync_writes = true;  // every acked put is WAL-synced
+    env_->SetPathFilter("wal.log");
+  }
+
+  void Open() { ASSERT_TRUE(BTreeStore::Open(options_, "/bt", &store_).ok()); }
+
+  std::unique_ptr<Env> base_env_;
+  std::unique_ptr<ErrorInjectionEnv> env_;
+  BTreeOptions options_;
+  std::unique_ptr<BTreeStore> store_;
+};
+
+TEST_F(BTreeWalFaultTest, FailedSyncFailsFastWithoutRetry) {
+  options_.wal_retry.max_attempts = 1;
+  Open();
+  ASSERT_TRUE(store_->Put("acked", "v1").ok());
+  env_->FailNext(FaultOp::kSync, 1);
+  Status s = store_->Put("doomed", "v2");
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_TRUE(s.IsTransient());
+  EXPECT_EQ(1u, env_->injected_faults(FaultOp::kSync));
+  // The store keeps serving after the fault: reads and later writes succeed.
+  std::string value;
+  ASSERT_TRUE(store_->Get("acked", &value).ok());
+  EXPECT_EQ("v1", value);
+  EXPECT_TRUE(store_->Put("after", "v3").ok());
+}
+
+TEST_F(BTreeWalFaultTest, TransientSyncFaultsAreRetriedToSuccess) {
+  // Default policy: up to 4 attempts; two injected faults are absorbed.
+  Open();
+  env_->FailNext(FaultOp::kSync, 2);
+  IoStatsSnapshot before = IoStats::Instance().Snapshot();
+  EXPECT_TRUE(store_->Put("resilient", "v").ok());
+  EXPECT_EQ(2u, env_->injected_faults(FaultOp::kSync));
+  EXPECT_GE(IoStats::Instance().Snapshot().Since(before).retries, 2u);
+  std::string value;
+  ASSERT_TRUE(store_->Get("resilient", &value).ok());
+  EXPECT_EQ("v", value);
+}
+
+TEST_F(BTreeWalFaultTest, RecoversAfterFailedSync) {
+  options_.wal_retry.max_attempts = 1;
+  Open();
+  ASSERT_TRUE(store_->Put("a", "1").ok());
+  ASSERT_TRUE(store_->Put("b", "2").ok());
+  env_->FailNext(FaultOp::kSync, 1);
+  EXPECT_TRUE(store_->Put("c", "3").IsIOError());
+  env_->DisableAll();
+  store_.reset();  // checkpoint + close
+  Open();
+  std::string value;
+  ASSERT_TRUE(store_->Get("a", &value).ok());
+  EXPECT_EQ("1", value);
+  ASSERT_TRUE(store_->Get("b", &value).ok());
+  EXPECT_EQ("2", value);
+  // The failed put must not be half-applied: absent, or exactly its value.
+  Status s = store_->Get("c", &value);
+  ASSERT_TRUE(s.ok() || s.IsNotFound()) << s.ToString();
+  if (s.ok()) {
+    EXPECT_EQ("3", value);
+  }
+}
+
+// ---------------- KVell slot IO under transient faults ----------------
+
+class KvellFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_env_ = NewMemEnv();
+    env_ = std::make_unique<ErrorInjectionEnv>(base_env_.get());
+    options_.env = env_.get();
+    options_.num_workers = 1;
+    options_.pin_workers = false;
+    env_->SetPathFilter("slab-");
+  }
+
+  void Open() { ASSERT_TRUE(KvellStore::Open(options_, "/kvell", &store_).ok()); }
+
+  std::unique_ptr<Env> base_env_;
+  std::unique_ptr<ErrorInjectionEnv> env_;
+  KvellOptions options_;
+  std::unique_ptr<KvellStore> store_;
+};
+
+TEST_F(KvellFaultTest, TransientSlotWriteIsRetriedToSuccess) {
+  Open();
+  env_->FailNext(FaultOp::kRandomWrite, 2);
+  EXPECT_TRUE(store_->Put("k", "v").ok());
+  EXPECT_EQ(2u, env_->injected_faults(FaultOp::kRandomWrite));
+  std::string value;
+  ASSERT_TRUE(store_->Get("k", &value).ok());
+  EXPECT_EQ("v", value);
+}
+
+TEST_F(KvellFaultTest, FailFastAndRecoverAfterFailedWrite) {
+  options_.retry.max_attempts = 1;
+  Open();
+  ASSERT_TRUE(store_->Put("acked", "v1").ok());
+  env_->FailNext(FaultOp::kRandomWrite, 1);
+  Status s = store_->Put("doomed", "v2");
+  EXPECT_TRUE(s.IsIOError());
+  // Fault fires before any slot byte lands: the store stays consistent.
+  std::string value;
+  ASSERT_TRUE(store_->Get("acked", &value).ok());
+  EXPECT_EQ("v1", value);
+  EXPECT_TRUE(store_->Get("doomed", &value).IsNotFound());
+  env_->DisableAll();
+  store_.reset();  // clean close syncs the slabs
+  Open();          // recovery = slab scan rebuilds the index
+  ASSERT_TRUE(store_->Get("acked", &value).ok());
+  EXPECT_EQ("v1", value);
+  EXPECT_TRUE(store_->Get("doomed", &value).IsNotFound());
+}
+
+// ---------------- LSM sticky bg_error_ + Resume ----------------
+
+class LsmResumeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_env_ = NewMemEnv();
+    env_ = std::make_unique<ErrorInjectionEnv>(base_env_.get());
+    options_.env = env_.get();
+    options_.wal_retry.max_attempts = 1;
+    env_->SetPathFilter(".log");
+    ASSERT_TRUE(DB::Open(options_, "/db", &db_).ok());
+  }
+
+  std::unique_ptr<Env> base_env_;
+  std::unique_ptr<ErrorInjectionEnv> env_;
+  Options options_;
+  std::unique_ptr<DB> db_;
+};
+
+TEST_F(LsmResumeTest, HardSyncFaultSticksUntilResume) {
+  WriteOptions sync_wo;
+  sync_wo.sync = true;
+  ASSERT_TRUE(db_->Put(sync_wo, "before", "v").ok());
+
+  env_->FailNext(FaultOp::kSync, 1, /*transient=*/false);
+  EXPECT_TRUE(db_->Put(sync_wo, "boom", "x").IsIOError());
+
+  // The error is sticky: even fault-free writes are refused now.
+  EXPECT_TRUE(db_->Put(WriteOptions(), "still-broken", "x").IsIOError());
+
+  // Reads keep working on the partition.
+  std::string value;
+  ASSERT_TRUE(db_->Get(ReadOptions(), "before", &value).ok());
+  EXPECT_EQ("v", value);
+
+  // Resume rotates the WAL, re-flushes and restores service.
+  ASSERT_TRUE(db_->Resume().ok());
+  ASSERT_TRUE(db_->Put(sync_wo, "after", "v2").ok());
+  ASSERT_TRUE(db_->Get(ReadOptions(), "after", &value).ok());
+  EXPECT_EQ("v2", value);
+  ASSERT_TRUE(db_->Get(ReadOptions(), "before", &value).ok());
+  EXPECT_EQ("v", value);
+}
+
+TEST_F(LsmResumeTest, ResumeOnHealthyDbIsANoop) {
+  ASSERT_TRUE(db_->Put(WriteOptions(), "k", "v").ok());
+  EXPECT_TRUE(db_->Resume().ok());
+  std::string value;
+  ASSERT_TRUE(db_->Get(ReadOptions(), "k", &value).ok());
+  EXPECT_EQ("v", value);
+}
+
+TEST_F(LsmResumeTest, TransientSyncFaultIsAbsorbedByWalRetry) {
+  options_.wal_retry.max_attempts = 4;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options_, "/db-retry", &db).ok());
+  WriteOptions sync_wo;
+  sync_wo.sync = true;
+  env_->FailNext(FaultOp::kSync, 2);
+  EXPECT_TRUE(db->Put(sync_wo, "k", "v").ok());
+  // No sticky error: the next write needs no Resume.
+  EXPECT_TRUE(db->Put(sync_wo, "k2", "v2").ok());
+}
+
+// ---------------- Framework-level degrade / resume ----------------
+
+class P2kvsGovernanceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_env_ = NewMemEnv();
+    env_ = std::make_unique<ErrorInjectionEnv>(base_env_.get());
+    Options lsm;
+    lsm.env = env_.get();
+    lsm.wal_retry.max_attempts = 1;
+    options_.env = env_.get();
+    options_.num_workers = 2;
+    options_.pin_workers = false;
+    options_.retry.max_attempts = 1;
+    options_.engine_factory = MakeRocksLiteFactory(lsm);
+    ASSERT_TRUE(P2KVS::Open(options_, "/p2", &store_).ok());
+    // One key per partition, to tell the degraded one from the healthy one.
+    for (int i = 0; keys_[0].empty() || keys_[1].empty(); i++) {
+      std::string key = "key-" + std::to_string(i);
+      keys_[static_cast<size_t>(store_->PartitionOf(key))] = key;
+    }
+  }
+
+  std::unique_ptr<Env> base_env_;
+  std::unique_ptr<ErrorInjectionEnv> env_;
+  P2kvsOptions options_;
+  std::unique_ptr<P2KVS> store_;
+  std::string keys_[2];
+};
+
+TEST_F(P2kvsGovernanceTest, HardFaultDegradesOnePartitionResumeRestores) {
+  ASSERT_TRUE(store_->Put(keys_[0], "v0").ok());
+  ASSERT_TRUE(store_->Put(keys_[1], "v1").ok());
+  ASSERT_TRUE(store_->Health().AllHealthy());
+
+  // Every Sync inside the victim instance's directory now fails hard: the
+  // WAL sync wedges the engine (sticky bg_error_), and the SST sync during
+  // the re-flush makes every auto-resume attempt fail too — so the partition
+  // stays read-only for as long as the fault persists.
+  int victim = store_->PartitionOf(keys_[0]);
+  env_->SetPathFilter("instance-" + std::to_string(victim) + "/");
+  env_->SetFailureOdds(FaultOp::kSync, 1, /*transient=*/false);
+
+  // A transaction forces a synced WAL write on the victim partition.
+  WriteBatch txn;
+  txn.Put(keys_[0], "v0-txn");
+  EXPECT_FALSE(store_->WriteTxn(&txn).ok());
+
+  P2kvsHealth health = store_->Health();
+  EXPECT_FALSE(health.AllHealthy());
+  EXPECT_EQ(1, health.NumUnhealthy());
+  EXPECT_NE(WorkerHealth::kHealthy, health.workers[static_cast<size_t>(victim)].health);
+
+  // Degraded partition: reads served, writes refused immediately.
+  std::string value;
+  ASSERT_TRUE(store_->Get(keys_[0], &value).ok());
+  EXPECT_EQ("v0", value);
+  EXPECT_TRUE(store_->Put(keys_[0], "v0c").IsIOError());
+  EXPECT_TRUE(store_->Put(keys_[0], "v0d").IsIOError());
+  EXPECT_GT(store_->Health().workers[static_cast<size_t>(victim)].degraded_rejects, 0u);
+
+  // The other partition is unaffected.
+  ASSERT_TRUE(store_->Put(keys_[1], "v1b").ok());
+  ASSERT_TRUE(store_->Get(keys_[1], &value).ok());
+  EXPECT_EQ("v1b", value);
+
+  // Once the fault clears, explicit Resume restores full service.
+  env_->DisableAll();
+  ASSERT_TRUE(store_->Resume().ok());
+  EXPECT_TRUE(store_->Health().AllHealthy());
+  ASSERT_TRUE(store_->Put(keys_[0], "v0e").ok());
+  ASSERT_TRUE(store_->Get(keys_[0], &value).ok());
+  EXPECT_EQ("v0e", value);
+}
+
+// The framework's own transaction log is a WAL writer too: transient faults
+// on its appends/syncs are absorbed by the configured retry policy instead of
+// failing the whole transaction.
+TEST(TxnLogGovernanceTest, TransientTxnLogFaultsAreRetried) {
+  auto base = NewMemEnv();
+  ErrorInjectionEnv env(base.get());
+  P2kvsOptions options;  // default retry: bounded retry on
+  options.env = &env;
+  options.num_workers = 2;
+  options.pin_workers = false;
+  Options lsm;
+  lsm.env = &env;
+  options.engine_factory = MakeRocksLiteFactory(lsm);
+  std::unique_ptr<P2KVS> store;
+  ASSERT_TRUE(P2KVS::Open(options, "/p2", &store).ok());
+
+  env.SetPathFilter("TXNLOG");
+  env.FailNext(FaultOp::kSync, 2, /*transient=*/true);
+  WriteBatch txn;
+  txn.Put("txnlog-key", "v1");
+  EXPECT_TRUE(store->WriteTxn(&txn).ok());
+  EXPECT_EQ(2u, env.injected_faults(FaultOp::kSync));
+  std::string value;
+  ASSERT_TRUE(store->Get("txnlog-key", &value).ok());
+  EXPECT_EQ("v1", value);
+
+  // A hard txn-log fault is not retried: the transaction fails up front.
+  env.FailNext(FaultOp::kSync, 1, /*transient=*/false);
+  WriteBatch txn2;
+  txn2.Put("txnlog-key", "v2");
+  EXPECT_TRUE(store->WriteTxn(&txn2).IsIOError());
+}
+
+}  // namespace
+}  // namespace p2kvs

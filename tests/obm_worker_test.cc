@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <thread>
@@ -27,9 +28,21 @@ class MockEngine final : public KVStore {
     bool multi_get = true;
     // The worker outruns producers unless processing is slowed a little.
     int op_delay_us = 0;
+    // Fault knobs (error governance): >0 fails that many write ops, then
+    // succeeds; -1 fails every write until Resume() clears it; 0 disables.
+    int fail_writes = 0;
+    // Injected write faults are tagged transient (retryable) vs hard.
+    bool transient_faults = false;
+    // Every MultiGet returns IOError for all keys.
+    bool fail_multiget = false;
+    // Whether Resume() succeeds (a refused resume keeps the worker degraded).
+    bool allow_resume = true;
   };
 
-  explicit MockEngine(Behavior behavior) : behavior_(behavior) {}
+  explicit MockEngine(Behavior behavior)
+      : behavior_(behavior),
+        fail_writes_(behavior.fail_writes),
+        allow_resume_(behavior.allow_resume) {}
 
   EngineCaps caps() const override {
     EngineCaps caps;
@@ -40,12 +53,20 @@ class MockEngine final : public KVStore {
 
   Status Put(const Slice& key, const Slice& value, const KvWriteOptions&) override {
     Record("put");
+    Status s = MaybeFailWrite();
+    if (!s.ok()) {
+      return s;
+    }
     data_[key.ToString()] = value.ToString();
     return Status::OK();
   }
 
   Status Delete(const Slice& key, const KvWriteOptions&) override {
     Record("delete");
+    Status s = MaybeFailWrite();
+    if (!s.ok()) {
+      return s;
+    }
     data_.erase(key.ToString());
     return Status::OK();
   }
@@ -53,6 +74,10 @@ class MockEngine final : public KVStore {
   Status Write(WriteBatch* batch, const KvWriteOptions& options) override {
     Record("write(" + std::to_string(batch->Count()) + ")" +
            (options.gsn != 0 ? "+gsn" : ""));
+    Status s = MaybeFailWrite();
+    if (!s.ok()) {
+      return s;
+    }
     struct Applier : public WriteBatch::Handler {
       std::map<std::string, std::string>* data;
       void Put(const Slice& k, const Slice& v) override { (*data)[k.ToString()] = v.ToString(); }
@@ -78,6 +103,12 @@ class MockEngine final : public KVStore {
     Record("multiget(" + std::to_string(keys.size()) + ")");
     std::vector<Status> statuses(keys.size());
     values->assign(keys.size(), std::string());
+    if (behavior_.fail_multiget) {
+      for (Status& s : statuses) {
+        s = Status::IOError("mock multiget fault");
+      }
+      return statuses;
+    }
     for (size_t i = 0; i < keys.size(); i++) {
       auto it = data_.find(keys[i].ToString());
       if (it == data_.end()) {
@@ -90,6 +121,33 @@ class MockEngine final : public KVStore {
   }
 
   Iterator* NewIterator() override { return NewEmptyIterator(); }
+
+  // Error governance: a successful resume clears any sticky write failure.
+  // Not recorded in the trace so tests can assert "the engine saw no write".
+  Status Resume() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    resume_calls_++;
+    if (!allow_resume_) {
+      return Status::IOError("mock resume refused");
+    }
+    fail_writes_ = 0;
+    return Status::OK();
+  }
+
+  void FailWrites(int n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    fail_writes_ = n;
+  }
+
+  void AllowResume(bool allow) {
+    std::lock_guard<std::mutex> lock(mu_);
+    allow_resume_ = allow;
+  }
+
+  int resume_calls() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return resume_calls_;
+  }
 
   std::vector<std::string> Trace() const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -105,15 +163,31 @@ class MockEngine final : public KVStore {
     trace_.push_back(event);
   }
 
+  Status MaybeFailWrite() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (fail_writes_ == 0) {
+      return Status::OK();
+    }
+    if (fail_writes_ > 0) {
+      fail_writes_--;
+    }
+    return behavior_.transient_faults ? Status::TransientIOError("mock transient write fault")
+                                      : Status::IOError("mock write fault");
+  }
+
   const Behavior behavior_;
   mutable std::mutex mu_;
   std::vector<std::string> trace_;
   std::map<std::string, std::string> data_;
+  int fail_writes_ = 0;       // guarded by mu_
+  bool allow_resume_ = true;  // guarded by mu_
+  int resume_calls_ = 0;      // guarded by mu_
 };
 
 class ObmWorkerTest : public ::testing::Test {
  protected:
-  void Start(MockEngine::Behavior behavior, bool enable_obm = true, int max_batch = 32) {
+  void Start(MockEngine::Behavior behavior, bool enable_obm = true, int max_batch = 32,
+             const std::function<void(Worker::Config&)>& tweak = nullptr) {
     auto engine = std::make_unique<MockEngine>(behavior);
     engine_ = engine.get();
     Worker::Config config;
@@ -121,6 +195,9 @@ class ObmWorkerTest : public ::testing::Test {
     config.pin_to_cpu = false;
     config.enable_obm = enable_obm;
     config.max_batch_size = max_batch;
+    if (tweak) {
+      tweak(config);
+    }
     worker_ = std::make_unique<Worker>(config, std::move(engine));
     // Note: Start() is deferred so tests can pre-fill the queue; a batch can
     // only form from requests that are *already* queued (opportunism).
@@ -318,6 +395,171 @@ TEST_F(ObmWorkerTest, StoppedWorkerAbortsNewRequests) {
   auto r = MakePut("too-late");
   worker_->Submit(r.get());
   EXPECT_TRUE(r->Wait().IsAborted());
+}
+
+// --- Error governance: failed groups, retries, degrade / resume. ---
+
+// Regression: when the engine write for a merged group fails, EVERY request
+// folded into that WriteBatch must observe the error — none may be silently
+// acknowledged.
+TEST_F(ObmWorkerTest, FailedWriteGroupFailsEveryMember) {
+  MockEngine::Behavior behavior;
+  behavior.fail_writes = 1;  // hard fault: exactly one engine write fails
+  Start(behavior);
+  std::vector<std::unique_ptr<Request>> requests;
+  for (int i = 0; i < 5; i++) {
+    requests.push_back(MakePut("k" + std::to_string(i)));
+    worker_->Submit(requests.back().get());
+  }
+  worker_->Start();
+  for (auto& r : requests) {
+    EXPECT_TRUE(r->Wait().IsIOError());
+  }
+  auto trace = engine_->Trace();
+  // One merged write reached the engine; its failure fanned out to all 5.
+  ASSERT_EQ(1u, trace.size());
+  EXPECT_EQ("write(5)", trace[0]);
+  // A hard write fault degrades the partition.
+  EXPECT_EQ(WorkerHealth::kDegraded, worker_->health());
+}
+
+// Same contract for a failed merged MultiGet: every read in the group
+// observes its error status. Read faults do not degrade the partition.
+TEST_F(ObmWorkerTest, FailedMultiGetGroupFailsEveryMember) {
+  MockEngine::Behavior behavior;
+  behavior.fail_multiget = true;
+  Start(behavior);
+  std::vector<std::string> outs(4);
+  std::vector<std::unique_ptr<Request>> requests;
+  for (int i = 0; i < 4; i++) {
+    requests.push_back(MakeGet("k" + std::to_string(i), &outs[static_cast<size_t>(i)]));
+    worker_->Submit(requests.back().get());
+  }
+  worker_->Start();
+  for (auto& r : requests) {
+    EXPECT_TRUE(r->Wait().IsIOError());
+  }
+  auto trace = engine_->Trace();
+  ASSERT_EQ(1u, trace.size());
+  EXPECT_EQ("multiget(4)", trace[0]);
+  EXPECT_EQ(WorkerHealth::kHealthy, worker_->health());
+}
+
+TEST_F(ObmWorkerTest, TransientWriteFaultsAreRetriedToSuccess) {
+  MockEngine::Behavior behavior;
+  behavior.fail_writes = 2;
+  behavior.transient_faults = true;
+  Start(behavior);
+  worker_->Start();
+  auto r = MakePut("resilient");
+  worker_->Submit(r.get());
+  // Two transient faults are absorbed by the worker's bounded retry.
+  EXPECT_TRUE(r->Wait().ok());
+  auto trace = engine_->Trace();
+  ASSERT_EQ(3u, trace.size());
+  for (const std::string& event : trace) {
+    EXPECT_EQ("put", event);
+  }
+  EXPECT_EQ(WorkerHealth::kHealthy, worker_->health());
+}
+
+TEST_F(ObmWorkerTest, DegradedWorkerServesReadsRejectsWritesFastThenResumes) {
+  MockEngine::Behavior behavior;
+  behavior.allow_resume = false;  // auto-resume attempts stay refused
+  Start(behavior);
+  worker_->Start();
+
+  auto seed = MakePut("stable");
+  worker_->Submit(seed.get());
+  ASSERT_TRUE(seed->Wait().ok());
+
+  engine_->FailWrites(-1);  // sticky: every engine write fails until Resume
+  auto doomed = MakePut("doomed");
+  worker_->Submit(doomed.get());
+  EXPECT_TRUE(doomed->Wait().IsIOError());
+  EXPECT_EQ(WorkerHealth::kDegraded, worker_->health());
+
+  // Degraded partition keeps serving reads.
+  std::string out;
+  auto get = MakeGet("stable", &out);
+  worker_->Submit(get.get());
+  ASSERT_TRUE(get->Wait().ok());
+  EXPECT_EQ("v", out);
+
+  // Writes are rejected fast, without reaching the engine.
+  size_t trace_before = engine_->Trace().size();
+  auto rejected = MakePut("rejected");
+  worker_->Submit(rejected.get());
+  Status s = rejected->Wait();
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_NE(std::string::npos, s.ToString().find("degraded"));
+  EXPECT_EQ(trace_before, engine_->Trace().size());
+  EXPECT_GT(worker_->degraded_rejects(), 0u);
+
+  // Explicit resume restores full service once the engine cooperates.
+  engine_->AllowResume(true);
+  ASSERT_TRUE(worker_->TryResume().ok());
+  EXPECT_EQ(WorkerHealth::kHealthy, worker_->health());
+  auto after = MakePut("after");
+  worker_->Submit(after.get());
+  EXPECT_TRUE(after->Wait().ok());
+}
+
+// The degraded worker heals itself: a rejected write triggers an auto-resume
+// attempt, and once the engine recovers the write path reopens transparently.
+TEST_F(ObmWorkerTest, AutoResumeHealsWhenEngineRecovers) {
+  MockEngine::Behavior behavior;
+  behavior.fail_writes = -1;  // sticky until Resume
+  Start(behavior, true, 32,
+        [](Worker::Config& config) { config.auto_resume_interval_us = 0; });
+  worker_->Start();
+
+  auto first = MakePut("first");
+  worker_->Submit(first.get());
+  EXPECT_TRUE(first->Wait().IsIOError());
+  EXPECT_EQ(WorkerHealth::kDegraded, worker_->health());
+
+  // Resume succeeds (clearing the sticky fault), so this write goes through
+  // without any explicit intervention.
+  auto second = MakePut("second");
+  worker_->Submit(second.get());
+  EXPECT_TRUE(second->Wait().ok());
+  EXPECT_EQ(WorkerHealth::kHealthy, worker_->health());
+  EXPECT_EQ(1, engine_->resume_calls());
+  EXPECT_EQ(1u, worker_->resume_attempts());
+}
+
+TEST_F(ObmWorkerTest, AutoResumeGivesUpAfterMaxFailures) {
+  MockEngine::Behavior behavior;
+  behavior.fail_writes = -1;
+  behavior.allow_resume = false;
+  Start(behavior, true, 32, [](Worker::Config& config) {
+    config.auto_resume_interval_us = 0;
+    config.max_auto_resume_failures = 2;
+  });
+  worker_->Start();
+
+  auto submit_put = [&](const std::string& key) {
+    auto r = MakePut(key);
+    worker_->Submit(r.get());
+    return r->Wait();
+  };
+
+  EXPECT_TRUE(submit_put("a").IsIOError());  // engine fault -> degraded
+  EXPECT_TRUE(submit_put("b").IsIOError());  // reject; failed auto-resume #1
+  EXPECT_TRUE(submit_put("c").IsIOError());  // reject; failed auto-resume #2
+  EXPECT_EQ(WorkerHealth::kFailed, worker_->health());
+
+  // A failed partition stops burning resume attempts on every write.
+  uint64_t attempts = worker_->resume_attempts();
+  EXPECT_TRUE(submit_put("d").IsIOError());
+  EXPECT_EQ(attempts, worker_->resume_attempts());
+
+  // But an explicit Resume() can still revive it.
+  engine_->AllowResume(true);
+  ASSERT_TRUE(worker_->TryResume().ok());
+  EXPECT_EQ(WorkerHealth::kHealthy, worker_->health());
+  EXPECT_TRUE(submit_put("e").ok());
 }
 
 TEST_F(ObmWorkerTest, NotFoundPropagatesThroughMultiGet) {
