@@ -1,0 +1,82 @@
+#include "src/core/batch_policy.h"
+
+namespace p2kvs {
+
+namespace {
+
+class PassThroughBatchPolicy final : public BatchPolicy {
+ public:
+  const char* name() const override { return "pass-through"; }
+
+  void Collect(Request* first, RequestQueue* /*queue*/,
+               std::vector<Request*>* group) override {
+    group->push_back(first);
+  }
+};
+
+class GreedySameTypeBatchPolicy final : public BatchPolicy {
+ public:
+  GreedySameTypeBatchPolicy(const EngineCaps& caps, int max_batch_size)
+      : caps_(caps), max_batch_size_(max_batch_size) {}
+
+  const char* name() const override { return "greedy-same-type"; }
+
+  void Collect(Request* first, RequestQueue* queue,
+               std::vector<Request*>* group) override {
+    group->push_back(first);
+    if (IsWriteType(first->type)) {
+      // GSN-tagged sub-batches commit alone (paper §4.5), and merging needs
+      // an engine batch-write.
+      if (first->gsn != 0 || !caps_.batch_write) {
+        return;
+      }
+      while (static_cast<int>(group->size()) < max_batch_size_) {
+        Request* next = queue->TryPopIf(
+            [](Request* q) { return IsWriteType(q->type) && q->gsn == 0; });
+        if (next == nullptr) {
+          return;
+        }
+        group->push_back(next);
+      }
+      return;
+    }
+    if (first->type == RequestType::kGet) {
+      while (static_cast<int>(group->size()) < max_batch_size_) {
+        Request* next =
+            queue->TryPopIf([](Request* q) { return q->type == RequestType::kGet; });
+        if (next == nullptr) {
+          return;
+        }
+        group->push_back(next);
+      }
+    }
+    // Scans, barriers, transaction bookkeeping, and pre-merged client
+    // fan-out groups never merge further.
+  }
+
+ private:
+  const EngineCaps caps_;
+  const int max_batch_size_;
+};
+
+}  // namespace
+
+std::unique_ptr<BatchPolicy> MakeGreedySameTypeBatchPolicy(const EngineCaps& caps,
+                                                           int max_batch_size) {
+  return std::make_unique<GreedySameTypeBatchPolicy>(caps, max_batch_size);
+}
+
+std::unique_ptr<BatchPolicy> MakePassThroughBatchPolicy() {
+  return std::make_unique<PassThroughBatchPolicy>();
+}
+
+std::unique_ptr<BatchPolicy> MakeBatchPolicyFromCaps(const EngineCaps& caps,
+                                                     bool enable_obm,
+                                                     int max_batch_size) {
+  if (!enable_obm || (!caps.batch_write && !caps.multi_get)) {
+    return MakePassThroughBatchPolicy();
+  }
+  return MakeGreedySameTypeBatchPolicy(caps, max_batch_size);
+}
+
+}  // namespace p2kvs

@@ -1,0 +1,60 @@
+// BatchPolicy: the pluggable vertical-batching layer of the submission
+// pipeline. The worker pops one request and hands it to the policy, which
+// decides how many more requests to take from the queue and execute together
+// (the opportunistic batching mechanism, paper Algorithm 1, is the default
+// policy). Policies never block: batching is purely opportunistic over what
+// is already queued (§4.3).
+//
+// Portability adapters without batch APIs (§4.6) get the pass-through policy
+// instead of per-iteration branching in the worker loop.
+
+#ifndef P2KVS_SRC_CORE_BATCH_POLICY_H_
+#define P2KVS_SRC_CORE_BATCH_POLICY_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/core/kv_store.h"
+#include "src/core/request.h"
+
+namespace p2kvs {
+
+class BatchPolicy {
+ public:
+  virtual ~BatchPolicy() = default;
+
+  virtual const char* name() const = 0;
+
+  // Called by the worker with the request it just dequeued. Appends `first`
+  // plus any requests the policy opportunistically takes from `queue` to
+  // `group` (cleared by the caller). Must never block or wait for more
+  // requests to arrive, and must preserve queue order within the group.
+  virtual void Collect(Request* first, RequestQueue* queue,
+                       std::vector<Request*>* group) = 0;
+};
+
+// Paper Algorithm 1: greedily merge the run of consecutive same-type
+// requests at the queue front, up to max_batch_size. Writes merge only when
+// the engine has an atomic batch-write and the request carries no GSN
+// (transaction sub-batches commit alone, §4.5); reads always merge — even
+// without a native multiget the single engine call amortizes queue churn.
+std::unique_ptr<BatchPolicy> MakeGreedySameTypeBatchPolicy(const EngineCaps& caps,
+                                                           int max_batch_size);
+
+// Every request executes alone. Used when the OBM is disabled and for
+// engines with no batch APIs at all (the WTLite profile, §4.6).
+std::unique_ptr<BatchPolicy> MakePassThroughBatchPolicy();
+
+// Default selection from the engine's capabilities.
+std::unique_ptr<BatchPolicy> MakeBatchPolicyFromCaps(const EngineCaps& caps,
+                                                     bool enable_obm,
+                                                     int max_batch_size);
+
+// Pluggable hook (P2kvsOptions::batch_policy_factory / Worker::Config).
+using BatchPolicyFactory = std::function<std::unique_ptr<BatchPolicy>(
+    const EngineCaps& caps, bool enable_obm, int max_batch_size)>;
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_CORE_BATCH_POLICY_H_

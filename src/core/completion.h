@@ -1,0 +1,71 @@
+// Completion: the pooled countdown primitive the whole submission pipeline
+// joins on. One Completion can cover one request (a sync Put/Get waiting for
+// its worker) or a whole fan-out (MultiGet / MultiWrite / parallel RANGE /
+// WriteTxn joining on every involved partition); either way the waiter parks
+// on a single futex word (C++20 std::atomic::wait) — no per-request mutex or
+// condition variable exists anywhere on the request path.
+
+#ifndef P2KVS_SRC_CORE_COMPLETION_H_
+#define P2KVS_SRC_CORE_COMPLETION_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/util/status.h"
+
+namespace p2kvs {
+
+class Completion {
+ public:
+  // Starts with `outstanding` operations to wait for; more can be armed
+  // with Add() before Wait() is entered.
+  explicit Completion(uint32_t outstanding = 0) : outstanding_(outstanding) {}
+
+  Completion(const Completion&) = delete;
+  Completion& operator=(const Completion&) = delete;
+
+  // Arms n more outstanding operations. Must not race with the count
+  // reaching zero while a waiter could observe it (arm everything before
+  // waiting, or arm each operation before submitting it).
+  void Add(uint32_t n = 1) { outstanding_.fetch_add(n, std::memory_order_relaxed); }
+
+  // Completer side: records the first non-OK status and releases one count.
+  // The completion (and anything joined on it) may be destroyed the moment
+  // the last count is released — callers must not touch shared state after.
+  void Finish(const Status& s) {
+    if (!s.ok()) {
+      bool expected = false;
+      if (failed_.compare_exchange_strong(expected, true, std::memory_order_acq_rel)) {
+        first_error_ = s;
+      }
+    }
+    uint32_t prev = outstanding_.fetch_sub(1, std::memory_order_release);
+    if (prev == 1) {
+      outstanding_.notify_all();
+    }
+  }
+
+  // Parks until every armed operation finished; returns the first non-OK
+  // status any of them reported (OK if all succeeded).
+  Status Wait() {
+    uint32_t n;
+    while ((n = outstanding_.load(std::memory_order_acquire)) != 0) {
+      outstanding_.wait(n, std::memory_order_acquire);
+    }
+    return failed_.load(std::memory_order_acquire) ? first_error_ : Status::OK();
+  }
+
+  bool done() const { return outstanding_.load(std::memory_order_acquire) == 0; }
+
+ private:
+  std::atomic<uint32_t> outstanding_;
+  std::atomic<bool> failed_{false};
+  // Written once by the CAS winner before its count release; read by the
+  // waiter after observing zero (synchronized via the release sequence on
+  // outstanding_).
+  Status first_error_;
+};
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_CORE_COMPLETION_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 
+#include "src/core/completion.h"
 #include "src/core/worker.h"
 #include "src/lsm/merging_iterator.h"
 #include "src/util/hash.h"
@@ -64,6 +65,8 @@ Status P2KVS::Init() {
     config.pin_to_cpu = options_.pin_workers;
     config.enable_obm = options_.enable_obm;
     config.max_batch_size = options_.max_batch_size;
+    config.queue_capacity = options_.queue_capacity;
+    config.batch_policy_factory = options_.batch_policy_factory;
     config.txn_read_committed = options_.txn_read_committed;
     config.env = options_.env;
     config.retry = options_.retry;
@@ -128,10 +131,99 @@ void P2KVS::DeleteAsync(const Slice& key, std::function<void(const Status&)> cb)
   workers_[static_cast<size_t>(PartitionOf(key))]->Submit(request);
 }
 
+std::vector<Status> P2KVS::MultiGet(const std::vector<Slice>& keys,
+                                    std::vector<std::string>* values) {
+  values->assign(keys.size(), std::string());
+  // Overwritten per key by the owning partition; only an aborted fan-out
+  // (worker stopped mid-join) leaves this behind.
+  std::vector<Status> statuses(keys.size(), Status::Aborted("multiget not executed"));
+  if (keys.empty()) {
+    return statuses;
+  }
+
+  // Split positions per partition (duplicate keys simply occupy several
+  // positions of the owning partition's index list).
+  std::vector<std::vector<uint32_t>> index_of(workers_.size());
+  for (uint32_t i = 0; i < keys.size(); i++) {
+    index_of[static_cast<size_t>(PartitionOf(keys[i]))].push_back(i);
+  }
+
+  Completion join;
+  std::deque<std::pair<size_t, Request>> requests;  // worker -> group request
+  for (size_t w = 0; w < workers_.size(); w++) {
+    if (index_of[w].empty()) {
+      continue;
+    }
+    auto& [worker, request] = requests.emplace_back();
+    worker = w;
+    request.type = RequestType::kMultiGet;
+    request.mget_keys = &keys;
+    request.mget_values = values;
+    request.mget_statuses = &statuses;
+    request.mget_index = std::move(index_of[w]);
+    request.group = &join;
+    join.Add(1);
+  }
+  for (auto& [worker, request] : requests) {
+    workers_[worker]->Submit(&request);
+  }
+  join.Wait();
+  return statuses;
+}
+
+Status P2KVS::SplitByPartition(WriteBatch* updates, std::vector<WriteBatch>* parts) const {
+  struct Splitter : public WriteBatch::Handler {
+    const P2KVS* store;
+    std::vector<WriteBatch>* parts;
+
+    void Put(const Slice& key, const Slice& value) override {
+      (*parts)[static_cast<size_t>(store->PartitionOf(key))].Put(key, value);
+    }
+    void Delete(const Slice& key) override {
+      (*parts)[static_cast<size_t>(store->PartitionOf(key))].Delete(key);
+    }
+  };
+  parts->assign(workers_.size(), WriteBatch());
+  Splitter splitter;
+  splitter.store = this;
+  splitter.parts = parts;
+  return updates->Iterate(&splitter);
+}
+
+Status P2KVS::MultiWrite(WriteBatch* updates) {
+  std::vector<WriteBatch> parts;
+  Status s = SplitByPartition(updates, &parts);
+  if (!s.ok()) {
+    return s;
+  }
+
+  // Non-txn fan-out: GSN-free sub-batches, so each worker's BatchPolicy may
+  // fold them into even larger engine writes. Atomic per partition only.
+  Completion join;
+  std::deque<std::pair<size_t, Request>> requests;
+  for (size_t w = 0; w < workers_.size(); w++) {
+    if (parts[w].Count() == 0) {
+      continue;
+    }
+    auto& [worker, request] = requests.emplace_back();
+    worker = w;
+    request.type = RequestType::kWriteBatch;
+    request.batch = &parts[w];
+    request.group = &join;
+    join.Add(1);
+  }
+  for (auto& [worker, request] : requests) {
+    workers_[worker]->Submit(&request);
+  }
+  return join.Wait();
+}
+
 Status P2KVS::Range(const Slice& begin, const Slice& end,
                     std::vector<std::pair<std::string, std::string>>* out) {
   // A RANGE forks into per-instance sub-RANGEs executed in parallel, at no
-  // extra read cost: partitions are disjoint (§4.4).
+  // extra read cost: partitions are disjoint (§4.4). All sub-requests join
+  // on one countdown completion.
+  Completion join(static_cast<uint32_t>(workers_.size()));
   std::deque<Request> requests;
   std::vector<std::vector<std::pair<std::string, std::string>>> partials(workers_.size());
   for (size_t i = 0; i < workers_.size(); i++) {
@@ -140,15 +232,10 @@ Status P2KVS::Range(const Slice& begin, const Slice& end,
     request.key = begin.ToString();
     request.value = end.ToString();
     request.scan_out = &partials[i];
+    request.group = &join;
     workers_[i]->Submit(&request);
   }
-  Status result;
-  for (auto& request : requests) {
-    Status s = request.Wait();
-    if (!s.ok() && result.ok()) {
-      result = s;
-    }
-  }
+  Status result = join.Wait();
   if (!result.ok()) {
     return result;
   }
@@ -182,6 +269,7 @@ Status P2KVS::Scan(const Slice& begin, size_t count,
 
   // Parallel strategy: over-scan `count` keys on every instance, then merge
   // and truncate. Extra reads, but each sub-scan runs on its own worker.
+  Completion join(static_cast<uint32_t>(workers_.size()));
   std::deque<Request> requests;
   std::vector<std::vector<std::pair<std::string, std::string>>> partials(workers_.size());
   for (size_t i = 0; i < workers_.size(); i++) {
@@ -190,15 +278,10 @@ Status P2KVS::Scan(const Slice& begin, size_t count,
     request.key = begin.ToString();
     request.scan_count = count;
     request.scan_out = &partials[i];
+    request.group = &join;
     workers_[i]->Submit(&request);
   }
-  Status result;
-  for (auto& request : requests) {
-    Status s = request.Wait();
-    if (!s.ok() && result.ok()) {
-      result = s;
-    }
-  }
+  Status result = join.Wait();
   if (!result.ok()) {
     return result;
   }
@@ -226,23 +309,8 @@ Iterator* P2KVS::NewGlobalIterator() {
 
 Status P2KVS::WriteTxn(WriteBatch* updates) {
   // Split the batch by partition; all sub-batches carry one GSN.
-  struct Splitter : public WriteBatch::Handler {
-    P2KVS* store;
-    std::vector<WriteBatch>* parts;
-
-    void Put(const Slice& key, const Slice& value) override {
-      (*parts)[static_cast<size_t>(store->PartitionOf(key))].Put(key, value);
-    }
-    void Delete(const Slice& key) override {
-      (*parts)[static_cast<size_t>(store->PartitionOf(key))].Delete(key);
-    }
-  };
-
-  std::vector<WriteBatch> parts(workers_.size());
-  Splitter splitter;
-  splitter.store = this;
-  splitter.parts = &parts;
-  Status s = updates->Iterate(&splitter);
+  std::vector<WriteBatch> parts;
+  Status s = SplitByPartition(updates, &parts);
   if (!s.ok()) {
     return s;
   }
@@ -260,29 +328,25 @@ Status P2KVS::WriteTxn(WriteBatch* updates) {
     return s;
   }
 
+  Completion join;
   std::deque<Request> requests;
+  std::vector<size_t> involved;
   for (size_t i = 0; i < workers_.size(); i++) {
     if (parts[i].Count() == 0) {
       continue;
     }
+    involved.push_back(i);
     Request& request = requests.emplace_back();
     request.type = RequestType::kWriteBatch;
     request.batch = &parts[i];
     request.gsn = gsn;
-    workers_[i]->Submit(&request);
+    request.group = &join;
+    join.Add(1);
   }
-  Status result;
-  std::vector<size_t> involved;
-  for (size_t i = 0, r = 0; i < workers_.size(); i++) {
-    if (parts[i].Count() == 0) {
-      continue;
-    }
-    involved.push_back(i);
-    Status ws = requests[r++].Wait();
-    if (!ws.ok() && result.ok()) {
-      result = ws;
-    }
+  for (size_t r = 0; r < involved.size(); r++) {
+    workers_[involved[r]]->Submit(&requests[r]);
   }
+  Status result = join.Wait();
 
   Status commit_status;
   if (result.ok()) {
@@ -293,16 +357,16 @@ Status P2KVS::WriteTxn(WriteBatch* updates) {
     // Release the pre-transaction snapshots (making the updates visible);
     // on abort the writes will be rolled back at recovery, but the snapshots
     // still must go.
+    Completion end_join(static_cast<uint32_t>(involved.size()));
     std::deque<Request> end_requests;
     for (size_t i : involved) {
       Request& request = end_requests.emplace_back();
       request.type = RequestType::kEndTxn;
       request.gsn = gsn;
+      request.group = &end_join;
       workers_[i]->Submit(&request);
     }
-    for (auto& request : end_requests) {
-      request.Wait();
-    }
+    end_join.Wait();
   }
 
   if (!result.ok()) {
@@ -324,6 +388,18 @@ Status P2KVS::FlushAll() {
 }
 
 void P2KVS::WaitIdle() {
+  // First drain the accessing layer: a barrier request per worker completes
+  // only after everything queued before it has executed (the queues are
+  // FIFO). Only then is per-engine background quiescence meaningful.
+  Completion join(static_cast<uint32_t>(workers_.size()));
+  std::deque<Request> barriers;
+  for (auto& worker : workers_) {
+    Request& request = barriers.emplace_back();
+    request.type = RequestType::kBarrier;
+    request.group = &join;
+    worker->Submit(&request);
+  }
+  join.Wait();
   for (auto& worker : workers_) {
     worker->store()->WaitIdle();
   }
@@ -356,12 +432,15 @@ Status P2KVS::Resume() {
 
 P2kvsStats P2KVS::GetStats() const {
   P2kvsStats stats;
+  stats.queue_depths.reserve(workers_.size());
   for (const auto& worker : workers_) {
     stats.write_batches += worker->write_batches();
     stats.writes_batched += worker->writes_batched();
     stats.read_batches += worker->read_batches();
     stats.reads_batched += worker->reads_batched();
     stats.singles += worker->singles();
+    stats.degraded_rejects += worker->degraded_rejects();
+    stats.queue_depths.push_back(worker->QueueDepth());
   }
   stats.requests_submitted =
       stats.writes_batched + stats.reads_batched + stats.singles;

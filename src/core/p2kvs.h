@@ -6,13 +6,15 @@
 //   tree between workers);
 //
 //   vertical — user threads never touch an instance: they enqueue requests
-//   on the owning worker's queue and sleep; each worker drains its queue
-//   with the opportunistic batching mechanism (Algorithm 1), merging runs of
+//   on the owning worker's lock-free queue and park on a pooled completion;
+//   each worker drains its queue through a pluggable BatchPolicy (default:
+//   the opportunistic batching mechanism, Algorithm 1), merging runs of
 //   same-type requests into one WriteBatch or one MultiGet.
 //
-// Plus: parallel RANGE / SCAN over the partitions (§4.4), GSN-tagged
-// cross-instance transactions with crash recovery (§4.5), and asynchronous
-// write interfaces.
+// Plus: client-side fan-out (MultiGet / MultiWrite split per partition and
+// joined on one countdown completion), parallel RANGE / SCAN over the
+// partitions (§4.4), GSN-tagged cross-instance transactions with crash
+// recovery (§4.5), and asynchronous write interfaces.
 
 #ifndef P2KVS_SRC_CORE_P2KVS_H_
 #define P2KVS_SRC_CORE_P2KVS_H_
@@ -45,6 +47,17 @@ struct P2kvsOptions {
   // Upper bound on requests merged per batch (paper default: 32), bounding
   // tail latency.
   int max_batch_size = 32;
+
+  // Bounded per-worker request queues (0 = unbounded). When a queue is
+  // full, submitters park until the worker drains — backpressure instead of
+  // unbounded memory growth under overload. Per-worker depth is observable
+  // via P2kvsStats::queue_depths.
+  size_t queue_capacity = 0;
+
+  // Vertical-batching policy selection; null picks the default from each
+  // engine's capabilities (greedy same-type merge per Algorithm 1, or
+  // pass-through for engines without batch APIs, §4.6).
+  BatchPolicyFactory batch_policy_factory;
 
   // Engine factory; defaults to RocksLite with default LSM options.
   EngineFactory engine_factory;
@@ -115,6 +128,10 @@ struct P2kvsStats {
   uint64_t read_batches = 0;      // multiget groups executed
   uint64_t reads_batched = 0;
   uint64_t singles = 0;           // requests executed unbatched
+  uint64_t degraded_rejects = 0;  // writes rejected fast by unhealthy partitions
+  // Current depth of each worker's request queue (backpressure visibility;
+  // compare against P2kvsOptions::queue_capacity).
+  std::vector<size_t> queue_depths;
   double AvgWriteBatchSize() const {
     return write_batches == 0 ? 0 : static_cast<double>(writes_batched) / write_batches;
   }
@@ -141,6 +158,19 @@ class P2KVS {
   void PutAsync(const Slice& key, const Slice& value, std::function<void(const Status&)> cb);
   void DeleteAsync(const Slice& key, std::function<void(const Status&)> cb);
 
+  // --- Client-side fan-out (one pre-merged group request per involved
+  // partition, joined on a single countdown completion). ---
+  // Batched point lookups. Keys may repeat and may all hash to one
+  // partition; values/statuses are positional with `keys`. Key-level
+  // outcomes (e.g. NotFound) are reported per key, never as a global error.
+  std::vector<Status> MultiGet(const std::vector<Slice>& keys,
+                               std::vector<std::string>* values);
+  // Applies a batch spanning instances WITHOUT transactional atomicity:
+  // each per-partition sub-batch is atomic, but a mid-flight failure can
+  // leave other partitions applied (use WriteTxn for all-or-nothing).
+  // Sub-batches carry no GSN, so workers may fold them into larger groups.
+  Status MultiWrite(WriteBatch* updates);
+
   // --- Range queries (§4.4). ---
   // All pairs in [begin, end), executed as parallel sub-RANGEs.
   Status Range(const Slice& begin, const Slice& end,
@@ -164,6 +194,8 @@ class P2KVS {
   // The worker a key routes to (the balanced request allocation of §4.2).
   int PartitionOf(const Slice& key) const;
   Status FlushAll();
+  // Blocks until every request already submitted has executed (per-worker
+  // barrier requests) and engine background work is quiescent.
   void WaitIdle();
   // Per-partition health snapshot (error governance).
   P2kvsHealth Health() const;
@@ -179,6 +211,8 @@ class P2KVS {
   P2KVS(const P2kvsOptions& options, std::string path);
 
   Status Init();
+  // Routes every update in `updates` to its partition's sub-batch.
+  Status SplitByPartition(WriteBatch* updates, std::vector<WriteBatch>* parts) const;
 
   P2kvsOptions options_;
   const std::string path_;

@@ -1,18 +1,27 @@
 // Request: the unit that flows from user threads through the accessing layer
-// into a worker's queue (paper Figure 9b). Sync requests block the caller on
-// an embedded completion; async requests carry a callback instead (the
-// asynchronous write interface of §4.1).
+// into a worker's queue (paper Figure 9b). A request is an intrusive node of
+// the lock-free submission queue and completes through exactly one of three
+// doors, all sharing one code path:
+//
+//   sync     — the caller parks on the request's embedded Completion
+//              (sync = async + wait; no per-request mutex/condvar);
+//   async    — a callback runs on the worker thread (§4.1's asynchronous
+//              write interface) and the heap request self-deletes;
+//   fan-out  — the request joins a shared countdown Completion covering a
+//              whole MultiGet / MultiWrite / parallel RANGE / WriteTxn.
 
 #ifndef P2KVS_SRC_CORE_REQUEST_H_
 #define P2KVS_SRC_CORE_REQUEST_H_
 
-#include <condition_variable>
+#include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "src/core/completion.h"
 #include "src/lsm/write_batch.h"
+#include "src/util/intrusive_mpsc_queue.h"
+#include "src/util/slice.h"
 #include "src/util/status.h"
 
 namespace p2kvs {
@@ -23,8 +32,10 @@ enum class RequestType : uint8_t {
   kGet,
   kScan,        // begin key + count
   kRange,       // begin key + end key
-  kWriteBatch,  // pre-built sub-batch of a GSN transaction
+  kWriteBatch,  // pre-built sub-batch of a GSN transaction or a MultiWrite
   kEndTxn,      // release the read-committed snapshot of a finished txn
+  kMultiGet,    // pre-merged per-partition slice of a client-side MultiGet
+  kBarrier,     // completes once every request queued before it has drained
 };
 
 inline bool IsWriteType(RequestType t) {
@@ -33,8 +44,8 @@ inline bool IsWriteType(RequestType t) {
 
 inline bool IsReadType(RequestType t) { return t == RequestType::kGet; }
 
-struct Request {
-  RequestType type;
+struct Request : MpscQueueNode {
+  RequestType type = RequestType::kPut;
 
   // Owned copies: async submitters return to the caller before processing.
   std::string key;
@@ -51,34 +62,45 @@ struct Request {
   size_t scan_count = 0;
   std::vector<std::pair<std::string, std::string>>* scan_out = nullptr;
 
+  // kMultiGet: this request carries the subset of a user MultiGet that
+  // routes to one partition. mget_index holds the original key positions;
+  // the pointed-to arrays belong to the caller, which outlives the join.
+  const std::vector<Slice>* mget_keys = nullptr;
+  std::vector<std::string>* mget_values = nullptr;
+  std::vector<Status>* mget_statuses = nullptr;
+  std::vector<uint32_t> mget_index;
+
   Status status;
 
   // Async completion: non-null callback means nobody Wait()s.
   std::function<void(const Status&)> callback;
 
+  // Fan-out join: when set, completion is reported to the shared group
+  // instead of the embedded done_ event.
+  Completion* group = nullptr;
+
   void Complete(const Status& s) {
+    status = s;
     if (callback) {
       callback(s);
       delete this;  // async requests are heap-allocated and self-owned
       return;
     }
-    std::lock_guard<std::mutex> lock(mu_);
-    status = s;
-    done_ = true;
-    cv_.notify_one();
+    if (group != nullptr) {
+      group->Finish(s);  // may release the waiter; this is the last touch
+      return;
+    }
+    done_.Finish(s);
   }
 
-  Status Wait() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return done_; });
-    return status;
-  }
+  Status Wait() { return done_.Wait(); }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool done_ = false;
+  Completion done_{1};
 };
+
+// The lock-free per-worker submission queue (accessing layer, §4.1).
+using RequestQueue = IntrusiveMpscQueue<Request>;
 
 }  // namespace p2kvs
 

@@ -20,7 +20,15 @@ const char* WorkerHealthName(WorkerHealth health) {
 }
 
 Worker::Worker(const Config& config, std::unique_ptr<KVStore> store)
-    : config_(config), store_(std::move(store)), caps_(store_->caps()) {}
+    : config_(config),
+      store_(std::move(store)),
+      caps_(store_->caps()),
+      queue_(config.queue_capacity) {
+  BatchPolicyFactory factory =
+      config_.batch_policy_factory ? config_.batch_policy_factory : MakeBatchPolicyFromCaps;
+  batch_policy_ = factory(caps_, config_.enable_obm, config_.max_batch_size);
+  group_.reserve(static_cast<size_t>(config_.max_batch_size));
+}
 
 Worker::~Worker() { Stop(); }
 
@@ -48,7 +56,8 @@ void Worker::Run() {
   SetThreadName("p2kvs-worker-" + std::to_string(config_.id));
 
   // The worker never waits for more requests to show up — batching is purely
-  // opportunistic over what is already queued (paper §4.3).
+  // opportunistic over what is already queued (paper §4.3). How much of the
+  // queue is taken per iteration is the BatchPolicy's decision.
   while (true) {
     std::optional<Request*> item = queue_.Pop();
     if (!item.has_value()) {
@@ -62,36 +71,38 @@ void Worker::Run() {
     }
     Request* r = *item;
 
-    if (r->type == RequestType::kScan) {
-      ExecuteScan(r);
-      continue;
-    }
-    if (r->type == RequestType::kRange) {
-      ExecuteRange(r);
-      continue;
+    switch (r->type) {
+      case RequestType::kScan:
+        ExecuteScan(r);
+        continue;
+      case RequestType::kRange:
+        ExecuteRange(r);
+        continue;
+      case RequestType::kMultiGet:
+        ExecuteMultiGet(r);
+        continue;
+      case RequestType::kBarrier:
+        // FIFO queue: everything submitted before the barrier has executed.
+        r->Complete(Status::OK());
+        continue;
+      case RequestType::kEndTxn:
+        ExecuteSingle(r);
+        continue;
+      default:
+        break;
     }
     if (IsWriteType(r->type) && RejectIfUnhealthy(r)) {
       continue;
     }
-    if (!config_.enable_obm) {
+    group_.clear();
+    batch_policy_->Collect(r, &queue_, &group_);
+    if (group_.size() <= 1) {
       ExecuteSingle(r);
-      continue;
+    } else if (IsWriteType(r->type)) {
+      ExecuteWriteGroup(group_);
+    } else {
+      ExecuteReadGroup(group_);
     }
-    if (r->type == RequestType::kEndTxn) {
-      ExecuteSingle(r);
-      continue;
-    }
-    if (IsWriteType(r->type)) {
-      // GSN-tagged sub-batches commit alone (paper §4.5), and merging needs
-      // an engine batch-write.
-      if (r->gsn != 0 || !caps_.batch_write) {
-        ExecuteSingle(r);
-      } else {
-        ExecuteWriteGroup(r);
-      }
-      continue;
-    }
-    ExecuteReadGroup(r);
   }
 }
 
@@ -159,23 +170,7 @@ Status Worker::TryResume() {
   return s;
 }
 
-void Worker::ExecuteWriteGroup(Request* first) {
-  std::vector<Request*> group;
-  group.push_back(first);
-  while (static_cast<int>(group.size()) < config_.max_batch_size) {
-    std::optional<Request*> next = queue_.TryPopIf(
-        [](Request* q) { return IsWriteType(q->type) && q->gsn == 0; });
-    if (!next.has_value()) {
-      break;
-    }
-    group.push_back(*next);
-  }
-
-  if (group.size() == 1) {
-    ExecuteSingle(first);
-    return;
-  }
-
+void Worker::ExecuteWriteGroup(const std::vector<Request*>& group) {
   WriteBatch merged;
   for (Request* r : group) {
     switch (r->type) {
@@ -215,23 +210,7 @@ Status Worker::ReadOne(const Slice& key, std::string* value) {
                       [&] { return store_->Get(key, value); });
 }
 
-void Worker::ExecuteReadGroup(Request* first) {
-  std::vector<Request*> group;
-  group.push_back(first);
-  while (static_cast<int>(group.size()) < config_.max_batch_size) {
-    std::optional<Request*> next =
-        queue_.TryPopIf([](Request* q) { return q->type == RequestType::kGet; });
-    if (!next.has_value()) {
-      break;
-    }
-    group.push_back(*next);
-  }
-
-  if (group.size() == 1) {
-    ExecuteSingle(first);
-    return;
-  }
-
+void Worker::ExecuteReadGroup(const std::vector<Request*>& group) {
   if (!txn_snapshots_.empty()) {
     // Snapshot reads bypass the multiget fast path; correctness first.
     for (Request* r : group) {
@@ -255,6 +234,36 @@ void Worker::ExecuteReadGroup(Request* first) {
     }
     group[i]->Complete(statuses[i]);
   }
+}
+
+void Worker::ExecuteMultiGet(Request* r) {
+  // A pre-merged per-partition slice of a client-side MultiGet: per-key
+  // outcomes scatter into the caller's arrays by original index; the group
+  // request itself always completes OK (key-level errors are per-key).
+  const std::vector<uint32_t>& index = r->mget_index;
+  if (!txn_snapshots_.empty()) {
+    for (uint32_t idx : index) {
+      (*r->mget_statuses)[idx] = ReadOne((*r->mget_keys)[idx], &(*r->mget_values)[idx]);
+    }
+    r->Complete(Status::OK());
+    return;
+  }
+  std::vector<Slice> keys;
+  keys.reserve(index.size());
+  for (uint32_t idx : index) {
+    keys.push_back((*r->mget_keys)[idx]);
+  }
+  std::vector<std::string> values;
+  std::vector<Status> statuses = store_->MultiGet(keys, &values);
+  read_batches_.fetch_add(1, std::memory_order_relaxed);
+  reads_batched_.fetch_add(index.size(), std::memory_order_relaxed);
+  for (size_t i = 0; i < index.size(); i++) {
+    (*r->mget_statuses)[index[i]] = statuses[i];
+    if (statuses[i].ok()) {
+      (*r->mget_values)[index[i]] = std::move(values[i]);
+    }
+  }
+  r->Complete(Status::OK());
 }
 
 void Worker::ExecuteSingle(Request* r) {

@@ -1,6 +1,6 @@
-// Worker: owns one KVS instance and one request queue; runs the
-// opportunistic batching mechanism (paper Algorithm 1) on a thread pinned to
-// a dedicated core.
+// Worker: owns one KVS instance and one lock-free request queue; runs the
+// configured BatchPolicy (default: the opportunistic batching mechanism,
+// paper Algorithm 1) on a thread pinned to a dedicated core.
 
 #ifndef P2KVS_SRC_CORE_WORKER_H_
 #define P2KVS_SRC_CORE_WORKER_H_
@@ -11,11 +11,12 @@
 #include <mutex>
 #include <thread>
 #include <utility>
+#include <vector>
 
+#include "src/core/batch_policy.h"
 #include "src/core/kv_store.h"
 #include "src/core/request.h"
 #include "src/io/retry.h"
-#include "src/util/mpsc_queue.h"
 
 namespace p2kvs {
 
@@ -40,6 +41,11 @@ class Worker {
     bool pin_to_cpu = true;
     bool enable_obm = true;
     int max_batch_size = 32;
+    // Bounded request queue (0 = unbounded). When full, submitters park
+    // until the worker drains (backpressure).
+    size_t queue_capacity = 0;
+    // Batch policy selection; defaults to MakeBatchPolicyFromCaps.
+    BatchPolicyFactory batch_policy_factory;
     // Read-committed transaction isolation (paper §4.5): hold a pre-txn
     // snapshot per in-flight GSN transaction and serve reads from the oldest
     // one, so uncommitted cross-instance writes stay invisible.
@@ -67,10 +73,12 @@ class Worker {
   void Stop();
 
   // Called by user threads (the accessing layer): enqueue and return.
+  // Parks only if the queue is bounded and full.
   void Submit(Request* request);
 
   KVStore* store() { return store_.get(); }
   size_t QueueDepth() const { return queue_.Size(); }
+  const char* batch_policy_name() const { return batch_policy_->name(); }
 
   WorkerHealth health() const {
     return static_cast<WorkerHealth>(health_.load(std::memory_order_acquire));
@@ -88,7 +96,8 @@ class Worker {
   // marks the partition healthy on success. No-op when already healthy.
   Status TryResume();
 
-  // OBM effectiveness counters.
+  // Batching effectiveness counters (engine-level groups, from either the
+  // BatchPolicy or pre-merged client fan-out requests).
   uint64_t write_batches() const { return write_batches_.load(std::memory_order_relaxed); }
   uint64_t writes_batched() const { return writes_batched_.load(std::memory_order_relaxed); }
   uint64_t read_batches() const { return read_batches_.load(std::memory_order_relaxed); }
@@ -99,8 +108,9 @@ class Worker {
   void Run();
   void ExecuteSingle(Request* request);
   Status ReadOne(const Slice& key, std::string* value);
-  void ExecuteWriteGroup(Request* first);  // merge into one WriteBatch
-  void ExecuteReadGroup(Request* first);   // merge into one MultiGet
+  void ExecuteWriteGroup(const std::vector<Request*>& group);  // one WriteBatch
+  void ExecuteReadGroup(const std::vector<Request*>& group);   // one MultiGet
+  void ExecuteMultiGet(Request* request);  // pre-merged client fan-out group
   void ExecuteScan(Request* request);
   void ExecuteRange(Request* request);
 
@@ -114,7 +124,9 @@ class Worker {
   const Config config_;
   std::unique_ptr<KVStore> store_;
   EngineCaps caps_;
-  MpscQueue<Request*> queue_;
+  RequestQueue queue_;
+  std::unique_ptr<BatchPolicy> batch_policy_;
+  std::vector<Request*> group_;  // worker-thread private scratch
   std::thread thread_;
 
   // In-flight GSN transactions' pre-images, oldest first (worker thread

@@ -2,16 +2,15 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <list>
 #include <map>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 
+#include "src/core/completion.h"
 #include "src/util/coding.h"
 #include "src/util/hash.h"
-#include "src/util/mpsc_queue.h"
+#include "src/util/intrusive_mpsc_queue.h"
 #include "src/util/thread_util.h"
 
 namespace p2kvs {
@@ -30,7 +29,7 @@ struct SlotLoc {
 
 enum class ReqType { kPut, kDelete, kGet, kScan, kStop };
 
-struct KvellRequest {
+struct KvellRequest : MpscQueueNode {
   ReqType type;
   Slice key;
   Slice value;
@@ -38,23 +37,11 @@ struct KvellRequest {
   size_t scan_count = 0;
   std::vector<std::pair<std::string, std::string>>* out_scan = nullptr;
 
-  Status status;
-  bool done = false;
-  std::mutex mu;
-  std::condition_variable cv;
+  void Complete(const Status& s) { done.Finish(s); }
+  Status Wait() { return done.Wait(); }
 
-  void Complete(const Status& s) {
-    std::lock_guard<std::mutex> lock(mu);
-    status = s;
-    done = true;
-    cv.notify_one();
-  }
-
-  Status Wait() {
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [this] { return done; });
-    return status;
-  }
+ private:
+  Completion done{1};
 };
 
 // One shared-nothing KVell worker: its own index, slabs and page cache.
@@ -415,7 +402,7 @@ class KvellWorker {
   const int id_;
   const size_t cache_budget_pages_;
 
-  MpscQueue<KvellRequest*> queue_;
+  IntrusiveMpscQueue<KvellRequest> queue_;
   std::thread thread_;
 
   // Worker-private state (only touched by the worker thread after Open).

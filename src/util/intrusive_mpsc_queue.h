@@ -1,0 +1,307 @@
+// Intrusive lock-free multi-producer single-consumer queue (Vyukov's
+// intrusive MPSC design) backing each p2KVS worker's request queue (paper
+// §4.1). Producers are user threads: a push is two atomic RMWs (a ticket
+// and the head exchange) plus plain stores — never a lock, never a syscall
+// unless the consumer is parked. The single consumer (the worker) pops with
+// no atomic RMW at all and parks on a futex (C++20 std::atomic::wait) only
+// when the queue is provably empty.
+//
+// The consumer-side API exposes exactly what the batching policies
+// (Algorithm 1) need: blocking pop, peek-front, and a conditional pop used
+// while merging a batch.
+//
+// Close/drain safety: producers take a ticket (tickets_) before checking
+// closed_, and the consumer only declares the queue drained once
+// popped_ == tickets_ — so a push that raced Close() is either fully popped
+// or fully aborted, never half-published. Wakeups use a Dekker-style
+// parked_ flag: the consumer publishes parked_ (seq_cst) and re-checks the
+// queue before sleeping; a producer checks parked_ (seq_cst) after its head
+// exchange, so one of them always sees the other.
+//
+// Optional backpressure: a non-zero capacity bounds the queue; producers at
+// capacity park on a futex word until the consumer drains (still no lock).
+//
+// The old mutex+condvar MpscQueue (src/util/mpsc_queue.h) is retained as the
+// baseline for the queue-handoff microbenchmark in
+// bench_fig07_batching_effect.
+
+#ifndef P2KVS_SRC_UTIL_INTRUSIVE_MPSC_QUEUE_H_
+#define P2KVS_SRC_UTIL_INTRUSIVE_MPSC_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <thread>
+
+namespace p2kvs {
+
+// Base class providing the intrusive link. A node may be on at most one
+// queue at a time and must not be destroyed until popped.
+struct MpscQueueNode {
+  std::atomic<MpscQueueNode*> mpsc_next{nullptr};
+};
+
+// T must derive from MpscQueueNode. Items are borrowed, never owned: the
+// queue stops touching a node the moment Pop returns it.
+template <typename T>
+class IntrusiveMpscQueue {
+ public:
+  explicit IntrusiveMpscQueue(size_t capacity = 0) : capacity_(capacity) {
+    head_.store(&stub_, std::memory_order_relaxed);
+    tail_ = &stub_;
+  }
+
+  IntrusiveMpscQueue(const IntrusiveMpscQueue&) = delete;
+  IntrusiveMpscQueue& operator=(const IntrusiveMpscQueue&) = delete;
+
+  // Enqueues an item. Lock-free; wait-free when unbounded. With a bounded
+  // capacity the producer parks while the queue is full (backpressure).
+  // Returns false if the queue has been closed (the item is not enqueued).
+  bool Push(T* item) {
+    // The ticket brackets the closed-check + link so the consumer can prove
+    // at drain time that no producer is still about to publish a node.
+    tickets_.fetch_add(1, std::memory_order_seq_cst);
+    if (closed_.load(std::memory_order_seq_cst)) {
+      AbortTicket();
+      return false;
+    }
+    if (capacity_ != 0 && !AcquireSlot()) {
+      AbortTicket();
+      return false;  // closed while waiting for room
+    }
+
+    MpscQueueNode* node = item;
+    node->mpsc_next.store(nullptr, std::memory_order_relaxed);
+    // seq_cst so the exchange orders against the consumer's parked_ publish
+    // (Dekker); on x86 the exchange is a full barrier anyway.
+    MpscQueueNode* prev = head_.exchange(node, std::memory_order_seq_cst);
+    // Between the exchange and this store the chain is broken; the consumer
+    // detects that (next == null but head moved) and spins instead of
+    // parking or mis-reporting empty.
+    prev->mpsc_next.store(node, std::memory_order_release);
+
+    if (parked_.load(std::memory_order_seq_cst) != 0) {
+      WakeConsumer();
+    }
+    return true;
+  }
+
+  // Blocks until an item is available or the queue is closed and drained.
+  // Returns std::nullopt only in the closed-and-drained case.
+  std::optional<T*> Pop() {
+    int spins = 0;
+    while (true) {
+      bool provably_empty = false;
+      if (MpscQueueNode* node = TryPopNode(&provably_empty)) {
+        CommitPop();
+        return static_cast<T*>(node);
+      }
+      if (!provably_empty) {
+        // A producer is mid-push: its node is an exchange ahead of its link.
+        if (++spins < 128) {
+          CpuRelax();
+        } else {
+          std::this_thread::yield();
+        }
+        continue;
+      }
+      spins = 0;
+
+      // Publish intent to park, then re-check: any producer whose exchange
+      // the check misses must see parked_ == 1 and wake us (Dekker).
+      parked_.store(1, std::memory_order_seq_cst);
+      if (MpscQueueNode* node = TryPopNode(&provably_empty)) {
+        parked_.store(0, std::memory_order_relaxed);
+        CommitPop();
+        return static_cast<T*>(node);
+      }
+      if (!provably_empty) {
+        parked_.store(0, std::memory_order_relaxed);
+        continue;
+      }
+      if (closed_.load(std::memory_order_seq_cst) &&
+          popped_.load(std::memory_order_relaxed) ==
+              tickets_.load(std::memory_order_seq_cst)) {
+        // Closed, empty, and every ticket either popped or aborted: drained.
+        // (A producer that aborts its ticket after this load only shrinks
+        // tickets_, and one that takes a new ticket will observe closed_.)
+        parked_.store(0, std::memory_order_relaxed);
+        return std::nullopt;
+      }
+      parked_.wait(1, std::memory_order_acquire);
+      parked_.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  // Consumer-only, non-blocking: the item Pop would return next, or null
+  // when the queue is empty (or the front is still being linked).
+  T* Front() {
+    MpscQueueNode* tail = tail_;
+    if (tail != &stub_) {
+      return static_cast<T*>(tail);
+    }
+    MpscQueueNode* next = tail->mpsc_next.load(std::memory_order_acquire);
+    return static_cast<T*>(next);
+  }
+
+  // Consumer-only, non-blocking: pops the front item iff the queue is
+  // non-empty and pred(front) holds. This is the "merge consecutive
+  // same-type requests" primitive of the batching policies; it never waits
+  // for more requests to arrive.
+  template <typename Pred>
+  T* TryPopIf(Pred pred) {
+    T* front = Front();
+    if (front == nullptr || !pred(front)) {
+      return nullptr;
+    }
+    bool provably_empty = false;
+    MpscQueueNode* node = TryPopNode(&provably_empty);
+    // node is null only when the front is the last element and a concurrent
+    // push raced the stub re-insert; the batching policy just stops merging.
+    if (node != nullptr) {
+      CommitPop();
+    }
+    return static_cast<T*>(node);
+  }
+
+  // Approximate (exact when quiescent). Counts items between ticket
+  // acquisition and pop, so it may transiently include an in-flight push.
+  size_t Size() const {
+    uint64_t pushed = tickets_.load(std::memory_order_acquire);
+    uint64_t popped = popped_.load(std::memory_order_acquire);
+    return pushed > popped ? static_cast<size_t>(pushed - popped) : 0;
+  }
+
+  bool Empty() const { return Size() == 0; }
+
+  size_t capacity() const { return capacity_; }
+
+  // Wakes all parked producers and the consumer; subsequent Push calls fail,
+  // Pop drains the remainder.
+  void Close() {
+    closed_.store(true, std::memory_order_seq_cst);
+    WakeConsumer();
+    if (capacity_ != 0) {
+      pop_epoch_.fetch_add(1, std::memory_order_release);
+      pop_epoch_.notify_all();
+    }
+  }
+
+  bool closed() const { return closed_.load(std::memory_order_seq_cst); }
+
+ private:
+  static void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield" ::: "memory");
+#endif
+  }
+
+  // Vyukov intrusive MPSC pop. Returns the detached front node, or null with
+  // *provably_empty saying whether the queue was empty (park) versus caught
+  // mid-push (spin). Consumer-only.
+  MpscQueueNode* TryPopNode(bool* provably_empty) {
+    *provably_empty = false;
+    MpscQueueNode* tail = tail_;
+    MpscQueueNode* next = tail->mpsc_next.load(std::memory_order_acquire);
+    if (tail == &stub_) {
+      if (next == nullptr) {
+        // Empty only if nothing was ever exchanged past the stub. seq_cst:
+        // this load orders against the producer's head exchange (Dekker
+        // partner of the parked_ publish).
+        *provably_empty = head_.load(std::memory_order_seq_cst) == &stub_;
+        return nullptr;
+      }
+      tail_ = next;
+      tail = next;
+      next = next->mpsc_next.load(std::memory_order_acquire);
+    }
+    if (next != nullptr) {
+      tail_ = next;
+      return tail;
+    }
+    if (tail != head_.load(std::memory_order_seq_cst)) {
+      return nullptr;  // a producer exchanged head but has not linked yet
+    }
+    // tail is the single last node: re-insert the stub behind it so the
+    // consumer can detach tail without ever touching a returned node again.
+    stub_.mpsc_next.store(nullptr, std::memory_order_relaxed);
+    MpscQueueNode* prev = head_.exchange(&stub_, std::memory_order_seq_cst);
+    prev->mpsc_next.store(&stub_, std::memory_order_release);
+    next = tail->mpsc_next.load(std::memory_order_acquire);
+    if (next != nullptr) {
+      tail_ = next;
+      return tail;
+    }
+    return nullptr;  // raced with a push that slid in before the stub
+  }
+
+  // Consumer-side bookkeeping after a successful TryPopNode.
+  void CommitPop() {
+    // Single writer: a plain store of the incremented count, no RMW.
+    popped_.store(popped_.load(std::memory_order_relaxed) + 1,
+                  std::memory_order_release);
+    if (capacity_ != 0) {
+      size_.fetch_sub(1, std::memory_order_acq_rel);
+      pop_epoch_.fetch_add(1, std::memory_order_release);
+      pop_epoch_.notify_all();
+    }
+  }
+
+  // A producer backing out of its ticket (queue closed): the consumer may be
+  // parked waiting for this ticket to resolve, so wake it either way.
+  void AbortTicket() {
+    tickets_.fetch_sub(1, std::memory_order_seq_cst);
+    if (parked_.load(std::memory_order_seq_cst) != 0) {
+      WakeConsumer();
+    }
+  }
+
+  void WakeConsumer() {
+    parked_.store(0, std::memory_order_seq_cst);
+    parked_.notify_one();
+  }
+
+  // Bounded mode: claim one of capacity_ slots, parking while full.
+  bool AcquireSlot() {
+    while (true) {
+      size_t s = size_.load(std::memory_order_acquire);
+      if (s < capacity_) {
+        if (size_.compare_exchange_weak(s, s + 1, std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+          return true;
+        }
+        continue;
+      }
+      if (closed_.load(std::memory_order_seq_cst)) {
+        return false;
+      }
+      uint32_t epoch = pop_epoch_.load(std::memory_order_acquire);
+      if (size_.load(std::memory_order_acquire) >= capacity_ &&
+          !closed_.load(std::memory_order_seq_cst)) {
+        pop_epoch_.wait(epoch, std::memory_order_acquire);
+      }
+    }
+  }
+
+  const size_t capacity_;
+
+  // Producer side: exchanged on every push; keep away from the consumer's
+  // cache line.
+  alignas(64) std::atomic<MpscQueueNode*> head_;
+  alignas(64) std::atomic<uint64_t> tickets_{0};  // pushes started (net of aborts)
+  alignas(64) MpscQueueNode* tail_;               // consumer-private
+  MpscQueueNode stub_;
+  std::atomic<uint64_t> popped_{0};  // consumer-written, observable for Size
+
+  alignas(64) std::atomic<uint32_t> parked_{0};  // consumer's futex word
+  std::atomic<uint32_t> pop_epoch_{0};  // producers park here when full
+  std::atomic<size_t> size_{0};         // bounded mode: slots acquired
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_UTIL_INTRUSIVE_MPSC_QUEUE_H_

@@ -1,0 +1,275 @@
+// Client-side fan-out tests: MultiGet / MultiWrite split per partition,
+// join on one countdown completion, and report key-level outcomes
+// positionally — including with duplicate keys, single-partition key sets,
+// empty inputs, and a partition degraded to read-only mid-fan-out.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/p2kvs.h"
+#include "src/io/error_injection_env.h"
+#include "src/io/mem_env.h"
+
+namespace p2kvs {
+namespace {
+
+Options SmallLsmOptions(Env* env) {
+  Options options;
+  options.env = env;
+  options.write_buffer_size = 64 * 1024;
+  options.target_file_size = 32 * 1024;
+  options.max_bytes_for_level_base = 128 * 1024;
+  return options;
+}
+
+class FanoutTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = NewMemEnv();
+    p2options_.env = env_.get();
+    p2options_.num_workers = 4;
+    p2options_.pin_workers = false;
+    p2options_.engine_factory = MakeRocksLiteFactory(SmallLsmOptions(env_.get()));
+    ASSERT_TRUE(P2KVS::Open(p2options_, "/p2", &store_).ok());
+  }
+
+  std::unique_ptr<Env> env_;
+  P2kvsOptions p2options_;
+  std::unique_ptr<P2KVS> store_;
+};
+
+TEST_F(FanoutTest, MultiGetAcrossPartitions) {
+  for (int i = 0; i < 100; i++) {
+    std::string key = "key" + std::to_string(i);
+    ASSERT_TRUE(store_->Put(key, "val" + std::to_string(i)).ok());
+  }
+  std::vector<std::string> storage;
+  for (int i = 0; i < 100; i++) {
+    storage.push_back("key" + std::to_string(i));
+  }
+  std::vector<Slice> keys(storage.begin(), storage.end());
+  std::vector<std::string> values;
+  std::vector<Status> statuses = store_->MultiGet(keys, &values);
+  ASSERT_EQ(keys.size(), statuses.size());
+  ASSERT_EQ(keys.size(), values.size());
+  for (size_t i = 0; i < keys.size(); i++) {
+    ASSERT_TRUE(statuses[i].ok()) << keys[i].ToString() << ": " << statuses[i].ToString();
+    EXPECT_EQ("val" + std::to_string(i), values[i]);
+  }
+}
+
+TEST_F(FanoutTest, MultiGetReportsNotFoundPerKey) {
+  ASSERT_TRUE(store_->Put("present-a", "1").ok());
+  ASSERT_TRUE(store_->Put("present-b", "2").ok());
+  std::vector<Slice> keys = {"present-a", "missing-x", "present-b", "missing-y"};
+  std::vector<std::string> values;
+  std::vector<Status> statuses = store_->MultiGet(keys, &values);
+  EXPECT_TRUE(statuses[0].ok());
+  EXPECT_EQ("1", values[0]);
+  EXPECT_TRUE(statuses[1].IsNotFound());
+  EXPECT_TRUE(statuses[2].ok());
+  EXPECT_EQ("2", values[2]);
+  EXPECT_TRUE(statuses[3].IsNotFound());
+}
+
+TEST_F(FanoutTest, MultiGetDuplicateKeys) {
+  ASSERT_TRUE(store_->Put("dup", "d").ok());
+  ASSERT_TRUE(store_->Put("other", "o").ok());
+  std::vector<Slice> keys = {"dup", "other", "dup", "dup", "nope", "nope"};
+  std::vector<std::string> values;
+  std::vector<Status> statuses = store_->MultiGet(keys, &values);
+  EXPECT_TRUE(statuses[0].ok());
+  EXPECT_EQ("d", values[0]);
+  EXPECT_TRUE(statuses[1].ok());
+  EXPECT_EQ("o", values[1]);
+  EXPECT_TRUE(statuses[2].ok());
+  EXPECT_EQ("d", values[2]);
+  EXPECT_TRUE(statuses[3].ok());
+  EXPECT_EQ("d", values[3]);
+  EXPECT_TRUE(statuses[4].IsNotFound());
+  EXPECT_TRUE(statuses[5].IsNotFound());
+}
+
+TEST_F(FanoutTest, MultiGetAllKeysOnePartition) {
+  // Collect keys that all hash to partition 0: the fan-out degenerates to a
+  // single pre-merged group request.
+  std::vector<std::string> storage;
+  for (int i = 0; storage.size() < 16; i++) {
+    std::string key = "solo" + std::to_string(i);
+    if (store_->PartitionOf(key) == 0) {
+      ASSERT_TRUE(store_->Put(key, "v-" + key).ok());
+      storage.push_back(std::move(key));
+    }
+  }
+  std::vector<Slice> keys(storage.begin(), storage.end());
+  std::vector<std::string> values;
+  std::vector<Status> statuses = store_->MultiGet(keys, &values);
+  for (size_t i = 0; i < keys.size(); i++) {
+    ASSERT_TRUE(statuses[i].ok());
+    EXPECT_EQ("v-" + storage[i], values[i]);
+  }
+  P2kvsStats stats = store_->GetStats();
+  EXPECT_GE(stats.read_batches, 1u);
+  EXPECT_GE(stats.reads_batched, keys.size());
+}
+
+TEST_F(FanoutTest, MultiGetEmptyKeySet) {
+  std::vector<Slice> keys;
+  std::vector<std::string> values = {"stale"};
+  std::vector<Status> statuses = store_->MultiGet(keys, &values);
+  EXPECT_TRUE(statuses.empty());
+  EXPECT_TRUE(values.empty());
+}
+
+TEST_F(FanoutTest, MultiWriteAcrossPartitions) {
+  WriteBatch batch;
+  for (int i = 0; i < 64; i++) {
+    batch.Put("mw" + std::to_string(i), "v" + std::to_string(i));
+  }
+  ASSERT_TRUE(store_->MultiWrite(&batch).ok());
+  for (int i = 0; i < 64; i++) {
+    std::string value;
+    ASSERT_TRUE(store_->Get("mw" + std::to_string(i), &value).ok());
+    EXPECT_EQ("v" + std::to_string(i), value);
+  }
+
+  WriteBatch deletions;
+  for (int i = 0; i < 64; i += 2) {
+    deletions.Delete("mw" + std::to_string(i));
+  }
+  ASSERT_TRUE(store_->MultiWrite(&deletions).ok());
+  for (int i = 0; i < 64; i++) {
+    std::string value;
+    Status s = store_->Get("mw" + std::to_string(i), &value);
+    if (i % 2 == 0) {
+      EXPECT_TRUE(s.IsNotFound()) << i;
+    } else {
+      EXPECT_TRUE(s.ok()) << i;
+    }
+  }
+}
+
+TEST_F(FanoutTest, MultiWriteEmptyBatch) {
+  WriteBatch batch;
+  EXPECT_TRUE(store_->MultiWrite(&batch).ok());
+}
+
+TEST_F(FanoutTest, ConcurrentFanouts) {
+  for (int i = 0; i < 200; i++) {
+    ASSERT_TRUE(store_->Put("c" + std::to_string(i), std::to_string(i)).ok());
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; t++) {
+    threads.emplace_back([this] {
+      std::vector<std::string> storage;
+      for (int i = 0; i < 200; i++) {
+        storage.push_back("c" + std::to_string(i));
+      }
+      std::vector<Slice> keys(storage.begin(), storage.end());
+      for (int round = 0; round < 20; round++) {
+        std::vector<std::string> values;
+        std::vector<Status> statuses = store_->MultiGet(keys, &values);
+        for (size_t i = 0; i < keys.size(); i++) {
+          ASSERT_TRUE(statuses[i].ok());
+          ASSERT_EQ(std::to_string(i), values[i]);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+}
+
+// ---------------- Fan-out across a degraded partition ----------------
+
+class FanoutGovernanceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_env_ = NewMemEnv();
+    env_ = std::make_unique<ErrorInjectionEnv>(base_env_.get());
+    Options lsm;
+    lsm.env = env_.get();
+    lsm.wal_retry.max_attempts = 1;
+    options_.env = env_.get();
+    options_.num_workers = 2;
+    options_.pin_workers = false;
+    options_.retry.max_attempts = 1;
+    options_.engine_factory = MakeRocksLiteFactory(lsm);
+    ASSERT_TRUE(P2KVS::Open(options_, "/p2", &store_).ok());
+    // One key per partition, to tell the degraded one from the healthy one.
+    for (int i = 0; keys_[0].empty() || keys_[1].empty(); i++) {
+      std::string key = "key-" + std::to_string(i);
+      keys_[static_cast<size_t>(store_->PartitionOf(key))] = key;
+    }
+  }
+
+  // Wedges partition 0's engine with a hard sync fault (sticky bg_error_),
+  // leaving it degraded / read-only until the fault clears.
+  void DegradePartitionZero() {
+    ASSERT_TRUE(store_->Put(keys_[0], "v0").ok());
+    ASSERT_TRUE(store_->Put(keys_[1], "v1").ok());
+    env_->SetPathFilter("instance-0/");
+    env_->SetFailureOdds(FaultOp::kSync, 1, /*transient=*/false);
+    WriteBatch txn;
+    txn.Put(keys_[0], "wedge");
+    ASSERT_FALSE(store_->WriteTxn(&txn).ok());
+    ASSERT_EQ(1, store_->Health().NumUnhealthy());
+  }
+
+  std::unique_ptr<Env> base_env_;
+  std::unique_ptr<ErrorInjectionEnv> env_;
+  P2kvsOptions options_;
+  std::unique_ptr<P2KVS> store_;
+  std::string keys_[2];
+};
+
+TEST_F(FanoutGovernanceTest, MultiGetStillServedByDegradedPartition) {
+  DegradePartitionZero();
+  // Reads keep flowing on a read-only partition: the fan-out sees per-key
+  // success on both the healthy and the degraded side.
+  std::vector<Slice> keys = {keys_[0], keys_[1]};
+  std::vector<std::string> values;
+  std::vector<Status> statuses = store_->MultiGet(keys, &values);
+  ASSERT_TRUE(statuses[0].ok()) << statuses[0].ToString();
+  EXPECT_EQ("v0", values[0]);
+  ASSERT_TRUE(statuses[1].ok()) << statuses[1].ToString();
+  EXPECT_EQ("v1", values[1]);
+}
+
+TEST_F(FanoutGovernanceTest, MultiWriteFailsFastOnDegradedPartition) {
+  DegradePartitionZero();
+  WriteBatch batch;
+  batch.Put(keys_[0], "new0");
+  batch.Put(keys_[1], "new1");
+  Status s = store_->MultiWrite(&batch);
+  EXPECT_TRUE(s.IsIOError()) << s.ToString();
+
+  // MultiWrite is atomic per partition only (documented): the healthy
+  // sub-batch lands, the degraded one is rejected fast.
+  std::string value;
+  ASSERT_TRUE(store_->Get(keys_[0], &value).ok());
+  EXPECT_EQ("v0", value);
+  ASSERT_TRUE(store_->Get(keys_[1], &value).ok());
+  EXPECT_EQ("new1", value);
+
+  // The rejection is visible in both the health and stats surfaces.
+  EXPECT_GT(store_->Health().workers[0].degraded_rejects, 0u);
+  EXPECT_GT(store_->GetStats().degraded_rejects, 0u);
+
+  // Once the fault clears, Resume restores write service to the fan-out.
+  env_->DisableAll();
+  ASSERT_TRUE(store_->Resume().ok());
+  WriteBatch retry;
+  retry.Put(keys_[0], "new0");
+  retry.Put(keys_[1], "new1b");
+  ASSERT_TRUE(store_->MultiWrite(&retry).ok());
+  ASSERT_TRUE(store_->Get(keys_[0], &value).ok());
+  EXPECT_EQ("new0", value);
+}
+
+}  // namespace
+}  // namespace p2kvs

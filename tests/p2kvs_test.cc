@@ -212,6 +212,23 @@ TEST_P(P2kvsEngineTest, GlobalIteratorIsSorted) {
   EXPECT_EQ(200, count);
 }
 
+TEST_P(P2kvsEngineTest, WaitIdleDrainsAsyncSubmissions) {
+  constexpr int kOps = 300;
+  std::atomic<int> completions{0};
+  for (int i = 0; i < kOps; i++) {
+    store_->PutAsync("drain" + std::to_string(i), std::to_string(i),
+                     [&](const Status&) { completions.fetch_add(1); });
+  }
+  // WaitIdle must drain the worker queues (per-worker barriers), not just
+  // quiesce engine background work: once it returns, every callback has
+  // fired and every write is readable.
+  store_->WaitIdle();
+  EXPECT_EQ(kOps, completions.load());
+  for (int i = 0; i < kOps; i += 13) {
+    ASSERT_EQ(std::to_string(i), Get("drain" + std::to_string(i)));
+  }
+}
+
 TEST_P(P2kvsEngineTest, ReopenRecoversData) {
   for (int i = 0; i < 500; i++) {
     ASSERT_TRUE(store_->Put("persist" + std::to_string(i), std::to_string(i)).ok());
@@ -382,6 +399,56 @@ TEST_F(P2kvsTxnTest, TxnWithDeletes) {
   EXPECT_TRUE(store_->Get("a", &value).IsNotFound());
   ASSERT_TRUE(store_->Get("c", &value).ok());
   EXPECT_EQ("3", value);
+}
+
+// --- Bounded queues / backpressure ---
+
+TEST(P2kvsBackpressureTest, BoundedQueuesCompleteEverythingAndReportDepth) {
+  auto env = NewMemEnv();
+  P2kvsOptions options;
+  options.env = env.get();
+  options.num_workers = 2;
+  options.pin_workers = false;
+  options.queue_capacity = 4;
+  options.engine_factory = MakeRocksLiteFactory(SmallLsmOptions(env.get()));
+  std::unique_ptr<P2KVS> store;
+  ASSERT_TRUE(P2KVS::Open(options, "/p2", &store).ok());
+
+  // Hammer the tiny queues from several threads: producers park at capacity
+  // (backpressure) rather than dropping or failing, so every op completes.
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::atomic<int> completions{0};
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; i++) {
+        store->PutAsync("bp" + std::to_string(t) + "-" + std::to_string(i), "v",
+                        [&](const Status& s) {
+                          if (!s.ok()) {
+                            errors.fetch_add(1);
+                          }
+                          completions.fetch_add(1);
+                        });
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  store->WaitIdle();
+  EXPECT_EQ(kThreads * kPerThread, completions.load());
+  EXPECT_EQ(0, errors.load());
+
+  P2kvsStats stats = store->GetStats();
+  ASSERT_EQ(2u, stats.queue_depths.size());
+  for (size_t depth : stats.queue_depths) {
+    EXPECT_EQ(0u, depth);  // drained after WaitIdle
+  }
+  EXPECT_EQ(0u, stats.degraded_rejects);
+  EXPECT_EQ(static_cast<uint64_t>(kThreads * kPerThread),
+            stats.writes_batched + stats.singles);
 }
 
 TEST_F(P2kvsTxnTest, WtLiteRejectsTxn) {

@@ -1,8 +1,9 @@
 // Unit tests for the util module: coding, CRC32C, hashing, slices, status,
-// arena, histogram, rate limiter, MPSC queue.
+// arena, histogram, rate limiter, MPSC queues (locked and lock-free).
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 #include <vector>
 
@@ -13,6 +14,7 @@
 #include "src/util/crc32c.h"
 #include "src/util/hash.h"
 #include "src/util/histogram.h"
+#include "src/util/intrusive_mpsc_queue.h"
 #include "src/util/mpsc_queue.h"
 #include "src/util/random.h"
 #include "src/util/rate_limiter.h"
@@ -393,6 +395,157 @@ TEST(RandomTest, SkewedAndUniformBounds) {
     EXPECT_GE(d, 0.0);
     EXPECT_LT(d, 1.0);
   }
+}
+
+struct IntNode : MpscQueueNode {
+  int value = 0;
+};
+
+TEST(IntrusiveMpscQueueTest, FifoSingleThread) {
+  IntrusiveMpscQueue<IntNode> q;
+  IntNode nodes[10];
+  for (int i = 0; i < 10; i++) {
+    nodes[i].value = i;
+    ASSERT_TRUE(q.Push(&nodes[i]));
+  }
+  EXPECT_EQ(10u, q.Size());
+  for (int i = 0; i < 10; i++) {
+    auto v = q.Pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(i, (*v)->value);
+  }
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(IntrusiveMpscQueueTest, FrontAndTryPopIf) {
+  IntrusiveMpscQueue<IntNode> q;
+  IntNode nodes[3];
+  nodes[0].value = 2;
+  nodes[1].value = 4;
+  nodes[2].value = 5;
+  for (auto& n : nodes) {
+    q.Push(&n);
+  }
+  auto even = [](IntNode* n) { return n->value % 2 == 0; };
+  EXPECT_EQ(2, q.Front()->value);
+  EXPECT_EQ(2, q.TryPopIf(even)->value);
+  EXPECT_EQ(4, q.TryPopIf(even)->value);
+  EXPECT_EQ(nullptr, q.TryPopIf(even));  // front is 5
+  EXPECT_EQ(5, (*q.Pop())->value);
+  EXPECT_EQ(nullptr, q.Front());
+  EXPECT_EQ(nullptr, q.TryPopIf(even));  // empty
+}
+
+TEST(IntrusiveMpscQueueTest, NodesAreReusableAfterPop) {
+  IntrusiveMpscQueue<IntNode> q;
+  IntNode node;
+  for (int round = 0; round < 100; round++) {
+    node.value = round;
+    ASSERT_TRUE(q.Push(&node));
+    auto v = q.Pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(&node, *v);
+    EXPECT_EQ(round, (*v)->value);
+  }
+}
+
+TEST(IntrusiveMpscQueueTest, CloseDrainsAndStopsPush) {
+  IntrusiveMpscQueue<IntNode> q;
+  IntNode a, b;
+  ASSERT_TRUE(q.Push(&a));
+  q.Close();
+  EXPECT_FALSE(q.Push(&b));
+  auto v = q.Pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(&a, *v);
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(IntrusiveMpscQueueTest, CloseWakesBlockedConsumer) {
+  IntrusiveMpscQueue<IntNode> q;
+  std::thread consumer([&q] { EXPECT_FALSE(q.Pop().has_value()); });
+  // Give the consumer a moment to park before closing.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.Close();
+  consumer.join();
+}
+
+TEST(IntrusiveMpscQueueTest, ManyProducersOneConsumer) {
+  IntrusiveMpscQueue<IntNode> q;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 5000;
+  std::vector<std::vector<IntNode>> nodes(kProducers);
+  for (auto& per_producer : nodes) {
+    per_producer = std::vector<IntNode>(kPerProducer);
+  }
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kProducers; t++) {
+    producers.emplace_back([&q, &nodes, t] {
+      for (int i = 0; i < kPerProducer; i++) {
+        nodes[t][i].value = t * kPerProducer + i;
+        ASSERT_TRUE(q.Push(&nodes[t][i]));
+      }
+    });
+  }
+  std::vector<int> seen;
+  std::thread consumer([&q, &seen] {
+    for (int i = 0; i < kProducers * kPerProducer; i++) {
+      auto v = q.Pop();
+      ASSERT_TRUE(v.has_value());
+      seen.push_back((*v)->value);
+    }
+  });
+  for (auto& t : producers) {
+    t.join();
+  }
+  consumer.join();
+  ASSERT_EQ(static_cast<size_t>(kProducers * kPerProducer), seen.size());
+  // Per-producer FIFO: each producer's values must appear in its push order.
+  std::vector<int> next(kProducers, 0);
+  for (int v : seen) {
+    int producer = v / kPerProducer;
+    EXPECT_EQ(next[producer], v % kPerProducer);
+    next[producer] = v % kPerProducer + 1;
+  }
+  std::sort(seen.begin(), seen.end());
+  for (int i = 0; i < kProducers * kPerProducer; i++) {
+    ASSERT_EQ(i, seen[i]);
+  }
+}
+
+TEST(IntrusiveMpscQueueTest, BoundedCapacityAppliesBackpressure) {
+  IntrusiveMpscQueue<IntNode> q(2);
+  EXPECT_EQ(2u, q.capacity());
+  IntNode nodes[3];
+  ASSERT_TRUE(q.Push(&nodes[0]));
+  ASSERT_TRUE(q.Push(&nodes[1]));
+
+  // The queue is full: the third push must park until the consumer drains.
+  std::atomic<bool> third_pushed{false};
+  std::thread producer([&] {
+    ASSERT_TRUE(q.Push(&nodes[2]));
+    third_pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(third_pushed.load());
+
+  EXPECT_EQ(&nodes[0], *q.Pop());
+  producer.join();
+  EXPECT_TRUE(third_pushed.load());
+  EXPECT_EQ(&nodes[1], *q.Pop());
+  EXPECT_EQ(&nodes[2], *q.Pop());
+}
+
+TEST(IntrusiveMpscQueueTest, CloseWakesBlockedProducer) {
+  IntrusiveMpscQueue<IntNode> q(1);
+  IntNode a, b;
+  ASSERT_TRUE(q.Push(&a));
+  std::thread producer([&q, &b] { EXPECT_FALSE(q.Push(&b)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.Close();
+  producer.join();
+  EXPECT_EQ(&a, *q.Pop());
+  EXPECT_FALSE(q.Pop().has_value());
 }
 
 }  // namespace
