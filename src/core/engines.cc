@@ -88,6 +88,8 @@ class LsmEngine final : public KVStore {
     return db_->Get(ro, key, value);
   }
 
+  void InstallEventHooks(const EngineEventHooks& hooks) override { db_->SetEventHooks(hooks); }
+
   Status Flush() override { return db_->FlushMemTable(); }
   Status Resume() override { return db_->Resume(); }
   void WaitIdle() override { db_->WaitForBackgroundWork(); }

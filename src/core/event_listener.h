@@ -1,0 +1,42 @@
+// EventListener: the framework-level observability callback surface. One
+// listener (P2kvsOptions::listener) observes every partition: engine events
+// (flush / compaction / write stall) are forwarded from the engines'
+// EngineEventHooks with the owning worker's id attached, health transitions
+// come from the per-worker governance state machine, and OnStatsDump carries
+// the periodic reporter's JSON when stats_dump_period_ms is set.
+//
+// Threading: callbacks fire on whatever thread produced the event — engine
+// background threads (flush/compaction), the worker thread (stalls during a
+// write, health degradation), any thread calling Resume() (health recovery),
+// or the stats-reporter thread (OnStatsDump). Implementations must be
+// thread-safe and must not block; never call back into P2KVS synchronous
+// APIs from a callback (the worker thread servicing the callback cannot
+// serve the request it would wait on).
+
+#ifndef P2KVS_SRC_CORE_EVENT_LISTENER_H_
+#define P2KVS_SRC_CORE_EVENT_LISTENER_H_
+
+#include <string>
+
+#include "src/lsm/options.h"
+
+namespace p2kvs {
+
+enum class WorkerHealth : int;
+
+class EventListener {
+ public:
+  virtual ~EventListener() = default;
+
+  virtual void OnFlushCompleted(int /*worker_id*/, const FlushEventInfo& /*info*/) {}
+  virtual void OnCompactionCompleted(int /*worker_id*/, const CompactionEventInfo& /*info*/) {}
+  virtual void OnWriteStalled(int /*worker_id*/, const StallEventInfo& /*info*/) {}
+  virtual void OnHealthTransition(int /*worker_id*/, WorkerHealth /*from*/,
+                                  WorkerHealth /*to*/) {}
+  // Periodic stats reporter output (P2kvsStats::ToJson()).
+  virtual void OnStatsDump(const std::string& /*stats_json*/) {}
+};
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_CORE_EVENT_LISTENER_H_

@@ -71,6 +71,12 @@ class KVStore {
     return Status::NotSupported("engine has no snapshots");
   }
 
+  // Installs observability callbacks (flush/compaction/stall completion; see
+  // EngineEventHooks in src/lsm/options.h). Called once by the owning worker
+  // before the instance serves traffic; engines without internal
+  // instrumentation ignore it.
+  virtual void InstallEventHooks(const EngineEventHooks& /*hooks*/) {}
+
   // Persists buffered state (test/bench hook).
   virtual Status Flush() { return Status::OK(); }
 

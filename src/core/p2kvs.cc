@@ -1,6 +1,8 @@
 #include "src/core/p2kvs.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <deque>
 
 #include "src/core/completion.h"
@@ -24,6 +26,14 @@ P2KVS::P2KVS(const P2kvsOptions& options, std::string path)
 }
 
 P2KVS::~P2KVS() {
+  if (stats_dumper_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(dumper_mu_);
+      dumper_stop_ = true;
+    }
+    dumper_cv_.notify_all();
+    stats_dumper_.join();
+  }
   for (auto& worker : workers_) {
     worker->Stop();
   }
@@ -72,12 +82,32 @@ Status P2KVS::Init() {
     config.retry = options_.retry;
     config.auto_resume_interval_us = options_.auto_resume_interval_us;
     config.max_auto_resume_failures = options_.max_auto_resume_failures;
+    config.enable_stats = options_.enable_stats;
+    config.listener = options_.listener.get();
     workers_.push_back(std::make_unique<Worker>(config, std::move(instance)));
   }
   for (auto& worker : workers_) {
     worker->Start();
   }
+  if (options_.stats_dump_period_ms > 0) {
+    stats_dumper_ = std::thread([this] { StatsDumpLoop(); });
+  }
   return Status::OK();
+}
+
+void P2KVS::StatsDumpLoop() {
+  const auto period = std::chrono::milliseconds(options_.stats_dump_period_ms);
+  std::unique_lock<std::mutex> lock(dumper_mu_);
+  while (!dumper_cv_.wait_for(lock, period, [this] { return dumper_stop_; })) {
+    lock.unlock();
+    std::string json = GetStats().ToJson();
+    if (options_.listener != nullptr) {
+      options_.listener->OnStatsDump(json);
+    } else {
+      std::fprintf(stderr, "%s\n", json.c_str());
+    }
+    lock.lock();
+  }
 }
 
 int P2KVS::PartitionOf(const Slice& key) const {
@@ -219,10 +249,13 @@ Status P2KVS::MultiWrite(WriteBatch* updates) {
 }
 
 Status P2KVS::Range(const Slice& begin, const Slice& end,
-                    std::vector<std::pair<std::string, std::string>>* out) {
+                    std::vector<std::pair<std::string, std::string>>* out,
+                    std::vector<Status>* partition_status) {
   // A RANGE forks into per-instance sub-RANGEs executed in parallel, at no
   // extra read cost: partitions are disjoint (§4.4). All sub-requests join
-  // on one countdown completion.
+  // on one countdown completion. Failures are per partition, like MultiGet's
+  // per-key outcomes: the healthy partitions' pairs are always returned, so a
+  // single faulty instance degrades the result instead of erasing it.
   Completion join(static_cast<uint32_t>(workers_.size()));
   std::deque<Request> requests;
   std::vector<std::vector<std::pair<std::string, std::string>>> partials(workers_.size());
@@ -235,23 +268,39 @@ Status P2KVS::Range(const Slice& begin, const Slice& end,
     request.group = &join;
     workers_[i]->Submit(&request);
   }
-  Status result = join.Wait();
-  if (!result.ok()) {
-    return result;
+  join.Wait();
+  // Post-join, each request's own status is stable (Completion's
+  // release/acquire ordering) — harvest per-partition outcomes.
+  Status first_error;
+  if (partition_status != nullptr) {
+    partition_status->clear();
+    partition_status->reserve(workers_.size());
   }
   out->clear();
-  for (auto& partial : partials) {
-    out->insert(out->end(), std::make_move_iterator(partial.begin()),
-                std::make_move_iterator(partial.end()));
+  for (size_t i = 0; i < workers_.size(); i++) {
+    const Status& s = requests[i].status;
+    if (partition_status != nullptr) {
+      partition_status->push_back(s);
+    }
+    if (s.ok()) {
+      out->insert(out->end(), std::make_move_iterator(partials[i].begin()),
+                  std::make_move_iterator(partials[i].end()));
+    } else if (first_error.ok()) {
+      first_error = s;
+    }
   }
   std::sort(out->begin(), out->end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
-  return Status::OK();
+  return first_error;
 }
 
 Status P2KVS::Scan(const Slice& begin, size_t count,
-                   std::vector<std::pair<std::string, std::string>>* out) {
+                   std::vector<std::pair<std::string, std::string>>* out,
+                   std::vector<Status>* partition_status) {
   out->clear();
+  if (partition_status != nullptr) {
+    partition_status->clear();
+  }
   if (options_.scan_mode == P2kvsOptions::ScanMode::kGlobalMerge) {
     // Conservative strategy: one serial merge iterator over all instances.
     std::unique_ptr<Iterator> iter(NewGlobalIterator());
@@ -264,11 +313,19 @@ Status P2KVS::Scan(const Slice& begin, size_t count,
       out->emplace_back(iter->key().ToString(), iter->value().ToString());
       iter->Next();
     }
+    // The serial merge has no per-partition result granularity: every
+    // partition shares the global iterator's outcome.
+    if (partition_status != nullptr) {
+      partition_status->assign(workers_.size(), iter->status());
+    }
     return iter->status();
   }
 
   // Parallel strategy: over-scan `count` keys on every instance, then merge
   // and truncate. Extra reads, but each sub-scan runs on its own worker.
+  // Per-partition failure handling mirrors Range: successful partitions'
+  // pairs survive, the first error is returned (note the merged result may
+  // then be missing keys the failed partition owned).
   Completion join(static_cast<uint32_t>(workers_.size()));
   std::deque<Request> requests;
   std::vector<std::vector<std::pair<std::string, std::string>>> partials(workers_.size());
@@ -281,20 +338,26 @@ Status P2KVS::Scan(const Slice& begin, size_t count,
     request.group = &join;
     workers_[i]->Submit(&request);
   }
-  Status result = join.Wait();
-  if (!result.ok()) {
-    return result;
-  }
-  for (auto& partial : partials) {
-    out->insert(out->end(), std::make_move_iterator(partial.begin()),
-                std::make_move_iterator(partial.end()));
+  join.Wait();
+  Status first_error;
+  for (size_t i = 0; i < workers_.size(); i++) {
+    const Status& s = requests[i].status;
+    if (partition_status != nullptr) {
+      partition_status->push_back(s);
+    }
+    if (s.ok()) {
+      out->insert(out->end(), std::make_move_iterator(partials[i].begin()),
+                  std::make_move_iterator(partials[i].end()));
+    } else if (first_error.ok()) {
+      first_error = s;
+    }
   }
   std::sort(out->begin(), out->end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   if (out->size() > count) {
     out->resize(count);
   }
-  return Status::OK();
+  return first_error;
 }
 
 Iterator* P2KVS::NewGlobalIterator() {
@@ -325,6 +388,9 @@ Status P2KVS::WriteTxn(WriteBatch* updates) {
   const uint64_t gsn = txn_log_->NextGsn();
   s = txn_log_->LogBegin(gsn);
   if (!s.ok()) {
+    // The GSN was allocated but will never commit; resolve it so the
+    // committed-set watermark can advance past it.
+    txn_log_->MarkAborted(gsn);
     return s;
   }
 
@@ -369,9 +435,11 @@ Status P2KVS::WriteTxn(WriteBatch* updates) {
     end_join.Wait();
   }
 
-  if (!result.ok()) {
+  if (!result.ok() || !commit_status.ok()) {
     // No commit record: recovery rolls the transaction back everywhere.
-    return result;
+    // Resolve the GSN as aborted so the watermark is not pinned behind it.
+    txn_log_->MarkAborted(gsn);
+    return !result.ok() ? result : commit_status;
   }
   return commit_status;
 }
@@ -431,20 +499,136 @@ Status P2KVS::Resume() {
 }
 
 P2kvsStats P2KVS::GetStats() const {
+  // One kStats drain request per worker: each worker THREAD copies its own
+  // recorder / thread-local PerfContext / IO counters into its slot, then
+  // completes; the join's release/acquire publishes every plain field here.
+  // No live cross-thread reads, hence no torn totals (the bug this replaced).
   P2kvsStats stats;
-  stats.queue_depths.reserve(workers_.size());
-  for (const auto& worker : workers_) {
-    stats.write_batches += worker->write_batches();
-    stats.writes_batched += worker->writes_batched();
-    stats.read_batches += worker->read_batches();
-    stats.reads_batched += worker->reads_batched();
-    stats.singles += worker->singles();
-    stats.degraded_rejects += worker->degraded_rejects();
-    stats.queue_depths.push_back(worker->QueueDepth());
+  stats.workers.assign(workers_.size(), WorkerStatsSnapshot());
+  Completion join(static_cast<uint32_t>(workers_.size()));
+  std::deque<Request> requests;
+  for (size_t i = 0; i < workers_.size(); i++) {
+    Request& request = requests.emplace_back();
+    request.type = RequestType::kStats;
+    request.stats_out = &stats.workers[i];
+    request.group = &join;
+    workers_[i]->Submit(&request);
   }
+  join.Wait();
+
+  stats.queue_depths.reserve(workers_.size());
+  for (const WorkerStatsSnapshot& snap : stats.workers) {
+    stats.totals.MergeFrom(snap);
+    stats.queue_depths.push_back(snap.queue_depth);
+  }
+  stats.write_batches = stats.totals.write_batches;
+  stats.writes_batched = stats.totals.writes_batched;
+  stats.read_batches = stats.totals.read_batches;
+  stats.reads_batched = stats.totals.reads_batched;
+  stats.singles = stats.totals.singles;
+  stats.degraded_rejects = stats.totals.degraded_rejects;
   stats.requests_submitted =
       stats.writes_batched + stats.reads_batched + stats.singles;
   return stats;
+}
+
+Status P2kvsStats::SelfCheck() const {
+  // Per worker AND in aggregate: stages partition disjoint sub-windows of
+  // [submit, complete], so their sum can never exceed the end-to-end total.
+  auto check_one = [](const WorkerStatsSnapshot& s, const char* scope) -> Status {
+    if (s.batch_size.Count() == 0 && s.stage_nanos_sum() == 0 && s.end_to_end_nanos == 0) {
+      return Status::OK();  // recorder never fed: stats disabled or no traffic
+    }
+    if (s.end_to_end_nanos != 0 && s.stage_nanos_sum() > s.end_to_end_nanos) {
+      return Status::Corruption(std::string("stats self-check failed (") + scope + ")",
+                                "per-stage nanos exceed end-to-end nanos");
+    }
+    const uint64_t dispatches = s.write_batches + s.read_batches + s.singles;
+    if (s.batch_size.Count() != dispatches) {
+      return Status::Corruption(std::string("stats self-check failed (") + scope + ")",
+                                "batch-size histogram count != dispatch count");
+    }
+    const double covered = s.batch_size.Sum();
+    const double requests = static_cast<double>(s.requests_executed());
+    if (covered < requests - 0.5 || covered > requests + 0.5) {
+      return Status::Corruption(std::string("stats self-check failed (") + scope + ")",
+                                "batch-size histogram sum != requests executed");
+    }
+    return Status::OK();
+  };
+  for (const WorkerStatsSnapshot& s : workers) {
+    Status st = check_one(s, "worker");
+    if (!st.ok()) {
+      return st;
+    }
+  }
+  return check_one(totals, "totals");
+}
+
+std::string P2kvsStats::ToJson() const {
+  std::string json = "{\"p2kvs_stats\":{";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "\"requests_submitted\":%llu,\"degraded_rejects\":%llu,",
+                static_cast<unsigned long long>(requests_submitted),
+                static_cast<unsigned long long>(degraded_rejects));
+  json += buf;
+  json += "\"totals\":" + totals.ToJson();
+  json += ",\"workers\":[";
+  for (size_t i = 0; i < workers.size(); i++) {
+    if (i != 0) {
+      json += ",";
+    }
+    json += workers[i].ToJson();
+  }
+  json += "]}}";
+  return json;
+}
+
+std::string P2KVS::GetStatsString() const {
+  P2kvsStats stats = GetStats();
+  std::string out;
+  char buf[256];
+  out += "p2kvs stats\n";
+  std::snprintf(buf, sizeof(buf),
+                "  requests=%llu write_batches=%llu (avg %.2f req/batch) "
+                "read_batches=%llu singles=%llu degraded_rejects=%llu\n",
+                static_cast<unsigned long long>(stats.requests_submitted),
+                static_cast<unsigned long long>(stats.write_batches),
+                stats.AvgWriteBatchSize(),
+                static_cast<unsigned long long>(stats.read_batches),
+                static_cast<unsigned long long>(stats.singles),
+                static_cast<unsigned long long>(stats.degraded_rejects));
+  out += buf;
+  const WorkerStatsSnapshot& t = stats.totals;
+  std::snprintf(buf, sizeof(buf),
+                "  stages(ms): queue_wait=%.2f batch_build=%.2f execute=%.2f "
+                "complete=%.2f end_to_end=%.2f\n",
+                t.queue_wait_nanos / 1e6, t.batch_build_nanos / 1e6, t.execute_nanos / 1e6,
+                t.complete_nanos / 1e6, t.end_to_end_nanos / 1e6);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  engine(ms): wal=%.2f memtable=%.2f wal_lock=%.2f memtable_lock=%.2f "
+                "retries=%llu\n",
+                t.engine.wal_nanos / 1e6, t.engine.memtable_nanos / 1e6,
+                t.engine.wal_lock_nanos / 1e6, t.engine.memtable_lock_nanos / 1e6,
+                static_cast<unsigned long long>(t.engine.retry_count));
+  out += buf;
+  out += "  queue_wait_us: " + t.queue_wait_us.ToString() + "\n";
+  out += "  execute_us:    " + t.execute_us.ToString() + "\n";
+  out += "  end_to_end_us: " + t.end_to_end_us.ToString() + "\n";
+  out += "  batch_size:    " + t.batch_size.ToString() + "\n";
+  for (const WorkerStatsSnapshot& w : stats.workers) {
+    std::snprintf(buf, sizeof(buf),
+                  "  worker %d: requests=%llu depth=%llu health=%d fg_written=%llu "
+                  "fg_read=%llu rejects=%llu\n",
+                  w.worker_id, static_cast<unsigned long long>(w.requests_executed()),
+                  static_cast<unsigned long long>(w.queue_depth), w.health_state,
+                  static_cast<unsigned long long>(w.fg_bytes_written),
+                  static_cast<unsigned long long>(w.fg_bytes_read),
+                  static_cast<unsigned long long>(w.degraded_rejects));
+    out += buf;
+  }
+  return out;
 }
 
 size_t P2KVS::ApproximateMemoryUsage() const {

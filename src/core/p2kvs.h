@@ -20,16 +20,21 @@
 #define P2KVS_SRC_CORE_P2KVS_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/core/engines.h"
+#include "src/core/event_listener.h"
 #include "src/core/partitioner.h"
 #include "src/core/kv_store.h"
 #include "src/core/txn_log.h"
 #include "src/core/worker.h"
 #include "src/util/histogram.h"
+#include "src/util/stats_recorder.h"
 
 namespace p2kvs {
 
@@ -91,6 +96,20 @@ struct P2kvsOptions {
   // Consecutive failed auto-resumes before a partition is marked failed
   // (automatic attempts stop; explicit Resume() still works).
   int max_auto_resume_failures = 5;
+
+  // --- Observability. ---
+  // Per-stage timing and distributions in each worker's StatsRecorder
+  // (queue-wait / batch-build / execute / complete, batch-size histogram).
+  // When off, the request path takes zero clock reads; throughput counters
+  // and GetStats() keep working.
+  bool enable_stats = true;
+  // Framework event callbacks: flush/compaction/stall completion, health
+  // transitions, periodic stats dumps. Shared, not owned exclusively; must be
+  // thread-safe (see event_listener.h for the threading contract).
+  std::shared_ptr<EventListener> listener;
+  // Non-zero: a reporter thread calls GetStats() every period and hands the
+  // JSON to listener->OnStatsDump() (or stderr when no listener is set).
+  int stats_dump_period_ms = 0;
 };
 
 // Health of one partition (error governance).
@@ -121,6 +140,12 @@ struct P2kvsHealth {
   }
 };
 
+// Aggregated framework statistics. Produced by P2KVS::GetStats() via one
+// kStats drain request per worker: each worker thread snapshots its own
+// recorder and thread-locals, so the aggregate is race-free and internally
+// consistent per worker (no torn totals). The flat counters mirror the
+// pre-observability fields; `workers`/`totals` carry the full per-stage
+// breakdown.
 struct P2kvsStats {
   uint64_t requests_submitted = 0;
   uint64_t write_batches = 0;     // merged write groups executed
@@ -132,9 +157,22 @@ struct P2kvsStats {
   // Current depth of each worker's request queue (backpressure visibility;
   // compare against P2kvsOptions::queue_capacity).
   std::vector<size_t> queue_depths;
+
+  // Full per-partition snapshots (stage times, distributions, engine
+  // breakdown, foreground IO, governance) and their merge.
+  std::vector<WorkerStatsSnapshot> workers;
+  WorkerStatsSnapshot totals;
+
   double AvgWriteBatchSize() const {
     return write_batches == 0 ? 0 : static_cast<double>(writes_batched) / write_batches;
   }
+
+  // Verifies the recorder's accounting invariants (see stats_recorder.h):
+  // per-stage nanos sum to at most the end-to-end total, and the batch-size
+  // histogram matches the dispatch counters exactly. Returns the first
+  // violation; used by tests and the CI benchmark smoke step.
+  Status SelfCheck() const;
+  std::string ToJson() const;
 };
 
 class P2KVS {
@@ -172,12 +210,22 @@ class P2KVS {
   Status MultiWrite(WriteBatch* updates);
 
   // --- Range queries (§4.4). ---
-  // All pairs in [begin, end), executed as parallel sub-RANGEs.
+  // All pairs in [begin, end), executed as parallel sub-RANGEs. Partition
+  // failures are surfaced like MultiGet's per-key outcomes: `out` always
+  // holds the merged pairs from every partition that succeeded, the return
+  // value is the first partition error (OK when all succeeded), and
+  // `partition_status` (optional) receives each partition's own outcome — so
+  // a single faulty or degraded partition no longer erases the other
+  // partitions' results.
   Status Range(const Slice& begin, const Slice& end,
-               std::vector<std::pair<std::string, std::string>>* out);
+               std::vector<std::pair<std::string, std::string>>* out,
+               std::vector<Status>* partition_status = nullptr);
   // `count` pairs starting at `begin` (strategy per options.scan_mode).
+  // Parallel mode reports partial results exactly like Range; note that with
+  // a failed partition the result may be missing keys that partition owned.
   Status Scan(const Slice& begin, size_t count,
-              std::vector<std::pair<std::string, std::string>>* out);
+              std::vector<std::pair<std::string, std::string>>* out,
+              std::vector<Status>* partition_status = nullptr);
   // Serial global merge iterator over all instances (RocksDB
   // MergeIterator-style); caller owns.
   Iterator* NewGlobalIterator();
@@ -202,7 +250,14 @@ class P2KVS {
   // Explicitly attempts to resume every degraded/failed partition; returns
   // the first failure (all partitions are still attempted).
   Status Resume();
+  // Race-free aggregate of every worker's recorder: one kStats drain request
+  // per worker, joined on a countdown completion. Millisecond-scale (it waits
+  // behind queued work); do not call from a worker-thread callback — the
+  // worker cannot serve the drain request it would be waiting on.
   P2kvsStats GetStats() const;
+  // Human-readable report built from GetStats(): per-worker table, stage
+  // breakdown, latency distributions. For machines, use GetStats().ToJson().
+  std::string GetStatsString() const;
   size_t ApproximateMemoryUsage() const;
   // Current depth of each worker's request queue.
   std::vector<size_t> QueueDepths() const;
@@ -213,11 +268,19 @@ class P2KVS {
   Status Init();
   // Routes every update in `updates` to its partition's sub-batch.
   Status SplitByPartition(WriteBatch* updates, std::vector<WriteBatch>* parts) const;
+  void StatsDumpLoop();
 
   P2kvsOptions options_;
   const std::string path_;
   std::unique_ptr<TxnLog> txn_log_;
   std::vector<std::unique_ptr<Worker>> workers_;
+
+  // Periodic stats reporter (stats_dump_period_ms > 0). Joined before the
+  // workers stop so every GetStats() it issues finds live queues.
+  std::thread stats_dumper_;
+  std::mutex dumper_mu_;
+  std::condition_variable dumper_cv_;
+  bool dumper_stop_ = false;  // guarded by dumper_mu_
 };
 
 }  // namespace p2kvs

@@ -26,6 +26,8 @@
 
 namespace p2kvs {
 
+struct WorkerStatsSnapshot;
+
 enum class RequestType : uint8_t {
   kPut,
   kDelete,
@@ -36,6 +38,8 @@ enum class RequestType : uint8_t {
   kEndTxn,      // release the read-committed snapshot of a finished txn
   kMultiGet,    // pre-merged per-partition slice of a client-side MultiGet
   kBarrier,     // completes once every request queued before it has drained
+  kStats,       // drain request: the worker thread snapshots its own recorder
+                // into stats_out (race-free aggregation, no seqlock)
 };
 
 inline bool IsWriteType(RequestType t) {
@@ -69,6 +73,15 @@ struct Request : MpscQueueNode {
   std::vector<std::string>* mget_values = nullptr;
   std::vector<Status>* mget_statuses = nullptr;
   std::vector<uint32_t> mget_index;
+
+  // kStats output: filled by the worker thread before completion; the join
+  // Completion's release/acquire publishes it to the aggregating thread.
+  WorkerStatsSnapshot* stats_out = nullptr;
+
+  // Stamped by Worker::Submit (when stats are enabled) just before the queue
+  // push; the push's release store publishes it with the node. Feeds the
+  // queue-wait and end-to-end stages.
+  uint64_t submit_nanos = 0;
 
   Status status;
 

@@ -32,6 +32,7 @@ Status TxnLog::Open(Env* env, const std::string& path, std::unique_ptr<TxnLog>* 
 
 Status TxnLog::Recover() {
   std::set<uint64_t> begun;
+  std::set<uint64_t> committed;
   if (env_->FileExists(path_)) {
     std::unique_ptr<SequentialFile> file;
     Status s = env_->NewSequentialFile(path_, &file);
@@ -55,12 +56,24 @@ Status TxnLog::Recover() {
       if (tag == kTxnBegin) {
         begun.insert(gsn);
       } else if (tag == kTxnCommit) {
-        committed_.insert(gsn);
+        committed.insert(gsn);
         begun.erase(gsn);
       }
     }
   }
   uncommitted_at_recovery_ = begun.size();
+
+  // Collapse the replayed commit set into the watermark representation:
+  // every GSN up to max_gsn_ is now resolved (a begun-but-uncommitted or
+  // never-seen GSN did not survive the crash — its sub-batches are rolled
+  // back), so the watermark jumps straight to max_gsn_ and only the
+  // non-committed GSNs persist, as the aborted exception set.
+  watermark_ = max_gsn_;
+  for (uint64_t gsn = 1; gsn <= max_gsn_; gsn++) {
+    if (committed.count(gsn) == 0) {
+      aborted_.insert(gsn);
+    }
+  }
 
   uint64_t size = 0;
   env_->GetFileSize(path_, &size);
@@ -92,7 +105,10 @@ Status TxnLog::Append(uint8_t tag, uint64_t gsn, bool sync) {
     s = RunWithRetry(env_, retry_, [&] { return writer_->Sync(); });
   }
   if (s.ok() && tag == kTxnCommit) {
-    committed_.insert(gsn);
+    if (gsn > watermark_) {
+      committed_tail_.insert(gsn);
+      AdvanceWatermark();
+    }
   }
   return s;
 }
@@ -101,12 +117,53 @@ Status TxnLog::LogBegin(uint64_t gsn) { return Append(kTxnBegin, gsn, /*sync=*/t
 
 Status TxnLog::LogCommit(uint64_t gsn) { return Append(kTxnCommit, gsn, /*sync=*/true); }
 
+void TxnLog::MarkAborted(uint64_t gsn) {
+  if (gsn == 0) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (gsn <= watermark_ || committed_tail_.count(gsn) > 0) {
+    return;  // already resolved
+  }
+  aborted_.insert(gsn);
+  AdvanceWatermark();
+}
+
+void TxnLog::AdvanceWatermark() {
+  // A GSN above the watermark is resolved if it committed (tail entry) or
+  // aborted (exception entry). Committed entries are folded into the
+  // watermark and dropped; aborted entries must outlive the fold — they are
+  // what distinguishes "below watermark" from "committed".
+  while (true) {
+    const uint64_t next = watermark_ + 1;
+    if (committed_tail_.count(next) > 0) {
+      committed_tail_.erase(next);
+    } else if (aborted_.count(next) == 0) {
+      break;
+    }
+    watermark_ = next;
+  }
+}
+
 bool TxnLog::IsCommitted(uint64_t gsn) const {
   if (gsn == 0) {
     return true;
   }
   std::lock_guard<std::mutex> lock(mu_);
-  return committed_.count(gsn) > 0;
+  if (gsn <= watermark_) {
+    return aborted_.count(gsn) == 0;
+  }
+  return committed_tail_.count(gsn) > 0;
+}
+
+uint64_t TxnLog::CommittedWatermark() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return watermark_;
+}
+
+size_t TxnLog::CommittedFootprint() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return committed_tail_.size() + aborted_.size();
 }
 
 }  // namespace p2kvs

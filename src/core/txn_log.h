@@ -41,6 +41,13 @@ class TxnLog {
   Status LogBegin(uint64_t gsn);
   Status LogCommit(uint64_t gsn);
 
+  // Resolves `gsn` as aborted (in-memory only — an abort needs no durable
+  // record: on crash an uncommitted GSN is rolled back anyway). Called when a
+  // transaction's begin or sub-batches failed, so the commit watermark can
+  // advance past the dead GSN instead of waiting for a commit that will never
+  // arrive. Idempotent; must not race LogCommit for the same gsn.
+  void MarkAborted(uint64_t gsn);
+
   // True iff gsn committed before the last crash/restart (or during this
   // run). GSN 0 (non-transactional) is always committed.
   bool IsCommitted(uint64_t gsn) const;
@@ -48,11 +55,24 @@ class TxnLog {
   // Number of begun-but-uncommitted transactions seen at recovery.
   size_t UncommittedAtRecovery() const { return uncommitted_at_recovery_; }
 
+  // Highest GSN W such that every gsn <= W is resolved (committed or
+  // aborted). Everything at or below the watermark is answered from it plus
+  // the small aborted exception set — no per-GSN committed entry survives.
+  uint64_t CommittedWatermark() const;
+  // Entries the committed-set representation currently holds: the sparse
+  // committed tail above the watermark plus the aborted exception set.
+  // Bounded by in-flight transactions + lifetime aborts, NOT by lifetime
+  // commits (the unbounded-growth bug this representation fixes).
+  size_t CommittedFootprint() const;
+
  private:
   TxnLog(Env* env, std::string path, const RetryPolicy& retry);
 
   Status Recover();
   Status Append(uint8_t tag, uint64_t gsn, bool sync);
+  // Folds contiguously-resolved GSNs out of committed_tail_ into watermark_.
+  // Caller holds mu_.
+  void AdvanceWatermark();
 
   Env* const env_;
   const std::string path_;
@@ -61,7 +81,15 @@ class TxnLog {
   mutable std::mutex mu_;
   std::unique_ptr<WritableFile> file_;
   std::unique_ptr<log::Writer> writer_;
-  std::set<uint64_t> committed_;
+  // Committed-set representation (guarded by mu_): every gsn <= watermark_ is
+  // resolved — committed unless listed in aborted_; committed GSNs above the
+  // watermark (out-of-order commits still waiting on a predecessor) sit in
+  // committed_tail_ until the gap closes. This keeps memory proportional to
+  // in-flight transactions + aborts instead of one set entry per lifetime
+  // commit.
+  uint64_t watermark_ = 0;
+  std::set<uint64_t> committed_tail_;
+  std::set<uint64_t> aborted_;
   uint64_t max_gsn_ = 0;
   size_t uncommitted_at_recovery_ = 0;
 };

@@ -2,7 +2,9 @@
 
 #include <vector>
 
+#include "src/io/io_stats.h"
 #include "src/util/clock.h"
+#include "src/util/perf_context.h"
 #include "src/util/thread_util.h"
 
 namespace p2kvs {
@@ -28,6 +30,25 @@ Worker::Worker(const Config& config, std::unique_ptr<KVStore> store)
       config_.batch_policy_factory ? config_.batch_policy_factory : MakeBatchPolicyFromCaps;
   batch_policy_ = factory(caps_, config_.enable_obm, config_.max_batch_size);
   group_.reserve(static_cast<size_t>(config_.max_batch_size));
+
+  if (config_.listener != nullptr) {
+    // Forward engine events to the framework listener with this partition's
+    // id attached. Installed before Start(), so the hooks are immutable once
+    // any thread can observe them.
+    EventListener* listener = config_.listener;
+    const int id = config_.id;
+    EngineEventHooks hooks;
+    hooks.on_flush_completed = [listener, id](const FlushEventInfo& info) {
+      listener->OnFlushCompleted(id, info);
+    };
+    hooks.on_compaction_completed = [listener, id](const CompactionEventInfo& info) {
+      listener->OnCompactionCompleted(id, info);
+    };
+    hooks.on_write_stalled = [listener, id](const StallEventInfo& info) {
+      listener->OnWriteStalled(id, info);
+    };
+    store_->InstallEventHooks(hooks);
+  }
 }
 
 Worker::~Worker() { Stop(); }
@@ -44,6 +65,10 @@ void Worker::Stop() {
 }
 
 void Worker::Submit(Request* request) {
+  if (config_.enable_stats) {
+    // Published by the queue push's release store; read only by the worker.
+    request->submit_nanos = NowNanos();
+  }
   if (!queue_.Push(request)) {
     request->Complete(Status::Aborted("p2kvs worker stopped"));
   }
@@ -71,39 +96,105 @@ void Worker::Run() {
     }
     Request* r = *item;
 
-    switch (r->type) {
-      case RequestType::kScan:
-        ExecuteScan(r);
-        continue;
-      case RequestType::kRange:
-        ExecuteRange(r);
-        continue;
-      case RequestType::kMultiGet:
-        ExecuteMultiGet(r);
-        continue;
-      case RequestType::kBarrier:
-        // FIFO queue: everything submitted before the barrier has executed.
-        r->Complete(Status::OK());
-        continue;
-      case RequestType::kEndTxn:
-        ExecuteSingle(r);
-        continue;
-      default:
-        break;
+    // Control requests and fast rejects: not dispatches, never timed or
+    // counted (keeps the batch-size/e2e invariants exact).
+    if (r->type == RequestType::kBarrier) {
+      // FIFO queue: everything submitted before the barrier has executed.
+      r->Complete(Status::OK());
+      continue;
+    }
+    if (r->type == RequestType::kStats) {
+      HandleStatsRequest(r);
+      continue;
     }
     if (IsWriteType(r->type) && RejectIfUnhealthy(r)) {
       continue;
     }
-    group_.clear();
-    batch_policy_->Collect(r, &queue_, &group_);
-    if (group_.size() <= 1) {
-      ExecuteSingle(r);
-    } else if (IsWriteType(r->type)) {
-      ExecuteWriteGroup(group_);
-    } else {
-      ExecuteReadGroup(group_);
+
+    const bool rec = config_.enable_stats;
+    const uint64_t t_submit = r->submit_nanos;
+    if (rec) {
+      stage_ts_ = NowNanos();
+      if (t_submit != 0 && stage_ts_ > t_submit) {
+        recorder_.RecordQueueWait(stage_ts_ - t_submit);
+      }
+    }
+
+    size_t dispatch_size = 1;
+    switch (r->type) {
+      case RequestType::kScan:
+        ExecuteScan(r);
+        break;
+      case RequestType::kRange:
+        ExecuteRange(r);
+        break;
+      case RequestType::kMultiGet:
+        dispatch_size = r->mget_index.size();
+        ExecuteMultiGet(r);
+        break;
+      case RequestType::kEndTxn:
+        ExecuteSingle(r);
+        break;
+      default: {
+        group_.clear();
+        batch_policy_->Collect(r, &queue_, &group_);
+        if (rec) {
+          const uint64_t t_built = NowNanos();
+          recorder_.RecordBatchBuild(t_built - stage_ts_);
+          stage_ts_ = t_built;
+        }
+        dispatch_size = group_.size() > 1 ? group_.size() : 1;
+        if (group_.size() <= 1) {
+          ExecuteSingle(r);
+        } else if (IsWriteType(r->type)) {
+          ExecuteWriteGroup(group_);
+        } else {
+          ExecuteReadGroup(group_);
+        }
+        break;
+      }
+    }
+    if (rec) {
+      // r (and the group members) may already be destroyed — only timestamps
+      // are touched here. stage_ts_ holds the Execute helper's last clock
+      // read, so closing out the dispatch costs no extra one.
+      recorder_.RecordDispatch(
+          dispatch_size,
+          (t_submit != 0 && stage_ts_ > t_submit) ? stage_ts_ - t_submit : 0);
     }
   }
+}
+
+void Worker::HandleStatsRequest(Request* r) {
+  if (r->stats_out != nullptr) {
+    *r->stats_out = SnapshotStats();
+  }
+  r->Complete(Status::OK());
+}
+
+WorkerStatsSnapshot Worker::SnapshotStats() {
+  WorkerStatsSnapshot snap;
+  snap.worker_id = config_.id;
+  recorder_.FillSnapshot(&snap);
+  snap.write_batches = write_batches_.load(std::memory_order_relaxed);
+  snap.writes_batched = writes_batched_.load(std::memory_order_relaxed);
+  snap.read_batches = read_batches_.load(std::memory_order_relaxed);
+  snap.reads_batched = reads_batched_.load(std::memory_order_relaxed);
+  snap.singles = singles_.load(std::memory_order_relaxed);
+  // This thread's engine-side write breakdown and foreground IO: reading the
+  // thread-locals from the owning thread is what makes this race-free.
+  snap.engine = GetPerfContext();
+  const ThreadIoCounters& io = GetThreadIoCounters();
+  snap.fg_bytes_written = io.bytes_written;
+  snap.fg_bytes_read = io.bytes_read;
+  snap.fg_write_ops = io.write_ops;
+  snap.fg_read_ops = io.read_ops;
+  snap.health_state = static_cast<int>(health());
+  snap.health_transitions = health_transitions_.load(std::memory_order_relaxed);
+  snap.degraded_rejects = degraded_rejects_.load(std::memory_order_relaxed);
+  snap.resume_attempts = resume_attempts_.load(std::memory_order_relaxed);
+  snap.queue_depth = queue_.Size();
+  return snap;
 }
 
 bool Worker::RejectIfUnhealthy(Request* request) {
@@ -130,8 +221,17 @@ void Worker::MaybeDegrade(const Status& s) {
     return;
   }
   int expected = static_cast<int>(WorkerHealth::kHealthy);
-  health_.compare_exchange_strong(expected, static_cast<int>(WorkerHealth::kDegraded),
-                                  std::memory_order_acq_rel);
+  if (health_.compare_exchange_strong(expected, static_cast<int>(WorkerHealth::kDegraded),
+                                      std::memory_order_acq_rel)) {
+    NotifyHealthTransition(WorkerHealth::kHealthy, WorkerHealth::kDegraded);
+  }
+}
+
+void Worker::NotifyHealthTransition(WorkerHealth from, WorkerHealth to) {
+  health_transitions_.fetch_add(1, std::memory_order_relaxed);
+  if (config_.listener != nullptr) {
+    config_.listener->OnHealthTransition(config_.id, from, to);
+  }
 }
 
 void Worker::MaybeAutoResume() {
@@ -158,13 +258,16 @@ Status Worker::TryResume() {
   resume_attempts_.fetch_add(1, std::memory_order_relaxed);
   Status s = store_->Resume();
   if (s.ok()) {
+    const WorkerHealth was = health();
     consecutive_resume_failures_ = 0;
     health_.store(static_cast<int>(WorkerHealth::kHealthy), std::memory_order_release);
+    NotifyHealthTransition(was, WorkerHealth::kHealthy);
   } else {
     consecutive_resume_failures_++;
     if (health() == WorkerHealth::kDegraded &&
         consecutive_resume_failures_ >= config_.max_auto_resume_failures) {
       health_.store(static_cast<int>(WorkerHealth::kFailed), std::memory_order_release);
+      NotifyHealthTransition(WorkerHealth::kDegraded, WorkerHealth::kFailed);
     }
   }
   return s;
@@ -188,15 +291,24 @@ void Worker::ExecuteWriteGroup(const std::vector<Request*>& group) {
     }
   }
 
+  const bool rec = config_.enable_stats;
+  const uint64_t t0 = stage_ts_;  // end of batch-build (valid iff rec)
   Status s = RunWithRetry(config_.env, config_.retry,
                           [&] { return store_->Write(&merged, KvWriteOptions()); });
   MaybeDegrade(s);
+  const uint64_t t1 = rec ? NowNanos() : 0;
   write_batches_.fetch_add(1, std::memory_order_relaxed);
   writes_batched_.fetch_add(group.size(), std::memory_order_relaxed);
   // Every member of the merged group observes the group's outcome — on
   // failure none of the folded writes may be silently acknowledged.
   for (Request* r : group) {
     r->Complete(s);
+  }
+  if (rec) {
+    const uint64_t t2 = NowNanos();
+    recorder_.RecordExecute(t1 - t0);
+    recorder_.RecordComplete(t2 - t1);
+    stage_ts_ = t2;
   }
 }
 
@@ -211,10 +323,21 @@ Status Worker::ReadOne(const Slice& key, std::string* value) {
 }
 
 void Worker::ExecuteReadGroup(const std::vector<Request*>& group) {
+  const bool rec = config_.enable_stats;
   if (!txn_snapshots_.empty()) {
-    // Snapshot reads bypass the multiget fast path; correctness first.
+    // Snapshot reads bypass the multiget fast path; correctness first. Still
+    // one collected read group — counted as such so the batch-size histogram
+    // keeps matching the dispatch counters.
+    const uint64_t t0 = stage_ts_;
+    read_batches_.fetch_add(1, std::memory_order_relaxed);
+    reads_batched_.fetch_add(group.size(), std::memory_order_relaxed);
     for (Request* r : group) {
       r->Complete(ReadOne(r->key, r->get_out));
+    }
+    if (rec) {
+      const uint64_t t1 = NowNanos();
+      recorder_.RecordExecute(t1 - t0);
+      stage_ts_ = t1;
     }
     return;
   }
@@ -224,8 +347,10 @@ void Worker::ExecuteReadGroup(const std::vector<Request*>& group) {
   for (Request* r : group) {
     keys.emplace_back(r->key);
   }
+  const uint64_t t0 = stage_ts_;
   std::vector<std::string> values;
   std::vector<Status> statuses = store_->MultiGet(keys, &values);
+  const uint64_t t1 = rec ? NowNanos() : 0;
   read_batches_.fetch_add(1, std::memory_order_relaxed);
   reads_batched_.fetch_add(group.size(), std::memory_order_relaxed);
   for (size_t i = 0; i < group.size(); i++) {
@@ -234,6 +359,12 @@ void Worker::ExecuteReadGroup(const std::vector<Request*>& group) {
     }
     group[i]->Complete(statuses[i]);
   }
+  if (rec) {
+    const uint64_t t2 = NowNanos();
+    recorder_.RecordExecute(t1 - t0);
+    recorder_.RecordComplete(t2 - t1);
+    stage_ts_ = t2;
+  }
 }
 
 void Worker::ExecuteMultiGet(Request* r) {
@@ -241,9 +372,19 @@ void Worker::ExecuteMultiGet(Request* r) {
   // outcomes scatter into the caller's arrays by original index; the group
   // request itself always completes OK (key-level errors are per-key).
   const std::vector<uint32_t>& index = r->mget_index;
+  const bool rec = config_.enable_stats;
   if (!txn_snapshots_.empty()) {
+    // Counted as one read group either way (see ExecuteReadGroup).
+    const uint64_t t0 = stage_ts_;
+    read_batches_.fetch_add(1, std::memory_order_relaxed);
+    reads_batched_.fetch_add(index.size(), std::memory_order_relaxed);
     for (uint32_t idx : index) {
       (*r->mget_statuses)[idx] = ReadOne((*r->mget_keys)[idx], &(*r->mget_values)[idx]);
+    }
+    if (rec) {
+      const uint64_t t1 = NowNanos();
+      recorder_.RecordExecute(t1 - t0);
+      stage_ts_ = t1;
     }
     r->Complete(Status::OK());
     return;
@@ -253,8 +394,10 @@ void Worker::ExecuteMultiGet(Request* r) {
   for (uint32_t idx : index) {
     keys.push_back((*r->mget_keys)[idx]);
   }
+  const uint64_t t0 = stage_ts_;
   std::vector<std::string> values;
   std::vector<Status> statuses = store_->MultiGet(keys, &values);
+  const uint64_t t1 = rec ? NowNanos() : 0;
   read_batches_.fetch_add(1, std::memory_order_relaxed);
   reads_batched_.fetch_add(index.size(), std::memory_order_relaxed);
   for (size_t i = 0; i < index.size(); i++) {
@@ -263,11 +406,17 @@ void Worker::ExecuteMultiGet(Request* r) {
       (*r->mget_values)[index[i]] = std::move(values[i]);
     }
   }
+  if (rec) {
+    recorder_.RecordExecute(t1 - t0);
+    stage_ts_ = t1;
+  }
   r->Complete(Status::OK());
 }
 
 void Worker::ExecuteSingle(Request* r) {
   singles_.fetch_add(1, std::memory_order_relaxed);
+  const bool rec = config_.enable_stats;
+  const uint64_t t0 = stage_ts_;  // end of previous stage (valid iff rec)
   Status s;
   switch (r->type) {
     case RequestType::kPut:
@@ -313,11 +462,20 @@ void Worker::ExecuteSingle(Request* r) {
       s = Status::InvalidArgument("unexpected request type");
       break;
   }
+  const uint64_t t1 = rec ? NowNanos() : 0;
   r->Complete(s);
+  if (rec) {
+    const uint64_t t2 = NowNanos();
+    recorder_.RecordExecute(t1 - t0);
+    recorder_.RecordComplete(t2 - t1);
+    stage_ts_ = t2;
+  }
 }
 
 void Worker::ExecuteScan(Request* r) {
   singles_.fetch_add(1, std::memory_order_relaxed);
+  const bool rec = config_.enable_stats;
+  const uint64_t t0 = stage_ts_;
   r->scan_out->clear();
   std::unique_ptr<Iterator> iter(store_->NewIterator());
   if (r->key.empty()) {
@@ -329,11 +487,18 @@ void Worker::ExecuteScan(Request* r) {
     r->scan_out->emplace_back(iter->key().ToString(), iter->value().ToString());
     iter->Next();
   }
+  if (rec) {
+    const uint64_t t1 = NowNanos();
+    recorder_.RecordExecute(t1 - t0);
+    stage_ts_ = t1;
+  }
   r->Complete(iter->status());
 }
 
 void Worker::ExecuteRange(Request* r) {
   singles_.fetch_add(1, std::memory_order_relaxed);
+  const bool rec = config_.enable_stats;
+  const uint64_t t0 = stage_ts_;
   r->scan_out->clear();
   std::unique_ptr<Iterator> iter(store_->NewIterator());
   const Slice end(r->value);
@@ -345,6 +510,11 @@ void Worker::ExecuteRange(Request* r) {
   while (iter->Valid() && (end.empty() || iter->key().compare(end) < 0)) {
     r->scan_out->emplace_back(iter->key().ToString(), iter->value().ToString());
     iter->Next();
+  }
+  if (rec) {
+    const uint64_t t1 = NowNanos();
+    recorder_.RecordExecute(t1 - t0);
+    stage_ts_ = t1;
   }
   r->Complete(iter->status());
 }

@@ -14,9 +14,11 @@
 #include <vector>
 
 #include "src/core/batch_policy.h"
+#include "src/core/event_listener.h"
 #include "src/core/kv_store.h"
 #include "src/core/request.h"
 #include "src/io/retry.h"
+#include "src/util/stats_recorder.h"
 
 namespace p2kvs {
 
@@ -60,6 +62,14 @@ class Worker {
     int auto_resume_interval_us = 10000;
     // Consecutive failed auto-resumes before the partition is marked failed.
     int max_auto_resume_failures = 5;
+
+    // --- Observability. ---
+    // Per-stage timing + distributions in the worker's StatsRecorder. When
+    // off, the hot path takes zero clock reads; counters stay correct.
+    bool enable_stats = true;
+    // Framework event callbacks (flush/compaction/stall/health transitions).
+    // Not owned; must outlive the worker and be thread-safe.
+    EventListener* listener = nullptr;
   };
 
   Worker(const Config& config, std::unique_ptr<KVStore> store);
@@ -90,6 +100,9 @@ class Worker {
   uint64_t resume_attempts() const {
     return resume_attempts_.load(std::memory_order_relaxed);
   }
+  uint64_t health_transitions() const {
+    return health_transitions_.load(std::memory_order_relaxed);
+  }
 
   // Attempts to restore a degraded/failed partition via KVStore::Resume().
   // Safe from any thread (the engine's Resume is thread-safe); returns OK and
@@ -106,6 +119,12 @@ class Worker {
 
  private:
   void Run();
+  // kStats drain request: the worker thread copies its recorder, thread-local
+  // PerfContext and IO counters into request->stats_out. Because only the
+  // owning thread ever writes those, the copy races with nothing; the join
+  // Completion publishes it to the aggregator.
+  void HandleStatsRequest(Request* request);
+  WorkerStatsSnapshot SnapshotStats();
   void ExecuteSingle(Request* request);
   Status ReadOne(const Slice& key, std::string* value);
   void ExecuteWriteGroup(const std::vector<Request*>& group);  // one WriteBatch
@@ -116,6 +135,8 @@ class Worker {
 
   // Degrades the partition if `s` is a storage error that survived retries.
   void MaybeDegrade(const Status& s);
+  // Counts the governance state change and informs the listener.
+  void NotifyHealthTransition(WorkerHealth from, WorkerHealth to);
   // Time-gated auto-resume attempt from the worker loop (kDegraded only).
   void MaybeAutoResume();
   // True if the write request was rejected fast (partition not healthy).
@@ -127,6 +148,10 @@ class Worker {
   RequestQueue queue_;
   std::unique_ptr<BatchPolicy> batch_policy_;
   std::vector<Request*> group_;  // worker-thread private scratch
+  // End timestamp of the current dispatch's most recently finished stage
+  // (worker-thread private, valid only while enable_stats). Each stage reuses
+  // it as its start time so consecutive stages cost one clock read, not two.
+  uint64_t stage_ts_ = 0;
   std::thread thread_;
 
   // In-flight GSN transactions' pre-images, oldest first (worker thread
@@ -139,11 +164,16 @@ class Worker {
   std::atomic<uint64_t> reads_batched_{0};
   std::atomic<uint64_t> singles_{0};
 
+  // Stage timings + distributions; written only by the worker thread,
+  // snapshotted via kStats drain requests (never read live cross-thread).
+  StatsRecorder recorder_;
+
   // Health state machine (guarded by resume_mu_ for transitions; health_
   // itself is atomic so readers never block).
   std::atomic<int> health_{static_cast<int>(WorkerHealth::kHealthy)};
   std::atomic<uint64_t> degraded_rejects_{0};
   std::atomic<uint64_t> resume_attempts_{0};
+  std::atomic<uint64_t> health_transitions_{0};
   std::mutex resume_mu_;
   uint64_t last_resume_attempt_us_ = 0;   // guarded by resume_mu_
   int consecutive_resume_failures_ = 0;   // guarded by resume_mu_

@@ -6,9 +6,12 @@ namespace p2kvs {
 
 namespace {
 thread_local IoPurpose t_purpose = IoPurpose::kUser;
+thread_local ThreadIoCounters t_io_counters;
 }  // namespace
 
 IoPurpose GetThreadIoPurpose() { return t_purpose; }
+
+const ThreadIoCounters& GetThreadIoCounters() { return t_io_counters; }
 
 IoPurposeScope::IoPurposeScope(IoPurpose purpose) : saved_(t_purpose) { t_purpose = purpose; }
 
@@ -23,12 +26,16 @@ void IoStats::RecordWrite(uint64_t bytes) {
   int p = static_cast<int>(t_purpose);
   bytes_written_[p].fetch_add(bytes, std::memory_order_relaxed);
   write_ops_[p].fetch_add(1, std::memory_order_relaxed);
+  t_io_counters.bytes_written += bytes;
+  t_io_counters.write_ops++;
 }
 
 void IoStats::RecordRead(uint64_t bytes) {
   int p = static_cast<int>(t_purpose);
   bytes_read_[p].fetch_add(bytes, std::memory_order_relaxed);
   read_ops_[p].fetch_add(1, std::memory_order_relaxed);
+  t_io_counters.bytes_read += bytes;
+  t_io_counters.read_ops++;
 }
 
 void IoStats::RecordSync() { sync_ops_.fetch_add(1, std::memory_order_relaxed); }

@@ -71,6 +71,20 @@ class IoStats {
 // The calling thread's current IO purpose (defaults to kUser).
 IoPurpose GetThreadIoPurpose();
 
+// Per-thread IO totals, accumulated alongside the global counters with zero
+// synchronization. A p2KVS worker snapshots its own counters while handling
+// a kStats drain request, attributing foreground IO (WAL appends, SST reads)
+// to the partition that issued it.
+struct ThreadIoCounters {
+  uint64_t bytes_written = 0;
+  uint64_t bytes_read = 0;
+  uint64_t write_ops = 0;
+  uint64_t read_ops = 0;
+};
+
+// The calling thread's counters (monotonic since thread start).
+const ThreadIoCounters& GetThreadIoCounters();
+
 // RAII purpose tag: background flush/compaction threads wrap their work in
 // one of these so their IO is attributed correctly.
 class IoPurposeScope {

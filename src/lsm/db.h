@@ -78,6 +78,11 @@ class DB {
 
   virtual DbStats GetStats() const = 0;
 
+  // Installs observability callbacks fired on flush/compaction completion and
+  // write stalls (see EngineEventHooks in options.h). Call before the DB
+  // serves traffic; engines without instrumentation ignore it.
+  virtual void SetEventHooks(const EngineEventHooks& /*hooks*/) {}
+
   // "files[ a b c ... ]" per-level file counts.
   virtual std::string LevelFilesSummary() const = 0;
 

@@ -685,9 +685,14 @@ Status DBImpl::MakeRoomForWrite(std::unique_lock<std::mutex>& lock, bool force) 
       // Soft limit: delay each write by 1ms to let compactions catch up.
       lock.unlock();
       env_->SleepForMicroseconds(1000);
+      if (event_hooks_.on_write_stalled) {
+        StallEventInfo info;
+        info.stall_micros = 1000;
+        event_hooks_.on_write_stalled(info);
+      }
+      lock.lock();
       stats_.stall_micros += 1000;
       allow_delay = false;  // do not delay a single write more than once
-      lock.lock();
     } else if (!force && mem_->ApproximateMemoryUsage() <= options_.write_buffer_size) {
       break;  // there is room in the current memtable
     } else if (imm_ != nullptr) {
@@ -695,14 +700,18 @@ Status DBImpl::MakeRoomForWrite(std::unique_lock<std::mutex>& lock, bool force) 
       const uint64_t t0 = NowMicros();
       background_work_cv_.notify_all();
       background_done_cv_.wait(lock);
-      stats_.stall_micros += NowMicros() - t0;
+      const uint64_t stalled = NowMicros() - t0;
+      stats_.stall_micros += stalled;
+      NotifyStall(lock, stalled);
     } else if (versions_->NumLevelFiles(0) >= options_.l0_stop_writes_trigger &&
                !options_.debug_disable_background) {
       // Hard limit: too many L0 files.
       const uint64_t t0 = NowMicros();
       background_work_cv_.notify_all();
       background_done_cv_.wait(lock);
-      stats_.stall_micros += NowMicros() - t0;
+      const uint64_t stalled = NowMicros() - t0;
+      stats_.stall_micros += stalled;
+      NotifyStall(lock, stalled);
     } else {
       // Switch to a new memtable. Wait out in-flight pipelined inserts first.
       while (active_memtable_writers_ > 0) {
@@ -914,6 +923,13 @@ void DBImpl::CompactMemTable(std::unique_lock<std::mutex>& lock) {
   if (s.ok()) {
     imm_ = nullptr;
     RemoveObsoleteFiles();
+    if (event_hooks_.on_flush_completed && meta.file_size > 0) {
+      FlushEventInfo info;
+      info.bytes_written = meta.file_size;
+      lock.unlock();
+      event_hooks_.on_flush_completed(info);
+      lock.lock();
+    }
   } else {
     RecordBackgroundError(s);
   }
@@ -1099,6 +1115,15 @@ Status DBImpl::DoCompactionWork(Compaction* c, std::unique_lock<std::mutex>& loc
   stats_.compaction_count++;
   stats_.compaction_bytes_read += bytes_read;
   stats_.compaction_bytes_written += bytes_written;
+  if (event_hooks_.on_compaction_completed && status.ok()) {
+    CompactionEventInfo info;
+    info.level = c->level();
+    info.bytes_read = bytes_read;
+    info.bytes_written = bytes_written;
+    lock.unlock();
+    event_hooks_.on_compaction_completed(info);
+    lock.lock();
+  }
   return status;
 }
 
@@ -1251,6 +1276,22 @@ Status DBImpl::Resume() {
 DbStats DBImpl::GetStats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return stats_;
+}
+
+void DBImpl::SetEventHooks(const EngineEventHooks& hooks) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  event_hooks_ = hooks;
+}
+
+void DBImpl::NotifyStall(std::unique_lock<std::mutex>& lock, uint64_t stall_micros) {
+  if (!event_hooks_.on_write_stalled || stall_micros == 0) {
+    return;
+  }
+  StallEventInfo info;
+  info.stall_micros = stall_micros;
+  lock.unlock();
+  event_hooks_.on_write_stalled(info);
+  lock.lock();
 }
 
 std::string DBImpl::LevelFilesSummary() const {

@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 
 #include "src/io/env.h"
 #include "src/io/retry.h"
@@ -36,6 +37,32 @@ enum class CompactionStyle {
   // a full level is pushed down without merging into the next level's data.
   // Lower write amplification, higher read cost — the PebblesDB profile.
   kTiered,
+};
+
+// Completed-event payloads for the engine observability hooks below.
+struct FlushEventInfo {
+  uint64_t bytes_written = 0;  // size of the L0 file produced
+};
+
+struct CompactionEventInfo {
+  int level = 0;  // input level (output is level + 1)
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+};
+
+struct StallEventInfo {
+  uint64_t stall_micros = 0;  // time one write spent throttled/blocked
+};
+
+// Engine-side observability hooks. Engines invoke these from whatever thread
+// performed the work (flush/compaction fire from background threads, stalls
+// from the writing thread) with no engine mutex held; installers must be
+// thread-safe. Installed once before the engine serves traffic (p2KVS wires
+// them to the framework EventListener via KVStore::InstallEventHooks).
+struct EngineEventHooks {
+  std::function<void(const FlushEventInfo&)> on_flush_completed;
+  std::function<void(const CompactionEventInfo&)> on_compaction_completed;
+  std::function<void(const StallEventInfo&)> on_write_stalled;
 };
 
 struct Options {

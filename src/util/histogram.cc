@@ -128,4 +128,14 @@ std::string Histogram::ToString() const {
   return buf;
 }
 
+std::string Histogram::ToJson() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"count\":%llu,\"sum\":%.2f,\"avg\":%.2f,\"min\":%.2f,\"max\":%.2f,"
+                "\"p50\":%.2f,\"p95\":%.2f,\"p99\":%.2f}",
+                static_cast<unsigned long long>(Count()), sum_, Average(),
+                num_ == 0 ? 0 : min_, max_, Percentile(50), Percentile(95), Percentile(99));
+  return buf;
+}
+
 }  // namespace p2kvs

@@ -26,9 +26,13 @@ class Histogram {
   double StandardDeviation() const;
   double Max() const { return max_; }
   double Min() const { return min_; }
+  double Sum() const { return sum_; }
   uint64_t Count() const { return static_cast<uint64_t>(num_); }
 
   std::string ToString() const;
+  // Compact JSON object: {"count":..,"sum":..,"avg":..,"min":..,"max":..,
+  // "p50":..,"p95":..,"p99":..}.
+  std::string ToJson() const;
 
  private:
   static const std::vector<double>& BucketLimits();

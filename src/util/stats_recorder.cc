@@ -1,0 +1,103 @@
+#include "src/util/stats_recorder.h"
+
+#include <cstdio>
+
+namespace p2kvs {
+
+void WorkerStatsSnapshot::MergeFrom(const WorkerStatsSnapshot& other) {
+  write_batches += other.write_batches;
+  writes_batched += other.writes_batched;
+  read_batches += other.read_batches;
+  reads_batched += other.reads_batched;
+  singles += other.singles;
+
+  queue_wait_nanos += other.queue_wait_nanos;
+  batch_build_nanos += other.batch_build_nanos;
+  execute_nanos += other.execute_nanos;
+  complete_nanos += other.complete_nanos;
+  end_to_end_nanos += other.end_to_end_nanos;
+
+  queue_wait_us.Merge(other.queue_wait_us);
+  execute_us.Merge(other.execute_us);
+  end_to_end_us.Merge(other.end_to_end_us);
+  batch_size.Merge(other.batch_size);
+
+  engine.MergeFrom(other.engine);
+
+  fg_bytes_written += other.fg_bytes_written;
+  fg_bytes_read += other.fg_bytes_read;
+  fg_write_ops += other.fg_write_ops;
+  fg_read_ops += other.fg_read_ops;
+
+  // The merged health state is the worst (largest) of the inputs.
+  if (other.health_state > health_state) {
+    health_state = other.health_state;
+  }
+  health_transitions += other.health_transitions;
+  degraded_rejects += other.degraded_rejects;
+  resume_attempts += other.resume_attempts;
+  queue_depth += other.queue_depth;
+}
+
+std::string WorkerStatsSnapshot::ToJson() const {
+  char buf[512];
+  std::string json = "{";
+  std::snprintf(buf, sizeof(buf),
+                "\"worker_id\":%d,\"write_batches\":%llu,\"writes_batched\":%llu,"
+                "\"read_batches\":%llu,\"reads_batched\":%llu,\"singles\":%llu,"
+                "\"requests_executed\":%llu,",
+                worker_id, static_cast<unsigned long long>(write_batches),
+                static_cast<unsigned long long>(writes_batched),
+                static_cast<unsigned long long>(read_batches),
+                static_cast<unsigned long long>(reads_batched),
+                static_cast<unsigned long long>(singles),
+                static_cast<unsigned long long>(requests_executed()));
+  json += buf;
+  std::snprintf(buf, sizeof(buf),
+                "\"queue_wait_nanos\":%llu,\"batch_build_nanos\":%llu,"
+                "\"execute_nanos\":%llu,\"complete_nanos\":%llu,\"end_to_end_nanos\":%llu,",
+                static_cast<unsigned long long>(queue_wait_nanos),
+                static_cast<unsigned long long>(batch_build_nanos),
+                static_cast<unsigned long long>(execute_nanos),
+                static_cast<unsigned long long>(complete_nanos),
+                static_cast<unsigned long long>(end_to_end_nanos));
+  json += buf;
+  std::snprintf(buf, sizeof(buf),
+                "\"engine\":{\"wal_nanos\":%llu,\"memtable_nanos\":%llu,"
+                "\"wal_lock_nanos\":%llu,\"memtable_lock_nanos\":%llu,"
+                "\"total_write_nanos\":%llu,\"write_count\":%llu,"
+                "\"retry_count\":%llu,\"retry_backoff_nanos\":%llu},",
+                static_cast<unsigned long long>(engine.wal_nanos),
+                static_cast<unsigned long long>(engine.memtable_nanos),
+                static_cast<unsigned long long>(engine.wal_lock_nanos),
+                static_cast<unsigned long long>(engine.memtable_lock_nanos),
+                static_cast<unsigned long long>(engine.total_write_nanos),
+                static_cast<unsigned long long>(engine.write_count),
+                static_cast<unsigned long long>(engine.retry_count),
+                static_cast<unsigned long long>(engine.retry_backoff_nanos));
+  json += buf;
+  std::snprintf(buf, sizeof(buf),
+                "\"fg_bytes_written\":%llu,\"fg_bytes_read\":%llu,"
+                "\"fg_write_ops\":%llu,\"fg_read_ops\":%llu,",
+                static_cast<unsigned long long>(fg_bytes_written),
+                static_cast<unsigned long long>(fg_bytes_read),
+                static_cast<unsigned long long>(fg_write_ops),
+                static_cast<unsigned long long>(fg_read_ops));
+  json += buf;
+  std::snprintf(buf, sizeof(buf),
+                "\"health_state\":%d,\"health_transitions\":%llu,"
+                "\"degraded_rejects\":%llu,\"resume_attempts\":%llu,\"queue_depth\":%llu,",
+                health_state, static_cast<unsigned long long>(health_transitions),
+                static_cast<unsigned long long>(degraded_rejects),
+                static_cast<unsigned long long>(resume_attempts),
+                static_cast<unsigned long long>(queue_depth));
+  json += buf;
+  json += "\"queue_wait_us\":" + queue_wait_us.ToJson();
+  json += ",\"execute_us\":" + execute_us.ToJson();
+  json += ",\"end_to_end_us\":" + end_to_end_us.ToJson();
+  json += ",\"batch_size\":" + batch_size.ToJson();
+  json += "}";
+  return json;
+}
+
+}  // namespace p2kvs

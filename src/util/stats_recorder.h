@@ -1,0 +1,143 @@
+// Per-worker observability (the framework's metrics spine). Each worker owns
+// one cache-line-padded StatsRecorder, written ONLY by the owning worker
+// thread — no atomics, no locks, no false sharing on the hot path. Aggregation
+// is race-free by construction: P2KVS::GetStats() submits a kStats drain
+// request per worker; the worker thread itself copies its recorder (plus its
+// thread-local PerfContext and IO counters) into the caller's snapshot and
+// completes the request, so the release/acquire pair of the join Completion
+// publishes every plain field to the aggregating thread.
+//
+// Stage taxonomy (one dispatch = one batch, one single, or one pre-merged
+// fan-out group; every stage is a disjoint sub-window of [submit, done]):
+//
+//   queue_wait   submit -> pop of the head request
+//   batch_build  pop -> OBM batch assembled (BatchPolicy::Collect)
+//   execute      the engine call(s): Write / Get / MultiGet / iterate
+//   complete     waking waiters / running callbacks after the engine returns
+//   end_to_end   submit -> dispatch fully completed (head request)
+//
+// Invariants (checked by P2kvsStats::SelfCheck and the CI smoke step):
+//   queue_wait + batch_build + execute + complete <= end_to_end
+//   batch_size.Count() == write_batches + read_batches + singles
+//   batch_size Sum     == writes_batched + reads_batched + singles
+
+#ifndef P2KVS_SRC_UTIL_STATS_RECORDER_H_
+#define P2KVS_SRC_UTIL_STATS_RECORDER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/util/histogram.h"
+#include "src/util/perf_context.h"
+
+namespace p2kvs {
+
+// A copyable, mergeable value snapshot of one worker's recorder (or the
+// merged totals of all workers). Safe to read from any thread.
+struct WorkerStatsSnapshot {
+  int worker_id = 0;
+
+  // Throughput / batching counters (engine-level dispatch groups).
+  uint64_t write_batches = 0;   // merged write groups executed
+  uint64_t writes_batched = 0;  // write requests covered by those groups
+  uint64_t read_batches = 0;    // multiget groups executed
+  uint64_t reads_batched = 0;   // read requests covered by those groups
+  uint64_t singles = 0;         // requests executed unbatched
+
+  // Stage time totals (nanoseconds; see taxonomy above).
+  uint64_t queue_wait_nanos = 0;
+  uint64_t batch_build_nanos = 0;
+  uint64_t execute_nanos = 0;
+  uint64_t complete_nanos = 0;
+  uint64_t end_to_end_nanos = 0;
+
+  // Distributions (microseconds except batch_size, which is requests/group).
+  Histogram queue_wait_us;
+  Histogram execute_us;
+  Histogram end_to_end_us;
+  Histogram batch_size;
+
+  // The worker thread's engine-side write breakdown (WAL / MemTable / lock
+  // components, Figure 6) and fault-path retries — a copy of its thread-local
+  // PerfContext taken at snapshot time.
+  PerfContext engine;
+
+  // Foreground IO issued from the worker thread (WAL appends, SST reads).
+  // Background flush/compaction IO is attributed to the engines' background
+  // threads and reported via IoStats, not here.
+  uint64_t fg_bytes_written = 0;
+  uint64_t fg_bytes_read = 0;
+  uint64_t fg_write_ops = 0;
+  uint64_t fg_read_ops = 0;
+
+  // Governance (mirrors the worker's cross-thread atomics).
+  int health_state = 0;  // WorkerHealth as int
+  uint64_t health_transitions = 0;
+  uint64_t degraded_rejects = 0;
+  uint64_t resume_attempts = 0;
+
+  // Queue depth at snapshot time (backpressure visibility).
+  size_t queue_depth = 0;
+
+  uint64_t requests_executed() const { return writes_batched + reads_batched + singles; }
+  uint64_t stage_nanos_sum() const {
+    return queue_wait_nanos + batch_build_nanos + execute_nanos + complete_nanos;
+  }
+
+  void MergeFrom(const WorkerStatsSnapshot& other);
+  std::string ToJson() const;
+};
+
+// The worker-owned mutable recorder. Single-writer (the owning worker
+// thread); padded so two workers' recorders never share a cache line.
+class alignas(64) StatsRecorder {
+ public:
+  void RecordQueueWait(uint64_t nanos) {
+    queue_wait_nanos_ += nanos;
+    queue_wait_us_.Add(static_cast<double>(nanos) / 1000.0);
+  }
+  void RecordBatchBuild(uint64_t nanos) { batch_build_nanos_ += nanos; }
+  void RecordExecute(uint64_t nanos) {
+    execute_nanos_ += nanos;
+    execute_us_.Add(static_cast<double>(nanos) / 1000.0);
+  }
+  void RecordComplete(uint64_t nanos) { complete_nanos_ += nanos; }
+  // One call per dispatch: the group size feeds the batch-size distribution;
+  // e2e covers submit -> fully completed (0 when the submit time is unknown).
+  void RecordDispatch(size_t batch_size, uint64_t end_to_end_nanos) {
+    batch_size_.Add(static_cast<double>(batch_size));
+    if (end_to_end_nanos != 0) {
+      end_to_end_nanos_ += end_to_end_nanos;
+      end_to_end_us_.Add(static_cast<double>(end_to_end_nanos) / 1000.0);
+    }
+  }
+
+  // Copies the recorder's view into `out` (counters owned by the worker
+  // object are filled in by Worker::SnapshotStats). Worker thread only.
+  void FillSnapshot(WorkerStatsSnapshot* out) const {
+    out->queue_wait_nanos = queue_wait_nanos_;
+    out->batch_build_nanos = batch_build_nanos_;
+    out->execute_nanos = execute_nanos_;
+    out->complete_nanos = complete_nanos_;
+    out->end_to_end_nanos = end_to_end_nanos_;
+    out->queue_wait_us = queue_wait_us_;
+    out->execute_us = execute_us_;
+    out->end_to_end_us = end_to_end_us_;
+    out->batch_size = batch_size_;
+  }
+
+ private:
+  uint64_t queue_wait_nanos_ = 0;
+  uint64_t batch_build_nanos_ = 0;
+  uint64_t execute_nanos_ = 0;
+  uint64_t complete_nanos_ = 0;
+  uint64_t end_to_end_nanos_ = 0;
+  Histogram queue_wait_us_;
+  Histogram execute_us_;
+  Histogram end_to_end_us_;
+  Histogram batch_size_;
+};
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_UTIL_STATS_RECORDER_H_

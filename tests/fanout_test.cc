@@ -271,5 +271,84 @@ TEST_F(FanoutGovernanceTest, MultiWriteFailsFastOnDegradedPartition) {
   EXPECT_EQ("new0", value);
 }
 
+// ------------- Parallel RANGE / SCAN across a failed partition -------------
+// Regression for the partial-failure asymmetry: MultiGet always reported
+// key-level outcomes, but one failed sub-RANGE used to erase every healthy
+// partition's pairs and return only the error. Now the merged result carries
+// everything the healthy partitions produced, the first error is still
+// returned, and partition_status attributes the failure.
+
+class RangeFailureTest : public FanoutGovernanceTest {
+ protected:
+  void LoadAndFailPartitionZero() {
+    for (int i = 0; i < 64; i++) {
+      std::string key = "rq-" + std::to_string(i);
+      ASSERT_TRUE(store_->Put(key, "v-" + key).ok());
+      (store_->PartitionOf(key) == 0 ? p0_keys_ : p1_keys_).push_back(key);
+    }
+    ASSERT_FALSE(p0_keys_.empty());
+    ASSERT_FALSE(p1_keys_.empty());
+    std::sort(p1_keys_.begin(), p1_keys_.end());
+    // Push everything into SSTs so reads must touch storage, then fail every
+    // storage read on instance-0: its sub-query errors, the other survives.
+    ASSERT_TRUE(store_->FlushAll().ok());
+    env_->SetPathFilter("instance-0/");
+    env_->SetFailureOdds(FaultOp::kRead, 1, /*transient=*/false);
+  }
+
+  std::vector<std::string> p0_keys_;
+  std::vector<std::string> p1_keys_;
+};
+
+TEST_F(RangeFailureTest, RangeReturnsHealthyPartitionsPairs) {
+  LoadAndFailPartitionZero();
+
+  std::vector<std::pair<std::string, std::string>> out;
+  std::vector<Status> per_part;
+  Status s = store_->Range("", "", &out, &per_part);
+  EXPECT_FALSE(s.ok());            // the failure is still reported,
+  ASSERT_EQ(2u, per_part.size());  // attributed to its partition,
+  EXPECT_FALSE(per_part[0].ok());
+  EXPECT_TRUE(per_part[1].ok()) << per_part[1].ToString();
+  // and the healthy partition's pairs survive (previously: empty result).
+  ASSERT_EQ(p1_keys_.size(), out.size());
+  for (size_t i = 0; i < out.size(); i++) {
+    EXPECT_EQ(p1_keys_[i], out[i].first);
+    EXPECT_EQ("v-" + p1_keys_[i], out[i].second);
+  }
+
+  // partition_status is optional — the default-argument call still works.
+  EXPECT_FALSE(store_->Range("", "", &out).ok());
+  EXPECT_EQ(p1_keys_.size(), out.size());
+
+  // Once the fault clears, the full result comes back.
+  env_->DisableAll();
+  ASSERT_TRUE(store_->Range("", "", &out, &per_part).ok());
+  EXPECT_EQ(p0_keys_.size() + p1_keys_.size(), out.size());
+  EXPECT_TRUE(per_part[0].ok());
+  EXPECT_TRUE(per_part[1].ok());
+}
+
+TEST_F(RangeFailureTest, ParallelScanReturnsHealthyPartitionsPairs) {
+  LoadAndFailPartitionZero();
+  ASSERT_EQ(P2kvsOptions::ScanMode::kParallel, options_.scan_mode);
+
+  std::vector<std::pair<std::string, std::string>> out;
+  std::vector<Status> per_part;
+  Status s = store_->Scan("", 1000, &out, &per_part);
+  EXPECT_FALSE(s.ok());
+  ASSERT_EQ(2u, per_part.size());
+  EXPECT_FALSE(per_part[0].ok());
+  EXPECT_TRUE(per_part[1].ok()) << per_part[1].ToString();
+  ASSERT_EQ(p1_keys_.size(), out.size());
+  for (size_t i = 0; i < out.size(); i++) {
+    EXPECT_EQ(p1_keys_[i], out[i].first);
+  }
+
+  env_->DisableAll();
+  ASSERT_TRUE(store_->Scan("", 1000, &out, &per_part).ok());
+  EXPECT_EQ(p0_keys_.size() + p1_keys_.size(), out.size());
+}
+
 }  // namespace
 }  // namespace p2kvs

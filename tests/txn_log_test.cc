@@ -99,6 +99,123 @@ TEST_F(TxnLogTest, ManyTransactionsSurviveReopen) {
   EXPECT_EQ(torn.size(), log_->UncommittedAtRecovery());
 }
 
+// ---------------- Committed-set watermark compaction ----------------
+// The committed set must not grow with lifetime commits (it used to hold one
+// std::set entry per committed GSN forever). Contiguously-resolved GSNs fold
+// into a single watermark; only out-of-order commits and aborts take entries.
+
+TEST_F(TxnLogTest, WatermarkAdvancesWithContiguousCommits) {
+  for (int i = 0; i < 1000; i++) {
+    uint64_t gsn = log_->NextGsn();
+    ASSERT_TRUE(log_->LogBegin(gsn).ok());
+    ASSERT_TRUE(log_->LogCommit(gsn).ok());
+  }
+  EXPECT_EQ(1000u, log_->CommittedWatermark());
+  EXPECT_EQ(0u, log_->CommittedFootprint());
+  EXPECT_TRUE(log_->IsCommitted(1));
+  EXPECT_TRUE(log_->IsCommitted(1000));
+  EXPECT_FALSE(log_->IsCommitted(1001));
+}
+
+TEST_F(TxnLogTest, OutOfOrderCommitHoldsTailUntilGapCloses) {
+  uint64_t g1 = log_->NextGsn();
+  uint64_t g2 = log_->NextGsn();
+  uint64_t g3 = log_->NextGsn();
+  ASSERT_TRUE(log_->LogCommit(g3).ok());
+  ASSERT_TRUE(log_->LogCommit(g2).ok());
+  // g1 unresolved: the watermark cannot move, g2/g3 wait in the tail.
+  EXPECT_EQ(0u, log_->CommittedWatermark());
+  EXPECT_EQ(2u, log_->CommittedFootprint());
+  EXPECT_TRUE(log_->IsCommitted(g2));
+  EXPECT_TRUE(log_->IsCommitted(g3));
+  EXPECT_FALSE(log_->IsCommitted(g1));
+  // Closing the gap folds the whole run into the watermark.
+  ASSERT_TRUE(log_->LogCommit(g1).ok());
+  EXPECT_EQ(g3, log_->CommittedWatermark());
+  EXPECT_EQ(0u, log_->CommittedFootprint());
+  EXPECT_TRUE(log_->IsCommitted(g1));
+  EXPECT_TRUE(log_->IsCommitted(g3));
+}
+
+TEST_F(TxnLogTest, MarkAbortedResolvesGsnAndAdvancesWatermark) {
+  uint64_t dead = log_->NextGsn();
+  uint64_t live = log_->NextGsn();
+  ASSERT_TRUE(log_->LogCommit(live).ok());
+  EXPECT_EQ(0u, log_->CommittedWatermark());  // dead still unresolved
+  log_->MarkAborted(dead);
+  EXPECT_EQ(live, log_->CommittedWatermark());
+  EXPECT_FALSE(log_->IsCommitted(dead));  // below watermark, but excepted
+  EXPECT_TRUE(log_->IsCommitted(live));
+  // Only the abort exception remains; repeated aborts are idempotent.
+  EXPECT_EQ(1u, log_->CommittedFootprint());
+  log_->MarkAborted(dead);
+  EXPECT_EQ(1u, log_->CommittedFootprint());
+}
+
+TEST_F(TxnLogTest, MarkAbortedIgnoresCommittedAndZeroGsns) {
+  uint64_t gsn = log_->NextGsn();
+  ASSERT_TRUE(log_->LogCommit(gsn).ok());
+  log_->MarkAborted(0);
+  log_->MarkAborted(gsn);
+  EXPECT_TRUE(log_->IsCommitted(gsn));
+  EXPECT_TRUE(log_->IsCommitted(0));
+  EXPECT_EQ(0u, log_->CommittedFootprint());
+}
+
+TEST_F(TxnLogTest, FootprintBoundedByAbortsNotCommits) {
+  size_t aborts = 0;
+  for (int i = 0; i < 3000; i++) {
+    uint64_t gsn = log_->NextGsn();
+    ASSERT_TRUE(log_->LogBegin(gsn).ok());
+    if (i % 100 == 7) {
+      log_->MarkAborted(gsn);
+      aborts++;
+    } else {
+      ASSERT_TRUE(log_->LogCommit(gsn).ok());
+    }
+  }
+  // 3000 lifetime transactions, footprint = the 30 aborts only.
+  EXPECT_EQ(3000u, log_->CommittedWatermark());
+  EXPECT_EQ(aborts, log_->CommittedFootprint());
+}
+
+TEST_F(TxnLogTest, RecoveryAcrossWatermark) {
+  // Interleave committed / torn / aborted transactions, then reopen. The
+  // recovered representation must answer IsCommitted identically on both
+  // sides of the recovered watermark (= max replayed GSN).
+  std::vector<uint64_t> committed;
+  std::vector<uint64_t> unresolved;  // torn (begun, no commit) or aborted
+  for (int i = 0; i < 300; i++) {
+    uint64_t gsn = log_->NextGsn();
+    ASSERT_TRUE(log_->LogBegin(gsn).ok());
+    if (i % 5 == 3) {
+      unresolved.push_back(gsn);  // torn: died before commit
+    } else if (i % 7 == 2) {
+      log_->MarkAborted(gsn);  // aborted in-run: no durable record either
+      unresolved.push_back(gsn);
+    } else {
+      ASSERT_TRUE(log_->LogCommit(gsn).ok());
+      committed.push_back(gsn);
+    }
+  }
+  Reopen();
+  EXPECT_EQ(300u, log_->CommittedWatermark());
+  EXPECT_EQ(unresolved.size(), log_->CommittedFootprint());
+  for (uint64_t gsn : committed) {
+    EXPECT_TRUE(log_->IsCommitted(gsn)) << gsn;
+  }
+  for (uint64_t gsn : unresolved) {
+    EXPECT_FALSE(log_->IsCommitted(gsn)) << gsn;
+  }
+  // Post-recovery transactions resolve above the recovered watermark.
+  uint64_t fresh = log_->NextGsn();
+  EXPECT_FALSE(log_->IsCommitted(fresh));
+  ASSERT_TRUE(log_->LogBegin(fresh).ok());
+  ASSERT_TRUE(log_->LogCommit(fresh).ok());
+  EXPECT_TRUE(log_->IsCommitted(fresh));
+  EXPECT_EQ(fresh, log_->CommittedWatermark());
+}
+
 TEST_F(TxnLogTest, ConcurrentAllocationIsUnique) {
   constexpr int kThreads = 4;
   constexpr int kPerThread = 1000;
