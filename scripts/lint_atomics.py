@@ -1,0 +1,205 @@
+#!/usr/bin/env python3
+"""Audit std::atomic usage for implicit memory orders.
+
+Two rules, matching the locking contract in DESIGN.md:
+
+1. Every atomic operation spelled through the member API (load / store /
+   exchange / fetch_* / compare_exchange_* / wait) must pass an explicit
+   std::memory_order argument. A defaulted order is seq_cst by accident,
+   which both hides the author's intent and costs a full fence on weakly
+   ordered hardware.
+
+2. In the hot-path files (the default file set), any operation that *does*
+   ask for seq_cst must carry a justification: a `//` comment on the same
+   line or within the 4 preceding lines. seq_cst is the right tool for
+   Dekker-style flag protocols and nothing else; an uncommented seq_cst is
+   indistinguishable from rule-1 laziness that someone spelled out.
+
+Operator forms (++, --, +=, |=, plain assignment) on atomics are also
+seq_cst and effectively unauditable; rule 1 flags them in the default file
+set by matching `++`/`--`/compound assignment on identifiers that appear in
+an `std::atomic<...> name` declaration in the same file.
+
+Usage:
+  scripts/lint_atomics.py           # strict: hot-path files, rules 1+2
+  scripts/lint_atomics.py --all     # rule 1 only, across all of src/
+  scripts/lint_atomics.py FILE...   # strict rules on the named files
+
+Exits non-zero when any finding is reported.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# The request-path files where every fence is a deliberate decision.
+HOT_PATH_FILES = [
+    "src/util/intrusive_mpsc_queue.h",
+    "src/core/completion.h",
+    "src/util/stats_recorder.h",
+]
+
+# Member calls that take a trailing memory_order argument.
+ATOMIC_CALL = re.compile(
+    r"\.\s*(load|store|exchange|fetch_add|fetch_sub|fetch_and|fetch_or|"
+    r"fetch_xor|compare_exchange_weak|compare_exchange_strong|wait|"
+    r"test_and_set|clear)\s*\("
+)
+
+SEQ_CST = re.compile(r"memory_order_seq_cst|memory_order::seq_cst")
+COMMENT = re.compile(r"//")
+
+ATOMIC_DECL = re.compile(
+    r"std::atomic(?:_flag)?\s*(?:<[^;{}]*>)?\s+(\w+)\s*(?:\{|=|;|\()"
+)
+# ++x / x++ / x += n / x |= n / x = n on a known atomic variable.
+def operator_form_re(names):
+    alt = "|".join(re.escape(n) for n in names)
+    return re.compile(
+        r"(?:\+\+|--)\s*(?:%(alt)s)\b|\b(?:%(alt)s)\s*(?:\+\+|--|[-+|&^]?=[^=])"
+        % {"alt": alt}
+    )
+
+
+def strip_strings(line):
+    # Good enough for C++ source that does not splice strings across lines.
+    line = re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
+    return re.sub(r"'(?:[^'\\]|\\.)*'", "''", line)
+
+
+def balanced_call(text, open_paren):
+    """Returns the argument text of the call whose '(' is at open_paren."""
+    depth = 0
+    for i in range(open_paren, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return text[open_paren + 1 : i]
+    return text[open_paren + 1 :]
+
+
+def lint_file(path, strict):
+    findings = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            raw_lines = f.read().splitlines()
+    except OSError as e:
+        return [(path, 0, "unreadable: %s" % e)]
+
+    lines = [strip_strings(l) for l in raw_lines]
+    joined = "\n".join(lines)
+    # Offsets of each line start so matches can be mapped back to lines.
+    offsets, pos = [], 0
+    for l in lines:
+        offsets.append(pos)
+        pos += len(l) + 1
+
+    def line_of(off):
+        lo, hi = 0, len(offsets) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if offsets[mid] <= off:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo
+
+    atomic_names = set(ATOMIC_DECL.findall(joined))
+
+    for m in ATOMIC_CALL.finditer(joined):
+        lineno = line_of(m.start())
+        # Only consider lines that plausibly involve an atomic: either a
+        # declared atomic name or a memory_order already present nearby.
+        window = "\n".join(lines[max(0, lineno - 1) : lineno + 3])
+        involves_atomic = any(
+            re.search(r"\b%s\b" % re.escape(n), window) for n in atomic_names
+        ) or "memory_order" in window or "mpsc_next" in window or "atomic" in window
+        if not involves_atomic:
+            continue
+        args = balanced_call(joined, m.end() - 1)
+        op = m.group(1)
+        if "memory_order" not in args:
+            # store()/load()/wait() etc. on non-atomics (e.g. std::string
+            # member calls named `clear`) are excluded above; `clear`/`wait`
+            # still produce false positives on containers, so require the
+            # object to be a known atomic for those two.
+            if op in ("clear", "wait"):
+                obj = lines[lineno][: m.start() - offsets[lineno]]
+                if not any(obj.rstrip().endswith(n) for n in atomic_names):
+                    continue
+            findings.append(
+                (path, lineno + 1,
+                 "%s() without an explicit std::memory_order (defaults to "
+                 "seq_cst)" % op)
+            )
+        elif strict and SEQ_CST.search(args):
+            has_comment = any(
+                COMMENT.search(raw_lines[i])
+                for i in range(max(0, lineno - 4), lineno + 1)
+            )
+            if not has_comment:
+                findings.append(
+                    (path, lineno + 1,
+                     "seq_cst %s() without a justification comment on the "
+                     "same line or the 4 lines above" % op)
+                )
+
+    if strict and atomic_names:
+        op_re = operator_form_re(atomic_names)
+        for i, l in enumerate(lines):
+            if ATOMIC_DECL.search(l):
+                continue  # the declaration/initializer itself
+            if op_re.search(l):
+                findings.append(
+                    (path, i + 1,
+                     "operator form on an atomic (implicit seq_cst RMW); "
+                     "use fetch_*/store with an explicit order")
+                )
+    return findings
+
+
+def collect_all_sources():
+    out = []
+    for root, _, files in os.walk(os.path.join(REPO_ROOT, "src")):
+        for f in files:
+            if f.endswith((".h", ".cc")):
+                out.append(os.path.join(root, f))
+    return sorted(out)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("files", nargs="*", help="files to lint (strict rules)")
+    ap.add_argument("--all", action="store_true",
+                    help="rule 1 only, across every file under src/")
+    args = ap.parse_args()
+
+    if args.all:
+        targets, strict = collect_all_sources(), False
+    elif args.files:
+        targets, strict = args.files, True
+    else:
+        targets = [os.path.join(REPO_ROOT, f) for f in HOT_PATH_FILES]
+        strict = True
+
+    findings = []
+    for path in targets:
+        findings.extend(lint_file(path, strict))
+
+    for path, lineno, msg in findings:
+        rel = os.path.relpath(path, REPO_ROOT)
+        print("%s:%d: %s" % (rel, lineno, msg))
+    if findings:
+        print("\n%d atomics finding(s)." % len(findings), file=sys.stderr)
+        return 1
+    print("lint_atomics: clean (%d file(s))." % len(targets))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,12 +5,12 @@
 #include <cassert>
 #include <list>
 #include <map>
-#include <mutex>
-#include <shared_mutex>
 #include <unordered_map>
 
 #include "src/util/coding.h"
 #include "src/util/crc32c.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 #include "src/wal/log_reader.h"
 #include "src/wal/log_writer.h"
 
@@ -136,11 +136,15 @@ class BTreeStoreImpl final : public BTreeStore {
       : options_(options), env_(options.env), path_(std::move(path)) {}
 
   ~BTreeStoreImpl() override {
-    std::unique_lock<std::shared_mutex> latch(tree_latch_);
+    WriterMutexLock latch(&tree_latch_);
     CheckpointLocked();
   }
 
-  Status Init() {
+  Status Init() EXCLUDES(tree_latch_) {
+    // Init runs single-threaded (before Open() publishes the store), but
+    // takes the write latch anyway so the guarded-field accesses and the
+    // REQUIRES(tree_latch_) callees stay analysis-clean.
+    WriterMutexLock latch(&tree_latch_);
     env_->CreateDir(path_);
     // A stale temp file means a crash interrupted a META update; the real
     // META (old or new) is intact, so the leftover is just discarded.
@@ -179,7 +183,7 @@ class BTreeStoreImpl final : public BTreeStore {
   }
 
   Status Put(const Slice& key, const Slice& value) override {
-    std::unique_lock<std::shared_mutex> latch(tree_latch_);
+    WriterMutexLock latch(&tree_latch_);
     Status s = AppendWal(kWalPut, key, value);
     if (!s.ok()) {
       return s;
@@ -192,7 +196,7 @@ class BTreeStoreImpl final : public BTreeStore {
   }
 
   Status Delete(const Slice& key) override {
-    std::unique_lock<std::shared_mutex> latch(tree_latch_);
+    WriterMutexLock latch(&tree_latch_);
     Status s = AppendWal(kWalDelete, key, Slice());
     if (!s.ok()) {
       return s;
@@ -205,7 +209,7 @@ class BTreeStoreImpl final : public BTreeStore {
   }
 
   Status Get(const Slice& key, std::string* value) override {
-    std::shared_lock<std::shared_mutex> latch(tree_latch_);
+    ReaderMutexLock latch(&tree_latch_);
     std::shared_ptr<Node> leaf;
     Status s = FindLeaf(key, &leaf, nullptr);
     if (!s.ok()) {
@@ -222,20 +226,21 @@ class BTreeStoreImpl final : public BTreeStore {
   Iterator* NewIterator() override;
 
   Status Checkpoint() override {
-    std::unique_lock<std::shared_mutex> latch(tree_latch_);
+    WriterMutexLock latch(&tree_latch_);
     return CheckpointLocked();
   }
 
   BTreeStats GetStats() const override {
-    std::shared_lock<std::shared_mutex> latch(tree_latch_);
+    ReaderMutexLock latch(&tree_latch_);
     BTreeStats stats = stats_;
     stats.page_reads = stats_page_reads_.load(std::memory_order_relaxed);
+    stats.page_writes = stats_page_writes_.load(std::memory_order_relaxed);
     return stats;
   }
 
   size_t ApproximateMemoryUsage() const override {
-    std::shared_lock<std::shared_mutex> latch(tree_latch_);
-    std::lock_guard<std::mutex> guard(cache_mutex_);
+    ReaderMutexLock latch(&tree_latch_);
+    MutexLock guard(&cache_mutex_);
     size_t total = 0;
     for (const auto& [id, node] : cache_) {
       total += node->SerializedSize();
@@ -252,7 +257,7 @@ class BTreeStoreImpl final : public BTreeStore {
 
   // ----- Metadata -----
 
-  Status WriteMeta() {
+  Status WriteMeta() REQUIRES(tree_latch_) {
     std::string meta;
     PutFixed32(&meta, kMetaMagic);
     PutFixed32(&meta, root_id_);
@@ -270,7 +275,7 @@ class BTreeStoreImpl final : public BTreeStore {
     return env_->RenameFile(tmp, MetaFileName());
   }
 
-  Status LoadMeta() {
+  Status LoadMeta() REQUIRES(tree_latch_) {
     std::string meta;
     Status s = ReadFileToString(env_, MetaFileName(), &meta);
     if (!s.ok()) {
@@ -290,7 +295,7 @@ class BTreeStoreImpl final : public BTreeStore {
 
   // ----- WAL -----
 
-  Status OpenWal() {
+  Status OpenWal() REQUIRES(tree_latch_) {
     Status s = env_->NewAppendableFile(WalFileName(), &wal_file_);
     if (!s.ok()) {
       return s;
@@ -302,7 +307,8 @@ class BTreeStoreImpl final : public BTreeStore {
     return Status::OK();
   }
 
-  Status AppendWal(WalTag tag, const Slice& key, const Slice& value) {
+  Status AppendWal(WalTag tag, const Slice& key, const Slice& value)
+      REQUIRES(tree_latch_) {
     std::string record;
     record.push_back(static_cast<char>(tag));
     PutLengthPrefixedSlice(&record, key);
@@ -321,7 +327,7 @@ class BTreeStoreImpl final : public BTreeStore {
     return wal_->Flush();
   }
 
-  Status ReplayWal() {
+  Status ReplayWal() REQUIRES(tree_latch_) {
     if (!env_->FileExists(WalFileName())) {
       return Status::OK();
     }
@@ -360,20 +366,22 @@ class BTreeStoreImpl final : public BTreeStore {
 
   // ----- Buffer pool -----
 
-  void CacheInsert(const std::shared_ptr<Node>& node) {
-    std::lock_guard<std::mutex> guard(cache_mutex_);
+  void CacheInsert(const std::shared_ptr<Node>& node)
+      REQUIRES_SHARED(tree_latch_) EXCLUDES(cache_mutex_) {
+    MutexLock guard(&cache_mutex_);
     CacheInsertLocked(node);
   }
 
-  void CacheInsertLocked(const std::shared_ptr<Node>& node) {
+  void CacheInsertLocked(const std::shared_ptr<Node>& node)
+      REQUIRES_SHARED(tree_latch_) REQUIRES(cache_mutex_) {
     cache_[node->id] = node;
     lru_.push_front(node->id);
     lru_pos_[node->id] = lru_.begin();
     EvictIfNeeded();
   }
 
-  void CacheTouch(uint32_t id) {
-    std::lock_guard<std::mutex> guard(cache_mutex_);
+  void CacheTouch(uint32_t id) EXCLUDES(cache_mutex_) {
+    MutexLock guard(&cache_mutex_);
     auto pos = lru_pos_.find(id);
     if (pos != lru_pos_.end()) {
       lru_.erase(pos->second);
@@ -382,7 +390,9 @@ class BTreeStoreImpl final : public BTreeStore {
     }
   }
 
-  void EvictIfNeeded() {
+  // May write back a dirty victim, so eviction needs the page file — hence
+  // the shared tree latch on top of the cache mutex.
+  void EvictIfNeeded() REQUIRES_SHARED(tree_latch_) REQUIRES(cache_mutex_) {
     while (cache_.size() > options_.buffer_pool_pages && !lru_.empty()) {
       uint32_t victim = lru_.back();
       auto it = cache_.find(victim);
@@ -398,7 +408,7 @@ class BTreeStoreImpl final : public BTreeStore {
     }
   }
 
-  Status WritePage(const Node& node) {
+  Status WritePage(const Node& node) REQUIRES_SHARED(tree_latch_) {
     std::string payload;
     node.EncodeTo(&payload);
     assert(payload.size() <= kPagePayload);
@@ -407,11 +417,15 @@ class BTreeStoreImpl final : public BTreeStore {
     PutFixed32(&page, static_cast<uint32_t>(payload.size()));
     page.append(payload);
     page.resize(kPageSize, '\0');
-    stats_.page_writes++;
+    // Write-backs can happen under a shared latch (cache eviction on the
+    // read path), so the counter is atomic rather than part of stats_;
+    // relaxed suffices for a monotonic statistic with no dependent data.
+    stats_page_writes_.fetch_add(1, std::memory_order_relaxed);
     return page_file_->Write(static_cast<uint64_t>(node.id) * kPageSize, page);
   }
 
-  Status ReadPage(uint32_t id, std::shared_ptr<Node>* out) {
+  Status ReadPage(uint32_t id, std::shared_ptr<Node>* out)
+      REQUIRES_SHARED(tree_latch_) {
     auto buf = std::make_unique<char[]>(kPageSize);
     Slice result;
     Status s = page_file_->Read(static_cast<uint64_t>(id) * kPageSize, kPageSize, &result,
@@ -437,9 +451,10 @@ class BTreeStoreImpl final : public BTreeStore {
     return Status::OK();
   }
 
-  Status FetchNode(uint32_t id, std::shared_ptr<Node>* out) {
+  Status FetchNode(uint32_t id, std::shared_ptr<Node>* out)
+      REQUIRES_SHARED(tree_latch_) {
     {
-      std::lock_guard<std::mutex> guard(cache_mutex_);
+      MutexLock guard(&cache_mutex_);
       auto it = cache_.find(id);
       if (it != cache_.end()) {
         auto pos = lru_pos_.find(id);
@@ -458,7 +473,7 @@ class BTreeStoreImpl final : public BTreeStore {
       return s;
     }
     {
-      std::lock_guard<std::mutex> guard(cache_mutex_);
+      MutexLock guard(&cache_mutex_);
       auto it = cache_.find(id);
       if (it != cache_.end()) {
         // Another reader loaded it first; use theirs.
@@ -476,7 +491,8 @@ class BTreeStoreImpl final : public BTreeStore {
   // Descends to the leaf that owns `key`; optionally records the path of
   // internal nodes (for splits).
   Status FindLeaf(const Slice& key, std::shared_ptr<Node>* leaf,
-                  std::vector<std::shared_ptr<Node>>* path) {
+                  std::vector<std::shared_ptr<Node>>* path)
+      REQUIRES_SHARED(tree_latch_) {
     std::shared_ptr<Node> node;
     Status s = FetchNode(root_id_, &node);
     if (!s.ok()) {
@@ -499,7 +515,7 @@ class BTreeStoreImpl final : public BTreeStore {
     return Status::OK();
   }
 
-  Status InsertLocked(const Slice& key, const Slice& value) {
+  Status InsertLocked(const Slice& key, const Slice& value) REQUIRES(tree_latch_) {
     std::vector<std::shared_ptr<Node>> path;
     std::shared_ptr<Node> leaf;
     Status s = FindLeaf(key, &leaf, &path);
@@ -554,7 +570,8 @@ class BTreeStoreImpl final : public BTreeStore {
 
   // Splits `node` in half; returns the new right sibling and the separator
   // key (first key of the right node).
-  std::shared_ptr<Node> SplitNode(const std::shared_ptr<Node>& node, std::string* separator) {
+  std::shared_ptr<Node> SplitNode(const std::shared_ptr<Node>& node, std::string* separator)
+      REQUIRES(tree_latch_) {
     auto right = std::make_shared<Node>();
     right->id = next_page_id_++;
     right->type = node->type;
@@ -583,7 +600,7 @@ class BTreeStoreImpl final : public BTreeStore {
     return right;
   }
 
-  Status DeleteLocked(const Slice& key) {
+  Status DeleteLocked(const Slice& key) REQUIRES(tree_latch_) {
     std::shared_ptr<Node> leaf;
     Status s = FindLeaf(key, &leaf, nullptr);
     if (!s.ok()) {
@@ -602,21 +619,27 @@ class BTreeStoreImpl final : public BTreeStore {
     return Status::OK();
   }
 
-  Status MaybeCheckpointLocked() {
+  Status MaybeCheckpointLocked() REQUIRES(tree_latch_) {
     if (wal_bytes_ < options_.checkpoint_wal_bytes) {
       return Status::OK();
     }
     return CheckpointLocked();
   }
 
-  Status CheckpointLocked() {
-    for (auto& [id, node] : cache_) {
-      if (node->dirty) {
-        Status s = WritePage(*node);
-        if (!s.ok()) {
-          return s;
+  Status CheckpointLocked() REQUIRES(tree_latch_) {
+    {
+      // The exclusive tree latch already excludes every other cache user,
+      // but take the cache mutex anyway so the guarded-map walk stays
+      // analysis-clean (and stays correct if the latching ever loosens).
+      MutexLock guard(&cache_mutex_);
+      for (auto& [id, node] : cache_) {
+        if (node->dirty) {
+          Status s = WritePage(*node);
+          if (!s.ok()) {
+            return s;
+          }
+          node->dirty = false;
         }
-        node->dirty = false;
       }
     }
     Status s = page_file_ != nullptr ? page_file_->Sync() : Status::OK();
@@ -648,24 +671,36 @@ class BTreeStoreImpl final : public BTreeStore {
   Env* const env_;
   const std::string path_;
 
-  mutable std::shared_mutex tree_latch_;
+  // The paper's "one reader-writer latch over a shared index": writers
+  // (Put/Delete/Checkpoint) hold it exclusive, readers hold it shared.
+  // cache_mutex_ nests inside it (ACQUIRED_AFTER).
+  mutable SharedMutex tree_latch_;
 
+  // Opened once in Init() (under the write latch) and never reassigned; the
+  // file object's own Read/Write are usable from concurrent shared-latch
+  // holders, so the pointer is deliberately not guarded.
   std::unique_ptr<RandomWritableFile> page_file_;
-  std::unique_ptr<WritableFile> wal_file_;
-  std::unique_ptr<log::Writer> wal_;
-  uint64_t wal_bytes_ = 0;
+  std::unique_ptr<WritableFile> wal_file_ GUARDED_BY(tree_latch_);
+  std::unique_ptr<log::Writer> wal_ GUARDED_BY(tree_latch_);
+  uint64_t wal_bytes_ GUARDED_BY(tree_latch_) = 0;
 
-  uint32_t root_id_ = 1;
-  uint32_t next_page_id_ = 2;
-  bool meta_dirty_ = false;
+  uint32_t root_id_ GUARDED_BY(tree_latch_) = 1;
+  uint32_t next_page_id_ GUARDED_BY(tree_latch_) = 2;
+  bool meta_dirty_ GUARDED_BY(tree_latch_) = false;
 
-  mutable std::mutex cache_mutex_;
-  std::unordered_map<uint32_t, std::shared_ptr<Node>> cache_;
-  std::list<uint32_t> lru_;
-  std::unordered_map<uint32_t, std::list<uint32_t>::iterator> lru_pos_;
+  // Buffer pool bookkeeping; nests inside tree_latch_.
+  mutable Mutex cache_mutex_ ACQUIRED_AFTER(tree_latch_);
+  std::unordered_map<uint32_t, std::shared_ptr<Node>> cache_ GUARDED_BY(cache_mutex_);
+  std::list<uint32_t> lru_ GUARDED_BY(cache_mutex_);
+  std::unordered_map<uint32_t, std::list<uint32_t>::iterator> lru_pos_
+      GUARDED_BY(cache_mutex_);
 
-  BTreeStats stats_;
+  // splits/checkpoints mutate only under the exclusive latch; the page IO
+  // counters are atomics because they tick on the shared-latch read path
+  // (see WritePage/ReadPage).
+  BTreeStats stats_ GUARDED_BY(tree_latch_);
   std::atomic<uint64_t> stats_page_reads_{0};
+  std::atomic<uint64_t> stats_page_writes_{0};
 };
 
 // Snapshot-free iterator: materializes one leaf at a time under the shared
@@ -701,7 +736,7 @@ class BTreeIterator final : public Iterator {
   void Seek(const Slice& target) override {
     entries_.clear();
     pos_ = 0;
-    std::shared_lock<std::shared_mutex> latch(store_->tree_latch_);
+    ReaderMutexLock latch(&store_->tree_latch_);
     std::shared_ptr<Node> leaf;
     if (!store_->FindLeaf(target, &leaf, nullptr).ok()) {
       return;
@@ -754,7 +789,7 @@ class BTreeIterator final : public Iterator {
   }
 
   void LoadNext() {
-    std::shared_lock<std::shared_mutex> latch(store_->tree_latch_);
+    ReaderMutexLock latch(&store_->tree_latch_);
     while (next_leaf_ != 0) {
       std::shared_ptr<Node> leaf;
       if (!store_->FetchNode(next_leaf_, &leaf).ok()) {

@@ -28,10 +28,10 @@ P2KVS::P2KVS(const P2kvsOptions& options, std::string path)
 P2KVS::~P2KVS() {
   if (stats_dumper_.joinable()) {
     {
-      std::lock_guard<std::mutex> lock(dumper_mu_);
+      MutexLock lock(&dumper_mu_);
       dumper_stop_ = true;
     }
-    dumper_cv_.notify_all();
+    dumper_cv_.SignalAll();
     stats_dumper_.join();
   }
   for (auto& worker : workers_) {
@@ -97,17 +97,27 @@ Status P2KVS::Init() {
 
 void P2KVS::StatsDumpLoop() {
   const auto period = std::chrono::milliseconds(options_.stats_dump_period_ms);
-  std::unique_lock<std::mutex> lock(dumper_mu_);
-  while (!dumper_cv_.wait_for(lock, period, [this] { return dumper_stop_; })) {
-    lock.unlock();
+  dumper_mu_.Lock();
+  while (!dumper_stop_) {
+    // Timed wait with a deadline so spurious wakeups re-wait the remainder
+    // instead of restarting the full period.
+    const auto deadline = std::chrono::steady_clock::now() + period;
+    while (!dumper_stop_ && std::chrono::steady_clock::now() < deadline) {
+      dumper_cv_.WaitUntil(deadline);
+    }
+    if (dumper_stop_) {
+      break;
+    }
+    dumper_mu_.Unlock();
     std::string json = GetStats().ToJson();
     if (options_.listener != nullptr) {
       options_.listener->OnStatsDump(json);
     } else {
       std::fprintf(stderr, "%s\n", json.c_str());
     }
-    lock.lock();
+    dumper_mu_.Lock();
   }
+  dumper_mu_.Unlock();
 }
 
 int P2KVS::PartitionOf(const Slice& key) const {

@@ -20,15 +20,15 @@
 #define P2KVS_SRC_CORE_P2KVS_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/core/engines.h"
 #include "src/core/event_listener.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 #include "src/core/partitioner.h"
 #include "src/core/kv_store.h"
 #include "src/core/txn_log.h"
@@ -268,7 +268,7 @@ class P2KVS {
   Status Init();
   // Routes every update in `updates` to its partition's sub-batch.
   Status SplitByPartition(WriteBatch* updates, std::vector<WriteBatch>* parts) const;
-  void StatsDumpLoop();
+  void StatsDumpLoop() EXCLUDES(dumper_mu_);
 
   P2kvsOptions options_;
   const std::string path_;
@@ -278,9 +278,9 @@ class P2KVS {
   // Periodic stats reporter (stats_dump_period_ms > 0). Joined before the
   // workers stop so every GetStats() it issues finds live queues.
   std::thread stats_dumper_;
-  std::mutex dumper_mu_;
-  std::condition_variable dumper_cv_;
-  bool dumper_stop_ = false;  // guarded by dumper_mu_
+  Mutex dumper_mu_;
+  CondVar dumper_cv_{&dumper_mu_};
+  bool dumper_stop_ GUARDED_BY(dumper_mu_) = false;
 };
 
 }  // namespace p2kvs

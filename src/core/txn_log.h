@@ -10,13 +10,14 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 
 #include "src/io/env.h"
 #include "src/io/retry.h"
+#include "src/util/mutex.h"
 #include "src/util/status.h"
+#include "src/util/thread_annotations.h"
 #include "src/wal/log_writer.h"
 
 namespace p2kvs {
@@ -68,29 +69,29 @@ class TxnLog {
  private:
   TxnLog(Env* env, std::string path, const RetryPolicy& retry);
 
-  Status Recover();
-  Status Append(uint8_t tag, uint64_t gsn, bool sync);
+  Status Recover() EXCLUDES(mu_);
+  Status Append(uint8_t tag, uint64_t gsn, bool sync) EXCLUDES(mu_);
   // Folds contiguously-resolved GSNs out of committed_tail_ into watermark_.
-  // Caller holds mu_.
-  void AdvanceWatermark();
+  void AdvanceWatermark() REQUIRES(mu_);
 
   Env* const env_;
   const std::string path_;
   const RetryPolicy retry_;
 
-  mutable std::mutex mu_;
-  std::unique_ptr<WritableFile> file_;
-  std::unique_ptr<log::Writer> writer_;
-  // Committed-set representation (guarded by mu_): every gsn <= watermark_ is
-  // resolved — committed unless listed in aborted_; committed GSNs above the
-  // watermark (out-of-order commits still waiting on a predecessor) sit in
+  mutable Mutex mu_;
+  std::unique_ptr<WritableFile> file_ GUARDED_BY(mu_);
+  std::unique_ptr<log::Writer> writer_ GUARDED_BY(mu_);
+  // Committed-set representation: every gsn <= watermark_ is resolved —
+  // committed unless listed in aborted_; committed GSNs above the watermark
+  // (out-of-order commits still waiting on a predecessor) sit in
   // committed_tail_ until the gap closes. This keeps memory proportional to
   // in-flight transactions + aborts instead of one set entry per lifetime
   // commit.
-  uint64_t watermark_ = 0;
-  std::set<uint64_t> committed_tail_;
-  std::set<uint64_t> aborted_;
-  uint64_t max_gsn_ = 0;
+  uint64_t watermark_ GUARDED_BY(mu_) = 0;
+  std::set<uint64_t> committed_tail_ GUARDED_BY(mu_);
+  std::set<uint64_t> aborted_ GUARDED_BY(mu_);
+  uint64_t max_gsn_ GUARDED_BY(mu_) = 0;
+  // Written only during single-threaded recovery, read-only afterwards.
   size_t uncommitted_at_recovery_ = 0;
 };
 

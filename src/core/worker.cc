@@ -239,7 +239,7 @@ void Worker::MaybeAutoResume() {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(resume_mu_);
+    MutexLock lock(&resume_mu_);
     uint64_t now = NowMicros();
     if (now - last_resume_attempt_us_ <
         static_cast<uint64_t>(config_.auto_resume_interval_us)) {
@@ -250,7 +250,7 @@ void Worker::MaybeAutoResume() {
 }
 
 Status Worker::TryResume() {
-  std::lock_guard<std::mutex> lock(resume_mu_);
+  MutexLock lock(&resume_mu_);
   if (health() == WorkerHealth::kHealthy) {
     return Status::OK();
   }

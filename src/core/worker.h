@@ -8,7 +8,6 @@
 #include <atomic>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -18,7 +17,9 @@
 #include "src/core/kv_store.h"
 #include "src/core/request.h"
 #include "src/io/retry.h"
+#include "src/util/mutex.h"
 #include "src/util/stats_recorder.h"
+#include "src/util/thread_annotations.h"
 
 namespace p2kvs {
 
@@ -107,7 +108,7 @@ class Worker {
   // Attempts to restore a degraded/failed partition via KVStore::Resume().
   // Safe from any thread (the engine's Resume is thread-safe); returns OK and
   // marks the partition healthy on success. No-op when already healthy.
-  Status TryResume();
+  Status TryResume() EXCLUDES(resume_mu_);
 
   // Batching effectiveness counters (engine-level groups, from either the
   // BatchPolicy or pre-merged client fan-out requests).
@@ -138,7 +139,7 @@ class Worker {
   // Counts the governance state change and informs the listener.
   void NotifyHealthTransition(WorkerHealth from, WorkerHealth to);
   // Time-gated auto-resume attempt from the worker loop (kDegraded only).
-  void MaybeAutoResume();
+  void MaybeAutoResume() EXCLUDES(resume_mu_);
   // True if the write request was rejected fast (partition not healthy).
   bool RejectIfUnhealthy(Request* request);
 
@@ -168,15 +169,15 @@ class Worker {
   // snapshotted via kStats drain requests (never read live cross-thread).
   StatsRecorder recorder_;
 
-  // Health state machine (guarded by resume_mu_ for transitions; health_
-  // itself is atomic so readers never block).
+  // Health state machine (resume_mu_ serializes transitions; health_ itself
+  // is atomic so readers never block).
   std::atomic<int> health_{static_cast<int>(WorkerHealth::kHealthy)};
   std::atomic<uint64_t> degraded_rejects_{0};
   std::atomic<uint64_t> resume_attempts_{0};
   std::atomic<uint64_t> health_transitions_{0};
-  std::mutex resume_mu_;
-  uint64_t last_resume_attempt_us_ = 0;   // guarded by resume_mu_
-  int consecutive_resume_failures_ = 0;   // guarded by resume_mu_
+  Mutex resume_mu_;
+  uint64_t last_resume_attempt_us_ GUARDED_BY(resume_mu_) = 0;
+  int consecutive_resume_failures_ GUARDED_BY(resume_mu_) = 0;
 };
 
 }  // namespace p2kvs

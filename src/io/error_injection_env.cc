@@ -168,31 +168,31 @@ class ErrorInjectionRandomWritableFile final : public RandomWritableFile {
 // ---------------------------------------------------------------------------
 
 void ErrorInjectionEnv::FailNext(FaultOp op, int count, bool transient) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   OpState& st = ops_[static_cast<int>(op)];
   st.fail_next = count;
   st.transient = transient;
 }
 
 void ErrorInjectionEnv::SetFailureOdds(FaultOp op, int one_in, bool transient) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   OpState& st = ops_[static_cast<int>(op)];
   st.one_in = one_in;
   st.transient = transient;
 }
 
 void ErrorInjectionEnv::SetSeed(uint32_t seed) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   rng_ = Random(seed);
 }
 
 void ErrorInjectionEnv::SetPathFilter(const std::string& substring) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   path_filter_ = substring;
 }
 
 void ErrorInjectionEnv::DisableAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (OpState& st : ops_) {
     st.fail_next = 0;
     st.one_in = 0;
@@ -200,7 +200,7 @@ void ErrorInjectionEnv::DisableAll() {
 }
 
 uint64_t ErrorInjectionEnv::injected_faults() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t total = 0;
   for (const OpState& st : ops_) {
     total += st.injected;
@@ -209,14 +209,14 @@ uint64_t ErrorInjectionEnv::injected_faults() const {
 }
 
 uint64_t ErrorInjectionEnv::injected_faults(FaultOp op) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return ops_[static_cast<int>(op)].injected;
 }
 
 bool ErrorInjectionEnv::MaybeInject(FaultOp op, const std::string& fname, Status* out) {
   bool transient;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     OpState& st = ops_[static_cast<int>(op)];
     if (st.fail_next == 0 && st.one_in == 0) {
       return false;

@@ -20,11 +20,12 @@
 #include <array>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "src/io/env_wrapper.h"
+#include "src/util/mutex.h"
 #include "src/util/random.h"
+#include "src/util/thread_annotations.h"
 
 namespace p2kvs {
 
@@ -92,12 +93,12 @@ class ErrorInjectionEnv final : public EnvWrapper {
   // Returns true (and fills *out with the fault status) when a fault fires
   // for this call. Also used for kShortRead, where the caller truncates the
   // successful read instead of failing it.
-  bool MaybeInject(FaultOp op, const std::string& fname, Status* out);
+  bool MaybeInject(FaultOp op, const std::string& fname, Status* out) EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::array<OpState, kNumFaultOps> ops_;
-  std::string path_filter_;
-  Random rng_;
+  mutable Mutex mu_;
+  std::array<OpState, kNumFaultOps> ops_ GUARDED_BY(mu_);
+  std::string path_filter_ GUARDED_BY(mu_);
+  Random rng_ GUARDED_BY(mu_);
 };
 
 }  // namespace p2kvs

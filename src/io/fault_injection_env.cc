@@ -131,7 +131,7 @@ Status FaultInjectionEnv::NewAppendableFile(const std::string& f,
     return s;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = files_.find(f);
     if (it == files_.end()) {
       // Pre-existing (or new) file whose on-disk prefix is treated as
@@ -155,7 +155,7 @@ Status FaultInjectionEnv::NewRandomWritableFile(const std::string& f,
     return s;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (random_files_.find(f) == random_files_.end()) {
       // Existing on-disk prefix is treated as durable (same convention as
       // NewAppendableFile); only writes from now on are at risk.
@@ -168,7 +168,7 @@ Status FaultInjectionEnv::NewRandomWritableFile(const std::string& f,
 
 Status FaultInjectionEnv::RemoveFile(const std::string& f) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     files_.erase(f);
     random_files_.erase(f);
   }
@@ -177,7 +177,7 @@ Status FaultInjectionEnv::RemoveFile(const std::string& f) {
 
 Status FaultInjectionEnv::RenameFile(const std::string& s, const std::string& t) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = files_.find(s);
     if (it != files_.end()) {
       files_[t] = it->second;
@@ -193,17 +193,17 @@ Status FaultInjectionEnv::RenameFile(const std::string& s, const std::string& t)
 }
 
 void FaultInjectionEnv::OnCreate(const std::string& fname, uint64_t initial_size) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   files_[fname] = FileInfo{initial_size, initial_size};
 }
 
 void FaultInjectionEnv::OnAppend(const std::string& fname, uint64_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   files_[fname].current_size += bytes;
 }
 
 void FaultInjectionEnv::OnSync(const std::string& fname) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = files_.find(fname);
   if (it != files_.end()) {
     it->second.synced_size = it->second.current_size;
@@ -211,12 +211,12 @@ void FaultInjectionEnv::OnSync(const std::string& fname) {
 }
 
 void FaultInjectionEnv::OnRandomWrite(const std::string& fname, UndoEntry entry) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   random_files_[fname].undo.push_back(std::move(entry));
 }
 
 void FaultInjectionEnv::OnRandomSync(const std::string& fname) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = random_files_.find(fname);
   if (it != random_files_.end()) {
     it->second.undo.clear();
@@ -227,7 +227,7 @@ void FaultInjectionEnv::OnRandomSync(const std::string& fname) {
 }
 
 void FaultInjectionEnv::OnRandomTruncate(const std::string& fname, uint64_t size) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = random_files_.find(fname);
   if (it != random_files_.end()) {
     it->second.undo.clear();
@@ -236,7 +236,7 @@ void FaultInjectionEnv::OnRandomTruncate(const std::string& fname, uint64_t size
 }
 
 uint64_t FaultInjectionEnv::UnsyncedBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t total = 0;
   for (const auto& [name, info] : files_) {
     total += info.current_size - info.synced_size;
@@ -248,7 +248,7 @@ Status FaultInjectionEnv::Crash() {
   std::map<std::string, FileInfo> files;
   std::map<std::string, RandomFileInfo> random_files;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     files = files_;
     random_files = std::move(random_files_);
   }
@@ -265,7 +265,7 @@ Status FaultInjectionEnv::Crash() {
       dirty = size != info.synced_size;
     }
     if (!dirty || !target()->FileExists(name)) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       random_files_[name] = RandomFileInfo{info.synced_size, {}};
       continue;
     }
@@ -288,7 +288,7 @@ Status FaultInjectionEnv::Crash() {
     }
     file->Sync();
     file->Close();
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     random_files_[name] = RandomFileInfo{info.synced_size, {}};
   }
   for (auto& [name, info] : files) {
@@ -312,7 +312,7 @@ Status FaultInjectionEnv::Crash() {
     if (!s.ok()) {
       return s;
     }
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = files_.find(name);
     if (it != files_.end()) {
       it->second.current_size = it->second.synced_size;

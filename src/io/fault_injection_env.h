@@ -19,11 +19,12 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/io/env_wrapper.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace p2kvs {
 
@@ -67,16 +68,16 @@ class FaultInjectionEnv final : public EnvWrapper {
     std::vector<UndoEntry> undo;
   };
 
-  void OnAppend(const std::string& fname, uint64_t bytes);
-  void OnSync(const std::string& fname);
-  void OnCreate(const std::string& fname, uint64_t initial_size);
-  void OnRandomWrite(const std::string& fname, UndoEntry entry);
-  void OnRandomSync(const std::string& fname);
-  void OnRandomTruncate(const std::string& fname, uint64_t size);
+  void OnAppend(const std::string& fname, uint64_t bytes) EXCLUDES(mu_);
+  void OnSync(const std::string& fname) EXCLUDES(mu_);
+  void OnCreate(const std::string& fname, uint64_t initial_size) EXCLUDES(mu_);
+  void OnRandomWrite(const std::string& fname, UndoEntry entry) EXCLUDES(mu_);
+  void OnRandomSync(const std::string& fname) EXCLUDES(mu_);
+  void OnRandomTruncate(const std::string& fname, uint64_t size) EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, FileInfo> files_;
-  std::map<std::string, RandomFileInfo> random_files_;
+  mutable Mutex mu_;
+  std::map<std::string, FileInfo> files_ GUARDED_BY(mu_);
+  std::map<std::string, RandomFileInfo> random_files_ GUARDED_BY(mu_);
 };
 
 }  // namespace p2kvs

@@ -2,11 +2,12 @@
 
 #include <algorithm>
 #include <map>
-#include <mutex>
 #include <set>
 #include <string>
 
 #include "src/io/io_stats.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace p2kvs {
 
@@ -16,16 +17,16 @@ namespace {
 // readers still hold it (POSIX semantics).
 class FileState {
  public:
-  std::string contents;  // guarded by mu
-  mutable std::mutex mu;
+  std::string contents GUARDED_BY(mu);
+  mutable Mutex mu;
 
   uint64_t Size() const {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     return contents.size();
   }
 
   Status ReadAt(uint64_t offset, size_t n, Slice* result, char* scratch) const {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     if (offset >= contents.size()) {
       *result = Slice(scratch, 0);
       return Status::OK();
@@ -38,13 +39,13 @@ class FileState {
   }
 
   void Append(const Slice& data) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     contents.append(data.data(), data.size());
     IoStats::Instance().RecordWrite(data.size());
   }
 
   void WriteAt(uint64_t offset, const Slice& data) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     if (contents.size() < offset + data.size()) {
       contents.resize(offset + data.size());
     }
@@ -53,7 +54,7 @@ class FileState {
   }
 
   void Truncate(uint64_t size) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     contents.resize(size);
   }
 };
@@ -184,13 +185,13 @@ class MemEnv final : public Env {
   }
 
   bool FileExists(const std::string& fname) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return files_.count(fname) > 0;
   }
 
   Status GetChildren(const std::string& dir, std::vector<std::string>* result) override {
     result->clear();
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     std::string prefix = dir;
     if (prefix.empty() || prefix.back() != '/') {
       prefix += '/';
@@ -217,7 +218,7 @@ class MemEnv final : public Env {
   }
 
   Status RemoveFile(const std::string& fname) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (files_.erase(fname) == 0) {
       return Status::NotFound(fname);
     }
@@ -225,19 +226,19 @@ class MemEnv final : public Env {
   }
 
   Status CreateDir(const std::string& dirname) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     dirs_.insert(dirname);
     return Status::OK();
   }
 
   Status RemoveDir(const std::string& dirname) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     dirs_.erase(dirname);
     return Status::OK();
   }
 
   Status GetFileSize(const std::string& fname, uint64_t* file_size) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = files_.find(fname);
     if (it == files_.end()) {
       *file_size = 0;
@@ -248,7 +249,7 @@ class MemEnv final : public Env {
   }
 
   Status RenameFile(const std::string& src, const std::string& target) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = files_.find(src);
     if (it == files_.end()) {
       return Status::NotFound(src);
@@ -260,7 +261,7 @@ class MemEnv final : public Env {
 
  private:
   Status Find(const std::string& fname, FileRef* out) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = files_.find(fname);
     if (it == files_.end()) {
       return Status::NotFound(fname);
@@ -270,14 +271,14 @@ class MemEnv final : public Env {
   }
 
   FileRef CreateOrTruncate(const std::string& fname) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto file = std::make_shared<FileState>();
     files_[fname] = file;
     return file;
   }
 
   FileRef FindOrCreate(const std::string& fname) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = files_.find(fname);
     if (it != files_.end()) {
       return it->second;
@@ -287,9 +288,9 @@ class MemEnv final : public Env {
     return file;
   }
 
-  std::mutex mu_;
-  std::map<std::string, FileRef> files_;
-  std::set<std::string> dirs_;
+  Mutex mu_;
+  std::map<std::string, FileRef> files_ GUARDED_BY(mu_);
+  std::set<std::string> dirs_ GUARDED_BY(mu_);
 };
 
 }  // namespace

@@ -406,11 +406,18 @@ class KvellWorker {
   std::thread thread_;
 
   // Worker-private state (only touched by the worker thread after Open).
+  // Deliberately NOT mutex-guarded and NOT thread-safety-annotated: the
+  // shared-nothing design (paper §4.1, KVell §3.1) confines every access to
+  // the owning thread, and the queue handoff provides the happens-before
+  // edge for requests. Only the counters below are atomics, because
+  // GetStats() reads them from other threads.
   std::map<std::string, SlotLoc> index_;
   std::vector<Slab> slabs_;
   std::unordered_map<uint64_t, CacheEntry> cache_;
   std::list<uint64_t> lru_;
 
+  // Cross-thread-readable statistics; single writer (the worker thread),
+  // relaxed everywhere — monotonic counters with no dependent data.
   std::atomic<uint64_t> slot_writes_{0};
   std::atomic<uint64_t> slot_reads_{0};
   std::atomic<uint64_t> cache_hits_{0};

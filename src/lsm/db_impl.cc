@@ -16,9 +16,11 @@
 
 namespace p2kvs {
 
-// A writer parked in the leader-election queue (paper Figure 3).
+// A writer parked in the leader-election queue (paper Figure 3). All fields
+// are mutated under the DB mutex (the CondVar is bound to it).
 struct DBImpl::Writer {
-  explicit Writer(WriteBatch* b, bool s, uint64_t g) : batch(b), sync(s), gsn(g) {}
+  Writer(Mutex* mu, WriteBatch* b, bool s, uint64_t g)
+      : batch(b), sync(s), gsn(g), cv(mu) {}
 
   WriteBatch* batch;
   bool sync;
@@ -28,7 +30,7 @@ struct DBImpl::Writer {
   bool done = false;
   bool run_parallel = false;  // leader asked this follower to insert itself
   Status status;
-  std::condition_variable cv;
+  CondVar cv;
 
   // Set on followers participating in a parallel memtable insert.
   struct GroupState* group = nullptr;
@@ -36,9 +38,11 @@ struct DBImpl::Writer {
 
 // Shared state of one parallel-memtable write group.
 struct GroupState {
+  explicit GroupState(Mutex* mu) : leader_cv(mu) {}
+
   std::atomic<int> pending{0};
   MemTable* mem = nullptr;
-  std::condition_variable leader_cv;  // signals the leader when pending==0
+  CondVar leader_cv;  // signals the leader when pending==0
 };
 
 static Options SanitizeOptions(const Options& src) {
@@ -85,15 +89,15 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname,
 DBImpl::~DBImpl() {
   // Wait for in-flight writes, then stop the background thread.
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     shutting_down_.store(true, std::memory_order_release);
-    background_work_cv_.notify_all();
+    background_work_cv_.SignalAll();
     while (background_active_) {
-      background_done_cv_.wait(lock);
+      background_done_cv_.Wait();
     }
   }
   if (background_thread_.joinable()) {
-    background_work_cv_.notify_all();
+    background_work_cv_.SignalAll();
     background_thread_.join();
   }
   if (logfile_ != nullptr) {
@@ -152,7 +156,7 @@ Status DBImpl::NewDB() {
 }
 
 Status DBImpl::Recover(GsnRecoveryFilter filter) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
 
   env_->CreateDir(dbname_);
   if (!env_->FileExists(CurrentFileName(dbname_))) {
@@ -324,8 +328,8 @@ Status DBImpl::RecoverLogFile(uint64_t log_number, GsnRecoveryFilter filter,
 }
 
 Status DBImpl::WriteLevel0Table(MemTable* mem, VersionEdit* edit) {
-  // mutex_ held; IO runs without it in CompactMemTable, but during recovery
-  // this is called single-threaded.
+  // Recovery-only path: single-threaded, so holding mutex_ across the
+  // BuildTable IO is fine (CompactMemTable is the concurrent flush path).
   FileMetaData meta;
   meta.number = versions_->NewFileNumber();
   pending_outputs_.insert(meta.number);
@@ -365,14 +369,13 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
   const uint64_t op_start = NowNanos();
   perf.write_count++;
 
-  Writer w(updates, options.sync, options.gsn);
+  Writer w(&mutex_, updates, options.sync, options.gsn);
 
   // The initial mutex acquisition is part of the group-logging lock cost
   // (Figure 6's "WAL lock"), so it is timed with the queue wait.
-  std::unique_lock<std::mutex> lock(mutex_, std::defer_lock);
   {
     ScopedTimerNanos t(&perf.wal_lock_nanos);
-    lock.lock();
+    mutex_.Lock();
     writers_.push_back(&w);
     while (true) {
       if (w.done) {
@@ -381,31 +384,32 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
       if (w.run_parallel) {
         // The leader delegated this writer's memtable insert to it.
         GroupState* group = w.group;
-        lock.unlock();
+        mutex_.Unlock();
         {
           ScopedTimerNanos mt(&perf.memtable_nanos);
           WriteBatchInternal::InsertInto(w.batch, group->mem, /*concurrent=*/true);
         }
-        lock.lock();
+        mutex_.Lock();
         w.run_parallel = false;
         if (group->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-          group->leader_cv.notify_all();
+          group->leader_cv.SignalAll();
         }
         continue;
       }
       if (!writers_.empty() && &w == writers_.front()) {
         break;  // this thread is the leader
       }
-      w.cv.wait(lock);
+      w.cv.Wait();
     }
   }
   if (w.done) {
+    mutex_.Unlock();
     perf.total_write_nanos += NowNanos() - op_start;
     return w.status;
   }
 
   // This thread is now the group leader.
-  Status status = MakeRoomForWrite(lock, /*force=*/false);
+  Status status = MakeRoomForWrite(/*force=*/false);
   uint64_t last_sequence = versions_->LastSequence();
   Writer* last_writer = &w;
   bool early_retired = false;
@@ -452,7 +456,7 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
     active_memtable_writers_++;
 
     // --- WAL, outside the mutex (other writers may enqueue meanwhile). ---
-    lock.unlock();
+    mutex_.Unlock();
     bool sync_error = false;
     if (!options_.debug_disable_wal) {
       ScopedTimerNanos t(&perf.wal_nanos);
@@ -483,7 +487,7 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
       // Pipelined write: retire the group from the queue right after the WAL
       // so the next leader's logging overlaps this group's memtable phase.
       // Members are marked done only after the memtable apply below.
-      lock.lock();
+      mutex_.Lock();
       // tmp_batch_ is shared between successive leaders; it must be released
       // before the next leader is promoted (it may merge into it and read it
       // for its WAL while this thread continues).
@@ -496,28 +500,28 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
         writers_.pop_front();
       }
       if (!writers_.empty()) {
-        writers_.front()->cv.notify_one();
+        writers_.front()->cv.Signal();
       }
-      lock.unlock();
+      mutex_.Unlock();
       early_retired = true;
     }
 
-    GroupState group_state;
+    GroupState group_state(&mutex_);
     if (status.ok() && !options_.debug_disable_memtable) {
       if (parallel_memtable) {
         group_state.mem = mem;
         group_state.pending.store(static_cast<int>(group_members.size()),
                                   std::memory_order_release);
         // Wake the followers to insert their own batches concurrently.
-        lock.lock();
+        mutex_.Lock();
         for (Writer* p : group_members) {
           if (p != &w) {
             p->group = &group_state;
             p->run_parallel = true;
-            p->cv.notify_one();
+            p->cv.Signal();
           }
         }
-        lock.unlock();
+        mutex_.Unlock();
         {
           ScopedTimerNanos mt(&perf.memtable_nanos);
           WriteBatchInternal::InsertInto(w.batch, mem, /*concurrent=*/true);
@@ -526,10 +530,10 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
           // Group synchronization: wait for every follower to finish
           // (the "MemTable lock" cost in Figure 6).
           ScopedTimerNanos lt(&perf.memtable_lock_nanos);
-          std::unique_lock<std::mutex> relock(mutex_);
+          MutexLock relock(&mutex_);
           group_state.pending.fetch_sub(1, std::memory_order_acq_rel);
           while (group_state.pending.load(std::memory_order_acquire) > 0) {
-            group_state.leader_cv.wait(relock);
+            group_state.leader_cv.Wait();
           }
         }
       } else {
@@ -546,10 +550,10 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
       PublishSequence(first_sequence, last_sequence);
     }
 
-    lock.lock();
+    mutex_.Lock();
     active_memtable_writers_--;
     if (active_memtable_writers_ == 0) {
-      memtable_switch_cv_.notify_all();
+      memtable_switch_cv_.SignalAll();
     }
     stats_.write_group_count++;
     stats_.write_request_count += group_members.size();
@@ -570,7 +574,7 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
         if (ready != &w) {
           ready->status = status;
           ready->done = true;
-          ready->cv.notify_one();
+          ready->cv.Signal();
         }
       }
     } else {
@@ -580,32 +584,32 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
         if (ready != &w) {
           ready->status = status;
           ready->done = true;
-          ready->cv.notify_one();
+          ready->cv.Signal();
         }
         if (ready == last_writer) {
           break;
         }
       }
       if (!writers_.empty()) {
-        writers_.front()->cv.notify_one();
+        writers_.front()->cv.Signal();
       }
     }
   }
+  mutex_.Unlock();
 
   perf.total_write_nanos += NowNanos() - op_start;
   return status;
 }
 
 void DBImpl::PublishSequence(SequenceNumber first_seq, SequenceNumber last_seq) {
-  std::unique_lock<std::mutex> lock(publish_mutex_);
+  MutexLock lock(&publish_mutex_);
   while (visible_sequence_.load(std::memory_order_acquire) != first_seq - 1) {
-    publish_cv_.wait(lock);
+    publish_cv_.Wait();
   }
   visible_sequence_.store(last_seq, std::memory_order_release);
-  publish_cv_.notify_all();
+  publish_cv_.SignalAll();
 }
 
-// Requires mutex_ held; on return the leader is still the queue front.
 WriteBatch* DBImpl::BuildBatchGroup(Writer** last_writer, uint64_t* group_gsn) {
   assert(!writers_.empty());
   Writer* first = writers_.front();
@@ -667,7 +671,7 @@ WriteBatch* DBImpl::BuildBatchGroup(Writer** last_writer, uint64_t* group_gsn) {
   return result;
 }
 
-Status DBImpl::MakeRoomForWrite(std::unique_lock<std::mutex>& lock, bool force) {
+Status DBImpl::MakeRoomForWrite(bool force) {
   bool allow_delay = !force;
   Status s;
   while (true) {
@@ -683,14 +687,17 @@ Status DBImpl::MakeRoomForWrite(std::unique_lock<std::mutex>& lock, bool force) 
         versions_->NumLevelFiles(0) >= options_.l0_slowdown_writes_trigger &&
         options_.compaction_style == CompactionStyle::kLeveled) {
       // Soft limit: delay each write by 1ms to let compactions catch up.
-      lock.unlock();
+      // Copy the hook while still locked: event_hooks_ may be replaced by
+      // SetEventHooks the moment the mutex is released.
+      auto stall_hook = event_hooks_.on_write_stalled;
+      mutex_.Unlock();
       env_->SleepForMicroseconds(1000);
-      if (event_hooks_.on_write_stalled) {
+      if (stall_hook) {
         StallEventInfo info;
         info.stall_micros = 1000;
-        event_hooks_.on_write_stalled(info);
+        stall_hook(info);
       }
-      lock.lock();
+      mutex_.Lock();
       stats_.stall_micros += 1000;
       allow_delay = false;  // do not delay a single write more than once
     } else if (!force && mem_->ApproximateMemoryUsage() <= options_.write_buffer_size) {
@@ -698,24 +705,24 @@ Status DBImpl::MakeRoomForWrite(std::unique_lock<std::mutex>& lock, bool force) 
     } else if (imm_ != nullptr) {
       // The previous memtable is still being flushed; wait (write stall).
       const uint64_t t0 = NowMicros();
-      background_work_cv_.notify_all();
-      background_done_cv_.wait(lock);
+      background_work_cv_.SignalAll();
+      background_done_cv_.Wait();
       const uint64_t stalled = NowMicros() - t0;
       stats_.stall_micros += stalled;
-      NotifyStall(lock, stalled);
+      NotifyStall(stalled);
     } else if (versions_->NumLevelFiles(0) >= options_.l0_stop_writes_trigger &&
                !options_.debug_disable_background) {
       // Hard limit: too many L0 files.
       const uint64_t t0 = NowMicros();
-      background_work_cv_.notify_all();
-      background_done_cv_.wait(lock);
+      background_work_cv_.SignalAll();
+      background_done_cv_.Wait();
       const uint64_t stalled = NowMicros() - t0;
       stats_.stall_micros += stalled;
-      NotifyStall(lock, stalled);
+      NotifyStall(stalled);
     } else {
       // Switch to a new memtable. Wait out in-flight pipelined inserts first.
       while (active_memtable_writers_ > 0) {
-        memtable_switch_cv_.wait(lock);
+        memtable_switch_cv_.Wait();
       }
       uint64_t new_log_number = versions_->NewFileNumber();
       std::unique_ptr<WritableFile> lfile;
@@ -740,7 +747,7 @@ Status DBImpl::MakeRoomForWrite(std::unique_lock<std::mutex>& lock, bool force) 
 
 Status DBImpl::Get(const ReadOptions& options, const Slice& key, std::string* value) {
   Status s;
-  std::unique_lock<std::mutex> lock(mutex_);
+  mutex_.Lock();
   SequenceNumber snapshot;
   if (options.snapshot != nullptr) {
     snapshot = static_cast<const SnapshotImpl*>(options.snapshot)->sequence_number();
@@ -754,7 +761,7 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key, std::string* va
   current->Ref();
 
   {
-    lock.unlock();
+    mutex_.Unlock();
     LookupKey lkey(key, snapshot);
     if (mem->Get(lkey, value, &s)) {
       // Done
@@ -763,10 +770,11 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key, std::string* va
     } else {
       s = current->Get(options, lkey, value);
     }
-    lock.lock();
+    mutex_.Lock();
   }
 
   current->Unref();
+  mutex_.Unlock();
   return s;
 }
 
@@ -777,7 +785,7 @@ std::vector<Status> DBImpl::MultiGet(const ReadOptions& options, const std::vect
   std::vector<Status> statuses(keys.size());
   values->assign(keys.size(), std::string());
 
-  std::unique_lock<std::mutex> lock(mutex_);
+  mutex_.Lock();
   SequenceNumber snapshot;
   if (options.snapshot != nullptr) {
     snapshot = static_cast<const SnapshotImpl*>(options.snapshot)->sequence_number();
@@ -788,7 +796,7 @@ std::vector<Status> DBImpl::MultiGet(const ReadOptions& options, const std::vect
   std::shared_ptr<MemTable> imm = imm_;
   Version* current = versions_->current();
   current->Ref();
-  lock.unlock();
+  mutex_.Unlock();
 
   for (size_t i = 0; i < keys.size(); i++) {
     Status& s = statuses[i];
@@ -803,13 +811,14 @@ std::vector<Status> DBImpl::MultiGet(const ReadOptions& options, const std::vect
     }
   }
 
-  lock.lock();
+  mutex_.Lock();
   current->Unref();
+  mutex_.Unlock();
   return statuses;
 }
 
 Iterator* DBImpl::NewIterator(const ReadOptions& options) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   SequenceNumber snapshot;
   if (options.snapshot != nullptr) {
     snapshot = static_cast<const SnapshotImpl*>(options.snapshot)->sequence_number();
@@ -831,7 +840,7 @@ Iterator* DBImpl::NewIterator(const ReadOptions& options) {
       NewMergingIterator(&internal_comparator_, list.data(), static_cast<int>(list.size()));
 
   internal_iter->RegisterCleanup([this, current, mem_pin, imm_pin]() mutable {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(&mutex_);
     current->Unref();
     mem_pin.reset();
     imm_pin.reset();
@@ -841,53 +850,52 @@ Iterator* DBImpl::NewIterator(const ReadOptions& options) {
 }
 
 const Snapshot* DBImpl::GetSnapshot() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return snapshots_.New(VisibleSequence());
 }
 
 void DBImpl::ReleaseSnapshot(const Snapshot* snapshot) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   snapshots_.Delete(static_cast<const SnapshotImpl*>(snapshot));
 }
 
 // ---------------- Background work ----------------
 
 void DBImpl::MaybeScheduleCompaction() {
-  // mutex_ held.
-  background_work_cv_.notify_all();
+  background_work_cv_.SignalAll();
 }
 
 void DBImpl::BackgroundThreadMain() {
   IoPurposeScope purpose(IoPurpose::kCompaction);
-  std::unique_lock<std::mutex> lock(mutex_);
+  mutex_.Lock();
   while (!shutting_down_.load(std::memory_order_acquire)) {
     if (!bg_error_.ok()) {
-      background_done_cv_.notify_all();
-      background_work_cv_.wait(lock);
+      background_done_cv_.SignalAll();
+      background_work_cv_.Wait();
       continue;
     }
     if (imm_ != nullptr) {
       background_active_ = true;
-      CompactMemTable(lock);
+      CompactMemTable();
       background_active_ = false;
-      background_done_cv_.notify_all();
+      background_done_cv_.SignalAll();
       continue;
     }
     if (!options_.debug_disable_background && versions_->NeedsCompaction()) {
       background_active_ = true;
-      BackgroundCompaction(lock);
+      BackgroundCompaction();
       background_active_ = false;
-      background_done_cv_.notify_all();
+      background_done_cv_.SignalAll();
       continue;
     }
-    background_done_cv_.notify_all();
-    background_work_cv_.wait(lock);
+    background_done_cv_.SignalAll();
+    background_work_cv_.Wait();
   }
-  background_done_cv_.notify_all();
+  background_done_cv_.SignalAll();
+  mutex_.Unlock();
 }
 
-void DBImpl::CompactMemTable(std::unique_lock<std::mutex>& lock) {
-  // mutex_ held.
+void DBImpl::CompactMemTable() {
   assert(imm_ != nullptr);
   std::shared_ptr<MemTable> imm = imm_;
 
@@ -897,11 +905,11 @@ void DBImpl::CompactMemTable(std::unique_lock<std::mutex>& lock) {
 
   Status s;
   {
-    lock.unlock();
+    mutex_.Unlock();
     IoPurposeScope purpose(IoPurpose::kFlush);
     std::unique_ptr<Iterator> iter(imm->NewIterator());
     s = BuildTable(dbname_, env_, sst_options_, table_cache_.get(), iter.get(), &meta);
-    lock.lock();
+    mutex_.Lock();
   }
   pending_outputs_.erase(meta.number);
 
@@ -923,20 +931,22 @@ void DBImpl::CompactMemTable(std::unique_lock<std::mutex>& lock) {
   if (s.ok()) {
     imm_ = nullptr;
     RemoveObsoleteFiles();
-    if (event_hooks_.on_flush_completed && meta.file_size > 0) {
+    // Copy the hook under the mutex; SetEventHooks may swap event_hooks_
+    // while the callback runs unlocked.
+    auto flush_hook = event_hooks_.on_flush_completed;
+    if (flush_hook && meta.file_size > 0) {
       FlushEventInfo info;
       info.bytes_written = meta.file_size;
-      lock.unlock();
-      event_hooks_.on_flush_completed(info);
-      lock.lock();
+      mutex_.Unlock();
+      flush_hook(info);
+      mutex_.Lock();
     }
   } else {
     RecordBackgroundError(s);
   }
 }
 
-void DBImpl::BackgroundCompaction(std::unique_lock<std::mutex>& lock) {
-  // mutex_ held.
+void DBImpl::BackgroundCompaction() {
   Compaction* c = versions_->PickCompaction();
   if (c == nullptr) {
     return;
@@ -950,7 +960,7 @@ void DBImpl::BackgroundCompaction(std::unique_lock<std::mutex>& lock) {
     c->edit()->AddFile(c->level() + 1, f->number, f->file_size, f->smallest, f->largest);
     status = versions_->LogAndApply(c->edit(), &mutex_);
   } else {
-    status = DoCompactionWork(c, lock);
+    status = DoCompactionWork(c);
   }
   c->ReleaseInputs();
   delete c;
@@ -963,8 +973,7 @@ void DBImpl::BackgroundCompaction(std::unique_lock<std::mutex>& lock) {
   RemoveObsoleteFiles();
 }
 
-Status DBImpl::DoCompactionWork(Compaction* c, std::unique_lock<std::mutex>& lock) {
-  // mutex_ held on entry and exit.
+Status DBImpl::DoCompactionWork(Compaction* c) {
   SequenceNumber smallest_snapshot;
   if (snapshots_.empty()) {
     smallest_snapshot = VisibleSequence();
@@ -985,7 +994,7 @@ Status DBImpl::DoCompactionWork(Compaction* c, std::unique_lock<std::mutex>& loc
   }
 
   {
-    lock.unlock();
+    mutex_.Unlock();
     IoPurposeScope purpose(IoPurpose::kCompaction);
 
     std::unique_ptr<Iterator> input(versions_->MakeInputIterator(c));
@@ -1057,7 +1066,7 @@ Status DBImpl::DoCompactionWork(Compaction* c, std::unique_lock<std::mutex>& loc
       if (!drop) {
         if (builder == nullptr) {
           {
-            std::lock_guard<std::mutex> relock(mutex_);
+            MutexLock relock(&mutex_);
             current_output = FileMetaData();
             current_output.number = versions_->NewFileNumber();
             pending_outputs_.insert(current_output.number);
@@ -1098,7 +1107,7 @@ Status DBImpl::DoCompactionWork(Compaction* c, std::unique_lock<std::mutex>& loc
       status = input->status();
     }
 
-    lock.lock();
+    mutex_.Lock();
   }
 
   if (status.ok()) {
@@ -1115,20 +1124,22 @@ Status DBImpl::DoCompactionWork(Compaction* c, std::unique_lock<std::mutex>& loc
   stats_.compaction_count++;
   stats_.compaction_bytes_read += bytes_read;
   stats_.compaction_bytes_written += bytes_written;
-  if (event_hooks_.on_compaction_completed && status.ok()) {
+  // Copy the hook under the mutex; SetEventHooks may swap event_hooks_
+  // while the callback runs unlocked.
+  auto compaction_hook = event_hooks_.on_compaction_completed;
+  if (compaction_hook && status.ok()) {
     CompactionEventInfo info;
     info.level = c->level();
     info.bytes_read = bytes_read;
     info.bytes_written = bytes_written;
-    lock.unlock();
-    event_hooks_.on_compaction_completed(info);
-    lock.lock();
+    mutex_.Unlock();
+    compaction_hook(info);
+    mutex_.Lock();
   }
   return status;
 }
 
 void DBImpl::RemoveObsoleteFiles() {
-  // mutex_ held.
   if (!bg_error_.ok()) {
     // Ownership of the files may be unclear after a background error.
     return;
@@ -1139,8 +1150,8 @@ void DBImpl::RemoveObsoleteFiles() {
 
   std::vector<std::string> filenames;
   env_->GetChildren(dbname_, &filenames);
-  uint64_t number;
-  FileType type;
+  uint64_t number = 0;
+  FileType type = FileType::kTempFile;
   std::vector<std::string> files_to_delete;
   for (std::string& filename : filenames) {
     if (ParseFileName(filename, &number, &type)) {
@@ -1178,41 +1189,40 @@ void DBImpl::RemoveObsoleteFiles() {
 }
 
 void DBImpl::RecordBackgroundError(const Status& s) {
-  // mutex_ held.
   if (bg_error_.ok()) {
     bg_error_ = s;
-    background_done_cv_.notify_all();
+    background_done_cv_.SignalAll();
   }
 }
 
 // ---------------- Maintenance hooks ----------------
 
 void DBImpl::WaitForBackgroundWork() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   while (bg_error_.ok() &&
          (imm_ != nullptr || background_active_ ||
           (!options_.debug_disable_background && versions_->NeedsCompaction()))) {
-    background_work_cv_.notify_all();
-    background_done_cv_.wait(lock);
+    background_work_cv_.SignalAll();
+    background_done_cv_.Wait();
   }
 }
 
 Status DBImpl::FlushMemTable() {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     if (mem_->NumEntries() == 0 && imm_ == nullptr) {
       return Status::OK();
     }
     // Wait until any previous immutable memtable has drained.
     while (imm_ != nullptr && bg_error_.ok()) {
-      background_work_cv_.notify_all();
-      background_done_cv_.wait(lock);
+      background_work_cv_.SignalAll();
+      background_done_cv_.Wait();
     }
     if (!bg_error_.ok()) {
       return bg_error_;
     }
     while (active_memtable_writers_ > 0) {
-      memtable_switch_cv_.wait(lock);
+      memtable_switch_cv_.Wait();
     }
     if (mem_->NumEntries() > 0) {
       uint64_t new_log_number = versions_->NewFileNumber();
@@ -1231,18 +1241,18 @@ Status DBImpl::FlushMemTable() {
     }
   }
   WaitForBackgroundWork();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return bg_error_;
 }
 
 Status DBImpl::Resume() {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     if (bg_error_.ok()) {
       return Status::OK();
     }
     while (active_memtable_writers_ > 0) {
-      memtable_switch_cv_.wait(lock);
+      memtable_switch_cv_.Wait();
     }
     // The tail of the current WAL is in an unknown state after a failed
     // append/sync, so start a fresh log before accepting new writes. The
@@ -1269,38 +1279,42 @@ Status DBImpl::Resume() {
   // Drive the re-flush; if it fails the background thread re-records the
   // error and it is returned here.
   WaitForBackgroundWork();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return bg_error_;
 }
 
 DbStats DBImpl::GetStats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return stats_;
 }
 
 void DBImpl::SetEventHooks(const EngineEventHooks& hooks) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   event_hooks_ = hooks;
 }
 
-void DBImpl::NotifyStall(std::unique_lock<std::mutex>& lock, uint64_t stall_micros) {
-  if (!event_hooks_.on_write_stalled || stall_micros == 0) {
+void DBImpl::NotifyStall(uint64_t stall_micros) {
+  // Copy the hook before dropping the mutex: firing the stale pointer read
+  // `event_hooks_.on_write_stalled(info)` after the unlock raced a
+  // concurrent SetEventHooks (surfaced by the GUARDED_BY annotation).
+  auto stall_hook = event_hooks_.on_write_stalled;
+  if (!stall_hook || stall_micros == 0) {
     return;
   }
   StallEventInfo info;
   info.stall_micros = stall_micros;
-  lock.unlock();
-  event_hooks_.on_write_stalled(info);
-  lock.lock();
+  mutex_.Unlock();
+  stall_hook(info);
+  mutex_.Lock();
 }
 
 std::string DBImpl::LevelFilesSummary() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return versions_->LevelSummary();
 }
 
 size_t DBImpl::ApproximateMemoryUsage() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   size_t total = 0;
   if (mem_ != nullptr) {
     total += mem_->ApproximateMemoryUsage();

@@ -574,7 +574,7 @@ void GetRangeOf(const InternalKeyComparator& icmp, const std::vector<FileMetaDat
 }
 }  // namespace
 
-Status VersionSet::LogAndApply(VersionEdit* edit, std::mutex* mu) {
+Status VersionSet::LogAndApply(VersionEdit* edit, Mutex* mu) {
   if (edit->has_log_number_) {
     assert(edit->log_number_ >= log_number_);
     assert(edit->log_number_ < next_file_number_);
@@ -609,7 +609,7 @@ Status VersionSet::LogAndApply(VersionEdit* edit, std::mutex* mu) {
 
   // Write the edit to the MANIFEST without holding the DB mutex.
   {
-    mu->unlock();
+    mu->Unlock();
     if (s.ok()) {
       std::string record;
       edit->EncodeTo(&record);
@@ -621,7 +621,7 @@ Status VersionSet::LogAndApply(VersionEdit* edit, std::mutex* mu) {
     if (s.ok() && !new_manifest_file.empty()) {
       s = SetCurrentFile(env_, dbname_, manifest_file_number_);
     }
-    mu->lock();
+    mu->Lock();
   }
 
   // Install the new version.

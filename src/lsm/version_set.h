@@ -20,6 +20,8 @@
 #include "src/lsm/table_cache.h"
 #include "src/lsm/version_edit.h"
 #include "src/util/iterator.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 #include "src/wal/log_writer.h"
 
 namespace p2kvs {
@@ -101,8 +103,8 @@ class VersionSet {
   VersionSet& operator=(const VersionSet&) = delete;
 
   // Applies *edit to the current version, persisting it to the MANIFEST.
-  // `mu` is held on entry and may be released during IO.
-  Status LogAndApply(VersionEdit* edit, std::mutex* mu);
+  // Releases `mu` during the MANIFEST IO and reacquires it before returning.
+  Status LogAndApply(VersionEdit* edit, Mutex* mu) REQUIRES(mu);
 
   // Recovers the last saved state from the MANIFEST.
   Status Recover();

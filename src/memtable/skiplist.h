@@ -122,7 +122,12 @@ struct SkipList<Key, Comparator>::Node {
   }
   bool CasNext(int n, Node* expected, Node* x) {
     assert(n >= 0);
-    return next_[n].compare_exchange_strong(expected, x);
+    // Release on success pairs with the acquire in Next(): x's lower-level
+    // pointers (written with NoBarrier_SetNext) must be visible before x is
+    // reachable. On failure only `expected` is refreshed, and the caller
+    // recomputes the splice through acquire loads, so relaxed suffices.
+    return next_[n].compare_exchange_strong(expected, x, std::memory_order_release,
+                                            std::memory_order_relaxed);
   }
   Node* NoBarrier_Next(int n) {
     assert(n >= 0);
@@ -277,9 +282,13 @@ void SkipList<Key, Comparator>::InsertConcurrently(const Key& key) {
   const int height = RandomHeight();
 
   // Raise the list height first; racing raisers all succeed eventually.
+  // Relaxed is enough on both sides: max_height_ carries no payload — a
+  // reader seeing the new height before the taller node is linked just finds
+  // nullptr from head_ at the upper levels, which is valid (see Insert()).
   int max_h = max_height_.load(std::memory_order_relaxed);
   while (height > max_h) {
-    if (max_height_.compare_exchange_weak(max_h, height)) {
+    if (max_height_.compare_exchange_weak(max_h, height, std::memory_order_relaxed,
+                                          std::memory_order_relaxed)) {
       break;
     }
   }

@@ -3,9 +3,10 @@
 #include <cassert>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
 
 #include "src/util/hash.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace p2kvs {
 
@@ -110,6 +111,7 @@ class LRUCache {
   LRUCache();
   ~LRUCache();
 
+  // Called once at construction, before any concurrent use.
   void SetCapacity(size_t capacity) { capacity_ = capacity; }
 
   Cache::Handle* Insert(const Slice& key, uint32_t hash, void* value, size_t charge,
@@ -118,28 +120,29 @@ class LRUCache {
   void Release(Cache::Handle* handle);
   void Erase(const Slice& key, uint32_t hash);
   size_t TotalCharge() const {
-    std::lock_guard<std::mutex> l(mutex_);
+    MutexLock l(&mutex_);
     return usage_;
   }
 
  private:
-  void LRU_Remove(LRUHandle* e);
-  void LRU_Append(LRUHandle* list, LRUHandle* e);
-  void Ref(LRUHandle* e);
-  void Unref(LRUHandle* e);
-  bool FinishErase(LRUHandle* e);
+  void LRU_Remove(LRUHandle* e) REQUIRES(mutex_);
+  void LRU_Append(LRUHandle* list, LRUHandle* e) REQUIRES(mutex_);
+  void Ref(LRUHandle* e) REQUIRES(mutex_);
+  void Unref(LRUHandle* e) REQUIRES(mutex_);
+  bool FinishErase(LRUHandle* e) REQUIRES(mutex_);
 
+  // Set once before use (SetCapacity), read-only afterwards.
   size_t capacity_ = 0;
 
-  mutable std::mutex mutex_;
-  size_t usage_ = 0;
+  mutable Mutex mutex_;
+  size_t usage_ GUARDED_BY(mutex_) = 0;
 
   // Dummy head of LRU list: entries with refs==1 and in_cache==true, eldest
   // first.
-  LRUHandle lru_;
+  LRUHandle lru_ GUARDED_BY(mutex_);
   // Dummy head of in-use list: entries clients reference.
-  LRUHandle in_use_;
-  HandleTable table_;
+  LRUHandle in_use_ GUARDED_BY(mutex_);
+  HandleTable table_ GUARDED_BY(mutex_);
 };
 
 LRUCache::LRUCache() {
@@ -197,7 +200,7 @@ void LRUCache::LRU_Append(LRUHandle* list, LRUHandle* e) {
 }
 
 Cache::Handle* LRUCache::Lookup(const Slice& key, uint32_t hash) {
-  std::lock_guard<std::mutex> l(mutex_);
+  MutexLock l(&mutex_);
   LRUHandle* e = table_.Lookup(key, hash);
   if (e != nullptr) {
     Ref(e);
@@ -206,13 +209,13 @@ Cache::Handle* LRUCache::Lookup(const Slice& key, uint32_t hash) {
 }
 
 void LRUCache::Release(Cache::Handle* handle) {
-  std::lock_guard<std::mutex> l(mutex_);
+  MutexLock l(&mutex_);
   Unref(reinterpret_cast<LRUHandle*>(handle));
 }
 
 Cache::Handle* LRUCache::Insert(const Slice& key, uint32_t hash, void* value, size_t charge,
                                 void (*deleter)(const Slice& key, void* value)) {
-  std::lock_guard<std::mutex> l(mutex_);
+  MutexLock l(&mutex_);
 
   LRUHandle* e =
       reinterpret_cast<LRUHandle*>(malloc(sizeof(LRUHandle) - 1 + key.size()));
@@ -246,7 +249,7 @@ Cache::Handle* LRUCache::Insert(const Slice& key, uint32_t hash, void* value, si
   return reinterpret_cast<Cache::Handle*>(e);
 }
 
-// Unlinks e from the cache (if it is in it); requires mutex_ held.
+// Unlinks e from the cache (if it is in it).
 bool LRUCache::FinishErase(LRUHandle* e) {
   if (e != nullptr) {
     assert(e->in_cache);
@@ -259,7 +262,7 @@ bool LRUCache::FinishErase(LRUHandle* e) {
 }
 
 void LRUCache::Erase(const Slice& key, uint32_t hash) {
-  std::lock_guard<std::mutex> l(mutex_);
+  MutexLock l(&mutex_);
   FinishErase(table_.Remove(key, hash));
 }
 
@@ -285,6 +288,9 @@ class ShardedLRUCache final : public Cache {
     return shard_[Shard(hash)].Lookup(key, hash);
   }
   void Release(Handle* handle) override {
+    // Shard-lock audit: h->hash is written once at Insert before the handle
+    // is published and never mutated, so reading it without the shard lock
+    // here is safe (same for Value below).
     LRUHandle* h = reinterpret_cast<LRUHandle*>(handle);
     shard_[Shard(h->hash)].Release(handle);
   }
@@ -294,7 +300,7 @@ class ShardedLRUCache final : public Cache {
   }
   void* Value(Handle* handle) override { return reinterpret_cast<LRUHandle*>(handle)->value; }
   uint64_t NewId() override {
-    std::lock_guard<std::mutex> l(id_mutex_);
+    MutexLock l(&id_mutex_);
     return ++(last_id_);
   }
   size_t TotalCharge() const override {
@@ -310,8 +316,8 @@ class ShardedLRUCache final : public Cache {
   static uint32_t Shard(uint32_t hash) { return hash >> (32 - kNumShardBits); }
 
   LRUCache shard_[kNumShards];
-  std::mutex id_mutex_;
-  uint64_t last_id_ = 0;
+  Mutex id_mutex_;
+  uint64_t last_id_ GUARDED_BY(id_mutex_) = 0;
 };
 
 }  // namespace

@@ -25,11 +25,11 @@ char* Arena::AllocateFallback(size_t bytes) {
 char* Arena::AllocateAligned(size_t bytes) {
   const int align = (sizeof(void*) > 8) ? sizeof(void*) : 8;
   static_assert((align & (align - 1)) == 0, "alignment must be a power of 2");
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   size_t current_mod = reinterpret_cast<uintptr_t>(alloc_ptr_) & (align - 1);
   size_t slop = (current_mod == 0 ? 0 : align - current_mod);
   size_t needed = bytes + slop;
-  char* result;
+  char* result = nullptr;
   if (needed <= alloc_bytes_remaining_) {
     result = alloc_ptr_ + slop;
     alloc_ptr_ += needed;

@@ -15,8 +15,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace p2kvs {
 
@@ -38,14 +40,14 @@ class Arena {
   size_t MemoryUsage() const { return memory_usage_.load(std::memory_order_relaxed); }
 
  private:
-  char* AllocateLocked(size_t bytes);
-  char* AllocateFallback(size_t bytes);
-  char* AllocateNewBlock(size_t block_bytes);
+  char* AllocateLocked(size_t bytes) REQUIRES(mu_);
+  char* AllocateFallback(size_t bytes) REQUIRES(mu_);
+  char* AllocateNewBlock(size_t block_bytes) REQUIRES(mu_);
 
-  std::mutex mu_;
-  char* alloc_ptr_;
-  size_t alloc_bytes_remaining_;
-  std::vector<std::unique_ptr<char[]>> blocks_;
+  Mutex mu_;
+  char* alloc_ptr_ GUARDED_BY(mu_);
+  size_t alloc_bytes_remaining_ GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<char[]>> blocks_ GUARDED_BY(mu_);
   std::atomic<size_t> memory_usage_;
 };
 
@@ -61,7 +63,7 @@ inline char* Arena::AllocateLocked(size_t bytes) {
 
 inline char* Arena::Allocate(size_t bytes) {
   assert(bytes > 0);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return AllocateLocked(bytes);
 }
 

@@ -81,6 +81,8 @@ class IntrusiveMpscQueue {
     // parking or mis-reporting empty.
     prev->mpsc_next.store(node, std::memory_order_release);
 
+    // seq_cst: Dekker partner of the consumer's parked_ publish — either this
+    // load sees parked_ == 1, or the consumer's re-check sees our exchange.
     if (parked_.load(std::memory_order_seq_cst) != 0) {
       WakeConsumer();
     }
@@ -120,6 +122,9 @@ class IntrusiveMpscQueue {
         parked_.store(0, std::memory_order_relaxed);
         continue;
       }
+      // seq_cst on closed_/tickets_: these loads must order against a racing
+      // producer's ticket fetch_add + closed_ check, so a push either lands
+      // before this drain test or observes closed_ and aborts.
       if (closed_.load(std::memory_order_seq_cst) &&
           popped_.load(std::memory_order_relaxed) ==
               tickets_.load(std::memory_order_seq_cst)) {
@@ -188,6 +193,8 @@ class IntrusiveMpscQueue {
     }
   }
 
+  // seq_cst to match every other closed_ access; this is a cold path and a
+  // weaker load would save nothing measurable.
   bool closed() const { return closed_.load(std::memory_order_seq_cst); }
 
  private:
@@ -222,6 +229,8 @@ class IntrusiveMpscQueue {
       tail_ = next;
       return tail;
     }
+    // seq_cst: same Dekker role as the empty check above — must not be
+    // reordered before the mpsc_next load that found null.
     if (tail != head_.load(std::memory_order_seq_cst)) {
       return nullptr;  // a producer exchanged head but has not linked yet
     }
@@ -260,6 +269,8 @@ class IntrusiveMpscQueue {
   }
 
   void WakeConsumer() {
+    // seq_cst: the futex-word clear must be globally ordered against the
+    // consumer's parked_ publish + re-check so the notify cannot be missed.
     parked_.store(0, std::memory_order_seq_cst);
     parked_.notify_one();
   }
@@ -275,10 +286,14 @@ class IntrusiveMpscQueue {
         }
         continue;
       }
+      // seq_cst on closed_: orders against Close()'s store + epoch bump so a
+      // producer never parks after the final wakeup has already been sent.
       if (closed_.load(std::memory_order_seq_cst)) {
         return false;
       }
       uint32_t epoch = pop_epoch_.load(std::memory_order_acquire);
+      // Re-check both conditions against the captured epoch before sleeping
+      // (same missed-wakeup reasoning as above for the seq_cst closed_ load).
       if (size_.load(std::memory_order_acquire) >= capacity_ &&
           !closed_.load(std::memory_order_seq_cst)) {
         pop_epoch_.wait(epoch, std::memory_order_acquire);

@@ -7,12 +7,13 @@
 #ifndef P2KVS_SRC_UTIL_MPSC_QUEUE_H_
 #define P2KVS_SRC_UTIL_MPSC_QUEUE_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace p2kvs {
 
@@ -27,24 +28,24 @@ class MpscQueue {
   // Enqueues an item; blocks while the queue is at capacity (capacity 0 means
   // unbounded). Returns false if the queue has been closed.
   bool Push(T item) {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     while (capacity_ != 0 && queue_.size() >= capacity_ && !closed_) {
-      not_full_.wait(lock);
+      not_full_.Wait();
     }
     if (closed_) {
       return false;
     }
     queue_.push_back(std::move(item));
-    not_empty_.notify_one();
+    not_empty_.Signal();
     return true;
   }
 
   // Blocks until an item is available or the queue is closed and drained.
   // Returns std::nullopt only in the closed-and-empty case.
   std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     while (queue_.empty() && !closed_) {
-      not_empty_.wait(lock);
+      not_empty_.Wait();
     }
     if (queue_.empty()) {
       return std::nullopt;
@@ -52,7 +53,7 @@ class MpscQueue {
     T item = std::move(queue_.front());
     queue_.pop_front();
     if (capacity_ != 0) {
-      not_full_.notify_one();
+      not_full_.Signal();
     }
     return item;
   }
@@ -62,20 +63,20 @@ class MpscQueue {
   // primitive of the OBM; it never waits for more requests to arrive.
   template <typename Pred>
   std::optional<T> TryPopIf(Pred pred) {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (queue_.empty() || !pred(queue_.front())) {
       return std::nullopt;
     }
     T item = std::move(queue_.front());
     queue_.pop_front();
     if (capacity_ != 0) {
-      not_full_.notify_one();
+      not_full_.Signal();
     }
     return item;
   }
 
   size_t Size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return queue_.size();
   }
 
@@ -83,24 +84,24 @@ class MpscQueue {
 
   // Wakes all waiters; subsequent Push calls fail, Pop drains the remainder.
   void Close() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     closed_ = true;
-    not_empty_.notify_all();
-    not_full_.notify_all();
+    not_empty_.SignalAll();
+    not_full_.SignalAll();
   }
 
   bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return closed_;
   }
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> queue_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar not_empty_{&mu_};
+  CondVar not_full_{&mu_};
+  std::deque<T> queue_ GUARDED_BY(mu_);
+  bool closed_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace p2kvs

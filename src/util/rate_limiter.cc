@@ -36,7 +36,7 @@ void RateLimiter::Refill(uint64_t now_nanos) {
 }
 
 void RateLimiter::RequestChunk(uint64_t tokens) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (;;) {
     Refill(NowNanos());
     if (available_ >= tokens) {
@@ -47,7 +47,7 @@ void RateLimiter::RequestChunk(uint64_t tokens) {
     uint64_t deficit = tokens - available_;
     uint64_t wait_nanos = static_cast<uint64_t>(static_cast<double>(deficit) * 1e9 /
                                                 static_cast<double>(rate_per_sec_));
-    cv_.wait_for(lock, std::chrono::nanoseconds(std::max<uint64_t>(wait_nanos, 1000)));
+    cv_.WaitFor(std::chrono::nanoseconds(std::max<uint64_t>(wait_nanos, 1000)));
   }
 }
 

@@ -5,9 +5,10 @@
 #ifndef P2KVS_SRC_UTIL_RATE_LIMITER_H_
 #define P2KVS_SRC_UTIL_RATE_LIMITER_H_
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
+
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace p2kvs {
 
@@ -28,16 +29,16 @@ class RateLimiter {
   uint64_t rate_per_sec() const { return rate_per_sec_; }
 
  private:
-  void RequestChunk(uint64_t tokens);
-  void Refill(uint64_t now_nanos);
+  void RequestChunk(uint64_t tokens) EXCLUDES(mu_);
+  void Refill(uint64_t now_nanos) REQUIRES(mu_);
 
   const uint64_t rate_per_sec_;
   const uint64_t burst_;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  uint64_t available_;
-  uint64_t last_refill_nanos_;
+  Mutex mu_;
+  CondVar cv_{&mu_};
+  uint64_t available_ GUARDED_BY(mu_);
+  uint64_t last_refill_nanos_ GUARDED_BY(mu_);
 };
 
 }  // namespace p2kvs

@@ -1,0 +1,133 @@
+// Clang thread-safety annotation macros (no-ops on GCC and MSVC).
+//
+// These turn the repo's locking conventions into a compile-time contract:
+// a field declared GUARDED_BY(mu_) cannot be touched without holding mu_,
+// and a method declared REQUIRES(mu_) cannot be called without it — clang
+// rejects the build instead of leaving the invariant to prose comments and
+// TSan luck. Build with -DP2KVS_THREAD_SAFETY=ON under clang to enforce
+// (-Wthread-safety -Wthread-safety-beta, warnings promoted to errors); the
+// negative-compilation tests in tests/thread_annotations_compile/ prove the
+// enforcement actually rejects violations.
+//
+// Use with the p2kvs::Mutex / p2kvs::SharedMutex wrappers in
+// src/util/mutex.h — std::mutex itself carries no capability attributes, so
+// the analysis cannot see it.
+//
+// Macro semantics (see https://clang.llvm.org/docs/ThreadSafetyAnalysis.html):
+//   GUARDED_BY(mu)      field: all reads/writes need mu (reads: shared ok)
+//   PT_GUARDED_BY(mu)   pointer field: the pointee needs mu, the pointer not
+//   REQUIRES(mu)        function: caller must hold mu exclusively
+//   REQUIRES_SHARED(mu) function: caller must hold mu at least shared
+//   ACQUIRE/RELEASE     function acquires/releases mu (lock wrappers)
+//   EXCLUDES(mu)        function must NOT be entered with mu held
+//   CAPABILITY(name)    class is a lockable capability (mutex wrappers)
+//   SCOPED_CAPABILITY   RAII class that acquires in ctor, releases in dtor
+//
+// Note: the analysis deliberately skips constructors and destructors (it
+// assumes single ownership there), is not inter-procedural, and cannot see
+// through aliases — where a protocol (not a lock) guarantees exclusivity,
+// say so in a comment next to the un-annotated field.
+
+#ifndef P2KVS_SRC_UTIL_THREAD_ANNOTATIONS_H_
+#define P2KVS_SRC_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && !defined(SWIG)
+#define P2KVS_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define P2KVS_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op
+#endif
+
+#ifndef GUARDED_BY
+#define GUARDED_BY(x) P2KVS_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+#endif
+
+#ifndef PT_GUARDED_BY
+#define PT_GUARDED_BY(x) P2KVS_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+#endif
+
+#ifndef ACQUIRED_AFTER
+#define ACQUIRED_AFTER(...) \
+  P2KVS_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+#endif
+
+#ifndef ACQUIRED_BEFORE
+#define ACQUIRED_BEFORE(...) \
+  P2KVS_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+#endif
+
+#ifndef REQUIRES
+#define REQUIRES(...) \
+  P2KVS_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+#endif
+
+#ifndef REQUIRES_SHARED
+#define REQUIRES_SHARED(...) \
+  P2KVS_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+#endif
+
+#ifndef ACQUIRE
+#define ACQUIRE(...) \
+  P2KVS_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+#endif
+
+#ifndef ACQUIRE_SHARED
+#define ACQUIRE_SHARED(...) \
+  P2KVS_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+#endif
+
+#ifndef RELEASE
+#define RELEASE(...) \
+  P2KVS_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+#endif
+
+#ifndef RELEASE_SHARED
+#define RELEASE_SHARED(...) \
+  P2KVS_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+#endif
+
+#ifndef RELEASE_GENERIC
+#define RELEASE_GENERIC(...) \
+  P2KVS_THREAD_ANNOTATION_ATTRIBUTE__(release_generic_capability(__VA_ARGS__))
+#endif
+
+#ifndef TRY_ACQUIRE
+#define TRY_ACQUIRE(...) \
+  P2KVS_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+#endif
+
+#ifndef TRY_ACQUIRE_SHARED
+#define TRY_ACQUIRE_SHARED(...) \
+  P2KVS_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_shared_capability(__VA_ARGS__))
+#endif
+
+#ifndef EXCLUDES
+#define EXCLUDES(...) P2KVS_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+#endif
+
+#ifndef ASSERT_CAPABILITY
+#define ASSERT_CAPABILITY(x) P2KVS_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+#endif
+
+#ifndef ASSERT_SHARED_CAPABILITY
+#define ASSERT_SHARED_CAPABILITY(x) \
+  P2KVS_THREAD_ANNOTATION_ATTRIBUTE__(assert_shared_capability(x))
+#endif
+
+#ifndef RETURN_CAPABILITY
+#define RETURN_CAPABILITY(x) P2KVS_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+#endif
+
+#ifndef CAPABILITY
+#define CAPABILITY(x) P2KVS_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+#endif
+
+#ifndef SCOPED_CAPABILITY
+#define SCOPED_CAPABILITY P2KVS_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+#endif
+
+#ifndef NO_THREAD_SAFETY_ANALYSIS
+#define NO_THREAD_SAFETY_ANALYSIS \
+  P2KVS_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+#endif
+
+#endif  // P2KVS_SRC_UTIL_THREAD_ANNOTATIONS_H_

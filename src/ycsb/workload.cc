@@ -122,7 +122,11 @@ OperationStream::OperationStream(const WorkloadSpec& spec, KeySpace* key_space, 
       op_rnd_(seed),
       scan_len_rnd_(seed ^ 0x5ca1ab1eull),
       uniform_rnd_(seed ^ 0xdecafbadull) {
-  uint64_t records = std::max<uint64_t>(1, key_space_->record_count.load());
+  // record_count is a plain monotonic counter with no dependent data (keys
+  // are derived from the index alone), so every access here is relaxed: a
+  // stale count only skews the key distribution by a few inserts.
+  uint64_t records =
+      std::max<uint64_t>(1, key_space_->record_count.load(std::memory_order_relaxed));
   switch (spec_.distribution) {
     case Distribution::kZipfian:
       zipfian_ = std::make_unique<ScrambledZipfianGenerator>(records, seed ^ 0x21b6ull);
@@ -137,7 +141,9 @@ OperationStream::OperationStream(const WorkloadSpec& spec, KeySpace* key_space, 
 }
 
 uint64_t OperationStream::NextKeyIndex() {
-  uint64_t records = std::max<uint64_t>(1, key_space_->record_count.load());
+  // Relaxed: see the constructor note — the count carries no payload.
+  uint64_t records =
+      std::max<uint64_t>(1, key_space_->record_count.load(std::memory_order_relaxed));
   switch (spec_.distribution) {
     case Distribution::kZipfian:
       return zipfian_->Next() % records;
@@ -154,7 +160,9 @@ Operation OperationStream::Next() {
   double p = op_rnd_.NextDouble();
 
   if (p < spec_.insert_proportion) {
-    uint64_t index = key_space_->record_count.fetch_add(1);
+    // Relaxed RMW still hands every inserter a unique index; nothing else
+    // is published through the counter.
+    uint64_t index = key_space_->record_count.fetch_add(1, std::memory_order_relaxed);
     op.type = OpType::kInsert;
     op.key = RecordKey(index);
     return op;

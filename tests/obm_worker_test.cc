@@ -12,10 +12,11 @@
 #include <chrono>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <thread>
 
 #include "src/util/iterator.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace p2kvs {
 namespace {
@@ -125,7 +126,7 @@ class MockEngine final : public KVStore {
   // Error governance: a successful resume clears any sticky write failure.
   // Not recorded in the trace so tests can assert "the engine saw no write".
   Status Resume() override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     resume_calls_++;
     if (!allow_resume_) {
       return Status::IOError("mock resume refused");
@@ -135,22 +136,22 @@ class MockEngine final : public KVStore {
   }
 
   void FailWrites(int n) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     fail_writes_ = n;
   }
 
   void AllowResume(bool allow) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     allow_resume_ = allow;
   }
 
   int resume_calls() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return resume_calls_;
   }
 
   std::vector<std::string> Trace() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return trace_;
   }
 
@@ -159,12 +160,12 @@ class MockEngine final : public KVStore {
     if (behavior_.op_delay_us > 0) {
       std::this_thread::sleep_for(std::chrono::microseconds(behavior_.op_delay_us));
     }
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     trace_.push_back(event);
   }
 
   Status MaybeFailWrite() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (fail_writes_ == 0) {
       return Status::OK();
     }
@@ -176,12 +177,14 @@ class MockEngine final : public KVStore {
   }
 
   const Behavior behavior_;
-  mutable std::mutex mu_;
-  std::vector<std::string> trace_;
+  mutable Mutex mu_;
+  std::vector<std::string> trace_ GUARDED_BY(mu_);
+  // Touched only by the worker thread that owns this engine; the tests read
+  // it after Stop() joins the worker, so no lock is needed.
   std::map<std::string, std::string> data_;
-  int fail_writes_ = 0;       // guarded by mu_
-  bool allow_resume_ = true;  // guarded by mu_
-  int resume_calls_ = 0;      // guarded by mu_
+  int fail_writes_ GUARDED_BY(mu_) = 0;
+  bool allow_resume_ GUARDED_BY(mu_) = true;
+  int resume_calls_ GUARDED_BY(mu_) = 0;
 };
 
 class ObmWorkerTest : public ::testing::Test {

@@ -6,12 +6,12 @@
 
 #include <gtest/gtest.h>
 
-#include <condition_variable>
-#include <mutex>
 #include <thread>
 
 #include "src/core/p2kvs.h"
 #include "src/io/mem_env.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace p2kvs {
 namespace {
@@ -19,27 +19,31 @@ namespace {
 // A one-shot gate: the engine thread announces arrival and then blocks until
 // the test opens the gate.
 struct Gate {
-  std::mutex mu;
-  std::condition_variable cv;
-  bool arrived = false;
-  bool open = false;
+  Mutex mu;
+  CondVar cv{&mu};
+  bool arrived GUARDED_BY(mu) = false;
+  bool open GUARDED_BY(mu) = false;
 
   void ArriveAndWait() {
-    std::unique_lock<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     arrived = true;
-    cv.notify_all();
-    cv.wait(lock, [this] { return open; });
+    cv.SignalAll();
+    while (!open) {
+      cv.Wait();
+    }
   }
 
   void WaitForArrival() {
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [this] { return arrived; });
+    MutexLock lock(&mu);
+    while (!arrived) {
+      cv.Wait();
+    }
   }
 
   void Open() {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     open = true;
-    cv.notify_all();
+    cv.SignalAll();
   }
 };
 

@@ -1,0 +1,29 @@
+// Negative-compilation test: reading and writing a GUARDED_BY field without
+// holding its mutex MUST be rejected by clang's thread-safety analysis
+// (-Wthread-safety -Werror). CMake registers this file with WILL_FAIL, so a
+// successful compile — i.e. the analysis silently regressing to no-ops under
+// clang — fails the test suite.
+
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  // Both accesses race by construction; the analysis must flag each.
+  void IncrementUnlocked() { value_++; }
+  int ReadUnlocked() const { return value_; }
+
+ private:
+  mutable p2kvs::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.IncrementUnlocked();
+  return c.ReadUnlocked();
+}

@@ -1,0 +1,29 @@
+// Negative-compilation test: calling a REQUIRES(mu) function without holding
+// mu MUST be rejected by clang's thread-safety analysis (-Wthread-safety
+// -Werror). CMake registers this file with WILL_FAIL, so a successful
+// compile fails the test suite.
+
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void IncrementLocked() REQUIRES(mu_) { value_++; }
+
+  // The call below must be diagnosed: mu_ is not held.
+  void CallWithoutLock() { IncrementLocked(); }
+
+ private:
+  p2kvs::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.CallWithoutLock();
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Positive control for the thread-safety negative-compilation tests: this
+// translation unit uses the annotated Mutex correctly and must compile
+// cleanly under -Wthread-safety -Werror. If it stops compiling, the harness
+// is broken (or the wrappers regressed), and the ts_bad_* results are
+// meaningless.
+
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    p2kvs::MutexLock lock(&mu_);
+    value_++;
+  }
+
+  int Read() {
+    p2kvs::MutexLock lock(&mu_);
+    return value_;
+  }
+
+  void IncrementLocked() REQUIRES(mu_) { value_++; }
+
+  void IncrementViaHelper() {
+    mu_.Lock();
+    IncrementLocked();
+    mu_.Unlock();
+  }
+
+ private:
+  p2kvs::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  c.IncrementViaHelper();
+  return c.Read() == 2 ? 0 : 1;
+}
