@@ -67,13 +67,18 @@ CaseResult RunCase(int threads, bool multi_instance, bool pin, uint64_t ops) {
 // Observability overhead: the same write workload through p2KVS with the
 // stats recorder on vs off. The recorder is a handful of worker-thread-local
 // clock reads per dispatch, so the two runs must stay within a few percent.
-double RunP2kvsCase(int threads, bool enable_stats, uint64_t ops) {
+double RunP2kvsCase(int threads, bool enable_stats, uint64_t ops,
+                    uint32_t trace_sample_every = 0) {
   SimulatedDevice dev = MakeDevice(DeviceProfile::NvmeSsd());
   P2kvsOptions options;
   options.env = dev.env.get();
   options.num_workers = std::min(4, MaxThreads());
   options.pin_workers = false;
   options.enable_stats = enable_stats;
+  if (trace_sample_every > 0) {
+    options.trace.enabled = true;
+    options.trace.sample_every = trace_sample_every;
+  }
   options.engine_factory = MakeRocksLiteFactory(DefaultLsmOptions(dev.env.get()));
   std::unique_ptr<P2KVS> store;
   if (!P2KVS::Open(options, "/fig05-p2", &store).ok()) {
@@ -109,6 +114,35 @@ void RunStatsOverhead(uint64_t ops) {
   table.Print();
 }
 
+// Tracing overhead, same methodology as the stats rows: tracing off (no
+// Tracer constructed) vs sampled at 1% (one relaxed RMW per submit) vs
+// sampled at 100% (one clock read + wait-free ring append per hop).
+void RunTraceOverhead(uint64_t ops) {
+  std::printf("\n-- request tracing overhead (p2KVS, %d workers) --\n",
+              std::min(4, MaxThreads()));
+  TablePrinter table({"threads", "trace-off QPS", "1%-sampled QPS", "100%-sampled QPS",
+                      "1% ovh %", "100% ovh %"});
+  for (int threads : {1, 4, 8}) {
+    if (threads > MaxThreads()) {
+      break;
+    }
+    double off = 0;
+    double sampled = 0;
+    double full = 0;
+    for (int trial = 0; trial < 3; trial++) {
+      off = std::max(off, RunP2kvsCase(threads, /*enable_stats=*/false, ops));
+      sampled = std::max(sampled, RunP2kvsCase(threads, /*enable_stats=*/false, ops,
+                                               /*trace_sample_every=*/100));
+      full = std::max(full, RunP2kvsCase(threads, /*enable_stats=*/false, ops,
+                                         /*trace_sample_every=*/1));
+    }
+    auto ovh = [&](double v) { return off > 0 ? 100.0 * (off - v) / off : 0; };
+    table.AddRow({std::to_string(threads), FmtQps(off), FmtQps(sampled), FmtQps(full),
+                  Fmt(ovh(sampled), 2), Fmt(ovh(full), 2)});
+  }
+  table.Print();
+}
+
 void Run() {
   const uint64_t ops = Scaled(30000);
   PrintHeader("Figure 5", "concurrent random writes: single vs multi instance (128B KV)",
@@ -130,6 +164,7 @@ void Run() {
   std::printf("note: on few-core hosts thread scaling flattens for CPU-bound stages;\n"
               "the single-vs-multi instance gap and low bandwidth utilization remain.\n");
   RunStatsOverhead(ops);
+  RunTraceOverhead(ops);
 }
 
 }  // namespace

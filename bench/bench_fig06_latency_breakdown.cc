@@ -84,7 +84,8 @@ void RunDirectSharedInstance(uint64_t ops) {
   table.Print();
 }
 
-std::unique_ptr<P2KVS> OpenP2kvs(SimulatedDevice* dev, int num_workers, bool stats) {
+std::unique_ptr<P2KVS> OpenP2kvs(SimulatedDevice* dev, int num_workers, bool stats,
+                                 bool trace = false) {
   Options lsm = DefaultLsmOptions(dev->env.get());
   lsm.write_buffer_size = 256ull << 20;
   lsm.debug_disable_background = true;
@@ -93,6 +94,10 @@ std::unique_ptr<P2KVS> OpenP2kvs(SimulatedDevice* dev, int num_workers, bool sta
   options.num_workers = num_workers;
   options.pin_workers = false;
   options.enable_stats = stats;
+  if (trace) {
+    options.trace.enabled = true;
+    options.trace.sample_every = 1;  // trace every request in the smoke run
+  }
   options.engine_factory = MakeRocksLiteFactory(lsm);
   std::unique_ptr<P2KVS> store;
   if (!P2KVS::Open(options, "/fig06-p2", &store).ok()) {
@@ -143,11 +148,14 @@ void RunViaP2kvsStats(uint64_t ops) {
               "instance); queued submissions surface as queue-wait instead.\n");
 }
 
-// CI smoke: emit the stats JSON and verify the counter invariants.
+// CI smoke: emit the stats JSON, verify the counter invariants (stats +
+// trace), and export the fully-sampled run as a Perfetto trace JSON that the
+// build workflow uploads as an artifact.
 int RunSmoke() {
   const uint64_t ops = 5000;
   SimulatedDevice dev = MakeDevice(DeviceProfile::NvmeSsd());
-  std::unique_ptr<P2KVS> store = OpenP2kvs(&dev, /*num_workers=*/2, /*stats=*/true);
+  std::unique_ptr<P2KVS> store =
+      OpenP2kvs(&dev, /*num_workers=*/2, /*stats=*/true, /*trace=*/true);
   RunClosedLoop(4, ops, [&](int, uint64_t i) {
     uint64_t k = Hash64(reinterpret_cast<const char*>(&i), 8) % (ops * 4);
     if (i % 4 == 3) {
@@ -169,9 +177,23 @@ int RunSmoke() {
     std::fprintf(stderr, "stats self-check FAILED: no requests recorded\n");
     return 1;
   }
-  std::fprintf(stderr, "stats self-check OK: %llu requests, %llu dispatches\n",
+  if (stats.trace_sampled == 0 || stats.trace_events == 0) {
+    std::fprintf(stderr, "trace smoke FAILED: tracing on but no events recorded\n");
+    return 1;
+  }
+  const char* trace_path = "fig06_smoke_trace.json";
+  Status exported = store->ExportTrace(trace_path);
+  if (!exported.ok()) {
+    std::fprintf(stderr, "trace export FAILED: %s\n", exported.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "stats self-check OK: %llu requests, %llu dispatches; trace: "
+               "%llu events (%llu dropped) -> %s\n",
                static_cast<unsigned long long>(stats.totals.requests_executed()),
-               static_cast<unsigned long long>(stats.totals.batch_size.Count()));
+               static_cast<unsigned long long>(stats.totals.batch_size.Count()),
+               static_cast<unsigned long long>(stats.trace_events),
+               static_cast<unsigned long long>(stats.trace_dropped), trace_path);
   return 0;
 }
 

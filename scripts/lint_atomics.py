@@ -40,6 +40,8 @@ HOT_PATH_FILES = [
     "src/util/intrusive_mpsc_queue.h",
     "src/core/completion.h",
     "src/util/stats_recorder.h",
+    "src/util/trace_ring.h",
+    "src/util/trace.h",
 ]
 
 # Member calls that take a trailing memory_order argument.

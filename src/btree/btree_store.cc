@@ -11,6 +11,7 @@
 #include "src/util/crc32c.h"
 #include "src/util/mutex.h"
 #include "src/util/thread_annotations.h"
+#include "src/util/trace.h"
 #include "src/wal/log_reader.h"
 #include "src/wal/log_writer.h"
 
@@ -321,6 +322,7 @@ class BTreeStoreImpl final : public BTreeStore {
       return s;
     }
     wal_bytes_ += record.size() + log::kHeaderSize;
+    TraceEmitEngine(TraceEventType::kWalAppend, record.size());
     if (options_.sync_writes) {
       return RunWithRetry(env_, options_.wal_retry, [&] { return wal_->Sync(); });
     }

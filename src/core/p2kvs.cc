@@ -63,6 +63,10 @@ Status P2KVS::Init() {
   TxnLog* txn_log = txn_log_.get();
   auto recovery_filter = [txn_log](uint64_t gsn) { return txn_log->IsCommitted(gsn); };
 
+  if (options_.trace.enabled) {
+    tracer_ = std::make_unique<Tracer>(options_.trace, options_.num_workers);
+  }
+
   for (int i = 0; i < options_.num_workers; i++) {
     std::unique_ptr<KVStore> instance;
     s = options_.engine_factory(path_ + "/instance-" + std::to_string(i), recovery_filter,
@@ -84,6 +88,7 @@ Status P2KVS::Init() {
     config.max_auto_resume_failures = options_.max_auto_resume_failures;
     config.enable_stats = options_.enable_stats;
     config.listener = options_.listener.get();
+    config.tracer = tracer_.get();
     workers_.push_back(std::make_unique<Worker>(config, std::move(instance)));
   }
   for (auto& worker : workers_) {
@@ -539,6 +544,14 @@ P2kvsStats P2KVS::GetStats() const {
   stats.degraded_rejects = stats.totals.degraded_rejects;
   stats.requests_submitted =
       stats.writes_batched + stats.reads_batched + stats.singles;
+  if (tracer_ != nullptr) {
+    stats.trace_enabled = true;
+    stats.trace_events = tracer_->events_appended();
+    stats.trace_dropped = tracer_->events_dropped();
+    stats.trace_sampled = tracer_->sampled_submitted();
+    stats.trace_completed = tracer_->sampled_completed();
+    stats.trace_flight_dumps = tracer_->flight_dumps();
+  }
   return stats;
 }
 
@@ -572,7 +585,31 @@ Status P2kvsStats::SelfCheck() const {
       return st;
     }
   }
-  return check_one(totals, "totals");
+  Status st = check_one(totals, "totals");
+  if (!st.ok()) {
+    return st;
+  }
+  if (trace_enabled) {
+    // Lifecycle: a worker only counts a completion for a request it sampled,
+    // so completions can never outrun samples.
+    if (trace_completed > trace_sampled) {
+      return Status::Corruption("trace self-check failed",
+                                "sampled completions exceed sampled submissions");
+    }
+    // Every worker-completed sampled request emits at least enqueue +
+    // dequeue + complete. Appends are counted pre-drop, so ring wrap cannot
+    // hide missing events from this check (no silent loss).
+    if (trace_events < 3 * trace_completed) {
+      return Status::Corruption("trace self-check failed",
+                                "fewer events than 3x completed sampled requests");
+    }
+    // Drops are overwrites of appended events; they can never exceed appends.
+    if (trace_dropped > trace_events) {
+      return Status::Corruption("trace self-check failed",
+                                "dropped events exceed appended events");
+    }
+  }
+  return Status::OK();
 }
 
 std::string P2kvsStats::ToJson() const {
@@ -583,6 +620,17 @@ std::string P2kvsStats::ToJson() const {
                 static_cast<unsigned long long>(degraded_rejects));
   json += buf;
   json += "\"totals\":" + totals.ToJson();
+  if (trace_enabled) {
+    std::snprintf(buf, sizeof(buf),
+                  ",\"trace\":{\"events\":%llu,\"dropped\":%llu,\"sampled\":%llu,"
+                  "\"completed\":%llu,\"flight_dumps\":%llu}",
+                  static_cast<unsigned long long>(trace_events),
+                  static_cast<unsigned long long>(trace_dropped),
+                  static_cast<unsigned long long>(trace_sampled),
+                  static_cast<unsigned long long>(trace_completed),
+                  static_cast<unsigned long long>(trace_flight_dumps));
+    json += buf;
+  }
   json += ",\"workers\":[";
   for (size_t i = 0; i < workers.size(); i++) {
     if (i != 0) {
@@ -656,6 +704,26 @@ std::vector<size_t> P2KVS::QueueDepths() const {
     depths.push_back(worker->QueueDepth());
   }
   return depths;
+}
+
+std::string P2KVS::ExportTraceJson() const {
+  if (tracer_ == nullptr) {
+    return "{}";
+  }
+  return tracer_->ExportJson();
+}
+
+Status P2KVS::ExportTrace(const std::string& path) const {
+  if (tracer_ == nullptr) {
+    return Status::NotSupported("tracing disabled", "set P2kvsOptions::trace.enabled");
+  }
+  return tracer_->ExportToFile(path);
+}
+
+void P2KVS::DumpFlightRecorder(const std::string& reason) {
+  if (tracer_ != nullptr) {
+    tracer_->DumpFlightRecorder(reason);
+  }
 }
 
 }  // namespace p2kvs

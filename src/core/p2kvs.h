@@ -35,6 +35,7 @@
 #include "src/core/worker.h"
 #include "src/util/histogram.h"
 #include "src/util/stats_recorder.h"
+#include "src/util/trace.h"
 
 namespace p2kvs {
 
@@ -110,6 +111,12 @@ struct P2kvsOptions {
   // Non-zero: a reporter thread calls GetStats() every period and hands the
   // JSON to listener->OnStatsDump() (or stderr when no listener is set).
   int stats_dump_period_ms = 0;
+  // Request-scoped tracing + flight recorder (see trace.h). Off by default;
+  // when trace.enabled is false no Tracer is constructed and the request
+  // path costs one null-pointer compare. With tracing on but a request
+  // unsampled, the only cost is the sampling decision itself — zero clock
+  // reads (asserted via PerfContext::trace_clock_reads).
+  TraceConfig trace;
 };
 
 // Health of one partition (error governance).
@@ -158,6 +165,14 @@ struct P2kvsStats {
   // compare against P2kvsOptions::queue_capacity).
   std::vector<size_t> queue_depths;
 
+  // --- Tracing counters (all zero when options.trace.enabled is false). ---
+  bool trace_enabled = false;
+  uint64_t trace_events = 0;     // events appended across all rings, pre-drop
+  uint64_t trace_dropped = 0;    // events overwritten by ring wrap (no silent loss)
+  uint64_t trace_sampled = 0;    // requests sampled at submit
+  uint64_t trace_completed = 0;  // sampled requests completed by a worker
+  uint64_t trace_flight_dumps = 0;  // flight-recorder dumps written
+
   // Full per-partition snapshots (stage times, distributions, engine
   // breakdown, foreground IO, governance) and their merge.
   std::vector<WorkerStatsSnapshot> workers;
@@ -169,8 +184,12 @@ struct P2kvsStats {
 
   // Verifies the recorder's accounting invariants (see stats_recorder.h):
   // per-stage nanos sum to at most the end-to-end total, and the batch-size
-  // histogram matches the dispatch counters exactly. Returns the first
-  // violation; used by tests and the CI benchmark smoke step.
+  // histogram matches the dispatch counters exactly. With tracing enabled it
+  // also checks the trace lifecycle invariants — every worker-completed
+  // sampled request contributes at least its enqueue+dequeue+complete events,
+  // completions never exceed samples, and the drop counter stays consistent
+  // with the append counter. Returns the first violation; used by tests and
+  // the CI benchmark smoke step.
   Status SelfCheck() const;
   std::string ToJson() const;
 };
@@ -262,6 +281,19 @@ class P2KVS {
   // Current depth of each worker's request queue.
   std::vector<size_t> QueueDepths() const;
 
+  // --- Tracing (options.trace; see trace.h). ---
+  // The framework tracer, or null when tracing is disabled.
+  Tracer* tracer() const { return tracer_.get(); }
+  // Serializes the current ring contents to Perfetto trace_event JSON
+  // (empty object when tracing is disabled). Open the result in
+  // ui.perfetto.dev — one track per worker.
+  std::string ExportTraceJson() const;
+  // Same, written to `path`. NotSupported when tracing is disabled.
+  Status ExportTrace(const std::string& path) const;
+  // Manually triggers a flight-recorder dump (as a hard error or SIGUSR2
+  // would). No-op when tracing is disabled.
+  void DumpFlightRecorder(const std::string& reason = "manual");
+
  private:
   P2KVS(const P2kvsOptions& options, std::string path);
 
@@ -273,6 +305,9 @@ class P2KVS {
   P2kvsOptions options_;
   const std::string path_;
   std::unique_ptr<TxnLog> txn_log_;
+  // Constructed before the workers (they hold raw pointers into it) and
+  // destroyed after them; null when options.trace.enabled is false.
+  std::unique_ptr<Tracer> tracer_;
   std::vector<std::unique_ptr<Worker>> workers_;
 
   // Periodic stats reporter (stats_dump_period_ms > 0). Joined before the

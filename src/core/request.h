@@ -83,6 +83,11 @@ struct Request : MpscQueueNode {
   // queue-wait and end-to-end stages.
   uint64_t submit_nanos = 0;
 
+  // Trace identity, assigned by the sampling decision in Worker::Submit
+  // (0 = unsampled). Published with the node the same way as submit_nanos;
+  // every pipeline hop of a sampled request emits a TraceEvent keyed on it.
+  uint64_t trace_id = 0;
+
   Status status;
 
   // Async completion: non-null callback means nobody Wait()s.

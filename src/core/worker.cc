@@ -31,21 +31,40 @@ Worker::Worker(const Config& config, std::unique_ptr<KVStore> store)
   batch_policy_ = factory(caps_, config_.enable_obm, config_.max_batch_size);
   group_.reserve(static_cast<size_t>(config_.max_batch_size));
 
-  if (config_.listener != nullptr) {
+  if (config_.tracer != nullptr) {
+    trace_ring_ = config_.tracer->ring(config_.id);
+  }
+
+  if (config_.listener != nullptr || trace_ring_ != nullptr) {
     // Forward engine events to the framework listener with this partition's
-    // id attached. Installed before Start(), so the hooks are immutable once
-    // any thread can observe them.
+    // id attached, and append them to the trace ring (flush/compaction/stall
+    // fire from engine background threads; the ring is multi-writer).
+    // Installed before Start(), so the hooks are immutable once any thread
+    // can observe them.
     EventListener* listener = config_.listener;
+    TraceRing* ring = trace_ring_;
     const int id = config_.id;
     EngineEventHooks hooks;
-    hooks.on_flush_completed = [listener, id](const FlushEventInfo& info) {
-      listener->OnFlushCompleted(id, info);
+    hooks.on_flush_completed = [listener, ring, id](const FlushEventInfo& info) {
+      if (ring != nullptr) {
+        TraceAppend(ring, TraceEventType::kFlush, static_cast<uint32_t>(id), 0,
+                    info.bytes_written, 0);
+      }
+      if (listener != nullptr) listener->OnFlushCompleted(id, info);
     };
-    hooks.on_compaction_completed = [listener, id](const CompactionEventInfo& info) {
-      listener->OnCompactionCompleted(id, info);
+    hooks.on_compaction_completed = [listener, ring, id](const CompactionEventInfo& info) {
+      if (ring != nullptr) {
+        TraceAppend(ring, TraceEventType::kCompaction, static_cast<uint32_t>(id), 0,
+                    info.bytes_written, static_cast<uint64_t>(info.level));
+      }
+      if (listener != nullptr) listener->OnCompactionCompleted(id, info);
     };
-    hooks.on_write_stalled = [listener, id](const StallEventInfo& info) {
-      listener->OnWriteStalled(id, info);
+    hooks.on_write_stalled = [listener, ring, id](const StallEventInfo& info) {
+      if (ring != nullptr) {
+        TraceAppend(ring, TraceEventType::kStall, static_cast<uint32_t>(id), 0,
+                    info.stall_micros, 0);
+      }
+      if (listener != nullptr) listener->OnWriteStalled(id, info);
     };
     store_->InstallEventHooks(hooks);
   }
@@ -69,8 +88,28 @@ void Worker::Submit(Request* request) {
     // Published by the queue push's release store; read only by the worker.
     request->submit_nanos = NowNanos();
   }
+  if (trace_ring_ != nullptr && request->type != RequestType::kBarrier &&
+      request->type != RequestType::kStats) {
+    // Sampling decision for data requests (control requests carry no trace:
+    // their lifecycle is not a pipeline hop). The enqueue event — like
+    // submit_nanos — must be emitted before the push: once the request is
+    // in the queue the worker may free it.
+    const uint64_t id = config_.tracer->SampleSubmit();
+    if (id != 0) {
+      request->trace_id = id;
+      EmitTrace(TraceEventType::kEnqueue, id, static_cast<uint64_t>(request->type), 0);
+    }
+  }
   if (!queue_.Push(request)) {
-    request->Complete(Status::Aborted("p2kvs worker stopped"));
+    const Status s = Status::Aborted("p2kvs worker stopped");
+    if (trace_ring_ != nullptr && request->trace_id != 0) {
+      // Closed queue: the request never reaches the worker, so close its
+      // trace here. Not counted as a sampled completion — the lifecycle
+      // invariant (>= enqueue+dequeue+complete events per completion) only
+      // covers requests a worker actually processed.
+      EmitTrace(TraceEventType::kComplete, request->trace_id, TraceStatusCode(s), 0);
+    }
+    request->Complete(s);
   }
 }
 
@@ -109,6 +148,10 @@ void Worker::Run() {
     }
     if (IsWriteType(r->type) && RejectIfUnhealthy(r)) {
       continue;
+    }
+
+    if (trace_ring_ != nullptr && r->trace_id != 0) {
+      EmitTrace(TraceEventType::kDequeue, r->trace_id, static_cast<uint64_t>(r->type), 0);
     }
 
     const bool rec = config_.enable_stats;
@@ -206,24 +249,45 @@ bool Worker::RejectIfUnhealthy(Request* request) {
     return false;
   }
   degraded_rejects_.fetch_add(1, std::memory_order_relaxed);
-  request->Complete(Status::IOError(
+  const Status s = Status::IOError(
       std::string("partition ") + std::to_string(config_.id) + " " +
           WorkerHealthName(health()) + " (read-only)",
-      "write rejected"));
+      "write rejected");
+  if (trace_ring_ != nullptr && request->trace_id != 0) {
+    // Fast rejects bypass the dispatch path, so close the chain here.
+    EmitTrace(TraceEventType::kDequeue, request->trace_id,
+              static_cast<uint64_t>(request->type), 0);
+  }
+  EmitTraceComplete(request, s, 0);
+  request->Complete(s);
   return true;
 }
 
-void Worker::MaybeDegrade(const Status& s) {
+void Worker::MaybeDegrade(const Status& s, uint64_t trace_id) {
   // Only storage errors degrade: a transient status here already survived
   // every retry, so the partition is treated as unhealthy either way.
   // Semantic outcomes (NotFound / InvalidArgument / NotSupported) do not.
   if (!s.IsIOError() && !s.IsCorruption()) {
     return;
   }
+  if (trace_ring_ != nullptr) {
+    // Always-trace-on-error: a request that was never sampled still gets an
+    // identity the moment it hits a storage error, so the flight recorder
+    // can name it.
+    const uint64_t id = trace_id != 0 ? trace_id : config_.tracer->NewTraceId();
+    EmitTrace(TraceEventType::kError, id, TraceStatusCode(s), s.IsTransient() ? 1 : 0);
+  }
   int expected = static_cast<int>(WorkerHealth::kHealthy);
   if (health_.compare_exchange_strong(expected, static_cast<int>(WorkerHealth::kDegraded),
                                       std::memory_order_acq_rel)) {
     NotifyHealthTransition(WorkerHealth::kHealthy, WorkerHealth::kDegraded);
+    if (config_.tracer != nullptr) {
+      // The hard error is in the ring (kError above, plus the failing
+      // request's earlier hops); capture it before traffic overwrites it.
+      config_.tracer->DumpFlightRecorder(
+          std::string("partition ") + std::to_string(config_.id) +
+          " degraded on hard error: " + s.ToString());
+    }
   }
 }
 
@@ -268,6 +332,12 @@ Status Worker::TryResume() {
         consecutive_resume_failures_ >= config_.max_auto_resume_failures) {
       health_.store(static_cast<int>(WorkerHealth::kFailed), std::memory_order_release);
       NotifyHealthTransition(WorkerHealth::kDegraded, WorkerHealth::kFailed);
+      if (config_.tracer != nullptr) {
+        config_.tracer->DumpFlightRecorder(
+            std::string("partition ") + std::to_string(config_.id) +
+            " marked failed after " + std::to_string(consecutive_resume_failures_) +
+            " resume failures");
+      }
     }
   }
   return s;
@@ -291,17 +361,61 @@ void Worker::ExecuteWriteGroup(const std::vector<Request*>& group) {
     }
   }
 
+  // Trace the merge: group[0] is the head (its dequeue was emitted by the
+  // loop); the collected members get their dequeue here, then every traced
+  // member records which batch it rode in and how big that batch was.
+  uint64_t batch_id = 0;
+  uint64_t lead_trace = 0;
+  if (trace_ring_ != nullptr) {
+    for (Request* r : group) {
+      if (r->trace_id != 0 && lead_trace == 0) lead_trace = r->trace_id;
+    }
+    if (lead_trace != 0) {
+      batch_id = NextBatchId();
+      for (size_t i = 1; i < group.size(); i++) {
+        if (group[i]->trace_id != 0) {
+          EmitTrace(TraceEventType::kDequeue, group[i]->trace_id,
+                    static_cast<uint64_t>(group[i]->type), 0);
+        }
+      }
+      for (Request* r : group) {
+        if (r->trace_id != 0) {
+          EmitTrace(TraceEventType::kObmMerge, r->trace_id, batch_id, group.size());
+        }
+      }
+      EmitTrace(TraceEventType::kExecuteBegin, lead_trace, batch_id, group.size());
+    }
+  }
+
   const bool rec = config_.enable_stats;
   const uint64_t t0 = stage_ts_;  // end of batch-build (valid iff rec)
-  Status s = RunWithRetry(config_.env, config_.retry,
-                          [&] { return store_->Write(&merged, KvWriteOptions()); });
-  MaybeDegrade(s);
+  Status s;
+  if (lead_trace != 0) {
+    // Engine internals (WAL append, memtable insert, retries, faults) emit
+    // through this scope, stamped with the group's batch id.
+    TraceContext ctx;
+    ctx.ring = trace_ring_;
+    ctx.trace_id = lead_trace;
+    ctx.batch_id = batch_id;
+    ctx.worker_id = static_cast<uint32_t>(config_.id);
+    ScopedTraceContext scope(ctx);
+    s = RunWithRetry(config_.env, config_.retry,
+                     [&] { return store_->Write(&merged, KvWriteOptions()); });
+  } else {
+    s = RunWithRetry(config_.env, config_.retry,
+                     [&] { return store_->Write(&merged, KvWriteOptions()); });
+  }
+  MaybeDegrade(s, lead_trace);
+  if (lead_trace != 0) {
+    EmitTrace(TraceEventType::kExecuteEnd, lead_trace, batch_id, TraceStatusCode(s));
+  }
   const uint64_t t1 = rec ? NowNanos() : 0;
   write_batches_.fetch_add(1, std::memory_order_relaxed);
   writes_batched_.fetch_add(group.size(), std::memory_order_relaxed);
   // Every member of the merged group observes the group's outcome — on
   // failure none of the folded writes may be silently acknowledged.
   for (Request* r : group) {
+    EmitTraceComplete(r, s, batch_id);
     r->Complete(s);
   }
   if (rec) {
@@ -324,6 +438,33 @@ Status Worker::ReadOne(const Slice& key, std::string* value) {
 
 void Worker::ExecuteReadGroup(const std::vector<Request*>& group) {
   const bool rec = config_.enable_stats;
+
+  // Same merge-tracing shape as ExecuteWriteGroup: member dequeues (the head
+  // got its own in the loop), one kObmMerge per traced member, one execute
+  // span for the dispatch.
+  uint64_t batch_id = 0;
+  uint64_t lead_trace = 0;
+  if (trace_ring_ != nullptr) {
+    for (Request* r : group) {
+      if (r->trace_id != 0 && lead_trace == 0) lead_trace = r->trace_id;
+    }
+    if (lead_trace != 0) {
+      batch_id = NextBatchId();
+      for (size_t i = 1; i < group.size(); i++) {
+        if (group[i]->trace_id != 0) {
+          EmitTrace(TraceEventType::kDequeue, group[i]->trace_id,
+                    static_cast<uint64_t>(group[i]->type), 0);
+        }
+      }
+      for (Request* r : group) {
+        if (r->trace_id != 0) {
+          EmitTrace(TraceEventType::kObmMerge, r->trace_id, batch_id, group.size());
+        }
+      }
+      EmitTrace(TraceEventType::kExecuteBegin, lead_trace, batch_id, group.size());
+    }
+  }
+
   if (!txn_snapshots_.empty()) {
     // Snapshot reads bypass the multiget fast path; correctness first. Still
     // one collected read group — counted as such so the batch-size histogram
@@ -332,7 +473,12 @@ void Worker::ExecuteReadGroup(const std::vector<Request*>& group) {
     read_batches_.fetch_add(1, std::memory_order_relaxed);
     reads_batched_.fetch_add(group.size(), std::memory_order_relaxed);
     for (Request* r : group) {
-      r->Complete(ReadOne(r->key, r->get_out));
+      const Status rs = ReadOne(r->key, r->get_out);
+      EmitTraceComplete(r, rs, batch_id);
+      r->Complete(rs);
+    }
+    if (lead_trace != 0) {
+      EmitTrace(TraceEventType::kExecuteEnd, lead_trace, batch_id, 0);
     }
     if (rec) {
       const uint64_t t1 = NowNanos();
@@ -350,6 +496,9 @@ void Worker::ExecuteReadGroup(const std::vector<Request*>& group) {
   const uint64_t t0 = stage_ts_;
   std::vector<std::string> values;
   std::vector<Status> statuses = store_->MultiGet(keys, &values);
+  if (lead_trace != 0) {
+    EmitTrace(TraceEventType::kExecuteEnd, lead_trace, batch_id, 0);
+  }
   const uint64_t t1 = rec ? NowNanos() : 0;
   read_batches_.fetch_add(1, std::memory_order_relaxed);
   reads_batched_.fetch_add(group.size(), std::memory_order_relaxed);
@@ -357,6 +506,7 @@ void Worker::ExecuteReadGroup(const std::vector<Request*>& group) {
     if (statuses[i].ok() && group[i]->get_out != nullptr) {
       *group[i]->get_out = std::move(values[i]);
     }
+    EmitTraceComplete(group[i], statuses[i], batch_id);
     group[i]->Complete(statuses[i]);
   }
   if (rec) {
@@ -373,6 +523,14 @@ void Worker::ExecuteMultiGet(Request* r) {
   // request itself always completes OK (key-level errors are per-key).
   const std::vector<uint32_t>& index = r->mget_index;
   const bool rec = config_.enable_stats;
+  // Pre-merged fan-out groups are one dispatch: a single execute span sized
+  // by the number of keys the partition serves.
+  const uint64_t trace_id = trace_ring_ != nullptr ? r->trace_id : 0;
+  uint64_t batch_id = 0;
+  if (trace_id != 0) {
+    batch_id = NextBatchId();
+    EmitTrace(TraceEventType::kExecuteBegin, trace_id, batch_id, index.size());
+  }
   if (!txn_snapshots_.empty()) {
     // Counted as one read group either way (see ExecuteReadGroup).
     const uint64_t t0 = stage_ts_;
@@ -386,6 +544,10 @@ void Worker::ExecuteMultiGet(Request* r) {
       recorder_.RecordExecute(t1 - t0);
       stage_ts_ = t1;
     }
+    if (trace_id != 0) {
+      EmitTrace(TraceEventType::kExecuteEnd, trace_id, batch_id, 0);
+    }
+    EmitTraceComplete(r, Status::OK(), batch_id);
     r->Complete(Status::OK());
     return;
   }
@@ -410,6 +572,10 @@ void Worker::ExecuteMultiGet(Request* r) {
     recorder_.RecordExecute(t1 - t0);
     stage_ts_ = t1;
   }
+  if (trace_id != 0) {
+    EmitTrace(TraceEventType::kExecuteEnd, trace_id, batch_id, 0);
+  }
+  EmitTraceComplete(r, Status::OK(), batch_id);
   r->Complete(Status::OK());
 }
 
@@ -417,17 +583,50 @@ void Worker::ExecuteSingle(Request* r) {
   singles_.fetch_add(1, std::memory_order_relaxed);
   const bool rec = config_.enable_stats;
   const uint64_t t0 = stage_ts_;  // end of previous stage (valid iff rec)
+  const uint64_t trace_id = trace_ring_ != nullptr ? r->trace_id : 0;
+  uint64_t batch_id = 0;
+  Status s;
+  if (trace_id != 0) {
+    // Unbatched dispatches get a batch id too, so WAL-append / slot-write
+    // events inside the engine stay linked to this execute span.
+    batch_id = NextBatchId();
+    EmitTrace(TraceEventType::kExecuteBegin, trace_id, batch_id, 1);
+    TraceContext ctx;
+    ctx.ring = trace_ring_;
+    ctx.trace_id = trace_id;
+    ctx.batch_id = batch_id;
+    ctx.worker_id = static_cast<uint32_t>(config_.id);
+    ScopedTraceContext scope(ctx);
+    s = ExecuteSingleOp(r);
+  } else {
+    s = ExecuteSingleOp(r);
+  }
+  if (trace_id != 0) {
+    EmitTrace(TraceEventType::kExecuteEnd, trace_id, batch_id, TraceStatusCode(s));
+  }
+  const uint64_t t1 = rec ? NowNanos() : 0;
+  EmitTraceComplete(r, s, batch_id);
+  r->Complete(s);
+  if (rec) {
+    const uint64_t t2 = NowNanos();
+    recorder_.RecordExecute(t1 - t0);
+    recorder_.RecordComplete(t2 - t1);
+    stage_ts_ = t2;
+  }
+}
+
+Status Worker::ExecuteSingleOp(Request* r) {
   Status s;
   switch (r->type) {
     case RequestType::kPut:
       s = RunWithRetry(config_.env, config_.retry,
                        [&] { return store_->Put(r->key, r->value, KvWriteOptions()); });
-      MaybeDegrade(s);
+      MaybeDegrade(s, r->trace_id);
       break;
     case RequestType::kDelete:
       s = RunWithRetry(config_.env, config_.retry,
                        [&] { return store_->Delete(r->key, KvWriteOptions()); });
-      MaybeDegrade(s);
+      MaybeDegrade(s, r->trace_id);
       break;
     case RequestType::kGet:
       s = ReadOne(r->key, r->get_out);
@@ -445,7 +644,7 @@ void Worker::ExecuteSingle(Request* r) {
       options.sync = (r->gsn != 0);
       s = RunWithRetry(config_.env, config_.retry,
                        [&] { return store_->Write(r->batch, options); });
-      MaybeDegrade(s);
+      MaybeDegrade(s, r->trace_id);
       break;
     }
     case RequestType::kEndTxn: {
@@ -462,20 +661,19 @@ void Worker::ExecuteSingle(Request* r) {
       s = Status::InvalidArgument("unexpected request type");
       break;
   }
-  const uint64_t t1 = rec ? NowNanos() : 0;
-  r->Complete(s);
-  if (rec) {
-    const uint64_t t2 = NowNanos();
-    recorder_.RecordExecute(t1 - t0);
-    recorder_.RecordComplete(t2 - t1);
-    stage_ts_ = t2;
-  }
+  return s;
 }
 
 void Worker::ExecuteScan(Request* r) {
   singles_.fetch_add(1, std::memory_order_relaxed);
   const bool rec = config_.enable_stats;
   const uint64_t t0 = stage_ts_;
+  const uint64_t trace_id = trace_ring_ != nullptr ? r->trace_id : 0;
+  uint64_t batch_id = 0;
+  if (trace_id != 0) {
+    batch_id = NextBatchId();
+    EmitTrace(TraceEventType::kExecuteBegin, trace_id, batch_id, 1);
+  }
   r->scan_out->clear();
   std::unique_ptr<Iterator> iter(store_->NewIterator());
   if (r->key.empty()) {
@@ -492,13 +690,24 @@ void Worker::ExecuteScan(Request* r) {
     recorder_.RecordExecute(t1 - t0);
     stage_ts_ = t1;
   }
-  r->Complete(iter->status());
+  const Status s = iter->status();
+  if (trace_id != 0) {
+    EmitTrace(TraceEventType::kExecuteEnd, trace_id, batch_id, TraceStatusCode(s));
+  }
+  EmitTraceComplete(r, s, batch_id);
+  r->Complete(s);
 }
 
 void Worker::ExecuteRange(Request* r) {
   singles_.fetch_add(1, std::memory_order_relaxed);
   const bool rec = config_.enable_stats;
   const uint64_t t0 = stage_ts_;
+  const uint64_t trace_id = trace_ring_ != nullptr ? r->trace_id : 0;
+  uint64_t batch_id = 0;
+  if (trace_id != 0) {
+    batch_id = NextBatchId();
+    EmitTrace(TraceEventType::kExecuteBegin, trace_id, batch_id, 1);
+  }
   r->scan_out->clear();
   std::unique_ptr<Iterator> iter(store_->NewIterator());
   const Slice end(r->value);
@@ -516,7 +725,12 @@ void Worker::ExecuteRange(Request* r) {
     recorder_.RecordExecute(t1 - t0);
     stage_ts_ = t1;
   }
-  r->Complete(iter->status());
+  const Status s = iter->status();
+  if (trace_id != 0) {
+    EmitTrace(TraceEventType::kExecuteEnd, trace_id, batch_id, TraceStatusCode(s));
+  }
+  EmitTraceComplete(r, s, batch_id);
+  r->Complete(s);
 }
 
 }  // namespace p2kvs

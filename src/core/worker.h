@@ -20,6 +20,7 @@
 #include "src/util/mutex.h"
 #include "src/util/stats_recorder.h"
 #include "src/util/thread_annotations.h"
+#include "src/util/trace.h"
 
 namespace p2kvs {
 
@@ -71,6 +72,12 @@ class Worker {
     // Framework event callbacks (flush/compaction/stall/health transitions).
     // Not owned; must outlive the worker and be thread-safe.
     EventListener* listener = nullptr;
+    // Request-scoped tracing (null = tracing off, the common case; every
+    // trace call site guards on it, so the disabled hot path costs one
+    // pointer compare and zero clock reads). Not owned; must outlive the
+    // worker. The worker uses tracer->ring(id) as its event ring and
+    // triggers flight-recorder dumps on hard-error health transitions.
+    Tracer* tracer = nullptr;
   };
 
   Worker(const Config& config, std::unique_ptr<KVStore> store);
@@ -127,6 +134,9 @@ class Worker {
   void HandleStatsRequest(Request* request);
   WorkerStatsSnapshot SnapshotStats();
   void ExecuteSingle(Request* request);
+  // The engine call for one unbatched request; factored out so ExecuteSingle
+  // can wrap it in a trace scope only when the request is sampled.
+  Status ExecuteSingleOp(Request* request);
   Status ReadOne(const Slice& key, std::string* value);
   void ExecuteWriteGroup(const std::vector<Request*>& group);  // one WriteBatch
   void ExecuteReadGroup(const std::vector<Request*>& group);   // one MultiGet
@@ -135,13 +145,40 @@ class Worker {
   void ExecuteRange(Request* request);
 
   // Degrades the partition if `s` is a storage error that survived retries.
-  void MaybeDegrade(const Status& s);
+  // `trace_id` names the failing request; with tracing on, a request that
+  // was not sampled is assigned a trace id here (always-trace-on-error) so
+  // the kError event — and the flight-recorder dump a degradation triggers —
+  // can identify it.
+  void MaybeDegrade(const Status& s, uint64_t trace_id);
   // Counts the governance state change and informs the listener.
   void NotifyHealthTransition(WorkerHealth from, WorkerHealth to);
   // Time-gated auto-resume attempt from the worker loop (kDegraded only).
   void MaybeAutoResume() EXCLUDES(resume_mu_);
   // True if the write request was rejected fast (partition not healthy).
   bool RejectIfUnhealthy(Request* request);
+
+  // --- Tracing helpers (all no-ops unless config.tracer is set). ---
+  // Appends one event to this worker's ring on behalf of `trace_id`.
+  // Call sites guard on trace_ring_ != nullptr && trace_id != 0.
+  void EmitTrace(TraceEventType type, uint64_t trace_id, uint64_t arg1, uint64_t arg2) {
+    TraceAppend(trace_ring_, type, static_cast<uint32_t>(config_.id), trace_id, arg1,
+                arg2);
+  }
+  // Emits kComplete for a traced request and counts the lifecycle end.
+  // Must run BEFORE Request::Complete — async requests self-delete there.
+  void EmitTraceComplete(Request* request, const Status& s, uint64_t batch_id) {
+    if (trace_ring_ == nullptr || request->trace_id == 0) return;
+    EmitTrace(TraceEventType::kComplete, request->trace_id, TraceStatusCode(s),
+              batch_id);
+    config_.tracer->CountSampledComplete();
+  }
+  // Dispatch-scoped batch id, globally unique without coordination (worker
+  // id in the high bits; the low bits are a worker-private counter). Links
+  // OBM merge events to the WAL-append / execute spans of the same group.
+  uint64_t NextBatchId() {
+    next_batch_seq_ += 1;
+    return (static_cast<uint64_t>(config_.id) + 1) << 40 | next_batch_seq_;
+  }
 
   const Config config_;
   std::unique_ptr<KVStore> store_;
@@ -158,6 +195,13 @@ class Worker {
   // In-flight GSN transactions' pre-images, oldest first (worker thread
   // private; no locking needed).
   std::deque<std::pair<uint64_t, const Snapshot*>> txn_snapshots_;
+
+  // This worker's trace ring (config.tracer->ring(id); null = tracing off).
+  // User threads append enqueue events, the worker thread everything else;
+  // the ring itself is multi-writer wait-free.
+  TraceRing* trace_ring_ = nullptr;
+  // Worker-thread-private batch id counter (see NextBatchId).
+  uint64_t next_batch_seq_ = 0;
 
   std::atomic<uint64_t> write_batches_{0};
   std::atomic<uint64_t> writes_batched_{0};

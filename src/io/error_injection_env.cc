@@ -1,6 +1,7 @@
 #include "src/io/error_injection_env.h"
 
 #include "src/io/io_stats.h"
+#include "src/util/trace.h"
 
 namespace p2kvs {
 
@@ -233,6 +234,8 @@ bool ErrorInjectionEnv::MaybeInject(FaultOp op, const std::string& fname, Status
     transient = st.transient;
   }
   IoStats::Instance().RecordInjectedFault();
+  TraceEmitAux(TraceEventType::kFault, static_cast<uint64_t>(op),
+               transient ? 1 : 0);
   if (op == FaultOp::kShortRead) {
     // Not a failure: the caller truncates the successful read.
     *out = Status::OK();

@@ -18,6 +18,7 @@
 #include "src/io/io_stats.h"
 #include "src/util/perf_context.h"
 #include "src/util/status.h"
+#include "src/util/trace.h"
 
 namespace p2kvs {
 
@@ -41,6 +42,8 @@ Status RunWithRetry(Env* env, const RetryPolicy& policy, Op&& op) {
        attempt++) {
     GetPerfContext().retry_count++;
     IoStats::Instance().RecordRetry();
+    TraceEmitAux(TraceEventType::kRetry, static_cast<uint64_t>(attempt),
+                 static_cast<uint64_t>(backoff_us));
     if (env != nullptr && backoff_us > 0) {
       env->SleepForMicroseconds(backoff_us);
       GetPerfContext().retry_backoff_nanos += static_cast<uint64_t>(backoff_us) * 1000;

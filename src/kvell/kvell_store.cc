@@ -12,6 +12,7 @@
 #include "src/util/hash.h"
 #include "src/util/intrusive_mpsc_queue.h"
 #include "src/util/thread_util.h"
+#include "src/util/trace.h"
 
 namespace p2kvs {
 
@@ -36,6 +37,12 @@ struct KvellRequest : MpscQueueNode {
   std::string* out_value = nullptr;
   size_t scan_count = 0;
   std::vector<std::pair<std::string, std::string>>* out_scan = nullptr;
+
+  // The submitter's trace scope, captured at Submit and re-activated on the
+  // KVell worker thread, so slot-write events cross the internal queue and
+  // land in the framework worker's ring. Inactive when the caller is not
+  // inside a traced dispatch.
+  TraceContext trace_ctx;
 
   void Complete(const Status& s) { done.Finish(s); }
   Status Wait() { return done.Wait(); }
@@ -92,6 +99,7 @@ class KvellWorker {
   }
 
   void Submit(KvellRequest* req) {
+    req->trace_ctx = CurrentTraceContext();
     if (!queue_.Push(req)) {
       req->Complete(Status::Aborted("kvell worker stopped"));
     }
@@ -122,24 +130,41 @@ class KvellWorker {
         return;  // closed and drained
       }
       KvellRequest* req = *item;
-      switch (req->type) {
-        case ReqType::kPut:
-          req->Complete(DoPut(req->key, req->value));
-          break;
-        case ReqType::kDelete:
-          req->Complete(DoDelete(req->key));
-          break;
-        case ReqType::kGet:
-          req->Complete(DoGet(req->key, req->out_value));
-          break;
-        case ReqType::kScan:
-          req->Complete(DoScan(req->key, req->scan_count, req->out_scan));
-          break;
-        case ReqType::kStop:
-          req->Complete(Status::OK());
-          return;
+      bool stop;
+      if (req->trace_ctx.active()) {
+        ScopedTraceContext scope(req->trace_ctx);
+        stop = Dispatch(req);
+      } else {
+        stop = Dispatch(req);
+      }
+      if (stop) {
+        return;
       }
     }
+  }
+
+  // Returns true on kStop. Factored out of Run so a traced request can be
+  // dispatched under its submitter's trace scope without imposing the TLS
+  // save/restore on untraced ones.
+  bool Dispatch(KvellRequest* req) {
+    switch (req->type) {
+      case ReqType::kPut:
+        req->Complete(DoPut(req->key, req->value));
+        break;
+      case ReqType::kDelete:
+        req->Complete(DoDelete(req->key));
+        break;
+      case ReqType::kGet:
+        req->Complete(DoGet(req->key, req->out_value));
+        break;
+      case ReqType::kScan:
+        req->Complete(DoScan(req->key, req->scan_count, req->out_scan));
+        break;
+      case ReqType::kStop:
+        req->Complete(Status::OK());
+        return true;
+    }
+    return false;
   }
 
   uint32_t ClassFor(size_t item_size) const {
@@ -191,6 +216,7 @@ class KvellWorker {
       return s;
     }
     slot_writes_.fetch_add(1, std::memory_order_relaxed);
+    TraceEmitEngine(TraceEventType::kSlotWrite, slot_size);
     InvalidateCache(cls, loc.slot_index);
 
     if (it == index_.end()) {

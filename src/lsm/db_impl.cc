@@ -12,6 +12,7 @@
 #include "src/util/clock.h"
 #include "src/util/coding.h"
 #include "src/util/perf_context.h"
+#include "src/util/trace.h"
 #include "src/wal/log_reader.h"
 
 namespace p2kvs {
@@ -455,6 +456,11 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
                                    !options_.debug_disable_memtable;
     active_memtable_writers_++;
 
+    // Captured before the WAL block: write_batch may be retired (pipelined
+    // path) before the trace events referencing it are emitted.
+    const uint64_t batch_entries =
+        static_cast<uint64_t>(WriteBatchInternal::Count(write_batch));
+
     // --- WAL, outside the mutex (other writers may enqueue meanwhile). ---
     mutex_.Unlock();
     bool sync_error = false;
@@ -480,6 +486,9 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
           // Async logging (RocksDB default): push to the OS, no fsync.
           status = log_->Flush();
         }
+      }
+      if (status.ok()) {
+        TraceEmitEngine(TraceEventType::kWalAppend, record.size());
       }
     }
 
@@ -540,6 +549,9 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
         ScopedTimerNanos mt(&perf.memtable_nanos);
         status = WriteBatchInternal::InsertInto(write_batch, mem,
                                                 options_.concurrent_memtable);
+      }
+      if (status.ok()) {
+        TraceEmitEngine(TraceEventType::kMemtableInsert, batch_entries);
       }
     }
 

@@ -25,6 +25,12 @@ struct PerfContext {
   uint64_t retry_count = 0;
   uint64_t retry_backoff_nanos = 0;
 
+  // Clock reads performed by trace emission on this thread (every trace
+  // timestamp goes through TraceClockNanos()). Tests assert this stays 0 on
+  // the worker thread when sampling is off — the tracing analogue of the
+  // enable_stats zero-clock-read contract.
+  uint64_t trace_clock_reads = 0;
+
   void Reset() { *this = PerfContext(); }
 
   void MergeFrom(const PerfContext& other) {
@@ -36,6 +42,7 @@ struct PerfContext {
     write_count += other.write_count;
     retry_count += other.retry_count;
     retry_backoff_nanos += other.retry_backoff_nanos;
+    trace_clock_reads += other.trace_clock_reads;
   }
 
   uint64_t others_nanos() const {

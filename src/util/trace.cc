@@ -1,0 +1,107 @@
+#include "src/util/trace.h"
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+
+#include "src/util/trace_exporter.h"
+
+namespace p2kvs {
+
+namespace {
+
+// SIGUSR2 handshake: the handler only sets a lock-free flag (async-signal
+// safe); the Tracer's watcher thread polls it and performs the dump on a
+// normal thread.
+std::atomic<int> g_sigusr2_pending{0};
+
+void SigUsr2Handler(int /*signum*/) {
+  g_sigusr2_pending.store(1, std::memory_order_relaxed);
+}
+
+using SignalHandler = void (*)(int);
+SignalHandler g_prev_sigusr2 = SIG_DFL;
+
+}  // namespace
+
+Tracer::Tracer(const TraceConfig& config, int num_workers) : config_(config) {
+  rings_.reserve(static_cast<size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    rings_.emplace_back(new TraceRing(config_.ring_capacity));
+  }
+  if (config_.dump_on_sigusr2) {
+    g_prev_sigusr2 = std::signal(SIGUSR2, &SigUsr2Handler);
+    watcher_ = std::thread(&Tracer::WatcherLoop, this);
+  }
+}
+
+Tracer::~Tracer() {
+  if (watcher_.joinable()) {
+    {
+      MutexLock lock(&watcher_mu_);
+      watcher_stop_ = true;
+    }
+    watcher_cv_.SignalAll();
+    watcher_.join();
+    std::signal(SIGUSR2, g_prev_sigusr2 == SIG_ERR ? SIG_DFL : g_prev_sigusr2);
+  }
+}
+
+void Tracer::WatcherLoop() {
+  for (;;) {
+    {
+      MutexLock lock(&watcher_mu_);
+      if (watcher_stop_) return;
+      watcher_cv_.WaitFor(std::chrono::milliseconds(50));
+      if (watcher_stop_) return;
+    }
+    if (g_sigusr2_pending.exchange(0, std::memory_order_relaxed) != 0) {
+      DumpFlightRecorder("SIGUSR2");
+    }
+  }
+}
+
+uint64_t Tracer::events_appended() const {
+  uint64_t total = 0;
+  for (const auto& ring : rings_) total += ring->appended();
+  return total;
+}
+
+uint64_t Tracer::events_dropped() const {
+  uint64_t total = 0;
+  for (const auto& ring : rings_) total += ring->dropped();
+  return total;
+}
+
+std::vector<std::vector<TraceEvent>> Tracer::SnapshotAll() const {
+  std::vector<std::vector<TraceEvent>> out(rings_.size());
+  for (size_t i = 0; i < rings_.size(); ++i) {
+    rings_[i]->Snapshot(&out[i]);
+  }
+  return out;
+}
+
+std::string Tracer::ExportJson(const std::string& reason) const {
+  return TraceEventsToJson(SnapshotAll(), reason);
+}
+
+Status Tracer::ExportToFile(const std::string& path, const std::string& reason) const {
+  return WriteTraceFile(ExportJson(reason), path);
+}
+
+void Tracer::DumpFlightRecorder(const std::string& reason) {
+  MutexLock lock(&dump_mu_);
+  const std::string path =
+      config_.dump_path.empty() ? std::string("p2kvs_flight.json") : config_.dump_path;
+  const Status s = ExportToFile(path, reason);
+  if (s.ok()) {
+    flight_dumps_.fetch_add(1, std::memory_order_relaxed);
+    std::fprintf(stderr, "p2kvs: flight recorder (%s) dumped to %s\n",
+                 reason.c_str(), path.c_str());
+  } else {
+    std::fprintf(stderr, "p2kvs: flight recorder dump failed: %s\n",
+                 s.ToString().c_str());
+  }
+}
+
+}  // namespace p2kvs

@@ -1,0 +1,239 @@
+// Request-scoped tracing (tentpole of the observability follow-up to the
+// stats spine): every sampled request carries a trace id from submit to
+// completion, and each hop of the 2-D pipeline appends a fixed-size binary
+// TraceEvent to a per-worker lock-free TraceRing. The rings double as an
+// always-on flight recorder — on a hard error, a health transition to
+// `failed`, or SIGUSR2, the last N events per worker are dumped — and a
+// TraceExporter serializes them to Chrome/Perfetto trace_event JSON.
+//
+// Cost discipline (same contract as enable_stats):
+//   * tracing disabled        — the Tracer is never constructed; hot-path
+//     call sites guard on a null pointer / inactive TLS context and perform
+//     zero clock reads and zero atomic RMWs;
+//   * tracing on, unsampled   — one relaxed fetch_add per submit for the
+//     sampling decision; no clock reads, no ring writes anywhere downstream
+//     (the TLS context stays inactive, so engine-side emission is a single
+//     thread-local null check);
+//   * tracing on, sampled     — one clock read + one wait-free ring append
+//     per event.
+// Every trace timestamp goes through TraceClockNanos(), which counts into
+// PerfContext::trace_clock_reads so tests can assert the zero-read claim the
+// same way the stats overhead was verified.
+
+#ifndef P2KVS_SRC_UTIL_TRACE_H_
+#define P2KVS_SRC_UTIL_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/util/clock.h"
+#include "src/util/mutex.h"
+#include "src/util/perf_context.h"
+#include "src/util/status.h"
+#include "src/util/thread_annotations.h"
+#include "src/util/trace_ring.h"
+
+namespace p2kvs {
+
+struct TraceConfig {
+  bool enabled = false;
+  // Sample 1 in N submitted data requests (1 = trace everything, 0 = trace
+  // nothing at submit time). Errors are always traced regardless: a request
+  // that hits a hard error is assigned a trace id at error time so the
+  // flight recorder can name it.
+  uint32_t sample_every = 128;
+  // Per-worker ring capacity in events (rounded up to a power of two). The
+  // ring overwrites on wrap; TraceRing::dropped() counts the loss.
+  size_t ring_capacity = 8192;
+  // Flight-recorder destination. Empty = "p2kvs_flight_<reason>.json" in the
+  // working directory. Each dump overwrites the previous one.
+  std::string dump_path;
+  // Install a SIGUSR2 handler + watcher thread that dumps the flight
+  // recorder on demand (kill -USR2 <pid>). One Tracer per process may
+  // enable this.
+  bool dump_on_sigusr2 = false;
+};
+
+// A monotonic clock read that is *counted*: the only way trace code is
+// allowed to read the clock. Tests assert trace_clock_reads == 0 on the
+// worker thread when sampling is off — the proof that tracing costs nothing
+// until a request is actually sampled.
+inline uint64_t TraceClockNanos() {
+  GetPerfContext().trace_clock_reads += 1;
+  return NowNanos();
+}
+
+// Thread-local emission scope. The worker activates it around a traced
+// dispatch (and KVell forwards it across its internal queue), so engine
+// internals — WAL append, memtable insert, slab slot write, retries, fault
+// injection — can emit into the right ring without any plumbing through the
+// engine interfaces. Inactive (ring == nullptr) outside traced dispatches,
+// which makes every engine-side emission a single thread-local load + branch.
+struct TraceContext {
+  TraceRing* ring = nullptr;
+  uint64_t trace_id = 0;
+  uint64_t batch_id = 0;
+  uint32_t worker_id = 0;
+
+  bool active() const { return ring != nullptr; }
+};
+
+inline thread_local TraceContext t_trace_context;
+
+inline TraceContext& CurrentTraceContext() { return t_trace_context; }
+
+// RAII save/activate/restore of the calling thread's TraceContext. Restoring
+// (rather than clearing) keeps nesting safe — e.g. a KVell internal worker
+// processing requests inside an outer traced scope.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext& ctx) : saved_(t_trace_context) {
+    t_trace_context = ctx;
+  }
+  ~ScopedTraceContext() { t_trace_context = saved_; }
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
+inline void TraceAppend(TraceRing* ring, TraceEventType type, uint32_t worker_id,
+                        uint64_t trace_id, uint64_t arg1, uint64_t arg2) {
+  TraceEvent event;
+  event.trace_id = trace_id;
+  event.ts_nanos = TraceClockNanos();
+  event.arg1 = arg1;
+  event.arg2 = arg2;
+  event.type = type;
+  event.worker_id = worker_id;
+  ring->Append(event);
+}
+
+// Engine-side event tied to the current traced dispatch: arg1 is the batch
+// id from the scope (links WAL-append spans back to the OBM merge events of
+// the group they carried), arg2 is caller-provided (bytes / entry count).
+inline void TraceEmitEngine(TraceEventType type, uint64_t arg2) {
+  const TraceContext& ctx = t_trace_context;
+  if (!ctx.active()) return;
+  TraceAppend(ctx.ring, type, ctx.worker_id, ctx.trace_id, ctx.batch_id, arg2);
+}
+
+// Fault-path event (retry / injected fault) with free-form args.
+inline void TraceEmitAux(TraceEventType type, uint64_t arg1, uint64_t arg2) {
+  const TraceContext& ctx = t_trace_context;
+  if (!ctx.active()) return;
+  TraceAppend(ctx.ring, type, ctx.worker_id, ctx.trace_id, arg1, arg2);
+}
+
+// Compact status encoding for trace args (Status::code() is private; this is
+// the stable wire form used in events and the exporter).
+inline uint64_t TraceStatusCode(const Status& s) {
+  if (s.ok()) return 0;
+  if (s.IsNotFound()) return 1;
+  if (s.IsAborted()) return 2;
+  if (s.IsBusy()) return 3;
+  if (s.IsIOError()) return 4;
+  if (s.IsCorruption()) return 5;
+  return 6;
+}
+
+// Owns one TraceRing per worker plus the sampling state, lifecycle counters
+// (SelfCheck feeds on them), and the flight-recorder dump machinery.
+class Tracer {
+ public:
+  Tracer(const TraceConfig& config, int num_workers);
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  const TraceConfig& config() const { return config_; }
+  int num_rings() const { return static_cast<int>(rings_.size()); }
+  TraceRing* ring(int worker_id) { return rings_[static_cast<size_t>(worker_id)].get(); }
+  const TraceRing* ring(int worker_id) const {
+    return rings_[static_cast<size_t>(worker_id)].get();
+  }
+
+  // Sampling decision at submit time; returns the new trace id, or 0 for an
+  // unsampled request. One relaxed RMW on the unsampled path.
+  uint64_t SampleSubmit() {
+    if (config_.sample_every == 0) return 0;
+    if (config_.sample_every > 1) {
+      const uint64_t n = submit_seq_.fetch_add(1, std::memory_order_relaxed);
+      if (n % config_.sample_every != 0) return 0;
+    }
+    sampled_submitted_.fetch_add(1, std::memory_order_relaxed);
+    return NewTraceId();
+  }
+
+  // Out-of-band trace id for always-trace-on-error: a request that was not
+  // sampled still gets an identity the moment it hits a hard error.
+  uint64_t NewTraceId() {
+    return next_trace_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  // Called by the worker exactly once per sampled request it completes
+  // (normal completion or reject — not submit-side aborts, which never reach
+  // a worker). Pairs with SampleSubmit for the SelfCheck lifecycle invariant.
+  void CountSampledComplete() {
+    sampled_completed_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  uint64_t sampled_submitted() const {
+    return sampled_submitted_.load(std::memory_order_relaxed);
+  }
+  uint64_t sampled_completed() const {
+    return sampled_completed_.load(std::memory_order_relaxed);
+  }
+  // Events appended across all rings, pre-overwrite.
+  uint64_t events_appended() const;
+  // Events lost to ring wrap across all rings (no silent loss: surfaced in
+  // GetStats() and checked by SelfCheck for monotonic sanity).
+  uint64_t events_dropped() const;
+  uint64_t flight_dumps() const {
+    return flight_dumps_.load(std::memory_order_relaxed);
+  }
+
+  // Racy-read snapshot of every ring (oldest-first per worker).
+  std::vector<std::vector<TraceEvent>> SnapshotAll() const;
+
+  // Serializes the current ring contents to Perfetto trace_event JSON.
+  std::string ExportJson(const std::string& reason = std::string()) const;
+  Status ExportToFile(const std::string& path,
+                      const std::string& reason = std::string()) const;
+
+  // Flight-recorder dump: writes the last N events per worker to
+  // config.dump_path (see TraceConfig). Serialized; safe from any thread,
+  // including the worker thread that just hit the error.
+  void DumpFlightRecorder(const std::string& reason) EXCLUDES(dump_mu_);
+
+ private:
+  void WatcherLoop();
+
+  const TraceConfig config_;
+  std::vector<std::unique_ptr<TraceRing>> rings_;
+
+  alignas(64) std::atomic<uint64_t> submit_seq_{0};
+  std::atomic<uint64_t> next_trace_id_{0};
+  std::atomic<uint64_t> sampled_submitted_{0};
+  std::atomic<uint64_t> sampled_completed_{0};
+  std::atomic<uint64_t> flight_dumps_{0};
+
+  Mutex dump_mu_;  // serializes concurrent flight-recorder dumps
+
+  // SIGUSR2 watcher (only when config.dump_on_sigusr2).
+  std::thread watcher_;
+  Mutex watcher_mu_;
+  CondVar watcher_cv_{&watcher_mu_};
+  bool watcher_stop_ GUARDED_BY(watcher_mu_) = false;
+};
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_UTIL_TRACE_H_

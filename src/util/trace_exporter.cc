@@ -1,0 +1,229 @@
+#include "src/util/trace_exporter.h"
+
+#include <cstdio>
+#include <unordered_map>
+
+namespace p2kvs {
+
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned char>(c));
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+void AppendArg(std::string* args, const char* key, uint64_t value) {
+  if (!args->empty()) *args += ',';
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%llu", key,
+                static_cast<unsigned long long>(value));
+  *args += buf;
+}
+
+// One trace_event object. dur_nanos < 0 means "no dur field" (instants and
+// metadata). Instants get the mandatory scope field "s":"t" (thread scope).
+void AppendEvent(std::string* out, bool* first, const char* name, const char* ph,
+                 uint64_t ts_nanos, int64_t dur_nanos, uint32_t tid,
+                 const std::string& args) {
+  if (!*first) *out += ',';
+  *first = false;
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "{\"name\":\"%s\",\"ph\":\"%s\",\"ts\":%.3f,",
+                name, ph, static_cast<double>(ts_nanos) / 1000.0);
+  *out += buf;
+  if (dur_nanos >= 0) {
+    std::snprintf(buf, sizeof(buf), "\"dur\":%.3f,",
+                  static_cast<double>(dur_nanos) / 1000.0);
+    *out += buf;
+  }
+  if (ph[0] == 'i') *out += "\"s\":\"t\",";
+  std::snprintf(buf, sizeof(buf), "\"pid\":1,\"tid\":%u,\"args\":{",
+                static_cast<unsigned>(tid));
+  *out += buf;
+  *out += args;
+  *out += "}}";
+}
+
+// Type-specific args; `trace` and `batch` keys appear whenever they are set
+// so batch/compaction spans stay linked to the requests they carried.
+std::string EventArgs(const TraceEvent& e) {
+  std::string args;
+  if (e.trace_id != 0) AppendArg(&args, "trace", e.trace_id);
+  switch (e.type) {
+    case TraceEventType::kEnqueue:
+    case TraceEventType::kDequeue:
+      AppendArg(&args, "op", e.arg1);
+      break;
+    case TraceEventType::kObmMerge:
+      AppendArg(&args, "batch", e.arg1);
+      AppendArg(&args, "group_size", e.arg2);
+      break;
+    case TraceEventType::kExecuteBegin:
+      AppendArg(&args, "batch", e.arg1);
+      AppendArg(&args, "dispatch_size", e.arg2);
+      break;
+    case TraceEventType::kExecuteEnd:
+      AppendArg(&args, "batch", e.arg1);
+      AppendArg(&args, "status", e.arg2);
+      break;
+    case TraceEventType::kWalAppend:
+    case TraceEventType::kSlotWrite:
+      if (e.arg1 != 0) AppendArg(&args, "batch", e.arg1);
+      AppendArg(&args, "bytes", e.arg2);
+      break;
+    case TraceEventType::kMemtableInsert:
+      if (e.arg1 != 0) AppendArg(&args, "batch", e.arg1);
+      AppendArg(&args, "entries", e.arg2);
+      break;
+    case TraceEventType::kComplete:
+      AppendArg(&args, "status", e.arg1);
+      if (e.arg2 != 0) AppendArg(&args, "batch", e.arg2);
+      break;
+    case TraceEventType::kError:
+      AppendArg(&args, "status", e.arg1);
+      AppendArg(&args, "severity", e.arg2);
+      break;
+    case TraceEventType::kFlush:
+      AppendArg(&args, "bytes_written", e.arg1);
+      break;
+    case TraceEventType::kCompaction:
+      AppendArg(&args, "bytes_written", e.arg1);
+      AppendArg(&args, "level", e.arg2);
+      break;
+    case TraceEventType::kStall:
+      AppendArg(&args, "stall_micros", e.arg1);
+      break;
+    case TraceEventType::kRetry:
+      AppendArg(&args, "attempt", e.arg1);
+      AppendArg(&args, "backoff_micros", e.arg2);
+      break;
+    case TraceEventType::kFault:
+      AppendArg(&args, "fault_op", e.arg1);
+      AppendArg(&args, "transient", e.arg2);
+      break;
+    case TraceEventType::kInvalid:
+      break;
+  }
+  return args;
+}
+
+}  // namespace
+
+std::string TraceEventsToJson(const std::vector<std::vector<TraceEvent>>& per_worker,
+                              const std::string& reason) {
+  size_t total = 0;
+  for (const auto& events : per_worker) total += events.size();
+
+  std::string out;
+  out.reserve(256 + total * 192);
+  out += "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"tool\":\"p2kvs-trace\"";
+  if (!reason.empty()) {
+    out += ",\"reason\":\"";
+    AppendEscaped(&out, reason);
+    out += "\"";
+  }
+  out += "},\"traceEvents\":[";
+
+  bool first = true;
+  AppendEvent(&out, &first, "process_name", "M", 0, -1, 0, "\"name\":\"p2kvs\"");
+  for (size_t w = 0; w < per_worker.size(); ++w) {
+    char name[48];
+    std::snprintf(name, sizeof(name), "\"name\":\"worker-%zu\"", w);
+    AppendEvent(&out, &first, "thread_name", "M", 0, -1, static_cast<uint32_t>(w),
+                name);
+  }
+
+  for (size_t w = 0; w < per_worker.size(); ++w) {
+    const uint32_t tid = static_cast<uint32_t>(w);
+    // Span pairing state, per worker track. Rings wrap, so a dequeue whose
+    // enqueue was overwritten (or an execute_end whose begin was) degrades
+    // gracefully to its raw instant.
+    std::unordered_map<uint64_t, uint64_t> enqueue_ts;
+    bool exec_pending = false;
+    TraceEvent exec_begin;
+
+    for (const TraceEvent& e : per_worker[w]) {
+      switch (e.type) {
+        case TraceEventType::kDequeue: {
+          auto it = enqueue_ts.find(e.trace_id);
+          if (it != enqueue_ts.end() && it->second <= e.ts_nanos) {
+            AppendEvent(&out, &first, "queue_wait", "X", it->second,
+                        static_cast<int64_t>(e.ts_nanos - it->second), tid,
+                        EventArgs(e));
+            enqueue_ts.erase(it);
+          } else {
+            AppendEvent(&out, &first, TraceEventTypeName(e.type), "i", e.ts_nanos,
+                        -1, tid, EventArgs(e));
+          }
+          break;
+        }
+        case TraceEventType::kExecuteBegin:
+          exec_pending = true;
+          exec_begin = e;
+          break;
+        case TraceEventType::kExecuteEnd:
+          if (exec_pending && exec_begin.arg1 == e.arg1 &&
+              exec_begin.ts_nanos <= e.ts_nanos) {
+            std::string args = EventArgs(e);
+            AppendArg(&args, "dispatch_size", exec_begin.arg2);
+            AppendEvent(&out, &first, "execute", "X", exec_begin.ts_nanos,
+                        static_cast<int64_t>(e.ts_nanos - exec_begin.ts_nanos),
+                        tid, args);
+          } else {
+            AppendEvent(&out, &first, TraceEventTypeName(e.type), "i", e.ts_nanos,
+                        -1, tid, EventArgs(e));
+          }
+          exec_pending = false;
+          break;
+        case TraceEventType::kStall: {
+          // The hook reports at stall end; backdate the span by its length.
+          const uint64_t dur_nanos = e.arg1 * 1000;
+          const uint64_t start = e.ts_nanos > dur_nanos ? e.ts_nanos - dur_nanos : 0;
+          AppendEvent(&out, &first, "stall", "X", start,
+                      static_cast<int64_t>(dur_nanos), tid, EventArgs(e));
+          break;
+        }
+        default:
+          if (e.type == TraceEventType::kEnqueue) {
+            enqueue_ts[e.trace_id] = e.ts_nanos;
+          }
+          AppendEvent(&out, &first, TraceEventTypeName(e.type), "i", e.ts_nanos,
+                      -1, tid, EventArgs(e));
+          break;
+      }
+    }
+  }
+
+  out += "]}";
+  return out;
+}
+
+Status WriteTraceFile(const std::string& json, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("trace export: cannot open", path);
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != json.size() || !close_ok) {
+    return Status::IOError("trace export: short write", path);
+  }
+  return Status::OK();
+}
+
+}  // namespace p2kvs

@@ -1,0 +1,41 @@
+// TraceExporter: serializes TraceRing snapshots into Chrome/Perfetto
+// `trace_event` JSON (the "JSON Array Format" with a top-level traceEvents
+// key), so a whole run — or a flight-recorder dump — opens directly in
+// ui.perfetto.dev / chrome://tracing with one track per worker.
+//
+// Mapping:
+//   * pid 1 is the framework; tid W is worker W's track (thread_name
+//     metadata names them "worker-W").
+//   * Every ring event is emitted as an instant ("ph":"i") named after its
+//     TraceEventType, carrying {trace, batch, ...} args.
+//   * Derived spans ("ph":"X") are added on top: "queue_wait" from a
+//     request's enqueue→dequeue pair, "execute" from an execute_begin→
+//     execute_end pair (matched by batch id), and "stall" backdated by the
+//     reported stall duration. Spans carry the trace/batch args that link
+//     batches and compactions to the requests they carried.
+
+#ifndef P2KVS_SRC_UTIL_TRACE_EXPORTER_H_
+#define P2KVS_SRC_UTIL_TRACE_EXPORTER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+#include "src/util/trace_ring.h"
+
+namespace p2kvs {
+
+// `per_worker[w]` is worker w's ring snapshot, oldest first (the shape
+// Tracer::SnapshotAll() returns). `reason` (may be empty) is recorded in the
+// top-level otherData object — flight-recorder dumps use it to say why they
+// fired.
+std::string TraceEventsToJson(const std::vector<std::vector<TraceEvent>>& per_worker,
+                              const std::string& reason);
+
+// Writes `json` to `path` (host filesystem), overwriting. Used by both
+// explicit exports and flight-recorder dumps.
+Status WriteTraceFile(const std::string& json, const std::string& path);
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_UTIL_TRACE_EXPORTER_H_

@@ -1,0 +1,241 @@
+// TraceRing: a lock-free, fixed-capacity, overwriting ring of fixed-size
+// trace events — the flight recorder behind per-request tracing.
+//
+// Requirements that shaped the design:
+//   * Multi-writer. The owning worker thread appends most events, but user
+//     threads append enqueue events, engine background threads append
+//     flush/compaction events, and KVell's internal workers append slot
+//     writes. Appends must be wait-free and never serialize the hot path.
+//   * Always-on overwrite. The ring never blocks or rejects a writer; old
+//     events are overwritten (flight-recorder semantics). Loss is not silent:
+//     dropped() reports exactly how many events have been overwritten.
+//   * Racy-read tolerant. A snapshot (flight-recorder dump, exporter) may run
+//     while writers are appending. Torn slots are detected and skipped, and
+//     every access is through std::atomic so the reader races with nothing at
+//     the language level (TSan-clean by construction, like the stats spine).
+//
+// Mechanism: a single fetch_add ticket counter assigns each append a unique
+// slot (ticket & mask) and a unique per-slot sequence; each slot is guarded
+// by a seqlock whose value encodes the ticket:
+//
+//   writer(ticket t):  CAS seq: even, < 2t+1  ->  2t+1  (odd: owned)
+//                      payload words (relaxed atomic stores)
+//                      seq := 2t+2   (even: committed, release)
+//   reader(ticket t):  s1 := seq (acquire); require s1 == 2t+2
+//                      payload words (relaxed atomic loads)
+//                      acquire fence; s2 := seq; require s2 == 2t+2
+//
+// The release store of 2t+2 pairs with the reader's acquire load of seq, so
+// a reader that sees "committed" sees that writer's payload. The release
+// fence after the claim pairs with the reader's acquire fence before the
+// re-check: if a later writer's payload store was read, its odd marker is
+// visible to the re-check, which then fails and the slot is skipped. Tickets
+// make ABA impossible — a slot reused after wrap-around carries a different
+// (larger) sequence, never the one the reader expects.
+//
+// The claim must be a CAS, not a blind store: a writer preempted between its
+// ticket and its odd marker can be lapped by a writer one full capacity
+// ahead. With blind stores the stale writer would resume and silently dirty
+// the newer writer's *committed* slot — its own odd marker long overwritten,
+// leaving the reader nothing to detect the tear by. With the CAS claim a
+// slot has exactly one owner from claim to commit: a writer that finds its
+// slot odd (mid-write) or already carrying a sequence at or past its own
+// ABANDONS the append instead of tearing it. Abandons are counted
+// (abandoned(), folded into dropped()) — loss is never silent — and require
+// two writers a full lap apart racing the same slot, so in practice they are
+// vanishingly rare.
+
+#ifndef P2KVS_SRC_UTIL_TRACE_RING_H_
+#define P2KVS_SRC_UTIL_TRACE_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace p2kvs {
+
+// One event type per hop of the 2-D pipeline (paper Fig. 9b / Algorithm 1),
+// plus engine-side and fault-path events. Values are stable: they appear in
+// exported traces and flight-recorder dumps.
+enum class TraceEventType : uint8_t {
+  kInvalid = 0,
+  kEnqueue = 1,         // user thread pushed the request (arg1 = request type)
+  kDequeue = 2,         // worker popped / collected it (arg1 = request type)
+  kObmMerge = 3,        // joined an OBM group (arg1 = batch id, arg2 = size)
+  kExecuteBegin = 4,    // engine dispatch start (arg1 = batch id, arg2 = size)
+  kExecuteEnd = 5,      // engine dispatch end (arg1 = batch id, arg2 = status)
+  kWalAppend = 6,       // log record durable (arg1 = batch id, arg2 = bytes)
+  kMemtableInsert = 7,  // memtable updated (arg1 = batch id, arg2 = entries)
+  kSlotWrite = 8,       // KVell slab slot written (arg1 = batch id, arg2 = bytes)
+  kComplete = 9,        // completion signalled (arg1 = status, arg2 = batch id)
+  kError = 10,          // hard error on this request (arg1 = status code)
+  kFlush = 11,          // engine flush done (arg1 = bytes written)
+  kCompaction = 12,     // compaction done (arg1 = bytes written, arg2 = level)
+  kStall = 13,          // write stall ended (arg1 = stall micros)
+  kRetry = 14,          // transient-fault retry (arg1 = attempt, arg2 = backoff us)
+  kFault = 15,          // injected/observed storage fault (arg1 = fault op)
+};
+
+inline const char* TraceEventTypeName(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kInvalid: return "invalid";
+    case TraceEventType::kEnqueue: return "enqueue";
+    case TraceEventType::kDequeue: return "dequeue";
+    case TraceEventType::kObmMerge: return "obm_merge";
+    case TraceEventType::kExecuteBegin: return "execute_begin";
+    case TraceEventType::kExecuteEnd: return "execute_end";
+    case TraceEventType::kWalAppend: return "wal_append";
+    case TraceEventType::kMemtableInsert: return "memtable_insert";
+    case TraceEventType::kSlotWrite: return "slot_write";
+    case TraceEventType::kComplete: return "complete";
+    case TraceEventType::kError: return "error";
+    case TraceEventType::kFlush: return "flush";
+    case TraceEventType::kCompaction: return "compaction";
+    case TraceEventType::kStall: return "stall";
+    case TraceEventType::kRetry: return "retry";
+    case TraceEventType::kFault: return "fault";
+  }
+  return "unknown";
+}
+
+// Fixed-size binary trace event: five 64-bit words on the wire. trace_id is 0
+// for events not tied to a sampled request (flush/compaction/stall emitted by
+// engine background work).
+struct TraceEvent {
+  uint64_t trace_id = 0;
+  uint64_t ts_nanos = 0;
+  uint64_t arg1 = 0;  // meaning per type, see TraceEventType
+  uint64_t arg2 = 0;
+  TraceEventType type = TraceEventType::kInvalid;
+  uint32_t worker_id = 0;
+};
+
+class TraceRing {
+ public:
+  // Capacity is rounded up to a power of two, minimum 64 slots.
+  explicit TraceRing(size_t min_capacity) {
+    size_t cap = 64;
+    while (cap < min_capacity) cap <<= 1;
+    mask_ = cap - 1;
+    slots_.reset(new Slot[cap]);
+  }
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  size_t capacity() const { return mask_ + 1; }
+
+  // Total events ever appended (pre-overwrite). Feeds SelfCheck invariants.
+  uint64_t appended() const { return head_.load(std::memory_order_relaxed); }
+
+  // Events lost since construction: ring-wrap overwrites (computed — the
+  // ring keeps exactly the last `capacity()` tickets, so everything before
+  // head - capacity is gone) plus abandoned appends. Surfaced through
+  // GetStats() — no silent loss.
+  uint64_t dropped() const {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    return (head > capacity() ? head - capacity() : 0) +
+           abandoned_.load(std::memory_order_relaxed);
+  }
+
+  // Appends that yielded to a concurrent owner of the same slot (see the
+  // header comment). Already included in dropped().
+  uint64_t abandoned() const { return abandoned_.load(std::memory_order_relaxed); }
+
+  // Lock-free, any thread. One relaxed RMW for the ticket, one CAS to claim
+  // the slot, then the seqlock publication protocol described in the header
+  // comment.
+  void Append(const TraceEvent& event) {
+    const uint64_t ticket = head_.fetch_add(1, std::memory_order_relaxed);
+    Slot& slot = slots_[ticket & mask_];
+    // Claim: even -> odd, and only forward. An odd value means another
+    // writer owns the slot right now; a value at or past our own odd marker
+    // means we were lapped while stalled. Either way the slot is no longer
+    // ours to write — abandon rather than tear it.
+    uint64_t observed = slot.seq.load(std::memory_order_relaxed);
+    for (;;) {
+      if ((observed & 1) != 0 || observed >= ticket * 2 + 1) {
+        abandoned_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      if (slot.seq.compare_exchange_weak(observed, ticket * 2 + 1,
+                                         std::memory_order_relaxed)) {
+        break;
+      }
+    }
+    // The release fence orders the odd marker before the payload stores
+    // below — a reader that observed any of our payload (via its acquire
+    // fence) is guaranteed to observe the odd marker on its seq re-check and
+    // discard the slot.
+    std::atomic_thread_fence(std::memory_order_release);
+    slot.word[0].store(event.trace_id, std::memory_order_relaxed);
+    slot.word[1].store(event.ts_nanos, std::memory_order_relaxed);
+    slot.word[2].store(event.arg1, std::memory_order_relaxed);
+    slot.word[3].store(event.arg2, std::memory_order_relaxed);
+    slot.word[4].store(static_cast<uint64_t>(event.type) << 32 | event.worker_id,
+                       std::memory_order_relaxed);
+    // Even marker: committed. Release publishes the payload stores above to
+    // the reader's acquire load of seq.
+    slot.seq.store(ticket * 2 + 2, std::memory_order_release);
+  }
+
+  // Copies the surviving events, oldest first, into *out (cleared first).
+  // Safe concurrently with writers; slots being overwritten mid-read are
+  // detected by the seqlock and skipped. Returns the number skipped — under
+  // a quiescent ring it is always 0.
+  size_t Snapshot(std::vector<TraceEvent>* out) const {
+    out->clear();
+    const uint64_t end = head_.load(std::memory_order_acquire);
+    const uint64_t cap = capacity();
+    const uint64_t begin = end > cap ? end - cap : 0;
+    out->reserve(static_cast<size_t>(end - begin));
+    size_t skipped = 0;
+    for (uint64_t ticket = begin; ticket < end; ++ticket) {
+      const Slot& slot = slots_[ticket & mask_];
+      const uint64_t committed = ticket * 2 + 2;
+      // Acquire pairs with the writer's committing release store: seeing
+      // `committed` makes that writer's payload visible.
+      if (slot.seq.load(std::memory_order_acquire) != committed) {
+        ++skipped;  // still under construction, or already overwritten
+        continue;
+      }
+      TraceEvent event;
+      event.trace_id = slot.word[0].load(std::memory_order_relaxed);
+      event.ts_nanos = slot.word[1].load(std::memory_order_relaxed);
+      event.arg1 = slot.word[2].load(std::memory_order_relaxed);
+      event.arg2 = slot.word[3].load(std::memory_order_relaxed);
+      const uint64_t packed = slot.word[4].load(std::memory_order_relaxed);
+      event.type = static_cast<TraceEventType>(packed >> 32);
+      event.worker_id = static_cast<uint32_t>(packed);
+      // Acquire fence pairs with the release fence after a writer's odd
+      // marker: if the payload loads above observed a newer writer's words,
+      // that writer's odd marker is visible to this re-check.
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot.seq.load(std::memory_order_relaxed) != committed) {
+        ++skipped;  // torn by a wrap-around writer mid-copy
+        continue;
+      }
+      out->push_back(event);
+    }
+    return skipped;
+  }
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> seq{0};
+    std::atomic<uint64_t> word[5];
+  };
+
+  // The ticket counter is the only cross-thread contention point; keep it
+  // off the slots' cache lines.
+  alignas(64) std::atomic<uint64_t> head_{0};
+  alignas(64) std::atomic<uint64_t> abandoned_{0};
+  alignas(64) std::unique_ptr<Slot[]> slots_;
+  size_t mask_ = 0;
+};
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_UTIL_TRACE_RING_H_

@@ -1,0 +1,154 @@
+// Histogram unit tests: merge equivalence, percentile math, moment
+// accounting (avg / stddev), and the empty / clamping edge cases the stats
+// spine and the bench tables rely on.
+
+#include "src/util/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/util/random.h"
+
+namespace p2kvs {
+namespace {
+
+TEST(HistogramTest, EmptyHistogramIsAllZeros) {
+  Histogram h;
+  EXPECT_EQ(0u, h.Count());
+  EXPECT_EQ(0.0, h.Sum());
+  EXPECT_EQ(0.0, h.Average());
+  EXPECT_EQ(0.0, h.StandardDeviation());
+  EXPECT_EQ(0.0, h.Percentile(50));
+  EXPECT_EQ(0.0, h.Percentile(99.9));
+  EXPECT_EQ(0.0, h.Max());
+}
+
+TEST(HistogramTest, SingleSampleMoments) {
+  Histogram h;
+  h.Add(42.0);
+  EXPECT_EQ(1u, h.Count());
+  EXPECT_DOUBLE_EQ(42.0, h.Sum());
+  EXPECT_DOUBLE_EQ(42.0, h.Average());
+  EXPECT_DOUBLE_EQ(42.0, h.Min());
+  EXPECT_DOUBLE_EQ(42.0, h.Max());
+  EXPECT_NEAR(0.0, h.StandardDeviation(), 1e-9);
+  // Every percentile of a single sample is clamped into [min, max].
+  EXPECT_DOUBLE_EQ(42.0, h.Percentile(0.1));
+  EXPECT_DOUBLE_EQ(42.0, h.Percentile(50));
+  EXPECT_DOUBLE_EQ(42.0, h.Percentile(99.9));
+}
+
+TEST(HistogramTest, AverageAndStddevAreExact) {
+  // Moments are kept exactly (sum / sum of squares), independent of the
+  // bucket resolution.
+  Histogram h;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    h.Add(v);
+  }
+  EXPECT_EQ(8u, h.Count());
+  EXPECT_DOUBLE_EQ(40.0, h.Sum());
+  EXPECT_DOUBLE_EQ(5.0, h.Average());
+  EXPECT_NEAR(2.0, h.StandardDeviation(), 1e-9);  // textbook population stddev
+}
+
+TEST(HistogramTest, PercentilesBracketTheData) {
+  Histogram h;
+  for (int i = 1; i <= 1000; i++) {
+    h.Add(static_cast<double>(i));
+  }
+  // Geometric buckets grow ~12% wide, so allow that much slack around the
+  // exact order statistic.
+  EXPECT_NEAR(500.0, h.Percentile(50), 500.0 * 0.13);
+  EXPECT_NEAR(950.0, h.Percentile(95), 950.0 * 0.13);
+  EXPECT_NEAR(990.0, h.Percentile(99), 990.0 * 0.13);
+  // Percentiles are monotone in p and clamped to the observed range.
+  double prev = 0;
+  for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9}) {
+    double v = h.Percentile(p);
+    EXPECT_GE(v, prev) << "p" << p;
+    EXPECT_GE(v, h.Min());
+    EXPECT_LE(v, h.Max());
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, MergeMatchesSingleHistogram) {
+  // Adding a stream into one histogram must equal splitting the stream
+  // across shards and merging — the exact contract the per-worker stats
+  // aggregation depends on.
+  Random rnd(301);
+  Histogram combined;
+  Histogram shard[4];
+  for (int i = 0; i < 10000; i++) {
+    double v = static_cast<double>(rnd.Uniform(100000)) / 7.0;
+    combined.Add(v);
+    shard[i % 4].Add(v);
+  }
+  Histogram merged;
+  for (const Histogram& s : shard) {
+    merged.Merge(s);
+  }
+  EXPECT_EQ(combined.Count(), merged.Count());
+  // Sums differ only by floating-point addition order across the shards.
+  EXPECT_NEAR(combined.Sum(), merged.Sum(), combined.Sum() * 1e-12);
+  EXPECT_DOUBLE_EQ(combined.Min(), merged.Min());
+  EXPECT_DOUBLE_EQ(combined.Max(), merged.Max());
+  EXPECT_NEAR(combined.Average(), merged.Average(), combined.Average() * 1e-12);
+  EXPECT_NEAR(combined.StandardDeviation(), merged.StandardDeviation(),
+              combined.StandardDeviation() * 1e-9 + 1e-9);
+  for (double p : {10.0, 50.0, 90.0, 95.0, 99.0, 99.9}) {
+    EXPECT_DOUBLE_EQ(combined.Percentile(p), merged.Percentile(p)) << "p" << p;
+  }
+}
+
+TEST(HistogramTest, MergeIntoEmptyAndFromEmpty) {
+  Histogram filled;
+  filled.Add(3.0);
+  filled.Add(11.0);
+
+  Histogram target;
+  target.Merge(filled);  // empty <- filled
+  EXPECT_EQ(2u, target.Count());
+  EXPECT_DOUBLE_EQ(3.0, target.Min());
+  EXPECT_DOUBLE_EQ(11.0, target.Max());
+
+  Histogram empty;
+  target.Merge(empty);  // filled <- empty: a no-op
+  EXPECT_EQ(2u, target.Count());
+  EXPECT_DOUBLE_EQ(3.0, target.Min());
+  EXPECT_DOUBLE_EQ(11.0, target.Max());
+  EXPECT_DOUBLE_EQ(14.0, target.Sum());
+}
+
+TEST(HistogramTest, HugeValuesLandInOverflowBucketClamped) {
+  Histogram h;
+  h.Add(5e12);  // beyond the last finite bucket limit (~1e12)
+  h.Add(7e12);
+  EXPECT_EQ(2u, h.Count());
+  EXPECT_DOUBLE_EQ(7e12, h.Max());
+  // The overflow bucket's "right edge" is the observed max, so percentiles
+  // stay finite and within range.
+  double p99 = h.Percentile(99);
+  EXPECT_TRUE(std::isfinite(p99));
+  EXPECT_GE(p99, h.Min());
+  EXPECT_LE(p99, h.Max());
+}
+
+TEST(HistogramTest, ClearResetsEverything) {
+  Histogram h;
+  for (int i = 0; i < 100; i++) {
+    h.Add(static_cast<double>(i));
+  }
+  h.Clear();
+  EXPECT_EQ(0u, h.Count());
+  EXPECT_EQ(0.0, h.Sum());
+  EXPECT_EQ(0.0, h.Percentile(99));
+  h.Add(8.0);
+  EXPECT_DOUBLE_EQ(8.0, h.Min());
+  EXPECT_DOUBLE_EQ(8.0, h.Max());
+}
+
+}  // namespace
+}  // namespace p2kvs

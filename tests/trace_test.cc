@@ -1,0 +1,638 @@
+// Per-request tracing tests: the TraceRing seqlock protocol, sampling
+// semantics, end-to-end event chains through the 2-D pipeline at 100%
+// sampling, the zero-clock-reads-when-unsampled contract, the flight
+// recorder (hard error + SIGUSR2), and the structural validity of the
+// exported Perfetto trace_event JSON.
+
+#include "src/util/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/p2kvs.h"
+#include "src/io/error_injection_env.h"
+#include "src/io/mem_env.h"
+#include "src/kvell/kvell_store.h"
+#include "src/util/trace_exporter.h"
+
+namespace p2kvs {
+namespace {
+
+// ---------------- TraceRing ----------------
+
+TraceEvent MakeEvent(uint64_t trace_id, TraceEventType type, uint64_t arg1 = 0,
+                     uint64_t arg2 = 0, uint32_t worker = 0) {
+  TraceEvent e;
+  e.trace_id = trace_id;
+  e.ts_nanos = trace_id;  // deterministic, distinct
+  e.arg1 = arg1;
+  e.arg2 = arg2;
+  e.type = type;
+  e.worker_id = worker;
+  return e;
+}
+
+TEST(TraceRingTest, AppendAndSnapshotPreservesOrder) {
+  TraceRing ring(64);
+  EXPECT_EQ(64u, ring.capacity());
+  for (uint64_t i = 1; i <= 10; i++) {
+    ring.Append(MakeEvent(i, TraceEventType::kEnqueue, i * 10));
+  }
+  EXPECT_EQ(10u, ring.appended());
+  EXPECT_EQ(0u, ring.dropped());
+
+  std::vector<TraceEvent> out;
+  EXPECT_EQ(0u, ring.Snapshot(&out));  // quiescent: nothing torn
+  ASSERT_EQ(10u, out.size());
+  for (uint64_t i = 0; i < 10; i++) {
+    EXPECT_EQ(i + 1, out[i].trace_id);
+    EXPECT_EQ((i + 1) * 10, out[i].arg1);
+    EXPECT_EQ(TraceEventType::kEnqueue, out[i].type);
+  }
+}
+
+TEST(TraceRingTest, WrapOverwritesOldestAndCountsDrops) {
+  TraceRing ring(64);  // minimum capacity
+  const uint64_t total = 200;
+  for (uint64_t i = 1; i <= total; i++) {
+    ring.Append(MakeEvent(i, TraceEventType::kComplete));
+  }
+  EXPECT_EQ(total, ring.appended());
+  EXPECT_EQ(total - ring.capacity(), ring.dropped());
+
+  std::vector<TraceEvent> out;
+  EXPECT_EQ(0u, ring.Snapshot(&out));
+  ASSERT_EQ(ring.capacity(), out.size());
+  // Exactly the newest `capacity` events survive, oldest first.
+  for (size_t i = 0; i < out.size(); i++) {
+    EXPECT_EQ(total - ring.capacity() + i + 1, out[i].trace_id);
+  }
+}
+
+TEST(TraceRingTest, ConcurrentAppendersAndReadersLoseNothing) {
+  // Multi-writer + concurrent snapshots: every append is counted, every
+  // surviving slot is either a fully committed event or skipped — never a
+  // torn mix. Run under TSan to also prove the protocol is race-free at the
+  // language level.
+  TraceRing ring(1024);
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 20000;
+  std::atomic<bool> stop{false};
+
+  std::thread reader([&] {
+    std::vector<TraceEvent> out;
+    while (!stop.load(std::memory_order_acquire)) {
+      ring.Snapshot(&out);
+      for (const TraceEvent& e : out) {
+        // A committed slot decodes to exactly what one writer wrote:
+        // arg1 = trace_id * 3 is the torn-read canary.
+        ASSERT_EQ(e.trace_id * 3, e.arg1);
+        ASSERT_EQ(TraceEventType::kExecuteBegin, e.type);
+      }
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; t++) {
+    writers.emplace_back([&, t] {
+      for (uint64_t i = 0; i < kPerThread; i++) {
+        const uint64_t id = static_cast<uint64_t>(t) * kPerThread + i + 1;
+        ring.Append(MakeEvent(id, TraceEventType::kExecuteBegin, id * 3, 0,
+                              static_cast<uint32_t>(t)));
+      }
+    });
+  }
+  for (auto& w : writers) {
+    w.join();
+  }
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(kThreads * kPerThread, ring.appended());
+  // Loss accounting is exact: wrap overwrites plus any appends abandoned to a
+  // concurrent owner of the same slot (writers a full lap apart).
+  EXPECT_EQ(kThreads * kPerThread - ring.capacity() + ring.abandoned(),
+            ring.dropped());
+  std::vector<TraceEvent> out;
+  const size_t skipped = ring.Snapshot(&out);
+  // Quiescent: a slot is skipped only if its newest ticket was abandoned (the
+  // slot then still holds the previous lap's committed event).
+  EXPECT_LE(skipped, ring.abandoned());
+  EXPECT_EQ(ring.capacity(), out.size() + skipped);
+  for (const TraceEvent& e : out) {
+    EXPECT_EQ(e.trace_id * 3, e.arg1);
+  }
+}
+
+// ---------------- Tracer sampling ----------------
+
+TEST(TracerTest, SampleEveryControlsRate) {
+  TraceConfig config;
+  config.enabled = true;
+  config.sample_every = 4;
+  Tracer tracer(config, 1);
+  int sampled = 0;
+  for (int i = 0; i < 100; i++) {
+    if (tracer.SampleSubmit() != 0) {
+      sampled++;
+    }
+  }
+  EXPECT_EQ(25, sampled);
+  EXPECT_EQ(25u, tracer.sampled_submitted());
+}
+
+TEST(TracerTest, SampleEveryZeroAndOne) {
+  TraceConfig config;
+  config.enabled = true;
+  config.sample_every = 0;  // trace nothing at submit
+  Tracer none(config, 1);
+  for (int i = 0; i < 50; i++) {
+    EXPECT_EQ(0u, none.SampleSubmit());
+  }
+  EXPECT_EQ(0u, none.sampled_submitted());
+  // Errors still get identities out of band.
+  EXPECT_NE(0u, none.NewTraceId());
+
+  config.sample_every = 1;  // trace everything
+  Tracer all(config, 1);
+  std::set<uint64_t> ids;
+  for (int i = 0; i < 50; i++) {
+    uint64_t id = all.SampleSubmit();
+    EXPECT_NE(0u, id);
+    ids.insert(id);
+  }
+  EXPECT_EQ(50u, ids.size());  // ids are unique
+}
+
+// ---------------- TLS context forwarding (KVell internal queue) ----------------
+
+TEST(TraceContextTest, KvellForwardsContextAcrossInternalQueue) {
+  // A KVell Put executed inside a traced scope must emit its slot-write into
+  // the submitter's ring even though the write happens on KVell's own worker
+  // thread, on the other side of its internal queue.
+  std::unique_ptr<Env> env = NewMemEnv();
+  KvellOptions options;
+  options.env = env.get();
+  options.num_workers = 1;
+  options.pin_workers = false;
+  std::unique_ptr<KvellStore> store;
+  ASSERT_TRUE(KvellStore::Open(options, "/kvell-trace", &store).ok());
+
+  TraceRing ring(64);
+  {
+    TraceContext ctx;
+    ctx.ring = &ring;
+    ctx.trace_id = 77;
+    ctx.batch_id = 1234;
+    ctx.worker_id = 5;
+    ScopedTraceContext scope(ctx);
+    ASSERT_TRUE(store->Put("key", "value").ok());
+  }
+  // Untraced call afterwards: nothing new lands in the ring.
+  ASSERT_TRUE(store->Put("key2", "value2").ok());
+
+  std::vector<TraceEvent> out;
+  ring.Snapshot(&out);
+  ASSERT_EQ(1u, out.size());
+  EXPECT_EQ(TraceEventType::kSlotWrite, out[0].type);
+  EXPECT_EQ(77u, out[0].trace_id);
+  EXPECT_EQ(1234u, out[0].arg1);  // batch id from the scope
+  EXPECT_GT(out[0].arg2, 0u);     // slot bytes
+  EXPECT_EQ(5u, out[0].worker_id);
+}
+
+// ---------------- Exported JSON structure ----------------
+
+// Minimal structural validator: balanced braces/brackets outside strings,
+// and the mandatory trace_event keys present once per event object.
+void ValidateTraceJson(const std::string& json, size_t* num_events_out = nullptr) {
+  ASSERT_FALSE(json.empty());
+  ASSERT_EQ('{', json.front());
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : json) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      depth++;
+    } else if (c == '}' || c == ']') {
+      depth--;
+      ASSERT_GE(depth, 0);
+    }
+  }
+  ASSERT_FALSE(in_string);
+  ASSERT_EQ(0, depth);
+  ASSERT_NE(std::string::npos, json.find("\"traceEvents\":["));
+
+  auto count = [&](const std::string& needle) {
+    size_t n = 0;
+    for (size_t pos = json.find(needle); pos != std::string::npos;
+         pos = json.find(needle, pos + needle.size())) {
+      n++;
+    }
+    return n;
+  };
+  // "ph" is the canonical per-event key ("name" also appears inside metadata
+  // events' args, so it over-counts).
+  const size_t events = count("\"ph\":");
+  EXPECT_GE(count("\"name\":"), events);
+  EXPECT_EQ(events, count("\"ts\":"));
+  EXPECT_EQ(events, count("\"pid\":1"));
+  EXPECT_EQ(events, count("\"tid\":"));
+  EXPECT_EQ(events, count("\"args\":{"));
+  if (num_events_out != nullptr) {
+    *num_events_out = events;
+  }
+}
+
+TEST(TraceExporterTest, SyntheticEventsExportStructurally) {
+  std::vector<std::vector<TraceEvent>> per_worker(2);
+  per_worker[0].push_back(MakeEvent(1, TraceEventType::kEnqueue, 0, 0, 0));
+  per_worker[0].push_back(MakeEvent(1, TraceEventType::kDequeue, 0, 0, 0));
+  per_worker[0].push_back(MakeEvent(1, TraceEventType::kExecuteBegin, 42, 3, 0));
+  per_worker[0].push_back(MakeEvent(1, TraceEventType::kWalAppend, 42, 512, 0));
+  per_worker[0].push_back(MakeEvent(1, TraceEventType::kExecuteEnd, 42, 0, 0));
+  per_worker[0].push_back(MakeEvent(1, TraceEventType::kComplete, 0, 42, 0));
+  per_worker[1].push_back(MakeEvent(0, TraceEventType::kStall, 1000, 0, 1));
+  per_worker[1].push_back(MakeEvent(0, TraceEventType::kCompaction, 4096, 1, 1));
+
+  const std::string json = TraceEventsToJson(per_worker, "unit \"test\"\n");
+  size_t events = 0;
+  ValidateTraceJson(json, &events);
+  // Worker 0's six events collapse to five objects (enqueue + complete +
+  // wal_append instants, a queue_wait span consuming the dequeue, an execute
+  // span consuming the begin/end pair); worker 1 yields a stall span + a
+  // compaction instant; plus 1 process_name + 2 thread_name metadata.
+  EXPECT_EQ(10u, events);
+  EXPECT_NE(std::string::npos, json.find("\"batch\":42"));
+  EXPECT_NE(std::string::npos, json.find("queue_wait"));
+  EXPECT_NE(std::string::npos, json.find("\"name\":\"execute\""));
+  // The reason string survives escaping.
+  EXPECT_NE(std::string::npos, json.find("unit \\\"test\\\"\\n"));
+}
+
+// ---------------- End-to-end through p2KVS ----------------
+
+Options SmallLsmOptions(Env* env) {
+  Options options;
+  options.env = env;
+  options.write_buffer_size = 64 * 1024;
+  options.target_file_size = 32 * 1024;
+  options.max_bytes_for_level_base = 128 * 1024;
+  return options;
+}
+
+class P2kvsTraceTest : public ::testing::Test {
+ protected:
+  void Open(uint32_t sample_every, int num_workers = 2,
+            size_t ring_capacity = 1 << 16) {
+    env_ = NewMemEnv();
+    options_ = P2kvsOptions();
+    options_.env = env_.get();
+    options_.num_workers = num_workers;
+    options_.pin_workers = false;
+    options_.engine_factory = MakeRocksLiteFactory(SmallLsmOptions(env_.get()));
+    options_.trace.enabled = true;
+    options_.trace.sample_every = sample_every;
+    options_.trace.ring_capacity = ring_capacity;
+    store_.reset();
+    ASSERT_TRUE(P2KVS::Open(options_, "/p2-trace", &store_).ok());
+  }
+
+  // All events across all rings, grouped by trace id (0 = untraced dropped).
+  std::map<uint64_t, std::vector<TraceEvent>> EventsByTraceId() {
+    std::map<uint64_t, std::vector<TraceEvent>> by_id;
+    for (auto& ring : store_->tracer()->SnapshotAll()) {
+      for (const TraceEvent& e : ring) {
+        if (e.trace_id != 0) {
+          by_id[e.trace_id].push_back(e);
+        }
+      }
+    }
+    // Within one trace id, events may span rings; order by timestamp.
+    for (auto& [id, events] : by_id) {
+      std::stable_sort(events.begin(), events.end(),
+                       [](const TraceEvent& a, const TraceEvent& b) {
+                         return a.ts_nanos < b.ts_nanos;
+                       });
+    }
+    return by_id;
+  }
+
+  static bool Has(const std::vector<TraceEvent>& events, TraceEventType type) {
+    for (const TraceEvent& e : events) {
+      if (e.type == type) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::unique_ptr<Env> env_;
+  P2kvsOptions options_;
+  std::unique_ptr<P2KVS> store_;
+};
+
+TEST_F(P2kvsTraceTest, FullySampledMixedWorkloadHasCompleteCausalChains) {
+  Open(/*sample_every=*/1, /*num_workers=*/2);
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOpsPerThread; i++) {
+        std::string key = "k-" + std::to_string(t) + "-" + std::to_string(i);
+        switch (i % 4) {
+          case 0:
+          case 1:
+            ASSERT_TRUE(store_->Put(key, "v" + std::to_string(i)).ok());
+            break;
+          case 2: {
+            std::string value;
+            Status s = store_->Get(key, &value);
+            ASSERT_TRUE(s.ok() || s.IsNotFound());
+            break;
+          }
+          case 3: {
+            std::vector<std::pair<std::string, std::string>> out;
+            ASSERT_TRUE(store_->Scan("k-", 10, &out).ok());
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  store_->WaitIdle();
+
+  P2kvsStats stats = store_->GetStats();
+  ASSERT_TRUE(stats.trace_enabled);
+  EXPECT_EQ(0u, stats.trace_dropped);  // ring sized to hold the whole run
+  EXPECT_GT(stats.trace_sampled, 0u);
+  EXPECT_EQ(stats.trace_sampled, stats.trace_completed);
+  ASSERT_TRUE(stats.SelfCheck().ok()) << stats.SelfCheck().ToString();
+
+  // (a) complete, causally ordered chains for every sampled request.
+  auto by_id = EventsByTraceId();
+  EXPECT_GE(by_id.size(), stats.trace_sampled);  // + scan fan-out sub-requests
+  size_t chains = 0;
+  for (const auto& [id, events] : by_id) {
+    if (!Has(events, TraceEventType::kComplete)) {
+      continue;  // error-only ids (none expected here)
+    }
+    chains++;
+    ASSERT_TRUE(Has(events, TraceEventType::kEnqueue)) << "trace " << id;
+    ASSERT_TRUE(Has(events, TraceEventType::kDequeue)) << "trace " << id;
+    uint64_t enqueue_ts = 0;
+    uint64_t dequeue_ts = 0;
+    uint64_t complete_ts = 0;
+    for (const TraceEvent& e : events) {
+      if (e.type == TraceEventType::kEnqueue) enqueue_ts = e.ts_nanos;
+      if (e.type == TraceEventType::kDequeue && dequeue_ts == 0) dequeue_ts = e.ts_nanos;
+      if (e.type == TraceEventType::kComplete) complete_ts = e.ts_nanos;
+    }
+    EXPECT_LE(enqueue_ts, dequeue_ts) << "trace " << id;
+    EXPECT_LE(dequeue_ts, complete_ts) << "trace " << id;
+  }
+  EXPECT_EQ(chains, stats.trace_completed);
+
+  // (b) every batch id named by an OBM merge or WAL append is a real
+  // dispatch: it appears on an execute_begin span.
+  std::set<uint64_t> execute_batches;
+  std::set<uint64_t> merge_batches;
+  std::set<uint64_t> wal_batches;
+  for (auto& ring : store_->tracer()->SnapshotAll()) {
+    for (const TraceEvent& e : ring) {
+      if (e.type == TraceEventType::kExecuteBegin) execute_batches.insert(e.arg1);
+      if (e.type == TraceEventType::kObmMerge) merge_batches.insert(e.arg1);
+      if (e.type == TraceEventType::kWalAppend && e.arg1 != 0) {
+        wal_batches.insert(e.arg1);
+      }
+    }
+  }
+  EXPECT_FALSE(wal_batches.empty());  // the PUTs logged under traced scopes
+  for (uint64_t b : merge_batches) {
+    EXPECT_TRUE(execute_batches.count(b)) << "merge batch " << b;
+  }
+  for (uint64_t b : wal_batches) {
+    EXPECT_TRUE(execute_batches.count(b)) << "wal batch " << b;
+  }
+
+  // Exported JSON for the whole run is structurally valid trace_event data.
+  std::string json = store_->ExportTraceJson();
+  size_t events = 0;
+  ValidateTraceJson(json, &events);
+  EXPECT_GT(events, stats.trace_completed);
+}
+
+TEST_F(P2kvsTraceTest, AsyncWriteFloodLinksMergesToWalAppends) {
+  // A single worker flooded with async PUTs must form OBM groups, and every
+  // merge event's batch id must reappear on that group's WAL-append span.
+  Open(/*sample_every=*/1, /*num_workers=*/1);
+  constexpr int kOps = 2000;
+  for (int i = 0; i < kOps; i++) {
+    store_->PutAsync("k" + std::to_string(i), "v" + std::to_string(i),
+                     [](const Status& s) { ASSERT_TRUE(s.ok()); });
+  }
+  store_->WaitIdle();
+
+  P2kvsStats stats = store_->GetStats();
+  ASSERT_TRUE(stats.SelfCheck().ok()) << stats.SelfCheck().ToString();
+  EXPECT_GT(stats.write_batches, 0u);
+
+  std::set<uint64_t> merge_batches;
+  std::set<uint64_t> wal_batches;
+  for (auto& ring : store_->tracer()->SnapshotAll()) {
+    for (const TraceEvent& e : ring) {
+      if (e.type == TraceEventType::kObmMerge) merge_batches.insert(e.arg1);
+      if (e.type == TraceEventType::kWalAppend && e.arg1 != 0) {
+        wal_batches.insert(e.arg1);
+      }
+    }
+  }
+  ASSERT_FALSE(merge_batches.empty());  // the flood formed real groups
+  for (uint64_t b : merge_batches) {
+    EXPECT_TRUE(wal_batches.count(b)) << "merged batch " << b << " never hit the WAL";
+  }
+}
+
+TEST_F(P2kvsTraceTest, SamplingOffPerformsZeroWorkerClockReads) {
+  // trace.enabled with sample_every=0: the Tracer exists, every submit takes
+  // the sampling branch, and NOTHING downstream may read the clock. Verified
+  // through the same PerfContext channel the stats-off overhead proof uses.
+  Open(/*sample_every=*/0, /*num_workers=*/2);
+  for (int i = 0; i < 500; i++) {
+    ASSERT_TRUE(store_->Put("k" + std::to_string(i), "v").ok());
+    if (i % 3 == 0) {
+      std::string value;
+      store_->Get("k" + std::to_string(i), &value);
+    }
+  }
+  store_->WaitIdle();
+
+  P2kvsStats stats = store_->GetStats();
+  ASSERT_TRUE(stats.trace_enabled);
+  EXPECT_EQ(0u, stats.trace_sampled);
+  EXPECT_EQ(0u, stats.trace_events);
+  // The worker threads' PerfContexts are aggregated into totals.engine: zero
+  // trace clock reads across every dispatch, WAL append and memtable insert.
+  EXPECT_EQ(0u, stats.totals.engine.trace_clock_reads);
+  ASSERT_TRUE(stats.SelfCheck().ok()) << stats.SelfCheck().ToString();
+}
+
+TEST_F(P2kvsTraceTest, RingWrapSurfacesDroppedCounter) {
+  Open(/*sample_every=*/1, /*num_workers=*/1, /*ring_capacity=*/64);
+  for (int i = 0; i < 500; i++) {
+    ASSERT_TRUE(store_->Put("k" + std::to_string(i), "v").ok());
+  }
+  store_->WaitIdle();
+  P2kvsStats stats = store_->GetStats();
+  EXPECT_GT(stats.trace_dropped, 0u);  // loss is surfaced, never silent
+  EXPECT_GT(stats.trace_events, stats.trace_dropped);
+  ASSERT_TRUE(stats.SelfCheck().ok()) << stats.SelfCheck().ToString();
+}
+
+TEST(P2kvsTraceFlightTest, HardErrorDumpsFlightRecorderWithFailingRequest) {
+  std::unique_ptr<Env> base_env = NewMemEnv();
+  auto env = std::make_unique<ErrorInjectionEnv>(base_env.get());
+  Options lsm;
+  lsm.env = env.get();
+  lsm.wal_retry.max_attempts = 1;
+  P2kvsOptions options;
+  options.env = env.get();
+  options.num_workers = 2;
+  options.pin_workers = false;
+  options.retry.max_attempts = 1;
+  options.engine_factory = MakeRocksLiteFactory(lsm);
+  options.trace.enabled = true;
+  options.trace.sample_every = 1;
+  options.trace.dump_path = "trace_test_flight.json";
+  std::remove(options.trace.dump_path.c_str());
+  std::unique_ptr<P2KVS> store;
+  ASSERT_TRUE(P2KVS::Open(options, "/p2-flight", &store).ok());
+
+  // Find a key per partition, then wedge partition 0's instance directory:
+  // every Sync inside it fails hard.
+  std::string keys[2];
+  for (int i = 0; keys[0].empty() || keys[1].empty(); i++) {
+    std::string key = "key-" + std::to_string(i);
+    keys[static_cast<size_t>(store->PartitionOf(key))] = key;
+  }
+  ASSERT_TRUE(store->Put(keys[0], "v0").ok());
+  ASSERT_TRUE(store->Put(keys[1], "v1").ok());
+  env->SetPathFilter("instance-0/");
+  env->SetFailureOdds(FaultOp::kSync, 1, /*transient=*/false);
+
+  // A transaction forces a synced WAL write on partition 0 -> hard error ->
+  // degrade -> flight-recorder dump.
+  WriteBatch txn;
+  txn.Put(keys[0], "new-value");
+  EXPECT_FALSE(store->WriteTxn(&txn).ok());
+
+  P2kvsStats stats = store->GetStats();
+  EXPECT_GE(stats.trace_flight_dumps, 1u);
+
+  // The dump names the failing request: its error event carries a trace id
+  // whose enqueue/dequeue events are in the ring too.
+  uint64_t error_trace = 0;
+  bool error_chain_has_enqueue = false;
+  bool error_chain_has_dequeue = false;
+  for (auto& ring : store->tracer()->SnapshotAll()) {
+    for (const TraceEvent& e : ring) {
+      if (e.type == TraceEventType::kError) {
+        error_trace = e.trace_id;
+      }
+    }
+  }
+  ASSERT_NE(0u, error_trace);
+  for (auto& ring : store->tracer()->SnapshotAll()) {
+    for (const TraceEvent& e : ring) {
+      if (e.trace_id == error_trace && e.type == TraceEventType::kEnqueue) {
+        error_chain_has_enqueue = true;
+      }
+      if (e.trace_id == error_trace && e.type == TraceEventType::kDequeue) {
+        error_chain_has_dequeue = true;
+      }
+    }
+  }
+  EXPECT_TRUE(error_chain_has_enqueue);
+  EXPECT_TRUE(error_chain_has_dequeue);
+
+  // The dump file itself exists, is valid trace JSON, and contains the error
+  // event plus the failing request's trace id.
+  std::FILE* f = std::fopen(options.trace.dump_path.c_str(), "rb");
+  ASSERT_NE(nullptr, f);
+  std::string dump;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    dump.append(buf, n);
+  }
+  std::fclose(f);
+  ValidateTraceJson(dump);
+  EXPECT_NE(std::string::npos, dump.find("\"name\":\"error\""));
+  char trace_arg[64];
+  std::snprintf(trace_arg, sizeof(trace_arg), "\"trace\":%llu",
+                static_cast<unsigned long long>(error_trace));
+  EXPECT_NE(std::string::npos, dump.find(trace_arg));
+  std::remove(options.trace.dump_path.c_str());
+}
+
+TEST(P2kvsTraceFlightTest, SigUsr2TriggersDump) {
+  std::unique_ptr<Env> env = NewMemEnv();
+  P2kvsOptions options;
+  options.env = env.get();
+  options.num_workers = 1;
+  options.pin_workers = false;
+  options.engine_factory = MakeRocksLiteFactory(SmallLsmOptions(env.get()));
+  options.trace.enabled = true;
+  options.trace.sample_every = 1;
+  options.trace.dump_path = "trace_test_sigusr2.json";
+  options.trace.dump_on_sigusr2 = true;
+  std::remove(options.trace.dump_path.c_str());
+  std::unique_ptr<P2KVS> store;
+  ASSERT_TRUE(P2KVS::Open(options, "/p2-usr2", &store).ok());
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(store->Put("k" + std::to_string(i), "v").ok());
+  }
+
+  ASSERT_EQ(0, std::raise(SIGUSR2));
+  // The watcher thread polls the signal flag every 50ms.
+  uint64_t dumps = 0;
+  for (int i = 0; i < 200 && dumps == 0; i++) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    dumps = store->GetStats().trace_flight_dumps;
+  }
+  EXPECT_GE(dumps, 1u);
+
+  std::FILE* f = std::fopen(options.trace.dump_path.c_str(), "rb");
+  ASSERT_NE(nullptr, f);
+  std::fclose(f);
+  std::remove(options.trace.dump_path.c_str());
+}
+
+}  // namespace
+}  // namespace p2kvs
