@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig07_batching_effect"
+  "../bench/bench_fig07_batching_effect.pdb"
+  "CMakeFiles/bench_fig07_batching_effect.dir/bench_fig07_batching_effect.cc.o"
+  "CMakeFiles/bench_fig07_batching_effect.dir/bench_fig07_batching_effect.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_batching_effect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig07_batching_effect.
+# This may be replaced when dependencies are built.

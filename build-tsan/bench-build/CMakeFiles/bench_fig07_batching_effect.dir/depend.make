@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig07_batching_effect.
+# This may be replaced when dependencies are built.

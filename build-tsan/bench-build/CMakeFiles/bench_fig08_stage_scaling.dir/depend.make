@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig08_stage_scaling.
+# This may be replaced when dependencies are built.

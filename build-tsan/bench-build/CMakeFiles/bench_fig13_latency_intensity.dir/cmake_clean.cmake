@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_latency_intensity"
+  "../bench/bench_fig13_latency_intensity.pdb"
+  "CMakeFiles/bench_fig13_latency_intensity.dir/bench_fig13_latency_intensity.cc.o"
+  "CMakeFiles/bench_fig13_latency_intensity.dir/bench_fig13_latency_intensity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_latency_intensity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

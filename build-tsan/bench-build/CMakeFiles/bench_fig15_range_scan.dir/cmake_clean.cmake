@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_range_scan"
+  "../bench/bench_fig15_range_scan.pdb"
+  "CMakeFiles/bench_fig15_range_scan.dir/bench_fig15_range_scan.cc.o"
+  "CMakeFiles/bench_fig15_range_scan.dir/bench_fig15_range_scan.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_range_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

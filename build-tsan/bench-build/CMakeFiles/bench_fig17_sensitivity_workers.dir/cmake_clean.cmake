@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig17_sensitivity_workers"
+  "../bench/bench_fig17_sensitivity_workers.pdb"
+  "CMakeFiles/bench_fig17_sensitivity_workers.dir/bench_fig17_sensitivity_workers.cc.o"
+  "CMakeFiles/bench_fig17_sensitivity_workers.dir/bench_fig17_sensitivity_workers.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_sensitivity_workers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig23_portability_wiredtiger"
+  "../bench/bench_fig23_portability_wiredtiger.pdb"
+  "CMakeFiles/bench_fig23_portability_wiredtiger.dir/bench_fig23_portability_wiredtiger.cc.o"
+  "CMakeFiles/bench_fig23_portability_wiredtiger.dir/bench_fig23_portability_wiredtiger.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig23_portability_wiredtiger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

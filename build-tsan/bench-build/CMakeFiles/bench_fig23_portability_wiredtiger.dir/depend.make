@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig23_portability_wiredtiger.
+# This may be replaced when dependencies are built.

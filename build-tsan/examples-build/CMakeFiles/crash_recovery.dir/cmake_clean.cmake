@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/crash_recovery"
+  "../examples/crash_recovery.pdb"
+  "CMakeFiles/crash_recovery.dir/crash_recovery.cpp.o"
+  "CMakeFiles/crash_recovery.dir/crash_recovery.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crash_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/portability_tour.cpp" "examples-build/CMakeFiles/portability_tour.dir/portability_tour.cpp.o" "gcc" "examples-build/CMakeFiles/portability_tour.dir/portability_tour.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/p2kvs_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/bench-build/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/btree/CMakeFiles/p2kvs_btree.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ycsb/CMakeFiles/p2kvs_ycsb.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/lsm/CMakeFiles/p2kvs_lsm.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/wal/CMakeFiles/p2kvs_wal.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sst/CMakeFiles/p2kvs_sst.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/memtable/CMakeFiles/p2kvs_memtable.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/kvell/CMakeFiles/p2kvs_kvell.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/io/CMakeFiles/p2kvs_io.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/p2kvs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/portability_tour"
+  "../examples/portability_tour.pdb"
+  "CMakeFiles/portability_tour.dir/portability_tour.cpp.o"
+  "CMakeFiles/portability_tour.dir/portability_tour.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portability_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/ycsb_runner"
+  "../examples/ycsb_runner.pdb"
+  "CMakeFiles/ycsb_runner.dir/ycsb_runner.cpp.o"
+  "CMakeFiles/ycsb_runner.dir/ycsb_runner.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ycsb_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

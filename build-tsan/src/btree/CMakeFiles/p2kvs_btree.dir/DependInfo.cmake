@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/btree/btree_store.cc" "src/btree/CMakeFiles/p2kvs_btree.dir/btree_store.cc.o" "gcc" "src/btree/CMakeFiles/p2kvs_btree.dir/btree_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/wal/CMakeFiles/p2kvs_wal.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/io/CMakeFiles/p2kvs_io.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/p2kvs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2kvs_btree.dir/btree_store.cc.o"
+  "CMakeFiles/p2kvs_btree.dir/btree_store.cc.o.d"
+  "libp2kvs_btree.a"
+  "libp2kvs_btree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2kvs_btree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

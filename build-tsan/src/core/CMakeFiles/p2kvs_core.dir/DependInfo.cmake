@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/batch_policy.cc" "src/core/CMakeFiles/p2kvs_core.dir/batch_policy.cc.o" "gcc" "src/core/CMakeFiles/p2kvs_core.dir/batch_policy.cc.o.d"
+  "/root/repo/src/core/engines.cc" "src/core/CMakeFiles/p2kvs_core.dir/engines.cc.o" "gcc" "src/core/CMakeFiles/p2kvs_core.dir/engines.cc.o.d"
+  "/root/repo/src/core/p2kvs.cc" "src/core/CMakeFiles/p2kvs_core.dir/p2kvs.cc.o" "gcc" "src/core/CMakeFiles/p2kvs_core.dir/p2kvs.cc.o.d"
+  "/root/repo/src/core/partitioner.cc" "src/core/CMakeFiles/p2kvs_core.dir/partitioner.cc.o" "gcc" "src/core/CMakeFiles/p2kvs_core.dir/partitioner.cc.o.d"
+  "/root/repo/src/core/txn_log.cc" "src/core/CMakeFiles/p2kvs_core.dir/txn_log.cc.o" "gcc" "src/core/CMakeFiles/p2kvs_core.dir/txn_log.cc.o.d"
+  "/root/repo/src/core/worker.cc" "src/core/CMakeFiles/p2kvs_core.dir/worker.cc.o" "gcc" "src/core/CMakeFiles/p2kvs_core.dir/worker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/lsm/CMakeFiles/p2kvs_lsm.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/btree/CMakeFiles/p2kvs_btree.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/wal/CMakeFiles/p2kvs_wal.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/io/CMakeFiles/p2kvs_io.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/p2kvs_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sst/CMakeFiles/p2kvs_sst.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/memtable/CMakeFiles/p2kvs_memtable.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2kvs_core.dir/batch_policy.cc.o"
+  "CMakeFiles/p2kvs_core.dir/batch_policy.cc.o.d"
+  "CMakeFiles/p2kvs_core.dir/engines.cc.o"
+  "CMakeFiles/p2kvs_core.dir/engines.cc.o.d"
+  "CMakeFiles/p2kvs_core.dir/p2kvs.cc.o"
+  "CMakeFiles/p2kvs_core.dir/p2kvs.cc.o.d"
+  "CMakeFiles/p2kvs_core.dir/partitioner.cc.o"
+  "CMakeFiles/p2kvs_core.dir/partitioner.cc.o.d"
+  "CMakeFiles/p2kvs_core.dir/txn_log.cc.o"
+  "CMakeFiles/p2kvs_core.dir/txn_log.cc.o.d"
+  "CMakeFiles/p2kvs_core.dir/worker.cc.o"
+  "CMakeFiles/p2kvs_core.dir/worker.cc.o.d"
+  "libp2kvs_core.a"
+  "libp2kvs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2kvs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/device_model.cc" "src/io/CMakeFiles/p2kvs_io.dir/device_model.cc.o" "gcc" "src/io/CMakeFiles/p2kvs_io.dir/device_model.cc.o.d"
+  "/root/repo/src/io/error_injection_env.cc" "src/io/CMakeFiles/p2kvs_io.dir/error_injection_env.cc.o" "gcc" "src/io/CMakeFiles/p2kvs_io.dir/error_injection_env.cc.o.d"
+  "/root/repo/src/io/fault_injection_env.cc" "src/io/CMakeFiles/p2kvs_io.dir/fault_injection_env.cc.o" "gcc" "src/io/CMakeFiles/p2kvs_io.dir/fault_injection_env.cc.o.d"
+  "/root/repo/src/io/io_stats.cc" "src/io/CMakeFiles/p2kvs_io.dir/io_stats.cc.o" "gcc" "src/io/CMakeFiles/p2kvs_io.dir/io_stats.cc.o.d"
+  "/root/repo/src/io/mem_env.cc" "src/io/CMakeFiles/p2kvs_io.dir/mem_env.cc.o" "gcc" "src/io/CMakeFiles/p2kvs_io.dir/mem_env.cc.o.d"
+  "/root/repo/src/io/posix_env.cc" "src/io/CMakeFiles/p2kvs_io.dir/posix_env.cc.o" "gcc" "src/io/CMakeFiles/p2kvs_io.dir/posix_env.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/p2kvs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

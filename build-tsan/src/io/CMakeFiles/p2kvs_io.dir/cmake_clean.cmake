@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2kvs_io.dir/device_model.cc.o"
+  "CMakeFiles/p2kvs_io.dir/device_model.cc.o.d"
+  "CMakeFiles/p2kvs_io.dir/error_injection_env.cc.o"
+  "CMakeFiles/p2kvs_io.dir/error_injection_env.cc.o.d"
+  "CMakeFiles/p2kvs_io.dir/fault_injection_env.cc.o"
+  "CMakeFiles/p2kvs_io.dir/fault_injection_env.cc.o.d"
+  "CMakeFiles/p2kvs_io.dir/io_stats.cc.o"
+  "CMakeFiles/p2kvs_io.dir/io_stats.cc.o.d"
+  "CMakeFiles/p2kvs_io.dir/mem_env.cc.o"
+  "CMakeFiles/p2kvs_io.dir/mem_env.cc.o.d"
+  "CMakeFiles/p2kvs_io.dir/posix_env.cc.o"
+  "CMakeFiles/p2kvs_io.dir/posix_env.cc.o.d"
+  "libp2kvs_io.a"
+  "libp2kvs_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2kvs_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

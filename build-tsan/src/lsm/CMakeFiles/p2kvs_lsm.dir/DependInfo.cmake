@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lsm/builder.cc" "src/lsm/CMakeFiles/p2kvs_lsm.dir/builder.cc.o" "gcc" "src/lsm/CMakeFiles/p2kvs_lsm.dir/builder.cc.o.d"
+  "/root/repo/src/lsm/db_impl.cc" "src/lsm/CMakeFiles/p2kvs_lsm.dir/db_impl.cc.o" "gcc" "src/lsm/CMakeFiles/p2kvs_lsm.dir/db_impl.cc.o.d"
+  "/root/repo/src/lsm/db_iter.cc" "src/lsm/CMakeFiles/p2kvs_lsm.dir/db_iter.cc.o" "gcc" "src/lsm/CMakeFiles/p2kvs_lsm.dir/db_iter.cc.o.d"
+  "/root/repo/src/lsm/filename.cc" "src/lsm/CMakeFiles/p2kvs_lsm.dir/filename.cc.o" "gcc" "src/lsm/CMakeFiles/p2kvs_lsm.dir/filename.cc.o.d"
+  "/root/repo/src/lsm/merging_iterator.cc" "src/lsm/CMakeFiles/p2kvs_lsm.dir/merging_iterator.cc.o" "gcc" "src/lsm/CMakeFiles/p2kvs_lsm.dir/merging_iterator.cc.o.d"
+  "/root/repo/src/lsm/table_cache.cc" "src/lsm/CMakeFiles/p2kvs_lsm.dir/table_cache.cc.o" "gcc" "src/lsm/CMakeFiles/p2kvs_lsm.dir/table_cache.cc.o.d"
+  "/root/repo/src/lsm/version_edit.cc" "src/lsm/CMakeFiles/p2kvs_lsm.dir/version_edit.cc.o" "gcc" "src/lsm/CMakeFiles/p2kvs_lsm.dir/version_edit.cc.o.d"
+  "/root/repo/src/lsm/version_set.cc" "src/lsm/CMakeFiles/p2kvs_lsm.dir/version_set.cc.o" "gcc" "src/lsm/CMakeFiles/p2kvs_lsm.dir/version_set.cc.o.d"
+  "/root/repo/src/lsm/write_batch.cc" "src/lsm/CMakeFiles/p2kvs_lsm.dir/write_batch.cc.o" "gcc" "src/lsm/CMakeFiles/p2kvs_lsm.dir/write_batch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/sst/CMakeFiles/p2kvs_sst.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/memtable/CMakeFiles/p2kvs_memtable.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/wal/CMakeFiles/p2kvs_wal.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/io/CMakeFiles/p2kvs_io.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/p2kvs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2kvs_lsm.dir/builder.cc.o"
+  "CMakeFiles/p2kvs_lsm.dir/builder.cc.o.d"
+  "CMakeFiles/p2kvs_lsm.dir/db_impl.cc.o"
+  "CMakeFiles/p2kvs_lsm.dir/db_impl.cc.o.d"
+  "CMakeFiles/p2kvs_lsm.dir/db_iter.cc.o"
+  "CMakeFiles/p2kvs_lsm.dir/db_iter.cc.o.d"
+  "CMakeFiles/p2kvs_lsm.dir/filename.cc.o"
+  "CMakeFiles/p2kvs_lsm.dir/filename.cc.o.d"
+  "CMakeFiles/p2kvs_lsm.dir/merging_iterator.cc.o"
+  "CMakeFiles/p2kvs_lsm.dir/merging_iterator.cc.o.d"
+  "CMakeFiles/p2kvs_lsm.dir/table_cache.cc.o"
+  "CMakeFiles/p2kvs_lsm.dir/table_cache.cc.o.d"
+  "CMakeFiles/p2kvs_lsm.dir/version_edit.cc.o"
+  "CMakeFiles/p2kvs_lsm.dir/version_edit.cc.o.d"
+  "CMakeFiles/p2kvs_lsm.dir/version_set.cc.o"
+  "CMakeFiles/p2kvs_lsm.dir/version_set.cc.o.d"
+  "CMakeFiles/p2kvs_lsm.dir/write_batch.cc.o"
+  "CMakeFiles/p2kvs_lsm.dir/write_batch.cc.o.d"
+  "libp2kvs_lsm.a"
+  "libp2kvs_lsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2kvs_lsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2kvs_memtable.dir/dbformat.cc.o"
+  "CMakeFiles/p2kvs_memtable.dir/dbformat.cc.o.d"
+  "CMakeFiles/p2kvs_memtable.dir/memtable.cc.o"
+  "CMakeFiles/p2kvs_memtable.dir/memtable.cc.o.d"
+  "libp2kvs_memtable.a"
+  "libp2kvs_memtable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2kvs_memtable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libp2kvs_memtable.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sst/block.cc" "src/sst/CMakeFiles/p2kvs_sst.dir/block.cc.o" "gcc" "src/sst/CMakeFiles/p2kvs_sst.dir/block.cc.o.d"
+  "/root/repo/src/sst/block_builder.cc" "src/sst/CMakeFiles/p2kvs_sst.dir/block_builder.cc.o" "gcc" "src/sst/CMakeFiles/p2kvs_sst.dir/block_builder.cc.o.d"
+  "/root/repo/src/sst/bloom.cc" "src/sst/CMakeFiles/p2kvs_sst.dir/bloom.cc.o" "gcc" "src/sst/CMakeFiles/p2kvs_sst.dir/bloom.cc.o.d"
+  "/root/repo/src/sst/cache.cc" "src/sst/CMakeFiles/p2kvs_sst.dir/cache.cc.o" "gcc" "src/sst/CMakeFiles/p2kvs_sst.dir/cache.cc.o.d"
+  "/root/repo/src/sst/filter_block.cc" "src/sst/CMakeFiles/p2kvs_sst.dir/filter_block.cc.o" "gcc" "src/sst/CMakeFiles/p2kvs_sst.dir/filter_block.cc.o.d"
+  "/root/repo/src/sst/format.cc" "src/sst/CMakeFiles/p2kvs_sst.dir/format.cc.o" "gcc" "src/sst/CMakeFiles/p2kvs_sst.dir/format.cc.o.d"
+  "/root/repo/src/sst/table.cc" "src/sst/CMakeFiles/p2kvs_sst.dir/table.cc.o" "gcc" "src/sst/CMakeFiles/p2kvs_sst.dir/table.cc.o.d"
+  "/root/repo/src/sst/table_builder.cc" "src/sst/CMakeFiles/p2kvs_sst.dir/table_builder.cc.o" "gcc" "src/sst/CMakeFiles/p2kvs_sst.dir/table_builder.cc.o.d"
+  "/root/repo/src/sst/two_level_iterator.cc" "src/sst/CMakeFiles/p2kvs_sst.dir/two_level_iterator.cc.o" "gcc" "src/sst/CMakeFiles/p2kvs_sst.dir/two_level_iterator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/io/CMakeFiles/p2kvs_io.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/p2kvs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2kvs_sst.dir/block.cc.o"
+  "CMakeFiles/p2kvs_sst.dir/block.cc.o.d"
+  "CMakeFiles/p2kvs_sst.dir/block_builder.cc.o"
+  "CMakeFiles/p2kvs_sst.dir/block_builder.cc.o.d"
+  "CMakeFiles/p2kvs_sst.dir/bloom.cc.o"
+  "CMakeFiles/p2kvs_sst.dir/bloom.cc.o.d"
+  "CMakeFiles/p2kvs_sst.dir/cache.cc.o"
+  "CMakeFiles/p2kvs_sst.dir/cache.cc.o.d"
+  "CMakeFiles/p2kvs_sst.dir/filter_block.cc.o"
+  "CMakeFiles/p2kvs_sst.dir/filter_block.cc.o.d"
+  "CMakeFiles/p2kvs_sst.dir/format.cc.o"
+  "CMakeFiles/p2kvs_sst.dir/format.cc.o.d"
+  "CMakeFiles/p2kvs_sst.dir/table.cc.o"
+  "CMakeFiles/p2kvs_sst.dir/table.cc.o.d"
+  "CMakeFiles/p2kvs_sst.dir/table_builder.cc.o"
+  "CMakeFiles/p2kvs_sst.dir/table_builder.cc.o.d"
+  "CMakeFiles/p2kvs_sst.dir/two_level_iterator.cc.o"
+  "CMakeFiles/p2kvs_sst.dir/two_level_iterator.cc.o.d"
+  "libp2kvs_sst.a"
+  "libp2kvs_sst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2kvs_sst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/arena.cc" "src/util/CMakeFiles/p2kvs_util.dir/arena.cc.o" "gcc" "src/util/CMakeFiles/p2kvs_util.dir/arena.cc.o.d"
+  "/root/repo/src/util/coding.cc" "src/util/CMakeFiles/p2kvs_util.dir/coding.cc.o" "gcc" "src/util/CMakeFiles/p2kvs_util.dir/coding.cc.o.d"
+  "/root/repo/src/util/comparator.cc" "src/util/CMakeFiles/p2kvs_util.dir/comparator.cc.o" "gcc" "src/util/CMakeFiles/p2kvs_util.dir/comparator.cc.o.d"
+  "/root/repo/src/util/crc32c.cc" "src/util/CMakeFiles/p2kvs_util.dir/crc32c.cc.o" "gcc" "src/util/CMakeFiles/p2kvs_util.dir/crc32c.cc.o.d"
+  "/root/repo/src/util/hash.cc" "src/util/CMakeFiles/p2kvs_util.dir/hash.cc.o" "gcc" "src/util/CMakeFiles/p2kvs_util.dir/hash.cc.o.d"
+  "/root/repo/src/util/histogram.cc" "src/util/CMakeFiles/p2kvs_util.dir/histogram.cc.o" "gcc" "src/util/CMakeFiles/p2kvs_util.dir/histogram.cc.o.d"
+  "/root/repo/src/util/iterator.cc" "src/util/CMakeFiles/p2kvs_util.dir/iterator.cc.o" "gcc" "src/util/CMakeFiles/p2kvs_util.dir/iterator.cc.o.d"
+  "/root/repo/src/util/perf_context.cc" "src/util/CMakeFiles/p2kvs_util.dir/perf_context.cc.o" "gcc" "src/util/CMakeFiles/p2kvs_util.dir/perf_context.cc.o.d"
+  "/root/repo/src/util/rate_limiter.cc" "src/util/CMakeFiles/p2kvs_util.dir/rate_limiter.cc.o" "gcc" "src/util/CMakeFiles/p2kvs_util.dir/rate_limiter.cc.o.d"
+  "/root/repo/src/util/resource_usage.cc" "src/util/CMakeFiles/p2kvs_util.dir/resource_usage.cc.o" "gcc" "src/util/CMakeFiles/p2kvs_util.dir/resource_usage.cc.o.d"
+  "/root/repo/src/util/stats_recorder.cc" "src/util/CMakeFiles/p2kvs_util.dir/stats_recorder.cc.o" "gcc" "src/util/CMakeFiles/p2kvs_util.dir/stats_recorder.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/util/CMakeFiles/p2kvs_util.dir/status.cc.o" "gcc" "src/util/CMakeFiles/p2kvs_util.dir/status.cc.o.d"
+  "/root/repo/src/util/thread_util.cc" "src/util/CMakeFiles/p2kvs_util.dir/thread_util.cc.o" "gcc" "src/util/CMakeFiles/p2kvs_util.dir/thread_util.cc.o.d"
+  "/root/repo/src/util/trace.cc" "src/util/CMakeFiles/p2kvs_util.dir/trace.cc.o" "gcc" "src/util/CMakeFiles/p2kvs_util.dir/trace.cc.o.d"
+  "/root/repo/src/util/trace_exporter.cc" "src/util/CMakeFiles/p2kvs_util.dir/trace_exporter.cc.o" "gcc" "src/util/CMakeFiles/p2kvs_util.dir/trace_exporter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2kvs_util.dir/arena.cc.o"
+  "CMakeFiles/p2kvs_util.dir/arena.cc.o.d"
+  "CMakeFiles/p2kvs_util.dir/coding.cc.o"
+  "CMakeFiles/p2kvs_util.dir/coding.cc.o.d"
+  "CMakeFiles/p2kvs_util.dir/comparator.cc.o"
+  "CMakeFiles/p2kvs_util.dir/comparator.cc.o.d"
+  "CMakeFiles/p2kvs_util.dir/crc32c.cc.o"
+  "CMakeFiles/p2kvs_util.dir/crc32c.cc.o.d"
+  "CMakeFiles/p2kvs_util.dir/hash.cc.o"
+  "CMakeFiles/p2kvs_util.dir/hash.cc.o.d"
+  "CMakeFiles/p2kvs_util.dir/histogram.cc.o"
+  "CMakeFiles/p2kvs_util.dir/histogram.cc.o.d"
+  "CMakeFiles/p2kvs_util.dir/iterator.cc.o"
+  "CMakeFiles/p2kvs_util.dir/iterator.cc.o.d"
+  "CMakeFiles/p2kvs_util.dir/perf_context.cc.o"
+  "CMakeFiles/p2kvs_util.dir/perf_context.cc.o.d"
+  "CMakeFiles/p2kvs_util.dir/rate_limiter.cc.o"
+  "CMakeFiles/p2kvs_util.dir/rate_limiter.cc.o.d"
+  "CMakeFiles/p2kvs_util.dir/resource_usage.cc.o"
+  "CMakeFiles/p2kvs_util.dir/resource_usage.cc.o.d"
+  "CMakeFiles/p2kvs_util.dir/stats_recorder.cc.o"
+  "CMakeFiles/p2kvs_util.dir/stats_recorder.cc.o.d"
+  "CMakeFiles/p2kvs_util.dir/status.cc.o"
+  "CMakeFiles/p2kvs_util.dir/status.cc.o.d"
+  "CMakeFiles/p2kvs_util.dir/thread_util.cc.o"
+  "CMakeFiles/p2kvs_util.dir/thread_util.cc.o.d"
+  "CMakeFiles/p2kvs_util.dir/trace.cc.o"
+  "CMakeFiles/p2kvs_util.dir/trace.cc.o.d"
+  "CMakeFiles/p2kvs_util.dir/trace_exporter.cc.o"
+  "CMakeFiles/p2kvs_util.dir/trace_exporter.cc.o.d"
+  "libp2kvs_util.a"
+  "libp2kvs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2kvs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2kvs_wal.dir/log_reader.cc.o"
+  "CMakeFiles/p2kvs_wal.dir/log_reader.cc.o.d"
+  "CMakeFiles/p2kvs_wal.dir/log_writer.cc.o"
+  "CMakeFiles/p2kvs_wal.dir/log_writer.cc.o.d"
+  "libp2kvs_wal.a"
+  "libp2kvs_wal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2kvs_wal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

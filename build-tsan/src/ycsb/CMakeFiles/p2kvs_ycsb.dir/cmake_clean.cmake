@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2kvs_ycsb.dir/workload.cc.o"
+  "CMakeFiles/p2kvs_ycsb.dir/workload.cc.o.d"
+  "libp2kvs_ycsb.a"
+  "libp2kvs_ycsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2kvs_ycsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/error_injection_test.dir/error_injection_test.cc.o"
+  "CMakeFiles/error_injection_test.dir/error_injection_test.cc.o.d"
+  "error_injection_test"
+  "error_injection_test.pdb"
+  "error_injection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/error_injection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

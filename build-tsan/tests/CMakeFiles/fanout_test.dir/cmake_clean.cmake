@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fanout_test.dir/fanout_test.cc.o"
+  "CMakeFiles/fanout_test.dir/fanout_test.cc.o.d"
+  "fanout_test"
+  "fanout_test.pdb"
+  "fanout_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fanout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_monkey_test.dir/fault_monkey_test.cc.o"
+  "CMakeFiles/fault_monkey_test.dir/fault_monkey_test.cc.o.d"
+  "fault_monkey_test"
+  "fault_monkey_test.pdb"
+  "fault_monkey_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_monkey_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

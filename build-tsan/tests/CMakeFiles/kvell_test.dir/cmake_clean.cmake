@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvell_test.dir/kvell_test.cc.o"
+  "CMakeFiles/kvell_test.dir/kvell_test.cc.o.d"
+  "kvell_test"
+  "kvell_test.pdb"
+  "kvell_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvell_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsm_behavior_test.dir/lsm_behavior_test.cc.o"
+  "CMakeFiles/lsm_behavior_test.dir/lsm_behavior_test.cc.o.d"
+  "lsm_behavior_test"
+  "lsm_behavior_test.pdb"
+  "lsm_behavior_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsm_behavior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

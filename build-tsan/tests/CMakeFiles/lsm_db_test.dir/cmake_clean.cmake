@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsm_db_test.dir/lsm_db_test.cc.o"
+  "CMakeFiles/lsm_db_test.dir/lsm_db_test.cc.o.d"
+  "lsm_db_test"
+  "lsm_db_test.pdb"
+  "lsm_db_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsm_db_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

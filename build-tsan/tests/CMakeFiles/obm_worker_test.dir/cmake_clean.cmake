@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obm_worker_test.dir/obm_worker_test.cc.o"
+  "CMakeFiles/obm_worker_test.dir/obm_worker_test.cc.o.d"
+  "obm_worker_test"
+  "obm_worker_test.pdb"
+  "obm_worker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obm_worker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

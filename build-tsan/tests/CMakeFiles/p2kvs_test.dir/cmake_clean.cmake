@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2kvs_test.dir/p2kvs_test.cc.o"
+  "CMakeFiles/p2kvs_test.dir/p2kvs_test.cc.o.d"
+  "p2kvs_test"
+  "p2kvs_test.pdb"
+  "p2kvs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2kvs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

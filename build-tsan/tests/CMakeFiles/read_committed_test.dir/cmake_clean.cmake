@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/read_committed_test.dir/read_committed_test.cc.o"
+  "CMakeFiles/read_committed_test.dir/read_committed_test.cc.o.d"
+  "read_committed_test"
+  "read_committed_test.pdb"
+  "read_committed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/read_committed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

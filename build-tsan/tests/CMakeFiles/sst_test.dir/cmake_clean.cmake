@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sst_test.dir/sst_test.cc.o"
+  "CMakeFiles/sst_test.dir/sst_test.cc.o.d"
+  "sst_test"
+  "sst_test.pdb"
+  "sst_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sst_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/btree_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/crash_recovery_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/error_injection_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/fanout_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/fault_monkey_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/histogram_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/io_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/iterator_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/kvell_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/lsm_behavior_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/lsm_db_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/model_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/memtable_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/p2kvs_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/partitioner_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/obm_worker_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/read_committed_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/sst_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/stats_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/trace_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/txn_log_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/util_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/version_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/wal_test[1]_include.cmake")
