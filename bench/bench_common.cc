@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <thread>
 
 #include "src/util/clock.h"
@@ -181,6 +182,85 @@ void Preload(const Target& target, uint64_t n, size_t value_size) {
   if (target.wait_idle) {
     target.wait_idle();
   }
+}
+
+OpenLoopResult RunOpenLoopPut(P2KVS* store, const OpenLoopConfig& config) {
+  OpenLoopResult result;
+  std::atomic<uint64_t> sent{0};
+  std::atomic<uint64_t> ok{0};
+  std::atomic<uint64_t> shed{0};
+  std::atomic<uint64_t> expired{0};
+  std::atomic<uint64_t> failed{0};
+  std::atomic<uint64_t> pending{0};
+  std::atomic<uint64_t> max_lag_ns{0};
+  Histogram ok_latency;
+  std::mutex latency_mu;
+
+  const uint64_t start = NowNanos();
+  const double interval_ns = 1e9 * config.dispatchers / config.offered_qps;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < config.dispatchers; t++) {
+    pool.emplace_back([&] {
+      uint64_t next_send = NowNanos();
+      uint64_t i;
+      while ((i = sent.fetch_add(1, std::memory_order_relaxed)) < config.ops) {
+        // Hold the arrival schedule. Sleeping (not spinning) keeps the
+        // dispatchers from starving the workers on small hosts; any slip is
+        // reported as lag rather than silently shrinking the offered load.
+        const uint64_t now = NowNanos();
+        if (now < next_send) {
+          std::this_thread::sleep_for(std::chrono::nanoseconds(next_send - now));
+        } else {
+          uint64_t lag = now - next_send;
+          uint64_t cur = max_lag_ns.load(std::memory_order_relaxed);
+          while (lag > cur && !max_lag_ns.compare_exchange_weak(
+                                  cur, lag, std::memory_order_relaxed)) {
+          }
+        }
+        next_send += static_cast<uint64_t>(interval_ns);
+        const uint64_t k = Hash64(reinterpret_cast<const char*>(&i), 8) % config.key_space;
+        const uint64_t t0 = NowNanos();
+        pending.fetch_add(1, std::memory_order_relaxed);
+        store->PutAsync(
+            Key(k), Value(i, config.value_size), [&, t0](const Status& s) {
+              if (s.ok()) {
+                ok.fetch_add(1, std::memory_order_relaxed);
+                const double us = static_cast<double>(NowNanos() - t0) / 1000.0;
+                std::lock_guard<std::mutex> lock(latency_mu);
+                ok_latency.Add(us);
+              } else if (s.IsBusy()) {
+                shed.fetch_add(1, std::memory_order_relaxed);
+              } else if (s.IsDeadlineExceeded()) {
+                expired.fetch_add(1, std::memory_order_relaxed);
+              } else {
+                failed.fetch_add(1, std::memory_order_relaxed);
+              }
+              // Last touch of the driver's stacks: the drain loop below may
+              // return the moment this hits zero.
+              pending.fetch_sub(1, std::memory_order_release);
+            });
+      }
+    });
+  }
+  for (auto& th : pool) {
+    th.join();
+  }
+  // Arrivals done; wait for the tail of in-flight requests to resolve (the
+  // interesting part under overload — this is where queues drain).
+  while (pending.load(std::memory_order_acquire) != 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  result.seconds = static_cast<double>(NowNanos() - start) / 1e9;
+  result.attempted = config.ops;
+  result.ok = ok.load(std::memory_order_relaxed);
+  result.shed = shed.load(std::memory_order_relaxed);
+  result.expired = expired.load(std::memory_order_relaxed);
+  result.failed = failed.load(std::memory_order_relaxed);
+  result.goodput_qps =
+      result.seconds > 0 ? static_cast<double>(result.ok) / result.seconds : 0;
+  result.ok_latency_us = ok_latency;
+  result.max_lag_ms = static_cast<double>(max_lag_ns.load(std::memory_order_relaxed)) / 1e6;
+  return result;
 }
 
 RunResult RunYcsb(const Target& target, const YcsbRunConfig& config) {

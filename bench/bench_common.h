@@ -84,6 +84,38 @@ RunResult RunClosedLoop(int threads, uint64_t total_ops,
 // Preloads keys [0, n) with `value_size`-byte values through `target`.
 void Preload(const Target& target, uint64_t n, size_t value_size);
 
+// --- Open-loop arrival-rate driver (overload robustness; Figure 13) ---
+
+struct OpenLoopConfig {
+  double offered_qps = 100000;  // arrival rate held across all dispatchers
+  uint64_t ops = 20000;         // total arrivals to generate
+  int dispatchers = 4;          // pacing threads
+  size_t value_size = 112;
+  uint64_t key_space = 1000000;
+};
+
+struct OpenLoopResult {
+  uint64_t attempted = 0;   // arrivals dispatched
+  uint64_t ok = 0;          // completed OK
+  uint64_t shed = 0;        // refused by admission control (Status::Busy)
+  uint64_t expired = 0;     // Status::DeadlineExceeded
+  uint64_t failed = 0;      // any other error
+  double seconds = 0;       // first arrival -> last completion drained
+  double goodput_qps = 0;   // ok / seconds
+  Histogram ok_latency_us;  // latency of successful requests only
+  double max_lag_ms = 0;    // worst slip of any dispatcher off its schedule
+
+  uint64_t refused() const { return shed + expired + failed; }
+};
+
+// Open-loop writes: dispatchers hold a fixed arrival schedule and submit via
+// PutAsync, so arrivals never wait for completions — unlike the closed-loop
+// driver, the offered load does not collapse to the service rate under
+// overload. Returns after every in-flight callback has fired. Outcomes are
+// classified per request from the completion status (the accounting the
+// framework reports via GetStats() must match what clients observed).
+OpenLoopResult RunOpenLoopPut(P2KVS* store, const OpenLoopConfig& config);
+
 struct YcsbRunConfig {
   std::string workload;  // "load", "a" ... "f"
   int threads = 8;

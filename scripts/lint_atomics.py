@@ -39,6 +39,7 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 HOT_PATH_FILES = [
     "src/util/intrusive_mpsc_queue.h",
     "src/core/completion.h",
+    "src/core/admission.h",
     "src/util/stats_recorder.h",
     "src/util/trace_ring.h",
     "src/util/trace.h",

@@ -1,0 +1,20 @@
+#include "src/core/admission.h"
+
+#include <cstdio>
+
+namespace p2kvs {
+
+std::unique_ptr<AdmissionController> MakeCoDelAdmissionController(
+    const AdmissionConfig& config, size_t queue_capacity, int worker_id) {
+  (void)worker_id;  // the default controller keeps no per-worker identity
+  return std::unique_ptr<AdmissionController>(
+      new CoDelAdmissionController(config, queue_capacity));
+}
+
+Status MakeShedStatus(int worker_id) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "partition %d overloaded", worker_id);
+  return Status::Busy(buf, "request shed by admission control");
+}
+
+}  // namespace p2kvs

@@ -1,0 +1,227 @@
+// Overload control for the 2-D pipeline (ROADMAP item 1: admission control /
+// load-shedding wired to the existing queue_capacity backpressure — the
+// prerequisite for a network front-end, where parking a remote producer is
+// not an option and excess load must be *rejected*, not absorbed).
+//
+// Three cooperating mechanisms, all per-worker (per-partition — overload is
+// usually skewed, so one hot partition must shed without punishing the rest):
+//
+//   AdmissionController  sheds new arrivals at Worker::Submit when the
+//                        partition is sustainedly behind (CoDel-style on the
+//                        queue-wait signal the stats spine already measures),
+//                        or when queue depth hits a hard ceiling.
+//   RetryBudget          a token bucket bounding the *aggregate* retry rate
+//                        of a worker, so correlated transient faults cannot
+//                        multiply offered load exactly when the device is
+//                        struggling (RetryPolicy alone bounds only one op).
+//                        Lives in src/io/retry.h next to the retry loop it
+//                        governs; configured and owned per worker.
+//   CircuitBreaker       trips the partition into the existing degraded
+//                        (read-only, fast-fail) health state after sustained
+//                        hard-error pressure, and half-opens through the
+//                        existing auto-resume machinery.
+//
+// Threading: RecordQueueWait / RetryBudget / CircuitBreaker::OnFailure are
+// worker-thread-only (plain fields); the submit-side probe (Admit) is called
+// by any user thread and reads two atomics — no clock read, no RMW, so an
+// admission decision costs nothing measurable on the submit path. This file
+// is on scripts/lint_atomics.py's strict list: every atomic access names its
+// memory order explicitly.
+
+#ifndef P2KVS_SRC_CORE_ADMISSION_H_
+#define P2KVS_SRC_CORE_ADMISSION_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "src/util/status.h"
+
+namespace p2kvs {
+
+struct AdmissionConfig {
+  // Master switch. Off by default: existing deployments keep pure parking
+  // backpressure (bounded queue) or unbounded queues, unchanged.
+  bool enabled = false;
+
+  // CoDel-style control law: shed new arrivals while the queue-wait EWMA has
+  // been above `target_queue_wait_us` continuously for `interval_us`.
+  // Defaults follow the CoDel heuristic of interval ≈ a worst-case RTT and
+  // target ≈ 5% of it, scaled to SSD-backed request latencies.
+  uint32_t target_queue_wait_us = 1000;
+  uint32_t interval_us = 20000;
+
+  // Hard depth ceiling probed at submit: arrivals are shed outright when the
+  // instantaneous queue depth reaches it. 0 = inherit the worker's
+  // queue_capacity (when that is also 0 — unbounded queue — no depth check).
+  size_t max_queue_depth = 0;
+
+  // Shed-storm flight-recorder trigger: the first window with at least
+  // `shed_storm_threshold` sheds dumps the flight recorder (once per store
+  // lifetime), the same post-mortem path as hard errors. 0 = disabled.
+  uint32_t shed_storm_threshold = 0;
+  uint32_t shed_storm_window_ms = 1000;
+};
+
+// Per-worker admission policy. Admit() must be cheap and thread-safe (every
+// user thread calls it on every submit); RecordQueueWait() is called only by
+// the owning worker thread, once per dequeued head request.
+class AdmissionController {
+ public:
+  virtual ~AdmissionController() = default;
+
+  virtual const char* name() const = 0;
+
+  // Worker thread: feed one measured queue wait (submit -> pop, nanoseconds)
+  // observed at `now_nanos`. Drives the control law.
+  virtual void RecordQueueWait(uint64_t wait_nanos, uint64_t now_nanos) = 0;
+
+  // Any thread: should a new arrival be admitted given the instantaneous
+  // queue depth? Pure read — no state change, no clock read.
+  virtual bool Admit(size_t queue_depth) const = 0;
+
+  // Cross-thread observability (stats snapshots).
+  virtual bool overloaded() const = 0;
+};
+
+// CoDel-style controller (the default). The worker thread maintains an
+// integer EWMA (alpha = 1/16) of queue wait and a "continuously above target
+// since" edge; once the EWMA has been above target for a full interval it
+// publishes overloaded=true, and arrivals are shed until the EWMA falls back
+// under target. While overloaded, an arrival that finds the queue *empty* is
+// still admitted: those probes are what let the EWMA decay — shedding 100%
+// would starve the signal and latch the partition overloaded forever.
+class CoDelAdmissionController : public AdmissionController {
+ public:
+  CoDelAdmissionController(const AdmissionConfig& config, size_t queue_capacity)
+      : target_nanos_(static_cast<uint64_t>(config.target_queue_wait_us) * 1000),
+        interval_nanos_(static_cast<uint64_t>(config.interval_us) * 1000),
+        max_depth_(config.max_queue_depth != 0 ? config.max_queue_depth
+                                               : queue_capacity) {}
+
+  const char* name() const override { return "codel"; }
+
+  void RecordQueueWait(uint64_t wait_nanos, uint64_t now_nanos) override {
+    // Single-writer EWMA: the load/store pair is not a race because only the
+    // owning worker thread writes it; relaxed is enough for the cross-thread
+    // stats read, which tolerates any published value.
+    uint64_t ewma = ewma_nanos_.load(std::memory_order_relaxed);
+    const int64_t delta =
+        static_cast<int64_t>(wait_nanos) - static_cast<int64_t>(ewma);
+    int64_t step = delta / 16;
+    if (step == 0 && delta != 0) step = delta < 0 ? -1 : 1;  // converge the tail
+    ewma = static_cast<uint64_t>(static_cast<int64_t>(ewma) + step);
+    ewma_nanos_.store(ewma, std::memory_order_relaxed);
+    if (ewma > target_nanos_) {
+      if (above_since_nanos_ == 0) above_since_nanos_ = now_nanos;
+      if (now_nanos - above_since_nanos_ >= interval_nanos_) {
+        // Relaxed: the flag guards no other data — a submit thread acting on
+        // a slightly stale value only mis-times one shed decision.
+        overloaded_.store(true, std::memory_order_relaxed);
+      }
+    } else {
+      above_since_nanos_ = 0;
+      overloaded_.store(false, std::memory_order_relaxed);
+    }
+  }
+
+  bool Admit(size_t queue_depth) const override {
+    if (max_depth_ != 0 && queue_depth >= max_depth_) return false;
+    // Probe-when-empty: see class comment.
+    if (queue_depth > 0 && overloaded_.load(std::memory_order_relaxed)) {
+      return false;
+    }
+    return true;
+  }
+
+  bool overloaded() const override {
+    return overloaded_.load(std::memory_order_relaxed);
+  }
+
+  uint64_t ewma_nanos() const { return ewma_nanos_.load(std::memory_order_relaxed); }
+
+ private:
+  const uint64_t target_nanos_;
+  const uint64_t interval_nanos_;
+  const size_t max_depth_;
+
+  // Worker-thread-private control state (never read cross-thread).
+  uint64_t above_since_nanos_ = 0;
+
+  // Published signal: worker writes, submit threads read.
+  std::atomic<uint64_t> ewma_nanos_{0};
+  std::atomic<bool> overloaded_{false};
+};
+
+// Factory hook (P2kvsOptions::admission_factory / Worker::Config). The
+// default builds a CoDelAdmissionController.
+using AdmissionControllerFactory = std::function<std::unique_ptr<AdmissionController>(
+    const AdmissionConfig& config, size_t queue_capacity, int worker_id)>;
+
+std::unique_ptr<AdmissionController> MakeCoDelAdmissionController(
+    const AdmissionConfig& config, size_t queue_capacity, int worker_id);
+
+// The status a shed request completes with. Busy is inherently transient
+// (Status::IsTransient), signalling "back off and resubmit" — the exact
+// client contract admission control wants — while staying distinguishable
+// from engine-originated Busy by message.
+Status MakeShedStatus(int worker_id);
+
+// Per-partition circuit breaker over the worker's write-path error signal.
+// Closed (normal) -> open happens after `failure_threshold` hard failures
+// inside a sliding window; "open" is not a new state machine — tripping
+// reuses the existing health degrade (read-only fast-fail), and half-open /
+// re-close reuse auto-resume + TryResume. failure_threshold == 0 disables
+// the breaker entirely, preserving the pre-existing contract that the FIRST
+// hard IO error degrades the partition immediately.
+//
+// Worker-thread-only except trips(), which stats threads read.
+class CircuitBreaker {
+ public:
+  CircuitBreaker(uint32_t failure_threshold, uint64_t window_nanos)
+      : failure_threshold_(failure_threshold), window_nanos_(window_nanos) {}
+
+  bool enabled() const { return failure_threshold_ > 0; }
+
+  // Record one failed write dispatch. True = threshold reached: the caller
+  // must trip the partition (degrade) now. The window restarts on the first
+  // failure after quiet time or after a trip.
+  bool OnFailure(uint64_t now_nanos) {
+    if (!enabled()) return true;  // disabled: every hard failure trips (legacy)
+    if (window_start_nanos_ == 0 ||
+        now_nanos - window_start_nanos_ > window_nanos_) {
+      window_start_nanos_ = now_nanos;
+      failures_in_window_ = 0;
+    }
+    ++failures_in_window_;
+    if (failures_in_window_ >= failure_threshold_) {
+      trips_.fetch_add(1, std::memory_order_relaxed);
+      window_start_nanos_ = 0;
+      failures_in_window_ = 0;
+      return true;
+    }
+    return false;
+  }
+
+  // A successful write dispatch closes the window (failures must be
+  // *sustained* to trip).
+  void OnSuccess() {
+    window_start_nanos_ = 0;
+    failures_in_window_ = 0;
+  }
+
+  uint64_t trips() const { return trips_.load(std::memory_order_relaxed); }
+
+ private:
+  const uint32_t failure_threshold_;
+  const uint64_t window_nanos_;
+  uint32_t failures_in_window_ = 0;
+  uint64_t window_start_nanos_ = 0;
+  std::atomic<uint64_t> trips_{0};
+};
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_CORE_ADMISSION_H_

@@ -8,6 +8,7 @@
 #include "src/core/completion.h"
 #include "src/core/worker.h"
 #include "src/lsm/merging_iterator.h"
+#include "src/util/clock.h"
 #include "src/util/hash.h"
 
 namespace p2kvs {
@@ -89,6 +90,12 @@ Status P2KVS::Init() {
     config.enable_stats = options_.enable_stats;
     config.listener = options_.listener.get();
     config.tracer = tracer_.get();
+    config.admission = options_.admission;
+    config.admission_factory = options_.admission_factory;
+    config.retry_budget_per_sec = options_.retry_budget_per_sec;
+    config.retry_budget_burst = options_.retry_budget_burst;
+    config.breaker_failure_threshold = options_.breaker_failure_threshold;
+    config.breaker_window_ms = options_.breaker_window_ms;
     workers_.push_back(std::make_unique<Worker>(config, std::move(instance)));
   }
   for (auto& worker : workers_) {
@@ -125,6 +132,28 @@ void P2KVS::StatsDumpLoop() {
   dumper_mu_.Unlock();
 }
 
+uint64_t P2KVS::DeadlineFromOptions() const {
+  if (options_.default_deadline_ms <= 0) {
+    return 0;
+  }
+  return NowNanos() + static_cast<uint64_t>(options_.default_deadline_ms) * 1000000ull;
+}
+
+int P2KVS::ProbeFanoutAdmission(const std::vector<size_t>& involved) {
+  for (size_t w : involved) {
+    if (!workers_[w]->ProbeAdmission()) {
+      // All-or-nothing: the whole operation is refused, and every involved
+      // partition records one shed so the accounting matches what the client
+      // observed (one refusal per slice that would have been submitted).
+      for (size_t v : involved) {
+        workers_[v]->CountFanoutShed();
+      }
+      return static_cast<int>(w);
+    }
+  }
+  return -1;
+}
+
 int P2KVS::PartitionOf(const Slice& key) const {
   // Balanced request allocation (§4.2); default: worker = Hash(key) % N.
   return options_.partitioner(key, static_cast<int>(workers_.size()));
@@ -137,6 +166,7 @@ Status P2KVS::Put(const Slice& key, const Slice& value) {
   request.type = RequestType::kPut;
   request.key = key.ToString();
   request.value = value.ToString();
+  request.deadline_nanos = DeadlineFromOptions();
   workers_[static_cast<size_t>(PartitionOf(key))]->Submit(&request);
   return request.Wait();
 }
@@ -145,6 +175,7 @@ Status P2KVS::Delete(const Slice& key) {
   Request request;
   request.type = RequestType::kDelete;
   request.key = key.ToString();
+  request.deadline_nanos = DeadlineFromOptions();
   workers_[static_cast<size_t>(PartitionOf(key))]->Submit(&request);
   return request.Wait();
 }
@@ -154,6 +185,7 @@ Status P2KVS::Get(const Slice& key, std::string* value) {
   request.type = RequestType::kGet;
   request.key = key.ToString();
   request.get_out = value;
+  request.deadline_nanos = DeadlineFromOptions();
   workers_[static_cast<size_t>(PartitionOf(key))]->Submit(&request);
   return request.Wait();
 }
@@ -165,6 +197,7 @@ void P2KVS::PutAsync(const Slice& key, const Slice& value,
   request->key = key.ToString();
   request->value = value.ToString();
   request->callback = std::move(cb);
+  request->deadline_nanos = DeadlineFromOptions();
   workers_[static_cast<size_t>(PartitionOf(key))]->Submit(request);
 }
 
@@ -173,6 +206,7 @@ void P2KVS::DeleteAsync(const Slice& key, std::function<void(const Status&)> cb)
   request->type = RequestType::kDelete;
   request->key = key.ToString();
   request->callback = std::move(cb);
+  request->deadline_nanos = DeadlineFromOptions();
   workers_[static_cast<size_t>(PartitionOf(key))]->Submit(request);
 }
 
@@ -189,9 +223,23 @@ std::vector<Status> P2KVS::MultiGet(const std::vector<Slice>& keys,
   // Split positions per partition (duplicate keys simply occupy several
   // positions of the owning partition's index list).
   std::vector<std::vector<uint32_t>> index_of(workers_.size());
+  std::vector<size_t> involved;
   for (uint32_t i = 0; i < keys.size(); i++) {
-    index_of[static_cast<size_t>(PartitionOf(keys[i]))].push_back(i);
+    const auto w = static_cast<size_t>(PartitionOf(keys[i]));
+    if (index_of[w].empty()) {
+      involved.push_back(w);
+    }
+    index_of[w].push_back(i);
   }
+
+  // Atomic fan-out admission: the whole MultiGet is admitted or shed as a
+  // unit, before the join is armed — a refusal submits nothing.
+  const int refused = ProbeFanoutAdmission(involved);
+  if (refused >= 0) {
+    statuses.assign(keys.size(), MakeShedStatus(refused));
+    return statuses;
+  }
+  const uint64_t deadline = DeadlineFromOptions();
 
   Completion join;
   std::deque<std::pair<size_t, Request>> requests;  // worker -> group request
@@ -207,6 +255,10 @@ std::vector<Status> P2KVS::MultiGet(const std::vector<Slice>& keys,
     request.mget_statuses = &statuses;
     request.mget_index = std::move(index_of[w]);
     request.group = &join;
+    // Already admitted above; kCritical stops the per-worker probe from
+    // shedding one slice of an operation the fan-out probe accepted.
+    request.priority = RequestPriority::kCritical;
+    request.deadline_nanos = deadline;
     join.Add(1);
   }
   for (auto& [worker, request] : requests) {
@@ -244,17 +296,28 @@ Status P2KVS::MultiWrite(WriteBatch* updates) {
 
   // Non-txn fan-out: GSN-free sub-batches, so each worker's BatchPolicy may
   // fold them into even larger engine writes. Atomic per partition only.
+  std::vector<size_t> involved;
+  for (size_t w = 0; w < workers_.size(); w++) {
+    if (parts[w].Count() != 0) {
+      involved.push_back(w);
+    }
+  }
+  const int refused = ProbeFanoutAdmission(involved);
+  if (refused >= 0) {
+    return MakeShedStatus(refused);
+  }
+  const uint64_t deadline = DeadlineFromOptions();
+
   Completion join;
   std::deque<std::pair<size_t, Request>> requests;
-  for (size_t w = 0; w < workers_.size(); w++) {
-    if (parts[w].Count() == 0) {
-      continue;
-    }
+  for (size_t w : involved) {
     auto& [worker, request] = requests.emplace_back();
     worker = w;
     request.type = RequestType::kWriteBatch;
     request.batch = &parts[w];
     request.group = &join;
+    request.priority = RequestPriority::kCritical;  // admitted above
+    request.deadline_nanos = deadline;
     join.Add(1);
   }
   for (auto& [worker, request] : requests) {
@@ -271,6 +334,20 @@ Status P2KVS::Range(const Slice& begin, const Slice& end,
   // on one countdown completion. Failures are per partition, like MultiGet's
   // per-key outcomes: the healthy partitions' pairs are always returned, so a
   // single faulty instance degrades the result instead of erasing it.
+  std::vector<size_t> involved(workers_.size());
+  for (size_t i = 0; i < workers_.size(); i++) {
+    involved[i] = i;
+  }
+  const int refused = ProbeFanoutAdmission(involved);
+  if (refused >= 0) {
+    const Status s = MakeShedStatus(refused);
+    if (partition_status != nullptr) {
+      partition_status->assign(workers_.size(), s);
+    }
+    out->clear();
+    return s;
+  }
+  const uint64_t deadline = DeadlineFromOptions();
   Completion join(static_cast<uint32_t>(workers_.size()));
   std::deque<Request> requests;
   std::vector<std::vector<std::pair<std::string, std::string>>> partials(workers_.size());
@@ -281,6 +358,8 @@ Status P2KVS::Range(const Slice& begin, const Slice& end,
     request.value = end.ToString();
     request.scan_out = &partials[i];
     request.group = &join;
+    request.priority = RequestPriority::kCritical;  // admitted above
+    request.deadline_nanos = deadline;
     workers_[i]->Submit(&request);
   }
   join.Wait();
@@ -341,6 +420,19 @@ Status P2KVS::Scan(const Slice& begin, size_t count,
   // Per-partition failure handling mirrors Range: successful partitions'
   // pairs survive, the first error is returned (note the merged result may
   // then be missing keys the failed partition owned).
+  std::vector<size_t> involved(workers_.size());
+  for (size_t i = 0; i < workers_.size(); i++) {
+    involved[i] = i;
+  }
+  const int refused = ProbeFanoutAdmission(involved);
+  if (refused >= 0) {
+    const Status s = MakeShedStatus(refused);
+    if (partition_status != nullptr) {
+      partition_status->assign(workers_.size(), s);
+    }
+    return s;
+  }
+  const uint64_t deadline = DeadlineFromOptions();
   Completion join(static_cast<uint32_t>(workers_.size()));
   std::deque<Request> requests;
   std::vector<std::vector<std::pair<std::string, std::string>>> partials(workers_.size());
@@ -351,6 +443,8 @@ Status P2KVS::Scan(const Slice& begin, size_t count,
     request.scan_count = count;
     request.scan_out = &partials[i];
     request.group = &join;
+    request.priority = RequestPriority::kCritical;  // admitted above
+    request.deadline_nanos = deadline;
     workers_[i]->Submit(&request);
   }
   join.Wait();
@@ -400,6 +494,22 @@ Status P2KVS::WriteTxn(WriteBatch* updates) {
     }
   }
 
+  // Fan-out admission BEFORE a GSN is allocated or anything is logged: a
+  // refused transaction leaves no trace in the txn log. Admitted sub-batches
+  // run as kCritical and carry no deadline — expiring one slice of an
+  // in-flight transaction would force a recovery-time rollback, a far worse
+  // outcome than finishing slightly late.
+  std::vector<size_t> txn_involved;
+  for (size_t i = 0; i < workers_.size(); i++) {
+    if (parts[i].Count() != 0) {
+      txn_involved.push_back(i);
+    }
+  }
+  const int refused = ProbeFanoutAdmission(txn_involved);
+  if (refused >= 0) {
+    return MakeShedStatus(refused);
+  }
+
   const uint64_t gsn = txn_log_->NextGsn();
   s = txn_log_->LogBegin(gsn);
   if (!s.ok()) {
@@ -422,6 +532,7 @@ Status P2KVS::WriteTxn(WriteBatch* updates) {
     request.batch = &parts[i];
     request.gsn = gsn;
     request.group = &join;
+    request.priority = RequestPriority::kCritical;  // admitted above
     join.Add(1);
   }
   for (size_t r = 0; r < involved.size(); r++) {
@@ -445,6 +556,9 @@ Status P2KVS::WriteTxn(WriteBatch* updates) {
       request.type = RequestType::kEndTxn;
       request.gsn = gsn;
       request.group = &end_join;
+      // Snapshot release must never be refused or expired: a shed EndTxn
+      // would leak the pre-transaction snapshot until shutdown.
+      request.priority = RequestPriority::kCritical;
       workers_[i]->Submit(&request);
     }
     end_join.Wait();
@@ -544,6 +658,12 @@ P2kvsStats P2KVS::GetStats() const {
   stats.degraded_rejects = stats.totals.degraded_rejects;
   stats.requests_submitted =
       stats.writes_batched + stats.reads_batched + stats.singles;
+  stats.submitted = stats.totals.submitted;
+  stats.completed = stats.totals.completed;
+  stats.shed = stats.totals.shed;
+  stats.expired = stats.totals.expired();
+  stats.breaker_trips = stats.totals.breaker_trips;
+  stats.retries_denied = stats.totals.retries_denied;
   if (tracer_ != nullptr) {
     stats.trace_enabled = true;
     stats.trace_events = tracer_->events_appended();
@@ -559,6 +679,14 @@ Status P2kvsStats::SelfCheck() const {
   // Per worker AND in aggregate: stages partition disjoint sub-windows of
   // [submit, complete], so their sum can never exceed the end-to-end total.
   auto check_one = [](const WorkerStatsSnapshot& s, const char* scope) -> Status {
+    // Overload-accounting doors: every data request that entered Submit is
+    // either still in flight or resolved through exactly one of completed /
+    // shed / expired. These counters work even with the stats recorder off,
+    // so this check runs before the recorder-never-fed early-out.
+    if (s.completed + s.shed + s.expired() > s.submitted) {
+      return Status::Corruption(std::string("stats self-check failed (") + scope + ")",
+                                "completed + shed + expired exceed submitted");
+    }
     if (s.batch_size.Count() == 0 && s.stage_nanos_sum() == 0 && s.end_to_end_nanos == 0) {
       return Status::OK();  // recorder never fed: stats disabled or no traffic
     }
@@ -656,6 +784,16 @@ std::string P2KVS::GetStatsString() const {
                 static_cast<unsigned long long>(stats.read_batches),
                 static_cast<unsigned long long>(stats.singles),
                 static_cast<unsigned long long>(stats.degraded_rejects));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  overload: submitted=%llu completed=%llu shed=%llu expired=%llu "
+                "breaker_trips=%llu retries_denied=%llu\n",
+                static_cast<unsigned long long>(stats.submitted),
+                static_cast<unsigned long long>(stats.completed),
+                static_cast<unsigned long long>(stats.shed),
+                static_cast<unsigned long long>(stats.expired),
+                static_cast<unsigned long long>(stats.breaker_trips),
+                static_cast<unsigned long long>(stats.retries_denied));
   out += buf;
   const WorkerStatsSnapshot& t = stats.totals;
   std::snprintf(buf, sizeof(buf),

@@ -98,6 +98,39 @@ struct P2kvsOptions {
   // (automatic attempts stop; explicit Resume() still works).
   int max_auto_resume_failures = 5;
 
+  // --- Overload control (all off by default; see admission.h and the
+  // "Overload control" section of DESIGN.md). ---
+  // Non-zero: every client request is stamped with an absolute deadline of
+  // now + this many milliseconds at submit. A request whose deadline passes
+  // while it is still queued (or between batch collect and the engine call)
+  // completes with Status::DeadlineExceeded instead of executing — dead work
+  // is dropped, not served late. Control requests (WaitIdle barriers, stats
+  // drains, transaction EndTxn) never carry deadlines.
+  int default_deadline_ms = 0;
+  // Per-worker admission control (admission.enabled gates everything). The
+  // default controller is CoDel-style: it sheds new requests while the
+  // worker's queue-wait EWMA has been above `target_queue_wait_us` for a full
+  // interval, plus a hard queue-depth cap. Fan-out operations (MultiGet /
+  // MultiWrite / WriteTxn / parallel Range / Scan) are admitted or shed
+  // atomically: all involved partitions accept or the whole operation is
+  // refused, so no partial fan-out executes.
+  AdmissionConfig admission;
+  // Optional replacement controller (testing / alternative control laws).
+  AdmissionControllerFactory admission_factory;
+  // Non-zero: each worker meters engine retries through a token bucket of
+  // this many retry tokens per second (burst below). When the bucket is
+  // empty a transient fault fails fast instead of retrying — under overload
+  // retries amplify load exactly when it hurts most.
+  double retry_budget_per_sec = 0;
+  double retry_budget_burst = 16;
+  // Non-zero: a per-partition circuit breaker degrades the partition (same
+  // degraded state as a hard error, so auto-resume half-opens it) after this
+  // many hard engine failures within breaker_window_ms — instead of the
+  // default degrade-on-first-hard-error. Corruption still degrades
+  // immediately; the breaker only absorbs IO errors.
+  uint32_t breaker_failure_threshold = 0;
+  uint32_t breaker_window_ms = 1000;
+
   // --- Observability. ---
   // Per-stage timing and distributions in each worker's StatsRecorder
   // (queue-wait / batch-build / execute / complete, batch-size histogram).
@@ -161,6 +194,16 @@ struct P2kvsStats {
   uint64_t reads_batched = 0;
   uint64_t singles = 0;           // requests executed unbatched
   uint64_t degraded_rejects = 0;  // writes rejected fast by unhealthy partitions
+
+  // --- Overload-control counters (aggregated across workers; see the
+  // accounting contract on WorkerStatsSnapshot). All zero when the overload
+  // features are off.
+  uint64_t submitted = 0;       // data requests entering the workers
+  uint64_t completed = 0;       // resolved with a real status (incl. errors)
+  uint64_t shed = 0;            // refused by admission control
+  uint64_t expired = 0;         // deadline passed before the engine ran them
+  uint64_t breaker_trips = 0;   // circuit-breaker degrade transitions
+  uint64_t retries_denied = 0;  // retry-budget fast-fail decisions
   // Current depth of each worker's request queue (backpressure visibility;
   // compare against P2kvsOptions::queue_capacity).
   std::vector<size_t> queue_depths;
@@ -183,13 +226,15 @@ struct P2kvsStats {
   }
 
   // Verifies the recorder's accounting invariants (see stats_recorder.h):
-  // per-stage nanos sum to at most the end-to-end total, and the batch-size
-  // histogram matches the dispatch counters exactly. With tracing enabled it
-  // also checks the trace lifecycle invariants — every worker-completed
-  // sampled request contributes at least its enqueue+dequeue+complete events,
-  // completions never exceed samples, and the drop counter stays consistent
-  // with the append counter. Returns the first violation; used by tests and
-  // the CI benchmark smoke step.
+  // per-stage nanos sum to at most the end-to-end total, the batch-size
+  // histogram matches the dispatch counters exactly, and every data request
+  // resolves through exactly one door (completed + shed + expired <=
+  // submitted, per worker and in aggregate — equality once the pipeline is
+  // quiescent). With tracing enabled it also checks the trace lifecycle
+  // invariants — every worker-completed sampled request contributes at least
+  // its enqueue+dequeue+complete events, completions never exceed samples,
+  // and the drop counter stays consistent with the append counter. Returns
+  // the first violation; used by tests and the CI benchmark smoke step.
   Status SelfCheck() const;
   std::string ToJson() const;
 };
@@ -300,6 +345,13 @@ class P2KVS {
   Status Init();
   // Routes every update in `updates` to its partition's sub-batch.
   Status SplitByPartition(WriteBatch* updates, std::vector<WriteBatch>* parts) const;
+  // Absolute deadline for a client request entering now (0 = none). One
+  // clock read per user operation; fan-out slices share the result.
+  uint64_t DeadlineFromOptions() const;
+  // Atomic fan-out admission: probes every involved partition's controller;
+  // on any refusal counts a shed on ALL of them (the operation is refused as
+  // a unit) and returns the refusing worker's id. -1 = admitted.
+  int ProbeFanoutAdmission(const std::vector<size_t>& involved);
   void StatsDumpLoop() EXCLUDES(dumper_mu_);
 
   P2kvsOptions options_;

@@ -48,8 +48,25 @@ inline bool IsWriteType(RequestType t) {
 
 inline bool IsReadType(RequestType t) { return t == RequestType::kGet; }
 
+// Internal bookkeeping types: never shed, never deadlined, never counted in
+// the submitted/completed/shed/expired accounting (they are not client work).
+inline bool IsControlType(RequestType t) {
+  return t == RequestType::kBarrier || t == RequestType::kStats;
+}
+
+// Admission class. kCritical requests bypass the admission controller: the
+// accessing layer marks control/drain/barrier requests and fan-out slices
+// whose whole group was already admitted atomically at P2KVS level (a group
+// must shed all-or-nothing, never member-by-member, or the pooled join
+// Completion would report a torn result).
+enum class RequestPriority : uint8_t {
+  kNormal = 0,
+  kCritical = 1,
+};
+
 struct Request : MpscQueueNode {
   RequestType type = RequestType::kPut;
+  RequestPriority priority = RequestPriority::kNormal;
 
   // Owned copies: async submitters return to the caller before processing.
   std::string key;
@@ -82,6 +99,12 @@ struct Request : MpscQueueNode {
   // push; the push's release store publishes it with the node. Feeds the
   // queue-wait and end-to-end stages.
   uint64_t submit_nanos = 0;
+
+  // Absolute steady-clock deadline in nanoseconds (0 = none). Stamped by the
+  // accessing layer from Options::default_deadline_ms before Submit; checked
+  // by the worker at dequeue and again before engine execute, and bounds the
+  // transient-retry loop. Published with the node like submit_nanos.
+  uint64_t deadline_nanos = 0;
 
   // Trace identity, assigned by the sampling decision in Worker::Submit
   // (0 = unsampled). Published with the node the same way as submit_nanos;

@@ -25,11 +25,21 @@ Worker::Worker(const Config& config, std::unique_ptr<KVStore> store)
     : config_(config),
       store_(std::move(store)),
       caps_(store_->caps()),
-      queue_(config.queue_capacity) {
+      queue_(config.queue_capacity),
+      retry_budget_(config.retry_budget_per_sec, config.retry_budget_burst),
+      breaker_(config.breaker_failure_threshold,
+               static_cast<uint64_t>(config.breaker_window_ms) * 1000000ull) {
   BatchPolicyFactory factory =
       config_.batch_policy_factory ? config_.batch_policy_factory : MakeBatchPolicyFromCaps;
   batch_policy_ = factory(caps_, config_.enable_obm, config_.max_batch_size);
   group_.reserve(static_cast<size_t>(config_.max_batch_size));
+
+  if (config_.admission.enabled) {
+    AdmissionControllerFactory admission_factory = config_.admission_factory
+                                                       ? config_.admission_factory
+                                                       : MakeCoDelAdmissionController;
+    admission_ = admission_factory(config_.admission, config_.queue_capacity, config_.id);
+  }
 
   if (config_.tracer != nullptr) {
     trace_ring_ = config_.tracer->ring(config_.id);
@@ -84,21 +94,33 @@ void Worker::Stop() {
 }
 
 void Worker::Submit(Request* request) {
-  if (config_.enable_stats) {
+  const bool control = IsControlType(request->type);
+  if (!control) {
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (config_.enable_stats || admission_ != nullptr) {
     // Published by the queue push's release store; read only by the worker.
+    // The admission controller needs the queue-wait signal even when the
+    // stats spine is off, so its one submit-side clock read stays.
     request->submit_nanos = NowNanos();
   }
-  if (trace_ring_ != nullptr && request->type != RequestType::kBarrier &&
-      request->type != RequestType::kStats) {
+  if (trace_ring_ != nullptr && !control) {
     // Sampling decision for data requests (control requests carry no trace:
     // their lifecycle is not a pipeline hop). The enqueue event — like
     // submit_nanos — must be emitted before the push: once the request is
-    // in the queue the worker may free it.
+    // in the queue the worker may free it. Sampling runs before admission so
+    // a shed request still leaves a kShed event in the flight recorder.
     const uint64_t id = config_.tracer->SampleSubmit();
     if (id != 0) {
       request->trace_id = id;
       EmitTrace(TraceEventType::kEnqueue, id, static_cast<uint64_t>(request->type), 0);
     }
+  }
+  if (admission_ != nullptr && !control &&
+      request->priority == RequestPriority::kNormal &&
+      !admission_->Admit(queue_.Size())) {
+    ShedAtSubmit(request);
+    return;
   }
   if (!queue_.Push(request)) {
     const Status s = Status::Aborted("p2kvs worker stopped");
@@ -109,8 +131,98 @@ void Worker::Submit(Request* request) {
       // covers requests a worker actually processed.
       EmitTrace(TraceEventType::kComplete, request->trace_id, TraceStatusCode(s), 0);
     }
+    if (!control) {
+      // Release: pairs with the snapshot's acquire load so the abort is
+      // never observed without its submitted_ increment.
+      completed_.fetch_add(1, std::memory_order_release);
+    }
     request->Complete(s);
   }
+}
+
+void Worker::ShedAtSubmit(Request* request) {
+  const Status s = MakeShedStatus(config_.id);
+  if (trace_ring_ != nullptr && request->trace_id != 0) {
+    // Shed before the queue: close the trace chain here, like the
+    // closed-queue abort above (not a sampled completion — no worker
+    // processed it).
+    EmitTrace(TraceEventType::kShed, request->trace_id, queue_.Size(), 0);
+    EmitTrace(TraceEventType::kComplete, request->trace_id, TraceStatusCode(s), 0);
+  }
+  // Release: see the closed-queue abort path.
+  shed_.fetch_add(1, std::memory_order_release);
+  NoteShed();
+  request->Complete(s);
+}
+
+void Worker::CountFanoutShed() {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  // Release: see ShedAtSubmit.
+  shed_.fetch_add(1, std::memory_order_release);
+  NoteShed();
+}
+
+void Worker::NoteShed() {
+  if (config_.tracer == nullptr || config_.admission.shed_storm_threshold == 0) {
+    return;
+  }
+  const uint64_t now = NowNanos();
+  const uint64_t window_nanos =
+      static_cast<uint64_t>(config_.admission.shed_storm_window_ms) * 1000000ull;
+  uint64_t start = storm_window_start_.load(std::memory_order_relaxed);
+  if (start == 0 || now - start > window_nanos) {
+    // Rotate the window. Racing submitters may lose the CAS and count into
+    // the winner's fresh window instead — the trigger is deliberately
+    // approximate, a real storm crosses the threshold either way.
+    if (storm_window_start_.compare_exchange_strong(start, now,
+                                                    std::memory_order_relaxed)) {
+      storm_count_.store(0, std::memory_order_relaxed);
+    }
+  }
+  const uint32_t in_window = storm_count_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (in_window >= config_.admission.shed_storm_threshold &&
+      !storm_dumped_.exchange(true, std::memory_order_relaxed)) {
+    config_.tracer->DumpFlightRecorder(
+        std::string("partition ") + std::to_string(config_.id) + " shed storm: " +
+        std::to_string(in_window) + " sheds within " +
+        std::to_string(config_.admission.shed_storm_window_ms) + "ms");
+  }
+}
+
+void Worker::FinishRequest(Request* r, const Status& s, uint64_t batch_id) {
+  EmitTraceComplete(r, s, batch_id);
+  // Worker thread only; the kStats snapshot runs on this same thread, so
+  // relaxed is enough for the accounting invariant.
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  r->Complete(s);
+}
+
+void Worker::ExpireRequest(Request* r, bool at_dequeue) {
+  (at_dequeue ? expired_dequeue_ : expired_execute_)
+      .fetch_add(1, std::memory_order_relaxed);
+  if (config_.enable_stats && r->submit_nanos != 0 && stage_ts_ > r->submit_nanos) {
+    // The request completed a full lifetime (submit -> expiry), and its queue
+    // wait is already in the stage sums. stage_ts_ holds the dequeue (or
+    // batch-build) clock read, so this costs no extra one.
+    recorder_.RecordExpired(stage_ts_ - r->submit_nanos);
+  }
+  const Status s = Status::DeadlineExceeded(
+      std::string("partition ") + std::to_string(config_.id),
+      at_dequeue ? "deadline passed while queued" : "deadline passed before execute");
+  if (r->type == RequestType::kMultiGet && r->mget_statuses != nullptr) {
+    // Partial fan-out expiry: every key this slice carries reports the
+    // deadline, while sibling slices on other partitions complete on their
+    // own merits — the join Completion still counts down exactly once per
+    // slice.
+    for (uint32_t idx : r->mget_index) {
+      (*r->mget_statuses)[idx] = s;
+    }
+  }
+  if (trace_ring_ != nullptr && r->trace_id != 0) {
+    EmitTrace(TraceEventType::kExpired, r->trace_id, at_dequeue ? 0 : 1, 0);
+  }
+  EmitTraceComplete(r, s, 0);
+  r->Complete(s);
 }
 
 void Worker::Run() {
@@ -150,17 +262,34 @@ void Worker::Run() {
       continue;
     }
 
-    if (trace_ring_ != nullptr && r->trace_id != 0) {
-      EmitTrace(TraceEventType::kDequeue, r->trace_id, static_cast<uint64_t>(r->type), 0);
-    }
-
     const bool rec = config_.enable_stats;
     const uint64_t t_submit = r->submit_nanos;
-    if (rec) {
+    uint64_t now = 0;
+    if (rec || admission_ != nullptr) {
       stage_ts_ = NowNanos();
-      if (t_submit != 0 && stage_ts_ > t_submit) {
-        recorder_.RecordQueueWait(stage_ts_ - t_submit);
+      now = stage_ts_;
+      const uint64_t wait = (t_submit != 0 && now > t_submit) ? now - t_submit : 0;
+      if (rec && wait != 0) {
+        recorder_.RecordQueueWait(wait);
       }
+      if (admission_ != nullptr) {
+        // Feed the control law from the worker side: the submit-side probe
+        // then stays clock-free.
+        admission_->RecordQueueWait(wait, now);
+      }
+    }
+    // Deadline checkpoint 1 (at dequeue): dead work is completed here, never
+    // dispatched — not timed, not counted as a dispatch.
+    if (r->deadline_nanos != 0) {
+      if (now == 0) now = NowNanos();
+      if (now >= r->deadline_nanos) {
+        ExpireRequest(r, /*at_dequeue=*/true);
+        continue;
+      }
+    }
+
+    if (trace_ring_ != nullptr && r->trace_id != 0) {
+      EmitTrace(TraceEventType::kDequeue, r->trace_id, static_cast<uint64_t>(r->type), 0);
     }
 
     size_t dispatch_size = 1;
@@ -185,11 +314,39 @@ void Worker::Run() {
           const uint64_t t_built = NowNanos();
           recorder_.RecordBatchBuild(t_built - stage_ts_);
           stage_ts_ = t_built;
+          now = t_built;
         }
-        dispatch_size = group_.size() > 1 ? group_.size() : 1;
-        if (group_.size() <= 1) {
-          ExecuteSingle(r);
-        } else if (IsWriteType(r->type)) {
+        // Deadline checkpoint 2 (pre-execute): drop expired members before
+        // the engine burns time on them. The head already passed checkpoint
+        // 1, so its expiry here counts pre-execute; collected members were
+        // never checked at pop, so theirs count at-dequeue.
+        bool any_deadline = false;
+        for (Request* member : group_) {
+          if (member->deadline_nanos != 0) {
+            any_deadline = true;
+            break;
+          }
+        }
+        if (any_deadline) {
+          if (now == 0) now = NowNanos();
+          size_t live = 0;
+          for (Request* member : group_) {
+            if (now >= member->deadline_nanos && member->deadline_nanos != 0) {
+              ExpireRequest(member, /*at_dequeue=*/member != r);
+            } else {
+              group_[live++] = member;
+            }
+          }
+          group_.resize(live);
+        }
+        if (group_.empty()) {
+          dispatch_size = 0;  // the whole group expired: nothing dispatched
+          break;
+        }
+        dispatch_size = group_.size();
+        if (group_.size() == 1) {
+          ExecuteSingle(group_[0]);
+        } else if (IsWriteType(group_[0]->type)) {
           ExecuteWriteGroup(group_);
         } else {
           ExecuteReadGroup(group_);
@@ -197,7 +354,7 @@ void Worker::Run() {
         break;
       }
     }
-    if (rec) {
+    if (rec && dispatch_size != 0) {
       // r (and the group members) may already be destroyed — only timestamps
       // are touched here. stage_ts_ holds the Execute helper's last clock
       // read, so closing out the dispatch costs no extra one.
@@ -237,6 +394,20 @@ WorkerStatsSnapshot Worker::SnapshotStats() {
   snap.degraded_rejects = degraded_rejects_.load(std::memory_order_relaxed);
   snap.resume_attempts = resume_attempts_.load(std::memory_order_relaxed);
   snap.queue_depth = queue_.Size();
+  // Overload accounting. Acquire on the submit-thread doors (shed, aborts)
+  // pairs with their release increments, so a door observed here always
+  // comes with its submitted_ increment — keeping the SelfCheck inequality
+  // completed + shed + expired <= submitted true at every instant. The
+  // acquire loads run before the submitted_ load in program order, and
+  // acquire semantics keep it there.
+  snap.completed = completed_.load(std::memory_order_acquire);
+  snap.shed = shed_.load(std::memory_order_acquire);
+  snap.expired_at_dequeue = expired_dequeue_.load(std::memory_order_relaxed);
+  snap.expired_pre_execute = expired_execute_.load(std::memory_order_relaxed);
+  snap.submitted = submitted_.load(std::memory_order_relaxed);
+  snap.breaker_trips = breaker_.trips();
+  snap.retries_denied = retry_budget_.denied();
+  snap.admission_overloaded = admission_ != nullptr && admission_->overloaded();
   return snap;
 }
 
@@ -258,16 +429,23 @@ bool Worker::RejectIfUnhealthy(Request* request) {
     EmitTrace(TraceEventType::kDequeue, request->trace_id,
               static_cast<uint64_t>(request->type), 0);
   }
-  EmitTraceComplete(request, s, 0);
-  request->Complete(s);
+  FinishRequest(request, s, 0);
   return true;
 }
 
 void Worker::MaybeDegrade(const Status& s, uint64_t trace_id) {
+  if (s.IsDeadlineExceeded()) {
+    // A deadline that lapsed mid-retry says nothing about device health:
+    // neither a breaker failure nor a success. Leave the window untouched.
+    return;
+  }
   // Only storage errors degrade: a transient status here already survived
   // every retry, so the partition is treated as unhealthy either way.
   // Semantic outcomes (NotFound / InvalidArgument / NotSupported) do not.
   if (!s.IsIOError() && !s.IsCorruption()) {
+    if (breaker_.enabled()) {
+      breaker_.OnSuccess();  // failures must be *sustained* to trip
+    }
     return;
   }
   if (trace_ring_ != nullptr) {
@@ -277,6 +455,14 @@ void Worker::MaybeDegrade(const Status& s, uint64_t trace_id) {
     const uint64_t id = trace_id != 0 ? trace_id : config_.tracer->NewTraceId();
     EmitTrace(TraceEventType::kError, id, TraceStatusCode(s), s.IsTransient() ? 1 : 0);
   }
+  // Circuit breaker (when enabled): isolated IO errors are absorbed — the
+  // caller already sees the error status, but the partition stays healthy
+  // until failures are sustained within the breaker window. Corruption is
+  // never absorbed (data integrity beats availability). With the breaker
+  // disabled OnFailure always says "trip": the legacy first-error degrade.
+  if (!s.IsCorruption() && !breaker_.OnFailure(NowNanos())) {
+    return;
+  }
   int expected = static_cast<int>(WorkerHealth::kHealthy);
   if (health_.compare_exchange_strong(expected, static_cast<int>(WorkerHealth::kDegraded),
                                       std::memory_order_acq_rel)) {
@@ -284,9 +470,12 @@ void Worker::MaybeDegrade(const Status& s, uint64_t trace_id) {
     if (config_.tracer != nullptr) {
       // The hard error is in the ring (kError above, plus the failing
       // request's earlier hops); capture it before traffic overwrites it.
-      config_.tracer->DumpFlightRecorder(
-          std::string("partition ") + std::to_string(config_.id) +
-          " degraded on hard error: " + s.ToString());
+      const char* how = breaker_.enabled()
+                            ? " degraded by circuit breaker on sustained errors: "
+                            : " degraded on hard error: ";
+      config_.tracer->DumpFlightRecorder(std::string("partition ") +
+                                         std::to_string(config_.id) + how +
+                                         s.ToString());
     }
   }
 }
@@ -345,7 +534,13 @@ Status Worker::TryResume() {
 
 void Worker::ExecuteWriteGroup(const std::vector<Request*>& group) {
   WriteBatch merged;
+  // The earliest deadline in the group governs the merged write's retries:
+  // the group shares one engine call and one fate, exactly like errors.
+  uint64_t deadline = 0;
   for (Request* r : group) {
+    if (r->deadline_nanos != 0 && (deadline == 0 || r->deadline_nanos < deadline)) {
+      deadline = r->deadline_nanos;
+    }
     switch (r->type) {
       case RequestType::kPut:
         merged.Put(r->key, r->value);
@@ -389,6 +584,8 @@ void Worker::ExecuteWriteGroup(const std::vector<Request*>& group) {
 
   const bool rec = config_.enable_stats;
   const uint64_t t0 = stage_ts_;  // end of batch-build (valid iff rec)
+  const RetryGovernor governor{retry_budget_.enabled() ? &retry_budget_ : nullptr,
+                               deadline};
   Status s;
   if (lead_trace != 0) {
     // Engine internals (WAL append, memtable insert, retries, faults) emit
@@ -400,10 +597,10 @@ void Worker::ExecuteWriteGroup(const std::vector<Request*>& group) {
     ctx.worker_id = static_cast<uint32_t>(config_.id);
     ScopedTraceContext scope(ctx);
     s = RunWithRetry(config_.env, config_.retry,
-                     [&] { return store_->Write(&merged, KvWriteOptions()); });
+                     [&] { return store_->Write(&merged, KvWriteOptions()); }, governor);
   } else {
     s = RunWithRetry(config_.env, config_.retry,
-                     [&] { return store_->Write(&merged, KvWriteOptions()); });
+                     [&] { return store_->Write(&merged, KvWriteOptions()); }, governor);
   }
   MaybeDegrade(s, lead_trace);
   if (lead_trace != 0) {
@@ -415,8 +612,7 @@ void Worker::ExecuteWriteGroup(const std::vector<Request*>& group) {
   // Every member of the merged group observes the group's outcome — on
   // failure none of the folded writes may be silently acknowledged.
   for (Request* r : group) {
-    EmitTraceComplete(r, s, batch_id);
-    r->Complete(s);
+    FinishRequest(r, s, batch_id);
   }
   if (rec) {
     const uint64_t t2 = NowNanos();
@@ -426,14 +622,16 @@ void Worker::ExecuteWriteGroup(const std::vector<Request*>& group) {
   }
 }
 
-Status Worker::ReadOne(const Slice& key, std::string* value) {
+Status Worker::ReadOne(const Slice& key, std::string* value, uint64_t deadline_nanos) {
   if (!txn_snapshots_.empty()) {
     // A cross-instance transaction is in flight: read its pre-image so its
     // uncommitted writes stay invisible (read committed).
     return store_->GetAtSnapshot(key, value, txn_snapshots_.front().second);
   }
+  const RetryGovernor governor{retry_budget_.enabled() ? &retry_budget_ : nullptr,
+                               deadline_nanos};
   return RunWithRetry(config_.env, config_.retry,
-                      [&] { return store_->Get(key, value); });
+                      [&] { return store_->Get(key, value); }, governor);
 }
 
 void Worker::ExecuteReadGroup(const std::vector<Request*>& group) {
@@ -473,9 +671,8 @@ void Worker::ExecuteReadGroup(const std::vector<Request*>& group) {
     read_batches_.fetch_add(1, std::memory_order_relaxed);
     reads_batched_.fetch_add(group.size(), std::memory_order_relaxed);
     for (Request* r : group) {
-      const Status rs = ReadOne(r->key, r->get_out);
-      EmitTraceComplete(r, rs, batch_id);
-      r->Complete(rs);
+      const Status rs = ReadOne(r->key, r->get_out, r->deadline_nanos);
+      FinishRequest(r, rs, batch_id);
     }
     if (lead_trace != 0) {
       EmitTrace(TraceEventType::kExecuteEnd, lead_trace, batch_id, 0);
@@ -506,8 +703,7 @@ void Worker::ExecuteReadGroup(const std::vector<Request*>& group) {
     if (statuses[i].ok() && group[i]->get_out != nullptr) {
       *group[i]->get_out = std::move(values[i]);
     }
-    EmitTraceComplete(group[i], statuses[i], batch_id);
-    group[i]->Complete(statuses[i]);
+    FinishRequest(group[i], statuses[i], batch_id);
   }
   if (rec) {
     const uint64_t t2 = NowNanos();
@@ -537,7 +733,8 @@ void Worker::ExecuteMultiGet(Request* r) {
     read_batches_.fetch_add(1, std::memory_order_relaxed);
     reads_batched_.fetch_add(index.size(), std::memory_order_relaxed);
     for (uint32_t idx : index) {
-      (*r->mget_statuses)[idx] = ReadOne((*r->mget_keys)[idx], &(*r->mget_values)[idx]);
+      (*r->mget_statuses)[idx] =
+          ReadOne((*r->mget_keys)[idx], &(*r->mget_values)[idx], r->deadline_nanos);
     }
     if (rec) {
       const uint64_t t1 = NowNanos();
@@ -547,8 +744,7 @@ void Worker::ExecuteMultiGet(Request* r) {
     if (trace_id != 0) {
       EmitTrace(TraceEventType::kExecuteEnd, trace_id, batch_id, 0);
     }
-    EmitTraceComplete(r, Status::OK(), batch_id);
-    r->Complete(Status::OK());
+    FinishRequest(r, Status::OK(), batch_id);
     return;
   }
   std::vector<Slice> keys;
@@ -575,8 +771,7 @@ void Worker::ExecuteMultiGet(Request* r) {
   if (trace_id != 0) {
     EmitTrace(TraceEventType::kExecuteEnd, trace_id, batch_id, 0);
   }
-  EmitTraceComplete(r, Status::OK(), batch_id);
-  r->Complete(Status::OK());
+  FinishRequest(r, Status::OK(), batch_id);
 }
 
 void Worker::ExecuteSingle(Request* r) {
@@ -605,8 +800,7 @@ void Worker::ExecuteSingle(Request* r) {
     EmitTrace(TraceEventType::kExecuteEnd, trace_id, batch_id, TraceStatusCode(s));
   }
   const uint64_t t1 = rec ? NowNanos() : 0;
-  EmitTraceComplete(r, s, batch_id);
-  r->Complete(s);
+  FinishRequest(r, s, batch_id);
   if (rec) {
     const uint64_t t2 = NowNanos();
     recorder_.RecordExecute(t1 - t0);
@@ -616,20 +810,24 @@ void Worker::ExecuteSingle(Request* r) {
 }
 
 Status Worker::ExecuteSingleOp(Request* r) {
+  const RetryGovernor governor{retry_budget_.enabled() ? &retry_budget_ : nullptr,
+                               r->deadline_nanos};
   Status s;
   switch (r->type) {
     case RequestType::kPut:
       s = RunWithRetry(config_.env, config_.retry,
-                       [&] { return store_->Put(r->key, r->value, KvWriteOptions()); });
+                       [&] { return store_->Put(r->key, r->value, KvWriteOptions()); },
+                       governor);
       MaybeDegrade(s, r->trace_id);
       break;
     case RequestType::kDelete:
       s = RunWithRetry(config_.env, config_.retry,
-                       [&] { return store_->Delete(r->key, KvWriteOptions()); });
+                       [&] { return store_->Delete(r->key, KvWriteOptions()); },
+                       governor);
       MaybeDegrade(s, r->trace_id);
       break;
     case RequestType::kGet:
-      s = ReadOne(r->key, r->get_out);
+      s = ReadOne(r->key, r->get_out, r->deadline_nanos);
       break;
     case RequestType::kWriteBatch: {
       if (config_.txn_read_committed && r->gsn != 0 && caps_.snapshots) {
@@ -643,7 +841,7 @@ Status Worker::ExecuteSingleOp(Request* r) {
       // survives a crash.
       options.sync = (r->gsn != 0);
       s = RunWithRetry(config_.env, config_.retry,
-                       [&] { return store_->Write(r->batch, options); });
+                       [&] { return store_->Write(r->batch, options); }, governor);
       MaybeDegrade(s, r->trace_id);
       break;
     }
@@ -694,8 +892,7 @@ void Worker::ExecuteScan(Request* r) {
   if (trace_id != 0) {
     EmitTrace(TraceEventType::kExecuteEnd, trace_id, batch_id, TraceStatusCode(s));
   }
-  EmitTraceComplete(r, s, batch_id);
-  r->Complete(s);
+  FinishRequest(r, s, batch_id);
 }
 
 void Worker::ExecuteRange(Request* r) {
@@ -729,8 +926,7 @@ void Worker::ExecuteRange(Request* r) {
   if (trace_id != 0) {
     EmitTrace(TraceEventType::kExecuteEnd, trace_id, batch_id, TraceStatusCode(s));
   }
-  EmitTraceComplete(r, s, batch_id);
-  r->Complete(s);
+  FinishRequest(r, s, batch_id);
 }
 
 }  // namespace p2kvs

@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/core/admission.h"
 #include "src/core/batch_policy.h"
 #include "src/core/event_listener.h"
 #include "src/core/kv_store.h"
@@ -65,6 +66,22 @@ class Worker {
     // Consecutive failed auto-resumes before the partition is marked failed.
     int max_auto_resume_failures = 5;
 
+    // --- Overload control (all off by default). ---
+    // Admission control at Submit: CoDel-style shedding on sustained queue
+    // wait plus a hard depth ceiling. See AdmissionConfig.
+    AdmissionConfig admission;
+    // Controller factory; defaults to MakeCoDelAdmissionController.
+    AdmissionControllerFactory admission_factory;
+    // Aggregate retry-rate bound for this worker (tokens/sec; 0 disables —
+    // every transient fault retries per RetryPolicy, the legacy behavior).
+    double retry_budget_per_sec = 0;
+    double retry_budget_burst = 16;
+    // Circuit breaker: hard write failures within the window needed before
+    // the partition degrades. 0 = disabled: the FIRST hard error degrades
+    // immediately (the pre-existing error-governance contract).
+    uint32_t breaker_failure_threshold = 0;
+    uint32_t breaker_window_ms = 1000;
+
     // --- Observability. ---
     // Per-stage timing + distributions in the worker's StatsRecorder. When
     // off, the hot path takes zero clock reads; counters stay correct.
@@ -91,8 +108,32 @@ class Worker {
   void Stop();
 
   // Called by user threads (the accessing layer): enqueue and return.
-  // Parks only if the queue is bounded and full.
+  // Parks only if the queue is bounded and full. With admission control on,
+  // a kNormal-priority request may instead be shed — completed immediately
+  // with the Busy shed status, never enqueued.
   void Submit(Request* request);
+
+  // Fan-out group admission, called by P2KVS before arming a multi-partition
+  // join: pure probe, no state change. A group is shed all-or-nothing — if
+  // any involved partition refuses, P2KVS calls CountFanoutShed() on every
+  // involved partition and submits nothing (the slices that would have been
+  // submitted carry RequestPriority::kCritical otherwise, so a group that
+  // passed the probe cannot be half-shed by a racing overload signal).
+  bool ProbeAdmission() const {
+    return admission_ == nullptr || admission_->Admit(queue_.Size());
+  }
+  // Accounts one fan-out slice shed at P2KVS level before submission.
+  void CountFanoutShed();
+
+  // Overload-accounting counters (see WorkerStatsSnapshot for semantics).
+  uint64_t submitted() const { return submitted_.load(std::memory_order_relaxed); }
+  uint64_t completed() const { return completed_.load(std::memory_order_acquire); }
+  uint64_t shed() const { return shed_.load(std::memory_order_acquire); }
+  uint64_t expired() const {
+    return expired_dequeue_.load(std::memory_order_relaxed) +
+           expired_execute_.load(std::memory_order_relaxed);
+  }
+  uint64_t breaker_trips() const { return breaker_.trips(); }
 
   KVStore* store() { return store_.get(); }
   size_t QueueDepth() const { return queue_.Size(); }
@@ -137,7 +178,7 @@ class Worker {
   // The engine call for one unbatched request; factored out so ExecuteSingle
   // can wrap it in a trace scope only when the request is sampled.
   Status ExecuteSingleOp(Request* request);
-  Status ReadOne(const Slice& key, std::string* value);
+  Status ReadOne(const Slice& key, std::string* value, uint64_t deadline_nanos);
   void ExecuteWriteGroup(const std::vector<Request*>& group);  // one WriteBatch
   void ExecuteReadGroup(const std::vector<Request*>& group);   // one MultiGet
   void ExecuteMultiGet(Request* request);  // pre-merged client fan-out group
@@ -156,6 +197,21 @@ class Worker {
   void MaybeAutoResume() EXCLUDES(resume_mu_);
   // True if the write request was rejected fast (partition not healthy).
   bool RejectIfUnhealthy(Request* request);
+
+  // --- Overload-control helpers. ---
+  // Normal completion or fast-reject: traces, counts `completed`, completes.
+  // The single exit for every request a worker resolves with a real status.
+  void FinishRequest(Request* request, const Status& s, uint64_t batch_id);
+  // Admission refusal on the submit path (user thread): counts `shed`,
+  // completes with the Busy shed status. The request is never enqueued.
+  void ShedAtSubmit(Request* request);
+  // Deadline passed before the engine ran the request: counts the matching
+  // expired_* bucket, scatters DeadlineExceeded into MultiGet slices, and
+  // completes. Worker thread only.
+  void ExpireRequest(Request* request, bool at_dequeue);
+  // Shed-storm detection: N sheds within a window trigger one flight-recorder
+  // dump per store lifetime (satellite of the overload post-mortem story).
+  void NoteShed();
 
   // --- Tracing helpers (all no-ops unless config.tracer is set). ---
   // Appends one event to this worker's ring on behalf of `trace_id`.
@@ -208,6 +264,31 @@ class Worker {
   std::atomic<uint64_t> read_batches_{0};
   std::atomic<uint64_t> reads_batched_{0};
   std::atomic<uint64_t> singles_{0};
+
+  // Overload accounting: every data request entering Submit counts once in
+  // submitted_ and resolves through exactly one of completed_/shed_/expired_.
+  // Door increments that run on submit threads (shed, closed-queue abort)
+  // use release so a snapshot that observes the door also observes the
+  // matching submitted_ increment (SelfCheck's <= invariant); worker-thread
+  // door increments are ordered by the queue's push/pop release/acquire.
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> expired_dequeue_{0};
+  std::atomic<uint64_t> expired_execute_{0};
+
+  // Shed-storm window (see NoteShed; user threads race on these, the count
+  // is deliberately approximate).
+  std::atomic<uint64_t> storm_window_start_{0};
+  std::atomic<uint32_t> storm_count_{0};
+  std::atomic<bool> storm_dumped_{false};
+
+  // Admission controller (null = admission off). Constructed before Start()
+  // and immutable afterwards.
+  std::unique_ptr<AdmissionController> admission_;
+  // Worker-thread-only overload governors (see admission.h / retry.h).
+  RetryBudget retry_budget_;
+  CircuitBreaker breaker_;
 
   // Stage timings + distributions; written only by the worker thread,
   // snapshotted via kStats drain requests (never read live cross-thread).

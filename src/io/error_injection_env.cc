@@ -37,6 +37,7 @@ class ErrorInjectionSequentialFile final : public SequentialFile {
       : fname_(std::move(fname)), base_(std::move(base)), env_(env) {}
 
   Status Read(size_t n, Slice* result, char* scratch) override {
+    env_->MaybeDelay(FaultOp::kRead, fname_);
     Status fault;
     if (env_->MaybeInject(FaultOp::kRead, fname_, &fault)) {
       return fault;
@@ -68,6 +69,7 @@ class ErrorInjectionRandomAccessFile final : public RandomAccessFile {
       : fname_(std::move(fname)), base_(std::move(base)), env_(env) {}
 
   Status Read(uint64_t offset, size_t n, Slice* result, char* scratch) const override {
+    env_->MaybeDelay(FaultOp::kRead, fname_);
     Status fault;
     if (env_->MaybeInject(FaultOp::kRead, fname_, &fault)) {
       return fault;
@@ -93,6 +95,7 @@ class ErrorInjectionWritableFile final : public WritableFile {
       : fname_(std::move(fname)), base_(std::move(base)), env_(env) {}
 
   Status Append(const Slice& data) override {
+    env_->MaybeDelay(FaultOp::kAppend, fname_);
     Status fault;
     if (env_->MaybeInject(FaultOp::kAppend, fname_, &fault)) {
       return fault;
@@ -103,6 +106,7 @@ class ErrorInjectionWritableFile final : public WritableFile {
   Status Flush() override { return base_->Flush(); }
 
   Status Sync() override {
+    env_->MaybeDelay(FaultOp::kSync, fname_);
     Status fault;
     if (env_->MaybeInject(FaultOp::kSync, fname_, &fault)) {
       return fault;
@@ -126,6 +130,7 @@ class ErrorInjectionRandomWritableFile final : public RandomWritableFile {
       : fname_(std::move(fname)), base_(std::move(base)), env_(env) {}
 
   Status Write(uint64_t offset, const Slice& data) override {
+    env_->MaybeDelay(FaultOp::kRandomWrite, fname_);
     Status fault;
     if (env_->MaybeInject(FaultOp::kRandomWrite, fname_, &fault)) {
       return fault;
@@ -134,6 +139,7 @@ class ErrorInjectionRandomWritableFile final : public RandomWritableFile {
   }
 
   Status Read(uint64_t offset, size_t n, Slice* result, char* scratch) const override {
+    env_->MaybeDelay(FaultOp::kRead, fname_);
     Status fault;
     if (env_->MaybeInject(FaultOp::kRead, fname_, &fault)) {
       return fault;
@@ -147,6 +153,7 @@ class ErrorInjectionRandomWritableFile final : public RandomWritableFile {
   }
 
   Status Sync() override {
+    env_->MaybeDelay(FaultOp::kRandomSync, fname_);
     Status fault;
     if (env_->MaybeInject(FaultOp::kRandomSync, fname_, &fault)) {
       return fault;
@@ -187,6 +194,11 @@ void ErrorInjectionEnv::SetSeed(uint32_t seed) {
   rng_ = Random(seed);
 }
 
+void ErrorInjectionEnv::SetOpLatency(FaultOp op, int micros) {
+  MutexLock lock(&mu_);
+  ops_[static_cast<int>(op)].latency_us = micros;
+}
+
 void ErrorInjectionEnv::SetPathFilter(const std::string& substring) {
   MutexLock lock(&mu_);
   path_filter_ = substring;
@@ -197,6 +209,7 @@ void ErrorInjectionEnv::DisableAll() {
   for (OpState& st : ops_) {
     st.fail_next = 0;
     st.one_in = 0;
+    st.latency_us = 0;
   }
 }
 
@@ -212,6 +225,22 @@ uint64_t ErrorInjectionEnv::injected_faults() const {
 uint64_t ErrorInjectionEnv::injected_faults(FaultOp op) const {
   MutexLock lock(&mu_);
   return ops_[static_cast<int>(op)].injected;
+}
+
+void ErrorInjectionEnv::MaybeDelay(FaultOp op, const std::string& fname) {
+  int micros;
+  {
+    MutexLock lock(&mu_);
+    const OpState& st = ops_[static_cast<int>(op)];
+    if (st.latency_us <= 0) {
+      return;
+    }
+    if (!path_filter_.empty() && fname.find(path_filter_) == std::string::npos) {
+      return;
+    }
+    micros = st.latency_us;
+  }
+  target()->SleepForMicroseconds(micros);
 }
 
 bool ErrorInjectionEnv::MaybeInject(FaultOp op, const std::string& fname, Status* out) {

@@ -58,7 +58,13 @@ class ErrorInjectionEnv final : public EnvWrapper {
   // Only operations on paths containing `substring` are eligible (empty
   // matches everything).
   void SetPathFilter(const std::string& substring);
-  // Clears all scripted counts and odds; the env becomes a pure pass-through.
+  // Latency injection: every matching operation of class `op` sleeps
+  // `micros` before delegating (0 disables). A *slow* fault rather than a
+  // failed one — the knob the overload tests use to push queue wait past a
+  // request deadline deterministically. Honors the path filter.
+  void SetOpLatency(FaultOp op, int micros);
+  // Clears all scripted counts, odds, and injected latencies; the env
+  // becomes a pure pass-through.
   void DisableAll();
 
   // --- observability ---
@@ -86,6 +92,7 @@ class ErrorInjectionEnv final : public EnvWrapper {
   struct OpState {
     int fail_next = 0;   // scripted failures remaining
     int one_in = 0;      // probabilistic odds (0 = off)
+    int latency_us = 0;  // injected per-call latency (0 = off)
     bool transient = true;
     uint64_t injected = 0;
   };
@@ -94,6 +101,10 @@ class ErrorInjectionEnv final : public EnvWrapper {
   // for this call. Also used for kShortRead, where the caller truncates the
   // successful read instead of failing it.
   bool MaybeInject(FaultOp op, const std::string& fname, Status* out) EXCLUDES(mu_);
+
+  // Sleeps the configured latency for `op` (if any) before the caller
+  // delegates. The sleep itself runs outside mu_.
+  void MaybeDelay(FaultOp op, const std::string& fname) EXCLUDES(mu_);
 
   mutable Mutex mu_;
   std::array<OpState, kNumFaultOps> ops_ GUARDED_BY(mu_);

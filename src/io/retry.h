@@ -16,6 +16,7 @@
 
 #include "src/io/env.h"
 #include "src/io/io_stats.h"
+#include "src/util/clock.h"
 #include "src/util/perf_context.h"
 #include "src/util/status.h"
 #include "src/util/trace.h"
@@ -30,16 +31,82 @@ struct RetryPolicy {
   int max_backoff_us = 100000;
 };
 
+// Token-bucket bound on a worker's aggregate retry rate. Worker-thread-only
+// (plain fields, no atomics): each worker owns one, consulted before every
+// backoff-retry of a transient fault. When the bucket is empty the retry is
+// denied and the operation fails fast with its last transient status —
+// under a correlated fault storm the partition stops multiplying its own
+// offered load. rate_per_sec <= 0 disables the budget (every retry allowed),
+// preserving the pre-existing per-operation RetryPolicy behavior.
+class RetryBudget {
+ public:
+  RetryBudget(double rate_per_sec, double burst)
+      : rate_per_sec_(rate_per_sec),
+        burst_(burst > 1.0 ? burst : 1.0),
+        tokens_(burst_) {}
+
+  bool enabled() const { return rate_per_sec_ > 0.0; }
+
+  // True = retry allowed (one token consumed). `now_nanos` refills.
+  bool TryAcquire(uint64_t now_nanos) {
+    if (!enabled()) return true;
+    if (last_refill_nanos_ != 0 && now_nanos > last_refill_nanos_) {
+      const double elapsed_sec =
+          static_cast<double>(now_nanos - last_refill_nanos_) * 1e-9;
+      tokens_ += elapsed_sec * rate_per_sec_;
+      if (tokens_ > burst_) tokens_ = burst_;
+    }
+    last_refill_nanos_ = now_nanos;
+    if (tokens_ >= 1.0) {
+      tokens_ -= 1.0;
+      return true;
+    }
+    ++denied_;
+    return false;
+  }
+
+  uint64_t denied() const { return denied_; }
+
+ private:
+  const double rate_per_sec_;
+  const double burst_;
+  double tokens_;
+  uint64_t last_refill_nanos_ = 0;
+  uint64_t denied_ = 0;
+};
+
+// Overload governance applied on top of a RetryPolicy on the worker hot
+// path: the per-worker retry-budget token bucket (aggregate bound across
+// operations) and the request's absolute deadline (retrying past it only
+// burns device time on an answer nobody is waiting for). Both optional; the
+// default-constructed governor changes nothing, and the clock is only read
+// once a retry is actually about to happen (cold path).
+struct RetryGovernor {
+  RetryBudget* budget = nullptr;  // null = unlimited
+  uint64_t deadline_nanos = 0;    // 0 = none
+};
+
 // Runs `op` (a callable returning Status) up to policy.max_attempts times,
 // sleeping with exponential backoff between attempts, while the result is
 // transient. Returns the last status. Accounts each retry and its backoff in
 // the calling thread's PerfContext and the global IoStats.
 template <typename Op>
-Status RunWithRetry(Env* env, const RetryPolicy& policy, Op&& op) {
+Status RunWithRetry(Env* env, const RetryPolicy& policy, Op&& op,
+                    const RetryGovernor& governor = RetryGovernor()) {
   Status s = op();
   int backoff_us = policy.base_backoff_us;
   for (int attempt = 1; !s.ok() && s.IsTransient() && attempt < policy.max_attempts;
        attempt++) {
+    if (governor.deadline_nanos != 0 || governor.budget != nullptr) {
+      const uint64_t now = NowNanos();
+      if (governor.deadline_nanos != 0 && now >= governor.deadline_nanos) {
+        return Status::DeadlineExceeded("retry abandoned",
+                                        "request deadline passed during retries");
+      }
+      if (governor.budget != nullptr && !governor.budget->TryAcquire(now)) {
+        return s;  // budget exhausted: fail fast with the last transient status
+      }
+    }
     GetPerfContext().retry_count++;
     IoStats::Instance().RecordRetry();
     TraceEmitAux(TraceEventType::kRetry, static_cast<uint64_t>(attempt),

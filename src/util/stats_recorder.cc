@@ -37,6 +37,15 @@ void WorkerStatsSnapshot::MergeFrom(const WorkerStatsSnapshot& other) {
   degraded_rejects += other.degraded_rejects;
   resume_attempts += other.resume_attempts;
   queue_depth += other.queue_depth;
+
+  submitted += other.submitted;
+  completed += other.completed;
+  shed += other.shed;
+  expired_at_dequeue += other.expired_at_dequeue;
+  expired_pre_execute += other.expired_pre_execute;
+  breaker_trips += other.breaker_trips;
+  retries_denied += other.retries_denied;
+  admission_overloaded = admission_overloaded || other.admission_overloaded;
 }
 
 std::string WorkerStatsSnapshot::ToJson() const {
@@ -91,6 +100,20 @@ std::string WorkerStatsSnapshot::ToJson() const {
                 static_cast<unsigned long long>(degraded_rejects),
                 static_cast<unsigned long long>(resume_attempts),
                 static_cast<unsigned long long>(queue_depth));
+  json += buf;
+  std::snprintf(buf, sizeof(buf),
+                "\"submitted\":%llu,\"completed\":%llu,\"shed\":%llu,"
+                "\"expired_at_dequeue\":%llu,\"expired_pre_execute\":%llu,"
+                "\"breaker_trips\":%llu,\"retries_denied\":%llu,"
+                "\"admission_overloaded\":%s,",
+                static_cast<unsigned long long>(submitted),
+                static_cast<unsigned long long>(completed),
+                static_cast<unsigned long long>(shed),
+                static_cast<unsigned long long>(expired_at_dequeue),
+                static_cast<unsigned long long>(expired_pre_execute),
+                static_cast<unsigned long long>(breaker_trips),
+                static_cast<unsigned long long>(retries_denied),
+                admission_overloaded ? "true" : "false");
   json += buf;
   json += "\"queue_wait_us\":" + queue_wait_us.ToJson();
   json += ",\"execute_us\":" + execute_us.ToJson();

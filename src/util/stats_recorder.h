@@ -76,10 +76,29 @@ struct WorkerStatsSnapshot {
   uint64_t degraded_rejects = 0;
   uint64_t resume_attempts = 0;
 
+  // Overload-control accounting. Every data request entering Worker::Submit
+  // counts once in `submitted` and resolves through exactly one of three
+  // doors: `completed` (executed, or fast-rejected with a real status —
+  // degraded rejects and shutdown aborts included), `shed` (refused by
+  // admission control, at submit or as part of an atomically-shed fan-out
+  // group), or `expired_*` (deadline passed before the engine ran it).
+  // SelfCheck enforces completed + shed + expired <= submitted, with
+  // equality once the pipeline is quiescent. Control requests (barrier /
+  // stats drains) are bookkeeping, not client work, and are never counted.
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  uint64_t shed = 0;
+  uint64_t expired_at_dequeue = 0;   // deadline already gone when popped
+  uint64_t expired_pre_execute = 0;  // expired between collect and engine call
+  uint64_t breaker_trips = 0;        // circuit-breaker -> degraded transitions
+  uint64_t retries_denied = 0;       // retry-budget fast-fail decisions
+  bool admission_overloaded = false; // controller shedding at snapshot time
+
   // Queue depth at snapshot time (backpressure visibility).
   size_t queue_depth = 0;
 
   uint64_t requests_executed() const { return writes_batched + reads_batched + singles; }
+  uint64_t expired() const { return expired_at_dequeue + expired_pre_execute; }
   uint64_t stage_nanos_sum() const {
     return queue_wait_nanos + batch_build_nanos + execute_nanos + complete_nanos;
   }
@@ -110,6 +129,15 @@ class alignas(64) StatsRecorder {
       end_to_end_nanos_ += end_to_end_nanos;
       end_to_end_us_.Add(static_cast<double>(end_to_end_nanos) / 1000.0);
     }
+  }
+
+  // An expired request's lifetime (submit -> expiry). Its queue wait already
+  // landed in the stage sums at dequeue, so its end-to-end must land too or
+  // SelfCheck's stage/e2e partition invariant would break. Not a dispatch:
+  // the batch-size distribution is untouched.
+  void RecordExpired(uint64_t end_to_end_nanos) {
+    end_to_end_nanos_ += end_to_end_nanos;
+    end_to_end_us_.Add(static_cast<double>(end_to_end_nanos) / 1000.0);
   }
 
   // Copies the recorder's view into `out` (counters owned by the worker

@@ -41,6 +41,9 @@ std::string Status::ToString() const {
     case Code::kAborted:
       type = "Aborted: ";
       break;
+    case Code::kDeadlineExceeded:
+      type = "Deadline exceeded: ";
+      break;
   }
   std::string result(type);
   result.append(state_->msg);

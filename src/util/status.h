@@ -54,6 +54,13 @@ class Status {
   static Status Aborted(const Slice& msg, const Slice& msg2 = Slice()) {
     return Status(Code::kAborted, msg, msg2);
   }
+  // The request's deadline passed before (or while) it could execute. A
+  // semantic outcome, not a storage fault: it must never degrade a partition
+  // and must never be auto-retried (the deadline is already gone — only the
+  // client, with a fresh deadline, may resubmit).
+  static Status DeadlineExceeded(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(Code::kDeadlineExceeded, msg, msg2);
+  }
 
   bool ok() const { return state_ == nullptr; }
   bool IsNotFound() const { return code() == Code::kNotFound; }
@@ -63,6 +70,7 @@ class Status {
   bool IsIOError() const { return code() == Code::kIOError; }
   bool IsBusy() const { return code() == Code::kBusy; }
   bool IsAborted() const { return code() == Code::kAborted; }
+  bool IsDeadlineExceeded() const { return code() == Code::kDeadlineExceeded; }
 
   StatusSeverity severity() const {
     return state_ == nullptr ? StatusSeverity::kHard : state_->severity;
@@ -92,6 +100,7 @@ class Status {
     kIOError,
     kBusy,
     kAborted,
+    kDeadlineExceeded,
   };
 
   struct State {

@@ -140,6 +140,7 @@ inline uint64_t TraceStatusCode(const Status& s) {
   if (s.IsBusy()) return 3;
   if (s.IsIOError()) return 4;
   if (s.IsCorruption()) return 5;
+  if (s.IsDeadlineExceeded()) return 7;
   return 6;
 }
 

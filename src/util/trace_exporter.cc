@@ -116,6 +116,12 @@ std::string EventArgs(const TraceEvent& e) {
       AppendArg(&args, "fault_op", e.arg1);
       AppendArg(&args, "transient", e.arg2);
       break;
+    case TraceEventType::kShed:
+      AppendArg(&args, "queue_depth", e.arg1);
+      break;
+    case TraceEventType::kExpired:
+      AppendArg(&args, "checkpoint", e.arg1);  // 0 = at dequeue, 1 = pre-execute
+      break;
     case TraceEventType::kInvalid:
       break;
   }

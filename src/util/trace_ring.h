@@ -76,6 +76,8 @@ enum class TraceEventType : uint8_t {
   kStall = 13,          // write stall ended (arg1 = stall micros)
   kRetry = 14,          // transient-fault retry (arg1 = attempt, arg2 = backoff us)
   kFault = 15,          // injected/observed storage fault (arg1 = fault op)
+  kShed = 16,           // admission control rejected it (arg1 = queue depth)
+  kExpired = 17,        // deadline passed (arg1 = 0 at dequeue, 1 pre-execute)
 };
 
 inline const char* TraceEventTypeName(TraceEventType type) {
@@ -96,6 +98,8 @@ inline const char* TraceEventTypeName(TraceEventType type) {
     case TraceEventType::kStall: return "stall";
     case TraceEventType::kRetry: return "retry";
     case TraceEventType::kFault: return "fault";
+    case TraceEventType::kShed: return "shed";
+    case TraceEventType::kExpired: return "expired";
   }
   return "unknown";
 }

@@ -1,0 +1,579 @@
+// Overload-robustness tests: request deadlines (expiry while queued and
+// across a partial MultiGet fan-out), CoDel-style admission control and the
+// accounting invariant (completed + shed + expired == submitted once
+// quiescent), retry budgets, the per-partition circuit breaker, and the
+// shed-storm flight-recorder trigger. Unit tests of the control primitives
+// first, then framework-level tests driving a real store through
+// ErrorInjectionEnv latency/fault injection.
+
+#include "src/core/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "src/core/p2kvs.h"
+#include "src/io/error_injection_env.h"
+#include "src/io/mem_env.h"
+#include "src/io/retry.h"
+
+namespace p2kvs {
+namespace {
+
+constexpr uint64_t kMs = 1000000ull;  // nanoseconds per millisecond
+
+// ---------------- RetryBudget (token bucket) ----------------
+
+TEST(RetryBudgetTest, BurstThenDeny) {
+  RetryBudget budget(/*rate_per_sec=*/1.0, /*burst=*/2.0);
+  ASSERT_TRUE(budget.enabled());
+  uint64_t now = 1000 * kMs;
+  EXPECT_TRUE(budget.TryAcquire(now));
+  EXPECT_TRUE(budget.TryAcquire(now));
+  EXPECT_FALSE(budget.TryAcquire(now));  // bucket empty
+  EXPECT_EQ(1u, budget.denied());
+  // One second later a full token has refilled.
+  EXPECT_TRUE(budget.TryAcquire(now + 1000 * kMs));
+  EXPECT_FALSE(budget.TryAcquire(now + 1000 * kMs));
+  EXPECT_EQ(2u, budget.denied());
+}
+
+TEST(RetryBudgetTest, RefillIsCappedAtBurst) {
+  RetryBudget budget(/*rate_per_sec=*/100.0, /*burst=*/2.0);
+  uint64_t now = 1000 * kMs;
+  EXPECT_TRUE(budget.TryAcquire(now));
+  // An hour of idle refill still caps at burst: 2 tokens, not 360000.
+  now += 3600ull * 1000 * kMs;
+  EXPECT_TRUE(budget.TryAcquire(now));
+  EXPECT_TRUE(budget.TryAcquire(now));
+  EXPECT_FALSE(budget.TryAcquire(now));
+}
+
+TEST(RetryBudgetTest, DisabledAlwaysAllows) {
+  RetryBudget budget(/*rate_per_sec=*/0, /*burst=*/1.0);
+  EXPECT_FALSE(budget.enabled());
+  for (int i = 0; i < 100; i++) {
+    EXPECT_TRUE(budget.TryAcquire(0));
+  }
+  EXPECT_EQ(0u, budget.denied());
+}
+
+// ---------------- RetryGovernor in RunWithRetry ----------------
+
+TEST(RetryGovernorTest, DeadlinePassedAbandonsRetries) {
+  int calls = 0;
+  RetryGovernor governor;
+  governor.deadline_nanos = 1;  // long past
+  Status s = RunWithRetry(
+      nullptr, RetryPolicy(),
+      [&] {
+        calls++;
+        return Status::TransientIOError("flaky");
+      },
+      governor);
+  EXPECT_TRUE(s.IsDeadlineExceeded());
+  EXPECT_EQ(1, calls);  // first attempt runs; the retry is abandoned
+}
+
+TEST(RetryGovernorTest, BudgetExhaustionFailsFastWithLastStatus) {
+  RetryBudget budget(/*rate_per_sec=*/1e-9, /*burst=*/1.0);  // 1 retry, ~no refill
+  RetryGovernor governor;
+  governor.budget = &budget;
+  int calls = 0;
+  Status s = RunWithRetry(
+      nullptr, RetryPolicy(),
+      [&] {
+        calls++;
+        return Status::TransientIOError("always flaky");
+      },
+      governor);
+  // Attempt 1 fails, one budgeted retry fails, the next retry is denied.
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_TRUE(s.IsTransient());
+  EXPECT_EQ(2, calls);
+  EXPECT_EQ(1u, budget.denied());
+}
+
+TEST(RetryGovernorTest, DefaultGovernorChangesNothing) {
+  int calls = 0;
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  Status s = RunWithRetry(nullptr, policy, [&] {
+    calls++;
+    return calls < 3 ? Status::TransientIOError("flaky") : Status::OK();
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(3, calls);
+}
+
+// ---------------- CoDel admission controller ----------------
+
+TEST(CoDelAdmissionTest, TripsOnlyAfterSustainedQueueWait) {
+  AdmissionConfig config;
+  config.enabled = true;
+  config.target_queue_wait_us = 1000;  // 1ms target
+  config.interval_us = 20000;          // 20ms sustained
+  CoDelAdmissionController codel(config, /*queue_capacity=*/0);
+
+  // One large sample pushes the EWMA over target but not for a full
+  // interval: still admitting.
+  uint64_t now = 1000 * kMs;
+  codel.RecordQueueWait(100 * kMs, now);
+  EXPECT_FALSE(codel.overloaded());
+  EXPECT_TRUE(codel.Admit(5));
+
+  // Sustained above-target waits for > interval trip the controller.
+  for (int i = 0; i < 30; i++) {
+    now += 1 * kMs;
+    codel.RecordQueueWait(100 * kMs, now);
+  }
+  EXPECT_TRUE(codel.overloaded());
+  EXPECT_FALSE(codel.Admit(5));
+  // Probe-when-empty: an arrival that finds the queue empty is admitted even
+  // while overloaded — those probes feed the EWMA so the signal can decay.
+  EXPECT_TRUE(codel.Admit(0));
+
+  // Once the EWMA decays under target the controller reopens.
+  for (int i = 0; i < 200 && codel.overloaded(); i++) {
+    now += 1 * kMs;
+    codel.RecordQueueWait(0, now);
+  }
+  EXPECT_FALSE(codel.overloaded());
+  EXPECT_TRUE(codel.Admit(5));
+}
+
+TEST(CoDelAdmissionTest, HardDepthCeilingShedsRegardlessOfEwma) {
+  AdmissionConfig config;
+  config.enabled = true;
+  config.max_queue_depth = 8;
+  CoDelAdmissionController codel(config, /*queue_capacity=*/0);
+  EXPECT_TRUE(codel.Admit(7));
+  EXPECT_FALSE(codel.Admit(8));
+  EXPECT_FALSE(codel.Admit(100));
+}
+
+TEST(CoDelAdmissionTest, DepthCeilingInheritsQueueCapacity) {
+  AdmissionConfig config;
+  config.enabled = true;  // max_queue_depth left 0
+  CoDelAdmissionController codel(config, /*queue_capacity=*/4);
+  EXPECT_TRUE(codel.Admit(3));
+  EXPECT_FALSE(codel.Admit(4));
+}
+
+TEST(CoDelAdmissionTest, EwmaConvergesDespiteIntegerTruncation) {
+  AdmissionConfig config;
+  config.enabled = true;
+  CoDelAdmissionController codel(config, 0);
+  // Feed a constant small wait; with plain delta/16 truncation the EWMA
+  // would stall 15 nanos below the input forever. The +/-1 nudge closes it.
+  for (int i = 0; i < 1000; i++) {
+    codel.RecordQueueWait(100, i * kMs);
+  }
+  EXPECT_EQ(100u, codel.ewma_nanos());
+  // And decays all the way back to zero.
+  for (int i = 0; i < 1000; i++) {
+    codel.RecordQueueWait(0, (1000 + i) * kMs);
+  }
+  EXPECT_EQ(0u, codel.ewma_nanos());
+}
+
+// ---------------- Circuit breaker ----------------
+
+TEST(CircuitBreakerTest, DisabledTripsOnFirstFailure) {
+  CircuitBreaker breaker(/*failure_threshold=*/0, /*window_nanos=*/0);
+  EXPECT_FALSE(breaker.enabled());
+  EXPECT_TRUE(breaker.OnFailure(0));  // legacy: first hard error degrades
+  EXPECT_EQ(0u, breaker.trips());    // not counted as a breaker trip
+}
+
+TEST(CircuitBreakerTest, AbsorbsIsolatedFailuresTripsAtThreshold) {
+  CircuitBreaker breaker(/*failure_threshold=*/3, /*window_nanos=*/1000 * kMs);
+  uint64_t now = 5000 * kMs;
+  EXPECT_FALSE(breaker.OnFailure(now));
+  EXPECT_FALSE(breaker.OnFailure(now + 1 * kMs));
+  EXPECT_TRUE(breaker.OnFailure(now + 2 * kMs));  // third within the window
+  EXPECT_EQ(1u, breaker.trips());
+}
+
+TEST(CircuitBreakerTest, WindowExpiryAndSuccessBothReset) {
+  CircuitBreaker breaker(/*failure_threshold=*/2, /*window_nanos=*/10 * kMs);
+  uint64_t now = 5000 * kMs;
+  EXPECT_FALSE(breaker.OnFailure(now));
+  // Outside the window: the count restarts, so this is failure #1 again.
+  EXPECT_FALSE(breaker.OnFailure(now + 20 * kMs));
+  // A success closes the window entirely.
+  breaker.OnSuccess();
+  EXPECT_FALSE(breaker.OnFailure(now + 21 * kMs));
+  EXPECT_TRUE(breaker.OnFailure(now + 22 * kMs));
+  EXPECT_EQ(1u, breaker.trips());
+}
+
+// ---------------- Framework-level fixtures ----------------
+
+// An admission controller that refuses every data request: turns admission
+// decisions deterministic for tests of the shed path itself.
+class RejectAllController : public AdmissionController {
+ public:
+  const char* name() const override { return "reject-all"; }
+  void RecordQueueWait(uint64_t, uint64_t) override {}
+  bool Admit(size_t) const override { return false; }
+  bool overloaded() const override { return true; }
+};
+
+class OverloadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_env_ = NewMemEnv();
+    env_ = std::make_unique<ErrorInjectionEnv>(base_env_.get());
+    options_.env = env_.get();
+    options_.num_workers = 2;
+    options_.pin_workers = false;
+    Options lsm;
+    lsm.env = env_.get();
+    lsm.wal_retry.max_attempts = 1;  // retries under test live in the worker
+    options_.engine_factory = MakeRocksLiteFactory(lsm);
+  }
+
+  void Open() {
+    ASSERT_TRUE(P2KVS::Open(options_, "/overload", &store_).ok());
+    // One key per partition, to aim injected latency at a single victim.
+    for (int i = 0; keys_[0].empty() || keys_[1].empty(); i++) {
+      std::string key = "key-" + std::to_string(i);
+      keys_[static_cast<size_t>(store_->PartitionOf(key))] = key;
+    }
+  }
+
+  // Parks worker `victim` in a slow engine call: injected append latency on
+  // its instance directory plus one async write to sit in that latency.
+  void OccupyWorker(int victim, int latency_us,
+                    std::atomic<int>* done = nullptr) {
+    env_->SetPathFilter("instance-" + std::to_string(victim) + "/");
+    env_->SetOpLatency(FaultOp::kAppend, latency_us);
+    store_->PutAsync(keys_[static_cast<size_t>(victim)], "occupy",
+                     [done](const Status& s) {
+                       EXPECT_TRUE(s.ok()) << s.ToString();
+                       if (done != nullptr) {
+                         done->fetch_add(1, std::memory_order_relaxed);
+                       }
+                     });
+    // Let the worker dequeue the slow write before anything else is
+    // submitted, so later requests queue behind it instead of batching with
+    // it.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  std::unique_ptr<Env> base_env_;
+  std::unique_ptr<ErrorInjectionEnv> env_;
+  P2kvsOptions options_;
+  std::unique_ptr<P2KVS> store_;
+  std::string keys_[2];
+};
+
+// ---------------- Deadlines ----------------
+
+TEST_F(OverloadTest, PutExpiresWhileQueuedBehindSlowWrite) {
+  options_.default_deadline_ms = 50;
+  options_.enable_obm = false;  // no batching: the queued write must wait
+  Open();
+
+  const int victim = 0;
+  OccupyWorker(victim, /*latency_us=*/150000);
+
+  // Queued behind a 150ms write with a 50ms deadline: expires at dequeue.
+  Status s = store_->Put(keys_[victim], "late");
+  EXPECT_TRUE(s.IsDeadlineExceeded()) << s.ToString();
+
+  // The other partition is unaffected.
+  ASSERT_TRUE(store_->Put(keys_[1], "v1").ok());
+
+  store_->WaitIdle();
+  env_->DisableAll();
+  P2kvsStats stats = store_->GetStats();
+  EXPECT_EQ(1u, stats.expired);
+  EXPECT_TRUE(stats.SelfCheck().ok()) << stats.SelfCheck().ToString();
+  // The expired write was never applied.
+  std::string value;
+  ASSERT_TRUE(store_->Get(keys_[victim], &value).ok());
+  EXPECT_EQ("occupy", value);
+}
+
+TEST_F(OverloadTest, GetHonorsDeadlineToo) {
+  options_.default_deadline_ms = 50;
+  options_.enable_obm = false;
+  Open();
+  ASSERT_TRUE(store_->Put(keys_[0], "v").ok());
+
+  OccupyWorker(0, /*latency_us=*/150000);
+  std::string value;
+  EXPECT_TRUE(store_->Get(keys_[0], &value).IsDeadlineExceeded());
+
+  store_->WaitIdle();
+  env_->DisableAll();
+}
+
+TEST_F(OverloadTest, MultiGetPartialFanoutExpiry) {
+  options_.default_deadline_ms = 50;
+  options_.enable_obm = false;
+  Open();
+  ASSERT_TRUE(store_->Put(keys_[0], "v0").ok());
+  ASSERT_TRUE(store_->Put(keys_[1], "v1").ok());
+  store_->WaitIdle();
+
+  OccupyWorker(0, /*latency_us=*/150000);
+
+  // One key per partition: the slice behind the slow worker expires, the
+  // healthy partition's slice is served — and the fan-out join still
+  // releases (an expired slice counts down the pooled Completion exactly
+  // like a completed one).
+  std::vector<Slice> lookup{keys_[0], keys_[1]};
+  std::vector<std::string> values;
+  std::vector<Status> statuses = store_->MultiGet(lookup, &values);
+  EXPECT_TRUE(statuses[0].IsDeadlineExceeded()) << statuses[0].ToString();
+  ASSERT_TRUE(statuses[1].ok()) << statuses[1].ToString();
+  EXPECT_EQ("v1", values[1]);
+
+  store_->WaitIdle();
+  env_->DisableAll();
+  P2kvsStats stats = store_->GetStats();
+  EXPECT_GE(stats.expired, 1u);
+  EXPECT_TRUE(stats.SelfCheck().ok()) << stats.SelfCheck().ToString();
+}
+
+TEST_F(OverloadTest, NoDeadlineMeansNoExpiry) {
+  // default_deadline_ms left 0: the same slow-write pileup serves everything
+  // late rather than expiring anything.
+  options_.enable_obm = false;
+  Open();
+  OccupyWorker(0, /*latency_us=*/100000);
+  ASSERT_TRUE(store_->Put(keys_[0], "late-but-served").ok());
+  store_->WaitIdle();
+  env_->DisableAll();
+  P2kvsStats stats = store_->GetStats();
+  EXPECT_EQ(0u, stats.expired);
+  EXPECT_EQ(0u, stats.shed);
+  EXPECT_EQ(stats.submitted, stats.completed);
+  EXPECT_TRUE(stats.SelfCheck().ok()) << stats.SelfCheck().ToString();
+}
+
+// ---------------- Admission control ----------------
+
+TEST_F(OverloadTest, RejectAllControllerShedsDataButNeverControl) {
+  options_.admission.enabled = true;
+  options_.admission_factory = [](const AdmissionConfig&, size_t, int) {
+    return std::unique_ptr<AdmissionController>(new RejectAllController());
+  };
+  Open();
+
+  // Every data request is refused with the transient shed status...
+  Status s = store_->Put(keys_[0], "v");
+  EXPECT_TRUE(s.IsBusy()) << s.ToString();
+  EXPECT_TRUE(s.IsTransient());
+  std::string value;
+  EXPECT_TRUE(store_->Get(keys_[0], &value).IsBusy());
+
+  // ...a fan-out is refused atomically, every key reporting the shed...
+  std::vector<Slice> lookup{keys_[0], keys_[1]};
+  std::vector<std::string> values;
+  std::vector<Status> statuses = store_->MultiGet(lookup, &values);
+  EXPECT_TRUE(statuses[0].IsBusy());
+  EXPECT_TRUE(statuses[1].IsBusy());
+  std::vector<std::pair<std::string, std::string>> rows;
+  EXPECT_TRUE(store_->Scan("", 10, &rows).IsBusy());
+  WriteBatch wb;
+  wb.Put(keys_[0], "x");
+  wb.Put(keys_[1], "y");
+  EXPECT_TRUE(store_->MultiWrite(&wb).IsBusy());
+  EXPECT_TRUE(store_->WriteTxn(&wb).IsBusy());
+
+  // ...but control requests pass: WaitIdle returns and the stats drain runs
+  // even while the store refuses all data traffic.
+  store_->WaitIdle();
+  P2kvsStats stats = store_->GetStats();
+  EXPECT_EQ(0u, stats.completed);
+  EXPECT_GT(stats.shed, 0u);
+  EXPECT_EQ(stats.submitted, stats.shed);
+  EXPECT_TRUE(stats.totals.admission_overloaded);
+  EXPECT_TRUE(stats.SelfCheck().ok()) << stats.SelfCheck().ToString();
+}
+
+TEST_F(OverloadTest, AccountingExactPastFullQueuesAtHighRate) {
+  // Bounded queues + admission on + slow appends + a burst far above
+  // capacity: some requests execute, some shed. Whatever the mix, every
+  // callback fires, nothing double-counts, and the framework's doors match
+  // what the clients observed exactly.
+  options_.queue_capacity = 8;
+  options_.admission.enabled = true;
+  options_.admission.target_queue_wait_us = 500;
+  options_.admission.interval_us = 2000;
+  Open();
+  env_->SetOpLatency(FaultOp::kAppend, 2000);  // 2ms per engine write
+
+  constexpr int kOps = 400;
+  std::atomic<int> ok{0}, shed{0}, expired{0}, other{0}, done{0};
+  for (int i = 0; i < kOps; i++) {
+    store_->PutAsync("k" + std::to_string(i % 32), "v",
+                     [&](const Status& st) {
+                       if (st.ok()) {
+                         ok.fetch_add(1, std::memory_order_relaxed);
+                       } else if (st.IsBusy()) {
+                         shed.fetch_add(1, std::memory_order_relaxed);
+                       } else if (st.IsDeadlineExceeded()) {
+                         expired.fetch_add(1, std::memory_order_relaxed);
+                       } else {
+                         other.fetch_add(1, std::memory_order_relaxed);
+                       }
+                       done.fetch_add(1, std::memory_order_release);
+                     });
+  }
+  // Every submit resolves: shed callbacks fire inline, admitted ones after
+  // execution. No callback may be lost to the shed path (a lost one would
+  // leak the heap request and hang this loop).
+  while (done.load(std::memory_order_acquire) != kOps) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  store_->WaitIdle();
+  env_->DisableAll();
+
+  EXPECT_GT(shed.load(), 0);  // the burst must actually overflow
+  EXPECT_GT(ok.load(), 0);
+  EXPECT_EQ(0, other.load());
+
+  P2kvsStats stats = store_->GetStats();
+  ASSERT_TRUE(stats.SelfCheck().ok()) << stats.SelfCheck().ToString();
+  // Quiescent: the inequality is exact, and the doors match the clients.
+  EXPECT_EQ(stats.submitted, stats.completed + stats.shed + stats.expired);
+  EXPECT_EQ(static_cast<uint64_t>(kOps), stats.submitted);
+  EXPECT_EQ(static_cast<uint64_t>(ok.load() + other.load()), stats.completed);
+  EXPECT_EQ(static_cast<uint64_t>(shed.load()), stats.shed);
+  EXPECT_EQ(static_cast<uint64_t>(expired.load()), stats.expired);
+}
+
+// ---------------- Retry budget (framework level) ----------------
+
+TEST_F(OverloadTest, RetryBudgetDeniesRetriesUnderFaultStorm) {
+  options_.retry_budget_per_sec = 1e-9;  // ~no refill
+  options_.retry_budget_burst = 1;       // one retry, then denial
+  // Keep the partition healthy through the storm so the test isolates the
+  // budget (a transient that survives retries normally degrades).
+  options_.breaker_failure_threshold = 100;
+  Open();
+
+  // More transient faults than the budget allows retries: attempt 1 fails,
+  // the single budgeted retry fails, the next retry is denied -> the Put
+  // fails fast with the transient status instead of burning all 4 attempts.
+  env_->FailNext(FaultOp::kAppend, 4, /*transient=*/true);
+  Status s = store_->Put(keys_[0], "v");
+  EXPECT_TRUE(s.IsIOError() && s.IsTransient()) << s.ToString();
+  EXPECT_EQ(2u, env_->injected_faults(FaultOp::kAppend));
+
+  env_->DisableAll();
+  store_->WaitIdle();
+  P2kvsStats stats = store_->GetStats();
+  EXPECT_EQ(1u, stats.retries_denied);
+  EXPECT_TRUE(stats.SelfCheck().ok()) << stats.SelfCheck().ToString();
+  EXPECT_TRUE(store_->Health().AllHealthy());
+}
+
+// ---------------- Circuit breaker (framework level) ----------------
+
+TEST_F(OverloadTest, BreakerAbsorbsIsolatedFaultsThenTripsAndResumes) {
+  options_.retry.max_attempts = 1;
+  options_.breaker_failure_threshold = 3;
+  options_.breaker_window_ms = 60000;  // one window covers the whole test
+  Open();
+
+  const int victim = 0;
+  env_->SetPathFilter("instance-" + std::to_string(victim) + "/");
+
+  // Two isolated hard faults: callers see the errors, but the partition
+  // stays healthy — pre-breaker behavior would have degraded on the first.
+  for (int i = 0; i < 2; i++) {
+    env_->FailNext(FaultOp::kAppend, 1, /*transient=*/false);
+    EXPECT_TRUE(store_->Put(keys_[victim], "v").IsIOError());
+    EXPECT_TRUE(store_->Health().AllHealthy());
+  }
+
+  // The third failure within the window trips the breaker: the partition
+  // degrades to read-only fast-fail, exactly like a legacy hard error.
+  env_->FailNext(FaultOp::kAppend, 1, /*transient=*/false);
+  EXPECT_TRUE(store_->Put(keys_[victim], "v").IsIOError());
+  P2kvsHealth health = store_->Health();
+  EXPECT_EQ(1, health.NumUnhealthy());
+  EXPECT_NE(WorkerHealth::kHealthy,
+            health.workers[static_cast<size_t>(victim)].health);
+  EXPECT_EQ(1u, store_->GetStats().breaker_trips);
+
+  // The untouched partition keeps serving.
+  ASSERT_TRUE(store_->Put(keys_[1], "v1").ok());
+
+  // Fault cleared: explicit resume half-opens and re-closes the breaker path.
+  env_->DisableAll();
+  ASSERT_TRUE(store_->Resume().ok());
+  EXPECT_TRUE(store_->Health().AllHealthy());
+  ASSERT_TRUE(store_->Put(keys_[victim], "recovered").ok());
+  std::string value;
+  ASSERT_TRUE(store_->Get(keys_[victim], &value).ok());
+  EXPECT_EQ("recovered", value);
+}
+
+TEST_F(OverloadTest, SuccessBetweenFaultsKeepsBreakerClosed) {
+  options_.retry.max_attempts = 1;
+  options_.breaker_failure_threshold = 2;
+  options_.breaker_window_ms = 60000;
+  Open();
+  const int victim = 0;
+  env_->SetPathFilter("instance-" + std::to_string(victim) + "/");
+
+  // fail, succeed, fail, succeed: never two sustained failures, never trips.
+  for (int i = 0; i < 2; i++) {
+    env_->FailNext(FaultOp::kAppend, 1, /*transient=*/false);
+    EXPECT_TRUE(store_->Put(keys_[victim], "x").IsIOError());
+    EXPECT_TRUE(store_->Put(keys_[victim], "ok").ok());
+  }
+  EXPECT_TRUE(store_->Health().AllHealthy());
+  EXPECT_EQ(0u, store_->GetStats().breaker_trips);
+}
+
+// ---------------- Shed storm -> flight recorder ----------------
+
+TEST_F(OverloadTest, ShedStormDumpsFlightRecorderOnce) {
+  options_.admission.enabled = true;
+  options_.admission.shed_storm_threshold = 5;
+  options_.admission_factory = [](const AdmissionConfig&, size_t, int) {
+    return std::unique_ptr<AdmissionController>(new RejectAllController());
+  };
+  options_.trace.enabled = true;
+  options_.trace.sample_every = 1;
+  Open();
+
+  for (int i = 0; i < 20; i++) {
+    EXPECT_TRUE(store_->Put(keys_[0], "v").IsBusy());
+  }
+  P2kvsStats stats = store_->GetStats();
+  EXPECT_EQ(1u, stats.trace_flight_dumps);  // once per store lifetime
+  EXPECT_TRUE(stats.SelfCheck().ok()) << stats.SelfCheck().ToString();
+}
+
+// ---------------- Defaults ----------------
+
+TEST_F(OverloadTest, AllOverloadFeaturesOffByDefault) {
+  Open();
+  ASSERT_TRUE(store_->Put(keys_[0], "v0").ok());
+  ASSERT_TRUE(store_->Put(keys_[1], "v1").ok());
+  std::string value;
+  ASSERT_TRUE(store_->Get(keys_[0], &value).ok());
+  EXPECT_EQ("v0", value);
+  store_->WaitIdle();
+  P2kvsStats stats = store_->GetStats();
+  EXPECT_EQ(0u, stats.shed);
+  EXPECT_EQ(0u, stats.expired);
+  EXPECT_EQ(0u, stats.breaker_trips);
+  EXPECT_EQ(0u, stats.retries_denied);
+  EXPECT_EQ(stats.submitted, stats.completed);
+  EXPECT_GT(stats.submitted, 0u);
+  EXPECT_TRUE(stats.SelfCheck().ok()) << stats.SelfCheck().ToString();
+}
+
+}  // namespace
+}  // namespace p2kvs
