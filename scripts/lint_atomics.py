@@ -43,6 +43,10 @@ HOT_PATH_FILES = [
     "src/util/stats_recorder.h",
     "src/util/trace_ring.h",
     "src/util/trace.h",
+    "src/io/io_stats.h",
+    "src/io/io_stats.cc",
+    "src/io/async_io.cc",
+    "src/io/device_model.cc",
 ]
 
 # Member calls that take a trailing memory_order argument.

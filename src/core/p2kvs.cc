@@ -7,6 +7,7 @@
 
 #include "src/core/completion.h"
 #include "src/core/worker.h"
+#include "src/io/io_stats.h"
 #include "src/lsm/merging_iterator.h"
 #include "src/util/clock.h"
 #include "src/util/hash.h"
@@ -664,6 +665,12 @@ P2kvsStats P2KVS::GetStats() const {
   stats.expired = stats.totals.expired();
   stats.breaker_trips = stats.totals.breaker_trips;
   stats.retries_denied = stats.totals.retries_denied;
+  {
+    const IoStatsSnapshot io = IoStats::Instance().Snapshot();
+    stats.async_submissions = io.async_submissions;
+    stats.async_max_queue_depth = io.max_queue_depth;
+    stats.async_reads_in_flight = io.reads_in_flight;
+  }
   if (tracer_ != nullptr) {
     stats.trace_enabled = true;
     stats.trace_events = tracer_->events_appended();
@@ -748,6 +755,13 @@ std::string P2kvsStats::ToJson() const {
                 static_cast<unsigned long long>(degraded_rejects));
   json += buf;
   json += "\"totals\":" + totals.ToJson();
+  std::snprintf(buf, sizeof(buf),
+                ",\"async_io\":{\"submissions\":%llu,\"max_queue_depth\":%llu,"
+                "\"reads_in_flight\":%lld}",
+                static_cast<unsigned long long>(async_submissions),
+                static_cast<unsigned long long>(async_max_queue_depth),
+                static_cast<long long>(async_reads_in_flight));
+  json += buf;
   if (trace_enabled) {
     std::snprintf(buf, sizeof(buf),
                   ",\"trace\":{\"events\":%llu,\"dropped\":%llu,\"sampled\":%llu,"

@@ -208,6 +208,12 @@ struct P2kvsStats {
   // compare against P2kvsOptions::queue_capacity).
   std::vector<size_t> queue_depths;
 
+  // --- Async IO (global IoStats counters; see src/io/io_stats.h). All zero
+  // when no engine created an AsyncIoContext. ---
+  uint64_t async_submissions = 0;  // ops submitted through async contexts
+  uint64_t async_max_queue_depth = 0;  // high-water mark of in-flight ops
+  int64_t async_reads_in_flight = 0;   // reads in flight at snapshot time
+
   // --- Tracing counters (all zero when options.trace.enabled is false). ---
   bool trace_enabled = false;
   uint64_t trace_events = 0;     // events appended across all rings, pre-drop

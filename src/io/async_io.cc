@@ -1,0 +1,191 @@
+// Thread-pool AsyncIoContext backend + backend selection. The pool executes
+// the *virtual* file operation for each op, which is what keeps every wrapper
+// Env honest: a ThrottledEnv file sleeps its modeled device latency on the
+// pool thread (N pool threads sleeping concurrently == queue depth N at the
+// simulated device), ErrorInjection/FaultInjection files inject per-op, and
+// MemEnv files serve from memory. See async_io.h for the completion contract.
+
+#include "src/io/async_io.h"
+
+#include <algorithm>
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include "src/io/async_io_internal.h"
+#include "src/io/io_stats.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
+#include "src/util/trace.h"
+#include "src/util/trace_ring.h"
+
+namespace p2kvs {
+
+namespace {
+
+using async_io_internal::ExecuteOp;
+using async_io_internal::KindIsRead;
+using async_io_internal::kOpRead;
+using async_io_internal::kOpSlotRead;
+using async_io_internal::kOpSync;
+using async_io_internal::kOpWrite;
+
+class ThreadPoolIoContext final : public AsyncIoContext {
+ public:
+  explicit ThreadPoolIoContext(const AsyncIoOptions& options)
+      : max_threads_(std::max(1, options.queue_depth)) {}
+
+  ~ThreadPoolIoContext() override {
+    // Callers must have Wait()ed on everything they submitted; the pool still
+    // drains its queue before exiting so no op is abandoned mid-flight.
+    std::vector<std::thread> threads;
+    {
+      MutexLock lock(&mu_);
+      stop_ = true;
+      work_cv_.SignalAll();
+      threads.swap(threads_);
+    }
+    for (std::thread& t : threads) {
+      t.join();
+    }
+  }
+
+  void SubmitRead(RandomAccessFile* file, AsyncIoOp* op) override {
+    Enqueue(file, op, kOpRead);
+  }
+  void SubmitSlotRead(RandomWritableFile* file, AsyncIoOp* op) override {
+    Enqueue(file, op, kOpSlotRead);
+  }
+  void SubmitWrite(RandomWritableFile* file, AsyncIoOp* op) override {
+    Enqueue(file, op, kOpWrite);
+  }
+  void SubmitSync(WritableFile* file, AsyncIoOp* op) override { Enqueue(file, op, kOpSync); }
+
+  void Wait(AsyncIoOp* const* ops, size_t n) override {
+    uint64_t credit_bytes = 0;
+    uint64_t credit_ops = 0;
+    {
+      MutexLock lock(&mu_);
+      while (!AllDone(ops, n)) {
+        done_cv_.Wait();
+      }
+      // Reap exactly once per op: re-attribute pool-thread read bytes to the
+      // waiter (worker-level IO attribution) and emit completion events.
+      for (size_t i = 0; i < n; i++) {
+        AsyncIoOp* op = ops[i];
+        if (op->reaped) {
+          continue;
+        }
+        op->reaped = true;
+        if (KindIsRead(op->kind) && op->status.ok()) {
+          credit_bytes += op->bytes_done;
+          credit_ops += 1;
+        }
+        TraceEmitAux(TraceEventType::kIoComplete, op->bytes_done, TraceStatusCode(op->status));
+      }
+    }
+    if (credit_ops > 0) {
+      IoStats::CreditThreadRead(credit_bytes, credit_ops);
+    }
+  }
+
+  const char* backend_name() const override { return "thread-pool"; }
+
+ private:
+  struct Pending {
+    AsyncIoOp* op;
+    IoPurpose purpose;
+  };
+
+  void Enqueue(void* file, AsyncIoOp* op, int kind) {
+    op->file = file;
+    op->kind = kind;
+    op->status = Status::OK();
+    op->result = Slice();
+    op->bytes_done = 0;
+    IoStats::Instance().OnAsyncSubmit(KindIsRead(kind));
+    TraceEmitAux(TraceEventType::kIoSubmit, static_cast<uint64_t>(kind),
+                 KindIsRead(kind) ? op->len : op->write_data.size());
+    MutexLock lock(&mu_);
+    op->done = false;
+    op->reaped = false;
+    queue_.push_back(Pending{op, GetThreadIoPurpose()});
+    // Lazy pool growth: never spawn a thread before the first submission, and
+    // only grow while there is queued work the current threads can't absorb.
+    if (static_cast<int>(threads_.size()) < max_threads_ &&
+        queue_.size() + busy_ > threads_.size()) {
+      threads_.emplace_back([this] { WorkerMain(); });
+    }
+    work_cv_.Signal();
+  }
+
+  bool AllDone(AsyncIoOp* const* ops, size_t n) REQUIRES(mu_) {
+    for (size_t i = 0; i < n; i++) {
+      if (!ops[i]->done) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void WorkerMain() {
+    MutexLock lock(&mu_);
+    while (true) {
+      while (queue_.empty() && !stop_) {
+        work_cv_.Wait();
+      }
+      if (queue_.empty()) {
+        return;  // stop_ set and nothing left to drain
+      }
+      Pending p = queue_.front();
+      queue_.pop_front();
+      busy_++;
+      mu_.Unlock();
+      {
+        // Inherit the submitter's purpose so flush/compaction reads issued
+        // through the pool keep their attribution in the global counters.
+        IoPurposeScope scope(p.purpose);
+        ExecuteOp(p.op);
+      }
+      IoStats::Instance().OnAsyncComplete(KindIsRead(p.op->kind));
+      mu_.Lock();
+      busy_--;
+      p.op->done = true;
+      done_cv_.SignalAll();
+    }
+  }
+
+  const int max_threads_;
+
+  Mutex mu_;
+  CondVar work_cv_{&mu_};
+  CondVar done_cv_{&mu_};
+  std::deque<Pending> queue_ GUARDED_BY(mu_);
+  std::vector<std::thread> threads_ GUARDED_BY(mu_);
+  size_t busy_ GUARDED_BY(mu_) = 0;
+  bool stop_ GUARDED_BY(mu_) = false;
+};
+
+}  // namespace
+
+std::unique_ptr<AsyncIoContext> NewThreadPoolIoContext(const AsyncIoOptions& options) {
+  return std::make_unique<ThreadPoolIoContext>(options);
+}
+
+#ifndef P2KVS_IO_URING
+bool IoUringAvailable() { return false; }
+#endif
+
+std::unique_ptr<AsyncIoContext> NewAsyncIoContext(const AsyncIoOptions& options) {
+#ifdef P2KVS_IO_URING
+  if (!options.force_thread_pool && IoUringAvailable()) {
+    std::unique_ptr<AsyncIoContext> ctx = NewIoUringContext(options);
+    if (ctx != nullptr) {
+      return ctx;
+    }
+  }
+#endif
+  return NewThreadPoolIoContext(options);
+}
+
+}  // namespace p2kvs

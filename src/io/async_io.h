@@ -1,0 +1,130 @@
+// AsyncIoContext: the submission/completion half of the Env layer. Callers
+// build AsyncIoOp descriptors, submit them (SubmitRead/SubmitWrite/SubmitSync
+// never block on device latency), keep working, and later Wait() for the ops
+// they care about. Two backends:
+//
+//   * thread pool (portable default) — pool threads execute the *virtual*
+//     file operation synchronously, so every wrapper Env keeps working
+//     unchanged: ThrottledEnv charges its device-model latency per op (which
+//     is exactly what makes queue depth visible on the simulated device),
+//     ErrorInjectionEnv / FaultInjectionEnv inject per-op, MemEnv serves from
+//     memory. Effective queue depth == pool size == AsyncIoOptions.queue_depth.
+//   * io_uring (Linux, P2KVS_IO_URING) — reads on files that expose a real
+//     fd via raw_fd() go through the kernel ring; everything else (wrapped
+//     files return raw_fd() == -1, writes, syncs) falls back to the embedded
+//     pool, so interception is preserved by construction: a wrapper can never
+//     be bypassed, because only the innermost Posix file advertises its fd.
+//
+// Completion contract: an op belongs to the submitter; between Submit* and
+// the return of a Wait() covering it the op must not be read or written by
+// the caller (`status`, `result`, and `bytes_done` are filled in by the
+// backend). Ops complete in arbitrary order; results are delivered into the
+// op struct itself, so interleaved waiters on one shared context are safe —
+// Wait(ops, n) returns when *those* n ops are done, regardless of what else
+// is in flight. A context may be shared by any number of threads.
+//
+// Per-op observability: submissions/completions update the global IoStats
+// in-flight gauge + queue-depth high-water mark, and — when the submitting
+// thread is inside a traced dispatch — kIoSubmit/kIoComplete trace events
+// are emitted so batched reads show up in Perfetto.
+
+#ifndef P2KVS_SRC_IO_ASYNC_IO_H_
+#define P2KVS_SRC_IO_ASYNC_IO_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/io/env.h"
+#include "src/util/slice.h"
+#include "src/util/status.h"
+
+namespace p2kvs {
+
+struct AsyncIoOptions {
+  // Target queue depth. For the thread-pool backend this is the pool size
+  // (ops beyond it queue, bounding in-flight ops at the device); for io_uring
+  // it sizes the submission ring.
+  int queue_depth = 16;
+  // Force the portable thread-pool backend even when io_uring is compiled in
+  // and usable (benchmarks use this to compare backends).
+  bool force_thread_pool = false;
+};
+
+// One asynchronous file operation. POD-ish by design: callers may embed it,
+// reuse it across batches (Submit* resets the completion state), and stack-
+// allocate arrays of them. Not copyable while in flight.
+struct AsyncIoOp {
+  // --- inputs (set by the caller before Submit*) ---
+  uint64_t offset = 0;
+  size_t len = 0;          // read: bytes wanted; must fit scratch
+  char* scratch = nullptr; // read destination (caller-owned)
+  Slice write_data;        // write payload (caller-owned, live until Wait)
+
+  // --- outputs (valid after a Wait() covering this op returns) ---
+  Status status;
+  Slice result;            // read: points into scratch (or file memory)
+  uint64_t bytes_done = 0; // bytes actually transferred
+
+  // --- backend-internal; callers never touch these ---
+  // `done`/`reaped` are guarded by the owning context's completion mutex (set
+  // under it by the completing thread, read under it by Wait) — plain bools,
+  // not atomics, because every access is lock-protected.
+  bool done = false;
+  bool reaped = false;     // credit/trace emitted for this completion
+  void* file = nullptr;    // which file object, interpreted per op kind
+  int kind = 0;            // internal op kind tag
+  bool via_ring = false;   // routed through the kernel ring (io_uring backend)
+  int purpose = 0;         // submitter's IoPurpose, for ring-side accounting
+};
+
+class AsyncIoContext {
+ public:
+  virtual ~AsyncIoContext() = default;
+
+  // Positional read on an SST-style read-only file.
+  virtual void SubmitRead(RandomAccessFile* file, AsyncIoOp* op) = 0;
+  // Positional read on a KVell-style slot file.
+  virtual void SubmitSlotRead(RandomWritableFile* file, AsyncIoOp* op) = 0;
+  // Positional write on a slot file.
+  virtual void SubmitWrite(RandomWritableFile* file, AsyncIoOp* op) = 0;
+  // Durability barrier on an append-only file. The file's *virtual* Sync runs
+  // on a pool thread, so buffered WritableFiles flush correctly and wrapper
+  // fault injection applies. The caller must guarantee no concurrent Append
+  // to the same file until the sync completes (the WAL leader protocol does).
+  virtual void SubmitSync(WritableFile* file, AsyncIoOp* op) = 0;
+
+  // Blocks until every op in ops[0..n) has completed. Safe to call from many
+  // threads on one context with disjoint or overlapping op sets.
+  virtual void Wait(AsyncIoOp* const* ops, size_t n) = 0;
+
+  void WaitAll(std::vector<AsyncIoOp*>& ops) {
+    if (!ops.empty()) Wait(ops.data(), ops.size());
+  }
+
+  // "thread-pool" or "io_uring".
+  virtual const char* backend_name() const = 0;
+};
+
+// Creates a context: io_uring when compiled in (P2KVS_IO_URING), available at
+// runtime (see IoUringAvailable), and not disabled by options; otherwise the
+// thread-pool fallback. Never returns nullptr.
+std::unique_ptr<AsyncIoContext> NewAsyncIoContext(const AsyncIoOptions& options);
+
+// True when the io_uring backend is compiled in and the kernel accepts
+// io_uring_setup (containers often deny it via seccomp; the probe result is
+// cached). Always false without P2KVS_IO_URING.
+bool IoUringAvailable();
+
+// Portable fallback, directly (tests compare it against the default).
+std::unique_ptr<AsyncIoContext> NewThreadPoolIoContext(const AsyncIoOptions& options);
+
+#ifdef P2KVS_IO_URING
+// Raw-syscall io_uring backend (no liburing dependency); returns nullptr when
+// the kernel refuses the ring, in which case callers fall back to the pool.
+std::unique_ptr<AsyncIoContext> NewIoUringContext(const AsyncIoOptions& options);
+#endif
+
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_IO_ASYNC_IO_H_

@@ -1,0 +1,49 @@
+// Shared internals of the AsyncIoContext backends (thread pool + io_uring).
+// Not part of the public Env surface.
+
+#ifndef P2KVS_SRC_IO_ASYNC_IO_INTERNAL_H_
+#define P2KVS_SRC_IO_ASYNC_IO_INTERNAL_H_
+
+#include "src/io/async_io.h"
+#include "src/util/status.h"
+
+namespace p2kvs {
+namespace async_io_internal {
+
+enum OpKind : int { kOpRead = 1, kOpSlotRead = 2, kOpWrite = 3, kOpSync = 4 };
+
+inline bool KindIsRead(int kind) { return kind == kOpRead || kind == kOpSlotRead; }
+
+// Runs the op's *virtual* file operation synchronously (the thread-pool
+// execution body — this is the wrapper-interception point: device models,
+// fault injectors and MemEnv all act inside these virtual calls).
+inline void ExecuteOp(AsyncIoOp* op) {
+  switch (op->kind) {
+    case kOpRead:
+      op->status = static_cast<RandomAccessFile*>(op->file)->Read(op->offset, op->len,
+                                                                  &op->result, op->scratch);
+      op->bytes_done = op->status.ok() ? op->result.size() : 0;
+      break;
+    case kOpSlotRead:
+      op->status = static_cast<RandomWritableFile*>(op->file)->Read(op->offset, op->len,
+                                                                    &op->result, op->scratch);
+      op->bytes_done = op->status.ok() ? op->result.size() : 0;
+      break;
+    case kOpWrite:
+      op->status = static_cast<RandomWritableFile*>(op->file)->Write(op->offset, op->write_data);
+      op->bytes_done = op->status.ok() ? op->write_data.size() : 0;
+      break;
+    case kOpSync:
+      op->status = static_cast<WritableFile*>(op->file)->Sync();
+      op->bytes_done = 0;
+      break;
+    default:
+      op->status = Status::InvalidArgument("unknown async op kind");
+      break;
+  }
+}
+
+}  // namespace async_io_internal
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_IO_ASYNC_IO_INTERNAL_H_

@@ -8,18 +8,18 @@
 namespace p2kvs {
 
 DeviceProfile DeviceProfile::NvmeSsd() {
-  return DeviceProfile{"nvme", 2200ull << 20, 2600ull << 20, 8, 12};
+  return DeviceProfile{"nvme", 2200ull << 20, 2600ull << 20, 8, 12, 16};
 }
 
 DeviceProfile DeviceProfile::SataSsd() {
-  return DeviceProfile{"sata", 520ull << 20, 560ull << 20, 60, 90};
+  return DeviceProfile{"sata", 520ull << 20, 560ull << 20, 60, 90, 8};
 }
 
 DeviceProfile DeviceProfile::Hdd() {
-  return DeviceProfile{"hdd", 200ull << 20, 200ull << 20, 1000, 8000};
+  return DeviceProfile{"hdd", 200ull << 20, 200ull << 20, 1000, 8000, 1};
 }
 
-DeviceProfile DeviceProfile::Unlimited() { return DeviceProfile{"raw", 0, 0, 0, 0}; }
+DeviceProfile DeviceProfile::Unlimited() { return DeviceProfile{"raw", 0, 0, 0, 0, 0}; }
 
 DeviceProfile DeviceProfile::Scaled(double time_scale) const {
   DeviceProfile p = *this;
@@ -48,6 +48,26 @@ struct DeviceState {
   const DeviceProfile profile;
   RateLimiter write_limiter;
   RateLimiter read_limiter;
+
+  // Reads currently inside the device (from BeginRead to EndRead, i.e. the
+  // whole modeled service time). Drives the queue-depth latency curve.
+  std::atomic<uint32_t> reads_in_flight{0};
+
+  // Returns this read's position in the queue (1-based depth at entry).
+  uint32_t BeginRead() { return reads_in_flight.fetch_add(1, std::memory_order_relaxed) + 1; }
+  void EndRead() { reads_in_flight.fetch_sub(1, std::memory_order_relaxed); }
+
+  // Latency for one read observed at queue depth `depth`: base while the
+  // device's channels are not oversubscribed, then multiplied by the
+  // oversubscription factor (ceil(depth / channels)) to model saturation.
+  // depth == 1 reproduces the pre-queue-depth model exactly.
+  uint32_t ReadLatencyUs(uint32_t base, uint32_t depth) const {
+    const uint32_t ch = profile.channels == 0 ? 1 : profile.channels;
+    if (depth <= ch) {
+      return base;
+    }
+    return base * ((depth + ch - 1) / ch);
+  }
 };
 
 void ChargeLatency(Env* base, uint32_t micros) {
@@ -85,14 +105,20 @@ class ThrottledRandomAccessFile final : public RandomAccessFile {
       : base_(std::move(base)), dev_(std::move(dev)), env_(env) {}
 
   Status Read(uint64_t offset, size_t n, Slice* result, char* scratch) const override {
+    const uint32_t depth = dev_->BeginRead();
     Status s = base_->Read(offset, n, result, scratch);
     if (s.ok()) {
       dev_->read_limiter.Request(result->size());
-      // Discontiguous access pays the random-access (seek) latency.
+      // Discontiguous access pays the random-access (seek) latency; both
+      // latencies stretch with queue depth past the device's channel count.
       uint64_t expected = last_end_.exchange(offset + result->size(), std::memory_order_relaxed);
       bool sequential = (offset == expected);
-      ChargeLatency(env_, sequential ? dev_->profile.seq_latency_us : dev_->profile.rand_latency_us);
+      ChargeLatency(env_, dev_->ReadLatencyUs(
+                              sequential ? dev_->profile.seq_latency_us
+                                         : dev_->profile.rand_latency_us,
+                              depth));
     }
+    dev_->EndRead();
     return s;
   }
 
@@ -139,11 +165,13 @@ class ThrottledRandomWritableFile final : public RandomWritableFile {
     return base_->Write(offset, data);
   }
   Status Read(uint64_t offset, size_t n, Slice* result, char* scratch) const override {
+    const uint32_t depth = dev_->BeginRead();
     Status s = base_->Read(offset, n, result, scratch);
     if (s.ok()) {
       dev_->read_limiter.Request(result->size());
-      ChargeLatency(env_, dev_->profile.rand_latency_us);
+      ChargeLatency(env_, dev_->ReadLatencyUs(dev_->profile.rand_latency_us, depth));
     }
+    dev_->EndRead();
     return s;
   }
   Status Sync() override {

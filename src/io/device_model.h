@@ -22,12 +22,21 @@ struct DeviceProfile {
   uint64_t read_bw_bytes_per_sec = 0;
   uint32_t seq_latency_us = 0;   // charged per sync (write) / sequential read
   uint32_t rand_latency_us = 0;  // charged per discontiguous read
+  // Queue-depth dimension: how many reads the device serves concurrently at
+  // full speed (internal channels / NCQ-style parallelism). Up to `channels`
+  // concurrent reads each pay the base latency — so read throughput scales
+  // linearly with queue depth, which is what rewards an engine that batches
+  // its reads — and past it each read's latency is multiplied by
+  // ceil(in_flight / channels), modeling saturation. 0 or 1 = serial device;
+  // with a single reader the model is exactly the old one.
+  uint32_t channels = 1;
 
-  // Paper hardware: Intel Optane 905p — 2.2 GB/s write, 2.6 GB/s read, ~10us.
+  // Paper hardware: Intel Optane 905p — 2.2 GB/s write, 2.6 GB/s read, ~10us,
+  // saturates around QD16.
   static DeviceProfile NvmeSsd();
-  // Samsung 860 PRO class: ~520/560 MB/s, ~80us.
+  // Samsung 860 PRO class: ~520/560 MB/s, ~80us, ~QD8 of useful parallelism.
   static DeviceProfile SataSsd();
-  // WDC WD100EFAX class: ~0.2 GB/s streaming, ~8ms seek.
+  // WDC WD100EFAX class: ~0.2 GB/s streaming, ~8ms seek, one actuator.
   static DeviceProfile Hdd();
   // No throttling at all (the raw base env).
   static DeviceProfile Unlimited();

@@ -36,6 +36,13 @@ class RandomAccessFile {
 
   // Thread-safe positional read.
   virtual Status Read(uint64_t offset, size_t n, Slice* result, char* scratch) const = 0;
+
+  // Kernel-visible descriptor for submission/completion backends (io_uring).
+  // Default -1 = "no raw fd": the async layer then routes ops through the
+  // virtual Read instead. Wrapper files (throttle, fault injection) keep the
+  // default, so a device model or injector can never be bypassed — only the
+  // innermost Posix file advertises its fd.
+  virtual int raw_fd() const { return -1; }
 };
 
 // Append-only writable file (WAL, SST building, MANIFEST).
@@ -59,6 +66,9 @@ class RandomWritableFile {
   virtual Status Sync() = 0;
   virtual Status Truncate(uint64_t size) = 0;
   virtual Status Close() = 0;
+
+  // See RandomAccessFile::raw_fd().
+  virtual int raw_fd() const { return -1; }
 };
 
 class Env {

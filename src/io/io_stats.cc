@@ -46,6 +46,31 @@ void IoStats::RecordInjectedFault() {
 
 void IoStats::RecordRetry() { retries_.fetch_add(1, std::memory_order_relaxed); }
 
+void IoStats::OnAsyncSubmit(bool is_read) {
+  async_submissions_.fetch_add(1, std::memory_order_relaxed);
+  if (is_read) {
+    reads_in_flight_.fetch_add(1, std::memory_order_relaxed);
+  }
+  const uint64_t depth = ops_in_flight_.fetch_add(1, std::memory_order_relaxed) + 1;
+  uint64_t seen = max_queue_depth_.load(std::memory_order_relaxed);
+  while (seen < depth &&
+         !max_queue_depth_.compare_exchange_weak(seen, depth, std::memory_order_relaxed,
+                                                 std::memory_order_relaxed)) {
+  }
+}
+
+void IoStats::OnAsyncComplete(bool is_read) {
+  ops_in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  if (is_read) {
+    reads_in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void IoStats::CreditThreadRead(uint64_t bytes, uint64_t ops) {
+  t_io_counters.bytes_read += bytes;
+  t_io_counters.read_ops += ops;
+}
+
 IoStatsSnapshot IoStats::Snapshot() const {
   IoStatsSnapshot snap;
   for (int p = 0; p < kNumIoPurposes; p++) {
@@ -57,6 +82,9 @@ IoStatsSnapshot IoStats::Snapshot() const {
   snap.sync_ops = sync_ops_.load(std::memory_order_relaxed);
   snap.injected_faults = injected_faults_.load(std::memory_order_relaxed);
   snap.retries = retries_.load(std::memory_order_relaxed);
+  snap.async_submissions = async_submissions_.load(std::memory_order_relaxed);
+  snap.reads_in_flight = reads_in_flight_.load(std::memory_order_relaxed);
+  snap.max_queue_depth = max_queue_depth_.load(std::memory_order_relaxed);
   return snap;
 }
 
@@ -70,6 +98,10 @@ void IoStats::Reset() {
   sync_ops_.store(0, std::memory_order_relaxed);
   injected_faults_.store(0, std::memory_order_relaxed);
   retries_.store(0, std::memory_order_relaxed);
+  async_submissions_.store(0, std::memory_order_relaxed);
+  reads_in_flight_.store(0, std::memory_order_relaxed);
+  ops_in_flight_.store(0, std::memory_order_relaxed);
+  max_queue_depth_.store(0, std::memory_order_relaxed);
 }
 
 uint64_t IoStatsSnapshot::TotalWritten() const {
@@ -99,14 +131,19 @@ IoStatsSnapshot IoStatsSnapshot::Since(const IoStatsSnapshot& base) const {
   d.sync_ops = sync_ops - base.sync_ops;
   d.injected_faults = injected_faults - base.injected_faults;
   d.retries = retries - base.retries;
+  d.async_submissions = async_submissions - base.async_submissions;
+  // Gauge and high-water mark are point-in-time values, not deltas.
+  d.reads_in_flight = reads_in_flight;
+  d.max_queue_depth = max_queue_depth;
   return d;
 }
 
 std::string IoStatsSnapshot::ToString() const {
-  char buf[256];
+  char buf[384];
   std::snprintf(buf, sizeof(buf),
                 "written{user=%llu wal=%llu flush=%llu compact=%llu} "
-                "read{user=%llu compact=%llu} syncs=%llu faults=%llu retries=%llu",
+                "read{user=%llu compact=%llu} syncs=%llu faults=%llu retries=%llu "
+                "async{subs=%llu maxqd=%llu}",
                 static_cast<unsigned long long>(bytes_written[0]),
                 static_cast<unsigned long long>(bytes_written[1]),
                 static_cast<unsigned long long>(bytes_written[2]),
@@ -115,7 +152,9 @@ std::string IoStatsSnapshot::ToString() const {
                 static_cast<unsigned long long>(bytes_read[3]),
                 static_cast<unsigned long long>(sync_ops),
                 static_cast<unsigned long long>(injected_faults),
-                static_cast<unsigned long long>(retries));
+                static_cast<unsigned long long>(retries),
+                static_cast<unsigned long long>(async_submissions),
+                static_cast<unsigned long long>(max_queue_depth));
   return buf;
 }
 

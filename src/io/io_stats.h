@@ -35,6 +35,14 @@ struct IoStatsSnapshot {
   // measurement window to report fault-path overhead.
   uint64_t injected_faults = 0;
   uint64_t retries = 0;
+  // Async submission/completion accounting (AsyncIoContext). `reads_in_flight`
+  // is a gauge (submitted read ops not yet completed — signed so a Reset
+  // racing in-flight ops degrades to a transiently negative gauge, never a
+  // wrapped uint); `max_queue_depth` is the high-water mark of in-flight async
+  // ops of any kind since the last Reset.
+  uint64_t async_submissions = 0;
+  int64_t reads_in_flight = 0;
+  uint64_t max_queue_depth = 0;
 
   uint64_t TotalWritten() const;
   uint64_t TotalRead() const;
@@ -53,6 +61,17 @@ class IoStats {
   void RecordInjectedFault();
   void RecordRetry();
 
+  // Async submission/completion bookkeeping, called by AsyncIoContext
+  // backends around each op's lifetime.
+  void OnAsyncSubmit(bool is_read);
+  void OnAsyncComplete(bool is_read);
+
+  // Adds read bytes/ops to the *calling thread's* ThreadIoCounters only (no
+  // global double count): a worker that had its reads executed on async pool
+  // threads re-attributes them to itself at Wait() time, keeping the
+  // per-partition IO attribution of the kStats drain path correct.
+  static void CreditThreadRead(uint64_t bytes, uint64_t ops);
+
   IoStatsSnapshot Snapshot() const;
   void Reset();
 
@@ -66,6 +85,10 @@ class IoStats {
   std::atomic<uint64_t> sync_ops_{0};
   std::atomic<uint64_t> injected_faults_{0};
   std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> async_submissions_{0};
+  std::atomic<int64_t> reads_in_flight_{0};
+  std::atomic<uint64_t> ops_in_flight_{0};  // all async kinds; feeds the max
+  std::atomic<uint64_t> max_queue_depth_{0};
 };
 
 // The calling thread's current IO purpose (defaults to kUser).

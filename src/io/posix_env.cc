@@ -74,6 +74,8 @@ class PosixRandomAccessFile final : public RandomAccessFile {
     return Status::OK();
   }
 
+  int raw_fd() const override { return fd_; }
+
  private:
   const std::string fname_;
   const int fd_;
@@ -223,6 +225,8 @@ class PosixRandomWritableFile final : public RandomWritableFile {
     }
     return Status::OK();
   }
+
+  int raw_fd() const override { return fd_; }
 
  private:
   const std::string fname_;

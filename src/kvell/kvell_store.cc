@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "src/core/completion.h"
+#include "src/io/async_io.h"
 #include "src/util/coding.h"
 #include "src/util/hash.h"
 #include "src/util/intrusive_mpsc_queue.h"
@@ -28,7 +29,7 @@ struct SlotLoc {
   uint64_t slot_index;
 };
 
-enum class ReqType { kPut, kDelete, kGet, kScan, kStop };
+enum class ReqType { kPut, kDelete, kGet, kMultiGet, kScan, kStop };
 
 struct KvellRequest : MpscQueueNode {
   ReqType type;
@@ -37,6 +38,13 @@ struct KvellRequest : MpscQueueNode {
   std::string* out_value = nullptr;
   size_t scan_count = 0;
   std::vector<std::pair<std::string, std::string>>* out_scan = nullptr;
+
+  // kMultiGet: this worker owns the keys at `mget_indices` into the user's
+  // arrays. Workers write disjoint indices, so sharing the vectors is safe.
+  const std::vector<Slice>* mget_keys = nullptr;
+  std::vector<size_t> mget_indices;
+  std::vector<std::string>* mget_values = nullptr;
+  std::vector<Status>* mget_statuses = nullptr;
 
   // The submitter's trace scope, captured at Submit and re-activated on the
   // KVell worker thread, so slot-write events cross the internal queue and
@@ -80,6 +88,11 @@ class KvellWorker {
     Status s = RebuildIndex();
     if (!s.ok()) {
       return s;
+    }
+    if (options_.async_io) {
+      AsyncIoOptions io_opts;
+      io_opts.queue_depth = options_.io_queue_depth;
+      io_ctx_ = NewAsyncIoContext(io_opts);
     }
     thread_ = std::thread([this] { Run(); });
     return Status::OK();
@@ -156,6 +169,10 @@ class KvellWorker {
         break;
       case ReqType::kGet:
         req->Complete(DoGet(req->key, req->out_value));
+        break;
+      case ReqType::kMultiGet:
+        DoMultiGet(*req->mget_keys, req->mget_indices, req->mget_values, req->mget_statuses);
+        req->Complete(Status::OK());
         break;
       case ReqType::kScan:
         req->Complete(DoScan(req->key, req->scan_count, req->out_scan));
@@ -261,6 +278,117 @@ class KvellWorker {
       return Status::NotFound(key);
     }
     return ReadSlot(it->second, key, value);
+  }
+
+  // Batched lookup for this worker's slice of a MultiGet. The uncached pages
+  // needed by the whole slice are submitted to the async context together
+  // (KVell's "enough in-flight requests to saturate the drive" principle),
+  // inserted into the page cache on completion, and the per-key reads are
+  // then served from the warmed cache. Without an async context this
+  // degrades to per-key DoGet.
+  void DoMultiGet(const std::vector<Slice>& keys, const std::vector<size_t>& indices,
+                  std::vector<std::string>* values, std::vector<Status>* statuses) {
+    if (io_ctx_ != nullptr) {
+      // Distinct uncached pages across the slice, in submission order.
+      struct PageFetch {
+        uint64_t page_key;
+        uint32_t cls;
+        uint64_t page;
+        std::unique_ptr<char[]> buf;
+        AsyncIoOp op;
+      };
+      std::vector<PageFetch> fetches;
+      std::unordered_map<uint64_t, Status> failed_pages;
+      for (size_t i : indices) {
+        auto it = index_.find(keys[i].ToString());
+        if (it == index_.end()) {
+          continue;
+        }
+        const SlotLoc& loc = it->second;
+        const uint32_t slot_size = options_.slot_classes[loc.class_index];
+        const uint64_t first = loc.slot_index * slot_size / kCachePageSize;
+        const uint64_t last = (loc.slot_index * slot_size + slot_size - 1) / kCachePageSize;
+        for (uint64_t p = first; p <= last; p++) {
+          const uint64_t pk = PageKey(loc.class_index, p);
+          if (cache_.find(pk) != cache_.end()) {
+            continue;
+          }
+          bool queued = false;
+          for (const PageFetch& f : fetches) {
+            if (f.page_key == pk) {
+              queued = true;
+              break;
+            }
+          }
+          if (!queued) {
+            fetches.push_back(PageFetch{pk, loc.class_index, p, nullptr, AsyncIoOp{}});
+          }
+        }
+      }
+      // The fetch list is complete (no more reallocation), so the ops'
+      // addresses are stable: submit the whole batch, then reap it.
+      std::vector<AsyncIoOp*> ops;
+      ops.reserve(fetches.size());
+      for (PageFetch& f : fetches) {
+        f.buf = std::make_unique<char[]>(kCachePageSize);
+        f.op.offset = f.page * kCachePageSize;
+        f.op.len = kCachePageSize;
+        f.op.scratch = f.buf.get();
+        io_ctx_->SubmitSlotRead(slabs_[f.cls].file.get(), &f.op);
+        ops.push_back(&f.op);
+      }
+      io_ctx_->WaitAll(ops);
+      for (PageFetch& f : fetches) {
+        if (!f.op.status.ok()) {
+          failed_pages.emplace(f.page_key, f.op.status);
+          continue;
+        }
+        slot_reads_.fetch_add(1, std::memory_order_relaxed);
+        CacheEntry entry;
+        entry.data.assign(f.op.result.data(), f.op.result.size());
+        entry.data.resize(kCachePageSize, '\0');
+        lru_.push_front(f.page_key);
+        entry.lru_pos = lru_.begin();
+        cache_.emplace(f.page_key, std::move(entry));
+        cache_pages_.fetch_add(1, std::memory_order_relaxed);
+      }
+      while (cache_.size() > cache_budget_pages_ && !lru_.empty()) {
+        uint64_t victim = lru_.back();
+        lru_.pop_back();
+        cache_.erase(victim);
+        cache_pages_.fetch_sub(1, std::memory_order_relaxed);
+      }
+      if (!failed_pages.empty()) {
+        // Fail the keys touching a failed page outright (no silent sync
+        // retry — a MultiGet's partial failures must be visible per key);
+        // everything else reads from the warmed cache below.
+        for (size_t i : indices) {
+          auto it = index_.find(keys[i].ToString());
+          if (it == index_.end()) {
+            (*statuses)[i] = Status::NotFound(keys[i]);
+            continue;
+          }
+          const SlotLoc& loc = it->second;
+          const uint32_t slot_size = options_.slot_classes[loc.class_index];
+          const uint64_t first = loc.slot_index * slot_size / kCachePageSize;
+          const uint64_t last = (loc.slot_index * slot_size + slot_size - 1) / kCachePageSize;
+          Status page_status;
+          for (uint64_t p = first; p <= last && page_status.ok(); p++) {
+            auto failed = failed_pages.find(PageKey(loc.class_index, p));
+            if (failed != failed_pages.end()) {
+              page_status = failed->second;
+            }
+          }
+          (*statuses)[i] = page_status.ok()
+                               ? ReadSlot(loc, keys[i], &(*values)[i])
+                               : page_status;
+        }
+        return;
+      }
+    }
+    for (size_t i : indices) {
+      (*statuses)[i] = DoGet(keys[i], &(*values)[i]);
+    }
   }
 
   Status DoScan(const Slice& begin, size_t count,
@@ -430,6 +558,8 @@ class KvellWorker {
 
   IntrusiveMpscQueue<KvellRequest> queue_;
   std::thread thread_;
+  // Only the worker thread submits/waits; created before the thread starts.
+  std::unique_ptr<AsyncIoContext> io_ctx_;
 
   // Worker-private state (only touched by the worker thread after Open).
   // Deliberately NOT mutex-guarded and NOT thread-safety-annotated: the
@@ -506,6 +636,43 @@ class KvellStoreImpl final : public KvellStore {
     return req.Wait();
   }
 
+  std::vector<Status> MultiGet(const std::vector<Slice>& keys,
+                               std::vector<std::string>* values) override {
+    std::vector<Status> statuses(keys.size());
+    values->assign(keys.size(), std::string());
+
+    // Partition the batch by owning worker; one request per non-empty slice
+    // lets every worker fetch its pages concurrently with the others.
+    std::vector<std::vector<size_t>> by_worker(workers_.size());
+    for (size_t i = 0; i < keys.size(); i++) {
+      by_worker[WorkerIndexFor(keys[i])].push_back(i);
+    }
+    std::vector<std::unique_ptr<KvellRequest>> reqs;
+    for (size_t w = 0; w < workers_.size(); w++) {
+      if (by_worker[w].empty()) {
+        continue;
+      }
+      auto req = std::make_unique<KvellRequest>();
+      req->type = ReqType::kMultiGet;
+      req->mget_keys = &keys;
+      req->mget_indices = std::move(by_worker[w]);
+      req->mget_values = values;
+      req->mget_statuses = &statuses;
+      workers_[w]->Submit(req.get());
+      reqs.push_back(std::move(req));
+    }
+    for (auto& req : reqs) {
+      Status s = req->Wait();
+      if (!s.ok()) {
+        // Worker shut down before serving the slice: fail its keys.
+        for (size_t i : req->mget_indices) {
+          statuses[i] = s;
+        }
+      }
+    }
+    return statuses;
+  }
+
   Status Scan(const Slice& begin, size_t count,
               std::vector<std::pair<std::string, std::string>>* out) override {
     // Fork the scan to every worker, then merge (paper §4.4's "parallel
@@ -566,10 +733,12 @@ class KvellStoreImpl final : public KvellStore {
   }
 
  private:
-  KvellWorker* WorkerFor(const Slice& key) {
+  size_t WorkerIndexFor(const Slice& key) const {
     uint32_t h = Hash(key.data(), key.size(), 0x9747b28c);
-    return workers_[h % workers_.size()].get();
+    return h % workers_.size();
   }
+
+  KvellWorker* WorkerFor(const Slice& key) { return workers_[WorkerIndexFor(key)].get(); }
 
   KvellOptions options_;
   const std::string path_;

@@ -40,6 +40,14 @@ struct KvellOptions {
 
   // Slot size classes. An item occupies the smallest class that fits it.
   std::vector<uint32_t> slot_classes = {256, 1024, 4096};
+
+  // Batch the uncached page reads of a MultiGet through a per-worker
+  // AsyncIoContext (submission/completion Env, src/io/async_io.h), so a
+  // worker's whole read batch reaches the device at once instead of one page
+  // at a time. Disabled = sequential page fetches.
+  bool async_io = true;
+  // Queue depth of each worker's AsyncIoContext.
+  int io_queue_depth = 16;
 };
 
 struct KvellStats {
@@ -60,6 +68,12 @@ class KvellStore {
   virtual Status Put(const Slice& key, const Slice& value) = 0;
   virtual Status Delete(const Slice& key) = 0;
   virtual Status Get(const Slice& key, std::string* value) = 0;
+
+  // Batched point lookup: keys are partitioned across workers, and each
+  // worker issues its slice's uncached slot reads concurrently. Per-key
+  // outcomes land in the returned vector (NotFound for missing keys).
+  virtual std::vector<Status> MultiGet(const std::vector<Slice>& keys,
+                                       std::vector<std::string>* values) = 0;
 
   // Returns up to `count` key/value pairs with key >= begin, globally sorted.
   virtual Status Scan(const Slice& begin, size_t count,

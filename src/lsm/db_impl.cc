@@ -83,6 +83,11 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname,
   sst_options_.block_cache = block_cache_.get();
   table_cache_ = std::make_unique<TableCache>(dbname_, options_, sst_options_,
                                               options_.max_open_files);
+  if (options_.async_io) {
+    AsyncIoOptions io_opts;
+    io_opts.queue_depth = options_.io_queue_depth;
+    io_ctx_ = NewAsyncIoContext(io_opts);
+  }
   versions_ = std::make_unique<VersionSet>(dbname_, &options_, table_cache_.get(),
                                            &internal_comparator_);
 }
@@ -464,6 +469,13 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
     // --- WAL, outside the mutex (other writers may enqueue meanwhile). ---
     mutex_.Unlock();
     bool sync_error = false;
+    // Async WAL sync: leader submits the fsync and overlaps it with the
+    // memtable phase, waiting just before acknowledgment. Safe only when the
+    // next leader cannot touch the WAL file meanwhile (non-pipelined mode).
+    const bool async_sync = w.sync && options_.async_wal_sync && io_ctx_ != nullptr &&
+                            !options_.pipelined_write && !options_.debug_disable_wal;
+    AsyncIoOp sync_op;
+    bool sync_in_flight = false;
     if (!options_.debug_disable_wal) {
       ScopedTimerNanos t(&perf.wal_nanos);
       std::string record;
@@ -477,7 +489,17 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
       status = RunWithRetry(env_, options_.wal_retry,
                             [&] { return log_->AddRecord(record); });
       if (status.ok()) {
-        if (w.sync) {
+        if (async_sync) {
+          // Push the record to the OS now; the durability barrier itself
+          // rides a pool thread while this group inserts into the memtable.
+          status = log_->Flush();
+          if (status.ok()) {
+            io_ctx_->SubmitSync(logfile_.get(), &sync_op);
+            sync_in_flight = true;
+          } else {
+            sync_error = true;
+          }
+        } else if (w.sync) {
           status = RunWithRetry(env_, options_.wal_retry, [&] { return log_->Sync(); });
           if (!status.ok()) {
             sync_error = true;
@@ -552,6 +574,17 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
       }
       if (status.ok()) {
         TraceEmitEngine(TraceEventType::kMemtableInsert, batch_entries);
+      }
+    }
+
+    // Reap the overlapped fsync before anyone in the group is acknowledged.
+    if (sync_in_flight) {
+      ScopedTimerNanos t(&perf.wal_nanos);
+      AsyncIoOp* op = &sync_op;
+      io_ctx_->Wait(&op, 1);
+      if (!sync_op.status.ok() && status.ok()) {
+        status = sync_op.status;
+        sync_error = true;
       }
     }
 
@@ -810,16 +843,35 @@ std::vector<Status> DBImpl::MultiGet(const ReadOptions& options, const std::vect
   current->Ref();
   mutex_.Unlock();
 
+  // Memtables first (cheap, in-memory); keys that fall through go to the
+  // version as one batch so their SST block reads reach the device together.
+  std::vector<std::unique_ptr<LookupKey>> lkeys(keys.size());
+  std::vector<GetBatchItem> items(keys.size());
+  std::vector<GetBatchItem*> pending;
+  pending.reserve(keys.size());
   for (size_t i = 0; i < keys.size(); i++) {
     Status& s = statuses[i];
     std::string* value = &(*values)[i];
-    LookupKey lkey(keys[i], snapshot);
+    lkeys[i] = std::make_unique<LookupKey>(keys[i], snapshot);
+    const LookupKey& lkey = *lkeys[i];
     if (mem->Get(lkey, value, &s)) {
       // Done
     } else if (imm != nullptr && imm->Get(lkey, value, &s)) {
       // Done
+    } else if (io_ctx_ != nullptr) {
+      items[i].key = &lkey;
+      items[i].value = value;
+      pending.push_back(&items[i]);
     } else {
       s = current->Get(options, lkey, value);
+    }
+  }
+  if (!pending.empty()) {
+    current->MultiGet(options, io_ctx_.get(), pending);
+    for (size_t i = 0; i < keys.size(); i++) {
+      if (items[i].key != nullptr) {
+        statuses[i] = items[i].status;
+      }
     }
   }
 

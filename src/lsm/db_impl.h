@@ -23,6 +23,7 @@
 #include <string>
 #include <thread>
 
+#include "src/io/async_io.h"
 #include "src/lsm/builder.h"
 #include "src/lsm/db.h"
 #include "src/lsm/snapshot.h"
@@ -106,6 +107,10 @@ class DBImpl final : public DB {
   std::unique_ptr<const FilterPolicy> user_filter_policy_;
   std::unique_ptr<const FilterPolicy> filter_policy_;
   std::unique_ptr<TableCache> table_cache_;
+  // Async submission/completion context (batched MultiGet block reads, async
+  // WAL sync). Null when Options::async_io is off; the context itself is
+  // thread-safe, so concurrent readers share it freely.
+  std::unique_ptr<AsyncIoContext> io_ctx_;
 
   mutable Mutex mutex_;
   std::atomic<bool> shutting_down_{false};

@@ -118,6 +118,24 @@ struct Options {
   // Max batches merged into one write group by the leader.
   int max_write_group_size = 32;
 
+  // --- Async I/O (submission/completion Env; src/io/async_io.h). ---
+  // Batch the uncached SST block reads inside MultiGet through a per-DB
+  // AsyncIoContext, so one worker's pre-merged kMultiGet batch reaches the
+  // device at the batch's queue depth instead of one read at a time.
+  // Disabled = the classic sequential per-key read path.
+  bool async_io = true;
+  // Queue depth of the per-DB AsyncIoContext (thread-pool size / ring size).
+  int io_queue_depth = 16;
+  // Overlap the WAL fsync of a sync write with the group's memtable inserts:
+  // the leader flushes the record to the OS, submits the fsync, inserts, and
+  // waits for the fsync before acknowledging. Only effective when
+  // pipelined_write is off — a pipelined next leader would append to the WAL
+  // file while the fsync is in flight. An fsync failure is still returned to
+  // every writer in the group and sticks as a background error, but the
+  // group's memtable insert has already happened by then (same visibility-
+  // before-durability window the async-logging default always has).
+  bool async_wal_sync = false;
+
   // Bounded retry for transient WAL faults (failed append/sync tagged
   // retryable, e.g. by ErrorInjectionEnv). Hard errors are never retried;
   // they stick as bg_error_ until Resume().

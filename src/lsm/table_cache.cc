@@ -79,6 +79,19 @@ Status TableCache::Get(uint64_t file_number, uint64_t file_size, const Slice& in
   return s;
 }
 
+Status TableCache::GetTable(uint64_t file_number, uint64_t file_size, Cache::Handle** handle,
+                            Table** table) {
+  *handle = nullptr;
+  *table = nullptr;
+  Status s = FindTable(file_number, file_size, handle);
+  if (s.ok()) {
+    *table = reinterpret_cast<TableAndFile*>(cache_->Value(*handle))->table.get();
+  }
+  return s;
+}
+
+void TableCache::ReleaseTable(Cache::Handle* handle) { cache_->Release(handle); }
+
 void TableCache::Evict(uint64_t file_number) {
   char buf[sizeof(file_number)];
   EncodeFixed64(buf, file_number);

@@ -33,6 +33,13 @@ class TableCache {
   Status Get(uint64_t file_number, uint64_t file_size, const Slice& internal_key,
              const std::function<void(const Slice&, const Slice&)>& handle_result);
 
+  // Pins the open Table for the named file across several calls (the batched
+  // MultiGet path: PlanGet, async read against table->file(), FinishGet).
+  // *table stays valid until ReleaseTable(*handle).
+  Status GetTable(uint64_t file_number, uint64_t file_size, Cache::Handle** handle,
+                  Table** table);
+  void ReleaseTable(Cache::Handle* handle);
+
   // Drops any cache entry for the file (called when the SST is deleted).
   void Evict(uint64_t file_number);
 

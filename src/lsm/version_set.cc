@@ -296,6 +296,160 @@ Status Version::Get(const ReadOptions& /*options*/, const LookupKey& k, std::str
   return Status::NotFound(Slice());
 }
 
+void Version::MultiGet(const ReadOptions& /*options*/, AsyncIoContext* io,
+                       std::vector<GetBatchItem*>& items) {
+  const InternalKeyComparator* icmp = vset_->icmp();
+  const Comparator* ucmp = icmp->user_comparator();
+  TableCache* cache = vset_->table_cache();
+
+  // Per-key search state. The vector is sized once so the saver lambdas'
+  // captured pointers stay stable.
+  struct KeyState {
+    GetBatchItem* item = nullptr;
+    Saver saver;
+    std::vector<FileMetaData*> candidates;  // this level, in search order
+    size_t next_candidate = 0;
+    TableGetPlan plan;
+    Table* table = nullptr;
+    Cache::Handle* pin = nullptr;
+  };
+  std::vector<KeyState> states(items.size());
+  for (size_t i = 0; i < items.size(); i++) {
+    states[i].item = items[i];
+    states[i].saver.state = kNotFound;
+    states[i].saver.ucmp = ucmp;
+    states[i].saver.user_key = items[i]->key->user_key();
+    states[i].saver.value = items[i]->value;
+  }
+
+  // Applies one probe's outcome; returns true when the key is settled.
+  auto resolve = [](KeyState& ks, const Status& s) {
+    if (!s.ok()) {
+      ks.item->status = s;
+      ks.item->done = true;
+      return true;
+    }
+    switch (ks.saver.state) {
+      case kNotFound:
+        return false;  // keep searching
+      case kFound:
+        ks.item->status = Status::OK();
+        break;
+      case kDeleted:
+        ks.item->status = Status::NotFound(Slice());
+        break;
+      case kCorrupt:
+        ks.item->status = Status::Corruption("corrupted key for ", ks.saver.user_key);
+        break;
+    }
+    ks.item->done = true;
+    return true;
+  };
+
+  for (int level = 0; level < kNumLevels; level++) {
+    const std::vector<FileMetaData*>& files = files_[level];
+    if (files.empty()) {
+      continue;
+    }
+
+    // Candidate files for each still-pending key at this level: all
+    // overlapping files newest-first (overlapped levels) or the single
+    // binary-searched file (sorted levels).
+    bool any = false;
+    for (KeyState& ks : states) {
+      ks.candidates.clear();
+      ks.next_candidate = 0;
+      if (ks.item->done) {
+        continue;
+      }
+      const Slice user_key = ks.saver.user_key;
+      if (LevelIsOverlapped(level)) {
+        for (FileMetaData* f : files) {
+          if (ucmp->Compare(user_key, f->smallest.user_key()) >= 0 &&
+              ucmp->Compare(user_key, f->largest.user_key()) <= 0) {
+            ks.candidates.push_back(f);
+          }
+        }
+        std::sort(ks.candidates.begin(), ks.candidates.end(), NewestFirst);
+      } else {
+        int index = FindFile(*icmp, files, ks.item->key->internal_key());
+        if (index < static_cast<int>(files.size())) {
+          FileMetaData* f = files[index];
+          if (ucmp->Compare(user_key, f->smallest.user_key()) >= 0) {
+            ks.candidates.push_back(f);
+          }
+        }
+      }
+      any = any || !ks.candidates.empty();
+    }
+    if (!any) {
+      continue;
+    }
+
+    // Probe rounds. Each round takes every pending key's next candidate,
+    // runs the synchronous plan phase, then submits all uncached block reads
+    // at once and finishes them after one Wait. A key whose probe came back
+    // empty re-enters the next round with its next candidate (L0 chains).
+    bool more = true;
+    while (more) {
+      more = false;
+      std::vector<KeyState*> submitted;
+      std::vector<AsyncIoOp*> ops;
+      for (KeyState& ks : states) {
+        if (ks.item->done || ks.next_candidate >= ks.candidates.size()) {
+          continue;
+        }
+        FileMetaData* f = ks.candidates[ks.next_candidate++];
+        Table* table = nullptr;
+        Cache::Handle* pin = nullptr;
+        Status s = cache->GetTable(f->number, f->file_size, &pin, &table);
+        if (s.ok()) {
+          ks.plan = TableGetPlan();
+          Saver* saver = &ks.saver;
+          s = table->PlanGet(ks.item->key->internal_key(), &ks.plan,
+                             [saver](const Slice& fk, const Slice& fv) { SaveValue(saver, fk, fv); });
+        }
+        if (!s.ok() || !ks.plan.need_read) {
+          if (pin != nullptr) {
+            cache->ReleaseTable(pin);
+          }
+          if (!resolve(ks, s) && ks.next_candidate < ks.candidates.size()) {
+            more = true;
+          }
+          continue;
+        }
+        ks.table = table;
+        ks.pin = pin;
+        io->SubmitRead(table->file(), &ks.plan.op);
+        submitted.push_back(&ks);
+        ops.push_back(&ks.plan.op);
+      }
+      if (!ops.empty()) {
+        io->Wait(ops.data(), ops.size());
+        for (KeyState* ks : submitted) {
+          Saver* saver = &ks->saver;
+          Status s = ks->table->FinishGet(
+              ks->item->key->internal_key(), &ks->plan,
+              [saver](const Slice& fk, const Slice& fv) { SaveValue(saver, fk, fv); });
+          cache->ReleaseTable(ks->pin);
+          ks->pin = nullptr;
+          ks->table = nullptr;
+          if (!resolve(*ks, s) && ks->next_candidate < ks->candidates.size()) {
+            more = true;
+          }
+        }
+      }
+    }
+  }
+
+  for (KeyState& ks : states) {
+    if (!ks.item->done) {
+      ks.item->status = Status::NotFound(Slice());
+      ks.item->done = true;
+    }
+  }
+}
+
 void Version::GetOverlappingInputs(int level, const InternalKey* begin, const InternalKey* end,
                                    std::vector<FileMetaData*>* inputs) {
   assert(level >= 0);

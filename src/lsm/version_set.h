@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "src/io/async_io.h"
 #include "src/lsm/options.h"
 #include "src/lsm/table_cache.h"
 #include "src/lsm/version_edit.h"
@@ -40,10 +41,26 @@ bool SomeFileOverlapsRange(const InternalKeyComparator& icmp, bool disjoint_sort
                            const std::vector<FileMetaData*>& files, const Slice* smallest_user_key,
                            const Slice* largest_user_key);
 
+// One key of a batched lookup (DB::MultiGet) that fell through the
+// memtables. `done` flips when the key resolves (found / deleted / error);
+// keys still pending after the last level resolve to NotFound.
+struct GetBatchItem {
+  const LookupKey* key = nullptr;
+  std::string* value = nullptr;
+  Status status;  // meaningful once done
+  bool done = false;
+};
+
 class Version {
  public:
   // Point lookup through the file tree; newest data shadows older.
   Status Get(const ReadOptions&, const LookupKey& key, std::string* val);
+
+  // Batched point lookup: semantically Get() per item, but each level round
+  // plans every pending key first (index seek + bloom + block cache) and
+  // submits all the uncached data-block reads to `io` together, so the device
+  // sees the batch's queue depth instead of one read at a time.
+  void MultiGet(const ReadOptions&, AsyncIoContext* io, std::vector<GetBatchItem*>& items);
 
   // Appends iterators that together cover this version's contents.
   void AddIterators(const ReadOptions&, std::vector<Iterator*>* iters);

@@ -56,20 +56,31 @@ Status Footer::DecodeFrom(Slice* input) {
 
 Status ReadBlock(RandomAccessFile* file, bool verify_checksums, const BlockHandle& handle,
                  BlockContents* result) {
-  result->data = Slice();
-  result->cachable = false;
-  result->heap_allocated = false;
-
   size_t n = static_cast<size_t>(handle.size());
   char* buf = new char[n + kBlockTrailerSize];
   Slice contents;
   Status s = file->Read(handle.offset(), n + kBlockTrailerSize, &contents, buf);
-  if (!s.ok()) {
-    delete[] buf;
-    return s;
+  if (s.ok()) {
+    s = FinishReadBlock(verify_checksums, handle, contents, buf, result);
+  } else {
+    result->data = Slice();
+    result->cachable = false;
+    result->heap_allocated = false;
   }
-  if (contents.size() != n + kBlockTrailerSize) {
+  if (!s.ok() || !result->heap_allocated) {
     delete[] buf;
+  }
+  return s;
+}
+
+Status FinishReadBlock(bool verify_checksums, const BlockHandle& handle, const Slice& contents,
+                       const char* buf, BlockContents* result) {
+  result->data = Slice();
+  result->cachable = false;
+  result->heap_allocated = false;
+
+  const size_t n = static_cast<size_t>(handle.size());
+  if (contents.size() != n + kBlockTrailerSize) {
     return Status::Corruption("truncated block read");
   }
 
@@ -78,22 +89,17 @@ Status ReadBlock(RandomAccessFile* file, bool verify_checksums, const BlockHandl
     const uint32_t crc = crc32c::Unmask(DecodeFixed32(data + n + 1));
     const uint32_t actual = crc32c::Value(data, n + 1);
     if (actual != crc) {
-      delete[] buf;
       return Status::Corruption("block checksum mismatch");
     }
   }
   if (data[n] != 0) {
-    delete[] buf;
     return Status::Corruption("unsupported block compression type");
   }
 
   if (data != buf) {
     // File implementation returned a pointer into its own storage; copy not
-    // needed but the data is not heap-owned by us.
-    delete[] buf;
+    // needed but the data is not heap-owned by the caller's buffer.
     result->data = Slice(data, n);
-    result->heap_allocated = false;
-    result->cachable = false;
   } else {
     result->data = Slice(buf, n);
     result->heap_allocated = true;

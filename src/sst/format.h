@@ -70,6 +70,16 @@ struct BlockContents {
 Status ReadBlock(RandomAccessFile* file, bool verify_checksums, const BlockHandle& handle,
                  BlockContents* result);
 
+// Verification half of ReadBlock, for callers that performed the raw read
+// themselves (the async batched-get path). `contents` is what the file's
+// Read returned for handle's n + trailer bytes, with `buf` the scratch buffer
+// that was passed to it. Checks length, CRC, and compression type, then fills
+// `result`. Frees nothing: on success result->heap_allocated says whether
+// ownership of buf moved into result (the file read into buf); otherwise —
+// including every failure — the caller still owns buf.
+Status FinishReadBlock(bool verify_checksums, const BlockHandle& handle, const Slice& contents,
+                       const char* buf, BlockContents* result);
+
 }  // namespace p2kvs
 
 #endif  // P2KVS_SRC_SST_FORMAT_H_

@@ -176,6 +176,112 @@ Iterator* Table::NewIterator() const {
       [self](const Slice& index_value) { return BlockReader(self, index_value); });
 }
 
+RandomAccessFile* Table::file() const { return rep_->file.get(); }
+
+namespace {
+
+// Shared tail of the point-get paths: position the data-block iterator and
+// hand the entry (if any) to the caller's saver.
+Status SeekAndDeliver(Iterator* block_iter, const Slice& k,
+                      const std::function<void(const Slice&, const Slice&)>& handle_result) {
+  block_iter->Seek(k);
+  if (block_iter->Valid()) {
+    handle_result(block_iter->key(), block_iter->value());
+  }
+  return block_iter->status();
+}
+
+}  // namespace
+
+Status Table::PlanGet(const Slice& k, TableGetPlan* plan,
+                      const std::function<void(const Slice&, const Slice&)>& handle_result) {
+  plan->need_read = false;
+  std::unique_ptr<Iterator> iiter(rep_->index_block->NewIterator(rep_->options.comparator));
+  iiter->Seek(k);
+  if (!iiter->Valid()) {
+    return iiter->status();
+  }
+
+  Slice handle_value = iiter->value();
+  FilterBlockReader* filter = rep_->filter.get();
+  BlockHandle handle;
+  if (filter != nullptr && handle.DecodeFrom(&handle_value).ok() &&
+      !filter->KeyMayMatch(handle.offset(), k)) {
+    // Bloom filter says the key is definitely not present; lookup complete.
+    return iiter->status();
+  }
+
+  Slice input = iiter->value();
+  Status s = handle.DecodeFrom(&input);
+  if (!s.ok()) {
+    return s;
+  }
+
+  Cache* block_cache = rep_->options.block_cache;
+  if (block_cache != nullptr) {
+    char cache_key_buffer[16];
+    EncodeFixed64(cache_key_buffer, rep_->cache_id);
+    EncodeFixed64(cache_key_buffer + 8, handle.offset());
+    Cache::Handle* cache_handle =
+        block_cache->Lookup(Slice(cache_key_buffer, sizeof(cache_key_buffer)));
+    if (cache_handle != nullptr) {
+      Block* block = reinterpret_cast<Block*>(block_cache->Value(cache_handle));
+      std::unique_ptr<Iterator> block_iter(block->NewIterator(rep_->options.comparator));
+      block_iter->RegisterCleanup(
+          [block_cache, cache_handle] { ReleaseBlock(block_cache, cache_handle); });
+      s = SeekAndDeliver(block_iter.get(), k, handle_result);
+      if (s.ok()) {
+        s = iiter->status();
+      }
+      return s;
+    }
+  }
+
+  // Uncached data block: prime the read for batched submission.
+  plan->need_read = true;
+  plan->handle = handle;
+  const size_t len = static_cast<size_t>(handle.size()) + kBlockTrailerSize;
+  plan->scratch = std::make_unique<char[]>(len);
+  plan->op.offset = handle.offset();
+  plan->op.len = len;
+  plan->op.scratch = plan->scratch.get();
+  return iiter->status();
+}
+
+Status Table::FinishGet(const Slice& k, TableGetPlan* plan,
+                        const std::function<void(const Slice&, const Slice&)>& handle_result) {
+  if (!plan->op.status.ok()) {
+    return plan->op.status;
+  }
+  BlockContents contents;
+  Status s = FinishReadBlock(rep_->options.verify_checksums, plan->handle, plan->op.result,
+                             plan->scratch.get(), &contents);
+  if (!s.ok()) {
+    return s;
+  }
+  if (contents.heap_allocated) {
+    plan->scratch.release();  // ownership moved into the Block
+  }
+  Block* block = new Block(contents);
+  Cache* block_cache = rep_->options.block_cache;
+  Cache::Handle* cache_handle = nullptr;
+  if (block_cache != nullptr && contents.cachable) {
+    char cache_key_buffer[16];
+    EncodeFixed64(cache_key_buffer, rep_->cache_id);
+    EncodeFixed64(cache_key_buffer + 8, plan->handle.offset());
+    cache_handle = block_cache->Insert(Slice(cache_key_buffer, sizeof(cache_key_buffer)), block,
+                                       block->size(), &DeleteCachedBlock);
+  }
+  std::unique_ptr<Iterator> block_iter(block->NewIterator(rep_->options.comparator));
+  if (cache_handle == nullptr) {
+    block_iter->RegisterCleanup([block] { delete block; });
+  } else {
+    block_iter->RegisterCleanup(
+        [block_cache, cache_handle] { ReleaseBlock(block_cache, cache_handle); });
+  }
+  return SeekAndDeliver(block_iter.get(), k, handle_result);
+}
+
 Status Table::InternalGet(const Slice& k,
                           const std::function<void(const Slice&, const Slice&)>& handle_result) {
   Status s;

@@ -8,12 +8,25 @@
 #include <functional>
 #include <memory>
 
+#include "src/io/async_io.h"
 #include "src/io/env.h"
 #include "src/sst/format.h"
 #include "src/sst/sst_options.h"
 #include "src/util/iterator.h"
 
 namespace p2kvs {
+
+// State of one two-phase point lookup (Table::PlanGet / Table::FinishGet).
+// When PlanGet leaves need_read false the lookup already completed (index
+// miss, bloom-filter miss, or block-cache hit) and FinishGet must not be
+// called. Otherwise `op` is primed for AsyncIoContext::SubmitRead against
+// Table::file(); once the op completes, FinishGet verifies and delivers.
+struct TableGetPlan {
+  bool need_read = false;
+  BlockHandle handle;
+  std::unique_ptr<char[]> scratch;  // owns op.scratch while the read is in flight
+  AsyncIoOp op;
+};
 
 class Table {
  public:
@@ -36,6 +49,25 @@ class Table {
   // the LSM engine's point-get path.
   Status InternalGet(const Slice& key,
                      const std::function<void(const Slice&, const Slice&)>& handle_result);
+
+  // Phase 1 of a batched point lookup: index seek, bloom-filter check, and
+  // block-cache probe — everything InternalGet does short of the data-block
+  // read. A lookup that resolves here (cache hit delivers through
+  // handle_result exactly as InternalGet would) leaves plan->need_read false.
+  // Otherwise the caller submits plan->op (against file()) together with the
+  // rest of the batch and calls FinishGet after it completes.
+  Status PlanGet(const Slice& key, TableGetPlan* plan,
+                 const std::function<void(const Slice&, const Slice&)>& handle_result);
+
+  // Phase 2: CRC-verifies the completed read, builds the block (inserting it
+  // into the block cache like the synchronous path), then seeks and delivers
+  // the entry to handle_result.
+  Status FinishGet(const Slice& key, TableGetPlan* plan,
+                   const std::function<void(const Slice&, const Slice&)>& handle_result);
+
+  // The underlying file, for submitting a TableGetPlan's read. The table must
+  // stay open (pinned in the TableCache) while the op is in flight.
+  RandomAccessFile* file() const;
 
   // Approximate file offset where key's data begins (for size estimates).
   uint64_t ApproximateOffsetOf(const Slice& key) const;

@@ -122,6 +122,14 @@ std::string EventArgs(const TraceEvent& e) {
     case TraceEventType::kExpired:
       AppendArg(&args, "checkpoint", e.arg1);  // 0 = at dequeue, 1 = pre-execute
       break;
+    case TraceEventType::kIoSubmit:
+      AppendArg(&args, "op_kind", e.arg1);
+      AppendArg(&args, "bytes", e.arg2);
+      break;
+    case TraceEventType::kIoComplete:
+      AppendArg(&args, "bytes_done", e.arg1);
+      AppendArg(&args, "status", e.arg2);
+      break;
     case TraceEventType::kInvalid:
       break;
   }

@@ -78,6 +78,8 @@ enum class TraceEventType : uint8_t {
   kFault = 15,          // injected/observed storage fault (arg1 = fault op)
   kShed = 16,           // admission control rejected it (arg1 = queue depth)
   kExpired = 17,        // deadline passed (arg1 = 0 at dequeue, 1 pre-execute)
+  kIoSubmit = 18,       // async IO op submitted (arg1 = op kind, arg2 = bytes)
+  kIoComplete = 19,     // async IO op reaped (arg1 = bytes done, arg2 = status)
 };
 
 inline const char* TraceEventTypeName(TraceEventType type) {
@@ -100,6 +102,8 @@ inline const char* TraceEventTypeName(TraceEventType type) {
     case TraceEventType::kFault: return "fault";
     case TraceEventType::kShed: return "shed";
     case TraceEventType::kExpired: return "expired";
+    case TraceEventType::kIoSubmit: return "io_submit";
+    case TraceEventType::kIoComplete: return "io_complete";
   }
   return "unknown";
 }
