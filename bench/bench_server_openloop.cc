@@ -1,0 +1,493 @@
+// Network front-end benchmark: the full 2-D pipeline behind a loopback TCP
+// server, driven open-loop (arrival-rate schedules that never wait for
+// completions) across many pipelined connections.
+//
+// Modes:
+//   (default)        sweep offered load over defended vs no-defense stores;
+//                    the defended store turns admission sheds and deadline
+//                    expiries into protocol-level BUSY / DEADLINE_EXCEEDED
+//                    replies, holding the served tail bounded past saturation
+//                    while the no-defense tail grows with every queued arrival.
+//   --ycsb <wl>      YCSB workload (load, a..f) over TCP, closed loop.
+//   --smoke          CI leg: loopback server + YCSB-over-TCP + a small
+//                    open-loop overload comparison. Asserts nonzero goodput,
+//                    EXACT server-door vs client-observed accounting
+//                    (submitted == ok+shed+expired+failed, responses ==
+//                    client-received), clean P2kvsStats::SelfCheck(), and a
+//                    defended p99 below the no-defense control.
+//
+// Each connection runs two threads: a sender pacing its slice of the global
+// arrival schedule (requests are pipelined — never blocked on responses) and
+// a reader classifying responses by wire status. Send timestamps live in a
+// per-connection array of atomics indexed by request id, so the reader's
+// latency math is race-free under TSan without any lock on the hot path.
+
+#include "bench/bench_common.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <thread>
+
+#include "src/server/client.h"
+#include "src/server/server.h"
+#include "src/util/clock.h"
+#include "src/util/random.h"
+
+namespace p2kvs {
+namespace bench {
+namespace {
+
+using server::Client;
+using server::Response;
+using server::Server;
+using server::ServerOptions;
+using server::ServerStatsSnapshot;
+using server::WireStatus;
+
+P2kvsOptions MakeStoreOptions(SimulatedDevice& dev, int workers, bool defended) {
+  P2kvsOptions options;
+  options.env = dev.env.get();
+  options.num_workers = workers;
+  options.pin_workers = false;  // benchmark hosts are shared
+  options.engine_factory = MakeRocksLiteFactory(DefaultLsmOptions(dev.env.get()));
+  if (defended) {
+    options.queue_capacity = 1024;
+    options.admission.enabled = true;
+    options.admission.target_queue_wait_us = 2000;
+    options.default_deadline_ms = 20;
+  }
+  return options;
+}
+
+struct TcpOpenLoopResult {
+  uint64_t attempted = 0;
+  uint64_t ok = 0;
+  uint64_t shed = 0;     // protocol BUSY (admission shed or pipeline cap)
+  uint64_t expired = 0;  // protocol DEADLINE_EXCEEDED
+  uint64_t failed = 0;   // any other non-OK response or a lost connection
+  uint64_t responses = 0;
+  double seconds = 0;
+  double goodput_qps = 0;
+  Histogram ok_latency_us;
+
+  uint64_t classified() const { return ok + shed + expired + failed; }
+};
+
+// Open-loop PUT driver over `connections` pipelined TCP connections sharing
+// one global arrival rate.
+TcpOpenLoopResult RunOpenLoopTcp(uint16_t port, int connections, double offered_qps,
+                                 uint64_t total_ops, size_t value_size,
+                                 uint64_t key_space) {
+  struct ConnResult {
+    uint64_t ok = 0, shed = 0, expired = 0, failed = 0, responses = 0;
+    uint64_t first_send_ns = 0, last_done_ns = 0;
+    Histogram lat_us;
+  };
+  std::vector<ConnResult> per_conn(static_cast<size_t>(connections));
+  std::vector<std::thread> threads;
+  const double per_conn_interval_ns = 1e9 * connections / offered_qps;
+
+  for (int c = 0; c < connections; c++) {
+    const uint64_t ops =
+        total_ops / connections + (static_cast<uint64_t>(c) < total_ops % connections ? 1 : 0);
+    threads.emplace_back([=, &per_conn] {
+      ConnResult& res = per_conn[static_cast<size_t>(c)];
+      Client client;
+      if (!client.Connect("127.0.0.1", port).ok()) {
+        res.failed = ops;
+        return;
+      }
+      client.set_flush_threshold(1);  // paced arrivals: one frame per flush
+      // request_id i+1 -> send_ns[i]; atomics because the reader thread on
+      // this connection loads them without any lock.
+      std::unique_ptr<std::atomic<uint64_t>[]> send_ns(new std::atomic<uint64_t>[ops]());
+
+      std::thread reader([&] {
+        for (uint64_t i = 0; i < ops; i++) {
+          Response resp;
+          if (!client.ReadResponse(&resp).ok()) {
+            res.failed += ops - i;  // connection lost: the rest never arrives
+            return;
+          }
+          const uint64_t now = NowNanos();
+          res.responses++;
+          res.last_done_ns = now;
+          switch (static_cast<WireStatus>(resp.status_code)) {
+            case WireStatus::kOk: {
+              res.ok++;
+              const uint64_t sent =
+                  send_ns[resp.request_id - 1].load(std::memory_order_acquire);
+              res.lat_us.Add(static_cast<double>(now - sent) / 1000.0);
+              break;
+            }
+            case WireStatus::kBusy:
+              res.shed++;
+              break;
+            case WireStatus::kDeadlineExceeded:
+              res.expired++;
+              break;
+            default:
+              res.failed++;
+              break;
+          }
+        }
+      });
+
+      Random64 rnd(0x5bd1e995ull * static_cast<uint64_t>(c + 1));
+      const uint64_t start = NowNanos();
+      res.first_send_ns = start;
+      for (uint64_t i = 0; i < ops; i++) {
+        const uint64_t due =
+            start + static_cast<uint64_t>(static_cast<double>(i) * per_conn_interval_ns);
+        uint64_t now = NowNanos();
+        while (now < due) {  // open loop: hold the schedule, never the reply
+          std::this_thread::sleep_for(std::chrono::nanoseconds(due - now));
+          now = NowNanos();
+        }
+        const uint64_t idx = rnd.Next() % key_space;
+        send_ns[i].store(NowNanos(), std::memory_order_release);
+        client.SendPut(Key(idx), Value(idx, value_size));
+      }
+      client.Flush();
+      reader.join();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  TcpOpenLoopResult out;
+  out.attempted = total_ops;
+  uint64_t first = UINT64_MAX, last = 0;
+  for (const ConnResult& r : per_conn) {
+    out.ok += r.ok;
+    out.shed += r.shed;
+    out.expired += r.expired;
+    out.failed += r.failed;
+    out.responses += r.responses;
+    out.ok_latency_us.Merge(r.lat_us);
+    if (r.first_send_ns != 0 && r.first_send_ns < first) first = r.first_send_ns;
+    if (r.last_done_ns > last) last = r.last_done_ns;
+  }
+  if (last > first) {
+    out.seconds = static_cast<double>(last - first) / 1e9;
+    out.goodput_qps = static_cast<double>(out.ok) / out.seconds;
+  }
+  return out;
+}
+
+// YCSB over TCP, closed loop, one Client per thread. Outcome classification
+// is kept per status so accounting can be checked against the server's door
+// counters exactly.
+struct YcsbTcpResult {
+  RunResult run;
+  uint64_t ok = 0, shed = 0, expired = 0, failed = 0;
+  uint64_t requests_sent = 0;  // protocol requests (RMW sends two)
+};
+
+YcsbTcpResult RunYcsbOverTcp(uint16_t port, const std::string& workload, int threads,
+                             uint64_t ops, size_t value_size, ycsb::KeySpace* key_space) {
+  const ycsb::WorkloadSpec spec = ycsb::WorkloadSpec::ByName(workload);
+  std::vector<std::unique_ptr<Client>> clients;
+  std::vector<std::unique_ptr<ycsb::OperationStream>> streams;
+  for (int t = 0; t < threads; t++) {
+    clients.push_back(std::make_unique<Client>());
+    if (!clients.back()->Connect("127.0.0.1", port).ok()) {
+      std::fprintf(stderr, "ycsb-over-tcp: connect failed\n");
+      std::abort();
+    }
+    streams.push_back(std::make_unique<ycsb::OperationStream>(
+        spec, key_space, 0x9e3779b9ull * static_cast<uint64_t>(t + 1)));
+  }
+  struct PerThread {
+    uint64_t ok = 0, shed = 0, expired = 0, failed = 0, sent = 0;
+  };
+  std::vector<PerThread> per_thread(static_cast<size_t>(threads));
+
+  YcsbTcpResult out;
+  out.run = RunClosedLoop(threads, ops, [&](int thread, uint64_t i) {
+    Client& client = *clients[static_cast<size_t>(thread)];
+    PerThread& acc = per_thread[static_cast<size_t>(thread)];
+    ycsb::Operation op = streams[static_cast<size_t>(thread)]->Next();
+    auto classify = [&acc](const Status& s, bool not_found_ok) {
+      if (s.ok() || (not_found_ok && s.IsNotFound())) {
+        acc.ok++;
+      } else if (s.IsBusy()) {
+        acc.shed++;
+      } else if (s.IsDeadlineExceeded()) {
+        acc.expired++;
+      } else {
+        acc.failed++;
+      }
+    };
+    switch (op.type) {
+      case ycsb::OpType::kInsert:
+      case ycsb::OpType::kUpdate:
+        acc.sent++;
+        classify(client.Put(op.key, Value(i, value_size)), false);
+        break;
+      case ycsb::OpType::kRead: {
+        std::string value;
+        acc.sent++;
+        classify(client.Get(op.key, &value), true);
+        break;
+      }
+      case ycsb::OpType::kScan: {
+        std::vector<std::pair<std::string, std::string>> pairs;
+        acc.sent++;
+        classify(client.Scan(op.key, static_cast<uint32_t>(op.scan_length), &pairs), false);
+        break;
+      }
+      case ycsb::OpType::kReadModifyWrite: {
+        std::string value;
+        acc.sent++;
+        const Status r = client.Get(op.key, &value);
+        if (r.ok() || r.IsNotFound()) {
+          acc.sent++;
+          classify(client.Put(op.key, Value(i, value_size)), false);
+        } else {
+          classify(r, false);
+        }
+        break;
+      }
+    }
+  });
+  for (const PerThread& t : per_thread) {
+    out.ok += t.ok;
+    out.shed += t.shed;
+    out.expired += t.expired;
+    out.failed += t.failed;
+    out.requests_sent += t.sent;
+  }
+  return out;
+}
+
+void RunSweep() {
+  const uint64_t ops = Scaled(20000);
+  const int kConnections = 8;
+  PrintHeader("server open-loop",
+              "goodput & p99 over the TCP front-end vs offered load (open loop)",
+              "admission-defended BUSY/DEADLINE replies keep the served tail "
+              "bounded past saturation; no-defense tail grows with the backlog");
+
+  TablePrinter table({"system", "offered KQPS", "goodput KQPS", "ok %", "shed %",
+                      "expired %", "p99 us", "srv submitted", "srv busy-cap"});
+  struct SystemConfig {
+    const char* name;
+    bool defended;
+  };
+  constexpr SystemConfig kSystems[] = {
+      {"p2KVS-8/tcp no-defense", false},
+      {"p2KVS-8/tcp overload-ctl", true},
+  };
+  for (const SystemConfig& system : kSystems) {
+    for (double offered : {20e3, 50e3, 100e3, 200e3}) {
+      SimulatedDevice dev = MakeDevice(DeviceProfile::NvmeSsd());
+      std::unique_ptr<P2KVS> store;
+      if (!P2KVS::Open(MakeStoreOptions(dev, 8, system.defended), "/srv", &store).ok()) {
+        std::abort();
+      }
+      Server srv(store.get(), ServerOptions());
+      if (!srv.Start().ok()) {
+        std::abort();
+      }
+      TcpOpenLoopResult r =
+          RunOpenLoopTcp(srv.port(), kConnections, offered, ops, 112, 1000000);
+      srv.Stop();
+      const ServerStatsSnapshot ss = srv.Stats();
+      const double n = static_cast<double>(r.attempted);
+      table.AddRow({system.name, Fmt(offered / 1000.0, 0), Fmt(r.goodput_qps / 1000.0, 0),
+                    Fmt(100.0 * static_cast<double>(r.ok) / n),
+                    Fmt(100.0 * static_cast<double>(r.shed) / n),
+                    Fmt(100.0 * static_cast<double>(r.expired) / n),
+                    Fmt(r.ok_latency_us.Percentile(99)),
+                    std::to_string(ss.submitted_to_store),
+                    std::to_string(ss.pipeline_rejections)});
+    }
+  }
+  table.Print();
+}
+
+void RunYcsbMode(const std::string& workload) {
+  const uint64_t records = Scaled(20000);
+  const uint64_t ops = Scaled(40000);
+  const int threads = 8;
+  PrintHeader("server ycsb", "YCSB-" + workload + " over the TCP front-end", "");
+  SimulatedDevice dev = MakeDevice(DeviceProfile::NvmeSsd());
+  std::unique_ptr<P2KVS> store;
+  if (!P2KVS::Open(MakeStoreOptions(dev, 8, false), "/srvycsb", &store).ok()) {
+    std::abort();
+  }
+  Server srv(store.get(), ServerOptions());
+  if (!srv.Start().ok()) {
+    std::abort();
+  }
+  ycsb::KeySpace key_space(records);
+  YcsbTcpResult load = RunYcsbOverTcp(srv.port(), "load", threads, records, 128, &key_space);
+  YcsbTcpResult run = RunYcsbOverTcp(srv.port(), workload, threads, ops, 128, &key_space);
+  srv.Stop();
+  TablePrinter table({"phase", "KQPS", "avg us", "p99 us", "ok", "failed"});
+  table.AddRow({"load", FmtQps(load.run.qps), Fmt(load.run.latency.Average()),
+                Fmt(load.run.latency.Percentile(99)), std::to_string(load.ok),
+                std::to_string(load.failed)});
+  table.AddRow({workload, FmtQps(run.run.qps), Fmt(run.run.latency.Average()),
+                Fmt(run.run.latency.Percentile(99)), std::to_string(run.ok),
+                std::to_string(run.failed)});
+  table.Print();
+}
+
+// CI smoke. Phase 1: YCSB-A over TCP on a healthy store — nonzero goodput,
+// zero failures, exact door accounting (client-observed == server counters ==
+// store's own submitted/completed doors), clean SelfCheck. Phase 2: a small
+// open-loop overload — the defended store's served p99 must come in below the
+// no-defense control and its BUSY/DEADLINE replies must be nonzero.
+int RunSmoke() {
+  // --- Phase 1: correctness + accounting under a normal mixed workload.
+  {
+    SimulatedDevice dev = MakeDevice(DeviceProfile::NvmeSsd());
+    std::unique_ptr<P2KVS> store;
+    if (!P2KVS::Open(MakeStoreOptions(dev, 4, false), "/srvsmoke", &store).ok()) {
+      std::fprintf(stderr, "server smoke FAILED: open\n");
+      return 1;
+    }
+    Server srv(store.get(), ServerOptions());
+    if (!srv.Start().ok()) {
+      std::fprintf(stderr, "server smoke FAILED: server start\n");
+      return 1;
+    }
+    const uint64_t records = Scaled(2000);
+    const uint64_t ops = Scaled(4000);
+    ycsb::KeySpace key_space(records);
+    YcsbTcpResult load = RunYcsbOverTcp(srv.port(), "load", 4, records, 128, &key_space);
+    YcsbTcpResult run = RunYcsbOverTcp(srv.port(), "a", 4, ops, 128, &key_space);
+    srv.Stop();
+    const ServerStatsSnapshot ss = srv.Stats();
+
+    if (load.ok != records || load.failed + load.shed + load.expired != 0) {
+      std::fprintf(stderr, "server smoke FAILED: load phase lost writes (ok=%llu of %llu)\n",
+                   static_cast<unsigned long long>(load.ok),
+                   static_cast<unsigned long long>(records));
+      return 1;
+    }
+    if (run.ok == 0 || run.failed != 0) {
+      std::fprintf(stderr, "server smoke FAILED: ycsb-a ok=%llu failed=%llu\n",
+                   static_cast<unsigned long long>(run.ok),
+                   static_cast<unsigned long long>(run.failed));
+      return 1;
+    }
+    // Exact server-door accounting: every protocol request the clients sent
+    // was submitted to the store (no pipeline-cap BUSYs here), answered
+    // exactly once, and classified by the client.
+    const uint64_t client_sent = load.requests_sent + run.requests_sent;
+    const uint64_t client_classified =
+        load.ok + load.shed + load.expired + load.failed + run.ok + run.shed + run.expired +
+        run.failed;
+    if (ss.submitted_to_store != client_sent || ss.responses_sent != client_sent ||
+        client_classified != client_sent || ss.pipeline_rejections != 0 ||
+        ss.protocol_errors != 0) {
+      std::fprintf(stderr,
+                   "server smoke FAILED: door accounting: client sent %llu classified %llu, "
+                   "server submitted %llu responded %llu (cap-busy %llu, proto-err %llu)\n",
+                   static_cast<unsigned long long>(client_sent),
+                   static_cast<unsigned long long>(client_classified),
+                   static_cast<unsigned long long>(ss.submitted_to_store),
+                   static_cast<unsigned long long>(ss.responses_sent),
+                   static_cast<unsigned long long>(ss.pipeline_rejections),
+                   static_cast<unsigned long long>(ss.protocol_errors));
+      return 1;
+    }
+    store->WaitIdle();
+    P2kvsStats stats;
+    Status s = store->GetStats(&stats);
+    if (!s.ok()) {
+      std::fprintf(stderr, "server smoke FAILED: GetStats: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    const Status check = stats.SelfCheck();
+    if (!check.ok()) {
+      std::fprintf(stderr, "server smoke FAILED: SelfCheck: %s\n", check.ToString().c_str());
+      return 1;
+    }
+    std::printf("server smoke phase1 OK: %llu tcp requests, goodput %.0f qps, "
+                "exact door accounting\n",
+                static_cast<unsigned long long>(client_sent), run.run.qps);
+  }
+
+  // --- Phase 2: overload defense visible through the protocol.
+  TcpOpenLoopResult results[2];
+  for (int i = 0; i < 2; i++) {
+    const bool defended = i == 1;
+    SimulatedDevice dev = MakeDevice(DeviceProfile::SataSsd().Scaled(10));
+    std::unique_ptr<P2KVS> store;
+    P2kvsOptions options = MakeStoreOptions(dev, 2, defended);
+    if (defended) {
+      options.queue_capacity = 256;
+      options.default_deadline_ms = 25;
+    }
+    if (!P2KVS::Open(options, "/srvsmoke2", &store).ok()) {
+      std::fprintf(stderr, "server smoke FAILED: open (phase2)\n");
+      return 1;
+    }
+    Server srv(store.get(), ServerOptions());
+    if (!srv.Start().ok()) {
+      std::fprintf(stderr, "server smoke FAILED: server start (phase2)\n");
+      return 1;
+    }
+    results[i] = RunOpenLoopTcp(srv.port(), 4, 50e3, Scaled(4000), 4096, 100000);
+    srv.Stop();
+    const ServerStatsSnapshot ss = srv.Stats();
+    if (results[i].responses != ss.responses_sent ||
+        results[i].classified() != results[i].attempted) {
+      std::fprintf(stderr,
+                   "server smoke FAILED: phase2 accounting: client saw %llu of %llu, "
+                   "server sent %llu\n",
+                   static_cast<unsigned long long>(results[i].responses),
+                   static_cast<unsigned long long>(results[i].attempted),
+                   static_cast<unsigned long long>(ss.responses_sent));
+      return 1;
+    }
+  }
+  const TcpOpenLoopResult& control = results[0];
+  const TcpOpenLoopResult& defended = results[1];
+  if (defended.ok == 0) {
+    std::fprintf(stderr, "server smoke FAILED: defended goodput is zero\n");
+    return 1;
+  }
+  if (defended.shed + defended.expired == 0) {
+    std::fprintf(stderr, "server smoke FAILED: overload never shed through the protocol\n");
+    return 1;
+  }
+  const double control_p99 = control.ok_latency_us.Percentile(99);
+  const double defended_p99 = defended.ok_latency_us.Percentile(99);
+  if (defended_p99 >= control_p99) {
+    std::fprintf(stderr, "server smoke FAILED: defended p99 %.0fus not below control %.0fus\n",
+                 defended_p99, control_p99);
+    return 1;
+  }
+  std::printf(
+      "{\"server_smoke\":{\"no_defense\":{\"goodput_qps\":%.0f,\"p99_us\":%.0f},"
+      "\"overload_ctl\":{\"goodput_qps\":%.0f,\"p99_us\":%.0f,\"shed\":%llu,"
+      "\"expired\":%llu}}}\n",
+      control.goodput_qps, control_p99, defended.goodput_qps, defended_p99,
+      static_cast<unsigned long long>(defended.shed),
+      static_cast<unsigned long long>(defended.expired));
+  std::printf("server smoke OK: defended p99 %.0fus vs no-defense %.0fus over TCP\n",
+              defended_p99, control_p99);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace p2kvs
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) {
+    return p2kvs::bench::RunSmoke();
+  }
+  if (argc > 2 && std::strcmp(argv[1], "--ycsb") == 0) {
+    p2kvs::bench::RunYcsbMode(argv[2]);
+    return 0;
+  }
+  p2kvs::bench::RunSweep();
+  return 0;
+}

@@ -211,6 +211,227 @@ void P2KVS::DeleteAsync(const Slice& key, std::function<void(const Status&)> cb)
   workers_[static_cast<size_t>(PartitionOf(key))]->Submit(request);
 }
 
+void P2KVS::GetAsync(const Slice& key,
+                     std::function<void(const Status&, std::string value)> cb) {
+  // The value needs storage that outlives this call; park it next to the
+  // user callback and hand both to the request's completion callback.
+  struct GetCtx {
+    std::string value;
+    std::function<void(const Status&, std::string)> cb;
+  };
+  auto* ctx = new GetCtx{std::string(), std::move(cb)};
+  auto* request = new Request();
+  request->type = RequestType::kGet;
+  request->key = key.ToString();
+  request->get_out = &ctx->value;
+  request->deadline_nanos = DeadlineFromOptions();
+  request->callback = [ctx](const Status& s) {
+    ctx->cb(s, std::move(ctx->value));
+    delete ctx;
+  };
+  workers_[static_cast<size_t>(PartitionOf(key))]->Submit(request);
+}
+
+void P2KVS::MultiGetAsync(
+    std::vector<std::string> keys,
+    std::function<void(std::vector<Status>, std::vector<std::string>)> cb) {
+  // Heap context instead of the sync path's stack + join.Wait(): every slice
+  // completes through its own callback, and the LAST one to count down
+  // harvests and reports. The release/acquire pair on `remaining` publishes
+  // every sibling slice's writes to the harvesting thread.
+  struct MgetCtx {
+    std::vector<std::string> owned_keys;
+    std::vector<Slice> keys;  // views into owned_keys, what workers consume
+    std::vector<std::string> values;
+    std::vector<Status> statuses;
+    std::function<void(std::vector<Status>, std::vector<std::string>)> cb;
+    std::atomic<uint32_t> remaining{0};
+  };
+  auto* ctx = new MgetCtx();
+  ctx->owned_keys = std::move(keys);
+  ctx->cb = std::move(cb);
+  ctx->keys.reserve(ctx->owned_keys.size());
+  for (const std::string& k : ctx->owned_keys) {
+    ctx->keys.emplace_back(k);
+  }
+  ctx->values.assign(ctx->keys.size(), std::string());
+  ctx->statuses.assign(ctx->keys.size(), Status::Aborted("multiget not executed"));
+  if (ctx->keys.empty()) {
+    ctx->cb(std::move(ctx->statuses), std::move(ctx->values));
+    delete ctx;
+    return;
+  }
+
+  std::vector<std::vector<uint32_t>> index_of(workers_.size());
+  std::vector<size_t> involved;
+  for (uint32_t i = 0; i < ctx->keys.size(); i++) {
+    const auto w = static_cast<size_t>(PartitionOf(ctx->keys[i]));
+    if (index_of[w].empty()) {
+      involved.push_back(w);
+    }
+    index_of[w].push_back(i);
+  }
+  const int refused = ProbeFanoutAdmission(involved);
+  if (refused >= 0) {
+    ctx->statuses.assign(ctx->keys.size(), MakeShedStatus(refused));
+    ctx->cb(std::move(ctx->statuses), std::move(ctx->values));
+    delete ctx;
+    return;
+  }
+  const uint64_t deadline = DeadlineFromOptions();
+
+  // Arm the full count before submitting anything: a slice that completes
+  // inline must not observe zero early.
+  ctx->remaining.store(static_cast<uint32_t>(involved.size()), std::memory_order_relaxed);
+  for (size_t w : involved) {
+    auto* request = new Request();
+    request->type = RequestType::kMultiGet;
+    request->mget_keys = &ctx->keys;
+    request->mget_values = &ctx->values;
+    request->mget_statuses = &ctx->statuses;
+    request->mget_index = std::move(index_of[w]);
+    request->priority = RequestPriority::kCritical;  // admitted above
+    request->deadline_nanos = deadline;
+    request->callback = [ctx](const Status&) {
+      // Slice-level status is scattered per key already; the group request's
+      // own status carries nothing (mirrors the sync path).
+      if (ctx->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        ctx->cb(std::move(ctx->statuses), std::move(ctx->values));
+        delete ctx;
+      }
+    };
+    workers_[w]->Submit(request);
+  }
+}
+
+void P2KVS::MultiWriteAsync(WriteBatch updates, std::function<void(const Status&)> cb) {
+  struct MwriteCtx {
+    std::vector<WriteBatch> parts;
+    std::function<void(const Status&)> cb;
+    std::atomic<uint32_t> remaining{0};
+    // First non-OK slice outcome; the CAS winner writes before its countdown
+    // release, the harvester reads after its acquire.
+    std::atomic<bool> failed{false};
+    Status first_error;
+  };
+  auto* ctx = new MwriteCtx();
+  ctx->cb = std::move(cb);
+  Status s = SplitByPartition(&updates, &ctx->parts);
+  if (!s.ok()) {
+    ctx->cb(s);
+    delete ctx;
+    return;
+  }
+  std::vector<size_t> involved;
+  for (size_t w = 0; w < workers_.size(); w++) {
+    if (ctx->parts[w].Count() != 0) {
+      involved.push_back(w);
+    }
+  }
+  if (involved.empty()) {
+    ctx->cb(Status::OK());
+    delete ctx;
+    return;
+  }
+  const int refused = ProbeFanoutAdmission(involved);
+  if (refused >= 0) {
+    ctx->cb(MakeShedStatus(refused));
+    delete ctx;
+    return;
+  }
+  const uint64_t deadline = DeadlineFromOptions();
+  ctx->remaining.store(static_cast<uint32_t>(involved.size()), std::memory_order_relaxed);
+  for (size_t w : involved) {
+    auto* request = new Request();
+    request->type = RequestType::kWriteBatch;
+    request->batch = &ctx->parts[w];
+    request->priority = RequestPriority::kCritical;  // admitted above
+    request->deadline_nanos = deadline;
+    request->callback = [ctx](const Status& slice_status) {
+      if (!slice_status.ok()) {
+        bool expected = false;
+        if (ctx->failed.compare_exchange_strong(expected, true,
+                                                std::memory_order_acq_rel)) {
+          ctx->first_error = slice_status;
+        }
+      }
+      if (ctx->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        ctx->cb(ctx->failed.load(std::memory_order_acquire) ? ctx->first_error
+                                                            : Status::OK());
+        delete ctx;
+      }
+    };
+    workers_[w]->Submit(request);
+  }
+}
+
+void P2KVS::ScanAsync(
+    const Slice& begin, size_t count,
+    std::function<void(const Status&, std::vector<std::pair<std::string, std::string>>)>
+        cb) {
+  struct ScanCtx {
+    std::vector<std::vector<std::pair<std::string, std::string>>> partials;
+    std::vector<Status> statuses;
+    std::function<void(const Status&, std::vector<std::pair<std::string, std::string>>)>
+        cb;
+    std::atomic<uint32_t> remaining{0};
+    size_t count = 0;
+  };
+  auto* ctx = new ScanCtx();
+  ctx->partials.assign(workers_.size(), {});
+  ctx->statuses.assign(workers_.size(), Status::OK());
+  ctx->cb = std::move(cb);
+  ctx->count = count;
+
+  std::vector<size_t> involved(workers_.size());
+  for (size_t i = 0; i < workers_.size(); i++) {
+    involved[i] = i;
+  }
+  const int refused = ProbeFanoutAdmission(involved);
+  if (refused >= 0) {
+    ctx->cb(MakeShedStatus(refused), {});
+    delete ctx;
+    return;
+  }
+  const uint64_t deadline = DeadlineFromOptions();
+  ctx->remaining.store(static_cast<uint32_t>(workers_.size()), std::memory_order_relaxed);
+  for (size_t i = 0; i < workers_.size(); i++) {
+    auto* request = new Request();
+    request->type = RequestType::kScan;
+    request->key = begin.ToString();
+    request->scan_count = count;
+    request->scan_out = &ctx->partials[i];
+    request->priority = RequestPriority::kCritical;  // admitted above
+    request->deadline_nanos = deadline;
+    request->callback = [ctx, i](const Status& slice_status) {
+      // Each slice owns its statuses slot; publication rides the countdown.
+      ctx->statuses[i] = slice_status;
+      if (ctx->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Merge exactly like the sync parallel Scan: healthy partitions'
+        // pairs survive, first error is reported.
+        std::vector<std::pair<std::string, std::string>> out;
+        Status first_error;
+        for (size_t w = 0; w < ctx->partials.size(); w++) {
+          if (ctx->statuses[w].ok()) {
+            out.insert(out.end(), std::make_move_iterator(ctx->partials[w].begin()),
+                       std::make_move_iterator(ctx->partials[w].end()));
+          } else if (first_error.ok()) {
+            first_error = ctx->statuses[w];
+          }
+        }
+        std::sort(out.begin(), out.end(),
+                  [](const auto& a, const auto& b) { return a.first < b.first; });
+        if (out.size() > ctx->count) {
+          out.resize(ctx->count);
+        }
+        ctx->cb(first_error, std::move(out));
+        delete ctx;
+      }
+    };
+    workers_[i]->Submit(request);
+  }
+}
+
 std::vector<Status> P2KVS::MultiGet(const std::vector<Slice>& keys,
                                     std::vector<std::string>* values) {
   values->assign(keys.size(), std::string());
@@ -585,7 +806,26 @@ Status P2KVS::FlushAll() {
   return result;
 }
 
-void P2KVS::WaitIdle() {
+bool P2KVS::OnOwnWorkerThread() const {
+  const Worker* current = Worker::CurrentThreadWorker();
+  if (current == nullptr) {
+    return false;
+  }
+  for (const auto& worker : workers_) {
+    if (worker.get() == current) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Status P2KVS::WaitIdle() {
+  if (OnOwnWorkerThread()) {
+    // The calling worker would have to drain the very barrier it is waiting
+    // on; the old behavior was a silent self-deadlock.
+    return Status::InvalidArgument("WaitIdle called from a p2kvs worker thread",
+                                   "would deadlock behind its own barrier request");
+  }
   // First drain the accessing layer: a barrier request per worker completes
   // only after everything queued before it has executed (the queues are
   // FIFO). Only then is per-engine background quiescence meaningful.
@@ -601,6 +841,7 @@ void P2KVS::WaitIdle() {
   for (auto& worker : workers_) {
     worker->store()->WaitIdle();
   }
+  return Status::OK();
 }
 
 P2kvsHealth P2KVS::Health() const {
@@ -628,58 +869,109 @@ Status P2KVS::Resume() {
   return first_error;
 }
 
-P2kvsStats P2KVS::GetStats() const {
+void P2KVS::FinalizeStats(P2kvsStats* stats) const {
+  stats->queue_depths.reserve(workers_.size());
+  for (const WorkerStatsSnapshot& snap : stats->workers) {
+    stats->totals.MergeFrom(snap);
+    stats->queue_depths.push_back(snap.queue_depth);
+  }
+  stats->write_batches = stats->totals.write_batches;
+  stats->writes_batched = stats->totals.writes_batched;
+  stats->read_batches = stats->totals.read_batches;
+  stats->reads_batched = stats->totals.reads_batched;
+  stats->singles = stats->totals.singles;
+  stats->degraded_rejects = stats->totals.degraded_rejects;
+  stats->requests_submitted =
+      stats->writes_batched + stats->reads_batched + stats->singles;
+  stats->submitted = stats->totals.submitted;
+  stats->completed = stats->totals.completed;
+  stats->shed = stats->totals.shed;
+  stats->expired = stats->totals.expired();
+  stats->breaker_trips = stats->totals.breaker_trips;
+  stats->retries_denied = stats->totals.retries_denied;
+  {
+    const IoStatsSnapshot io = IoStats::Instance().Snapshot();
+    stats->async_submissions = io.async_submissions;
+    stats->async_max_queue_depth = io.max_queue_depth;
+    stats->async_reads_in_flight = io.reads_in_flight;
+  }
+  if (tracer_ != nullptr) {
+    stats->trace_enabled = true;
+    stats->trace_events = tracer_->events_appended();
+    stats->trace_dropped = tracer_->events_dropped();
+    stats->trace_sampled = tracer_->sampled_submitted();
+    stats->trace_completed = tracer_->sampled_completed();
+    stats->trace_flight_dumps = tracer_->flight_dumps();
+  }
+}
+
+Status P2KVS::GetStats(P2kvsStats* stats) const {
+  if (OnOwnWorkerThread()) {
+    // The drain request below would sit in the calling worker's own queue,
+    // behind the request whose handler is running right now — a guaranteed
+    // self-deadlock (previously only documented, now refused).
+    return Status::InvalidArgument("GetStats called from a p2kvs worker thread",
+                                   "would deadlock behind its own drain request; "
+                                   "use GetStatsAsync");
+  }
   // One kStats drain request per worker: each worker THREAD copies its own
   // recorder / thread-local PerfContext / IO counters into its slot, then
   // completes; the join's release/acquire publishes every plain field here.
   // No live cross-thread reads, hence no torn totals (the bug this replaced).
-  P2kvsStats stats;
-  stats.workers.assign(workers_.size(), WorkerStatsSnapshot());
+  *stats = P2kvsStats();
+  stats->workers.assign(workers_.size(), WorkerStatsSnapshot());
   Completion join(static_cast<uint32_t>(workers_.size()));
   std::deque<Request> requests;
   for (size_t i = 0; i < workers_.size(); i++) {
     Request& request = requests.emplace_back();
     request.type = RequestType::kStats;
-    request.stats_out = &stats.workers[i];
+    request.stats_out = &stats->workers[i];
     request.group = &join;
     workers_[i]->Submit(&request);
   }
   join.Wait();
+  FinalizeStats(stats);
+  return Status::OK();
+}
 
-  stats.queue_depths.reserve(workers_.size());
-  for (const WorkerStatsSnapshot& snap : stats.workers) {
-    stats.totals.MergeFrom(snap);
-    stats.queue_depths.push_back(snap.queue_depth);
-  }
-  stats.write_batches = stats.totals.write_batches;
-  stats.writes_batched = stats.totals.writes_batched;
-  stats.read_batches = stats.totals.read_batches;
-  stats.reads_batched = stats.totals.reads_batched;
-  stats.singles = stats.totals.singles;
-  stats.degraded_rejects = stats.totals.degraded_rejects;
-  stats.requests_submitted =
-      stats.writes_batched + stats.reads_batched + stats.singles;
-  stats.submitted = stats.totals.submitted;
-  stats.completed = stats.totals.completed;
-  stats.shed = stats.totals.shed;
-  stats.expired = stats.totals.expired();
-  stats.breaker_trips = stats.totals.breaker_trips;
-  stats.retries_denied = stats.totals.retries_denied;
-  {
-    const IoStatsSnapshot io = IoStats::Instance().Snapshot();
-    stats.async_submissions = io.async_submissions;
-    stats.async_max_queue_depth = io.max_queue_depth;
-    stats.async_reads_in_flight = io.reads_in_flight;
-  }
-  if (tracer_ != nullptr) {
-    stats.trace_enabled = true;
-    stats.trace_events = tracer_->events_appended();
-    stats.trace_dropped = tracer_->events_dropped();
-    stats.trace_sampled = tracer_->sampled_submitted();
-    stats.trace_completed = tracer_->sampled_completed();
-    stats.trace_flight_dumps = tracer_->flight_dumps();
-  }
+P2kvsStats P2KVS::GetStats() const {
+  P2kvsStats stats;
+  GetStats(&stats);  // empty stats when refused (worker-thread caller)
   return stats;
+}
+
+void P2KVS::GetStatsAsync(std::function<void(P2kvsStats)> cb) const {
+  // Same drain protocol, no join: each kStats request completes through a
+  // callback; the last one to count down finalizes the aggregate and hands it
+  // to the user callback (on that worker's thread). Never blocks, so it is
+  // legal from worker-thread context — which is exactly where the sync
+  // GetStats() would deadlock.
+  struct StatsCtx {
+    P2kvsStats stats;
+    std::function<void(P2kvsStats)> cb;
+    const P2KVS* store;
+    std::atomic<uint32_t> remaining{0};
+  };
+  auto* ctx = new StatsCtx();
+  ctx->cb = std::move(cb);
+  ctx->store = this;
+  ctx->stats.workers.assign(workers_.size(), WorkerStatsSnapshot());
+  ctx->remaining.store(static_cast<uint32_t>(workers_.size()), std::memory_order_relaxed);
+  for (size_t i = 0; i < workers_.size(); i++) {
+    auto* request = new Request();
+    request->type = RequestType::kStats;
+    request->stats_out = &ctx->stats.workers[i];
+    request->callback = [ctx](const Status&) {
+      // The acq_rel countdown publishes every worker's snapshot slot to the
+      // finalizing thread.
+      if (ctx->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        ctx->store->FinalizeStats(&ctx->stats);
+        ctx->cb(std::move(ctx->stats));
+        delete ctx;
+      }
+    };
+    workers_[i]->Submit(request);
+  }
 }
 
 Status P2kvsStats::SelfCheck() const {

@@ -266,6 +266,29 @@ class P2KVS {
   void PutAsync(const Slice& key, const Slice& value, std::function<void(const Status&)> cb);
   void DeleteAsync(const Slice& key, std::function<void(const Status&)> cb);
 
+  // --- Asynchronous read / fan-out interface (network front-end). ---
+  // Callback-completed variants of Get / MultiGet / MultiWrite / Scan /
+  // GetStats: the caller never parks — completion is delivered on the worker
+  // thread that resolved the (last) underlying request, exactly like
+  // PutAsync. A connection handler can therefore submit every protocol
+  // opcode without ever blocking on the engine. Callbacks must not issue
+  // blocking P2KVS calls (they run on worker threads; GetStats()/WaitIdle()
+  // detect this and fail fast, see below).
+  void GetAsync(const Slice& key, std::function<void(const Status&, std::string value)> cb);
+  // Keys are copied; per-key statuses/values are positional with `keys`.
+  // A refused fan-out (admission control) reports the shed status per key
+  // without submitting anything, like the sync MultiGet.
+  void MultiGetAsync(std::vector<std::string> keys,
+                     std::function<void(std::vector<Status>, std::vector<std::string>)> cb);
+  // Same partition-atomic-only semantics as MultiWrite.
+  void MultiWriteAsync(WriteBatch updates, std::function<void(const Status&)> cb);
+  // Always uses the parallel over-scan strategy (the global-merge mode has no
+  // per-partition requests to join asynchronously). Pairs from healthy
+  // partitions survive a partition failure; the first error is reported.
+  void ScanAsync(const Slice& begin, size_t count,
+                 std::function<void(const Status&,
+                                    std::vector<std::pair<std::string, std::string>>)> cb);
+
   // --- Client-side fan-out (one pre-merged group request per involved
   // partition, joined on a single countdown completion). ---
   // Batched point lookups. Keys may repeat and may all hash to one
@@ -313,8 +336,11 @@ class P2KVS {
   int PartitionOf(const Slice& key) const;
   Status FlushAll();
   // Blocks until every request already submitted has executed (per-worker
-  // barrier requests) and engine background work is quiescent.
-  void WaitIdle();
+  // barrier requests) and engine background work is quiescent. Returns
+  // InvalidArgument without blocking when called from one of this store's
+  // worker threads (e.g. inside a PutAsync callback or an EventListener
+  // hook): the worker cannot drain the barrier it would be waiting on.
+  Status WaitIdle();
   // Per-partition health snapshot (error governance).
   P2kvsHealth Health() const;
   // Explicitly attempts to resume every degraded/failed partition; returns
@@ -322,9 +348,17 @@ class P2KVS {
   Status Resume();
   // Race-free aggregate of every worker's recorder: one kStats drain request
   // per worker, joined on a countdown completion. Millisecond-scale (it waits
-  // behind queued work); do not call from a worker-thread callback — the
-  // worker cannot serve the drain request it would be waiting on.
+  // behind queued work). Calling it from one of this store's worker threads
+  // (a PutAsync/GetAsync callback, an EventListener hook) used to deadlock
+  // behind the drain request the worker itself would have to serve; it is now
+  // detected via a thread-local worker id and fails fast: the Status overload
+  // returns InvalidArgument, the legacy overload returns empty stats. Use
+  // GetStatsAsync from worker-thread context instead.
+  Status GetStats(P2kvsStats* stats) const;
   P2kvsStats GetStats() const;
+  // Non-blocking variant: the callback runs on the worker thread that served
+  // the last drain request. Safe from any thread, including worker threads.
+  void GetStatsAsync(std::function<void(P2kvsStats)> cb) const;
   // Human-readable report built from GetStats(): per-worker table, stage
   // breakdown, latency distributions. For machines, use GetStats().ToJson().
   std::string GetStatsString() const;
@@ -358,6 +392,12 @@ class P2KVS {
   // on any refusal counts a shed on ALL of them (the operation is refused as
   // a unit) and returns the refusing worker's id. -1 = admitted.
   int ProbeFanoutAdmission(const std::vector<size_t>& involved);
+  // True when the calling thread is one of THIS store's worker threads (a
+  // worker of another store is fine — it can still be served).
+  bool OnOwnWorkerThread() const;
+  // Merges per-worker snapshots (already filled in stats->workers) into the
+  // aggregate counters; shared by the sync and async GetStats paths.
+  void FinalizeStats(P2kvsStats* stats) const;
   void StatsDumpLoop() EXCLUDES(dumper_mu_);
 
   P2kvsOptions options_;

@@ -9,6 +9,15 @@
 
 namespace p2kvs {
 
+namespace {
+// Set for the lifetime of Worker::Run on the worker's own thread. Read by
+// P2KVS::GetStats()/WaitIdle() to refuse a blocking drain issued from a
+// worker thread (which could never serve its own drain request).
+thread_local const Worker* t_current_worker = nullptr;
+}  // namespace
+
+const Worker* Worker::CurrentThreadWorker() { return t_current_worker; }
+
 const char* WorkerHealthName(WorkerHealth health) {
   switch (health) {
     case WorkerHealth::kHealthy:
@@ -226,6 +235,7 @@ void Worker::ExpireRequest(Request* r, bool at_dequeue) {
 }
 
 void Worker::Run() {
+  t_current_worker = this;
   if (config_.pin_to_cpu) {
     PinThreadToCpu(config_.id);
   }

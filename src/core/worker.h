@@ -158,6 +158,12 @@ class Worker {
   // marks the partition healthy on success. No-op when already healthy.
   Status TryResume() EXCLUDES(resume_mu_);
 
+  // The Worker whose loop the calling thread is running, or null when the
+  // caller is not a worker thread. Lets the accessing layer fail fast when a
+  // worker-thread callback issues a blocking drain/barrier request it would
+  // have to serve itself (the GetStats()/WaitIdle() self-deadlock).
+  static const Worker* CurrentThreadWorker();
+
   // Batching effectiveness counters (engine-level groups, from either the
   // BatchPolicy or pre-merged client fan-out requests).
   uint64_t write_batches() const { return write_batches_.load(std::memory_order_relaxed); }

@@ -66,6 +66,14 @@ void IoStats::OnAsyncComplete(bool is_read) {
   }
 }
 
+void IoStats::RecordUringEagainBackoff() {
+  uring_eagain_backoffs_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void IoStats::RecordUringSubmitFallback() {
+  uring_submit_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+}
+
 void IoStats::CreditThreadRead(uint64_t bytes, uint64_t ops) {
   t_io_counters.bytes_read += bytes;
   t_io_counters.read_ops += ops;
@@ -85,6 +93,8 @@ IoStatsSnapshot IoStats::Snapshot() const {
   snap.async_submissions = async_submissions_.load(std::memory_order_relaxed);
   snap.reads_in_flight = reads_in_flight_.load(std::memory_order_relaxed);
   snap.max_queue_depth = max_queue_depth_.load(std::memory_order_relaxed);
+  snap.uring_eagain_backoffs = uring_eagain_backoffs_.load(std::memory_order_relaxed);
+  snap.uring_submit_fallbacks = uring_submit_fallbacks_.load(std::memory_order_relaxed);
   return snap;
 }
 
@@ -102,6 +112,8 @@ void IoStats::Reset() {
   reads_in_flight_.store(0, std::memory_order_relaxed);
   ops_in_flight_.store(0, std::memory_order_relaxed);
   max_queue_depth_.store(0, std::memory_order_relaxed);
+  uring_eagain_backoffs_.store(0, std::memory_order_relaxed);
+  uring_submit_fallbacks_.store(0, std::memory_order_relaxed);
 }
 
 uint64_t IoStatsSnapshot::TotalWritten() const {
@@ -132,6 +144,8 @@ IoStatsSnapshot IoStatsSnapshot::Since(const IoStatsSnapshot& base) const {
   d.injected_faults = injected_faults - base.injected_faults;
   d.retries = retries - base.retries;
   d.async_submissions = async_submissions - base.async_submissions;
+  d.uring_eagain_backoffs = uring_eagain_backoffs - base.uring_eagain_backoffs;
+  d.uring_submit_fallbacks = uring_submit_fallbacks - base.uring_submit_fallbacks;
   // Gauge and high-water mark are point-in-time values, not deltas.
   d.reads_in_flight = reads_in_flight;
   d.max_queue_depth = max_queue_depth;

@@ -43,6 +43,11 @@ struct IoStatsSnapshot {
   uint64_t async_submissions = 0;
   int64_t reads_in_flight = 0;
   uint64_t max_queue_depth = 0;
+  // io_uring_enter EAGAIN/EBUSY backoff iterations (SQ/CQ persistently full)
+  // and submissions abandoned to the thread-pool fallback after the retry
+  // cap. Nonzero fallbacks mean the ring is undersized for the load.
+  uint64_t uring_eagain_backoffs = 0;
+  uint64_t uring_submit_fallbacks = 0;
 
   uint64_t TotalWritten() const;
   uint64_t TotalRead() const;
@@ -65,6 +70,12 @@ class IoStats {
   // backends around each op's lifetime.
   void OnAsyncSubmit(bool is_read);
   void OnAsyncComplete(bool is_read);
+  // One io_uring_enter retry taken because the kernel reported EAGAIN/EBUSY
+  // (ring resources exhausted); see the bounded backoff in uring_io.cc.
+  void RecordUringEagainBackoff();
+  // One read submission that gave up after the retry cap and was rerouted to
+  // the thread-pool backend instead of spinning on the full ring.
+  void RecordUringSubmitFallback();
 
   // Adds read bytes/ops to the *calling thread's* ThreadIoCounters only (no
   // global double count): a worker that had its reads executed on async pool
@@ -89,6 +100,8 @@ class IoStats {
   std::atomic<int64_t> reads_in_flight_{0};
   std::atomic<uint64_t> ops_in_flight_{0};  // all async kinds; feeds the max
   std::atomic<uint64_t> max_queue_depth_{0};
+  std::atomic<uint64_t> uring_eagain_backoffs_{0};
+  std::atomic<uint64_t> uring_submit_fallbacks_{0};
 };
 
 // The calling thread's current IO purpose (defaults to kUser).

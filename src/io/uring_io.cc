@@ -20,8 +20,10 @@
 #ifdef P2KVS_IO_URING
 
 #include <linux/io_uring.h>
+#include <sched.h>
 #include <sys/mman.h>
 #include <sys/syscall.h>
+#include <time.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -52,6 +54,28 @@ int SysIoUringSetup(unsigned entries, io_uring_params* p) {
 int SysIoUringEnter(int fd, unsigned to_submit, unsigned min_complete, unsigned flags) {
   return static_cast<int>(::syscall(__NR_io_uring_enter, fd, to_submit, min_complete, flags,
                                     nullptr, 0));
+}
+
+// io_uring_enter EAGAIN/EBUSY retry policy. Submission gives up and falls
+// back to the thread pool after this many attempts (~a few ms wall time at
+// the capped sleep); completion draining retries forever but with the same
+// per-iteration cap.
+constexpr int kMaxEagainAttempts = 64;
+constexpr long kMaxBackoffNanos = 1000000;  // 1ms
+
+// attempt-th consecutive EAGAIN: yield first (transient pressure resolves in
+// a scheduler quantum), then sleep with escalation capped at 1ms.
+void BackoffOnce(int attempt) {
+  if (attempt <= 4) {
+    ::sched_yield();
+    return;
+  }
+  long nanos = 10000L << std::min(attempt - 5, 10);  // 10us .. ~10ms, capped below
+  if (nanos > kMaxBackoffNanos) {
+    nanos = kMaxBackoffNanos;
+  }
+  timespec ts{0, nanos};
+  ::nanosleep(&ts, nullptr);
 }
 
 // Minimal SQ/CQ ring wrapper. All methods must be called under an external
@@ -143,24 +167,41 @@ class RawUring {
     sq_array_[idx] = idx;
     // Publish the SQE before the kernel sees the new tail.
     __atomic_store_n(sq_tail_, tail + 1, __ATOMIC_RELEASE);
+    // EINTR retries freely (the syscall did no work), but EAGAIN/EBUSY means
+    // the kernel is out of ring resources and may stay that way for a while —
+    // an unbounded `continue` here burns a core at 100% while holding the ring
+    // lock. Bound it: yield for the first retries, then sleep with capped
+    // escalation, and after kMaxEagainAttempts give the SQE back (tail
+    // rollback) so the caller degrades to the thread-pool backend.
+    int eagain_attempts = 0;
     while (true) {
       const int r = SysIoUringEnter(ring_fd_, 1, 0, 0);
       if (r >= 0) {
         return true;
       }
-      if (errno == EINTR || errno == EAGAIN) {
+      if (errno == EINTR) {
         continue;
       }
-      // Kernel never consumed the SQE (head unmoved on error): roll back.
-      __atomic_store_n(sq_tail_, tail, __ATOMIC_RELEASE);
-      return false;
+      if (errno == EAGAIN || errno == EBUSY) {
+        IoStats::Instance().RecordUringEagainBackoff();
+        if (++eagain_attempts >= kMaxEagainAttempts) {
+          break;  // persistently full: hand off to the pool fallback
+        }
+        BackoffOnce(eagain_attempts);
+        continue;
+      }
+      break;  // unrecoverable submission error
     }
+    // Kernel never consumed the SQE (head unmoved on error): roll back.
+    __atomic_store_n(sq_tail_, tail, __ATOMIC_RELEASE);
+    return false;
   }
 
   // Drains available CQEs into out as (user_data, res) pairs. When `wait` and
   // nothing is pending in the CQ, blocks in the kernel for >= 1 completion.
   // Returns false on an unrecoverable ring error. Caller holds the ring lock.
   bool Drain(std::vector<std::pair<void*, int>>* out, bool wait) {
+    int drain_backoff = 0;
     while (true) {
       unsigned head = *cq_head_;  // single reaper under the lock
       const unsigned tail = __atomic_load_n(cq_tail_, __ATOMIC_ACQUIRE);
@@ -174,9 +215,19 @@ class RawUring {
         return true;
       }
       const int r = SysIoUringEnter(ring_fd_, 0, 1, IORING_ENTER_GETEVENTS);
-      if (r < 0 && errno != EINTR && errno != EAGAIN) {
-        return false;
+      if (r >= 0 || errno == EINTR) {
+        drain_backoff = 0;  // made progress (or benign interruption)
+        continue;
       }
+      if (errno == EAGAIN || errno == EBUSY) {
+        // Completions are owed to us (ops in flight), so never abandon — but
+        // don't spin hot either. Capped sleep; the counter makes a struggling
+        // ring visible in io_stats.
+        IoStats::Instance().RecordUringEagainBackoff();
+        BackoffOnce(++drain_backoff);
+        continue;
+      }
+      return false;
     }
   }
 
@@ -341,6 +392,7 @@ class UringIoContext final : public AsyncIoContext {
       op->done = false;
       op->reaped = false;
       if (!ring_.PushRead(fd, op->offset, op->scratch, static_cast<unsigned>(op->len), op)) {
+        IoStats::Instance().RecordUringSubmitFallback();
         return false;
       }
       ring_pending_.insert(op);

@@ -1,0 +1,238 @@
+#include "src/server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/util/coding.h"
+
+namespace p2kvs {
+namespace server {
+
+Status Client::Connect(const std::string& host, uint16_t port) {
+  if (fd_ >= 0) {
+    return Status::InvalidArgument("already connected");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::IOError("socket", std::strerror(errno));
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address", host);
+  }
+  int r;
+  do {
+    r = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (r != 0 && errno == EINTR);
+  if (r != 0) {
+    const Status s = Status::IOError("connect", std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  int yes = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &yes, sizeof(yes));
+  fd_ = fd;
+  return Status::OK();
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Client::WriteAll(const char* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::send(fd_, data + off, n - off, MSG_NOSIGNAL);
+    if (w > 0) {
+      off += static_cast<size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    return Status::IOError("send", std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status Client::Flush() {
+  if (sendbuf_.empty()) {
+    return Status::OK();
+  }
+  const Status s = WriteAll(sendbuf_.data(), sendbuf_.size());
+  sendbuf_.clear();
+  return s;
+}
+
+Status Client::ReadResponse(Response* out) {
+  char buf[64 * 1024];
+  while (true) {
+    std::string body;
+    switch (reader_.Next(&body)) {
+      case FrameReader::NextResult::kFrame: {
+        if (body.size() < kFrameHeaderBytes) {
+          return Status::IOError("short response frame");
+        }
+        out->request_id = DecodeFixed64(body.data());
+        out->status_code = static_cast<uint8_t>(body[8]);
+        out->payload.assign(body, kFrameHeaderBytes, body.size() - kFrameHeaderBytes);
+        received_.fetch_add(1, std::memory_order_release);
+        return Status::OK();
+      }
+      case FrameReader::NextResult::kNeedMore:
+        break;
+      case FrameReader::NextResult::kTooLarge:
+        return Status::IOError("oversized response frame");
+      case FrameReader::NextResult::kMalformed:
+        return Status::IOError("malformed response frame");
+    }
+    ssize_t n;
+    do {
+      n = ::recv(fd_, buf, sizeof(buf), 0);
+    } while (n < 0 && errno == EINTR);
+    if (n == 0) {
+      return Status::IOError("connection closed by server");
+    }
+    if (n < 0) {
+      return Status::IOError("recv", std::strerror(errno));
+    }
+    reader_.Feed(buf, static_cast<size_t>(n));
+  }
+}
+
+Status Client::RoundTrip(Response* out) {
+  Status s = Flush();
+  if (!s.ok()) return s;
+  return ReadResponse(out);
+}
+
+uint64_t Client::SendGet(const std::string& key) {
+  const uint64_t id = next_id_++;
+  EncodeGet(&sendbuf_, id, key);
+  sent_.fetch_add(1, std::memory_order_release);
+  if (sendbuf_.size() >= flush_threshold_) Flush();
+  return id;
+}
+
+uint64_t Client::SendPut(const std::string& key, const std::string& value) {
+  const uint64_t id = next_id_++;
+  EncodePut(&sendbuf_, id, key, value);
+  sent_.fetch_add(1, std::memory_order_release);
+  if (sendbuf_.size() >= flush_threshold_) Flush();
+  return id;
+}
+
+uint64_t Client::SendDelete(const std::string& key) {
+  const uint64_t id = next_id_++;
+  EncodeDelete(&sendbuf_, id, key);
+  sent_.fetch_add(1, std::memory_order_release);
+  if (sendbuf_.size() >= flush_threshold_) Flush();
+  return id;
+}
+
+uint64_t Client::SendMultiGet(const std::vector<std::string>& keys) {
+  const uint64_t id = next_id_++;
+  EncodeMultiGet(&sendbuf_, id, keys);
+  sent_.fetch_add(1, std::memory_order_release);
+  if (sendbuf_.size() >= flush_threshold_) Flush();
+  return id;
+}
+
+uint64_t Client::SendScan(const std::string& begin, uint32_t count) {
+  const uint64_t id = next_id_++;
+  EncodeScan(&sendbuf_, id, begin, count);
+  sent_.fetch_add(1, std::memory_order_release);
+  if (sendbuf_.size() >= flush_threshold_) Flush();
+  return id;
+}
+
+Status Client::Put(const std::string& key, const std::string& value) {
+  SendPut(key, value);
+  Response r;
+  const Status s = RoundTrip(&r);
+  return s.ok() ? r.ToStatus() : s;
+}
+
+Status Client::Delete(const std::string& key) {
+  SendDelete(key);
+  Response r;
+  const Status s = RoundTrip(&r);
+  return s.ok() ? r.ToStatus() : s;
+}
+
+Status Client::Get(const std::string& key, std::string* value) {
+  SendGet(key);
+  Response r;
+  Status s = RoundTrip(&r);
+  if (!s.ok()) return s;
+  s = r.ToStatus();
+  if (s.ok()) {
+    *value = std::move(r.payload);
+  }
+  return s;
+}
+
+Status Client::MultiGet(const std::vector<std::string>& keys, std::vector<Status>* statuses,
+                        std::vector<std::string>* values) {
+  SendMultiGet(keys);
+  Response r;
+  Status s = RoundTrip(&r);
+  if (!s.ok()) return s;
+  s = r.ToStatus();
+  if (!s.ok()) return s;
+  if (!r.DecodeMultiGet(statuses, values)) {
+    return Status::IOError("malformed MULTIGET response payload");
+  }
+  return Status::OK();
+}
+
+Status Client::MultiWrite(const std::vector<WriteOp>& ops) {
+  const uint64_t id = next_id_++;
+  EncodeMultiWrite(&sendbuf_, id, ops);
+  sent_.fetch_add(1, std::memory_order_release);
+  Response r;
+  const Status s = RoundTrip(&r);
+  return s.ok() ? r.ToStatus() : s;
+}
+
+Status Client::Scan(const std::string& begin, uint32_t count,
+                    std::vector<std::pair<std::string, std::string>>* pairs) {
+  SendScan(begin, count);
+  Response r;
+  Status s = RoundTrip(&r);
+  if (!s.ok()) return s;
+  s = r.ToStatus();
+  if (!s.ok()) return s;
+  if (!r.DecodeScan(pairs)) {
+    return Status::IOError("malformed SCAN response payload");
+  }
+  return Status::OK();
+}
+
+Status Client::Stats(std::string* json) {
+  const uint64_t id = next_id_++;
+  EncodeStats(&sendbuf_, id);
+  sent_.fetch_add(1, std::memory_order_release);
+  Response r;
+  Status s = RoundTrip(&r);
+  if (!s.ok()) return s;
+  s = r.ToStatus();
+  if (s.ok()) {
+    *json = std::move(r.payload);
+  }
+  return s;
+}
+
+}  // namespace server
+}  // namespace p2kvs

@@ -1,0 +1,93 @@
+// Client for the p2KVS network front-end. Blocking sockets, two independent
+// halves so one thread can pump requests while another drains responses:
+//
+//   send side — Get()/Put()/... convenience calls, or the pipelined
+//   Send*() + Flush() path that buffers frames and writes them in bulk;
+//   read side — ReadResponse() blocks for the next response frame.
+//
+// Thread contract: at most one sender thread and one reader thread may use a
+// Client concurrently (the open-loop bench's arrangement). The two halves
+// share only the socket fd and an outstanding-request counter.
+//
+// Responses arrive in request order (the server guarantees per-connection
+// FIFO), so the sync convenience calls simply send one frame and read one
+// response; under pipelining the caller matches by request_id or position.
+
+#ifndef P2KVS_SRC_SERVER_CLIENT_H_
+#define P2KVS_SRC_SERVER_CLIENT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/server/protocol.h"
+#include "src/util/status.h"
+
+namespace p2kvs {
+namespace server {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { Close(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  Status Connect(const std::string& host, uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  // --- Synchronous convenience (send one frame, wait for its response). ---
+  Status Put(const std::string& key, const std::string& value);
+  Status Delete(const std::string& key);
+  Status Get(const std::string& key, std::string* value);
+  Status MultiGet(const std::vector<std::string>& keys, std::vector<Status>* statuses,
+                  std::vector<std::string>* values);
+  Status MultiWrite(const std::vector<WriteOp>& ops);
+  Status Scan(const std::string& begin, uint32_t count,
+              std::vector<std::pair<std::string, std::string>>* pairs);
+  Status Stats(std::string* json);
+
+  // --- Pipelined path (sender thread). Send*() appends one frame to the
+  // send buffer and returns its request_id; Flush() writes the buffer to the
+  // socket. Frames auto-flush when the buffer passes flush_threshold. ---
+  uint64_t SendGet(const std::string& key);
+  uint64_t SendPut(const std::string& key, const std::string& value);
+  uint64_t SendDelete(const std::string& key);
+  uint64_t SendMultiGet(const std::vector<std::string>& keys);
+  uint64_t SendScan(const std::string& begin, uint32_t count);
+  Status Flush();
+
+  // --- Reader thread: blocks until one complete response frame arrives.
+  // Returns IOError on disconnect/framing failure. ---
+  Status ReadResponse(Response* out);
+
+  // Requests sent whose responses have not been read yet.
+  uint64_t outstanding() const {
+    return sent_.load(std::memory_order_acquire) - received_.load(std::memory_order_acquire);
+  }
+  uint64_t next_request_id() const { return next_id_; }
+
+  void set_flush_threshold(size_t bytes) { flush_threshold_ = bytes; }
+
+ private:
+  // Writes [data, data+n) fully, retrying EINTR and partial writes.
+  Status WriteAll(const char* data, size_t n);
+  Status RoundTrip(Response* out);  // Flush + ReadResponse for the sync calls
+
+  int fd_ = -1;
+  uint64_t next_id_ = 1;        // sender-side only
+  std::string sendbuf_;         // sender-side only
+  size_t flush_threshold_ = 256 * 1024;
+  FrameReader reader_;          // reader-side only
+  std::atomic<uint64_t> sent_{0};
+  std::atomic<uint64_t> received_{0};
+};
+
+}  // namespace server
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_SERVER_CLIENT_H_

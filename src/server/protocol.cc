@@ -1,0 +1,324 @@
+#include "src/server/protocol.h"
+
+#include "src/util/coding.h"
+
+namespace p2kvs {
+namespace server {
+
+namespace {
+
+// Bounds-checked cursor over a frame body.
+struct Cursor {
+  const char* p;
+  const char* limit;
+
+  bool ReadU8(uint8_t* v) {
+    if (limit - p < 1) return false;
+    *v = static_cast<uint8_t>(*p++);
+    return true;
+  }
+  bool ReadU32(uint32_t* v) {
+    if (limit - p < 4) return false;
+    *v = DecodeFixed32(p);
+    p += 4;
+    return true;
+  }
+  bool ReadU64(uint64_t* v) {
+    if (limit - p < 8) return false;
+    *v = DecodeFixed64(p);
+    p += 8;
+    return true;
+  }
+  bool ReadBytes(std::string* out) {
+    uint32_t len;
+    if (!ReadU32(&len)) return false;
+    if (static_cast<size_t>(limit - p) < len) return false;
+    out->assign(p, len);
+    p += len;
+    return true;
+  }
+  bool AtEnd() const { return p == limit; }
+};
+
+void PutBytes(std::string* out, const std::string& s) {
+  PutFixed32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+// Reserves the u32 length prefix, returns its offset for BackpatchLen.
+size_t BeginFrame(std::string* out, uint64_t id, uint8_t tag) {
+  const size_t len_at = out->size();
+  PutFixed32(out, 0);
+  PutFixed64(out, id);
+  out->push_back(static_cast<char>(tag));
+  return len_at;
+}
+
+void BackpatchLen(std::string* out, size_t len_at) {
+  const uint32_t body = static_cast<uint32_t>(out->size() - len_at - kLenPrefixBytes);
+  EncodeFixed32(&(*out)[len_at], body);
+}
+
+}  // namespace
+
+WireStatus ToWireStatus(const Status& s) {
+  if (s.ok()) return WireStatus::kOk;
+  if (s.IsNotFound()) return WireStatus::kNotFound;
+  if (s.IsCorruption()) return WireStatus::kCorruption;
+  if (s.IsNotSupported()) return WireStatus::kNotSupported;
+  if (s.IsInvalidArgument()) return WireStatus::kInvalidArgument;
+  if (s.IsIOError()) return WireStatus::kIOError;
+  if (s.IsBusy()) return WireStatus::kBusy;
+  if (s.IsAborted()) return WireStatus::kAborted;
+  if (s.IsDeadlineExceeded()) return WireStatus::kDeadlineExceeded;
+  return WireStatus::kUnknown;
+}
+
+Status FromWireStatus(uint8_t code, const std::string& message) {
+  switch (static_cast<WireStatus>(code)) {
+    case WireStatus::kOk: return Status::OK();
+    case WireStatus::kNotFound: return Status::NotFound(message);
+    case WireStatus::kCorruption: return Status::Corruption(message);
+    case WireStatus::kNotSupported: return Status::NotSupported(message);
+    case WireStatus::kInvalidArgument: return Status::InvalidArgument(message);
+    case WireStatus::kIOError: return Status::IOError(message);
+    case WireStatus::kBusy: return Status::Busy(message);
+    case WireStatus::kAborted: return Status::Aborted(message);
+    case WireStatus::kDeadlineExceeded: return Status::DeadlineExceeded(message);
+    case WireStatus::kUnknown: break;
+  }
+  return Status::IOError("unknown wire status", message);
+}
+
+const char* WireStatusName(WireStatus s) {
+  switch (s) {
+    case WireStatus::kOk: return "OK";
+    case WireStatus::kNotFound: return "NotFound";
+    case WireStatus::kCorruption: return "Corruption";
+    case WireStatus::kNotSupported: return "NotSupported";
+    case WireStatus::kInvalidArgument: return "InvalidArgument";
+    case WireStatus::kIOError: return "IOError";
+    case WireStatus::kBusy: return "Busy";
+    case WireStatus::kAborted: return "Aborted";
+    case WireStatus::kDeadlineExceeded: return "DeadlineExceeded";
+    case WireStatus::kUnknown: return "Unknown";
+  }
+  return "Unknown";
+}
+
+void EncodeGet(std::string* out, uint64_t id, const std::string& key) {
+  const size_t at = BeginFrame(out, id, static_cast<uint8_t>(Opcode::kGet));
+  PutBytes(out, key);
+  BackpatchLen(out, at);
+}
+
+void EncodePut(std::string* out, uint64_t id, const std::string& key, const std::string& value) {
+  const size_t at = BeginFrame(out, id, static_cast<uint8_t>(Opcode::kPut));
+  PutBytes(out, key);
+  PutBytes(out, value);
+  BackpatchLen(out, at);
+}
+
+void EncodeDelete(std::string* out, uint64_t id, const std::string& key) {
+  const size_t at = BeginFrame(out, id, static_cast<uint8_t>(Opcode::kDelete));
+  PutBytes(out, key);
+  BackpatchLen(out, at);
+}
+
+void EncodeMultiGet(std::string* out, uint64_t id, const std::vector<std::string>& keys) {
+  const size_t at = BeginFrame(out, id, static_cast<uint8_t>(Opcode::kMultiGet));
+  PutFixed32(out, static_cast<uint32_t>(keys.size()));
+  for (const std::string& k : keys) PutBytes(out, k);
+  BackpatchLen(out, at);
+}
+
+void EncodeMultiWrite(std::string* out, uint64_t id, const std::vector<WriteOp>& ops) {
+  const size_t at = BeginFrame(out, id, static_cast<uint8_t>(Opcode::kMultiWrite));
+  PutFixed32(out, static_cast<uint32_t>(ops.size()));
+  for (const WriteOp& op : ops) {
+    out->push_back(op.is_put ? 1 : 2);
+    PutBytes(out, op.key);
+    if (op.is_put) PutBytes(out, op.value);
+  }
+  BackpatchLen(out, at);
+}
+
+void EncodeScan(std::string* out, uint64_t id, const std::string& begin, uint32_t count) {
+  const size_t at = BeginFrame(out, id, static_cast<uint8_t>(Opcode::kScan));
+  PutBytes(out, begin);
+  PutFixed32(out, count);
+  BackpatchLen(out, at);
+}
+
+void EncodeStats(std::string* out, uint64_t id) {
+  const size_t at = BeginFrame(out, id, static_cast<uint8_t>(Opcode::kStats));
+  BackpatchLen(out, at);
+}
+
+bool DecodeRequest(const char* body, size_t body_len, Request* req) {
+  Cursor c{body, body + body_len};
+  uint8_t op;
+  if (!c.ReadU64(&req->request_id) || !c.ReadU8(&op)) {
+    return false;
+  }
+  req->opcode = static_cast<Opcode>(op);
+  switch (req->opcode) {
+    case Opcode::kGet:
+    case Opcode::kDelete:
+      return c.ReadBytes(&req->key) && c.AtEnd();
+    case Opcode::kPut:
+      return c.ReadBytes(&req->key) && c.ReadBytes(&req->value) && c.AtEnd();
+    case Opcode::kMultiGet: {
+      uint32_t count;
+      if (!c.ReadU32(&count)) return false;
+      // Each key costs >= 4 bytes on the wire; reject counts the remaining
+      // body cannot possibly hold before reserving anything.
+      if (static_cast<size_t>(c.limit - c.p) < static_cast<size_t>(count) * 4) return false;
+      req->keys.resize(count);
+      for (uint32_t i = 0; i < count; i++) {
+        if (!c.ReadBytes(&req->keys[i])) return false;
+      }
+      return c.AtEnd();
+    }
+    case Opcode::kMultiWrite: {
+      uint32_t count;
+      if (!c.ReadU32(&count)) return false;
+      if (static_cast<size_t>(c.limit - c.p) < static_cast<size_t>(count) * 5) return false;
+      req->ops.resize(count);
+      for (uint32_t i = 0; i < count; i++) {
+        uint8_t kind;
+        if (!c.ReadU8(&kind) || (kind != 1 && kind != 2)) return false;
+        req->ops[i].is_put = kind == 1;
+        if (!c.ReadBytes(&req->ops[i].key)) return false;
+        if (req->ops[i].is_put && !c.ReadBytes(&req->ops[i].value)) return false;
+      }
+      return c.AtEnd();
+    }
+    case Opcode::kScan:
+      return c.ReadBytes(&req->key) && c.ReadU32(&req->scan_count) && c.AtEnd();
+    case Opcode::kStats:
+      return c.AtEnd();
+  }
+  return false;  // unknown opcode
+}
+
+void EncodeResponseHeader(std::string* out, uint64_t id, WireStatus status,
+                          size_t payload_len) {
+  PutFixed32(out, static_cast<uint32_t>(kFrameHeaderBytes + payload_len));
+  PutFixed64(out, id);
+  out->push_back(static_cast<char>(status));
+}
+
+void EncodeStatusResponse(std::string* out, uint64_t id, const Status& s) {
+  const std::string msg = s.ok() ? std::string() : s.ToString();
+  EncodeResponseHeader(out, id, ToWireStatus(s), msg.size());
+  out->append(msg);
+}
+
+void EncodeGetResponse(std::string* out, uint64_t id, const Status& s,
+                       const std::string& value) {
+  if (!s.ok()) {
+    EncodeStatusResponse(out, id, s);
+    return;
+  }
+  EncodeResponseHeader(out, id, WireStatus::kOk, value.size());
+  out->append(value);
+}
+
+void EncodeMultiGetResponse(std::string* out, uint64_t id, const std::vector<Status>& statuses,
+                            const std::vector<std::string>& values) {
+  const size_t at = BeginFrame(out, id, static_cast<uint8_t>(WireStatus::kOk));
+  PutFixed32(out, static_cast<uint32_t>(statuses.size()));
+  for (size_t i = 0; i < statuses.size(); i++) {
+    out->push_back(static_cast<char>(ToWireStatus(statuses[i])));
+    PutBytes(out, i < values.size() ? values[i] : std::string());
+  }
+  BackpatchLen(out, at);
+}
+
+void EncodeScanResponse(std::string* out, uint64_t id, const Status& s,
+                        const std::vector<std::pair<std::string, std::string>>& pairs) {
+  if (!s.ok()) {
+    EncodeStatusResponse(out, id, s);
+    return;
+  }
+  const size_t at = BeginFrame(out, id, static_cast<uint8_t>(WireStatus::kOk));
+  PutFixed32(out, static_cast<uint32_t>(pairs.size()));
+  for (const auto& kv : pairs) {
+    PutBytes(out, kv.first);
+    PutBytes(out, kv.second);
+  }
+  BackpatchLen(out, at);
+}
+
+void EncodeStatsResponse(std::string* out, uint64_t id, const Status& s,
+                         const std::string& json) {
+  if (!s.ok()) {
+    EncodeStatusResponse(out, id, s);
+    return;
+  }
+  EncodeResponseHeader(out, id, WireStatus::kOk, json.size());
+  out->append(json);
+}
+
+Status Response::ToStatus() const {
+  if (static_cast<WireStatus>(status_code) == WireStatus::kOk) {
+    return Status::OK();
+  }
+  return FromWireStatus(status_code, payload);
+}
+
+bool Response::DecodeMultiGet(std::vector<Status>* statuses,
+                              std::vector<std::string>* values) const {
+  Cursor c{payload.data(), payload.data() + payload.size()};
+  uint32_t count;
+  if (!c.ReadU32(&count)) return false;
+  if (static_cast<size_t>(c.limit - c.p) < static_cast<size_t>(count) * 5) return false;
+  statuses->clear();
+  values->resize(count);
+  for (uint32_t i = 0; i < count; i++) {
+    uint8_t code;
+    if (!c.ReadU8(&code) || !c.ReadBytes(&(*values)[i])) return false;
+    statuses->push_back(FromWireStatus(code, std::string()));
+  }
+  return c.AtEnd();
+}
+
+bool Response::DecodeScan(std::vector<std::pair<std::string, std::string>>* pairs) const {
+  Cursor c{payload.data(), payload.data() + payload.size()};
+  uint32_t count;
+  if (!c.ReadU32(&count)) return false;
+  if (static_cast<size_t>(c.limit - c.p) < static_cast<size_t>(count) * 8) return false;
+  pairs->resize(count);
+  for (uint32_t i = 0; i < count; i++) {
+    if (!c.ReadBytes(&(*pairs)[i].first) || !c.ReadBytes(&(*pairs)[i].second)) return false;
+  }
+  return c.AtEnd();
+}
+
+FrameReader::NextResult FrameReader::Next(std::string* body) {
+  if (buf_.size() - consumed_ < kLenPrefixBytes) {
+    return NextResult::kNeedMore;
+  }
+  const uint32_t body_len = DecodeFixed32(buf_.data() + consumed_);
+  if (body_len < kFrameHeaderBytes) {
+    return NextResult::kMalformed;
+  }
+  if (body_len > max_frame_bytes_) {
+    return NextResult::kTooLarge;
+  }
+  if (buf_.size() - consumed_ < kLenPrefixBytes + body_len) {
+    return NextResult::kNeedMore;
+  }
+  body->assign(buf_, consumed_ + kLenPrefixBytes, body_len);
+  consumed_ += kLenPrefixBytes + body_len;
+  // Compact once the dead prefix dominates, amortizing the copy.
+  if (consumed_ > 4096 && consumed_ * 2 >= buf_.size()) {
+    buf_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  return NextResult::kFrame;
+}
+
+}  // namespace server
+}  // namespace p2kvs

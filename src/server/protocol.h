@@ -1,0 +1,183 @@
+// Wire protocol for the p2KVS network front-end: length-prefixed binary
+// frames, pipelined per connection.
+//
+// Request frame:
+//   u32  body_len      (bytes following this field; little-endian, like every
+//                       integer in the protocol)
+//   u64  request_id    (client-chosen; echoed verbatim in the response)
+//   u8   opcode
+//   ...  payload       (per-opcode, below)
+//
+// Response frame:
+//   u32  body_len
+//   u64  request_id
+//   u8   status_code   (WireStatus; maps 1:1 onto p2kvs::Status codes)
+//   ...  payload       (per-opcode on success; the status message on error)
+//
+// Per-opcode request payloads (klen/vlen/count are u32):
+//   GET        klen key
+//   PUT        klen key vlen value
+//   DELETE     klen key
+//   MULTIGET   count  count * (klen key)
+//   MULTIWRITE count  count * (op:u8 klen key [vlen value])   op: 1=put 2=del
+//   SCAN       klen begin_key  count
+//   STATS      (empty)
+//
+// Success response payloads:
+//   GET        value bytes
+//   PUT / DELETE / MULTIWRITE   (empty)
+//   MULTIGET   count  count * (status:u8 vlen value)   positional with keys
+//   SCAN       count  count * (klen key vlen value)
+//   STATS      stats JSON
+//
+// Responses to one connection are written in REQUEST ARRIVAL ORDER, even
+// though the store completes them on whichever worker thread finishes first:
+// the server holds per-connection FIFO response slots and flushes the
+// contiguous completed prefix. Clients may therefore pipeline freely and
+// match responses positionally or by request_id — both work.
+//
+// Framing errors: a body shorter than the 9-byte header or longer than
+// ServerOptions::max_frame_bytes is unrecoverable (the stream cannot be
+// resynced) — the server sends one final InvalidArgument response with
+// request_id 0 and closes. A well-framed body whose payload fails to decode
+// is recoverable: the server replies InvalidArgument to that request_id and
+// keeps the connection.
+
+#ifndef P2KVS_SRC_SERVER_PROTOCOL_H_
+#define P2KVS_SRC_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace p2kvs {
+namespace server {
+
+enum class Opcode : uint8_t {
+  kGet = 1,
+  kPut = 2,
+  kDelete = 3,
+  kMultiGet = 4,
+  kMultiWrite = 5,
+  kScan = 6,
+  kStats = 7,
+};
+
+// On-the-wire status byte. Mirrors Status's internal code enum (which is
+// private); conversion goes through the public Is* predicates.
+enum class WireStatus : uint8_t {
+  kOk = 0,
+  kNotFound = 1,
+  kCorruption = 2,
+  kNotSupported = 3,
+  kInvalidArgument = 4,
+  kIOError = 5,
+  kBusy = 6,
+  kAborted = 7,
+  kDeadlineExceeded = 8,
+  kUnknown = 255,
+};
+
+WireStatus ToWireStatus(const Status& s);
+// Reconstructs a Status from a wire byte (+ optional message payload).
+Status FromWireStatus(uint8_t code, const std::string& message);
+const char* WireStatusName(WireStatus s);
+
+// Fixed header sizes.
+constexpr size_t kLenPrefixBytes = 4;
+constexpr size_t kFrameHeaderBytes = 8 + 1;  // request_id + opcode/status
+constexpr size_t kDefaultMaxFrameBytes = 32u << 20;
+
+// One MULTIWRITE operation.
+struct WriteOp {
+  bool is_put = true;
+  std::string key;
+  std::string value;  // empty for deletes
+};
+
+// A decoded request frame.
+struct Request {
+  uint64_t request_id = 0;
+  Opcode opcode = Opcode::kGet;
+  std::string key;                  // GET/PUT/DELETE key, SCAN begin
+  std::string value;                // PUT value
+  std::vector<std::string> keys;    // MULTIGET
+  std::vector<WriteOp> ops;         // MULTIWRITE
+  uint32_t scan_count = 0;          // SCAN
+};
+
+// --- Request encoding (client side). Appends one complete frame to *out. ---
+void EncodeGet(std::string* out, uint64_t id, const std::string& key);
+void EncodePut(std::string* out, uint64_t id, const std::string& key, const std::string& value);
+void EncodeDelete(std::string* out, uint64_t id, const std::string& key);
+void EncodeMultiGet(std::string* out, uint64_t id, const std::vector<std::string>& keys);
+void EncodeMultiWrite(std::string* out, uint64_t id, const std::vector<WriteOp>& ops);
+void EncodeScan(std::string* out, uint64_t id, const std::string& begin, uint32_t count);
+void EncodeStats(std::string* out, uint64_t id);
+
+// --- Request decoding (server side). `body` excludes the u32 length prefix.
+// Returns false when the payload is malformed (opcode unknown, lengths
+// inconsistent); *req keeps whatever header fields were parsed. ---
+bool DecodeRequest(const char* body, size_t body_len, Request* req);
+
+// --- Response encoding (server side). ---
+void EncodeResponseHeader(std::string* out, uint64_t id, WireStatus status,
+                          size_t payload_len);
+// Status-only / error response; non-OK statuses carry `message` as payload.
+void EncodeStatusResponse(std::string* out, uint64_t id, const Status& s);
+void EncodeGetResponse(std::string* out, uint64_t id, const Status& s,
+                       const std::string& value);
+void EncodeMultiGetResponse(std::string* out, uint64_t id, const std::vector<Status>& statuses,
+                            const std::vector<std::string>& values);
+void EncodeScanResponse(std::string* out, uint64_t id, const Status& s,
+                        const std::vector<std::pair<std::string, std::string>>& pairs);
+void EncodeStatsResponse(std::string* out, uint64_t id, const Status& s,
+                         const std::string& json);
+
+// --- Response decoding (client side). ---
+struct Response {
+  uint64_t request_id = 0;
+  uint8_t status_code = 0;
+  std::string payload;
+
+  Status ToStatus() const;
+  // Payload decoders; return false on malformed payloads.
+  bool DecodeMultiGet(std::vector<Status>* statuses, std::vector<std::string>* values) const;
+  bool DecodeScan(std::vector<std::pair<std::string, std::string>>* pairs) const;
+};
+
+// Incremental frame extractor: feed it raw bytes in whatever pieces the
+// socket delivers; it hands back complete frame bodies. Shared by the server
+// (requests) and client (responses) so split-prefix handling exists once.
+class FrameReader {
+ public:
+  explicit FrameReader(size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  // Appends newly received bytes.
+  void Feed(const char* data, size_t n) { buf_.append(data, n); }
+
+  enum class NextResult {
+    kFrame,      // *body holds one complete frame body (header + payload)
+    kNeedMore,   // no complete frame buffered yet
+    kTooLarge,   // announced body exceeds max_frame_bytes — unrecoverable
+    kMalformed,  // body shorter than the fixed header — unrecoverable
+  };
+  NextResult Next(std::string* body);
+
+  // Bytes buffered but not yet returned (a truncated trailing frame).
+  size_t buffered() const { return buf_.size() - consumed_; }
+
+ private:
+  const size_t max_frame_bytes_;
+  std::string buf_;
+  size_t consumed_ = 0;  // compacted lazily to amortize the memmove
+};
+
+}  // namespace server
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_SERVER_PROTOCOL_H_

@@ -1,0 +1,486 @@
+#include "src/server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+namespace p2kvs {
+namespace server {
+
+namespace {
+
+// epoll user-data tags for the two non-connection fds.
+constexpr uint64_t kListenTag = 0;
+constexpr uint64_t kEventTag = 1;
+
+constexpr size_t kReadChunk = 64 * 1024;
+
+}  // namespace
+
+Server::CompletionBus::~CompletionBus() {
+  if (event_fd >= 0) {
+    ::close(event_fd);
+  }
+}
+
+void Server::CompletionBus::Notify(uint64_t conn_id) {
+  {
+    MutexLock lock(&mu);
+    ready.push_back(conn_id);
+  }
+  // A full eventfd counter (EAGAIN) still leaves the epoll thread a pending
+  // readable event, so dropping the poke is fine; EINTR retries.
+  uint64_t one = 1;
+  ssize_t r;
+  do {
+    r = ::write(event_fd, &one, sizeof(one));
+  } while (r < 0 && errno == EINTR);
+}
+
+Server::Server(P2KVS* store, ServerOptions options)
+    : store_(store), options_(std::move(options)) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("server already started");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError("socket", std::strerror(errno));
+  }
+  int yes = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &yes, sizeof(yes));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad bind address", options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status s = Status::IOError("bind", std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  if (::listen(listen_fd_, options_.backlog) != 0) {
+    const Status s = Status::IOError("listen", std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  socklen_t alen = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &alen) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+
+  bus_ = std::make_shared<CompletionBus>();
+  bus_->event_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (bus_->event_fd < 0 || epoll_fd_ < 0) {
+    const Status s = Status::IOError("eventfd/epoll_create1", std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    epoll_fd_ = -1;
+    bus_.reset();
+    return s;
+  }
+  epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenTag;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.u64 = kEventTag;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, bus_->event_fd, &ev);
+
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  loop_ = std::thread(&Server::EventLoop, this);
+  return Status::OK();
+}
+
+void Server::Stop() {
+  if (!running_.load(std::memory_order_acquire)) {
+    return;
+  }
+  stopping_.store(true, std::memory_order_release);
+  bus_->Notify(kEventTag);  // wake the epoll thread
+  if (loop_.joinable()) {
+    loop_.join();
+  }
+  // Drain stragglers: callbacks for requests already inside the store still
+  // run on worker threads and poke the (now unread) bus. Waiting here makes
+  // counters final and lets the caller destroy the store right after.
+  while (bus_->inflight.load(std::memory_order_acquire) != 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+ServerStatsSnapshot Server::Stats() const {
+  ServerStatsSnapshot s;
+  s.connections_accepted = counters_.accepted.load(std::memory_order_relaxed);
+  s.connections_closed = counters_.closed.load(std::memory_order_relaxed);
+  s.frames_decoded = counters_.frames.load(std::memory_order_relaxed);
+  s.protocol_errors = counters_.proto_errors.load(std::memory_order_relaxed);
+  s.pipeline_rejections = counters_.pipeline_rejects.load(std::memory_order_relaxed);
+  s.submitted_to_store = counters_.submitted.load(std::memory_order_relaxed);
+  s.responses_sent = counters_.responses.load(std::memory_order_relaxed);
+  s.bytes_received = counters_.bytes_in.load(std::memory_order_relaxed);
+  s.bytes_sent = counters_.bytes_out.load(std::memory_order_relaxed);
+  s.slow_consumer_drops = counters_.slow_drops.load(std::memory_order_relaxed);
+  s.eintr_wakeups = counters_.eintr.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Server::EventLoop() {
+  epoll_event events[64];
+  while (true) {
+    const int n = ::epoll_wait(epoll_fd_, events, 64, -1);
+    if (n < 0) {
+      if (errno == EINTR) {
+        // epoll_wait is never auto-restarted, even under SA_RESTART (see the
+        // sigaction note in src/util/trace.cc) — treat as a spurious wakeup.
+        counters_.eintr.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      break;  // unrecoverable epoll failure
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      break;
+    }
+    for (int i = 0; i < n; i++) {
+      const uint64_t tag = events[i].data.u64;
+      const uint32_t mask = events[i].events;
+      if (tag == kListenTag) {
+        AcceptNew();
+        continue;
+      }
+      if (tag == kEventTag) {
+        uint64_t drained;
+        while (::read(bus_->event_fd, &drained, sizeof(drained)) > 0) {
+        }
+        std::vector<uint64_t> ready;
+        {
+          MutexLock lock(&bus_->mu);
+          ready.swap(bus_->ready);
+        }
+        for (uint64_t conn_id : ready) {
+          auto it = conns_.find(conn_id);
+          if (it != conns_.end()) {  // absent: disconnected mid-pipeline
+            FlushConnection(it->second.get());
+          }
+        }
+        continue;
+      }
+      auto it = conns_.find(tag);
+      if (it == conns_.end()) {
+        continue;  // closed earlier in this batch of events
+      }
+      Connection* conn = it->second.get();
+      if ((mask & (EPOLLHUP | EPOLLERR)) != 0) {
+        CloseConnection(tag);
+        continue;
+      }
+      if ((mask & EPOLLOUT) != 0) {
+        TryWrite(conn);
+        if (conns_.find(tag) == conns_.end()) {
+          continue;  // TryWrite closed it
+        }
+      }
+      if ((mask & EPOLLIN) != 0) {
+        HandleReadable(conn);
+      }
+    }
+  }
+  // Teardown: close every connection; in-flight store callbacks keep their
+  // response slots and the bus alive via shared_ptr and complete harmlessly.
+  std::vector<uint64_t> ids;
+  ids.reserve(conns_.size());
+  for (const auto& kv : conns_) ids.push_back(kv.first);
+  for (uint64_t id : ids) CloseConnection(id);
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (epoll_fd_ >= 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+  }
+}
+
+void Server::AcceptNew() {
+  while (true) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN: accepted everything pending (or transient error)
+    }
+    int yes = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &yes, sizeof(yes));
+    const uint64_t id = next_conn_id_++;
+    auto conn = std::make_unique<Connection>(options_.max_frame_bytes);
+    conn->id = id;
+    conn->fd = fd;
+    epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN;
+    ev.data.u64 = id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    conns_.emplace(id, std::move(conn));
+    counters_.accepted.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Server::HandleReadable(Connection* conn) {
+  const uint64_t conn_id = conn->id;
+  char buf[kReadChunk];
+  while (true) {
+    const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      counters_.bytes_in.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
+      conn->reader.Feed(buf, static_cast<size_t>(n));
+      if (static_cast<size_t>(n) < sizeof(buf)) {
+        break;  // drained (level-triggered epoll re-arms if more arrives)
+      }
+      continue;
+    }
+    if (n == 0) {
+      // Peer closed. Responses still in flight complete against kept-alive
+      // slots and are dropped at the bus lookup — never against freed memory.
+      CloseConnection(conn_id);
+      return;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    CloseConnection(conn_id);
+    return;
+  }
+
+  std::string body;
+  while (true) {
+    const FrameReader::NextResult r = conn->reader.Next(&body);
+    if (r == FrameReader::NextResult::kNeedMore) {
+      break;
+    }
+    if (r == FrameReader::NextResult::kFrame) {
+      counters_.frames.fetch_add(1, std::memory_order_relaxed);
+      if (DispatchFrame(conn, body)) {
+        continue;
+      }
+    } else {
+      // kTooLarge / kMalformed: the stream cannot be resynced. Send one
+      // final error (request_id 0 — the header may not even exist) and
+      // close once it is flushed.
+      counters_.proto_errors.fetch_add(1, std::memory_order_relaxed);
+      auto slot = std::make_shared<PendingResponse>(conn->id);
+      EncodeStatusResponse(
+          &slot->frame, 0,
+          Status::InvalidArgument(r == FrameReader::NextResult::kTooLarge
+                                      ? "frame exceeds max_frame_bytes"
+                                      : "malformed frame"));
+      slot->done.store(true, std::memory_order_release);
+      conn->pending.push_back(std::move(slot));
+    }
+    conn->close_after_flush = true;
+    break;
+  }
+  FlushConnection(conn);
+}
+
+bool Server::DispatchFrame(Connection* conn, const std::string& body) {
+  Request req;
+  if (!DecodeRequest(body.data(), body.size(), &req)) {
+    // The 9-byte header always parses (FrameReader enforces the minimum), so
+    // request_id is valid: reply InvalidArgument and keep the connection —
+    // framing is intact, only this payload was bad.
+    counters_.proto_errors.fetch_add(1, std::memory_order_relaxed);
+    auto slot = std::make_shared<PendingResponse>(conn->id);
+    EncodeStatusResponse(&slot->frame, req.request_id,
+                         Status::InvalidArgument("malformed request payload"));
+    slot->done.store(true, std::memory_order_release);
+    conn->pending.push_back(std::move(slot));
+    return true;
+  }
+  if (conn->pending.size() >= options_.max_pipeline) {
+    // Local defense, independent of the store's admission control: answer
+    // BUSY without consuming worker-queue capacity.
+    counters_.pipeline_rejects.fetch_add(1, std::memory_order_relaxed);
+    auto slot = std::make_shared<PendingResponse>(conn->id);
+    EncodeStatusResponse(&slot->frame, req.request_id,
+                         Status::Busy("connection pipeline limit reached"));
+    slot->done.store(true, std::memory_order_release);
+    conn->pending.push_back(std::move(slot));
+    return true;
+  }
+  auto slot = std::make_shared<PendingResponse>(conn->id);
+  conn->pending.push_back(slot);
+  SubmitToStore(conn, std::move(req), std::move(slot));
+  return true;
+}
+
+void Server::SubmitToStore(Connection* /*conn*/, Request req, SlotPtr slot) {
+  counters_.submitted.fetch_add(1, std::memory_order_relaxed);
+  std::shared_ptr<CompletionBus> bus = bus_;
+  bus->inflight.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t id = req.request_id;
+  // Callbacks run on store worker threads: they may only touch the slot and
+  // the bus (both shared_ptr-kept), never the Connection — the connection may
+  // already be gone when they fire.
+  auto finish = [](const std::shared_ptr<CompletionBus>& b, const SlotPtr& s) {
+    const uint64_t conn_id = s->conn_id;
+    s->done.store(true, std::memory_order_release);
+    b->Notify(conn_id);
+    b->inflight.fetch_sub(1, std::memory_order_release);
+  };
+  switch (req.opcode) {
+    case Opcode::kGet:
+      store_->GetAsync(req.key, [bus, slot, id, finish](const Status& s, std::string value) {
+        EncodeGetResponse(&slot->frame, id, s, value);
+        finish(bus, slot);
+      });
+      break;
+    case Opcode::kPut:
+      store_->PutAsync(req.key, req.value, [bus, slot, id, finish](const Status& s) {
+        EncodeStatusResponse(&slot->frame, id, s);
+        finish(bus, slot);
+      });
+      break;
+    case Opcode::kDelete:
+      store_->DeleteAsync(req.key, [bus, slot, id, finish](const Status& s) {
+        EncodeStatusResponse(&slot->frame, id, s);
+        finish(bus, slot);
+      });
+      break;
+    case Opcode::kMultiGet:
+      store_->MultiGetAsync(
+          std::move(req.keys),
+          [bus, slot, id, finish](std::vector<Status> statuses, std::vector<std::string> values) {
+            EncodeMultiGetResponse(&slot->frame, id, statuses, values);
+            finish(bus, slot);
+          });
+      break;
+    case Opcode::kMultiWrite: {
+      WriteBatch batch;
+      for (const WriteOp& op : req.ops) {
+        if (op.is_put) {
+          batch.Put(op.key, op.value);
+        } else {
+          batch.Delete(op.key);
+        }
+      }
+      store_->MultiWriteAsync(std::move(batch), [bus, slot, id, finish](const Status& s) {
+        EncodeStatusResponse(&slot->frame, id, s);
+        finish(bus, slot);
+      });
+      break;
+    }
+    case Opcode::kScan:
+      store_->ScanAsync(
+          req.key, req.scan_count,
+          [bus, slot, id, finish](const Status& s,
+                                  std::vector<std::pair<std::string, std::string>> pairs) {
+            EncodeScanResponse(&slot->frame, id, s, pairs);
+            finish(bus, slot);
+          });
+      break;
+    case Opcode::kStats:
+      store_->GetStatsAsync([bus, slot, id, finish](P2kvsStats stats) {
+        EncodeStatsResponse(&slot->frame, id, Status::OK(), stats.ToJson());
+        finish(bus, slot);
+      });
+      break;
+  }
+}
+
+void Server::FlushConnection(Connection* conn) {
+  while (!conn->pending.empty() &&
+         conn->pending.front()->done.load(std::memory_order_acquire)) {
+    conn->outbuf.append(conn->pending.front()->frame);
+    conn->pending.pop_front();
+    counters_.responses.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (conn->outbuf.size() - conn->out_off > options_.max_outbuf_bytes) {
+    counters_.slow_drops.fetch_add(1, std::memory_order_relaxed);
+    CloseConnection(conn->id);
+    return;
+  }
+  TryWrite(conn);
+}
+
+void Server::TryWrite(Connection* conn) {
+  const uint64_t conn_id = conn->id;
+  while (conn->out_off < conn->outbuf.size()) {
+    const ssize_t n = ::send(conn->fd, conn->outbuf.data() + conn->out_off,
+                             conn->outbuf.size() - conn->out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->out_off += static_cast<size_t>(n);
+      counters_.bytes_out.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!conn->want_write) {
+        UpdateEpoll(conn, /*want_write=*/true);
+      }
+      return;
+    }
+    CloseConnection(conn_id);
+    return;
+  }
+  conn->outbuf.clear();
+  conn->out_off = 0;
+  if (conn->want_write) {
+    UpdateEpoll(conn, /*want_write=*/false);
+  }
+  if (conn->close_after_flush && conn->pending.empty()) {
+    CloseConnection(conn_id);
+  }
+}
+
+bool Server::UpdateEpoll(Connection* conn, bool want_write) {
+  epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = EPOLLIN | (want_write ? static_cast<uint32_t>(EPOLLOUT) : 0u);
+  ev.data.u64 = conn->id;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev) != 0) {
+    return false;
+  }
+  conn->want_write = want_write;
+  return true;
+}
+
+void Server::CloseConnection(uint64_t conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) {
+    return;
+  }
+  Connection* conn = it->second.get();
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::close(conn->fd);
+  // Dropping the deque releases the server's slot references; slots with
+  // store callbacks still in flight stay alive through the callbacks' own
+  // shared_ptrs and are discarded when the bus lookup misses this conn_id.
+  conns_.erase(it);
+  counters_.closed.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace server
+}  // namespace p2kvs

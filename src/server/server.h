@@ -1,0 +1,196 @@
+// Network front-end: serves a P2KVS store over the pipelined binary protocol
+// in protocol.h.
+//
+// Threading model — ONE epoll thread, ZERO blocking on the store:
+//
+//   epoll thread: accepts, reads, decodes frames, and submits every request
+//   through the store's asynchronous interface (GetAsync / PutAsync / ... /
+//   GetStatsAsync). It never parks on a Completion, so a slow partition
+//   cannot stall unrelated connections.
+//
+//   worker threads: the store's completion callbacks run here. Each callback
+//   encodes its response into a pre-allocated per-request slot, marks it done
+//   (release), and pokes the epoll thread through an eventfd. Workers never
+//   touch a Connection — only the slot and the completion bus, both owned by
+//   shared_ptr, so a connection torn down mid-pipeline cannot leave a
+//   callback with a dangling pointer.
+//
+//   response ordering: each connection keeps a FIFO of response slots in
+//   request arrival order; the epoll thread flushes the contiguous done
+//   prefix. Out-of-order store completions therefore never reorder the wire.
+//
+// Overload behavior: admission-control sheds and deadline expiries inside the
+// store surface as protocol-level BUSY / DEADLINE_EXCEEDED responses — the
+// client sees exactly the Status a local caller would. The server adds one
+// defense of its own: a per-connection in-flight cap (max_pipeline) answered
+// with BUSY without touching the store, so one greedy connection cannot
+// monopolize the workers' queues.
+
+#ifndef P2KVS_SRC_SERVER_SERVER_H_
+#define P2KVS_SRC_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/p2kvs.h"
+#include "src/server/protocol.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
+
+namespace p2kvs {
+namespace server {
+
+struct ServerOptions {
+  std::string bind_address = "127.0.0.1";
+  uint16_t port = 0;  // 0 = kernel-assigned; read back via Server::port()
+  int backlog = 128;
+  // Frames whose announced body exceeds this are a protocol error (the
+  // connection is closed — there is no way to resync the stream).
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  // Per-connection in-flight request cap; excess requests get BUSY replies
+  // without ever reaching the store.
+  size_t max_pipeline = 1024;
+  // A connection whose unsent response backlog exceeds this is dropped as a
+  // slow consumer (it is not reading its responses).
+  size_t max_outbuf_bytes = 64u << 20;
+};
+
+// Monotonic counters, all written by the epoll thread except where noted.
+// Snapshot() is safe from any thread.
+struct ServerStatsSnapshot {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_closed = 0;
+  uint64_t frames_decoded = 0;
+  uint64_t protocol_errors = 0;     // malformed/oversized frames and payloads
+  uint64_t pipeline_rejections = 0; // BUSY replies from the max_pipeline cap
+  uint64_t submitted_to_store = 0;  // async ops handed to P2KVS (server door)
+  uint64_t responses_sent = 0;      // complete response frames written
+  uint64_t bytes_received = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t slow_consumer_drops = 0;
+  uint64_t eintr_wakeups = 0;       // epoll_wait EINTR returns (never fatal)
+};
+
+class Server {
+ public:
+  // `store` must outlive the server and is not owned. Serving starts on
+  // Start(); the constructor only records configuration.
+  Server(P2KVS* store, ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds, listens, and launches the epoll thread. On success port() returns
+  // the bound port (useful with options.port == 0).
+  Status Start();
+
+  // Stops accepting, closes every connection, joins the epoll thread, then
+  // waits until every request already submitted to the store has completed —
+  // so counters are final and no callback still references the bus when the
+  // caller tears down the store next.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  ServerStatsSnapshot Stats() const;
+
+ private:
+  // One response slot. The epoll thread creates it in arrival order; exactly
+  // one store callback fills `frame` then sets `done` (release). The epoll
+  // thread reads `frame` only after observing done (acquire).
+  struct PendingResponse {
+    explicit PendingResponse(uint64_t cid) : conn_id(cid) {}
+    const uint64_t conn_id;
+    std::string frame;
+    std::atomic<bool> done{false};
+  };
+  using SlotPtr = std::shared_ptr<PendingResponse>;
+
+  // Worker-callback -> epoll-thread signal path. shared_ptr-owned by the
+  // server AND by every in-flight callback, so the eventfd stays valid even
+  // if the server is stopped while completions are still in flight (the
+  // straggler pokes a bus nobody reads — harmless — instead of a reused fd).
+  struct CompletionBus {
+    ~CompletionBus();
+    int event_fd = -1;
+    Mutex mu;
+    std::vector<uint64_t> ready GUARDED_BY(mu);  // conn ids with new completions
+    // Requests submitted to the store whose callback has not finished yet.
+    std::atomic<uint64_t> inflight{0};
+
+    // Called from worker threads: queue conn_id and poke the epoll thread.
+    void Notify(uint64_t conn_id);
+  };
+
+  // All fields are epoll-thread-only.
+  struct Connection {
+    uint64_t id = 0;
+    int fd = -1;
+    FrameReader reader;
+    std::deque<SlotPtr> pending;  // FIFO, request arrival order
+    std::string outbuf;           // encoded, not yet accepted by the kernel
+    size_t out_off = 0;
+    bool want_write = false;      // EPOLLOUT armed
+    bool close_after_flush = false;
+
+    explicit Connection(size_t max_frame) : reader(max_frame) {}
+  };
+  using ConnPtr = std::unique_ptr<Connection>;
+
+  void EventLoop();
+  void AcceptNew();
+  // Read-side: drain the socket, decode frames, dispatch. May close `conn`.
+  void HandleReadable(Connection* conn);
+  // Decode + submit one frame body. Returns false on an unrecoverable
+  // protocol error (caller closes after flushing the error reply).
+  bool DispatchFrame(Connection* conn, const std::string& body);
+  void SubmitToStore(Connection* conn, Request req, SlotPtr slot);
+  // Move the contiguous done prefix of `pending` into outbuf, then write.
+  void FlushConnection(Connection* conn);
+  // Push outbuf bytes into the kernel; arms/disarms EPOLLOUT as needed.
+  void TryWrite(Connection* conn);
+  void CloseConnection(uint64_t conn_id);
+  bool UpdateEpoll(Connection* conn, bool want_write);
+
+  P2KVS* const store_;
+  const ServerOptions options_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  std::shared_ptr<CompletionBus> bus_;
+  std::thread loop_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  // epoll-thread-only.
+  std::unordered_map<uint64_t, ConnPtr> conns_;
+  uint64_t next_conn_id_ = 2;  // 0 = listen fd, 1 = eventfd in epoll user data
+
+  // Counters: epoll-thread-written (relaxed), any-thread-read.
+  struct Counters {
+    std::atomic<uint64_t> accepted{0};
+    std::atomic<uint64_t> closed{0};
+    std::atomic<uint64_t> frames{0};
+    std::atomic<uint64_t> proto_errors{0};
+    std::atomic<uint64_t> pipeline_rejects{0};
+    std::atomic<uint64_t> submitted{0};
+    std::atomic<uint64_t> responses{0};
+    std::atomic<uint64_t> bytes_in{0};
+    std::atomic<uint64_t> bytes_out{0};
+    std::atomic<uint64_t> slow_drops{0};
+    std::atomic<uint64_t> eintr{0};
+  };
+  mutable Counters counters_;
+};
+
+}  // namespace server
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_SERVER_SERVER_H_

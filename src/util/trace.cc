@@ -1,8 +1,10 @@
 #include "src/util/trace.h"
 
+#include <signal.h>
+
 #include <chrono>
-#include <csignal>
 #include <cstdio>
+#include <cstring>
 
 #include "src/util/trace_exporter.h"
 
@@ -19,8 +21,11 @@ void SigUsr2Handler(int /*signum*/) {
   g_sigusr2_pending.store(1, std::memory_order_relaxed);
 }
 
-using SignalHandler = void (*)(int);
-SignalHandler g_prev_sigusr2 = SIG_DFL;
+// Previous SIGUSR2 disposition, captured by sigaction so the full
+// {handler, mask, flags} triple — not just the handler pointer — is restored
+// on teardown.
+struct sigaction g_prev_sigusr2_act;
+bool g_prev_sigusr2_valid = false;
 
 }  // namespace
 
@@ -30,7 +35,20 @@ Tracer::Tracer(const TraceConfig& config, int num_workers) : config_(config) {
     rings_.emplace_back(new TraceRing(config_.ring_capacity));
   }
   if (config_.dump_on_sigusr2) {
-    g_prev_sigusr2 = std::signal(SIGUSR2, &SigUsr2Handler);
+    // sigaction with SA_RESTART, NOT std::signal: signal() leaves SA_RESTART
+    // unset (System V semantics), so an operator poking the flight recorder
+    // would EINTR-abort any blocking syscall in flight — accept/recv in the
+    // network front-end, futex waits under the completion pipeline. With
+    // SA_RESTART the kernel restarts restartable syscalls transparently and
+    // the dump handshake stays invisible to the request path. (epoll_wait is
+    // never restarted regardless of SA_RESTART; the server's event loop
+    // treats EINTR as a spurious wakeup for exactly that reason.)
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = &SigUsr2Handler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_RESTART;
+    g_prev_sigusr2_valid = ::sigaction(SIGUSR2, &sa, &g_prev_sigusr2_act) == 0;
     watcher_ = std::thread(&Tracer::WatcherLoop, this);
   }
 }
@@ -43,7 +61,10 @@ Tracer::~Tracer() {
     }
     watcher_cv_.SignalAll();
     watcher_.join();
-    std::signal(SIGUSR2, g_prev_sigusr2 == SIG_ERR ? SIG_DFL : g_prev_sigusr2);
+    if (g_prev_sigusr2_valid) {
+      ::sigaction(SIGUSR2, &g_prev_sigusr2_act, nullptr);
+      g_prev_sigusr2_valid = false;
+    }
   }
 }
 

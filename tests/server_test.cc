@@ -1,0 +1,499 @@
+// Network front-end tests: protocol framing (malformed / oversized /
+// truncated / split-across-read / one-byte-trickle inputs), pipelined
+// response ordering, disconnect mid-pipeline with completions still in
+// flight, the per-connection pipeline cap, and a >= 64-connection end-to-end
+// run with exact server-door vs client-observed accounting.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/p2kvs.h"
+#include "src/io/error_injection_env.h"
+#include "src/io/mem_env.h"
+#include "src/server/client.h"
+#include "src/server/protocol.h"
+#include "src/server/server.h"
+#include "src/util/coding.h"
+
+namespace p2kvs {
+namespace {
+
+using server::Client;
+using server::FrameReader;
+using server::Opcode;
+using server::Response;
+using server::Server;
+using server::ServerOptions;
+using server::ServerStatsSnapshot;
+using server::WireStatus;
+using server::WriteOp;
+
+Options SmallLsmOptions(Env* env) {
+  Options options;
+  options.env = env;
+  options.write_buffer_size = 64 * 1024;
+  options.target_file_size = 32 * 1024;
+  options.max_bytes_for_level_base = 128 * 1024;
+  return options;
+}
+
+// Raw socket speaking hand-crafted bytes — for inputs the Client refuses to
+// produce (malformed frames, trickled prefixes).
+class RawConn {
+ public:
+  ~RawConn() { Close(); }
+
+  bool Connect(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    return ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0;
+  }
+
+  void Close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  bool WriteAll(const std::string& bytes) {
+    size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+      if (n <= 0 && errno != EINTR) return false;
+      if (n > 0) off += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  // Reads one response frame; false on EOF/error.
+  bool ReadResponse(Response* out) {
+    char buf[4096];
+    while (true) {
+      std::string body;
+      if (reader_.Next(&body) == FrameReader::NextResult::kFrame) {
+        out->request_id = DecodeFixed64(body.data());
+        out->status_code = static_cast<uint8_t>(body[8]);
+        out->payload.assign(body, server::kFrameHeaderBytes,
+                            body.size() - server::kFrameHeaderBytes);
+        return true;
+      }
+      const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n <= 0) return false;
+      reader_.Feed(buf, static_cast<size_t>(n));
+    }
+  }
+
+  // True when the server has closed the stream (blocking read sees EOF).
+  bool ReadEof() {
+    char c;
+    return ::recv(fd_, &c, 1, 0) == 0;
+  }
+
+ private:
+  int fd_ = -1;
+  FrameReader reader_;
+};
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { StartServer(ServerOptions()); }
+
+  void StartServer(ServerOptions server_options) {
+    base_env_ = NewMemEnv();
+    env_ = std::make_unique<ErrorInjectionEnv>(base_env_.get());
+    P2kvsOptions options;
+    options.env = env_.get();
+    options.num_workers = 4;
+    options.pin_workers = false;
+    options.engine_factory = MakeRocksLiteFactory(SmallLsmOptions(env_.get()));
+    ASSERT_TRUE(P2KVS::Open(options, "/p2srv", &store_).ok());
+    server_ = std::make_unique<Server>(store_.get(), server_options);
+    ASSERT_TRUE(server_->Start().ok());
+    ASSERT_NE(0, server_->port());
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) server_->Stop();
+    server_.reset();
+    store_.reset();
+  }
+
+  std::unique_ptr<Env> base_env_;
+  std::unique_ptr<ErrorInjectionEnv> env_;
+  std::unique_ptr<P2KVS> store_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServerTest, SyncRoundTripAllOpcodes) {
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+
+  ASSERT_TRUE(client.Put("alpha", "1").ok());
+  ASSERT_TRUE(client.Put("beta", "2").ok());
+  std::string value;
+  ASSERT_TRUE(client.Get("alpha", &value).ok());
+  EXPECT_EQ("1", value);
+  EXPECT_TRUE(client.Get("missing", &value).IsNotFound());
+
+  ASSERT_TRUE(client.Delete("alpha").ok());
+  EXPECT_TRUE(client.Get("alpha", &value).IsNotFound());
+
+  std::vector<Status> statuses;
+  std::vector<std::string> values;
+  ASSERT_TRUE(client.MultiGet({"beta", "alpha", "beta"}, &statuses, &values).ok());
+  ASSERT_EQ(3u, statuses.size());
+  EXPECT_TRUE(statuses[0].ok());
+  EXPECT_EQ("2", values[0]);
+  EXPECT_TRUE(statuses[1].IsNotFound());
+  EXPECT_TRUE(statuses[2].ok());
+  EXPECT_EQ("2", values[2]);
+
+  std::vector<WriteOp> ops;
+  ops.push_back({true, "gamma", "3"});
+  ops.push_back({true, "delta", "4"});
+  ops.push_back({false, "beta", ""});
+  ASSERT_TRUE(client.MultiWrite(ops).ok());
+  EXPECT_TRUE(client.Get("beta", &value).IsNotFound());
+  ASSERT_TRUE(client.Get("gamma", &value).ok());
+  EXPECT_EQ("3", value);
+
+  std::vector<std::pair<std::string, std::string>> pairs;
+  ASSERT_TRUE(client.Scan("", 10, &pairs).ok());
+  ASSERT_EQ(2u, pairs.size());  // delta, gamma in bytewise order
+  EXPECT_EQ("delta", pairs[0].first);
+  EXPECT_EQ("gamma", pairs[1].first);
+
+  std::string json;
+  ASSERT_TRUE(client.Stats(&json).ok());
+  EXPECT_NE(std::string::npos, json.find("submitted"));
+}
+
+TEST_F(ServerTest, PipelinedResponsesArriveInRequestOrder) {
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  constexpr int kOps = 200;
+  std::vector<uint64_t> put_ids;
+  for (int i = 0; i < kOps; i++) {
+    put_ids.push_back(client.SendPut("pipe" + std::to_string(i), "v" + std::to_string(i)));
+  }
+  std::vector<uint64_t> get_ids;
+  for (int i = 0; i < kOps; i++) {
+    get_ids.push_back(client.SendGet("pipe" + std::to_string(i)));
+  }
+  ASSERT_TRUE(client.Flush().ok());
+  // The server must deliver responses in request arrival order even though
+  // four workers complete them out of order.
+  for (int i = 0; i < kOps; i++) {
+    Response r;
+    ASSERT_TRUE(client.ReadResponse(&r).ok());
+    EXPECT_EQ(put_ids[static_cast<size_t>(i)], r.request_id);
+    EXPECT_EQ(static_cast<uint8_t>(WireStatus::kOk), r.status_code);
+  }
+  for (int i = 0; i < kOps; i++) {
+    Response r;
+    ASSERT_TRUE(client.ReadResponse(&r).ok());
+    EXPECT_EQ(get_ids[static_cast<size_t>(i)], r.request_id);
+    EXPECT_EQ(static_cast<uint8_t>(WireStatus::kOk), r.status_code);
+    EXPECT_EQ("v" + std::to_string(i), r.payload);
+  }
+  EXPECT_EQ(0u, client.outstanding());
+}
+
+TEST_F(ServerTest, MalformedPayloadRepliesInvalidArgumentAndKeepsConnection) {
+  RawConn conn;
+  ASSERT_TRUE(conn.Connect(server_->port()));
+  // Well-framed body with an unknown opcode: recoverable — the framing is
+  // intact, only this request is bad.
+  std::string frame;
+  PutFixed32(&frame, 9 + 3);
+  PutFixed64(&frame, 42);
+  frame.push_back(static_cast<char>(99));  // no such opcode
+  frame.append("xyz");
+  ASSERT_TRUE(conn.WriteAll(frame));
+  Response r;
+  ASSERT_TRUE(conn.ReadResponse(&r));
+  EXPECT_EQ(42u, r.request_id);
+  EXPECT_EQ(static_cast<uint8_t>(WireStatus::kInvalidArgument), r.status_code);
+
+  // Same connection still serves well-formed requests.
+  std::string get;
+  server::EncodeGet(&get, 43, "nope");
+  ASSERT_TRUE(conn.WriteAll(get));
+  ASSERT_TRUE(conn.ReadResponse(&r));
+  EXPECT_EQ(43u, r.request_id);
+  EXPECT_EQ(static_cast<uint8_t>(WireStatus::kNotFound), r.status_code);
+
+  // A GET whose inner key length overruns the body is also recoverable.
+  std::string bad;
+  PutFixed32(&bad, 9 + 4 + 2);
+  PutFixed64(&bad, 44);
+  bad.push_back(static_cast<char>(Opcode::kGet));
+  PutFixed32(&bad, 1000);  // claims 1000 key bytes, provides 2
+  bad.append("ab");
+  ASSERT_TRUE(conn.WriteAll(bad));
+  ASSERT_TRUE(conn.ReadResponse(&r));
+  EXPECT_EQ(44u, r.request_id);
+  EXPECT_EQ(static_cast<uint8_t>(WireStatus::kInvalidArgument), r.status_code);
+  EXPECT_GE(server_->Stats().protocol_errors, 2u);
+}
+
+TEST_F(ServerTest, OversizedFrameGetsErrorThenClose) {
+  RawConn conn;
+  ASSERT_TRUE(conn.Connect(server_->port()));
+  std::string frame;
+  PutFixed32(&frame, 64u << 20);  // 64MB body announced: over the 32MB cap
+  PutFixed64(&frame, 7);
+  frame.push_back(static_cast<char>(Opcode::kGet));
+  ASSERT_TRUE(conn.WriteAll(frame));
+  Response r;
+  ASSERT_TRUE(conn.ReadResponse(&r));
+  EXPECT_EQ(0u, r.request_id);  // the header is untrusted at this point
+  EXPECT_EQ(static_cast<uint8_t>(WireStatus::kInvalidArgument), r.status_code);
+  EXPECT_TRUE(conn.ReadEof());
+}
+
+TEST_F(ServerTest, ShortBodyGetsErrorThenClose) {
+  RawConn conn;
+  ASSERT_TRUE(conn.Connect(server_->port()));
+  std::string frame;
+  PutFixed32(&frame, 4);  // body shorter than the 9-byte fixed header
+  frame.append("abcd");
+  ASSERT_TRUE(conn.WriteAll(frame));
+  Response r;
+  ASSERT_TRUE(conn.ReadResponse(&r));
+  EXPECT_EQ(static_cast<uint8_t>(WireStatus::kInvalidArgument), r.status_code);
+  EXPECT_TRUE(conn.ReadEof());
+}
+
+TEST_F(ServerTest, TruncatedFrameThenDisconnectIsHarmless) {
+  {
+    RawConn conn;
+    ASSERT_TRUE(conn.Connect(server_->port()));
+    std::string full;
+    server::EncodePut(&full, 1, "trunc-key", "trunc-value");
+    ASSERT_TRUE(conn.WriteAll(full.substr(0, full.size() / 2)));
+    // Disconnect mid-frame: the server must just drop the partial bytes.
+  }
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  ASSERT_TRUE(client.Put("after-truncation", "ok").ok());
+  std::string value;
+  ASSERT_TRUE(client.Get("after-truncation", &value).ok());
+  EXPECT_EQ("ok", value);
+  EXPECT_EQ(2u, server_->Stats().frames_decoded);  // only the Put and the Get
+}
+
+TEST_F(ServerTest, OneByteTrickleClient) {
+  ASSERT_TRUE(store_->Put("trickle", "slow-and-steady").ok());
+  RawConn conn;
+  ASSERT_TRUE(conn.Connect(server_->port()));
+  std::string frame;
+  server::EncodeGet(&frame, 5, "trickle");
+  for (char c : frame) {  // worst-case split: every read delivers one byte
+    ASSERT_TRUE(conn.WriteAll(std::string(1, c)));
+  }
+  Response r;
+  ASSERT_TRUE(conn.ReadResponse(&r));
+  EXPECT_EQ(5u, r.request_id);
+  EXPECT_EQ(static_cast<uint8_t>(WireStatus::kOk), r.status_code);
+  EXPECT_EQ("slow-and-steady", r.payload);
+}
+
+TEST_F(ServerTest, FramesSplitAcrossArbitraryReadBoundaries) {
+  RawConn conn;
+  ASSERT_TRUE(conn.Connect(server_->port()));
+  std::string stream;
+  constexpr int kOps = 20;
+  for (int i = 0; i < kOps; i++) {
+    server::EncodePut(&stream, static_cast<uint64_t>(i + 1), "split" + std::to_string(i),
+                      "v" + std::to_string(i));
+  }
+  // Deliver the request stream in ragged 7-byte chunks so frame prefixes
+  // straddle every read boundary.
+  for (size_t off = 0; off < stream.size(); off += 7) {
+    ASSERT_TRUE(conn.WriteAll(stream.substr(off, 7)));
+  }
+  for (int i = 0; i < kOps; i++) {
+    Response r;
+    ASSERT_TRUE(conn.ReadResponse(&r));
+    EXPECT_EQ(static_cast<uint64_t>(i + 1), r.request_id);
+    EXPECT_EQ(static_cast<uint8_t>(WireStatus::kOk), r.status_code);
+  }
+  std::string value;
+  ASSERT_TRUE(store_->Get("split7", &value).ok());
+  EXPECT_EQ("v7", value);
+}
+
+TEST_F(ServerTest, DisconnectMidPipelineWithCompletionsInFlight) {
+  // Slow every WAL append so completions are guaranteed to still be in
+  // flight when the connection dies — the callbacks must land on kept-alive
+  // response slots, never on freed connection state (ASan/TSan enforce).
+  env_->SetOpLatency(FaultOp::kAppend, 2000);
+  for (int round = 0; round < 3; round++) {
+    Client client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+    for (int i = 0; i < 64; i++) {
+      client.SendPut("dead" + std::to_string(round) + "-" + std::to_string(i), "v");
+    }
+    ASSERT_TRUE(client.Flush().ok());
+    client.Close();  // vanish without reading a single response
+  }
+  env_->DisableAll();
+  // The store must drain cleanly and keep serving.
+  EXPECT_TRUE(store_->WaitIdle().ok());
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  std::string value;
+  ASSERT_TRUE(client.Get("dead0-0", &value).ok());
+  EXPECT_EQ("v", value);
+  server_->Stop();
+  const ServerStatsSnapshot stats = server_->Stats();
+  // Every submitted request completed (Stop waits for stragglers), even
+  // though most responses had no connection left to go to.
+  EXPECT_GE(stats.submitted_to_store, 3u * 64u);
+}
+
+TEST_F(ServerTest, PipelineCapAnswersBusyWithoutStoreWork) {
+  server_->Stop();
+  server_.reset();
+  store_.reset();
+  ServerOptions server_options;
+  server_options.max_pipeline = 4;
+  StartServer(server_options);
+  // Slow appends so the first 4 requests stay in flight while the rest of
+  // the burst arrives — the cap must answer the excess with BUSY.
+  env_->SetOpLatency(FaultOp::kAppend, 2000);
+
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  constexpr int kBurst = 64;
+  for (int i = 0; i < kBurst; i++) {
+    client.SendPut("busy" + std::to_string(i), "v");
+  }
+  ASSERT_TRUE(client.Flush().ok());
+  int ok = 0, busy = 0;
+  for (int i = 0; i < kBurst; i++) {
+    Response r;
+    ASSERT_TRUE(client.ReadResponse(&r).ok());
+    if (r.status_code == static_cast<uint8_t>(WireStatus::kOk)) {
+      ok++;
+    } else {
+      ASSERT_EQ(static_cast<uint8_t>(WireStatus::kBusy), r.status_code);
+      busy++;
+    }
+  }
+  EXPECT_EQ(kBurst, ok + busy);
+  EXPECT_GT(busy, 0);
+  EXPECT_GT(ok, 0);
+  const ServerStatsSnapshot stats = server_->Stats();
+  EXPECT_EQ(static_cast<uint64_t>(busy), stats.pipeline_rejections);
+  EXPECT_EQ(static_cast<uint64_t>(ok), stats.submitted_to_store);
+}
+
+// The acceptance end-to-end: >= 64 concurrent connections, every one
+// pipelining writes then reads, values verified, and EXACT accounting
+// between the server's doors and what the clients observed.
+TEST_F(ServerTest, SixtyFourConnectionsPipelinedEndToEnd) {
+  constexpr int kConnections = 64;
+  constexpr int kOpsPerConn = 32;
+  std::atomic<uint64_t> client_ok{0};
+  std::atomic<uint64_t> client_other{0};
+  std::atomic<uint64_t> client_received{0};
+  std::atomic<int> value_mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kConnections);
+  for (int c = 0; c < kConnections; c++) {
+    threads.emplace_back([&, c] {
+      Client client;
+      if (!client.Connect("127.0.0.1", server_->port()).ok()) {
+        client_other.fetch_add(2 * kOpsPerConn, std::memory_order_relaxed);
+        return;
+      }
+      const std::string prefix = "conn" + std::to_string(c) + "-";
+      for (int i = 0; i < kOpsPerConn; i++) {
+        client.SendPut(prefix + std::to_string(i), prefix + "value" + std::to_string(i));
+      }
+      for (int i = 0; i < kOpsPerConn; i++) {
+        client.SendGet(prefix + std::to_string(i));
+      }
+      if (!client.Flush().ok()) {
+        client_other.fetch_add(2 * kOpsPerConn, std::memory_order_relaxed);
+        return;
+      }
+      for (int i = 0; i < 2 * kOpsPerConn; i++) {
+        Response r;
+        if (!client.ReadResponse(&r).ok()) {
+          client_other.fetch_add(static_cast<uint64_t>(2 * kOpsPerConn - i),
+                                 std::memory_order_relaxed);
+          return;
+        }
+        client_received.fetch_add(1, std::memory_order_relaxed);
+        if (r.status_code == static_cast<uint8_t>(WireStatus::kOk)) {
+          client_ok.fetch_add(1, std::memory_order_relaxed);
+          if (i >= kOpsPerConn) {  // a GET: check the value round-tripped
+            const int idx = i - kOpsPerConn;
+            if (r.payload != prefix + "value" + std::to_string(idx)) {
+              value_mismatches.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        } else {
+          client_other.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const uint64_t total = static_cast<uint64_t>(kConnections) * 2 * kOpsPerConn;
+  EXPECT_EQ(total, client_ok.load());  // nothing shed, nothing lost, no errors
+  EXPECT_EQ(0u, client_other.load());
+  EXPECT_EQ(0, value_mismatches.load());
+
+  server_->Stop();
+  const ServerStatsSnapshot stats = server_->Stats();
+  // Exact doors: every client request was submitted to the store and
+  // answered exactly once; client-observed outcomes account for every
+  // submission.
+  EXPECT_EQ(total, stats.submitted_to_store);
+  EXPECT_EQ(total, stats.frames_decoded);
+  EXPECT_EQ(client_received.load(), stats.responses_sent);
+  EXPECT_EQ(client_ok.load() + client_other.load(), stats.submitted_to_store);
+  EXPECT_EQ(0u, stats.protocol_errors);
+  EXPECT_EQ(0u, stats.pipeline_rejections);
+  EXPECT_GE(stats.connections_accepted, static_cast<uint64_t>(kConnections));
+
+  // The store's own accounting must agree once quiescent.
+  EXPECT_TRUE(store_->WaitIdle().ok());
+  P2kvsStats store_stats;
+  ASSERT_TRUE(store_->GetStats(&store_stats).ok());
+  EXPECT_TRUE(store_stats.SelfCheck().ok()) << store_stats.SelfCheck().ToString();
+}
+
+TEST_F(ServerTest, ServerStopWhileClientsConnected) {
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  ASSERT_TRUE(client.Put("k", "v").ok());
+  server_->Stop();
+  // The client sees a clean close, not a hang.
+  std::string value;
+  EXPECT_FALSE(client.Get("k", &value).ok());
+}
+
+}  // namespace
+}  // namespace p2kvs

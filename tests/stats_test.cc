@@ -359,5 +359,117 @@ TEST(EventListenerTest, PeriodicReporterDumpsJson) {
   store.reset();  // joins the reporter before stopping workers
 }
 
+// ---------------- Worker-thread caller detection ----------------
+//
+// GetStats()'s drain request and WaitIdle()'s barrier both queue behind the
+// request whose handler is currently running — calling either from a worker
+// thread used to be a guaranteed silent self-deadlock. They must now detect
+// the worker-thread caller and fail fast. If detection regresses, these
+// tests hang and the ctest timeout catches it.
+
+TEST_F(StatsTest, GetStatsAndWaitIdleFromWorkerCallbackFailFast) {
+  Open(/*num_workers=*/2);
+  std::atomic<bool> done{false};
+  Status stats_status, idle_status;
+  P2kvsStats scratch;
+  store_->PutAsync("wk", "v", [&](const Status& s) {
+    ASSERT_TRUE(s.ok());
+    stats_status = store_->GetStats(&scratch);  // runs on the worker thread
+    idle_status = store_->WaitIdle();
+    done.store(true, std::memory_order_release);
+  });
+  for (int i = 0; i < 5000 && !done.load(std::memory_order_acquire); i++) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(done.load(std::memory_order_acquire));
+  EXPECT_TRUE(stats_status.IsInvalidArgument()) << stats_status.ToString();
+  EXPECT_TRUE(idle_status.IsInvalidArgument()) << idle_status.ToString();
+  // From a non-worker thread both still work.
+  EXPECT_TRUE(store_->GetStats(&scratch).ok());
+  EXPECT_TRUE(store_->WaitIdle().ok());
+}
+
+TEST_F(StatsTest, GetStatsAsyncWorksFromWorkerCallback) {
+  Open(/*num_workers=*/2);
+  ASSERT_TRUE(store_->Put("seed", "v").ok());
+  std::atomic<bool> done{false};
+  P2kvsStats observed;
+  store_->PutAsync("wk2", "v", [&](const Status& s) {
+    ASSERT_TRUE(s.ok());
+    // The non-blocking alternative the fail-fast error message points at.
+    store_->GetStatsAsync([&](P2kvsStats stats) {
+      observed = std::move(stats);
+      done.store(true, std::memory_order_release);
+    });
+  });
+  for (int i = 0; i < 5000 && !done.load(std::memory_order_acquire); i++) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(done.load(std::memory_order_acquire));
+  EXPECT_GE(observed.requests_submitted, 2u);
+  EXPECT_TRUE(observed.SelfCheck().ok()) << observed.SelfCheck().ToString();
+}
+
+// The original bug report: an EventListener hook (which runs on a worker
+// thread for health transitions) calling GetStats()/WaitIdle().
+class StatsCallingListener : public EventListener {
+ public:
+  void OnHealthTransition(int, WorkerHealth, WorkerHealth to) override {
+    if (to != WorkerHealth::kHealthy) {
+      P2KVS* store = store_ptr.load(std::memory_order_acquire);
+      P2kvsStats scratch;
+      stats_status = store->GetStats(&scratch);
+      idle_status = store->WaitIdle();
+      fired.store(true, std::memory_order_release);
+    }
+  }
+  std::atomic<P2KVS*> store_ptr{nullptr};
+  Status stats_status, idle_status;  // written before `fired` release-store
+  std::atomic<bool> fired{false};
+};
+
+TEST(EventListenerTest, GetStatsFromHealthTransitionCallbackFailsFast) {
+  auto base = NewMemEnv();
+  ErrorInjectionEnv env(base.get());
+  auto listener = std::make_shared<StatsCallingListener>();
+  Options lsm = SmallLsmOptions(&env);
+  lsm.wal_retry.max_attempts = 1;
+  P2kvsOptions options;
+  options.env = &env;
+  options.num_workers = 2;
+  options.pin_workers = false;
+  options.retry.max_attempts = 1;
+  options.listener = listener;
+  options.engine_factory = MakeRocksLiteFactory(lsm);
+  std::unique_ptr<P2KVS> store;
+  ASSERT_TRUE(P2KVS::Open(options, "/p2", &store).ok());
+  listener->store_ptr.store(store.get(), std::memory_order_release);
+
+  std::string key0;
+  for (int i = 0; key0.empty(); i++) {
+    std::string key = "h" + std::to_string(i);
+    if (store->PartitionOf(key) == 0) {
+      key0 = key;
+    }
+  }
+  ASSERT_TRUE(store->Put(key0, "before").ok());
+  // Hard sync fault on instance 0: the next synced write degrades the
+  // partition, firing OnHealthTransition on the worker thread itself.
+  env.SetPathFilter("instance-0/");
+  env.SetFailureOdds(FaultOp::kSync, 1, /*transient=*/false);
+  WriteBatch txn;
+  txn.Put(key0, "wedge");
+  ASSERT_FALSE(store->WriteTxn(&txn).ok());
+
+  ASSERT_TRUE(listener->fired.load(std::memory_order_acquire));
+  EXPECT_TRUE(listener->stats_status.IsInvalidArgument())
+      << listener->stats_status.ToString();
+  EXPECT_TRUE(listener->idle_status.IsInvalidArgument())
+      << listener->idle_status.ToString();
+
+  env.DisableAll();
+  store.reset();
+}
+
 }  // namespace
 }  // namespace p2kvs
