@@ -78,7 +78,7 @@ void Run() {
     // (a) uniform writes.
     Random64 wrnd(3);
     double write_qps = RunClosedLoop(kThreads, ops, [&](int, uint64_t i) {
-                         target.put(Key(wrnd.Uniform(records)), Value(i, 112));
+                         target.put(Key(wrnd.Uniform(records)), Value(i, 112)).IgnoreError();
                        }).qps;
     Preload(target, records, 112);
 
@@ -92,14 +92,14 @@ void Run() {
                           k = zgen.Next();
                         }
                         std::string value;
-                        target.get(Key(k), &value);
+                        target.get(Key(k), &value).IgnoreError();
                       }).qps;
 
     // (c) short scans.
     Random64 srnd(5);
     double scan_qps = RunClosedLoop(1, std::max<uint64_t>(ops / 50, 50), [&](int, uint64_t) {
                         std::vector<std::pair<std::string, std::string>> out;
-                        target.scan(Key(srnd.Uniform(records)), 10, &out);
+                        target.scan(Key(srnd.Uniform(records)), 10, &out).IgnoreError();
                       }).qps;
 
     table.AddRow({strategy.name, Fmt(write_qps / 1000), Fmt(read_qps / 1000), Fmt(scan_qps, 0),

@@ -107,7 +107,7 @@ Target MakeP2kvsTarget(const std::string& name, P2KVS* store) {
                    std::vector<std::pair<std::string, std::string>>* out) {
     return store->Scan(begin, n, out);
   };
-  t.wait_idle = [store] { store->WaitIdle(); };
+  t.wait_idle = [store] { store->WaitIdle().IgnoreError(); };
   t.memory_usage = [store] { return store->ApproximateMemoryUsage(); };
   return t;
 }

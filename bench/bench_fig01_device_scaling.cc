@@ -36,25 +36,25 @@ OpResult RunOnDevice(const DeviceProfile& profile, int threads, uint64_t ops) {
 
   // Sequential PUT.
   r.seq_put = RunClosedLoop(threads, ops, [&](int, uint64_t i) {
-                target.put(Key(i), Value(i, kValue));
+                target.put(Key(i), Value(i, kValue)).IgnoreError();
               }).qps;
   // Random PUT (fresh key space region).
   Random64 seed(1);
   r.rand_put = RunClosedLoop(threads, ops, [&](int t, uint64_t i) {
                  uint64_t k = Hash64(reinterpret_cast<const char*>(&i), 8) % (ops * 4) + ops;
                  (void)t;
-                 target.put(Key(k), Value(i, kValue));
+                 target.put(Key(k), Value(i, kValue)).IgnoreError();
                }).qps;
   // Random UPDATE over the sequentially-loaded range.
   r.rand_update = RunClosedLoop(threads, ops, [&](int, uint64_t i) {
                     uint64_t k = Hash64(reinterpret_cast<const char*>(&i), 8) % ops;
-                    target.put(Key(k), Value(i + 1, kValue));
+                    target.put(Key(k), Value(i + 1, kValue)).IgnoreError();
                   }).qps;
   target.wait_idle();
   // Sequential GET.
   r.seq_get = RunClosedLoop(threads, ops, [&](int, uint64_t i) {
                 std::string value;
-                target.get(Key(i % ops), &value);
+                target.get(Key(i % ops), &value).IgnoreError();
               }).qps;
   // Random GET over the full written key space (~5x ops keys, larger than
   // the block cache, so device latency is exposed). Slow devices get fewer
@@ -63,7 +63,7 @@ OpResult RunOnDevice(const DeviceProfile& profile, int threads, uint64_t ops) {
   r.rand_get = RunClosedLoop(threads, get_ops, [&](int, uint64_t i) {
                  uint64_t k = Hash64(reinterpret_cast<const char*>(&i), 8) % (ops * 5);
                  std::string value;
-                 target.get(Key(k), &value);
+                 target.get(Key(k), &value).IgnoreError();
                }).qps;
   return r;
 }

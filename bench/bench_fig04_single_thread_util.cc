@@ -36,7 +36,7 @@ void RunCase(const char* label, size_t value_size, double seconds) {
         WriteOptions wo;
         while (NowNanos() < deadline) {
           uint64_t k = Hash64(reinterpret_cast<const char*>(&i), 8) % 10000000;
-          db->Put(wo, Key(k), Value(i, value_size));
+          db->Put(wo, Key(k), Value(i, value_size)).IgnoreError();
           i++;
         }
         written_ops.store(i);

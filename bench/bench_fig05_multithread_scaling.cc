@@ -53,7 +53,7 @@ CaseResult RunCase(int threads, bool multi_instance, bool pin, uint64_t ops) {
       PinThreadToCpu(t);
     }
     uint64_t k = Hash64(reinterpret_cast<const char*>(&i), 8) % (ops * 4);
-    target.put(Key(k), Value(i, 112));
+    target.put(Key(k), Value(i, 112)).IgnoreError();
   });
   result.qps = run.qps;
   result.cpu_percent = cpu.SampleUtilizationPercent();
@@ -86,7 +86,7 @@ double RunP2kvsCase(int threads, bool enable_stats, uint64_t ops,
   }
   RunResult run = RunClosedLoop(threads, ops, [&](int, uint64_t i) {
     uint64_t k = Hash64(reinterpret_cast<const char*>(&i), 8) % (ops * 4);
-    store->Put(Key(k), Value(i, 112));
+    store->Put(Key(k), Value(i, 112)).IgnoreError();
   });
   return run.qps;
 }

@@ -59,7 +59,7 @@ void RunDirectSharedInstance(uint64_t ops) {
         threads, ops,
         [&](int, uint64_t i) {
           uint64_t k = Hash64(reinterpret_cast<const char*>(&i), 8) % (ops * 4);
-          db->Put(WriteOptions(), Key(k), Value(i, 112));
+          db->Put(WriteOptions(), Key(k), Value(i, 112)).IgnoreError();
         },
         [&](int) {
           // Harvest each pool thread's thread-local breakdown.
@@ -118,7 +118,7 @@ void RunViaP2kvsStats(uint64_t ops) {
     std::unique_ptr<P2KVS> store = OpenP2kvs(&dev, /*num_workers=*/1, /*stats=*/true);
     RunClosedLoop(threads, ops, [&](int, uint64_t i) {
       uint64_t k = Hash64(reinterpret_cast<const char*>(&i), 8) % (ops * 4);
-      store->Put(Key(k), Value(i, 112));
+      store->Put(Key(k), Value(i, 112)).IgnoreError();
     });
 
     // The whole breakdown comes from the framework's stats spine — no bench
@@ -160,12 +160,12 @@ int RunSmoke() {
     uint64_t k = Hash64(reinterpret_cast<const char*>(&i), 8) % (ops * 4);
     if (i % 4 == 3) {
       std::string value;
-      store->Get(Key(k), &value);
+      store->Get(Key(k), &value).IgnoreError();
     } else {
-      store->Put(Key(k), Value(i, 112));
+      store->Put(Key(k), Value(i, 112)).IgnoreError();
     }
   });
-  store->WaitIdle();
+  store->WaitIdle().IgnoreError();
   P2kvsStats stats = store->GetStats();
   std::printf("%s\n", stats.ToJson().c_str());
   Status check = stats.SelfCheck();

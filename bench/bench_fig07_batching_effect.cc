@@ -15,6 +15,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <thread>
 #include <vector>
@@ -63,7 +64,7 @@ void Run() {
         batch.Put(Key(key), Value(key, kv_bytes - 16));
         key++;
       }
-      db->Write(wo, &batch);
+      db->Write(wo, &batch).IgnoreError();
     }
     double seconds = static_cast<double>(NowNanos() - t0) / 1e9;
     double cpu_us_per_kv =
@@ -137,14 +138,24 @@ double HandoffTrial(int producers, uint64_t per_producer, PushFn push, PopFn pop
 double LockedHandoff(int producers, uint64_t per_producer) {
   MpscQueue<HandoffNode*> queue;
   return HandoffTrial(
-      producers, per_producer, [&](HandoffNode* n) { queue.Push(n); },
+      producers, per_producer,
+      [&](HandoffNode* n) {
+        if (!queue.Push(n)) {
+          std::abort();  // the trial never closes the queue
+        }
+      },
       [&] { return *queue.Pop(); });
 }
 
 double LockFreeHandoff(int producers, uint64_t per_producer) {
   IntrusiveMpscQueue<HandoffNode> queue;
   return HandoffTrial(
-      producers, per_producer, [&](HandoffNode* n) { queue.Push(n); },
+      producers, per_producer,
+      [&](HandoffNode* n) {
+        if (!queue.Push(n)) {
+          std::abort();  // the trial never closes the queue
+        }
+      },
       [&] { return *queue.Pop(); });
 }
 

@@ -50,13 +50,13 @@ double RunCase(Stage stage, int threads, bool multi_instance, int batch_kvs, uin
     uint64_t h = Hash64(reinterpret_cast<const char*>(&i), 8);
     DB* db = pick(h);
     if (batch_kvs == 1) {
-      db->Put(WriteOptions(), Key(h % (ops * 4)), Value(i, 112));
+      db->Put(WriteOptions(), Key(h % (ops * 4)), Value(i, 112)).IgnoreError();
     } else {
       WriteBatch batch;
       for (int b = 0; b < batch_kvs; b++) {
         batch.Put(Key((h + static_cast<uint64_t>(b) * 77) % (ops * 4)), Value(i, 112));
       }
-      db->Write(WriteOptions(), &batch);
+      db->Write(WriteOptions(), &batch).IgnoreError();
     }
   });
   return run.qps * batch_kvs;  // KV-per-second

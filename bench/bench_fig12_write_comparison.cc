@@ -73,7 +73,7 @@ CaseResult Measure(const Target& target, const SimulatedDevice& dev, int threads
         } else {
           run = RunClosedLoop(threads, ops, [&](int, uint64_t i) {
             uint64_t k = Hash64(reinterpret_cast<const char*>(&i), 8) % (ops * 4);
-            target.put(Key(k), Value(i, value_size));
+            target.put(Key(k), Value(i, value_size)).IgnoreError();
           });
         }
       },

@@ -130,7 +130,7 @@ int RunSmoke() {
     config.value_size = 4096;
     results[i] = RunOpenLoopPut(p2.get(), config);
 
-    p2->WaitIdle();
+    p2->WaitIdle().IgnoreError();
     P2kvsStats stats = p2->GetStats();
     Status check = stats.SelfCheck();
     if (!check.ok()) {

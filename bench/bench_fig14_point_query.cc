@@ -19,7 +19,7 @@ double RunGets(const Target& target, int threads, uint64_t ops, uint64_t key_spa
   return RunClosedLoop(threads, ops, [&](int, uint64_t i) {
            uint64_t k = Hash64(reinterpret_cast<const char*>(&i), 8) % key_space;
            std::string value;
-           target.get(Key(k), &value);
+           target.get(Key(k), &value).IgnoreError();
          }).qps;
 }
 

@@ -48,7 +48,7 @@ void Run() {
       return RunClosedLoop(1, ops, [&](int, uint64_t i) {
                uint64_t start = rnd.Uniform(preload > scan_size ? preload - scan_size : 1);
                std::vector<std::pair<std::string, std::string>> out;
-               t.scan(Key(start), scan_size, &out);
+               t.scan(Key(start), scan_size, &out).IgnoreError();
                (void)i;
              }).qps;
     };
@@ -58,7 +58,7 @@ void Run() {
       return RunClosedLoop(1, ops, [&](int, uint64_t i) {
                uint64_t start = rnd.Uniform(preload > scan_size ? preload - scan_size : 1);
                std::vector<std::pair<std::string, std::string>> out;
-               fn(Key(start), Key(start + scan_size), &out);
+               fn(Key(start), Key(start + scan_size), &out).IgnoreError();
                (void)i;
              }).qps;
     };

@@ -34,7 +34,7 @@ void RunCase(const char* name, const Target& target, const SimulatedDevice& dev,
             while (NowNanos() < deadline && !stop.load(std::memory_order_relaxed)) {
               uint64_t x = ops.fetch_add(1, std::memory_order_relaxed);
               uint64_t k = Hash64(reinterpret_cast<const char*>(&x), 8) % 2000000;
-              target.put(Key(k), Value(i++, 112));
+              target.put(Key(k), Value(i++, 112)).IgnoreError();
             }
           });
         }

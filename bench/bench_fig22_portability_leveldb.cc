@@ -42,13 +42,13 @@ void Run() {
       Target t = MakeDbTarget("leveldb", db.get());
       lvl_write = RunClosedLoop(threads, ops, [&](int, uint64_t i) {
                     uint64_t k = Hash64(reinterpret_cast<const char*>(&i), 8) % (ops * 2);
-                    t.put(Key(k), Value(i, 112));
+                    t.put(Key(k), Value(i, 112)).IgnoreError();
                   }).qps;
       t.wait_idle();
       lvl_read = RunClosedLoop(threads, ops, [&](int, uint64_t i) {
                    uint64_t k = Hash64(reinterpret_cast<const char*>(&i), 8) % (ops * 2);
                    std::string v;
-                   t.get(Key(k), &v);
+                   t.get(Key(k), &v).IgnoreError();
                  }).qps;
     }
     {
@@ -62,13 +62,13 @@ void Run() {
       Target t = MakeP2kvsTarget("p2kvs-leveldb", store.get());
       p2_write = RunClosedLoop(threads, ops, [&](int, uint64_t i) {
                    uint64_t k = Hash64(reinterpret_cast<const char*>(&i), 8) % (ops * 2);
-                   t.put(Key(k), Value(i, 112));
+                   t.put(Key(k), Value(i, 112)).IgnoreError();
                  }).qps;
       t.wait_idle();
       p2_read = RunClosedLoop(threads, ops, [&](int, uint64_t i) {
                   uint64_t k = Hash64(reinterpret_cast<const char*>(&i), 8) % (ops * 2);
                   std::string v;
-                  t.get(Key(k), &v);
+                  t.get(Key(k), &v).IgnoreError();
                 }).qps;
     }
     row.push_back(FmtQps(lvl_write));

@@ -36,12 +36,12 @@ void Run() {
       if (!BTreeStore::Open(options, "/f23", &store).ok()) std::abort();
       wt_write = RunClosedLoop(threads, ops, [&](int, uint64_t i) {
                    uint64_t k = Hash64(reinterpret_cast<const char*>(&i), 8) % (ops * 2);
-                   store->Put(Key(k), Value(i, 112));
+                   store->Put(Key(k), Value(i, 112)).IgnoreError();
                  }).qps;
       wt_read = RunClosedLoop(threads, ops, [&](int, uint64_t i) {
                   uint64_t k = Hash64(reinterpret_cast<const char*>(&i), 8) % (ops * 2);
                   std::string v;
-                  store->Get(Key(k), &v);
+                  store->Get(Key(k), &v).IgnoreError();
                 }).qps;
     }
     {
@@ -57,12 +57,12 @@ void Run() {
       Target t = MakeP2kvsTarget("p2kvs-wt", store.get());
       p2_write = RunClosedLoop(threads, ops, [&](int, uint64_t i) {
                    uint64_t k = Hash64(reinterpret_cast<const char*>(&i), 8) % (ops * 2);
-                   t.put(Key(k), Value(i, 112));
+                   t.put(Key(k), Value(i, 112)).IgnoreError();
                  }).qps;
       p2_read = RunClosedLoop(threads, ops, [&](int, uint64_t i) {
                   uint64_t k = Hash64(reinterpret_cast<const char*>(&i), 8) % (ops * 2);
                   std::string v;
-                  t.get(Key(k), &v);
+                  t.get(Key(k), &v).IgnoreError();
                 }).qps;
     }
     table.AddRow({std::to_string(threads), FmtQps(wt_write), FmtQps(p2_write), FmtQps(wt_read),

@@ -67,12 +67,12 @@ BENCHMARK(BM_MemTableGet);
 void BM_WalAppend(benchmark::State& state) {
   auto env = NewMemEnv();
   std::unique_ptr<WritableFile> file;
-  env->NewWritableFile("/wal", &file);
+  env->NewWritableFile("/wal", &file).IgnoreError();
   log::Writer writer(file.get());
   std::string record(static_cast<size_t>(state.range(0)), 'r');
   int64_t bytes = 0;
   for (auto _ : state) {
-    writer.AddRecord(record);
+    writer.AddRecord(record).IgnoreError();
     bytes += static_cast<int64_t>(record.size());
   }
   state.SetBytesProcessed(bytes);

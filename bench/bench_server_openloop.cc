@@ -150,7 +150,7 @@ TcpOpenLoopResult RunOpenLoopTcp(uint16_t port, int connections, double offered_
         send_ns[i].store(NowNanos(), std::memory_order_release);
         client.SendPut(Key(idx), Value(idx, value_size));
       }
-      client.Flush();
+      client.Flush().IgnoreError();
       reader.join();
     });
   }
@@ -396,7 +396,7 @@ int RunSmoke() {
                    static_cast<unsigned long long>(ss.protocol_errors));
       return 1;
     }
-    store->WaitIdle();
+    store->WaitIdle().IgnoreError();
     P2kvsStats stats;
     Status s = store->GetStats(&stats);
     if (!s.ok()) {

@@ -71,7 +71,7 @@ int main() {
       KvWriteOptions kwo;
       kwo.gsn = torn_gsn;
       kwo.sync = true;
-      store->instance(store->PartitionOf(key))->Write(&sub, kwo);
+      store->instance(store->PartitionOf(key))->Write(&sub, kwo).IgnoreError();
     }
     std::printf("before crash: alice=%s bob=%s (dirty state visible)\n",
                 Lookup(store.get(), "alice"), Lookup(store.get(), "bob"));
@@ -79,7 +79,7 @@ int main() {
 
   std::printf("\n== phase 3: power loss ==\n");
   store.reset();          // drop the process state
-  fault_env.Crash();      // discard every byte not fsync'ed
+  fault_env.Crash().IgnoreError();      // discard every byte not fsync'ed
   std::printf("crashed; reopening...\n");
 
   store = OpenStore(&fault_env);

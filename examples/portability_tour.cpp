@@ -44,7 +44,7 @@ void Drive(const char* name, Env* env, EngineFactory factory) {
   for (int t = 0; t < kThreads; t++) {
     writers.emplace_back([&store, t] {
       for (int i = 0; i < kPerThread; i++) {
-        store->Put("key-" + std::to_string(t) + "-" + std::to_string(i), "value");
+        store->Put("key-" + std::to_string(t) + "-" + std::to_string(i), "value").IgnoreError();
       }
     });
   }
@@ -59,7 +59,7 @@ void Drive(const char* name, Env* env, EngineFactory factory) {
     readers.emplace_back([&store, t] {
       std::string value;
       for (int i = 0; i < kPerThread; i++) {
-        store->Get("key-" + std::to_string(t) + "-" + std::to_string(i), &value);
+        store->Get("key-" + std::to_string(t) + "-" + std::to_string(i), &value).IgnoreError();
       }
     });
   }
@@ -84,7 +84,7 @@ void Drive(const char* name, Env* env, EngineFactory factory) {
 
   // Scans work everywhere: every engine exposes an ordered iterator.
   std::vector<std::pair<std::string, std::string>> out;
-  store->Scan("key-0-", 3, &out);
+  store->Scan("key-0-", 3, &out).IgnoreError();
   std::printf("scan(key-0-, 3): ");
   for (const auto& [k, v] : out) {
     std::printf("%s ", k.c_str());

@@ -29,16 +29,16 @@ int main(int argc, char** argv) {
   std::printf("opened p2KVS at %s with %d workers\n", path.c_str(), store->num_workers());
 
   // --- Basic KV operations. Each key routes to Hash(key) %% N. ---
-  store->Put("language", "C++20");
-  store->Put("paper", "p2KVS (EuroSys'22)");
-  store->Put("engine", "RocksLite");
+  store->Put("language", "C++20").IgnoreError();
+  store->Put("paper", "p2KVS (EuroSys'22)").IgnoreError();
+  store->Put("engine", "RocksLite").IgnoreError();
 
   std::string value;
   s = store->Get("paper", &value);
   std::printf("get(paper) -> %s (%s)\n", value.c_str(), s.ToString().c_str());
   std::printf("  (key 'paper' lives on worker %d)\n", store->PartitionOf("paper"));
 
-  store->Delete("engine");
+  store->Delete("engine").IgnoreError();
   s = store->Get("engine", &value);
   std::printf("get(engine) after delete -> %s\n", s.ToString().c_str());
 
@@ -58,7 +58,7 @@ int main(int argc, char** argv) {
 
   // --- Ordered scans across all instances. ---
   std::vector<std::pair<std::string, std::string>> out;
-  store->Scan("async-00", 5, &out);
+  store->Scan("async-00", 5, &out).IgnoreError();
   std::printf("scan(async-00, 5):\n");
   for (const auto& [k, v] : out) {
     std::printf("  %s = %s\n", k.c_str(), v.c_str());

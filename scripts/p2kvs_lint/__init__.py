@@ -1,0 +1,7 @@
+"""p2kvs_lint: project-specific static analysis for the p2KVS tree.
+
+One shared source model (built by libclang when available, by a pure-regex
+parser otherwise), a rule registry, per-rule suppression comments, and a
+fixture runner. See scripts/p2kvs_lint/lint.py --help and the "Static
+analysis & locking contract" section of DESIGN.md.
+"""

@@ -1,0 +1,175 @@
+"""libclang refinement engine (CI-only in practice).
+
+The container that runs the CI gate installs python3-clang + libclang; the
+dev image may not. This module therefore never hard-imports clang at module
+scope: `build_clang_model` raises EngineUnavailable and lint.py decides
+whether the fallback is acceptable (--require-clang makes it fatal, so the
+gate can never silently degrade to the regex engine).
+
+What clang adds over the regex model:
+  * real -Wunused-result diagnostics per translation unit, fed into
+    model.clang_unused_diags for the status-discard rule — the compiler sees
+    through macros, templates, and operator chains the regex parser cannot;
+  * AST-accurate class tables (bases, field types) that replace the
+    regex-guessed ones where both exist.
+
+The call-graph and lock facts stay regex-built: they are line-oriented and
+deliberately engine-agnostic so the fixture tests pin one behavior.
+"""
+
+import os
+
+from .model import build_regex_model, unwrap_type
+
+
+class EngineUnavailable(RuntimeError):
+    pass
+
+
+def _load_cindex():
+    try:
+        from clang import cindex
+    except ImportError as e:
+        raise EngineUnavailable("python clang bindings not importable (%s)" % e)
+    # Help the bindings find the shared library on Debian/Ubuntu layouts.
+    if not cindex.Config.loaded:
+        for cand in (
+            None,  # default lookup first
+            "libclang.so",
+            "libclang-15.so.1",
+            "libclang-14.so.1",
+            "/usr/lib/llvm-15/lib/libclang.so.1",
+            "/usr/lib/llvm-14/lib/libclang.so.1",
+        ):
+            try:
+                if cand is not None:
+                    cindex.Config.set_library_file(cand)
+                cindex.Index.create()
+                return cindex
+            except Exception:
+                # Config is sticky once loaded; re-instantiate the knob.
+                try:
+                    cindex.Config.loaded = False
+                except Exception:
+                    pass
+                continue
+        raise EngineUnavailable("libclang shared library not loadable")
+    return cindex
+
+
+def _tu_args(cmd):
+    """Compile arguments usable for reparsing: strip compiler, -c/-o pairs,
+    and the input file itself."""
+    args = list(cmd.arguments)[1:]
+    out, skip = [], False
+    for a in args:
+        if skip:
+            skip = False
+            continue
+        if a in ("-c",):
+            continue
+        if a in ("-o",):
+            skip = True
+            continue
+        if a.endswith((".cc", ".cpp", ".c")):
+            continue
+        out.append(a)
+    return out
+
+
+def build_clang_model(paths, repo_root, compile_commands_dir):
+    cindex = _load_cindex()
+    cc_path = os.path.join(compile_commands_dir, "compile_commands.json")
+    if not os.path.isfile(cc_path):
+        raise EngineUnavailable("no compile_commands.json in %s" % compile_commands_dir)
+
+    model = build_regex_model(paths, repo_root)
+    model.engine = "clang"
+
+    db = cindex.CompilationDatabase.fromDirectory(compile_commands_dir)
+    index = cindex.Index.create()
+    wanted = {os.path.abspath(p) for p in paths}
+    header_wanted = {p for p in wanted if p.endswith((".h", ".hpp"))}
+
+    for p in sorted(wanted):
+        if not p.endswith((".cc", ".cpp")):
+            continue
+        cmds = db.getCompileCommands(p)
+        if not cmds:
+            continue
+        cmd = cmds[0]
+        args = _tu_args(cmd) + ["-Wunused-result"]
+        try:
+            tu = index.parse(p, args=args)
+        except Exception:
+            continue
+        _harvest_diagnostics(tu, repo_root, wanted | header_wanted, model)
+        _refine_classes(cindex, tu, repo_root, model)
+    return model
+
+
+def _harvest_diagnostics(tu, repo_root, wanted, model):
+    seen = set(model.clang_unused_diags)
+    for diag in tu.diagnostics:
+        opt = ""
+        try:
+            opt = diag.option or ""
+        except Exception:
+            pass
+        text = diag.spelling or ""
+        if "unused-result" not in opt and "ignoring return value" not in text:
+            continue
+        loc = diag.location
+        if loc.file is None:
+            continue
+        abspath = os.path.abspath(loc.file.name)
+        if abspath not in wanted:
+            continue
+        rel = os.path.relpath(abspath, repo_root)
+        entry = (rel, loc.line, text)
+        if entry not in seen:
+            seen.add(entry)
+            model.clang_unused_diags.append(entry)
+
+
+def _refine_classes(cindex, tu, repo_root, model):
+    CursorKind = cindex.CursorKind
+
+    def walk(cur):
+        for child in cur.get_children():
+            loc = child.location
+            if loc.file is None:
+                continue
+            abspath = os.path.abspath(loc.file.name)
+            if not abspath.startswith(repo_root + os.sep):
+                continue
+            if child.kind in (CursorKind.CLASS_DECL, CursorKind.STRUCT_DECL):
+                if child.is_definition():
+                    _refine_one(cindex, child, model)
+            if child.kind in (
+                CursorKind.NAMESPACE,
+                CursorKind.CLASS_DECL,
+                CursorKind.STRUCT_DECL,
+                CursorKind.UNEXPOSED_DECL,
+            ):
+                walk(child)
+
+    walk(tu.cursor)
+
+
+def _refine_one(cindex, cur, model):
+    CursorKind = cindex.CursorKind
+    name = cur.spelling
+    info = model.classes.get(name)
+    if info is None:
+        return
+    for child in cur.get_children():
+        if child.kind == CursorKind.CXX_BASE_SPECIFIER:
+            base = unwrap_type(child.type.spelling)
+            if base and base not in info.bases:
+                info.bases.append(base)
+                model.derived.setdefault(base, []).append(name)
+        elif child.kind == CursorKind.FIELD_DECL:
+            t = unwrap_type(child.type.spelling)
+            if t:
+                info.members[child.spelling] = t

@@ -1,0 +1,157 @@
+"""p2kvs-lint driver: builds the source model, runs the registered rules,
+applies suppressions, and reports.
+
+Engines:
+  * regex — the pure-python parser in model.py; always available; the
+    deterministic engine the fixture tests pin.
+  * clang — libclang (python `clang.cindex`) refinement: real compiler
+    -Wunused-result diagnostics per translation unit plus AST-accurate class
+    tables. CI installs python3-clang and passes --require-clang so the
+    fallback can never silently weaken the gate.
+  * auto (default) — clang when importable, else regex.
+
+Exit status: 0 when no findings survive suppression, 1 otherwise, 2 on usage
+or engine errors.
+
+Usage:
+  python3 scripts/p2kvs_lint/lint.py [paths...]
+      [--engine auto|clang|regex] [--require-clang]
+      [--compile-commands DIR] [--rules r1,r2] [--json FILE] [--list-rules]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+if __package__ in (None, ""):
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    from p2kvs_lint import clang_engine, model as model_mod
+    from p2kvs_lint.rules import ALL_RULES
+else:
+    from . import clang_engine, model as model_mod
+    from .rules import ALL_RULES
+
+
+def repo_root_of(start):
+    d = os.path.abspath(start)
+    while d != os.path.dirname(d):
+        if os.path.isdir(os.path.join(d, ".git")):
+            return d
+        d = os.path.dirname(d)
+    return os.path.abspath(start)
+
+
+def build_model(paths, repo_root, engine, require_clang, compile_commands):
+    if engine in ("auto", "clang"):
+        try:
+            m = clang_engine.build_clang_model(paths, repo_root, compile_commands)
+            return m
+        except clang_engine.EngineUnavailable as e:
+            if engine == "clang" or require_clang:
+                print("p2kvs-lint: clang engine required but unavailable: %s" % e,
+                      file=sys.stderr)
+                sys.exit(2)
+            print("p2kvs-lint: clang engine unavailable (%s); regex fallback" % e,
+                  file=sys.stderr)
+    return model_mod.build_regex_model(paths, repo_root)
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(prog="p2kvs-lint", description=__doc__)
+    ap.add_argument("paths", nargs="*", help="files or directories (default: src/)")
+    ap.add_argument("--engine", choices=("auto", "clang", "regex"), default="auto")
+    ap.add_argument("--require-clang", action="store_true",
+                    help="fail (exit 2) instead of falling back to the regex engine")
+    ap.add_argument("--compile-commands", default=None,
+                    help="directory containing compile_commands.json (default: build/)")
+    ap.add_argument("--rules", default=None,
+                    help="comma-separated subset of rules to run")
+    ap.add_argument("--json", dest="json_out", default=None,
+                    help="write findings as JSON to this file")
+    ap.add_argument("--list-rules", action="store_true")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for name in sorted(ALL_RULES):
+            print("%-18s %s" % (name, ALL_RULES[name].DESCRIPTION))
+        return 0
+
+    repo_root = repo_root_of(os.getcwd())
+    if args.paths:
+        paths = []
+        for p in args.paths:
+            p = os.path.abspath(p)
+            if os.path.isdir(p):
+                rel = os.path.relpath(p, repo_root)
+                paths.extend(model_mod.collect_sources(repo_root, (rel,)))
+            else:
+                paths.append(p)
+    else:
+        paths = model_mod.collect_sources(repo_root, ("src",))
+    if not paths:
+        print("p2kvs-lint: no sources found", file=sys.stderr)
+        return 2
+
+    rule_names = sorted(ALL_RULES)
+    if args.rules:
+        rule_names = [r.strip() for r in args.rules.split(",") if r.strip()]
+        unknown = [r for r in rule_names if r not in ALL_RULES]
+        if unknown:
+            print("p2kvs-lint: unknown rule(s): %s" % ", ".join(unknown),
+                  file=sys.stderr)
+            return 2
+
+    cc_dir = args.compile_commands or os.path.join(repo_root, "build")
+    model = build_model(paths, repo_root, args.engine, args.require_clang, cc_dir)
+
+    findings = []
+    suppressed = []
+    for name in rule_names:
+        for f in ALL_RULES[name].run(model):
+            if model.suppressed(f):
+                suppressed.append(f)
+            else:
+                findings.append(f)
+    # Malformed suppressions (no reason) are findings and cannot be suppressed.
+    findings.extend(model.errors)
+    # Stale suppressions: nothing fired under them, so either the code was
+    # fixed (delete the comment) or the comment is on the wrong line.
+    if not args.rules:
+        for sf in model.files.values():
+            for sup in sf.suppressions:
+                if not sup.used:
+                    findings.append(model_mod.Finding(
+                        "suppression", sf.rel, sup.line,
+                        "unused suppression for (%s); no finding fired here — "
+                        "remove it or move it to the offending line"
+                        % ", ".join(sup.rules)))
+
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    for f in findings:
+        print(f.format())
+
+    if args.json_out:
+        payload = {
+            "engine": model.engine,
+            "rules": rule_names,
+            "files": len(model.files),
+            "findings": [vars(f) if not hasattr(f, "__dataclass_fields__")
+                         else {"rule": f.rule, "path": f.path, "line": f.line,
+                               "message": f.message}
+                         for f in findings],
+            "suppressed": [{"rule": f.rule, "path": f.path, "line": f.line}
+                           for f in suppressed],
+        }
+        with open(args.json_out, "w", encoding="utf-8") as fp:
+            json.dump(payload, fp, indent=2)
+            fp.write("\n")
+
+    print("p2kvs-lint: engine=%s files=%d rules=%s findings=%d suppressed=%d"
+          % (model.engine, len(model.files), ",".join(rule_names),
+             len(findings), len(suppressed)), file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,713 @@
+"""Shared source model for p2kvs_lint rules.
+
+The model is a set of plain-data facts about the tree — classes and their
+members, function definitions and the calls inside them, lock annotations,
+nodiscard registries, suppression comments — that every rule consumes. It is
+built either by the pure-regex parser in this file (always available, the
+deterministic engine the fixture tests pin) or refined by libclang when the
+python bindings are installed (see clang_engine.py).
+
+The regex parser is deliberately conservative: facts it cannot resolve (an
+unknown receiver type, an ambiguous method name) are recorded as unresolved
+rather than guessed, and rules are written to stay quiet on unresolved facts.
+"""
+
+import os
+import re
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Finding:
+    rule: str
+    path: str  # repo-relative
+    line: int  # 1-based
+    message: str
+
+    def format(self):
+        return "%s:%d: [%s] %s" % (self.path, self.line, self.rule, self.message)
+
+
+@dataclass
+class Suppression:
+    rules: tuple
+    line: int  # the commented line; covers this line and the next
+    reason: str
+    used: bool = False
+
+
+@dataclass
+class CallSite:
+    method: str
+    line: int  # 1-based, within the file
+    receiver: str = ""  # receiver expression variable name ("" = bare call)
+    receiver_type: str = ""  # resolved type name ("" = unresolved/bare)
+
+
+@dataclass
+class FunctionDef:
+    qualname: str  # "Class::Method", "function", or "<file>:<line>:<kind>-lambda"
+    cls: str  # enclosing class ("" for free functions / lambdas)
+    path: str
+    line: int
+    body: str  # blanked body text (lambda sub-bodies excised for parents)
+    body_start_offset: int  # offset of body start within the file's blanked text
+    calls: list = field(default_factory=list)
+    is_worker_root: bool = False
+    root_kind: str = ""  # "run-loop" | "async-api" | "marker" | "callback" | "engine-hook"
+
+
+@dataclass
+class ClassInfo:
+    name: str
+    path: str
+    line: int
+    bases: list = field(default_factory=list)
+    members: dict = field(default_factory=dict)  # member name -> unwrapped type
+    nodiscard: bool = False  # class P2KVS_NODISCARD X / class [[nodiscard]] X
+
+
+@dataclass
+class SourceFile:
+    path: str  # absolute
+    rel: str  # repo-relative
+    raw: str
+    raw_lines: list
+    code: str  # comments and string/char literals blanked, offsets preserved
+    code_lines: list
+    suppressions: list = field(default_factory=list)
+    suppression_errors: list = field(default_factory=list)  # Finding
+
+    def line_of(self, offset):
+        return self.code.count("\n", 0, offset) + 1
+
+    def suppressed(self, rule, line):
+        for sup in self.suppressions:
+            if line in (sup.line, sup.line + 1) and rule in sup.rules:
+                sup.used = True
+                return True
+        return False
+
+
+SUPPRESS_RE = re.compile(r"//\s*p2kvs-lint:\s*allow\(([\w\s,-]+)\)(?:\s*--\s*(.*\S))?")
+WORKER_MARKER_RE = re.compile(r"//\s*p2kvs-lint:\s*worker-context")
+
+
+def blank_comments_and_strings(text):
+    """Replaces comment and string/char literal contents with spaces, keeping
+    every offset (and newline) identical to the input."""
+    out = list(text)
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            while i < n and text[i] != "\n":
+                out[i] = " "
+                i += 1
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            out[i] = out[i + 1] = " "
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n and text[i + 1] == "/"):
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            if i < n:
+                out[i] = out[i + 1] = " "
+                i += 2
+        elif c == '"' or c == "'":
+            quote = c
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    out[i] = " "
+                    i += 1
+                    if i < n and text[i] != "\n":
+                        out[i] = " "
+                        i += 1
+                    continue
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            i += 1
+        else:
+            i += 1
+    return "".join(out)
+
+
+def match_brace(text, open_pos, open_ch="{", close_ch="}"):
+    """Offset just past the brace matching text[open_pos], or len(text)."""
+    depth = 0
+    for i in range(open_pos, len(text)):
+        if text[i] == open_ch:
+            depth += 1
+        elif text[i] == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+def load_source_file(path, repo_root):
+    with open(path, encoding="utf-8") as f:
+        raw = f.read()
+    rel = os.path.relpath(path, repo_root)
+    sf = SourceFile(
+        path=path,
+        rel=rel,
+        raw=raw,
+        raw_lines=raw.splitlines(),
+        code=blank_comments_and_strings(raw),
+        code_lines=blank_comments_and_strings(raw).splitlines(),
+    )
+    for lineno, line in enumerate(sf.raw_lines, start=1):
+        m = SUPPRESS_RE.search(line)
+        if m is None:
+            continue
+        rules = tuple(r.strip() for r in m.group(1).split(",") if r.strip())
+        reason = (m.group(2) or "").strip()
+        if not reason:
+            sf.suppression_errors.append(
+                Finding(
+                    "suppression",
+                    rel,
+                    lineno,
+                    "suppression without a reason; write "
+                    "`// p2kvs-lint: allow(<rule>) -- <why this is safe>`",
+                )
+            )
+            continue
+        sf.suppressions.append(Suppression(rules=rules, line=lineno, reason=reason))
+    return sf
+
+
+# ---------------------------------------------------------------------------
+# Type helpers
+# ---------------------------------------------------------------------------
+
+_WRAPPER_RE = re.compile(r"^(?:std::)?(unique_ptr|shared_ptr|vector|deque|optional|atomic)<(.*)>$")
+
+
+def unwrap_type(t):
+    """unique_ptr<X> / vector<unique_ptr<X>> / X* / const X& -> X."""
+    t = t.strip()
+    t = re.sub(r"\bconst\b", "", t).strip()
+    t = t.rstrip("*& ").strip()
+    if t.startswith("p2kvs::"):
+        t = t[len("p2kvs::"):]
+    m = _WRAPPER_RE.match(t)
+    while m is not None:
+        t = m.group(2).strip()
+        if t.startswith("p2kvs::"):
+            t = t[len("p2kvs::"):]
+        m = _WRAPPER_RE.match(t)
+    # Drop template arguments of the final type: IntrusiveMpscQueue<Request>
+    # resolves to IntrusiveMpscQueue.
+    angle = t.find("<")
+    if angle != -1:
+        t = t[:angle]
+    return t.strip(": ")
+
+
+# ---------------------------------------------------------------------------
+# Class / member / annotation parsing
+# ---------------------------------------------------------------------------
+
+CLASS_RE = re.compile(
+    r"\b(class|struct)\s+(?:P2KVS_NODISCARD\s+|\[\[nodiscard\]\]\s+)?"
+    r"((?:[A-Za-z_]\w*::)*[A-Za-z_]\w*)\s*(?:final\s*)?(?::\s*([^{;]+?))?\s*\{"
+)
+CLASS_ND_RE = re.compile(r"\b(?:class|struct)\s+(?:P2KVS_NODISCARD|\[\[nodiscard\]\])\s+([A-Za-z_]\w*)")
+MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:static\s+)?(?:const\s+)?"
+    r"([A-Za-z_][\w:]*(?:<[^;]*>)?)\s*(?:[*&]\s*)?([a-z]\w*_?)\s*"
+    r"(?:GUARDED_BY\([^)]*\)\s*|PT_GUARDED_BY\([^)]*\)\s*|ACQUIRED_AFTER\([^)]*\)\s*)*"
+    r"(?:\{[^{}]*\}|=[^;]*)?;"
+)
+ACQUIRED_AFTER_RE = re.compile(r"\b([A-Za-z_]\w*)\s+ACQUIRED_AFTER\(([^)]*)\)")
+LOCK_ANNOT_RE = re.compile(r"\b(REQUIRES|EXCLUDES|ACQUIRE|RELEASE)\(([^)]*)\)")
+KEYWORDS = frozenset(
+    "if for while switch return sizeof new delete case do else goto throw "
+    "catch static_cast dynamic_cast reinterpret_cast const_cast alignas "
+    "alignof decltype defined assert static_assert".split()
+)
+# Words that legitimately precede a call expression (everything else in the
+# `identifier identifier(` shape is a declaration).
+CALL_PRECEDERS = frozenset(
+    "return co_return co_await co_yield else do throw new".split()
+)
+
+
+def parse_classes(sf, model):
+    for m in CLASS_RE.finditer(sf.code):
+        # `struct DBImpl::Writer { ... }` defines Writer (scoped); keep the
+        # terminal component as the usable type name.
+        name = m.group(2).split("::")[-1]
+        brace = sf.code.find("{", m.start())
+        if brace == -1:
+            continue
+        end = match_brace(sf.code, brace)
+        # Forward declarations and `struct X {};` in function bodies are rare
+        # enough that we accept them; duplicate names keep the first parse.
+        if name in model.classes:
+            info = model.classes[name]
+        else:
+            info = ClassInfo(name=name, path=sf.rel, line=sf.line_of(m.start()))
+            model.classes[name] = info
+        if m.group(3):
+            for base in m.group(3).split(","):
+                base = re.sub(r"\b(public|protected|private|virtual)\b", "", base).strip()
+                base = unwrap_type(base)
+                if base and base not in info.bases:
+                    info.bases.append(base)
+                    model.derived.setdefault(base, []).append(name)
+        body = sf.code[brace + 1 : end - 1]
+        body_line0 = sf.line_of(brace)
+        # Member declarations (for receiver-type resolution). Only lines at
+        # the class body's own brace depth count: lines inside inline method
+        # bodies or nested classes are not members of THIS class.
+        depth = 0
+        for line_idx, line in enumerate(body.splitlines()):
+            line_depth = depth
+            depth += line.count("{") - line.count("}")
+            if line_depth != 0 or depth != 0:
+                continue
+            mm = MEMBER_RE.match(line)
+            if mm is None:
+                continue
+            mtype, mname = mm.group(1), mm.group(2)
+            if mtype in ("return", "delete", "using", "typedef", "friend", "explicit"):
+                continue
+            info.members[mname] = unwrap_type(mtype)
+            if unwrap_type(mtype) == "Mutex":
+                model.mutex_members.setdefault(mname, (sf.rel, body_line0 + line_idx))
+        # Lock-order annotations: `Mutex b_ ACQUIRED_AFTER(a_);` means a_ is
+        # (sometimes) already held when b_ is acquired -> edge a_ -> b_.
+        for am in ACQUIRED_AFTER_RE.finditer(body):
+            after = am.group(1)
+            line = body_line0 + body.count("\n", 0, am.start())
+            for before in am.group(2).split(","):
+                before = before.strip()
+                if before:
+                    model.lock_edges.append((before, after, sf.rel, line, "annotated"))
+    # Class-level nodiscard needs the raw text: the attribute may sit inside
+    # what the blanker left alone anyway, but be permissive.
+    for m in CLASS_ND_RE.finditer(sf.raw):
+        cls = m.group(1)
+        if cls in model.classes:
+            model.classes[cls].nodiscard = True
+        model.nodiscard_types.add(cls)
+
+
+# ---------------------------------------------------------------------------
+# Nodiscard function registry
+# ---------------------------------------------------------------------------
+
+# `P2KVS_NODISCARD Type Method(...)` or `[[nodiscard]] Type Method(...)`.
+ND_FUNC_RE = re.compile(
+    r"(?:P2KVS_NODISCARD|\[\[nodiscard\]\])\s+"
+    r"(?:virtual\s+|static\s+|inline\s+)*([A-Za-z_][\w:<>]*)\s+([A-Za-z_]\w*)\s*\("
+)
+# `Status Method(...)` declarations (class scope or free).
+STATUS_FUNC_RE = re.compile(
+    r"(?:^|[;{}]\s*|\n\s*)(?:virtual\s+|static\s+|inline\s+)*"
+    r"(Status)\s+([A-Za-z_]\w*)\s*\("
+)
+
+
+def enclosing_class(sf, offset, model):
+    """Name of the class whose body contains `offset`, or ""."""
+    best, best_start = "", -1
+    for m in CLASS_RE.finditer(sf.code):
+        brace = sf.code.find("{", m.start())
+        if brace == -1:
+            continue
+        end = match_brace(sf.code, brace)
+        if brace < offset < end and brace > best_start:
+            best, best_start = m.group(2).split("::")[-1], brace
+    return best
+
+
+def parse_nodiscard_registry(sf, model):
+    for m in ND_FUNC_RE.finditer(sf.code):
+        cls = enclosing_class(sf, m.start(), model)
+        model.nodiscard_methods.add((cls, m.group(2)))
+        model.nodiscard_method_names.add(m.group(2))
+    for m in STATUS_FUNC_RE.finditer(sf.code):
+        cls = enclosing_class(sf, m.start(2), model)
+        model.nodiscard_methods.add((cls, m.group(2)))
+        model.nodiscard_method_names.add(m.group(2))
+
+
+# ---------------------------------------------------------------------------
+# Function definitions and call extraction
+# ---------------------------------------------------------------------------
+
+MEMBER_DEF_RE = re.compile(
+    r"(?m)^[A-Za-z_][\w:<>,&*\s~\[\]]*?\b([A-Za-z_]\w*)::(~?[A-Za-z_]\w*)\s*\("
+)
+FREE_DEF_RE = re.compile(
+    r"(?m)^(?:static\s+)?[A-Za-z_][\w:<>,&*\s]*?[\s*&]([A-Za-z_]\w*)\s*\("
+)
+POST_PARAMS_RE = re.compile(
+    r"\s*(?:const\s*|noexcept\s*|override\s*|final\s*|->\s*[\w:<>]+\s*|"
+    r"(?:REQUIRES|EXCLUDES|ACQUIRE|RELEASE|NO_THREAD_SAFETY_ANALYSIS)\s*(?:\([^)]*\))?\s*)*"
+)
+MEMBER_CALL_RE = re.compile(r"\b([A-Za-z_]\w*)\s*(\[[^\]]*\]\s*)?(?:\.|->)\s*([A-Za-z_]\w*)\s*\(")
+BARE_CALL_RE = re.compile(r"(?<![\w.>:])([A-Za-z_]\w*)\s*\(")
+LOCAL_DECL_RE = re.compile(
+    r"(?m)(?:^|[;{}(]\s*)\s*(?:const\s+)?([A-Za-z_][\w:]*(?:<[^;(){}]*>)?)\s*[*&]?\s+"
+    r"([a-z]\w*)\s*(?:\{|=|;|\()"
+)
+LAMBDA_ASSIGN_RE = re.compile(r"(?:(?:->|\.)\s*(callback)|\bhooks\s*\.\s*(\w+))\s*=\s*\[")
+
+
+def _def_body_span(sf, paren_open):
+    """(body_open, body_end) offsets for a definition whose parameter-list '('
+    is at paren_open, or None when this is only a declaration."""
+    params_end = match_brace(sf.code, paren_open, "(", ")")
+    m = POST_PARAMS_RE.match(sf.code, params_end)
+    pos = m.end() if m else params_end
+    while pos < len(sf.code) and sf.code[pos] in " \t\n":
+        pos += 1
+    if pos >= len(sf.code) or sf.code[pos] != "{":
+        return None
+    return pos, match_brace(sf.code, pos)
+
+
+def _extract_lambda_roots(sf, body, body_off, model, out_excised):
+    """Finds callback/engine-hook lambdas, registers them as worker-context
+    roots, and blanks their bodies in `out_excised` (a list of chars)."""
+    for m in LAMBDA_ASSIGN_RE.finditer(body):
+        kind = "callback" if m.group(1) else "engine-hook"
+        lb = body.find("[", m.start())
+        if lb == -1:
+            continue
+        rb = match_brace(body, lb, "[", "]")
+        pos = rb
+        while pos < len(body) and body[pos] in " \t\n":
+            pos += 1
+        if pos < len(body) and body[pos] == "(":
+            pos = match_brace(body, pos, "(", ")")
+        while pos < len(body) and body[pos] in " \t\n":
+            pos += 1
+        m2 = re.compile(r"(?:mutable\s*|->\s*[\w:<>]+\s*)*").match(body, pos)
+        pos = m2.end() if m2 else pos
+        if pos >= len(body) or body[pos] != "{":
+            continue
+        end = match_brace(body, pos)
+        line = sf.line_of(body_off + m.start())
+        fn = FunctionDef(
+            qualname="%s:%d:%s-lambda" % (sf.rel, line, kind),
+            cls="",
+            path=sf.rel,
+            line=line,
+            body=body[pos + 1 : end - 1],
+            body_start_offset=body_off + pos + 1,
+            is_worker_root=True,
+            root_kind=kind,
+        )
+        model.functions[fn.qualname] = fn
+        for i in range(pos + 1, end - 1):
+            if out_excised[i] != "\n":
+                out_excised[i] = " "
+
+
+INLINE_DEF_RE = re.compile(
+    r"(?m)^\s+(?:virtual\s+|static\s+|inline\s+|constexpr\s+|explicit\s+)*"
+    r"[A-Za-z_][\w:<>,&*\s]*?[\s*&]([A-Za-z_]\w*)\s*\("
+)
+
+
+def parse_inline_methods(sf, model):
+    """Methods defined inside class bodies (the KVell/BTree engines define
+    everything inline in the .cc). Each definition is attributed to the
+    innermost enclosing class; nested-class bodies are excluded from the
+    outer class's scan."""
+    class_spans = []  # (brace, end, name)
+    for m in CLASS_RE.finditer(sf.code):
+        brace = sf.code.find("{", m.start())
+        if brace == -1:
+            continue
+        class_spans.append((brace, match_brace(sf.code, brace), m.group(2).split("::")[-1]))
+    for brace, end, name in class_spans:
+        inner = [(b, e) for b, e, _n in class_spans if brace < b and e < end]
+        method_spans = []
+        for im in INLINE_DEF_RE.finditer(sf.code, brace + 1, end - 1):
+            start = im.start(1)
+            if any(b < start < e for b, e in inner):
+                continue
+            if any(b <= start < e for b, e in method_spans):
+                continue
+            span = _def_body_span(sf, im.end() - 1)
+            if span is None:
+                continue
+            body_open, body_end = span
+            method_spans.append((body_open, body_end))
+            mname = im.group(1)
+            qual = "%s::%s" % (name, mname)
+            body = sf.code[body_open + 1 : body_end - 1]
+            excised = list(body)
+            _extract_lambda_roots(sf, body, body_open + 1, model, excised)
+            line = sf.line_of(im.start(1))
+            fn = FunctionDef(
+                qualname=qual,
+                cls=name,
+                path=sf.rel,
+                line=line,
+                body="".join(excised),
+                body_start_offset=body_open + 1,
+            )
+            if mname.endswith("Async"):
+                fn.is_worker_root, fn.root_kind = True, "async-api"
+            if 0 < line <= len(sf.raw_lines):
+                context = "\n".join(sf.raw_lines[max(0, line - 3) : line])
+                if WORKER_MARKER_RE.search(context):
+                    fn.is_worker_root, fn.root_kind = True, "marker"
+            model.functions.setdefault(qual, fn)
+
+
+def parse_functions(sf, model):
+    seen_spans = []
+    for m in MEMBER_DEF_RE.finditer(sf.code):
+        head = sf.code[m.start() : m.end()]
+        if head.lstrip().startswith(("if", "for", "while", "switch", "return")):
+            continue
+        span = _def_body_span(sf, m.end() - 1)
+        if span is None:
+            continue
+        body_open, body_end = span
+        seen_spans.append((body_open, body_end))
+        cls, name = m.group(1), m.group(2)
+        qual = "%s::%s" % (cls, name)
+        body = sf.code[body_open + 1 : body_end - 1]
+        excised = list(body)
+        _extract_lambda_roots(sf, body, body_open + 1, model, excised)
+        line = sf.line_of(m.start())
+        fn = FunctionDef(
+            qualname=qual,
+            cls=cls,
+            path=sf.rel,
+            line=line,
+            body="".join(excised),
+            body_start_offset=body_open + 1,
+        )
+        if qual == "Worker::Run":
+            fn.is_worker_root, fn.root_kind = True, "run-loop"
+        elif name.endswith("Async"):
+            fn.is_worker_root, fn.root_kind = True, "async-api"
+        if 0 < line <= len(sf.raw_lines):
+            context = "\n".join(sf.raw_lines[max(0, line - 3) : line])
+            if WORKER_MARKER_RE.search(context):
+                fn.is_worker_root, fn.root_kind = True, "marker"
+        model.functions.setdefault(qual, fn)
+    return seen_spans
+
+
+def parse_params(sf, fn_def_match_end):
+    """Parameter name -> type for the def whose '(' is at fn_def_match_end-1."""
+    params_end = match_brace(sf.code, fn_def_match_end - 1, "(", ")")
+    text = sf.code[fn_def_match_end:params_end - 1]
+    out = {}
+    depth = 0
+    start = 0
+    parts = []
+    for i, c in enumerate(text):
+        if c in "<(":
+            depth += 1
+        elif c in ">)":
+            depth -= 1
+        elif c == "," and depth == 0:
+            parts.append(text[start:i])
+            start = i + 1
+    parts.append(text[start:])
+    for p in parts:
+        pm = re.match(r"\s*(?:const\s+)?([A-Za-z_][\w:]*(?:<[^;]*>)?)\s*[*&]*\s*([A-Za-z_]\w*)\s*$", p.strip())
+        if pm is not None:
+            out[pm.group(2)] = unwrap_type(pm.group(1))
+    return out
+
+
+def resolve_member_type(model, cls, member):
+    """Member type looked up through the class and its bases."""
+    seen = set()
+    stack = [cls]
+    while stack:
+        c = stack.pop()
+        if c in seen or c not in model.classes:
+            continue
+        seen.add(c)
+        info = model.classes[c]
+        if member in info.members:
+            return info.members[member]
+        stack.extend(info.bases)
+    return ""
+
+
+def extract_calls(sf, fn, model, params=None):
+    """Populates fn.calls with receiver-typed call sites."""
+    body = fn.body
+    locals_map = {}
+    for lm in LOCAL_DECL_RE.finditer(body):
+        t = lm.group(1)
+        if t in KEYWORDS or t in ("return", "auto", "else", "case"):
+            continue
+        locals_map[lm.group(2)] = unwrap_type(t)
+    if params:
+        for k, v in params.items():
+            locals_map.setdefault(k, v)
+
+    def type_of(recv, indexed):
+        t = locals_map.get(recv, "")
+        if not t and fn.cls:
+            t = resolve_member_type(model, fn.cls, recv)
+        if not t:
+            return ""
+        return t  # unwrap_type already strips vector<unique_ptr<X>> to X
+
+    for cm in MEMBER_CALL_RE.finditer(body):
+        recv, indexed, method = cm.group(1), cm.group(2), cm.group(3)
+        if recv in ("std", "this"):
+            recv_t = fn.cls if recv == "this" else ""
+        else:
+            recv_t = type_of(recv, indexed is not None)
+        fn.calls.append(
+            CallSite(
+                method=method,
+                line=sf.line_of(fn.body_start_offset + cm.start()),
+                receiver=recv,
+                receiver_type=recv_t,
+            )
+        )
+    member_spans = [(cm.start(), cm.end()) for cm in MEMBER_CALL_RE.finditer(body)]
+    for bm in BARE_CALL_RE.finditer(body):
+        if bm.group(1) in KEYWORDS:
+            continue
+        # Skip names that are the method part of a member call already found.
+        inside = any(s <= bm.start(1) < e for s, e in member_spans)
+        if inside:
+            continue
+        # `Type Name(` is a declaration (locals, or methods of a local
+        # struct), not a call: skip when an identifier directly precedes,
+        # unless that identifier is a keyword that legitimately precedes a
+        # call expression.
+        j = bm.start(1) - 1
+        while j >= 0 and body[j] in " \t\n":
+            j -= 1
+        if j >= 0 and (body[j].isalnum() or body[j] == "_"):
+            k = j
+            while k >= 0 and (body[k].isalnum() or body[k] == "_"):
+                k -= 1
+            prev_word = body[k + 1 : j + 1]
+            if prev_word not in CALL_PRECEDERS:
+                continue
+        fn.calls.append(
+            CallSite(
+                method=bm.group(1),
+                line=sf.line_of(fn.body_start_offset + bm.start()),
+            )
+        )
+
+
+# ---------------------------------------------------------------------------
+# Lock acquisitions observed in function bodies
+# ---------------------------------------------------------------------------
+
+MUTEXLOCK_RE = re.compile(r"\bMutexLock\s+\w+\s*\(\s*&([A-Za-z_]\w*)\s*\)")
+EXPLICIT_LOCK_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\.\s*Lock\s*\(\s*\)")
+
+
+def observed_lock_nesting(sf, fn, model):
+    """Records observed a-held-while-acquiring-b pairs in fn's body.
+
+    MutexLock is scope-tied: an acquisition covers the rest of its enclosing
+    brace scope. Explicit .Lock()/.Unlock() pairs are treated the same way
+    (held until the scope ends) — conservative, but Unlock-before-acquire
+    patterns are rare enough to suppress case by case.
+    """
+    body = fn.body
+    acquisitions = []  # (offset, mutex)
+    for m in MUTEXLOCK_RE.finditer(body):
+        acquisitions.append((m.start(), m.group(1)))
+    for m in EXPLICIT_LOCK_RE.finditer(body):
+        acquisitions.append((m.start(), m.group(1)))
+    acquisitions.sort()
+    for i, (off_a, mu_a) in enumerate(acquisitions):
+        # Scope of acquisition a: from off_a to the close of its brace scope.
+        depth = 0
+        scope_end = len(body)
+        for j in range(off_a, len(body)):
+            if body[j] == "{":
+                depth += 1
+            elif body[j] == "}":
+                depth -= 1
+                if depth < 0:
+                    scope_end = j
+                    break
+        for off_b, mu_b in acquisitions[i + 1 :]:
+            if off_b >= scope_end or mu_a == mu_b:
+                continue
+            line = sf.line_of(fn.body_start_offset + off_b)
+            model.observed_nestings.append((mu_a, mu_b, sf.rel, line, fn.qualname))
+
+
+# ---------------------------------------------------------------------------
+# The model itself
+# ---------------------------------------------------------------------------
+
+class ProjectModel:
+    def __init__(self, repo_root):
+        self.repo_root = repo_root
+        self.engine = "regex"
+        self.files = {}  # rel -> SourceFile
+        self.classes = {}  # name -> ClassInfo
+        self.derived = {}  # base -> [derived]
+        self.mutex_members = {}  # name -> (file, line) of first declaration
+        self.nodiscard_methods = set()  # (class or "", method)
+        self.nodiscard_method_names = set()
+        self.nodiscard_types = {"Status"}
+        self.functions = {}  # qualname -> FunctionDef
+        self.lock_edges = []  # (before, after, file, line, origin)
+        self.observed_nestings = []  # (held, acquired, file, line, function)
+        self.clang_unused_diags = []  # (rel, line, message) — clang engine only
+        self.errors = []  # Finding (model-level problems, e.g. bad suppressions)
+
+    def suppressed(self, finding):
+        sf = self.files.get(finding.path)
+        return sf is not None and sf.suppressed(finding.rule, finding.line)
+
+
+def build_regex_model(paths, repo_root):
+    model = ProjectModel(repo_root)
+    for path in paths:
+        sf = load_source_file(path, repo_root)
+        model.files[sf.rel] = sf
+        model.errors.extend(sf.suppression_errors)
+    # Pass 1: classes / members / annotations / nodiscard registry (headers
+    # first is unnecessary — all files are scanned before pass 2).
+    for sf in model.files.values():
+        parse_classes(sf, model)
+        parse_nodiscard_registry(sf, model)
+    # Pass 2: function bodies, calls, observed lock nesting.
+    for sf in model.files.values():
+        if not sf.rel.endswith((".cc", ".cpp")):
+            continue
+        parse_functions(sf, model)
+        parse_inline_methods(sf, model)
+    for sf in model.files.values():
+        for fn in list(model.functions.values()):
+            if fn.path != sf.rel:
+                continue
+            extract_calls(sf, fn, model)
+            observed_lock_nesting(sf, fn, model)
+    return model
+
+
+def collect_sources(repo_root, subdirs=("src",)):
+    out = []
+    for sub in subdirs:
+        base = os.path.join(repo_root, sub)
+        for root, _, files in os.walk(base):
+            for f in sorted(files):
+                if f.endswith((".h", ".cc", ".cpp", ".hpp")):
+                    out.append(os.path.join(root, f))
+    return sorted(out)

@@ -1,0 +1,19 @@
+"""Rule registry for p2kvs_lint.
+
+A rule is a module exposing:
+    NAME        str, the id used in findings and suppression comments
+    DESCRIPTION one line for --list-rules
+    run(model)  -> iterable of model.Finding
+
+Registering a rule here is all it takes to wire it into the CLI, the
+suppression machinery, and the fixture runner.
+"""
+
+from . import atomics, blocking_context, lock_order, status_discard
+
+ALL_RULES = {
+    status_discard.NAME: status_discard,
+    lock_order.NAME: lock_order,
+    blocking_context.NAME: blocking_context,
+    atomics.NAME: atomics,
+}

@@ -1,0 +1,172 @@
+"""atomics: every atomic operation must spell its memory order, and seq_cst
+must be justified. The former scripts/lint_atomics.py folded into the
+framework (shared walk, shared suppression syntax, shared fixture runner).
+
+Rule parts:
+  1. (tree-wide, src/) member-API atomic operations (load/store/exchange/
+     fetch_*/compare_exchange_*/wait/test_and_set/clear) must pass an
+     explicit std::memory_order argument — a defaulted order is seq_cst by
+     accident.
+  2. (strict list) a seq_cst that IS spelled out must carry a justification
+     comment on the same line or within the 4 preceding lines; seq_cst is
+     for Dekker-style flag protocols and nothing else.
+  3. (strict list) operator forms (++/--/compound assignment) on declared
+     atomics are implicit seq_cst RMWs and are banned outright.
+
+The strict list names the request-path files where every fence is a
+deliberate decision; it grows with every PR that adds hot-path concurrency.
+"""
+
+import re
+
+from ..model import Finding
+
+NAME = "atomics"
+DESCRIPTION = "implicit memory orders and unjustified seq_cst on atomics"
+
+# The request-path files where every fence is a deliberate decision.
+STRICT_FILES = [
+    "src/util/intrusive_mpsc_queue.h",
+    "src/core/completion.h",
+    "src/core/admission.h",
+    "src/core/admission.cc",
+    "src/core/worker.h",
+    "src/core/worker.cc",
+    "src/core/p2kvs.cc",
+    "src/util/stats_recorder.h",
+    "src/util/trace_ring.h",
+    "src/util/trace.h",
+    "src/io/io_stats.h",
+    "src/io/io_stats.cc",
+    "src/io/async_io.cc",
+    "src/io/device_model.cc",
+    "src/server/server.h",
+    "src/server/server.cc",
+    "src/server/client.h",
+    "src/server/client.cc",
+]
+
+ATOMIC_CALL = re.compile(
+    r"\.\s*(load|store|exchange|fetch_add|fetch_sub|fetch_and|fetch_or|"
+    r"fetch_xor|compare_exchange_weak|compare_exchange_strong|wait|"
+    r"test_and_set|clear)\s*\("
+)
+SEQ_CST = re.compile(r"memory_order_seq_cst|memory_order::seq_cst")
+ATOMIC_DECL = re.compile(
+    r"std::atomic(?:_flag)?\s*(?:<[^;{}]*>)?\s+(\w+)\s*(?:\{|=|;|\()"
+)
+
+
+def _operator_form_re(names):
+    alt = "|".join(re.escape(n) for n in names)
+    return re.compile(
+        r"(?:\+\+|--)\s*(?:%(alt)s)\b|\b(?:%(alt)s)\s*(?:\+\+|--|[-+|&^]?=[^=])"
+        % {"alt": alt}
+    )
+
+
+def _balanced_args(text, open_paren):
+    depth = 0
+    for i in range(open_paren, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return text[open_paren + 1 : i]
+    return text[open_paren + 1 :]
+
+
+def _lint_file(sf, strict):
+    findings = []
+    lines = sf.code_lines
+    raw_lines = sf.raw_lines
+    joined = sf.code
+    offsets, pos = [], 0
+    for l in lines:
+        offsets.append(pos)
+        pos += len(l) + 1
+
+    def line_of(off):
+        lo, hi = 0, len(offsets) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if offsets[mid] <= off:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo
+
+    atomic_names = set(ATOMIC_DECL.findall(joined))
+
+    for m in ATOMIC_CALL.finditer(joined):
+        lineno = line_of(m.start())
+        window = "\n".join(lines[max(0, lineno - 1) : lineno + 3])
+        involves_atomic = (
+            any(re.search(r"\b%s\b" % re.escape(n), window) for n in atomic_names)
+            or "memory_order" in window
+            or "mpsc_next" in window
+            or "atomic" in window
+        )
+        if not involves_atomic:
+            continue
+        args = _balanced_args(joined, m.end() - 1)
+        op = m.group(1)
+        if "memory_order" not in args:
+            # `clear`/`wait` collide with containers; require the receiver to
+            # be a declared atomic for those two.
+            if op in ("clear", "wait"):
+                obj = lines[lineno][: m.start() - offsets[lineno]]
+                if not any(obj.rstrip().endswith(n) for n in atomic_names):
+                    continue
+            findings.append(
+                Finding(
+                    NAME,
+                    sf.rel,
+                    lineno + 1,
+                    "%s() without an explicit std::memory_order (defaults to "
+                    "seq_cst)" % op,
+                )
+            )
+        elif strict and SEQ_CST.search(args):
+            has_comment = any(
+                "//" in raw_lines[i]
+                for i in range(max(0, lineno - 4), min(lineno + 1, len(raw_lines)))
+            )
+            if not has_comment:
+                findings.append(
+                    Finding(
+                        NAME,
+                        sf.rel,
+                        lineno + 1,
+                        "seq_cst %s() without a justification comment on the "
+                        "same line or the 4 lines above" % op,
+                    )
+                )
+
+    if strict and atomic_names:
+        op_re = _operator_form_re(atomic_names)
+        for i, l in enumerate(lines):
+            if ATOMIC_DECL.search(l):
+                continue
+            if op_re.search(l):
+                findings.append(
+                    Finding(
+                        NAME,
+                        sf.rel,
+                        i + 1,
+                        "operator form on an atomic (implicit seq_cst RMW); "
+                        "use fetch_*/store with an explicit order",
+                    )
+                )
+    return findings
+
+
+def run(model):
+    findings = []
+    strict_set = set(STRICT_FILES)
+    for rel, sf in sorted(model.files.items()):
+        if not rel.startswith("src/") and not rel.startswith("tests/lint_fixtures/"):
+            continue
+        findings.extend(_lint_file(sf, strict=rel in strict_set or "lint_fixtures" in rel))
+    return findings

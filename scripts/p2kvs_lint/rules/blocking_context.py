@@ -1,0 +1,186 @@
+"""blocking-in-worker-context: the static version of the GetStats/WaitIdle
+self-deadlock fix (and of the bounded-queue producer park one layer below).
+
+A *worker context* is code that must never block on work the framework's own
+worker threads perform:
+
+  * Worker::Run and everything reachable from it (the dispatch loop — a
+    worker that blocks on p2kvs work waits on itself);
+  * request-callback lambdas (`request->callback = [..]{..}`) — they run on
+    the completing worker's thread;
+  * engine event hooks (`hooks.on_* = [..]{..}`) — they run on engine
+    background threads holding engine state;
+  * every `*Async` method of P2KVS — their documented contract is "never
+    blocks; legal from worker-thread context";
+  * any function marked `// p2kvs-lint: worker-context` in the two lines
+    above its definition (the extension point; the TCP server's epoll loop
+    uses it).
+
+A *blocking entry point* is a call that can park the calling thread on
+p2kvs-side progress:
+
+  * Completion::Wait / Request::Wait (join on worker completions);
+  * the synchronous P2KVS data API and the drain APIs (GetStats, WaitIdle,
+    GetStatsString, Put, Get, ... WriteTxn);
+  * Worker::Submit — the PARKING submission: a bounded full queue blocks the
+    producer (SubmitControl / SubmitShedOnFull are the non-blocking doors);
+  * IntrusiveMpscQueue::Push / MpscQueue::Push — same parking behavior one
+    layer down.
+
+The rule walks the project call graph from every worker-context root (with
+virtual calls expanded to all overrides) and reports each blocking call site
+reachable from a root, with one witness path. Cross-pool waits — a p2kvs
+worker joining on a DIFFERENT thread pool that cannot feed back into p2kvs
+queues — are legal and must be suppressed with that reason.
+"""
+
+from ..model import Finding
+
+NAME = "blocking-context"
+DESCRIPTION = "blocking entry points reachable from worker-thread contexts"
+
+BLOCKING_METHODS = {
+    ("Completion", "Wait"),
+    ("Request", "Wait"),
+    ("Worker", "Submit"),
+    ("IntrusiveMpscQueue", "Push"),
+    ("RequestQueue", "Push"),
+    ("MpscQueue", "Push"),
+    ("P2KVS", "GetStats"),
+    ("P2KVS", "GetStatsString"),
+    ("P2KVS", "WaitIdle"),
+    ("P2KVS", "Put"),
+    ("P2KVS", "Get"),
+    ("P2KVS", "Delete"),
+    ("P2KVS", "MultiGet"),
+    ("P2KVS", "MultiWrite"),
+    ("P2KVS", "Range"),
+    ("P2KVS", "Scan"),
+    ("P2KVS", "WriteTxn"),
+    ("P2KVS", "FlushAll"),
+}
+# Method names that are blocking regardless of which class declares them
+# (unique enough that a name match is meaningful even when the regex engine
+# cannot resolve the receiver type).
+BLOCKING_NAMES_ANYWHERE = {"WaitIdle"}
+
+
+def _targets_of_call(model, fn, call):
+    """Call-graph successors of a call site: qualified function names."""
+    out = []
+    if call.receiver:
+        cls = call.receiver_type
+        if cls:
+            # Direct target plus virtual expansion over derived classes.
+            candidates = [cls] + _all_derived(model, cls)
+            for c in candidates:
+                q = "%s::%s" % (c, call.method)
+                if q in model.functions:
+                    out.append(q)
+            # Walk up: the definition may live on a base class.
+            for base in _all_bases(model, cls):
+                q = "%s::%s" % (base, call.method)
+                if q in model.functions:
+                    out.append(q)
+    else:
+        # Bare call: same-class method (including bases) or free function.
+        if fn.cls:
+            for c in [fn.cls] + _all_bases(model, fn.cls):
+                q = "%s::%s" % (c, call.method)
+                if q in model.functions:
+                    out.append(q)
+        if call.method in model.functions:
+            out.append(call.method)
+    return out
+
+
+def _all_derived(model, cls):
+    out, stack = [], [cls]
+    while stack:
+        c = stack.pop()
+        for d in model.derived.get(c, ()):
+            if d not in out:
+                out.append(d)
+                stack.append(d)
+    return out
+
+
+def _all_bases(model, cls):
+    out, stack = [], [cls]
+    while stack:
+        c = stack.pop()
+        info = model.classes.get(c)
+        if info is None:
+            continue
+        for b in info.bases:
+            if b not in out:
+                out.append(b)
+                stack.append(b)
+    return out
+
+
+def _is_blocking_call(model, fn, call):
+    if call.method in BLOCKING_NAMES_ANYWHERE:
+        return True
+    if call.receiver:
+        cls = call.receiver_type
+        if not cls:
+            # Unresolved receiver: blocking only when the method name is
+            # unique to blocking entries (Wait also exists on condvars etc.,
+            # so require resolution for the rest).
+            return False
+        for c in [cls] + _all_bases(model, cls):
+            if (c, call.method) in BLOCKING_METHODS:
+                return True
+        return False
+    if fn.cls:
+        for c in [fn.cls] + _all_bases(model, fn.cls):
+            if (c, call.method) in BLOCKING_METHODS:
+                return True
+    return False
+
+
+def run(model):
+    findings = []
+    reported = set()
+
+    roots = [fn for fn in model.functions.values() if fn.is_worker_root]
+    for root in roots:
+        # DFS with a witness path; visited is per-root so each root gets a
+        # path, but a call site is reported once overall.
+        stack = [(root, [root.qualname])]
+        visited = set()
+        while stack:
+            fn, path = stack.pop()
+            if fn.qualname in visited:
+                continue
+            visited.add(fn.qualname)
+            for call in fn.calls:
+                if _is_blocking_call(model, fn, call):
+                    key = (fn.path, call.line, call.method)
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    findings.append(
+                        Finding(
+                            NAME,
+                            fn.path,
+                            call.line,
+                            "blocking call '%s' reachable from worker context "
+                            "(%s root '%s', path: %s); a worker parked on its "
+                            "own work can never drain it — use the async/"
+                            "control submission path, or suppress with a "
+                            "cross-pool justification"
+                            % (
+                                call.method,
+                                root.root_kind,
+                                root.qualname,
+                                " -> ".join(path + [call.method]),
+                            ),
+                        )
+                    )
+                for target in _targets_of_call(model, fn, call):
+                    tfn = model.functions.get(target)
+                    if tfn is not None and target not in visited:
+                        stack.append((tfn, path + [target]))
+    return findings

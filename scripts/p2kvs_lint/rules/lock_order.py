@@ -1,0 +1,128 @@
+"""lock-order: the tree-wide mutex acquisition order must be acyclic and
+fully annotated.
+
+Facts consumed:
+  * annotated edges — `Mutex b_ ACQUIRED_AFTER(a_);` declares that a_ may be
+    held when b_ is acquired (edge a_ -> b_);
+  * observed nestings — a function body that acquires b_ (MutexLock or
+    .Lock()) while an earlier acquisition of a_ in the same scope is still
+    live contributes an observed edge a_ -> b_.
+
+Violations:
+  * a cycle in the combined graph (annotated + observed): a potential
+    deadlock by lock-order inversion;
+  * an observed nesting with no annotated path a_ ->* b_: the order exists in
+    the code but not in the contract — add ACQUIRED_AFTER to the inner mutex
+    declaration (or a suppression explaining why the nesting is safe, e.g.
+    the two locks belong to different instances).
+
+Mutexes are identified by member name. Same-named mutexes of unrelated
+classes would alias; the tree keeps mutex member names unique (mutex_ is the
+one deliberate exception, scoped per engine) — the fixture pins this.
+"""
+
+from ..model import Finding
+
+NAME = "lock-order"
+DESCRIPTION = "mutex acquisition-order cycles and unannotated nesting"
+
+
+def _paths_exist(edges, src, dst):
+    """True if dst is reachable from src over annotated edges."""
+    adj = {}
+    for a, b in edges:
+        adj.setdefault(a, set()).add(b)
+    seen, stack = set(), [src]
+    while stack:
+        n = stack.pop()
+        if n == dst:
+            return True
+        if n in seen:
+            continue
+        seen.add(n)
+        stack.extend(adj.get(n, ()))
+    return False
+
+
+def _find_cycle(adj):
+    """Returns one cycle as a list of nodes, or None."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {n: WHITE for n in adj}
+    parent = {}
+
+    for root in sorted(adj):
+        if color.get(root, WHITE) != WHITE:
+            continue
+        stack = [(root, iter(sorted(adj.get(root, ()))))]
+        color[root] = GRAY
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                if color.get(nxt, WHITE) == GRAY:
+                    cycle = [nxt, node]
+                    cur = node
+                    while cur != nxt and cur in parent:
+                        cur = parent[cur]
+                        cycle.append(cur)
+                    cycle.reverse()
+                    if len(cycle) > 1 and cycle[0] == cycle[-1]:
+                        cycle.pop()
+                    return cycle
+                if color.get(nxt, WHITE) == WHITE:
+                    color[nxt] = GRAY
+                    parent[nxt] = node
+                    stack.append((nxt, iter(sorted(adj.get(nxt, ())))))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                stack.pop()
+    return None
+
+
+def run(model):
+    findings = []
+    annotated = [(a, b) for a, b, _f, _l, origin in model.lock_edges if origin == "annotated"]
+
+    # Only mutex-typed names participate: LOCAL acquisitions of non-mutex
+    # members never got here (the regexes match Mutex idioms only).
+    adj = {}
+    edge_where = {}
+    for a, b, f, l, _origin in model.lock_edges:
+        adj.setdefault(a, set()).add(b)
+        adj.setdefault(b, set())
+        edge_where.setdefault((a, b), (f, l))
+    for held, acquired, f, l, func in model.observed_nestings:
+        adj.setdefault(held, set()).add(acquired)
+        adj.setdefault(acquired, set())
+        edge_where.setdefault((held, acquired), (f, l))
+
+    cycle = _find_cycle(adj)
+    if cycle is not None:
+        # Report at the location of the first edge of the cycle.
+        f, l = edge_where.get((cycle[0], cycle[1]), ("<unknown>", 0))
+        findings.append(
+            Finding(
+                NAME,
+                f,
+                l,
+                "lock-order cycle: %s — a thread acquiring them in different "
+                "orders can deadlock" % " -> ".join(cycle + [cycle[0]]),
+            )
+        )
+
+    for held, acquired, f, l, func in model.observed_nestings:
+        if _paths_exist(annotated, held, acquired):
+            continue
+        findings.append(
+            Finding(
+                NAME,
+                f,
+                l,
+                "observed nesting %s -> %s in %s has no ACQUIRED_AFTER "
+                "annotation; declare the order on '%s' (or suppress with the "
+                "reason the nesting is safe)" % (held, acquired, func, acquired),
+            )
+        )
+    return findings

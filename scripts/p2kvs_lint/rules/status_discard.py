@@ -1,0 +1,231 @@
+"""status-discard: a call whose result is a Status (or any P2KVS_NODISCARD
+type/function) must be consumed — propagated, checked, or explicitly dropped
+with `.IgnoreError()`. A bare `Foo();` statement swallows an error.
+
+The compiler already enforces the annotated subset via [[nodiscard]] and
+-Wunused-result; this rule re-checks it tree-wide (so a build with warnings
+disabled still gates), rejects `(void)` casts in favor of the searchable
+`.IgnoreError()` idiom, and — under the clang engine — folds in the real
+compiler diagnostics from each translation unit.
+"""
+
+import re
+
+from ..model import Finding
+
+NAME = "status-discard"
+DESCRIPTION = "dropped Status / nodiscard result without .IgnoreError()"
+
+# A statement that is exactly a call chain: `a->B(x).C()`, `Foo(x)`,
+# `ns::Foo(x)`, `v[i]->M()`.
+CALL_CHAIN_RE = re.compile(
+    r"^[A-Za-z_][\w:]*"
+    r"(?:\s*\[[^\]]*\])?"
+    r"(?:\s*(?:\.|->)\s*[A-Za-z_]\w*(?:\s*\[[^\]]*\])?)*"
+    r"\s*\("
+)
+LAST_CALL_RE = re.compile(r"(?:(\.|->)\s*)?([A-Za-z_]\w*)\s*\($")
+STMT_SKIP_PREFIXES = (
+    "return", "co_return", "if", "for", "while", "switch", "case", "else",
+    "delete", "throw", "using", "typedef", "goto", "do", "break", "continue",
+)
+
+
+def split_statements(body):
+    """Yields (offset, text) for each ';'-terminated statement at paren depth
+    zero. Brace scopes reset the statement start."""
+    depth = 0
+    start = 0
+    for i, c in enumerate(body):
+        if c in "([":
+            depth += 1
+        elif c in ")]":
+            depth -= 1
+        elif depth == 0 and c in ";{}":
+            text = body[start:i].strip()
+            if c == ";" and text:
+                off = start + (len(body[start:i]) - len(body[start:i].lstrip()))
+                yield off, text
+            start = i + 1
+
+
+def _first_word(stmt):
+    m = re.match(r"[A-Za-z_]\w*", stmt)
+    return m.group(0) if m else ""
+
+
+def _receiver_of_chain(stmt):
+    """For a single-link chain `recv.M(args)` / `recv->M(args)`, the receiver
+    variable name; "" for bare calls or multi-link chains (unresolvable)."""
+    m = re.match(r"([A-Za-z_]\w*)\s*(?:\.|->)\s*[A-Za-z_]\w*\s*\(", stmt)
+    if m is None:
+        return ""
+    # Reject if there is an intermediate call before the final one.
+    prefix = stmt[: m.end()]
+    if prefix.count("(") != 1:
+        return ""
+    return m.group(1)
+
+
+def _is_nodiscard(model, cls, method):
+    if (cls, method) in model.nodiscard_methods:
+        return True
+    # Walk base classes: Status KVStore::Put is registered on KVStore, the
+    # call may resolve the receiver to a derived engine type.
+    seen, stack = set(), [cls]
+    while stack:
+        c = stack.pop()
+        if c in seen or c not in model.classes:
+            continue
+        seen.add(c)
+        if (c, method) in model.nodiscard_methods:
+            return True
+        stack.extend(model.classes[c].bases)
+    return False
+
+
+def _resolve_receiver_type(model, fn, sf, recv):
+    from ..model import LOCAL_DECL_RE, resolve_member_type, unwrap_type, KEYWORDS
+
+    for lm in LOCAL_DECL_RE.finditer(fn.body):
+        if lm.group(2) == recv and lm.group(1) not in KEYWORDS:
+            return unwrap_type(lm.group(1))
+    if fn.cls:
+        t = resolve_member_type(model, fn.cls, recv)
+        if t:
+            return t
+    return ""
+
+
+# A member-only chain `a.b.c.M(args)` — no intermediate calls, so each link
+# is resolvable as a field of the previous link's type.
+MEMBER_CHAIN_RE = re.compile(
+    r"^([A-Za-z_]\w*)((?:\s*(?:\.|->)\s*[A-Za-z_]\w*)+)\s*\($"
+)
+
+
+def _member_chain_verdict(model, fn, sf, stmt, open_of_last, method):
+    """For a multi-link member chain, resolve the final receiver's type and
+    return True (nodiscard), False (known not nodiscard), or None (cannot
+    resolve)."""
+    from ..model import resolve_member_type
+
+    m = MEMBER_CHAIN_RE.match(stmt[: open_of_last + 1])
+    if m is None:
+        return None  # intermediate calls / indexing — not a plain field path
+    links = re.findall(r"[A-Za-z_]\w*", m.group(2))
+    if not links or links[-1] != method:
+        return None
+    members = links[:-1]
+
+    # First try the precise path: root variable -> field -> ... -> field.
+    cur = _resolve_receiver_type(model, fn, sf, m.group(1))
+    for field in members:
+        if not cur:
+            break
+        cur = resolve_member_type(model, cur, field)
+    if cur:
+        return _is_nodiscard(model, cur, method)
+
+    # Fall back to a model-wide lookup of the final field's declared type:
+    # `x.smallest.DecodeFrom(...)` is safe iff every class declaring a member
+    # `smallest` gives it a type whose `DecodeFrom` is not nodiscard.
+    last = members[-1]
+    candidates = {
+        info.members[last] for info in model.classes.values() if last in info.members
+    }
+    if not candidates:
+        return None
+    return any(_is_nodiscard(model, t, method) for t in candidates)
+
+
+def run(model):
+    findings = []
+    reported = set()
+
+    def report(path, line, message):
+        key = (path, line)
+        if key in reported:
+            return
+        reported.add(key)
+        findings.append(Finding(NAME, path, line, message))
+
+    for fn in model.functions.values():
+        sf = model.files.get(fn.path)
+        if sf is None:
+            continue
+        for off, stmt in split_statements(fn.body):
+            void_cast = False
+            if stmt.startswith("(void)"):
+                void_cast = True
+                stmt = stmt[len("(void)"):].strip()
+            if _first_word(stmt) in STMT_SKIP_PREFIXES:
+                continue
+            if not CALL_CHAIN_RE.match(stmt) or not stmt.endswith(")"):
+                continue
+            # The value the statement discards is the LAST call in the chain.
+            open_of_last = _matching_open(stmt)
+            if open_of_last is None:
+                continue
+            head = stmt[: open_of_last + 1]
+            lm = LAST_CALL_RE.search(head)
+            if lm is None:
+                continue
+            method = lm.group(2)
+            if method == "IgnoreError":
+                continue
+            chained = lm.group(1) is not None
+            line = sf.line_of(fn.body_start_offset + off)
+            if chained:
+                recv = _receiver_of_chain(stmt)
+                if recv:
+                    recv_type = _resolve_receiver_type(model, fn, sf, recv)
+                    if recv_type and _is_nodiscard(model, recv_type, method):
+                        report(fn.path, line, _message(method, void_cast))
+                    # Unresolved receiver type: stay quiet (conservative).
+                else:
+                    # Multi-link chain: resolve the field path when possible;
+                    # otherwise fall back to the name registry (flag when the
+                    # name is known to return a nodiscard type somewhere).
+                    verdict = _member_chain_verdict(
+                        model, fn, sf, stmt, open_of_last, method
+                    )
+                    if verdict is None:
+                        verdict = method in model.nodiscard_method_names
+                    if verdict:
+                        report(fn.path, line, _message(method, void_cast))
+            else:
+                cls = fn.cls or ""
+                if _is_nodiscard(model, cls, method) or ("", method) in model.nodiscard_methods:
+                    report(fn.path, line, _message(method, void_cast))
+    # Clang engine: the compiler's own -Wunused-result diagnostics, which see
+    # through every construct the regex parser cannot.
+    for rel, line, msg in model.clang_unused_diags:
+        report(rel, line, "%s (compiler-verified)" % msg)
+    return findings
+
+
+def _matching_open(stmt):
+    """Offset of the '(' matching the final ')' of stmt, or None."""
+    depth = 0
+    for i in range(len(stmt) - 1, -1, -1):
+        c = stmt[i]
+        if c == ")":
+            depth += 1
+        elif c == "(":
+            depth -= 1
+            if depth == 0:
+                return i
+    return None
+
+
+def _message(method, void_cast):
+    if void_cast:
+        return (
+            "result of '%s' dropped with a (void) cast; use .IgnoreError() "
+            "so deliberate drops stay searchable" % method
+        )
+    return (
+        "result of '%s' is ignored; propagate the Status or consume it "
+        "explicitly with .IgnoreError()" % method
+    )

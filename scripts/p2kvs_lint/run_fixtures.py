@@ -1,0 +1,101 @@
+"""Fixture runner: proves each p2kvs-lint rule is alive.
+
+For every rule, tests/lint_fixtures/<rule_dir>/ holds a `bad.cc` that MUST
+produce at least one finding of that rule and a `good.cc` that MUST produce
+none — so a rule that silently stops matching (a regex rot, a renamed
+helper) fails ctest instead of quietly passing everything. The suppression
+fixtures pin the allow-comment machinery: a reasoned suppression silences a
+finding and is marked used, a reasonless one is itself a finding, and a
+stale one is flagged by the driver.
+
+Runs the regex engine only: the fixtures pin deterministic behavior that
+must hold even on machines without libclang. Exit 0 on success, 1 on any
+fixture expectation failure (with a per-case PASS/FAIL report).
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+from p2kvs_lint import model as model_mod  # noqa: E402
+from p2kvs_lint.rules import ALL_RULES  # noqa: E402
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+FIXTURES = os.path.join(REPO_ROOT, "tests", "lint_fixtures")
+
+CASES = [
+    ("status_discard", "status-discard"),
+    ("lock_order", "lock-order"),
+    ("blocking_context", "blocking-context"),
+    ("atomics", "atomics"),
+]
+
+failures = []
+
+
+def check(label, ok, detail=""):
+    print("%s %s%s" % ("PASS" if ok else "FAIL", label,
+                       (" — " + detail) if detail and not ok else ""))
+    if not ok:
+        failures.append(label)
+
+
+def run_rule(rule_name, path):
+    """(surviving findings, suppressed findings, model) for one fixture."""
+    model = model_mod.build_regex_model([path], REPO_ROOT)
+    survived, suppressed = [], []
+    for f in ALL_RULES[rule_name].run(model):
+        (suppressed if model.suppressed(f) else survived).append(f)
+    return survived, suppressed, model
+
+
+def main():
+    for dirname, rule in CASES:
+        d = os.path.join(FIXTURES, dirname)
+        bad, good = os.path.join(d, "bad.cc"), os.path.join(d, "good.cc")
+        sup = os.path.join(d, "suppressed.cc")
+
+        survived, _, _ = run_rule(rule, bad)
+        check("%s: bad.cc fires" % rule, len(survived) >= 1,
+              "expected >=1 finding, got 0")
+        for f in survived:
+            print("     %s" % f.format())
+
+        survived, _, model = run_rule(rule, good)
+        check("%s: good.cc is quiet" % rule,
+              len(survived) == 0 and len(model.errors) == 0,
+              "; ".join(f.format() for f in survived + model.errors))
+
+        if os.path.exists(sup):
+            survived, suppressed, model = run_rule(rule, sup)
+            used = any(s.used for sf in model.files.values()
+                       for s in sf.suppressions)
+            check("%s: suppressed.cc silenced by reasoned allow-comment" % rule,
+                  len(survived) == 0 and len(suppressed) >= 1 and used,
+                  "survived=%d suppressed=%d used=%s"
+                  % (len(survived), len(suppressed), used))
+
+    # Suppression meta-fixtures.
+    meta = os.path.join(FIXTURES, "suppression")
+    _, _, model = run_rule("status-discard",
+                           os.path.join(meta, "missing_reason.cc"))
+    check("suppression: reasonless allow-comment is a finding",
+          any(f.rule == "suppression" for f in model.errors),
+          "model.errors=%r" % model.errors)
+
+    survived, _, model = run_rule("status-discard",
+                                  os.path.join(meta, "unused.cc"))
+    stale = [s for sf in model.files.values()
+             for s in sf.suppressions if not s.used]
+    check("suppression: stale allow-comment detected",
+          len(survived) == 0 and len(stale) >= 1,
+          "survived=%d stale=%d" % (len(survived), len(stale)))
+
+    print("\n%d fixture checks failed" % len(failures) if failures
+          else "\nall fixture checks passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -138,7 +138,9 @@ class BTreeStoreImpl final : public BTreeStore {
 
   ~BTreeStoreImpl() override {
     WriterMutexLock latch(&tree_latch_);
-    CheckpointLocked();
+    // Destructor cannot propagate; an explicit Checkpoint() before teardown
+    // is the caller's way to observe the error.
+    CheckpointLocked().IgnoreError();
   }
 
   Status Init() EXCLUDES(tree_latch_) {
@@ -146,16 +148,24 @@ class BTreeStoreImpl final : public BTreeStore {
     // takes the write latch anyway so the guarded-field accesses and the
     // REQUIRES(tree_latch_) callees stay analysis-clean.
     WriterMutexLock latch(&tree_latch_);
-    env_->CreateDir(path_);
+    Status s = env_->CreateDir(path_);
+    if (!s.ok()) {
+      return s;
+    }
     // A stale temp file means a crash interrupted a META update; the real
     // META (old or new) is intact, so the leftover is just discarded.
-    env_->RemoveFile(MetaFileName() + ".tmp");
-    Status s = env_->NewRandomWritableFile(PageFileName(), &page_file_);
+    env_->RemoveFile(MetaFileName() + ".tmp").IgnoreError();
+    s = env_->NewRandomWritableFile(PageFileName(), &page_file_);
     if (!s.ok()) {
       return s;
     }
     uint64_t size = 0;
-    env_->GetFileSize(PageFileName(), &size);
+    // A silent size of 0 would reformat an existing store as fresh, so a
+    // probe failure must abort the open.
+    s = env_->GetFileSize(PageFileName(), &size);
+    if (!s.ok()) {
+      return s;
+    }
     if (size >= kPageSize) {
       s = LoadMeta();
       if (!s.ok()) {
@@ -302,7 +312,11 @@ class BTreeStoreImpl final : public BTreeStore {
       return s;
     }
     uint64_t size = 0;
-    env_->GetFileSize(WalFileName(), &size);
+    // Writing from a wrong (zero) offset would overwrite live WAL records.
+    s = env_->GetFileSize(WalFileName(), &size);
+    if (!s.ok()) {
+      return s;
+    }
     wal_bytes_ = size;
     wal_ = std::make_unique<log::Writer>(wal_file_.get(), size);
     return Status::OK();
@@ -400,7 +414,12 @@ class BTreeStoreImpl final : public BTreeStore {
       auto it = cache_.find(victim);
       if (it != cache_.end()) {
         if (it->second->dirty) {
-          WritePage(*it->second);
+          if (!WritePage(*it->second).ok()) {
+            // Evicting a dirty page whose write-back failed would lose the
+            // update. Keep it cached (and dirty) and stop evicting; the
+            // next checkpoint surfaces the error.
+            break;
+          }
           it->second->dirty = false;
         }
         cache_.erase(it);
@@ -656,7 +675,8 @@ class BTreeStoreImpl final : public BTreeStore {
     // Truncate the WAL: everything it contains is now in the pages.
     if (wal_ != nullptr) {
       wal_.reset();
-      wal_file_->Close();
+      // The WAL is being discarded — its contents are in the pages now.
+      wal_file_->Close().IgnoreError();
       wal_file_.reset();
       s = env_->NewWritableFile(WalFileName(), &wal_file_);
       if (!s.ok()) {

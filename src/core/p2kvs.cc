@@ -54,7 +54,13 @@ Status P2KVS::Open(const P2kvsOptions& options, const std::string& path,
 }
 
 Status P2KVS::Init() {
-  options_.env->CreateDir(path_);
+  // CreateDir tolerates an existing directory, so any failure here is real
+  // (permissions, missing parent) and every instance open below would fail
+  // with a less direct message.
+  Status dir_status = options_.env->CreateDir(path_);
+  if (!dir_status.ok()) {
+    return dir_status;
+  }
 
   // Recover the transaction log first: WAL replay in every instance filters
   // on the committed-GSN set (paper Figure 11).
@@ -199,7 +205,7 @@ void P2KVS::PutAsync(const Slice& key, const Slice& value,
   request->value = value.ToString();
   request->callback = std::move(cb);
   request->deadline_nanos = DeadlineFromOptions();
-  workers_[static_cast<size_t>(PartitionOf(key))]->Submit(request);
+  workers_[static_cast<size_t>(PartitionOf(key))]->SubmitShedOnFull(request);
 }
 
 void P2KVS::DeleteAsync(const Slice& key, std::function<void(const Status&)> cb) {
@@ -208,7 +214,7 @@ void P2KVS::DeleteAsync(const Slice& key, std::function<void(const Status&)> cb)
   request->key = key.ToString();
   request->callback = std::move(cb);
   request->deadline_nanos = DeadlineFromOptions();
-  workers_[static_cast<size_t>(PartitionOf(key))]->Submit(request);
+  workers_[static_cast<size_t>(PartitionOf(key))]->SubmitShedOnFull(request);
 }
 
 void P2KVS::GetAsync(const Slice& key,
@@ -229,7 +235,7 @@ void P2KVS::GetAsync(const Slice& key,
     ctx->cb(s, std::move(ctx->value));
     delete ctx;
   };
-  workers_[static_cast<size_t>(PartitionOf(key))]->Submit(request);
+  workers_[static_cast<size_t>(PartitionOf(key))]->SubmitShedOnFull(request);
 }
 
 void P2KVS::MultiGetAsync(
@@ -300,7 +306,11 @@ void P2KVS::MultiGetAsync(
         delete ctx;
       }
     };
-    workers_[w]->Submit(request);
+    // Never parks: a full partition queue sheds its slice (those keys report
+    // Busy) while sibling slices proceed — the async contract beats the
+    // fan-out's all-or-nothing preference, which only the probe above (and
+    // the sync MultiGet, which may park) can guarantee.
+    workers_[w]->SubmitShedOnFull(request);
   }
 }
 
@@ -361,7 +371,9 @@ void P2KVS::MultiWriteAsync(WriteBatch updates, std::function<void(const Status&
         delete ctx;
       }
     };
-    workers_[w]->Submit(request);
+    // Never parks; a shed slice surfaces as the group's Busy first_error
+    // (atomic per partition only, like every other slice failure).
+    workers_[w]->SubmitShedOnFull(request);
   }
 }
 
@@ -428,7 +440,8 @@ void P2KVS::ScanAsync(
         delete ctx;
       }
     };
-    workers_[i]->Submit(request);
+    // Never parks; a shed slice reports Busy like any per-partition failure.
+    workers_[i]->SubmitShedOnFull(request);
   }
 }
 
@@ -486,7 +499,9 @@ std::vector<Status> P2KVS::MultiGet(const std::vector<Slice>& keys,
   for (auto& [worker, request] : requests) {
     workers_[worker]->Submit(&request);
   }
-  join.Wait();
+  // Per-key outcomes are harvested from statuses[] below; the group status
+  // would only repeat the first of them.
+  join.Wait().IgnoreError();
   return statuses;
 }
 
@@ -584,9 +599,10 @@ Status P2KVS::Range(const Slice& begin, const Slice& end,
     request.deadline_nanos = deadline;
     workers_[i]->Submit(&request);
   }
-  join.Wait();
   // Post-join, each request's own status is stable (Completion's
-  // release/acquire ordering) — harvest per-partition outcomes.
+  // release/acquire ordering) — per-partition outcomes are harvested below,
+  // so the group-level first-error is redundant here.
+  join.Wait().IgnoreError();
   Status first_error;
   if (partition_status != nullptr) {
     partition_status->clear();
@@ -669,7 +685,9 @@ Status P2KVS::Scan(const Slice& begin, size_t count,
     request.deadline_nanos = deadline;
     workers_[i]->Submit(&request);
   }
-  join.Wait();
+  // Per-partition outcomes are harvested below; the group status would only
+  // repeat the first of them.
+  join.Wait().IgnoreError();
   Status first_error;
   for (size_t i = 0; i < workers_.size(); i++) {
     const Status& s = requests[i].status;
@@ -783,7 +801,10 @@ Status P2KVS::WriteTxn(WriteBatch* updates) {
       request.priority = RequestPriority::kCritical;
       workers_[i]->Submit(&request);
     }
-    end_join.Wait();
+    // The commit outcome was decided above; EndTxn only releases snapshots
+    // and can fail solely at shutdown, which must not flip a committed
+    // transaction's result.
+    end_join.Wait().IgnoreError();
   }
 
   if (!result.ok() || !commit_status.ok()) {
@@ -835,9 +856,14 @@ Status P2KVS::WaitIdle() {
     Request& request = barriers.emplace_back();
     request.type = RequestType::kBarrier;
     request.group = &join;
-    worker->Submit(&request);
+    worker->SubmitControl(&request);
   }
-  join.Wait();
+  // A barrier aborted mid-shutdown means the queues never fully drained;
+  // claiming idle would let a caller tear down state that is still in use.
+  Status s = join.Wait();
+  if (!s.ok()) {
+    return s;
+  }
   for (auto& worker : workers_) {
     worker->store()->WaitIdle();
   }
@@ -927,16 +953,21 @@ Status P2KVS::GetStats(P2kvsStats* stats) const {
     request.type = RequestType::kStats;
     request.stats_out = &stats->workers[i];
     request.group = &join;
-    workers_[i]->Submit(&request);
+    workers_[i]->SubmitControl(&request);
   }
-  join.Wait();
+  Status s = join.Wait();
+  // Finalize whatever was collected either way, but report a failed gather:
+  // a stats request dropped at shutdown leaves that worker's slot zeroed,
+  // which would otherwise read as a healthy idle worker.
   FinalizeStats(stats);
-  return Status::OK();
+  return s;
 }
 
 P2kvsStats P2KVS::GetStats() const {
   P2kvsStats stats;
-  GetStats(&stats);  // empty stats when refused (worker-thread caller)
+  // Empty stats when refused (worker-thread caller) — this convenience
+  // overload has no error channel by design.
+  GetStats(&stats).IgnoreError();
   return stats;
 }
 
@@ -970,7 +1001,11 @@ void P2KVS::GetStatsAsync(std::function<void(P2kvsStats)> cb) const {
         delete ctx;
       }
     };
-    workers_[i]->Submit(request);
+    // kBypass: the drain request skips the capacity bound. A worker-thread
+    // caller submitting to its OWN full queue must not park (it would wait
+    // on work only it can drain — the self-deadlock class again, one layer
+    // lower than the sync GetStats refusal above).
+    workers_[i]->SubmitControl(request);
   }
 }
 

@@ -14,7 +14,9 @@ TxnLog::TxnLog(Env* env, std::string path, const RetryPolicy& retry)
 
 TxnLog::~TxnLog() {
   if (file_ != nullptr) {
-    file_->Close();
+    // Destructor cannot propagate; commit records were already synced by
+    // their own Append path.
+    file_->Close().IgnoreError();
   }
 }
 
@@ -79,8 +81,16 @@ Status TxnLog::Recover() {
   }
 
   uint64_t size = 0;
-  env_->GetFileSize(path_, &size);
-  Status s = env_->NewAppendableFile(path_, &file_);
+  Status s;
+  if (env_->FileExists(path_)) {
+    // The writer's block framing starts from this offset; a silent zero
+    // would misalign every record appended after reopen.
+    s = env_->GetFileSize(path_, &size);
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  s = env_->NewAppendableFile(path_, &file_);
   if (!s.ok()) {
     return s;
   }

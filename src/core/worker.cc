@@ -103,6 +103,18 @@ void Worker::Stop() {
 }
 
 void Worker::Submit(Request* request) {
+  SubmitInternal(request, PushOverflow::kPark);
+}
+
+void Worker::SubmitControl(Request* request) {
+  SubmitInternal(request, PushOverflow::kBypass);
+}
+
+void Worker::SubmitShedOnFull(Request* request) {
+  SubmitInternal(request, PushOverflow::kFail);
+}
+
+void Worker::SubmitInternal(Request* request, PushOverflow overflow) {
   const bool control = IsControlType(request->type);
   if (!control) {
     submitted_.fetch_add(1, std::memory_order_relaxed);
@@ -131,7 +143,15 @@ void Worker::Submit(Request* request) {
     ShedAtSubmit(request);
     return;
   }
-  if (!queue_.Push(request)) {
+  const PushOutcome outcome = queue_.PushWithOverflow(request, overflow);
+  if (outcome == PushOutcome::kFull) {
+    // Capacity refusal on the non-parking async path: same Busy status and
+    // same `shed` accounting door as an admission refusal, so SelfCheck's
+    // completed + shed + expired <= submitted invariant keeps holding.
+    ShedAtSubmit(request);
+    return;
+  }
+  if (outcome == PushOutcome::kClosed) {
     const Status s = Status::Aborted("p2kvs worker stopped");
     if (trace_ring_ != nullptr && request->trace_id != 0) {
       // Closed queue: the request never reaches the worker, so close its
@@ -151,6 +171,14 @@ void Worker::Submit(Request* request) {
 
 void Worker::ShedAtSubmit(Request* request) {
   const Status s = MakeShedStatus(config_.id);
+  if (request->type == RequestType::kMultiGet && request->mget_statuses != nullptr) {
+    // Capacity-shed fan-out slice (only SubmitShedOnFull can get here with a
+    // kCritical slice): every key it carries reports Busy, mirroring the
+    // partial-expiry scatter in ExpireRequest.
+    for (uint32_t idx : request->mget_index) {
+      (*request->mget_statuses)[idx] = s;
+    }
+  }
   if (trace_ring_ != nullptr && request->trace_id != 0) {
     // Shed before the queue: close the trace chain here, like the
     // closed-queue abort above (not a sampled completion — no worker
@@ -509,7 +537,9 @@ void Worker::MaybeAutoResume() {
       return;
     }
   }
-  TryResume();
+  // Periodic background attempt: the outcome lands in health()/resume
+  // counters, and a sticky failure escalates to kFailed inside TryResume.
+  TryResume().IgnoreError();
 }
 
 Status Worker::TryResume() {

@@ -111,7 +111,28 @@ class Worker {
   // Parks only if the queue is bounded and full. With admission control on,
   // a kNormal-priority request may instead be shed — completed immediately
   // with the Busy shed status, never enqueued.
+  //
+  // MAY BLOCK (bounded queue + full): only synchronous callers — which are
+  // about to park on the request's completion anyway — may use this. Code
+  // running on a worker thread, an event loop, or any completion callback
+  // must use SubmitControl / SubmitShedOnFull below; a worker parked on its
+  // own full queue can never drain it (the self-deadlock class the
+  // p2kvs-lint blocking-context rule rejects statically).
   void Submit(Request* request);
+
+  // Control-plane submission (kBarrier / kStats drains): never parks and is
+  // never refused — control requests bypass both admission and the capacity
+  // bound (they are few, unshedable by contract, and issued from contexts
+  // that must not block, e.g. GetStatsAsync on a worker thread).
+  void SubmitControl(Request* request);
+
+  // Asynchronous data submission: never parks. A bounded queue that is full
+  // sheds the request instead — completed inline with the Busy shed status
+  // and counted through the same `shed` door as an admission refusal. This
+  // is what keeps the *Async API's "never blocks" contract true under
+  // queue_capacity, and what lets the TCP front-end's epoll thread submit
+  // without ever stalling on one hot partition's backlog.
+  void SubmitShedOnFull(Request* request);
 
   // Fan-out group admission, called by P2KVS before arming a multi-partition
   // join: pure probe, no state change. A group is shed all-or-nothing — if
@@ -174,6 +195,9 @@ class Worker {
 
  private:
   void Run();
+  // Shared submit path behind Submit/SubmitControl/SubmitShedOnFull: the
+  // overflow policy is the only difference between the three entry points.
+  void SubmitInternal(Request* request, PushOverflow overflow);
   // kStats drain request: the worker thread copies its recorder, thread-local
   // PerfContext and IO counters into request->stats_out. Because only the
   // owning thread ever writes those, the copy races with nothing; the join
@@ -208,8 +232,9 @@ class Worker {
   // Normal completion or fast-reject: traces, counts `completed`, completes.
   // The single exit for every request a worker resolves with a real status.
   void FinishRequest(Request* request, const Status& s, uint64_t batch_id);
-  // Admission refusal on the submit path (user thread): counts `shed`,
-  // completes with the Busy shed status. The request is never enqueued.
+  // Refusal on the submit path — admission (kNormal data requests) or a full
+  // bounded queue under SubmitShedOnFull: counts `shed`, completes with the
+  // Busy shed status. The request is never enqueued.
   void ShedAtSubmit(Request* request);
   // Deadline passed before the engine ran the request: counts the matching
   // expired_* bucket, scatters DeadlineExceeded into MultiGet slices, and

@@ -123,7 +123,12 @@ Status FaultInjectionEnv::NewAppendableFile(const std::string& f,
                                             std::unique_ptr<WritableFile>* r) {
   uint64_t size = 0;
   if (target()->FileExists(f)) {
-    target()->GetFileSize(f, &size);
+    // A silent zero would mark the whole pre-existing prefix as unsynced and
+    // let a simulated crash erase durable bytes.
+    Status size_status = target()->GetFileSize(f, &size);
+    if (!size_status.ok()) {
+      return size_status;
+    }
   }
   std::unique_ptr<WritableFile> base;
   Status s = target()->NewAppendableFile(f, &base);
@@ -147,7 +152,12 @@ Status FaultInjectionEnv::NewRandomWritableFile(const std::string& f,
                                                 std::unique_ptr<RandomWritableFile>* r) {
   uint64_t size = 0;
   if (target()->FileExists(f)) {
-    target()->GetFileSize(f, &size);
+    // Same hazard as NewAppendableFile: the probed size seeds the
+    // durable-prefix bookkeeping.
+    Status size_status = target()->GetFileSize(f, &size);
+    if (!size_status.ok()) {
+      return size_status;
+    }
   }
   std::unique_ptr<RandomWritableFile> base;
   Status s = target()->NewRandomWritableFile(f, &base);
@@ -221,8 +231,11 @@ void FaultInjectionEnv::OnRandomSync(const std::string& fname) {
   if (it != random_files_.end()) {
     it->second.undo.clear();
     uint64_t size = 0;
-    target()->GetFileSize(fname, &size);
-    it->second.synced_size = size;
+    // Void hook: keep the previous synced_size on a probe failure rather
+    // than clobbering the crash-test bookkeeping with zero.
+    if (target()->GetFileSize(fname, &size).ok()) {
+      it->second.synced_size = size;
+    }
   }
 }
 
@@ -260,7 +273,10 @@ Status FaultInjectionEnv::Crash() {
     if (!dirty) {
       uint64_t size = 0;
       if (target()->FileExists(name)) {
-        target()->GetFileSize(name, &size);
+        Status size_status = target()->GetFileSize(name, &size);
+        if (!size_status.ok()) {
+          return size_status;
+        }
       }
       dirty = size != info.synced_size;
     }
@@ -286,8 +302,16 @@ Status FaultInjectionEnv::Crash() {
     if (!s.ok()) {
       return s;
     }
-    file->Sync();
-    file->Close();
+    // Restore must land on disk: callers re-open and reread the file assuming
+    // the pre-crash image is durable again.
+    s = file->Sync();
+    if (!s.ok()) {
+      return s;
+    }
+    s = file->Close();
+    if (!s.ok()) {
+      return s;
+    }
     MutexLock lock(&mu_);
     random_files_[name] = RandomFileInfo{info.synced_size, {}};
   }

@@ -89,7 +89,9 @@ class PosixWritableFile final : public WritableFile {
 
   ~PosixWritableFile() override {
     if (fd_ >= 0) {
-      Close();
+      // Destructor cannot propagate; callers that need the error must Close()
+      // explicitly before destruction.
+      Close().IgnoreError();
     }
   }
 
@@ -393,7 +395,9 @@ Status WriteStringToFile(Env* env, const Slice& data, const std::string& fname, 
     s = file->Close();
   }
   if (!s.ok()) {
-    env->RemoveFile(fname);
+    // Best-effort cleanup of the partial file; the write error is what the
+    // caller needs to see.
+    env->RemoveFile(fname).IgnoreError();
   }
   return s;
 }

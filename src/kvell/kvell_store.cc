@@ -72,20 +72,28 @@ class KvellWorker {
                                     std::max(1, options.num_workers) / kCachePageSize)) {}
 
   Status Open() {
-    env_->CreateDir(dir_);
+    Status s = env_->CreateDir(dir_);
+    if (!s.ok()) {
+      return s;
+    }
     slabs_.resize(options_.slot_classes.size());
     for (size_t c = 0; c < options_.slot_classes.size(); c++) {
       char name[64];
       snprintf(name, sizeof(name), "/slab-%u.kv", options_.slot_classes[c]);
-      Status s = env_->NewRandomWritableFile(dir_ + name, &slabs_[c].file);
+      s = env_->NewRandomWritableFile(dir_ + name, &slabs_[c].file);
       if (!s.ok()) {
         return s;
       }
       uint64_t size = 0;
-      env_->GetFileSize(dir_ + name, &size);
+      // num_slots = 0 on a probe failure would treat a populated slab as
+      // empty and hand out live slots for new writes.
+      s = env_->GetFileSize(dir_ + name, &size);
+      if (!s.ok()) {
+        return s;
+      }
       slabs_[c].num_slots = size / options_.slot_classes[c];
     }
-    Status s = RebuildIndex();
+    s = RebuildIndex();
     if (!s.ok()) {
       return s;
     }
@@ -105,8 +113,10 @@ class KvellWorker {
     }
     for (auto& slab : slabs_) {
       if (slab.file != nullptr) {
-        slab.file->Sync();
-        slab.file->Close();
+        // Shutdown flush is best-effort: per-op durability is governed by
+        // KvellOptions::sync_writes, not by Close().
+        slab.file->Sync().IgnoreError();
+        slab.file->Close().IgnoreError();
       }
     }
   }
@@ -594,7 +604,10 @@ class KvellStoreImpl final : public KvellStore {
   }
 
   Status Open() {
-    options_.env->CreateDir(path_);
+    Status dir_status = options_.env->CreateDir(path_);
+    if (!dir_status.ok()) {
+      return dir_status;
+    }
     for (int i = 0; i < options_.num_workers; i++) {
       workers_.push_back(
           std::make_unique<KvellWorker>(options_, path_ + "/worker-" + std::to_string(i), i));

@@ -62,7 +62,9 @@ Status BuildTable(const std::string& dbname, Env* env, const SstOptions& sst_opt
   if (s.ok() && meta->file_size > 0) {
     // Keep it.
   } else {
-    env->RemoveFile(fname);
+    // Best-effort cleanup of the abandoned table file; obsolete-file GC
+    // sweeps up anything that survives.
+    env->RemoveFile(fname).IgnoreError();
   }
   return s;
 }

@@ -44,6 +44,7 @@ struct GroupState {
   std::atomic<int> pending{0};
   MemTable* mem = nullptr;
   CondVar leader_cv;  // signals the leader when pending==0
+  Status insert_error;  // first failed concurrent insert; guarded by the DB mutex
 };
 
 static Options SanitizeOptions(const Options& src) {
@@ -107,7 +108,9 @@ DBImpl::~DBImpl() {
     background_thread_.join();
   }
   if (logfile_ != nullptr) {
-    logfile_->Close();
+    // Destructor cannot propagate; synced records are already durable and
+    // the async-logging contract accepts tail loss.
+    logfile_->Close().IgnoreError();
   }
 }
 
@@ -156,7 +159,9 @@ Status DBImpl::NewDB() {
     // Make "CURRENT" point to the new manifest file.
     s = SetCurrentFile(env_, dbname_, 1);
   } else {
-    env_->RemoveFile(manifest);
+    // Best-effort cleanup of the half-written manifest; the original error
+    // is what the caller needs to see.
+    env_->RemoveFile(manifest).IgnoreError();
   }
   return s;
 }
@@ -164,7 +169,13 @@ Status DBImpl::NewDB() {
 Status DBImpl::Recover(GsnRecoveryFilter filter) {
   MutexLock lock(&mutex_);
 
-  env_->CreateDir(dbname_);
+  // CreateDir tolerates an existing directory, so any failure here is real
+  // and everything below (CURRENT probe, WAL scan) would misread an
+  // inaccessible directory as a fresh one.
+  Status dir_status = env_->CreateDir(dbname_);
+  if (!dir_status.ok()) {
+    return dir_status;
+  }
   if (!env_->FileExists(CurrentFileName(dbname_))) {
     if (options_.create_if_missing) {
       Status s = NewDB();
@@ -391,11 +402,19 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
         // The leader delegated this writer's memtable insert to it.
         GroupState* group = w.group;
         mutex_.Unlock();
+        Status insert_status;
         {
           ScopedTimerNanos mt(&perf.memtable_nanos);
-          WriteBatchInternal::InsertInto(w.batch, group->mem, /*concurrent=*/true);
+          insert_status = WriteBatchInternal::InsertInto(w.batch, group->mem,
+                                                         /*concurrent=*/true);
         }
         mutex_.Lock();
+        // The leader folds insert_error into the whole group's result after
+        // the pending countdown — every member shares the WAL record, so a
+        // partially applied group must fail as one.
+        if (!insert_status.ok() && group->insert_error.ok()) {
+          group->insert_error = insert_status;
+        }
         w.run_parallel = false;
         if (group->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
           group->leader_cv.SignalAll();
@@ -553,18 +572,26 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
           }
         }
         mutex_.Unlock();
+        Status leader_insert;
         {
           ScopedTimerNanos mt(&perf.memtable_nanos);
-          WriteBatchInternal::InsertInto(w.batch, mem, /*concurrent=*/true);
+          leader_insert = WriteBatchInternal::InsertInto(w.batch, mem,
+                                                         /*concurrent=*/true);
         }
         {
           // Group synchronization: wait for every follower to finish
           // (the "MemTable lock" cost in Figure 6).
           ScopedTimerNanos lt(&perf.memtable_lock_nanos);
           MutexLock relock(&mutex_);
+          if (!leader_insert.ok() && group_state.insert_error.ok()) {
+            group_state.insert_error = leader_insert;
+          }
           group_state.pending.fetch_sub(1, std::memory_order_acq_rel);
           while (group_state.pending.load(std::memory_order_acquire) > 0) {
             group_state.leader_cv.Wait();
+          }
+          if (status.ok()) {
+            status = group_state.insert_error;
           }
         }
       } else {
@@ -775,7 +802,10 @@ Status DBImpl::MakeRoomForWrite(bool force) {
       if (!s.ok()) {
         break;
       }
-      logfile_->Close();
+      // The retired WAL is fully synced (or async by contract); a close
+      // error cannot lose acknowledged data, and the memtable it covers is
+      // being sealed for flush anyway.
+      logfile_->Close().IgnoreError();
       logfile_ = std::move(lfile);
       logfile_number_ = new_log_number;
       log_ = std::make_unique<log::Writer>(logfile_.get());
@@ -1213,7 +1243,9 @@ void DBImpl::RemoveObsoleteFiles() {
   versions_->AddLiveFiles(&live);
 
   std::vector<std::string> filenames;
-  env_->GetChildren(dbname_, &filenames);
+  // A failed listing leaves obsolete files on disk; the next GC pass
+  // retries, so nothing is lost by continuing with an empty list.
+  env_->GetChildren(dbname_, &filenames).IgnoreError();
   uint64_t number = 0;
   FileType type = FileType::kTempFile;
   std::vector<std::string> files_to_delete;
@@ -1248,7 +1280,9 @@ void DBImpl::RemoveObsoleteFiles() {
   }
 
   for (const std::string& filename : files_to_delete) {
-    env_->RemoveFile(dbname_ + "/" + filename);
+    // GC is best-effort: a file that survives this pass is retried by the
+    // next one.
+    env_->RemoveFile(dbname_ + "/" + filename).IgnoreError();
   }
 }
 
@@ -1295,7 +1329,10 @@ Status DBImpl::FlushMemTable() {
       if (!s.ok()) {
         return s;
       }
-      logfile_->Close();
+      // The retired WAL is fully synced (or async by contract); a close
+      // error cannot lose acknowledged data, and the memtable it covers is
+      // being sealed for flush anyway.
+      logfile_->Close().IgnoreError();
       logfile_ = std::move(lfile);
       logfile_number_ = new_log_number;
       log_ = std::make_unique<log::Writer>(logfile_.get());
@@ -1329,7 +1366,9 @@ Status DBImpl::Resume() {
     if (!s.ok()) {
       return s;
     }
-    logfile_->Close();
+    // Same contract as the rotation above: the retired WAL's acknowledged
+    // records are already durable.
+    logfile_->Close().IgnoreError();
     logfile_ = std::move(lfile);
     logfile_number_ = new_log_number;
     log_ = std::make_unique<log::Writer>(logfile_.get());

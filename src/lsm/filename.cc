@@ -102,7 +102,9 @@ Status SetCurrentFile(Env* env, const std::string& dbname, uint64_t descriptor_n
     s = env->RenameFile(tmp, CurrentFileName(dbname));
   }
   if (!s.ok()) {
-    env->RemoveFile(tmp);
+    // Best-effort cleanup of the temp file; the write/rename error is what
+    // the caller needs to see.
+    env->RemoveFile(tmp).IgnoreError();
   }
   return s;
 }

@@ -787,7 +787,9 @@ Status VersionSet::LogAndApply(VersionEdit* edit, Mutex* mu) {
     if (!new_manifest_file.empty()) {
       descriptor_log_.reset();
       descriptor_file_.reset();
-      env_->RemoveFile(new_manifest_file);
+      // Best-effort cleanup: CURRENT still points at the old manifest, so a
+      // leftover file is inert and obsolete-file GC removes it.
+      env_->RemoveFile(new_manifest_file).IgnoreError();
     }
   }
 

@@ -42,6 +42,10 @@ Status Client::Connect(const std::string& host, uint16_t port) {
   int yes = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &yes, sizeof(yes));
   fd_ = fd;
+  // Fresh connection, fresh pipeline: a sticky failure from a previous
+  // connection does not apply to this one.
+  send_error_ = Status::OK();
+  sendbuf_.clear();
   return Status::OK();
 }
 
@@ -67,11 +71,21 @@ Status Client::WriteAll(const char* data, size_t n) {
 }
 
 Status Client::Flush() {
+  if (!send_error_.ok()) {
+    // A prior auto-flush already lost frames; keep reporting that failure
+    // (and keep dropping the buffer) instead of pretending later frames made
+    // it onto a broken pipeline.
+    sendbuf_.clear();
+    return send_error_;
+  }
   if (sendbuf_.empty()) {
     return Status::OK();
   }
   const Status s = WriteAll(sendbuf_.data(), sendbuf_.size());
   sendbuf_.clear();
+  if (!s.ok()) {
+    send_error_ = s;
+  }
   return s;
 }
 
@@ -121,7 +135,7 @@ uint64_t Client::SendGet(const std::string& key) {
   const uint64_t id = next_id_++;
   EncodeGet(&sendbuf_, id, key);
   sent_.fetch_add(1, std::memory_order_release);
-  if (sendbuf_.size() >= flush_threshold_) Flush();
+  if (sendbuf_.size() >= flush_threshold_) Flush().IgnoreError();  // sticky in send_error_
   return id;
 }
 
@@ -129,7 +143,7 @@ uint64_t Client::SendPut(const std::string& key, const std::string& value) {
   const uint64_t id = next_id_++;
   EncodePut(&sendbuf_, id, key, value);
   sent_.fetch_add(1, std::memory_order_release);
-  if (sendbuf_.size() >= flush_threshold_) Flush();
+  if (sendbuf_.size() >= flush_threshold_) Flush().IgnoreError();  // sticky in send_error_
   return id;
 }
 
@@ -137,7 +151,7 @@ uint64_t Client::SendDelete(const std::string& key) {
   const uint64_t id = next_id_++;
   EncodeDelete(&sendbuf_, id, key);
   sent_.fetch_add(1, std::memory_order_release);
-  if (sendbuf_.size() >= flush_threshold_) Flush();
+  if (sendbuf_.size() >= flush_threshold_) Flush().IgnoreError();  // sticky in send_error_
   return id;
 }
 
@@ -145,7 +159,7 @@ uint64_t Client::SendMultiGet(const std::vector<std::string>& keys) {
   const uint64_t id = next_id_++;
   EncodeMultiGet(&sendbuf_, id, keys);
   sent_.fetch_add(1, std::memory_order_release);
-  if (sendbuf_.size() >= flush_threshold_) Flush();
+  if (sendbuf_.size() >= flush_threshold_) Flush().IgnoreError();  // sticky in send_error_
   return id;
 }
 
@@ -153,7 +167,7 @@ uint64_t Client::SendScan(const std::string& begin, uint32_t count) {
   const uint64_t id = next_id_++;
   EncodeScan(&sendbuf_, id, begin, count);
   sent_.fetch_add(1, std::memory_order_release);
-  if (sendbuf_.size() >= flush_threshold_) Flush();
+  if (sendbuf_.size() >= flush_threshold_) Flush().IgnoreError();  // sticky in send_error_
   return id;
 }
 

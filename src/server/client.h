@@ -59,6 +59,8 @@ class Client {
   uint64_t SendDelete(const std::string& key);
   uint64_t SendMultiGet(const std::vector<std::string>& keys);
   uint64_t SendScan(const std::string& begin, uint32_t count);
+  // A write failure from an auto-flush inside Send*() is sticky: every later
+  // Flush() returns it, so pipelined senders cannot silently drop frames.
   Status Flush();
 
   // --- Reader thread: blocks until one complete response frame arrives.
@@ -81,6 +83,7 @@ class Client {
   int fd_ = -1;
   uint64_t next_id_ = 1;        // sender-side only
   std::string sendbuf_;         // sender-side only
+  Status send_error_;           // sender-side only; first auto-flush failure
   size_t flush_threshold_ = 256 * 1024;
   FrameReader reader_;          // reader-side only
   std::atomic<uint64_t> sent_{0};

@@ -147,6 +147,10 @@ ServerStatsSnapshot Server::Stats() const {
   return s;
 }
 
+// The epoll thread must never park on a worker queue: a stalled event loop
+// stops reading every connection, including the ones whose completions would
+// drain that queue.
+// p2kvs-lint: worker-context
 void Server::EventLoop() {
   epoll_event events[64];
   while (true) {

@@ -42,6 +42,27 @@ struct MpscQueueNode {
   std::atomic<MpscQueueNode*> mpsc_next{nullptr};
 };
 
+// What a bounded queue does with a push that finds it full. Unbounded queues
+// never consult this.
+//
+//   kPark   — the producer parks until the consumer drains (backpressure).
+//             The right choice for synchronous callers, which block anyway;
+//             NEVER safe from a worker thread or an event loop: a worker
+//             parked on its own full queue can never drain it (the
+//             GetStats/WaitIdle self-deadlock class, made static by the
+//             p2kvs-lint blocking-context rule).
+//   kBypass — enqueue regardless, temporarily exceeding capacity. Reserved
+//             for control requests (stats drains, barriers, EndTxn): they are
+//             few, must never be refused, and must never park the submitter.
+//   kFail   — give up immediately and report kFull; the caller sheds the
+//             request (Status::Busy) instead of stalling. The asynchronous
+//             submission path uses this: its contract is "never blocks".
+enum class PushOverflow { kPark, kBypass, kFail };
+
+// Outcome of an overflow-aware push. kClosed and kFull both mean the item
+// was NOT enqueued.
+enum class PushOutcome { kOk, kClosed, kFull };
+
 // T must derive from MpscQueueNode. Items are borrowed, never owned: the
 // queue stops touching a node the moment Pop returns it.
 template <typename T>
@@ -58,17 +79,30 @@ class IntrusiveMpscQueue {
   // Enqueues an item. Lock-free; wait-free when unbounded. With a bounded
   // capacity the producer parks while the queue is full (backpressure).
   // Returns false if the queue has been closed (the item is not enqueued).
-  bool Push(T* item) {
+  // Parking variant — callers on a worker thread or an event loop must use
+  // PushWithOverflow with kBypass or kFail instead (see PushOverflow).
+  [[nodiscard]] bool Push(T* item) {
+    return PushWithOverflow(item, PushOverflow::kPark) == PushOutcome::kOk;
+  }
+
+  // Overflow-aware push. kPark may block (see Push); kBypass and kFail are
+  // non-blocking in the bounded case: kBypass always enqueues (capacity may
+  // be transiently exceeded by the handful of in-flight control requests),
+  // kFail returns kFull and leaves the item untouched.
+  [[nodiscard]] PushOutcome PushWithOverflow(T* item, PushOverflow overflow) {
     // The ticket brackets the closed-check + link so the consumer can prove
     // at drain time that no producer is still about to publish a node.
     tickets_.fetch_add(1, std::memory_order_seq_cst);
     if (closed_.load(std::memory_order_seq_cst)) {
       AbortTicket();
-      return false;
+      return PushOutcome::kClosed;
     }
-    if (capacity_ != 0 && !AcquireSlot()) {
-      AbortTicket();
-      return false;  // closed while waiting for room
+    if (capacity_ != 0) {
+      const PushOutcome claimed = ClaimSlot(overflow);
+      if (claimed != PushOutcome::kOk) {
+        AbortTicket();
+        return claimed;  // closed while parked, or full under kFail
+      }
     }
 
     MpscQueueNode* node = item;
@@ -86,7 +120,7 @@ class IntrusiveMpscQueue {
     if (parked_.load(std::memory_order_seq_cst) != 0) {
       WakeConsumer();
     }
-    return true;
+    return PushOutcome::kOk;
   }
 
   // Blocks until an item is available or the queue is closed and drained.
@@ -275,21 +309,32 @@ class IntrusiveMpscQueue {
     parked_.notify_one();
   }
 
-  // Bounded mode: claim one of capacity_ slots, parking while full.
-  bool AcquireSlot() {
+  // Bounded mode: claim one of capacity_ slots per the overflow policy.
+  // kBypass always claims (the slot count may exceed capacity_ while control
+  // requests are in flight; CommitPop's unconditional decrement keeps the
+  // accounting balanced). kFail reports kFull instead of waiting. kPark
+  // parks on the pop-epoch futex until the consumer drains.
+  PushOutcome ClaimSlot(PushOverflow overflow) {
+    if (overflow == PushOverflow::kBypass) {
+      size_.fetch_add(1, std::memory_order_acq_rel);
+      return PushOutcome::kOk;
+    }
     while (true) {
       size_t s = size_.load(std::memory_order_acquire);
       if (s < capacity_) {
         if (size_.compare_exchange_weak(s, s + 1, std::memory_order_acq_rel,
                                         std::memory_order_relaxed)) {
-          return true;
+          return PushOutcome::kOk;
         }
         continue;
+      }
+      if (overflow == PushOverflow::kFail) {
+        return PushOutcome::kFull;
       }
       // seq_cst on closed_: orders against Close()'s store + epoch bump so a
       // producer never parks after the final wakeup has already been sent.
       if (closed_.load(std::memory_order_seq_cst)) {
-        return false;
+        return PushOutcome::kClosed;
       }
       uint32_t epoch = pop_epoch_.load(std::memory_order_acquire);
       // Re-check both conditions against the captured epoch before sleeping

@@ -27,7 +27,7 @@ class MpscQueue {
 
   // Enqueues an item; blocks while the queue is at capacity (capacity 0 means
   // unbounded). Returns false if the queue has been closed.
-  bool Push(T item) {
+  [[nodiscard]] bool Push(T item) {
     MutexLock lock(&mu_);
     while (capacity_ != 0 && queue_.size() >= capacity_ && !closed_) {
       not_full_.Wait();

@@ -11,6 +11,15 @@
 
 #include "src/util/slice.h"
 
+// Dropping a Status on the floor swallows an error; every function that
+// reports failure through a Status (or another must-be-consumed handle) is
+// marked P2KVS_NODISCARD so both compilers (-Wunused-result) and the
+// status-discard rule of scripts/p2kvs_lint reject a bare `Foo();` call.
+// A deliberately ignored result must say so: `Foo().IgnoreError();`.
+#ifndef P2KVS_NODISCARD
+#define P2KVS_NODISCARD [[nodiscard]]
+#endif
+
 namespace p2kvs {
 
 // Severity classification for error governance (transient-fault handling):
@@ -23,7 +32,7 @@ enum class StatusSeverity : unsigned char {
   kTransient = 1,  // retryable; no partial effect is left behind
 };
 
-class Status {
+class P2KVS_NODISCARD Status {
  public:
   Status() = default;
 
@@ -89,6 +98,12 @@ class Status {
 
   // Human-readable description, e.g. "IO error: <msg>: <msg2>".
   std::string ToString() const;
+
+  // Explicitly consumes this Status without acting on it. The only sanctioned
+  // way to drop a result: `env->RemoveFile(f).IgnoreError();` reads as a
+  // decision, a bare `env->RemoveFile(f);` reads as a bug — and the compiler
+  // ([[nodiscard]]) plus the p2kvs-lint status-discard rule reject the latter.
+  void IgnoreError() const {}
 
  private:
   enum class Code : unsigned char {

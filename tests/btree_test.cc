@@ -8,6 +8,7 @@
 #include <map>
 #include <thread>
 
+#include "src/io/env_wrapper.h"
 #include "src/io/mem_env.h"
 #include "src/util/random.h"
 
@@ -140,11 +141,11 @@ TEST_F(BTreeTest, CheckpointTruncatesWal) {
     ASSERT_TRUE(store_->Put("k" + std::to_string(i), std::string(100, 'x')).ok());
   }
   uint64_t wal_before = 0;
-  env_->GetFileSize("/bt/wal.log", &wal_before);
+  env_->GetFileSize("/bt/wal.log", &wal_before).IgnoreError();
   EXPECT_GT(wal_before, 0u);
   ASSERT_TRUE(store_->Checkpoint().ok());
   uint64_t wal_after = 0;
-  env_->GetFileSize("/bt/wal.log", &wal_after);
+  env_->GetFileSize("/bt/wal.log", &wal_after).IgnoreError();
   EXPECT_EQ(0u, wal_after);
   EXPECT_GT(store_->GetStats().checkpoints, 0u);
 }
@@ -173,7 +174,7 @@ TEST_F(BTreeTest, ConcurrentReadersWithWriter) {
   std::thread writer([&] {
     int i = 0;
     while (!stop.load()) {
-      store_->Put("w" + std::to_string(i++ % 1000), "value");
+      store_->Put("w" + std::to_string(i++ % 1000), "value").IgnoreError();
     }
   });
   std::vector<std::thread> readers;
@@ -208,6 +209,52 @@ TEST_F(BTreeTest, ReopenAfterManyWrites) {
   for (const auto& [k, v] : model) {
     ASSERT_EQ(v, Get(k)) << k;
   }
+}
+
+// Fails GetFileSize on paths containing a substring; everything else passes
+// through. Simulates a device that errors on the stat probe specifically.
+class FailingSizeEnv final : public EnvWrapper {
+ public:
+  explicit FailingSizeEnv(Env* base) : EnvWrapper(base) {}
+  void FailSizeFor(const std::string& substring) { fail_substring_ = substring; }
+  Status GetFileSize(const std::string& f, uint64_t* s) override {
+    if (!fail_substring_.empty() && f.find(fail_substring_) != std::string::npos) {
+      return Status::IOError(f, "injected GetFileSize failure");
+    }
+    return target()->GetFileSize(f, s);
+  }
+
+ private:
+  std::string fail_substring_;
+};
+
+// Regression for a silently-dropped Status in Init: when the page-file size
+// probe failed, the store treated size==0 as "fresh" and reformatted an
+// existing tree — wiping it. A probe failure must abort the open instead.
+TEST(BTreeSizeProbeFailure, OpenFailsInsteadOfReformatting) {
+  auto base_env = NewMemEnv();
+  FailingSizeEnv env(base_env.get());
+  BTreeOptions options;
+  options.env = &env;
+
+  // Build a store with real data and close it cleanly.
+  std::unique_ptr<BTreeStore> store;
+  ASSERT_TRUE(BTreeStore::Open(options, "/bt", &store).ok());
+  ASSERT_TRUE(store->Put("k", "v").ok());
+  ASSERT_TRUE(store->Checkpoint().ok());
+  store.reset();
+
+  // Reopen with the size probe failing: Open must surface the error.
+  env.FailSizeFor("pages");
+  ASSERT_FALSE(BTreeStore::Open(options, "/bt", &store).ok());
+
+  // With the probe healthy again, the data is still there — nothing was
+  // reformatted by the failed open.
+  env.FailSizeFor("");
+  ASSERT_TRUE(BTreeStore::Open(options, "/bt", &store).ok());
+  std::string value;
+  ASSERT_TRUE(store->Get("k", &value).ok());
+  EXPECT_EQ("v", value);
 }
 
 }  // namespace

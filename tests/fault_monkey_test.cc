@@ -110,11 +110,11 @@ TEST(FaultMonkeyTest, LsmSurvivesInjectedFaultsAndCrashes) {
       } else {
         // Sticky bg_error_ after a hard WAL fault: resume is best-effort
         // here; with faults still armed it may legitimately fail again.
-        db->Resume();
+        db->Resume().IgnoreError();
       }
       if (rng.OneIn(4)) {
         std::string unused;
-        db->Get(ReadOptions(), key, &unused);  // reads must never wedge
+        db->Get(ReadOptions(), key, &unused).IgnoreError();  // reads must never wedge
       }
     }
 
@@ -154,7 +154,7 @@ TEST(FaultMonkeyTest, BTreeSurvivesInjectedFaultsAndCrashes) {
       }
       if (rng.OneIn(4)) {
         std::string unused;
-        store->Get(key, &unused);
+        store->Get(key, &unused).IgnoreError();
       }
     }
 
@@ -221,11 +221,11 @@ TEST(FaultMonkeyTest, WriteTxnIsAtomicAcrossFaultsAndCrashes) {
       if (!acked[static_cast<size_t>(txn)]) {
         // A hard fault may have degraded a partition; best-effort resume so
         // later transactions get a chance (may legitimately fail again).
-        store->Resume();
+        store->Resume().IgnoreError();
       }
       // Reads (and stats drains) must never wedge, whatever the txn did.
       std::string unused;
-      store->Get(txn_key(txn, 0), &unused);
+      store->Get(txn_key(txn, 0), &unused).IgnoreError();
     }
     EXPECT_TRUE(store->GetStats().SelfCheck().ok()) << "iter " << iter;
 
@@ -286,7 +286,7 @@ TEST(FaultMonkeyTest, KvellSurvivesInjectedFaultsAcrossReopen) {
       }
       if (rng.OneIn(4)) {
         std::string unused;
-        store->Get(key, &unused);
+        store->Get(key, &unused).IgnoreError();
       }
     }
 

@@ -42,10 +42,10 @@ TEST(MemEnvTest, FileLifecycle) {
 
 TEST(MemEnvTest, GetChildren) {
   auto env = NewMemEnv();
-  env->CreateDir("/d");
-  WriteStringToFile(env.get(), "1", "/d/a", false);
-  WriteStringToFile(env.get(), "2", "/d/b", false);
-  WriteStringToFile(env.get(), "3", "/d/sub/c", false);
+  env->CreateDir("/d").IgnoreError();
+  WriteStringToFile(env.get(), "1", "/d/a", false).IgnoreError();
+  WriteStringToFile(env.get(), "2", "/d/b", false).IgnoreError();
+  WriteStringToFile(env.get(), "3", "/d/sub/c", false).IgnoreError();
   std::vector<std::string> children;
   ASSERT_TRUE(env->GetChildren("/d", &children).ok());
   ASSERT_EQ(3u, children.size());  // a, b, sub
@@ -58,9 +58,9 @@ TEST(MemEnvTest, AppendAndRandomAccess) {
   auto env = NewMemEnv();
   std::unique_ptr<WritableFile> f;
   ASSERT_TRUE(env->NewAppendableFile("/f", &f).ok());
-  f->Append("0123456789");
-  f->Append("abcdef");
-  f->Close();
+  f->Append("0123456789").IgnoreError();
+  f->Append("abcdef").IgnoreError();
+  f->Close().IgnoreError();
 
   std::unique_ptr<RandomAccessFile> r;
   ASSERT_TRUE(env->NewRandomAccessFile("/f", &r).ok());
@@ -89,7 +89,7 @@ TEST(MemEnvTest, RandomWritableFile) {
   EXPECT_EQ(std::string(4, '\0'), result.ToString());
   ASSERT_TRUE(f->Truncate(102).ok());
   uint64_t size;
-  env->GetFileSize("/slab", &size);
+  env->GetFileSize("/slab", &size).IgnoreError();
   EXPECT_EQ(102u, size);
 }
 
@@ -98,11 +98,11 @@ TEST(IoStatsTest, PurposeAttribution) {
   auto env = NewMemEnv();
   {
     IoPurposeScope scope(IoPurpose::kWal);
-    WriteStringToFile(env.get(), std::string(1000, 'w'), "/wal", true);
+    WriteStringToFile(env.get(), std::string(1000, 'w'), "/wal", true).IgnoreError();
   }
   {
     IoPurposeScope scope(IoPurpose::kCompaction);
-    WriteStringToFile(env.get(), std::string(500, 'c'), "/sst", false);
+    WriteStringToFile(env.get(), std::string(500, 'c'), "/sst", false).IgnoreError();
   }
   IoStatsSnapshot snap = IoStats::Instance().Snapshot();
   EXPECT_EQ(1000u, snap.bytes_written[static_cast<int>(IoPurpose::kWal)]);
@@ -111,7 +111,7 @@ TEST(IoStatsTest, PurposeAttribution) {
   EXPECT_GE(snap.sync_ops, 1u);
 
   IoStatsSnapshot base = snap;
-  WriteStringToFile(env.get(), "x", "/u", false);
+  WriteStringToFile(env.get(), "x", "/u", false).IgnoreError();
   IoStatsSnapshot delta = IoStats::Instance().Snapshot().Since(base);
   EXPECT_EQ(1u, delta.bytes_written[static_cast<int>(IoPurpose::kUser)]);
   EXPECT_EQ(1u, delta.TotalWritten());
@@ -163,7 +163,7 @@ TEST(DeviceModelTest, UnlimitedProfilePassesThrough) {
   }
   EXPECT_LT(NowMicros() - start, 1000000u);
   // Files written through the wrapper are visible in the base env.
-  f->Close();
+  f->Close().IgnoreError();
   EXPECT_TRUE(base->FileExists("/f"));
 }
 
@@ -191,7 +191,7 @@ TEST(FaultInjectionTest, NeverSyncedFileIsEmptyAfterCrash) {
   std::unique_ptr<WritableFile> f;
   ASSERT_TRUE(env.NewWritableFile("/f", &f).ok());
   ASSERT_TRUE(f->Append("all-lost").ok());
-  f->Close();
+  f->Close().IgnoreError();
   ASSERT_TRUE(env.Crash().ok());
   std::string contents;
   ASSERT_TRUE(ReadFileToString(base.get(), "/f", &contents).ok());
@@ -206,7 +206,7 @@ TEST(FaultInjectionTest, RenamedFilesKeepSyncState) {
   ASSERT_TRUE(f->Append("synced").ok());
   ASSERT_TRUE(f->Sync().ok());
   ASSERT_TRUE(f->Append("unsynced").ok());
-  f->Close();
+  f->Close().IgnoreError();
   ASSERT_TRUE(env.RenameFile("/tmp1", "/final").ok());
   ASSERT_TRUE(env.Crash().ok());
   std::string contents;

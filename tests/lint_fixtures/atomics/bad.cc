@@ -1,0 +1,16 @@
+#include <atomic>
+
+class Counter {
+ public:
+  void Bump();
+
+ private:
+  std::atomic<int> n_{0};
+  std::atomic<bool> flag_{false};
+};
+
+void Counter::Bump() {
+  n_.fetch_add(1);
+  n_++;
+  flag_.store(true, std::memory_order_seq_cst);
+}

@@ -1,0 +1,17 @@
+#include <atomic>
+
+class Counter {
+ public:
+  void Bump();
+
+ private:
+  std::atomic<int> n_{0};
+  std::atomic<bool> flag_{false};
+};
+
+void Counter::Bump() {
+  n_.fetch_add(1, std::memory_order_relaxed);
+  // Dekker-style handshake with the drain loop: both sides must observe the
+  // other's store, so the full seq_cst barrier is required here.
+  flag_.store(true, std::memory_order_seq_cst);
+}

@@ -1,0 +1,14 @@
+#include <atomic>
+
+class Counter {
+ public:
+  void Bump();
+
+ private:
+  std::atomic<int> n_{0};
+};
+
+void Counter::Bump() {
+  // p2kvs-lint: allow(atomics) -- fixture: default order kept to mirror the upstream call
+  n_.fetch_add(1);
+}

@@ -1,0 +1,26 @@
+// p2kvs-lint fixture: Pool::RunJob is a marked worker context and reaches
+// Completion::Wait through a helper — MUST fire blocking-context.
+
+class Completion {
+ public:
+  void Wait();
+  void Notify();
+};
+
+class Pool {
+ public:
+  void RunJob();
+  void Helper();
+
+ private:
+  Completion done_;
+};
+
+// p2kvs-lint: worker-context
+void Pool::RunJob() {
+  Helper();
+}
+
+void Pool::Helper() {
+  done_.Wait();
+}

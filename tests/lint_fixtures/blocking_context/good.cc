@@ -1,0 +1,26 @@
+// p2kvs-lint fixture: the worker context only signals (Notify) and a
+// non-worker function may Wait — the blocking-context rule MUST stay quiet.
+
+class Completion {
+ public:
+  void Wait();
+  void Notify();
+};
+
+class Pool {
+ public:
+  void RunJob();
+  void JoinFromUserThread();
+
+ private:
+  Completion done_;
+};
+
+// p2kvs-lint: worker-context
+void Pool::RunJob() {
+  done_.Notify();
+}
+
+void Pool::JoinFromUserThread() {
+  done_.Wait();
+}

@@ -1,0 +1,22 @@
+// p2kvs-lint fixture: the worker context waits on a DIFFERENT pool that
+// cannot feed back into this one — the canonical legal cross-pool wait,
+// silenced by a reasoned allow-comment.
+
+class Completion {
+ public:
+  void Wait();
+};
+
+class Pool {
+ public:
+  void RunJob();
+
+ private:
+  Completion other_pool_done_;
+};
+
+// p2kvs-lint: worker-context
+void Pool::RunJob() {
+  // p2kvs-lint: allow(blocking-context) -- fixture: cross-pool wait, other pool never enqueues here
+  other_pool_done_.Wait();
+}

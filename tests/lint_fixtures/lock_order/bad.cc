@@ -1,0 +1,35 @@
+// p2kvs-lint fixture: MUST fire lock-order twice over — S::A acquires b_
+// then a_ against the annotated a_ -> b_ order (a cycle), and S::B nests
+// a_ -> c_ with no ACQUIRED_AFTER annotation on c_.
+
+class Mutex {
+ public:
+  void Lock();
+  void Unlock();
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu);
+};
+
+class S {
+ public:
+  void A();
+  void B();
+
+ private:
+  Mutex a_;
+  Mutex b_ ACQUIRED_AFTER(a_);
+  Mutex c_;
+};
+
+void S::A() {
+  MutexLock lb(&b_);
+  MutexLock la(&a_);
+}
+
+void S::B() {
+  MutexLock l1(&a_);
+  MutexLock l2(&c_);
+}

@@ -1,0 +1,27 @@
+// p2kvs-lint fixture: the observed nesting a_ -> b_ matches the annotated
+// ACQUIRED_AFTER order, so the lock-order rule MUST stay quiet.
+
+class Mutex {
+ public:
+  void Lock();
+  void Unlock();
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu);
+};
+
+class S {
+ public:
+  void A();
+
+ private:
+  Mutex a_;
+  Mutex b_ ACQUIRED_AFTER(a_);
+};
+
+void S::A() {
+  MutexLock la(&a_);
+  MutexLock lb(&b_);
+}

@@ -1,0 +1,28 @@
+// p2kvs-lint fixture: the unannotated nesting is silenced by a reasoned
+// allow-comment on the inner acquisition line.
+
+class Mutex {
+ public:
+  void Lock();
+  void Unlock();
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu);
+};
+
+class S {
+ public:
+  void A();
+
+ private:
+  Mutex a_;
+  Mutex c_;
+};
+
+void S::A() {
+  MutexLock l1(&a_);
+  // p2kvs-lint: allow(lock-order) -- fixture: locks belong to disjoint shards
+  MutexLock l2(&c_);
+}

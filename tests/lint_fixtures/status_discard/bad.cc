@@ -1,0 +1,36 @@
+// p2kvs-lint fixture: every statement below drops a Status and MUST fire
+// the status-discard rule. Never compiled; parsed by the lint only.
+
+class Status {
+ public:
+  bool ok() const;
+  void IgnoreError() const {}
+};
+
+Status FlushAllBuffers();
+
+class Env {
+ public:
+  Status CreateDir();
+  Status DeleteFile();
+};
+
+class Holder {
+ public:
+  void Touch();
+  void Drop();
+  Status Commit();
+
+ private:
+  Env* env_;
+};
+
+void Holder::Touch() {
+  env_->CreateDir();
+}
+
+void Holder::Drop() {
+  FlushAllBuffers();
+  (void)env_->DeleteFile();
+  Commit();
+}

@@ -1,0 +1,41 @@
+// p2kvs-lint fixture: every Status below is consumed — propagated, checked,
+// or explicitly dropped with IgnoreError(). MUST stay quiet.
+
+class Status {
+ public:
+  bool ok() const;
+  void IgnoreError() const {}
+};
+
+Status FlushAllBuffers();
+
+class Env {
+ public:
+  Status CreateDir();
+  Status DeleteFile();
+};
+
+class Holder {
+ public:
+  Status Touch();
+  void Drop();
+  void Log(const Status& s);
+
+ private:
+  Env* env_;
+};
+
+Status Holder::Touch() {
+  Status s = env_->CreateDir();
+  if (!s.ok()) {
+    Log(s);
+  }
+  return env_->DeleteFile();
+}
+
+void Holder::Drop() {
+  env_->DeleteFile().IgnoreError();
+  if (FlushAllBuffers().ok()) {
+    Log(Status());
+  }
+}

@@ -1,0 +1,26 @@
+// p2kvs-lint fixture: the discard below is real but carries a reasoned
+// allow-comment; the rule must fire internally and be silenced by it.
+
+class Status {
+ public:
+  bool ok() const;
+  void IgnoreError() const {}
+};
+
+class Env {
+ public:
+  Status CreateDir();
+};
+
+class Holder {
+ public:
+  void Touch();
+
+ private:
+  Env* env_;
+};
+
+void Holder::Touch() {
+  // p2kvs-lint: allow(status-discard) -- fixture: deliberate best-effort drop
+  env_->CreateDir();
+}

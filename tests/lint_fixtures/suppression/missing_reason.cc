@@ -1,0 +1,26 @@
+// p2kvs-lint fixture: an allow-comment without `-- <reason>` is itself a
+// finding of the "suppression" rule and silences nothing.
+
+class Status {
+ public:
+  bool ok() const;
+  void IgnoreError() const {}
+};
+
+class Env {
+ public:
+  Status CreateDir();
+};
+
+class Holder {
+ public:
+  void Touch();
+
+ private:
+  Env* env_;
+};
+
+void Holder::Touch() {
+  // p2kvs-lint: allow(status-discard)
+  env_->CreateDir();
+}

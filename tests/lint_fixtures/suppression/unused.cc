@@ -1,0 +1,28 @@
+// p2kvs-lint fixture: a reasoned allow-comment over code that no longer
+// trips the rule is stale; the driver flags it so fixed code sheds its
+// suppressions instead of accreting them.
+
+class Status {
+ public:
+  bool ok() const;
+  void IgnoreError() const {}
+};
+
+class Env {
+ public:
+  Status CreateDir();
+};
+
+class Holder {
+ public:
+  void Touch();
+
+ private:
+  Env* env_;
+};
+
+void Holder::Touch() {
+  // p2kvs-lint: allow(status-discard) -- fixture: stale, the drop below was
+  // fixed long ago
+  env_->CreateDir().IgnoreError();
+}

@@ -287,7 +287,7 @@ TEST_F(OverloadTest, PutExpiresWhileQueuedBehindSlowWrite) {
   // The other partition is unaffected.
   ASSERT_TRUE(store_->Put(keys_[1], "v1").ok());
 
-  store_->WaitIdle();
+  store_->WaitIdle().IgnoreError();
   env_->DisableAll();
   P2kvsStats stats = store_->GetStats();
   EXPECT_EQ(1u, stats.expired);
@@ -308,7 +308,7 @@ TEST_F(OverloadTest, GetHonorsDeadlineToo) {
   std::string value;
   EXPECT_TRUE(store_->Get(keys_[0], &value).IsDeadlineExceeded());
 
-  store_->WaitIdle();
+  store_->WaitIdle().IgnoreError();
   env_->DisableAll();
 }
 
@@ -318,7 +318,7 @@ TEST_F(OverloadTest, MultiGetPartialFanoutExpiry) {
   Open();
   ASSERT_TRUE(store_->Put(keys_[0], "v0").ok());
   ASSERT_TRUE(store_->Put(keys_[1], "v1").ok());
-  store_->WaitIdle();
+  store_->WaitIdle().IgnoreError();
 
   OccupyWorker(0, /*latency_us=*/150000);
 
@@ -333,7 +333,7 @@ TEST_F(OverloadTest, MultiGetPartialFanoutExpiry) {
   ASSERT_TRUE(statuses[1].ok()) << statuses[1].ToString();
   EXPECT_EQ("v1", values[1]);
 
-  store_->WaitIdle();
+  store_->WaitIdle().IgnoreError();
   env_->DisableAll();
   P2kvsStats stats = store_->GetStats();
   EXPECT_GE(stats.expired, 1u);
@@ -347,7 +347,7 @@ TEST_F(OverloadTest, NoDeadlineMeansNoExpiry) {
   Open();
   OccupyWorker(0, /*latency_us=*/100000);
   ASSERT_TRUE(store_->Put(keys_[0], "late-but-served").ok());
-  store_->WaitIdle();
+  store_->WaitIdle().IgnoreError();
   env_->DisableAll();
   P2kvsStats stats = store_->GetStats();
   EXPECT_EQ(0u, stats.expired);
@@ -388,7 +388,7 @@ TEST_F(OverloadTest, RejectAllControllerShedsDataButNeverControl) {
 
   // ...but control requests pass: WaitIdle returns and the stats drain runs
   // even while the store refuses all data traffic.
-  store_->WaitIdle();
+  store_->WaitIdle().IgnoreError();
   P2kvsStats stats = store_->GetStats();
   EXPECT_EQ(0u, stats.completed);
   EXPECT_GT(stats.shed, 0u);
@@ -432,7 +432,7 @@ TEST_F(OverloadTest, AccountingExactPastFullQueuesAtHighRate) {
   while (done.load(std::memory_order_acquire) != kOps) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
-  store_->WaitIdle();
+  store_->WaitIdle().IgnoreError();
   env_->DisableAll();
 
   EXPECT_GT(shed.load(), 0);  // the burst must actually overflow
@@ -468,7 +468,7 @@ TEST_F(OverloadTest, RetryBudgetDeniesRetriesUnderFaultStorm) {
   EXPECT_EQ(2u, env_->injected_faults(FaultOp::kAppend));
 
   env_->DisableAll();
-  store_->WaitIdle();
+  store_->WaitIdle().IgnoreError();
   P2kvsStats stats = store_->GetStats();
   EXPECT_EQ(1u, stats.retries_denied);
   EXPECT_TRUE(stats.SelfCheck().ok()) << stats.SelfCheck().ToString();
@@ -564,7 +564,7 @@ TEST_F(OverloadTest, AllOverloadFeaturesOffByDefault) {
   std::string value;
   ASSERT_TRUE(store_->Get(keys_[0], &value).ok());
   EXPECT_EQ("v0", value);
-  store_->WaitIdle();
+  store_->WaitIdle().IgnoreError();
   P2kvsStats stats = store_->GetStats();
   EXPECT_EQ(0u, stats.shed);
   EXPECT_EQ(0u, stats.expired);

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <future>
 #include <map>
 #include <thread>
 
@@ -222,7 +224,7 @@ TEST_P(P2kvsEngineTest, WaitIdleDrainsAsyncSubmissions) {
   // WaitIdle must drain the worker queues (per-worker barriers), not just
   // quiesce engine background work: once it returns, every callback has
   // fired and every write is readable.
-  store_->WaitIdle();
+  store_->WaitIdle().IgnoreError();
   EXPECT_EQ(kOps, completions.load());
   for (int i = 0; i < kOps; i += 13) {
     ASSERT_EQ(std::to_string(i), Get("drain" + std::to_string(i)));
@@ -233,7 +235,7 @@ TEST_P(P2kvsEngineTest, ReopenRecoversData) {
   for (int i = 0; i < 500; i++) {
     ASSERT_TRUE(store_->Put("persist" + std::to_string(i), std::to_string(i)).ok());
   }
-  store_->FlushAll();
+  store_->FlushAll().IgnoreError();
   Reopen();
   for (int i = 0; i < 500; i += 17) {
     ASSERT_EQ(std::to_string(i), Get("persist" + std::to_string(i)));
@@ -414,31 +416,28 @@ TEST(P2kvsBackpressureTest, BoundedQueuesCompleteEverythingAndReportDepth) {
   std::unique_ptr<P2KVS> store;
   ASSERT_TRUE(P2KVS::Open(options, "/p2", &store).ok());
 
-  // Hammer the tiny queues from several threads: producers park at capacity
-  // (backpressure) rather than dropping or failing, so every op completes.
+  // Hammer the tiny queues from several threads with the SYNCHRONOUS API:
+  // sync producers park at capacity (backpressure) rather than dropping or
+  // failing, so every op completes. (The async API makes the opposite
+  // promise — never block — and sheds instead; see AsyncShedsOnFullQueue.)
   constexpr int kThreads = 4;
   constexpr int kPerThread = 500;
-  std::atomic<int> completions{0};
   std::atomic<int> errors{0};
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; t++) {
     threads.emplace_back([&, t] {
       for (int i = 0; i < kPerThread; i++) {
-        store->PutAsync("bp" + std::to_string(t) + "-" + std::to_string(i), "v",
-                        [&](const Status& s) {
-                          if (!s.ok()) {
-                            errors.fetch_add(1);
-                          }
-                          completions.fetch_add(1);
-                        });
+        Status s = store->Put("bp" + std::to_string(t) + "-" + std::to_string(i), "v");
+        if (!s.ok()) {
+          errors.fetch_add(1);
+        }
       }
     });
   }
   for (auto& th : threads) {
     th.join();
   }
-  store->WaitIdle();
-  EXPECT_EQ(kThreads * kPerThread, completions.load());
+  ASSERT_TRUE(store->WaitIdle().ok());
   EXPECT_EQ(0, errors.load());
 
   P2kvsStats stats = store->GetStats();
@@ -447,8 +446,87 @@ TEST(P2kvsBackpressureTest, BoundedQueuesCompleteEverythingAndReportDepth) {
     EXPECT_EQ(0u, depth);  // drained after WaitIdle
   }
   EXPECT_EQ(0u, stats.degraded_rejects);
+  EXPECT_EQ(0u, stats.shed);  // sync path parks, never sheds
   EXPECT_EQ(static_cast<uint64_t>(kThreads * kPerThread),
             stats.writes_batched + stats.singles);
+}
+
+TEST(P2kvsBackpressureTest, AsyncShedsOnFullQueue) {
+  auto env = NewMemEnv();
+  P2kvsOptions options;
+  options.env = env.get();
+  options.num_workers = 1;
+  options.pin_workers = false;
+  options.queue_capacity = 2;
+  options.engine_factory = MakeRocksLiteFactory(SmallLsmOptions(env.get()));
+  std::unique_ptr<P2KVS> store;
+  ASSERT_TRUE(P2KVS::Open(options, "/p2", &store).ok());
+
+  // Wedge the single worker inside one request so the queue backs up, then
+  // overfill it from this thread. PutAsync must never block: each submission
+  // either enqueues or completes inline with the Busy shed status.
+  std::promise<void> release;
+  std::shared_future<void> released(release.get_future().share());
+  std::atomic<int> gate_done{0};
+  store->PutAsync("gate", "v", [&, released](const Status&) {
+    released.wait();
+    gate_done.fetch_add(1);
+  });
+
+  constexpr int kSubmissions = 64;
+  std::atomic<int> ok_count{0};
+  std::atomic<int> busy_count{0};
+  std::atomic<int> other_count{0};
+  for (int i = 0; i < kSubmissions; i++) {
+    store->PutAsync("k" + std::to_string(i), "v", [&](const Status& s) {
+      if (s.ok()) {
+        ok_count.fetch_add(1);
+      } else if (s.IsBusy()) {
+        busy_count.fetch_add(1);
+      } else {
+        other_count.fetch_add(1);
+      }
+    });
+  }
+  // All submissions returned while the worker was still wedged: the loop
+  // above finishing before release is the "never parks" assertion.
+  release.set_value();
+  ASSERT_TRUE(store->WaitIdle().ok());
+
+  EXPECT_EQ(1, gate_done.load());
+  EXPECT_EQ(kSubmissions, ok_count.load() + busy_count.load() + other_count.load());
+  EXPECT_GT(busy_count.load(), 0);  // capacity 2 cannot absorb 64 submissions
+  EXPECT_EQ(0, other_count.load());
+
+  P2kvsStats stats = store->GetStats();
+  EXPECT_EQ(static_cast<uint64_t>(busy_count.load()), stats.shed);
+}
+
+TEST(P2kvsBackpressureTest, GetStatsAsyncFromWorkerCallbackCompletes) {
+  auto env = NewMemEnv();
+  P2kvsOptions options;
+  options.env = env.get();
+  options.num_workers = 1;
+  options.pin_workers = false;
+  options.queue_capacity = 1;  // any parking submit from the callback deadlocks
+  options.engine_factory = MakeRocksLiteFactory(SmallLsmOptions(env.get()));
+  std::unique_ptr<P2KVS> store;
+  ASSERT_TRUE(P2KVS::Open(options, "/p2", &store).ok());
+
+  // A stats request issued from a completion callback runs on the worker
+  // thread itself. The control-plane path (SubmitControl) bypasses the
+  // capacity bound, so this completes even with the tiny full queue — the
+  // exact self-deadlock the blocking-context lint rule rejects for Submit.
+  std::promise<bool> got_stats;
+  store->PutAsync("k", "v", [&](const Status&) {
+    store->GetStatsAsync([&](P2kvsStats stats) {
+      got_stats.set_value(stats.queue_depths.size() == 1);
+    });
+  });
+  auto fut = got_stats.get_future();
+  ASSERT_EQ(std::future_status::ready, fut.wait_for(std::chrono::seconds(30)));
+  EXPECT_TRUE(fut.get());
+  ASSERT_TRUE(store->WaitIdle().ok());
 }
 
 TEST_F(P2kvsTxnTest, WtLiteRejectsTxn) {

@@ -495,5 +495,53 @@ TEST_F(ServerTest, ServerStopWhileClientsConnected) {
   EXPECT_FALSE(client.Get("k", &value).ok());
 }
 
+// Regression for the pipelined sender's silent-drop bug: Send*() used to
+// discard the Status of its threshold-triggered auto-flush, so a sender that
+// only checked the final explicit Flush() could lose frames without ever
+// seeing an error. The failure must now be sticky: once any auto-flush
+// fails, every later Flush() reports it.
+TEST(ClientStickySendError, AutoFlushFailureSurfacesOnLaterFlush) {
+  // A bare listener that accepts one connection and immediately closes it:
+  // everything the client sends afterwards eventually hits a dead peer.
+  const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(lfd, 0);
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(0, ::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)));
+  ASSERT_EQ(0, ::listen(lfd, 1));
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(0, ::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &len));
+  const uint16_t port = ntohs(addr.sin_port);
+  std::thread acceptor([lfd] {
+    const int cfd = ::accept(lfd, nullptr, nullptr);
+    if (cfd >= 0) ::close(cfd);
+  });
+
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", port).ok());
+  acceptor.join();
+  ::close(lfd);
+
+  // Every Send triggers an auto-flush; once the kernel buffer drains into
+  // the closed peer, sends start failing inside Send*() where the old code
+  // dropped the Status.
+  client.set_flush_threshold(1);
+  const std::string value(64 * 1024, 'v');
+  for (int i = 0; i < 1000; i++) {
+    client.SendPut("key" + std::to_string(i), value);
+  }
+  const Status first = client.Flush();
+  ASSERT_FALSE(first.ok());
+  // Sticky: the error persists across Flush() calls (even with nothing
+  // buffered), so a sender cannot observe ok() after frames were lost.
+  const Status second = client.Flush();
+  EXPECT_FALSE(second.ok());
+  EXPECT_EQ(first.ToString(), second.ToString());
+  client.Close();
+}
+
 }  // namespace
 }  // namespace p2kvs

@@ -84,7 +84,7 @@ TEST_F(StatsTest, StageAndBatchAccountingIsExact) {
   std::vector<std::pair<std::string, std::string>> pairs;
   ASSERT_TRUE(store_->Range("", "", &pairs).ok());  // one sub-RANGE per worker
 
-  store_->WaitIdle();
+  store_->WaitIdle().IgnoreError();
   P2kvsStats stats = store_->GetStats();
   ASSERT_TRUE(stats.SelfCheck().ok()) << stats.SelfCheck().ToString();
 
@@ -130,12 +130,12 @@ TEST_F(StatsTest, StageAndBatchAccountingIsExact) {
 TEST_F(StatsTest, StatsRequestsAreNotCountedAsTraffic) {
   Open();
   ASSERT_TRUE(store_->Put("a", "1").ok());
-  store_->WaitIdle();
+  store_->WaitIdle().IgnoreError();
   P2kvsStats first = store_->GetStats();
   // Drains (GetStats barriers) must not perturb the counters they read.
   for (int i = 0; i < 10; i++) {
     store_->GetStats();
-    store_->WaitIdle();
+    store_->WaitIdle().IgnoreError();
   }
   P2kvsStats second = store_->GetStats();
   EXPECT_EQ(first.totals.requests_executed(), second.totals.requests_executed());
@@ -156,8 +156,8 @@ TEST_F(StatsTest, ConcurrentGetStatsUnderLoad) {
       std::string value;
       while (!stop.load(std::memory_order_relaxed)) {
         std::string key = "w" + std::to_string(t) + "-" + std::to_string(i % 256);
-        store_->Put(key, std::to_string(i));
-        store_->Get(key, &value);
+        store_->Put(key, std::to_string(i)).IgnoreError();
+        store_->Get(key, &value).IgnoreError();
         i++;
       }
     });
@@ -180,7 +180,7 @@ TEST_F(StatsTest, ConcurrentGetStatsUnderLoad) {
   for (auto& t : threads) {
     t.join();
   }
-  store_->WaitIdle();
+  store_->WaitIdle().IgnoreError();
   EXPECT_TRUE(store_->GetStats().SelfCheck().ok());
 }
 
@@ -189,7 +189,7 @@ TEST_F(StatsTest, DisabledStatsKeepsCountersAndSkipsTimings) {
   for (int i = 0; i < 50; i++) {
     ASSERT_TRUE(store_->Put("d" + std::to_string(i), "v").ok());
   }
-  store_->WaitIdle();
+  store_->WaitIdle().IgnoreError();
   P2kvsStats stats = store_->GetStats();
   // Throughput counters keep working; the recorder was never fed (the hot
   // path takes zero clock reads), and SelfCheck knows that mode.
@@ -205,7 +205,7 @@ TEST_F(StatsTest, StatsStringAndJsonCarryTheBreakdown) {
   for (int i = 0; i < 20; i++) {
     ASSERT_TRUE(store_->Put("s" + std::to_string(i), "v").ok());
   }
-  store_->WaitIdle();
+  store_->WaitIdle().IgnoreError();
 
   std::string text = store_->GetStatsString();
   EXPECT_NE(std::string::npos, text.find("queue_wait")) << text;
@@ -285,7 +285,7 @@ TEST(EventListenerTest, FlushEventsCarryWorkerAttribution) {
     ASSERT_TRUE(store->Put("f" + std::to_string(i), value).ok());
   }
   ASSERT_TRUE(store->FlushAll().ok());
-  store->WaitIdle();
+  store->WaitIdle().IgnoreError();
   EXPECT_GE(listener->flushes.load(), 1);
   EXPECT_GT(listener->flush_bytes.load(), 0u);
   EXPECT_GE(listener->last_worker.load(), 0);

@@ -386,7 +386,7 @@ TEST_F(P2kvsTraceTest, FullySampledMixedWorkloadHasCompleteCausalChains) {
   for (auto& th : threads) {
     th.join();
   }
-  store_->WaitIdle();
+  store_->WaitIdle().IgnoreError();
 
   P2kvsStats stats = store_->GetStats();
   ASSERT_TRUE(stats.trace_enabled);
@@ -457,7 +457,7 @@ TEST_F(P2kvsTraceTest, AsyncWriteFloodLinksMergesToWalAppends) {
     store_->PutAsync("k" + std::to_string(i), "v" + std::to_string(i),
                      [](const Status& s) { ASSERT_TRUE(s.ok()); });
   }
-  store_->WaitIdle();
+  store_->WaitIdle().IgnoreError();
 
   P2kvsStats stats = store_->GetStats();
   ASSERT_TRUE(stats.SelfCheck().ok()) << stats.SelfCheck().ToString();
@@ -488,10 +488,10 @@ TEST_F(P2kvsTraceTest, SamplingOffPerformsZeroWorkerClockReads) {
     ASSERT_TRUE(store_->Put("k" + std::to_string(i), "v").ok());
     if (i % 3 == 0) {
       std::string value;
-      store_->Get("k" + std::to_string(i), &value);
+      store_->Get("k" + std::to_string(i), &value).IgnoreError();
     }
   }
-  store_->WaitIdle();
+  store_->WaitIdle().IgnoreError();
 
   P2kvsStats stats = store_->GetStats();
   ASSERT_TRUE(stats.trace_enabled);
@@ -508,7 +508,7 @@ TEST_F(P2kvsTraceTest, RingWrapSurfacesDroppedCounter) {
   for (int i = 0; i < 500; i++) {
     ASSERT_TRUE(store_->Put("k" + std::to_string(i), "v").ok());
   }
-  store_->WaitIdle();
+  store_->WaitIdle().IgnoreError();
   P2kvsStats stats = store_->GetStats();
   EXPECT_GT(stats.trace_dropped, 0u);  // loss is surfaced, never silent
   EXPECT_GT(stats.trace_events, stats.trace_dropped);

@@ -308,9 +308,9 @@ TEST(MpscQueueTest, FifoSingleThread) {
 
 TEST(MpscQueueTest, TryPopIf) {
   MpscQueue<int> q;
-  q.Push(2);
-  q.Push(4);
-  q.Push(5);
+  ASSERT_TRUE(q.Push(2));
+  ASSERT_TRUE(q.Push(4));
+  ASSERT_TRUE(q.Push(5));
   auto even = [](int v) { return v % 2 == 0; };
   EXPECT_EQ(2, *q.TryPopIf(even));
   EXPECT_EQ(4, *q.TryPopIf(even));
@@ -321,7 +321,7 @@ TEST(MpscQueueTest, TryPopIf) {
 
 TEST(MpscQueueTest, CloseDrainsAndStopsPush) {
   MpscQueue<int> q;
-  q.Push(1);
+  ASSERT_TRUE(q.Push(1));
   q.Close();
   EXPECT_FALSE(q.Push(2));
   EXPECT_EQ(1, *q.Pop());
@@ -424,7 +424,7 @@ TEST(IntrusiveMpscQueueTest, FrontAndTryPopIf) {
   nodes[1].value = 4;
   nodes[2].value = 5;
   for (auto& n : nodes) {
-    q.Push(&n);
+    ASSERT_TRUE(q.Push(&n));
   }
   auto even = [](IntNode* n) { return n->value % 2 == 0; };
   EXPECT_EQ(2, q.Front()->value);

@@ -149,7 +149,7 @@ TEST_F(WalTest, CorruptionInOneBlockDoesNotPoisonNextBlock) {
 
 TEST_F(WalTest, ReopenedLogContinuesAtBlockOffset) {
   Write("first");
-  file_->Flush();
+  file_->Flush().IgnoreError();
   uint64_t size;
   ASSERT_TRUE(env_->GetFileSize("/log", &size).ok());
   // Reopen for append, as the engines do after restart.
@@ -157,7 +157,7 @@ TEST_F(WalTest, ReopenedLogContinuesAtBlockOffset) {
   ASSERT_TRUE(env_->NewAppendableFile("/log", &file2).ok());
   log::Writer writer2(file2.get(), size);
   ASSERT_TRUE(writer2.AddRecord("second").ok());
-  file2->Flush();
+  file2->Flush().IgnoreError();
   auto records = ReadAll();
   ASSERT_EQ(2u, records.size());
   EXPECT_EQ("first", records[0]);
