@@ -68,13 +68,16 @@ CaseResult RunCase(int threads, bool multi_instance, bool pin, uint64_t ops) {
 // stats recorder on vs off. The recorder is a handful of worker-thread-local
 // clock reads per dispatch, so the two runs must stay within a few percent.
 double RunP2kvsCase(int threads, bool enable_stats, uint64_t ops,
-                    uint32_t trace_sample_every = 0) {
+                    uint32_t trace_sample_every = 0, size_t sketch_k = 0,
+                    int metrics_window_ms = 0) {
   SimulatedDevice dev = MakeDevice(DeviceProfile::NvmeSsd());
   P2kvsOptions options;
   options.env = dev.env.get();
   options.num_workers = std::min(4, MaxThreads());
   options.pin_workers = false;
   options.enable_stats = enable_stats;
+  options.hot_key_sketch_k = sketch_k;
+  options.metrics_window_ms = metrics_window_ms;
   if (trace_sample_every > 0) {
     options.trace.enabled = true;
     options.trace.sample_every = trace_sample_every;
@@ -143,6 +146,33 @@ void RunTraceOverhead(uint64_t ops) {
   table.Print();
 }
 
+// Telemetry-plane overhead, same methodology. The baseline already runs the
+// stats recorder (its cost is the RunStatsOverhead table above); the
+// measured case adds the rest of the plane — the per-request hot-key sketch
+// (a clock-free hash + small-map update) and 100ms windowed drains on the
+// telemetry thread. The increment must stay within a few percent.
+void RunTelemetryOverhead(uint64_t ops) {
+  std::printf("\n-- telemetry plane overhead (p2KVS, %d workers, sketch k=32, 100ms windows) --\n",
+              std::min(4, MaxThreads()));
+  TablePrinter table({"threads", "stats-only QPS", "full-telemetry QPS", "overhead %"});
+  for (int threads : {1, 4, 8}) {
+    if (threads > MaxThreads()) {
+      break;
+    }
+    double off = 0;
+    double on = 0;
+    for (int trial = 0; trial < 3; trial++) {
+      off = std::max(off, RunP2kvsCase(threads, /*enable_stats=*/true, ops));
+      on = std::max(on, RunP2kvsCase(threads, /*enable_stats=*/true, ops,
+                                     /*trace_sample_every=*/0, /*sketch_k=*/32,
+                                     /*metrics_window_ms=*/100));
+    }
+    double overhead = off > 0 ? 100.0 * (off - on) / off : 0;
+    table.AddRow({std::to_string(threads), FmtQps(off), FmtQps(on), Fmt(overhead, 2)});
+  }
+  table.Print();
+}
+
 void Run() {
   const uint64_t ops = Scaled(30000);
   PrintHeader("Figure 5", "concurrent random writes: single vs multi instance (128B KV)",
@@ -165,6 +195,7 @@ void Run() {
               "the single-vs-multi instance gap and low bandwidth utilization remain.\n");
   RunStatsOverhead(ops);
   RunTraceOverhead(ops);
+  RunTelemetryOverhead(ops);
 }
 
 }  // namespace

@@ -1,0 +1,192 @@
+// Skew sensing: Zipfian theta sweep through p2KVS with the hot-key sketch
+// on, reporting what the telemetry plane sees — per-partition QPS shares,
+// imbalance coefficients, and the global top-K heavy hitters with their
+// SpaceSaving error bounds.
+//
+// Expectation: imbalance grows with theta (uniform-ish at 0.5, one partition
+// clearly hot by 1.2), and the top of the key ranking is the true Zipfian
+// head. `--smoke` plants known hot keys under uniform noise and asserts the
+// report finds them: the planted keys appear in the global top-K, the
+// hottest partition is the one the dominant key hashes to, and the
+// imbalance coefficient flags it. CI runs the smoke mode.
+
+#include "bench/bench_common.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/obs/skew.h"
+#include "src/ycsb/generator.h"
+
+namespace p2kvs {
+namespace bench {
+namespace {
+
+constexpr int kWorkers = 4;
+constexpr size_t kSketchK = 32;
+constexpr uint64_t kKeySpace = 10000;
+
+std::unique_ptr<P2KVS> OpenStore(SimulatedDevice* dev) {
+  P2kvsOptions options;
+  options.env = dev->env.get();
+  options.num_workers = std::min(kWorkers, MaxThreads());
+  options.pin_workers = false;
+  options.enable_stats = true;
+  options.hot_key_sketch_k = kSketchK;
+  options.engine_factory = MakeRocksLiteFactory(DefaultLsmOptions(dev->env.get()));
+  std::unique_ptr<P2KVS> store;
+  if (!P2KVS::Open(options, "/bench-skew", &store).ok()) {
+    std::abort();
+  }
+  return store;
+}
+
+std::string ShareString(const obs::SkewReport& skew) {
+  std::string out;
+  for (const obs::PartitionLoad& p : skew.partitions) {
+    if (!out.empty()) {
+      out += '/';
+    }
+    out += Fmt(100.0 * p.share, 0);
+  }
+  return out + "%";
+}
+
+void RunThetaSweep(uint64_t ops) {
+  PrintHeader("Skew sensing", "Zipfian theta sweep through the hot-key sketch",
+              "imbalance grows with theta; the sketch ranks the Zipfian head first");
+  TablePrinter table({"theta", "QPS", "per-partition share", "max/mean", "CV",
+                      "top key", "top-8 coverage"});
+  for (double theta : {0.5, 0.8, 0.99, 1.2}) {
+    SimulatedDevice dev = MakeDevice(DeviceProfile::NvmeSsd());
+    std::unique_ptr<P2KVS> store = OpenStore(&dev);
+    std::vector<ycsb::ZipfianGenerator> gens;
+    const int threads = std::min(4, MaxThreads());
+    for (int t = 0; t < threads; t++) {
+      gens.emplace_back(kKeySpace, /*seed=*/1000 + t, theta);
+    }
+    RunResult run = RunClosedLoop(threads, ops, [&](int t, uint64_t i) {
+      const std::string key = Key(gens[t].Next());
+      if (i % 4 == 0) {
+        store->Put(key, Value(i, 112)).IgnoreError();
+      } else {
+        std::string value;
+        store->Get(key, &value).IgnoreError();
+      }
+    });
+    store->WaitIdle().IgnoreError();
+    P2kvsStats stats = store->GetStats();
+    const obs::SkewReport& skew = stats.skew;
+    double top8 = 0;
+    uint64_t covered = 0;
+    for (size_t i = 0; i < skew.top_keys.size() && i < 8; i++) {
+      covered += skew.top_keys[i].count;
+    }
+    if (skew.sketched_ops > 0) {
+      top8 = static_cast<double>(covered) / static_cast<double>(skew.sketched_ops);
+    }
+    table.AddRow({Fmt(theta, 2), FmtQps(run.qps), ShareString(skew),
+                  Fmt(skew.imbalance_max_mean, 2), Fmt(skew.imbalance_cv, 2),
+                  skew.top_keys.empty() ? "-" : skew.top_keys[0].key,
+                  Fmt(100.0 * top8, 0) + "%"});
+  }
+  table.Print();
+}
+
+// Plants a known hot-key mix — 40% of ops on one key, 10% on each of two
+// more, the rest uniform over the key space — and asserts the skew report
+// recovers it. Returns 0 on success (the CI gate).
+int RunSmoke() {
+  const uint64_t ops = Scaled(20000);
+  SimulatedDevice dev = MakeDevice(DeviceProfile::NvmeSsd());
+  std::unique_ptr<P2KVS> store = OpenStore(&dev);
+
+  const std::string hot0 = "hot-key-alpha";   // 40% of traffic
+  const std::string hot1 = "hot-key-beta";    // 10%
+  const std::string hot2 = "hot-key-gamma";   // 10%
+  RunResult run = RunClosedLoop(std::min(4, MaxThreads()), ops, [&](int, uint64_t i) {
+    const uint64_t r = i % 10;
+    std::string key;
+    if (r < 4) {
+      key = hot0;
+    } else if (r == 4) {
+      key = hot1;
+    } else if (r == 5) {
+      key = hot2;
+    } else {
+      key = Key((i * 2654435761u) % kKeySpace);  // uniform noise
+    }
+    if (i % 4 == 0) {
+      store->Put(key, Value(i, 112)).IgnoreError();
+    } else {
+      std::string value;
+      store->Get(key, &value).IgnoreError();
+    }
+  });
+  store->WaitIdle().IgnoreError();
+  P2kvsStats stats = store->GetStats();
+  Status check = stats.SelfCheck();
+  if (!check.ok()) {
+    std::fprintf(stderr, "SMOKE FAIL: SelfCheck: %s\n", check.ToString().c_str());
+    return 1;
+  }
+  const obs::SkewReport& skew = stats.skew;
+
+  auto rank_of = [&](const std::string& key) -> int {
+    for (size_t i = 0; i < skew.top_keys.size(); i++) {
+      if (skew.top_keys[i].key == key) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  };
+  int failures = 0;
+  if (rank_of(hot0) != 0) {
+    std::fprintf(stderr, "SMOKE FAIL: %s should rank first (rank %d)\n", hot0.c_str(),
+                 rank_of(hot0));
+    failures++;
+  }
+  for (const std::string& k : {hot1, hot2}) {
+    if (rank_of(k) < 0) {
+      std::fprintf(stderr, "SMOKE FAIL: planted hot key %s missing from top-K\n", k.c_str());
+      failures++;
+    }
+  }
+  const int expected_hot = store->PartitionOf(hot0);
+  if (skew.hottest_partition != expected_hot) {
+    std::fprintf(stderr, "SMOKE FAIL: hottest partition %d, expected %d (owner of %s)\n",
+                 skew.hottest_partition, expected_hot, hot0.c_str());
+    failures++;
+  }
+  // 40% of traffic on one of 4 partitions pushes its share well past the
+  // 25% mean; the coefficient must flag it.
+  if (skew.imbalance_max_mean < 1.3) {
+    std::fprintf(stderr, "SMOKE FAIL: imbalance max/mean %.3f, expected > 1.3\n",
+                 skew.imbalance_max_mean);
+    failures++;
+  }
+  if (failures == 0) {
+    std::printf("skew smoke OK: %s qps, top key %s (count %llu, err %llu), "
+                "hottest partition %d, max/mean %.2f\n",
+                FmtQps(run.qps).c_str(), skew.top_keys[0].key.c_str(),
+                static_cast<unsigned long long>(skew.top_keys[0].count),
+                static_cast<unsigned long long>(skew.top_keys[0].error),
+                skew.hottest_partition, skew.imbalance_max_mean);
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace p2kvs
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) {
+    return p2kvs::bench::RunSmoke();
+  }
+  p2kvs::bench::RunThetaSweep(p2kvs::bench::Scaled(20000));
+  return 0;
+}

@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""Validates a Prometheus text-exposition scrape from the p2kvs admin endpoint.
+
+Usage:
+    check_metrics.py <file-or-url>
+
+Reads the exposition body (from a file, or fetched over HTTP when the
+argument starts with http://) and enforces:
+
+  * well-formedness: every non-comment line is `name[{labels}] value`,
+    every sample's family carries a # TYPE, names use the p2kvs_ prefix;
+  * required families are present (counters, process gauges, per-partition
+    health, skew, windowed rates, latency histograms);
+  * histogram integrity: `le` bounds ascend, bucket counts are cumulative,
+    the +Inf bucket equals the family's _count;
+  * basic sanity: requests_submitted_total > 0 when --expect-traffic.
+
+Exit code 0 = valid scrape, 1 = violations (printed one per line).
+This is the CI gate behind the `/metrics scrape smoke` step in build.yml.
+"""
+
+import math
+import re
+import sys
+import urllib.request
+
+SAMPLE_RE = re.compile(r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)(?P<labels>\{[^}]*\})? (?P<value>\S+)$")
+LE_RE = re.compile(r'le="([^"]+)"')
+
+REQUIRED_FAMILIES = [
+    "p2kvs_requests_submitted_total",
+    "p2kvs_requests_completed_total",
+    "p2kvs_requests_executed_total",
+    "p2kvs_requests_shed_total",
+    "p2kvs_requests_expired_total",
+    "p2kvs_batches_total",
+    "p2kvs_fg_io_bytes_total",
+    "p2kvs_selfcheck_failures_total",
+    "p2kvs_process_cpu_percent",
+    "p2kvs_process_rss_bytes",
+    "p2kvs_partition_healthy",
+    "p2kvs_partition_queue_depth",
+    "p2kvs_partition_load_share",
+    "p2kvs_skew_imbalance_max_mean",
+    "p2kvs_skew_imbalance_cv",
+    "p2kvs_queue_wait_microseconds_bucket",
+    "p2kvs_execute_microseconds_bucket",
+    "p2kvs_end_to_end_microseconds_bucket",
+    "p2kvs_batch_size_bucket",
+]
+
+# Families that require the telemetry loop to have completed one window; the
+# scrape smoke waits long enough, so CI treats them as required too.
+WINDOW_FAMILIES = [
+    "p2kvs_window_seconds",
+    "p2kvs_window_qps",
+    "p2kvs_window_latency_us",
+]
+
+
+def parse_value(raw):
+    if raw == "+Inf":
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    return float(raw)  # raises on garbage
+
+
+def validate(text, expect_traffic, expect_windows, expect_hot_keys):
+    errors = []
+    typed = set()
+    seen = set()
+    buckets = {}  # family -> list of (le, value) in order
+    counts = {}
+    values = {}  # series name (no labels) -> last value
+
+    for ln, line in enumerate(text.splitlines(), 1):
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                errors.append(f"line {ln}: malformed comment: {line!r}")
+            elif parts[1] == "TYPE":
+                typed.add(parts[2])
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"line {ln}: malformed sample: {line!r}")
+            continue
+        name = m.group("name")
+        if not name.startswith("p2kvs_"):
+            errors.append(f"line {ln}: {name} missing p2kvs_ prefix")
+        try:
+            value = parse_value(m.group("value"))
+        except ValueError:
+            errors.append(f"line {ln}: unparseable value {m.group('value')!r}")
+            continue
+        seen.add(name)
+        values[name] = value
+        if name.endswith("_bucket"):
+            family = name[: -len("_bucket")]
+            le = LE_RE.search(m.group("labels") or "")
+            if not le:
+                errors.append(f"line {ln}: histogram bucket without le label")
+                continue
+            buckets.setdefault(family, []).append((parse_value(le.group(1)), value))
+        elif name.endswith("_count"):
+            counts[name[: -len("_count")]] = value
+
+    # Every sample's family must be typed. Histogram series share the family
+    # TYPE (name minus _bucket/_sum/_count).
+    for name in sorted(seen):
+        family = re.sub(r"_(bucket|sum|count)$", "", name)
+        if name not in typed and family not in typed:
+            errors.append(f"{name}: no # TYPE comment")
+
+    for family in REQUIRED_FAMILIES:
+        if family not in seen:
+            errors.append(f"required family missing: {family}")
+    if expect_windows:
+        for family in WINDOW_FAMILIES:
+            if family not in seen:
+                errors.append(f"window family missing (telemetry loop idle?): {family}")
+    if expect_hot_keys and "p2kvs_hot_key_count" not in seen:
+        errors.append("hot-key family missing: p2kvs_hot_key_count")
+
+    for family, series in buckets.items():
+        les = [le for le, _ in series]
+        vals = [v for _, v in series]
+        if les != sorted(les):
+            errors.append(f"{family}: le bounds not ascending")
+        if vals != sorted(vals):
+            errors.append(f"{family}: bucket counts not cumulative")
+        if not math.isinf(les[-1]):
+            errors.append(f"{family}: missing +Inf bucket")
+        elif family in counts and vals[-1] != counts[family]:
+            errors.append(f"{family}: +Inf bucket {vals[-1]} != _count {counts[family]}")
+        if family not in counts:
+            errors.append(f"{family}: missing _count series")
+
+    if expect_traffic:
+        if values.get("p2kvs_requests_submitted_total", 0) <= 0:
+            errors.append("expected traffic: p2kvs_requests_submitted_total is 0")
+        if values.get("p2kvs_requests_completed_total", 0) <= 0:
+            errors.append("expected traffic: p2kvs_requests_completed_total is 0")
+    return errors
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    flags = {a for a in argv[1:] if a.startswith("--")}
+    if len(args) != 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+    source = args[0]
+    if source.startswith("http://") or source.startswith("https://"):
+        with urllib.request.urlopen(source, timeout=10) as resp:
+            text = resp.read().decode("utf-8")
+    else:
+        with open(source, encoding="utf-8") as f:
+            text = f.read()
+
+    errors = validate(
+        text,
+        expect_traffic="--expect-traffic" in flags,
+        expect_windows="--expect-windows" in flags,
+        expect_hot_keys="--expect-hot-keys" in flags,
+    )
+    if errors:
+        for e in errors:
+            print(f"check_metrics: {e}")
+        return 1
+    samples = sum(1 for l in text.splitlines() if l and not l.startswith("#"))
+    print(f"check_metrics: OK ({samples} samples, {len(text)} bytes)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

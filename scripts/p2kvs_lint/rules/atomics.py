@@ -44,6 +44,15 @@ STRICT_FILES = [
     "src/server/server.cc",
     "src/server/client.h",
     "src/server/client.cc",
+    "src/server/admin.h",
+    "src/server/admin.cc",
+    "src/obs/metrics_registry.h",
+    "src/obs/metrics_registry.cc",
+    "src/obs/sketch.h",
+    "src/obs/skew.h",
+    "src/obs/skew.cc",
+    "src/obs/prometheus.h",
+    "src/obs/prometheus.cc",
 ]
 
 ATOMIC_CALL = re.compile(

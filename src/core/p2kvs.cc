@@ -11,6 +11,7 @@
 #include "src/lsm/merging_iterator.h"
 #include "src/util/clock.h"
 #include "src/util/hash.h"
+#include "src/util/resource_usage.h"
 
 namespace p2kvs {
 
@@ -28,13 +29,13 @@ P2KVS::P2KVS(const P2kvsOptions& options, std::string path)
 }
 
 P2KVS::~P2KVS() {
-  if (stats_dumper_.joinable()) {
+  if (telemetry_thread_.joinable()) {
     {
-      MutexLock lock(&dumper_mu_);
-      dumper_stop_ = true;
+      MutexLock lock(&telemetry_mu_);
+      telemetry_stop_ = true;
     }
-    dumper_cv_.SignalAll();
-    stats_dumper_.join();
+    telemetry_cv_.SignalAll();
+    telemetry_thread_.join();
   }
   for (auto& worker : workers_) {
     worker->Stop();
@@ -95,6 +96,7 @@ Status P2KVS::Init() {
     config.auto_resume_interval_us = options_.auto_resume_interval_us;
     config.max_auto_resume_failures = options_.max_auto_resume_failures;
     config.enable_stats = options_.enable_stats;
+    config.hot_key_sketch_k = options_.hot_key_sketch_k;
     config.listener = options_.listener.get();
     config.tracer = tracer_.get();
     config.admission = options_.admission;
@@ -108,35 +110,66 @@ Status P2KVS::Init() {
   for (auto& worker : workers_) {
     worker->Start();
   }
-  if (options_.stats_dump_period_ms > 0) {
-    stats_dumper_ = std::thread([this] { StatsDumpLoop(); });
+  if (options_.metrics_window_ms > 0 || options_.stats_dump_period_ms > 0) {
+    registry_ = std::make_unique<obs::MetricsRegistry>(options_.metrics_window_count);
+    telemetry_thread_ = std::thread([this] { TelemetryLoop(); });
   }
   return Status::OK();
 }
 
-void P2KVS::StatsDumpLoop() {
-  const auto period = std::chrono::milliseconds(options_.stats_dump_period_ms);
-  dumper_mu_.Lock();
-  while (!dumper_stop_) {
+void P2KVS::TelemetryLoop() {
+  // One loop, one kStats drain per tick, three consumers: the metrics window
+  // ring, the per-window SelfCheck, and the periodic OnStatsDump report at
+  // its own (coarser or equal) cadence. The tick is the metrics window when
+  // windowing is on, else the dump period.
+  const int tick_ms = options_.metrics_window_ms > 0 ? options_.metrics_window_ms
+                                                     : options_.stats_dump_period_ms;
+  const auto period = std::chrono::milliseconds(tick_ms);
+  CpuUsageSampler cpu;
+  int since_dump_ms = 0;
+  telemetry_mu_.Lock();
+  while (!telemetry_stop_) {
     // Timed wait with a deadline so spurious wakeups re-wait the remainder
     // instead of restarting the full period.
     const auto deadline = std::chrono::steady_clock::now() + period;
-    while (!dumper_stop_ && std::chrono::steady_clock::now() < deadline) {
-      dumper_cv_.WaitUntil(deadline);
+    while (!telemetry_stop_ && std::chrono::steady_clock::now() < deadline) {
+      telemetry_cv_.WaitUntil(deadline);
     }
-    if (dumper_stop_) {
+    if (telemetry_stop_) {
       break;
     }
-    dumper_mu_.Unlock();
-    std::string json = GetStats().ToJson();
-    if (options_.listener != nullptr) {
-      options_.listener->OnStatsDump(json);
-    } else {
-      std::fprintf(stderr, "%s\n", json.c_str());
+    telemetry_mu_.Unlock();
+
+    P2kvsStats stats = GetStats();
+    obs::TelemetrySample sample;
+    sample.wall_nanos = obs::ObsClockNanos();  // drain thread, never a worker
+    sample.totals = stats.totals;
+    sample.workers = stats.workers;
+    sample.process_cpu_percent = cpu.SampleUtilizationPercent();
+    sample.process_rss_bytes = CurrentRssBytes();
+    sample.trace_enabled = stats.trace_enabled;
+    sample.trace_events = stats.trace_events;
+    sample.trace_dropped = stats.trace_dropped;
+    registry_->AddSample(sample);
+    if (!stats.SelfCheck().ok()) {
+      registry_->CountSelfCheckFailure();
     }
-    dumper_mu_.Lock();
+
+    if (options_.stats_dump_period_ms > 0) {
+      since_dump_ms += tick_ms;
+      if (since_dump_ms >= options_.stats_dump_period_ms) {
+        since_dump_ms = 0;
+        std::string json = stats.ToJson();
+        if (options_.listener != nullptr) {
+          options_.listener->OnStatsDump(json);
+        } else {
+          std::fprintf(stderr, "%s\n", json.c_str());
+        }
+      }
+    }
+    telemetry_mu_.Lock();
   }
-  dumper_mu_.Unlock();
+  telemetry_mu_.Unlock();
 }
 
 uint64_t P2KVS::DeadlineFromOptions() const {
@@ -929,6 +962,10 @@ void P2KVS::FinalizeStats(P2kvsStats* stats) const {
     stats->trace_completed = tracer_->sampled_completed();
     stats->trace_flight_dumps = tracer_->flight_dumps();
   }
+  // Skew sensing: load shares and imbalance come from the counters and work
+  // with the sketch off; the global top-K needs hot_key_sketch_k > 0.
+  const size_t top_k = options_.hot_key_sketch_k > 0 ? options_.hot_key_sketch_k : 16;
+  stats->skew = obs::BuildSkewReport(stats->workers, top_k);
 }
 
 Status P2KVS::GetStats(P2kvsStats* stats) const {
@@ -1100,6 +1137,7 @@ std::string P2kvsStats::ToJson() const {
                   static_cast<unsigned long long>(trace_flight_dumps));
     json += buf;
   }
+  json += ",\"skew\":" + skew.ToJson();
   json += ",\"workers\":[";
   for (size_t i = 0; i < workers.size(); i++) {
     if (i != 0) {

@@ -33,6 +33,8 @@
 #include "src/core/kv_store.h"
 #include "src/core/txn_log.h"
 #include "src/core/worker.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/skew.h"
 #include "src/util/histogram.h"
 #include "src/util/stats_recorder.h"
 #include "src/util/trace.h"
@@ -141,9 +143,24 @@ struct P2kvsOptions {
   // transitions, periodic stats dumps. Shared, not owned exclusively; must be
   // thread-safe (see event_listener.h for the threading contract).
   std::shared_ptr<EventListener> listener;
-  // Non-zero: a reporter thread calls GetStats() every period and hands the
-  // JSON to listener->OnStatsDump() (or stderr when no listener is set).
+  // Non-zero: the telemetry loop hands a full GetStats() JSON snapshot to
+  // listener->OnStatsDump() (or stderr when no listener is set) at this
+  // cadence. Shares the loop's single kStats drain with the metrics windows
+  // below — one drain feeds both, never two.
   int stats_dump_period_ms = 0;
+  // Per-worker SpaceSaving hot-key sketch capacity (0 = off: no sketch is
+  // constructed and the execute path costs one null compare). Also sizes the
+  // global top-K of the skew report in GetStats(). Recording is clock-free;
+  // sketches drain through the same kStats path as everything else.
+  size_t hot_key_sketch_k = 0;
+  // Non-zero: the telemetry loop drains all workers every period and feeds a
+  // MetricsRegistry ring of windowed snapshots — per-window rates (QPS,
+  // shed/expired/retry, bytes/s), windowed p50/p95/p99, process CPU/RSS
+  // gauges — and runs P2kvsStats::SelfCheck() on each window. The registry
+  // backs the admin endpoint's /metrics windowed families.
+  int metrics_window_ms = 0;
+  // Windows retained in the ring (metrics_window_ms > 0).
+  size_t metrics_window_count = 60;
   // Request-scoped tracing + flight recorder (see trace.h). Off by default;
   // when trace.enabled is false no Tracer is constructed and the request
   // path costs one null-pointer compare. With tracing on but a request
@@ -226,6 +243,11 @@ struct P2kvsStats {
   // breakdown, foreground IO, governance) and their merge.
   std::vector<WorkerStatsSnapshot> workers;
   WorkerStatsSnapshot totals;
+
+  // Skew report built from the per-worker snapshots: per-partition load
+  // shares, imbalance coefficients, and (with hot_key_sketch_k > 0) the
+  // global top-K heavy hitters. The sensor output ROADMAP item 1 builds on.
+  obs::SkewReport skew;
 
   double AvgWriteBatchSize() const {
     return write_batches == 0 ? 0 : static_cast<double>(writes_batched) / write_batches;
@@ -379,6 +401,12 @@ class P2KVS {
   // would). No-op when tracing is disabled.
   void DumpFlightRecorder(const std::string& reason = "manual");
 
+  // --- Windowed telemetry (options.metrics_window_ms; see src/obs/). ---
+  // The registry of windowed metric snapshots, or null when neither
+  // metrics_window_ms nor stats_dump_period_ms started the telemetry loop.
+  // Thread-safe; the admin endpoint reads windows from here.
+  obs::MetricsRegistry* metrics_registry() const { return registry_.get(); }
+
  private:
   P2KVS(const P2kvsOptions& options, std::string path);
 
@@ -396,9 +424,14 @@ class P2KVS {
   // worker of another store is fine — it can still be served).
   bool OnOwnWorkerThread() const;
   // Merges per-worker snapshots (already filled in stats->workers) into the
-  // aggregate counters; shared by the sync and async GetStats paths.
+  // aggregate counters and builds the skew report; shared by the sync and
+  // async GetStats paths.
   void FinalizeStats(P2kvsStats* stats) const;
-  void StatsDumpLoop() EXCLUDES(dumper_mu_);
+  // One thread, one drain per tick: feeds the MetricsRegistry window ring,
+  // runs SelfCheck per window, samples process CPU/RSS, and emits the
+  // periodic OnStatsDump JSON at its own cadence — replacing the old
+  // dedicated stats-dump thread so kStats traffic is never doubled.
+  void TelemetryLoop() EXCLUDES(telemetry_mu_);
 
   P2kvsOptions options_;
   const std::string path_;
@@ -408,12 +441,18 @@ class P2KVS {
   std::unique_ptr<Tracer> tracer_;
   std::vector<std::unique_ptr<Worker>> workers_;
 
-  // Periodic stats reporter (stats_dump_period_ms > 0). Joined before the
-  // workers stop so every GetStats() it issues finds live queues.
-  std::thread stats_dumper_;
-  Mutex dumper_mu_;
-  CondVar dumper_cv_{&dumper_mu_};
-  bool dumper_stop_ GUARDED_BY(dumper_mu_) = false;
+  // Windowed metrics ring (telemetry loop running). Constructed before the
+  // workers start and destroyed after the loop joins; pointer-stable for the
+  // admin endpoint's lifetime.
+  std::unique_ptr<obs::MetricsRegistry> registry_;
+
+  // Telemetry loop thread (metrics_window_ms > 0 or stats_dump_period_ms >
+  // 0). Joined before the workers stop so every GetStats() it issues finds
+  // live queues.
+  std::thread telemetry_thread_;
+  Mutex telemetry_mu_;
+  CondVar telemetry_cv_{&telemetry_mu_};
+  bool telemetry_stop_ GUARDED_BY(telemetry_mu_) = false;
 };
 
 }  // namespace p2kvs

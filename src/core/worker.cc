@@ -54,6 +54,10 @@ Worker::Worker(const Config& config, std::unique_ptr<KVStore> store)
     trace_ring_ = config_.tracer->ring(config_.id);
   }
 
+  if (config_.hot_key_sketch_k > 0) {
+    sketch_ = std::make_unique<obs::SpaceSavingSketch>(config_.hot_key_sketch_k);
+  }
+
   if (config_.listener != nullptr || trace_ring_ != nullptr) {
     // Forward engine events to the framework listener with this partition's
     // id attached, and append them to the trace ring (flush/compaction/stall
@@ -446,7 +450,52 @@ WorkerStatsSnapshot Worker::SnapshotStats() {
   snap.breaker_trips = breaker_.trips();
   snap.retries_denied = retry_budget_.denied();
   snap.admission_overloaded = admission_ != nullptr && admission_->overloaded();
+  if (sketch_ != nullptr) {
+    // Same single-writer copy as the recorder: the sketch is only ever
+    // touched from this thread, so the snapshot races with nothing.
+    sketch_->FillSnapshot(&snap.hot_keys, config_.id);
+  }
   return snap;
+}
+
+namespace {
+// Feeds a WriteBatch's keys into the sketch (kWriteBatch requests carry the
+// keys only in serialized form).
+class SketchBatchHandler : public WriteBatch::Handler {
+ public:
+  explicit SketchBatchHandler(obs::SpaceSavingSketch* sketch) : sketch_(sketch) {}
+  void Put(const Slice& key, const Slice&) override {
+    sketch_->RecordKey(key.data(), key.size());
+  }
+  void Delete(const Slice& key) override { sketch_->RecordKey(key.data(), key.size()); }
+
+ private:
+  obs::SpaceSavingSketch* sketch_;
+};
+}  // namespace
+
+void Worker::SketchRequestKeys(const Request* r) {
+  switch (r->type) {
+    case RequestType::kPut:
+    case RequestType::kDelete:
+    case RequestType::kGet:
+      sketch_->RecordKey(r->key);
+      break;
+    case RequestType::kWriteBatch: {
+      SketchBatchHandler handler(sketch_.get());
+      r->batch->Iterate(&handler).IgnoreError();
+      break;
+    }
+    case RequestType::kMultiGet:
+      for (uint32_t idx : r->mget_index) {
+        const Slice& key = (*r->mget_keys)[idx];
+        sketch_->RecordKey(key.data(), key.size());
+      }
+      break;
+    default:
+      // Scan/Range sweep ranges, not points; control types carry no key.
+      break;
+  }
 }
 
 bool Worker::RejectIfUnhealthy(Request* request) {
@@ -573,6 +622,11 @@ Status Worker::TryResume() {
 }
 
 void Worker::ExecuteWriteGroup(const std::vector<Request*>& group) {
+  if (sketch_ != nullptr) {
+    for (const Request* r : group) {
+      SketchRequestKeys(r);
+    }
+  }
   WriteBatch merged;
   // The earliest deadline in the group governs the merged write's retries:
   // the group shares one engine call and one fate, exactly like errors.
@@ -675,6 +729,11 @@ Status Worker::ReadOne(const Slice& key, std::string* value, uint64_t deadline_n
 }
 
 void Worker::ExecuteReadGroup(const std::vector<Request*>& group) {
+  if (sketch_ != nullptr) {
+    for (const Request* r : group) {
+      SketchRequestKeys(r);
+    }
+  }
   const bool rec = config_.enable_stats;
 
   // Same merge-tracing shape as ExecuteWriteGroup: member dequeues (the head
@@ -758,6 +817,9 @@ void Worker::ExecuteMultiGet(Request* r) {
   // outcomes scatter into the caller's arrays by original index; the group
   // request itself always completes OK (key-level errors are per-key).
   const std::vector<uint32_t>& index = r->mget_index;
+  if (sketch_ != nullptr) {
+    SketchRequestKeys(r);
+  }
   const bool rec = config_.enable_stats;
   // Pre-merged fan-out groups are one dispatch: a single execute span sized
   // by the number of keys the partition serves.
@@ -815,6 +877,9 @@ void Worker::ExecuteMultiGet(Request* r) {
 }
 
 void Worker::ExecuteSingle(Request* r) {
+  if (sketch_ != nullptr) {
+    SketchRequestKeys(r);
+  }
   singles_.fetch_add(1, std::memory_order_relaxed);
   const bool rec = config_.enable_stats;
   const uint64_t t0 = stage_ts_;  // end of previous stage (valid iff rec)

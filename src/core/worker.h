@@ -86,6 +86,10 @@ class Worker {
     // Per-stage timing + distributions in the worker's StatsRecorder. When
     // off, the hot path takes zero clock reads; counters stay correct.
     bool enable_stats = true;
+    // Capacity of the worker-owned SpaceSaving hot-key sketch (0 = off: no
+    // sketch is constructed and the execute path costs one null compare).
+    // Recording is clock-free either way; snapshots drain via kStats.
+    size_t hot_key_sketch_k = 0;
     // Framework event callbacks (flush/compaction/stall/health transitions).
     // Not owned; must outlive the worker and be thread-safe.
     EventListener* listener = nullptr;
@@ -215,6 +219,11 @@ class Worker {
   void ExecuteScan(Request* request);
   void ExecuteRange(Request* request);
 
+  // Records every key `r` touches into the hot-key sketch. Worker thread
+  // only; call sites guard on sketch_ != nullptr so the disabled path costs
+  // one null compare (and zero clock reads — the sketch never reads a clock).
+  void SketchRequestKeys(const Request* r);
+
   // Degrades the partition if `s` is a storage error that survived retries.
   // `trace_id` names the failing request; with tracing on, a request that
   // was not sampled is assigned a trace id here (always-trace-on-error) so
@@ -324,6 +333,9 @@ class Worker {
   // Stage timings + distributions; written only by the worker thread,
   // snapshotted via kStats drain requests (never read live cross-thread).
   StatsRecorder recorder_;
+  // Hot-key sketch (null = sensing off). Same single-writer discipline as
+  // recorder_: only the worker thread records or snapshots it.
+  std::unique_ptr<obs::SpaceSavingSketch> sketch_;
 
   // Health state machine (resume_mu_ serializes transitions; health_ itself
   // is atomic so readers never block).

@@ -1,0 +1,126 @@
+#include "src/obs/metrics_registry.h"
+
+#include <cstdio>
+
+namespace p2kvs {
+namespace obs {
+
+namespace {
+
+// Counter deltas between samples clamp at zero: a restarted store behind the
+// same registry must not produce negative rates.
+uint64_t Sub(uint64_t now, uint64_t then) { return now >= then ? now - then : 0; }
+
+MetricsWindow DeriveWindow(const TelemetrySample& prev, const TelemetrySample& now) {
+  MetricsWindow w;
+  w.start_nanos = prev.wall_nanos;
+  w.end_nanos = now.wall_nanos;
+  w.seconds = now.wall_nanos > prev.wall_nanos
+                  ? static_cast<double>(now.wall_nanos - prev.wall_nanos) / 1e9
+                  : 0;
+  const WorkerStatsSnapshot& a = prev.totals;
+  const WorkerStatsSnapshot& b = now.totals;
+  w.requests = Sub(b.requests_executed(), a.requests_executed());
+  if (w.seconds > 0) {
+    w.qps = static_cast<double>(w.requests) / w.seconds;
+    w.shed_per_sec = static_cast<double>(Sub(b.shed, a.shed)) / w.seconds;
+    w.expired_per_sec = static_cast<double>(Sub(b.expired(), a.expired())) / w.seconds;
+    w.retries_per_sec =
+        static_cast<double>(Sub(b.engine.retry_count, a.engine.retry_count)) / w.seconds;
+    w.fg_write_bytes_per_sec =
+        static_cast<double>(Sub(b.fg_bytes_written, a.fg_bytes_written)) / w.seconds;
+    w.fg_read_bytes_per_sec =
+        static_cast<double>(Sub(b.fg_bytes_read, a.fg_bytes_read)) / w.seconds;
+  }
+  w.queue_wait_us = b.queue_wait_us.Delta(a.queue_wait_us);
+  w.execute_us = b.execute_us.Delta(a.execute_us);
+  w.end_to_end_us = b.end_to_end_us.Delta(a.end_to_end_us);
+  w.batch_size = b.batch_size.Delta(a.batch_size);
+  w.process_cpu_percent = now.process_cpu_percent;
+  w.process_rss_bytes = now.process_rss_bytes;
+  w.queue_depth = b.queue_depth;
+  return w;
+}
+
+}  // namespace
+
+MetricsRegistry::MetricsRegistry(size_t window_count)
+    : capacity_(window_count == 0 ? 1 : window_count) {}
+
+void MetricsRegistry::AddSample(const TelemetrySample& sample) {
+  MutexLock l(&mu_);
+  if (has_sample_) {
+    windows_.push_back(DeriveWindow(last_sample_, sample));
+    while (windows_.size() > capacity_) {
+      windows_.pop_front();
+    }
+  }
+  last_sample_ = sample;
+  has_sample_ = true;
+  samples_ingested_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool MetricsRegistry::LatestSample(TelemetrySample* out) const {
+  MutexLock l(&mu_);
+  if (!has_sample_) {
+    return false;
+  }
+  *out = last_sample_;
+  return true;
+}
+
+bool MetricsRegistry::LatestWindow(MetricsWindow* out) const {
+  MutexLock l(&mu_);
+  if (windows_.empty()) {
+    return false;
+  }
+  *out = windows_.back();
+  return true;
+}
+
+std::vector<MetricsWindow> MetricsRegistry::Windows() const {
+  MutexLock l(&mu_);
+  return std::vector<MetricsWindow>(windows_.begin(), windows_.end());
+}
+
+std::string MetricsWindow::ToJson() const {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "{\"start_nanos\":%llu,\"end_nanos\":%llu,\"seconds\":%.3f,"
+                "\"requests\":%llu,\"qps\":%.1f,\"shed_per_sec\":%.1f,"
+                "\"expired_per_sec\":%.1f,\"retries_per_sec\":%.1f,"
+                "\"fg_write_bytes_per_sec\":%.0f,\"fg_read_bytes_per_sec\":%.0f,"
+                "\"process_cpu_percent\":%.1f,\"process_rss_bytes\":%llu,"
+                "\"queue_depth\":%llu",
+                static_cast<unsigned long long>(start_nanos),
+                static_cast<unsigned long long>(end_nanos), seconds,
+                static_cast<unsigned long long>(requests), qps, shed_per_sec,
+                expired_per_sec, retries_per_sec, fg_write_bytes_per_sec,
+                fg_read_bytes_per_sec, process_cpu_percent,
+                static_cast<unsigned long long>(process_rss_bytes),
+                static_cast<unsigned long long>(queue_depth));
+  std::string json = buf;
+  json += ",\"queue_wait_us\":" + queue_wait_us.ToJson();
+  json += ",\"execute_us\":" + execute_us.ToJson();
+  json += ",\"end_to_end_us\":" + end_to_end_us.ToJson();
+  json += ",\"batch_size\":" + batch_size.ToJson();
+  json += "}";
+  return json;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::vector<MetricsWindow> windows = Windows();
+  std::string json = "{\"self_check_failures\":" + std::to_string(self_check_failures()) +
+                     ",\"samples\":" + std::to_string(samples_ingested()) + ",\"windows\":[";
+  for (size_t i = 0; i < windows.size(); i++) {
+    if (i) {
+      json += ",";
+    }
+    json += windows[i].ToJson();
+  }
+  json += "]}";
+  return json;
+}
+
+}  // namespace obs
+}  // namespace p2kvs

@@ -1,0 +1,126 @@
+// Windowed time-series metrics. The telemetry loop (P2KVS) drains all
+// workers once per tick through the race-free kStats path, converts the
+// aggregate into a TelemetrySample, and feeds it here; the registry keeps a
+// fixed ring of derived MetricsWindows — per-window deltas of every counter,
+// rates (QPS, shed/expired/retry per second, foreground bytes/s), and
+// windowed latency percentiles via Histogram::Delta. Readers (the admin
+// endpoint, tests) take consistent copies under the registry mutex.
+//
+// Clock discipline: the only clock reads happen on the drain thread through
+// ObsClockNanos(), which counts into PerfContext::obs_clock_reads — tests
+// assert the worker-side count stays zero whether telemetry is on or off
+// (same contract as enable_stats and tracing).
+
+#ifndef P2KVS_SRC_OBS_METRICS_REGISTRY_H_
+#define P2KVS_SRC_OBS_METRICS_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/util/clock.h"
+#include "src/util/mutex.h"
+#include "src/util/perf_context.h"
+#include "src/util/stats_recorder.h"
+#include "src/util/thread_annotations.h"
+
+namespace p2kvs {
+namespace obs {
+
+// Every telemetry-layer timestamp goes through here (the tracing
+// TraceClockNanos pattern): the counter makes "telemetry adds zero clock
+// reads to the request path" a testable property instead of a comment.
+inline uint64_t ObsClockNanos() {
+  GetPerfContext().obs_clock_reads++;
+  return NowNanos();
+}
+
+// One drained aggregate, timestamped on the drain thread. Built by the owner
+// (P2KVS's telemetry loop or the admin endpoint) from a GetStats() result;
+// carries only util-layer types so the obs library stays core-free.
+struct TelemetrySample {
+  uint64_t wall_nanos = 0;
+  WorkerStatsSnapshot totals;               // merged across workers
+  std::vector<WorkerStatsSnapshot> workers; // per-partition snapshots
+
+  // Process-level gauges sampled at drain time (resource_usage.h).
+  double process_cpu_percent = 0;
+  uint64_t process_rss_bytes = 0;
+
+  // Tracing spillover counters (zero when tracing is off).
+  bool trace_enabled = false;
+  uint64_t trace_events = 0;
+  uint64_t trace_dropped = 0;
+};
+
+// The delta between two consecutive samples: what happened in one window.
+struct MetricsWindow {
+  uint64_t start_nanos = 0;
+  uint64_t end_nanos = 0;
+  double seconds = 0;
+
+  uint64_t requests = 0;  // executed in this window
+  double qps = 0;
+  double shed_per_sec = 0;
+  double expired_per_sec = 0;
+  double retries_per_sec = 0;
+  double fg_write_bytes_per_sec = 0;
+  double fg_read_bytes_per_sec = 0;
+
+  // Windowed distributions (Histogram::Delta of the cumulative histograms);
+  // percentiles of these are "p99 over the last window", not since start.
+  Histogram queue_wait_us;
+  Histogram execute_us;
+  Histogram end_to_end_us;
+  Histogram batch_size;
+
+  // Gauges at window end.
+  double process_cpu_percent = 0;
+  uint64_t process_rss_bytes = 0;
+  size_t queue_depth = 0;
+
+  std::string ToJson() const;
+};
+
+class MetricsRegistry {
+ public:
+  // Keeps up to `window_count` derived windows (plus the latest raw sample).
+  explicit MetricsRegistry(size_t window_count);
+
+  // Ingests one drained sample; derives a window against the previous sample
+  // when one exists. Serialized internally; any thread.
+  void AddSample(const TelemetrySample& sample) EXCLUDES(mu_);
+
+  // Consistent copies; return false / empty before enough samples arrived.
+  bool LatestSample(TelemetrySample* out) const EXCLUDES(mu_);
+  bool LatestWindow(MetricsWindow* out) const EXCLUDES(mu_);
+  std::vector<MetricsWindow> Windows() const EXCLUDES(mu_);  // oldest first
+
+  // SelfCheck() verdicts from the telemetry loop (one check per window).
+  void CountSelfCheckFailure() { self_check_failures_.fetch_add(1, std::memory_order_relaxed); }
+  uint64_t self_check_failures() const {
+    return self_check_failures_.load(std::memory_order_relaxed);
+  }
+  uint64_t samples_ingested() const { return samples_ingested_.load(std::memory_order_relaxed); }
+
+  // {"windows":[...],"self_check_failures":N}
+  std::string ToJson() const EXCLUDES(mu_);
+
+ private:
+  const size_t capacity_;
+  mutable Mutex mu_;
+  bool has_sample_ GUARDED_BY(mu_) = false;
+  TelemetrySample last_sample_ GUARDED_BY(mu_);
+  std::deque<MetricsWindow> windows_ GUARDED_BY(mu_);
+  // Monotonic result counters; relaxed is enough — they are independent
+  // statistics with no ordering relationship to other state.
+  std::atomic<uint64_t> self_check_failures_{0};
+  std::atomic<uint64_t> samples_ingested_{0};
+};
+
+}  // namespace obs
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_OBS_METRICS_REGISTRY_H_

@@ -1,0 +1,242 @@
+#include "src/obs/prometheus.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <vector>
+
+namespace p2kvs {
+namespace obs {
+
+namespace {
+
+// Coarse `le` ladder for exported histograms (microseconds / batch slots).
+// The internal histograms keep ~190 fine geometric buckets; a scrape wants a
+// stable, small set, so fine buckets are folded onto these upper bounds.
+const std::vector<double>& LeLadder() {
+  static const std::vector<double> ladder = {
+      1,    2.5,   5,     10,    25,     50,     100,    250,   500,
+      1000, 2500,  5000,  10000, 25000,  50000,  100000, 250000, 1000000,
+      std::numeric_limits<double>::infinity()};
+  return ladder;
+}
+
+std::string FmtDouble(double v) {
+  if (std::isinf(v)) {
+    return v > 0 ? "+Inf" : "-Inf";
+  }
+  char buf[64];
+  // %.17g keeps doubles round-trippable; trim the common integer case.
+  if (v == static_cast<double>(static_cast<long long>(v)) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6f", v);
+  }
+  return buf;
+}
+
+class Exposition {
+ public:
+  void Family(const std::string& name, const std::string& type, const std::string& help) {
+    out_ += "# HELP p2kvs_" + name + " " + help + "\n";
+    out_ += "# TYPE p2kvs_" + name + " " + type + "\n";
+    family_ = name;
+  }
+
+  void Sample(const std::string& labels, double value, const std::string& suffix = "") {
+    out_ += "p2kvs_";
+    out_ += family_;
+    out_ += suffix;
+    if (!labels.empty()) {
+      out_ += "{";
+      out_ += labels;
+      out_ += "}";
+    }
+    out_ += " ";
+    out_ += FmtDouble(value);
+    out_ += "\n";
+  }
+
+  // One full histogram family from a p2kvs Histogram, folded onto LeLadder.
+  void HistogramFamily(const std::string& name, const std::string& help,
+                       const Histogram& h, const std::string& extra_labels = "") {
+    Family(name, "histogram", help);
+    std::vector<uint64_t> cumulative = h.CumulativeCounts(LeLadder());
+    for (size_t i = 0; i < LeLadder().size(); i++) {
+      std::string labels = extra_labels.empty() ? "" : extra_labels + ",";
+      labels += "le=\"" + FmtDouble(LeLadder()[i]) + "\"";
+      Sample(labels, static_cast<double>(cumulative[i]), "_bucket");
+    }
+    Sample(extra_labels, h.Sum(), "_sum");
+    Sample(extra_labels, static_cast<double>(h.Count()), "_count");
+  }
+
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+  std::string family_;
+};
+
+std::string WorkerLabel(int worker_id) {
+  return "worker=\"" + std::to_string(worker_id) + "\"";
+}
+
+}  // namespace
+
+std::string PrometheusLabelEscape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size() + 4);
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string RenderPrometheusText(const TelemetrySample& sample, const MetricsWindow* window,
+                                 const SkewReport& skew, uint64_t self_check_failures) {
+  Exposition e;
+  const WorkerStatsSnapshot& t = sample.totals;
+
+  // --- Cumulative counters (since store open). ---
+  e.Family("requests_submitted_total", "counter", "Data requests entering the workers.");
+  e.Sample("", static_cast<double>(t.submitted));
+  e.Family("requests_completed_total", "counter",
+           "Requests resolved with a real status (including errors).");
+  e.Sample("", static_cast<double>(t.completed));
+  e.Family("requests_executed_total", "counter", "Requests the engines actually ran.");
+  e.Sample("", static_cast<double>(t.requests_executed()));
+  e.Family("requests_shed_total", "counter", "Requests refused by admission control.");
+  e.Sample("", static_cast<double>(t.shed));
+  e.Family("requests_expired_total", "counter",
+           "Requests whose deadline passed before execution.");
+  e.Sample("", static_cast<double>(t.expired()));
+  e.Family("batches_total", "counter", "Merged dispatch groups executed, by kind.");
+  e.Sample("kind=\"write\"", static_cast<double>(t.write_batches));
+  e.Sample("kind=\"read\"", static_cast<double>(t.read_batches));
+  e.Sample("kind=\"single\"", static_cast<double>(t.singles));
+  e.Family("fg_io_bytes_total", "counter",
+           "Foreground bytes moved from worker threads, by direction.");
+  e.Sample("dir=\"write\"", static_cast<double>(t.fg_bytes_written));
+  e.Sample("dir=\"read\"", static_cast<double>(t.fg_bytes_read));
+  e.Family("engine_retries_total", "counter", "Transient engine faults retried.");
+  e.Sample("", static_cast<double>(t.engine.retry_count));
+  e.Family("retries_denied_total", "counter", "Retry-budget fast-fail decisions.");
+  e.Sample("", static_cast<double>(t.retries_denied));
+  e.Family("breaker_trips_total", "counter", "Circuit-breaker degrade transitions.");
+  e.Sample("", static_cast<double>(t.breaker_trips));
+  e.Family("degraded_rejects_total", "counter",
+           "Writes fast-rejected by unhealthy partitions.");
+  e.Sample("", static_cast<double>(t.degraded_rejects));
+  e.Family("selfcheck_failures_total", "counter",
+           "Stats invariant violations found by the telemetry loop.");
+  e.Sample("", static_cast<double>(self_check_failures));
+  if (sample.trace_enabled) {
+    e.Family("trace_events_total", "counter", "Trace events appended, pre-drop.");
+    e.Sample("", static_cast<double>(sample.trace_events));
+    e.Family("trace_dropped_total", "counter", "Trace events overwritten by ring wrap.");
+    e.Sample("", static_cast<double>(sample.trace_dropped));
+  }
+
+  // --- Process gauges. ---
+  e.Family("process_cpu_percent", "gauge",
+           "Process CPU utilization, percent of one core.");
+  e.Sample("", sample.process_cpu_percent);
+  e.Family("process_rss_bytes", "gauge", "Resident set size.");
+  e.Sample("", static_cast<double>(sample.process_rss_bytes));
+
+  // --- Per-partition gauges. ---
+  e.Family("partition_healthy", "gauge", "1 when the partition is healthy, else 0.");
+  for (const WorkerStatsSnapshot& w : sample.workers) {
+    e.Sample(WorkerLabel(w.worker_id), w.health_state == 0 ? 1 : 0);
+  }
+  e.Family("partition_queue_depth", "gauge", "Queued requests at drain time.");
+  for (const WorkerStatsSnapshot& w : sample.workers) {
+    e.Sample(WorkerLabel(w.worker_id), static_cast<double>(w.queue_depth));
+  }
+  e.Family("partition_requests_executed_total", "counter",
+           "Requests executed, per partition.");
+  for (const WorkerStatsSnapshot& w : sample.workers) {
+    e.Sample(WorkerLabel(w.worker_id), static_cast<double>(w.requests_executed()));
+  }
+
+  // --- Skew report. ---
+  e.Family("partition_load_share", "gauge",
+           "Fraction of executed requests owned by this partition.");
+  for (const PartitionLoad& p : skew.partitions) {
+    e.Sample(WorkerLabel(p.worker_id), p.share);
+  }
+  e.Family("skew_imbalance_max_mean", "gauge",
+           "Hottest partition load over mean load (1.0 = perfectly even).");
+  e.Sample("", skew.imbalance_max_mean);
+  e.Family("skew_imbalance_cv", "gauge",
+           "Coefficient of variation of partition loads.");
+  e.Sample("", skew.imbalance_cv);
+  e.Family("skew_hottest_partition", "gauge", "Worker id with the most load (-1 idle).");
+  e.Sample("", skew.hottest_partition);
+  e.Family("hot_key_count", "gauge",
+           "SpaceSaving count upper bound for each global top-K key.");
+  for (const SketchEntry& k : skew.top_keys) {
+    e.Sample("key=\"" + PrometheusLabelEscape(k.key) + "\"," + WorkerLabel(k.worker_id),
+             static_cast<double>(k.count));
+  }
+
+  // --- Latest window: rates + windowed percentiles. ---
+  if (window != nullptr && window->seconds > 0) {
+    e.Family("window_seconds", "gauge", "Length of the last completed metrics window.");
+    e.Sample("", window->seconds);
+    e.Family("window_qps", "gauge", "Requests executed per second in the last window.");
+    e.Sample("", window->qps);
+    e.Family("window_shed_per_sec", "gauge", "Shed rate in the last window.");
+    e.Sample("", window->shed_per_sec);
+    e.Family("window_expired_per_sec", "gauge", "Deadline-expiry rate in the last window.");
+    e.Sample("", window->expired_per_sec);
+    e.Family("window_retries_per_sec", "gauge", "Engine retry rate in the last window.");
+    e.Sample("", window->retries_per_sec);
+    e.Family("window_fg_bytes_per_sec", "gauge",
+             "Foreground IO rate in the last window, by direction.");
+    e.Sample("dir=\"write\"", window->fg_write_bytes_per_sec);
+    e.Sample("dir=\"read\"", window->fg_read_bytes_per_sec);
+    e.Family("window_latency_us", "gauge",
+             "Windowed latency percentiles (microseconds), by stage.");
+    struct StageHist {
+      const char* stage;
+      const Histogram* h;
+    } stages[] = {{"queue_wait", &window->queue_wait_us},
+                  {"execute", &window->execute_us},
+                  {"end_to_end", &window->end_to_end_us}};
+    for (const StageHist& s : stages) {
+      for (double q : {50.0, 95.0, 99.0}) {
+        std::string labels = "stage=\"" + std::string(s.stage) + "\",quantile=\"" +
+                             FmtDouble(q / 100.0) + "\"";
+        e.Sample(labels, s.h->Percentile(q));
+      }
+    }
+  }
+
+  // --- Cumulative latency histograms (Prometheus le semantics). ---
+  e.HistogramFamily("queue_wait_microseconds", "Queue wait, submit to dequeue.",
+                    t.queue_wait_us);
+  e.HistogramFamily("execute_microseconds", "Engine execution time per dispatch.",
+                    t.execute_us);
+  e.HistogramFamily("end_to_end_microseconds", "Submit to completion, per head request.",
+                    t.end_to_end_us);
+  e.HistogramFamily("batch_size", "Requests merged per dispatch group.", t.batch_size);
+
+  return e.Take();
+}
+
+}  // namespace obs
+}  // namespace p2kvs

@@ -1,0 +1,32 @@
+// Prometheus text exposition (version 0.0.4) rendering of a drained
+// telemetry sample: cumulative counters, process/partition gauges, latency
+// histograms with cumulative `le` buckets, windowed rates, and the skew
+// report. Pure formatting — no locking, no clock reads; callers pass
+// consistent copies taken from the MetricsRegistry or a fresh drain.
+
+#ifndef P2KVS_SRC_OBS_PROMETHEUS_H_
+#define P2KVS_SRC_OBS_PROMETHEUS_H_
+
+#include <string>
+
+#include "src/obs/metrics_registry.h"
+#include "src/obs/skew.h"
+
+namespace p2kvs {
+namespace obs {
+
+// Renders `sample` (cumulative state), the latest `window` (rates + windowed
+// percentiles; pass null before the first full window), and the `skew`
+// report into one scrape body. `self_check_failures` is the registry's
+// counter. All metric names carry the `p2kvs_` prefix.
+std::string RenderPrometheusText(const TelemetrySample& sample, const MetricsWindow* window,
+                                 const SkewReport& skew, uint64_t self_check_failures);
+
+// Escapes a value for use inside a Prometheus label: \ -> \\, " -> \", and
+// newline -> \n; other bytes pass through (scrapers accept raw UTF-8).
+std::string PrometheusLabelEscape(const std::string& value);
+
+}  // namespace obs
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_OBS_PROMETHEUS_H_

@@ -1,0 +1,172 @@
+// SpaceSaving top-K heavy-hitter sketch (Metwally et al., "Efficient
+// computation of frequent and top-k elements in data streams").
+//
+// One sketch per worker, written ONLY by the owning worker thread on the
+// execute path — no atomics, no locks, no clock reads (the zero-overhead-off
+// contract from the stats/tracing layers extends to telemetry: when
+// hot_key_sketch_k == 0 the worker never constructs a sketch, and when it is
+// on, RecordKey is a hash + one pass over a K-slot flat array, allocation-free
+// once the table fills). Snapshots drain through the
+// same race-free kStats path as the StatsRecorder: the worker copies its
+// sketch into the request's snapshot and the join Completion's
+// release/acquire pair publishes it.
+//
+// Accuracy bound (standard SpaceSaving): with capacity K over N recorded
+// ops, every entry's true count lies in [count - error, count], and any key
+// with true frequency > N/K is guaranteed to be present.
+//
+// Header-only so src/util can embed SketchSnapshot in WorkerStatsSnapshot
+// without a link-time dependency on p2kvs_obs.
+
+#ifndef P2KVS_SRC_OBS_SKETCH_H_
+#define P2KVS_SRC_OBS_SKETCH_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/hash.h"
+
+namespace p2kvs {
+namespace obs {
+
+// One heavy-hitter candidate. `count` overestimates the true frequency by at
+// most `error` (error == the evicted minimum at replacement time).
+struct SketchEntry {
+  std::string key;       // possibly truncated for display (kMaxKeyBytes)
+  uint64_t hash = 0;     // full-key hash; identity for merging
+  uint64_t count = 0;
+  uint64_t error = 0;
+  int worker_id = -1;    // worker that observed most of this entry's count
+};
+
+// Value snapshot of one worker's sketch; copyable, safe on any thread.
+struct SketchSnapshot {
+  std::vector<SketchEntry> entries;  // unordered
+  uint64_t total_ops = 0;            // every RecordKey call, in sketch or not
+
+  bool empty() const { return entries.empty() && total_ops == 0; }
+};
+
+class SpaceSavingSketch {
+ public:
+  // Keys longer than this are truncated in reports (hashing always covers the
+  // full key, so identity is unaffected).
+  static constexpr size_t kMaxKeyBytes = 48;
+
+  explicit SpaceSavingSketch(size_t capacity) : capacity_(capacity) {
+    hashes_.reserve(capacity);
+    counts_.reserve(capacity);
+    errors_.reserve(capacity);
+    keys_.reserve(capacity);
+  }
+
+  // Records one observation. Owning worker thread only; clock-free and
+  // allocation-free once the table fills: lookup is one pass over a
+  // contiguous K-slot hash array (K defaults to 32 — two cache lines, no
+  // node-based map, no pointer chasing), and eviction overwrites the minimum
+  // slot in place, reusing its key string's capacity.
+  void RecordKey(const char* data, size_t n) {
+    total_ops_++;
+    const uint64_t h = Hash64(data, n);
+    for (size_t i = 0; i < hashes_.size(); i++) {
+      if (hashes_[i] == h) {
+        counts_[i]++;
+        return;
+      }
+    }
+    if (hashes_.size() < capacity_) {
+      hashes_.push_back(h);
+      counts_.push_back(1);
+      errors_.push_back(0);
+      keys_.emplace_back(data, n <= kMaxKeyBytes ? n : kMaxKeyBytes);
+      return;
+    }
+    // Replace the current minimum; its count becomes the new entry's error
+    // bound. Linear min scan over the contiguous count array: capacity is
+    // small and under skewed traffic this path runs only for cold keys.
+    size_t min_i = 0;
+    for (size_t i = 1; i < counts_.size(); i++) {
+      if (counts_[i] < counts_[min_i]) {
+        min_i = i;
+      }
+    }
+    hashes_[min_i] = h;
+    errors_[min_i] = counts_[min_i];
+    counts_[min_i]++;
+    keys_[min_i].assign(data, n <= kMaxKeyBytes ? n : kMaxKeyBytes);
+  }
+  void RecordKey(const std::string& key) { RecordKey(key.data(), key.size()); }
+
+  uint64_t total_ops() const { return total_ops_; }
+
+  // Copies the sketch into `out`, tagging entries with `worker_id`. Owning
+  // worker thread only (same contract as StatsRecorder::FillSnapshot).
+  void FillSnapshot(SketchSnapshot* out, int worker_id) const {
+    out->total_ops = total_ops_;
+    out->entries.clear();
+    out->entries.reserve(hashes_.size());
+    for (size_t i = 0; i < hashes_.size(); i++) {
+      out->entries.push_back(
+          SketchEntry{keys_[i], hashes_[i], counts_[i], errors_[i], worker_id});
+    }
+  }
+
+ private:
+  // Structure-of-arrays: the hot lookup touches only `hashes_` (K * 8 bytes,
+  // contiguous) and the eviction min scan only `counts_`; key strings stay
+  // cold until a slot is actually replaced.
+  size_t capacity_;
+  std::vector<uint64_t> hashes_;
+  std::vector<uint64_t> counts_;
+  std::vector<uint64_t> errors_;
+  std::vector<std::string> keys_;
+  uint64_t total_ops_ = 0;
+};
+
+// Merges per-worker snapshots into the global top-`k` by summed count.
+// Workers partition the key space, so a key's observations live in exactly
+// one worker's sketch and summing is exact w.r.t. what the sketches hold;
+// the per-entry error bounds carry through unchanged.
+inline std::vector<SketchEntry> MergeTopK(const std::vector<SketchSnapshot>& snapshots,
+                                          size_t k) {
+  std::unordered_map<uint64_t, SketchEntry> by_hash;
+  for (const SketchSnapshot& snap : snapshots) {
+    for (const SketchEntry& e : snap.entries) {
+      auto it = by_hash.find(e.hash);
+      if (it == by_hash.end()) {
+        by_hash.emplace(e.hash, e);
+      } else {
+        SketchEntry& m = it->second;
+        if (e.count > m.count) {  // keep the dominant observer's id + key form
+          m.worker_id = e.worker_id;
+          m.key = e.key;
+        }
+        m.count += e.count;
+        m.error += e.error;
+      }
+    }
+  }
+  std::vector<SketchEntry> merged;
+  merged.reserve(by_hash.size());
+  for (auto& kv : by_hash) {
+    merged.push_back(std::move(kv.second));
+  }
+  std::sort(merged.begin(), merged.end(), [](const SketchEntry& a, const SketchEntry& b) {
+    if (a.count != b.count) {
+      return a.count > b.count;
+    }
+    return a.hash < b.hash;  // deterministic order for ties
+  });
+  if (merged.size() > k) {
+    merged.resize(k);
+  }
+  return merged;
+}
+
+}  // namespace obs
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_OBS_SKETCH_H_

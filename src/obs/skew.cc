@@ -1,0 +1,118 @@
+#include "src/obs/skew.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace p2kvs {
+namespace obs {
+
+namespace {
+
+// Keys may hold arbitrary bytes; escape for JSON string context. Non-ASCII
+// bytes become \u00XX so the output stays valid UTF-8 regardless of input.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (c < 0x20 || c >= 0x7f) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+SkewReport BuildSkewReport(const std::vector<WorkerStatsSnapshot>& workers, size_t top_k) {
+  SkewReport report;
+  std::vector<SketchSnapshot> sketches;
+  sketches.reserve(workers.size());
+  for (const WorkerStatsSnapshot& w : workers) {
+    PartitionLoad load;
+    load.worker_id = w.worker_id;
+    load.ops = w.requests_executed();
+    report.partitions.push_back(load);
+    report.total_ops += load.ops;
+    report.sketched_ops += w.hot_keys.total_ops;
+    sketches.push_back(w.hot_keys);
+  }
+
+  if (!report.partitions.empty() && report.total_ops > 0) {
+    double mean = static_cast<double>(report.total_ops) / report.partitions.size();
+    double max = 0;
+    double sq = 0;
+    for (PartitionLoad& p : report.partitions) {
+      p.share = static_cast<double>(p.ops) / report.total_ops;
+      double v = static_cast<double>(p.ops);
+      if (v > max) {
+        max = v;
+        report.hottest_partition = p.worker_id;
+      }
+      sq += (v - mean) * (v - mean);
+    }
+    report.imbalance_max_mean = max / mean;
+    report.imbalance_cv = std::sqrt(sq / report.partitions.size()) / mean;
+  }
+
+  report.top_keys = MergeTopK(sketches, top_k);
+  if (report.sketched_ops > 0) {
+    uint64_t covered = 0;
+    for (const SketchEntry& e : report.top_keys) {
+      covered += e.count;
+    }
+    report.top_key_coverage =
+        static_cast<double>(covered) / static_cast<double>(report.sketched_ops);
+  }
+  return report;
+}
+
+std::string SkewReport::ToJson() const {
+  std::string out = "{";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "\"total_ops\":%llu,\"sketched_ops\":%llu,"
+                "\"imbalance_max_mean\":%.4f,\"imbalance_cv\":%.4f,"
+                "\"hottest_partition\":%d,\"top_key_coverage\":%.4f",
+                static_cast<unsigned long long>(total_ops),
+                static_cast<unsigned long long>(sketched_ops), imbalance_max_mean,
+                imbalance_cv, hottest_partition, top_key_coverage);
+  out += buf;
+  out += ",\"partitions\":[";
+  for (size_t i = 0; i < partitions.size(); i++) {
+    const PartitionLoad& p = partitions[i];
+    std::snprintf(buf, sizeof(buf), "%s{\"worker\":%d,\"ops\":%llu,\"share\":%.4f}",
+                  i ? "," : "", p.worker_id, static_cast<unsigned long long>(p.ops),
+                  p.share);
+    out += buf;
+  }
+  out += "],\"top_keys\":[";
+  for (size_t i = 0; i < top_keys.size(); i++) {
+    const SketchEntry& e = top_keys[i];
+    if (i) {
+      out += ",";
+    }
+    out += "{\"key\":\"" + JsonEscape(e.key) + "\"";  // escaped key can exceed buf
+    std::snprintf(buf, sizeof(buf), ",\"count\":%llu,\"error\":%llu,\"worker\":%d}",
+                  static_cast<unsigned long long>(e.count),
+                  static_cast<unsigned long long>(e.error), e.worker_id);
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace p2kvs

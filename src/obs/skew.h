@@ -1,0 +1,50 @@
+// Skew sensing: aggregates per-worker stats + hot-key sketches into a single
+// report — global top-K heavy hitters, per-partition load shares, and
+// imbalance coefficients (max/mean and coefficient of variation). This is
+// the sensor layer for ROADMAP item 1 (hot-key handling / dynamic
+// repartitioning): any migration policy starts by reading this report.
+
+#ifndef P2KVS_SRC_OBS_SKEW_H_
+#define P2KVS_SRC_OBS_SKEW_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/sketch.h"
+#include "src/util/stats_recorder.h"
+
+namespace p2kvs {
+namespace obs {
+
+struct PartitionLoad {
+  int worker_id = 0;
+  uint64_t ops = 0;      // requests executed by this partition
+  double share = 0;      // ops / total ops (0 when idle)
+};
+
+struct SkewReport {
+  std::vector<PartitionLoad> partitions;
+  std::vector<SketchEntry> top_keys;  // global heavy hitters, count-descending
+
+  uint64_t total_ops = 0;         // sum of per-partition executed requests
+  uint64_t sketched_ops = 0;      // RecordKey observations across workers
+  double imbalance_max_mean = 0;  // max partition load / mean load (1 = even)
+  double imbalance_cv = 0;        // stddev / mean of partition loads
+  int hottest_partition = -1;     // worker id with the most ops (-1 if idle)
+
+  // Fraction of sketched traffic covered by the reported top keys (counts
+  // are upper bounds, so this can slightly exceed the true coverage).
+  double top_key_coverage = 0;
+
+  std::string ToJson() const;
+};
+
+// Builds the report from drained per-worker snapshots (each carrying its
+// counters and, when the sketch is enabled, its hot_keys snapshot).
+SkewReport BuildSkewReport(const std::vector<WorkerStatsSnapshot>& workers, size_t top_k);
+
+}  // namespace obs
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_OBS_SKEW_H_

@@ -1,0 +1,525 @@
+#include "src/server/admin.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "src/obs/prometheus.h"
+#include "src/obs/skew.h"
+
+namespace p2kvs {
+namespace server {
+
+namespace {
+
+constexpr uint64_t kListenTag = 0;
+constexpr uint64_t kEventTag = 1;
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default:  return "Error";
+  }
+}
+
+// Minimal HTTP/1.0 response; Connection: close is the framing (no
+// keep-alive, no chunking — one request, one response, one connection).
+std::string BuildHttpResponse(int status, const std::string& content_type,
+                              const std::string& body) {
+  std::string out = "HTTP/1.0 ";
+  out += std::to_string(status);
+  out += ' ';
+  out += ReasonPhrase(status);
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+void AdminServer::CompletionBus::Notify(uint64_t conn_id) {
+  {
+    MutexLock l(&mu);
+    ready.push_back(conn_id);
+  }
+  uint64_t one = 1;
+  while (::write(event_fd, &one, sizeof(one)) < 0 && errno == EINTR) {
+  }
+}
+
+AdminServer::AdminServer(P2KVS* store, AdminOptions options)
+    : store_(store), options_(std::move(options)) {}
+
+AdminServer::~AdminServer() { Stop(); }
+
+Status AdminServer::Start() {
+  if (started_) {
+    return Status::InvalidArgument("admin server already started");
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError("admin socket: " + std::string(::strerror(errno)));
+  }
+  int on = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &on, sizeof(on));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("admin bind address: " + options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = Status::IOError("admin bind: " + std::string(::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  if (::listen(listen_fd_, options_.backlog) != 0) {
+    Status s = Status::IOError("admin listen: " + std::string(::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+
+  bus_ = std::make_shared<CompletionBus>();
+  bus_->event_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (bus_->event_fd < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IOError("admin eventfd: " + std::string(::strerror(errno)));
+  }
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    ::close(bus_->event_fd);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IOError("admin epoll_create1: " + std::string(::strerror(errno)));
+  }
+
+  epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenTag;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.u64 = kEventTag;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, bus_->event_fd, &ev);
+
+  stopping_.store(false, std::memory_order_release);
+  loop_thread_ = std::thread([this] { EventLoop(); });
+  started_ = true;
+  return Status::OK();
+}
+
+void AdminServer::Stop() {
+  if (!started_) {
+    return;
+  }
+  stopping_.store(true, std::memory_order_release);
+  bus_->Notify(kEventTag);  // wake the epoll thread
+  if (loop_thread_.joinable()) {
+    loop_thread_.join();
+  }
+  // Wait out stats callbacks still running on store worker threads: they
+  // only touch their slot and the bus (both shared_ptr-kept), but the store
+  // may be destroyed right after Stop() returns, so drain them here.
+  while (bus_->inflight.load(std::memory_order_acquire) != 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  ::close(epoll_fd_);
+  epoll_fd_ = -1;
+  ::close(bus_->event_fd);
+  bus_->event_fd = -1;
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  started_ = false;
+}
+
+// p2kvs-lint: worker-context
+// (The loop completes store-callback responses; it must never call a
+// blocking P2KVS entry point — stats go through GetStatsAsync.)
+void AdminServer::EventLoop() {
+  epoll_event events[32];
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_fd_, events, 32, 100);
+    if (n < 0) {
+      if (errno == EINTR) {
+        counters_.eintr_retries.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      break;
+    }
+    for (int i = 0; i < n; i++) {
+      const uint64_t tag = events[i].data.u64;
+      if (tag == kListenTag) {
+        AcceptNew();
+        continue;
+      }
+      if (tag == kEventTag) {
+        uint64_t drained;
+        while (::read(bus_->event_fd, &drained, sizeof(drained)) < 0 && errno == EINTR) {
+        }
+        std::vector<uint64_t> ready;
+        {
+          MutexLock l(&bus_->mu);
+          ready.swap(bus_->ready);
+        }
+        for (uint64_t conn_id : ready) {
+          auto it = conns_.find(conn_id);
+          if (it != conns_.end()) {
+            FlushConnection(it->second.get());
+          }
+        }
+        continue;
+      }
+      auto it = conns_.find(tag);
+      if (it == conns_.end()) {
+        continue;
+      }
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+        CloseConnection(tag);
+        continue;
+      }
+      if (events[i].events & EPOLLIN) {
+        HandleReadable(tag);
+      }
+      it = conns_.find(tag);  // HandleReadable may have closed it
+      if (it != conns_.end() && (events[i].events & EPOLLOUT)) {
+        TryWrite(it->second.get());
+      }
+    }
+  }
+  // Teardown on the loop thread: all connection state lives here.
+  std::vector<uint64_t> ids;
+  ids.reserve(conns_.size());
+  for (const auto& kv : conns_) {
+    ids.push_back(kv.first);
+  }
+  for (uint64_t id : ids) {
+    CloseConnection(id);
+  }
+}
+
+void AdminServer::AcceptNew() {
+  while (true) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN or transient accept failure; epoll re-arms
+    }
+    int on = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &on, sizeof(on));
+    auto conn = std::make_unique<Connection>();
+    conn->id = next_conn_id_++;
+    conn->fd = fd;
+    epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN;
+    ev.data.u64 = conn->id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    counters_.accepted.fetch_add(1, std::memory_order_relaxed);
+    conns_.emplace(conn->id, std::move(conn));
+  }
+}
+
+void AdminServer::HandleReadable(uint64_t conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) {
+    return;
+  }
+  Connection* conn = it->second.get();
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      if (!conn->close_after_flush) {
+        // One request per connection; bytes after dispatch are ignored.
+        conn->inbuf.append(buf, static_cast<size_t>(n));
+      }
+      if (static_cast<size_t>(n) < sizeof(buf)) {
+        break;  // drained (level-triggered epoll re-arms if more arrives)
+      }
+      continue;
+    }
+    if (n == 0) {
+      CloseConnection(conn_id);
+      return;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    CloseConnection(conn_id);
+    return;
+  }
+  if (conn->close_after_flush) {
+    return;  // request already dispatched; just waiting to flush
+  }
+  if (conn->inbuf.size() > options_.max_request_bytes) {
+    counters_.bad_requests.fetch_add(1, std::memory_order_relaxed);
+    auto slot = std::make_shared<PendingResponse>(conn->id);
+    slot->http_status = 400;
+    slot->body = "request too large\n";
+    slot->done.store(true, std::memory_order_release);
+    conn->pending.push_back(std::move(slot));
+    conn->close_after_flush = true;
+    FlushConnection(conn);
+    return;
+  }
+  // A request is complete at the first blank line (headers are ignored).
+  size_t end = conn->inbuf.find("\r\n\r\n");
+  if (end == std::string::npos) {
+    end = conn->inbuf.find("\n\n");
+    if (end == std::string::npos) {
+      return;  // need more bytes
+    }
+  }
+  const size_t line_end = conn->inbuf.find_first_of("\r\n");
+  const std::string line = conn->inbuf.substr(0, line_end);
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+  counters_.requests.fetch_add(1, std::memory_order_relaxed);
+  conn->close_after_flush = true;
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    counters_.bad_requests.fetch_add(1, std::memory_order_relaxed);
+    auto slot = std::make_shared<PendingResponse>(conn->id);
+    slot->http_status = 400;
+    slot->body = "malformed request line\n";
+    slot->done.store(true, std::memory_order_release);
+    conn->pending.push_back(std::move(slot));
+    FlushConnection(conn);
+    return;
+  }
+  const std::string method = line.substr(0, sp1);
+  std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const size_t query = path.find('?');
+  if (query != std::string::npos) {
+    path.resize(query);  // query strings are accepted and ignored
+  }
+  HandleRequest(conn, method, path);
+  FlushConnection(conn);
+}
+
+void AdminServer::HandleRequest(Connection* conn, const std::string& method,
+                                const std::string& path) {
+  if (method != "GET") {
+    auto slot = std::make_shared<PendingResponse>(conn->id);
+    slot->http_status = 405;
+    slot->body = "only GET is supported\n";
+    slot->done.store(true, std::memory_order_release);
+    conn->pending.push_back(std::move(slot));
+    return;
+  }
+  if (path == "/metrics") {
+    DispatchAsyncStats(conn, Route::kMetrics);
+    return;
+  }
+  if (path == "/stats.json") {
+    DispatchAsyncStats(conn, Route::kStatsJson);
+    return;
+  }
+  if (path == "/healthz") {
+    auto slot = std::make_shared<PendingResponse>(conn->id);
+    slot->body = HealthzBody(&slot->http_status);
+    slot->content_type = "application/json";
+    slot->done.store(true, std::memory_order_release);
+    conn->pending.push_back(std::move(slot));
+    return;
+  }
+  if (path == "/tracez") {
+    auto slot = std::make_shared<PendingResponse>(conn->id);
+    slot->body = TracezBody();
+    slot->content_type = "application/json";
+    slot->done.store(true, std::memory_order_release);
+    conn->pending.push_back(std::move(slot));
+    return;
+  }
+  counters_.not_found.fetch_add(1, std::memory_order_relaxed);
+  auto slot = std::make_shared<PendingResponse>(conn->id);
+  slot->http_status = 404;
+  slot->body = "unknown path; try /metrics /stats.json /healthz /tracez\n";
+  slot->done.store(true, std::memory_order_release);
+  conn->pending.push_back(std::move(slot));
+}
+
+void AdminServer::DispatchAsyncStats(Connection* conn, Route route) {
+  auto slot = std::make_shared<PendingResponse>(conn->id);
+  slot->route = route;
+  slot->needs_render = true;
+  conn->pending.push_back(slot);
+  std::shared_ptr<CompletionBus> bus = bus_;
+  bus->inflight.fetch_add(1, std::memory_order_relaxed);
+  // Runs on a store worker thread: move the stats into the slot, publish,
+  // ring the bus. No rendering here — the drain completion should cost the
+  // worker as little as possible.
+  store_->GetStatsAsync([bus, slot](P2kvsStats stats) {
+    const uint64_t conn_id = slot->conn_id;
+    slot->stats = std::move(stats);
+    slot->done.store(true, std::memory_order_release);
+    bus->Notify(conn_id);
+    bus->inflight.fetch_sub(1, std::memory_order_release);
+  });
+}
+
+void AdminServer::RenderSlot(PendingResponse* slot) {
+  obs::MetricsRegistry* registry = store_->metrics_registry();
+  if (slot->route == Route::kMetrics) {
+    obs::TelemetrySample sample;
+    sample.wall_nanos = obs::ObsClockNanos();  // admin thread, not a worker
+    sample.totals = slot->stats.totals;
+    sample.workers = slot->stats.workers;
+    sample.process_cpu_percent = cpu_sampler_.SampleUtilizationPercent();
+    sample.process_rss_bytes = CurrentRssBytes();
+    sample.trace_enabled = slot->stats.trace_enabled;
+    sample.trace_events = slot->stats.trace_events;
+    sample.trace_dropped = slot->stats.trace_dropped;
+    obs::MetricsWindow window;
+    const bool have_window = registry != nullptr && registry->LatestWindow(&window);
+    const uint64_t self_check = registry != nullptr ? registry->self_check_failures() : 0;
+    slot->body = obs::RenderPrometheusText(sample, have_window ? &window : nullptr,
+                                           slot->stats.skew, self_check);
+    slot->content_type = "text/plain; version=0.0.4; charset=utf-8";
+    return;
+  }
+  // kStatsJson: the full aggregate plus the registry's window ring.
+  slot->body = "{\"stats\":" + slot->stats.ToJson() + ",\"registry\":" +
+               (registry != nullptr ? registry->ToJson() : std::string("null")) + "}";
+  slot->content_type = "application/json";
+}
+
+std::string AdminServer::HealthzBody(int* http_status) const {
+  const P2kvsHealth health = store_->Health();
+  *http_status = health.AllHealthy() ? 200 : 503;
+  std::string body = "{\"status\":\"";
+  body += health.AllHealthy() ? "ok" : "degraded";
+  body += "\",\"unhealthy\":";
+  body += std::to_string(health.NumUnhealthy());
+  body += ",\"workers\":[";
+  for (size_t i = 0; i < health.workers.size(); i++) {
+    const WorkerHealthInfo& w = health.workers[i];
+    if (i > 0) body += ',';
+    body += "{\"worker_id\":";
+    body += std::to_string(w.worker_id);
+    body += ",\"health\":\"";
+    body += WorkerHealthName(w.health);
+    body += "\",\"degraded_rejects\":";
+    body += std::to_string(w.degraded_rejects);
+    body += ",\"resume_attempts\":";
+    body += std::to_string(w.resume_attempts);
+    body += '}';
+  }
+  body += "]}\n";
+  return body;
+}
+
+std::string AdminServer::TracezBody() {
+  const bool enabled = store_->tracer() != nullptr;
+  if (enabled) {
+    store_->DumpFlightRecorder("admin /tracez");
+  }
+  std::string body = "{\"trace_enabled\":";
+  body += enabled ? "true" : "false";
+  body += ",\"flight_dump_triggered\":";
+  body += enabled ? "true" : "false";
+  body += "}\n";
+  return body;
+}
+
+void AdminServer::FlushConnection(Connection* conn) {
+  while (!conn->pending.empty() &&
+         conn->pending.front()->done.load(std::memory_order_acquire)) {
+    PendingResponse* slot = conn->pending.front().get();
+    if (slot->needs_render) {
+      RenderSlot(slot);
+      slot->needs_render = false;
+    }
+    conn->outbuf.append(BuildHttpResponse(slot->http_status, slot->content_type, slot->body));
+    conn->pending.pop_front();
+  }
+  TryWrite(conn);
+}
+
+void AdminServer::TryWrite(Connection* conn) {
+  const uint64_t conn_id = conn->id;
+  while (conn->out_off < conn->outbuf.size()) {
+    const ssize_t n = ::send(conn->fd, conn->outbuf.data() + conn->out_off,
+                             conn->outbuf.size() - conn->out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->out_off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!conn->want_write) {
+        UpdateEpoll(conn, /*want_write=*/true);
+      }
+      return;
+    }
+    CloseConnection(conn_id);
+    return;
+  }
+  conn->outbuf.clear();
+  conn->out_off = 0;
+  if (conn->want_write) {
+    UpdateEpoll(conn, /*want_write=*/false);
+  }
+  if (conn->close_after_flush && conn->pending.empty()) {
+    CloseConnection(conn_id);
+  }
+}
+
+bool AdminServer::UpdateEpoll(Connection* conn, bool want_write) {
+  epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = EPOLLIN | (want_write ? static_cast<uint32_t>(EPOLLOUT) : 0u);
+  ev.data.u64 = conn->id;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev) != 0) {
+    return false;
+  }
+  conn->want_write = want_write;
+  return true;
+}
+
+void AdminServer::CloseConnection(uint64_t conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) {
+    return;
+  }
+  Connection* conn = it->second.get();
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::close(conn->fd);
+  // Slots with stats callbacks still in flight stay alive through the
+  // callbacks' own shared_ptrs; the bus lookup misses this conn_id and the
+  // response is dropped — never written to freed memory.
+  conns_.erase(it);
+}
+
+}  // namespace server
+}  // namespace p2kvs

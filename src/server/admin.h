@@ -1,0 +1,160 @@
+// Admin / observability HTTP endpoint. A single-threaded epoll listener
+// (the src/server/server.h idiom: one event loop, eventfd completion bus,
+// per-response slots published with release/acquire) speaking just enough
+// HTTP/1.0 for curl and a Prometheus scraper:
+//
+//   GET /metrics     Prometheus text exposition 0.0.4 (obs/prometheus.h):
+//                    cumulative counters, latency histograms, per-partition
+//                    health and load shares, skew + hot keys, windowed rates
+//                    from the MetricsRegistry when the telemetry loop runs.
+//   GET /stats.json  Full GetStats() JSON plus the registry's window ring.
+//   GET /healthz     200 {"status":"ok"} when every partition is healthy,
+//                    503 with the per-partition breakdown otherwise. Served
+//                    directly from the health atomics — no drain, no queue.
+//   GET /tracez      Triggers a flight-recorder dump (as SIGUSR2 would) and
+//                    reports the tracer state.
+//
+// Worker-context safety: the event loop is worker context (it runs store
+// callbacks' completions), so it never calls a blocking P2KVS entry point.
+// /metrics and /stats.json drain through GetStatsAsync: the callback runs on
+// a worker thread, moves the stats into the response slot, and rings the
+// eventfd; all rendering happens back on the admin thread.
+
+#ifndef P2KVS_SRC_SERVER_ADMIN_H_
+#define P2KVS_SRC_SERVER_ADMIN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/p2kvs.h"
+#include "src/util/mutex.h"
+#include "src/util/resource_usage.h"
+#include "src/util/status.h"
+#include "src/util/thread_annotations.h"
+
+namespace p2kvs {
+namespace server {
+
+struct AdminOptions {
+  std::string bind_address = "127.0.0.1";
+  // 0 = kernel-assigned; read back via AdminServer::port().
+  uint16_t port = 0;
+  int backlog = 16;
+  // Requests are tiny GETs; anything larger is a client bug or abuse.
+  size_t max_request_bytes = 8192;
+};
+
+// One admin endpoint over one store. Start() spawns the event-loop thread;
+// Stop() (or the destructor) joins it and then waits for in-flight stats
+// callbacks to clear, so the store may be destroyed afterwards.
+class AdminServer {
+ public:
+  AdminServer(P2KVS* store, AdminOptions options);
+  ~AdminServer();
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  Status Start();
+  void Stop();
+
+  uint16_t port() const { return port_; }
+
+  struct Counters {
+    std::atomic<uint64_t> accepted{0};
+    std::atomic<uint64_t> requests{0};
+    std::atomic<uint64_t> bad_requests{0};  // parse failures / bodies too large
+    std::atomic<uint64_t> not_found{0};
+    std::atomic<uint64_t> eintr_retries{0};
+  };
+  const Counters& counters() const { return counters_; }
+
+ private:
+  enum class Route { kMetrics, kStatsJson, kHealthz, kTracez };
+
+  // One response being produced. For async routes the store callback fills
+  // `stats` and publishes with done.store(release); the admin thread observes
+  // done with acquire and renders the HTTP response. conn_id (not a pointer)
+  // keys back to the connection, which may be gone by completion time.
+  struct PendingResponse {
+    explicit PendingResponse(uint64_t cid) : conn_id(cid) {}
+    const uint64_t conn_id;
+    Route route = Route::kMetrics;
+    P2kvsStats stats;
+    std::string body;           // pre-rendered for synchronous routes
+    int http_status = 200;
+    std::string content_type = "text/plain; charset=utf-8";
+    bool needs_render = false;  // async: render from `stats` on flush
+    std::atomic<bool> done{false};
+  };
+  using SlotPtr = std::shared_ptr<PendingResponse>;
+
+  // Wakes the event loop when a worker-thread callback completes a slot.
+  // Kept alive by shared_ptr from both the server and in-flight callbacks so
+  // Stop() can drain stragglers after the loop exits.
+  struct CompletionBus {
+    int event_fd = -1;
+    Mutex mu;
+    std::vector<uint64_t> ready GUARDED_BY(mu);  // conn ids to flush
+    std::atomic<uint64_t> inflight{0};
+
+    void Notify(uint64_t conn_id);
+  };
+
+  // All connection state is owned by the event-loop thread.
+  struct Connection {
+    uint64_t id = 0;
+    int fd = -1;
+    std::string inbuf;               // bytes until the blank line
+    std::deque<SlotPtr> pending;     // responses in request order
+    std::string outbuf;
+    size_t out_off = 0;
+    bool want_write = false;
+    bool close_after_flush = false;  // always set: HTTP/1.0, Connection: close
+  };
+
+  void EventLoop();
+  void AcceptNew();
+  void HandleReadable(uint64_t conn_id);
+  void HandleRequest(Connection* conn, const std::string& method, const std::string& path);
+  void DispatchAsyncStats(Connection* conn, Route route);
+  void RenderSlot(PendingResponse* slot);
+  std::string HealthzBody(int* http_status) const;
+  std::string TracezBody();
+  void FlushConnection(Connection* conn);
+  void TryWrite(Connection* conn);
+  bool UpdateEpoll(Connection* conn, bool want_write);
+  void CloseConnection(uint64_t conn_id);
+
+  P2KVS* const store_;
+  const AdminOptions options_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  uint16_t port_ = 0;
+  std::shared_ptr<CompletionBus> bus_;
+  std::thread loop_thread_;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+
+  // Event-loop thread only.
+  uint64_t next_conn_id_ = 2;  // 0 = listen fd, 1 = eventfd in epoll user data
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns_;
+  // Process gauges for /metrics are sampled here, on the admin thread, at
+  // render time (the telemetry loop has its own sampler; CPU% deltas are
+  // per-sampler, so they do not interfere).
+  CpuUsageSampler cpu_sampler_;
+
+  Counters counters_;
+};
+
+}  // namespace server
+}  // namespace p2kvs
+
+#endif  // P2KVS_SRC_SERVER_ADMIN_H_

@@ -78,6 +78,64 @@ void Histogram::Merge(const Histogram& other) {
   }
 }
 
+Histogram Histogram::Delta(const Histogram& earlier) const {
+  const auto& limits = BucketLimits();
+  Histogram delta;
+  for (size_t b = 0; b < buckets_.size(); b++) {
+    double d = buckets_[b] - earlier.buckets_[b];
+    if (d < 0) {
+      d = 0;
+    }
+    delta.buckets_[b] = d;
+    if (d > 0) {
+      // Estimate the delta's range from the occupied bucket edges; the exact
+      // extremes of the in-between samples are not recoverable.
+      double left = (b == 0) ? 0 : limits[b - 1];
+      if (delta.min_ > left) {
+        delta.min_ = left;
+      }
+      double right = limits[b];
+      if (!std::isfinite(right)) {
+        right = max_;  // overall max bounds anything in the +Inf bucket
+      }
+      if (delta.max_ < right) {
+        delta.max_ = right;
+      }
+    }
+    delta.num_ += d;
+  }
+  delta.sum_ = std::max(0.0, sum_ - earlier.sum_);
+  delta.sum_squares_ = std::max(0.0, sum_squares_ - earlier.sum_squares_);
+  if (delta.num_ == 0) {
+    // Empty window: behave exactly like a cleared histogram.
+    delta.min_ = std::numeric_limits<double>::infinity();
+    delta.max_ = 0;
+    delta.sum_ = 0;
+    delta.sum_squares_ = 0;
+  }
+  return delta;
+}
+
+std::vector<uint64_t> Histogram::CumulativeCounts(const std::vector<double>& bounds) const {
+  const auto& limits = BucketLimits();
+  std::vector<uint64_t> out(bounds.size(), 0);
+  double cumulative = 0;
+  size_t bi = 0;
+  for (size_t b = 0; b < buckets_.size(); b++) {
+    // Bucket b holds values < limits[b]; attribute it to the first requested
+    // bound that covers its upper edge.
+    while (bi < bounds.size() && limits[b] > bounds[bi]) {
+      out[bi] = static_cast<uint64_t>(cumulative);
+      bi++;
+    }
+    cumulative += buckets_[b];
+  }
+  for (; bi < bounds.size(); bi++) {
+    out[bi] = static_cast<uint64_t>(cumulative);
+  }
+  return out;
+}
+
 double Histogram::Percentile(double p) const {
   if (num_ == 0) {
     return 0;

@@ -19,6 +19,12 @@ class Histogram {
   // Records one sample (any non-negative value; typically microseconds).
   void Add(double value);
   void Merge(const Histogram& other);
+  // Returns this - earlier, bucket by bucket: the samples recorded between
+  // the two snapshots. `earlier` must be a previous snapshot of the same
+  // logical histogram (counts never decrease); stale-window mismatches are
+  // clamped to zero rather than going negative. The delta's min/max are
+  // bucket-edge estimates (exact values are not recoverable by subtraction).
+  Histogram Delta(const Histogram& earlier) const;
 
   double Median() const { return Percentile(50.0); }
   double Percentile(double p) const;
@@ -33,6 +39,12 @@ class Histogram {
   // Compact JSON object: {"count":..,"sum":..,"avg":..,"min":..,"max":..,
   // "p50":..,"p95":..,"p99":..}.
   std::string ToJson() const;
+
+  // Cumulative counts at each of the given upper bounds (Prometheus `le`
+  // semantics: samples <= bound, with internal buckets mapped by their upper
+  // edge). `bounds` must be sorted ascending; an infinite last bound receives
+  // Count(). Returns one count per bound.
+  std::vector<uint64_t> CumulativeCounts(const std::vector<double>& bounds) const;
 
  private:
   static const std::vector<double>& BucketLimits();

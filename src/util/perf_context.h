@@ -31,6 +31,13 @@ struct PerfContext {
   // enable_stats zero-clock-read contract.
   uint64_t trace_clock_reads = 0;
 
+  // Clock reads performed by the telemetry layer (hot-key sketch, metrics
+  // windows) on this thread; every obs-layer timestamp goes through
+  // ObsClockNanos(). Tests assert this stays 0 on the worker thread whether
+  // telemetry is on or off: the sketch is clock-free and windowing reads the
+  // clock only on the drain thread.
+  uint64_t obs_clock_reads = 0;
+
   void Reset() { *this = PerfContext(); }
 
   void MergeFrom(const PerfContext& other) {
@@ -43,6 +50,7 @@ struct PerfContext {
     retry_count += other.retry_count;
     retry_backoff_nanos += other.retry_backoff_nanos;
     trace_clock_reads += other.trace_clock_reads;
+    obs_clock_reads += other.obs_clock_reads;
   }
 
   uint64_t others_nanos() const {

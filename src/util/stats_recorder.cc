@@ -46,6 +46,12 @@ void WorkerStatsSnapshot::MergeFrom(const WorkerStatsSnapshot& other) {
   breaker_trips += other.breaker_trips;
   retries_denied += other.retries_denied;
   admission_overloaded = admission_overloaded || other.admission_overloaded;
+
+  // Sketches concatenate; consumers aggregate by key hash via obs::MergeTopK
+  // (workers partition the key space, so per-key counts never overlap).
+  hot_keys.total_ops += other.hot_keys.total_ops;
+  hot_keys.entries.insert(hot_keys.entries.end(), other.hot_keys.entries.begin(),
+                          other.hot_keys.entries.end());
 }
 
 std::string WorkerStatsSnapshot::ToJson() const {
@@ -114,6 +120,10 @@ std::string WorkerStatsSnapshot::ToJson() const {
                 static_cast<unsigned long long>(breaker_trips),
                 static_cast<unsigned long long>(retries_denied),
                 admission_overloaded ? "true" : "false");
+  json += buf;
+  std::snprintf(buf, sizeof(buf), "\"sketched_ops\":%llu,\"sketch_entries\":%llu,",
+                static_cast<unsigned long long>(hot_keys.total_ops),
+                static_cast<unsigned long long>(hot_keys.entries.size()));
   json += buf;
   json += "\"queue_wait_us\":" + queue_wait_us.ToJson();
   json += ",\"execute_us\":" + execute_us.ToJson();

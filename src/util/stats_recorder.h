@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <string>
 
+#include "src/obs/sketch.h"  // header-only; no link dependency on p2kvs_obs
 #include "src/util/histogram.h"
 #include "src/util/perf_context.h"
 
@@ -96,6 +97,11 @@ struct WorkerStatsSnapshot {
 
   // Queue depth at snapshot time (backpressure visibility).
   size_t queue_depth = 0;
+
+  // Hot-key sketch snapshot (empty when hot_key_sketch_k == 0). Filled by
+  // the worker thread from its single-writer SpaceSavingSketch on the same
+  // kStats drain that fills the rest of this snapshot.
+  obs::SketchSnapshot hot_keys;
 
   uint64_t requests_executed() const { return writes_batched + reads_batched + singles; }
   uint64_t expired() const { return expired_at_dequeue + expired_pre_execute; }

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "src/util/random.h"
@@ -134,6 +135,100 @@ TEST(HistogramTest, HugeValuesLandInOverflowBucketClamped) {
   EXPECT_TRUE(std::isfinite(p99));
   EXPECT_GE(p99, h.Min());
   EXPECT_LE(p99, h.Max());
+}
+
+TEST(HistogramTest, DeltaRecoversTheSamplesBetweenTwoSnapshots) {
+  // Cumulative histogram, snapshot, more samples: Delta(earlier) must hold
+  // exactly the second batch (the windowed-percentile foundation).
+  Histogram h;
+  for (int i = 0; i < 1000; i++) {
+    h.Add(10.0);
+  }
+  Histogram earlier = h;
+  for (int i = 0; i < 500; i++) {
+    h.Add(5000.0);
+  }
+  Histogram delta = h.Delta(earlier);
+  EXPECT_EQ(500u, delta.Count());
+  EXPECT_NEAR(500 * 5000.0, delta.Sum(), 1.0);
+  // All delta samples sit near 5000; the cumulative p50 would still be 10.
+  EXPECT_GT(delta.Percentile(50), 1000.0);
+  EXPECT_LE(delta.Percentile(50), 6000.0);
+  EXPECT_GT(delta.Min(), 10.0);  // bucket-edge estimate, but past batch one
+}
+
+TEST(HistogramTest, DeltaPercentilesStayMonotoneAndInRange) {
+  Histogram h;
+  Random rnd(301);
+  for (int i = 0; i < 2000; i++) {
+    h.Add(static_cast<double>(rnd.Uniform(1000)) + 1);
+  }
+  Histogram earlier = h;
+  for (int i = 0; i < 2000; i++) {
+    h.Add(static_cast<double>(rnd.Uniform(100000)) + 1);
+  }
+  Histogram delta = h.Delta(earlier);
+  EXPECT_EQ(2000u, delta.Count());
+  double last = 0;
+  for (double p : {10.0, 50.0, 90.0, 95.0, 99.0, 99.9}) {
+    double v = delta.Percentile(p);
+    EXPECT_GE(v, last) << "p" << p;
+    EXPECT_GE(v, delta.Min());
+    EXPECT_LE(v, delta.Max());
+    last = v;
+  }
+}
+
+TEST(HistogramTest, DeltaOfIdenticalSnapshotsIsEmpty) {
+  Histogram h;
+  for (int i = 0; i < 100; i++) {
+    h.Add(static_cast<double>(i) + 1);
+  }
+  Histogram delta = h.Delta(h);
+  EXPECT_EQ(0u, delta.Count());
+  EXPECT_EQ(0.0, delta.Sum());
+  EXPECT_EQ(0.0, delta.Percentile(99));
+}
+
+TEST(HistogramTest, DeltaClampsStaleWindowMismatches) {
+  // `earlier` with MORE samples than `this` (a stale/crossed snapshot) must
+  // clamp to zero per bucket, never go negative.
+  Histogram a;
+  a.Add(10.0);
+  Histogram b = a;
+  b.Add(10.0);
+  b.Add(20.0);
+  Histogram delta = a.Delta(b);
+  EXPECT_EQ(0u, delta.Count());
+  EXPECT_EQ(0.0, delta.Sum());
+}
+
+TEST(HistogramTest, CumulativeCountsFollowPrometheusLeSemantics) {
+  // Fine buckets map to a bound by their UPPER edge (a bucket counts toward
+  // `le=B` only when its whole range is <= B), so use values strictly inside
+  // bucket ranges below each bound.
+  Histogram h;
+  for (int i = 0; i < 10; i++) {
+    h.Add(0.5);     // first bucket, upper edge 1.0 -> le=1
+  }
+  for (int i = 0; i < 20; i++) {
+    h.Add(40.0);    // bucket edge between 40 and 50 -> le=50
+  }
+  for (int i = 0; i < 5; i++) {
+    h.Add(9e9);     // far tail -> only +Inf
+  }
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<uint64_t> counts = h.CumulativeCounts({1.0, 25.0, 50.0, 1000.0, inf});
+  ASSERT_EQ(5u, counts.size());
+  EXPECT_EQ(10u, counts[0]);   // the 0.5 samples
+  EXPECT_EQ(10u, counts[1]);   // nothing between 1 and 25
+  EXPECT_EQ(30u, counts[2]);   // + the 40.0 samples
+  EXPECT_EQ(30u, counts[3]);
+  EXPECT_EQ(35u, counts[4]);   // +Inf receives everything
+  // Cumulative counts never decrease.
+  for (size_t i = 1; i < counts.size(); i++) {
+    EXPECT_GE(counts[i], counts[i - 1]);
+  }
 }
 
 TEST(HistogramTest, ClearResetsEverything) {

@@ -1,0 +1,675 @@
+// Telemetry-plane tests: the SpaceSaving hot-key sketch (planted heavy
+// hitters under noise, cross-worker top-K merge, accuracy bounds), the
+// MetricsRegistry window ring (rate derivation, eviction), the Prometheus
+// exposition (well-formedness, required families, bucket monotonicity,
+// label escaping), the skew report math, the zero-clock-read contract on
+// worker threads (PerfContext::obs_clock_reads), and the admin HTTP
+// endpoint end-to-end over raw sockets.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/p2kvs.h"
+#include "src/io/mem_env.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/prometheus.h"
+#include "src/obs/sketch.h"
+#include "src/obs/skew.h"
+#include "src/server/admin.h"
+#include "src/util/random.h"
+
+namespace p2kvs {
+namespace {
+
+// --- SpaceSaving sketch ---
+
+TEST(SketchTest, ExactWhenUnderCapacity) {
+  obs::SpaceSavingSketch sketch(8);
+  for (int i = 0; i < 5; i++) {
+    sketch.RecordKey("a");
+  }
+  sketch.RecordKey("b");
+  obs::SketchSnapshot snap;
+  sketch.FillSnapshot(&snap, /*worker_id=*/3);
+  ASSERT_EQ(2u, snap.entries.size());
+  EXPECT_EQ(6u, snap.total_ops);
+  for (const obs::SketchEntry& e : snap.entries) {
+    EXPECT_EQ(0u, e.error);  // no replacement happened: counts are exact
+    EXPECT_EQ(3, e.worker_id);
+    if (e.key == "a") {
+      EXPECT_EQ(5u, e.count);
+    } else {
+      EXPECT_EQ("b", e.key);
+      EXPECT_EQ(1u, e.count);
+    }
+  }
+}
+
+TEST(SketchTest, FindsPlantedHeavyHittersUnderNoise) {
+  // 3 hot keys inside a stream of 2000 distinct noise keys, capacity 16.
+  // SpaceSaving guarantees any key with frequency > N/K stays resident; the
+  // planted keys are far above that bar.
+  obs::SpaceSavingSketch sketch(16);
+  Random rnd(42);
+  const int kHot0 = 3000, kHot1 = 1500, kHot2 = 800, kNoise = 4000;
+  std::vector<std::string> stream;
+  for (int i = 0; i < kHot0; i++) stream.push_back("hot-0");
+  for (int i = 0; i < kHot1; i++) stream.push_back("hot-1");
+  for (int i = 0; i < kHot2; i++) stream.push_back("hot-2");
+  for (int i = 0; i < kNoise; i++) {
+    stream.push_back("noise-" + std::to_string(rnd.Uniform(2000)));
+  }
+  // Shuffle so the hot keys are interleaved with noise, not front-loaded.
+  for (size_t i = stream.size() - 1; i > 0; i--) {
+    std::swap(stream[i], stream[rnd.Uniform(static_cast<int>(i + 1))]);
+  }
+  for (const std::string& key : stream) {
+    sketch.RecordKey(key);
+  }
+
+  obs::SketchSnapshot snap;
+  sketch.FillSnapshot(&snap, 0);
+  EXPECT_EQ(stream.size(), snap.total_ops);
+  std::map<std::string, obs::SketchEntry> by_key;
+  for (const obs::SketchEntry& e : snap.entries) {
+    by_key[e.key] = e;
+  }
+  const std::map<std::string, uint64_t> truth = {
+      {"hot-0", kHot0}, {"hot-1", kHot1}, {"hot-2", kHot2}};
+  for (const auto& kv : truth) {
+    ASSERT_TRUE(by_key.count(kv.first)) << kv.first << " evicted";
+    const obs::SketchEntry& e = by_key[kv.first];
+    // Accuracy bound: true count in [count - error, count].
+    EXPECT_GE(e.count, kv.second) << kv.first;
+    EXPECT_LE(e.count - e.error, kv.second) << kv.first;
+  }
+}
+
+TEST(SketchTest, TruncatesLongKeysButHashesFullKey) {
+  obs::SpaceSavingSketch sketch(4);
+  const std::string long_a(100, 'a');
+  std::string long_b = long_a;
+  long_b[80] = 'b';  // differs beyond the truncation point
+  sketch.RecordKey(long_a);
+  sketch.RecordKey(long_b);
+  obs::SketchSnapshot snap;
+  sketch.FillSnapshot(&snap, 0);
+  // Identical displayed prefixes, distinct identities.
+  ASSERT_EQ(2u, snap.entries.size());
+  EXPECT_EQ(obs::SpaceSavingSketch::kMaxKeyBytes, snap.entries[0].key.size());
+  EXPECT_NE(snap.entries[0].hash, snap.entries[1].hash);
+}
+
+TEST(SketchTest, MergeTopKSumsAcrossWorkersAndRanks) {
+  obs::SketchSnapshot w0, w1;
+  w0.total_ops = 100;
+  w0.entries.push_back({"k-a", Hash64("k-a", 3), 60, 0, 0});
+  w0.entries.push_back({"k-b", Hash64("k-b", 3), 40, 5, 0});
+  w1.total_ops = 50;
+  w1.entries.push_back({"k-b", Hash64("k-b", 3), 30, 0, 1});
+  w1.entries.push_back({"k-c", Hash64("k-c", 3), 20, 0, 1});
+
+  std::vector<obs::SketchEntry> top = obs::MergeTopK({w0, w1}, 2);
+  ASSERT_EQ(2u, top.size());
+  // k-b: 40 + 30 = 70 beats k-a's 60; worker 0 observed more of it.
+  EXPECT_EQ("k-b", top[0].key);
+  EXPECT_EQ(70u, top[0].count);
+  EXPECT_EQ(5u, top[0].error);
+  EXPECT_EQ(0, top[0].worker_id);
+  EXPECT_EQ("k-a", top[1].key);
+  EXPECT_EQ(60u, top[1].count);
+}
+
+// --- Skew report ---
+
+WorkerStatsSnapshot SnapshotWithOps(int worker_id, uint64_t singles) {
+  WorkerStatsSnapshot snap;
+  snap.worker_id = worker_id;
+  snap.singles = singles;
+  return snap;
+}
+
+TEST(SkewReportTest, ComputesSharesImbalanceAndHottestPartition) {
+  std::vector<WorkerStatsSnapshot> workers;
+  workers.push_back(SnapshotWithOps(0, 100));
+  workers.push_back(SnapshotWithOps(1, 100));
+  workers.push_back(SnapshotWithOps(2, 600));
+  workers.push_back(SnapshotWithOps(3, 200));
+
+  obs::SkewReport report = obs::BuildSkewReport(workers, 8);
+  EXPECT_EQ(1000u, report.total_ops);
+  EXPECT_EQ(2, report.hottest_partition);
+  // max/mean = 600 / 250.
+  EXPECT_NEAR(2.4, report.imbalance_max_mean, 1e-9);
+  ASSERT_EQ(4u, report.partitions.size());
+  EXPECT_NEAR(0.6, report.partitions[2].share, 1e-9);
+  EXPECT_GT(report.imbalance_cv, 0.5);
+  // JSON must round-trip basic structure.
+  const std::string json = report.ToJson();
+  EXPECT_NE(std::string::npos, json.find("\"imbalance_max_mean\""));
+  EXPECT_NE(std::string::npos, json.find("\"partitions\""));
+}
+
+TEST(SkewReportTest, EvenLoadReportsUnitImbalance) {
+  std::vector<WorkerStatsSnapshot> workers;
+  for (int i = 0; i < 4; i++) {
+    workers.push_back(SnapshotWithOps(i, 250));
+  }
+  obs::SkewReport report = obs::BuildSkewReport(workers, 4);
+  EXPECT_NEAR(1.0, report.imbalance_max_mean, 1e-9);
+  EXPECT_NEAR(0.0, report.imbalance_cv, 1e-9);
+}
+
+TEST(SkewReportTest, EmptyWorkersProduceIdleReport) {
+  obs::SkewReport report = obs::BuildSkewReport({}, 4);
+  EXPECT_EQ(0u, report.total_ops);
+  EXPECT_EQ(-1, report.hottest_partition);
+  EXPECT_TRUE(report.top_keys.empty());
+}
+
+// --- MetricsRegistry ---
+
+obs::TelemetrySample SampleAt(uint64_t wall_nanos, uint64_t singles, uint64_t shed,
+                              uint64_t fg_bytes) {
+  obs::TelemetrySample s;
+  s.wall_nanos = wall_nanos;
+  s.totals.singles = singles;
+  s.totals.shed = shed;
+  s.totals.fg_bytes_written = fg_bytes;
+  for (uint64_t i = 0; i < singles; i++) {
+    s.totals.execute_us.Add(100.0);
+  }
+  return s;
+}
+
+TEST(MetricsRegistryTest, DerivesRatesBetweenConsecutiveSamples) {
+  obs::MetricsRegistry registry(8);
+  obs::MetricsWindow w;
+  EXPECT_FALSE(registry.LatestWindow(&w));
+
+  registry.AddSample(SampleAt(1'000'000'000, 1000, 0, 0));
+  EXPECT_FALSE(registry.LatestWindow(&w));  // one sample: no window yet
+
+  registry.AddSample(SampleAt(3'000'000'000, 5000, 40, 2'000'000));
+  ASSERT_TRUE(registry.LatestWindow(&w));
+  EXPECT_NEAR(2.0, w.seconds, 1e-9);
+  EXPECT_EQ(4000u, w.requests);
+  EXPECT_NEAR(2000.0, w.qps, 1e-6);
+  EXPECT_NEAR(20.0, w.shed_per_sec, 1e-6);
+  EXPECT_NEAR(1'000'000.0, w.fg_write_bytes_per_sec, 1e-3);
+  // The windowed execute histogram holds only this window's 4000 samples.
+  EXPECT_EQ(4000u, w.execute_us.Count());
+  EXPECT_EQ(2u, registry.samples_ingested());
+}
+
+TEST(MetricsRegistryTest, RingEvictsOldestWindows) {
+  obs::MetricsRegistry registry(2);
+  for (int i = 0; i < 5; i++) {
+    registry.AddSample(SampleAt(static_cast<uint64_t>(i + 1) * 1'000'000'000ull,
+                                static_cast<uint64_t>(i) * 100, 0, 0));
+  }
+  std::vector<obs::MetricsWindow> windows = registry.Windows();
+  ASSERT_EQ(2u, windows.size());  // capacity bound held
+  // Oldest-first; the last window covers samples 4 -> 5.
+  EXPECT_EQ(100u, windows[1].requests);
+  EXPECT_EQ(windows[0].end_nanos, windows[1].start_nanos);
+}
+
+TEST(MetricsRegistryTest, SelfCheckFailuresAccumulate) {
+  obs::MetricsRegistry registry(4);
+  EXPECT_EQ(0u, registry.self_check_failures());
+  registry.CountSelfCheckFailure();
+  registry.CountSelfCheckFailure();
+  EXPECT_EQ(2u, registry.self_check_failures());
+  EXPECT_NE(std::string::npos, registry.ToJson().find("\"self_check_failures\":2"));
+}
+
+// --- Prometheus exposition ---
+
+// Validates exposition-format well-formedness the same way the CI checker
+// script does: every non-comment line is `name{labels} value`, every # TYPE
+// has samples, histogram buckets are cumulative with le="+Inf" == _count.
+void ValidateExposition(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  std::set<std::string> typed_families;
+  std::map<std::string, std::vector<std::pair<double, double>>> buckets;  // family -> (le, v)
+  std::map<std::string, double> counts;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    if (line[0] == '#') {
+      std::istringstream ls(line);
+      std::string hash, kind, family;
+      ls >> hash >> kind >> family;
+      EXPECT_TRUE(kind == "HELP" || kind == "TYPE") << line;
+      if (kind == "TYPE") {
+        typed_families.insert(family);
+      }
+      continue;
+    }
+    const size_t sp = line.rfind(' ');
+    ASSERT_NE(std::string::npos, sp) << line;
+    const std::string series = line.substr(0, sp);
+    const std::string value_str = line.substr(sp + 1);
+    char* end = nullptr;
+    double value = std::strtod(value_str.c_str(), &end);
+    const bool inf_value = value_str == "+Inf";
+    EXPECT_TRUE(inf_value || (end != value_str.c_str() && *end == '\0'))
+        << "unparseable value: " << line;
+    const size_t brace = series.find('{');
+    std::string name = brace == std::string::npos ? series : series.substr(0, brace);
+    EXPECT_EQ(0u, name.rfind("p2kvs_", 0)) << "missing prefix: " << line;
+    if (brace != std::string::npos) {
+      EXPECT_EQ('}', series.back()) << line;
+    }
+    // Track histogram series for the cumulative check.
+    if (name.size() > 7 && name.rfind("_bucket") == name.size() - 7) {
+      const size_t le = series.find("le=\"");
+      ASSERT_NE(std::string::npos, le) << line;
+      std::string le_str = series.substr(le + 4);
+      le_str.resize(le_str.find('"'));
+      double le_v = le_str == "+Inf" ? std::numeric_limits<double>::infinity()
+                                     : std::strtod(le_str.c_str(), nullptr);
+      buckets[name.substr(0, name.size() - 7)].push_back({le_v, value});
+    } else if (name.size() > 6 && name.rfind("_count") == name.size() - 6) {
+      counts[name.substr(0, name.size() - 6)] = value;
+    }
+  }
+  EXPECT_FALSE(typed_families.empty());
+  for (const auto& kv : buckets) {
+    double last = -1;
+    double last_le = -std::numeric_limits<double>::infinity();
+    for (const auto& [le_v, v] : kv.second) {
+      EXPECT_GT(le_v, last_le) << kv.first << " le bounds must ascend";
+      EXPECT_GE(v, last) << kv.first << " buckets must be cumulative";
+      last = v;
+      last_le = le_v;
+    }
+    ASSERT_FALSE(kv.second.empty());
+    EXPECT_TRUE(std::isinf(kv.second.back().first)) << kv.first << " missing +Inf";
+    ASSERT_TRUE(counts.count(kv.first)) << kv.first << " missing _count";
+    EXPECT_EQ(counts[kv.first], kv.second.back().second)
+        << kv.first << " +Inf bucket must equal _count";
+  }
+}
+
+obs::TelemetrySample MakeRichSample() {
+  obs::TelemetrySample sample;
+  sample.wall_nanos = 42'000'000'000ull;
+  sample.process_cpu_percent = 55.5;
+  sample.process_rss_bytes = 123456789;
+  sample.trace_enabled = true;
+  sample.trace_events = 10;
+  for (int wid = 0; wid < 2; wid++) {
+    WorkerStatsSnapshot w;
+    w.worker_id = wid;
+    w.singles = 100 + static_cast<uint64_t>(wid) * 50;
+    w.writes_batched = 30;
+    w.write_batches = 10;
+    w.shed = 2;
+    w.submitted = w.singles + w.writes_batched + w.shed;
+    w.completed = w.singles + w.writes_batched;
+    w.fg_bytes_written = 10000;
+    w.queue_depth = static_cast<size_t>(wid);
+    for (int i = 0; i < 50; i++) {
+      w.queue_wait_us.Add(10.0 + i);
+      w.execute_us.Add(100.0 + i);
+      w.end_to_end_us.Add(200.0 + i);
+      w.batch_size.Add(3);
+    }
+    w.hot_keys.total_ops = 100;
+    w.hot_keys.entries.push_back(
+        {"key-" + std::to_string(wid), Hash64("x", 1) + static_cast<uint64_t>(wid), 40, 1, wid});
+    sample.workers.push_back(w);
+    sample.totals.MergeFrom(w);
+  }
+  return sample;
+}
+
+TEST(PrometheusTest, ExpositionIsWellFormedAndCoversRequiredFamilies) {
+  obs::TelemetrySample sample = MakeRichSample();
+  obs::SkewReport skew = obs::BuildSkewReport(sample.workers, 8);
+  obs::MetricsRegistry registry(4);
+  obs::TelemetrySample earlier = sample;
+  earlier.wall_nanos -= 1'000'000'000ull;
+  earlier.totals = WorkerStatsSnapshot();
+  registry.AddSample(earlier);
+  registry.AddSample(sample);
+  obs::MetricsWindow window;
+  ASSERT_TRUE(registry.LatestWindow(&window));
+
+  const std::string text =
+      obs::RenderPrometheusText(sample, &window, skew, /*self_check_failures=*/1);
+  ValidateExposition(text);
+  for (const char* family : {
+           "p2kvs_requests_submitted_total", "p2kvs_requests_completed_total",
+           "p2kvs_requests_shed_total", "p2kvs_batches_total", "p2kvs_fg_io_bytes_total",
+           "p2kvs_process_cpu_percent", "p2kvs_process_rss_bytes", "p2kvs_partition_healthy",
+           "p2kvs_partition_queue_depth", "p2kvs_partition_load_share",
+           "p2kvs_skew_imbalance_max_mean", "p2kvs_hot_key_count", "p2kvs_window_qps",
+           "p2kvs_window_latency_us", "p2kvs_selfcheck_failures_total",
+           "p2kvs_queue_wait_microseconds_bucket", "p2kvs_execute_microseconds_bucket",
+           "p2kvs_end_to_end_microseconds_bucket", "p2kvs_batch_size_bucket",
+       }) {
+    EXPECT_NE(std::string::npos, text.find(family)) << "missing family: " << family;
+  }
+  EXPECT_NE(std::string::npos, text.find("p2kvs_selfcheck_failures_total 1"));
+}
+
+TEST(PrometheusTest, WindowFamiliesAbsentBeforeFirstWindow) {
+  obs::TelemetrySample sample = MakeRichSample();
+  obs::SkewReport skew = obs::BuildSkewReport(sample.workers, 8);
+  const std::string text = obs::RenderPrometheusText(sample, nullptr, skew, 0);
+  ValidateExposition(text);
+  EXPECT_EQ(std::string::npos, text.find("p2kvs_window_qps"));
+  // Cumulative families still render.
+  EXPECT_NE(std::string::npos, text.find("p2kvs_requests_submitted_total"));
+}
+
+TEST(PrometheusTest, LabelValuesAreEscaped) {
+  EXPECT_EQ("a\\\\b", obs::PrometheusLabelEscape("a\\b"));
+  EXPECT_EQ("a\\\"b", obs::PrometheusLabelEscape("a\"b"));
+  EXPECT_EQ("a\\nb", obs::PrometheusLabelEscape("a\nb"));
+
+  obs::TelemetrySample sample;
+  sample.wall_nanos = 1;
+  WorkerStatsSnapshot w;
+  w.worker_id = 0;
+  w.singles = 10;
+  w.hot_keys.total_ops = 10;
+  w.hot_keys.entries.push_back({"evil\"key\nwith\\stuff", 7, 10, 0, 0});
+  sample.workers.push_back(w);
+  sample.totals.MergeFrom(w);
+  obs::SkewReport skew = obs::BuildSkewReport(sample.workers, 4);
+  const std::string text = obs::RenderPrometheusText(sample, nullptr, skew, 0);
+  EXPECT_NE(std::string::npos, text.find("evil\\\"key\\nwith\\\\stuff"));
+  EXPECT_EQ(std::string::npos, text.find("evil\"key"));
+}
+
+// --- Store-level integration ---
+
+Options SmallLsmOptions(Env* env) {
+  Options options;
+  options.env = env;
+  options.write_buffer_size = 64 * 1024;
+  options.target_file_size = 32 * 1024;
+  options.max_bytes_for_level_base = 128 * 1024;
+  return options;
+}
+
+class ObsIntegrationTest : public ::testing::Test {
+ protected:
+  void Open(size_t sketch_k, int metrics_window_ms, int num_workers = 2) {
+    env_ = NewMemEnv();
+    options_ = P2kvsOptions();
+    options_.env = env_.get();
+    options_.num_workers = num_workers;
+    options_.pin_workers = false;
+    options_.enable_stats = true;
+    options_.hot_key_sketch_k = sketch_k;
+    options_.metrics_window_ms = metrics_window_ms;
+    options_.engine_factory = MakeRocksLiteFactory(SmallLsmOptions(env_.get()));
+    ASSERT_TRUE(P2KVS::Open(options_, "/obs", &store_).ok());
+  }
+
+  std::unique_ptr<Env> env_;
+  P2kvsOptions options_;
+  std::unique_ptr<P2KVS> store_;
+};
+
+TEST_F(ObsIntegrationTest, GetStatsReportsHotKeysAndSkew) {
+  Open(/*sketch_k=*/8, /*metrics_window_ms=*/0);
+  for (int i = 0; i < 300; i++) {
+    ASSERT_TRUE(store_->Put("hot-key", "v").ok());
+  }
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(store_->Put("cold-" + std::to_string(i), "v").ok());
+  }
+  ASSERT_TRUE(store_->WaitIdle().ok());
+  P2kvsStats stats = store_->GetStats();
+  ASSERT_TRUE(stats.SelfCheck().ok()) << stats.SelfCheck().ToString();
+
+  ASSERT_FALSE(stats.skew.top_keys.empty());
+  EXPECT_EQ("hot-key", stats.skew.top_keys[0].key);
+  EXPECT_GE(stats.skew.top_keys[0].count, 300u);
+  EXPECT_EQ(store_->PartitionOf("hot-key"), stats.skew.top_keys[0].worker_id);
+  EXPECT_EQ(store_->PartitionOf("hot-key"), stats.skew.hottest_partition);
+  EXPECT_GT(stats.skew.imbalance_max_mean, 1.0);
+  EXPECT_EQ(400u, stats.skew.sketched_ops);
+  // The skew report round-trips through the stats JSON.
+  EXPECT_NE(std::string::npos, stats.ToJson().find("\"skew\""));
+}
+
+TEST_F(ObsIntegrationTest, SketchDisabledMeansNoSketchState) {
+  Open(/*sketch_k=*/0, /*metrics_window_ms=*/0);
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(store_->Put("k" + std::to_string(i % 5), "v").ok());
+  }
+  ASSERT_TRUE(store_->WaitIdle().ok());
+  P2kvsStats stats = store_->GetStats();
+  EXPECT_TRUE(stats.skew.top_keys.empty());
+  EXPECT_EQ(0u, stats.skew.sketched_ops);
+  // Load shares still work without the sketch.
+  EXPECT_EQ(100u, stats.skew.total_ops);
+  EXPECT_GE(stats.skew.hottest_partition, 0);
+}
+
+TEST_F(ObsIntegrationTest, TelemetryLoopFillsTheRegistryRing) {
+  Open(/*sketch_k=*/8, /*metrics_window_ms=*/10);
+  ASSERT_NE(nullptr, store_->metrics_registry());
+  for (int round = 0; round < 10; round++) {
+    for (int i = 0; i < 50; i++) {
+      ASSERT_TRUE(store_->Put("k" + std::to_string(i), "v").ok());
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  }
+  obs::MetricsRegistry* registry = store_->metrics_registry();
+  obs::MetricsWindow window;
+  ASSERT_TRUE(registry->LatestWindow(&window));
+  EXPECT_GT(registry->samples_ingested(), 2u);
+  EXPECT_GT(window.seconds, 0.0);
+  EXPECT_EQ(0u, registry->self_check_failures());
+  std::vector<obs::MetricsWindow> windows = registry->Windows();
+  uint64_t total_requests = 0;
+  for (const obs::MetricsWindow& w : windows) {
+    total_requests += w.requests;
+  }
+  EXPECT_GT(total_requests, 0u);
+}
+
+TEST_F(ObsIntegrationTest, WorkerThreadsNeverReadTheClockForTelemetry) {
+  // The zero-overhead contract, as a measured property: with the full
+  // telemetry plane enabled (sketch + windowed drains), the workers'
+  // PerfContexts must show ZERO obs-layer clock reads — recording is
+  // clock-free and all timestamps happen on the drain thread.
+  Open(/*sketch_k=*/16, /*metrics_window_ms=*/10);
+  for (int i = 0; i < 500; i++) {
+    ASSERT_TRUE(store_->Put("k" + std::to_string(i % 20), "v").ok());
+    if (i % 3 == 0) {
+      std::string value;
+      store_->Get("k" + std::to_string(i % 20), &value).IgnoreError();
+    }
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ASSERT_TRUE(store_->WaitIdle().ok());
+  P2kvsStats stats = store_->GetStats();
+  EXPECT_EQ(0u, stats.totals.engine.obs_clock_reads);
+  ASSERT_TRUE(stats.SelfCheck().ok()) << stats.SelfCheck().ToString();
+}
+
+TEST_F(ObsIntegrationTest, TelemetryOffAlsoMeansZeroObsClockReads) {
+  Open(/*sketch_k=*/0, /*metrics_window_ms=*/0);
+  for (int i = 0; i < 200; i++) {
+    ASSERT_TRUE(store_->Put("k" + std::to_string(i), "v").ok());
+  }
+  ASSERT_TRUE(store_->WaitIdle().ok());
+  P2kvsStats stats = store_->GetStats();
+  EXPECT_EQ(0u, stats.totals.engine.obs_clock_reads);
+  EXPECT_EQ(nullptr, store_->metrics_registry());
+}
+
+// --- Admin endpoint, end-to-end over raw sockets ---
+
+struct HttpResponse {
+  int status = 0;
+  std::string headers;
+  std::string body;
+};
+
+HttpResponse HttpGet(uint16_t port, const std::string& request_line) {
+  HttpResponse resp;
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return resp;
+  }
+  const std::string request = request_line + "\r\nHost: test\r\n\r\n";
+  size_t off = 0;
+  while (off < request.size()) {
+    ssize_t n = ::send(fd, request.data() + off, request.size() - off, 0);
+    if (n <= 0) break;
+    off += static_cast<size_t>(n);
+  }
+  std::string raw;
+  char buf[4096];
+  while (true) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;  // Connection: close framing — EOF ends the response
+    raw.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  const size_t header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    return resp;
+  }
+  resp.headers = raw.substr(0, header_end);
+  resp.body = raw.substr(header_end + 4);
+  std::sscanf(resp.headers.c_str(), "HTTP/1.0 %d", &resp.status);
+  return resp;
+}
+
+class AdminServerTest : public ObsIntegrationTest {
+ protected:
+  void StartAdmin() {
+    server::AdminOptions admin_options;  // port 0: kernel-assigned
+    admin_ = std::make_unique<server::AdminServer>(store_.get(), admin_options);
+    ASSERT_TRUE(admin_->Start().ok());
+    ASSERT_NE(0, admin_->port());
+  }
+
+  void TearDown() override {
+    if (admin_ != nullptr) {
+      admin_->Stop();
+    }
+  }
+
+  std::unique_ptr<server::AdminServer> admin_;
+};
+
+TEST_F(AdminServerTest, ServesMetricsStatsHealthAndTracez) {
+  Open(/*sketch_k=*/8, /*metrics_window_ms=*/10);
+  for (int i = 0; i < 200; i++) {
+    ASSERT_TRUE(store_->Put("admin-key-" + std::to_string(i % 10), "v").ok());
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));  // >= 2 windows
+  StartAdmin();
+
+  HttpResponse metrics = HttpGet(admin_->port(), "GET /metrics HTTP/1.0");
+  EXPECT_EQ(200, metrics.status);
+  EXPECT_NE(std::string::npos, metrics.headers.find("text/plain"));
+  ValidateExposition(metrics.body);
+  EXPECT_NE(std::string::npos, metrics.body.find("p2kvs_requests_submitted_total"));
+  EXPECT_NE(std::string::npos, metrics.body.find("p2kvs_hot_key_count"));
+  EXPECT_NE(std::string::npos, metrics.body.find("p2kvs_window_qps"));
+  EXPECT_NE(std::string::npos, metrics.body.find("p2kvs_process_rss_bytes"));
+
+  HttpResponse stats = HttpGet(admin_->port(), "GET /stats.json HTTP/1.0");
+  EXPECT_EQ(200, stats.status);
+  EXPECT_NE(std::string::npos, stats.headers.find("application/json"));
+  EXPECT_EQ(0u, stats.body.rfind("{\"stats\":", 0));
+  EXPECT_NE(std::string::npos, stats.body.find("\"registry\":"));
+  EXPECT_NE(std::string::npos, stats.body.find("\"windows\""));
+
+  HttpResponse health = HttpGet(admin_->port(), "GET /healthz HTTP/1.0");
+  EXPECT_EQ(200, health.status);
+  EXPECT_NE(std::string::npos, health.body.find("\"status\":\"ok\""));
+
+  HttpResponse tracez = HttpGet(admin_->port(), "GET /tracez HTTP/1.0");
+  EXPECT_EQ(200, tracez.status);
+  EXPECT_NE(std::string::npos, tracez.body.find("\"trace_enabled\":false"));
+
+  HttpResponse missing = HttpGet(admin_->port(), "GET /nope HTTP/1.0");
+  EXPECT_EQ(404, missing.status);
+  HttpResponse post = HttpGet(admin_->port(), "POST /metrics HTTP/1.0");
+  EXPECT_EQ(405, post.status);
+}
+
+TEST_F(AdminServerTest, ConcurrentScrapesAllComplete) {
+  Open(/*sketch_k=*/8, /*metrics_window_ms=*/10);
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(store_->Put("k" + std::to_string(i), "v").ok());
+  }
+  StartAdmin();
+  constexpr int kClients = 8;
+  std::vector<std::thread> clients;
+  std::vector<int> statuses(kClients, 0);
+  for (int c = 0; c < kClients; c++) {
+    clients.emplace_back([this, c, &statuses] {
+      const char* path = c % 2 == 0 ? "GET /metrics HTTP/1.0" : "GET /stats.json HTTP/1.0";
+      statuses[c] = HttpGet(admin_->port(), path).status;
+    });
+  }
+  for (std::thread& t : clients) {
+    t.join();
+  }
+  for (int c = 0; c < kClients; c++) {
+    EXPECT_EQ(200, statuses[c]) << "client " << c;
+  }
+}
+
+TEST_F(AdminServerTest, SurvivesScrapesUnderConcurrentLoad) {
+  Open(/*sketch_k=*/8, /*metrics_window_ms=*/10);
+  StartAdmin();
+  std::atomic<bool> stop{false};
+  std::thread writer([this, &stop] {
+    uint64_t i = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      store_->Put("load-" + std::to_string(i++ % 50), "v").IgnoreError();
+    }
+  });
+  for (int i = 0; i < 10; i++) {
+    HttpResponse metrics = HttpGet(admin_->port(), "GET /metrics HTTP/1.0");
+    EXPECT_EQ(200, metrics.status);
+  }
+  stop.store(true, std::memory_order_release);
+  writer.join();
+  ASSERT_TRUE(store_->WaitIdle().ok());
+  P2kvsStats stats = store_->GetStats();
+  EXPECT_EQ(0u, stats.totals.engine.obs_clock_reads);
+  ASSERT_TRUE(stats.SelfCheck().ok()) << stats.SelfCheck().ToString();
+}
+
+}  // namespace
+}  // namespace p2kvs

@@ -1,0 +1,205 @@
+// Standalone p2kvs server: the binary-protocol data plane (src/server) plus
+// the HTTP admin/observability plane (src/server/admin.h) over one store.
+//
+//   p2kvs_server --path=/tmp/db --port=4100 --admin-port=4190
+//       --workers=4 --metrics-window-ms=1000 --sketch-k=32 --demo-traffic
+//
+// Prints one machine-readable READY line once both listeners are up:
+//
+//   READY data_port=4100 admin_port=4190
+//
+// (ports are kernel-assigned when the flags are 0 or omitted — the READY
+// line is how scripts learn them; the CI /metrics scrape smoke parses it).
+// --demo-traffic drives a light Zipfian read/write mix through the async
+// interface so the telemetry plane has live data to show. SIGINT / SIGTERM
+// shut down cleanly: admin first, then the data plane, then the store.
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "src/core/p2kvs.h"
+#include "src/server/admin.h"
+#include "src/server/server.h"
+#include "src/ycsb/generator.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void HandleStopSignal(int) { g_stop.store(true, std::memory_order_release); }
+
+// --flag=value parsing; every flag has a default so `p2kvs_server` alone runs.
+struct Flags {
+  std::string path = "/tmp/p2kvs_server_db";
+  int port = 0;        // data plane; 0 = kernel-assigned
+  int admin_port = 0;  // admin plane; 0 = kernel-assigned
+  int workers = 4;
+  int metrics_window_ms = 1000;
+  int sketch_k = 32;
+  int stats_dump_period_ms = 0;
+  bool trace = false;
+  bool demo_traffic = false;
+  int demo_ops_per_sec = 2000;
+  int duration_s = 0;  // 0 = run until a signal arrives
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') {
+    *out = arg + n + 1;
+    return true;
+  }
+  return false;
+}
+
+bool ParseFlags(int argc, char** argv, Flags* f) {
+  for (int i = 1; i < argc; i++) {
+    std::string v;
+    if (ParseFlag(argv[i], "--path", &v)) {
+      f->path = v;
+    } else if (ParseFlag(argv[i], "--port", &v)) {
+      f->port = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--admin-port", &v)) {
+      f->admin_port = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--workers", &v)) {
+      f->workers = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--metrics-window-ms", &v)) {
+      f->metrics_window_ms = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--sketch-k", &v)) {
+      f->sketch_k = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--stats-dump-period-ms", &v)) {
+      f->stats_dump_period_ms = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--demo-ops-per-sec", &v)) {
+      f->demo_ops_per_sec = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--duration-s", &v)) {
+      f->duration_s = std::atoi(v.c_str());
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      f->trace = true;
+    } else if (std::strcmp(argv[i], "--demo-traffic") == 0) {
+      f->demo_traffic = true;
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag: %s\n"
+                   "usage: p2kvs_server [--path=DIR] [--port=N] [--admin-port=N]\n"
+                   "    [--workers=N] [--metrics-window-ms=N] [--sketch-k=N]\n"
+                   "    [--stats-dump-period-ms=N] [--trace] [--duration-s=N]\n"
+                   "    [--demo-traffic] [--demo-ops-per-sec=N]\n",
+                   argv[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
+// A light skewed read/write mix through the async interface. Paced in small
+// bursts; the callbacks discard results — the point is live telemetry, not
+// measurement (bench/ owns measurement).
+void DemoTrafficLoop(p2kvs::P2KVS* store, int ops_per_sec) {
+  constexpr uint64_t kKeys = 10000;
+  p2kvs::ycsb::ZipfianGenerator gen(kKeys, /*seed=*/42, /*theta=*/0.99);
+  const int burst = ops_per_sec > 100 ? ops_per_sec / 100 : 1;
+  uint64_t seq = 0;
+  while (!g_stop.load(std::memory_order_acquire)) {
+    for (int i = 0; i < burst; i++) {
+      char key[32];
+      std::snprintf(key, sizeof(key), "user%08llu",
+                    static_cast<unsigned long long>(gen.Next()));
+      if (++seq % 4 == 0) {
+        store->PutAsync(key, "demo-value", [](const p2kvs::Status&) {});
+      } else {
+        store->GetAsync(key, [](const p2kvs::Status&, std::string) {});
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  if (!ParseFlags(argc, argv, &flags)) {
+    return 2;
+  }
+
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = HandleStopSignal;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+
+  p2kvs::P2kvsOptions options;
+  options.num_workers = flags.workers;
+  options.pin_workers = false;  // a service binary should not assume free cores
+  options.enable_stats = true;
+  options.hot_key_sketch_k = static_cast<size_t>(flags.sketch_k);
+  options.metrics_window_ms = flags.metrics_window_ms;
+  options.stats_dump_period_ms = flags.stats_dump_period_ms;
+  if (flags.trace) {
+    options.trace.enabled = true;
+  }
+
+  std::unique_ptr<p2kvs::P2KVS> store;
+  p2kvs::Status s = p2kvs::P2KVS::Open(options, flags.path, &store);
+  if (!s.ok()) {
+    std::fprintf(stderr, "open %s: %s\n", flags.path.c_str(), s.ToString().c_str());
+    return 1;
+  }
+
+  p2kvs::server::ServerOptions server_options;
+  server_options.port = static_cast<uint16_t>(flags.port);
+  p2kvs::server::Server data_plane(store.get(), server_options);
+  s = data_plane.Start();
+  if (!s.ok()) {
+    std::fprintf(stderr, "data plane: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  p2kvs::server::AdminOptions admin_options;
+  admin_options.port = static_cast<uint16_t>(flags.admin_port);
+  p2kvs::server::AdminServer admin(store.get(), admin_options);
+  s = admin.Start();
+  if (!s.ok()) {
+    std::fprintf(stderr, "admin plane: %s\n", s.ToString().c_str());
+    data_plane.Stop();
+    return 1;
+  }
+
+  std::printf("READY data_port=%u admin_port=%u\n", data_plane.port(), admin.port());
+  std::printf("admin: curl http://127.0.0.1:%u/metrics\n", admin.port());
+  std::fflush(stdout);
+
+  std::thread demo;
+  if (flags.demo_traffic) {
+    demo = std::thread(DemoTrafficLoop, store.get(), flags.demo_ops_per_sec);
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  while (!g_stop.load(std::memory_order_acquire)) {
+    if (flags.duration_s > 0 &&
+        std::chrono::steady_clock::now() - start >= std::chrono::seconds(flags.duration_s)) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  g_stop.store(true, std::memory_order_release);
+
+  if (demo.joinable()) {
+    demo.join();
+  }
+  admin.Stop();
+  data_plane.Stop();
+  store.reset();
+  std::printf("shut down cleanly\n");
+  return 0;
+}
